@@ -1,0 +1,110 @@
+/// \file bench_bmc.cpp
+/// \brief Experiment E8 (paper §3, ref. [5]): bounded model checking.
+///        Counterexample-depth sweeps on counters/shift registers (the
+///        cost of unrolling grows with depth), autonomous LFSRs, and a
+///        safe-property control that runs to the bound.
+#include <benchmark/benchmark.h>
+
+#include "bmc/bmc.hpp"
+
+namespace {
+
+using namespace sateda;
+
+void run_bmc(benchmark::State& state, const bmc::SequentialCircuit& m,
+             bmc::BmcOptions opts, bmc::BmcVerdict expect, int expect_depth) {
+  bmc::BmcResult r;
+  for (auto _ : state) {
+    r = bmc::bounded_model_check(m, opts);
+    if (r.verdict != expect) state.SkipWithError("unexpected verdict");
+    if (expect_depth >= 0 && r.depth != expect_depth) {
+      state.SkipWithError("unexpected counterexample depth");
+    }
+  }
+  state.counters["depth"] = static_cast<double>(r.depth);
+  state.counters["conflicts"] = static_cast<double>(r.conflicts);
+  state.counters["decisions"] = static_cast<double>(r.decisions);
+}
+
+void Counter_DepthSweep(benchmark::State& state) {
+  const int bad = static_cast<int>(state.range(0));
+  bmc::SequentialCircuit m = bmc::counter_machine(8, bad);
+  bmc::BmcOptions opts;
+  opts.max_depth = bad + 4;
+  run_bmc(state, m, opts, bmc::BmcVerdict::kCounterexample, bad);
+}
+BENCHMARK(Counter_DepthSweep)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void ShiftRegister_WidthSweep(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  bmc::SequentialCircuit m = bmc::shift_register_machine(bits);
+  bmc::BmcOptions opts;
+  opts.max_depth = bits + 4;
+  run_bmc(state, m, opts, bmc::BmcVerdict::kCounterexample, bits);
+}
+BENCHMARK(ShiftRegister_WidthSweep)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void Lfsr_Autonomous(benchmark::State& state) {
+  bmc::SequentialCircuit m =
+      bmc::lfsr_machine(static_cast<int>(state.range(0)), 0b1011011, 1, 0x19);
+  bmc::BmcOptions opts;
+  opts.max_depth = 130;
+  bmc::BmcResult r;
+  for (auto _ : state) {
+    r = bmc::bounded_model_check(m, opts);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["depth"] = static_cast<double>(r.depth);
+  state.counters["found"] =
+      r.verdict == bmc::BmcVerdict::kCounterexample ? 1 : 0;
+}
+BENCHMARK(Lfsr_Autonomous)->Arg(7)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Safe property: the cost of running every depth to UNSAT.
+void SafeProperty_BoundSweep(benchmark::State& state) {
+  bmc::SequentialCircuit m = bmc::counter_machine(6, 1u << 20);  // never
+  bmc::BmcOptions opts;
+  opts.max_depth = static_cast<int>(state.range(0));
+  run_bmc(state, m, opts, bmc::BmcVerdict::kNoCounterexample, -1);
+}
+BENCHMARK(SafeProperty_BoundSweep)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Incremental vs from-scratch frames: the §6 claim applied to BMC.
+void Incremental_Engine(benchmark::State& state) {
+  bmc::SequentialCircuit m = bmc::counter_machine(8, 48);
+  std::int64_t conflicts = 0;
+  for (auto _ : state) {
+    bmc::BmcEngine engine(m);
+    for (int k = 0; k <= 48; ++k) {
+      sat::SolveResult r = engine.check_depth(k);
+      if (k < 48 && r != sat::SolveResult::kUnsat) {
+        state.SkipWithError("unexpected early counterexample");
+      }
+    }
+    conflicts = engine.solver().stats().conflicts;
+  }
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+}
+BENCHMARK(Incremental_Engine)->Unit(benchmark::kMillisecond);
+
+void FromScratch_PerDepth(benchmark::State& state) {
+  bmc::SequentialCircuit m = bmc::counter_machine(8, 48);
+  std::int64_t conflicts = 0;
+  for (auto _ : state) {
+    conflicts = 0;
+    for (int k = 0; k <= 48; ++k) {
+      bmc::BmcEngine engine(m);  // new solver per depth: no reuse
+      sat::SolveResult r = engine.check_depth(k);
+      if (k < 48 && r != sat::SolveResult::kUnsat) {
+        state.SkipWithError("unexpected early counterexample");
+      }
+      conflicts += engine.solver().stats().conflicts;
+    }
+  }
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+}
+BENCHMARK(FromScratch_PerDepth)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

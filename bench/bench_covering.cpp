@@ -1,0 +1,89 @@
+/// \file bench_covering.cpp
+/// \brief Experiment E10 (paper §3, refs [9, 22, 23]): SAT in
+///        optimization.  Plain branch-and-bound vs SAT-pruned B&B vs
+///        pure SAT cost search on unate covering, and minimum-size
+///        prime implicant extraction.
+#include <benchmark/benchmark.h>
+
+#include "cnf/generators.hpp"
+#include "opt/covering.hpp"
+#include "opt/prime_implicants.hpp"
+
+namespace {
+
+using namespace sateda;
+
+void run_bnb(benchmark::State& state, const opt::CoveringProblem& p,
+             bool sat_pruning) {
+  opt::CoveringResult r;
+  for (auto _ : state) {
+    opt::CoveringOptions opts;
+    opts.sat_pruning = sat_pruning;
+    r = opt::solve_covering_bnb(p, opts);
+    if (!r.feasible) state.SkipWithError("infeasible?");
+  }
+  state.counters["cost"] = static_cast<double>(r.cost);
+  state.counters["nodes"] = static_cast<double>(r.stats.branch_nodes);
+  state.counters["sat_prunes"] = static_cast<double>(r.stats.sat_prunes);
+}
+
+opt::CoveringProblem instance(int cols, std::uint64_t seed) {
+  return opt::random_covering(cols, cols + cols / 2, 4, seed);
+}
+
+void Covering_PlainBnb(benchmark::State& state) {
+  run_bnb(state, instance(static_cast<int>(state.range(0)), 31), false);
+}
+BENCHMARK(Covering_PlainBnb)->Arg(15)->Arg(20)->Arg(25)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void Covering_SatPrunedBnb(benchmark::State& state) {
+  run_bnb(state, instance(static_cast<int>(state.range(0)), 31), true);
+}
+BENCHMARK(Covering_SatPrunedBnb)->Arg(15)->Arg(20)->Arg(25)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void Covering_SatSearch(benchmark::State& state) {
+  opt::CoveringProblem p = instance(static_cast<int>(state.range(0)), 31);
+  opt::CoveringResult r;
+  for (auto _ : state) {
+    r = opt::solve_covering_sat(p);
+    if (!r.feasible) state.SkipWithError("infeasible?");
+  }
+  state.counters["cost"] = static_cast<double>(r.cost);
+  state.counters["sat_calls"] = static_cast<double>(r.stats.sat_calls);
+}
+BENCHMARK(Covering_SatSearch)->Arg(15)->Arg(20)->Arg(25)->Arg(30)->Unit(benchmark::kMillisecond);
+
+// Binate covering: only the SAT formulation applies.
+void BinateCovering_Sat(benchmark::State& state) {
+  const int cols = static_cast<int>(state.range(0));
+  opt::CoveringProblem p = instance(cols, 77);
+  // Make it binate: choosing column i forbids column i+1 for even i.
+  for (int i = 0; i + 1 < cols; i += 2) {
+    p.rows.push_back({neg(i), neg(i + 1)});
+  }
+  opt::CoveringResult r;
+  for (auto _ : state) {
+    r = opt::solve_covering_sat(p);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["cost"] = static_cast<double>(r.feasible ? r.cost : -1);
+}
+BENCHMARK(BinateCovering_Sat)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+// Minimum-size prime implicants (ref. [22]).
+void PrimeImplicant_Random(benchmark::State& state) {
+  CnfFormula f =
+      random_3sat(static_cast<int>(state.range(0)), 2.0, 5);
+  opt::PrimeImplicantResult r;
+  for (auto _ : state) {
+    r = opt::minimum_prime_implicant(f);
+    if (!r.exists) state.SkipWithError("unexpectedly UNSAT");
+  }
+  state.counters["cube_size"] = static_cast<double>(r.cube.size());
+  state.counters["sat_calls"] = static_cast<double>(r.sat_calls);
+}
+BENCHMARK(PrimeImplicant_Random)->Arg(15)->Arg(25)->Arg(40)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

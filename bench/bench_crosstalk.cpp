@@ -1,0 +1,65 @@
+/// \file bench_crosstalk.cpp
+/// \brief Experiment E17 (paper §3, ref. [8]): "true" crosstalk noise
+///        analysis.  The functional worst case (max simultaneously
+///        rising aggressors with the victim quiet) vs the topological
+///        bound; the gap is the pessimism SAT removes.
+#include <benchmark/benchmark.h>
+
+#include "circuit/generators.hpp"
+#include "noise/crosstalk.hpp"
+
+namespace {
+
+using namespace sateda;
+using circuit::Circuit;
+using circuit::NodeId;
+
+void run_crosstalk(benchmark::State& state, const Circuit& c, NodeId victim,
+                   const std::vector<NodeId>& aggressors) {
+  noise::CrosstalkResult r;
+  for (auto _ : state) {
+    r = noise::worst_case_aggressors(c, victim, aggressors);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["topological"] = static_cast<double>(r.topological_bound);
+  state.counters["functional"] = static_cast<double>(r.functional_worst);
+  state.counters["pessimism"] =
+      static_cast<double>(r.topological_bound - r.functional_worst);
+}
+
+void Crosstalk_RandomLogic(benchmark::State& state) {
+  Circuit c =
+      circuit::random_circuit(12, static_cast<int>(state.range(0)), 33);
+  NodeId victim = c.outputs()[0];
+  std::vector<NodeId> aggressors;
+  for (NodeId n = static_cast<NodeId>(c.inputs().size());
+       n < static_cast<NodeId>(c.num_nodes()) && aggressors.size() < 8; ++n) {
+    if (n != victim) aggressors.push_back(n);
+  }
+  run_crosstalk(state, c, victim, aggressors);
+}
+BENCHMARK(Crosstalk_RandomLogic)->Arg(60)->Arg(120)->Arg(240)->Unit(benchmark::kMillisecond);
+
+void Crosstalk_AluBus(benchmark::State& state) {
+  // Victim: one result bit; aggressors: the other result bits — a bus
+  // whose bits are logically correlated through the shared opcode.
+  Circuit c = circuit::alu(static_cast<int>(state.range(0)));
+  NodeId victim = c.outputs()[0];
+  std::vector<NodeId> aggressors(c.outputs().begin() + 1, c.outputs().end());
+  run_crosstalk(state, c, victim, aggressors);
+}
+BENCHMARK(Crosstalk_AluBus)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void Crosstalk_AdderCarries(benchmark::State& state) {
+  // Victim: the low sum bit; aggressors: all other sums + carry — the
+  // carry chain correlates them.
+  Circuit c = circuit::ripple_carry_adder(static_cast<int>(state.range(0)));
+  NodeId victim = c.outputs()[0];
+  std::vector<NodeId> aggressors(c.outputs().begin() + 1, c.outputs().end());
+  run_crosstalk(state, c, victim, aggressors);
+}
+BENCHMARK(Crosstalk_AdderCarries)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

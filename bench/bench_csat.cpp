@@ -1,0 +1,92 @@
+/// \file bench_csat.cpp
+/// \brief Experiment E5 (paper §5, Tables 2-3): the circuit-SAT layer.
+///        Measures (a) overspecification — how many primary inputs a
+///        solution pins down with the justification frontier vs plain
+///        CNF satisfaction — and (b) the runtime effect of frontier
+///        termination and fanin backtracing.
+#include <benchmark/benchmark.h>
+
+#include "circuit/generators.hpp"
+#include "csat/circuit_sat.hpp"
+
+namespace {
+
+using namespace sateda;
+
+csat::CircuitSatOptions layered(bool frontier, bool backtrace) {
+  csat::CircuitSatOptions o;
+  o.layer.frontier_termination = frontier;
+  o.layer.backtrace_decisions = backtrace;
+  return o;
+}
+
+csat::CircuitSatOptions multiple_layered() {
+  csat::CircuitSatOptions o = layered(true, true);
+  o.layer.backtrace_mode = csat::BacktraceMode::kMultiple;
+  return o;
+}
+
+void objective_sweep(benchmark::State& state, const circuit::Circuit& c,
+                     csat::CircuitSatOptions opts) {
+  std::int64_t total_specified = 0, objectives = 0, sat_count = 0;
+  std::int64_t decisions = 0;
+  for (auto _ : state) {
+    total_specified = objectives = sat_count = 0;
+    csat::CircuitSatSolver solver(c, opts);
+    for (circuit::NodeId out : c.outputs()) {
+      for (bool v : {false, true}) {
+        ++objectives;
+        csat::CircuitSatResult r = solver.solve(out, v);
+        if (r.result == sat::SolveResult::kSat) {
+          ++sat_count;
+          total_specified += r.specified_inputs;
+        }
+      }
+    }
+    decisions = solver.solver().stats().decisions;
+  }
+  state.counters["objectives"] = static_cast<double>(objectives);
+  state.counters["num_inputs"] = static_cast<double>(c.inputs().size());
+  state.counters["avg_specified_inputs"] =
+      sat_count ? static_cast<double>(total_specified) /
+                      static_cast<double>(sat_count)
+                : 0.0;
+  state.counters["decisions"] = static_cast<double>(decisions);
+}
+
+#define CSAT_BENCH(NAME, CIRCUIT)                                           \
+  void NAME##_FullLayer(benchmark::State& state) {                          \
+    objective_sweep(state, CIRCUIT, layered(true, true));                   \
+  }                                                                         \
+  BENCHMARK(NAME##_FullLayer)->Unit(benchmark::kMillisecond);               \
+  void NAME##_MultipleBacktrace(benchmark::State& state) {                  \
+    objective_sweep(state, CIRCUIT, multiple_layered());                    \
+  }                                                                         \
+  BENCHMARK(NAME##_MultipleBacktrace)->Unit(benchmark::kMillisecond);       \
+  void NAME##_FrontierOnly(benchmark::State& state) {                       \
+    objective_sweep(state, CIRCUIT, layered(true, false));                  \
+  }                                                                         \
+  BENCHMARK(NAME##_FrontierOnly)->Unit(benchmark::kMillisecond);            \
+  void NAME##_PlainCnf(benchmark::State& state) {                           \
+    objective_sweep(state, CIRCUIT, layered(false, false));                 \
+  }                                                                         \
+  BENCHMARK(NAME##_PlainCnf)->Unit(benchmark::kMillisecond)
+
+CSAT_BENCH(WideOr, [] {
+  circuit::Circuit c;
+  std::vector<circuit::NodeId> ins;
+  for (int i = 0; i < 64; ++i) ins.push_back(c.add_input());
+  circuit::NodeId acc = ins[0];
+  for (int i = 1; i < 64; ++i) acc = c.add_or(acc, ins[i]);
+  c.mark_output(acc, "o");
+  return c;
+}());
+
+CSAT_BENCH(Mux5, circuit::mux_tree(5));
+CSAT_BENCH(Alu8, circuit::alu(8));
+CSAT_BENCH(Rand300, circuit::random_circuit(48, 300, 13));
+CSAT_BENCH(Mul8, circuit::array_multiplier(8));
+
+}  // namespace
+
+BENCHMARK_MAIN();

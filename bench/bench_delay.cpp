@@ -1,0 +1,88 @@
+/// \file bench_delay.cpp
+/// \brief Experiment E9 (paper §3, refs [28, 36]): SAT-based circuit
+///        delay computation.  Topological bound vs exact sensitizable
+///        delay (gap = false paths), query counts, and path-delay test
+///        generation (ref. [7]) on the longest structural paths.
+#include <benchmark/benchmark.h>
+
+#include "circuit/generators.hpp"
+#include "delay/delay.hpp"
+
+namespace {
+
+using namespace sateda;
+
+void run_delay(benchmark::State& state, const circuit::Circuit& c) {
+  delay::DelayResult r;
+  for (auto _ : state) {
+    r = delay::compute_delay(c);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["topological"] = static_cast<double>(r.topological);
+  state.counters["sensitizable"] = static_cast<double>(r.sensitizable);
+  state.counters["false_path_gap"] =
+      static_cast<double>(r.topological - r.sensitizable);
+  state.counters["sat_queries"] = static_cast<double>(r.sat_queries);
+}
+
+void Delay_Adder(benchmark::State& state) {
+  run_delay(state,
+            circuit::ripple_carry_adder(static_cast<int>(state.range(0))));
+}
+BENCHMARK(Delay_Adder)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void Delay_Alu(benchmark::State& state) {
+  run_delay(state, circuit::alu(static_cast<int>(state.range(0))));
+}
+BENCHMARK(Delay_Alu)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void Delay_Multiplier(benchmark::State& state) {
+  run_delay(state,
+            circuit::array_multiplier(static_cast<int>(state.range(0))));
+}
+BENCHMARK(Delay_Multiplier)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void Delay_Random(benchmark::State& state) {
+  run_delay(state, circuit::random_circuit(
+                       16, static_cast<int>(state.range(0)), 42));
+}
+BENCHMARK(Delay_Random)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void Delay_MuxTree(benchmark::State& state) {
+  run_delay(state, circuit::mux_tree(static_cast<int>(state.range(0))));
+}
+BENCHMARK(Delay_MuxTree)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+// Path-delay test generation throughput (ref. [7]).
+void PathDelay_TestGeneration(benchmark::State& state) {
+  circuit::Circuit c = circuit::alu(static_cast<int>(state.range(0)));
+  std::vector<delay::Path> paths = delay::longest_paths(c, 32);
+  int testable = 0;
+  for (auto _ : state) {
+    testable = 0;
+    for (const delay::Path& p : paths) {
+      if (delay::sensitize_path(c, p).has_value()) ++testable;
+    }
+  }
+  state.counters["paths"] = static_cast<double>(paths.size());
+  state.counters["testable"] = static_cast<double>(testable);
+}
+BENCHMARK(PathDelay_TestGeneration)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Single threshold query (the building block): cost vs threshold d.
+void Delay_ThresholdQuery(benchmark::State& state) {
+  circuit::Circuit c = circuit::alu(8);
+  const int topo = delay::topological_delay(c);
+  const int d = topo - static_cast<int>(state.range(0));
+  bool feasible = false;
+  for (auto _ : state) {
+    feasible = delay::sensitize_delay(c, d).has_value();
+  }
+  state.counters["d"] = static_cast<double>(d);
+  state.counters["feasible"] = feasible ? 1 : 0;
+}
+BENCHMARK(Delay_ThresholdQuery)->Arg(0)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/// \file bench_encoding.cpp
+/// \brief Experiment T1 (paper §2, Table 1, Figure 1): circuit → CNF
+///        translation.  Reports the clause/variable counts Table 1
+///        predicts and the throughput of the encoder — the paper's §5
+///        point that "mapping a given problem description into SAT can
+///        represent a significant percentage of the overall running
+///        time" makes encoder speed a first-class metric.
+#include <benchmark/benchmark.h>
+
+#include "circuit/encoder.hpp"
+#include "circuit/generators.hpp"
+
+namespace {
+
+using namespace sateda;
+
+void EncodeCircuit(benchmark::State& state, const circuit::Circuit& c) {
+  std::size_t clauses = 0, vars = 0, literals = 0;
+  for (auto _ : state) {
+    CnfFormula f = circuit::encode_circuit(c);
+    benchmark::DoNotOptimize(f);
+    clauses = f.num_clauses();
+    vars = static_cast<std::size_t>(f.num_vars());
+    literals = f.num_literals();
+  }
+  state.counters["gates"] = static_cast<double>(c.num_gates());
+  state.counters["vars"] = static_cast<double>(vars);
+  state.counters["clauses"] = static_cast<double>(clauses);
+  state.counters["literals"] = static_cast<double>(literals);
+  state.counters["gates_per_sec"] = benchmark::Counter(
+      static_cast<double>(c.num_gates()), benchmark::Counter::kIsRate);
+  // Table 1 invariant: total equals the per-gate formula sum.
+  std::size_t expected = 0;
+  for (circuit::NodeId n = 0; n < static_cast<circuit::NodeId>(c.num_nodes());
+       ++n) {
+    expected += circuit::gate_clause_count(c.node(n).type,
+                                           c.node(n).fanins.size());
+  }
+  if (expected != clauses) state.SkipWithError("Table 1 count mismatch");
+}
+
+void Encode_Adder(benchmark::State& state) {
+  EncodeCircuit(state, circuit::ripple_carry_adder(
+                           static_cast<int>(state.range(0))));
+}
+BENCHMARK(Encode_Adder)->Arg(16)->Arg(64)->Arg(256);
+
+void Encode_Multiplier(benchmark::State& state) {
+  EncodeCircuit(state,
+                circuit::array_multiplier(static_cast<int>(state.range(0))));
+}
+BENCHMARK(Encode_Multiplier)->Arg(8)->Arg(16)->Arg(32);
+
+void Encode_Alu(benchmark::State& state) {
+  EncodeCircuit(state, circuit::alu(static_cast<int>(state.range(0))));
+}
+BENCHMARK(Encode_Alu)->Arg(8)->Arg(32);
+
+void Encode_Random(benchmark::State& state) {
+  EncodeCircuit(state, circuit::random_circuit(
+                           64, static_cast<int>(state.range(0)), 9));
+}
+BENCHMARK(Encode_Random)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void Encode_C17(benchmark::State& state) { EncodeCircuit(state, circuit::c17()); }
+BENCHMARK(Encode_C17);
+
+// Cone-of-influence reduction (§5 instance shrinking).
+void Encode_Cone_VsFull(benchmark::State& state) {
+  circuit::Circuit c = circuit::array_multiplier(16);
+  circuit::NodeId root = c.outputs()[static_cast<std::size_t>(state.range(0))];
+  std::size_t cone_clauses = 0;
+  for (auto _ : state) {
+    CnfFormula f = circuit::encode_cones(c, {root});
+    benchmark::DoNotOptimize(f);
+    cone_clauses = f.num_clauses();
+  }
+  state.counters["cone_clauses"] = static_cast<double>(cone_clauses);
+  state.counters["full_clauses"] =
+      static_cast<double>(circuit::encode_circuit(c).num_clauses());
+}
+BENCHMARK(Encode_Cone_VsFull)->Arg(0)->Arg(15)->Arg(31);
+
+}  // namespace
+
+BENCHMARK_MAIN();

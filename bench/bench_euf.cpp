@@ -1,0 +1,93 @@
+/// \file bench_euf.cpp
+/// \brief Experiment E18 (paper §3, ref. [6]): processor verification
+///        by reducing equality-with-uninterpreted-functions to SAT.
+///        Pipeline-vs-ISA queries plus scaling of the e_ij/transitivity
+///        reduction on congruence-chain instances.
+#include <benchmark/benchmark.h>
+
+#include "euf/euf.hpp"
+#include "euf/pipeline.hpp"
+
+namespace {
+
+using namespace sateda;
+using namespace sateda::euf;
+
+void Pipeline_WithForwarding(benchmark::State& state) {
+  PipelineVerification v;
+  for (auto _ : state) {
+    v = verify_toy_pipeline(true);
+    if (!v.valid) state.SkipWithError("pipeline must verify");
+  }
+  state.counters["atoms"] = static_cast<double>(v.query.atoms);
+  state.counters["cnf_clauses"] = static_cast<double>(v.query.cnf_clauses);
+}
+BENCHMARK(Pipeline_WithForwarding)->Unit(benchmark::kMillisecond);
+
+void Pipeline_MissingForwarding(benchmark::State& state) {
+  PipelineVerification v;
+  for (auto _ : state) {
+    v = verify_toy_pipeline(false);
+    if (v.valid) state.SkipWithError("hazard must be found");
+  }
+  state.counters["atoms"] = static_cast<double>(v.query.atoms);
+}
+BENCHMARK(Pipeline_MissingForwarding)->Unit(benchmark::kMillisecond);
+
+// Congruence chains: x=y ⊢ f^n(x) = f^n(y).  Atom count grows with n;
+// the transitivity encoding is cubic, which is the known cost of the
+// e_ij reduction.
+void CongruenceChain_Valid(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  EufResult r;
+  for (auto _ : state) {
+    EufContext ctx;
+    TermId x = ctx.term_var("x");
+    TermId y = ctx.term_var("y");
+    TermId fx = x, fy = y;
+    for (int i = 0; i < n; ++i) {
+      fx = ctx.apply("f", {fx});
+      fy = ctx.apply("f", {fy});
+    }
+    FormulaId claim = ctx.f_implies(ctx.eq(x, y), ctx.eq(fx, fy));
+    r = ctx.check_sat(ctx.f_not(claim));
+    if (r.result != sat::SolveResult::kUnsat) {
+      state.SkipWithError("congruence chain must be valid");
+    }
+  }
+  state.counters["atoms"] = static_cast<double>(r.atoms);
+  state.counters["cnf_clauses"] = static_cast<double>(r.cnf_clauses);
+}
+BENCHMARK(CongruenceChain_Valid)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Diamond equalities: classic EUF stress — 2^n propositional cases
+// share one congruence skeleton.
+void Diamonds(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  EufResult r;
+  for (auto _ : state) {
+    EufContext ctx;
+    // Two copies of the same diamond chain from one seed: equal at
+    // every depth, but the prover must thread ITE links and congruence
+    // through 2^n propositional branch combinations.
+    TermId a = ctx.term_var("seed");
+    TermId b = a;
+    for (int i = 0; i < n; ++i) {
+      FormulaId c = ctx.prop_var("c" + std::to_string(i));
+      a = ctx.term_ite(c, ctx.apply("l" + std::to_string(i), {a}),
+                       ctx.apply("r" + std::to_string(i), {a}));
+      b = ctx.term_ite(c, ctx.apply("l" + std::to_string(i), {b}),
+                       ctx.apply("r" + std::to_string(i), {b}));
+    }
+    r = ctx.check_sat(ctx.f_not(ctx.eq(a, b)));
+    if (r.result != sat::SolveResult::kUnsat) {
+      state.SkipWithError("diamond chains must be provably equal");
+    }
+  }
+  state.counters["atoms"] = static_cast<double>(r.atoms);
+}
+BENCHMARK(Diamonds)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+/// \file bench_fpga.cpp
+/// \brief Experiment E11 (paper §3, refs [29, 30]): SAT-based detailed
+///        routing.  Routability decisions vs track count, minimum
+///        channel height vs the density bound, and scaling in net
+///        count and vertical-constraint pressure.
+#include <benchmark/benchmark.h>
+
+#include "fpga/routing.hpp"
+
+namespace {
+
+using namespace sateda;
+
+void MinTracks_NetSweep(benchmark::State& state) {
+  const int nets = static_cast<int>(state.range(0));
+  fpga::ChannelProblem p = fpga::random_channel(nets, nets + 6, 0.1, 3);
+  int tracks = -1;
+  for (auto _ : state) {
+    tracks = fpga::minimum_tracks(p, nets);
+  }
+  state.counters["tracks"] = static_cast<double>(tracks);
+  state.counters["density"] = static_cast<double>(fpga::channel_density(p));
+  state.counters["left_edge"] = static_cast<double>(fpga::left_edge_tracks(p));
+}
+BENCHMARK(MinTracks_NetSweep)->Arg(10)->Arg(16)->Arg(24)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void MinTracks_VerticalPressure(benchmark::State& state) {
+  const double prob = static_cast<double>(state.range(0)) / 100.0;
+  fpga::ChannelProblem p = fpga::random_channel(18, 22, prob, 9);
+  int tracks = -1;
+  for (auto _ : state) {
+    tracks = fpga::minimum_tracks(p, 18);
+  }
+  state.counters["tracks"] = static_cast<double>(tracks);
+  state.counters["density"] = static_cast<double>(fpga::channel_density(p));
+  state.counters["verticals"] = static_cast<double>(p.verticals.size());
+}
+BENCHMARK(MinTracks_VerticalPressure)->Arg(0)->Arg(10)->Arg(25)->Arg(50)->Unit(benchmark::kMillisecond);
+
+// Single routability decision at exactly the minimum (SAT) and one
+// below it (UNSAT) — decision cost on both sides of the boundary.
+void Routable_AtMinimum(benchmark::State& state) {
+  fpga::ChannelProblem p = fpga::random_channel(24, 28, 0.15, 17);
+  const int t = fpga::minimum_tracks(p, 24);
+  fpga::RouteResult r;
+  for (auto _ : state) {
+    r = fpga::route_channel(p, t);
+    if (!r.routable) state.SkipWithError("must be routable at minimum");
+  }
+  state.counters["tracks"] = static_cast<double>(t);
+  state.counters["conflicts"] = static_cast<double>(r.conflicts);
+}
+BENCHMARK(Routable_AtMinimum)->Unit(benchmark::kMillisecond);
+
+void Unroutable_BelowMinimum(benchmark::State& state) {
+  // Deterministic instance whose vertical chain forces the height two
+  // above the density bound: nets 0-4 are horizontally disjoint but
+  // chained by verticals, interleaved with overlapping filler nets.
+  fpga::ChannelProblem p;
+  p.nets = {{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9},
+            {1, 4}, {3, 8}, {0, 9}};
+  p.verticals = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  const int t = fpga::minimum_tracks(p, 12);
+  if (t <= fpga::channel_density(p)) {
+    state.SkipWithError("instance unexpectedly easy");
+    return;
+  }
+  fpga::RouteResult r;
+  for (auto _ : state) {
+    r = fpga::route_channel(p, t - 1);
+    if (r.routable) state.SkipWithError("must be unroutable below minimum");
+  }
+  state.counters["tracks"] = static_cast<double>(t - 1);
+  state.counters["conflicts"] = static_cast<double>(r.conflicts);
+}
+BENCHMARK(Unroutable_BelowMinimum)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+/// \file bench_local_search.cpp
+/// \brief Experiment E14 (paper §4, ref. [32]): "Of these, only
+///        backtrack search has proven useful for solving instances of
+///        SAT from EDA applications, in particular for applications
+///        where the objective is to prove unsatisfiability."
+///        WalkSAT vs CDCL across the regimes: satisfiable random
+///        (local search shines), UNSAT combinatorial and
+///        circuit-structured EDA instances (local search cannot even
+///        answer).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "cnf/generators.hpp"
+#include "sat/local_search.hpp"
+#include "sat/solver.hpp"
+
+namespace {
+
+using namespace sateda;
+
+void run_walksat(benchmark::State& state, const CnfFormula& f,
+                 sat::SolveResult acceptable) {
+  sat::WalkSatStats stats;
+  int solved = 0, runs = 0;
+  for (auto _ : state) {
+    sat::WalkSatOptions opts;
+    opts.seed = 1000 + static_cast<std::uint64_t>(runs);
+    sat::WalkSatSolver s(f, opts);
+    sat::SolveResult r = s.solve();
+    ++runs;
+    if (r == sat::SolveResult::kSat) ++solved;
+    if (r != acceptable && r != sat::SolveResult::kUnknown) {
+      state.SkipWithError("unexpected verdict");
+    }
+    stats = s.stats();
+  }
+  state.counters["flips"] = static_cast<double>(stats.flips);
+  state.counters["solved_pct"] =
+      runs ? 100.0 * solved / static_cast<double>(runs) : 0.0;
+}
+
+void run_cdcl(benchmark::State& state, const CnfFormula& f,
+              sat::SolveResult expect) {
+  std::int64_t conflicts = 0;
+  for (auto _ : state) {
+    sat::Solver s;
+    s.add_formula(f);
+    if (s.solve() != expect) state.SkipWithError("unexpected verdict");
+    conflicts = s.stats().conflicts;
+  }
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+  state.counters["solved_pct"] = 100.0;
+}
+
+// Regime 1: satisfiable random 3-SAT — local search's home turf.
+void SatRandom_WalkSat(benchmark::State& state) {
+  CnfFormula f = planted_ksat(static_cast<int>(state.range(0)),
+                              static_cast<int>(state.range(0) * 4.1), 3, 5);
+  run_walksat(state, f, sat::SolveResult::kSat);
+}
+BENCHMARK(SatRandom_WalkSat)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void SatRandom_CDCL(benchmark::State& state) {
+  CnfFormula f = planted_ksat(static_cast<int>(state.range(0)),
+                              static_cast<int>(state.range(0) * 4.1), 3, 5);
+  run_cdcl(state, f, sat::SolveResult::kSat);
+}
+BENCHMARK(SatRandom_CDCL)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+// Regime 2: UNSAT pigeonhole — local search burns its whole budget
+// and answers nothing (solved_pct = 0); CDCL refutes.
+void UnsatPhp_WalkSat(benchmark::State& state) {
+  CnfFormula f = pigeonhole(static_cast<int>(state.range(0)));
+  run_walksat(state, f, sat::SolveResult::kUnsat);
+}
+BENCHMARK(UnsatPhp_WalkSat)->Arg(5)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void UnsatPhp_CDCL(benchmark::State& state) {
+  CnfFormula f = pigeonhole(static_cast<int>(state.range(0)));
+  run_cdcl(state, f, sat::SolveResult::kUnsat);
+}
+BENCHMARK(UnsatPhp_CDCL)->Arg(5)->Arg(6)->Unit(benchmark::kMillisecond);
+
+// Regime 3: circuit-structured CEC miters (UNSAT) — the EDA case.
+void UnsatMiter_WalkSat(benchmark::State& state) {
+  CnfFormula f = benchutil::adder_miter_cnf(static_cast<int>(state.range(0)));
+  run_walksat(state, f, sat::SolveResult::kUnsat);
+}
+BENCHMARK(UnsatMiter_WalkSat)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void UnsatMiter_CDCL(benchmark::State& state) {
+  CnfFormula f = benchutil::adder_miter_cnf(static_cast<int>(state.range(0)));
+  run_cdcl(state, f, sat::SolveResult::kUnsat);
+}
+BENCHMARK(UnsatMiter_CDCL)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// Regime 4: satisfiable *structured* instances (circuit objective) —
+// even here the structure trips local search's plateau behaviour.
+void SatCircuit_WalkSat(benchmark::State& state) {
+  circuit::Circuit c =
+      circuit::random_circuit(24, static_cast<int>(state.range(0)), 3);
+  CnfFormula f = circuit::encode_circuit(c);
+  f.add_unit(pos(c.outputs()[0]));
+  sat::Solver probe;
+  probe.add_formula(f);
+  if (probe.solve() != sat::SolveResult::kSat) {
+    state.SkipWithError("objective unexpectedly UNSAT");
+    return;
+  }
+  run_walksat(state, f, sat::SolveResult::kSat);
+}
+BENCHMARK(SatCircuit_WalkSat)->Arg(200)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void SatCircuit_CDCL(benchmark::State& state) {
+  circuit::Circuit c =
+      circuit::random_circuit(24, static_cast<int>(state.range(0)), 3);
+  CnfFormula f = circuit::encode_circuit(c);
+  f.add_unit(pos(c.outputs()[0]));
+  run_cdcl(state, f, sat::SolveResult::kSat);
+}
+BENCHMARK(SatCircuit_CDCL)->Arg(200)->Arg(500)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

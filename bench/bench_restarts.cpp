@@ -1,0 +1,117 @@
+/// \file bench_restarts.cpp
+/// \brief Experiment E2 (paper §6): "Restarts with randomization allow
+///        searching different regions of the search space and have
+///        been shown to yield dramatic improvements on satisfiable
+///        instances."  Sweep restarts × randomization on planted
+///        (satisfiable) instances and on UNSAT pigeonhole controls.
+#include <benchmark/benchmark.h>
+
+#include "cnf/generators.hpp"
+#include "sat/solver.hpp"
+
+namespace {
+
+using namespace sateda;
+
+sat::SolverOptions variant(bool restarts, double random_freq,
+                           std::uint64_t seed) {
+  sat::SolverOptions o;
+  o.restarts = restarts;
+  o.random_var_freq = random_freq;
+  o.seed = seed;
+  return o;
+}
+
+/// Median-ish aggregate over several seeds of the solver RNG so a
+/// single lucky/unlucky run does not dominate.
+void run_variant(benchmark::State& state, const CnfFormula& f,
+                 bool restarts, double random_freq,
+                 sat::SolveResult expect) {
+  std::int64_t conflicts = 0, restart_count = 0;
+  for (auto _ : state) {
+    std::int64_t total_conflicts = 0, total_restarts = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      sat::Solver s(variant(restarts, random_freq, seed * 7919));
+      s.add_formula(f);
+      if (s.solve() != expect) state.SkipWithError("unexpected verdict");
+      total_conflicts += s.stats().conflicts;
+      total_restarts += s.stats().restarts;
+    }
+    conflicts = total_conflicts / 5;
+    restart_count = total_restarts / 5;
+  }
+  state.counters["avg_conflicts"] = static_cast<double>(conflicts);
+  state.counters["avg_restarts"] = static_cast<double>(restart_count);
+}
+
+// Satisfiable planted instances near the threshold: the paper's
+// "dramatic improvements" regime.
+CnfFormula sat_instance(int n, std::uint64_t seed) {
+  return planted_ksat(n, static_cast<int>(n * 4.1), 3, seed);
+}
+
+void Sat_RestartsOn_RandOn(benchmark::State& state) {
+  CnfFormula f = sat_instance(static_cast<int>(state.range(0)), 1234);
+  run_variant(state, f, true, 0.05, sat::SolveResult::kSat);
+}
+BENCHMARK(Sat_RestartsOn_RandOn)->Arg(100)->Arg(150)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void Sat_RestartsOn_RandOff(benchmark::State& state) {
+  CnfFormula f = sat_instance(static_cast<int>(state.range(0)), 1234);
+  run_variant(state, f, true, 0.0, sat::SolveResult::kSat);
+}
+BENCHMARK(Sat_RestartsOn_RandOff)->Arg(100)->Arg(150)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void Sat_RestartsOff_RandOn(benchmark::State& state) {
+  CnfFormula f = sat_instance(static_cast<int>(state.range(0)), 1234);
+  run_variant(state, f, false, 0.05, sat::SolveResult::kSat);
+}
+BENCHMARK(Sat_RestartsOff_RandOn)->Arg(100)->Arg(150)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void Sat_RestartsOff_RandOff(benchmark::State& state) {
+  CnfFormula f = sat_instance(static_cast<int>(state.range(0)), 1234);
+  run_variant(state, f, false, 0.0, sat::SolveResult::kSat);
+}
+BENCHMARK(Sat_RestartsOff_RandOff)->Arg(100)->Arg(150)->Arg(200)->Unit(benchmark::kMillisecond);
+
+// UNSAT control: restarts should not pay off (the whole space must be
+// refuted anyway).
+void Unsat_RestartsOn(benchmark::State& state) {
+  CnfFormula f = pigeonhole(static_cast<int>(state.range(0)));
+  run_variant(state, f, true, 0.05, sat::SolveResult::kUnsat);
+}
+BENCHMARK(Unsat_RestartsOn)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void Unsat_RestartsOff(benchmark::State& state) {
+  CnfFormula f = pigeonhole(static_cast<int>(state.range(0)));
+  run_variant(state, f, false, 0.0, sat::SolveResult::kUnsat);
+}
+BENCHMARK(Unsat_RestartsOff)->Arg(7)->Unit(benchmark::kMillisecond);
+
+// Luby base sweep: restart aggressiveness.
+void Sat_RestartBase(benchmark::State& state) {
+  CnfFormula f = sat_instance(150, 1234);
+  sat::SolverOptions o;
+  o.restart_base = static_cast<int>(state.range(0));
+  std::int64_t conflicts = 0;
+  for (auto _ : state) {
+    std::int64_t total = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      sat::SolverOptions so = o;
+      so.seed = seed * 104729;
+      sat::Solver s(so);
+      s.add_formula(f);
+      if (s.solve() != sat::SolveResult::kSat) {
+        state.SkipWithError("unexpected verdict");
+      }
+      total += s.stats().conflicts;
+    }
+    conflicts = total / 5;
+  }
+  state.counters["avg_conflicts"] = static_cast<double>(conflicts);
+}
+BENCHMARK(Sat_RestartBase)->Arg(16)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+/// \file bench_solver.cpp
+/// \brief Experiment E1 (paper §4.1, Figure 2): the techniques that
+///        characterize modern backtrack-search SAT — clause recording
+///        and non-chronological backtracking — against the 1962 DPLL
+///        baseline, on UNSAT combinatorial instances, random 3-SAT at
+///        the phase transition, and circuit-structured (CEC miter)
+///        instances.  Expected shape: CDCL ≫ DPLL on structured/UNSAT
+///        families, modest differences on small random instances.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "cnf/generators.hpp"
+#include "sat/dpll.hpp"
+#include "sat/solver.hpp"
+
+namespace {
+
+using namespace sateda;
+
+sat::SolverOptions configured(bool learning, bool nonchron) {
+  sat::SolverOptions o;
+  o.clause_learning = learning;
+  o.backtrack = nonchron ? sat::BacktrackMode::kNonChronological
+                         : sat::BacktrackMode::kChronological;
+  return o;
+}
+
+void run_cdcl(benchmark::State& state, const CnfFormula& f,
+              sat::SolverOptions opts, sat::SolveResult expect) {
+  std::int64_t conflicts = 0, decisions = 0;
+  for (auto _ : state) {
+    sat::Solver s(opts);
+    s.add_formula(f);
+    sat::SolveResult r = s.solve();
+    if (r != expect) state.SkipWithError("unexpected verdict");
+    conflicts = s.stats().conflicts;
+    decisions = s.stats().decisions;
+  }
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+  state.counters["decisions"] = static_cast<double>(decisions);
+  state.counters["vars"] = static_cast<double>(f.num_vars());
+  state.counters["clauses"] = static_cast<double>(f.num_clauses());
+}
+
+void run_dpll(benchmark::State& state, const CnfFormula& f,
+              sat::SolveResult expect) {
+  std::int64_t backtracks = 0, decisions = 0;
+  for (auto _ : state) {
+    sat::DpllSolver s(f);
+    sat::SolveResult r = s.solve();
+    if (r != expect) state.SkipWithError("unexpected verdict");
+    backtracks = s.stats().backtracks;
+    decisions = s.stats().decisions;
+  }
+  state.counters["conflicts"] = static_cast<double>(backtracks);
+  state.counters["decisions"] = static_cast<double>(decisions);
+}
+
+// --- pigeonhole (UNSAT, resolution-hard) -----------------------------
+
+void PHP_CDCL(benchmark::State& state) {
+  CnfFormula f = pigeonhole(static_cast<int>(state.range(0)));
+  run_cdcl(state, f, configured(true, true), sat::SolveResult::kUnsat);
+}
+BENCHMARK(PHP_CDCL)->Arg(5)->Arg(6)->Arg(7)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void PHP_CDCL_Chronological(benchmark::State& state) {
+  CnfFormula f = pigeonhole(static_cast<int>(state.range(0)));
+  run_cdcl(state, f, configured(true, false), sat::SolveResult::kUnsat);
+}
+BENCHMARK(PHP_CDCL_Chronological)->Arg(5)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void PHP_CDCL_NoLearning(benchmark::State& state) {
+  CnfFormula f = pigeonhole(static_cast<int>(state.range(0)));
+  run_cdcl(state, f, configured(false, true), sat::SolveResult::kUnsat);
+}
+BENCHMARK(PHP_CDCL_NoLearning)->Arg(5)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void PHP_DPLL(benchmark::State& state) {
+  CnfFormula f = pigeonhole(static_cast<int>(state.range(0)));
+  run_dpll(state, f, sat::SolveResult::kUnsat);
+}
+BENCHMARK(PHP_DPLL)->Arg(5)->Arg(6)->Unit(benchmark::kMillisecond);
+
+// --- random 3-SAT at the phase transition -----------------------------
+
+CnfFormula phase_transition_instance(int n, std::uint64_t seed) {
+  return random_3sat(n, 4.26, seed);
+}
+
+void Random3Sat_CDCL(benchmark::State& state) {
+  CnfFormula f = phase_transition_instance(static_cast<int>(state.range(0)), 42);
+  sat::Solver probe;
+  probe.add_formula(f);
+  sat::SolveResult expect = probe.solve();
+  run_cdcl(state, f, configured(true, true), expect);
+}
+BENCHMARK(Random3Sat_CDCL)->Arg(75)->Arg(125)->Arg(175)->Unit(benchmark::kMillisecond);
+
+void Random3Sat_DPLL(benchmark::State& state) {
+  CnfFormula f = phase_transition_instance(static_cast<int>(state.range(0)), 42);
+  sat::Solver probe;
+  probe.add_formula(f);
+  sat::SolveResult expect = probe.solve();
+  run_dpll(state, f, expect);
+}
+BENCHMARK(Random3Sat_DPLL)->Arg(50)->Arg(75)->Unit(benchmark::kMillisecond);
+
+// --- circuit-structured UNSAT (CEC miter) -----------------------------
+
+void Miter_CDCL(benchmark::State& state) {
+  CnfFormula f = benchutil::adder_miter_cnf(static_cast<int>(state.range(0)));
+  run_cdcl(state, f, configured(true, true), sat::SolveResult::kUnsat);
+}
+BENCHMARK(Miter_CDCL)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void Miter_CDCL_Chronological(benchmark::State& state) {
+  CnfFormula f = benchutil::adder_miter_cnf(static_cast<int>(state.range(0)));
+  run_cdcl(state, f, configured(true, false), sat::SolveResult::kUnsat);
+}
+BENCHMARK(Miter_CDCL_Chronological)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void Miter_CDCL_NoLearning(benchmark::State& state) {
+  CnfFormula f = benchutil::adder_miter_cnf(static_cast<int>(state.range(0)));
+  run_cdcl(state, f, configured(false, true), sat::SolveResult::kUnsat);
+}
+BENCHMARK(Miter_CDCL_NoLearning)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void Miter_DPLL(benchmark::State& state) {
+  CnfFormula f = benchutil::adder_miter_cnf(static_cast<int>(state.range(0)));
+  run_dpll(state, f, sat::SolveResult::kUnsat);
+}
+BENCHMARK(Miter_DPLL)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- parity chains (hard without learning) -----------------------------
+
+void Parity_CDCL(benchmark::State& state) {
+  CnfFormula f = parity_chain(static_cast<int>(state.range(0)), true);
+  run_cdcl(state, f, configured(true, true), sat::SolveResult::kSat);
+}
+BENCHMARK(Parity_CDCL)->Arg(24)->Arg(48)->Unit(benchmark::kMillisecond);
+
+void Parity_DPLL(benchmark::State& state) {
+  CnfFormula f = parity_chain(static_cast<int>(state.range(0)), true);
+  run_dpll(state, f, sat::SolveResult::kSat);
+}
+BENCHMARK(Parity_DPLL)->Arg(24)->Unit(benchmark::kMillisecond);
+
+// --- clause deletion policies (§4.1 properties 2-3) -------------------
+
+void DeletionPolicy_Bench(benchmark::State& state) {
+  CnfFormula f = pigeonhole(7);
+  sat::SolverOptions o;
+  o.deletion = static_cast<sat::DeletionPolicy>(state.range(0));
+  run_cdcl(state, f, o, sat::SolveResult::kUnsat);
+}
+BENCHMARK(DeletionPolicy_Bench)
+    ->Arg(static_cast<int>(sateda::sat::DeletionPolicy::kNever))
+    ->Arg(static_cast<int>(sateda::sat::DeletionPolicy::kActivity))
+    ->Arg(static_cast<int>(sateda::sat::DeletionPolicy::kRelevance))
+    ->Arg(static_cast<int>(sateda::sat::DeletionPolicy::kSizeBounded))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/// \file bench_util.hpp
+/// \brief Shared instance builders for the reproduction benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/encoder.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/miter.hpp"
+#include "circuit/netlist.hpp"
+#include "cnf/generators.hpp"
+
+namespace sateda::benchutil {
+
+/// Same function as ripple_carry_adder but synthesized with De
+/// Morgan'd NOR carry logic — the standard "two implementations" CEC
+/// workload.
+inline circuit::Circuit resynthesized_adder(int n) {
+  using circuit::Circuit;
+  using circuit::NodeId;
+  Circuit c("adder_nor" + std::to_string(n));
+  std::vector<NodeId> a(n), b(n);
+  for (int i = 0; i < n; ++i) a[i] = c.add_input("a" + std::to_string(i));
+  for (int i = 0; i < n; ++i) b[i] = c.add_input("b" + std::to_string(i));
+  NodeId carry = c.add_input("cin");
+  for (int i = 0; i < n; ++i) {
+    NodeId p = c.add_xor(a[i], b[i]);
+    c.mark_output(c.add_xor(p, carry), "s" + std::to_string(i));
+    NodeId g = c.add_and(a[i], b[i]);
+    NodeId pc = c.add_and(p, carry);
+    NodeId ng = c.add_not(g);
+    NodeId npc = c.add_not(pc);
+    carry = c.add_nand(ng, npc);
+  }
+  c.mark_output(carry, "cout");
+  return c;
+}
+
+/// A copy of \p src with output \p which inverted (injected bug).
+inline circuit::Circuit with_inverted_output(const circuit::Circuit& src,
+                                             std::size_t which) {
+  circuit::Circuit out(src.name() + "_bug");
+  std::vector<circuit::NodeId> in;
+  for (std::size_t i = 0; i < src.inputs().size(); ++i) {
+    in.push_back(out.add_input());
+  }
+  auto map = circuit::append_copy(out, src, in);
+  for (std::size_t i = 0; i < src.outputs().size(); ++i) {
+    circuit::NodeId o = map[src.outputs()[i]];
+    if (i == which) o = out.add_not(o);
+    out.mark_output(o, "o" + std::to_string(i));
+  }
+  return out;
+}
+
+/// CNF of the miter "rca(n) vs resynthesized(n), outputs differ" —
+/// an UNSAT circuit-structured instance family for solver benches.
+inline CnfFormula adder_miter_cnf(int n) {
+  circuit::Circuit m =
+      circuit::build_miter(circuit::ripple_carry_adder(n),
+                           resynthesized_adder(n));
+  CnfFormula f = circuit::encode_circuit(m);
+  f.add_unit(pos(m.outputs()[0]));
+  return f;
+}
+
+}  // namespace sateda::benchutil

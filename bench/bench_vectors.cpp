@@ -1,0 +1,78 @@
+/// \file bench_vectors.cpp
+/// \brief Experiment E13 (paper §3, ref. [13]): functional vector
+///        generation throughput.  Cube blocking (partial patterns from
+///        the §5 layer) vs full-vector blocking, across constraint
+///        tightness.
+#include <benchmark/benchmark.h>
+
+#include "circuit/generators.hpp"
+#include "vectors/vectors.hpp"
+
+namespace {
+
+using namespace sateda;
+
+void run_gen(benchmark::State& state, const circuit::Circuit& c,
+             circuit::NodeId node, bool value, int count,
+             bool block_cubes) {
+  vectors::VectorGenResult r;
+  for (auto _ : state) {
+    vectors::VectorGenOptions opts;
+    opts.block_cubes = block_cubes;
+    opts.use_structural_layer = block_cubes;
+    r = vectors::generate_vectors(c, node, value, count, opts);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["vectors"] = static_cast<double>(r.vectors.size());
+  state.counters["sat_calls"] = static_cast<double>(r.sat_calls);
+  state.counters["vectors_per_sec"] = benchmark::Counter(
+      static_cast<double>(r.vectors.size()), benchmark::Counter::kIsRate);
+}
+
+void AdderOverflow_Cubes(benchmark::State& state) {
+  circuit::Circuit c =
+      circuit::ripple_carry_adder(static_cast<int>(state.range(0)));
+  run_gen(state, c, c.outputs().back(), true, 64, true);
+}
+BENCHMARK(AdderOverflow_Cubes)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void AdderOverflow_FullVectors(benchmark::State& state) {
+  circuit::Circuit c =
+      circuit::ripple_carry_adder(static_cast<int>(state.range(0)));
+  run_gen(state, c, c.outputs().back(), true, 64, false);
+}
+BENCHMARK(AdderOverflow_FullVectors)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Tight constraint: comparator equality (1 in 2^n inputs pairs).
+void ComparatorEq_Cubes(benchmark::State& state) {
+  circuit::Circuit c =
+      circuit::equality_comparator(static_cast<int>(state.range(0)));
+  run_gen(state, c, c.outputs()[0], true, 64, true);
+}
+BENCHMARK(ComparatorEq_Cubes)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void ComparatorEq_FullVectors(benchmark::State& state) {
+  circuit::Circuit c =
+      circuit::equality_comparator(static_cast<int>(state.range(0)));
+  run_gen(state, c, c.outputs()[0], true, 64, false);
+}
+BENCHMARK(ComparatorEq_FullVectors)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+// Exhaustive enumeration of a bounded solution space.
+void ParityExhaustive(benchmark::State& state) {
+  circuit::Circuit c = circuit::parity_tree(static_cast<int>(state.range(0)));
+  vectors::VectorGenResult r;
+  for (auto _ : state) {
+    vectors::VectorGenOptions opts;
+    opts.block_cubes = false;
+    opts.use_structural_layer = false;
+    r = vectors::generate_vectors(c, c.outputs()[0], true, 1 << 14, opts);
+    if (!r.exhausted) state.SkipWithError("expected exhaustion");
+  }
+  state.counters["vectors"] = static_cast<double>(r.vectors.size());
+}
+BENCHMARK(ParityExhaustive)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+/// \file delay_flow.cpp
+/// \brief SAT-based circuit delay computation (paper §3, refs
+///        [28, 36]) and path-delay test generation (ref. [7]): compare
+///        the topological delay bound against the true sensitizable
+///        delay, and generate sensitization vectors for the longest
+///        structural paths.
+#include <cstdio>
+
+#include "circuit/generators.hpp"
+#include "delay/delay.hpp"
+
+int main() {
+  using namespace sateda;
+
+  struct Case {
+    const char* name;
+    circuit::Circuit circuit;
+  };
+  Case cases[] = {
+      {"c17", circuit::c17()},
+      {"rca8", circuit::ripple_carry_adder(8)},
+      {"alu4", circuit::alu(4)},
+      {"mux16", circuit::mux_tree(4)},
+      {"rand", circuit::random_circuit(12, 80, 42)},
+  };
+
+  std::printf("%-8s %12s %14s %10s\n", "circuit", "topological",
+              "sensitizable", "queries");
+  for (Case& tc : cases) {
+    delay::DelayResult r = delay::compute_delay(tc.circuit);
+    std::printf("%-8s %12d %14d %10d%s\n", tc.name, r.topological,
+                r.sensitizable, r.sat_queries,
+                r.sensitizable < r.topological ? "   <- false paths!" : "");
+  }
+
+  // Path-delay testing on the ALU: enumerate the longest structural
+  // paths and try to sensitize each (untestable paths are reported).
+  circuit::Circuit alu = circuit::alu(4);
+  std::vector<delay::Path> paths = delay::longest_paths(alu, 8);
+  std::printf("\nALU longest paths (%d levels): %zu enumerated\n",
+              delay::topological_delay(alu), paths.size());
+  int testable = 0;
+  for (const delay::Path& p : paths) {
+    if (delay::sensitize_path(alu, p).has_value()) ++testable;
+  }
+  std::printf("single-vector sensitizable: %d / %zu\n", testable,
+              paths.size());
+  return 0;
+}

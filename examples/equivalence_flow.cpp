@@ -1,0 +1,81 @@
+/// \file equivalence_flow.cpp
+/// \brief Combinational equivalence checking (paper §3, refs [16, 26]):
+///        verify a ripple-carry adder against a re-synthesized
+///        (NOR-logic) implementation, then catch an injected bug and
+///        print the distinguishing input vector.
+#include <cstdio>
+
+#include "circuit/generators.hpp"
+#include "circuit/miter.hpp"
+#include "circuit/simulator.hpp"
+#include "equiv/cec.hpp"
+
+namespace {
+
+using namespace sateda;
+using circuit::Circuit;
+using circuit::NodeId;
+
+/// Same adder function, synthesized with De Morgan'd carry logic.
+Circuit resynthesized_adder(int n) {
+  Circuit c("adder_nor");
+  std::vector<NodeId> a(n), b(n);
+  for (int i = 0; i < n; ++i) a[i] = c.add_input("a" + std::to_string(i));
+  for (int i = 0; i < n; ++i) b[i] = c.add_input("b" + std::to_string(i));
+  NodeId carry = c.add_input("cin");
+  for (int i = 0; i < n; ++i) {
+    NodeId p = c.add_xor(a[i], b[i]);
+    c.mark_output(c.add_xor(p, carry), "s" + std::to_string(i));
+    NodeId g = c.add_and(a[i], b[i]);
+    NodeId pc = c.add_and(p, carry);
+    carry = c.add_nor(c.add_nor(g, pc), c.add_nor(g, pc));  // OR via NOR
+  }
+  c.mark_output(carry, "cout");
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const int n = 8;
+  Circuit golden = circuit::ripple_carry_adder(n);
+  Circuit revised = resynthesized_adder(n);
+  std::printf("golden: %zu gates | revised: %zu gates\n", golden.num_gates(),
+              revised.num_gates());
+
+  equiv::CecResult ok = equiv::check_equivalence(golden, revised);
+  std::printf("CEC verdict: %s (%s, %lld conflicts)\n",
+              to_string(ok.verdict).c_str(),
+              ok.settled_structurally ? "settled by strashing" : "via SAT",
+              static_cast<long long>(ok.conflicts));
+
+  // Inject a bug: drop the carry chain at bit 5 by rebuilding with a
+  // stuck connection, then re-check.
+  Circuit buggy("adder_bug");
+  {
+    std::vector<NodeId> in;
+    for (std::size_t i = 0; i < revised.inputs().size(); ++i) {
+      in.push_back(buggy.add_input());
+    }
+    auto map = circuit::append_copy(buggy, revised, in);
+    for (std::size_t i = 0; i < revised.outputs().size(); ++i) {
+      NodeId o = map[revised.outputs()[i]];
+      if (i == 5) o = buggy.add_not(o);  // inverted sum bit 5
+      buggy.mark_output(o, "o" + std::to_string(i));
+    }
+  }
+  equiv::CecResult bad = equiv::check_equivalence(golden, buggy);
+  std::printf("buggy CEC verdict: %s\n", to_string(bad.verdict).c_str());
+  if (bad.verdict == equiv::CecVerdict::kNotEquivalent) {
+    std::printf("counterexample inputs:");
+    for (bool bit : bad.counterexample) std::printf(" %d", bit ? 1 : 0);
+    auto g_out = circuit::simulate_outputs(golden, bad.counterexample);
+    auto b_out = circuit::simulate_outputs(buggy, bad.counterexample);
+    std::printf("\ngolden outputs: ");
+    for (bool bit : g_out) std::printf("%d", bit ? 1 : 0);
+    std::printf("\nbuggy  outputs: ");
+    for (bool bit : b_out) std::printf("%d", bit ? 1 : 0);
+    std::printf("\n");
+  }
+  return 0;
+}

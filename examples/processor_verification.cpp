@@ -1,0 +1,44 @@
+/// \file processor_verification.cpp
+/// \brief Processor verification via EUF→SAT (paper §3, ref. [6]):
+///        validate a 2-stage pipelined toy datapath against its ISA
+///        for *all* ALU interpretations at once, and catch a missing
+///        forwarding path.
+#include <cstdio>
+
+#include "euf/euf.hpp"
+#include "euf/pipeline.hpp"
+
+int main() {
+  using namespace sateda::euf;
+
+  // Warm-up: the EUF decision procedure on congruence facts.
+  EufContext ctx;
+  TermId x = ctx.term_var("x");
+  TermId y = ctx.term_var("y");
+  FormulaId claim = ctx.f_implies(
+      ctx.eq(x, y),
+      ctx.eq(ctx.apply("alu", {ctx.term_var("op"), x}),
+             ctx.apply("alu", {ctx.term_var("op2"), y})));
+  std::printf("x=y ⇒ alu(op,x)=alu(op2,y)  : %s (as it should be — "
+              "different opcodes)\n",
+              ctx.is_valid(claim) ? "VALID" : "INVALID");
+  FormulaId claim2 = ctx.f_implies(
+      ctx.eq(x, y),
+      ctx.eq(ctx.apply("f", {x}), ctx.apply("f", {y})));
+  std::printf("x=y ⇒ f(x)=f(y)             : %s (functional consistency)\n",
+              ctx.is_valid(claim2) ? "VALID" : "INVALID");
+
+  // The headline query: pipeline with forwarding == ISA.
+  PipelineVerification good = verify_toy_pipeline(/*with_forwarding=*/true);
+  std::printf("\npipeline WITH forwarding    : %s  (%d atoms, %zu CNF "
+              "clauses)\n",
+              good.valid ? "CORRECT for every ALU interpretation"
+                         : "BUG FOUND?!",
+              good.query.atoms, good.query.cnf_clauses);
+
+  PipelineVerification bad = verify_toy_pipeline(/*with_forwarding=*/false);
+  std::printf("pipeline WITHOUT forwarding : %s\n",
+              bad.valid ? "correct?!"
+                        : "RAW-HAZARD COUNTEREXAMPLE FOUND");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "atpg/detection.hpp"
+
+#include <algorithm>
+
+namespace sateda::atpg {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::NodeId;
+
+DetectionCircuit build_detection_circuit(const Circuit& c, const Fault& f) {
+  DetectionCircuit result;
+  Circuit& d = result.circuit;
+  d.set_name(c.name() + "_detect_" + to_string(f));
+
+  // 1. Clone the good circuit; node ids are preserved because nodes
+  //    are recreated in the same (topological) order.
+  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
+    const circuit::Node& n = c.node(id);
+    NodeId nid;
+    switch (n.type) {
+      case GateType::kInput:
+        nid = d.add_input();
+        break;
+      case GateType::kConst0:
+      case GateType::kConst1:
+        nid = d.add_const(n.type == GateType::kConst1);
+        break;
+      default:
+        nid = d.add_gate(n.type, n.fanins);
+        break;
+    }
+    (void)nid;
+  }
+
+  // 2. Output cone of the fault site.
+  std::vector<char> in_cone(c.num_nodes(), 0);
+  std::vector<NodeId> stack{f.node};
+  std::vector<NodeId> cone;
+  while (!stack.empty()) {
+    NodeId x = stack.back();
+    stack.pop_back();
+    if (in_cone[x]) continue;
+    in_cone[x] = 1;
+    cone.push_back(x);
+    for (NodeId fo : c.fanouts(x)) stack.push_back(fo);
+  }
+  std::sort(cone.begin(), cone.end());
+
+  // 3. Faulty copies.
+  NodeId stuck_const = d.add_const(f.stuck_value);
+  std::vector<NodeId> faulty(c.num_nodes(), circuit::kNullNode);
+  for (NodeId x : cone) {
+    const circuit::Node& n = c.node(x);
+    if (x == f.node) {
+      if (f.pin == Fault::kOutputPin) {
+        faulty[x] = stuck_const;
+      } else {
+        std::vector<NodeId> fis = n.fanins;
+        fis[f.pin] = stuck_const;
+        faulty[x] = d.add_gate(n.type, std::move(fis));
+      }
+      continue;
+    }
+    std::vector<NodeId> fis;
+    fis.reserve(n.fanins.size());
+    for (NodeId fi : n.fanins) {
+      fis.push_back(in_cone[fi] ? faulty[fi] : fi);
+    }
+    faulty[x] = d.add_gate(n.type, std::move(fis));
+  }
+
+  // 4. Compare affected primary outputs.
+  std::vector<NodeId> diffs;
+  for (NodeId o : c.outputs()) {
+    if (in_cone[o]) diffs.push_back(d.add_xor(o, faulty[o]));
+  }
+  if (diffs.empty()) {
+    result.structurally_detectable = false;
+    result.detect = d.add_const(false);
+    d.mark_output(result.detect, "detect");
+    return result;
+  }
+  while (diffs.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < diffs.size(); i += 2) {
+      next.push_back(d.add_or(diffs[i], diffs[i + 1]));
+    }
+    if (diffs.size() % 2) next.push_back(diffs.back());
+    diffs = std::move(next);
+  }
+  result.detect = diffs[0];
+  d.mark_output(result.detect, "detect");
+  return result;
+}
+
+}  // namespace sateda::atpg

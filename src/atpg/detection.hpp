@@ -1,0 +1,27 @@
+/// \file detection.hpp
+/// \brief Larrabee-style fault-detection circuit construction
+///        (paper §3, ref. [20]): the good circuit, a faulty copy of
+///        the fault's output cone, and a detect signal that is 1 iff
+///        some primary output differs.
+#pragma once
+
+#include "atpg/fault.hpp"
+#include "circuit/netlist.hpp"
+
+namespace sateda::atpg {
+
+struct DetectionCircuit {
+  circuit::Circuit circuit;      ///< good + faulty cone + compare logic
+  circuit::NodeId detect = circuit::kNullNode;  ///< objective node
+  /// Good-circuit nodes keep their original ids inside `circuit`, so
+  /// the original primary input ids index the shared inputs directly.
+  bool structurally_detectable = true;  ///< fault cone reaches some PO
+};
+
+/// Builds the detection circuit for fault \p f on circuit \p c.
+/// SAT(detect = 1) iff a test pattern for f exists; UNSAT proves the
+/// fault redundant (ref. [17]).
+DetectionCircuit build_detection_circuit(const circuit::Circuit& c,
+                                         const Fault& f);
+
+}  // namespace sateda::atpg

@@ -1,0 +1,178 @@
+#include "atpg/engine.hpp"
+
+#include <random>
+
+namespace sateda::atpg {
+
+using circuit::Circuit;
+using circuit::NodeId;
+
+std::string AtpgStats::summary() const {
+  return "faults=" + std::to_string(total_faults) +
+         " detected=" + std::to_string(detected) + " (random=" +
+         std::to_string(random_detected) +
+         ") redundant=" + std::to_string(redundant) +
+         " aborted=" + std::to_string(aborted) +
+         " coverage=" + std::to_string(fault_coverage());
+}
+
+FaultStatus generate_test(const Circuit& c, const Fault& f,
+                          std::vector<lbool>& pattern,
+                          const AtpgOptions& opts, sat::SolverStats* accum) {
+  DetectionCircuit det = build_detection_circuit(c, f);
+  if (!det.structurally_detectable) return FaultStatus::kRedundant;
+  csat::CircuitSatOptions copts;
+  copts.solver = opts.solver;
+  copts.solver.conflict_budget = opts.conflict_budget;
+  copts.layer.frontier_termination = opts.use_structural_layer;
+  copts.layer.backtrace_decisions = opts.use_structural_layer;
+  csat::CircuitSatSolver solver(det.circuit, copts);
+  csat::CircuitSatResult r = solver.solve(det.detect, true);
+  if (accum) {
+    accum->decisions += solver.solver().stats().decisions;
+    accum->conflicts += solver.solver().stats().conflicts;
+  }
+  switch (r.result) {
+    case sat::SolveResult::kUnsat:
+      return FaultStatus::kRedundant;
+    case sat::SolveResult::kUnknown:
+      return FaultStatus::kAborted;
+    case sat::SolveResult::kSat:
+      break;
+  }
+  // The detection circuit shares the original circuit's input ids.
+  pattern.assign(c.inputs().size(), l_undef);
+  for (std::size_t i = 0; i < c.inputs().size(); ++i) {
+    pattern[i] = r.node_values[c.inputs()[i]];
+  }
+  return FaultStatus::kDetected;
+}
+
+namespace {
+
+std::vector<bool> fill_pattern(const std::vector<lbool>& partial,
+                               std::mt19937_64& rng) {
+  std::bernoulli_distribution coin(0.5);
+  std::vector<bool> full(partial.size());
+  for (std::size_t i = 0; i < partial.size(); ++i) {
+    full[i] = partial[i].is_undef() ? coin(rng) : partial[i].is_true();
+  }
+  return full;
+}
+
+/// Runs a packed batch of random patterns through the fault simulator,
+/// marking newly detected faults; keeps patterns that detect something.
+void random_batch(const FaultSimulator& sim, const Circuit& c,
+                  std::mt19937_64& rng, int batch_patterns,
+                  std::vector<Fault>& faults, std::vector<FaultStatus>& status,
+                  AtpgResult& result, bool count_as_random) {
+  std::vector<std::uint64_t> packed(c.inputs().size());
+  for (auto& w : packed) w = rng();
+  std::vector<std::uint64_t> good = sim.good_values(packed);
+  std::uint64_t used_bits = 0;
+  const std::uint64_t live =
+      batch_patterns >= 64 ? ~std::uint64_t{0}
+                           : ((std::uint64_t{1} << batch_patterns) - 1);
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (status[fi] != FaultStatus::kUntested) continue;
+    std::uint64_t mask = sim.detect_mask(good, faults[fi]) & live;
+    if (!mask) continue;
+    status[fi] = FaultStatus::kDetected;
+    ++result.stats.detected;
+    if (count_as_random) ++result.stats.random_detected;
+    used_bits |= mask & (~mask + 1);  // keep the lowest detecting pattern
+  }
+  for (int b = 0; b < 64; ++b) {
+    if (!((used_bits >> b) & 1)) continue;
+    std::vector<bool> pattern(c.inputs().size());
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      pattern[i] = (packed[i] >> b) & 1;
+    }
+    result.tests.push_back(std::move(pattern));
+  }
+}
+
+}  // namespace
+
+AtpgResult run_atpg(const Circuit& c, AtpgOptions opts) {
+  AtpgResult result;
+  result.faults = enumerate_faults(c);
+  if (opts.collapse) result.faults = collapse_faults(c, result.faults);
+  result.status.assign(result.faults.size(), FaultStatus::kUntested);
+  result.stats.total_faults = static_cast<int>(result.faults.size());
+
+  FaultSimulator sim(c);
+  std::mt19937_64 rng(opts.seed);
+
+  // Phase 1: random patterns knock out the easy faults cheaply.
+  if (opts.random_phase) {
+    for (int done = 0; done < opts.random_patterns; done += 64) {
+      random_batch(sim, c, rng, std::min(64, opts.random_patterns - done),
+                   result.faults, result.status, result,
+                   /*count_as_random=*/true);
+    }
+  }
+
+  // Phase 2: deterministic SAT-based generation per remaining fault.
+  for (std::size_t fi = 0; fi < result.faults.size(); ++fi) {
+    if (result.status[fi] != FaultStatus::kUntested) continue;
+    std::vector<lbool> partial;
+    ++result.stats.sat_calls;
+    sat::SolverStats query_stats;
+    FaultStatus st =
+        generate_test(c, result.faults[fi], partial, opts, &query_stats);
+    result.stats.decisions += query_stats.decisions;
+    result.stats.conflicts += query_stats.conflicts;
+    result.status[fi] = st;
+    switch (st) {
+      case FaultStatus::kRedundant:
+        ++result.stats.redundant;
+        continue;
+      case FaultStatus::kAborted:
+        ++result.stats.aborted;
+        continue;
+      case FaultStatus::kDetected:
+        break;
+      case FaultStatus::kUntested:
+        continue;  // unreachable
+    }
+    ++result.stats.detected;
+    std::vector<bool> pattern = fill_pattern(partial, rng);
+    result.tests.push_back(pattern);
+    // Drop other faults detected by this pattern.
+    if (opts.drop_by_simulation) {
+      std::vector<std::uint64_t> packed(pattern.size());
+      for (std::size_t i = 0; i < pattern.size(); ++i) {
+        packed[i] = pattern[i] ? 1 : 0;
+      }
+      std::vector<std::uint64_t> good = sim.good_values(packed);
+      for (std::size_t fj = fi + 1; fj < result.faults.size(); ++fj) {
+        if (result.status[fj] != FaultStatus::kUntested) continue;
+        if (sim.detect_mask(good, result.faults[fj]) & 1) {
+          result.status[fj] = FaultStatus::kDetected;
+          ++result.stats.detected;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+AtpgResult run_random_atpg(const Circuit& c, int num_patterns,
+                           std::uint64_t seed, bool collapse) {
+  AtpgResult result;
+  result.faults = enumerate_faults(c);
+  if (collapse) result.faults = collapse_faults(c, result.faults);
+  result.status.assign(result.faults.size(), FaultStatus::kUntested);
+  result.stats.total_faults = static_cast<int>(result.faults.size());
+  FaultSimulator sim(c);
+  std::mt19937_64 rng(seed);
+  for (int done = 0; done < num_patterns; done += 64) {
+    random_batch(sim, c, rng, std::min(64, num_patterns - done),
+                 result.faults, result.status, result,
+                 /*count_as_random=*/true);
+  }
+  return result;
+}
+
+}  // namespace sateda::atpg

@@ -1,0 +1,73 @@
+#include "atpg/fault.hpp"
+
+namespace sateda::atpg {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::NodeId;
+
+std::vector<Fault> enumerate_faults(const Circuit& c) {
+  std::vector<Fault> faults;
+  for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+    const circuit::Node& node = c.node(n);
+    if (node.type == GateType::kConst0 || node.type == GateType::kConst1) {
+      continue;  // constants are not testable lines
+    }
+    faults.push_back({n, Fault::kOutputPin, false});
+    faults.push_back({n, Fault::kOutputPin, true});
+    for (int pin = 0; pin < static_cast<int>(node.fanins.size()); ++pin) {
+      faults.push_back({n, pin, false});
+      faults.push_back({n, pin, true});
+    }
+  }
+  return faults;
+}
+
+std::vector<Fault> collapse_faults(const Circuit& c,
+                                   const std::vector<Fault>& faults) {
+  std::vector<Fault> kept;
+  kept.reserve(faults.size());
+  for (const Fault& f : faults) {
+    if (f.pin == Fault::kOutputPin) {
+      kept.push_back(f);
+      continue;
+    }
+    const circuit::Node& node = c.node(f.node);
+    // A fanout-branch fault on the only branch of a stem is the same
+    // line as the stem: collapse onto the stem's output fault.
+    const NodeId stem = node.fanins[f.pin];
+    if (c.fanouts(stem).size() == 1) {
+      // Equivalent to an output fault on the stem — skip (stem fault
+      // is already enumerated).  For NOT/NAND/NOR the gate-local rules
+      // below would also fire, but the stem rule subsumes them.
+      continue;
+    }
+    bool drop = false;
+    switch (node.type) {
+      case GateType::kBuf:
+        drop = true;  // equivalent to output fault, same polarity
+        break;
+      case GateType::kNot:
+        drop = true;  // equivalent to output fault, inverted polarity
+        break;
+      case GateType::kAnd:
+        drop = !f.stuck_value;  // in/sa0 ≡ out/sa0
+        break;
+      case GateType::kNand:
+        drop = !f.stuck_value;  // in/sa0 ≡ out/sa1
+        break;
+      case GateType::kOr:
+        drop = f.stuck_value;  // in/sa1 ≡ out/sa1
+        break;
+      case GateType::kNor:
+        drop = f.stuck_value;  // in/sa1 ≡ out/sa0
+        break;
+      default:
+        break;  // XOR/XNOR: no structural equivalences
+    }
+    if (!drop) kept.push_back(f);
+  }
+  return kept;
+}
+
+}  // namespace sateda::atpg

@@ -1,0 +1,55 @@
+/// \file fault.hpp
+/// \brief Single stuck-at fault model and fault-list utilities
+///        (paper §3: ATPG [20, 25, 38], redundancy identification [17]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace sateda::atpg {
+
+/// A single stuck-at fault.  pin == kOutputPin denotes a fault on the
+/// node's output (stem); otherwise the fault sits on input pin `pin`
+/// of gate `node` (a fanout-branch fault).
+struct Fault {
+  static constexpr int kOutputPin = -1;
+
+  circuit::NodeId node = circuit::kNullNode;
+  int pin = kOutputPin;
+  bool stuck_value = false;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+inline std::string to_string(const Fault& f) {
+  std::string s = "n" + std::to_string(f.node);
+  if (f.pin != Fault::kOutputPin) s += ".in" + std::to_string(f.pin);
+  s += f.stuck_value ? "/sa1" : "/sa0";
+  return s;
+}
+
+/// Status assigned to each fault by the ATPG flow.
+enum class FaultStatus {
+  kUntested,
+  kDetected,      ///< a test pattern exists and was recorded
+  kRedundant,     ///< proven untestable (UNSAT) — the [17] use case
+  kAborted,       ///< budget exhausted
+};
+
+/// Enumerates the full (uncollapsed) single stuck-at fault list:
+/// both polarities on every node output and every gate input pin.
+std::vector<Fault> enumerate_faults(const circuit::Circuit& c);
+
+/// Structural equivalence collapsing: faults provably equivalent to a
+/// representative are removed.  Rules: a controlling-value input fault
+/// of an AND/OR-like gate is equivalent to the corresponding output
+/// fault; NOT/BUF input faults are equivalent to output faults.
+/// Collapsing is safe for coverage accounting because equivalent
+/// faults are detected by exactly the same tests.
+std::vector<Fault> collapse_faults(const circuit::Circuit& c,
+                                   const std::vector<Fault>& faults);
+
+}  // namespace sateda::atpg

@@ -1,0 +1,94 @@
+#include "atpg/fault_sim.hpp"
+
+#include <algorithm>
+
+#include "circuit/simulator.hpp"
+
+namespace sateda::atpg {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::NodeId;
+
+FaultSimulator::FaultSimulator(const Circuit& c) : circuit_(c) {
+  const std::size_t n = c.num_nodes();
+  // cones_[s] = nodes reachable from s (including s), ascending.
+  // Built backwards: iterate nodes in descending order and union the
+  // cones of fanouts.  To bound memory we simply BFS per node; for the
+  // circuit sizes in this toolkit that is fine and keeps it simple.
+  cones_.resize(n);
+  std::vector<char> seen(n, 0);
+  for (NodeId s = 0; s < static_cast<NodeId>(n); ++s) {
+    std::vector<NodeId> stack{s};
+    std::vector<NodeId> cone;
+    std::fill(seen.begin(), seen.end(), 0);
+    while (!stack.empty()) {
+      NodeId x = stack.back();
+      stack.pop_back();
+      if (seen[x]) continue;
+      seen[x] = 1;
+      cone.push_back(x);
+      for (NodeId fo : c.fanouts(x)) stack.push_back(fo);
+    }
+    std::sort(cone.begin(), cone.end());
+    cones_[s] = std::move(cone);
+  }
+  is_output_.assign(n, 0);
+  for (NodeId o : c.outputs()) is_output_[o] = 1;
+  faulty_scratch_.resize(n);
+  in_cone_scratch_.assign(n, 0);
+}
+
+std::vector<std::uint64_t> FaultSimulator::good_values(
+    const std::vector<std::uint64_t>& packed_inputs) const {
+  return circuit::simulate_words(circuit_, packed_inputs);
+}
+
+std::uint64_t FaultSimulator::detect_mask(
+    const std::vector<std::uint64_t>& good, const Fault& f) const {
+  const std::vector<NodeId>& cone = cones_[f.node];
+  auto& fv = faulty_scratch_;
+  auto& in_cone = in_cone_scratch_;
+  for (NodeId x : cone) in_cone[x] = 1;
+
+  const std::uint64_t stuck = f.stuck_value ? ~std::uint64_t{0} : 0;
+  std::vector<std::uint64_t> ins;
+  for (NodeId x : cone) {
+    const circuit::Node& node = circuit_.node(x);
+    if (x == f.node) {
+      if (f.pin == Fault::kOutputPin) {
+        fv[x] = stuck;
+      } else {
+        ins.clear();
+        for (int i = 0; i < static_cast<int>(node.fanins.size()); ++i) {
+          ins.push_back(i == f.pin ? stuck : good[node.fanins[i]]);
+        }
+        fv[x] = eval_gate_word(node.type, ins);
+      }
+      continue;
+    }
+    ins.clear();
+    for (NodeId fi : node.fanins) {
+      ins.push_back(in_cone[fi] ? fv[fi] : good[fi]);
+    }
+    fv[x] = eval_gate_word(node.type, ins);
+  }
+
+  std::uint64_t mask = 0;
+  for (NodeId x : cone) {
+    if (is_output_[x]) mask |= good[x] ^ fv[x];
+    in_cone[x] = 0;  // reset scratch
+  }
+  return mask;
+}
+
+bool FaultSimulator::detects(const std::vector<bool>& pattern,
+                             const Fault& f) const {
+  std::vector<std::uint64_t> packed(pattern.size());
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    packed[i] = pattern[i] ? 1 : 0;
+  }
+  return (detect_mask(good_values(packed), f) & 1) != 0;
+}
+
+}  // namespace sateda::atpg

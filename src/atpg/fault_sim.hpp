@@ -1,0 +1,48 @@
+/// \file fault_sim.hpp
+/// \brief Word-parallel single stuck-at fault simulation: 64 patterns
+///        per pass, with event propagation confined to the fault's
+///        output cone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "circuit/netlist.hpp"
+
+namespace sateda::atpg {
+
+/// Fault simulator bound to one circuit.  Precomputes the output cone
+/// of every node so per-fault simulation touches only affected gates.
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const circuit::Circuit& c);
+
+  /// Packed good-machine simulation (64 patterns; bit b of inputs[i]
+  /// is the value of input i in pattern b).
+  std::vector<std::uint64_t> good_values(
+      const std::vector<std::uint64_t>& packed_inputs) const;
+
+  /// Bitmask of the patterns (bits of the packed batch) that detect
+  /// \p f, i.e. produce a good/faulty difference at some primary
+  /// output.  \p good must come from good_values() for the same batch.
+  std::uint64_t detect_mask(const std::vector<std::uint64_t>& good,
+                            const Fault& f) const;
+
+  /// Convenience for a single unpacked pattern: true iff it detects f.
+  bool detects(const std::vector<bool>& pattern, const Fault& f) const;
+
+  /// The nodes in f's output cone (ascending ids).
+  const std::vector<circuit::NodeId>& cone(circuit::NodeId site) const {
+    return cones_[site];
+  }
+
+ private:
+  const circuit::Circuit& circuit_;
+  std::vector<std::vector<circuit::NodeId>> cones_;  ///< per node, sorted
+  std::vector<char> is_output_;
+  mutable std::vector<std::uint64_t> faulty_scratch_;
+  mutable std::vector<char> in_cone_scratch_;
+};
+
+}  // namespace sateda::atpg

@@ -1,0 +1,35 @@
+/// \file incremental.hpp
+/// \brief Incremental SAT formulation of ATPG (paper §6, refs
+///        [18, 25]): one persistent solver holds the good-circuit CNF
+///        and the learnt clauses it accumulates; each fault adds only
+///        its faulty-cone clauses, guarded by an activation literal,
+///        and is tested under assumptions.  Contrast with the
+///        from-scratch flow in engine.hpp (bench E12).
+#pragma once
+
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::atpg {
+
+class IncrementalAtpg {
+ public:
+  explicit IncrementalAtpg(const circuit::Circuit& c,
+                           sat::SolverOptions solver_opts = {},
+                           std::int64_t conflict_budget = 200000);
+
+  /// Tests one fault.  On kDetected, \p pattern receives a (possibly
+  /// partial) input pattern.
+  FaultStatus test_fault(const Fault& f, std::vector<lbool>& pattern);
+
+  const sat::Solver& solver() const { return solver_; }
+
+ private:
+  const circuit::Circuit& circuit_;
+  sat::Solver solver_;
+  std::int64_t conflict_budget_;
+};
+
+}  // namespace sateda::atpg

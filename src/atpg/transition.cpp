@@ -1,0 +1,73 @@
+#include "atpg/transition.hpp"
+
+#include <random>
+
+#include "csat/circuit_sat.hpp"
+
+namespace sateda::atpg {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::NodeId;
+
+std::vector<TransitionFault> enumerate_transition_faults(const Circuit& c) {
+  std::vector<TransitionFault> faults;
+  for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+    GateType t = c.node(n).type;
+    if (t == GateType::kConst0 || t == GateType::kConst1) continue;
+    faults.push_back({n, true});
+    faults.push_back({n, false});
+  }
+  return faults;
+}
+
+std::optional<TransitionTest> generate_transition_test(
+    const Circuit& c, const TransitionFault& f, const AtpgOptions& opts) {
+  // v2: a test for the corresponding stuck-at fault (stuck at the
+  // *initial* value: slow-to-rise behaves as stuck-at-0 under v2).
+  const bool stuck_value = f.slow_to_rise ? false : true;
+  std::vector<lbool> launch_partial;
+  FaultStatus st = generate_test(
+      c, Fault{f.node, Fault::kOutputPin, stuck_value}, launch_partial, opts);
+  if (st != FaultStatus::kDetected) return std::nullopt;
+
+  // v1: any vector setting the victim node to the initial value.
+  csat::CircuitSatOptions copts;
+  copts.solver = opts.solver;
+  copts.solver.conflict_budget = opts.conflict_budget;
+  csat::CircuitSatSolver init_solver(c, copts);
+  csat::CircuitSatResult init = init_solver.solve(f.node, stuck_value);
+  if (init.result != sat::SolveResult::kSat) return std::nullopt;
+
+  std::mt19937_64 rng(opts.seed ^ (static_cast<std::uint64_t>(f.node) << 1));
+  std::bernoulli_distribution coin(0.5);
+  TransitionTest test;
+  test.init.resize(c.inputs().size());
+  test.launch.resize(c.inputs().size());
+  for (std::size_t i = 0; i < c.inputs().size(); ++i) {
+    lbool v1 = init.input_pattern[i];
+    test.init[i] = v1.is_undef() ? coin(rng) : v1.is_true();
+    lbool v2 = launch_partial[i];
+    test.launch[i] = v2.is_undef() ? coin(rng) : v2.is_true();
+  }
+  return test;
+}
+
+TransitionAtpgResult run_transition_atpg(const Circuit& c,
+                                         const AtpgOptions& opts) {
+  TransitionAtpgResult result;
+  result.faults = enumerate_transition_faults(c);
+  result.tests.reserve(result.faults.size());
+  for (const TransitionFault& f : result.faults) {
+    auto test = generate_transition_test(c, f, opts);
+    if (test.has_value()) {
+      ++result.testable;
+    } else {
+      ++result.untestable;
+    }
+    result.tests.push_back(std::move(test));
+  }
+  return result;
+}
+
+}  // namespace sateda::atpg

@@ -1,0 +1,59 @@
+/// \file transition.hpp
+/// \brief Transition (gross-delay) fault test generation — the delay
+///        fault testing application of paper §3 (refs [7, 18]).
+///
+/// A slow-to-rise fault at node n needs a two-vector test (v1, v2):
+/// v1 initializes n to 0, v2 launches the 0→1 transition and
+/// propagates it to an output — i.e. v2 is a stuck-at-0 test for n.
+/// (Slow-to-fall is the dual.)  For combinational circuits the two
+/// vectors decouple, so generation is one objective query plus one
+/// stuck-at query; both use the incremental machinery.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "atpg/engine.hpp"
+
+namespace sateda::atpg {
+
+/// A transition fault at a node's output.
+struct TransitionFault {
+  circuit::NodeId node = circuit::kNullNode;
+  bool slow_to_rise = true;  ///< false = slow-to-fall
+};
+
+inline std::string to_string(const TransitionFault& f) {
+  return "n" + std::to_string(f.node) + (f.slow_to_rise ? "/str" : "/stf");
+}
+
+/// A two-vector test.
+struct TransitionTest {
+  std::vector<bool> init;    ///< v1: sets the victim to its initial value
+  std::vector<bool> launch;  ///< v2: launches and propagates the transition
+};
+
+/// Generates a test for \p f, or nullopt if the fault is untestable
+/// (the node cannot take the initial value, or the corresponding
+/// stuck-at fault is redundant).
+std::optional<TransitionTest> generate_transition_test(
+    const circuit::Circuit& c, const TransitionFault& f,
+    const AtpgOptions& opts = {});
+
+/// Enumerates transition faults on every node output.
+std::vector<TransitionFault> enumerate_transition_faults(
+    const circuit::Circuit& c);
+
+struct TransitionAtpgResult {
+  std::vector<TransitionFault> faults;
+  std::vector<std::optional<TransitionTest>> tests;  ///< parallel
+  int testable = 0;
+  int untestable = 0;
+};
+
+/// Runs transition-fault ATPG over the whole fault list.
+TransitionAtpgResult run_transition_atpg(const circuit::Circuit& c,
+                                         const AtpgOptions& opts = {});
+
+}  // namespace sateda::atpg

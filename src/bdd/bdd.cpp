@@ -1,0 +1,124 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+
+namespace sateda::bdd {
+
+BddManager::BddManager(int num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(node_limit) {
+  nodes_.push_back({num_vars_, kFalse, kFalse});  // 0: terminal false
+  nodes_.push_back({num_vars_, kTrue, kTrue});    // 1: terminal true
+}
+
+BddRef BddManager::make_node(int level, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;  // reduction rule
+  TripleKey key = pack(static_cast<std::uint64_t>(level), lo, hi);
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= node_limit_) throw BddLimitExceeded(node_limit_);
+  BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({level, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::var(int level) {
+  assert(level >= 0 && level < num_vars_);
+  return make_node(level, kFalse, kTrue);
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  TripleKey key = pack(f, g, h);
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int top = std::min({nodes_[f].level, nodes_[g].level,
+                            nodes_[h].level});
+  auto cofactor = [&](BddRef x, bool positive) {
+    if (nodes_[x].level != top) return x;
+    return positive ? nodes_[x].hi : nodes_[x].lo;
+  };
+  BddRef hi = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  BddRef lo = ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  BddRef result = make_node(top, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+bool BddManager::eval(BddRef f, const std::vector<bool>& inputs) const {
+  while (f != kTrue && f != kFalse) {
+    const Node& n = nodes_[f];
+    f = inputs[n.level] ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+double BddManager::count_models(BddRef f) const {
+  // count(node) = number of models over the variables at or below the
+  // node's level; scale to the full space at the end.
+  std::unordered_map<BddRef, double> memo;
+  auto count = [&](auto&& self, BddRef x) -> double {
+    if (x == kFalse) return 0.0;
+    if (x == kTrue) return 1.0;
+    auto it = memo.find(x);
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[x];
+    auto weight = [&](BddRef child) {
+      const int child_level =
+          (child == kTrue || child == kFalse) ? num_vars_
+                                              : nodes_[child].level;
+      // Variables skipped between this node and the child are free.
+      return std::pow(2.0, child_level - n.level - 1);
+    };
+    double result = self(self, n.lo) * weight(n.lo) +
+                    self(self, n.hi) * weight(n.hi);
+    memo.emplace(x, result);
+    return result;
+  };
+  const int top_level = (f == kTrue || f == kFalse) ? num_vars_
+                                                    : nodes_[f].level;
+  return count(count, f) * std::pow(2.0, top_level);
+}
+
+std::vector<lbool> BddManager::any_model(BddRef f) const {
+  if (f == kFalse) return {};
+  std::vector<lbool> model(num_vars_, l_undef);
+  while (f != kTrue) {
+    const Node& n = nodes_[f];
+    if (n.hi != kFalse) {
+      model[n.level] = l_true;
+      f = n.hi;
+    } else {
+      model[n.level] = l_false;
+      f = n.lo;
+    }
+  }
+  return model;
+}
+
+std::size_t BddManager::size(BddRef f) const {
+  std::vector<BddRef> stack{f};
+  std::unordered_map<BddRef, char> seen;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    BddRef x = stack.back();
+    stack.pop_back();
+    if (seen.count(x)) continue;
+    seen.emplace(x, 1);
+    ++count;
+    if (x != kTrue && x != kFalse) {
+      stack.push_back(nodes_[x].lo);
+      stack.push_back(nodes_[x].hi);
+    }
+  }
+  return count;
+}
+
+}  // namespace sateda::bdd

@@ -1,0 +1,96 @@
+#include "bdd/circuit_bdd.hpp"
+
+#include <cassert>
+
+namespace sateda::bdd {
+
+using circuit::GateType;
+using circuit::NodeId;
+
+std::vector<BddRef> build_output_bdds(BddManager& mgr,
+                                      const circuit::Circuit& c,
+                                      const std::vector<int>& input_level) {
+  assert(input_level.empty() || input_level.size() == c.inputs().size());
+  std::vector<BddRef> node_bdd(c.num_nodes(), kFalse);
+  for (std::size_t i = 0; i < c.inputs().size(); ++i) {
+    int level = input_level.empty() ? static_cast<int>(i)
+                                    : input_level[i];
+    node_bdd[c.inputs()[i]] = mgr.var(level);
+  }
+  for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+    const circuit::Node& node = c.node(n);
+    const auto& fi = node.fanins;
+    auto in = [&](std::size_t i) { return node_bdd[fi[i]]; };
+    switch (node.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kConst0:
+        node_bdd[n] = kFalse;
+        break;
+      case GateType::kConst1:
+        node_bdd[n] = kTrue;
+        break;
+      case GateType::kBuf:
+        node_bdd[n] = in(0);
+        break;
+      case GateType::kNot:
+        node_bdd[n] = mgr.bdd_not(in(0));
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        BddRef acc = kTrue;
+        for (std::size_t i = 0; i < fi.size(); ++i) {
+          acc = mgr.bdd_and(acc, in(i));
+        }
+        node_bdd[n] = (node.type == GateType::kNand) ? mgr.bdd_not(acc) : acc;
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        BddRef acc = kFalse;
+        for (std::size_t i = 0; i < fi.size(); ++i) {
+          acc = mgr.bdd_or(acc, in(i));
+        }
+        node_bdd[n] = (node.type == GateType::kNor) ? mgr.bdd_not(acc) : acc;
+        break;
+      }
+      case GateType::kXor:
+        node_bdd[n] = mgr.bdd_xor(in(0), in(1));
+        break;
+      case GateType::kXnor:
+        node_bdd[n] = mgr.bdd_xnor(in(0), in(1));
+        break;
+    }
+  }
+  std::vector<BddRef> outs;
+  outs.reserve(c.outputs().size());
+  for (NodeId o : c.outputs()) outs.push_back(node_bdd[o]);
+  return outs;
+}
+
+BddRef cnf_to_bdd(BddManager& mgr, const CnfFormula& f) {
+  BddRef acc = kTrue;
+  for (const Clause& c : f) {
+    BddRef clause = kFalse;
+    for (Lit l : c) {
+      BddRef v = mgr.var(l.var());
+      clause = mgr.bdd_or(clause, l.negative() ? mgr.bdd_not(v) : v);
+    }
+    acc = mgr.bdd_and(acc, clause);
+    if (acc == kFalse) break;  // already unsatisfiable
+  }
+  return acc;
+}
+
+std::vector<int> interleaved_levels(int num_inputs) {
+  std::vector<int> level(num_inputs);
+  const int half = num_inputs / 2;
+  for (int i = 0; i < half; ++i) {
+    level[i] = 2 * i;
+    level[half + i] = 2 * i + 1;
+  }
+  if (num_inputs % 2) level[num_inputs - 1] = num_inputs - 1;
+  return level;
+}
+
+}  // namespace sateda::bdd

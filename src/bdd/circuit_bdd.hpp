@@ -1,0 +1,38 @@
+/// \file circuit_bdd.hpp
+/// \brief Circuit → BDD bridge: symbolic simulation of a netlist into
+///        canonical output functions.
+#pragma once
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "circuit/netlist.hpp"
+#include "cnf/formula.hpp"
+
+namespace sateda::bdd {
+
+/// Builds the BDD of every node by symbolic simulation in topological
+/// order; returns the refs of the primary outputs in order.
+/// \param input_level maps input ordinal i (position in
+///        Circuit::inputs()) to its BDD level; empty = identity.
+///        Variable order is the make-or-break knob for BDDs — see
+///        interleaved_levels().
+/// \throws BddLimitExceeded when the manager's node limit trips.
+std::vector<BddRef> build_output_bdds(BddManager& mgr,
+                                      const circuit::Circuit& c,
+                                      const std::vector<int>& input_level = {});
+
+/// Builds the BDD of a CNF formula (conjunction of clause BDDs) over
+/// formula.num_vars() BDD levels — enabling exact model counting
+/// (#SAT) and canonical equivalence of formulas.  Clause order follows
+/// the formula; no dynamic reordering, so pick your variable numbering
+/// wisely.  \throws BddLimitExceeded on blowup.
+BddRef cnf_to_bdd(BddManager& mgr, const CnfFormula& f);
+
+/// A level map interleaving the first and second halves of the inputs
+/// (a0 b0 a1 b1 …) with any odd tail appended — the textbook good
+/// order for two-operand datapath circuits, under which an adder's
+/// outputs stay linear while the natural order is exponential.
+std::vector<int> interleaved_levels(int num_inputs);
+
+}  // namespace sateda::bdd

@@ -1,0 +1,108 @@
+#include "bmc/bmc.hpp"
+
+#include <cassert>
+
+#include "circuit/encoder.hpp"
+
+namespace sateda::bmc {
+
+using circuit::NodeId;
+
+BmcEngine::BmcEngine(const SequentialCircuit& m, BmcOptions opts)
+    : machine_(m), opts_(opts), solver_(opts.solver) {
+  solver_.options().conflict_budget = opts.conflict_budget;
+}
+
+void BmcEngine::add_frame(int k) {
+  assert(static_cast<int>(frame_vars_.size()) == k);
+  const circuit::Circuit& c = machine_.comb;
+  std::vector<Var> vars(c.num_nodes(), kNullVar);
+  CnfFormula f(solver_.num_vars());
+
+  // State inputs: frame 0 pins to the initial state; frame k>0 aliases
+  // the previous frame's next-state variables.
+  for (int i = 0; i < machine_.num_latches(); ++i) {
+    NodeId s = machine_.state_input(i);
+    if (k == 0) {
+      Var v = solver_.new_var();
+      vars[s] = v;
+      f.ensure_var(v);
+      f.add_unit(Lit(v, !machine_.initial_state[i]));
+    } else {
+      vars[s] = frame_var(k - 1, machine_.next_state[i]);
+    }
+  }
+  // Primary inputs: fresh variables.
+  for (int i = 0; i < machine_.num_primary_inputs; ++i) {
+    vars[machine_.primary_input(i)] = solver_.new_var();
+  }
+  // Gates in topological order.
+  for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+    const circuit::Node& node = c.node(n);
+    if (node.type == circuit::GateType::kInput) continue;
+    vars[n] = solver_.new_var();
+    std::vector<Var> ins;
+    ins.reserve(node.fanins.size());
+    for (NodeId fi : node.fanins) {
+      assert(vars[fi] != kNullVar);
+      ins.push_back(vars[fi]);
+    }
+    circuit::encode_gate_clauses(node.type, vars[n], ins, f);
+  }
+  solver_.add_formula(f);
+  frame_vars_.push_back(std::move(vars));
+}
+
+sat::SolveResult BmcEngine::check_depth(int k) {
+  while (static_cast<int>(frame_vars_.size()) <= k) {
+    add_frame(static_cast<int>(frame_vars_.size()));
+  }
+  Var bad_k = frame_var(k, machine_.bad);
+  return solver_.solve({pos(bad_k)});
+}
+
+std::vector<std::vector<bool>> BmcEngine::extract_trace(int k) const {
+  std::vector<std::vector<bool>> trace;
+  trace.reserve(k + 1);
+  for (int t = 0; t <= k; ++t) {
+    std::vector<bool> inputs(machine_.num_primary_inputs);
+    for (int i = 0; i < machine_.num_primary_inputs; ++i) {
+      Var v = frame_vars_[t][machine_.primary_input(i)];
+      inputs[i] = solver_.model()[v].is_true();
+    }
+    trace.push_back(std::move(inputs));
+  }
+  return trace;
+}
+
+BmcResult BmcEngine::run() {
+  BmcResult result;
+  for (int k = 0; k <= opts_.max_depth; ++k) {
+    sat::SolveResult r = check_depth(k);
+    result.decisions = solver_.stats().decisions;
+    result.conflicts = solver_.stats().conflicts;
+    switch (r) {
+      case sat::SolveResult::kSat:
+        result.verdict = BmcVerdict::kCounterexample;
+        result.depth = k;
+        result.trace = extract_trace(k);
+        return result;
+      case sat::SolveResult::kUnknown:
+        result.verdict = BmcVerdict::kUnknown;
+        result.depth = k;
+        return result;
+      case sat::SolveResult::kUnsat:
+        break;  // next depth
+    }
+  }
+  result.verdict = BmcVerdict::kNoCounterexample;
+  result.depth = opts_.max_depth;
+  return result;
+}
+
+BmcResult bounded_model_check(const SequentialCircuit& m, BmcOptions opts) {
+  BmcEngine engine(m, opts);
+  return engine.run();
+}
+
+}  // namespace sateda::bmc

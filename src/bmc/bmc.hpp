@@ -1,0 +1,85 @@
+/// \file bmc.hpp
+/// \brief Bounded model checking without BDDs (paper §3, ref. [5]):
+///        unroll the transition relation k time frames into CNF, ask
+///        SAT whether `bad` is reachable at step k, increase k.
+///
+/// The checker is incremental (paper §6): one persistent solver holds
+/// all frames added so far; each depth adds one frame's clauses and
+/// queries bad_k under an assumption, so learnt clauses carry over.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bmc/sequential.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::bmc {
+
+struct BmcOptions {
+  int max_depth = 64;
+  std::int64_t conflict_budget = -1;  ///< per-depth-query conflict budget
+  sat::SolverOptions solver;
+};
+
+enum class BmcVerdict {
+  kCounterexample,     ///< bad reachable; see trace
+  kNoCounterexample,   ///< bad unreachable within max_depth
+  kUnknown,            ///< budget exhausted
+};
+
+inline std::string to_string(BmcVerdict v) {
+  switch (v) {
+    case BmcVerdict::kCounterexample: return "COUNTEREXAMPLE";
+    case BmcVerdict::kNoCounterexample: return "BOUND REACHED";
+    case BmcVerdict::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+struct BmcResult {
+  BmcVerdict verdict = BmcVerdict::kUnknown;
+  int depth = -1;  ///< counterexample length (steps) when found
+  /// Primary-input vector per step, replayable with
+  /// replay_reaches_bad().
+  std::vector<std::vector<bool>> trace;
+  std::int64_t decisions = 0;
+  std::int64_t conflicts = 0;
+};
+
+/// Incremental BMC engine; also usable one-shot via bounded_model_check.
+class BmcEngine {
+ public:
+  explicit BmcEngine(const SequentialCircuit& m, BmcOptions opts = {});
+
+  /// Checks reachability of `bad` at exactly depth k (frames 0..k must
+  /// have been checked/added in order; call check_depth with k equal
+  /// to the number of previous calls).
+  sat::SolveResult check_depth(int k);
+
+  /// Runs the standard loop 0..max_depth.
+  BmcResult run();
+
+  /// After a kSat check_depth: extracts the input trace (length k+1).
+  std::vector<std::vector<bool>> extract_trace(int k) const;
+
+  const sat::Solver& solver() const { return solver_; }
+
+ private:
+  /// Adds the clauses of time frame \p k; returns the frame's var map.
+  void add_frame(int k);
+  Var frame_var(int k, circuit::NodeId n) const {
+    return frame_vars_[k][n];
+  }
+
+  const SequentialCircuit& machine_;
+  BmcOptions opts_;
+  sat::Solver solver_;
+  std::vector<std::vector<Var>> frame_vars_;  ///< per frame, per node
+};
+
+/// One-shot convenience wrapper.
+BmcResult bounded_model_check(const SequentialCircuit& m, BmcOptions opts = {});
+
+}  // namespace sateda::bmc

@@ -1,0 +1,141 @@
+#include "bmc/induction.hpp"
+
+#include <cassert>
+
+#include "circuit/encoder.hpp"
+
+namespace sateda::bmc {
+
+using circuit::NodeId;
+
+namespace {
+
+/// Unroller with a *free* (unconstrained) initial state — the step
+/// case of induction quantifies over all states, not reachable ones.
+class StepEngine {
+ public:
+  StepEngine(const SequentialCircuit& m, const InductionOptions& opts)
+      : machine_(m), opts_(opts), solver_(opts.solver) {
+    solver_.options().conflict_budget = opts.conflict_budget;
+  }
+
+  /// Ensures frames 0..k exist, with ¬bad asserted on frames < k and
+  /// pairwise-distinct states when requested.
+  void extend_to(int k) {
+    while (static_cast<int>(frames_.size()) <= k) add_frame();
+    // Assert ¬bad on all frames strictly before k (the last asserted
+    // index only moves forward).
+    while (asserted_good_ < k) {
+      solver_.add_clause({neg(frames_[asserted_good_].bad)});
+      ++asserted_good_;
+    }
+  }
+
+  /// SAT ⇔ the property is not yet inductive at strength k.
+  sat::SolveResult query_bad_at(int k) {
+    extend_to(k);
+    return solver_.solve({pos(frames_[k].bad)});
+  }
+
+  const sat::Solver& solver() const { return solver_; }
+
+ private:
+  struct Frame {
+    std::vector<Var> vars;  ///< per comb node
+    Var bad = kNullVar;
+    std::vector<Var> state;  ///< state-input vars of this frame
+  };
+
+  void add_frame() {
+    const circuit::Circuit& c = machine_.comb;
+    const int k = static_cast<int>(frames_.size());
+    Frame frame;
+    frame.vars.assign(c.num_nodes(), kNullVar);
+    CnfFormula f(solver_.num_vars());
+    for (int i = 0; i < machine_.num_latches(); ++i) {
+      NodeId s = machine_.state_input(i);
+      frame.vars[s] = (k == 0)
+                          ? solver_.new_var()  // free initial state
+                          : frames_[k - 1].vars[machine_.next_state[i]];
+      frame.state.push_back(frame.vars[s]);
+    }
+    for (int i = 0; i < machine_.num_primary_inputs; ++i) {
+      frame.vars[machine_.primary_input(i)] = solver_.new_var();
+    }
+    for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+      const circuit::Node& node = c.node(n);
+      if (node.type == circuit::GateType::kInput) continue;
+      frame.vars[n] = solver_.new_var();
+      std::vector<Var> ins;
+      for (NodeId fi : node.fanins) ins.push_back(frame.vars[fi]);
+      circuit::encode_gate_clauses(node.type, frame.vars[n], ins, f);
+    }
+    frame.bad = frame.vars[machine_.bad];
+    // Simple-path constraint: this frame's state differs from every
+    // earlier frame's state.
+    if (opts_.unique_states && machine_.num_latches() > 0) {
+      for (const Frame& other : frames_) {
+        std::vector<Lit> some_diff;
+        for (int l = 0; l < machine_.num_latches(); ++l) {
+          Var d = solver_.new_var();
+          circuit::encode_gate_clauses(circuit::GateType::kXor, d,
+                                       {frame.state[l], other.state[l]}, f);
+          some_diff.push_back(pos(d));
+        }
+        f.add_clause(std::move(some_diff));
+      }
+    }
+    solver_.add_formula(f);
+    frames_.push_back(std::move(frame));
+  }
+
+  const SequentialCircuit& machine_;
+  InductionOptions opts_;
+  sat::Solver solver_;
+  std::vector<Frame> frames_;
+  int asserted_good_ = 0;
+};
+
+}  // namespace
+
+InductionResult prove_by_induction(const SequentialCircuit& m,
+                                   InductionOptions opts) {
+  InductionResult result;
+  BmcOptions bopts;
+  bopts.solver = opts.solver;
+  bopts.conflict_budget = opts.conflict_budget;
+  BmcEngine base(m, bopts);
+  StepEngine step(m, opts);
+
+  for (int k = 0; k <= opts.max_k; ++k) {
+    // Base: no counterexample of length k.
+    switch (base.check_depth(k)) {
+      case sat::SolveResult::kSat:
+        result.verdict = InductionVerdict::kCounterexample;
+        result.k = k;
+        result.trace = base.extract_trace(k);
+        return result;
+      case sat::SolveResult::kUnknown:
+        result.k = k;
+        return result;
+      case sat::SolveResult::kUnsat:
+        break;
+    }
+    // Step: ¬bad over k arbitrary distinct states implies ¬bad next.
+    switch (step.query_bad_at(k)) {
+      case sat::SolveResult::kUnsat:
+        result.verdict = InductionVerdict::kProved;
+        result.k = k;
+        return result;
+      case sat::SolveResult::kUnknown:
+        result.k = k;
+        return result;
+      case sat::SolveResult::kSat:
+        break;  // not yet inductive; strengthen
+    }
+  }
+  result.k = opts.max_k;
+  return result;
+}
+
+}  // namespace sateda::bmc

@@ -1,0 +1,54 @@
+/// \file induction.hpp
+/// \brief Temporal (k-)induction on top of the BMC unroller — the
+///        natural extension of ref. [5] for actually *proving* safety
+///        instead of only refuting it within a bound.
+///
+/// Property AG ¬bad is proved at strength k when
+///   base:  no counterexample of length ≤ k (plain BMC), and
+///   step:  ¬bad over k consecutive arbitrary (non-initialized) states
+///          with pairwise-distinct states forces ¬bad in state k+1
+///          (UNSAT of the step query).
+/// The uniqueness (simple-path) constraint makes the method complete
+/// for finite systems: k never needs to exceed the recurrence
+/// diameter.
+#pragma once
+
+#include <string>
+
+#include "bmc/bmc.hpp"
+
+namespace sateda::bmc {
+
+enum class InductionVerdict {
+  kProved,           ///< safety holds for all depths
+  kCounterexample,   ///< the base case found a real violation
+  kUnknown,          ///< max_k or budget exhausted
+};
+
+inline std::string to_string(InductionVerdict v) {
+  switch (v) {
+    case InductionVerdict::kProved: return "PROVED";
+    case InductionVerdict::kCounterexample: return "COUNTEREXAMPLE";
+    case InductionVerdict::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+struct InductionResult {
+  InductionVerdict verdict = InductionVerdict::kUnknown;
+  int k = -1;  ///< proof strength, or counterexample depth
+  std::vector<std::vector<bool>> trace;  ///< on kCounterexample
+};
+
+struct InductionOptions {
+  int max_k = 32;
+  std::int64_t conflict_budget = -1;  ///< per SAT query
+  sat::SolverOptions solver;
+  bool unique_states = true;  ///< simple-path constraint (completeness)
+};
+
+/// Attempts to prove AG ¬bad by k-induction, increasing k from 0.
+InductionResult prove_by_induction(const SequentialCircuit& m,
+                                   InductionOptions opts = {});
+
+}  // namespace sateda::bmc

@@ -1,0 +1,164 @@
+#include "bmc/sequential.hpp"
+
+#include <cassert>
+
+#include "circuit/simulator.hpp"
+
+namespace sateda::bmc {
+
+using circuit::Circuit;
+using circuit::NodeId;
+
+std::pair<std::vector<bool>, bool> step(const SequentialCircuit& m,
+                                        const std::vector<bool>& state,
+                                        const std::vector<bool>& inputs) {
+  assert(static_cast<int>(inputs.size()) == m.num_primary_inputs);
+  assert(static_cast<int>(state.size()) == m.num_latches());
+  std::vector<bool> comb_in;
+  comb_in.reserve(inputs.size() + state.size());
+  for (bool b : inputs) comb_in.push_back(b);
+  for (bool b : state) comb_in.push_back(b);
+  std::vector<bool> values = circuit::simulate(m.comb, comb_in);
+  std::vector<bool> next;
+  next.reserve(m.next_state.size());
+  for (NodeId n : m.next_state) next.push_back(values[n]);
+  return {next, values[m.bad]};
+}
+
+bool replay_reaches_bad(const SequentialCircuit& m,
+                        const std::vector<std::vector<bool>>& trace) {
+  std::vector<bool> state = m.initial_state;
+  for (const auto& inputs : trace) {
+    auto [next, bad] = step(m, state, inputs);
+    if (bad) return true;
+    state = std::move(next);
+  }
+  return false;
+}
+
+SequentialCircuit counter_machine(int bits, std::uint64_t bad_value) {
+  SequentialCircuit m;
+  Circuit& c = m.comb;
+  c.set_name("counter" + std::to_string(bits));
+  NodeId en = c.add_input("en");
+  m.num_primary_inputs = 1;
+  std::vector<NodeId> q(bits);
+  for (int i = 0; i < bits; ++i) q[i] = c.add_input("q" + std::to_string(i));
+  // next q = q + en (ripple increment).
+  NodeId carry = en;
+  for (int i = 0; i < bits; ++i) {
+    NodeId sum = c.add_xor(q[i], carry);
+    carry = c.add_and(q[i], carry);
+    m.next_state.push_back(sum);
+  }
+  // bad when q == bad_value; a value wider than the register can
+  // never match, so the monitor is constant false.
+  if (bits < 64 && (bad_value >> bits) != 0) {
+    m.bad = c.add_const(false);
+  } else {
+    NodeId acc = circuit::kNullNode;
+    for (int i = 0; i < bits; ++i) {
+      NodeId bit = ((bad_value >> i) & 1) ? q[i] : c.add_not(q[i]);
+      acc = (acc == circuit::kNullNode) ? bit : c.add_and(acc, bit);
+    }
+    m.bad = acc;
+  }
+  c.mark_output(m.bad, "bad");
+  m.outputs.push_back(m.bad);
+  m.initial_state.assign(bits, false);
+  return m;
+}
+
+SequentialCircuit shift_register_machine(int bits) {
+  SequentialCircuit m;
+  Circuit& c = m.comb;
+  c.set_name("shift" + std::to_string(bits));
+  NodeId din = c.add_input("din");
+  m.num_primary_inputs = 1;
+  std::vector<NodeId> q(bits);
+  for (int i = 0; i < bits; ++i) q[i] = c.add_input("q" + std::to_string(i));
+  // next[0] = din, next[i] = q[i-1].
+  m.next_state.push_back(c.add_buf(din));
+  for (int i = 1; i < bits; ++i) m.next_state.push_back(c.add_buf(q[i - 1]));
+  NodeId acc = q[0];
+  for (int i = 1; i < bits; ++i) acc = c.add_and(acc, q[i]);
+  m.bad = acc;
+  c.mark_output(m.bad, "bad");
+  m.outputs.push_back(m.bad);
+  m.initial_state.assign(bits, false);
+  return m;
+}
+
+SequentialCircuit handshake_machine() {
+  // States (2 bits): 00 idle, 01 req, 10 ack, 11 error.  Input `go`.
+  // Transition: idle --go--> req --go--> ack --go--> error (protocol
+  // violation: a third consecutive go).  !go returns to idle.
+  SequentialCircuit m;
+  Circuit& c = m.comb;
+  c.set_name("handshake");
+  NodeId go = c.add_input("go");
+  m.num_primary_inputs = 1;
+  NodeId s0 = c.add_input("s0");
+  NodeId s1 = c.add_input("s1");
+  NodeId ngo = c.add_not(go);
+  NodeId ns0_in = c.add_not(s0);
+  NodeId ns1_in = c.add_not(s1);
+  // State decode.
+  NodeId idle = c.add_and(ns1_in, ns0_in);
+  NodeId req = c.add_and(ns1_in, s0);
+  NodeId ack = c.add_and(s1, ns0_in);
+  NodeId err = c.add_and(s1, s0);
+  // next = !go ? idle : (idle->req, req->ack, ack->err, err->err)
+  NodeId next_req = c.add_and(go, idle);
+  NodeId next_ack = c.add_and(go, req);
+  NodeId next_err_a = c.add_and(go, ack);
+  NodeId next_err_b = c.add_and(go, err);
+  NodeId next_err = c.add_or(next_err_a, next_err_b);
+  // s0' = req' | err'; s1' = ack' | err'.
+  m.next_state.push_back(c.add_or(next_req, next_err));
+  m.next_state.push_back(c.add_or(next_ack, next_err));
+  m.bad = err;
+  c.mark_output(m.bad, "bad");
+  m.outputs.push_back(m.bad);
+  m.num_primary_inputs = 1;
+  m.initial_state = {false, false};
+  (void)ngo;
+  return m;
+}
+
+SequentialCircuit lfsr_machine(int bits, std::uint64_t taps,
+                               std::uint64_t seed_state,
+                               std::uint64_t bad_state) {
+  SequentialCircuit m;
+  Circuit& c = m.comb;
+  c.set_name("lfsr" + std::to_string(bits));
+  m.num_primary_inputs = 0;
+  std::vector<NodeId> q(bits);
+  for (int i = 0; i < bits; ++i) q[i] = c.add_input("q" + std::to_string(i));
+  // Galois LFSR: out = q[0]; next[i] = q[i+1] ^ (taps[i] & out);
+  // next[bits-1] = out when tapped... use: next[i] = q[i+1] ⊕ (tap_i·q0),
+  // next[bits-1] = q0 if tapped else 0 — we use the Fibonacci form
+  // instead for simplicity: feedback = XOR of tapped bits, shift right.
+  NodeId fb = circuit::kNullNode;
+  for (int i = 0; i < bits; ++i) {
+    if ((taps >> i) & 1) {
+      fb = (fb == circuit::kNullNode) ? q[i] : c.add_xor(fb, q[i]);
+    }
+  }
+  if (fb == circuit::kNullNode) fb = c.add_const(false);
+  for (int i = 0; i + 1 < bits; ++i) m.next_state.push_back(c.add_buf(q[i + 1]));
+  m.next_state.push_back(c.add_buf(fb));
+  NodeId acc = circuit::kNullNode;
+  for (int i = 0; i < bits; ++i) {
+    NodeId bit = ((bad_state >> i) & 1) ? q[i] : c.add_not(q[i]);
+    acc = (acc == circuit::kNullNode) ? bit : c.add_and(acc, bit);
+  }
+  m.bad = acc;
+  c.mark_output(m.bad, "bad");
+  m.outputs.push_back(m.bad);
+  m.initial_state.resize(bits);
+  for (int i = 0; i < bits; ++i) m.initial_state[i] = (seed_state >> i) & 1;
+  return m;
+}
+
+}  // namespace sateda::bmc

@@ -1,0 +1,70 @@
+/// \file sequential.hpp
+/// \brief Synchronous sequential circuits for bounded model checking
+///        (paper §3, ref. [5]): a combinational core plus D-latches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace sateda::bmc {
+
+/// A Mealy-style sequential circuit.  The combinational core's inputs
+/// are the primary inputs followed by the present-state lines; the
+/// property node `bad` and the next-state functions are nodes of the
+/// core.  The property to check is AG ¬bad ("bad is never 1").
+struct SequentialCircuit {
+  circuit::Circuit comb;
+  int num_primary_inputs = 0;  ///< first PIs of comb
+  /// comb.inputs() = primary inputs ++ state inputs; hence:
+  int num_latches() const {
+    return static_cast<int>(comb.inputs().size()) - num_primary_inputs;
+  }
+  std::vector<circuit::NodeId> next_state;  ///< one node per latch
+  std::vector<bool> initial_state;          ///< one bit per latch
+  circuit::NodeId bad = circuit::kNullNode; ///< safety property monitor
+  /// Observable outputs (for sequential equivalence checking); the
+  /// built-in generators expose their monitor here.
+  std::vector<circuit::NodeId> outputs;
+
+  circuit::NodeId primary_input(int i) const { return comb.inputs()[i]; }
+  circuit::NodeId state_input(int i) const {
+    return comb.inputs()[num_primary_inputs + i];
+  }
+};
+
+/// Steps the machine: returns {next state, bad flag} for one tick.
+std::pair<std::vector<bool>, bool> step(const SequentialCircuit& m,
+                                        const std::vector<bool>& state,
+                                        const std::vector<bool>& inputs);
+
+/// Runs a full input trace from the initial state; returns true iff
+/// `bad` is asserted at some step (bounded safety violation witness).
+bool replay_reaches_bad(const SequentialCircuit& m,
+                        const std::vector<std::vector<bool>>& trace);
+
+// --- generators -------------------------------------------------------
+
+/// n-bit counter that increments when `en`=1; bad when the counter
+/// equals \p bad_value.  Shortest counterexample depth = bad_value
+/// (bad is sampled on the state, after that many increments).
+SequentialCircuit counter_machine(int bits, std::uint64_t bad_value);
+
+/// n-bit shift register; bad when all taps are 1.  Needs n consecutive
+/// 1 inputs: counterexample depth n.
+SequentialCircuit shift_register_machine(int bits);
+
+/// Two-phase handshake FSM with a protocol-violation monitor that a
+/// specific 3-step input sequence triggers; used as a small "control
+/// logic" style instance.
+SequentialCircuit handshake_machine();
+
+/// n-bit Galois LFSR with taps; bad when the register hits
+/// \p bad_state.  Input-free (autonomous): BMC must find the exact
+/// time step.
+SequentialCircuit lfsr_machine(int bits, std::uint64_t taps,
+                               std::uint64_t seed_state,
+                               std::uint64_t bad_state);
+
+}  // namespace sateda::bmc

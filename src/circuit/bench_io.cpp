@@ -1,0 +1,225 @@
+#include "circuit/bench_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace sateda::circuit {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+GateType parse_gate_type(std::string t) {
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char ch) { return std::toupper(ch); });
+  if (t == "AND") return GateType::kAnd;
+  if (t == "NAND") return GateType::kNand;
+  if (t == "OR") return GateType::kOr;
+  if (t == "NOR") return GateType::kNor;
+  if (t == "XOR") return GateType::kXor;
+  if (t == "XNOR") return GateType::kXnor;
+  if (t == "NOT" || t == "INV") return GateType::kNot;
+  if (t == "BUF" || t == "BUFF") return GateType::kBuf;
+  throw CircuitError("unknown BENCH gate type: " + t);
+}
+
+const char* gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::kAnd: return "AND";
+    case GateType::kNand: return "NAND";
+    case GateType::kOr: return "OR";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+    case GateType::kNot: return "NOT";
+    case GateType::kBuf: return "BUFF";
+    default: return nullptr;
+  }
+}
+
+struct GateLine {
+  std::string name;
+  GateType type;
+  std::vector<std::string> args;
+};
+
+}  // namespace
+
+Circuit read_bench(std::istream& in, const std::string& name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<GateLine> gates;
+  std::unordered_map<std::string, std::size_t> gate_of;  // name -> gates idx
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string s = trim(line);
+    if (s.empty() || s[0] == '#') continue;
+    auto err = [&](const std::string& what) {
+      throw CircuitError("BENCH line " + std::to_string(line_no) + ": " +
+                         what + ": " + s);
+    };
+    std::size_t eq = s.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      std::size_t lp = s.find('(');
+      std::size_t rp = s.rfind(')');
+      if (lp == std::string::npos || rp == std::string::npos || rp < lp) {
+        err("expected INPUT(...) or OUTPUT(...)");
+      }
+      std::string kind = trim(s.substr(0, lp));
+      std::transform(kind.begin(), kind.end(), kind.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      std::string arg = trim(s.substr(lp + 1, rp - lp - 1));
+      if (arg.empty()) err("empty signal name");
+      if (kind == "INPUT") {
+        input_names.push_back(arg);
+      } else if (kind == "OUTPUT") {
+        output_names.push_back(arg);
+      } else {
+        err("unknown directive");
+      }
+      continue;
+    }
+    GateLine g;
+    g.name = trim(s.substr(0, eq));
+    std::string rhs = trim(s.substr(eq + 1));
+    std::size_t lp = rhs.find('(');
+    std::size_t rp = rhs.rfind(')');
+    if (g.name.empty() || lp == std::string::npos || rp == std::string::npos ||
+        rp < lp) {
+      err("malformed gate definition");
+    }
+    g.type = parse_gate_type(trim(rhs.substr(0, lp)));
+    std::string args = rhs.substr(lp + 1, rp - lp - 1);
+    std::istringstream as(args);
+    std::string tok;
+    while (std::getline(as, tok, ',')) {
+      tok = trim(tok);
+      if (tok.empty()) err("empty gate argument");
+      g.args.push_back(tok);
+    }
+    if (g.args.empty()) err("gate has no arguments");
+    if (gate_of.count(g.name)) err("signal defined twice");
+    gate_of[g.name] = gates.size();
+    gates.push_back(std::move(g));
+  }
+
+  // Build, topologically: DFS from each gate through its arguments.
+  Circuit c(name);
+  std::unordered_map<std::string, NodeId> node_of;
+  for (const std::string& in_name : input_names) {
+    if (node_of.count(in_name)) {
+      throw CircuitError("BENCH: input declared twice: " + in_name);
+    }
+    node_of[in_name] = c.add_input(in_name);
+  }
+  // state: 0 = unvisited, 1 = on stack, 2 = done.
+  std::vector<char> state(gates.size(), 0);
+  // Iterative DFS frames: (gate index, next argument).
+  struct Frame {
+    std::size_t gi;
+    std::size_t arg;
+  };
+  for (std::size_t root = 0; root < gates.size(); ++root) {
+    if (state[root] == 2) continue;
+    std::vector<Frame> stack{{root, 0}};
+    state[root] = 1;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      GateLine& g = gates[f.gi];
+      if (f.arg < g.args.size()) {
+        const std::string& a = g.args[f.arg++];
+        if (node_of.count(a)) continue;  // already built (input or done gate)
+        auto it = gate_of.find(a);
+        if (it == gate_of.end()) {
+          throw CircuitError("BENCH: undefined signal: " + a);
+        }
+        if (state[it->second] == 1) {
+          throw CircuitError("BENCH: combinational cycle through " + a);
+        }
+        if (state[it->second] == 0) {
+          state[it->second] = 1;
+          stack.push_back({it->second, 0});
+        }
+        continue;
+      }
+      // All arguments resolved: create the gate.
+      std::vector<NodeId> fanins;
+      for (const std::string& a : g.args) fanins.push_back(node_of.at(a));
+      node_of[g.name] = c.add_gate(g.type, std::move(fanins), g.name);
+      state[f.gi] = 2;
+      stack.pop_back();
+    }
+  }
+  for (const std::string& out_name : output_names) {
+    auto it = node_of.find(out_name);
+    if (it == node_of.end()) {
+      throw CircuitError("BENCH: undefined output: " + out_name);
+    }
+    c.mark_output(it->second, "");
+  }
+  return c;
+}
+
+Circuit read_bench_string(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  return read_bench(in, name);
+}
+
+Circuit read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw CircuitError("cannot open BENCH file: " + path);
+  return read_bench(in, path);
+}
+
+void write_bench(std::ostream& out, const Circuit& c) {
+  auto node_name = [&](NodeId id) {
+    const std::string& n = c.node(id).name;
+    return n.empty() ? "n" + std::to_string(id) : n;
+  };
+  out << "# " << c.name() << " (" << c.inputs().size() << " inputs, "
+      << c.num_gates() << " gates, " << c.outputs().size() << " outputs)\n";
+  for (NodeId i : c.inputs()) out << "INPUT(" << node_name(i) << ")\n";
+  for (NodeId o : c.outputs()) out << "OUTPUT(" << node_name(o) << ")\n";
+  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
+    const Node& n = c.node(id);
+    if (n.type == GateType::kInput) continue;
+    if (n.type == GateType::kConst0 || n.type == GateType::kConst1) {
+      // BENCH has no constants; emit as a degenerate XOR/XNOR of an
+      // input with itself when one exists, otherwise fail loudly.
+      if (c.inputs().empty()) {
+        throw CircuitError("write_bench: constant node with no inputs");
+      }
+      const char* g = (n.type == GateType::kConst0) ? "XOR" : "XNOR";
+      std::string a = node_name(c.inputs()[0]);
+      out << node_name(id) << " = " << g << "(" << a << ", " << a << ")\n";
+      continue;
+    }
+    out << node_name(id) << " = " << gate_type_name(n.type) << "(";
+    for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+      if (i) out << ", ";
+      out << node_name(n.fanins[i]);
+    }
+    out << ")\n";
+  }
+}
+
+std::string to_bench_string(const Circuit& c) {
+  std::ostringstream out;
+  write_bench(out, c);
+  return out.str();
+}
+
+}  // namespace sateda::circuit

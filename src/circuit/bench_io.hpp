@@ -1,0 +1,40 @@
+/// \file bench_io.hpp
+/// \brief Reader/writer for the ISCAS "BENCH" netlist format — the
+///        interchange format of the testing community the paper's ATPG
+///        applications target.
+///
+/// Supported lines:
+///   # comment
+///   INPUT(name)
+///   OUTPUT(name)
+///   name = GATE(arg1, arg2, ...)     GATE in {AND, NAND, OR, NOR,
+///                                    XOR, XNOR, NOT, BUF, BUFF}
+/// Gates may be declared in any order; the reader topologically sorts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace sateda::circuit {
+
+/// Parses a BENCH netlist.  Throws CircuitError on syntax errors,
+/// undefined signals or combinational cycles.
+Circuit read_bench(std::istream& in, const std::string& name = "bench");
+
+/// Parses a BENCH netlist from a string.
+Circuit read_bench_string(const std::string& text,
+                          const std::string& name = "bench");
+
+/// Parses a BENCH file from disk.
+Circuit read_bench_file(const std::string& path);
+
+/// Serializes a circuit in BENCH format.  Unnamed nodes get synthetic
+/// names ("n<id>").
+void write_bench(std::ostream& out, const Circuit& c);
+
+/// Serializes to a BENCH string.
+std::string to_bench_string(const Circuit& c);
+
+}  // namespace sateda::circuit

@@ -1,0 +1,69 @@
+#include "circuit/dot.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace sateda::circuit {
+
+namespace {
+
+std::string node_label(const Circuit& c, NodeId id,
+                       const DotOptions& opts) {
+  const Node& n = c.node(id);
+  std::string label = n.name.empty() ? "n" + std::to_string(id) : n.name;
+  if (n.type != GateType::kInput) {
+    label += "\\n" + to_string(n.type);
+  }
+  if (static_cast<std::size_t>(id) < opts.values.size() &&
+      !opts.values[id].is_undef()) {
+    label += "\\n=" + to_string(opts.values[id]);
+  }
+  return label;
+}
+
+}  // namespace
+
+void write_dot(std::ostream& out, const Circuit& c, const DotOptions& opts) {
+  out << "digraph \"" << (c.name().empty() ? "circuit" : c.name())
+      << "\" {\n";
+  if (opts.left_to_right) out << "  rankdir=LR;\n";
+  std::vector<char> highlighted(c.num_nodes(), 0);
+  for (NodeId h : opts.highlight) highlighted[h] = 1;
+  std::vector<char> is_output(c.num_nodes(), 0);
+  for (NodeId o : c.outputs()) is_output[o] = 1;
+
+  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
+    const Node& n = c.node(id);
+    out << "  n" << id << " [label=\"" << node_label(c, id, opts) << "\"";
+    if (n.type == GateType::kInput) {
+      out << ", shape=box";
+    } else if (n.type == GateType::kConst0 || n.type == GateType::kConst1) {
+      out << ", shape=plaintext";
+    } else if (is_output[id]) {
+      out << ", shape=doublecircle";
+    } else {
+      out << ", shape=ellipse";
+    }
+    if (highlighted[id]) out << ", style=filled, fillcolor=gold";
+    out << "];\n";
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
+    for (NodeId f : c.node(id).fanins) {
+      out << "  n" << f << " -> n" << id;
+      if (highlighted[f] && highlighted[id]) {
+        out << " [color=goldenrod, penwidth=2]";
+      }
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+}
+
+std::string to_dot_string(const Circuit& c, const DotOptions& opts) {
+  std::ostringstream out;
+  write_dot(out, c, opts);
+  return out.str();
+}
+
+}  // namespace sateda::circuit

@@ -1,0 +1,29 @@
+/// \file dot.hpp
+/// \brief Graphviz DOT export for netlists — the debugging/reporting
+///        view every circuit tool grows sooner or later.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace sateda::circuit {
+
+struct DotOptions {
+  /// Optional per-node value annotation (e.g. a simulation result or a
+  /// SAT model); entries beyond the vector are unannotated.
+  std::vector<lbool> values;
+  /// Highlight these nodes (e.g. a sensitized path or a fault cone).
+  std::vector<NodeId> highlight;
+  bool left_to_right = true;
+};
+
+/// Writes \p c as a DOT digraph: inputs as boxes on the left, gates as
+/// ellipses labelled with their type, outputs double-circled.
+void write_dot(std::ostream& out, const Circuit& c, const DotOptions& opts = {});
+
+/// Serializes to a DOT string.
+std::string to_dot_string(const Circuit& c, const DotOptions& opts = {});
+
+}  // namespace sateda::circuit

@@ -1,0 +1,139 @@
+#include "circuit/encoder.hpp"
+
+namespace sateda::circuit {
+
+void encode_gate_clauses(GateType type, Var out, const std::vector<Var>& ins,
+                         CnfFormula& f) {
+  f.ensure_var(out);
+  const Var x = out;
+  const auto& w = ins;
+  switch (type) {
+    case GateType::kInput:
+      break;  // no constraint
+    case GateType::kConst0:
+      f.add_unit(neg(x));
+      break;
+    case GateType::kConst1:
+      f.add_unit(pos(x));
+      break;
+    case GateType::kBuf:
+      // x = BUFFER(w1): (x + ¬w1)·(¬x + w1)   [Table 1]
+      f.add_binary(pos(x), neg(w[0]));
+      f.add_binary(neg(x), pos(w[0]));
+      break;
+    case GateType::kNot:
+      // x = NOT(w1): (x + w1)·(¬x + ¬w1)   [Table 1]
+      f.add_binary(pos(x), pos(w[0]));
+      f.add_binary(neg(x), neg(w[0]));
+      break;
+    case GateType::kAnd: {
+      // x = AND(w…): (¬x + wi) ∀i and (x + Σ¬wi)   [Table 1]
+      std::vector<Lit> big{pos(x)};
+      for (Var wi : w) {
+        f.add_binary(neg(x), pos(wi));
+        big.push_back(neg(wi));
+      }
+      f.add_clause(std::move(big));
+      break;
+    }
+    case GateType::kNand: {
+      // x = NAND(w…): (x + wi) ∀i and (¬x + Σ¬wi)   [Table 1]
+      std::vector<Lit> big{neg(x)};
+      for (Var wi : w) {
+        f.add_binary(pos(x), pos(wi));
+        big.push_back(neg(wi));
+      }
+      f.add_clause(std::move(big));
+      break;
+    }
+    case GateType::kOr: {
+      // x = OR(w…): (x + ¬wi) ∀i and (¬x + Σwi)   [Table 1]
+      std::vector<Lit> big{neg(x)};
+      for (Var wi : w) {
+        f.add_binary(pos(x), neg(wi));
+        big.push_back(pos(wi));
+      }
+      f.add_clause(std::move(big));
+      break;
+    }
+    case GateType::kNor: {
+      // x = NOR(w…): (¬x + ¬wi) ∀i and (x + Σwi)   [Table 1]
+      std::vector<Lit> big{pos(x)};
+      for (Var wi : w) {
+        f.add_binary(neg(x), neg(wi));
+        big.push_back(pos(wi));
+      }
+      f.add_clause(std::move(big));
+      break;
+    }
+    case GateType::kXor:
+      // x = a ⊕ b: four ternary clauses.
+      f.add_ternary(neg(x), pos(w[0]), pos(w[1]));
+      f.add_ternary(neg(x), neg(w[0]), neg(w[1]));
+      f.add_ternary(pos(x), neg(w[0]), pos(w[1]));
+      f.add_ternary(pos(x), pos(w[0]), neg(w[1]));
+      break;
+    case GateType::kXnor:
+      f.add_ternary(pos(x), pos(w[0]), pos(w[1]));
+      f.add_ternary(pos(x), neg(w[0]), neg(w[1]));
+      f.add_ternary(neg(x), neg(w[0]), pos(w[1]));
+      f.add_ternary(neg(x), pos(w[0]), neg(w[1]));
+      break;
+  }
+}
+
+void encode_gate(const Circuit& c, NodeId id, CnfFormula& f) {
+  const Node& n = c.node(id);
+  std::vector<Var> ins(n.fanins.begin(), n.fanins.end());
+  encode_gate_clauses(n.type, id, ins, f);
+}
+
+std::size_t gate_clause_count(GateType type, std::size_t arity) {
+  switch (type) {
+    case GateType::kInput: return 0;
+    case GateType::kConst0:
+    case GateType::kConst1: return 1;
+    case GateType::kBuf:
+    case GateType::kNot: return 2;
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor: return arity + 1;
+    case GateType::kXor:
+    case GateType::kXnor: return 4;
+  }
+  return 0;
+}
+
+CnfFormula encode_circuit(const Circuit& c) {
+  CnfFormula f(static_cast<int>(c.num_nodes()));
+  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
+    encode_gate(c, id, f);
+  }
+  return f;
+}
+
+CnfFormula encode_cones(const Circuit& c, const std::vector<NodeId>& roots) {
+  std::vector<char> in_cone(c.num_nodes(), 0);
+  std::vector<NodeId> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (in_cone[n]) continue;
+    in_cone[n] = 1;
+    for (NodeId f : c.node(n).fanins) stack.push_back(f);
+  }
+  CnfFormula f(static_cast<int>(c.num_nodes()));
+  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
+    if (in_cone[id]) encode_gate(c, id, f);
+  }
+  return f;
+}
+
+CnfFormula encode_objective(const Circuit& c, NodeId node, bool value) {
+  CnfFormula f = encode_circuit(c);
+  f.add_unit(Lit(node, !value));
+  return f;
+}
+
+}  // namespace sateda::circuit

@@ -1,0 +1,49 @@
+/// \file encoder.hpp
+/// \brief Circuit → CNF translation (paper §2, Table 1, Figure 1).
+///
+/// "The CNF formula of a combinational circuit is the conjunction of
+/// the CNF formulas for each gate output, where the CNF formula of
+/// each gate denotes the valid input-output assignments to the gate."
+/// Node ids double as CNF variables, so the formula of a circuit with
+/// N nodes has exactly N variables and the mapping is the identity.
+#pragma once
+
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "circuit/netlist.hpp"
+
+namespace sateda::circuit {
+
+/// Emits the Table 1 clauses of a single gate (node \p id of \p c)
+/// into \p f.  Exposed separately so tests/benches can reproduce the
+/// table gate by gate.
+void encode_gate(const Circuit& c, NodeId id, CnfFormula& f);
+
+/// Table 1 clauses for a gate of \p type with output variable \p out
+/// and input variables \p ins — the low-level form used when gate
+/// copies live on variables other than their node ids (incremental
+/// ATPG, BMC unrolling).  kInput emits nothing; kConst0/kConst1 emit
+/// the unit clause.
+void encode_gate_clauses(GateType type, Var out, const std::vector<Var>& ins,
+                         CnfFormula& f);
+
+/// Number of clauses Table 1 assigns to a gate of \p type with
+/// \p arity inputs (inputs/constants included for completeness).
+std::size_t gate_clause_count(GateType type, std::size_t arity);
+
+/// CNF formula of the whole circuit: variable v ⇔ node v.
+CnfFormula encode_circuit(const Circuit& c);
+
+/// CNF formula of the transitive fanin cones of \p roots only — the
+/// instance-shrinking trick used when a property mentions few outputs.
+/// Nodes outside the cone contribute no clauses (their variables stay
+/// unconstrained).
+CnfFormula encode_cones(const Circuit& c, const std::vector<NodeId>& roots);
+
+/// The satisfiability problem (C, o) of §5: circuit CNF plus unit
+/// objective clauses requiring node \p node to take value \p value —
+/// e.g. Figure 1(b)'s "with property z = 0".
+CnfFormula encode_objective(const Circuit& c, NodeId node, bool value);
+
+}  // namespace sateda::circuit

@@ -1,0 +1,152 @@
+/// \file gate.hpp
+/// \brief Gate types of combinational netlists and their Boolean
+///        semantics (2-valued, 3-valued and 64-way bit-parallel).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+#include <string>
+
+#include "cnf/literal.hpp"
+
+namespace sateda::circuit {
+
+/// The "simple gates" of the paper's Table 1, plus primary inputs and
+/// constants.  AND/NAND/OR/NOR accept any arity ≥ 1; XOR/XNOR are
+/// 2-input; BUF/NOT are 1-input.
+enum class GateType : std::uint8_t {
+  kInput,
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+};
+
+inline std::string to_string(GateType t) {
+  switch (t) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kConst0: return "CONST0";
+    case GateType::kConst1: return "CONST1";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kNand: return "NAND";
+    case GateType::kOr: return "OR";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+  }
+  return "?";
+}
+
+/// True iff the gate output is the complement of the same gate without
+/// inversion (NAND/NOR/XNOR/NOT).
+constexpr bool is_inverting(GateType t) {
+  return t == GateType::kNand || t == GateType::kNor ||
+         t == GateType::kXnor || t == GateType::kNot;
+}
+
+/// 2-valued evaluation.  Takes a vector (not a span) because
+/// std::vector<bool> is bit-packed and cannot alias a bool span.
+inline bool eval_gate(GateType t, const std::vector<bool>& in) {
+  switch (t) {
+    case GateType::kInput: return false;  // inputs have no function
+    case GateType::kConst0: return false;
+    case GateType::kConst1: return true;
+    case GateType::kBuf: return in[0];
+    case GateType::kNot: return !in[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool v = true;
+      for (bool b : in) v = v && b;
+      return t == GateType::kAnd ? v : !v;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool v = false;
+      for (bool b : in) v = v || b;
+      return t == GateType::kOr ? v : !v;
+    }
+    case GateType::kXor: return in[0] != in[1];
+    case GateType::kXnor: return in[0] == in[1];
+  }
+  return false;
+}
+
+/// 64-way bit-parallel evaluation (one simulation pattern per bit) —
+/// the workhorse of the fault simulator.
+inline std::uint64_t eval_gate_word(GateType t,
+                                    std::span<const std::uint64_t> in) {
+  switch (t) {
+    case GateType::kInput: return 0;
+    case GateType::kConst0: return 0;
+    case GateType::kConst1: return ~std::uint64_t{0};
+    case GateType::kBuf: return in[0];
+    case GateType::kNot: return ~in[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      std::uint64_t v = ~std::uint64_t{0};
+      for (std::uint64_t b : in) v &= b;
+      return t == GateType::kAnd ? v : ~v;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      std::uint64_t v = 0;
+      for (std::uint64_t b : in) v |= b;
+      return t == GateType::kOr ? v : ~v;
+    }
+    case GateType::kXor: return in[0] ^ in[1];
+    case GateType::kXnor: return ~(in[0] ^ in[1]);
+  }
+  return 0;
+}
+
+/// 3-valued (ternary) evaluation with controlling-value shortcuts:
+/// e.g. AND with any input 0 is 0 regardless of Xs.
+inline lbool eval_gate_ternary(GateType t, std::span<const lbool> in) {
+  auto all_known = [&] {
+    for (lbool v : in) {
+      if (v.is_undef()) return false;
+    }
+    return true;
+  };
+  switch (t) {
+    case GateType::kInput: return l_undef;
+    case GateType::kConst0: return l_false;
+    case GateType::kConst1: return l_true;
+    case GateType::kBuf: return in[0];
+    case GateType::kNot: return ~in[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool flip = (t == GateType::kNand);
+      for (lbool v : in) {
+        if (v.is_false()) return lbool(flip);
+      }
+      return all_known() ? lbool(!flip) : l_undef;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool flip = (t == GateType::kNor);
+      for (lbool v : in) {
+        if (v.is_true()) return lbool(!flip);
+      }
+      return all_known() ? lbool(flip) : l_undef;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      if (in[0].is_undef() || in[1].is_undef()) return l_undef;
+      bool v = in[0].is_true() != in[1].is_true();
+      return lbool(t == GateType::kXor ? v : !v);
+    }
+  }
+  return l_undef;
+}
+
+}  // namespace sateda::circuit

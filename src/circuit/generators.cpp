@@ -1,0 +1,274 @@
+#include "circuit/generators.hpp"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace sateda::circuit {
+
+Circuit example_figure1() {
+  Circuit c("figure1");
+  NodeId x1 = c.add_input("x1");
+  NodeId x2 = c.add_input("x2");
+  NodeId x3 = c.add_input("x3");
+  NodeId w1 = c.add_and(x1, x2, "w1");
+  NodeId x = c.add_not(w1, "x");
+  NodeId w2 = c.add_or(x, x3, "w2");
+  NodeId z = c.add_and(w1, w2, "z");
+  c.mark_output(z, "z_out");
+  return c;
+}
+
+Circuit c17() {
+  Circuit c("c17");
+  NodeId g1 = c.add_input("1");
+  NodeId g2 = c.add_input("2");
+  NodeId g3 = c.add_input("3");
+  NodeId g6 = c.add_input("6");
+  NodeId g7 = c.add_input("7");
+  NodeId g10 = c.add_nand(g1, g3, "10");
+  NodeId g11 = c.add_nand(g3, g6, "11");
+  NodeId g16 = c.add_nand(g2, g11, "16");
+  NodeId g19 = c.add_nand(g11, g7, "19");
+  NodeId g22 = c.add_nand(g10, g16, "22");
+  NodeId g23 = c.add_nand(g16, g19, "23");
+  c.mark_output(g22, "out22");
+  c.mark_output(g23, "out23");
+  return c;
+}
+
+namespace {
+
+/// Full adder on (a, b, cin); returns {sum, cout}.
+std::pair<NodeId, NodeId> full_adder(Circuit& c, NodeId a, NodeId b,
+                                     NodeId cin) {
+  NodeId axb = c.add_xor(a, b);
+  NodeId sum = c.add_xor(axb, cin);
+  NodeId and1 = c.add_and(a, b);
+  NodeId and2 = c.add_and(axb, cin);
+  NodeId cout = c.add_or(and1, and2);
+  return {sum, cout};
+}
+
+}  // namespace
+
+Circuit ripple_carry_adder(int n) {
+  Circuit c("rca" + std::to_string(n));
+  std::vector<NodeId> a(n), b(n);
+  for (int i = 0; i < n; ++i) a[i] = c.add_input("a" + std::to_string(i));
+  for (int i = 0; i < n; ++i) b[i] = c.add_input("b" + std::to_string(i));
+  NodeId carry = c.add_input("cin");
+  for (int i = 0; i < n; ++i) {
+    auto [s, co] = full_adder(c, a[i], b[i], carry);
+    c.mark_output(s, "s" + std::to_string(i));
+    carry = co;
+  }
+  c.mark_output(carry, "cout");
+  return c;
+}
+
+Circuit array_multiplier(int n) {
+  Circuit c("mul" + std::to_string(n));
+  std::vector<NodeId> a(n), b(n);
+  for (int i = 0; i < n; ++i) a[i] = c.add_input("a" + std::to_string(i));
+  for (int i = 0; i < n; ++i) b[i] = c.add_input("b" + std::to_string(i));
+  // Row-by-row carry-save accumulation of partial products.
+  std::vector<NodeId> acc;  // current partial sum, low bit first
+  for (int j = 0; j < n; ++j) {
+    std::vector<NodeId> pp(n);
+    for (int i = 0; i < n; ++i) pp[i] = c.add_and(a[i], b[j]);
+    if (j == 0) {
+      acc = pp;
+      continue;
+    }
+    // Add pp (shifted by j) into acc: the low j bits of acc are final.
+    std::vector<NodeId> next;
+    NodeId carry = kNullNode;
+    for (int i = 0; i < n; ++i) {
+      NodeId lhs = (j + i < static_cast<int>(acc.size()))
+                       ? acc[j + i]
+                       : kNullNode;
+      NodeId sum, co;
+      if (lhs == kNullNode && carry == kNullNode) {
+        sum = pp[i];
+        co = kNullNode;
+      } else if (lhs == kNullNode) {
+        sum = c.add_xor(pp[i], carry);
+        co = c.add_and(pp[i], carry);
+      } else if (carry == kNullNode) {
+        sum = c.add_xor(lhs, pp[i]);
+        co = c.add_and(lhs, pp[i]);
+      } else {
+        auto [s, co2] = full_adder(c, lhs, pp[i], carry);
+        sum = s;
+        co = co2;
+      }
+      next.push_back(sum);
+      carry = co;
+    }
+    // Splice: acc = acc[0..j) ++ next ++ carry.
+    acc.resize(j);
+    for (NodeId nid : next) acc.push_back(nid);
+    if (carry != kNullNode) acc.push_back(carry);
+  }
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    c.mark_output(acc[i], "p" + std::to_string(i));
+  }
+  return c;
+}
+
+Circuit equality_comparator(int n) {
+  Circuit c("eq" + std::to_string(n));
+  std::vector<NodeId> bits;
+  std::vector<NodeId> a(n), b(n);
+  for (int i = 0; i < n; ++i) a[i] = c.add_input("a" + std::to_string(i));
+  for (int i = 0; i < n; ++i) b[i] = c.add_input("b" + std::to_string(i));
+  for (int i = 0; i < n; ++i) bits.push_back(c.add_xnor(a[i], b[i]));
+  // Balanced AND tree.
+  while (bits.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
+      next.push_back(c.add_and(bits[i], bits[i + 1]));
+    }
+    if (bits.size() % 2) next.push_back(bits.back());
+    bits = std::move(next);
+  }
+  c.mark_output(bits[0], "eq");
+  return c;
+}
+
+Circuit parity_tree(int n) {
+  Circuit c("parity" + std::to_string(n));
+  std::vector<NodeId> bits;
+  for (int i = 0; i < n; ++i) {
+    bits.push_back(c.add_input("x" + std::to_string(i)));
+  }
+  while (bits.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
+      next.push_back(c.add_xor(bits[i], bits[i + 1]));
+    }
+    if (bits.size() % 2) next.push_back(bits.back());
+    bits = std::move(next);
+  }
+  c.mark_output(bits[0], "parity");
+  return c;
+}
+
+Circuit mux_tree(int sel_bits) {
+  Circuit c("mux" + std::to_string(sel_bits));
+  const int n_data = 1 << sel_bits;
+  std::vector<NodeId> data(n_data), sel(sel_bits), nsel(sel_bits);
+  for (int i = 0; i < n_data; ++i) {
+    data[i] = c.add_input("d" + std::to_string(i));
+  }
+  for (int i = 0; i < sel_bits; ++i) {
+    sel[i] = c.add_input("s" + std::to_string(i));
+  }
+  for (int i = 0; i < sel_bits; ++i) nsel[i] = c.add_not(sel[i]);
+  std::vector<NodeId> layer = data;
+  for (int level = 0; level < sel_bits; ++level) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i < layer.size(); i += 2) {
+      NodeId lo = c.add_and(layer[i], nsel[level]);
+      NodeId hi = c.add_and(layer[i + 1], sel[level]);
+      next.push_back(c.add_or(lo, hi));
+    }
+    layer = std::move(next);
+  }
+  c.mark_output(layer[0], "y");
+  return c;
+}
+
+Circuit alu(int n) {
+  Circuit c("alu" + std::to_string(n));
+  std::vector<NodeId> a(n), b(n);
+  for (int i = 0; i < n; ++i) a[i] = c.add_input("a" + std::to_string(i));
+  for (int i = 0; i < n; ++i) b[i] = c.add_input("b" + std::to_string(i));
+  NodeId op0 = c.add_input("op0");
+  NodeId op1 = c.add_input("op1");
+  NodeId nop0 = c.add_not(op0);
+  NodeId nop1 = c.add_not(op1);
+  // Opcode one-hot lines: 00=ADD, 01=AND, 10=OR, 11=XOR.
+  NodeId is_add = c.add_and(nop1, nop0);
+  NodeId is_and = c.add_and(nop1, op0);
+  NodeId is_or = c.add_and(op1, nop0);
+  NodeId is_xor = c.add_and(op1, op0);
+  NodeId carry = c.add_const(false, "c0");
+  std::vector<NodeId> add_bits(n);
+  for (int i = 0; i < n; ++i) {
+    auto [s, co] = full_adder(c, a[i], b[i], carry);
+    add_bits[i] = s;
+    carry = co;
+  }
+  for (int i = 0; i < n; ++i) {
+    NodeId and_i = c.add_and(a[i], b[i]);
+    NodeId or_i = c.add_or(a[i], b[i]);
+    NodeId xor_i = c.add_xor(a[i], b[i]);
+    NodeId t0 = c.add_and(add_bits[i], is_add);
+    NodeId t1 = c.add_and(and_i, is_and);
+    NodeId t2 = c.add_and(or_i, is_or);
+    NodeId t3 = c.add_and(xor_i, is_xor);
+    NodeId r01 = c.add_or(t0, t1);
+    NodeId r23 = c.add_or(t2, t3);
+    c.mark_output(c.add_or(r01, r23), "r" + std::to_string(i));
+  }
+  c.mark_output(c.add_and(carry, is_add), "carry");
+  return c;
+}
+
+Circuit random_circuit(int num_inputs, int num_gates, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Circuit c("rand_i" + std::to_string(num_inputs) + "_g" +
+            std::to_string(num_gates) + "_s" + std::to_string(seed));
+  std::vector<NodeId> pool;
+  for (int i = 0; i < num_inputs; ++i) {
+    pool.push_back(c.add_input("x" + std::to_string(i)));
+  }
+  const GateType types[] = {GateType::kAnd, GateType::kNand, GateType::kOr,
+                            GateType::kNor, GateType::kXor, GateType::kNot};
+  std::uniform_int_distribution<int> type_pick(0, 5);
+  // Locality bias: prefer recently created nodes as fanins so the DAG
+  // has depth, like synthesized logic, instead of being bushy.
+  auto pick_node = [&](NodeId exclude) {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    if (pool.size() == 1) return pool[0];  // cannot honour exclude
+    while (true) {
+      double r = u(rng);
+      // Quadratic bias toward the end of the pool.
+      std::size_t idx = static_cast<std::size_t>(
+          (1.0 - r * r) * static_cast<double>(pool.size()));
+      if (idx >= pool.size()) idx = pool.size() - 1;
+      NodeId cand = pool[idx];
+      if (cand != exclude) return cand;
+    }
+  };
+  for (int g = 0; g < num_gates; ++g) {
+    GateType t = types[type_pick(rng)];
+    NodeId n;
+    if (t == GateType::kNot) {
+      n = c.add_not(pick_node(kNullNode));
+    } else {
+      NodeId f1 = pick_node(kNullNode);
+      NodeId f2 = pick_node(f1);
+      n = c.add_gate(t, {f1, f2});
+    }
+    pool.push_back(n);
+  }
+  // Outputs: every node with no fanout.
+  std::vector<char> has_fanout(c.num_nodes(), 0);
+  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
+    for (NodeId f : c.node(id).fanins) has_fanout[f] = 1;
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
+    if (!has_fanout[id] && !c.is_input(id)) {
+      c.mark_output(id, "o" + std::to_string(id));
+    }
+  }
+  if (c.outputs().empty() && num_gates > 0) {
+    c.mark_output(static_cast<NodeId>(c.num_nodes() - 1), "o_last");
+  }
+  return c;
+}
+
+}  // namespace sateda::circuit

@@ -1,0 +1,53 @@
+/// \file generators.hpp
+/// \brief Parameterized circuit generators.
+///
+/// The paper's applications were evaluated on industrial and ISCAS
+/// netlists which are not redistributable here; these generators
+/// provide synthetic circuits exercising the same code paths (CNF
+/// encoding, justification, fault activation/propagation, timing
+/// sensitization).  Every generator is deterministic in its
+/// parameters/seed, so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/netlist.hpp"
+
+namespace sateda::circuit {
+
+/// Reconstruction of the paper's Figure 1 example circuit (the scanned
+/// figure is partly illegible; this is a faithful-in-spirit small
+/// circuit with an internal NOT/AND structure and output z, used with
+/// the property z = 0 throughout the tests).
+Circuit example_figure1();
+
+/// The ISCAS-85 c17 benchmark: 5 inputs, 6 NAND2 gates, 2 outputs.
+Circuit c17();
+
+/// n-bit ripple-carry adder: inputs a[0..n), b[0..n), cin; outputs
+/// s[0..n), cout.
+Circuit ripple_carry_adder(int n);
+
+/// n x n array multiplier: inputs a[0..n), b[0..n); outputs p[0..2n).
+Circuit array_multiplier(int n);
+
+/// n-bit equality comparator: output eq = (a == b).
+Circuit equality_comparator(int n);
+
+/// n-input XOR parity tree: output is the parity of the inputs.
+Circuit parity_tree(int n);
+
+/// 2^sel_bits-to-1 multiplexer built from AND/OR/NOT gates.
+Circuit mux_tree(int sel_bits);
+
+/// Tiny ALU slice: two n-bit operands and a 2-bit opcode selecting
+/// among ADD / AND / OR / XOR; n+1 outputs (result + carry).
+Circuit alu(int n);
+
+/// Random combinational DAG: \p num_inputs primary inputs followed by
+/// \p num_gates gates with types drawn from {AND,NAND,OR,NOR,XOR,NOT}
+/// and fanins biased toward recent nodes (locality, like real logic).
+/// Nodes without fanout become primary outputs.
+Circuit random_circuit(int num_inputs, int num_gates, std::uint64_t seed);
+
+}  // namespace sateda::circuit

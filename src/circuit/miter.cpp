@@ -1,0 +1,60 @@
+#include "circuit/miter.hpp"
+
+namespace sateda::circuit {
+
+std::vector<NodeId> append_copy(Circuit& dst, const Circuit& src,
+                                const std::vector<NodeId>& input_map) {
+  if (input_map.size() != src.inputs().size()) {
+    throw CircuitError("append_copy: input_map size mismatch");
+  }
+  std::vector<NodeId> map(src.num_nodes(), kNullNode);
+  for (std::size_t i = 0; i < src.inputs().size(); ++i) {
+    map[src.inputs()[i]] = input_map[i];
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(src.num_nodes()); ++id) {
+    const Node& n = src.node(id);
+    if (n.type == GateType::kInput) continue;
+    if (n.type == GateType::kConst0 || n.type == GateType::kConst1) {
+      map[id] = dst.add_const(n.type == GateType::kConst1);
+      continue;
+    }
+    std::vector<NodeId> fanins;
+    fanins.reserve(n.fanins.size());
+    for (NodeId f : n.fanins) fanins.push_back(map[f]);
+    map[id] = dst.add_gate(n.type, std::move(fanins));
+  }
+  return map;
+}
+
+Circuit build_miter(const Circuit& a, const Circuit& b) {
+  if (a.inputs().size() != b.inputs().size()) {
+    throw CircuitError("miter: input count mismatch");
+  }
+  if (a.outputs().size() != b.outputs().size()) {
+    throw CircuitError("miter: output count mismatch");
+  }
+  Circuit m("miter_" + a.name() + "_" + b.name());
+  std::vector<NodeId> shared;
+  for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+    shared.push_back(m.add_input("i" + std::to_string(i)));
+  }
+  std::vector<NodeId> map_a = append_copy(m, a, shared);
+  std::vector<NodeId> map_b = append_copy(m, b, shared);
+  std::vector<NodeId> diffs;
+  for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+    diffs.push_back(
+        m.add_xor(map_a[a.outputs()[i]], map_b[b.outputs()[i]]));
+  }
+  while (diffs.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < diffs.size(); i += 2) {
+      next.push_back(m.add_or(diffs[i], diffs[i + 1]));
+    }
+    if (diffs.size() % 2) next.push_back(diffs.back());
+    diffs = std::move(next);
+  }
+  m.mark_output(diffs[0], "miter");
+  return m;
+}
+
+}  // namespace sateda::circuit

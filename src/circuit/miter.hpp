@@ -1,0 +1,25 @@
+/// \file miter.hpp
+/// \brief Miter construction for equivalence checking (paper §3) and
+///        general circuit composition helpers.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace sateda::circuit {
+
+/// Copies every gate of \p src into \p dst, with src's primary inputs
+/// replaced by \p input_map (one existing dst node per src input).
+/// Returns the dst node for each src node.  The workhorse behind
+/// miters (two copies, shared inputs) and BMC time-frame unrolling.
+std::vector<NodeId> append_copy(Circuit& dst, const Circuit& src,
+                                const std::vector<NodeId>& input_map);
+
+/// Builds the miter of two circuits with identical interfaces: shared
+/// primary inputs feed both copies, each output pair is XORed, and the
+/// OR of all XORs is the single output.  The miter output is
+/// satisfiable to 1 iff the circuits are NOT equivalent.
+Circuit build_miter(const Circuit& a, const Circuit& b);
+
+}  // namespace sateda::circuit

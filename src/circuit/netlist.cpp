@@ -1,0 +1,112 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+
+namespace sateda::circuit {
+
+NodeId Circuit::add_node(Node n) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  if (!n.name.empty()) {
+    auto [it, inserted] = by_name_.emplace(n.name, id);
+    if (!inserted) throw CircuitError("duplicate node name: " + n.name);
+  }
+  nodes_.push_back(std::move(n));
+  fanouts_.clear();  // invalidate cache
+  return id;
+}
+
+NodeId Circuit::add_input(const std::string& name) {
+  NodeId id = add_node({GateType::kInput, {}, name});
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Circuit::add_const(bool value, const std::string& name) {
+  return add_node({value ? GateType::kConst1 : GateType::kConst0, {}, name});
+}
+
+NodeId Circuit::add_gate(GateType type, std::vector<NodeId> fanins,
+                         const std::string& name) {
+  if (type == GateType::kInput || type == GateType::kConst0 ||
+      type == GateType::kConst1) {
+    throw CircuitError("add_gate cannot create inputs or constants");
+  }
+  const std::size_t arity = fanins.size();
+  if ((type == GateType::kBuf || type == GateType::kNot) && arity != 1) {
+    throw CircuitError("BUF/NOT require exactly one fanin");
+  }
+  if ((type == GateType::kXor || type == GateType::kXnor) && arity != 2) {
+    throw CircuitError("XOR/XNOR require exactly two fanins");
+  }
+  if (arity < 1) throw CircuitError("gate requires at least one fanin");
+  for (NodeId f : fanins) {
+    if (f < 0 || f >= static_cast<NodeId>(nodes_.size())) {
+      throw CircuitError("fanin does not exist (topological order violated)");
+    }
+  }
+  ++num_gates_;
+  return add_node({type, std::move(fanins), name});
+}
+
+void Circuit::mark_output(NodeId node, const std::string& name) {
+  if (node < 0 || node >= static_cast<NodeId>(nodes_.size())) {
+    throw CircuitError("output node does not exist");
+  }
+  if (!name.empty()) {
+    auto [it, inserted] = by_name_.emplace(name, node);
+    if (!inserted && it->second != node) {
+      throw CircuitError("output name collides: " + name);
+    }
+  }
+  outputs_.push_back(node);
+  output_names_.push_back(name);
+}
+
+NodeId Circuit::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNullNode : it->second;
+}
+
+const std::vector<NodeId>& Circuit::fanouts(NodeId id) const {
+  if (fanouts_.size() != nodes_.size()) {
+    fanouts_.assign(nodes_.size(), {});
+    for (NodeId n = 0; n < static_cast<NodeId>(nodes_.size()); ++n) {
+      for (NodeId f : nodes_[n].fanins) fanouts_[f].push_back(n);
+    }
+  }
+  return fanouts_[id];
+}
+
+std::vector<int> Circuit::levels() const {
+  std::vector<int> level(nodes_.size(), 0);
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes_.size()); ++n) {
+    int max_in = -1;
+    for (NodeId f : nodes_[n].fanins) max_in = std::max(max_in, level[f]);
+    level[n] = nodes_[n].fanins.empty() ? 0 : max_in + 1;
+  }
+  return level;
+}
+
+int Circuit::depth() const {
+  std::vector<int> lv = levels();
+  return lv.empty() ? 0 : *std::max_element(lv.begin(), lv.end());
+}
+
+void Circuit::check() const {
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes_.size()); ++n) {
+    const Node& node = nodes_[n];
+    for (NodeId f : node.fanins) {
+      if (f < 0 || f >= n) {
+        throw CircuitError("node " + std::to_string(n) +
+                           " violates topological order");
+      }
+    }
+  }
+  for (NodeId o : outputs_) {
+    if (o < 0 || o >= static_cast<NodeId>(nodes_.size())) {
+      throw CircuitError("dangling output");
+    }
+  }
+}
+
+}  // namespace sateda::circuit

@@ -1,0 +1,138 @@
+/// \file netlist.hpp
+/// \brief Gate-level combinational netlist (paper §2, Figure 1).
+///
+/// Nodes are stored in topological order by construction: every gate's
+/// fanins must already exist when the gate is added.  This invariant
+/// makes simulation, encoding and levelization single linear passes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace sateda::circuit {
+
+/// Dense node identifier; doubles as the CNF variable of the node
+/// under encode_circuit().
+using NodeId = std::int32_t;
+inline constexpr NodeId kNullNode = -1;
+
+/// Raised on structural errors (unknown names, bad arity, ...).
+class CircuitError : public std::runtime_error {
+ public:
+  explicit CircuitError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One node: a primary input, constant or gate.
+struct Node {
+  GateType type = GateType::kInput;
+  std::vector<NodeId> fanins;
+  std::string name;  ///< optional; unique when non-empty
+};
+
+/// A combinational circuit C (paper §2): a DAG of simple gates with
+/// designated primary inputs and outputs.
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // --- construction --------------------------------------------------
+
+  /// Adds a primary input.
+  NodeId add_input(const std::string& name = "");
+
+  /// Adds a constant node.
+  NodeId add_const(bool value, const std::string& name = "");
+
+  /// Adds a gate of \p type over \p fanins (which must already exist).
+  /// Checks arity: BUF/NOT take 1 input, XOR/XNOR take 2, the rest ≥ 1.
+  NodeId add_gate(GateType type, std::vector<NodeId> fanins,
+                  const std::string& name = "");
+
+  /// Convenience builders.
+  NodeId add_not(NodeId a, const std::string& name = "") {
+    return add_gate(GateType::kNot, {a}, name);
+  }
+  NodeId add_buf(NodeId a, const std::string& name = "") {
+    return add_gate(GateType::kBuf, {a}, name);
+  }
+  NodeId add_and(NodeId a, NodeId b, const std::string& name = "") {
+    return add_gate(GateType::kAnd, {a, b}, name);
+  }
+  NodeId add_or(NodeId a, NodeId b, const std::string& name = "") {
+    return add_gate(GateType::kOr, {a, b}, name);
+  }
+  NodeId add_nand(NodeId a, NodeId b, const std::string& name = "") {
+    return add_gate(GateType::kNand, {a, b}, name);
+  }
+  NodeId add_nor(NodeId a, NodeId b, const std::string& name = "") {
+    return add_gate(GateType::kNor, {a, b}, name);
+  }
+  NodeId add_xor(NodeId a, NodeId b, const std::string& name = "") {
+    return add_gate(GateType::kXor, {a, b}, name);
+  }
+  NodeId add_xnor(NodeId a, NodeId b, const std::string& name = "") {
+    return add_gate(GateType::kXnor, {a, b}, name);
+  }
+
+  /// Marks \p node as a primary output.
+  void mark_output(NodeId node, const std::string& name = "");
+
+  // --- access ----------------------------------------------------------
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_gates() const { return num_gates_; }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  /// Name given to the i-th output at mark_output time (may be empty).
+  const std::string& output_name(std::size_t i) const {
+    return output_names_[i];
+  }
+
+  bool is_input(NodeId id) const {
+    return nodes_[id].type == GateType::kInput;
+  }
+
+  /// Looks up a node by name; kNullNode if absent.
+  NodeId find(const std::string& name) const;
+
+  /// FO(x) of the paper §5: fanout lists, built lazily.
+  const std::vector<NodeId>& fanouts(NodeId id) const;
+
+  /// Logic level of each node (inputs at level 0); the circuit depth
+  /// is max+0.  Unit gate delays — used by the delay module as the
+  /// topological delay bound.
+  std::vector<int> levels() const;
+
+  /// Depth under unit gate delays.
+  int depth() const;
+
+  /// Throws CircuitError unless every output exists, arities are legal
+  /// and the topological invariant holds.
+  void check() const;
+
+ private:
+  NodeId add_node(Node n);
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<std::string> output_names_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::size_t num_gates_ = 0;
+  mutable std::vector<std::vector<NodeId>> fanouts_;  ///< lazy cache
+};
+
+}  // namespace sateda::circuit

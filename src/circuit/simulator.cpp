@@ -1,0 +1,69 @@
+#include "circuit/simulator.hpp"
+
+#include <cassert>
+
+namespace sateda::circuit {
+
+std::vector<bool> simulate(const Circuit& c, const std::vector<bool>& inputs) {
+  assert(inputs.size() == c.inputs().size());
+  std::vector<bool> value(c.num_nodes(), false);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    value[c.inputs()[i]] = inputs[i];
+  }
+  std::vector<bool> in_vals;
+  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
+    const Node& n = c.node(id);
+    if (n.type == GateType::kInput) continue;
+    in_vals.clear();
+    for (NodeId f : n.fanins) in_vals.push_back(value[f]);
+    value[id] = eval_gate(n.type, in_vals);
+  }
+  return value;
+}
+
+std::vector<bool> simulate_outputs(const Circuit& c,
+                                   const std::vector<bool>& inputs) {
+  std::vector<bool> value = simulate(c, inputs);
+  std::vector<bool> out;
+  out.reserve(c.outputs().size());
+  for (NodeId o : c.outputs()) out.push_back(value[o]);
+  return out;
+}
+
+std::vector<lbool> simulate_ternary(const Circuit& c,
+                                    const std::vector<lbool>& inputs) {
+  assert(inputs.size() == c.inputs().size());
+  std::vector<lbool> value(c.num_nodes(), l_undef);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    value[c.inputs()[i]] = inputs[i];
+  }
+  std::vector<lbool> in_vals;
+  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
+    const Node& n = c.node(id);
+    if (n.type == GateType::kInput) continue;
+    in_vals.clear();
+    for (NodeId f : n.fanins) in_vals.push_back(value[f]);
+    value[id] = eval_gate_ternary(n.type, in_vals);
+  }
+  return value;
+}
+
+std::vector<std::uint64_t> simulate_words(
+    const Circuit& c, const std::vector<std::uint64_t>& inputs) {
+  assert(inputs.size() == c.inputs().size());
+  std::vector<std::uint64_t> value(c.num_nodes(), 0);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    value[c.inputs()[i]] = inputs[i];
+  }
+  std::vector<std::uint64_t> in_vals;
+  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
+    const Node& n = c.node(id);
+    if (n.type == GateType::kInput) continue;
+    in_vals.clear();
+    for (NodeId f : n.fanins) in_vals.push_back(value[f]);
+    value[id] = eval_gate_word(n.type, in_vals);
+  }
+  return value;
+}
+
+}  // namespace sateda::circuit

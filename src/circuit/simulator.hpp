@@ -1,0 +1,32 @@
+/// \file simulator.hpp
+/// \brief Logic simulation: 2-valued, 3-valued and 64-way parallel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/literal.hpp"
+#include "circuit/netlist.hpp"
+
+namespace sateda::circuit {
+
+/// Simulates the circuit for one input pattern (indexed like
+/// Circuit::inputs()).  Returns the value of every node.
+std::vector<bool> simulate(const Circuit& c, const std::vector<bool>& inputs);
+
+/// Output values only, in Circuit::outputs() order.
+std::vector<bool> simulate_outputs(const Circuit& c,
+                                   const std::vector<bool>& inputs);
+
+/// 3-valued simulation for a partial input pattern — used to verify
+/// the §5 claim that justification-frontier solutions leave don't-care
+/// inputs unspecified yet still determine the objective.
+std::vector<lbool> simulate_ternary(const Circuit& c,
+                                    const std::vector<lbool>& inputs);
+
+/// 64 patterns at once: inputs[i] packs 64 values of input i, one per
+/// bit.  Returns packed values per node.
+std::vector<std::uint64_t> simulate_words(
+    const Circuit& c, const std::vector<std::uint64_t>& inputs);
+
+}  // namespace sateda::circuit

@@ -1,0 +1,169 @@
+#include "circuit/structural_hash.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace sateda::circuit {
+
+namespace {
+
+bool is_symmetric(GateType t) {
+  switch (t) {
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Circuit strash(const Circuit& c, StrashStats* stats) {
+  StrashStats local;
+  local.gates_before = c.num_gates();
+
+  Circuit out(c.name() + "_strash");
+  // old node -> new node; parallel constant tag for folded nodes.
+  std::vector<NodeId> map(c.num_nodes(), kNullNode);
+  std::vector<lbool> konst(c.num_nodes(), l_undef);  // by *old* id
+  NodeId const0 = kNullNode, const1 = kNullNode;
+  auto get_const = [&](bool v) {
+    NodeId& slot = v ? const1 : const0;
+    if (slot == kNullNode) slot = out.add_const(v);
+    return slot;
+  };
+
+  std::map<std::tuple<int, std::vector<NodeId>>, NodeId> cache;
+  auto hashed_gate = [&](GateType t, std::vector<NodeId> fanins) {
+    if (is_symmetric(t)) std::sort(fanins.begin(), fanins.end());
+    auto key = std::make_tuple(static_cast<int>(t), fanins);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+      ++local.merged;
+      return it->second;
+    }
+    NodeId n = out.add_gate(t, std::get<1>(key));
+    cache.emplace(std::move(key), n);
+    return n;
+  };
+
+  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
+    const Node& n = c.node(id);
+    switch (n.type) {
+      case GateType::kInput:
+        map[id] = out.add_input(n.name);
+        continue;
+      case GateType::kConst0:
+      case GateType::kConst1:
+        konst[id] = lbool(n.type == GateType::kConst1);
+        map[id] = get_const(n.type == GateType::kConst1);
+        continue;
+      default:
+        break;
+    }
+    // Gather fanins with their constant tags.
+    std::vector<NodeId> fi;
+    std::vector<lbool> fk;
+    for (NodeId f : n.fanins) {
+      fi.push_back(map[f]);
+      fk.push_back(konst[f]);
+    }
+    auto set_const = [&](bool v) {
+      konst[id] = lbool(v);
+      map[id] = get_const(v);
+      ++local.constants_folded;
+    };
+    auto alias = [&](std::size_t i) {
+      // Output equals fanin i.
+      map[id] = fi[i];
+      konst[id] = fk[i];
+      ++local.buffers_folded;
+    };
+
+    switch (n.type) {
+      case GateType::kBuf:
+        alias(0);
+        continue;
+      case GateType::kNot:
+        if (!fk[0].is_undef()) {
+          set_const(fk[0].is_false());
+        } else {
+          map[id] = hashed_gate(GateType::kNot, {fi[0]});
+        }
+        continue;
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        const bool and_like =
+            (n.type == GateType::kAnd || n.type == GateType::kNand);
+        const bool inv = is_inverting(n.type);
+        // Controlling value: 0 for AND-like, 1 for OR-like.
+        bool controlled = false;
+        std::vector<NodeId> live;
+        for (std::size_t i = 0; i < fi.size(); ++i) {
+          if (fk[i].is_undef()) {
+            live.push_back(fi[i]);
+          } else if (fk[i].is_true() != and_like) {
+            controlled = true;  // controlling constant present
+          }
+          // non-controlling constants are simply dropped
+        }
+        if (controlled) {
+          set_const(and_like ? inv : !inv);
+        } else if (live.empty()) {
+          set_const(and_like ? !inv : inv);
+        } else if (live.size() == 1) {
+          if (inv) {
+            map[id] = hashed_gate(GateType::kNot, {live[0]});
+          } else {
+            map[id] = live[0];
+            ++local.buffers_folded;
+          }
+        } else {
+          map[id] = hashed_gate(n.type, std::move(live));
+        }
+        continue;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        const bool inv = (n.type == GateType::kXnor);
+        if (!fk[0].is_undef() && !fk[1].is_undef()) {
+          bool v = (fk[0].is_true() != fk[1].is_true()) != inv;
+          set_const(v);
+        } else if (!fk[0].is_undef() || !fk[1].is_undef()) {
+          std::size_t ci = fk[0].is_undef() ? 1 : 0;
+          std::size_t oi = 1 - ci;
+          bool flip = fk[ci].is_true() != inv;
+          if (flip) {
+            map[id] = hashed_gate(GateType::kNot, {fi[oi]});
+          } else {
+            alias(oi);
+          }
+        } else if (fi[0] == fi[1]) {
+          set_const(inv);  // x ⊕ x = 0
+        } else {
+          map[id] = hashed_gate(n.type, {fi[0], fi[1]});
+        }
+        continue;
+      }
+      default:
+        continue;  // unreachable
+    }
+  }
+
+  for (std::size_t i = 0; i < c.outputs().size(); ++i) {
+    out.mark_output(map[c.outputs()[i]], c.output_name(i));
+  }
+  local.gates_after = out.num_gates();
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace sateda::circuit

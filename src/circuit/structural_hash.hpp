@@ -1,0 +1,34 @@
+/// \file structural_hash.hpp
+/// \brief Structural hashing (strashing): merging structurally
+///        identical gates — the standard front-end simplification used
+///        before SAT-based equivalence checking (paper §3, [16, 26]).
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace sateda::circuit {
+
+struct StrashStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t merged = 0;       ///< gates replaced by an existing twin
+  std::size_t buffers_folded = 0;
+  std::size_t constants_folded = 0;
+
+  std::string summary() const {
+    return "gates " + std::to_string(gates_before) + " -> " +
+           std::to_string(gates_after) + " (merged=" + std::to_string(merged) +
+           ", buf=" + std::to_string(buffers_folded) +
+           ", const=" + std::to_string(constants_folded) + ")";
+  }
+};
+
+/// Rebuilds \p c merging duplicate gates (same type, same canonical
+/// fanin list), folding buffers through, and propagating constants
+/// through AND/OR/NAND/NOR/XOR gates.  Functionally equivalent to the
+/// input; primary inputs and output order are preserved.
+Circuit strash(const Circuit& c, StrashStats* stats = nullptr);
+
+}  // namespace sateda::circuit

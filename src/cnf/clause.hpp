@@ -1,0 +1,101 @@
+/// \file clause.hpp
+/// \brief A disjunction of literals plus the bookkeeping used by the
+///        CDCL engine (activity, learnt flag, deletion mark).
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cnf/literal.hpp"
+
+namespace sateda {
+
+/// A clause: the disjunction of one or more literals.
+///
+/// The literal order is not semantically meaningful but the solver
+/// keeps its two watched literals in positions 0 and 1.
+class Clause {
+ public:
+  Clause() = default;
+  explicit Clause(std::vector<Lit> lits, bool learnt = false)
+      : lits_(std::move(lits)), learnt_(learnt) {}
+  Clause(std::initializer_list<Lit> lits, bool learnt = false)
+      : lits_(lits), learnt_(learnt) {}
+
+  std::size_t size() const { return lits_.size(); }
+  bool empty() const { return lits_.empty(); }
+
+  Lit& operator[](std::size_t i) { return lits_[i]; }
+  Lit operator[](std::size_t i) const { return lits_[i]; }
+
+  auto begin() { return lits_.begin(); }
+  auto end() { return lits_.end(); }
+  auto begin() const { return lits_.begin(); }
+  auto end() const { return lits_.end(); }
+
+  std::span<const Lit> literals() const { return lits_; }
+  std::vector<Lit>& mutable_literals() { return lits_; }
+
+  /// True iff this clause was derived by conflict analysis or another
+  /// learning mechanism (as opposed to belonging to the input formula).
+  bool learnt() const { return learnt_; }
+  void set_learnt(bool l) { learnt_ = l; }
+
+  /// Bump-decayed activity used by the clause-deletion policy.
+  double activity() const { return activity_; }
+  void set_activity(double a) { activity_ = a; }
+
+  /// Literal block distance (number of distinct decision levels) at
+  /// learning time; a secondary quality metric for deletion.
+  int lbd() const { return lbd_; }
+  void set_lbd(int l) { lbd_ = l; }
+
+  /// Marked clauses are garbage and skipped until compaction.
+  bool deleted() const { return deleted_; }
+  void mark_deleted() { deleted_ = true; }
+
+  /// True iff the clause contains \p l.
+  bool contains(Lit l) const {
+    return std::find(lits_.begin(), lits_.end(), l) != lits_.end();
+  }
+
+  /// Canonicalizes: sorts literals and removes duplicates.  Returns
+  /// false if the clause is a tautology (contains l and ~l) — the
+  /// caller should then discard it.
+  bool normalize() {
+    std::sort(lits_.begin(), lits_.end());
+    lits_.erase(std::unique(lits_.begin(), lits_.end()), lits_.end());
+    for (std::size_t i = 0; i + 1 < lits_.size(); ++i) {
+      if (lits_[i].var() == lits_[i + 1].var()) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<Lit> lits_;
+  double activity_ = 0.0;
+  int lbd_ = 0;
+  bool learnt_ = false;
+  bool deleted_ = false;
+};
+
+/// Renders a clause as "(x1 + -x3 + x7)".
+inline std::string to_string(const Clause& c) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i) s += " + ";
+    s += to_string(c[i]);
+  }
+  return s + ")";
+}
+
+/// Reference to a clause inside a ClauseDatabase / Solver.
+/// Dense index; kNullClause means "no clause" (e.g. a decision has no
+/// antecedent).
+using ClauseRef = std::int32_t;
+inline constexpr ClauseRef kNullClause = -1;
+
+}  // namespace sateda

@@ -1,0 +1,104 @@
+#include "cnf/dimacs.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace sateda {
+
+namespace {
+
+Lit lit_from_dimacs(long code) {
+  Var v = static_cast<Var>((code < 0 ? -code : code) - 1);
+  return Lit(v, code < 0);
+}
+
+}  // namespace
+
+CnfFormula read_dimacs(std::istream& in) {
+  CnfFormula f;
+  bool saw_header = false;
+  std::string token;
+  std::vector<Lit> current;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    ls >> token;
+    if (!ls) continue;
+    if (token == "c" || token[0] == 'c') continue;  // comment
+    if (token == "p") {
+      std::string fmt;
+      long nv = 0, nc = 0;
+      ls >> fmt >> nv >> nc;
+      if (!ls || fmt != "cnf" || nv < 0) {
+        throw DimacsError("malformed DIMACS header: " + line);
+      }
+      if (nv > 0) f.ensure_var(static_cast<Var>(nv - 1));
+      saw_header = true;
+      continue;
+    }
+    // Clause data; the first token is already consumed.
+    std::istringstream rest(line);
+    long code;
+    while (rest >> code) {
+      if (code == 0) {
+        f.add_clause(Clause(current));
+        current.clear();
+      } else {
+        current.push_back(lit_from_dimacs(code));
+      }
+    }
+    if (!rest.eof()) {
+      throw DimacsError("malformed DIMACS clause line: " + line);
+    }
+  }
+  if (!current.empty()) {
+    throw DimacsError("DIMACS input ends inside a clause (missing 0)");
+  }
+  if (!saw_header && f.num_clauses() == 0 && f.num_vars() == 0) {
+    // Empty input is a legal (trivially satisfiable) formula.
+  }
+  return f;
+}
+
+CnfFormula read_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DimacsError("cannot open DIMACS file: " + path);
+  return read_dimacs(in);
+}
+
+CnfFormula read_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const CnfFormula& f,
+                  const std::string& comment) {
+  if (!comment.empty()) {
+    std::istringstream cs(comment);
+    std::string line;
+    while (std::getline(cs, line)) out << "c " << line << "\n";
+  }
+  out << "p cnf " << f.num_vars() << " " << f.num_clauses() << "\n";
+  for (const Clause& c : f) {
+    for (Lit l : c) {
+      out << (l.negative() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+    }
+    out << "0\n";
+  }
+}
+
+void write_dimacs_file(const std::string& path, const CnfFormula& f,
+                       const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) throw DimacsError("cannot open file for writing: " + path);
+  write_dimacs(out, f, comment);
+}
+
+std::string to_dimacs_string(const CnfFormula& f) {
+  std::ostringstream out;
+  write_dimacs(out, f);
+  return out.str();
+}
+
+}  // namespace sateda

@@ -1,0 +1,44 @@
+/// \file dimacs.hpp
+/// \brief DIMACS CNF reader/writer — the interchange format used by
+///        every SAT package the paper surveys (GRASP, SATO, rel_sat).
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "cnf/formula.hpp"
+
+namespace sateda {
+
+/// Raised on malformed DIMACS input.
+class DimacsError : public std::runtime_error {
+ public:
+  explicit DimacsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses a DIMACS CNF stream.  Accepts comment lines ("c ..."), one
+/// "p cnf <vars> <clauses>" header and whitespace-separated
+/// 0-terminated clauses.  Variables beyond the header count grow the
+/// formula; a mismatching clause count is tolerated (many generators
+/// get it wrong) but a malformed token raises DimacsError.
+CnfFormula read_dimacs(std::istream& in);
+
+/// Parses a DIMACS CNF file from disk.
+CnfFormula read_dimacs_file(const std::string& path);
+
+/// Parses DIMACS from a string (convenient for tests).
+CnfFormula read_dimacs_string(const std::string& text);
+
+/// Writes \p f in DIMACS CNF format, with an optional leading comment.
+void write_dimacs(std::ostream& out, const CnfFormula& f,
+                  const std::string& comment = "");
+
+/// Writes \p f to a file in DIMACS CNF format.
+void write_dimacs_file(const std::string& path, const CnfFormula& f,
+                       const std::string& comment = "");
+
+/// Serializes to a DIMACS string.
+std::string to_dimacs_string(const CnfFormula& f);
+
+}  // namespace sateda

@@ -1,0 +1,87 @@
+#include "cnf/formula.hpp"
+
+#include <cassert>
+
+namespace sateda {
+
+std::size_t CnfFormula::num_literals() const {
+  std::size_t n = 0;
+  for (const Clause& c : clauses_) n += c.size();
+  return n;
+}
+
+void CnfFormula::add_clause(Clause c) {
+  for (Lit l : c) {
+    assert(l.is_defined());
+    ensure_var(l.var());
+  }
+  clauses_.push_back(std::move(c));
+}
+
+void CnfFormula::append(const CnfFormula& other) {
+  ensure_var(other.num_vars() - 1);
+  for (const Clause& c : other.clauses_) clauses_.push_back(c);
+}
+
+lbool CnfFormula::evaluate(const std::vector<lbool>& assignment) const {
+  bool any_undef = false;
+  for (const Clause& c : clauses_) {
+    bool sat = false;
+    bool undef = false;
+    for (Lit l : c) {
+      lbool v = static_cast<std::size_t>(l.var()) < assignment.size()
+                    ? assignment[l.var()]
+                    : l_undef;
+      if ((v ^ l.negative()).is_true()) {
+        sat = true;
+        break;
+      }
+      if (v.is_undef()) undef = true;
+    }
+    if (sat) continue;
+    if (!undef) return l_false;
+    any_undef = true;
+  }
+  return any_undef ? l_undef : l_true;
+}
+
+bool CnfFormula::is_satisfied_by(const std::vector<bool>& assignment) const {
+  for (const Clause& c : clauses_) {
+    bool sat = false;
+    for (Lit l : c) {
+      bool v = assignment[l.var()];
+      if (v != l.negative()) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+std::size_t CnfFormula::normalize() {
+  std::size_t removed = 0;
+  std::vector<Clause> kept;
+  kept.reserve(clauses_.size());
+  for (Clause& c : clauses_) {
+    if (c.normalize()) {
+      kept.push_back(std::move(c));
+    } else {
+      ++removed;
+    }
+  }
+  clauses_ = std::move(kept);
+  return removed;
+}
+
+std::string CnfFormula::to_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (i) s += " · ";
+    s += sateda::to_string(clauses_[i]);
+  }
+  return s;
+}
+
+}  // namespace sateda

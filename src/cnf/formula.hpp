@@ -1,0 +1,83 @@
+/// \file formula.hpp
+/// \brief Container for a CNF formula: a conjunction of clauses over a
+///        set of variables (paper §2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cnf/clause.hpp"
+#include "cnf/literal.hpp"
+
+namespace sateda {
+
+/// A conjunctive normal form formula φ = ω₁ · ω₂ · … · ωₘ over n
+/// variables (paper §2).  Purely a value type: building, composing and
+/// evaluating formulas.  Solving lives in sat::Solver.
+class CnfFormula {
+ public:
+  CnfFormula() = default;
+  explicit CnfFormula(int num_vars) : num_vars_(num_vars) {}
+
+  /// Number of variables; variables are 0..num_vars()-1.
+  int num_vars() const { return num_vars_; }
+
+  /// Number of clauses (including any empty clause).
+  std::size_t num_clauses() const { return clauses_.size(); }
+
+  /// Total number of literal occurrences.
+  std::size_t num_literals() const;
+
+  /// Allocates a fresh variable and returns it.
+  Var new_var() { return num_vars_++; }
+
+  /// Ensures variables 0..v exist.
+  void ensure_var(Var v) {
+    if (v >= num_vars_) num_vars_ = v + 1;
+  }
+
+  /// Appends a clause. Literals may mention new variables; the
+  /// variable count grows to cover them.
+  void add_clause(Clause c);
+  void add_clause(std::initializer_list<Lit> lits) { add_clause(Clause(lits)); }
+  void add_clause(std::vector<Lit> lits) { add_clause(Clause(std::move(lits))); }
+
+  /// Convenience: unary / binary / ternary clauses.
+  void add_unit(Lit a) { add_clause({a}); }
+  void add_binary(Lit a, Lit b) { add_clause({a, b}); }
+  void add_ternary(Lit a, Lit b, Lit c) { add_clause({a, b, c}); }
+
+  const Clause& clause(std::size_t i) const { return clauses_[i]; }
+  Clause& clause(std::size_t i) { return clauses_[i]; }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  auto begin() const { return clauses_.begin(); }
+  auto end() const { return clauses_.end(); }
+
+  /// Conjoins another formula over the same variable space.
+  void append(const CnfFormula& other);
+
+  /// Evaluates the formula under a (complete or partial) assignment.
+  /// Returns l_true if every clause has a satisfied literal, l_false
+  /// if some clause has all literals falsified, l_undef otherwise.
+  lbool evaluate(const std::vector<lbool>& assignment) const;
+
+  /// True iff \p assignment (indexed by variable; true/false) satisfies
+  /// every clause.  Requires a complete assignment.
+  bool is_satisfied_by(const std::vector<bool>& assignment) const;
+
+  /// Removes tautological clauses and duplicate literals in place.
+  /// Returns the number of clauses removed.
+  std::size_t normalize();
+
+  /// Renders the whole formula as a product of sums.
+  std::string to_string() const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace sateda

@@ -1,0 +1,186 @@
+#include "cnf/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace sateda {
+
+namespace {
+
+/// Picks k distinct variables out of [0, num_vars).
+std::vector<Var> pick_distinct(int num_vars, int k, Rng& rng) {
+  assert(k <= num_vars);
+  std::vector<Var> vars;
+  vars.reserve(k);
+  std::uniform_int_distribution<Var> dist(0, num_vars - 1);
+  while (static_cast<int>(vars.size()) < k) {
+    Var v = dist(rng);
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  }
+  return vars;
+}
+
+}  // namespace
+
+CnfFormula random_ksat(int num_vars, int num_clauses, int k,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  CnfFormula f(num_vars);
+  std::bernoulli_distribution coin(0.5);
+  for (int i = 0; i < num_clauses; ++i) {
+    std::vector<Lit> lits;
+    for (Var v : pick_distinct(num_vars, k, rng)) {
+      lits.push_back(Lit(v, coin(rng)));
+    }
+    f.add_clause(std::move(lits));
+  }
+  return f;
+}
+
+CnfFormula random_3sat(int num_vars, double ratio, std::uint64_t seed) {
+  return random_ksat(num_vars, static_cast<int>(num_vars * ratio), 3, seed);
+}
+
+CnfFormula pigeonhole(int holes) {
+  const int pigeons = holes + 1;
+  CnfFormula f(pigeons * holes);
+  auto var = [holes](int p, int h) { return static_cast<Var>(p * holes + h); };
+  // Every pigeon sits in some hole.
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < holes; ++h) c.push_back(pos(var(p, h)));
+    f.add_clause(std::move(c));
+  }
+  // No two pigeons share a hole.
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        f.add_binary(neg(var(p1, h)), neg(var(p2, h)));
+      }
+    }
+  }
+  return f;
+}
+
+CnfFormula equivalence_chain(int num_vars, bool inconsistent,
+                             int extra_clauses, std::uint64_t seed) {
+  assert(num_vars >= 2);
+  Rng rng(seed);
+  CnfFormula f(num_vars);
+  for (Var v = 0; v + 1 < num_vars; ++v) {
+    // v ≡ v+1 as (v + ¬(v+1)) · (¬v + (v+1)).
+    f.add_binary(pos(v), neg(v + 1));
+    f.add_binary(neg(v), pos(v + 1));
+  }
+  if (inconsistent) {
+    // Close the chain with x0 ≡ ¬x(n-1).
+    f.add_binary(pos(0), pos(num_vars - 1));
+    f.add_binary(neg(0), neg(num_vars - 1));
+  }
+  std::bernoulli_distribution coin(0.5);
+  for (int i = 0; i < extra_clauses; ++i) {
+    std::vector<Lit> lits;
+    for (Var v : [&] {
+           std::vector<Var> vs;
+           std::uniform_int_distribution<Var> dist(0, num_vars - 1);
+           while (vs.size() < 3) {
+             Var v = dist(rng);
+             if (std::find(vs.begin(), vs.end(), v) == vs.end())
+               vs.push_back(v);
+           }
+           return vs;
+         }()) {
+      lits.push_back(Lit(v, coin(rng)));
+    }
+    // Keep extra clauses satisfiable under all-equal assignments by
+    // ensuring at least one positive and one negative literal... not
+    // required; random ternary clauses are fine for the bench.
+    f.add_clause(std::move(lits));
+  }
+  return f;
+}
+
+CnfFormula parity_chain(int num_vars, bool target) {
+  assert(num_vars >= 1);
+  // Helper variable s_i = x_0 ⊕ … ⊕ x_i.  s_0 = x_0; final unit forces
+  // s_{n-1} = target.
+  CnfFormula f(num_vars);
+  Var prev = 0;  // s_0 is x_0 itself
+  for (int i = 1; i < num_vars; ++i) {
+    Var s = f.new_var();
+    Var x = static_cast<Var>(i);
+    // s = prev ⊕ x  (4 ternary clauses).
+    f.add_ternary(neg(s), pos(prev), pos(x));
+    f.add_ternary(neg(s), neg(prev), neg(x));
+    f.add_ternary(pos(s), neg(prev), pos(x));
+    f.add_ternary(pos(s), pos(prev), neg(x));
+    prev = s;
+  }
+  f.add_unit(Lit(prev, !target));
+  return f;
+}
+
+CnfFormula random_graph_coloring(int nodes, double edge_prob, int colors,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  CnfFormula f(nodes * colors);
+  auto var = [colors](int n, int c) { return static_cast<Var>(n * colors + c); };
+  // Each node gets at least one color...
+  for (int n = 0; n < nodes; ++n) {
+    std::vector<Lit> c;
+    for (int k = 0; k < colors; ++k) c.push_back(pos(var(n, k)));
+    f.add_clause(std::move(c));
+    // ...and at most one.
+    for (int k1 = 0; k1 < colors; ++k1) {
+      for (int k2 = k1 + 1; k2 < colors; ++k2) {
+        f.add_binary(neg(var(n, k1)), neg(var(n, k2)));
+      }
+    }
+  }
+  std::bernoulli_distribution edge(edge_prob);
+  for (int a = 0; a < nodes; ++a) {
+    for (int b = a + 1; b < nodes; ++b) {
+      if (!edge(rng)) continue;
+      for (int k = 0; k < colors; ++k) {
+        f.add_binary(neg(var(a, k)), neg(var(b, k)));
+      }
+    }
+  }
+  return f;
+}
+
+CnfFormula planted_ksat(int num_vars, int num_clauses, int k,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::bernoulli_distribution coin(0.5);
+  std::vector<bool> hidden(num_vars);
+  for (int v = 0; v < num_vars; ++v) hidden[v] = coin(rng);
+  CnfFormula f(num_vars);
+  std::uniform_int_distribution<int> pick_pos(0, k - 1);
+  for (int i = 0; i < num_clauses; ++i) {
+    std::vector<Lit> lits;
+    for (Var v : pick_distinct(num_vars, k, rng)) {
+      lits.push_back(Lit(v, coin(rng)));
+    }
+    // Force at least one literal to agree with the hidden assignment.
+    bool satisfied = false;
+    for (Lit l : lits) {
+      if (hidden[l.var()] != l.negative()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      int j = pick_pos(rng);
+      Var v = lits[j].var();
+      lits[j] = Lit(v, !hidden[v]);
+    }
+    f.add_clause(std::move(lits));
+  }
+  return f;
+}
+
+}  // namespace sateda

@@ -1,0 +1,61 @@
+/// \file generators.hpp
+/// \brief Parameterized CNF instance generators used by tests and by
+///        the benchmark harnesses.
+///
+/// The paper evaluates SAT techniques on EDA-derived and random
+/// instances; we have no bundled industrial benchmarks, so these
+/// generators provide reproducible synthetic families covering the
+/// regimes the paper's claims concern: random k-SAT near/off the phase
+/// transition, provably-UNSAT combinatorial families (pigeonhole),
+/// and equivalence-rich formulas for equivalency reasoning (§6).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "cnf/formula.hpp"
+
+namespace sateda {
+
+/// Deterministic RNG type used across the toolkit so every experiment
+/// is reproducible from a seed.
+using Rng = std::mt19937_64;
+
+/// Uniform random k-SAT: \p num_clauses clauses of \p k distinct
+/// variables each, polarities fair coins.  At clause/variable ratio
+/// ~4.26 (k=3) instances sit at the phase transition.
+CnfFormula random_ksat(int num_vars, int num_clauses, int k, std::uint64_t seed);
+
+/// Random 3-SAT at a given clause/variable ratio.
+CnfFormula random_3sat(int num_vars, double ratio, std::uint64_t seed);
+
+/// Pigeonhole principle PHP(n+1, n): n+1 pigeons, n holes.  Provably
+/// unsatisfiable and exponentially hard for resolution — the classic
+/// stress test for learning/backtracking (paper §4.1).
+CnfFormula pigeonhole(int holes);
+
+/// A chain of variable equivalences x0 ≡ x1 ≡ … ≡ x(n-1) expressed as
+/// binary equivalence clauses (paper §6), optionally closed
+/// inconsistently (x0 ≡ ¬x(n-1)) to yield UNSAT, plus \p extra_clauses
+/// random ternary clauses over the chain variables.  Equivalency
+/// reasoning collapses the chain to a single variable.
+CnfFormula equivalence_chain(int num_vars, bool inconsistent,
+                             int extra_clauses, std::uint64_t seed);
+
+/// XOR-chain ("parity") formula: x0 ⊕ x1 ⊕ … ⊕ x(n-1) = target, each
+/// XOR Tseitin-expanded over chained helper variables.  Hard for plain
+/// DPLL without learning.
+CnfFormula parity_chain(int num_vars, bool target);
+
+/// Graph-coloring CNF on a random graph G(n, p): can graph be colored
+/// with \p colors colors?  A covering-flavoured structured family.
+CnfFormula random_graph_coloring(int nodes, double edge_prob, int colors,
+                                 std::uint64_t seed);
+
+/// A satisfiable "hidden solution" instance: clauses are random but
+/// each is forced to be satisfied by a hidden planted assignment.
+/// Useful for benchmarking restarts on satisfiable instances (§6).
+CnfFormula planted_ksat(int num_vars, int num_clauses, int k,
+                        std::uint64_t seed);
+
+}  // namespace sateda

@@ -1,0 +1,145 @@
+/// \file literal.hpp
+/// \brief Core propositional types: variables, literals and the ternary
+///        logic value used throughout the toolkit.
+///
+/// The representation follows the conventions of modern CDCL solvers:
+/// a variable is a dense non-negative index and a literal packs the
+/// variable together with its polarity into a single integer
+/// (2*var + sign).  This makes literals directly usable as array
+/// indices for watch lists and assignment maps.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sateda {
+
+/// A propositional variable. Variables are dense indices starting at 0.
+using Var = std::int32_t;
+
+/// Sentinel for "no variable".
+inline constexpr Var kNullVar = -1;
+
+/// A propositional literal: a variable or its complement.
+///
+/// Encoded as 2*var + sign, where sign==1 denotes the negative
+/// (complemented) literal.  The encoding is stable and dense so a
+/// literal can index watch lists directly via index().
+class Lit {
+ public:
+  /// Constructs the undefined literal.
+  constexpr Lit() : code_(-2) {}
+
+  /// Constructs a literal on \p v, negative iff \p negative.
+  constexpr Lit(Var v, bool negative) : code_(2 * v + (negative ? 1 : 0)) {
+    assert(v >= 0);
+  }
+
+  /// Rebuilds a literal from its dense index (inverse of index()).
+  static constexpr Lit from_index(std::int32_t idx) {
+    Lit l;
+    l.code_ = idx;
+    return l;
+  }
+
+  /// The variable this literal mentions.
+  constexpr Var var() const { return code_ >> 1; }
+
+  /// True iff this is the complemented (negative) literal.
+  constexpr bool negative() const { return (code_ & 1) != 0; }
+
+  /// True iff this is the positive literal.
+  constexpr bool positive() const { return (code_ & 1) == 0; }
+
+  /// Dense index in [0, 2*num_vars), suitable for array indexing.
+  constexpr std::int32_t index() const { return code_; }
+
+  /// True iff this literal is defined (not default-constructed).
+  constexpr bool is_defined() const { return code_ >= 0; }
+
+  /// The complement literal.
+  constexpr Lit operator~() const { return from_index(code_ ^ 1); }
+
+  /// XORs the polarity: `lit ^ true` flips, `lit ^ false` is identity.
+  constexpr Lit operator^(bool flip) const {
+    return from_index(code_ ^ (flip ? 1 : 0));
+  }
+
+  friend constexpr auto operator<=>(Lit a, Lit b) = default;
+
+ private:
+  std::int32_t code_;
+};
+
+/// Sentinel literal meaning "undefined".
+inline constexpr Lit kUndefLit{};
+
+/// Positive literal on variable \p v.
+constexpr Lit pos(Var v) { return Lit(v, false); }
+
+/// Negative literal on variable \p v.
+constexpr Lit neg(Var v) { return Lit(v, true); }
+
+/// Ternary logic value: true, false or unassigned.
+///
+/// The encoding (0=true, 1=false, 2/3=undef) permits branch-free
+/// complement (XOR with 1) and comparison.
+class lbool {
+ public:
+  constexpr lbool() : v_(2) {}
+  explicit constexpr lbool(bool b) : v_(b ? 0 : 1) {}
+
+  constexpr bool is_true() const { return v_ == 0; }
+  constexpr bool is_false() const { return v_ == 1; }
+  constexpr bool is_undef() const { return v_ > 1; }
+
+  /// Logical complement; undef stays undef.
+  constexpr lbool operator~() const {
+    lbool r;
+    r.v_ = static_cast<std::uint8_t>(v_ ^ (v_ > 1 ? 0 : 1));
+    return r;
+  }
+
+  /// XOR with a Boolean; undef stays undef.
+  constexpr lbool operator^(bool flip) const {
+    lbool r;
+    r.v_ = static_cast<std::uint8_t>(v_ ^ ((v_ > 1 || !flip) ? 0 : 1));
+    return r;
+  }
+
+  friend constexpr bool operator==(lbool a, lbool b) {
+    return (a.v_ > 1 && b.v_ > 1) || a.v_ == b.v_;
+  }
+
+ private:
+  std::uint8_t v_;
+};
+
+inline constexpr lbool l_true{true};
+inline constexpr lbool l_false{false};
+inline constexpr lbool l_undef{};
+
+/// Renders a literal in DIMACS-style notation ("-3", "7").
+inline std::string to_string(Lit l) {
+  if (!l.is_defined()) return "<undef>";
+  return (l.negative() ? "-" : "") + std::to_string(l.var() + 1);
+}
+
+/// Renders a ternary value ("0", "1", "X").
+inline std::string to_string(lbool v) {
+  if (v.is_true()) return "1";
+  if (v.is_false()) return "0";
+  return "X";
+}
+
+}  // namespace sateda
+
+template <>
+struct std::hash<sateda::Lit> {
+  std::size_t operator()(sateda::Lit l) const noexcept {
+    return std::hash<std::int32_t>()(l.index());
+  }
+};

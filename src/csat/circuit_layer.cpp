@@ -1,0 +1,276 @@
+#include "csat/circuit_layer.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <cassert>
+
+#include "csat/justify.hpp"
+
+namespace sateda::csat {
+
+using circuit::GateType;
+using circuit::NodeId;
+
+CircuitLayer::CircuitLayer(const circuit::Circuit& circuit,
+                           CircuitLayerOptions opts)
+    : circuit_(circuit), opts_(opts) {
+  const std::size_t n = circuit.num_nodes();
+  t0_.assign(n, 0);
+  t1_.assign(n, 0);
+  u0_.resize(n);
+  u1_.resize(n);
+  value_.assign(n, l_undef);
+  unjustified_.assign(n, 0);
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    auto [v0, v1] = justify_thresholds(circuit.node(id).type,
+                                       static_cast<int>(circuit.node(id).fanins.size()));
+    u0_[id] = v0;
+    u1_[id] = v1;
+  }
+}
+
+bool CircuitLayer::node_justified(NodeId n, bool value) const {
+  return value ? t1_[n] >= u1_[n] : t0_[n] >= u0_[n];
+}
+
+void CircuitLayer::mark(NodeId n) {
+  if (unjustified_[n]) return;
+  unjustified_[n] = 1;
+  ++num_unjustified_;
+  frontier_stack_.push_back(n);
+  stats_.max_frontier =
+      std::max<std::int64_t>(stats_.max_frontier, num_unjustified_);
+}
+
+void CircuitLayer::unmark(NodeId n) {
+  if (!unjustified_[n]) return;
+  unjustified_[n] = 0;
+  --num_unjustified_;
+}
+
+void CircuitLayer::refresh(NodeId n) {
+  if (value_[n].is_undef()) return;
+  if (node_justified(n, value_[n].is_true())) {
+    unmark(n);
+  } else {
+    mark(n);
+  }
+}
+
+void CircuitLayer::on_assign(Lit l, int /*level*/) {
+  const NodeId x = l.var();
+  if (x >= static_cast<NodeId>(circuit_.num_nodes())) return;  // helper var
+  const bool v = !l.negative();
+  value_[x] = lbool(v);
+  // The node itself may need justification (Table 2 check).
+  refresh(x);
+  // Its fanout gates gain an assigned input (Table 3 update).
+  for (NodeId g : circuit_.fanouts(x)) {
+    auto [d0, d1] = justify_counter_delta(circuit_.node(g).type, v);
+    t0_[g] += d0;
+    t1_[g] += d1;
+    refresh(g);
+  }
+}
+
+void CircuitLayer::on_unassign(Lit l) {
+  const NodeId x = l.var();
+  if (x >= static_cast<NodeId>(circuit_.num_nodes())) return;
+  const bool v = !l.negative();
+  value_[x] = l_undef;
+  unmark(x);
+  for (NodeId g : circuit_.fanouts(x)) {
+    auto [d0, d1] = justify_counter_delta(circuit_.node(g).type, v);
+    t0_[g] -= d0;
+    t1_[g] -= d1;
+    refresh(g);
+  }
+}
+
+bool CircuitLayer::satisfied(const sat::Solver& /*solver*/) {
+  if (!opts_.frontier_termination) return false;
+  if (num_unjustified_ == 0) {
+    ++stats_.frontier_terminations;
+    return true;
+  }
+  return false;
+}
+
+Lit CircuitLayer::choose_branch(const sat::Solver& solver) {
+  if (!opts_.backtrace_decisions ||
+      opts_.backtrace_mode == BacktraceMode::kNone) {
+    return kUndefLit;
+  }
+  // Find a live frontier node (lazy stack, compacted as we go).
+  NodeId start = circuit::kNullNode;
+  while (!frontier_stack_.empty()) {
+    NodeId cand = frontier_stack_.back();
+    if (unjustified_[cand]) {
+      start = cand;
+      break;
+    }
+    frontier_stack_.pop_back();
+  }
+  if (start == circuit::kNullNode) return kUndefLit;
+
+  ++stats_.backtraces;
+  return opts_.backtrace_mode == BacktraceMode::kMultiple
+             ? multiple_backtrace(solver, start)
+             : simple_backtrace(solver, start);
+}
+
+Lit CircuitLayer::simple_backtrace(const sat::Solver& solver, NodeId start) {
+  // Simple backtracing [Abramovici et al.]: walk from the unjustified
+  // node toward the inputs through unassigned nodes, tracking the
+  // objective value across gate inversions.
+  NodeId node = start;
+  bool objective = value_[node].is_true();
+  for (int guard = 0; guard < static_cast<int>(circuit_.num_nodes()); ++guard) {
+    const circuit::Node& n = circuit_.node(node);
+    // Desired value on the chosen fanin.
+    bool fanin_obj;
+    switch (n.type) {
+      case GateType::kBuf: fanin_obj = objective; break;
+      case GateType::kNot: fanin_obj = !objective; break;
+      case GateType::kAnd: fanin_obj = objective; break;         // 1→all 1, 0→one 0
+      case GateType::kNand: fanin_obj = !objective; break;       // 1→one 0, 0→all 1
+      case GateType::kOr: fanin_obj = objective; break;          // 0→all 0, 1→one 1
+      case GateType::kNor: fanin_obj = !objective; break;
+      case GateType::kXor:
+      case GateType::kXnor: fanin_obj = objective; break;        // either works
+      default: return kUndefLit;  // reached an input/constant (shouldn't)
+    }
+    // Pick the first unassigned fanin.
+    NodeId next = circuit::kNullNode;
+    for (NodeId f : n.fanins) {
+      if (solver.value(Var{f}).is_undef()) {
+        next = f;
+        break;
+      }
+    }
+    if (next == circuit::kNullNode) {
+      // Every fanin assigned yet unjustified: propagation-consistent
+      // states cannot reach here for simple gates; bail to the default
+      // heuristic defensively.
+      return kUndefLit;
+    }
+    const circuit::Node& nn = circuit_.node(next);
+    const bool at_decision_point =
+        !opts_.backtrace_to_inputs || nn.type == GateType::kInput ||
+        nn.fanins.empty();
+    if (at_decision_point) {
+      return Lit(static_cast<Var>(next), /*negative=*/!fanin_obj);
+    }
+    node = next;
+    objective = fanin_obj;
+  }
+  return kUndefLit;
+}
+
+Lit CircuitLayer::multiple_backtrace(const sat::Solver& solver, NodeId start) {
+  // Multiple backtracing [Abramovici et al., FAN]: propagate objective
+  // demands (how many pending justifications want value 0/1 on a line)
+  // from the frontier node through every unassigned path, then branch
+  // on the primary input with the strongest combined demand.  Nodes
+  // are processed in decreasing id, which is reverse topological order.
+  if (obj0_.size() != circuit_.num_nodes()) {
+    obj0_.assign(circuit_.num_nodes(), 0);
+    obj1_.assign(circuit_.num_nodes(), 0);
+  }
+  std::priority_queue<NodeId> queue;
+  std::vector<NodeId> touched;
+  auto demand = [&](NodeId n, bool value, long amount) {
+    if (amount <= 0) return;
+    if (obj0_[n] == 0 && obj1_[n] == 0) {
+      queue.push(n);
+      touched.push_back(n);
+    }
+    (value ? obj1_ : obj0_)[n] += amount;
+  };
+  demand(start, value_[start].is_true(), 1);
+
+  NodeId best_pi = circuit::kNullNode;
+  long best_score = 0;
+  bool best_value = false;
+  while (!queue.empty()) {
+    NodeId n = queue.top();
+    queue.pop();
+    long d0 = obj0_[n], d1 = obj1_[n];
+    obj0_[n] = obj1_[n] = 0;
+    if (d0 == 0 && d1 == 0) continue;  // duplicate queue entry
+    const circuit::Node& node = circuit_.node(n);
+    const bool assigned = !solver.value(Var{n}).is_undef();
+    if (node.type == GateType::kInput) {
+      if (!assigned && d0 + d1 > best_score) {
+        best_score = d0 + d1;
+        best_pi = n;
+        best_value = d1 >= d0;
+      }
+      continue;
+    }
+    // Objectives only flow through the frontier node itself (assigned,
+    // unjustified) and unassigned interior nodes.
+    if (assigned && n != start) continue;
+    auto first_unassigned = [&]() -> NodeId {
+      for (NodeId f : node.fanins) {
+        if (solver.value(Var{f}).is_undef()) return f;
+      }
+      return circuit::kNullNode;
+    };
+    switch (node.type) {
+      case GateType::kBuf:
+        demand(node.fanins[0], true, d1);
+        demand(node.fanins[0], false, d0);
+        break;
+      case GateType::kNot:
+        demand(node.fanins[0], true, d0);
+        demand(node.fanins[0], false, d1);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        const bool inv = (node.type == GateType::kNand);
+        const long all_ones = inv ? d0 : d1;   // output needs every input 1
+        const long one_zero = inv ? d1 : d0;   // output needs some input 0
+        for (NodeId f : node.fanins) {
+          if (solver.value(Var{f}).is_undef()) demand(f, true, all_ones);
+        }
+        NodeId pick = first_unassigned();
+        if (pick != circuit::kNullNode) demand(pick, false, one_zero);
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        const bool inv = (node.type == GateType::kNor);
+        const long all_zeros = inv ? d1 : d0;
+        const long one_one = inv ? d0 : d1;
+        for (NodeId f : node.fanins) {
+          if (solver.value(Var{f}).is_undef()) demand(f, false, all_zeros);
+        }
+        NodeId pick = first_unassigned();
+        if (pick != circuit::kNullNode) demand(pick, true, one_one);
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // Either polarity on each input can serve: spread the demand.
+        for (NodeId f : node.fanins) {
+          if (!solver.value(Var{f}).is_undef()) continue;
+          demand(f, true, d0 + d1);
+          demand(f, false, d0 + d1);
+        }
+        break;
+      }
+      default:
+        break;  // constants: nothing to justify
+    }
+  }
+  for (NodeId n : touched) obj0_[n] = obj1_[n] = 0;  // defensive reset
+  if (best_pi == circuit::kNullNode) {
+    // No unassigned PI demand (e.g. objectives died at assigned
+    // boundaries): fall back to simple backtracing.
+    return simple_backtrace(solver, start);
+  }
+  return Lit(static_cast<Var>(best_pi), /*negative=*/!best_value);
+}
+
+}  // namespace sateda::csat

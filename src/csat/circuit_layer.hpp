@@ -1,0 +1,108 @@
+/// \file circuit_layer.hpp
+/// \brief The structural layer of paper §5: a SolverListener that
+///        maintains a justification frontier over an *unmodified* CDCL
+///        solver whose variables are circuit node ids.
+///
+/// The paper's design point: "data structures used for SAT need not be
+/// modified, and so existing algorithmic solutions for SAT can
+/// naturally be augmented with the proposed layer".  Concretely:
+///  * Deduce()/Diagnose() notify the layer through on_assign /
+///    on_unassign, which update the t_v counters of fanout gates
+///    (Table 3) and the justification frontier;
+///  * Decide() consults satisfied(), which tests for an *empty
+///    justification frontier* instead of full CNF satisfaction — so
+///    solutions leave don't-care inputs unassigned (no
+///    overspecification);
+///  * Decide() may delegate branching to choose_branch(), which
+///    performs simple backtracing along fanins (ref. [1] of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sat/listener.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::csat {
+
+/// §5: "the Decide() function can optionally be modified to perform
+/// backtracing given the fanin information", citing [1]'s simple and
+/// multiple backtracing.
+enum class BacktraceMode {
+  kNone,     ///< leave decisions to the SAT heuristic
+  kSimple,   ///< walk one path to a decision point (PODEM-style)
+  kMultiple, ///< propagate objective counts through all paths (FAN-style)
+};
+
+struct CircuitLayerOptions {
+  /// Terminate as soon as the justification frontier empties (§5).
+  bool frontier_termination = true;
+  /// Steer decisions by backtracing from an unjustified node to an
+  /// unassigned decision point (§5 "simple backtracing").
+  bool backtrace_decisions = true;
+  /// Backtrace all the way to primary inputs (PODEM-style); otherwise
+  /// branch directly on the unjustified node's unassigned fanin.
+  /// (Applies to kSimple.)
+  bool backtrace_to_inputs = true;
+  /// Simple vs multiple backtracing (effective when
+  /// backtrace_decisions is true).
+  BacktraceMode backtrace_mode = BacktraceMode::kSimple;
+};
+
+struct CircuitLayerStats {
+  std::int64_t backtraces = 0;
+  std::int64_t frontier_terminations = 0;
+  std::int64_t max_frontier = 0;
+
+  std::string summary() const {
+    return "backtraces=" + std::to_string(backtraces) +
+           " frontier_stops=" + std::to_string(frontier_terminations) +
+           " max_frontier=" + std::to_string(max_frontier);
+  }
+};
+
+/// Attach to a Solver whose variables 0..num_nodes-1 are the nodes of
+/// \p circuit (i.e. the formula came from circuit::encode_circuit).
+/// Extra solver variables are ignored by the layer.
+class CircuitLayer : public sat::SolverListener {
+ public:
+  CircuitLayer(const circuit::Circuit& circuit,
+               CircuitLayerOptions opts = {});
+
+  // SolverListener interface ------------------------------------------
+  void on_assign(Lit l, int level) override;
+  void on_unassign(Lit l) override;
+  Lit choose_branch(const sat::Solver& solver) override;
+  bool satisfied(const sat::Solver& solver) override;
+
+  // Introspection -------------------------------------------------------
+  int num_unjustified() const { return num_unjustified_; }
+  bool is_justified(circuit::NodeId n) const { return !unjustified_[n]; }
+  const CircuitLayerStats& stats() const { return stats_; }
+
+ private:
+  bool node_justified(circuit::NodeId n, bool value) const;
+  void mark(circuit::NodeId n);
+  void unmark(circuit::NodeId n);
+  /// Re-evaluates the justification state of an assigned gate after a
+  /// counter change.
+  void refresh(circuit::NodeId n);
+  Lit simple_backtrace(const sat::Solver& solver, circuit::NodeId start);
+  Lit multiple_backtrace(const sat::Solver& solver, circuit::NodeId start);
+
+  const circuit::Circuit& circuit_;
+  CircuitLayerOptions opts_;
+  CircuitLayerStats stats_;
+
+  std::vector<int> t0_, t1_;       ///< Table 3 counters, per node
+  std::vector<int> u0_, u1_;       ///< Table 2 thresholds, per node
+  std::vector<lbool> value_;       ///< mirror of the solver assignment
+  std::vector<char> unjustified_;  ///< frontier membership, per node
+  int num_unjustified_ = 0;
+  std::vector<circuit::NodeId> frontier_stack_;  ///< lazy, for branching
+  std::vector<long> obj0_, obj1_;  ///< multiple-backtrace demand scratch
+};
+
+}  // namespace sateda::csat

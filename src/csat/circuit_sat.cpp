@@ -1,0 +1,77 @@
+#include "csat/circuit_sat.hpp"
+
+#include "circuit/encoder.hpp"
+
+namespace sateda::csat {
+
+using circuit::NodeId;
+
+CircuitSatSolver::CircuitSatSolver(const circuit::Circuit& circuit,
+                                   CircuitSatOptions opts)
+    : circuit_(circuit),
+      opts_(opts),
+      solver_(opts.solver),
+      layer_(circuit, opts.layer) {
+  solver_.set_listener(&layer_);
+  node_encoded_.assign(circuit.num_nodes(), 0);
+  solver_.ensure_var(static_cast<Var>(circuit_.num_nodes()) - 1);
+}
+
+void CircuitSatSolver::ensure_encoded(const std::vector<NodeId>& roots) {
+  // Incrementally encode any not-yet-encoded gate in the fanin cones
+  // of the roots, so repeated solves with different objectives stay
+  // sound and reuse previously added clauses (§6 incremental SAT).
+  std::vector<NodeId> stack(roots.begin(), roots.end());
+  CnfFormula f(static_cast<int>(circuit_.num_nodes()));
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (node_encoded_[n]) continue;
+    node_encoded_[n] = 1;
+    circuit::encode_gate(circuit_, n, f);
+    for (NodeId fi : circuit_.node(n).fanins) {
+      if (!node_encoded_[fi]) stack.push_back(fi);
+    }
+  }
+  solver_.add_formula(f);
+}
+
+CircuitSatResult CircuitSatSolver::solve(
+    const std::vector<std::pair<NodeId, bool>>& objectives) {
+  std::vector<NodeId> roots;
+  roots.reserve(objectives.size());
+  for (auto [n, v] : objectives) roots.push_back(n);
+  if (opts_.cone_of_influence) {
+    ensure_encoded(roots);
+  } else {
+    std::vector<NodeId> all(circuit_.num_nodes());
+    for (NodeId n = 0; n < static_cast<NodeId>(circuit_.num_nodes()); ++n) {
+      all[n] = n;
+    }
+    ensure_encoded(all);
+  }
+  std::vector<Lit> assumptions;
+  assumptions.reserve(objectives.size());
+  for (auto [n, v] : objectives) {
+    assumptions.push_back(Lit(static_cast<Var>(n), !v));
+  }
+  CircuitSatResult r;
+  r.result = solver_.solve(assumptions);
+  if (r.result == sat::SolveResult::kSat) {
+    r.node_values.assign(circuit_.num_nodes(), l_undef);
+    for (NodeId n = 0; n < static_cast<NodeId>(circuit_.num_nodes()); ++n) {
+      if (static_cast<std::size_t>(n) < solver_.model().size()) {
+        r.node_values[n] = solver_.model()[n];
+      }
+    }
+    r.input_pattern.reserve(circuit_.inputs().size());
+    for (NodeId i : circuit_.inputs()) {
+      lbool v = r.node_values[i];
+      r.input_pattern.push_back(v);
+      if (!v.is_undef()) ++r.specified_inputs;
+    }
+  }
+  return r;
+}
+
+}  // namespace sateda::csat

@@ -1,0 +1,68 @@
+/// \file circuit_sat.hpp
+/// \brief High-level interface for solving satisfiability problems
+///        (C, o) on combinational circuits (paper §5): the CNF model
+///        of §2 augmented with the structural layer.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "csat/circuit_layer.hpp"
+#include "sat/options.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::csat {
+
+struct CircuitSatOptions {
+  CircuitLayerOptions layer;
+  sat::SolverOptions solver;
+  /// Encode only the transitive fanin cones of the objectives instead
+  /// of the whole circuit.
+  bool cone_of_influence = true;
+};
+
+struct CircuitSatResult {
+  sat::SolveResult result = sat::SolveResult::kUnknown;
+  /// Value of every circuit node (l_undef = don't care / unassigned).
+  std::vector<lbool> node_values;
+  /// Primary input pattern, in Circuit::inputs() order.  With the
+  /// justification layer this is typically *partial* — the paper's §5
+  /// fix for overspecified patterns.
+  std::vector<lbool> input_pattern;
+  /// Number of inputs actually specified in input_pattern.
+  int specified_inputs = 0;
+};
+
+/// One-stop solver for circuit objectives.
+class CircuitSatSolver {
+ public:
+  explicit CircuitSatSolver(const circuit::Circuit& circuit,
+                            CircuitSatOptions opts = {});
+
+  /// Decides whether the objectives (node=value, ANDed together) are
+  /// attainable, and if so returns a (possibly partial) input pattern.
+  CircuitSatResult solve(
+      const std::vector<std::pair<circuit::NodeId, bool>>& objectives);
+
+  CircuitSatResult solve(circuit::NodeId node, bool value) {
+    return solve({{node, value}});
+  }
+
+  const sat::Solver& solver() const { return solver_; }
+  /// Mutable access, e.g. for adding blocking clauses between solves.
+  sat::Solver& solver() { return solver_; }
+  const CircuitLayer& layer() const { return layer_; }
+
+ private:
+  void ensure_encoded(const std::vector<circuit::NodeId>& roots);
+
+  const circuit::Circuit& circuit_;
+  CircuitSatOptions opts_;
+  sat::Solver solver_;
+  CircuitLayer layer_;
+  std::vector<char> node_encoded_;
+};
+
+}  // namespace sateda::csat

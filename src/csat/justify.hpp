@@ -1,0 +1,76 @@
+/// \file justify.hpp
+/// \brief Justification thresholds and counters (paper §5, Tables 2-3).
+///
+/// For a circuit node x assigned value v:
+///  * u_v(x) — threshold: how many suitably-assigned inputs are needed
+///    to justify value v on x (Table 2).  For every simple gate
+///    u_v(x) ∈ {1, |FI(x)|}.
+///  * t_v(x) — counter: how many currently-assigned inputs contribute
+///    to justifying v on x (Table 3).
+/// Node x with value v is justified iff t_v(x) ≥ u_v(x).
+#pragma once
+
+#include <utility>
+
+#include "circuit/gate.hpp"
+
+namespace sateda::csat {
+
+/// Table 2: thresholds {u0(x), u1(x)} for a gate of \p type with
+/// \p num_fanins inputs.  Inputs and constants are always justified
+/// (threshold 0).
+constexpr std::pair<int, int> justify_thresholds(circuit::GateType type,
+                                                 int num_fanins) {
+  using circuit::GateType;
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return {0, 0};
+    case GateType::kBuf:
+    case GateType::kNot:
+      return {1, 1};
+    case GateType::kAnd:   // one 0 justifies 0; all 1 justify 1
+      return {1, num_fanins};
+    case GateType::kNand:  // all 1 justify 0; one 0 justifies 1
+      return {num_fanins, 1};
+    case GateType::kOr:    // all 0 justify 0; one 1 justifies 1
+      return {num_fanins, 1};
+    case GateType::kNor:   // one 1 justifies 0; all 0 justify 1
+      return {1, num_fanins};
+    case GateType::kXor:   // any value needs all inputs assigned
+    case GateType::kXnor:
+      return {num_fanins, num_fanins};
+  }
+  return {0, 0};
+}
+
+/// Table 3: counter deltas when one input of a gate of \p type becomes
+/// assigned \p input_value.  Returns {dt0, dt1} to add to (t0, t1).
+/// For XOR-like gates both counters advance on any input assignment.
+constexpr std::pair<int, int> justify_counter_delta(circuit::GateType type,
+                                                    bool input_value) {
+  using circuit::GateType;
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return {0, 0};
+    case GateType::kBuf:   // input 0 supports output 0; 1 supports 1
+    case GateType::kAnd:
+    case GateType::kOr:
+      return input_value ? std::pair<int, int>{0, 1}
+                         : std::pair<int, int>{1, 0};
+    case GateType::kNot:   // input 0 supports output 1; 1 supports 0
+    case GateType::kNand:
+    case GateType::kNor:
+      return input_value ? std::pair<int, int>{1, 0}
+                         : std::pair<int, int>{0, 1};
+    case GateType::kXor:
+    case GateType::kXnor:
+      return {1, 1};
+  }
+  return {0, 0};
+}
+
+}  // namespace sateda::csat

@@ -1,0 +1,232 @@
+#include "delay/delay.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "circuit/encoder.hpp"
+#include "circuit/simulator.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::delay {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::NodeId;
+
+namespace {
+
+/// Non-controlling value for side inputs of \p type, or nullopt when
+/// the gate imposes no side condition (XOR-like, single-input).
+std::optional<bool> side_noncontrolling(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+      return true;
+    case GateType::kOr:
+    case GateType::kNor:
+      return false;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+int topological_delay(const Circuit& c) {
+  std::vector<int> level = c.levels();
+  int best = 0;
+  for (NodeId o : c.outputs()) best = std::max(best, level[o]);
+  return best;
+}
+
+int sensitized_delay(const Circuit& c, const std::vector<bool>& inputs) {
+  std::vector<bool> value = circuit::simulate(c, inputs);
+  // L[n] = longest statically sensitized input→n path, or -1 if none.
+  std::vector<int> L(c.num_nodes(), -1);
+  for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+    const circuit::Node& node = c.node(n);
+    if (node.type == GateType::kInput) {
+      L[n] = 0;
+      continue;
+    }
+    if (node.fanins.empty()) continue;  // constants: no path
+    std::optional<bool> nc = side_noncontrolling(node.type);
+    for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+      NodeId w = node.fanins[i];
+      if (L[w] < 0) continue;
+      bool sides_ok = true;
+      if (nc.has_value()) {
+        for (std::size_t j = 0; j < node.fanins.size(); ++j) {
+          if (j == i) continue;
+          if (value[node.fanins[j]] != *nc) {
+            sides_ok = false;
+            break;
+          }
+        }
+      }
+      if (sides_ok) L[n] = std::max(L[n], L[w] + 1);
+    }
+  }
+  int best = 0;
+  for (NodeId o : c.outputs()) best = std::max(best, L[o]);
+  return best;
+}
+
+std::optional<std::vector<bool>> sensitize_delay(const Circuit& c, int d,
+                                                 DelayOptions opts) {
+  std::vector<int> level = c.levels();
+  const int max_level = topological_delay(c);
+  if (d > max_level) return std::nullopt;
+  if (d <= 0) {
+    // Any vector works: length-0 "paths" end at inputs... interpret as
+    // trivially satisfiable with the all-zero vector.
+    return std::vector<bool>(c.inputs().size(), false);
+  }
+
+  sat::SolverOptions sopts = opts.solver;
+  sopts.conflict_budget = opts.conflict_budget;
+  sat::Solver solver(sopts);
+  solver.add_formula(circuit::encode_circuit(c));
+
+  // Arrival variables P[n][t] for 0 ≤ t ≤ level[n].
+  std::vector<std::vector<Var>> P(c.num_nodes());
+  for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+    const circuit::Node& node = c.node(n);
+    if (node.type == GateType::kInput) {
+      P[n] = {solver.new_var()};
+      solver.add_clause({pos(P[n][0])});
+      continue;
+    }
+    if (node.fanins.empty()) continue;  // constants carry no paths
+    P[n].assign(level[n] + 1, kNullVar);
+    std::optional<bool> nc = side_noncontrolling(node.type);
+    for (int t = 1; t <= level[n]; ++t) {
+      // Edge variables: E(w) ⇒ P[w][t-1] ∧ side-inputs non-controlling.
+      std::vector<Lit> support;
+      for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+        NodeId w = node.fanins[i];
+        if (t - 1 >= static_cast<int>(P[w].size())) continue;
+        if (t - 1 > 0 && P[w].empty()) continue;
+        Var pw = (t - 1 < static_cast<int>(P[w].size())) ? P[w][t - 1]
+                                                         : kNullVar;
+        if (pw == kNullVar) continue;
+        Var e = solver.new_var();
+        solver.add_clause({neg(e), pos(pw)});
+        if (nc.has_value()) {
+          for (std::size_t j = 0; j < node.fanins.size(); ++j) {
+            if (j == i) continue;
+            // Side input must sit at its non-controlling value.
+            solver.add_clause(
+                {neg(e), Lit(static_cast<Var>(node.fanins[j]), !*nc)});
+          }
+        }
+        support.push_back(pos(e));
+      }
+      if (support.empty()) continue;  // no path of this length reaches n
+      Var p = solver.new_var();
+      P[n][t] = p;
+      std::vector<Lit> clause{neg(p)};
+      for (Lit s : support) clause.push_back(s);
+      solver.add_clause(std::move(clause));
+    }
+  }
+
+  // goal ⇒ some output has a sensitized path of length ≥ d.
+  Var goal = solver.new_var();
+  std::vector<Lit> goal_clause{neg(goal)};
+  for (NodeId o : c.outputs()) {
+    for (int t = d; t < static_cast<int>(P[o].size()); ++t) {
+      if (P[o][t] != kNullVar) goal_clause.push_back(pos(P[o][t]));
+    }
+  }
+  if (goal_clause.size() == 1) return std::nullopt;  // structurally impossible
+  solver.add_clause(std::move(goal_clause));
+
+  if (solver.solve({pos(goal)}) != sat::SolveResult::kSat) {
+    return std::nullopt;
+  }
+  std::vector<bool> witness;
+  witness.reserve(c.inputs().size());
+  for (NodeId i : c.inputs()) {
+    witness.push_back(solver.model()[i].is_true());
+  }
+  return witness;
+}
+
+DelayResult compute_delay(const Circuit& c, DelayOptions opts) {
+  DelayResult r;
+  r.topological = topological_delay(c);
+  r.critical_vector.assign(c.inputs().size(), false);
+  for (int d = r.topological; d >= 1; --d) {
+    ++r.sat_queries;
+    auto witness = sensitize_delay(c, d, opts);
+    if (witness.has_value()) {
+      r.sensitizable = d;
+      r.critical_vector = *witness;
+      return r;
+    }
+  }
+  r.sensitizable = 0;
+  return r;
+}
+
+std::vector<Path> longest_paths(const Circuit& c, std::size_t limit) {
+  std::vector<int> level = c.levels();
+  const int target = topological_delay(c);
+  std::vector<Path> paths;
+  // DFS backwards from maximal-level outputs, following fanins that
+  // realise level[n] - 1.
+  Path current;
+  auto dfs = [&](auto&& self, NodeId n) -> void {
+    if (paths.size() >= limit) return;
+    current.push_back(n);
+    const circuit::Node& node = c.node(n);
+    if (node.type == GateType::kInput) {
+      Path p(current.rbegin(), current.rend());
+      paths.push_back(std::move(p));
+    } else {
+      for (NodeId w : node.fanins) {
+        if (level[w] == level[n] - 1) self(self, w);
+        if (paths.size() >= limit) break;
+      }
+    }
+    current.pop_back();
+  };
+  for (NodeId o : c.outputs()) {
+    if (level[o] == target) dfs(dfs, o);
+    if (paths.size() >= limit) break;
+  }
+  return paths;
+}
+
+std::optional<std::vector<bool>> sensitize_path(const Circuit& c,
+                                                const Path& path,
+                                                DelayOptions opts) {
+  assert(path.size() >= 2);
+  sat::SolverOptions sopts = opts.solver;
+  sopts.conflict_budget = opts.conflict_budget;
+  sat::Solver solver(sopts);
+  solver.add_formula(circuit::encode_circuit(c));
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    NodeId w = path[i];
+    NodeId n = path[i + 1];
+    const circuit::Node& node = c.node(n);
+    std::optional<bool> nc = side_noncontrolling(node.type);
+    if (!nc.has_value()) continue;
+    for (NodeId s : node.fanins) {
+      if (s == w) continue;
+      if (!solver.add_clause({Lit(static_cast<Var>(s), !*nc)})) {
+        return std::nullopt;
+      }
+    }
+  }
+  if (solver.solve() != sat::SolveResult::kSat) return std::nullopt;
+  std::vector<bool> witness;
+  witness.reserve(c.inputs().size());
+  for (NodeId i : c.inputs()) {
+    witness.push_back(solver.model()[i].is_true());
+  }
+  return witness;
+}
+
+}  // namespace sateda::delay

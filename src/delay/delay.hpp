@@ -1,0 +1,78 @@
+/// \file delay.hpp
+/// \brief SAT-based circuit delay computation (paper §3, refs
+///        [28, 36]): the true (input-dependent) delay of a circuit is
+///        the longest *sensitizable* path, which can be far below the
+///        topological longest path when long paths are false.
+///
+/// Model: unit gate delays, static sensitization.  A path is
+/// statically sensitized by input vector X if every off-path (side)
+/// input of every gate along the path carries a non-controlling value
+/// under X.  The SAT query "is the delay ≥ d?" is encoded with
+/// per-node, per-time arrival variables P(n, t) — "some statically
+/// sensitized path of length t ends at n" — alongside the circuit's
+/// Table 1 value clauses, following the path-recursive-function idea
+/// of [28].
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sat/options.hpp"
+
+namespace sateda::delay {
+
+struct DelayOptions {
+  std::int64_t conflict_budget = -1;
+  sat::SolverOptions solver;
+};
+
+/// Longest topological path (unit delays) — the classic static timing
+/// bound that ignores sensitizability.
+int topological_delay(const circuit::Circuit& c);
+
+/// Per-vector sensitized delay: the length of the longest statically
+/// sensitized path under input vector \p inputs (simulation-based DP;
+/// used to verify SAT witnesses).
+int sensitized_delay(const circuit::Circuit& c,
+                     const std::vector<bool>& inputs);
+
+/// Decides whether some input vector statically sensitizes a path of
+/// length ≥ d to a primary output.  Returns the witness vector, or
+/// nullopt if none (or empty optional result if budget exhausted —
+/// see compute_delay for the budgeted variant).
+std::optional<std::vector<bool>> sensitize_delay(const circuit::Circuit& c,
+                                                 int d,
+                                                 DelayOptions opts = {});
+
+struct DelayResult {
+  int topological = 0;     ///< static bound
+  int sensitizable = 0;    ///< true delay under the sensitization model
+  std::vector<bool> critical_vector;  ///< witness achieving it
+  int sat_queries = 0;
+  std::int64_t conflicts = 0;
+};
+
+/// Computes the exact sensitizable delay by scanning d downward from
+/// the topological bound (each step one SAT query, per [36]).
+DelayResult compute_delay(const circuit::Circuit& c, DelayOptions opts = {});
+
+// --- path-delay testing (paper §3, ref. [7]) -------------------------
+
+/// A structural path: node sequence from a primary input to a primary
+/// output, each consecutive pair connected by a fanin edge.
+using Path = std::vector<circuit::NodeId>;
+
+/// Enumerates up to \p limit longest structural paths (by unit delay).
+std::vector<Path> longest_paths(const circuit::Circuit& c, std::size_t limit);
+
+/// Finds an input vector that statically sensitizes the given path
+/// (single-vector, non-robust path-delay test), or nullopt if the path
+/// is false (untestable).
+std::optional<std::vector<bool>> sensitize_path(const circuit::Circuit& c,
+                                                const Path& path,
+                                                DelayOptions opts = {});
+
+}  // namespace sateda::delay

@@ -1,0 +1,65 @@
+#include "equiv/bdd_cec.hpp"
+
+#include "bdd/circuit_bdd.hpp"
+#include "circuit/miter.hpp"
+
+namespace sateda::equiv {
+
+using circuit::Circuit;
+
+BddCecResult check_equivalence_bdd(const Circuit& a, const Circuit& b,
+                                   BddCecOptions opts) {
+  BddCecResult result;
+  if (a.inputs().size() != b.inputs().size() ||
+      a.outputs().size() != b.outputs().size()) {
+    throw circuit::CircuitError("BDD CEC: interface mismatch");
+  }
+  bdd::BddManager mgr(static_cast<int>(a.inputs().size()), opts.node_limit);
+  std::vector<int> levels;
+  if (opts.interleave_inputs) {
+    levels = bdd::interleaved_levels(static_cast<int>(a.inputs().size()));
+  }
+  try {
+    std::vector<bdd::BddRef> fa = bdd::build_output_bdds(mgr, a, levels);
+    std::vector<bdd::BddRef> fb = bdd::build_output_bdds(mgr, b, levels);
+    result.bdd_nodes = mgr.num_nodes();
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+      if (fa[i] == fb[i]) continue;  // canonical: equal refs ⇔ equal
+      result.verdict = CecVerdict::kNotEquivalent;
+      bdd::BddRef diff = mgr.bdd_xor(fa[i], fb[i]);
+      std::vector<lbool> partial = mgr.any_model(diff);
+      result.counterexample.assign(a.inputs().size(), false);
+      for (std::size_t in = 0; in < a.inputs().size(); ++in) {
+        const int level = levels.empty() ? static_cast<int>(in) : levels[in];
+        if (static_cast<std::size_t>(level) < partial.size() &&
+            !partial[level].is_undef()) {
+          result.counterexample[in] = partial[level].is_true();
+        }
+      }
+      return result;
+    }
+    result.verdict = CecVerdict::kEquivalent;
+    return result;
+  } catch (const bdd::BddLimitExceeded&) {
+    result.verdict = CecVerdict::kUnknown;
+    result.bdd_nodes = mgr.num_nodes();
+    return result;
+  }
+}
+
+HybridCecResult check_equivalence_hybrid(const Circuit& a, const Circuit& b,
+                                         BddCecOptions bdd_opts,
+                                         CecOptions sat_opts) {
+  HybridCecResult hybrid;
+  BddCecResult via_bdd = check_equivalence_bdd(a, b, bdd_opts);
+  if (via_bdd.verdict != CecVerdict::kUnknown) {
+    hybrid.used_bdd = true;
+    hybrid.result.verdict = via_bdd.verdict;
+    hybrid.result.counterexample = std::move(via_bdd.counterexample);
+    return hybrid;
+  }
+  hybrid.result = check_equivalence(a, b, sat_opts);
+  return hybrid;
+}
+
+}  // namespace sateda::equiv

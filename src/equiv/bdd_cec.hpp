@@ -1,0 +1,45 @@
+/// \file bdd_cec.hpp
+/// \brief BDD-based and hybrid BDD/SAT equivalence checking
+///        (paper §1's SAT-vs-BDD framing; ref. [16] Gupta & Ashar,
+///        "Integrating a Boolean Satisfiability Checker and BDDs for
+///        Combinational Equivalence Checking").
+#pragma once
+
+#include <cstddef>
+
+#include "equiv/cec.hpp"
+
+namespace sateda::equiv {
+
+struct BddCecOptions {
+  std::size_t node_limit = 1u << 20;  ///< blowup guard
+  /// Interleave the two operand halves of the inputs (good for
+  /// datapath circuits; see bdd::interleaved_levels).
+  bool interleave_inputs = false;
+};
+
+struct BddCecResult {
+  CecVerdict verdict = CecVerdict::kUnknown;  ///< kUnknown = node blowup
+  std::vector<bool> counterexample;           ///< on kNotEquivalent
+  std::size_t bdd_nodes = 0;                  ///< manager size at the end
+};
+
+/// Canonical-form equivalence check: builds both circuits' output
+/// BDDs under one manager/order and compares refs.  kUnknown when the
+/// node limit trips — the blowup SAT-based CEC was invented to avoid.
+BddCecResult check_equivalence_bdd(const circuit::Circuit& a,
+                                   const circuit::Circuit& b,
+                                   BddCecOptions opts = {});
+
+/// The [16]-style hybrid: try BDDs under a small node budget; on
+/// blowup fall back to the SAT-based check of cec.hpp.
+struct HybridCecResult {
+  CecResult result;
+  bool used_bdd = false;  ///< settled within the BDD budget
+};
+HybridCecResult check_equivalence_hybrid(const circuit::Circuit& a,
+                                         const circuit::Circuit& b,
+                                         BddCecOptions bdd_opts = {},
+                                         CecOptions sat_opts = {});
+
+}  // namespace sateda::equiv

@@ -1,0 +1,64 @@
+#include "equiv/cec.hpp"
+
+#include "circuit/encoder.hpp"
+#include "circuit/miter.hpp"
+#include "circuit/structural_hash.hpp"
+#include "csat/circuit_sat.hpp"
+
+namespace sateda::equiv {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::NodeId;
+
+CecResult check_equivalence(const Circuit& a, const Circuit& b,
+                            CecOptions opts) {
+  CecResult result;
+  Circuit miter = circuit::build_miter(a, b);
+  if (opts.structural_hashing) {
+    miter = circuit::strash(miter);
+    const circuit::Node& out = miter.node(miter.outputs()[0]);
+    if (out.type == GateType::kConst0) {
+      result.verdict = CecVerdict::kEquivalent;
+      result.settled_structurally = true;
+      return result;
+    }
+    if (out.type == GateType::kConst1) {
+      // Differ on every input; all-zero input is a counterexample.
+      result.verdict = CecVerdict::kNotEquivalent;
+      result.settled_structurally = true;
+      result.counterexample.assign(a.inputs().size(), false);
+      return result;
+    }
+  }
+
+  csat::CircuitSatOptions copts;
+  copts.solver = opts.solver;
+  copts.solver.conflict_budget = opts.conflict_budget;
+  copts.layer.frontier_termination = opts.use_structural_layer;
+  copts.layer.backtrace_decisions = opts.use_structural_layer;
+  csat::CircuitSatSolver solver(miter, copts);
+  csat::CircuitSatResult r = solver.solve(miter.outputs()[0], true);
+  result.decisions = solver.solver().stats().decisions;
+  result.conflicts = solver.solver().stats().conflicts;
+  switch (r.result) {
+    case sat::SolveResult::kUnsat:
+      result.verdict = CecVerdict::kEquivalent;
+      break;
+    case sat::SolveResult::kUnknown:
+      result.verdict = CecVerdict::kUnknown;
+      break;
+    case sat::SolveResult::kSat: {
+      result.verdict = CecVerdict::kNotEquivalent;
+      result.counterexample.reserve(miter.inputs().size());
+      for (NodeId i : miter.inputs()) {
+        // Unassigned inputs are don't cares; default them to 0.
+        result.counterexample.push_back(r.node_values[i].is_true());
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sateda::equiv

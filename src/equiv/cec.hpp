@@ -1,0 +1,57 @@
+/// \file cec.hpp
+/// \brief SAT-based combinational equivalence checking (paper §3,
+///        refs [16, 19, 26]): miter construction, structural hashing
+///        front-end, CNF + CDCL back-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sat/options.hpp"
+
+namespace sateda::equiv {
+
+struct CecOptions {
+  /// Run structural hashing on the miter first; shared logic between
+  /// the two circuits merges and easy miters collapse to constant 0.
+  bool structural_hashing = true;
+  /// Use the §5 circuit layer inside the SAT query.
+  bool use_structural_layer = false;
+  std::int64_t conflict_budget = -1;
+  sat::SolverOptions solver;
+};
+
+enum class CecVerdict {
+  kEquivalent,
+  kNotEquivalent,
+  kUnknown,  ///< budget exhausted
+};
+
+inline std::string to_string(CecVerdict v) {
+  switch (v) {
+    case CecVerdict::kEquivalent: return "EQUIVALENT";
+    case CecVerdict::kNotEquivalent: return "NOT EQUIVALENT";
+    case CecVerdict::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+struct CecResult {
+  CecVerdict verdict = CecVerdict::kUnknown;
+  /// On kNotEquivalent: an input pattern on which the circuits differ.
+  std::vector<bool> counterexample;
+  /// True if structural hashing alone settled the question (the miter
+  /// output folded to a constant).
+  bool settled_structurally = false;
+  std::int64_t decisions = 0;
+  std::int64_t conflicts = 0;
+};
+
+/// Checks whether \p a and \p b (same interface) compute the same
+/// outputs on every input.
+CecResult check_equivalence(const circuit::Circuit& a,
+                            const circuit::Circuit& b, CecOptions opts = {});
+
+}  // namespace sateda::equiv

@@ -1,0 +1,306 @@
+#include "euf/euf.hpp"
+
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+#include "sat/solver.hpp"
+
+namespace sateda::euf {
+
+// --- construction -------------------------------------------------------
+
+TermId EufContext::term_var(const std::string& name) {
+  Term t;
+  t.kind = Term::Kind::kVar;
+  t.name = name;
+  terms_.push_back(std::move(t));
+  return static_cast<TermId>(terms_.size() - 1);
+}
+
+TermId EufContext::apply(const std::string& fn, std::vector<TermId> args) {
+  // Hash-cons structurally identical applications.
+  for (TermId i = 0; i < static_cast<TermId>(terms_.size()); ++i) {
+    const Term& t = terms_[i];
+    if (t.kind == Term::Kind::kApply && t.name == fn && t.args == args) {
+      return i;
+    }
+  }
+  Term t;
+  t.kind = Term::Kind::kApply;
+  t.name = fn;
+  t.args = std::move(args);
+  terms_.push_back(std::move(t));
+  return static_cast<TermId>(terms_.size() - 1);
+}
+
+TermId EufContext::term_ite(FormulaId cond, TermId then_t, TermId else_t) {
+  Term t;
+  t.kind = Term::Kind::kIte;
+  t.name = "ite";
+  t.cond = cond;
+  t.then_t = then_t;
+  t.else_t = else_t;
+  terms_.push_back(std::move(t));
+  return static_cast<TermId>(terms_.size() - 1);
+}
+
+FormulaId EufContext::eq(TermId a, TermId b) {
+  Formula f;
+  f.kind = Formula::Kind::kEq;
+  f.a = a;
+  f.b = b;
+  formulas_.push_back(std::move(f));
+  return static_cast<FormulaId>(formulas_.size() - 1);
+}
+
+FormulaId EufContext::prop_var(const std::string& name) {
+  Formula f;
+  f.kind = Formula::Kind::kProp;
+  f.name = name;
+  formulas_.push_back(std::move(f));
+  return static_cast<FormulaId>(formulas_.size() - 1);
+}
+
+FormulaId EufContext::f_true() {
+  Formula f;
+  f.kind = Formula::Kind::kConst;
+  f.value = true;
+  formulas_.push_back(std::move(f));
+  return static_cast<FormulaId>(formulas_.size() - 1);
+}
+
+FormulaId EufContext::f_false() {
+  Formula f;
+  f.kind = Formula::Kind::kConst;
+  f.value = false;
+  formulas_.push_back(std::move(f));
+  return static_cast<FormulaId>(formulas_.size() - 1);
+}
+
+FormulaId EufContext::f_not(FormulaId a) {
+  Formula f;
+  f.kind = Formula::Kind::kNot;
+  f.x = a;
+  formulas_.push_back(std::move(f));
+  return static_cast<FormulaId>(formulas_.size() - 1);
+}
+
+FormulaId EufContext::f_and(FormulaId a, FormulaId b) {
+  Formula f;
+  f.kind = Formula::Kind::kAnd;
+  f.x = a;
+  f.y = b;
+  formulas_.push_back(std::move(f));
+  return static_cast<FormulaId>(formulas_.size() - 1);
+}
+
+FormulaId EufContext::f_or(FormulaId a, FormulaId b) {
+  Formula f;
+  f.kind = Formula::Kind::kOr;
+  f.x = a;
+  f.y = b;
+  formulas_.push_back(std::move(f));
+  return static_cast<FormulaId>(formulas_.size() - 1);
+}
+
+FormulaId EufContext::f_iff(FormulaId a, FormulaId b) {
+  return f_and(f_implies(a, b), f_implies(b, a));
+}
+
+FormulaId EufContext::f_and_all(const std::vector<FormulaId>& fs) {
+  if (fs.empty()) return f_true();
+  FormulaId acc = fs[0];
+  for (std::size_t i = 1; i < fs.size(); ++i) acc = f_and(acc, fs[i]);
+  return acc;
+}
+
+// --- reduction to SAT -----------------------------------------------------
+
+/// One-shot reduction: atoms, e_ij variables, transitivity, Ackermann,
+/// ITE elimination and Tseitin encoding of the formula structure.
+class Reduction {
+ public:
+  Reduction(const EufContext& ctx, sat::SolverOptions opts)
+      : ctx_(ctx), solver_(opts) {}
+
+  EufResult run(FormulaId root) {
+    // 1. Atom per term.  Hash-consing already merged identical
+    //    applications, so the identity map is sound.
+    const int n = static_cast<int>(ctx_.terms_.size());
+    num_atoms_ = n;
+
+    // 2. SAT variables: the constant-true var, then e_ij on demand,
+    //    then per-formula Tseitin/prop vars.
+    true_var_ = solver_.new_var();
+    solver_.add_clause({pos(true_var_)});
+
+    // 3. Structural constraints.
+    add_transitivity();
+    add_ackermann();
+    add_ite_links();
+
+    // 4. The formula itself.
+    solver_.add_clause({encode(root)});
+
+    EufResult result;
+    result.atoms = num_atoms_;
+    result.result = solver_.solve(/*assumptions=*/{});
+    result.cnf_clauses = solver_.num_problem_clauses();
+    if (result.result == sat::SolveResult::kSat) extract_model(result.model);
+    return result;
+  }
+
+ private:
+  Lit e_lit(int i, int j) {
+    if (i == j) return pos(true_var_);
+    if (i > j) std::swap(i, j);
+    auto key = std::make_pair(i, j);
+    auto it = e_vars_.find(key);
+    if (it != e_vars_.end()) return pos(it->second);
+    Var v = solver_.new_var();
+    e_vars_.emplace(key, v);
+    return pos(v);
+  }
+
+  void add_transitivity() {
+    // Full triangle closure.  O(n^3) clauses; EUF instances from
+    // processor verification have tens of atoms, not thousands.
+    for (int i = 0; i < num_atoms_; ++i) {
+      for (int j = i + 1; j < num_atoms_; ++j) {
+        for (int k = j + 1; k < num_atoms_; ++k) {
+          Lit ij = e_lit(i, j), jk = e_lit(j, k), ik = e_lit(i, k);
+          solver_.add_clause({~ij, ~jk, ik});
+          solver_.add_clause({~ij, ~ik, jk});
+          solver_.add_clause({~ik, ~jk, ij});
+        }
+      }
+    }
+  }
+
+  void add_ackermann() {
+    // Functional consistency between every pair of applications of the
+    // same symbol: equal arguments force equal results.
+    for (TermId a = 0; a < static_cast<TermId>(ctx_.terms_.size()); ++a) {
+      const auto& ta = ctx_.terms_[a];
+      if (ta.kind != EufContext::Term::Kind::kApply) continue;
+      for (TermId b = a + 1; b < static_cast<TermId>(ctx_.terms_.size());
+           ++b) {
+        const auto& tb = ctx_.terms_[b];
+        if (tb.kind != EufContext::Term::Kind::kApply || tb.name != ta.name ||
+            tb.args.size() != ta.args.size()) {
+          continue;
+        }
+        std::vector<Lit> clause;
+        bool trivially_true = false;
+        for (std::size_t k = 0; k < ta.args.size(); ++k) {
+          Lit ek = e_lit(ta.args[k], tb.args[k]);
+          if (ek == pos(true_var_)) continue;  // same atom: premise holds
+          clause.push_back(~ek);
+        }
+        Lit res = e_lit(a, b);
+        if (res == pos(true_var_)) trivially_true = true;
+        clause.push_back(res);
+        if (!trivially_true) solver_.add_clause(std::move(clause));
+      }
+    }
+  }
+
+  void add_ite_links() {
+    for (TermId t = 0; t < static_cast<TermId>(ctx_.terms_.size()); ++t) {
+      const auto& term = ctx_.terms_[t];
+      if (term.kind != EufContext::Term::Kind::kIte) continue;
+      Lit c = encode(term.cond);
+      solver_.add_clause({~c, e_lit(t, term.then_t)});
+      solver_.add_clause({c, e_lit(t, term.else_t)});
+    }
+  }
+
+  Lit encode(FormulaId f) {
+    auto it = formula_lit_.find(f);
+    if (it != formula_lit_.end()) return it->second;
+    const auto& node = ctx_.formulas_[f];
+    Lit result = kUndefLit;
+    using Kind = EufContext::Formula::Kind;
+    switch (node.kind) {
+      case Kind::kEq:
+        result = e_lit(node.a, node.b);
+        break;
+      case Kind::kProp: {
+        Var v = solver_.new_var();
+        prop_var_of_[f] = v;
+        result = pos(v);
+        break;
+      }
+      case Kind::kConst:
+        result = node.value ? pos(true_var_) : neg(true_var_);
+        break;
+      case Kind::kNot:
+        result = ~encode(node.x);
+        break;
+      case Kind::kAnd: {
+        Lit a = encode(node.x), b = encode(node.y);
+        Var v = solver_.new_var();
+        solver_.add_clause({neg(v), a});
+        solver_.add_clause({neg(v), b});
+        solver_.add_clause({pos(v), ~a, ~b});
+        result = pos(v);
+        break;
+      }
+      case Kind::kOr: {
+        Lit a = encode(node.x), b = encode(node.y);
+        Var v = solver_.new_var();
+        solver_.add_clause({neg(v), a, b});
+        solver_.add_clause({pos(v), ~a});
+        solver_.add_clause({pos(v), ~b});
+        result = pos(v);
+        break;
+      }
+    }
+    formula_lit_.emplace(f, result);
+    return result;
+  }
+
+  void extract_model(EufModel& model) {
+    // Union atoms connected by true e_ij variables.
+    std::vector<int> parent(num_atoms_);
+    for (int i = 0; i < num_atoms_; ++i) parent[i] = i;
+    auto find = [&](int x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    for (const auto& [key, var] : e_vars_) {
+      if (solver_.model_value(var).is_true()) {
+        parent[find(key.first)] = find(key.second);
+      }
+    }
+    model.term_class.resize(ctx_.terms_.size());
+    for (std::size_t t = 0; t < ctx_.terms_.size(); ++t) {
+      model.term_class[t] = find(static_cast<int>(t));
+    }
+    model.prop_values.assign(ctx_.formulas_.size(), false);
+    for (const auto& [fid, var] : prop_var_of_) {
+      model.prop_values[fid] = solver_.model_value(var).is_true();
+    }
+  }
+
+  const EufContext& ctx_;
+  sat::Solver solver_;
+  int num_atoms_ = 0;
+  Var true_var_ = kNullVar;
+  std::map<std::pair<int, int>, Var> e_vars_;
+  std::unordered_map<FormulaId, Lit> formula_lit_;
+  std::unordered_map<FormulaId, Var> prop_var_of_;
+};
+
+EufResult EufContext::check_sat(FormulaId f, sat::SolverOptions opts) {
+  Reduction r(*this, opts);
+  return r.run(f);
+}
+
+bool EufContext::is_valid(FormulaId f, sat::SolverOptions opts) {
+  FormulaId negated = f_not(f);
+  return check_sat(negated, opts).result == sat::SolveResult::kUnsat;
+}
+
+}  // namespace sateda::euf

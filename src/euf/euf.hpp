@@ -1,0 +1,108 @@
+/// \file euf.hpp
+/// \brief Equality logic with uninterpreted functions, decided by
+///        reduction to propositional SAT (paper §3, ref. [6]:
+///        Velev & Bryant, superscalar processor verification by
+///        reducing EUF to propositional logic).
+///
+/// The pipeline-vs-ISA correctness statements of processor
+/// verification abstract datapath blocks as uninterpreted functions;
+/// validity of the resulting EUF formula is decided by:
+///  1. ITE elimination — each term-level mux becomes a fresh constant
+///     with guarded equalities;
+///  2. Ackermann's reduction — each function application becomes a
+///     fresh constant, with functional-consistency constraints
+///     (equal arguments ⇒ equal results) for every application pair;
+///  3. the e_ij encoding — one propositional variable per pair of
+///     constants with explicit transitivity constraints (the
+///     Bryant-Velev approach);
+///  4. CDCL SAT on the Tseitin CNF of the whole thing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sat/options.hpp"
+
+namespace sateda::euf {
+
+/// Handle to a term (individual-sorted expression).
+using TermId = std::int32_t;
+/// Handle to a formula (Boolean-sorted expression).
+using FormulaId = std::int32_t;
+
+/// On SAT: a model assigning each term an equivalence-class id and
+/// each propositional variable a value.
+struct EufModel {
+  std::vector<int> term_class;       ///< per TermId
+  std::vector<bool> prop_values;     ///< per propositional FormulaId (dense map)
+};
+
+struct EufResult {
+  sat::SolveResult result = sat::SolveResult::kUnknown;
+  EufModel model;  ///< meaningful on kSat
+  int atoms = 0;   ///< constants after the reduction
+  std::size_t cnf_clauses = 0;
+};
+
+/// Builder + decision procedure for EUF formulas.
+class EufContext {
+ public:
+  // --- terms ---------------------------------------------------------
+  /// A fresh uninterpreted constant (domain variable).
+  TermId term_var(const std::string& name);
+  /// Application of uninterpreted function \p fn (grouped by name and
+  /// arity) to \p args.  Structurally identical applications share a
+  /// term.
+  TermId apply(const std::string& fn, std::vector<TermId> args);
+  /// Term-level if-then-else (mux).
+  TermId term_ite(FormulaId cond, TermId then_t, TermId else_t);
+
+  // --- formulas ------------------------------------------------------
+  FormulaId eq(TermId a, TermId b);
+  FormulaId prop_var(const std::string& name);
+  FormulaId f_true();
+  FormulaId f_false();
+  FormulaId f_not(FormulaId a);
+  FormulaId f_and(FormulaId a, FormulaId b);
+  FormulaId f_or(FormulaId a, FormulaId b);
+  FormulaId f_implies(FormulaId a, FormulaId b) {
+    return f_or(f_not(a), b);
+  }
+  FormulaId f_iff(FormulaId a, FormulaId b);
+  FormulaId f_and_all(const std::vector<FormulaId>& fs);
+
+  // --- deciding ------------------------------------------------------
+  /// Satisfiability of \p f.
+  EufResult check_sat(FormulaId f, sat::SolverOptions opts = {});
+  /// Validity (true in all interpretations): ¬f unsatisfiable.
+  bool is_valid(FormulaId f, sat::SolverOptions opts = {});
+
+  std::size_t num_terms() const { return terms_.size(); }
+  std::size_t num_formulas() const { return formulas_.size(); }
+
+ private:
+  struct Term {
+    enum class Kind { kVar, kApply, kIte };
+    Kind kind;
+    std::string name;           ///< var name or function symbol
+    std::vector<TermId> args;   ///< kApply
+    FormulaId cond = -1;        ///< kIte
+    TermId then_t = -1, else_t = -1;
+  };
+  struct Formula {
+    enum class Kind { kEq, kProp, kNot, kAnd, kOr, kConst };
+    Kind kind;
+    TermId a = -1, b = -1;      ///< kEq
+    FormulaId x = -1, y = -1;   ///< kNot/kAnd/kOr operands
+    bool value = false;         ///< kConst
+    std::string name;           ///< kProp
+  };
+
+  std::vector<Term> terms_;
+  std::vector<Formula> formulas_;
+
+  friend class Reduction;
+};
+
+}  // namespace sateda::euf

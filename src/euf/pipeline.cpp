@@ -1,0 +1,72 @@
+#include "euf/pipeline.hpp"
+
+namespace sateda::euf {
+
+namespace {
+
+/// Architectural state: the two registers as terms.
+struct RegState {
+  TermId r0, r1;
+};
+
+/// One instruction: ALU op term plus register selects.
+struct Instr {
+  TermId op;       ///< uninterpreted opcode/immediate bundle
+  FormulaId src1;  ///< true = source is r1
+  FormulaId dst1;  ///< true = destination is r1
+};
+
+/// ISA semantics: read, execute, write back.
+RegState isa_step(EufContext& ctx, const RegState& s, const Instr& i) {
+  TermId operand = ctx.term_ite(i.src1, s.r1, s.r0);
+  TermId result = ctx.apply("alu", {i.op, operand});
+  RegState next;
+  next.r0 = ctx.term_ite(i.dst1, s.r0, result);
+  next.r1 = ctx.term_ite(i.dst1, result, s.r1);
+  return next;
+}
+
+}  // namespace
+
+PipelineVerification verify_toy_pipeline(bool with_forwarding,
+                                         sat::SolverOptions opts) {
+  EufContext ctx;
+  RegState init{ctx.term_var("r0"), ctx.term_var("r1")};
+  Instr i1{ctx.term_var("op1"), ctx.prop_var("src1_is_r1"),
+           ctx.prop_var("dst1_is_r1")};
+  Instr i2{ctx.term_var("op2"), ctx.prop_var("src2_is_r1"),
+           ctx.prop_var("dst2_is_r1")};
+
+  // Specification: execute sequentially.
+  RegState spec1 = isa_step(ctx, init, i1);
+  RegState spec2 = isa_step(ctx, spec1, i2);
+
+  // Implementation: I2's operand is fetched from the *initial*
+  // register file (I1 has not written back yet).
+  TermId res1 = ctx.apply(
+      "alu", {i1.op, ctx.term_ite(i1.src1, init.r1, init.r0)});
+  TermId stale2 = ctx.term_ite(i2.src1, init.r1, init.r0);
+  TermId operand2 = stale2;
+  if (with_forwarding) {
+    // RAW hazard: I2 reads the register I1 writes.
+    FormulaId hazard = ctx.f_iff(i2.src1, i1.dst1);
+    operand2 = ctx.term_ite(hazard, res1, stale2);
+  }
+  TermId res2 = ctx.apply("alu", {i2.op, operand2});
+  // Writeback in order (I1 then I2), as the pipeline drains.
+  RegState impl1;
+  impl1.r0 = ctx.term_ite(i1.dst1, init.r0, res1);
+  impl1.r1 = ctx.term_ite(i1.dst1, res1, init.r1);
+  RegState impl2;
+  impl2.r0 = ctx.term_ite(i2.dst1, impl1.r0, res2);
+  impl2.r1 = ctx.term_ite(i2.dst1, res2, impl1.r1);
+
+  FormulaId correct = ctx.f_and(ctx.eq(spec2.r0, impl2.r0),
+                                ctx.eq(spec2.r1, impl2.r1));
+  PipelineVerification v;
+  v.query = ctx.check_sat(ctx.f_not(correct), opts);
+  v.valid = (v.query.result == sat::SolveResult::kUnsat);
+  return v;
+}
+
+}  // namespace sateda::euf

@@ -1,0 +1,31 @@
+/// \file pipeline.hpp
+/// \brief Toy processor-correctness queries in EUF (paper §3,
+///        ref. [6]): a two-register, single-source ALU machine whose
+///        2-stage pipelined implementation is compared against
+///        sequential ISA execution, Burch-Dill style.
+///
+/// The datapath ALU is an uninterpreted function alu(op, operand);
+/// register selects are propositional variables, so one validity query
+/// covers every opcode interpretation and operand value at once — the
+/// point of the EUF abstraction.  The pipelined implementation reads
+/// operands before the previous instruction's writeback; a forwarding
+/// mux repairs the read-after-write hazard.  With forwarding the
+/// equivalence is valid; without it the decision procedure returns a
+/// hazard counterexample.
+#pragma once
+
+#include "euf/euf.hpp"
+
+namespace sateda::euf {
+
+struct PipelineVerification {
+  bool valid = false;   ///< implementation == ISA for all interpretations
+  EufResult query;      ///< the underlying (negated) SAT query
+};
+
+/// Verifies a 2-instruction sequence through the pipelined datapath.
+/// \param with_forwarding include the RAW-hazard bypass mux.
+PipelineVerification verify_toy_pipeline(bool with_forwarding,
+                                         sat::SolverOptions opts = {});
+
+}  // namespace sateda::euf

@@ -1,0 +1,162 @@
+#include "fpga/routing.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "sat/solver.hpp"
+
+namespace sateda::fpga {
+
+namespace {
+
+bool spans_overlap(const Net& a, const Net& b) {
+  return a.left <= b.right && b.left <= a.right;
+}
+
+}  // namespace
+
+int channel_density(const ChannelProblem& p) {
+  const int cols = p.num_columns();
+  std::vector<int> count(cols, 0);
+  for (const Net& n : p.nets) {
+    for (int c = n.left; c <= n.right; ++c) ++count[c];
+  }
+  return count.empty() ? 0 : *std::max_element(count.begin(), count.end());
+}
+
+int left_edge_tracks(const ChannelProblem& p) {
+  // Sort nets by left edge; place each on the first track whose last
+  // occupied column is left of the net.
+  std::vector<int> order(p.nets.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return p.nets[a].left < p.nets[b].left;
+  });
+  std::vector<int> track_end;  // rightmost column used per track
+  for (int ni : order) {
+    const Net& n = p.nets[ni];
+    bool placed = false;
+    for (int t = 0; t < static_cast<int>(track_end.size()); ++t) {
+      if (track_end[t] < n.left) {
+        track_end[t] = n.right;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) track_end.push_back(n.right);
+  }
+  return static_cast<int>(track_end.size());
+}
+
+RouteResult route_channel(const ChannelProblem& p, int tracks,
+                          sat::SolverOptions opts) {
+  RouteResult result;
+  const int n = static_cast<int>(p.nets.size());
+  if (n == 0) {
+    result.routable = true;
+    return result;
+  }
+  if (tracks <= 0) return result;
+  sat::Solver solver(opts);
+  // x(i, t): net i on track t.
+  auto x = [&](int i, int t) { return static_cast<Var>(i * tracks + t); };
+  solver.ensure_var(n * tracks - 1);
+  // Exactly one track per net.
+  for (int i = 0; i < n; ++i) {
+    std::vector<Lit> at_least;
+    for (int t = 0; t < tracks; ++t) at_least.push_back(pos(x(i, t)));
+    solver.add_clause(std::move(at_least));
+    for (int t1 = 0; t1 < tracks; ++t1) {
+      for (int t2 = t1 + 1; t2 < tracks; ++t2) {
+        solver.add_clause({neg(x(i, t1)), neg(x(i, t2))});
+      }
+    }
+  }
+  // Horizontal constraints.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (!spans_overlap(p.nets[i], p.nets[j])) continue;
+      for (int t = 0; t < tracks; ++t) {
+        solver.add_clause({neg(x(i, t)), neg(x(j, t))});
+      }
+    }
+  }
+  // Vertical constraints: track(upper) < track(lower).
+  for (const VerticalConstraint& vc : p.verticals) {
+    for (int tu = 0; tu < tracks; ++tu) {
+      for (int tl = 0; tl <= tu; ++tl) {
+        solver.add_clause({neg(x(vc.upper, tu)), neg(x(vc.lower, tl))});
+      }
+    }
+  }
+  if (solver.solve() != sat::SolveResult::kSat) {
+    result.conflicts = solver.stats().conflicts;
+    return result;
+  }
+  result.conflicts = solver.stats().conflicts;
+  result.routable = true;
+  result.track.assign(n, -1);
+  for (int i = 0; i < n; ++i) {
+    for (int t = 0; t < tracks; ++t) {
+      if (solver.model_value(x(i, t)).is_true()) {
+        result.track[i] = t;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+int minimum_tracks(const ChannelProblem& p, int max_tracks,
+                   sat::SolverOptions opts) {
+  for (int t = channel_density(p); t <= max_tracks; ++t) {
+    if (route_channel(p, t, opts).routable) return t;
+  }
+  return -1;
+}
+
+bool validate_routing(const ChannelProblem& p, const std::vector<int>& track,
+                      int tracks) {
+  if (track.size() != p.nets.size()) return false;
+  for (int t : track) {
+    if (t < 0 || t >= tracks) return false;
+  }
+  for (std::size_t i = 0; i < p.nets.size(); ++i) {
+    for (std::size_t j = i + 1; j < p.nets.size(); ++j) {
+      if (track[i] == track[j] && spans_overlap(p.nets[i], p.nets[j])) {
+        return false;
+      }
+    }
+  }
+  for (const VerticalConstraint& vc : p.verticals) {
+    if (!(track[vc.upper] < track[vc.lower])) return false;
+  }
+  return true;
+}
+
+ChannelProblem random_channel(int num_nets, int columns, double vertical_prob,
+                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  ChannelProblem p;
+  std::uniform_int_distribution<int> col(0, columns - 1);
+  for (int i = 0; i < num_nets; ++i) {
+    int a = col(rng), b = col(rng);
+    if (a > b) std::swap(a, b);
+    if (a == b) b = std::min(b + 1, columns - 1);
+    p.nets.push_back({a, b});
+  }
+  // Acyclic vertical constraints: only allow upper < lower by net
+  // index, between horizontally overlapping nets.
+  std::bernoulli_distribution coin(vertical_prob);
+  for (int i = 0; i < num_nets; ++i) {
+    for (int j = i + 1; j < num_nets; ++j) {
+      if (spans_overlap(p.nets[i], p.nets[j]) && coin(rng)) {
+        p.verticals.push_back({i, j});
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace sateda::fpga

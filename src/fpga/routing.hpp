@@ -1,0 +1,85 @@
+/// \file routing.hpp
+/// \brief SAT-based detailed routing (paper §3, refs [29, 30]):
+///        channel routing as Boolean track assignment.
+///
+/// A channel holds horizontal tracks crossed by vertical columns.
+/// Each two-pin net occupies one track across its column span
+/// [left, right].  Constraints:
+///  * exclusivity — each net gets exactly one track;
+///  * horizontal   — nets whose spans overlap cannot share a track;
+///  * vertical     — at a column where net a's pin is on the top edge
+///    and net b's pin is on the bottom edge, a's track must lie above
+///    b's (smaller index), or the vertical wires would short.
+/// SAT decides routability for a given track count; iterating yields
+/// the minimum channel height, compared against the density lower
+/// bound and a left-edge greedy baseline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sat/options.hpp"
+
+namespace sateda::fpga {
+
+struct Net {
+  int left = 0;    ///< leftmost column (inclusive)
+  int right = 0;   ///< rightmost column (inclusive)
+};
+
+/// a_above_b: at some column, net `upper` has the top pin and net
+/// `lower` the bottom pin, forcing track(upper) < track(lower).
+struct VerticalConstraint {
+  int upper = 0;
+  int lower = 0;
+};
+
+struct ChannelProblem {
+  std::vector<Net> nets;
+  std::vector<VerticalConstraint> verticals;
+
+  int num_columns() const {
+    int m = 0;
+    for (const Net& n : nets) m = std::max(m, n.right + 1);
+    return m;
+  }
+};
+
+/// Maximum number of nets crossing any single column — the classic
+/// lower bound on the channel height.
+int channel_density(const ChannelProblem& p);
+
+/// Left-edge greedy routing ignoring vertical constraints; returns the
+/// number of tracks it uses (equals density for interval graphs — the
+/// baseline SAT must beat once vertical constraints exist).
+int left_edge_tracks(const ChannelProblem& p);
+
+struct RouteResult {
+  bool routable = false;
+  std::vector<int> track;  ///< per net, 0 = topmost
+  std::int64_t conflicts = 0;
+};
+
+/// SAT decision: can the channel be routed in \p tracks tracks?
+RouteResult route_channel(const ChannelProblem& p, int tracks,
+                          sat::SolverOptions opts = {});
+
+/// Minimum feasible track count in [density, max_tracks], or -1 if
+/// even max_tracks fails (cyclic vertical constraints can make a
+/// dogleg-free channel unroutable at any height).
+int minimum_tracks(const ChannelProblem& p, int max_tracks,
+                   sat::SolverOptions opts = {});
+
+/// Validates a routing against all three constraint families.
+bool validate_routing(const ChannelProblem& p, const std::vector<int>& track,
+                      int tracks);
+
+/// Random channel: \p num_nets nets with random spans over
+/// \p columns columns; a fraction of adjacent net pairs get vertical
+/// constraints (acyclic by construction, so instances stay routable).
+ChannelProblem random_channel(int num_nets, int columns, double vertical_prob,
+                              std::uint64_t seed);
+
+}  // namespace sateda::fpga

@@ -1,0 +1,81 @@
+#include "noise/crosstalk.hpp"
+
+#include "circuit/encoder.hpp"
+#include "opt/cardinality.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::noise {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::NodeId;
+
+CrosstalkResult worst_case_aggressors(
+    const Circuit& c, NodeId victim, const std::vector<NodeId>& aggressors,
+    CrosstalkOptions opts) {
+  CrosstalkResult result;
+  result.topological_bound = static_cast<int>(aggressors.size());
+
+  // Two independent frames of the circuit CNF.
+  CnfFormula f;
+  std::vector<std::vector<Var>> frame(2);
+  for (int t = 0; t < 2; ++t) {
+    frame[t].resize(c.num_nodes());
+    for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+      frame[t][n] = f.new_var();
+    }
+    for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+      const circuit::Node& node = c.node(n);
+      if (node.type == GateType::kInput) continue;
+      std::vector<Var> ins;
+      for (NodeId fi : node.fanins) ins.push_back(frame[t][fi]);
+      circuit::encode_gate_clauses(node.type, frame[t][n], ins, f);
+    }
+  }
+  // Victim quiet in both frames.
+  f.add_unit(Lit(frame[0][victim], opts.victim_value == false));
+  f.add_unit(Lit(frame[1][victim], opts.victim_value == false));
+  // rise_i ⇔ ¬a_i@0 ∧ a_i@1 (one direction suffices for maximization:
+  // the solver may only claim a rise it can realise).
+  std::vector<Lit> rises;
+  for (NodeId a : aggressors) {
+    Var r = f.new_var();
+    f.add_binary(neg(r), neg(frame[0][a]));
+    f.add_binary(neg(r), pos(frame[1][a]));
+    rises.push_back(pos(r));
+  }
+
+  auto attempt = [&](int k) -> bool {
+    CnfFormula g = f;
+    opt::add_at_least_k(g, rises, k);
+    sat::SolverOptions sopts = opts.solver;
+    sopts.conflict_budget = opts.conflict_budget;
+    sat::Solver solver(sopts);
+    solver.add_formula(g);
+    if (solver.solve() != sat::SolveResult::kSat) return false;
+    result.vector1.clear();
+    result.vector2.clear();
+    for (NodeId in : c.inputs()) {
+      result.vector1.push_back(solver.model_value(frame[0][in]).is_true());
+      result.vector2.push_back(solver.model_value(frame[1][in]).is_true());
+    }
+    return true;
+  };
+
+  // Binary search the maximum feasible k in [0, |aggressors|].
+  int lo = 0, hi = result.topological_bound;
+  if (!attempt(0)) return result;  // victim cannot even hold its value
+  result.functional_worst = 0;
+  while (lo < hi) {
+    int mid = lo + (hi - lo + 1) / 2;
+    if (attempt(mid)) {
+      result.functional_worst = mid;
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace sateda::noise

@@ -1,0 +1,48 @@
+/// \file crosstalk.hpp
+/// \brief SAT-based crosstalk noise analysis (paper §3, ref. [8] Chen
+///        & Keutzer, "Towards True Crosstalk Noise Analysis").
+///
+/// Topological noise analysis assumes every aggressor wire adjacent to
+/// a victim can switch simultaneously; the functional ("true") worst
+/// case is usually smaller because logic correlations prevent aligned
+/// switching.  Model: two arbitrary consecutive input vectors
+/// (v1, v2); aggressor i *rises* when it is 0 under v1 and 1 under v2;
+/// the victim must hold a stable quiet value.  The maximum number of
+/// simultaneously rising aggressors is found by binary search over a
+/// cardinality constraint on a two-frame circuit CNF.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sat/options.hpp"
+
+namespace sateda::noise {
+
+struct CrosstalkOptions {
+  /// Victim's quiet value during the aggressor transition.
+  bool victim_value = false;
+  std::int64_t conflict_budget = -1;
+  sat::SolverOptions solver;
+};
+
+struct CrosstalkResult {
+  /// The pessimistic bound: every aggressor assumed able to rise.
+  int topological_bound = 0;
+  /// SAT-certified maximum of simultaneously rising aggressors with
+  /// the victim quiet; -1 if even zero rising is impossible (victim
+  /// cannot hold the requested value).
+  int functional_worst = -1;
+  /// Witness vector pair attaining the maximum.
+  std::vector<bool> vector1, vector2;
+};
+
+/// Computes the functional worst case for \p victim against
+/// \p aggressors (all node ids of \p c).
+CrosstalkResult worst_case_aggressors(const circuit::Circuit& c,
+                                      circuit::NodeId victim,
+                                      const std::vector<circuit::NodeId>& aggressors,
+                                      CrosstalkOptions opts = {});
+
+}  // namespace sateda::noise

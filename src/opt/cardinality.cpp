@@ -1,0 +1,60 @@
+#include "opt/cardinality.hpp"
+
+namespace sateda::opt {
+
+void add_at_most_k(CnfFormula& f, const std::vector<Lit>& lits, int k) {
+  const int n = static_cast<int>(lits.size());
+  if (k >= n) return;  // vacuous
+  if (k < 0) k = 0;
+  if (k == 0) {
+    for (Lit l : lits) f.add_unit(~l);
+    return;
+  }
+  // s[i][j] ⇔ "at least j+1 of lits[0..i] are true" (one-directional).
+  // Registers: s[i][j], i in [0, n-1), j in [0, k).
+  std::vector<std::vector<Var>> s(n - 1, std::vector<Var>(k));
+  for (auto& row : s) {
+    for (Var& v : row) v = f.new_var();
+  }
+  // lits[0] → s[0][0]
+  f.add_binary(~lits[0], pos(s[0][0]));
+  for (int j = 1; j < k; ++j) {
+    // s[0][j] is false for j ≥ 1.
+    f.add_unit(neg(s[0][j]));
+  }
+  for (int i = 1; i < n - 1; ++i) {
+    // lits[i] → s[i][0];  s[i-1][j] → s[i][j]
+    f.add_binary(~lits[i], pos(s[i][0]));
+    for (int j = 0; j < k; ++j) {
+      f.add_binary(neg(s[i - 1][j]), pos(s[i][j]));
+      if (j + 1 < k) {
+        // lits[i] ∧ s[i-1][j] → s[i][j+1]
+        f.add_ternary(~lits[i], neg(s[i - 1][j]), pos(s[i][j + 1]));
+      }
+    }
+    // Overflow: lits[i] ∧ s[i-1][k-1] → ⊥
+    f.add_binary(~lits[i], neg(s[i - 1][k - 1]));
+  }
+  // Final literal overflow.
+  f.add_binary(~lits[n - 1], neg(s[n - 2][k - 1]));
+}
+
+void add_at_least_k(CnfFormula& f, const std::vector<Lit>& lits, int k) {
+  if (k <= 0) return;
+  const int n = static_cast<int>(lits.size());
+  if (k > n) {
+    f.add_clause(Clause(std::vector<Lit>{}));  // unsatisfiable demand
+    return;
+  }
+  if (k == 1) {
+    f.add_clause(std::vector<Lit>(lits.begin(), lits.end()));
+    return;
+  }
+  // Σ lits ≥ k  ⇔  Σ ¬lits ≤ n - k.
+  std::vector<Lit> complements;
+  complements.reserve(lits.size());
+  for (Lit l : lits) complements.push_back(~l);
+  add_at_most_k(f, complements, n - k);
+}
+
+}  // namespace sateda::opt

@@ -1,0 +1,21 @@
+/// \file cardinality.hpp
+/// \brief CNF cardinality constraints (sequential-counter encoding) —
+///        the bridge from SAT to the linear-integer-optimization uses
+///        of paper §3 (ref. [3]): covering, prime implicants.
+#pragma once
+
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace sateda::opt {
+
+/// Adds clauses to \p f enforcing  Σ lits ≤ k  using the
+/// Sinz sequential-counter encoding: O(n·k) auxiliary variables and
+/// clauses, arc-consistent under unit propagation.
+void add_at_most_k(CnfFormula& f, const std::vector<Lit>& lits, int k);
+
+/// Adds clauses enforcing Σ lits ≥ k (via at-most on complements).
+void add_at_least_k(CnfFormula& f, const std::vector<Lit>& lits, int k);
+
+}  // namespace sateda::opt

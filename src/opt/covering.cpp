@@ -1,0 +1,255 @@
+#include "opt/covering.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+#include <stdexcept>
+
+#include "opt/cardinality.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::opt {
+
+namespace {
+
+/// Builds the CNF of the covering constraints over columns 0..n-1.
+CnfFormula covering_cnf(const CoveringProblem& p) {
+  CnfFormula f(p.num_columns);
+  for (const auto& row : p.rows) {
+    f.add_clause(std::vector<Lit>(row.begin(), row.end()));
+  }
+  return f;
+}
+
+/// SAT feasibility of "cover with cost ≤ bound".
+std::optional<std::vector<bool>> sat_cover_within(const CoveringProblem& p,
+                                                  int bound,
+                                                  const sat::SolverOptions& so,
+                                                  CoveringStats& stats) {
+  CnfFormula f = covering_cnf(p);
+  std::vector<Lit> cols;
+  cols.reserve(p.num_columns);
+  for (int c = 0; c < p.num_columns; ++c) cols.push_back(pos(c));
+  add_at_most_k(f, cols, bound);
+  sat::Solver solver(so);
+  solver.add_formula(f);
+  ++stats.sat_calls;
+  if (solver.solve() != sat::SolveResult::kSat) return std::nullopt;
+  std::vector<bool> chosen(p.num_columns);
+  for (int c = 0; c < p.num_columns; ++c) {
+    chosen[c] = solver.model_value(Var{c}).is_true();
+  }
+  return chosen;
+}
+
+/// State of the B&B solver: rows still uncovered, columns still free.
+struct BnbState {
+  const CoveringProblem& p;
+  CoveringOptions opts;
+  CoveringStats stats;
+  std::vector<bool> best_chosen;
+  int best_cost;
+  std::vector<bool> chosen;
+  std::vector<char> removed_col;
+  std::vector<char> covered_row;
+  bool aborted = false;
+
+  explicit BnbState(const CoveringProblem& problem, CoveringOptions o)
+      : p(problem),
+        opts(o),
+        best_cost(problem.num_columns + 1),
+        chosen(problem.num_columns, false),
+        removed_col(problem.num_columns, 0),
+        covered_row(problem.rows.size(), 0) {}
+
+  int lower_bound() const {
+    // Maximal independent set of uncovered rows (greedy): rows sharing
+    // no column each need a distinct column.
+    std::vector<char> used_col(p.num_columns, 0);
+    int lb = 0;
+    for (std::size_t r = 0; r < p.rows.size(); ++r) {
+      if (covered_row[r]) continue;
+      bool independent = true;
+      for (Lit l : p.rows[r]) {
+        if (used_col[l.var()]) {
+          independent = false;
+          break;
+        }
+      }
+      if (independent) {
+        ++lb;
+        for (Lit l : p.rows[r]) used_col[l.var()] = 1;
+      }
+    }
+    return lb;
+  }
+
+  void search(int cost) {
+    if (aborted) return;
+    ++stats.branch_nodes;
+    if (opts.node_budget >= 0 && stats.branch_nodes > opts.node_budget) {
+      aborted = true;
+      return;
+    }
+    // Covered everything?
+    bool all_covered = true;
+    std::size_t branch_row = p.rows.size();
+    std::size_t branch_width = SIZE_MAX;
+    for (std::size_t r = 0; r < p.rows.size(); ++r) {
+      if (covered_row[r]) continue;
+      std::size_t width = 0;
+      for (Lit l : p.rows[r]) {
+        if (!removed_col[l.var()]) ++width;
+      }
+      if (width == 0) return;  // infeasible branch
+      all_covered = false;
+      if (width < branch_width) {
+        branch_width = width;
+        branch_row = r;
+      }
+    }
+    if (all_covered) {
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_chosen = chosen;
+      }
+      return;
+    }
+    if (cost + lower_bound() >= best_cost) return;  // bound
+
+    // SAT-based pruning [23]: can any completion beat the incumbent?
+    if (opts.sat_pruning && best_cost <= p.num_columns) {
+      CoveringProblem sub;
+      sub.num_columns = p.num_columns;
+      for (std::size_t r = 0; r < p.rows.size(); ++r) {
+        if (covered_row[r]) continue;
+        std::vector<Lit> row;
+        for (Lit l : p.rows[r]) {
+          if (!removed_col[l.var()]) row.push_back(l);
+        }
+        sub.rows.push_back(std::move(row));
+      }
+      // Chosen columns are sunk cost; remaining budget:
+      int budget = best_cost - 1 - cost;
+      CnfFormula f = covering_cnf(sub);
+      std::vector<Lit> free_cols;
+      for (int c = 0; c < p.num_columns; ++c) {
+        if (removed_col[c]) {
+          f.add_unit(neg(c));
+        } else {
+          free_cols.push_back(pos(c));
+        }
+      }
+      add_at_most_k(f, free_cols, budget);
+      sat::Solver solver(opts.solver);
+      solver.add_formula(f);
+      ++stats.sat_calls;
+      if (solver.solve() != sat::SolveResult::kSat) {
+        ++stats.sat_prunes;
+        return;
+      }
+    }
+
+    // Branch on the columns of the narrowest uncovered row.
+    std::vector<int> newly_removed;
+    for (Lit l : p.rows[branch_row]) {
+      int col = l.var();
+      if (removed_col[col]) continue;
+      // Include col.
+      chosen[col] = true;
+      removed_col[col] = 1;
+      newly_removed.push_back(col);
+      std::vector<std::size_t> newly;
+      for (std::size_t r = 0; r < p.rows.size(); ++r) {
+        if (covered_row[r]) continue;
+        for (Lit rl : p.rows[r]) {
+          if (rl.var() == col) {
+            covered_row[r] = 1;
+            newly.push_back(r);
+            break;
+          }
+        }
+      }
+      search(cost + 1);
+      for (std::size_t r : newly) covered_row[r] = 0;
+      chosen[col] = false;
+      // Exclude col for the remaining branches of this row.
+      // (removed_col[col] stays 1.)
+    }
+    // Restore only the columns this call removed.
+    for (int col : newly_removed) removed_col[col] = 0;
+  }
+};
+
+}  // namespace
+
+CoveringResult solve_covering_bnb(const CoveringProblem& p,
+                                  CoveringOptions opts) {
+  if (!p.is_unate()) {
+    throw std::invalid_argument(
+        "solve_covering_bnb handles unate rows only; use solve_covering_sat");
+  }
+  BnbState state(p, opts);
+  state.search(0);
+  CoveringResult r;
+  r.stats = state.stats;
+  r.optimal = !state.aborted;
+  if (state.best_cost <= p.num_columns) {
+    r.feasible = true;
+    r.cost = state.best_cost;
+    r.chosen = state.best_chosen;
+  }
+  return r;
+}
+
+CoveringResult solve_covering_sat(const CoveringProblem& p,
+                                  CoveringOptions opts) {
+  CoveringResult r;
+  // Feasibility first (no bound).
+  std::optional<std::vector<bool>> cover =
+      sat_cover_within(p, p.num_columns, opts.solver, r.stats);
+  if (!cover.has_value()) return r;
+  auto cost_of = [](const std::vector<bool>& v) {
+    return static_cast<int>(std::count(v.begin(), v.end(), true));
+  };
+  r.feasible = true;
+  r.chosen = *cover;
+  r.cost = cost_of(*cover);
+  // Tighten with binary search on the bound.
+  int lo = 0, hi = r.cost - 1;
+  while (lo <= hi) {
+    int mid = lo + (hi - lo) / 2;
+    auto attempt = sat_cover_within(p, mid, opts.solver, r.stats);
+    if (attempt.has_value()) {
+      r.chosen = *attempt;
+      r.cost = cost_of(*attempt);
+      hi = std::min(r.cost - 1, mid - 1);
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return r;
+}
+
+CoveringProblem random_covering(int columns, int rows, int max_row_width,
+                                std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  CoveringProblem p;
+  p.num_columns = columns;
+  std::uniform_int_distribution<int> width_dist(2, std::max(2, max_row_width));
+  std::uniform_int_distribution<int> col_dist(0, columns - 1);
+  for (int r = 0; r < rows; ++r) {
+    int width = width_dist(rng);
+    std::vector<int> cols;
+    while (static_cast<int>(cols.size()) < width) {
+      int c = col_dist(rng);
+      if (std::find(cols.begin(), cols.end(), c) == cols.end()) {
+        cols.push_back(c);
+      }
+    }
+    p.add_cover_row(cols);
+  }
+  return p;
+}
+
+}  // namespace sateda::opt

@@ -1,0 +1,94 @@
+/// \file covering.hpp
+/// \brief Unate/binate covering (paper §3, refs [9, 23]): choose a
+///        minimum-cost subset of columns satisfying every row
+///        constraint.  Rows are clauses over column literals, so unate
+///        covering (set cover) and binate covering (with negative
+///        literals) share one representation.
+///
+/// Solvers:
+///  * branch-and-bound with essentiality, row/column dominance and an
+///    independent-row lower bound (the classical algorithm [9]);
+///  * the same B&B augmented with SAT-based pruning [23]: before
+///    exploring a subtree, a SAT query with a cardinality bound checks
+///    whether any completion can beat the incumbent;
+///  * a pure SAT binary search on the cost (via at-most-k), which also
+///    handles binate instances.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "sat/options.hpp"
+
+namespace sateda::opt {
+
+/// A covering problem over \p num_columns 0/1 column variables.
+/// Each row is a clause: at least one of its literals must hold
+/// (positive literal = column chosen; negative = column not chosen).
+/// Unit cost per chosen column.
+struct CoveringProblem {
+  int num_columns = 0;
+  std::vector<std::vector<Lit>> rows;
+
+  /// Unate helper: row requiring one of \p cols to be chosen.
+  void add_cover_row(const std::vector<int>& cols) {
+    std::vector<Lit> r;
+    r.reserve(cols.size());
+    for (int c : cols) r.push_back(pos(c));
+    rows.push_back(std::move(r));
+  }
+  bool is_unate() const {
+    for (const auto& r : rows) {
+      for (Lit l : r) {
+        if (l.negative()) return false;
+      }
+    }
+    return true;
+  }
+};
+
+struct CoveringStats {
+  std::int64_t branch_nodes = 0;
+  std::int64_t sat_prunes = 0;   ///< subtrees cut by SAT queries
+  std::int64_t sat_calls = 0;
+  std::string summary() const {
+    return "nodes=" + std::to_string(branch_nodes) +
+           " sat_calls=" + std::to_string(sat_calls) +
+           " sat_prunes=" + std::to_string(sat_prunes);
+  }
+};
+
+struct CoveringResult {
+  bool feasible = false;
+  bool optimal = true;       ///< false when the node budget aborted B&B
+  int cost = -1;
+  std::vector<bool> chosen;  ///< per column
+  CoveringStats stats;
+};
+
+struct CoveringOptions {
+  bool sat_pruning = false;       ///< ref [23]
+  int sat_prune_period = 1;       ///< run the SAT check every N UB updates
+  std::int64_t node_budget = -1;  ///< B&B node limit (<0 = unlimited)
+  sat::SolverOptions solver;
+};
+
+/// Branch-and-bound covering solver (unate rows only; binate rows are
+/// rejected — use solve_covering_sat for those).
+CoveringResult solve_covering_bnb(const CoveringProblem& p,
+                                  CoveringOptions opts = {});
+
+/// Pure SAT covering: linear/binary search on the cost bound with a
+/// cardinality constraint.  Handles unate and binate instances.
+CoveringResult solve_covering_sat(const CoveringProblem& p,
+                                  CoveringOptions opts = {});
+
+/// Random unate instance: each of \p rows rows picks between 2 and
+/// \p max_row_width columns.  Always feasible.
+CoveringProblem random_covering(int columns, int rows, int max_row_width,
+                                std::uint64_t seed);
+
+}  // namespace sateda::opt

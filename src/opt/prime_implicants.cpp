@@ -1,0 +1,103 @@
+#include "opt/prime_implicants.hpp"
+
+#include <algorithm>
+
+#include "opt/cardinality.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::opt {
+
+bool is_implicant(const CnfFormula& f, const std::vector<Lit>& cube) {
+  for (const Clause& c : f) {
+    bool hit = false;
+    for (Lit l : c) {
+      if (std::find(cube.begin(), cube.end(), l) != cube.end()) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+bool is_prime_implicant(const CnfFormula& f, const std::vector<Lit>& cube) {
+  if (!is_implicant(f, cube)) return false;
+  for (std::size_t i = 0; i < cube.size(); ++i) {
+    std::vector<Lit> sub;
+    sub.reserve(cube.size() - 1);
+    for (std::size_t j = 0; j < cube.size(); ++j) {
+      if (j != i) sub.push_back(cube[j]);
+    }
+    if (is_implicant(f, sub)) return false;  // a literal was droppable
+  }
+  return true;
+}
+
+PrimeImplicantResult minimum_prime_implicant(const CnfFormula& f,
+                                             sat::SolverOptions opts) {
+  PrimeImplicantResult result;
+  const int n = f.num_vars();
+  // Selector variables: y_x = 2x (positive literal in cube),
+  // z_x = 2x+1 (negative literal in cube).
+  auto y = [](Var x) { return pos(2 * x); };
+  auto z = [](Var x) { return pos(2 * x + 1); };
+
+  auto build = [&](int bound) {
+    CnfFormula g(2 * n);
+    for (Var x = 0; x < n; ++x) {
+      g.add_binary(~y(x), ~z(x));  // cube cannot assert x and ¬x
+    }
+    for (const Clause& c : f) {
+      std::vector<Lit> row;
+      for (Lit l : c) {
+        row.push_back(l.negative() ? z(l.var()) : y(l.var()));
+      }
+      g.add_clause(std::move(row));
+    }
+    if (bound >= 0) {
+      std::vector<Lit> selectors;
+      selectors.reserve(2 * n);
+      for (Var x = 0; x < n; ++x) {
+        selectors.push_back(y(x));
+        selectors.push_back(z(x));
+      }
+      add_at_most_k(g, selectors, bound);
+    }
+    return g;
+  };
+
+  auto try_bound = [&](int bound) -> std::optional<std::vector<Lit>> {
+    sat::Solver solver(opts);
+    solver.add_formula(build(bound));
+    ++result.sat_calls;
+    if (solver.solve() != sat::SolveResult::kSat) return std::nullopt;
+    std::vector<Lit> cube;
+    for (Var x = 0; x < n; ++x) {
+      if (solver.model_value(y(x)).is_true()) cube.push_back(pos(x));
+      if (solver.model_value(z(x)).is_true()) cube.push_back(neg(x));
+    }
+    return cube;
+  };
+
+  // Feasibility: a cube exists iff f is satisfiable (a full model is a
+  // cube).  The unbounded query decides this.
+  auto first = try_bound(-1);
+  if (!first.has_value()) return result;
+  result.exists = true;
+  result.cube = *first;
+  int lo = 0, hi = static_cast<int>(result.cube.size()) - 1;
+  while (lo <= hi) {
+    int mid = lo + (hi - lo) / 2;
+    auto attempt = try_bound(mid);
+    if (attempt.has_value()) {
+      result.cube = *attempt;
+      hi = std::min(static_cast<int>(result.cube.size()) - 1, mid - 1);
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace sateda::opt

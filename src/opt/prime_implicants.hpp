@@ -1,0 +1,47 @@
+/// \file prime_implicants.hpp
+/// \brief Minimum-size prime implicant computation (paper §3,
+///        ref. [22]): given a function as a CNF formula φ, find a
+///        smallest cube c with c ⊨ φ.  A minimum-size implicant is
+///        necessarily prime (dropping any literal would yield a
+///        smaller implicant).
+///
+/// Encoding (Manquinho/Oliveira/Marques-Silva): for each variable x,
+/// selector variables yₓ ("x appears positively in the cube") and zₓ
+/// ("negatively"), with ¬(yₓ ∧ zₓ).  The cube implies φ iff every
+/// clause of φ contains a literal the cube asserts:  for clause ω,
+/// ∨_{x ∈ ω} yₓ  ∨  ∨_{¬x ∈ ω} zₓ.  Minimize Σ(yₓ + zₓ) by binary
+/// search with a cardinality constraint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "sat/options.hpp"
+
+namespace sateda::opt {
+
+struct PrimeImplicantResult {
+  bool exists = false;   ///< false iff φ is unsatisfiable
+  std::vector<Lit> cube; ///< the implicant's literals
+  int sat_calls = 0;
+};
+
+/// Computes a minimum-size prime implicant of the function denoted by
+/// \p f (over f.num_vars() variables).
+PrimeImplicantResult minimum_prime_implicant(const CnfFormula& f,
+                                             sat::SolverOptions opts = {});
+
+/// True iff the cube implies the formula: every total assignment
+/// extending \p cube satisfies \p f.  For CNF f this reduces to a
+/// syntactic test — each clause of f must contain a literal of the
+/// cube (otherwise falsifying that whole clause is consistent with the
+/// cube).
+bool is_implicant(const CnfFormula& f, const std::vector<Lit>& cube);
+
+/// True iff \p cube is a *prime* implicant: an implicant none of whose
+/// proper sub-cubes is an implicant.
+bool is_prime_implicant(const CnfFormula& f, const std::vector<Lit>& cube);
+
+}  // namespace sateda::opt

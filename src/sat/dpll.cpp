@@ -1,0 +1,146 @@
+#include "sat/dpll.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace sateda::sat {
+
+DpllSolver::DpllSolver(const CnfFormula& formula, bool use_occurrence_heuristic)
+    : formula_(formula) {
+  const int nv = formula.num_vars();
+  occurs_.resize(2 * static_cast<std::size_t>(std::max(nv, 1)));
+  assigns_.assign(nv, l_undef);
+  unassigned_count_.resize(formula.num_clauses());
+  satisfied_by_.assign(formula.num_clauses(), 0);
+  std::vector<std::size_t> occ_count(nv, 0);
+  for (std::size_t ci = 0; ci < formula.num_clauses(); ++ci) {
+    const Clause& c = formula.clause(ci);
+    unassigned_count_[ci] = static_cast<int>(c.size());
+    for (Lit l : c) {
+      occurs_[l.index()].push_back(ci);
+      ++occ_count[l.var()];
+    }
+  }
+  static_order_.resize(nv);
+  std::iota(static_order_.begin(), static_order_.end(), 0);
+  if (use_occurrence_heuristic) {
+    std::stable_sort(static_order_.begin(), static_order_.end(),
+                     [&](Var a, Var b) { return occ_count[a] > occ_count[b]; });
+  }
+}
+
+bool DpllSolver::assign(Lit l) {
+  assert(assigns_[l.var()].is_undef());
+  assigns_[l.var()] = lbool(!l.negative());
+  trail_.push_back(l);
+  // The literal l is now true: its clauses gain a satisfied literal;
+  // clauses containing ~l lose an unassigned literal.
+  for (std::size_t ci : occurs_[l.index()]) ++satisfied_by_[ci];
+  bool conflict = false;
+  for (std::size_t ci : occurs_[(~l).index()]) {
+    if (--unassigned_count_[ci] == 0 && satisfied_by_[ci] == 0) {
+      conflict = true;  // finish the updates so unassign stays symmetric
+    }
+  }
+  for (std::size_t ci : occurs_[l.index()]) --unassigned_count_[ci];
+  return !conflict;
+}
+
+void DpllSolver::unassign_to(std::size_t trail_size) {
+  while (trail_.size() > trail_size) {
+    Lit l = trail_.back();
+    trail_.pop_back();
+    assigns_[l.var()] = l_undef;
+    for (std::size_t ci : occurs_[l.index()]) {
+      --satisfied_by_[ci];
+      ++unassigned_count_[ci];
+    }
+    for (std::size_t ci : occurs_[(~l).index()]) ++unassigned_count_[ci];
+  }
+}
+
+bool DpllSolver::propagate(std::size_t from) {
+  for (std::size_t i = from; i < trail_.size(); ++i) {
+    Lit assigned = trail_[i];
+    ++stats_.propagations;
+    // Clauses containing ~assigned may have become unit.
+    for (std::size_t ci : occurs_[(~assigned).index()]) {
+      if (satisfied_by_[ci] > 0) continue;
+      if (unassigned_count_[ci] == 0) return false;
+      if (unassigned_count_[ci] == 1) {
+        // Find the lone unassigned literal.
+        Lit unit = kUndefLit;
+        for (Lit l : formula_.clause(ci)) {
+          if (assigns_[l.var()].is_undef()) {
+            unit = l;
+            break;
+          }
+        }
+        assert(unit.is_defined());
+        if (!assign(unit)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Var DpllSolver::pick_variable() const {
+  for (Var v : static_order_) {
+    if (assigns_[v].is_undef()) return v;
+  }
+  return kNullVar;
+}
+
+SolveResult DpllSolver::solve(std::int64_t conflict_budget) {
+  model_.clear();
+  // Top-level propagation of any unit clauses.
+  std::size_t scanned = 0;
+  for (std::size_t ci = 0; ci < formula_.num_clauses(); ++ci) {
+    const Clause& c = formula_.clause(ci);
+    if (c.empty()) return SolveResult::kUnsat;
+    if (c.size() == 1 && satisfied_by_[ci] == 0) {
+      if (assigns_[c[0].var()].is_undef()) {
+        if (!assign(c[0])) return SolveResult::kUnsat;
+      } else if ((assigns_[c[0].var()] ^ c[0].negative()).is_false()) {
+        return SolveResult::kUnsat;
+      }
+    }
+  }
+  if (!propagate(scanned)) return SolveResult::kUnsat;
+
+  std::vector<Frame> stack;
+  const std::size_t root_trail = trail_.size();
+  while (true) {
+    Var v = pick_variable();
+    if (v == kNullVar) {
+      model_ = assigns_;
+      unassign_to(root_trail);
+      return SolveResult::kSat;
+    }
+    ++stats_.decisions;
+    stack.push_back({v, false, trail_.size()});
+    Lit decision = neg(v);  // try value 0 first, like classic ATPG tools
+    bool ok = assign(decision) && propagate(trail_.size() - 1);
+    while (!ok) {
+      ++stats_.backtracks;
+      if (conflict_budget >= 0 && stats_.backtracks >= conflict_budget) {
+        unassign_to(root_trail);
+        return SolveResult::kUnknown;
+      }
+      // Chronological backtracking: undo the most recent decision that
+      // still has an untried polarity, flip it.
+      while (!stack.empty() && stack.back().flipped) {
+        unassign_to(stack.back().trail_size);
+        stack.pop_back();
+      }
+      if (stack.empty()) return SolveResult::kUnsat;
+      Frame& f = stack.back();
+      unassign_to(f.trail_size);
+      f.flipped = true;
+      ok = assign(pos(f.var)) && propagate(trail_.size() - 1);
+    }
+  }
+}
+
+}  // namespace sateda::sat

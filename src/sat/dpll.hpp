@@ -1,0 +1,71 @@
+/// \file dpll.hpp
+/// \brief Classic DPLL backtrack search (Davis/Logemann/Loveland 1962,
+///        paper ref. [11]) — the baseline against which §4.1's modern
+///        techniques (learning, non-chronological backtracking) are
+///        measured.
+///
+/// Deliberately implements the *pre-GRASP* state of the art:
+/// counter-based unit propagation over occurrence lists, chronological
+/// backtracking by polarity flipping, no clause recording, optional
+/// static most-occurrences decision ordering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "sat/options.hpp"
+
+namespace sateda::sat {
+
+/// Counters for the DPLL baseline.
+struct DpllStats {
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  std::int64_t backtracks = 0;
+};
+
+/// A plain DPLL solver over an immutable CNF formula.
+class DpllSolver {
+ public:
+  /// \param use_occurrence_heuristic if true, branch on the variable
+  ///        with the highest static occurrence count; otherwise branch
+  ///        in variable-index order.
+  explicit DpllSolver(const CnfFormula& formula,
+                      bool use_occurrence_heuristic = true);
+
+  /// Runs the search.  \p conflict_budget < 0 means unlimited;
+  /// otherwise the solver gives up with kUnknown after that many
+  /// backtracks.
+  SolveResult solve(std::int64_t conflict_budget = -1);
+
+  /// After kSat: the satisfying assignment.
+  const std::vector<lbool>& model() const { return model_; }
+
+  const DpllStats& stats() const { return stats_; }
+
+ private:
+  struct Frame {
+    Var var;
+    bool flipped;           ///< both polarities tried?
+    std::size_t trail_size; ///< trail length before this decision
+  };
+
+  bool assign(Lit l);
+  void unassign_to(std::size_t trail_size);
+  /// Unit-propagates from trail position \p from; returns false on conflict.
+  bool propagate(std::size_t from);
+  Var pick_variable() const;
+
+  const CnfFormula& formula_;
+  std::vector<std::vector<std::size_t>> occurs_;  ///< lit index -> clause ids
+  std::vector<int> unassigned_count_;             ///< per clause
+  std::vector<int> satisfied_by_;                 ///< per clause: #true literals
+  std::vector<lbool> assigns_;
+  std::vector<Lit> trail_;
+  std::vector<Var> static_order_;
+  std::vector<lbool> model_;
+  DpllStats stats_;
+};
+
+}  // namespace sateda::sat

@@ -1,0 +1,101 @@
+/// \file heap.hpp
+/// \brief Indexed binary max-heap over variables, ordered by VSIDS
+///        activity.  Supports decrease/increase-key by variable id.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "cnf/literal.hpp"
+
+namespace sateda::sat {
+
+/// Max-heap of variables keyed by an external activity array.
+/// All operations are O(log n); membership test is O(1).
+class VarOrderHeap {
+ public:
+  explicit VarOrderHeap(const std::vector<double>& activity)
+      : activity_(activity) {}
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  bool contains(Var v) const {
+    return static_cast<std::size_t>(v) < pos_.size() && pos_[v] >= 0;
+  }
+
+  /// Inserts \p v (must not already be present).
+  void insert(Var v) {
+    grow(v);
+    assert(!contains(v));
+    pos_[v] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    sift_up(pos_[v]);
+  }
+
+  /// Removes and returns the variable with maximal activity.
+  Var pop() {
+    assert(!heap_.empty());
+    Var top = heap_[0];
+    heap_[0] = heap_.back();
+    pos_[heap_[0]] = 0;
+    heap_.pop_back();
+    pos_[top] = -1;
+    if (!heap_.empty()) sift_down(0);
+    return top;
+  }
+
+  /// Restores heap order after activity_[v] increased.
+  void increased(Var v) {
+    if (contains(v)) sift_up(pos_[v]);
+  }
+
+  /// Rebuilds the heap (e.g. after a global activity rescale).
+  void rebuild() {
+    for (std::size_t i = heap_.size(); i-- > 0;) sift_down(i);
+  }
+
+ private:
+  void grow(Var v) {
+    if (static_cast<std::size_t>(v) >= pos_.size()) {
+      pos_.resize(v + 1, -1);
+    }
+  }
+
+  bool lt(Var a, Var b) const { return activity_[a] < activity_[b]; }
+
+  void sift_up(std::size_t i) {
+    Var v = heap_[i];
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (!lt(heap_[parent], v)) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i]] = static_cast<int>(i);
+      i = parent;
+    }
+    heap_[i] = v;
+    pos_[v] = static_cast<int>(i);
+  }
+
+  void sift_down(std::size_t i) {
+    Var v = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && lt(heap_[child], heap_[child + 1])) ++child;
+      if (!lt(v, heap_[child])) break;
+      heap_[i] = heap_[child];
+      pos_[heap_[i]] = static_cast<int>(i);
+      i = child;
+    }
+    heap_[i] = v;
+    pos_[v] = static_cast<int>(i);
+  }
+
+  const std::vector<double>& activity_;
+  std::vector<Var> heap_;
+  std::vector<int> pos_;
+};
+
+}  // namespace sateda::sat

@@ -1,0 +1,59 @@
+/// \file listener.hpp
+/// \brief Hook interface through which a structural layer augments the
+///        SAT engine (paper §5).
+///
+/// The paper's key architectural point in §5 is that "data structures
+/// used for SAT need not be modified" — a circuit-aware layer attaches
+/// to an unmodified SAT algorithm and (a) maintains justification
+/// information as Deduce()/Diagnose() assign and erase variables, and
+/// (b) replaces Decide()'s satisfaction test (all clauses satisfied)
+/// with an empty-justification-frontier test, optionally steering
+/// branching by fanin backtracing.  This interface is exactly that
+/// layer boundary.
+#pragma once
+
+#include "cnf/literal.hpp"
+
+namespace sateda::sat {
+
+class Solver;
+
+/// Observer/extension hooks invoked by the search.  All methods have
+/// do-nothing defaults so a listener only overrides what it needs.
+class SolverListener {
+ public:
+  virtual ~SolverListener() = default;
+
+  /// Called after literal \p l becomes assigned (decision or
+  /// implication) at decision level \p level.
+  virtual void on_assign(Lit l, int level) {
+    (void)l;
+    (void)level;
+  }
+
+  /// Called when the assignment of \p l is erased on backtracking.
+  virtual void on_unassign(Lit l) { (void)l; }
+
+  /// Called before each decision.  Return a defined literal to force
+  /// the branch (e.g. structural backtracing), or kUndefLit to let the
+  /// solver's own heuristic choose.
+  virtual Lit choose_branch(const Solver& solver) {
+    (void)solver;
+    return kUndefLit;
+  }
+
+  /// Called before each decision.  Returning true declares the
+  /// instance satisfied even though some variables are unassigned
+  /// (e.g. the justification frontier is empty); the solver stops with
+  /// kSat and a partial model.  The default — full CNF satisfaction —
+  /// is signalled by returning false always.
+  virtual bool satisfied(const Solver& solver) {
+    (void)solver;
+    return false;
+  }
+
+  /// Called when the search restarts (all non-root levels erased).
+  virtual void on_restart() {}
+};
+
+}  // namespace sateda::sat

@@ -1,0 +1,119 @@
+#include "sat/local_search.hpp"
+
+#include <cassert>
+
+namespace sateda::sat {
+
+WalkSatSolver::WalkSatSolver(const CnfFormula& f, WalkSatOptions opts)
+    : formula_(f), opts_(opts), rng_(opts.seed) {
+  const int nv = std::max(f.num_vars(), 1);
+  assign_.assign(nv, 0);
+  occurs_.resize(2 * static_cast<std::size_t>(nv));
+  true_count_.assign(f.num_clauses(), 0);
+  unsat_pos_.assign(f.num_clauses(), -1);
+  for (std::size_t ci = 0; ci < f.num_clauses(); ++ci) {
+    for (Lit l : f.clause(ci)) occurs_[l.index()].push_back(ci);
+  }
+}
+
+void WalkSatSolver::random_assignment() {
+  std::bernoulli_distribution coin(0.5);
+  for (std::size_t v = 0; v < assign_.size(); ++v) assign_[v] = coin(rng_);
+  // Recompute clause satisfaction from scratch.
+  unsat_clauses_.clear();
+  std::fill(unsat_pos_.begin(), unsat_pos_.end(), -1);
+  for (std::size_t ci = 0; ci < formula_.num_clauses(); ++ci) {
+    int tc = 0;
+    for (Lit l : formula_.clause(ci)) {
+      if (assign_[l.var()] != l.negative()) ++tc;
+    }
+    true_count_[ci] = tc;
+    if (tc == 0) {
+      unsat_pos_[ci] = static_cast<std::ptrdiff_t>(unsat_clauses_.size());
+      unsat_clauses_.push_back(ci);
+    }
+  }
+}
+
+std::int64_t WalkSatSolver::break_count(Var v) const {
+  // Clauses that become unsatisfied if v flips: those where v's
+  // current polarity is the only true literal.
+  const Lit current(v, assign_[v] == 0);  // literal currently true
+  std::int64_t breaks = 0;
+  for (std::size_t ci : occurs_[current.index()]) {
+    if (true_count_[ci] == 1) ++breaks;
+  }
+  return breaks;
+}
+
+void WalkSatSolver::flip(Var v) {
+  const Lit was_true(v, assign_[v] == 0);
+  const Lit now_true = ~was_true;
+  assign_[v] = assign_[v] ? 0 : 1;
+  for (std::size_t ci : occurs_[was_true.index()]) {
+    if (--true_count_[ci] == 0) {
+      unsat_pos_[ci] = static_cast<std::ptrdiff_t>(unsat_clauses_.size());
+      unsat_clauses_.push_back(ci);
+    }
+  }
+  for (std::size_t ci : occurs_[now_true.index()]) {
+    if (true_count_[ci]++ == 0) {
+      // Remove from the unsat set (swap with the back).
+      std::ptrdiff_t pos = unsat_pos_[ci];
+      assert(pos >= 0);
+      std::size_t back = unsat_clauses_.back();
+      unsat_clauses_[static_cast<std::size_t>(pos)] = back;
+      unsat_pos_[back] = pos;
+      unsat_clauses_.pop_back();
+      unsat_pos_[ci] = -1;
+    }
+  }
+}
+
+SolveResult WalkSatSolver::solve() {
+  for (const Clause& c : formula_) {
+    if (c.empty()) return SolveResult::kUnknown;  // cannot refute
+  }
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int attempt = 0; attempt < opts_.max_tries; ++attempt) {
+    ++stats_.tries;
+    random_assignment();
+    for (std::int64_t flip_no = 0; flip_no < opts_.max_flips; ++flip_no) {
+      if (unsat_clauses_.empty()) {
+        model_.resize(assign_.size());
+        for (std::size_t v = 0; v < assign_.size(); ++v) {
+          model_[v] = lbool(assign_[v] != 0);
+        }
+        return SolveResult::kSat;
+      }
+      ++stats_.flips;
+      std::uniform_int_distribution<std::size_t> pick_clause(
+          0, unsat_clauses_.size() - 1);
+      const Clause& c = formula_.clause(unsat_clauses_[pick_clause(rng_)]);
+      Var chosen = kNullVar;
+      // Freebie move: a variable with break-count 0 is always taken.
+      bool freebie = false;
+      std::int64_t best_break = -1;
+      for (Lit l : c) {
+        std::int64_t b = break_count(l.var());
+        if (b == 0) {
+          chosen = l.var();
+          freebie = true;
+          break;
+        }
+        if (best_break < 0 || b < best_break) {
+          best_break = b;
+          chosen = l.var();
+        }
+      }
+      if (!freebie && coin(rng_) < opts_.noise) {
+        std::uniform_int_distribution<std::size_t> pick_lit(0, c.size() - 1);
+        chosen = c[pick_lit(rng_)].var();
+      }
+      flip(chosen);
+    }
+  }
+  return SolveResult::kUnknown;
+}
+
+}  // namespace sateda::sat

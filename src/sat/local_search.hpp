@@ -1,0 +1,68 @@
+/// \file local_search.hpp
+/// \brief WalkSAT-style stochastic local search (paper §4, ref. [32]).
+///
+/// The paper surveys local search among the approaches to SAT and
+/// concludes that "only backtrack search has proven useful for solving
+/// instances of SAT from EDA applications, in particular for
+/// applications where the objective is to prove unsatisfiability".
+/// This implementation exists to *reproduce that claim* (bench E14):
+/// local search is competitive on satisfiable random instances but is
+/// constitutionally unable to return UNSAT, and flounders on the
+/// structured, mostly-UNSAT instances EDA generates.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "sat/options.hpp"
+
+namespace sateda::sat {
+
+struct WalkSatOptions {
+  std::int64_t max_flips = 100000;  ///< flips per try
+  int max_tries = 10;               ///< random restarts
+  double noise = 0.5;               ///< random-walk probability
+  std::uint64_t seed = 12345;
+};
+
+struct WalkSatStats {
+  std::int64_t flips = 0;
+  int tries = 0;
+  std::string summary() const {
+    return "flips=" + std::to_string(flips) +
+           " tries=" + std::to_string(tries);
+  }
+};
+
+/// Runs WalkSAT on \p f.  Returns kSat with a model, or kUnknown when
+/// the flip budget is exhausted — never kUnsat.
+class WalkSatSolver {
+ public:
+  explicit WalkSatSolver(const CnfFormula& f, WalkSatOptions opts = {});
+
+  SolveResult solve();
+
+  const std::vector<lbool>& model() const { return model_; }
+  const WalkSatStats& stats() const { return stats_; }
+
+ private:
+  std::int64_t break_count(Var v) const;
+  void flip(Var v);
+  void random_assignment();
+
+  const CnfFormula& formula_;
+  WalkSatOptions opts_;
+  WalkSatStats stats_;
+  std::vector<char> assign_;                       ///< current assignment
+  std::vector<int> true_count_;                    ///< per clause
+  std::vector<std::vector<std::size_t>> occurs_;   ///< per literal index
+  std::vector<std::size_t> unsat_clauses_;         ///< ids, unordered
+  std::vector<std::ptrdiff_t> unsat_pos_;          ///< clause -> index or -1
+  std::vector<lbool> model_;
+  std::mt19937_64 rng_{0};
+};
+
+}  // namespace sateda::sat

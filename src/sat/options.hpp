@@ -1,0 +1,104 @@
+/// \file options.hpp
+/// \brief Configuration knobs and counters for the CDCL engine.
+///
+/// Every technique the paper identifies as characterizing "modern
+/// backtrack search SAT algorithms" (§4.1, §6) is an independent
+/// switch here so the benchmark harnesses can ablate them:
+/// non-chronological backtracking, clause recording, relevance-based
+/// learning, restarts and randomization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sateda::sat {
+
+/// How learnt clauses are retired from the database (paper §4.1,
+/// property 2-3: "in most cases large recorded clauses are eventually
+/// deleted"; relevance-based learning "extends the life-span of large
+/// recorded clauses").
+enum class DeletionPolicy {
+  kNever,          ///< keep every learnt clause (unbounded growth)
+  kActivity,       ///< MiniSat-style: halve DB by activity when full
+  kRelevance,      ///< rel_sat-style: also keep clauses with few unbound literals
+  kSizeBounded,    ///< GRASP-style: immediately drop clauses larger than a bound
+};
+
+/// Backtracking discipline on conflicts (paper §4.1 property 1).
+enum class BacktrackMode {
+  kNonChronological,  ///< backjump to the assertion level of the learnt clause
+  kChronological,     ///< undo only the most recent decision level
+};
+
+/// Tunables for sat::Solver.  Defaults reproduce a GRASP/Chaff-flavoured
+/// modern solver; benches flip individual switches.
+struct SolverOptions {
+  // --- conflict analysis / learning -------------------------------
+  bool clause_learning = true;       ///< record conflict-induced clauses (§4.1 prop. 2)
+  BacktrackMode backtrack = BacktrackMode::kNonChronological;
+  bool minimize_learnt = true;       ///< self-subsumption minimization of learnt clauses
+  DeletionPolicy deletion = DeletionPolicy::kActivity;
+  int size_bound = 20;               ///< for kSizeBounded: max kept learnt size
+  int relevance_bound = 4;           ///< for kRelevance: keep if ≤ r unbound literals
+  double max_learnts_frac = 0.33;    ///< DB cap as a fraction of problem clauses
+  double learnts_growth = 1.1;       ///< cap growth factor per reduction
+
+  // --- decisions ---------------------------------------------------
+  double var_decay = 0.95;           ///< VSIDS activity decay
+  double clause_decay = 0.999;       ///< clause activity decay
+  double random_var_freq = 0.02;     ///< probability of a random branch (§6 randomization)
+  bool phase_saving = true;          ///< reuse last polarity of a variable
+  bool default_polarity = false;     ///< polarity when no saved phase exists
+  std::uint64_t seed = 91648253;     ///< RNG seed for randomized decisions
+
+  // --- restarts (§6: randomization with restarts) ------------------
+  bool restarts = true;
+  int restart_base = 100;            ///< conflicts before first restart (Luby unit)
+  double restart_inc = 2.0;          ///< Luby sequence multiplier base
+
+  // --- resource budgets --------------------------------------------
+  std::int64_t conflict_budget = -1;    ///< stop with kUnknown after this many conflicts (<0: off)
+  std::int64_t propagation_budget = -1; ///< likewise for propagations
+};
+
+/// Counters reported by the solver; every bench prints these so the
+/// reproduction tables can show decisions/conflicts alongside time.
+struct SolverStats {
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  std::int64_t conflicts = 0;
+  std::int64_t restarts = 0;
+  std::int64_t learnt_clauses = 0;
+  std::int64_t learnt_literals = 0;
+  std::int64_t deleted_clauses = 0;
+  std::int64_t minimized_literals = 0;
+  std::int64_t max_decision_level = 0;
+  std::int64_t solve_calls = 0;
+
+  std::string summary() const {
+    return "decisions=" + std::to_string(decisions) +
+           " propagations=" + std::to_string(propagations) +
+           " conflicts=" + std::to_string(conflicts) +
+           " restarts=" + std::to_string(restarts) +
+           " learnt=" + std::to_string(learnt_clauses) +
+           " deleted=" + std::to_string(deleted_clauses);
+  }
+};
+
+/// Outcome of a solve() call.
+enum class SolveResult {
+  kSat,      ///< a satisfying assignment was found (see Solver::model())
+  kUnsat,    ///< the formula (under the given assumptions) is unsatisfiable
+  kUnknown,  ///< a resource budget was exhausted
+};
+
+inline std::string to_string(SolveResult r) {
+  switch (r) {
+    case SolveResult::kSat: return "SATISFIABLE";
+    case SolveResult::kUnsat: return "UNSATISFIABLE";
+    case SolveResult::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+}  // namespace sateda::sat

@@ -1,0 +1,376 @@
+#include "sat/preprocess.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sateda::sat {
+
+namespace {
+
+/// Working state for the preprocessing rounds.
+struct Work {
+  std::vector<std::vector<Lit>> clauses;  // live clauses (sorted literal sets)
+  std::vector<char> dead;                 // per clause
+  std::vector<lbool> fixed;               // per var
+  std::vector<Lit> substituted;           // per var; kUndefLit if none
+  PreprocessStats stats;
+  bool unsat = false;
+
+  int num_vars() const { return static_cast<int>(fixed.size()); }
+
+  /// Follows the substitution chain for a literal.
+  Lit resolve(Lit l) const {
+    while (substituted[l.var()].is_defined()) {
+      l = substituted[l.var()] ^ l.negative();
+    }
+    return l;
+  }
+
+  void fix(Lit l) {
+    l = resolve(l);
+    Var v = l.var();
+    lbool want = lbool(!l.negative());
+    if (fixed[v].is_undef()) {
+      fixed[v] = want;
+      ++stats.units_fixed;
+    } else if (!(fixed[v] == want)) {
+      unsat = true;
+    }
+  }
+};
+
+/// Rewrites every live clause through substitutions and fixed values.
+/// Returns true if anything changed.
+bool apply_assignments(Work& w) {
+  bool changed = false;
+  for (std::size_t ci = 0; ci < w.clauses.size() && !w.unsat; ++ci) {
+    if (w.dead[ci]) continue;
+    auto& c = w.clauses[ci];
+    std::vector<Lit> out;
+    out.reserve(c.size());
+    bool satisfied = false;
+    for (Lit l : c) {
+      Lit r = w.resolve(l);
+      lbool v = w.fixed[r.var()];
+      lbool lv = v ^ r.negative();
+      if (lv.is_true()) {
+        satisfied = true;
+        break;
+      }
+      if (lv.is_false()) continue;
+      out.push_back(r);
+    }
+    if (satisfied) {
+      w.dead[ci] = 1;
+      changed = true;
+      continue;
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    bool tautology = false;
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      if (out[i].var() == out[i + 1].var()) {
+        tautology = true;
+        break;
+      }
+    }
+    if (tautology) {
+      w.dead[ci] = 1;
+      changed = true;
+      continue;
+    }
+    if (out.empty()) {
+      w.unsat = true;
+      return true;
+    }
+    if (out.size() == 1) {
+      w.fix(out[0]);
+      w.dead[ci] = 1;
+      changed = true;
+      continue;
+    }
+    if (out != c) {
+      c = std::move(out);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+/// Pure-literal elimination: a variable occurring with a single
+/// polarity can be fixed to that polarity.
+bool eliminate_pure_literals(Work& w) {
+  const int nv = w.num_vars();
+  std::vector<int> pos_occ(nv, 0), neg_occ(nv, 0);
+  for (std::size_t ci = 0; ci < w.clauses.size(); ++ci) {
+    if (w.dead[ci]) continue;
+    for (Lit l : w.clauses[ci]) {
+      (l.negative() ? neg_occ : pos_occ)[l.var()]++;
+    }
+  }
+  bool changed = false;
+  for (Var v = 0; v < nv; ++v) {
+    if (!w.fixed[v].is_undef() || w.substituted[v].is_defined()) continue;
+    if (pos_occ[v] + neg_occ[v] == 0) continue;
+    if (neg_occ[v] == 0) {
+      w.fixed[v] = l_true;
+      ++w.stats.pure_literals;
+      changed = true;
+    } else if (pos_occ[v] == 0) {
+      w.fixed[v] = l_false;
+      ++w.stats.pure_literals;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+/// Iterative Tarjan SCC over the binary implication graph; literals in
+/// one SCC are pairwise equivalent (paper §6 equivalency reasoning).
+bool equivalency_reasoning(Work& w) {
+  const int nv = w.num_vars();
+  const int n_nodes = 2 * nv;
+  std::vector<std::vector<std::int32_t>> adj(n_nodes);
+  for (std::size_t ci = 0; ci < w.clauses.size(); ++ci) {
+    if (w.dead[ci]) continue;
+    const auto& c = w.clauses[ci];
+    if (c.size() != 2) continue;
+    // (a + b): ¬a → b and ¬b → a.
+    adj[(~c[0]).index()].push_back(c[1].index());
+    adj[(~c[1]).index()].push_back(c[0].index());
+  }
+
+  std::vector<std::int32_t> idx(n_nodes, -1), low(n_nodes, 0), comp(n_nodes, -1);
+  std::vector<char> on_stack(n_nodes, 0);
+  std::vector<std::int32_t> stack;
+  std::int32_t counter = 0, n_comps = 0;
+
+  struct Frame {
+    std::int32_t node;
+    std::size_t child;
+  };
+  std::vector<Frame> call;
+  for (std::int32_t root = 0; root < n_nodes; ++root) {
+    if (idx[root] != -1) continue;
+    call.push_back({root, 0});
+    while (!call.empty()) {
+      Frame& f = call.back();
+      std::int32_t u = f.node;
+      if (f.child == 0) {
+        idx[u] = low[u] = counter++;
+        stack.push_back(u);
+        on_stack[u] = 1;
+      }
+      bool descended = false;
+      while (f.child < adj[u].size()) {
+        std::int32_t v = adj[u][f.child++];
+        if (idx[v] == -1) {
+          call.push_back({v, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[v]) low[u] = std::min(low[u], idx[v]);
+      }
+      if (descended) continue;
+      if (low[u] == idx[u]) {
+        while (true) {
+          std::int32_t v = stack.back();
+          stack.pop_back();
+          on_stack[v] = 0;
+          comp[v] = n_comps;
+          if (v == u) break;
+        }
+        ++n_comps;
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        Frame& parent = call.back();
+        low[parent.node] = std::min(low[parent.node], low[u]);
+      }
+    }
+  }
+
+  // Representative per component: the literal with the smallest index.
+  std::vector<std::int32_t> rep(n_comps, -1);
+  for (std::int32_t node = 0; node < n_nodes; ++node) {
+    std::int32_t c = comp[node];
+    if (rep[c] == -1 || node < rep[c]) rep[c] = node;
+  }
+
+  bool changed = false;
+  for (Var v = 0; v < nv; ++v) {
+    if (!w.fixed[v].is_undef() || w.substituted[v].is_defined()) continue;
+    Lit p = pos(v);
+    Lit n = neg(v);
+    if (comp[p.index()] == comp[n.index()]) {
+      w.unsat = true;
+      return true;
+    }
+    Lit r = Lit::from_index(rep[comp[p.index()]]);
+    if (r == p) continue;
+    assert(r.index() < p.index());
+    w.substituted[v] = r;
+    ++w.stats.equivalent_vars_eliminated;
+    changed = true;
+  }
+  return changed;
+}
+
+/// Subsumption and self-subsuming resolution.
+bool subsume_pass(Work& w, bool do_subsumption, bool do_self_subsumption) {
+  const int nv = w.num_vars();
+  std::vector<std::vector<std::size_t>> occur(2 * static_cast<std::size_t>(nv));
+  for (std::size_t ci = 0; ci < w.clauses.size(); ++ci) {
+    if (w.dead[ci]) continue;
+    for (Lit l : w.clauses[ci]) occur[l.index()].push_back(ci);
+  }
+  std::vector<char> mark(2 * static_cast<std::size_t>(nv), 0);
+  bool changed = false;
+  constexpr std::size_t kMaxSubsumerSize = 24;
+
+  for (std::size_t ci = 0; ci < w.clauses.size(); ++ci) {
+    if (w.dead[ci]) continue;
+    const auto& c = w.clauses[ci];
+    if (c.size() > kMaxSubsumerSize) continue;
+    // Forward subsumption: find clauses d ⊇ c via c's least-occurring literal.
+    if (do_subsumption) {
+      Lit best = c[0];
+      for (Lit l : c) {
+        if (occur[l.index()].size() < occur[best.index()].size()) best = l;
+      }
+      for (Lit l : c) mark[l.index()] = 1;
+      for (std::size_t di : occur[best.index()]) {
+        if (di == ci || w.dead[di]) continue;
+        const auto& d = w.clauses[di];
+        if (d.size() < c.size()) continue;
+        std::size_t hit = 0;
+        for (Lit l : d) {
+          if (mark[l.index()]) ++hit;
+        }
+        if (hit == c.size()) {
+          w.dead[di] = 1;
+          ++w.stats.clauses_subsumed;
+          changed = true;
+        }
+      }
+      for (Lit l : c) mark[l.index()] = 0;
+    }
+    // Self-subsuming resolution: if c with one literal flipped is a
+    // subset of d, the flipped literal can be removed from d.
+    if (do_self_subsumption) {
+      for (std::size_t li = 0; li < c.size(); ++li) {
+        Lit flip = c[li];
+        for (Lit l : c) mark[l.index()] = 1;
+        mark[flip.index()] = 0;
+        mark[(~flip).index()] = 1;
+        for (std::size_t di : occur[(~flip).index()]) {
+          if (di == ci || w.dead[di]) continue;
+          auto& d = w.clauses[di];
+          if (d.size() < c.size()) continue;
+          std::size_t hit = 0;
+          bool has_flip = false;
+          for (Lit l : d) {
+            if (mark[l.index()]) ++hit;
+            if (l == ~flip) has_flip = true;
+          }
+          if (has_flip && hit == c.size()) {
+            d.erase(std::remove(d.begin(), d.end(), ~flip), d.end());
+            ++w.stats.literals_self_subsumed;
+            changed = true;
+            if (d.size() == 1) {
+              w.fix(d[0]);
+              w.dead[di] = 1;
+              if (w.unsat) {
+                for (Lit l : c) mark[l.index()] = 0;
+                mark[(~flip).index()] = 0;
+                return true;
+              }
+            }
+          }
+        }
+        for (Lit l : c) mark[l.index()] = 0;
+        mark[(~flip).index()] = 0;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+std::vector<lbool> PreprocessResult::reconstruct_model(
+    const std::vector<lbool>& simplified_model) const {
+  std::vector<lbool> out(fixed.size(), l_undef);
+  for (Var v = 0; v < static_cast<Var>(fixed.size()); ++v) {
+    Lit l = pos(v);
+    while (substituted[l.var()].is_defined()) {
+      l = substituted[l.var()] ^ l.negative();
+    }
+    lbool base = fixed[l.var()];
+    if (base.is_undef() &&
+        static_cast<std::size_t>(l.var()) < simplified_model.size()) {
+      base = simplified_model[l.var()];
+    }
+    if (base.is_undef()) base = l_false;
+    out[v] = base ^ l.negative();
+  }
+  return out;
+}
+
+PreprocessResult preprocess(const CnfFormula& f, PreprocessOptions opts) {
+  Work w;
+  w.fixed.assign(f.num_vars(), l_undef);
+  w.substituted.assign(f.num_vars(), kUndefLit);
+  w.clauses.reserve(f.num_clauses());
+  w.dead.assign(f.num_clauses(), 0);
+  for (const Clause& c : f) {
+    w.clauses.emplace_back(c.begin(), c.end());
+  }
+
+  bool changed = true;
+  while (changed && !w.unsat && w.stats.rounds < opts.max_rounds) {
+    ++w.stats.rounds;
+    changed = false;
+    // Folding substitutions/fixed values into the clauses (which also
+    // performs unit propagation) is mandatory for the soundness of the
+    // later passes, so it runs regardless of opts.unit_propagation.
+    changed |= apply_assignments(w);
+    if (w.unsat) break;
+    if (opts.pure_literals) {
+      changed |= eliminate_pure_literals(w);
+      if (changed) {
+        apply_assignments(w);
+        if (w.unsat) break;
+      }
+    }
+    if (opts.equivalency_reasoning) {
+      changed |= equivalency_reasoning(w);
+      if (w.unsat) break;
+      if (changed) {
+        apply_assignments(w);
+        if (w.unsat) break;
+      }
+    }
+    if (opts.subsumption || opts.self_subsumption) {
+      changed |= subsume_pass(w, opts.subsumption, opts.self_subsumption);
+      if (w.unsat) break;
+    }
+  }
+
+  PreprocessResult result;
+  result.unsat = w.unsat;
+  result.stats = w.stats;
+  result.fixed = w.fixed;
+  result.substituted = w.substituted;
+  if (!w.unsat) {
+    CnfFormula out(f.num_vars());
+    for (std::size_t ci = 0; ci < w.clauses.size(); ++ci) {
+      if (w.dead[ci]) continue;
+      out.add_clause(Clause(w.clauses[ci]));
+    }
+    result.simplified = std::move(out);
+  }
+  return result;
+}
+
+}  // namespace sateda::sat

@@ -1,0 +1,80 @@
+/// \file preprocess.hpp
+/// \brief CNF preprocessing (paper §4.1 "Preprocess()" and §6
+///        "equivalency reasoning").
+///
+/// Implements the simplifications the paper highlights as profitable
+/// before search:
+///  * unit propagation and pure-literal elimination to fixpoint,
+///  * clause subsumption and self-subsuming resolution,
+///  * equivalency reasoning: equivalence clauses (x + ¬y)·(¬x + y)
+///    indicate x ≡ y, so y is replaced by x and one variable is
+///    eliminated (§6).  Detected as strongly connected components of
+///    the binary implication graph, so chains and derived
+///    equivalences are found too.
+///
+/// The variable space is preserved (no renumbering); eliminated
+/// variables simply stop occurring.  reconstruct_model() lifts a model
+/// of the simplified formula back to the original variables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace sateda::sat {
+
+/// Which preprocessing passes to run.
+struct PreprocessOptions {
+  // Unit propagation always runs: it is required for the soundness of
+  // the optional passes below.
+  bool pure_literals = true;
+  bool equivalency_reasoning = true;  ///< §6
+  bool subsumption = true;
+  bool self_subsumption = true;
+  int max_rounds = 10;  ///< fixpoint iteration bound
+};
+
+/// Counters for reporting (bench E3).
+struct PreprocessStats {
+  int units_fixed = 0;
+  int pure_literals = 0;
+  int equivalent_vars_eliminated = 0;
+  int clauses_subsumed = 0;
+  int literals_self_subsumed = 0;
+  int rounds = 0;
+
+  std::string summary() const {
+    return "units=" + std::to_string(units_fixed) +
+           " pures=" + std::to_string(pure_literals) +
+           " equiv_elim=" + std::to_string(equivalent_vars_eliminated) +
+           " subsumed=" + std::to_string(clauses_subsumed) +
+           " self_subsumed=" + std::to_string(literals_self_subsumed);
+  }
+};
+
+/// Result of preprocessing.  If unsat is true the original formula is
+/// unsatisfiable and `simplified` is meaningless.
+class PreprocessResult {
+ public:
+  bool unsat = false;
+  CnfFormula simplified;
+  PreprocessStats stats;
+
+  /// Lifts a model of `simplified` (indexed over the original variable
+  /// space; entries for eliminated variables may be anything) to a
+  /// model of the original formula.  Unconstrained variables default
+  /// to false.
+  std::vector<lbool> reconstruct_model(
+      const std::vector<lbool>& simplified_model) const;
+
+  // Internal reconstruction data (public for tests).
+  std::vector<lbool> fixed;      ///< root-level forced values (l_undef if free)
+  std::vector<Lit> substituted;  ///< var -> representative literal (or kUndefLit)
+};
+
+/// Runs preprocessing on \p f.
+PreprocessResult preprocess(const CnfFormula& f, PreprocessOptions opts = {});
+
+}  // namespace sateda::sat

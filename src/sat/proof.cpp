@@ -1,0 +1,166 @@
+#include "sat/proof.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace sateda::sat {
+
+bool Proof::derives_empty_clause() const {
+  for (const Step& s : steps_) {
+    if (!s.deletion && s.lits.empty()) return true;
+  }
+  return false;
+}
+
+void Proof::write_drat(std::ostream& out) const {
+  for (const Step& s : steps_) {
+    if (s.deletion) out << "d ";
+    for (Lit l : s.lits) {
+      out << (l.negative() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+    }
+    out << "0\n";
+  }
+}
+
+std::string Proof::to_drat_string() const {
+  std::ostringstream out;
+  write_drat(out);
+  return out.str();
+}
+
+namespace {
+
+/// Minimal propagation engine for the checker: occurrence lists plus
+/// counters, rebuilt per proof check (clarity over speed; the checker
+/// audits, it does not race).
+class CheckEngine {
+ public:
+  explicit CheckEngine(int num_vars) : assigns_(num_vars, l_undef) {
+    occurs_.resize(2 * static_cast<std::size_t>(std::max(num_vars, 1)));
+  }
+
+  std::size_t add_clause(const std::vector<Lit>& lits) {
+    std::size_t id = clauses_.size();
+    clauses_.push_back(lits);
+    live_.push_back(1);
+    for (Lit l : lits) occurs_[l.index()].push_back(id);
+    return id;
+  }
+
+  /// Marks the first live clause equal (as a multiset) to \p lits dead.
+  bool remove_clause(const std::vector<Lit>& lits) {
+    std::vector<Lit> sorted = lits;
+    std::sort(sorted.begin(), sorted.end());
+    if (lits.empty()) return false;
+    for (std::size_t id : occurs_[lits[0].index()]) {
+      if (!live_[id]) continue;
+      std::vector<Lit> cand = clauses_[id];
+      std::sort(cand.begin(), cand.end());
+      if (cand == sorted) {
+        live_[id] = 0;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// RUP test: does asserting the complements of \p lits propagate to
+  /// a conflict under the current live clause set?
+  bool rup(const std::vector<Lit>& lits) {
+    std::vector<Lit> trail;
+    bool conflict = false;
+    auto assign = [&](Lit l) {
+      lbool v = value(l);
+      if (v.is_false()) {
+        conflict = true;
+        return;
+      }
+      if (v.is_true()) return;
+      assigns_[l.var()] = lbool(!l.negative());
+      trail.push_back(l);
+    };
+    for (Lit l : lits) {
+      assign(~l);
+      if (conflict) break;
+    }
+    // Saturate unit propagation (fixpoint over live clauses touched by
+    // trail growth; simple quadratic sweep is fine at checker scale).
+    bool changed = !conflict;
+    while (changed && !conflict) {
+      changed = false;
+      for (std::size_t id = 0; id < clauses_.size() && !conflict; ++id) {
+        if (!live_[id]) continue;
+        Lit unit = kUndefLit;
+        bool satisfied = false;
+        int unassigned = 0;
+        for (Lit l : clauses_[id]) {
+          lbool v = value(l);
+          if (v.is_true()) {
+            satisfied = true;
+            break;
+          }
+          if (v.is_undef()) {
+            ++unassigned;
+            unit = l;
+          }
+        }
+        if (satisfied) continue;
+        if (unassigned == 0) {
+          conflict = true;
+        } else if (unassigned == 1) {
+          assign(unit);
+          changed = true;
+        }
+      }
+    }
+    for (Lit l : trail) assigns_[l.var()] = l_undef;
+    return conflict;
+  }
+
+ private:
+  lbool value(Lit l) const { return assigns_[l.var()] ^ l.negative(); }
+
+  std::vector<std::vector<Lit>> clauses_;
+  std::vector<char> live_;
+  std::vector<std::vector<std::size_t>> occurs_;
+  std::vector<lbool> assigns_;
+};
+
+}  // namespace
+
+ProofCheckResult check_rup_proof(const CnfFormula& formula,
+                                 const Proof& proof) {
+  ProofCheckResult result;
+  int num_vars = formula.num_vars();
+  for (const Proof::Step& s : proof.steps()) {
+    for (Lit l : s.lits) num_vars = std::max(num_vars, l.var() + 1);
+  }
+  CheckEngine engine(num_vars);
+  for (const Clause& c : formula) {
+    engine.add_clause(std::vector<Lit>(c.begin(), c.end()));
+  }
+  for (std::size_t i = 0; i < proof.steps().size(); ++i) {
+    const Proof::Step& s = proof.steps()[i];
+    if (s.deletion) {
+      // Deleting a clause can only weaken the database; a missing
+      // clause is reported but does not invalidate the proof.
+      engine.remove_clause(s.lits);
+      continue;
+    }
+    if (!engine.rup(s.lits)) {
+      result.failed_step = i;
+      result.message = "step " + std::to_string(i) + " is not RUP";
+      return result;
+    }
+    engine.add_clause(s.lits);
+    if (s.lits.empty()) break;  // refutation complete
+  }
+  result.valid = true;
+  result.refutation = proof.derives_empty_clause();
+  result.message = result.refutation ? "verified refutation"
+                                     : "valid derivation (no refutation)";
+  return result;
+}
+
+}  // namespace sateda::sat

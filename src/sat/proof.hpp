@@ -1,0 +1,79 @@
+/// \file proof.hpp
+/// \brief DRUP/DRAT-style proof logging and checking.
+///
+/// The paper's EDA use cases lean heavily on *unsatisfiability*
+/// (equivalence proofs, redundancy identification, false-path
+/// proofs).  A modern solver makes those answers auditable by
+/// emitting a clausal proof: every learnt clause is a reverse-unit-
+/// propagation (RUP) consequence of the formula plus earlier learnt
+/// clauses, and an UNSAT run ends with the empty clause.  This module
+/// provides the solver-side logger and an independent RUP checker so
+/// the test suite can verify the engine's refutations end to end.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace sateda::sat {
+
+/// Hook the solver calls as it derives/deletes clauses.
+class ProofLogger {
+ public:
+  virtual ~ProofLogger() = default;
+  /// A clause derived by conflict analysis (RUP w.r.t. the current
+  /// database).  An empty vector is the final refutation.
+  virtual void on_derive(const std::vector<Lit>& lits) = 0;
+  /// A learnt clause retired by the deletion policy.
+  virtual void on_delete(const std::vector<Lit>& lits) = 0;
+};
+
+/// In-memory proof: the sequence of derivations/deletions.
+class Proof : public ProofLogger {
+ public:
+  struct Step {
+    bool deletion = false;
+    std::vector<Lit> lits;
+  };
+
+  void on_derive(const std::vector<Lit>& lits) override {
+    steps_.push_back({false, lits});
+  }
+  void on_delete(const std::vector<Lit>& lits) override {
+    steps_.push_back({true, lits});
+  }
+
+  const std::vector<Step>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+
+  /// True iff the proof ends (somewhere) with the empty clause.
+  bool derives_empty_clause() const;
+
+  /// Serializes in the standard DRAT text format ("d" lines for
+  /// deletions, DIMACS literals, 0 terminators).
+  void write_drat(std::ostream& out) const;
+  std::string to_drat_string() const;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+/// Result of checking a proof against a formula.
+struct ProofCheckResult {
+  bool valid = false;       ///< every derivation is RUP
+  bool refutation = false;  ///< valid AND derives the empty clause
+  std::size_t failed_step = 0;  ///< first non-RUP step when !valid
+  std::string message;
+};
+
+/// Independent RUP check: for each derived clause C, unit propagation
+/// on (formula ∪ earlier derivations \ deletions) ∪ ¬C must reach a
+/// conflict.  Deliberately written against its own little propagation
+/// engine — it shares no code with the solver it audits.
+ProofCheckResult check_rup_proof(const CnfFormula& formula,
+                                 const Proof& proof);
+
+}  // namespace sateda::sat

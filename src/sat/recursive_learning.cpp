@@ -1,0 +1,254 @@
+#include "sat/recursive_learning.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sateda::sat {
+
+namespace {
+
+/// Trail-based propagation engine with counter-based BCP, shared by
+/// all recursion levels.
+class Engine {
+ public:
+  Engine(const CnfFormula& f, RecursiveLearningOptions opts)
+      : formula_(f), opts_(opts) {
+    const int nv = f.num_vars();
+    assigns_.assign(nv, l_undef);
+    occurs_.resize(2 * static_cast<std::size_t>(std::max(nv, 1)));
+    unassigned_.resize(f.num_clauses());
+    true_count_.assign(f.num_clauses(), 0);
+    for (std::size_t ci = 0; ci < f.num_clauses(); ++ci) {
+      const Clause& c = f.clause(ci);
+      unassigned_[ci] = static_cast<int>(c.size());
+      for (Lit l : c) occurs_[l.index()].push_back(ci);
+    }
+  }
+
+  lbool value(Lit l) const { return assigns_[l.var()] ^ l.negative(); }
+
+  std::size_t trail_size() const { return trail_.size(); }
+  Lit trail_at(std::size_t i) const { return trail_[i]; }
+
+  /// Assigns + propagates; returns false on conflict (state remains
+  /// consistent for undo_to()).
+  bool assign_and_propagate(Lit l) {
+    std::size_t from = trail_.size();
+    if (!assign(l)) {
+      return false;
+    }
+    return propagate(from);
+  }
+
+  void undo_to(std::size_t mark) {
+    while (trail_.size() > mark) {
+      Lit l = trail_.back();
+      trail_.pop_back();
+      assigns_[l.var()] = l_undef;
+      for (std::size_t ci : occurs_[l.index()]) {
+        --true_count_[ci];
+        ++unassigned_[ci];
+      }
+      for (std::size_t ci : occurs_[(~l).index()]) ++unassigned_[ci];
+    }
+  }
+
+  /// Recursive-learning pass at \p depth over the current state.
+  /// Appends to result_ when \p record is true (top level only).
+  /// Returns false if the current state is refuted.
+  bool learn(int depth, bool record, RecursiveLearningResult& result,
+             const std::vector<Lit>& context) {
+    for (int round = 0; round < opts_.max_rounds; ++round) {
+      bool changed = false;
+      for (std::size_t ci = 0; ci < formula_.num_clauses(); ++ci) {
+        if (budget_exhausted()) return true;  // give up quietly
+        if (true_count_[ci] > 0) continue;
+        const Clause& c = formula_.clause(ci);
+        if (c.size() > opts_.max_clause_width) continue;
+        if (unassigned_[ci] < 2) continue;  // units handled by BCP
+        ++result.stats.clauses_examined;
+
+        // Branch on every way of satisfying ω (Fig. 4).
+        std::vector<Lit> branch_lits;
+        for (Lit l : c) {
+          if (value(l).is_undef()) branch_lits.push_back(l);
+        }
+        std::vector<Lit> common;
+        bool first_branch = true;
+        bool all_conflict = true;
+        std::vector<Lit> failed;  // branch literals that conflict
+        for (Lit bl : branch_lits) {
+          ++result.stats.branches;
+          ++probes_;
+          const std::size_t mark = trail_.size();
+          bool ok = assign_and_propagate(bl);
+          if (ok && depth > 1) {
+            ok = learn(depth - 1, /*record=*/false, result, context);
+          }
+          if (!ok) {
+            undo_to(mark);
+            failed.push_back(bl);
+            continue;
+          }
+          all_conflict = false;
+          if (first_branch) {
+            common.assign(trail_.begin() + static_cast<std::ptrdiff_t>(mark),
+                          trail_.end());
+            first_branch = false;
+          } else {
+            // Intersect: keep literals implied in this branch too.
+            std::vector<Lit> kept;
+            for (Lit l : common) {
+              if (value(l).is_true()) kept.push_back(l);
+            }
+            common = std::move(kept);
+          }
+          undo_to(mark);
+          if (common.empty() && !first_branch) {
+            // Intersection already empty; only failed-literal facts
+            // can still come from later branches, so keep going.
+          }
+        }
+        if (all_conflict) return false;
+
+        // Complements of failed branch literals are necessary.
+        for (Lit fl : failed) {
+          if (!assert_necessary(~fl, record, result, context)) return false;
+          changed = true;
+        }
+        // Common implied assignments are necessary (Fig. 4).
+        for (Lit l : common) {
+          if (value(l).is_true()) continue;  // may have been asserted above
+          if (!assert_necessary(l, record, result, context)) return false;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    return true;
+  }
+
+  bool budget_exhausted() const { return probes_ >= opts_.probe_budget; }
+
+ private:
+  bool assign(Lit l) {
+    lbool v = value(l);
+    if (v.is_true()) return true;
+    if (v.is_false()) return false;
+    assigns_[l.var()] = lbool(!l.negative());
+    trail_.push_back(l);
+    for (std::size_t ci : occurs_[l.index()]) {
+      ++true_count_[ci];
+      --unassigned_[ci];
+    }
+    bool ok = true;
+    for (std::size_t ci : occurs_[(~l).index()]) {
+      if (--unassigned_[ci] == 0 && true_count_[ci] == 0) ok = false;
+    }
+    return ok;
+  }
+
+  bool propagate(std::size_t from) {
+    for (std::size_t i = from; i < trail_.size(); ++i) {
+      Lit assigned = trail_[i];
+      for (std::size_t ci : occurs_[(~assigned).index()]) {
+        if (true_count_[ci] > 0) continue;
+        if (unassigned_[ci] == 0) return false;
+        if (unassigned_[ci] == 1) {
+          Lit unit = kUndefLit;
+          for (Lit l : formula_.clause(ci)) {
+            if (value(l).is_undef()) {
+              unit = l;
+              break;
+            }
+          }
+          assert(unit.is_defined());
+          if (!assign(unit)) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool assert_necessary(Lit l, bool record, RecursiveLearningResult& result,
+                        const std::vector<Lit>& context) {
+    lbool v = value(l);
+    if (v.is_true()) return true;
+    // A necessary literal that is currently false refutes the context
+    // (BCP missed the conflict; the intersection argument still holds).
+    if (v.is_false()) return false;
+    if (record) {
+      result.necessary.push_back(l);
+      ++result.stats.necessary_assignments;
+      // Explanation implicate: l is implied whenever the context holds
+      // (Fig. 4: (z=1)∧(u=0) ⇒ (x=1) recorded as (¬z + u + x)).
+      std::vector<Lit> expl;
+      expl.reserve(context.size() + 1);
+      for (Lit a : context) expl.push_back(~a);
+      expl.push_back(l);
+      result.implicates.emplace_back(std::move(expl));
+      ++result.stats.implicates_recorded;
+    }
+    return assign_and_propagate(l);
+  }
+
+  const CnfFormula& formula_;
+  RecursiveLearningOptions opts_;
+  std::vector<lbool> assigns_;
+  std::vector<std::vector<std::size_t>> occurs_;
+  std::vector<int> unassigned_;
+  std::vector<int> true_count_;
+  std::vector<Lit> trail_;
+  std::int64_t probes_ = 0;
+};
+
+}  // namespace
+
+RecursiveLearningResult recursive_learn(const CnfFormula& f,
+                                        const std::vector<Lit>& context,
+                                        RecursiveLearningOptions opts) {
+  RecursiveLearningResult result;
+  for (const Clause& c : f) {
+    if (c.empty()) {
+      result.unsat = true;
+      return result;
+    }
+  }
+  Engine engine(f, opts);
+  // Establish the context plus existing unit clauses.
+  for (Lit a : context) {
+    if (!engine.assign_and_propagate(a)) {
+      result.unsat = true;
+      return result;
+    }
+  }
+  for (const Clause& c : f) {
+    if (c.size() == 1 && engine.value(c[0]).is_undef()) {
+      if (!engine.assign_and_propagate(c[0])) {
+        result.unsat = true;
+        return result;
+      }
+    } else if (c.size() == 1 && engine.value(c[0]).is_false()) {
+      result.unsat = true;
+      return result;
+    }
+  }
+  if (!engine.learn(opts.depth, /*record=*/true, result, context)) {
+    result.unsat = true;
+  }
+  return result;
+}
+
+CnfFormula strengthen_with_recursive_learning(const CnfFormula& f,
+                                              RecursiveLearningOptions opts) {
+  RecursiveLearningResult r = recursive_learn(f, {}, opts);
+  CnfFormula out = f;
+  if (r.unsat) {
+    out.add_clause(Clause(std::vector<Lit>{}));  // empty clause: refuted
+    return out;
+  }
+  for (const Clause& c : r.implicates) out.add_clause(c);
+  return out;
+}
+
+}  // namespace sateda::sat

@@ -1,0 +1,678 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sateda::sat {
+
+Solver::Solver(SolverOptions opts)
+    : opts_(opts), order_(activity_), rng_(opts.seed) {}
+
+Var Solver::new_var() {
+  Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(l_undef);
+  level_.push_back(0);
+  reason_.push_back(kNullClause);
+  activity_.push_back(0.0);
+  // polarity_[v]==1 means "branch negative first".
+  polarity_.push_back(opts_.default_polarity ? 0 : 1);
+  decision_.push_back(1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  order_.insert(v);
+  return v;
+}
+
+void Solver::ensure_var(Var v) {
+  while (num_vars() <= v) new_var();
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+  for (Lit l : lits) {
+    assert(l.is_defined());
+    ensure_var(l.var());
+  }
+  // Normalize: sort, dedupe, drop tautologies and falsified literals.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  Lit prev = kUndefLit;
+  bool strengthened = false;  // dropped a root-falsified literal
+  for (Lit l : lits) {
+    if (l == prev) continue;
+    if (prev.is_defined() && l.var() == prev.var()) return true;  // tautology
+    if (value(l).is_true()) return true;  // already satisfied at root
+    if (!value(l).is_false()) {
+      out.push_back(l);
+    } else {
+      strengthened = true;
+    }
+    prev = l;
+  }
+  // A strengthened clause is a unit-propagation consequence of the
+  // input clause plus earlier root facts, so it is RUP-derivable.
+  if (proof_ && strengthened) proof_->on_derive(out);
+  if (out.empty()) {
+    ok_ = false;
+    if (proof_ && !strengthened) proof_->on_derive({});
+    return false;
+  }
+  if (out.size() == 1) {
+    if (!enqueue(out[0], kNullClause)) {
+      ok_ = false;
+      if (proof_) proof_->on_derive({});
+      return false;
+    }
+    if (deduce() != kNullClause) {
+      ok_ = false;
+      if (proof_) proof_->on_derive({});
+      return false;
+    }
+    return true;
+  }
+  attach_new_clause(Clause(std::move(out), /*learnt=*/false));
+  ++num_problem_clauses_;
+  return true;
+}
+
+bool Solver::add_formula(const CnfFormula& f) {
+  ensure_var(f.num_vars() - 1);
+  for (const Clause& c : f) {
+    if (!add_clause(std::vector<Lit>(c.begin(), c.end()))) return false;
+  }
+  return true;
+}
+
+ClauseRef Solver::attach_new_clause(Clause c) {
+  assert(c.size() >= 2);
+  ClauseRef cref = static_cast<ClauseRef>(clause_pool_.size());
+  clause_pool_.push_back(std::move(c));
+  attach_watches(cref);
+  return cref;
+}
+
+void Solver::attach_watches(ClauseRef cref) {
+  const Clause& c = clause_pool_[cref];
+  watches_[(~c[0]).index()].push_back({cref, c[1]});
+  watches_[(~c[1]).index()].push_back({cref, c[0]});
+}
+
+void Solver::detach_watches(ClauseRef cref) {
+  const Clause& c = clause_pool_[cref];
+  for (Lit w : {c[0], c[1]}) {
+    auto& list = watches_[(~w).index()];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].cref == cref) {
+        list[i] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::locked(ClauseRef cref) const {
+  const Clause& c = clause_pool_[cref];
+  return value(c[0]).is_true() && reason_[c[0].var()] == cref;
+}
+
+void Solver::remove_clause(ClauseRef cref) {
+  assert(!locked(cref));
+  detach_watches(cref);
+  Clause& c = clause_pool_[cref];
+  if (proof_ && c.learnt()) {
+    proof_->on_delete(std::vector<Lit>(c.begin(), c.end()));
+  }
+  c.mark_deleted();
+  ++stats_.deleted_clauses;
+}
+
+void Solver::simplify_db() {
+  assert(decision_level() == 0);
+  if (!ok_) return;
+  std::vector<ClauseRef> kept_learnts;
+  kept_learnts.reserve(learnts_.size());
+  for (ClauseRef cref = 0; cref < static_cast<ClauseRef>(clause_pool_.size());
+       ++cref) {
+    Clause& c = clause_pool_[cref];
+    if (c.deleted()) continue;
+    bool satisfied = false;
+    for (Lit l : c) {
+      if (value(l).is_true() && level_[l.var()] == 0) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) continue;
+    // Root-level reasons are never revisited by conflict analysis, so
+    // a satisfied reason clause can be released before removal.
+    if (locked(cref)) reason_[c[0].var()] = kNullClause;
+    // Deliberately skip proof deletion logging for problem clauses:
+    // keeping them in the checker's database only strengthens it.
+    detach_watches(cref);
+    if (proof_ && c.learnt()) {
+      proof_->on_delete(std::vector<Lit>(c.begin(), c.end()));
+    }
+    c.mark_deleted();
+    ++stats_.deleted_clauses;
+    if (!c.learnt() && num_problem_clauses_ > 0) --num_problem_clauses_;
+  }
+  for (ClauseRef cr : learnts_) {
+    if (!clause_pool_[cr].deleted()) kept_learnts.push_back(cr);
+  }
+  learnts_ = std::move(kept_learnts);
+}
+
+bool Solver::enqueue(Lit p, ClauseRef reason) {
+  lbool v = value(p);
+  if (v.is_false()) return false;
+  if (v.is_true()) return true;
+  assigns_[p.var()] = lbool(!p.negative());
+  level_[p.var()] = decision_level();
+  reason_[p.var()] = reason;
+  trail_.push_back(p);
+  if (listener_) listener_->on_assign(p, decision_level());
+  return true;
+}
+
+ClauseRef Solver::deduce() {
+  ClauseRef confl = kNullClause;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p is now true
+    ++stats_.propagations;
+    auto& ws = watches_[p.index()];
+    std::size_t i = 0, j = 0;
+    const std::size_t n = ws.size();
+    while (i < n) {
+      Watcher w = ws[i];
+      // Cheap test first: if the blocker is already true, skip.
+      if (value(w.blocker).is_true()) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      Clause& c = clause_pool_[w.cref];
+      const Lit false_lit = ~p;
+      if (c[0] == false_lit) std::swap(c.mutable_literals()[0],
+                                       c.mutable_literals()[1]);
+      assert(c[1] == false_lit);
+      ++i;
+      const Lit first = c[0];
+      if (first != w.blocker && value(first).is_true()) {
+        ws[j++] = {w.cref, first};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool found = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (!value(c[k]).is_false()) {
+          std::swap(c.mutable_literals()[1], c.mutable_literals()[k]);
+          watches_[(~c[1]).index()].push_back({w.cref, first});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      // Clause is unit or conflicting.
+      ws[j++] = {w.cref, first};
+      if (value(first).is_false()) {
+        confl = w.cref;
+        qhead_ = trail_.size();
+        while (i < n) ws[j++] = ws[i++];
+        break;
+      }
+      enqueue(first, w.cref);
+    }
+    ws.resize(j);
+    if (confl != kNullClause) break;
+  }
+  return confl;
+}
+
+void Solver::diagnose(ClauseRef confl, std::vector<Lit>& out_learnt,
+                      int& out_btlevel) {
+  int path_count = 0;
+  Lit p = kUndefLit;
+  out_learnt.clear();
+  out_learnt.push_back(kUndefLit);  // placeholder for the asserting literal
+  std::size_t index = trail_.size();
+
+  // Resolve backwards along the trail until the first unique
+  // implication point of the current decision level.
+  do {
+    assert(confl != kNullClause);
+    Clause& c = clause_pool_[confl];
+    if (c.learnt()) bump_clause_activity(c);
+    for (std::size_t j = (p.is_defined() ? 1 : 0); j < c.size(); ++j) {
+      Lit q = c[j];
+      if (!seen_[q.var()] && level_[q.var()] > 0) {
+        bump_var_activity(q.var());
+        seen_[q.var()] = 1;
+        if (level_[q.var()] >= decision_level()) {
+          ++path_count;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    while (!seen_[trail_[index - 1].var()]) --index;
+    p = trail_[--index];
+    confl = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  if (opts_.minimize_learnt) minimize_learnt(out_learnt);
+
+  // Backtrack level: the second-highest decision level in the clause.
+  out_btlevel = 0;
+  if (out_learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+      if (level_[out_learnt[i].var()] > level_[out_learnt[max_i].var()]) {
+        max_i = i;
+      }
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level_[out_learnt[1].var()];
+  }
+
+  for (Lit l : out_learnt) seen_[l.var()] = 0;
+  for (Lit l : analyze_clear_) seen_[l.var()] = 0;
+  analyze_clear_.clear();
+}
+
+void Solver::minimize_learnt(std::vector<Lit>& learnt) {
+  // Self-subsumption: a literal is redundant if its reason clause is
+  // covered by the remaining learnt literals (recursively).
+  for (Lit l : learnt) seen_[l.var()] = 1;
+  std::size_t j = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (reason_[learnt[i].var()] == kNullClause ||
+        !literal_redundant(learnt[i])) {
+      learnt[j++] = learnt[i];
+    } else {
+      // Removed literals keep their seen_ flag until diagnose() clears
+      // analyze_clear_ — record them there.
+      analyze_clear_.push_back(learnt[i]);
+      ++stats_.minimized_literals;
+    }
+  }
+  learnt.resize(j);
+  // seen_ flags for kept literals are cleared by the caller.
+}
+
+bool Solver::literal_redundant(Lit p) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(p);
+  const std::size_t top = analyze_clear_.size();
+  while (!analyze_stack_.empty()) {
+    Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    assert(reason_[q.var()] != kNullClause);
+    const Clause& c = clause_pool_[reason_[q.var()]];
+    for (std::size_t i = 1; i < c.size(); ++i) {
+      Lit l = c[i];
+      if (seen_[l.var()] || level_[l.var()] == 0) continue;
+      if (reason_[l.var()] == kNullClause) {
+        // Hit a decision not already in the learnt clause: not redundant.
+        for (std::size_t k = top; k < analyze_clear_.size(); ++k) {
+          seen_[analyze_clear_[k].var()] = 0;
+        }
+        analyze_clear_.resize(top);
+        return false;
+      }
+      seen_[l.var()] = 1;
+      analyze_clear_.push_back(l);
+      analyze_stack_.push_back(l);
+    }
+  }
+  return true;
+}
+
+void Solver::analyze_final(Lit p) {
+  conflict_core_.clear();
+  conflict_core_.push_back(~p);
+  if (decision_level() == 0) return;
+  seen_[p.var()] = 1;
+  for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(trail_lim_[0]);) {
+    Var x = trail_[i].var();
+    if (!seen_[x]) continue;
+    if (reason_[x] == kNullClause) {
+      assert(level_[x] > 0);
+      conflict_core_.push_back(trail_[i]);
+    } else {
+      const Clause& c = clause_pool_[reason_[x]];
+      for (std::size_t jj = 1; jj < c.size(); ++jj) {
+        if (level_[c[jj].var()] > 0) seen_[c[jj].var()] = 1;
+      }
+    }
+    seen_[x] = 0;
+  }
+  seen_[p.var()] = 0;
+}
+
+void Solver::erase_until(int target_level) {
+  if (decision_level() <= target_level) return;
+  const std::size_t bound = trail_lim_[target_level];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    Lit l = trail_[i];
+    Var v = l.var();
+    if (opts_.phase_saving) polarity_[v] = l.negative() ? 1 : 0;
+    assigns_[v] = l_undef;
+    reason_[v] = kNullClause;
+    if (decision_[v] && !order_.contains(v)) order_.insert(v);
+    if (listener_) listener_->on_unassign(l);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  qhead_ = trail_.size();
+}
+
+void Solver::bump_var_activity(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+    order_.rebuild();
+  }
+  order_.increased(v);
+}
+
+void Solver::decay_var_activity() { var_inc_ /= opts_.var_decay; }
+
+void Solver::bump_clause_activity(Clause& c) {
+  c.set_activity(c.activity() + clause_inc_);
+  if (c.activity() > 1e20) {
+    for (ClauseRef cr : learnts_) {
+      Clause& lc = clause_pool_[cr];
+      lc.set_activity(lc.activity() * 1e-20);
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::decay_clause_activity() { clause_inc_ /= opts_.clause_decay; }
+
+int Solver::unbound_literals(const Clause& c) const {
+  int n = 0;
+  for (Lit l : c) {
+    if (value(l).is_undef()) ++n;
+  }
+  return n;
+}
+
+int Solver::compute_lbd(const std::vector<Lit>& lits) {
+  // Number of distinct decision levels, a quality proxy.
+  std::vector<int> levels;
+  levels.reserve(lits.size());
+  for (Lit l : lits) levels.push_back(level_[l.var()]);
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  return static_cast<int>(levels.size());
+}
+
+void Solver::reduce_db() {
+  // Retire roughly half of the learnt clauses, keeping locked clauses,
+  // binary clauses and — under relevance-based learning (§4.1) —
+  // clauses with few unbound literals.
+  std::sort(learnts_.begin(), learnts_.end(), [this](ClauseRef a, ClauseRef b) {
+    const Clause& ca = clause_pool_[a];
+    const Clause& cb = clause_pool_[b];
+    if ((ca.size() > 2) != (cb.size() > 2)) return ca.size() > 2;
+    return ca.activity() < cb.activity();
+  });
+  const double median_activity =
+      learnts_.empty()
+          ? 0.0
+          : clause_pool_[learnts_[learnts_.size() / 2]].activity();
+  std::vector<ClauseRef> kept;
+  kept.reserve(learnts_.size());
+  std::size_t removed = 0;
+  const std::size_t half = learnts_.size() / 2;
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    ClauseRef cr = learnts_[i];
+    const Clause& c = clause_pool_[cr];
+    bool keep = locked(cr) ||
+                (c.size() <= 2 && !(opts_.deletion == DeletionPolicy::kSizeBounded &&
+                                    opts_.size_bound < 2));
+    if (!keep) {
+      switch (opts_.deletion) {
+        case DeletionPolicy::kNever:
+          keep = true;
+          break;
+        case DeletionPolicy::kActivity:
+          keep = i >= half && c.activity() >= median_activity;
+          break;
+        case DeletionPolicy::kRelevance:
+          keep = (i >= half && c.activity() >= median_activity) ||
+                 unbound_literals(c) <= opts_.relevance_bound;
+          break;
+        case DeletionPolicy::kSizeBounded:
+          keep = static_cast<int>(c.size()) <= opts_.size_bound;
+          break;
+      }
+    }
+    if (keep) {
+      kept.push_back(cr);
+    } else {
+      remove_clause(cr);
+      ++removed;
+    }
+  }
+  learnts_ = std::move(kept);
+  (void)removed;
+}
+
+Lit Solver::pick_branch_lit() {
+  if (listener_) {
+    Lit forced = listener_->choose_branch(*this);
+    if (forced.is_defined() && value(forced).is_undef()) return forced;
+  }
+  // Randomized decision (paper §6: randomization).
+  if (opts_.random_var_freq > 0 && !order_.empty()) {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    if (coin(rng_) < opts_.random_var_freq) {
+      std::uniform_int_distribution<Var> pick(0, num_vars() - 1);
+      for (int tries = 0; tries < 8; ++tries) {
+        Var v = pick(rng_);
+        if (value(v).is_undef() && decision_[v]) {
+          return Lit(v, polarity_[v] != 0);
+        }
+      }
+    }
+  }
+  while (!order_.empty()) {
+    Var v = order_.pop();
+    if (value(v).is_undef() && decision_[v]) {
+      // polarity_[v]==1 means "was last false" → branch negative.
+      return Lit(v, polarity_[v] != 0);
+    }
+  }
+  return kUndefLit;
+}
+
+Solver::DecideStatus Solver::decide() {
+  // Pending assumptions are consumed first (paper §6 incremental SAT).
+  Lit next = kUndefLit;
+  while (decision_level() < static_cast<int>(assumptions_.size())) {
+    Lit p = assumptions_[decision_level()];
+    if (value(p).is_true()) {
+      trail_lim_.push_back(static_cast<int>(trail_.size()));  // dummy level
+    } else if (value(p).is_false()) {
+      analyze_final(~p);
+      return DecideStatus::kAssumptionConflict;
+    } else {
+      next = p;
+      break;
+    }
+  }
+  if (!next.is_defined()) {
+    if (listener_ && listener_->satisfied(*this)) {
+      return DecideStatus::kSatisfied;
+    }
+    next = pick_branch_lit();
+    if (!next.is_defined()) return DecideStatus::kSatisfied;
+    ++stats_.decisions;
+  }
+  trail_lim_.push_back(static_cast<int>(trail_.size()));
+  stats_.max_decision_level =
+      std::max<std::int64_t>(stats_.max_decision_level, decision_level());
+  [[maybe_unused]] bool enq = enqueue(next, kNullClause);
+  assert(enq);
+  return DecideStatus::kDecision;
+}
+
+double Solver::luby(double y, int i) {
+  // Find the finite subsequence containing index i and its position.
+  int size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return std::pow(y, seq);
+}
+
+SolveResult Solver::search() {
+  int restart_count = 0;
+  std::int64_t restart_budget =
+      opts_.restarts
+          ? static_cast<std::int64_t>(
+                luby(opts_.restart_inc, restart_count) * opts_.restart_base)
+          : -1;
+  std::int64_t conflicts_this_restart = 0;
+  std::vector<Lit> learnt;
+
+  while (true) {
+    ClauseRef confl = deduce();
+    if (confl != kNullClause) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (decision_level() == 0) {
+        if (proof_) proof_->on_derive({});
+        return SolveResult::kUnsat;
+      }
+
+      int bt_level = 0;
+      diagnose(confl, learnt, bt_level);
+      if (proof_) proof_->on_derive(learnt);
+      if (opts_.backtrack == BacktrackMode::kChronological &&
+          learnt.size() > 1) {
+        // Undo only the most recent level; the 1-UIP clause is still
+        // asserting there because all non-UIP literals sit strictly
+        // below the conflict level.
+        bt_level = decision_level() - 1;
+      }
+      erase_until(bt_level);
+
+      if (learnt.size() == 1) {
+        erase_until(0);
+        [[maybe_unused]] bool enq = enqueue(learnt[0], kNullClause);
+        assert(enq);
+      } else {
+        Clause c(learnt, /*learnt=*/true);
+        c.set_lbd(compute_lbd(learnt));
+        ClauseRef cref = attach_new_clause(std::move(c));
+        learnts_.push_back(cref);
+        ++stats_.learnt_clauses;
+        stats_.learnt_literals += static_cast<std::int64_t>(learnt.size());
+        bump_clause_activity(clause_pool_[cref]);
+        [[maybe_unused]] bool enq = enqueue(learnt[0], cref);
+        assert(enq);
+      }
+      decay_var_activity();
+      decay_clause_activity();
+
+      // Budgets.
+      if (opts_.conflict_budget >= 0 &&
+          stats_.conflicts - conflicts_at_start_ >= opts_.conflict_budget) {
+        erase_until(0);
+        return SolveResult::kUnknown;
+      }
+      if (opts_.propagation_budget >= 0 &&
+          stats_.propagations - propagations_at_start_ >=
+              opts_.propagation_budget) {
+        erase_until(0);
+        return SolveResult::kUnknown;
+      }
+
+      // Clause-database maintenance.
+      const bool aggressive =
+          !opts_.clause_learning || opts_.deletion == DeletionPolicy::kSizeBounded;
+      if (opts_.deletion != DeletionPolicy::kNever) {
+        if (aggressive) {
+          if (stats_.conflicts % 64 == 0) reduce_db();
+        } else if (static_cast<double>(learnts_.size()) >=
+                   max_learnts_ + num_assigned()) {
+          reduce_db();
+          max_learnts_ *= opts_.learnts_growth;
+        }
+      }
+      continue;
+    }
+
+    // No conflict: restart?
+    if (restart_budget >= 0 && conflicts_this_restart >= restart_budget) {
+      erase_until(0);
+      ++stats_.restarts;
+      ++restart_count;
+      conflicts_this_restart = 0;
+      restart_budget = static_cast<std::int64_t>(
+          luby(opts_.restart_inc, restart_count) * opts_.restart_base);
+      if (listener_) listener_->on_restart();
+      continue;
+    }
+
+    switch (decide()) {
+      case DecideStatus::kDecision:
+        break;
+      case DecideStatus::kSatisfied: {
+        model_.assign(assigns_.begin(), assigns_.end());
+        return SolveResult::kSat;
+      }
+      case DecideStatus::kAssumptionConflict:
+        return SolveResult::kUnsat;
+    }
+  }
+}
+
+SolveResult Solver::solve() { return solve({}); }
+
+SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
+  ++stats_.solve_calls;
+  model_.clear();
+  conflict_core_.clear();
+  if (!ok_) return SolveResult::kUnsat;
+  for (Lit l : assumptions) ensure_var(l.var());
+  assumptions_ = assumptions;
+  conflicts_at_start_ = stats_.conflicts;
+  propagations_at_start_ = stats_.propagations;
+  if (max_learnts_ <= 0) {
+    max_learnts_ =
+        std::max(1000.0, static_cast<double>(num_problem_clauses_) *
+                             opts_.max_learnts_frac);
+  }
+  // When clause learning is ablated, keep only clauses needed as
+  // reasons: size-bounded policy with bound 0 drops everything at the
+  // next maintenance pass.
+  if (!opts_.clause_learning &&
+      opts_.deletion == DeletionPolicy::kActivity) {
+    opts_.deletion = DeletionPolicy::kSizeBounded;
+    opts_.size_bound = 0;
+  }
+  SolveResult result = search();
+  erase_until(0);
+  if (result == SolveResult::kUnsat && assumptions_.empty()) ok_ = false;
+  assumptions_.clear();
+  return result;
+}
+
+}  // namespace sateda::sat

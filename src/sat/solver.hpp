@@ -1,0 +1,242 @@
+/// \file solver.hpp
+/// \brief CDCL backtrack-search SAT solver in the GRASP mould
+///        (paper §4.1, Figure 2).
+///
+/// The public surface mirrors the paper's generic algorithm: the
+/// search loop is organised around Decide / Deduce / Diagnose / Erase,
+/// and each of the techniques §4.1 and §6 enumerate is implemented and
+/// independently switchable (see SolverOptions):
+///
+///  * conflict analysis with 1-UIP clause recording,
+///  * non-chronological backtracking,
+///  * clause deletion with activity-, size- and relevance-based
+///    policies,
+///  * VSIDS decisions with optional randomization,
+///  * restarts on a Luby schedule,
+///  * incremental solving under assumptions with final-conflict
+///    extraction (for the iterative/incremental EDA use of §6).
+///
+/// A SolverListener (paper §5) can observe assignments and override
+/// the decision procedure without any change to these data structures.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "cnf/clause.hpp"
+#include "cnf/formula.hpp"
+#include "cnf/literal.hpp"
+#include "sat/heap.hpp"
+#include "sat/listener.hpp"
+#include "sat/options.hpp"
+#include "sat/proof.hpp"
+
+namespace sateda::sat {
+
+/// Conflict-driven clause-learning SAT solver.
+class Solver {
+ public:
+  explicit Solver(SolverOptions opts = {});
+
+  // --- problem construction ---------------------------------------
+
+  /// Allocates a fresh variable.
+  Var new_var();
+
+  /// Ensures variables 0..v exist.
+  void ensure_var(Var v);
+
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause.  Returns false if the solver becomes trivially
+  /// unsatisfiable (empty clause, or a unit contradicting level-0
+  /// implications).  May be called between solve() calls (incremental
+  /// interface, paper §6).
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::vector<Lit>(lits));
+  }
+
+  /// Adds every clause of \p f.
+  bool add_formula(const CnfFormula& f);
+
+  /// False once the clause set has been proven unsatisfiable at the
+  /// root level; subsequent solve() calls return kUnsat immediately.
+  bool okay() const { return ok_; }
+
+  // --- solving ------------------------------------------------------
+
+  /// Decides satisfiability of the current clause set.
+  SolveResult solve();
+
+  /// Decides satisfiability under the given assumption literals
+  /// (each treated as a pseudo-decision; paper §6 incremental SAT).
+  SolveResult solve(const std::vector<Lit>& assumptions);
+
+  /// After kSat: the satisfying assignment, indexed by variable.
+  /// Entries are l_undef only if a listener declared early
+  /// satisfaction (paper §5 — de-overspecified patterns).
+  const std::vector<lbool>& model() const { return model_; }
+  lbool model_value(Var v) const { return model_[v]; }
+  lbool model_value(Lit l) const { return model_[l.var()] ^ l.negative(); }
+
+  /// After kUnsat under assumptions: a subset of the assumptions whose
+  /// conjunction is already inconsistent with the clause set.
+  const std::vector<Lit>& conflict_core() const { return conflict_core_; }
+
+  // --- current (in-search / root-level) state -----------------------
+
+  /// Current value of a variable/literal in the solver's trail.
+  lbool value(Var v) const { return assigns_[v]; }
+  lbool value(Lit l) const { return assigns_[l.var()] ^ l.negative(); }
+
+  /// Decision level at which \p v was assigned (meaningful only while
+  /// assigned).
+  int level(Var v) const { return level_[v]; }
+
+  /// Current decision level.
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  /// Number of assigned variables.
+  int num_assigned() const { return static_cast<int>(trail_.size()); }
+
+  // --- instrumentation ----------------------------------------------
+
+  const SolverStats& stats() const { return stats_; }
+  SolverOptions& options() { return opts_; }
+  const SolverOptions& options() const { return opts_; }
+
+  /// Attaches a structural layer (paper §5); pass nullptr to detach.
+  /// The listener is not owned.
+  void set_listener(SolverListener* listener) { listener_ = listener; }
+
+  /// Attaches a proof logger (not owned): every conflict-derived
+  /// clause, root-level strengthening and learnt-clause deletion is
+  /// reported, yielding a DRUP-checkable trace; a refutation ends with
+  /// the empty clause.  Attach before adding clauses.
+  void set_proof_logger(ProofLogger* proof) { proof_ = proof; }
+
+  /// Activity bump so applications can steer the heuristic toward
+  /// interesting variables (e.g. fault-cone variables in ATPG).
+  void bump_variable(Var v) { bump_var_activity(v); }
+
+  /// Sets the preferred first polarity for \p v (overrides saved phase
+  /// until the variable is next assigned): branch v=value first.
+  /// (Internally polarity_[v]==1 means "branch negative".)
+  void set_polarity(Var v, bool value) { polarity_[v] = value ? 0 : 1; }
+
+  /// Excludes \p v from branching when \p is_decision is false.
+  /// Soundness caveat: a non-decision variable must not occur in any
+  /// live clause the model is expected to satisfy (intended for
+  /// variables of retired clause groups in incremental flows); the
+  /// solver may leave it unassigned in models.
+  void set_decision_var(Var v, bool is_decision) {
+    decision_[v] = is_decision ? 1 : 0;
+    if (is_decision && value(v).is_undef() && !order_.contains(v)) {
+      order_.insert(v);
+    }
+  }
+
+  /// Number of original (non-learnt, non-deleted) problem clauses.
+  std::size_t num_problem_clauses() const { return num_problem_clauses_; }
+  std::size_t num_learnt_clauses() const { return learnts_.size(); }
+
+  /// Removes every clause already satisfied at the root level (e.g.
+  /// clause groups retired by an activation literal in incremental
+  /// flows).  Must be called between solve() calls.  Semantics are
+  /// unchanged; watch lists shrink accordingly.
+  void simplify_db();
+
+ private:
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;  ///< a literal of the clause; if true, skip the visit
+  };
+
+  // --- Figure 2 phases ---------------------------------------------
+  enum class DecideStatus {
+    kDecision,            ///< a new decision level was opened
+    kSatisfied,           ///< nothing left to assign (or listener says done)
+    kAssumptionConflict,  ///< an assumption is already falsified
+  };
+
+  /// Decide(): picks and enqueues the next branching assignment,
+  /// drawing pending assumptions first (paper Fig. 2 Decide()).
+  DecideStatus decide();
+
+  /// Deduce(): Boolean constraint propagation with two watched
+  /// literals.  Returns the conflicting clause or kNullClause.
+  ClauseRef deduce();
+
+  /// Diagnose(): 1-UIP conflict analysis.  Fills \p out_learnt with
+  /// the conflict-induced clause (out_learnt[0] is the asserting
+  /// literal) and \p out_btlevel with the backtrack level.
+  void diagnose(ClauseRef confl, std::vector<Lit>& out_learnt,
+                int& out_btlevel);
+
+  /// Erase(): undoes all assignments above \p level.
+  void erase_until(int level);
+
+  // --- helpers -------------------------------------------------------
+  SolveResult search();
+  bool enqueue(Lit p, ClauseRef reason);
+  ClauseRef attach_new_clause(Clause c);
+  void attach_watches(ClauseRef cref);
+  void detach_watches(ClauseRef cref);
+  bool locked(ClauseRef cref) const;
+  void remove_clause(ClauseRef cref);
+  void reduce_db();
+  Lit pick_branch_lit();
+  void bump_var_activity(Var v);
+  void decay_var_activity();
+  void bump_clause_activity(Clause& c);
+  void decay_clause_activity();
+  void minimize_learnt(std::vector<Lit>& learnt);
+  bool literal_redundant(Lit p);
+  void analyze_final(Lit p);
+  int unbound_literals(const Clause& c) const;
+  int compute_lbd(const std::vector<Lit>& lits);
+  static double luby(double y, int i);
+
+  SolverOptions opts_;
+  SolverStats stats_;
+  bool ok_ = true;
+
+  std::vector<Clause> clause_pool_;      ///< all clauses (problem + learnt)
+  std::vector<ClauseRef> learnts_;       ///< refs of live learnt clauses
+  std::size_t num_problem_clauses_ = 0;
+  std::vector<std::vector<Watcher>> watches_;  ///< indexed by Lit::index()
+
+  std::vector<lbool> assigns_;     ///< per variable
+  std::vector<int> level_;         ///< per variable
+  std::vector<ClauseRef> reason_;  ///< per variable antecedent
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;     ///< trail index at each decision level
+  std::size_t qhead_ = 0;          ///< propagation queue head into trail_
+
+  std::vector<double> activity_;   ///< VSIDS score per variable
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  VarOrderHeap order_;
+  std::vector<char> polarity_;     ///< saved phase per variable
+  std::vector<char> decision_;     ///< eligible for branching
+
+  std::vector<Lit> assumptions_;
+  std::vector<Lit> conflict_core_;
+  std::vector<lbool> model_;
+
+  std::vector<char> seen_;         ///< scratch for diagnose/minimize
+  std::vector<Lit> analyze_stack_; ///< scratch for minimization
+  std::vector<Lit> analyze_clear_;
+
+  std::mt19937_64 rng_;
+  SolverListener* listener_ = nullptr;
+  ProofLogger* proof_ = nullptr;
+
+  double max_learnts_ = 0;
+  std::int64_t conflicts_at_start_ = 0;
+  std::int64_t propagations_at_start_ = 0;
+};
+
+}  // namespace sateda::sat

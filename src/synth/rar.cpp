@@ -1,0 +1,96 @@
+#include "synth/rar.hpp"
+
+#include "circuit/miter.hpp"
+#include "circuit/structural_hash.hpp"
+
+namespace sateda::synth {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::NodeId;
+
+namespace {
+
+/// Rebuilds \p c with input pin \p pin of gate \p gate tied to the
+/// constant \p value.
+Circuit tie_pin_to_constant(const Circuit& c, NodeId gate, int pin,
+                            bool value) {
+  Circuit out(c.name());
+  std::vector<NodeId> map(c.num_nodes(), circuit::kNullNode);
+  NodeId konst = circuit::kNullNode;
+  for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+    const circuit::Node& node = c.node(n);
+    switch (node.type) {
+      case GateType::kInput:
+        map[n] = out.add_input(node.name);
+        continue;
+      case GateType::kConst0:
+      case GateType::kConst1:
+        map[n] = out.add_const(node.type == GateType::kConst1);
+        continue;
+      default:
+        break;
+    }
+    std::vector<NodeId> fanins;
+    fanins.reserve(node.fanins.size());
+    for (int i = 0; i < static_cast<int>(node.fanins.size()); ++i) {
+      if (n == gate && i == pin) {
+        if (konst == circuit::kNullNode) konst = out.add_const(value);
+        fanins.push_back(konst);
+      } else {
+        fanins.push_back(map[node.fanins[i]]);
+      }
+    }
+    map[n] = out.add_gate(node.type, std::move(fanins));
+  }
+  for (std::size_t i = 0; i < c.outputs().size(); ++i) {
+    out.mark_output(map[c.outputs()[i]], c.output_name(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+Circuit remove_redundancies(const Circuit& c, RarOptions opts,
+                            RarStats* stats) {
+  RarStats local;
+  local.gates_before = c.num_gates();
+  Circuit current = circuit::strash(c);
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    ++local.rounds;
+    bool removed = false;
+    // Scan gate input pins for untestable (redundant) stuck-at faults.
+    for (NodeId n = 0;
+         !removed && n < static_cast<NodeId>(current.num_nodes()); ++n) {
+      const circuit::Node& node = current.node(n);
+      if (node.type == GateType::kInput ||
+          node.type == GateType::kConst0 ||
+          node.type == GateType::kConst1) {
+        continue;
+      }
+      for (int pin = 0;
+           !removed && pin < static_cast<int>(node.fanins.size()); ++pin) {
+        for (bool value : {false, true}) {
+          ++local.pins_examined;
+          std::vector<lbool> unused;
+          atpg::FaultStatus st = atpg::generate_test(
+              current, atpg::Fault{n, pin, value}, unused, opts.atpg);
+          if (st != atpg::FaultStatus::kRedundant) continue;
+          // Untestable pin/sa-v ⇒ tying the pin to v preserves the
+          // function; constant folding then removes logic.
+          current = circuit::strash(tie_pin_to_constant(current, n, pin,
+                                                        value));
+          ++local.redundancies_removed;
+          removed = true;
+          break;
+        }
+      }
+    }
+    if (!removed) break;
+  }
+  local.gates_after = current.num_gates();
+  if (stats) *stats = local;
+  return current;
+}
+
+}  // namespace sateda::synth

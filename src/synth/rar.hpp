@@ -1,0 +1,49 @@
+/// \file rar.hpp
+/// \brief Logic optimization by redundancy removal (paper §3,
+///        ref. [12] Entrena & Cheng; ref. [17] RID-GRASP).
+///
+/// A wire whose stuck-at fault is untestable can be replaced by the
+/// corresponding constant without changing the circuit's function —
+/// untestability is exactly functional redundancy.  The optimizer
+/// classifies pin faults with the SAT-based ATPG engine, applies one
+/// proven redundancy, constant-folds (strash), and iterates until no
+/// redundant wire remains.  Applying one redundancy at a time is
+/// required for soundness: removing a wire can make previously
+/// redundant wires testable.
+#pragma once
+
+#include <string>
+
+#include "atpg/engine.hpp"
+#include "circuit/netlist.hpp"
+
+namespace sateda::synth {
+
+struct RarStats {
+  int rounds = 0;
+  int pins_examined = 0;
+  int redundancies_removed = 0;
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+
+  std::string summary() const {
+    return "rounds=" + std::to_string(rounds) +
+           " pins=" + std::to_string(pins_examined) +
+           " removed=" + std::to_string(redundancies_removed) + " gates " +
+           std::to_string(gates_before) + " -> " +
+           std::to_string(gates_after);
+  }
+};
+
+struct RarOptions {
+  int max_rounds = 64;  ///< safety bound on the fix-point iteration
+  atpg::AtpgOptions atpg;
+};
+
+/// Returns a functionally equivalent circuit with every SAT-provably
+/// redundant wire removed and constants folded through.
+circuit::Circuit remove_redundancies(const circuit::Circuit& c,
+                                     RarOptions opts = {},
+                                     RarStats* stats = nullptr);
+
+}  // namespace sateda::synth

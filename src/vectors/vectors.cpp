@@ -1,0 +1,64 @@
+#include "vectors/vectors.hpp"
+
+#include <random>
+
+#include "circuit/encoder.hpp"
+#include "csat/circuit_sat.hpp"
+
+namespace sateda::vectors {
+
+using circuit::NodeId;
+
+VectorGenResult generate_vectors(const circuit::Circuit& c,
+                                 NodeId constraint, bool value, int count,
+                                 VectorGenOptions opts) {
+  VectorGenResult result;
+  csat::CircuitSatOptions copts;
+  copts.solver = opts.solver;
+  copts.layer.frontier_termination = opts.use_structural_layer;
+  copts.layer.backtrace_decisions = opts.use_structural_layer;
+
+  csat::CircuitSatSolver solver(c, copts);
+  std::mt19937_64 rng(opts.fill_seed);
+  std::bernoulli_distribution coin(0.5);
+
+  while (static_cast<int>(result.vectors.size()) < count) {
+    ++result.sat_calls;
+    csat::CircuitSatResult r = solver.solve(constraint, value);
+    if (r.result != sat::SolveResult::kSat) {
+      result.exhausted = (r.result == sat::SolveResult::kUnsat);
+      break;
+    }
+    // Complete the pattern.
+    std::vector<bool> vec(c.inputs().size());
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      vec[i] = r.input_pattern[i].is_undef() ? coin(rng)
+                                             : r.input_pattern[i].is_true();
+    }
+    result.vectors.push_back(vec);
+    // Blocking clause: exclude the cube (partial pattern) or the
+    // completed vector from future solutions.
+    std::vector<Lit> block;
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      Var v = static_cast<Var>(c.inputs()[i]);
+      if (opts.block_cubes) {
+        if (!r.input_pattern[i].is_undef()) {
+          block.push_back(Lit(v, r.input_pattern[i].is_true()));
+        }
+      } else {
+        block.push_back(Lit(v, vec[i]));
+      }
+    }
+    // An empty block means every input is don't care — the constraint
+    // holds universally and exactly the recorded vectors exist... in
+    // cube mode that single cube covers everything: stop.
+    if (block.empty()) {
+      result.exhausted = true;
+      break;
+    }
+    solver.solver().add_clause(std::move(block));
+  }
+  return result;
+}
+
+}  // namespace sateda::vectors

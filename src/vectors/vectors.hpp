@@ -1,0 +1,45 @@
+/// \file vectors.hpp
+/// \brief Functional test vector generation (paper §3, ref. [13]):
+///        enumerate distinct input vectors that drive a constraint
+///        node of a circuit to a required value — e.g. exercising a
+///        coverage condition in an HDL model.  Implemented as
+///        solution enumeration with blocking clauses over the primary
+///        inputs on one incremental solver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sat/options.hpp"
+
+namespace sateda::vectors {
+
+struct VectorGenOptions {
+  /// Block the partial input cube rather than a fully specified
+  /// vector: excludes the whole cube from future solutions, which
+  /// spreads the enumeration across the input space faster.  Requires
+  /// the §5 layer (partial patterns).
+  bool block_cubes = true;
+  bool use_structural_layer = true;
+  std::uint64_t fill_seed = 11;  ///< don't-care completion
+  sat::SolverOptions solver;
+};
+
+struct VectorGenResult {
+  /// Complete, pairwise-distinct input vectors, each satisfying the
+  /// constraint.
+  std::vector<std::vector<bool>> vectors;
+  /// True when enumeration exhausted the solution space before
+  /// reaching the requested count.
+  bool exhausted = false;
+  int sat_calls = 0;
+};
+
+/// Generates up to \p count distinct vectors with
+/// circuit node \p constraint = \p value.
+VectorGenResult generate_vectors(const circuit::Circuit& c,
+                                 circuit::NodeId constraint, bool value,
+                                 int count, VectorGenOptions opts = {});
+
+}  // namespace sateda::vectors

@@ -1,0 +1,170 @@
+#include "atpg/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/incremental.hpp"
+#include "circuit/generators.hpp"
+
+namespace sateda::atpg {
+namespace {
+
+using circuit::Circuit;
+using circuit::NodeId;
+
+TEST(DetectionCircuitTest, SharesInputsAndExposesDetect) {
+  Circuit c = circuit::c17();
+  Fault f{c.find("16"), Fault::kOutputPin, false};
+  DetectionCircuit det = build_detection_circuit(c, f);
+  EXPECT_TRUE(det.structurally_detectable);
+  EXPECT_EQ(det.circuit.inputs().size(), c.inputs().size());
+  EXPECT_NE(det.detect, circuit::kNullNode);
+}
+
+TEST(DetectionCircuitTest, UnobservableFaultIsFlagged) {
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId dead = c.add_not(a);  // feeds nothing
+  NodeId g = c.add_buf(a);
+  c.mark_output(g, "o");
+  Fault f{dead, Fault::kOutputPin, true};
+  DetectionCircuit det = build_detection_circuit(c, f);
+  EXPECT_FALSE(det.structurally_detectable);
+}
+
+TEST(GenerateTestTest, PatternReallyDetectsTheFault) {
+  Circuit c = circuit::c17();
+  FaultSimulator sim(c);
+  for (const Fault& f : collapse_faults(c, enumerate_faults(c))) {
+    std::vector<lbool> partial;
+    FaultStatus st = generate_test(c, f, partial);
+    ASSERT_EQ(st, FaultStatus::kDetected)
+        << to_string(f) << ": c17 has no redundant faults";
+    // Any completion of the partial pattern must detect the fault.
+    std::vector<bool> zeros(c.inputs().size()), ones(c.inputs().size());
+    for (std::size_t i = 0; i < partial.size(); ++i) {
+      zeros[i] = partial[i].is_true();
+      ones[i] = partial[i].is_undef() ? true : partial[i].is_true();
+    }
+    EXPECT_TRUE(sim.detects(zeros, f)) << to_string(f);
+    EXPECT_TRUE(sim.detects(ones, f)) << to_string(f);
+  }
+}
+
+TEST(GenerateTestTest, RedundantFaultIsProven) {
+  // y = OR(a, AND(a, b)) — the AND gate is functionally redundant
+  // (absorption); its output sa0 cannot be observed.
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g = c.add_and(a, b);
+  NodeId y = c.add_or(a, g);
+  c.mark_output(y, "o");
+  std::vector<lbool> partial;
+  EXPECT_EQ(generate_test(c, Fault{g, Fault::kOutputPin, false}, partial),
+            FaultStatus::kRedundant);
+  // ...while sa1 on the same line is testable (a=0, b arbitrary... a=0,b=1
+  // gives good 0 / faulty 1).
+  EXPECT_EQ(generate_test(c, Fault{g, Fault::kOutputPin, true}, partial),
+            FaultStatus::kDetected);
+}
+
+TEST(AtpgFlowTest, FullCoverageOnC17) {
+  AtpgResult r = run_atpg(circuit::c17());
+  EXPECT_EQ(r.stats.aborted, 0);
+  EXPECT_EQ(r.stats.redundant, 0);
+  EXPECT_DOUBLE_EQ(r.stats.fault_coverage(), 1.0);
+  EXPECT_FALSE(r.tests.empty());
+  EXPECT_FALSE(r.stats.summary().empty());
+}
+
+TEST(AtpgFlowTest, EveryFaultHasAStatus) {
+  AtpgResult r = run_atpg(circuit::ripple_carry_adder(3));
+  ASSERT_EQ(r.faults.size(), r.status.size());
+  for (FaultStatus st : r.status) {
+    EXPECT_NE(st, FaultStatus::kUntested);
+  }
+  EXPECT_EQ(r.stats.detected + r.stats.redundant + r.stats.aborted,
+            r.stats.total_faults);
+}
+
+TEST(AtpgFlowTest, TestsAreVerifiedByFaultSimulation) {
+  Circuit c = circuit::alu(3);
+  AtpgResult r = run_atpg(c);
+  FaultSimulator sim(c);
+  // Every detected fault must be caught by at least one recorded test.
+  for (std::size_t i = 0; i < r.faults.size(); ++i) {
+    if (r.status[i] != FaultStatus::kDetected) continue;
+    bool caught = false;
+    for (const auto& t : r.tests) {
+      if (sim.detects(t, r.faults[i])) {
+        caught = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(caught) << to_string(r.faults[i]);
+  }
+}
+
+TEST(AtpgFlowTest, RandomPhaseOffStillWorks) {
+  AtpgOptions opts;
+  opts.random_phase = false;
+  AtpgResult r = run_atpg(circuit::c17(), opts);
+  EXPECT_DOUBLE_EQ(r.stats.fault_coverage(), 1.0);
+  EXPECT_EQ(r.stats.random_detected, 0);
+}
+
+TEST(AtpgFlowTest, PlainCnfLayerOffMatchesCoverage) {
+  Circuit c = circuit::parity_tree(6);
+  AtpgOptions with;
+  AtpgOptions without;
+  without.use_structural_layer = false;
+  AtpgResult a = run_atpg(c, with);
+  AtpgResult b = run_atpg(c, without);
+  EXPECT_DOUBLE_EQ(a.stats.fault_coverage(), b.stats.fault_coverage());
+  EXPECT_EQ(a.stats.redundant, b.stats.redundant);
+}
+
+TEST(RandomAtpgTest, CoverageIsMonotoneInPatternCount) {
+  Circuit c = circuit::alu(3);
+  AtpgResult few = run_random_atpg(c, 8, 3);
+  AtpgResult many = run_random_atpg(c, 512, 3);
+  EXPECT_LE(few.stats.fault_coverage(), many.stats.fault_coverage());
+  EXPECT_GT(many.stats.fault_coverage(), 0.5);
+}
+
+TEST(IncrementalAtpgTest, AgreesWithFromScratch) {
+  Circuit c = circuit::c17();
+  IncrementalAtpg inc(c);
+  FaultSimulator sim(c);
+  std::mt19937_64 rng(5);
+  for (const Fault& f : collapse_faults(c, enumerate_faults(c))) {
+    std::vector<lbool> partial;
+    FaultStatus st = inc.test_fault(f, partial);
+    ASSERT_EQ(st, FaultStatus::kDetected) << to_string(f);
+    std::vector<bool> pattern(c.inputs().size());
+    std::bernoulli_distribution coin(0.5);
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      pattern[i] = partial[i].is_undef() ? coin(rng) : partial[i].is_true();
+    }
+    EXPECT_TRUE(sim.detects(pattern, f)) << to_string(f);
+  }
+}
+
+TEST(IncrementalAtpgTest, DetectsRedundancy) {
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g = c.add_and(a, b);
+  NodeId y = c.add_or(a, g);
+  c.mark_output(y, "o");
+  IncrementalAtpg inc(c);
+  std::vector<lbool> partial;
+  EXPECT_EQ(inc.test_fault(Fault{g, Fault::kOutputPin, false}, partial),
+            FaultStatus::kRedundant);
+  // Solver stays usable afterwards.
+  EXPECT_EQ(inc.test_fault(Fault{g, Fault::kOutputPin, true}, partial),
+            FaultStatus::kDetected);
+}
+
+}  // namespace
+}  // namespace sateda::atpg

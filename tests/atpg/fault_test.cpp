@@ -1,0 +1,113 @@
+#include "atpg/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/fault_sim.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/simulator.hpp"
+
+namespace sateda::atpg {
+namespace {
+
+using circuit::Circuit;
+using circuit::NodeId;
+
+TEST(FaultTest, EnumerationCoversOutputsAndPins) {
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g = c.add_and(a, b);
+  c.mark_output(g, "o");
+  std::vector<Fault> fs = enumerate_faults(c);
+  // 3 nodes * 2 output faults + 2 pins * 2 = 10.
+  EXPECT_EQ(fs.size(), 10u);
+}
+
+TEST(FaultTest, CollapsingRemovesEquivalentFaults) {
+  Circuit c = circuit::c17();
+  std::vector<Fault> all = enumerate_faults(c);
+  std::vector<Fault> collapsed = collapse_faults(c, all);
+  EXPECT_LT(collapsed.size(), all.size());
+  EXPECT_GT(collapsed.size(), 0u);
+}
+
+TEST(FaultTest, CollapsedFaultSetStillDistinguishesEveryCollapsedOutFault) {
+  // Every dropped fault must be detected by any pattern detecting its
+  // representative — spot check: on an AND gate, in0/sa0 and out/sa0
+  // are detected by exactly the same patterns.
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g = c.add_and(a, b);
+  c.mark_output(g, "o");
+  FaultSimulator sim(c);
+  Fault in_fault{g, 0, false};
+  Fault out_fault{g, Fault::kOutputPin, false};
+  for (std::uint64_t bits = 0; bits < 4; ++bits) {
+    std::vector<bool> pattern = {static_cast<bool>(bits & 1),
+                                 static_cast<bool>(bits >> 1)};
+    EXPECT_EQ(sim.detects(pattern, in_fault), sim.detects(pattern, out_fault));
+  }
+}
+
+TEST(FaultSimTest, AndGateStuckAtFaults) {
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g = c.add_and(a, b);
+  c.mark_output(g, "o");
+  FaultSimulator sim(c);
+  // out/sa0 is detected only by pattern (1,1).
+  Fault sa0{g, Fault::kOutputPin, false};
+  EXPECT_TRUE(sim.detects({true, true}, sa0));
+  EXPECT_FALSE(sim.detects({true, false}, sa0));
+  EXPECT_FALSE(sim.detects({false, true}, sa0));
+  EXPECT_FALSE(sim.detects({false, false}, sa0));
+  // out/sa1 is detected by every pattern except (1,1).
+  Fault sa1{g, Fault::kOutputPin, true};
+  EXPECT_FALSE(sim.detects({true, true}, sa1));
+  EXPECT_TRUE(sim.detects({false, false}, sa1));
+  // in0/sa1: detected when a=0, b=1 (faulty AND sees a=1).
+  Fault pin{g, 0, true};
+  EXPECT_TRUE(sim.detects({false, true}, pin));
+  EXPECT_FALSE(sim.detects({false, false}, pin));
+  EXPECT_FALSE(sim.detects({true, true}, pin));
+}
+
+TEST(FaultSimTest, DetectMaskMatchesScalarSimulation) {
+  Circuit c = circuit::c17();
+  FaultSimulator sim(c);
+  // All 32 input patterns in one packed batch.
+  std::vector<std::uint64_t> packed(5);
+  for (int i = 0; i < 5; ++i) {
+    std::uint64_t w = 0;
+    for (int p = 0; p < 32; ++p) {
+      if ((p >> i) & 1) w |= std::uint64_t{1} << p;
+    }
+    packed[i] = w;
+  }
+  auto good = sim.good_values(packed);
+  for (const Fault& f : enumerate_faults(c)) {
+    std::uint64_t mask = sim.detect_mask(good, f);
+    for (int p = 0; p < 32; ++p) {
+      std::vector<bool> pattern(5);
+      for (int i = 0; i < 5; ++i) pattern[i] = (p >> i) & 1;
+      EXPECT_EQ(static_cast<bool>((mask >> p) & 1), sim.detects(pattern, f))
+          << to_string(f) << " pattern " << p;
+    }
+  }
+}
+
+TEST(FaultSimTest, FaultOnInputNodeStem) {
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId g = c.add_not(a);
+  c.mark_output(g, "o");
+  FaultSimulator sim(c);
+  Fault f{a, Fault::kOutputPin, true};  // input stuck at 1
+  EXPECT_TRUE(sim.detects({false}, f));
+  EXPECT_FALSE(sim.detects({true}, f));
+}
+
+}  // namespace
+}  // namespace sateda::atpg

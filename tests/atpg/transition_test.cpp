@@ -1,0 +1,102 @@
+#include "atpg/transition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/simulator.hpp"
+
+namespace sateda::atpg {
+namespace {
+
+using circuit::Circuit;
+using circuit::NodeId;
+
+/// A valid transition test for slow-to-rise at n must (a) set n to 0
+/// under v1, (b) set n to 1 under v2, and (c) propagate the stuck-at-0
+/// difference under v2.
+void verify_test(const Circuit& c, const TransitionFault& f,
+                 const TransitionTest& t) {
+  auto v1_vals = circuit::simulate(c, t.init);
+  auto v2_vals = circuit::simulate(c, t.launch);
+  const bool init_value = f.slow_to_rise ? false : true;
+  EXPECT_EQ(v1_vals[f.node], init_value) << to_string(f) << " init";
+  EXPECT_EQ(v2_vals[f.node], !init_value) << to_string(f) << " launch";
+  FaultSimulator sim(c);
+  EXPECT_TRUE(
+      sim.detects(t.launch, Fault{f.node, Fault::kOutputPin, init_value}))
+      << to_string(f) << " propagation";
+}
+
+TEST(TransitionTest, EnumerationSkipsConstants) {
+  Circuit c;
+  c.add_input("a");
+  c.add_const(false);
+  NodeId g = c.add_not(0);
+  c.mark_output(g, "o");
+  EXPECT_EQ(enumerate_transition_faults(c).size(), 4u);  // a and g, 2 each
+}
+
+TEST(TransitionTest, GeneratedTestsAreValidOnC17) {
+  Circuit c = circuit::c17();
+  TransitionAtpgResult r = run_transition_atpg(c);
+  EXPECT_EQ(r.untestable, 0) << "all c17 transitions are testable";
+  for (std::size_t i = 0; i < r.faults.size(); ++i) {
+    ASSERT_TRUE(r.tests[i].has_value()) << to_string(r.faults[i]);
+    verify_test(c, r.faults[i], *r.tests[i]);
+  }
+}
+
+TEST(TransitionTest, GeneratedTestsAreValidOnAdder) {
+  Circuit c = circuit::ripple_carry_adder(4);
+  TransitionAtpgResult r = run_transition_atpg(c);
+  EXPECT_GT(r.testable, 0);
+  for (std::size_t i = 0; i < r.faults.size(); ++i) {
+    if (!r.tests[i].has_value()) continue;
+    verify_test(c, r.faults[i], *r.tests[i]);
+  }
+}
+
+TEST(TransitionTest, UntestableWhenNodeCannotToggle) {
+  // g = AND(a, ¬a) is constant 0: slow-to-rise needs g=1 — impossible.
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId na = c.add_not(a);
+  NodeId g = c.add_and(a, na);
+  c.mark_output(g, "o");
+  EXPECT_FALSE(generate_transition_test(c, {g, true}).has_value());
+  // Slow-to-fall needs the 1→0 transition: launching requires g
+  // stuck-at-1 to be detectable... g is constant 0, so the "faulty 1"
+  // IS observable; but v1 must set g = 1, which is impossible.
+  EXPECT_FALSE(generate_transition_test(c, {g, false}).has_value());
+}
+
+TEST(TransitionTest, RedundantStuckAtMakesTransitionUntestable) {
+  // Absorption: y = a + a·b; the AND output cannot propagate.
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g = c.add_and(a, b);
+  NodeId y = c.add_or(a, g);
+  c.mark_output(y, "o");
+  // Slow-to-rise at g: launch vector needs g/sa0 detectable — it is
+  // redundant, so the transition fault is untestable.
+  EXPECT_FALSE(generate_transition_test(c, {g, true}).has_value());
+}
+
+class TransitionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TransitionPropertyTest, AllGeneratedTestsVerify) {
+  Circuit c = circuit::random_circuit(8, 40, GetParam());
+  TransitionAtpgResult r = run_transition_atpg(c);
+  for (std::size_t i = 0; i < r.faults.size(); ++i) {
+    if (!r.tests[i].has_value()) continue;
+    verify_test(c, r.faults[i], *r.tests[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransitionPropertyTest,
+                         ::testing::Range<std::uint64_t>(1200, 1208));
+
+}  // namespace
+}  // namespace sateda::atpg

@@ -1,0 +1,167 @@
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bdd/circuit_bdd.hpp"
+#include "circuit/encoder.hpp"
+#include "circuit/generators.hpp"
+#include "cnf/generators.hpp"
+#include "test_util.hpp"
+#include "circuit/simulator.hpp"
+
+namespace sateda::bdd {
+namespace {
+
+TEST(BddTest, TerminalsAndVariables) {
+  BddManager mgr(3);
+  EXPECT_EQ(mgr.bdd_not(kTrue), kFalse);
+  EXPECT_EQ(mgr.bdd_not(kFalse), kTrue);
+  BddRef x = mgr.var(0);
+  EXPECT_EQ(mgr.bdd_and(x, kTrue), x);
+  EXPECT_EQ(mgr.bdd_and(x, kFalse), kFalse);
+  EXPECT_EQ(mgr.bdd_or(x, kFalse), x);
+  EXPECT_EQ(mgr.bdd_not(mgr.bdd_not(x)), x);
+}
+
+TEST(BddTest, CanonicalityMergesEquivalentFunctions) {
+  BddManager mgr(3);
+  BddRef x = mgr.var(0), y = mgr.var(1);
+  // De Morgan: ¬(x ∧ y) == ¬x ∨ ¬y must be the same node.
+  EXPECT_EQ(mgr.bdd_not(mgr.bdd_and(x, y)),
+            mgr.bdd_or(mgr.bdd_not(x), mgr.bdd_not(y)));
+  // x ⊕ y == (x ∨ y) ∧ ¬(x ∧ y).
+  EXPECT_EQ(mgr.bdd_xor(x, y),
+            mgr.bdd_and(mgr.bdd_or(x, y), mgr.bdd_not(mgr.bdd_and(x, y))));
+}
+
+TEST(BddTest, EvalMatchesSemantics) {
+  BddManager mgr(3);
+  BddRef f = mgr.bdd_or(mgr.bdd_and(mgr.var(0), mgr.var(1)),
+                        mgr.bdd_not(mgr.var(2)));
+  for (int bits = 0; bits < 8; ++bits) {
+    std::vector<bool> in = {(bits & 1) != 0, (bits & 2) != 0,
+                            (bits & 4) != 0};
+    bool expected = (in[0] && in[1]) || !in[2];
+    EXPECT_EQ(mgr.eval(f, in), expected);
+  }
+}
+
+TEST(BddTest, ModelCounting) {
+  BddManager mgr(4);
+  // x0 ∧ x1 has 4 models over 4 variables.
+  EXPECT_DOUBLE_EQ(mgr.count_models(mgr.bdd_and(mgr.var(0), mgr.var(1))), 4.0);
+  // XOR of two vars: 8 models over 4 vars.
+  EXPECT_DOUBLE_EQ(mgr.count_models(mgr.bdd_xor(mgr.var(2), mgr.var(3))), 8.0);
+  EXPECT_DOUBLE_EQ(mgr.count_models(kTrue), 16.0);
+  EXPECT_DOUBLE_EQ(mgr.count_models(kFalse), 0.0);
+}
+
+TEST(BddTest, AnyModelSatisfies) {
+  BddManager mgr(4);
+  BddRef f = mgr.bdd_and(mgr.bdd_xor(mgr.var(0), mgr.var(1)),
+                         mgr.bdd_or(mgr.var(2), mgr.var(3)));
+  std::vector<lbool> m = mgr.any_model(f);
+  ASSERT_FALSE(m.empty());
+  std::vector<bool> in(4);
+  for (int i = 0; i < 4; ++i) in[i] = m[i].is_true();
+  EXPECT_TRUE(mgr.eval(f, in));
+  EXPECT_TRUE(mgr.any_model(kFalse).empty());
+}
+
+TEST(BddTest, NodeLimitThrows) {
+  BddManager mgr(24, /*node_limit=*/64);
+  // A parity function of 24 variables is linear, but a multiplier-ish
+  // conjunction tree of products exceeds 64 nodes quickly.
+  BddRef acc = kFalse;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i + 1 < 24; i += 2) {
+          acc = mgr.bdd_or(acc, mgr.bdd_and(mgr.var(i), mgr.var(i + 1)));
+        }
+        // Force growth beyond the cap with a second phase.
+        for (int i = 0; i + 2 < 24; ++i) {
+          acc = mgr.bdd_xor(acc, mgr.bdd_and(mgr.var(i), mgr.var(i + 2)));
+        }
+      },
+      BddLimitExceeded);
+}
+
+TEST(CircuitBddTest, SymbolicSimulationMatchesSimulator) {
+  for (std::uint64_t seed : {1u, 5u, 9u}) {
+    circuit::Circuit c = circuit::random_circuit(7, 30, seed);
+    BddManager mgr(7);
+    std::vector<BddRef> outs = build_output_bdds(mgr, c);
+    for (std::uint64_t bits = 0; bits < 128; ++bits) {
+      std::vector<bool> in(7);
+      for (int i = 0; i < 7; ++i) in[i] = (bits >> i) & 1;
+      std::vector<bool> sim = circuit::simulate_outputs(c, in);
+      for (std::size_t o = 0; o < outs.size(); ++o) {
+        EXPECT_EQ(mgr.eval(outs[o], in), sim[o]) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(CircuitBddTest, AdderModelCountSanity) {
+  // cout of an n-bit adder: count via BDD equals the number of
+  // (a, b, cin) triples with a+b+cin ≥ 2^n.
+  const int n = 4;
+  circuit::Circuit c = circuit::ripple_carry_adder(n);
+  BddManager mgr(2 * n + 1);
+  std::vector<BddRef> outs =
+      build_output_bdds(mgr, c, interleaved_levels(2 * n + 1));
+  std::uint64_t expected = 0;
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      for (std::uint64_t cin = 0; cin < 2; ++cin) {
+        if (a + b + cin >= 16) ++expected;
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(mgr.count_models(outs.back()),
+                   static_cast<double>(expected));
+}
+
+TEST(CircuitBddTest, VariableOrderChangesSize) {
+  // The adder carry chain: interleaved order keeps the BDD small;
+  // the natural (a-block then b-block) order blows up exponentially.
+  const int n = 10;
+  circuit::Circuit c = circuit::ripple_carry_adder(n);
+  BddManager natural(2 * n + 1);
+  std::vector<BddRef> nat = build_output_bdds(natural, c);
+  BddManager inter(2 * n + 1);
+  std::vector<BddRef> il =
+      build_output_bdds(inter, c, interleaved_levels(2 * n + 1));
+  EXPECT_GT(natural.size(nat.back()), 4 * inter.size(il.back()))
+      << "natural order must be dramatically worse on the carry chain";
+}
+
+TEST(CnfBddTest, ModelCountMatchesBruteForce) {
+  for (std::uint64_t seed = 9000; seed < 9008; ++seed) {
+    CnfFormula f = random_3sat(10, 3.5, seed);
+    BddManager mgr(f.num_vars());
+    BddRef b = cnf_to_bdd(mgr, f);
+    EXPECT_DOUBLE_EQ(mgr.count_models(b),
+                     static_cast<double>(
+                         sateda::testing::brute_force_count_models(f)))
+        << "seed " << seed;
+  }
+}
+
+TEST(CnfBddTest, UnsatFormulaIsFalseTerminal) {
+  CnfFormula f = pigeonhole(3);
+  BddManager mgr(f.num_vars());
+  EXPECT_EQ(cnf_to_bdd(mgr, f), kFalse);
+}
+
+TEST(CnfBddTest, CircuitCnfCountsInputSpace) {
+  // The CNF of a circuit has exactly one model per input pattern.
+  circuit::Circuit c = circuit::c17();
+  CnfFormula f = circuit::encode_circuit(c);
+  BddManager mgr(f.num_vars());
+  BddRef b = cnf_to_bdd(mgr, f);
+  EXPECT_DOUBLE_EQ(mgr.count_models(b), 32.0);
+}
+
+}  // namespace
+}  // namespace sateda::bdd

@@ -1,0 +1,90 @@
+#include "bmc/induction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sateda::bmc {
+namespace {
+
+TEST(InductionTest, ImmediatelyInductiveProperty) {
+  // bad value outside the register width is structurally impossible:
+  // bad is constant 0 and the step case closes at k = 0.
+  SequentialCircuit m = counter_machine(4, 999);
+  InductionResult r = prove_by_induction(m);
+  EXPECT_EQ(r.verdict, InductionVerdict::kProved);
+  EXPECT_EQ(r.k, 0);
+}
+
+TEST(InductionTest, RealCounterexampleComesFromBaseCase) {
+  SequentialCircuit m = counter_machine(4, 6);
+  InductionResult r = prove_by_induction(m);
+  ASSERT_EQ(r.verdict, InductionVerdict::kCounterexample);
+  EXPECT_EQ(r.k, 6);
+  EXPECT_TRUE(replay_reaches_bad(m, r.trace));
+}
+
+TEST(InductionTest, UnreachableStateNeedsInductionStrength) {
+  // 3-bit counter with enable: state 5 is reachable, so this is a
+  // counterexample case; state ... all values < 8 are reachable.  Use
+  // instead a shift register whose bad needs all-ones: reachable too.
+  // A genuinely unreachable-bad machine: counter that increments by 2
+  // cannot reach odd values... build from the LFSR: a state off the
+  // LFSR orbit starting anywhere is NOT provable by plain induction
+  // without uniqueness; with the simple-path constraint it closes.
+  SequentialCircuit m = lfsr_machine(4, 0b1001, 0b0001, 0b0000);
+  // Fibonacci LFSR with nonzero seed never reaches the all-zero state
+  // unless feedback collapses; check ground truth by simulation over
+  // the full orbit (≤ 2^4 steps).
+  std::vector<bool> state = m.initial_state;
+  bool reachable = false;
+  for (int t = 0; t < 20; ++t) {
+    auto [next, bad] = step(m, state, {});
+    if (bad) reachable = true;
+    state = next;
+  }
+  InductionOptions opts;
+  opts.max_k = 20;
+  InductionResult r = prove_by_induction(m, opts);
+  if (reachable) {
+    EXPECT_EQ(r.verdict, InductionVerdict::kCounterexample);
+  } else {
+    EXPECT_EQ(r.verdict, InductionVerdict::kProved)
+        << "simple-path induction is complete for finite systems";
+  }
+}
+
+TEST(InductionTest, UniquenessMattersForCompleteness) {
+  // The same machine without the simple-path constraint may fail to
+  // close at any k ≤ max_k; with it, the proof must close.
+  SequentialCircuit m = lfsr_machine(4, 0b1001, 0b0001, 0b0000);
+  InductionOptions with;
+  with.max_k = 24;
+  with.unique_states = true;
+  InductionResult a = prove_by_induction(m, with);
+  EXPECT_EQ(a.verdict, InductionVerdict::kProved);
+
+  InductionOptions without;
+  without.max_k = 24;
+  without.unique_states = false;
+  InductionResult b = prove_by_induction(m, without);
+  // Without uniqueness the verdict may be kUnknown but must never be
+  // a (bogus) counterexample.
+  EXPECT_NE(b.verdict, InductionVerdict::kCounterexample);
+}
+
+TEST(InductionTest, HandshakeViolationFound) {
+  SequentialCircuit m = handshake_machine();
+  InductionResult r = prove_by_induction(m);
+  ASSERT_EQ(r.verdict, InductionVerdict::kCounterexample);
+  EXPECT_EQ(r.k, 3);
+}
+
+TEST(InductionTest, BudgetGivesUnknown) {
+  SequentialCircuit m = counter_machine(12, (1u << 12) - 1);
+  InductionOptions opts;
+  opts.max_k = 5;  // way below the counterexample depth
+  InductionResult r = prove_by_induction(m, opts);
+  EXPECT_EQ(r.verdict, InductionVerdict::kUnknown);
+}
+
+}  // namespace
+}  // namespace sateda::bmc

@@ -1,0 +1,70 @@
+#include "circuit/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/simulator.hpp"
+
+namespace sateda::circuit {
+namespace {
+
+TEST(DotTest, ContainsEveryNodeAndEdge) {
+  Circuit c = c17();
+  std::string dot = to_dot_string(c);
+  EXPECT_NE(dot.find("digraph \"c17\""), std::string::npos);
+  // All 11 nodes appear as definitions.
+  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
+    EXPECT_NE(dot.find("n" + std::to_string(id) + " [label="),
+              std::string::npos)
+        << "node " << id;
+  }
+  // Edge count equals total fanin count (12 for c17's six NAND2s).
+  std::size_t edges = 0, pos = 0;
+  while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  EXPECT_EQ(edges, 12u);
+}
+
+TEST(DotTest, InputsAreBoxesOutputsDoubleCircles) {
+  Circuit c = c17();
+  std::string dot = to_dot_string(c);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("shape=doublecircle"), std::string::npos);
+}
+
+TEST(DotTest, ValueAnnotationsShow) {
+  Circuit c = c17();
+  DotOptions opts;
+  std::vector<bool> in(5, true);
+  auto vals = simulate(c, in);
+  opts.values.assign(c.num_nodes(), l_undef);
+  for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+    opts.values[n] = lbool(static_cast<bool>(vals[n]));
+  }
+  std::string dot = to_dot_string(c, opts);
+  EXPECT_NE(dot.find("\\n=1"), std::string::npos);
+  EXPECT_NE(dot.find("\\n=0"), std::string::npos);
+}
+
+TEST(DotTest, HighlightedPathIsStyled) {
+  Circuit c = c17();
+  DotOptions opts;
+  opts.highlight = {c.find("3"), c.find("11"), c.find("16"), c.find("22")};
+  std::string dot = to_dot_string(c, opts);
+  EXPECT_NE(dot.find("fillcolor=gold"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth=2"), std::string::npos);
+}
+
+TEST(DotTest, UnnamedNodesGetSyntheticNames) {
+  Circuit c;
+  NodeId a = c.add_input();
+  NodeId g = c.add_not(a);
+  c.mark_output(g);
+  std::string dot = to_dot_string(c);
+  EXPECT_NE(dot.find("label=\"n0\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sateda::circuit

@@ -1,0 +1,154 @@
+/// Reproduces Table 1 (CNF formulas for simple gates) and Figure 1
+/// (example circuit + property): every gate encoding must admit
+/// exactly the gate's valid input-output assignments, with the clause
+/// counts the table specifies.
+#include "circuit/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/simulator.hpp"
+#include "sat/solver.hpp"
+#include "test_util.hpp"
+
+namespace sateda::circuit {
+namespace {
+
+struct GateCase {
+  GateType type;
+  int arity;
+};
+
+class Table1Test : public ::testing::TestWithParam<GateCase> {};
+
+/// The encoding of a single gate must be satisfied by exactly the
+/// 2^arity valid input-output combinations — no more, no fewer.
+TEST_P(Table1Test, EncodingMatchesTruthTable) {
+  const auto [type, arity] = GetParam();
+  Circuit c;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < arity; ++i) ins.push_back(c.add_input());
+  NodeId g = c.add_gate(type, ins);
+  CnfFormula f = encode_circuit(c);
+  // Every total assignment to the inputs extends uniquely to a model.
+  EXPECT_EQ(testing::brute_force_count_models(f), std::uint64_t{1} << arity);
+  // And each model agrees with eval_gate.
+  const std::uint64_t total = std::uint64_t{1} << arity;
+  for (std::uint64_t bits = 0; bits < total; ++bits) {
+    std::vector<bool> in_vals(arity);
+    for (int i = 0; i < arity; ++i) in_vals[i] = (bits >> i) & 1;
+    bool out = eval_gate(type, in_vals);
+    // Assignment (inputs, correct output) satisfies; flipped output
+    // does not.
+    std::vector<bool> assignment(c.num_nodes());
+    for (int i = 0; i < arity; ++i) assignment[ins[i]] = in_vals[i];
+    assignment[g] = out;
+    EXPECT_TRUE(f.is_satisfied_by(assignment));
+    assignment[g] = !out;
+    EXPECT_FALSE(f.is_satisfied_by(assignment));
+  }
+}
+
+TEST_P(Table1Test, ClauseCountMatchesTable1) {
+  const auto [type, arity] = GetParam();
+  Circuit c;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < arity; ++i) ins.push_back(c.add_input());
+  c.add_gate(type, ins);
+  CnfFormula f = encode_circuit(c);
+  EXPECT_EQ(f.num_clauses(), gate_clause_count(type, arity));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, Table1Test,
+    ::testing::Values(GateCase{GateType::kBuf, 1}, GateCase{GateType::kNot, 1},
+                      GateCase{GateType::kAnd, 2}, GateCase{GateType::kAnd, 3},
+                      GateCase{GateType::kAnd, 5}, GateCase{GateType::kNand, 2},
+                      GateCase{GateType::kNand, 4}, GateCase{GateType::kOr, 2},
+                      GateCase{GateType::kOr, 3}, GateCase{GateType::kNor, 2},
+                      GateCase{GateType::kNor, 4}, GateCase{GateType::kXor, 2},
+                      GateCase{GateType::kXnor, 2}),
+    [](const ::testing::TestParamInfo<GateCase>& info) {
+      return to_string(info.param.type) + std::to_string(info.param.arity);
+    });
+
+TEST(EncoderTest, ConstantsEncodeAsUnits) {
+  Circuit c;
+  c.add_input("i");
+  NodeId k0 = c.add_const(false);
+  NodeId k1 = c.add_const(true);
+  CnfFormula f = encode_circuit(c);
+  ASSERT_EQ(f.num_clauses(), 2u);
+  auto model = testing::brute_force_model(f);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_FALSE((*model)[k0]);
+  EXPECT_TRUE((*model)[k1]);
+}
+
+/// Whole-circuit property: for every input pattern, the circuit CNF
+/// has exactly one model extending it, and it matches simulation.
+TEST(EncoderTest, CircuitCnfAgreesWithSimulation) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Circuit c = random_circuit(5, 13, seed);
+    CnfFormula f = encode_circuit(c);
+    EXPECT_EQ(testing::brute_force_count_models(f) ,
+              std::uint64_t{1} << c.inputs().size())
+        << "each input pattern must extend to exactly one model";
+    for (std::uint64_t bits = 0; bits < 16; ++bits) {
+      std::vector<bool> ins(c.inputs().size());
+      for (std::size_t i = 0; i < ins.size(); ++i) ins[i] = (bits >> i) & 1;
+      std::vector<bool> values = simulate(c, ins);
+      EXPECT_TRUE(f.is_satisfied_by(values));
+    }
+  }
+}
+
+TEST(EncoderTest, ConesRestrictClauses) {
+  Circuit c = c17();
+  NodeId g22 = c.find("22");
+  CnfFormula cone = encode_cones(c, {g22});
+  CnfFormula full = encode_circuit(c);
+  EXPECT_LT(cone.num_clauses(), full.num_clauses());
+  // Node 19 ("19") only feeds output 23 and must not be constrained.
+  NodeId g19 = c.find("19");
+  for (const Clause& cl : cone) {
+    for (Lit l : cl) EXPECT_NE(l.var(), g19);
+  }
+}
+
+// --- Figure 1: example circuit + objective ---------------------------
+
+TEST(Figure1Test, PropertyZEquals0IsSatisfiable) {
+  Circuit c = example_figure1();
+  NodeId z = c.find("z");
+  ASSERT_NE(z, kNullNode);
+  CnfFormula f = encode_objective(c, z, false);
+  sat::Solver s;
+  s.add_formula(f);
+  ASSERT_EQ(s.solve(), sat::SolveResult::kSat);
+  // Extract the input pattern and confirm by simulation.
+  std::vector<bool> ins;
+  for (NodeId i : c.inputs()) ins.push_back(s.model_value(i).is_true());
+  std::vector<bool> vals = simulate(c, ins);
+  EXPECT_FALSE(vals[z]);
+}
+
+TEST(Figure1Test, SatAgreesWithExhaustiveSimulationOnBothPolarities) {
+  Circuit c = example_figure1();
+  NodeId z = c.find("z");
+  for (bool objective : {false, true}) {
+    bool reachable = false;
+    for (std::uint64_t bits = 0; bits < 8; ++bits) {
+      std::vector<bool> ins = {static_cast<bool>(bits & 1),
+                               static_cast<bool>((bits >> 1) & 1),
+                               static_cast<bool>((bits >> 2) & 1)};
+      if (simulate(c, ins)[z] == objective) reachable = true;
+    }
+    sat::Solver s;
+    s.add_formula(encode_objective(c, z, objective));
+    EXPECT_EQ(s.solve() == sat::SolveResult::kSat, reachable);
+  }
+}
+
+}  // namespace
+}  // namespace sateda::circuit

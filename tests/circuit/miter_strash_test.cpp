@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "circuit/encoder.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/miter.hpp"
+#include "circuit/simulator.hpp"
+#include "circuit/structural_hash.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::circuit {
+namespace {
+
+bool miter_differs(const Circuit& a, const Circuit& b) {
+  Circuit m = build_miter(a, b);
+  sat::Solver s;
+  s.add_formula(encode_objective(m, m.outputs()[0], true));
+  return s.solve() == sat::SolveResult::kSat;
+}
+
+TEST(MiterTest, IdenticalCircuitsAreEquivalent) {
+  Circuit c = c17();
+  EXPECT_FALSE(miter_differs(c, c17()));
+}
+
+TEST(MiterTest, MutatedGateIsDetected) {
+  Circuit a = c17();
+  // Rebuild with one NAND turned into NOR.
+  Circuit b("c17_mut");
+  NodeId g1 = b.add_input("1");
+  NodeId g2 = b.add_input("2");
+  NodeId g3 = b.add_input("3");
+  NodeId g6 = b.add_input("6");
+  NodeId g7 = b.add_input("7");
+  NodeId g10 = b.add_nand(g1, g3);
+  NodeId g11 = b.add_nor(g3, g6);  // mutation: NAND -> NOR
+  NodeId g16 = b.add_nand(g2, g11);
+  NodeId g19 = b.add_nand(g11, g7);
+  b.mark_output(b.add_nand(g10, g16), "o1");
+  b.mark_output(b.add_nand(g16, g19), "o2");
+  EXPECT_TRUE(miter_differs(a, b));
+}
+
+TEST(MiterTest, InterfaceMismatchThrows) {
+  EXPECT_THROW(build_miter(c17(), parity_tree(4)), CircuitError);
+}
+
+TEST(MiterTest, AdderVsStrashedAdderEquivalent) {
+  Circuit a = ripple_carry_adder(5);
+  Circuit b = strash(a);
+  EXPECT_FALSE(miter_differs(a, b));
+}
+
+TEST(AppendCopyTest, PreservesFunction) {
+  Circuit src = parity_tree(5);
+  Circuit dst("host");
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(dst.add_input());
+  auto map = append_copy(dst, src, ins);
+  dst.mark_output(map[src.outputs()[0]], "p");
+  for (std::uint64_t bits = 0; bits < 32; ++bits) {
+    std::vector<bool> pattern(5);
+    for (int i = 0; i < 5; ++i) pattern[i] = (bits >> i) & 1;
+    EXPECT_EQ(simulate_outputs(dst, pattern)[0],
+              simulate_outputs(src, pattern)[0]);
+  }
+}
+
+TEST(StrashTest, MergesDuplicateGates) {
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g1 = c.add_and(a, b);
+  NodeId g2 = c.add_and(b, a);  // commuted duplicate
+  NodeId g3 = c.add_and(a, b);  // literal duplicate
+  c.mark_output(c.add_or(g1, c.add_or(g2, g3)), "o");
+  StrashStats st;
+  Circuit out = strash(c, &st);
+  EXPECT_GE(st.merged, 2u);
+  EXPECT_LT(out.num_gates(), c.num_gates());
+}
+
+TEST(StrashTest, FoldsConstantsAndBuffers) {
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId one = c.add_const(true);
+  NodeId buf = c.add_buf(a);
+  NodeId g = c.add_and(buf, one);  // AND(a, 1) == a
+  c.mark_output(g, "o");
+  StrashStats st;
+  Circuit out = strash(c, &st);
+  EXPECT_EQ(out.num_gates(), 0u) << st.summary();
+  // Output is the input itself.
+  EXPECT_EQ(out.outputs()[0], out.inputs()[0]);
+}
+
+TEST(StrashTest, XorOfEqualNodesIsConstantZero) {
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g = c.add_and(a, b);
+  NodeId h = c.add_and(a, b);
+  c.mark_output(c.add_xor(g, h), "o");
+  Circuit out = strash(c);
+  EXPECT_EQ(out.node(out.outputs()[0]).type, GateType::kConst0);
+}
+
+class StrashPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StrashPropertyTest, PreservesFunctionExhaustively) {
+  Circuit c = random_circuit(7, 40, GetParam());
+  Circuit s = strash(c);
+  ASSERT_EQ(s.inputs().size(), c.inputs().size());
+  ASSERT_EQ(s.outputs().size(), c.outputs().size());
+  for (std::uint64_t bits = 0; bits < 128; ++bits) {
+    std::vector<bool> ins(7);
+    for (int i = 0; i < 7; ++i) ins[i] = (bits >> i) & 1;
+    EXPECT_EQ(simulate_outputs(c, ins), simulate_outputs(s, ins))
+        << "pattern " << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrashPropertyTest,
+                         ::testing::Range<std::uint64_t>(100, 116));
+
+}  // namespace
+}  // namespace sateda::circuit

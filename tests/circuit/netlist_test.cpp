@@ -1,0 +1,95 @@
+#include "circuit/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+
+namespace sateda::circuit {
+namespace {
+
+TEST(NetlistTest, BuildSmallCircuit) {
+  Circuit c("t");
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g = c.add_and(a, b, "g");
+  c.mark_output(g, "out");
+  EXPECT_EQ(c.num_nodes(), 3u);
+  EXPECT_EQ(c.num_gates(), 1u);
+  EXPECT_EQ(c.inputs().size(), 2u);
+  EXPECT_EQ(c.outputs().size(), 1u);
+  EXPECT_EQ(c.find("g"), g);
+  EXPECT_EQ(c.find("nope"), kNullNode);
+  EXPECT_NO_THROW(c.check());
+}
+
+TEST(NetlistTest, ArityIsEnforced) {
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  EXPECT_THROW(c.add_gate(GateType::kNot, {a, b}), CircuitError);
+  EXPECT_THROW(c.add_gate(GateType::kXor, {a}), CircuitError);
+  EXPECT_THROW(c.add_gate(GateType::kAnd, {}), CircuitError);
+  EXPECT_THROW(c.add_gate(GateType::kInput, {a}), CircuitError);
+}
+
+TEST(NetlistTest, FaninsMustExist) {
+  Circuit c;
+  NodeId a = c.add_input("a");
+  EXPECT_THROW(c.add_not(static_cast<NodeId>(99)), CircuitError);
+  EXPECT_NO_THROW(c.add_not(a));
+}
+
+TEST(NetlistTest, DuplicateNamesRejected) {
+  Circuit c;
+  c.add_input("a");
+  EXPECT_THROW(c.add_input("a"), CircuitError);
+}
+
+TEST(NetlistTest, FanoutsAreInverseOfFanins) {
+  Circuit c = c17();
+  for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+    for (NodeId f : c.node(n).fanins) {
+      const auto& fo = c.fanouts(f);
+      EXPECT_NE(std::find(fo.begin(), fo.end(), n), fo.end());
+    }
+  }
+  // Node "11" (NAND) feeds both "16" and "19".
+  NodeId g11 = c.find("11");
+  EXPECT_EQ(c.fanouts(g11).size(), 2u);
+}
+
+TEST(NetlistTest, LevelsAndDepth) {
+  Circuit c = c17();
+  std::vector<int> lv = c.levels();
+  for (NodeId i : c.inputs()) EXPECT_EQ(lv[i], 0);
+  EXPECT_EQ(c.depth(), 3);  // NAND chain 11 -> 16 -> 23
+}
+
+TEST(NetlistTest, GeneratorShapes) {
+  Circuit rca = ripple_carry_adder(4);
+  EXPECT_EQ(rca.inputs().size(), 9u);   // 4+4+cin
+  EXPECT_EQ(rca.outputs().size(), 5u);  // 4 sums + cout
+  Circuit mul = array_multiplier(3);
+  EXPECT_EQ(mul.inputs().size(), 6u);
+  EXPECT_EQ(mul.outputs().size(), 6u);
+  Circuit mux = mux_tree(3);
+  EXPECT_EQ(mux.inputs().size(), 8u + 3u);
+  EXPECT_EQ(mux.outputs().size(), 1u);
+  Circuit a = alu(4);
+  EXPECT_EQ(a.inputs().size(), 10u);
+  EXPECT_EQ(a.outputs().size(), 5u);
+}
+
+TEST(NetlistTest, RandomCircuitIsDeterministicAndValid) {
+  Circuit a = random_circuit(8, 50, 5);
+  Circuit b = random_circuit(8, 50, 5);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_NO_THROW(a.check());
+  EXPECT_FALSE(a.outputs().empty());
+  for (NodeId n = 0; n < static_cast<NodeId>(a.num_nodes()); ++n) {
+    EXPECT_EQ(a.node(n).type, b.node(n).type);
+  }
+}
+
+}  // namespace
+}  // namespace sateda::circuit

@@ -1,0 +1,199 @@
+#include "circuit/simulator.hpp"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+
+namespace sateda::circuit {
+namespace {
+
+std::vector<bool> to_bits(std::uint64_t v, int n) {
+  std::vector<bool> bits(n);
+  for (int i = 0; i < n; ++i) bits[i] = (v >> i) & 1;
+  return bits;
+}
+
+std::uint64_t from_bits(const std::vector<bool>& bits) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+TEST(SimulatorTest, AdderAddsExhaustively) {
+  const int n = 4;
+  Circuit c = ripple_carry_adder(n);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      for (std::uint64_t cin = 0; cin < 2; ++cin) {
+        std::vector<bool> ins;
+        for (bool bit : to_bits(a, n)) ins.push_back(bit);
+        for (bool bit : to_bits(b, n)) ins.push_back(bit);
+        ins.push_back(cin != 0);
+        std::uint64_t got = from_bits(simulate_outputs(c, ins));
+        EXPECT_EQ(got, a + b + cin);
+      }
+    }
+  }
+}
+
+TEST(SimulatorTest, MultiplierMultipliesExhaustively) {
+  const int n = 3;
+  Circuit c = array_multiplier(n);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      std::vector<bool> ins;
+      for (bool bit : to_bits(a, n)) ins.push_back(bit);
+      for (bool bit : to_bits(b, n)) ins.push_back(bit);
+      EXPECT_EQ(from_bits(simulate_outputs(c, ins)), a * b)
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(SimulatorTest, ComparatorDetectsEquality) {
+  const int n = 3;
+  Circuit c = equality_comparator(n);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      std::vector<bool> ins;
+      for (bool bit : to_bits(a, n)) ins.push_back(bit);
+      for (bool bit : to_bits(b, n)) ins.push_back(bit);
+      EXPECT_EQ(simulate_outputs(c, ins)[0], a == b);
+    }
+  }
+}
+
+TEST(SimulatorTest, ParityTreeComputesParity) {
+  Circuit c = parity_tree(7);
+  for (std::uint64_t v = 0; v < 128; ++v) {
+    std::vector<bool> ins = to_bits(v, 7);
+    bool parity = __builtin_popcountll(v) & 1;
+    EXPECT_EQ(simulate_outputs(c, ins)[0], parity);
+  }
+}
+
+TEST(SimulatorTest, MuxSelectsTheAddressedInput) {
+  Circuit c = mux_tree(2);
+  for (std::uint64_t data = 0; data < 16; ++data) {
+    for (std::uint64_t sel = 0; sel < 4; ++sel) {
+      std::vector<bool> ins;
+      for (bool bit : to_bits(data, 4)) ins.push_back(bit);
+      for (bool bit : to_bits(sel, 2)) ins.push_back(bit);
+      EXPECT_EQ(simulate_outputs(c, ins)[0], static_cast<bool>((data >> sel) & 1));
+    }
+  }
+}
+
+TEST(SimulatorTest, AluImplementsItsOpcodes) {
+  const int n = 4;
+  Circuit c = alu(n);
+  for (std::uint64_t a = 0; a < 16; a += 3) {
+    for (std::uint64_t b = 0; b < 16; b += 5) {
+      for (int op = 0; op < 4; ++op) {
+        std::vector<bool> ins;
+        for (bool bit : to_bits(a, n)) ins.push_back(bit);
+        for (bool bit : to_bits(b, n)) ins.push_back(bit);
+        ins.push_back(op & 1);
+        ins.push_back((op >> 1) & 1);
+        std::vector<bool> outs = simulate_outputs(c, ins);
+        std::uint64_t r = from_bits({outs.begin(), outs.begin() + n});
+        std::uint64_t expected;
+        switch (op) {
+          case 0: expected = (a + b) & 0xF; break;
+          case 1: expected = a & b; break;
+          case 2: expected = a | b; break;
+          default: expected = a ^ b; break;
+        }
+        EXPECT_EQ(r, expected) << "a=" << a << " b=" << b << " op=" << op;
+        if (op == 0) {
+          EXPECT_EQ(outs[n], ((a + b) >> 4) & 1);
+        } else {
+          EXPECT_FALSE(outs[n]);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimulatorTest, WordSimulationMatchesScalar) {
+  Circuit c = random_circuit(10, 60, 17);
+  // Pack 64 random patterns.
+  std::mt19937_64 rng(99);
+  std::vector<std::uint64_t> packed(c.inputs().size());
+  for (auto& w : packed) w = rng();
+  std::vector<std::uint64_t> word_vals = simulate_words(c, packed);
+  for (int bit = 0; bit < 64; bit += 7) {
+    std::vector<bool> ins(c.inputs().size());
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      ins[i] = (packed[i] >> bit) & 1;
+    }
+    std::vector<bool> scalar = simulate(c, ins);
+    for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+      EXPECT_EQ(scalar[n], static_cast<bool>((word_vals[n] >> bit) & 1))
+          << "node " << n << " bit " << bit;
+    }
+  }
+}
+
+TEST(SimulatorTest, TernarySimulationRefinesToBinary) {
+  Circuit c = c17();
+  // Fully specified ternary == binary.
+  std::vector<lbool> t_ins(5, l_false);
+  std::vector<bool> b_ins(5, false);
+  auto tv = simulate_ternary(c, t_ins);
+  auto bv = simulate(c, b_ins);
+  for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+    EXPECT_EQ(tv[n].is_true(), bv[n]);
+    EXPECT_FALSE(tv[n].is_undef());
+  }
+}
+
+TEST(SimulatorTest, TernaryControllingValuesDecideOutputs) {
+  // AND with one 0 input is 0 even when the other is X.
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g = c.add_and(a, b);
+  NodeId h = c.add_or(a, b);
+  (void)g;
+  (void)h;
+  auto v = simulate_ternary(c, {l_false, l_undef});
+  EXPECT_TRUE(v[g].is_false());
+  EXPECT_TRUE(v[h].is_undef());
+  v = simulate_ternary(c, {l_true, l_undef});
+  EXPECT_TRUE(v[g].is_undef());
+  EXPECT_TRUE(v[h].is_true());
+}
+
+TEST(SimulatorTest, TernaryIsMonotoneInInformation) {
+  // Any completion of a partial pattern agrees with the ternary result
+  // wherever the latter is defined.
+  Circuit c = random_circuit(6, 25, 4);
+  std::vector<lbool> partial = {l_true, l_undef, l_false,
+                                l_undef, l_true, l_undef};
+  auto t = simulate_ternary(c, partial);
+  for (std::uint64_t bits = 0; bits < 8; ++bits) {
+    std::vector<bool> full(6);
+    int undef_idx = 0;
+    for (int i = 0; i < 6; ++i) {
+      if (partial[i].is_undef()) {
+        full[i] = (bits >> undef_idx++) & 1;
+      } else {
+        full[i] = partial[i].is_true();
+      }
+    }
+    auto b = simulate(c, full);
+    for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
+      if (!t[n].is_undef()) {
+        EXPECT_EQ(t[n].is_true(), b[n]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sateda::circuit

@@ -1,0 +1,119 @@
+#include "cnf/formula.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnf/dimacs.hpp"
+
+namespace sateda {
+namespace {
+
+TEST(ClauseTest, NormalizeSortsAndDeduplicates) {
+  Clause c({pos(3), pos(1), pos(3), neg(2)});
+  EXPECT_TRUE(c.normalize());
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], pos(1));
+  EXPECT_EQ(c[1], neg(2));
+  EXPECT_EQ(c[2], pos(3));
+}
+
+TEST(ClauseTest, NormalizeDetectsTautology) {
+  Clause c({pos(1), neg(1)});
+  EXPECT_FALSE(c.normalize());
+}
+
+TEST(ClauseTest, ContainsFindsLiteral) {
+  Clause c({pos(0), neg(5)});
+  EXPECT_TRUE(c.contains(pos(0)));
+  EXPECT_TRUE(c.contains(neg(5)));
+  EXPECT_FALSE(c.contains(pos(5)));
+}
+
+TEST(FormulaTest, GrowsVariableSpaceFromClauses) {
+  CnfFormula f;
+  f.add_clause({pos(4), neg(9)});
+  EXPECT_EQ(f.num_vars(), 10);
+  EXPECT_EQ(f.num_clauses(), 1u);
+  EXPECT_EQ(f.num_literals(), 2u);
+}
+
+TEST(FormulaTest, EvaluateCompleteAssignment) {
+  CnfFormula f(2);
+  f.add_binary(pos(0), pos(1));
+  std::vector<lbool> a = {l_false, l_true};
+  EXPECT_EQ(f.evaluate(a), l_true);
+  a[1] = l_false;
+  EXPECT_EQ(f.evaluate(a), l_false);
+}
+
+TEST(FormulaTest, EvaluatePartialAssignmentIsUndef) {
+  CnfFormula f(2);
+  f.add_binary(pos(0), pos(1));
+  std::vector<lbool> a = {l_false, l_undef};
+  EXPECT_EQ(f.evaluate(a), l_undef);
+}
+
+TEST(FormulaTest, IsSatisfiedByBoolVector) {
+  CnfFormula f(3);
+  f.add_ternary(pos(0), neg(1), pos(2));
+  EXPECT_TRUE(f.is_satisfied_by({true, true, false}));
+  EXPECT_FALSE(f.is_satisfied_by({false, true, false}));
+}
+
+TEST(FormulaTest, AppendConjoinsFormulas) {
+  CnfFormula a(2);
+  a.add_binary(pos(0), pos(1));
+  CnfFormula b(3);
+  b.add_unit(neg(2));
+  a.append(b);
+  EXPECT_EQ(a.num_vars(), 3);
+  EXPECT_EQ(a.num_clauses(), 2u);
+}
+
+TEST(FormulaTest, NormalizeDropsTautologies) {
+  CnfFormula f(2);
+  f.add_binary(pos(0), neg(0));
+  f.add_binary(pos(0), pos(1));
+  EXPECT_EQ(f.normalize(), 1u);
+  EXPECT_EQ(f.num_clauses(), 1u);
+}
+
+TEST(DimacsTest, RoundTrip) {
+  CnfFormula f(3);
+  f.add_ternary(pos(0), neg(1), pos(2));
+  f.add_unit(neg(2));
+  CnfFormula g = read_dimacs_string(to_dimacs_string(f));
+  EXPECT_EQ(g.num_vars(), 3);
+  ASSERT_EQ(g.num_clauses(), 2u);
+  EXPECT_EQ(g.clause(0)[1], neg(1));
+  EXPECT_EQ(g.clause(1)[0], neg(2));
+}
+
+TEST(DimacsTest, ParsesCommentsAndHeader) {
+  CnfFormula f = read_dimacs_string(
+      "c a comment\n"
+      "p cnf 4 2\n"
+      "1 -2 0\n"
+      "3 4 0\n");
+  EXPECT_EQ(f.num_vars(), 4);
+  EXPECT_EQ(f.num_clauses(), 2u);
+}
+
+TEST(DimacsTest, MultipleClausesPerLine) {
+  CnfFormula f = read_dimacs_string("p cnf 2 2\n1 0 -2 0\n");
+  EXPECT_EQ(f.num_clauses(), 2u);
+}
+
+TEST(DimacsTest, RejectsUnterminatedClause) {
+  EXPECT_THROW(read_dimacs_string("p cnf 2 1\n1 -2\n"), DimacsError);
+}
+
+TEST(DimacsTest, RejectsGarbageHeader) {
+  EXPECT_THROW(read_dimacs_string("p dnf 2 1\n1 0\n"), DimacsError);
+}
+
+TEST(DimacsTest, RejectsNonNumericToken) {
+  EXPECT_THROW(read_dimacs_string("p cnf 2 1\n1 x 0\n"), DimacsError);
+}
+
+}  // namespace
+}  // namespace sateda

@@ -1,0 +1,102 @@
+#include "cnf/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace sateda {
+namespace {
+
+TEST(GeneratorsTest, RandomKsatHasRequestedShape) {
+  CnfFormula f = random_ksat(20, 50, 3, 42);
+  EXPECT_EQ(f.num_vars(), 20);
+  EXPECT_EQ(f.num_clauses(), 50u);
+  for (const Clause& c : f) {
+    EXPECT_EQ(c.size(), 3u);
+    // Literals mention distinct variables.
+    EXPECT_NE(c[0].var(), c[1].var());
+    EXPECT_NE(c[1].var(), c[2].var());
+    EXPECT_NE(c[0].var(), c[2].var());
+  }
+}
+
+TEST(GeneratorsTest, RandomKsatIsDeterministicInSeed) {
+  CnfFormula a = random_ksat(15, 30, 3, 7);
+  CnfFormula b = random_ksat(15, 30, 3, 7);
+  ASSERT_EQ(a.num_clauses(), b.num_clauses());
+  for (std::size_t i = 0; i < a.num_clauses(); ++i) {
+    ASSERT_EQ(a.clause(i).size(), b.clause(i).size());
+    for (std::size_t j = 0; j < a.clause(i).size(); ++j) {
+      EXPECT_EQ(a.clause(i)[j], b.clause(i)[j]);
+    }
+  }
+  CnfFormula c = random_ksat(15, 30, 3, 8);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.num_clauses() && !any_diff; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (a.clause(i)[j] != c.clause(i)[j]) any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorsTest, PigeonholeIsUnsatisfiable) {
+  for (int holes : {1, 2, 3, 4}) {
+    CnfFormula f = pigeonhole(holes);
+    EXPECT_FALSE(testing::brute_force_satisfiable(f))
+        << "PHP with " << holes << " holes must be UNSAT";
+  }
+}
+
+TEST(GeneratorsTest, PigeonholeShape) {
+  CnfFormula f = pigeonhole(3);
+  EXPECT_EQ(f.num_vars(), 4 * 3);
+  // 4 at-least-one clauses + 3 * C(4,2)=6 pairwise clauses.
+  EXPECT_EQ(f.num_clauses(), 4u + 3u * 6u);
+}
+
+TEST(GeneratorsTest, EquivalenceChainConsistentIsSat) {
+  CnfFormula f = equivalence_chain(8, /*inconsistent=*/false, 0, 1);
+  auto model = testing::brute_force_model(f);
+  ASSERT_TRUE(model.has_value());
+  // All chained variables take the same value.
+  for (int v = 1; v < 8; ++v) EXPECT_EQ((*model)[v], (*model)[0]);
+}
+
+TEST(GeneratorsTest, EquivalenceChainInconsistentIsUnsat) {
+  CnfFormula f = equivalence_chain(8, /*inconsistent=*/true, 0, 1);
+  EXPECT_FALSE(testing::brute_force_satisfiable(f));
+}
+
+TEST(GeneratorsTest, ParityChainCountsModels) {
+  // x0 ⊕ x1 ⊕ x2 = 1 has exactly 4 solutions over the 3 inputs; helper
+  // variables are functionally determined, so the model count is 4.
+  CnfFormula f = parity_chain(3, true);
+  EXPECT_EQ(testing::brute_force_count_models(f), 4u);
+}
+
+TEST(GeneratorsTest, ParityChainBothTargetsPartitionSpace) {
+  CnfFormula f1 = parity_chain(4, true);
+  CnfFormula f0 = parity_chain(4, false);
+  EXPECT_EQ(testing::brute_force_count_models(f1) +
+                testing::brute_force_count_models(f0),
+            16u);
+}
+
+TEST(GeneratorsTest, PlantedKsatIsAlwaysSatisfiable) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    CnfFormula f = planted_ksat(12, 80, 3, seed);
+    EXPECT_TRUE(testing::brute_force_satisfiable(f)) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorsTest, GraphColoringTriangleNeedsThreeColors) {
+  // A dense-enough random graph on 3 nodes with p=1 is a triangle.
+  CnfFormula two = random_graph_coloring(3, 1.0, 2, 3);
+  EXPECT_FALSE(testing::brute_force_satisfiable(two));
+  CnfFormula three = random_graph_coloring(3, 1.0, 3, 3);
+  EXPECT_TRUE(testing::brute_force_satisfiable(three));
+}
+
+}  // namespace
+}  // namespace sateda

@@ -1,0 +1,77 @@
+#include "cnf/literal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sateda {
+namespace {
+
+TEST(LiteralTest, EncodingRoundTrips) {
+  for (Var v = 0; v < 100; ++v) {
+    for (bool negative : {false, true}) {
+      Lit l(v, negative);
+      EXPECT_EQ(l.var(), v);
+      EXPECT_EQ(l.negative(), negative);
+      EXPECT_EQ(Lit::from_index(l.index()), l);
+    }
+  }
+}
+
+TEST(LiteralTest, ComplementFlipsPolarityOnly) {
+  Lit l = pos(7);
+  EXPECT_EQ((~l).var(), 7);
+  EXPECT_TRUE((~l).negative());
+  EXPECT_EQ(~~l, l);
+}
+
+TEST(LiteralTest, XorWithBoolFlipsConditionally) {
+  Lit l = pos(3);
+  EXPECT_EQ(l ^ false, l);
+  EXPECT_EQ(l ^ true, ~l);
+}
+
+TEST(LiteralTest, IndexIsDense) {
+  EXPECT_EQ(pos(0).index(), 0);
+  EXPECT_EQ(neg(0).index(), 1);
+  EXPECT_EQ(pos(1).index(), 2);
+  EXPECT_EQ(neg(1).index(), 3);
+}
+
+TEST(LiteralTest, UndefLiteralIsNotDefined) {
+  EXPECT_FALSE(kUndefLit.is_defined());
+  EXPECT_TRUE(pos(0).is_defined());
+}
+
+TEST(LiteralTest, OrderingGroupsByVariable) {
+  EXPECT_LT(pos(0), neg(0));
+  EXPECT_LT(neg(0), pos(1));
+}
+
+TEST(LiteralTest, ToStringUsesDimacsConvention) {
+  EXPECT_EQ(to_string(pos(0)), "1");
+  EXPECT_EQ(to_string(neg(2)), "-3");
+}
+
+TEST(LboolTest, TernaryLogicBasics) {
+  EXPECT_TRUE(l_true.is_true());
+  EXPECT_TRUE(l_false.is_false());
+  EXPECT_TRUE(l_undef.is_undef());
+  EXPECT_EQ(~l_true, l_false);
+  EXPECT_EQ(~l_false, l_true);
+  EXPECT_EQ(~l_undef, l_undef);
+}
+
+TEST(LboolTest, XorWithBool) {
+  EXPECT_EQ(l_true ^ true, l_false);
+  EXPECT_EQ(l_true ^ false, l_true);
+  EXPECT_EQ(l_false ^ true, l_true);
+  EXPECT_EQ(l_undef ^ true, l_undef);
+}
+
+TEST(LboolTest, UndefComparesEqualToUndefOnly) {
+  EXPECT_EQ(l_undef, l_undef);
+  EXPECT_FALSE(l_undef == l_true);
+  EXPECT_FALSE(l_undef == l_false);
+}
+
+}  // namespace
+}  // namespace sateda

@@ -1,0 +1,178 @@
+#include "csat/circuit_sat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/encoder.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/simulator.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::csat {
+namespace {
+
+using circuit::Circuit;
+using circuit::NodeId;
+
+/// Oracle: is (node=value) attainable?  Decided by plain CNF SAT with
+/// no structural layer.
+bool attainable_plain(const Circuit& c, NodeId node, bool value) {
+  sat::Solver s;
+  s.add_formula(circuit::encode_objective(c, node, value));
+  return s.solve() == sat::SolveResult::kSat;
+}
+
+TEST(CircuitSatTest, Figure1ObjectiveZ0) {
+  Circuit c = circuit::example_figure1();
+  NodeId z = c.find("z");
+  CircuitSatSolver solver(c);
+  CircuitSatResult r = solver.solve(z, false);
+  ASSERT_EQ(r.result, sat::SolveResult::kSat);
+  // The (possibly partial) pattern must force z=0 under 3-valued
+  // simulation: no completion can change the objective.
+  auto vals = simulate_ternary(c, r.input_pattern);
+  EXPECT_TRUE(vals[z].is_false());
+}
+
+TEST(CircuitSatTest, UnattainableObjectiveIsUnsat) {
+  // AND of x and NOT x is constant 0: objective 1 unattainable.
+  Circuit c;
+  NodeId x = c.add_input("x");
+  NodeId nx = c.add_not(x);
+  NodeId g = c.add_and(x, nx);
+  c.mark_output(g, "o");
+  CircuitSatSolver solver(c);
+  EXPECT_EQ(solver.solve(g, true).result, sat::SolveResult::kUnsat);
+  EXPECT_EQ(solver.solve(g, false).result, sat::SolveResult::kSat);
+}
+
+TEST(CircuitSatTest, PartialPatternStillDeterminesObjective) {
+  // Wide OR: justifying output 1 needs a single input; the layer
+  // should leave the others unassigned.
+  Circuit c;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 16; ++i) ins.push_back(c.add_input());
+  NodeId acc = ins[0];
+  for (int i = 1; i < 16; ++i) acc = c.add_or(acc, ins[i]);
+  c.mark_output(acc, "o");
+  CircuitSatSolver solver(c);
+  CircuitSatResult r = solver.solve(acc, true);
+  ASSERT_EQ(r.result, sat::SolveResult::kSat);
+  EXPECT_LT(r.specified_inputs, 16)
+      << "justification frontier must avoid overspecification";
+  auto vals = simulate_ternary(c, r.input_pattern);
+  EXPECT_TRUE(vals[acc].is_true());
+}
+
+TEST(CircuitSatTest, PlainCnfModeOverspecifies) {
+  // The §5 contrast: without the layer every input ends up assigned.
+  Circuit c;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 16; ++i) ins.push_back(c.add_input());
+  NodeId acc = ins[0];
+  for (int i = 1; i < 16; ++i) acc = c.add_or(acc, ins[i]);
+  c.mark_output(acc, "o");
+  CircuitSatOptions opts;
+  opts.layer.frontier_termination = false;
+  opts.layer.backtrace_decisions = false;
+  CircuitSatSolver solver(c, opts);
+  CircuitSatResult r = solver.solve(acc, true);
+  ASSERT_EQ(r.result, sat::SolveResult::kSat);
+  EXPECT_EQ(r.specified_inputs, 16);
+}
+
+TEST(CircuitSatTest, MultipleObjectives) {
+  Circuit c = circuit::c17();
+  NodeId o22 = c.find("22");
+  NodeId o23 = c.find("23");
+  CircuitSatSolver solver(c);
+  CircuitSatResult r = solver.solve({{o22, true}, {o23, false}});
+  ASSERT_EQ(r.result, sat::SolveResult::kSat);
+  auto vals = simulate_ternary(c, r.input_pattern);
+  EXPECT_TRUE(vals[o22].is_true());
+  EXPECT_TRUE(vals[o23].is_false());
+}
+
+TEST(CircuitSatTest, RepeatedSolvesWithDifferentObjectivesStaySound) {
+  // Exercises incremental cone encoding: the second objective's cone
+  // was not encoded by the first call.
+  Circuit c = circuit::ripple_carry_adder(4);
+  CircuitSatSolver solver(c);
+  NodeId s0 = c.outputs()[0];
+  NodeId cout = c.outputs()[4];
+  ASSERT_EQ(solver.solve(s0, true).result, sat::SolveResult::kSat);
+  CircuitSatResult r = solver.solve(cout, true);
+  ASSERT_EQ(r.result, sat::SolveResult::kSat);
+  auto vals = simulate_ternary(c, r.input_pattern);
+  EXPECT_TRUE(vals[cout].is_true());
+}
+
+struct LayerConfig {
+  const char* name;
+  bool frontier;
+  bool backtrace;
+  bool to_inputs;
+  BacktraceMode mode = BacktraceMode::kSimple;
+};
+
+class CircuitSatPropertyTest
+    : public ::testing::TestWithParam<std::tuple<LayerConfig, std::uint64_t>> {
+};
+
+/// For random circuits, every layer configuration must agree with the
+/// plain-CNF oracle on attainability, and SAT patterns must force the
+/// objective under ternary simulation.
+TEST_P(CircuitSatPropertyTest, AgreesWithPlainCnfOracle) {
+  const auto& [config, seed] = GetParam();
+  Circuit c = circuit::random_circuit(8, 30, seed);
+  CircuitSatOptions opts;
+  opts.layer.frontier_termination = config.frontier;
+  opts.layer.backtrace_decisions = config.backtrace;
+  opts.layer.backtrace_to_inputs = config.to_inputs;
+  opts.layer.backtrace_mode = config.mode;
+  for (NodeId out : c.outputs()) {
+    for (bool objective : {false, true}) {
+      CircuitSatSolver fresh(c, opts);
+      CircuitSatResult r = fresh.solve(out, objective);
+      bool expected = attainable_plain(c, out, objective);
+      ASSERT_NE(r.result, sat::SolveResult::kUnknown);
+      EXPECT_EQ(r.result == sat::SolveResult::kSat, expected)
+          << config.name << " node " << out << "=" << objective;
+      if (r.result == sat::SolveResult::kSat) {
+        auto vals = simulate_ternary(c, r.input_pattern);
+        EXPECT_EQ(vals[out], lbool(objective))
+            << config.name << ": pattern does not force the objective";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CircuitSatPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(
+            LayerConfig{"full_layer", true, true, true},
+            LayerConfig{"frontier_only", true, false, false},
+            LayerConfig{"backtrace_direct", true, true, false},
+            LayerConfig{"multiple_backtrace", true, true, true,
+                        BacktraceMode::kMultiple},
+            LayerConfig{"plain_cnf", false, false, false}),
+        ::testing::Range<std::uint64_t>(500, 508)),
+    [](const ::testing::TestParamInfo<std::tuple<LayerConfig, std::uint64_t>>&
+           info) {
+      return std::string(std::get<0>(info.param).name) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CircuitLayerStatsTest, BacktracesAreCounted) {
+  Circuit c = circuit::c17();
+  CircuitSatSolver solver(c);
+  CircuitSatResult r = solver.solve(c.find("22"), false);
+  ASSERT_EQ(r.result, sat::SolveResult::kSat);
+  EXPECT_GE(solver.layer().stats().frontier_terminations +
+                solver.layer().stats().backtraces,
+            1);
+  EXPECT_FALSE(solver.layer().stats().summary().empty());
+}
+
+}  // namespace
+}  // namespace sateda::csat

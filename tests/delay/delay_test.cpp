@@ -1,0 +1,153 @@
+#include "delay/delay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+
+namespace sateda::delay {
+namespace {
+
+using circuit::Circuit;
+using circuit::NodeId;
+
+/// The textbook false-path circuit: two chains share a select signal
+/// such that the topologically longest path can never propagate.
+/// y = s ? (a through a long chain) : b; and the long chain is only
+/// sensitizable when s=1, but an extra gate forces the path through
+/// ¬s as well → the longest path is false.
+Circuit false_path_circuit() {
+  Circuit c("falsepath");
+  NodeId s = c.add_input("s");
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId ns = c.add_not(s, "ns");
+  // Delay `a` so the unique topologically-longest path enters the
+  // chain through `a` (length 7), not through `s` (length 5).
+  NodeId a1 = c.add_buf(a);
+  NodeId a2 = c.add_buf(a1);
+  NodeId t1 = c.add_and(a2, s);   // sensitizing the a-path needs s = 1
+  NodeId t2 = c.add_buf(t1);
+  NodeId t3 = c.add_buf(t2);
+  NodeId t4 = c.add_and(t3, ns);  // ...and simultaneously s = 0: false!
+  NodeId short_branch = c.add_and(b, ns);
+  NodeId y = c.add_or(t4, short_branch);
+  c.mark_output(y, "y");
+  return c;
+}
+
+TEST(DelayTest, TopologicalDelayOfChain) {
+  Circuit c;
+  NodeId x = c.add_input("x");
+  NodeId n1 = c.add_not(x);
+  NodeId n2 = c.add_not(n1);
+  NodeId n3 = c.add_not(n2);
+  c.mark_output(n3, "o");
+  EXPECT_EQ(topological_delay(c), 3);
+}
+
+TEST(DelayTest, InverterChainIsFullySensitizable) {
+  Circuit c;
+  NodeId x = c.add_input("x");
+  NodeId prev = x;
+  for (int i = 0; i < 5; ++i) prev = c.add_not(prev);
+  c.mark_output(prev, "o");
+  DelayResult r = compute_delay(c);
+  EXPECT_EQ(r.topological, 5);
+  EXPECT_EQ(r.sensitizable, 5)
+      << "chains without side inputs are always sensitizable";
+  EXPECT_EQ(sensitized_delay(c, r.critical_vector), 5);
+}
+
+TEST(DelayTest, FalsePathReducesSensitizableDelay) {
+  Circuit c = false_path_circuit();
+  DelayResult r = compute_delay(c);
+  EXPECT_EQ(r.topological, 7);  // a → a1 → a2 → t1 → t2 → t3 → t4 → y
+  EXPECT_EQ(r.sensitizable, 5)
+      << "the length-7 branch is false; the true critical path enters "
+         "the chain at s";
+  // Witness consistency.
+  EXPECT_EQ(sensitized_delay(c, r.critical_vector), r.sensitizable);
+}
+
+TEST(DelayTest, SensitizeDelayWitnessIsConsistent) {
+  Circuit c = circuit::c17();
+  int topo = topological_delay(c);
+  auto witness = sensitize_delay(c, topo);
+  if (witness.has_value()) {
+    EXPECT_GE(sensitized_delay(c, *witness), topo);
+  }
+  // d beyond the topological bound is impossible.
+  EXPECT_FALSE(sensitize_delay(c, topo + 1).has_value());
+}
+
+TEST(DelayTest, XorTreeAlwaysSensitized) {
+  // XOR gates have no controlling value: every path is sensitizable.
+  Circuit c = circuit::parity_tree(8);
+  DelayResult r = compute_delay(c);
+  EXPECT_EQ(r.sensitizable, r.topological);
+}
+
+class DelayPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DelayPropertyTest, SatAgreesWithVectorEnumeration) {
+  Circuit c = circuit::random_circuit(6, 18, GetParam());
+  // Exhaustive ground truth: max sensitized delay over all 64 vectors.
+  int truth = 0;
+  for (std::uint64_t bits = 0; bits < 64; ++bits) {
+    std::vector<bool> ins(6);
+    for (int i = 0; i < 6; ++i) ins[i] = (bits >> i) & 1;
+    truth = std::max(truth, sensitized_delay(c, ins));
+  }
+  DelayResult r = compute_delay(c);
+  EXPECT_EQ(r.sensitizable, truth) << "seed " << GetParam();
+  EXPECT_LE(r.sensitizable, r.topological);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelayPropertyTest,
+                         ::testing::Range<std::uint64_t>(700, 716));
+
+TEST(PathTest, LongestPathsAreStructurallyValid) {
+  Circuit c = circuit::c17();
+  std::vector<Path> paths = longest_paths(c, 10);
+  ASSERT_FALSE(paths.empty());
+  const int target = topological_delay(c);
+  for (const Path& p : paths) {
+    EXPECT_EQ(static_cast<int>(p.size()) - 1, target);
+    EXPECT_TRUE(c.is_input(p.front()));
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      const auto& fanins = c.node(p[i + 1]).fanins;
+      EXPECT_NE(std::find(fanins.begin(), fanins.end(), p[i]), fanins.end());
+    }
+  }
+}
+
+TEST(PathTest, FalsePathIsReportedUntestable) {
+  // y = OR(AND(b, a), a): the path b→AND→OR needs a=1 (AND side) and
+  // a=0 (OR side) simultaneously — a statically false path.
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g = c.add_and(b, a);
+  NodeId y = c.add_or(g, a);
+  c.mark_output(y, "y");
+  EXPECT_FALSE(sensitize_path(c, {b, g, y}).has_value());
+}
+
+TEST(PathTest, SensitizablePathGetsWitness) {
+  // y = OR(AND(b, a), x) with independent x: path b→AND→OR needs a=1
+  // and x=0 — satisfiable.
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId x = c.add_input("x");
+  NodeId g = c.add_and(b, a);
+  NodeId y = c.add_or(g, x);
+  c.mark_output(y, "y");
+  auto witness = sensitize_path(c, {b, g, y});
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE((*witness)[0]);   // a = 1
+  EXPECT_FALSE((*witness)[2]);  // x = 0
+}
+
+}  // namespace
+}  // namespace sateda::delay

@@ -1,0 +1,99 @@
+#include "equiv/bdd_cec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/miter.hpp"
+#include "circuit/simulator.hpp"
+
+namespace sateda::equiv {
+namespace {
+
+using circuit::Circuit;
+using circuit::NodeId;
+
+Circuit inverted_copy(const Circuit& src, std::size_t which) {
+  Circuit out("bug");
+  std::vector<NodeId> in;
+  for (std::size_t i = 0; i < src.inputs().size(); ++i) {
+    in.push_back(out.add_input());
+  }
+  auto map = circuit::append_copy(out, src, in);
+  for (std::size_t i = 0; i < src.outputs().size(); ++i) {
+    NodeId o = map[src.outputs()[i]];
+    if (i == which) o = out.add_not(o);
+    out.mark_output(o, "o" + std::to_string(i));
+  }
+  return out;
+}
+
+TEST(BddCecTest, EquivalentAdders) {
+  Circuit a = circuit::ripple_carry_adder(6);
+  BddCecOptions opts;
+  opts.interleave_inputs = true;
+  BddCecResult r = check_equivalence_bdd(a, circuit::ripple_carry_adder(6),
+                                         opts);
+  EXPECT_EQ(r.verdict, CecVerdict::kEquivalent);
+  EXPECT_GT(r.bdd_nodes, 2u);
+}
+
+TEST(BddCecTest, CounterexampleIsReal) {
+  Circuit a = circuit::alu(3);
+  Circuit b = inverted_copy(a, 1);
+  BddCecResult r = check_equivalence_bdd(a, b);
+  ASSERT_EQ(r.verdict, CecVerdict::kNotEquivalent);
+  EXPECT_NE(circuit::simulate_outputs(a, r.counterexample),
+            circuit::simulate_outputs(b, r.counterexample));
+}
+
+TEST(BddCecTest, NodeLimitReportsUnknown) {
+  // A multiplier's middle output bit is exponential in any order —
+  // with a tiny budget the BDD attempt must bail out gracefully.
+  Circuit a = circuit::array_multiplier(8);
+  BddCecOptions opts;
+  opts.node_limit = 2000;
+  BddCecResult r = check_equivalence_bdd(a, circuit::array_multiplier(8),
+                                         opts);
+  EXPECT_EQ(r.verdict, CecVerdict::kUnknown);
+}
+
+TEST(BddCecTest, InterfaceMismatchThrows) {
+  EXPECT_THROW(
+      check_equivalence_bdd(circuit::c17(), circuit::parity_tree(4)),
+      circuit::CircuitError);
+}
+
+TEST(HybridCecTest, SmallCircuitSettledByBdd) {
+  HybridCecResult r =
+      check_equivalence_hybrid(circuit::c17(), circuit::c17());
+  EXPECT_TRUE(r.used_bdd);
+  EXPECT_EQ(r.result.verdict, CecVerdict::kEquivalent);
+}
+
+TEST(HybridCecTest, BlowupFallsBackToSat) {
+  Circuit a = circuit::array_multiplier(7);
+  BddCecOptions bdd_opts;
+  bdd_opts.node_limit = 1000;
+  HybridCecResult r =
+      check_equivalence_hybrid(a, circuit::array_multiplier(7), bdd_opts);
+  EXPECT_FALSE(r.used_bdd) << "the multiplier must exceed 1000 BDD nodes";
+  EXPECT_EQ(r.result.verdict, CecVerdict::kEquivalent);
+}
+
+class BddCecPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BddCecPropertyTest, AgreesWithSatCec) {
+  Circuit a = circuit::random_circuit(8, 35, GetParam());
+  Circuit b = (GetParam() % 2) ? inverted_copy(a, a.outputs().size() / 2)
+                               : a;
+  BddCecResult via_bdd = check_equivalence_bdd(a, b);
+  CecResult via_sat = check_equivalence(a, b);
+  ASSERT_NE(via_bdd.verdict, CecVerdict::kUnknown);
+  EXPECT_EQ(via_bdd.verdict, via_sat.verdict) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddCecPropertyTest,
+                         ::testing::Range<std::uint64_t>(1300, 1312));
+
+}  // namespace
+}  // namespace sateda::equiv

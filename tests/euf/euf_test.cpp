@@ -1,0 +1,128 @@
+#include "euf/euf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "euf/pipeline.hpp"
+
+namespace sateda::euf {
+namespace {
+
+TEST(EufTest, EqualityIsReflexive) {
+  EufContext ctx;
+  TermId x = ctx.term_var("x");
+  EXPECT_TRUE(ctx.is_valid(ctx.eq(x, x)));
+}
+
+TEST(EufTest, EqualityIsNotUniversal) {
+  EufContext ctx;
+  TermId x = ctx.term_var("x");
+  TermId y = ctx.term_var("y");
+  EXPECT_FALSE(ctx.is_valid(ctx.eq(x, y)));
+  EXPECT_EQ(ctx.check_sat(ctx.eq(x, y)).result, sat::SolveResult::kSat);
+  EXPECT_EQ(ctx.check_sat(ctx.f_not(ctx.eq(x, y))).result,
+            sat::SolveResult::kSat);
+}
+
+TEST(EufTest, TransitivityHolds) {
+  EufContext ctx;
+  TermId x = ctx.term_var("x");
+  TermId y = ctx.term_var("y");
+  TermId z = ctx.term_var("z");
+  FormulaId premise = ctx.f_and(ctx.eq(x, y), ctx.eq(y, z));
+  EXPECT_TRUE(ctx.is_valid(ctx.f_implies(premise, ctx.eq(x, z))));
+  // x=y ∧ y≠z ⇒ x≠z.
+  FormulaId p2 = ctx.f_and(ctx.eq(x, y), ctx.f_not(ctx.eq(y, z)));
+  EXPECT_TRUE(ctx.is_valid(ctx.f_implies(p2, ctx.f_not(ctx.eq(x, z)))));
+}
+
+TEST(EufTest, FunctionalConsistency) {
+  EufContext ctx;
+  TermId x = ctx.term_var("x");
+  TermId y = ctx.term_var("y");
+  TermId fx = ctx.apply("f", {x});
+  TermId fy = ctx.apply("f", {y});
+  // x = y ⇒ f(x) = f(y): Ackermann constraint.
+  EXPECT_TRUE(ctx.is_valid(ctx.f_implies(ctx.eq(x, y), ctx.eq(fx, fy))));
+  // The converse is NOT valid (f may collapse distinct inputs).
+  EXPECT_FALSE(ctx.is_valid(ctx.f_implies(ctx.eq(fx, fy), ctx.eq(x, y))));
+}
+
+TEST(EufTest, CongruenceThroughNestedApplications) {
+  EufContext ctx;
+  TermId x = ctx.term_var("x");
+  TermId y = ctx.term_var("y");
+  TermId gfx = ctx.apply("g", {ctx.apply("f", {x})});
+  TermId gfy = ctx.apply("g", {ctx.apply("f", {y})});
+  EXPECT_TRUE(ctx.is_valid(ctx.f_implies(ctx.eq(x, y), ctx.eq(gfx, gfy))));
+}
+
+TEST(EufTest, HashConsingMergesIdenticalApplications) {
+  EufContext ctx;
+  TermId x = ctx.term_var("x");
+  EXPECT_EQ(ctx.apply("f", {x}), ctx.apply("f", {x}));
+}
+
+TEST(EufTest, IteSelectsByCondition) {
+  EufContext ctx;
+  TermId a = ctx.term_var("a");
+  TermId b = ctx.term_var("b");
+  FormulaId c = ctx.prop_var("c");
+  TermId m = ctx.term_ite(c, a, b);
+  EXPECT_TRUE(ctx.is_valid(ctx.f_implies(c, ctx.eq(m, a))));
+  EXPECT_TRUE(ctx.is_valid(ctx.f_implies(ctx.f_not(c), ctx.eq(m, b))));
+  // Unconditionally m equals a or b.
+  EXPECT_TRUE(ctx.is_valid(ctx.f_or(ctx.eq(m, a), ctx.eq(m, b))));
+}
+
+TEST(EufTest, DistinctnessConstraintsCompose) {
+  // x≠y ∧ f(x)=f(y) is satisfiable (f collapses), but adding
+  // injectivity via a premise g(f(x))=x ∧ g(f(y))=y makes it UNSAT.
+  EufContext ctx;
+  TermId x = ctx.term_var("x");
+  TermId y = ctx.term_var("y");
+  TermId fx = ctx.apply("f", {x});
+  TermId fy = ctx.apply("f", {y});
+  FormulaId base = ctx.f_and(ctx.f_not(ctx.eq(x, y)), ctx.eq(fx, fy));
+  EXPECT_EQ(ctx.check_sat(base).result, sat::SolveResult::kSat);
+  FormulaId inj = ctx.f_and(ctx.eq(ctx.apply("g", {fx}), x),
+                            ctx.eq(ctx.apply("g", {fy}), y));
+  EXPECT_EQ(ctx.check_sat(ctx.f_and(base, inj)).result,
+            sat::SolveResult::kUnsat);
+}
+
+TEST(EufTest, ModelAssignsConsistentClasses) {
+  EufContext ctx;
+  TermId x = ctx.term_var("x");
+  TermId y = ctx.term_var("y");
+  TermId z = ctx.term_var("z");
+  FormulaId f = ctx.f_and(ctx.eq(x, y), ctx.f_not(ctx.eq(y, z)));
+  EufResult r = ctx.check_sat(f);
+  ASSERT_EQ(r.result, sat::SolveResult::kSat);
+  EXPECT_EQ(r.model.term_class[x], r.model.term_class[y]);
+  EXPECT_NE(r.model.term_class[y], r.model.term_class[z]);
+}
+
+TEST(EufTest, PropositionalSkeletonWorks) {
+  EufContext ctx;
+  FormulaId p = ctx.prop_var("p");
+  FormulaId q = ctx.prop_var("q");
+  EXPECT_TRUE(ctx.is_valid(ctx.f_or(p, ctx.f_not(p))));
+  EXPECT_FALSE(ctx.is_valid(ctx.f_implies(p, q)));
+  EXPECT_TRUE(ctx.is_valid(ctx.f_iff(ctx.f_and(p, q), ctx.f_and(q, p))));
+}
+
+// --- the ref. [6] headline: pipeline vs ISA ---------------------------
+
+TEST(PipelineTest, ForwardingPipelineIsCorrect) {
+  PipelineVerification v = verify_toy_pipeline(/*with_forwarding=*/true);
+  EXPECT_TRUE(v.valid);
+}
+
+TEST(PipelineTest, MissingForwardingIsCaught) {
+  PipelineVerification v = verify_toy_pipeline(/*with_forwarding=*/false);
+  EXPECT_FALSE(v.valid) << "the RAW hazard must produce a counterexample";
+  EXPECT_EQ(v.query.result, sat::SolveResult::kSat);
+}
+
+}  // namespace
+}  // namespace sateda::euf

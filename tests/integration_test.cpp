@@ -1,0 +1,115 @@
+/// Cross-module integration tests: complete flows chaining several
+/// libraries, the way a downstream EDA tool would.
+#include <gtest/gtest.h>
+
+#include "atpg/engine.hpp"
+#include "bmc/bmc.hpp"
+#include "circuit/bench_io.hpp"
+#include "circuit/encoder.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/miter.hpp"
+#include "circuit/simulator.hpp"
+#include "equiv/cec.hpp"
+#include "sat/preprocess.hpp"
+#include "sat/proof.hpp"
+#include "sat/solver.hpp"
+#include "synth/rar.hpp"
+#include "vectors/vectors.hpp"
+
+namespace sateda {
+namespace {
+
+/// Flow: netlist text → parse → optimize (RAR) → re-verify (CEC) →
+/// generate tests (ATPG) for the optimized design.
+TEST(IntegrationTest, ParseOptimizeVerifyTest) {
+  // A mux with a redundant consensus term, as a BENCH netlist.
+  const char* netlist =
+      "INPUT(sel)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+      "nsel = NOT(sel)\n"
+      "ta = AND(sel, a)\n"
+      "tb = AND(nsel, b)\n"
+      "mux = OR(ta, tb)\n"
+      "cons = AND(a, b)\n"
+      "y = OR(mux, cons)\n";
+  circuit::Circuit c = circuit::read_bench_string(netlist, "muxr");
+  synth::RarStats stats;
+  circuit::Circuit optimized = synth::remove_redundancies(c, {}, &stats);
+  EXPECT_GE(stats.redundancies_removed, 1);
+  // The optimizer's output must check equivalent to the original.
+  equiv::CecResult cec = equiv::check_equivalence(c, optimized);
+  EXPECT_EQ(cec.verdict, equiv::CecVerdict::kEquivalent);
+  // And the optimized design must still be fully testable.
+  atpg::AtpgResult tests = atpg::run_atpg(optimized);
+  EXPECT_EQ(tests.stats.aborted, 0);
+  EXPECT_DOUBLE_EQ(tests.stats.test_efficiency(), 1.0);
+}
+
+/// Flow: proof-logged equivalence proof, independently checked.
+TEST(IntegrationTest, CheckedEquivalenceProof) {
+  circuit::Circuit a = circuit::ripple_carry_adder(4);
+  circuit::Circuit m = circuit::build_miter(a, circuit::ripple_carry_adder(4));
+  CnfFormula f = circuit::encode_circuit(m);
+  f.add_unit(pos(m.outputs()[0]));
+  sat::Proof proof;
+  sat::Solver solver;
+  solver.set_proof_logger(&proof);
+  solver.add_formula(f);
+  ASSERT_EQ(solver.solve(), sat::SolveResult::kUnsat);
+  sat::ProofCheckResult check = sat::check_rup_proof(f, proof);
+  EXPECT_TRUE(check.valid) << check.message;
+  EXPECT_TRUE(check.refutation);
+}
+
+/// Flow: preprocess a circuit instance, solve, lift the model, check
+/// it against the circuit by simulation.
+TEST(IntegrationTest, PreprocessedCircuitObjective) {
+  circuit::Circuit c = circuit::alu(4);
+  circuit::NodeId target = c.outputs()[2];
+  CnfFormula f = circuit::encode_objective(c, target, true);
+  sat::PreprocessResult pre = sat::preprocess(f);
+  ASSERT_FALSE(pre.unsat);
+  sat::Solver solver;
+  solver.add_formula(pre.simplified);
+  solver.ensure_var(f.num_vars() - 1);
+  ASSERT_EQ(solver.solve(), sat::SolveResult::kSat);
+  std::vector<lbool> model = pre.reconstruct_model(solver.model());
+  std::vector<bool> inputs;
+  for (circuit::NodeId i : c.inputs()) {
+    inputs.push_back(model[i].is_true());
+  }
+  EXPECT_TRUE(circuit::simulate(c, inputs)[target]);
+}
+
+/// Flow: the test vectors from ATPG drive the functional-vector
+/// generator's constraint, tying the two stimulus paths together.
+TEST(IntegrationTest, AtpgPatternsSatisfyVectorConstraints) {
+  circuit::Circuit c = circuit::c17();
+  atpg::AtpgResult r = atpg::run_atpg(c);
+  ASSERT_FALSE(r.tests.empty());
+  // Each ATPG pattern produces definite outputs; the vector generator
+  // asked for the same output value must accept the pattern's cube.
+  for (const auto& t : r.tests) {
+    auto vals = circuit::simulate(c, t);
+    circuit::NodeId o22 = c.find("22");
+    vectors::VectorGenResult vg =
+        vectors::generate_vectors(c, o22, vals[o22], 1);
+    ASSERT_EQ(vg.vectors.size(), 1u);
+    EXPECT_EQ(circuit::simulate(c, vg.vectors[0])[o22], vals[o22]);
+  }
+}
+
+/// Flow: BMC counterexample on a sequential circuit whose
+/// combinational core came through BENCH I/O.
+TEST(IntegrationTest, BmcOnParsedCore) {
+  bmc::SequentialCircuit m = bmc::shift_register_machine(3);
+  // Round-trip the core through the BENCH format.
+  circuit::Circuit parsed =
+      circuit::read_bench_string(circuit::to_bench_string(m.comb), "core");
+  ASSERT_EQ(parsed.num_gates(), m.comb.num_gates());
+  bmc::BmcResult r = bmc::bounded_model_check(m);
+  ASSERT_EQ(r.verdict, bmc::BmcVerdict::kCounterexample);
+  EXPECT_TRUE(replay_reaches_bad(m, r.trace));
+}
+
+}  // namespace
+}  // namespace sateda

@@ -1,0 +1,132 @@
+#include "noise/crosstalk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/simulator.hpp"
+
+namespace sateda::noise {
+namespace {
+
+using circuit::Circuit;
+using circuit::NodeId;
+
+/// Validates a witness: victim quiet in both frames, at least
+/// `claimed` aggressors rising.
+void verify_witness(const Circuit& c, NodeId victim, bool victim_value,
+                    const std::vector<NodeId>& aggressors,
+                    const CrosstalkResult& r) {
+  ASSERT_FALSE(r.vector1.empty());
+  auto v1 = circuit::simulate(c, r.vector1);
+  auto v2 = circuit::simulate(c, r.vector2);
+  EXPECT_EQ(v1[victim], victim_value);
+  EXPECT_EQ(v2[victim], victim_value);
+  int rises = 0;
+  for (NodeId a : aggressors) {
+    if (!v1[a] && v2[a]) ++rises;
+  }
+  EXPECT_GE(rises, r.functional_worst);
+}
+
+TEST(CrosstalkTest, IndependentAggressorsAllRise) {
+  Circuit c;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 4; ++i) ins.push_back(c.add_input());
+  NodeId victim = c.add_input("victim");
+  std::vector<NodeId> aggressors;
+  for (int i = 0; i < 4; ++i) aggressors.push_back(c.add_buf(ins[i]));
+  NodeId vbuf = c.add_buf(victim);
+  for (NodeId a : aggressors) c.mark_output(a);
+  c.mark_output(vbuf, "v");
+  CrosstalkResult r = worst_case_aggressors(c, vbuf, aggressors);
+  EXPECT_EQ(r.topological_bound, 4);
+  EXPECT_EQ(r.functional_worst, 4);
+  verify_witness(c, vbuf, false, aggressors, r);
+}
+
+TEST(CrosstalkTest, ComplementaryAggressorsCannotAlign) {
+  // Aggressors x and ¬x: at most one can rise in the same transition.
+  Circuit c;
+  NodeId x = c.add_input("x");
+  NodeId v = c.add_input("v");
+  NodeId a0 = c.add_buf(x);
+  NodeId a1 = c.add_not(x);
+  NodeId vb = c.add_buf(v);
+  c.mark_output(a0);
+  c.mark_output(a1);
+  c.mark_output(vb, "vo");
+  CrosstalkResult r = worst_case_aggressors(c, vb, {a0, a1});
+  EXPECT_EQ(r.topological_bound, 2);
+  EXPECT_EQ(r.functional_worst, 1)
+      << "logic correlation must beat the topological bound";
+  verify_witness(c, vb, false, {a0, a1}, r);
+}
+
+TEST(CrosstalkTest, VictimCorrelationLimitsAggressors) {
+  // Aggressor = AND(x, v): with victim v forced low the aggressor can
+  // never be 1, hence never rises.
+  Circuit c;
+  NodeId x = c.add_input("x");
+  NodeId v = c.add_input("v");
+  NodeId agg = c.add_and(x, v);
+  NodeId vb = c.add_buf(v);
+  c.mark_output(agg);
+  c.mark_output(vb, "vo");
+  CrosstalkResult r = worst_case_aggressors(c, vb, {agg});
+  EXPECT_EQ(r.functional_worst, 0);
+}
+
+TEST(CrosstalkTest, ImpossibleVictimValueReportsMinusOne) {
+  // Victim is constant 1; asking for quiet-low is infeasible.
+  Circuit c;
+  NodeId x = c.add_input("x");
+  NodeId one = c.add_const(true);
+  NodeId vb = c.add_buf(one);
+  NodeId agg = c.add_buf(x);
+  c.mark_output(agg);
+  c.mark_output(vb, "vo");
+  CrosstalkOptions opts;
+  opts.victim_value = false;
+  CrosstalkResult r = worst_case_aggressors(c, vb, {agg}, opts);
+  EXPECT_EQ(r.functional_worst, -1);
+}
+
+TEST(CrosstalkTest, QuietHighVictimAlsoWorks) {
+  Circuit c;
+  NodeId x = c.add_input("x");
+  NodeId v = c.add_input("v");
+  NodeId agg = c.add_buf(x);
+  NodeId vb = c.add_buf(v);
+  c.mark_output(agg);
+  c.mark_output(vb, "vo");
+  CrosstalkOptions opts;
+  opts.victim_value = true;
+  CrosstalkResult r = worst_case_aggressors(c, vb, {agg}, opts);
+  EXPECT_EQ(r.functional_worst, 1);
+  verify_witness(c, vb, true, {agg}, r);
+}
+
+class CrosstalkPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CrosstalkPropertyTest, FunctionalWorstNeverExceedsTopological) {
+  Circuit c = circuit::random_circuit(8, 30, GetParam());
+  // Victim: first output; aggressors: up to 6 other gates.
+  NodeId victim = c.outputs()[0];
+  std::vector<NodeId> aggressors;
+  for (NodeId n = static_cast<NodeId>(c.inputs().size());
+       n < static_cast<NodeId>(c.num_nodes()) && aggressors.size() < 6; ++n) {
+    if (n != victim) aggressors.push_back(n);
+  }
+  CrosstalkResult r = worst_case_aggressors(c, victim, aggressors);
+  EXPECT_LE(r.functional_worst, r.topological_bound);
+  if (r.functional_worst > 0) {
+    verify_witness(c, victim, false, aggressors, r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrosstalkPropertyTest,
+                         ::testing::Range<std::uint64_t>(1500, 1510));
+
+}  // namespace
+}  // namespace sateda::noise

@@ -1,0 +1,183 @@
+#include "opt/covering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opt/cardinality.hpp"
+#include "sat/solver.hpp"
+#include "test_util.hpp"
+
+namespace sateda::opt {
+namespace {
+
+TEST(CardinalityTest, AtMostKCountsExactly) {
+  for (int n = 1; n <= 6; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      CnfFormula f(n);
+      std::vector<Lit> lits;
+      for (Var v = 0; v < n; ++v) lits.push_back(pos(v));
+      add_at_most_k(f, lits, k);
+      // Model count restricted to the original n variables must be
+      // Σ_{i≤k} C(n,i).  Enumerate assignments of the first n vars and
+      // check extendability via SAT.
+      std::uint64_t expected = 0;
+      for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+        if (static_cast<int>(__builtin_popcountll(bits)) <= k) ++expected;
+      }
+      std::uint64_t got = 0;
+      for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+        sat::Solver s;
+        s.add_formula(f);
+        std::vector<Lit> assumptions;
+        for (Var v = 0; v < n; ++v) {
+          assumptions.push_back(Lit(v, !((bits >> v) & 1)));
+        }
+        if (s.solve(assumptions) == sat::SolveResult::kSat) ++got;
+      }
+      EXPECT_EQ(got, expected) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CardinalityTest, AtLeastKCountsExactly) {
+  const int n = 5;
+  for (int k = 0; k <= n + 1; ++k) {
+    CnfFormula f(n);
+    std::vector<Lit> lits;
+    for (Var v = 0; v < n; ++v) lits.push_back(pos(v));
+    add_at_least_k(f, lits, k);
+    std::uint64_t got = 0, expected = 0;
+    for (std::uint64_t bits = 0; bits < 32; ++bits) {
+      if (static_cast<int>(__builtin_popcountll(bits)) >= k) ++expected;
+      sat::Solver s;
+      s.add_formula(f);
+      std::vector<Lit> assumptions;
+      for (Var v = 0; v < n; ++v) {
+        assumptions.push_back(Lit(v, !((bits >> v) & 1)));
+      }
+      if (s.okay() && s.solve(assumptions) == sat::SolveResult::kSat) ++got;
+    }
+    EXPECT_EQ(got, expected) << "k=" << k;
+  }
+}
+
+TEST(CoveringTest, TinyHandInstance) {
+  // Columns {0,1,2}; rows {0,1}, {1,2}, {0,2}.  Optimum = 2.
+  CoveringProblem p;
+  p.num_columns = 3;
+  p.add_cover_row({0, 1});
+  p.add_cover_row({1, 2});
+  p.add_cover_row({0, 2});
+  CoveringResult bnb = solve_covering_bnb(p);
+  ASSERT_TRUE(bnb.feasible);
+  EXPECT_EQ(bnb.cost, 2);
+  CoveringResult via_sat = solve_covering_sat(p);
+  ASSERT_TRUE(via_sat.feasible);
+  EXPECT_EQ(via_sat.cost, 2);
+}
+
+TEST(CoveringTest, EssentialColumnDominatesSolution) {
+  // Row {3} makes column 3 essential.
+  CoveringProblem p;
+  p.num_columns = 4;
+  p.add_cover_row({3});
+  p.add_cover_row({0, 3});
+  CoveringResult r = solve_covering_bnb(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.cost, 1);
+  EXPECT_TRUE(r.chosen[3]);
+}
+
+TEST(CoveringTest, InfeasibleBinateInstance) {
+  // x0 must be chosen and must not be chosen.
+  CoveringProblem p;
+  p.num_columns = 1;
+  p.rows.push_back({pos(0)});
+  p.rows.push_back({neg(0)});
+  CoveringResult r = solve_covering_sat(p);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(CoveringTest, BinateRowsRejectedByBnb) {
+  CoveringProblem p;
+  p.num_columns = 2;
+  p.rows.push_back({pos(0), neg(1)});
+  EXPECT_THROW(solve_covering_bnb(p), std::invalid_argument);
+}
+
+TEST(CoveringTest, BinateSolvedBySat) {
+  // Choosing 0 forbids 1; rows demand 0 or 1, and 2.
+  CoveringProblem p;
+  p.num_columns = 3;
+  p.rows.push_back({pos(0), pos(1)});
+  p.rows.push_back({neg(0), neg(1)});
+  p.rows.push_back({pos(2)});
+  CoveringResult r = solve_covering_sat(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.cost, 2);
+}
+
+class CoveringPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoveringPropertyTest, AllThreeSolversAgreeOnOptimum) {
+  CoveringProblem p = random_covering(10, 14, 4, GetParam());
+  CoveringResult bnb = solve_covering_bnb(p);
+  CoveringOptions pruned_opts;
+  pruned_opts.sat_pruning = true;
+  CoveringResult pruned = solve_covering_bnb(p, pruned_opts);
+  CoveringResult via_sat = solve_covering_sat(p);
+  ASSERT_TRUE(bnb.feasible);
+  ASSERT_TRUE(pruned.feasible);
+  ASSERT_TRUE(via_sat.feasible);
+  EXPECT_EQ(bnb.cost, via_sat.cost);
+  EXPECT_EQ(pruned.cost, via_sat.cost);
+  // Brute-force verification of optimality on 10 columns.
+  int best = 99;
+  for (std::uint64_t bits = 0; bits < 1024; ++bits) {
+    bool ok = true;
+    for (const auto& row : p.rows) {
+      bool hit = false;
+      for (Lit l : row) {
+        bool chosen = (bits >> l.var()) & 1;
+        if (chosen != l.negative()) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) best = std::min(best, __builtin_popcountll(bits));
+  }
+  EXPECT_EQ(bnb.cost, best);
+  // Returned covers are real covers of the right cost.
+  int chosen_count = 0;
+  for (bool b : bnb.chosen) chosen_count += b;
+  EXPECT_EQ(chosen_count, bnb.cost);
+  for (const auto& row : p.rows) {
+    bool hit = false;
+    for (Lit l : row) {
+      if (bnb.chosen[l.var()] != l.negative()) hit = true;
+    }
+    EXPECT_TRUE(hit);
+  }
+}
+
+TEST_P(CoveringPropertyTest, SatPruningCutsNodes) {
+  CoveringProblem p = random_covering(12, 20, 3, GetParam() + 50);
+  CoveringOptions plain;
+  CoveringOptions pruned;
+  pruned.sat_pruning = true;
+  CoveringResult a = solve_covering_bnb(p, plain);
+  CoveringResult b = solve_covering_bnb(p, pruned);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_LE(b.stats.branch_nodes, a.stats.branch_nodes)
+      << "SAT pruning must never explore more nodes";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoveringPropertyTest,
+                         ::testing::Range<std::uint64_t>(800, 812));
+
+}  // namespace
+}  // namespace sateda::opt

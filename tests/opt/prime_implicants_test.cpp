@@ -1,0 +1,107 @@
+#include "opt/prime_implicants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnf/generators.hpp"
+#include "test_util.hpp"
+
+namespace sateda::opt {
+namespace {
+
+TEST(ImplicantTest, SyntacticCheck) {
+  // f = (a + b)(¬a + c)
+  CnfFormula f(3);
+  f.add_binary(pos(0), pos(1));
+  f.add_binary(neg(0), pos(2));
+  EXPECT_TRUE(is_implicant(f, {pos(0), pos(2)}));
+  EXPECT_TRUE(is_implicant(f, {pos(1), neg(0)}));
+  EXPECT_FALSE(is_implicant(f, {pos(0)}));  // second clause unmet
+  EXPECT_FALSE(is_implicant(f, {neg(1), pos(2)}));  // first clause unmet
+}
+
+TEST(ImplicantTest, CubeImplicationMatchesSemantics) {
+  CnfFormula f(3);
+  f.add_binary(pos(0), pos(1));
+  f.add_binary(neg(0), pos(2));
+  // {b, c} hits clause 1 via b and clause 2 via c → implicant.
+  EXPECT_TRUE(is_implicant(f, {pos(1), pos(2)}));
+}
+
+TEST(PrimeImplicantTest, MinimumOnSmallFunction) {
+  // f = (a + b)(a + c): the single literal a is an implicant (and the
+  // minimum one).
+  CnfFormula f(3);
+  f.add_binary(pos(0), pos(1));
+  f.add_binary(pos(0), pos(2));
+  PrimeImplicantResult r = minimum_prime_implicant(f);
+  ASSERT_TRUE(r.exists);
+  EXPECT_EQ(r.cube.size(), 1u);
+  EXPECT_EQ(r.cube[0], pos(0));
+  EXPECT_TRUE(is_prime_implicant(f, r.cube));
+}
+
+TEST(PrimeImplicantTest, UnsatFunctionHasNoImplicant) {
+  CnfFormula f(1);
+  f.add_unit(pos(0));
+  f.add_unit(neg(0));
+  EXPECT_FALSE(minimum_prime_implicant(f).exists);
+}
+
+TEST(PrimeImplicantTest, TautologyHasEmptyImplicant) {
+  CnfFormula f(2);  // no clauses
+  PrimeImplicantResult r = minimum_prime_implicant(f);
+  ASSERT_TRUE(r.exists);
+  EXPECT_TRUE(r.cube.empty());
+}
+
+TEST(PrimeImplicantTest, XorNeedsTwoLiterals) {
+  // f = a ⊕ b as CNF: (a + b)(¬a + ¬b).  Every implicant needs both
+  // variables.
+  CnfFormula f(2);
+  f.add_binary(pos(0), pos(1));
+  f.add_binary(neg(0), neg(1));
+  PrimeImplicantResult r = minimum_prime_implicant(f);
+  ASSERT_TRUE(r.exists);
+  EXPECT_EQ(r.cube.size(), 2u);
+  EXPECT_TRUE(is_prime_implicant(f, r.cube));
+}
+
+class PrimeImplicantPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrimeImplicantPropertyTest, ResultIsMinimumSizeAndPrime) {
+  CnfFormula f = random_3sat(8, 3.0, GetParam());
+  PrimeImplicantResult r = minimum_prime_implicant(f);
+  const bool satisfiable = testing::brute_force_satisfiable(f);
+  ASSERT_EQ(r.exists, satisfiable);
+  if (!satisfiable) return;
+  EXPECT_TRUE(is_implicant(f, r.cube));
+  EXPECT_TRUE(is_prime_implicant(f, r.cube));
+  // No smaller cube is an implicant: exhaustively try all cubes of
+  // size |cube| - 1 (8 vars → at most 3^8 cubes, cheap).
+  const int target = static_cast<int>(r.cube.size()) - 1;
+  if (target >= 0) {
+    std::vector<int> state(8, 0);  // 0 absent, 1 pos, 2 neg
+    std::uint64_t total = 1;
+    for (int i = 0; i < 8; ++i) total *= 3;
+    for (std::uint64_t code = 0; code < total; ++code) {
+      std::uint64_t c = code;
+      std::vector<Lit> cube;
+      for (int i = 0; i < 8; ++i) {
+        int d = c % 3;
+        c /= 3;
+        if (d == 1) cube.push_back(pos(i));
+        if (d == 2) cube.push_back(neg(i));
+      }
+      if (static_cast<int>(cube.size()) != target) continue;
+      EXPECT_FALSE(is_implicant(f, cube))
+          << "found a smaller implicant than the 'minimum'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimeImplicantPropertyTest,
+                         ::testing::Range<std::uint64_t>(900, 910));
+
+}  // namespace
+}  // namespace sateda::opt

@@ -1,0 +1,73 @@
+#include "sat/dpll.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnf/generators.hpp"
+#include "test_util.hpp"
+
+namespace sateda::sat {
+namespace {
+
+TEST(DpllTest, EmptyFormulaIsSat) {
+  CnfFormula f(0);
+  DpllSolver s(f);
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(DpllTest, UnitClausesPropagate) {
+  CnfFormula f(3);
+  f.add_unit(pos(0));
+  f.add_binary(neg(0), pos(1));
+  f.add_binary(neg(1), pos(2));
+  DpllSolver s(f);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.model()[0].is_true());
+  EXPECT_TRUE(s.model()[1].is_true());
+  EXPECT_TRUE(s.model()[2].is_true());
+}
+
+TEST(DpllTest, EmptyClauseIsUnsat) {
+  CnfFormula f(1);
+  f.add_clause(Clause(std::vector<Lit>{}));
+  DpllSolver s(f);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(DpllTest, ContradictingUnitsAreUnsat) {
+  CnfFormula f(1);
+  f.add_unit(pos(0));
+  f.add_unit(neg(0));
+  DpllSolver s(f);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(DpllTest, PigeonholeUnsatWithManyBacktracks) {
+  CnfFormula f = pigeonhole(4);
+  DpllSolver s(f);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+  EXPECT_GT(s.stats().backtracks, 0);
+}
+
+TEST(DpllTest, BudgetReturnsUnknown) {
+  CnfFormula f = pigeonhole(7);
+  DpllSolver s(f);
+  EXPECT_EQ(s.solve(/*conflict_budget=*/10), SolveResult::kUnknown);
+}
+
+TEST(DpllTest, ModelSatisfiesFormula) {
+  CnfFormula f = planted_ksat(20, 60, 3, 99);
+  DpllSolver s(f);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(
+      f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
+}
+
+TEST(DpllTest, HeuristicChoiceDoesNotAffectOutcome) {
+  CnfFormula f = random_3sat(16, 4.26, 321);
+  DpllSolver with(f, /*use_occurrence_heuristic=*/true);
+  DpllSolver without(f, /*use_occurrence_heuristic=*/false);
+  EXPECT_EQ(with.solve(), without.solve());
+}
+
+}  // namespace
+}  // namespace sateda::sat

@@ -1,0 +1,86 @@
+#include "sat/heap.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace sateda::sat {
+namespace {
+
+TEST(VarOrderHeapTest, PopsInActivityOrder) {
+  std::vector<double> activity = {5.0, 1.0, 9.0, 3.0, 7.0};
+  VarOrderHeap heap(activity);
+  for (Var v = 0; v < 5; ++v) heap.insert(v);
+  std::vector<Var> order;
+  while (!heap.empty()) order.push_back(heap.pop());
+  EXPECT_EQ(order, (std::vector<Var>{2, 4, 0, 3, 1}));
+}
+
+TEST(VarOrderHeapTest, ContainsTracksMembership) {
+  std::vector<double> activity = {1.0, 2.0};
+  VarOrderHeap heap(activity);
+  EXPECT_FALSE(heap.contains(0));
+  heap.insert(0);
+  EXPECT_TRUE(heap.contains(0));
+  heap.pop();
+  EXPECT_FALSE(heap.contains(0));
+}
+
+TEST(VarOrderHeapTest, IncreasedRestoresOrder) {
+  std::vector<double> activity = {1.0, 2.0, 3.0};
+  VarOrderHeap heap(activity);
+  for (Var v = 0; v < 3; ++v) heap.insert(v);
+  activity[0] = 10.0;
+  heap.increased(0);
+  EXPECT_EQ(heap.pop(), 0);
+  EXPECT_EQ(heap.pop(), 2);
+  EXPECT_EQ(heap.pop(), 1);
+}
+
+TEST(VarOrderHeapTest, RebuildAfterGlobalRescale) {
+  std::vector<double> activity = {4.0, 8.0, 2.0, 6.0};
+  VarOrderHeap heap(activity);
+  for (Var v = 0; v < 4; ++v) heap.insert(v);
+  // Rescale inverts nothing (monotone), but rebuild must tolerate it.
+  for (double& a : activity) a *= 1e-3;
+  heap.rebuild();
+  EXPECT_EQ(heap.pop(), 1);
+  EXPECT_EQ(heap.pop(), 3);
+}
+
+TEST(VarOrderHeapTest, RandomizedAgainstSort) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  for (int round = 0; round < 20; ++round) {
+    const int n = 50;
+    std::vector<double> activity(n);
+    for (double& a : activity) a = dist(rng);
+    VarOrderHeap heap(activity);
+    for (Var v = 0; v < n; ++v) heap.insert(v);
+    std::vector<Var> expected(n);
+    for (Var v = 0; v < n; ++v) expected[v] = v;
+    std::sort(expected.begin(), expected.end(), [&](Var a, Var b) {
+      return activity[a] > activity[b];
+    });
+    for (Var v : expected) EXPECT_EQ(heap.pop(), v);
+  }
+}
+
+TEST(VarOrderHeapTest, InterleavedInsertPop) {
+  std::vector<double> activity(10, 0.0);
+  for (Var v = 0; v < 10; ++v) activity[v] = v;
+  VarOrderHeap heap(activity);
+  heap.insert(3);
+  heap.insert(7);
+  EXPECT_EQ(heap.pop(), 7);
+  heap.insert(9);
+  heap.insert(1);
+  EXPECT_EQ(heap.pop(), 9);
+  EXPECT_EQ(heap.pop(), 3);
+  EXPECT_EQ(heap.pop(), 1);
+  EXPECT_TRUE(heap.empty());
+}
+
+}  // namespace
+}  // namespace sateda::sat

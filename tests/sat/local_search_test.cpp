@@ -1,0 +1,84 @@
+#include "sat/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnf/generators.hpp"
+#include "sat/solver.hpp"
+#include "test_util.hpp"
+
+namespace sateda::sat {
+namespace {
+
+TEST(WalkSatTest, SolvesTrivialFormula) {
+  CnfFormula f(2);
+  f.add_binary(pos(0), pos(1));
+  f.add_unit(neg(0));
+  WalkSatSolver s(f);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(
+      f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
+}
+
+TEST(WalkSatTest, SolvesPlantedInstances) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    CnfFormula f = planted_ksat(60, 240, 3, seed);
+    WalkSatSolver s(f);
+    ASSERT_EQ(s.solve(), SolveResult::kSat) << "seed " << seed;
+    EXPECT_TRUE(
+        f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
+  }
+}
+
+TEST(WalkSatTest, CannotRefuteUnsatInstances) {
+  // The §4 claim: local search never proves unsatisfiability — it can
+  // only time out.
+  CnfFormula f = pigeonhole(4);
+  WalkSatOptions opts;
+  opts.max_flips = 20000;
+  opts.max_tries = 3;
+  WalkSatSolver s(f);
+  EXPECT_EQ(s.solve(), SolveResult::kUnknown);
+  EXPECT_GT(s.stats().flips, 0);
+}
+
+TEST(WalkSatTest, EmptyClauseGivesUnknownNotCrash) {
+  CnfFormula f(1);
+  f.add_clause(Clause(std::vector<Lit>{}));
+  WalkSatSolver s(f);
+  EXPECT_EQ(s.solve(), SolveResult::kUnknown);
+}
+
+TEST(WalkSatTest, DeterministicInSeed) {
+  CnfFormula f = random_3sat(40, 3.5, 9);
+  WalkSatOptions opts;
+  opts.seed = 42;
+  WalkSatSolver a(f, opts);
+  WalkSatSolver b(f, opts);
+  SolveResult ra = a.solve();
+  SolveResult rb = b.solve();
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(a.stats().flips, b.stats().flips);
+}
+
+class WalkSatPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WalkSatPropertyTest, NeverClaimsSatOnUnsat) {
+  CnfFormula f = random_3sat(14, 5.0, GetParam());
+  const bool satisfiable = testing::brute_force_satisfiable(f);
+  WalkSatOptions opts;
+  opts.max_flips = 30000;
+  WalkSatSolver s(f, opts);
+  SolveResult r = s.solve();
+  if (r == SolveResult::kSat) {
+    EXPECT_TRUE(satisfiable);
+    EXPECT_TRUE(
+        f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
+  }
+  EXPECT_NE(r, SolveResult::kUnsat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalkSatPropertyTest,
+                         ::testing::Range<std::uint64_t>(6000, 6012));
+
+}  // namespace
+}  // namespace sateda::sat

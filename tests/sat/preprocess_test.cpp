@@ -1,0 +1,141 @@
+#include "sat/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnf/generators.hpp"
+#include "sat/solver.hpp"
+#include "test_util.hpp"
+
+namespace sateda::sat {
+namespace {
+
+TEST(PreprocessTest, UnitPropagationFixesChains) {
+  // (a)(¬a + b)(¬b + c): all three variables forced.
+  CnfFormula f(3);
+  f.add_unit(pos(0));
+  f.add_binary(neg(0), pos(1));
+  f.add_binary(neg(1), pos(2));
+  PreprocessResult r = preprocess(f);
+  ASSERT_FALSE(r.unsat);
+  EXPECT_EQ(r.simplified.num_clauses(), 0u);
+  auto model = r.reconstruct_model({});
+  EXPECT_EQ(model[0], l_true);
+  EXPECT_EQ(model[1], l_true);
+  EXPECT_EQ(model[2], l_true);
+}
+
+TEST(PreprocessTest, DetectsUnitContradiction) {
+  CnfFormula f(1);
+  f.add_unit(pos(0));
+  f.add_unit(neg(0));
+  EXPECT_TRUE(preprocess(f).unsat);
+}
+
+TEST(PreprocessTest, PureLiteralElimination) {
+  // b occurs only positively.
+  CnfFormula f(3);
+  f.add_binary(pos(0), pos(1));
+  f.add_binary(neg(0), pos(1));
+  f.add_binary(pos(2), neg(2));  // tautology, dropped
+  PreprocessOptions opts;
+  opts.equivalency_reasoning = false;
+  opts.subsumption = false;
+  opts.self_subsumption = false;
+  PreprocessResult r = preprocess(f, opts);
+  ASSERT_FALSE(r.unsat);
+  EXPECT_GE(r.stats.pure_literals, 1);
+  EXPECT_EQ(r.simplified.num_clauses(), 0u);
+}
+
+TEST(PreprocessTest, EquivalencyChainCollapsesToOneVariable) {
+  // Paper §6: x ≡ y lets y be replaced by x, eliminating a variable.
+  CnfFormula f = equivalence_chain(10, /*inconsistent=*/false, 0, 3);
+  PreprocessResult r = preprocess(f);
+  ASSERT_FALSE(r.unsat);
+  EXPECT_EQ(r.stats.equivalent_vars_eliminated, 9);
+  // The equivalence clauses become tautologies/duplicates and vanish.
+  EXPECT_EQ(r.simplified.num_clauses(), 0u);
+  auto model = r.reconstruct_model(std::vector<lbool>(10, l_true));
+  for (int v = 1; v < 10; ++v) EXPECT_EQ(model[v], model[0]);
+}
+
+TEST(PreprocessTest, InconsistentEquivalenceCycleIsUnsat) {
+  CnfFormula f = equivalence_chain(6, /*inconsistent=*/true, 0, 3);
+  EXPECT_TRUE(preprocess(f).unsat);
+}
+
+TEST(PreprocessTest, SubsumptionDropsSupersets) {
+  CnfFormula f(3);
+  f.add_binary(pos(0), pos(1));
+  f.add_ternary(pos(0), pos(1), pos(2));
+  PreprocessOptions opts;
+  opts.pure_literals = false;  // keep the example intact
+  opts.equivalency_reasoning = false;
+  opts.self_subsumption = false;
+  PreprocessResult r = preprocess(f, opts);
+  EXPECT_EQ(r.stats.clauses_subsumed, 1);
+  EXPECT_EQ(r.simplified.num_clauses(), 1u);
+}
+
+TEST(PreprocessTest, SelfSubsumptionStrengthens) {
+  // (a + b) and (¬a + b + c): resolving on a gives (b + c) ⊂ second
+  // clause → strengthen it to (b + c).
+  CnfFormula f(3);
+  f.add_binary(pos(0), pos(1));
+  f.add_ternary(neg(0), pos(1), pos(2));
+  PreprocessOptions opts;
+  opts.pure_literals = false;
+  opts.equivalency_reasoning = false;
+  PreprocessResult r = preprocess(f, opts);
+  EXPECT_GE(r.stats.literals_self_subsumed, 1);
+}
+
+class PreprocessPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PreprocessPropertyTest, PreservesSatisfiability) {
+  CnfFormula f = random_3sat(13, 4.3, GetParam());
+  const bool expected = testing::brute_force_satisfiable(f);
+  PreprocessResult r = preprocess(f);
+  if (r.unsat) {
+    EXPECT_FALSE(expected);
+    return;
+  }
+  Solver s;
+  s.add_formula(r.simplified);
+  s.ensure_var(f.num_vars() - 1);
+  SolveResult res = s.solve();
+  EXPECT_EQ(res == SolveResult::kSat, expected);
+  if (res == SolveResult::kSat) {
+    // The reconstructed model must satisfy the *original* formula.
+    auto lifted = r.reconstruct_model(s.model());
+    EXPECT_TRUE(
+        f.is_satisfied_by(testing::complete_model(lifted, f.num_vars())));
+  }
+}
+
+TEST_P(PreprocessPropertyTest, EquivalenceRichFormulasPreserved) {
+  CnfFormula f = equivalence_chain(12, /*inconsistent=*/false, 10, GetParam());
+  const bool expected = testing::brute_force_satisfiable(f);
+  PreprocessResult r = preprocess(f);
+  if (r.unsat) {
+    EXPECT_FALSE(expected);
+    return;
+  }
+  Solver s;
+  s.add_formula(r.simplified);
+  s.ensure_var(f.num_vars() - 1);
+  SolveResult res = s.solve();
+  EXPECT_EQ(res == SolveResult::kSat, expected);
+  if (res == SolveResult::kSat) {
+    auto lifted = r.reconstruct_model(s.model());
+    EXPECT_TRUE(
+        f.is_satisfied_by(testing::complete_model(lifted, f.num_vars())));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreprocessPropertyTest,
+                         ::testing::Range<std::uint64_t>(3000, 3020));
+
+}  // namespace
+}  // namespace sateda::sat

@@ -1,0 +1,122 @@
+#include "sat/proof.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnf/generators.hpp"
+#include "sat/solver.hpp"
+#include "test_util.hpp"
+
+namespace sateda::sat {
+namespace {
+
+/// Solves \p f with proof logging and returns {result, proof}.
+std::pair<SolveResult, Proof> solve_with_proof(const CnfFormula& f,
+                                               SolverOptions opts = {}) {
+  Proof proof;
+  Solver s(opts);
+  s.set_proof_logger(&proof);
+  s.add_formula(f);
+  return {s.solve(), std::move(proof)};
+}
+
+TEST(ProofTest, TrivialContradictionYieldsRefutation) {
+  CnfFormula f(1);
+  f.add_unit(pos(0));
+  f.add_unit(neg(0));
+  auto [result, proof] = solve_with_proof(f);
+  EXPECT_EQ(result, SolveResult::kUnsat);
+  EXPECT_TRUE(proof.derives_empty_clause());
+  ProofCheckResult check = check_rup_proof(f, proof);
+  EXPECT_TRUE(check.valid) << check.message;
+  EXPECT_TRUE(check.refutation);
+}
+
+TEST(ProofTest, PigeonholeRefutationVerifies) {
+  CnfFormula f = pigeonhole(5);
+  auto [result, proof] = solve_with_proof(f);
+  ASSERT_EQ(result, SolveResult::kUnsat);
+  ASSERT_TRUE(proof.derives_empty_clause());
+  ProofCheckResult check = check_rup_proof(f, proof);
+  EXPECT_TRUE(check.valid) << check.message << " at step "
+                           << check.failed_step;
+  EXPECT_TRUE(check.refutation);
+}
+
+TEST(ProofTest, SatInstanceProducesNoRefutation) {
+  CnfFormula f = planted_ksat(30, 100, 3, 3);
+  auto [result, proof] = solve_with_proof(f);
+  ASSERT_EQ(result, SolveResult::kSat);
+  EXPECT_FALSE(proof.derives_empty_clause());
+  // Whatever was derived along the way must still be RUP-valid.
+  ProofCheckResult check = check_rup_proof(f, proof);
+  EXPECT_TRUE(check.valid) << check.message;
+  EXPECT_FALSE(check.refutation);
+}
+
+TEST(ProofTest, BogusProofIsRejected) {
+  CnfFormula f(3);
+  f.add_binary(pos(0), pos(1));
+  Proof proof;
+  proof.on_derive({pos(2)});  // x2 is not implied by anything
+  ProofCheckResult check = check_rup_proof(f, proof);
+  EXPECT_FALSE(check.valid);
+  EXPECT_EQ(check.failed_step, 0u);
+}
+
+TEST(ProofTest, DratSerializationRoundsTheFormat) {
+  Proof proof;
+  proof.on_derive({pos(0), neg(2)});
+  proof.on_delete({pos(0), neg(2)});
+  proof.on_derive({});
+  EXPECT_EQ(proof.to_drat_string(), "1 -3 0\nd 1 -3 0\n0\n");
+}
+
+TEST(ProofTest, DeletionsDoNotBreakVerification) {
+  // Aggressive deletion policy exercises the 'd' lines.
+  SolverOptions opts;
+  opts.deletion = DeletionPolicy::kSizeBounded;
+  opts.size_bound = 2;
+  CnfFormula f = pigeonhole(6);
+  auto [result, proof] = solve_with_proof(f, opts);
+  ASSERT_EQ(result, SolveResult::kUnsat);
+  bool has_deletion = false;
+  for (const auto& s : proof.steps()) has_deletion |= s.deletion;
+  EXPECT_TRUE(has_deletion);
+  ProofCheckResult check = check_rup_proof(f, proof);
+  EXPECT_TRUE(check.valid) << check.message << " at step "
+                           << check.failed_step;
+  EXPECT_TRUE(check.refutation);
+}
+
+class ProofPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProofPropertyTest, EveryUnsatRunVerifies) {
+  CnfFormula f = random_3sat(20, 5.2, GetParam());  // overconstrained
+  auto [result, proof] = solve_with_proof(f);
+  if (result != SolveResult::kUnsat) {
+    EXPECT_TRUE(testing::brute_force_satisfiable(f));
+    return;
+  }
+  EXPECT_FALSE(testing::brute_force_satisfiable(f));
+  ProofCheckResult check = check_rup_proof(f, proof);
+  EXPECT_TRUE(check.valid) << "seed " << GetParam() << ": " << check.message
+                           << " at step " << check.failed_step;
+  EXPECT_TRUE(check.refutation);
+}
+
+TEST_P(ProofPropertyTest, ChronologicalModeAlsoVerifies) {
+  SolverOptions opts;
+  opts.backtrack = BacktrackMode::kChronological;
+  CnfFormula f = random_3sat(18, 5.5, GetParam() + 31);
+  auto [result, proof] = solve_with_proof(f, opts);
+  if (result != SolveResult::kUnsat) return;
+  ProofCheckResult check = check_rup_proof(f, proof);
+  EXPECT_TRUE(check.valid) << check.message;
+  EXPECT_TRUE(check.refutation);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProofPropertyTest,
+                         ::testing::Range<std::uint64_t>(5000, 5016));
+
+}  // namespace
+}  // namespace sateda::sat

@@ -1,0 +1,146 @@
+#include "sat/recursive_learning.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "cnf/generators.hpp"
+#include "sat/solver.hpp"
+#include "test_util.hpp"
+
+namespace sateda::sat {
+namespace {
+
+/// Figure 4 of the paper, verbatim:
+///   ω1 = (u + x + ¬w), ω2 = (x + ¬y), ω3 = (w + y + ¬z),
+///   context {z = 1, u = 0}.
+/// Satisfying ω3 needs w=1 or y=1; both imply x=1 (via ω1 resp. ω2),
+/// so x=1 is necessary and the implicate (¬z + u + x) is recorded.
+class Figure4Test : public ::testing::Test {
+ protected:
+  // Variables: 0=u, 1=x, 2=w, 3=y, 4=z.
+  static constexpr Var u = 0, x = 1, w = 2, y = 3, z = 4;
+  static CnfFormula formula() {
+    CnfFormula f(5);
+    f.add_ternary(pos(u), pos(x), neg(w));
+    f.add_binary(pos(x), neg(y));
+    f.add_ternary(pos(w), pos(y), neg(z));
+    return f;
+  }
+};
+
+TEST_F(Figure4Test, DerivesNecessaryAssignmentX) {
+  RecursiveLearningResult r =
+      recursive_learn(formula(), {pos(z), neg(u)});
+  ASSERT_FALSE(r.unsat);
+  EXPECT_NE(std::find(r.necessary.begin(), r.necessary.end(), pos(x)),
+            r.necessary.end())
+      << "x = 1 must be identified as necessary";
+}
+
+TEST_F(Figure4Test, RecordsTheExplanationImplicate) {
+  RecursiveLearningResult r =
+      recursive_learn(formula(), {pos(z), neg(u)});
+  ASSERT_FALSE(r.unsat);
+  // Expect an implicate equal (as a set) to (¬z + u + x).
+  bool found = false;
+  for (const Clause& c : r.implicates) {
+    if (c.size() == 3 && c.contains(neg(z)) && c.contains(pos(u)) &&
+        c.contains(pos(x))) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "the clause (¬z + u + x) from Fig. 4 must be recorded";
+}
+
+TEST_F(Figure4Test, ImplicateIsAnImplicateOfTheFormula) {
+  // f ∧ z ∧ ¬u ∧ ¬x must be UNSAT (i.e. f ⊨ (¬z + u + x)).
+  CnfFormula f = formula();
+  f.add_unit(pos(z));
+  f.add_unit(neg(u));
+  f.add_unit(neg(x));
+  EXPECT_FALSE(testing::brute_force_satisfiable(f));
+}
+
+TEST(RecursiveLearningTest, EmptyContextFindsForcedLiterals) {
+  // (a + b)(a + ¬b): both ways of satisfying the first clause... in
+  // fact a is forced: branching b=1 implies a via the second clause,
+  // branching a=1 trivially contains a.
+  CnfFormula f(2);
+  f.add_binary(pos(0), pos(1));
+  f.add_binary(pos(0), neg(1));
+  RecursiveLearningResult r = recursive_learn(f);
+  ASSERT_FALSE(r.unsat);
+  EXPECT_NE(std::find(r.necessary.begin(), r.necessary.end(), pos(0)),
+            r.necessary.end());
+}
+
+TEST(RecursiveLearningTest, RefutesUnsatisfiableClauseBranches) {
+  // Clause (a + b) where both a and b immediately conflict.
+  CnfFormula f(2);
+  f.add_binary(pos(0), pos(1));
+  f.add_unit(neg(0));
+  f.add_unit(neg(1));
+  EXPECT_TRUE(recursive_learn(f).unsat);
+}
+
+TEST(RecursiveLearningTest, DepthTwoFindsDeeperImplications) {
+  // Crafted so depth 1 finds nothing but depth 2 does:
+  //   (a + b1 + b2); a ⇒ (c + d) with c ⇒ e, d ⇒ e; b1 ⇒ e; b2 ⇒ e.
+  // Every literal of every clause leaves some sibling disjunction
+  // unresolved at depth 1, but at depth 2 the a-branch applies RL to
+  // (c + d), infers e, and e becomes common to all branches.
+  CnfFormula f(6);  // 0=a 1=b1 2=b2 3=c 4=d 5=e
+  f.add_ternary(pos(0), pos(1), pos(2));
+  f.add_ternary(neg(0), pos(3), pos(4));
+  f.add_binary(neg(3), pos(5));
+  f.add_binary(neg(4), pos(5));
+  f.add_binary(neg(1), pos(5));
+  f.add_binary(neg(2), pos(5));
+  RecursiveLearningOptions shallow;
+  shallow.depth = 1;
+  RecursiveLearningResult r1 = recursive_learn(f, {}, shallow);
+  ASSERT_FALSE(r1.unsat);
+  EXPECT_EQ(std::find(r1.necessary.begin(), r1.necessary.end(), pos(5)),
+            r1.necessary.end())
+      << "depth 1 must not see through the nested disjunction";
+  RecursiveLearningOptions deep;
+  deep.depth = 2;
+  RecursiveLearningResult r2 = recursive_learn(f, {}, deep);
+  ASSERT_FALSE(r2.unsat);
+  EXPECT_NE(std::find(r2.necessary.begin(), r2.necessary.end(), pos(5)),
+            r2.necessary.end())
+      << "depth 2 must derive e = 1";
+}
+
+class RecursiveLearningPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecursiveLearningPropertyTest, NecessaryLiteralsAreImplied) {
+  CnfFormula f = random_3sat(12, 4.0, GetParam());
+  RecursiveLearningResult r = recursive_learn(f);
+  if (r.unsat) {
+    EXPECT_FALSE(testing::brute_force_satisfiable(f));
+    return;
+  }
+  for (Lit l : r.necessary) {
+    CnfFormula g = f;
+    g.add_unit(~l);
+    EXPECT_FALSE(testing::brute_force_satisfiable(g))
+        << to_string(l) << " reported necessary but its complement is "
+        << "consistent with the formula";
+  }
+}
+
+TEST_P(RecursiveLearningPropertyTest, StrengthenedFormulaEquisatisfiable) {
+  CnfFormula f = random_3sat(12, 4.3, GetParam());
+  CnfFormula g = strengthen_with_recursive_learning(f);
+  EXPECT_EQ(testing::brute_force_satisfiable(f),
+            testing::brute_force_satisfiable(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecursiveLearningPropertyTest,
+                         ::testing::Range<std::uint64_t>(4000, 4016));
+
+}  // namespace
+}  // namespace sateda::sat

@@ -1,0 +1,104 @@
+/// Property tests: the CDCL solver must agree with a brute-force
+/// oracle on randomly generated small instances, across clause/variable
+/// ratios spanning the under-, critically- and over-constrained
+/// regimes, and across solver configurations.
+#include <gtest/gtest.h>
+
+#include "cnf/generators.hpp"
+#include "sat/dpll.hpp"
+#include "sat/solver.hpp"
+#include "test_util.hpp"
+
+namespace sateda::sat {
+namespace {
+
+struct RandomCase {
+  std::uint64_t seed;
+  int num_vars;
+  double ratio;
+};
+
+class SolverOracleTest : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(SolverOracleTest, AgreesWithBruteForce) {
+  const RandomCase& p = GetParam();
+  CnfFormula f = random_3sat(p.num_vars, p.ratio, p.seed);
+  const bool expected = testing::brute_force_satisfiable(f);
+  Solver s;
+  s.add_formula(f);
+  SolveResult r = s.solve();
+  ASSERT_NE(r, SolveResult::kUnknown);
+  EXPECT_EQ(r == SolveResult::kSat, expected);
+  if (r == SolveResult::kSat) {
+    EXPECT_TRUE(
+        f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
+  }
+}
+
+TEST_P(SolverOracleTest, DpllAgreesWithBruteForce) {
+  const RandomCase& p = GetParam();
+  CnfFormula f = random_3sat(p.num_vars, p.ratio, p.seed);
+  const bool expected = testing::brute_force_satisfiable(f);
+  DpllSolver s(f);
+  SolveResult r = s.solve();
+  ASSERT_NE(r, SolveResult::kUnknown);
+  EXPECT_EQ(r == SolveResult::kSat, expected);
+  if (r == SolveResult::kSat) {
+    EXPECT_TRUE(
+        f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
+  }
+}
+
+TEST_P(SolverOracleTest, AgreesUnderRandomAssumptions) {
+  const RandomCase& p = GetParam();
+  CnfFormula f = random_3sat(p.num_vars, p.ratio, p.seed);
+  Rng rng(p.seed ^ 0xabcdef);
+  std::uniform_int_distribution<Var> pick(0, p.num_vars - 1);
+  std::bernoulli_distribution coin(0.5);
+  std::vector<Lit> assumptions;
+  for (int i = 0; i < 3; ++i) assumptions.push_back(Lit(pick(rng), coin(rng)));
+  CnfFormula g = f;
+  for (Lit a : assumptions) g.add_unit(a);
+  const bool expected = testing::brute_force_satisfiable(g);
+  Solver s;
+  s.add_formula(f);
+  EXPECT_EQ(s.solve(assumptions) == SolveResult::kSat, expected);
+}
+
+std::vector<RandomCase> make_cases() {
+  std::vector<RandomCase> cases;
+  std::uint64_t seed = 1000;
+  for (double ratio : {2.0, 3.5, 4.26, 5.5, 7.0}) {
+    for (int rep = 0; rep < 8; ++rep) {
+      cases.push_back({seed++, 14, ratio});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, SolverOracleTest,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<RandomCase>& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+// Larger instances, CDCL vs DPLL cross-check (no oracle).
+class CrossCheckTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossCheckTest, CdclAndDpllAgree) {
+  CnfFormula f = random_3sat(40, 4.26, GetParam());
+  Solver cdcl;
+  cdcl.add_formula(f);
+  DpllSolver dpll(f);
+  SolveResult a = cdcl.solve();
+  SolveResult b = dpll.solve();
+  ASSERT_NE(a, SolveResult::kUnknown);
+  ASSERT_NE(b, SolveResult::kUnknown);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossCheckTest,
+                         ::testing::Range<std::uint64_t>(2000, 2012));
+
+}  // namespace
+}  // namespace sateda::sat

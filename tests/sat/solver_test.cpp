@@ -1,0 +1,307 @@
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnf/generators.hpp"
+#include "test_util.hpp"
+
+namespace sateda::sat {
+namespace {
+
+TEST(SolverTest, EmptyProblemIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SolverTest, SingleUnitClause) {
+  Solver s;
+  s.add_clause({pos(0)});
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(Var{0}), l_true);
+}
+
+TEST(SolverTest, ContradictoryUnitsAreUnsat) {
+  Solver s;
+  EXPECT_TRUE(s.add_clause({pos(0)}));
+  EXPECT_FALSE(s.add_clause({neg(0)}));
+  EXPECT_FALSE(s.okay());
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SolverTest, SimpleImplicationChain) {
+  // (¬a + b)(¬b + c)(a) forces c.
+  Solver s;
+  s.add_clause({neg(0), pos(1)});
+  s.add_clause({neg(1), pos(2)});
+  s.add_clause({pos(0)});
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(Var{2}), l_true);
+}
+
+TEST(SolverTest, TautologyIsIgnored) {
+  Solver s;
+  s.add_clause({pos(0), neg(0)});
+  EXPECT_EQ(s.num_problem_clauses(), 0u);
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SolverTest, DuplicateLiteralsCollapse) {
+  Solver s;
+  s.add_clause({pos(0), pos(0), pos(1)});
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SolverTest, UnsatRequiresConflictAnalysis) {
+  // (a+b)(a+¬b)(¬a+b)(¬a+¬b) is the smallest full contradiction.
+  Solver s;
+  s.add_clause({pos(0), pos(1)});
+  s.add_clause({pos(0), neg(1)});
+  s.add_clause({neg(0), pos(1)});
+  s.add_clause({neg(0), neg(1)});
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+  EXPECT_FALSE(s.okay());
+}
+
+TEST(SolverTest, PigeonholeUnsat) {
+  Solver s;
+  s.add_formula(pigeonhole(5));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0);
+}
+
+TEST(SolverTest, ParityChainSolvesAndModelChecks) {
+  CnfFormula f = parity_chain(12, true);
+  Solver s;
+  s.add_formula(f);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(
+      f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
+}
+
+TEST(SolverTest, ModelSatisfiesEveryClause) {
+  CnfFormula f = random_3sat(40, 3.0, 11);
+  Solver s;
+  s.add_formula(f);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_TRUE(
+      f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
+}
+
+// --- assumptions / incremental interface (paper §6) -----------------
+
+TEST(SolverAssumptionsTest, AssumptionFlipsOutcome) {
+  Solver s;
+  s.add_clause({pos(0), pos(1)});
+  EXPECT_EQ(s.solve({neg(0), neg(1)}), SolveResult::kUnsat);
+  EXPECT_EQ(s.solve({neg(0)}), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(Var{1}), l_true);
+  // The solver is reusable after an assumption-UNSAT (incremental use).
+  EXPECT_TRUE(s.okay());
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SolverAssumptionsTest, ConflictCoreIsSubsetOfAssumptions) {
+  Solver s;
+  s.add_clause({neg(0), neg(1)});  // a ∧ b impossible
+  s.new_var();                     // unrelated variable 2
+  ASSERT_EQ(s.solve({pos(0), pos(1), pos(2)}), SolveResult::kUnsat);
+  const auto& core = s.conflict_core();
+  EXPECT_GE(core.size(), 1u);
+  for (Lit l : core) {
+    EXPECT_TRUE(l == pos(0) || l == pos(1))
+        << "core literal " << to_string(l) << " must be a culpable assumption";
+  }
+}
+
+TEST(SolverAssumptionsTest, CoreConjunctionIsReallyUnsat) {
+  CnfFormula f = random_3sat(15, 4.0, 5);
+  Solver s;
+  s.add_formula(f);
+  std::vector<Lit> assumptions;
+  for (Var v = 0; v < 6; ++v) assumptions.push_back(pos(v));
+  if (s.solve(assumptions) == SolveResult::kUnsat) {
+    // Adding the core literals as units must give an UNSAT formula.
+    CnfFormula g = f;
+    for (Lit l : s.conflict_core()) g.add_unit(l);
+    EXPECT_FALSE(testing::brute_force_satisfiable(g));
+  }
+}
+
+TEST(SolverAssumptionsTest, IncrementalSolvesShareLearnedClauses) {
+  Solver s;
+  s.add_formula(pigeonhole(4));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+  EXPECT_EQ(s.stats().solve_calls, 1);
+}
+
+// --- budgets ---------------------------------------------------------
+
+TEST(SolverBudgetTest, ConflictBudgetYieldsUnknown) {
+  SolverOptions opts;
+  opts.conflict_budget = 5;
+  Solver s(opts);
+  s.add_formula(pigeonhole(6));
+  EXPECT_EQ(s.solve(), SolveResult::kUnknown);
+}
+
+TEST(SolverBudgetTest, BudgetIsPerCall) {
+  SolverOptions opts;
+  opts.conflict_budget = 3;
+  Solver s(opts);
+  s.add_formula(pigeonhole(5));
+  EXPECT_EQ(s.solve(), SolveResult::kUnknown);
+  // The next call gets a fresh budget, not an already-exhausted one.
+  EXPECT_EQ(s.solve(), SolveResult::kUnknown);
+  EXPECT_TRUE(s.okay());
+}
+
+// --- Figure 3: conflict analysis on the example circuit --------------
+//
+// y1 = NAND(x1, w), y2 = NOR(x1, w), y3 = NOR(y1, y2).  With w=1 and
+// y3=0, assigning x1=1 yields y1=0, y2=0 and hence y3=1 — a conflict.
+// The derivable conflict clause is (¬x1 + ¬w + y3): the solver must
+// conclude x1=0 under assumptions {w=1, y3=0}.
+class Figure3Test : public ::testing::Test {
+ protected:
+  // Variables: 0=x1, 1=w, 2=y1, 3=y2, 4=y3.
+  static CnfFormula circuit() {
+    CnfFormula f(5);
+    const Var x1 = 0, w = 1, y1 = 2, y2 = 3, y3 = 4;
+    // y1 = NAND(x1, w): (y1 + x1')·... Table 1 NAND CNF:
+    f.add_ternary(neg(x1), neg(w), neg(y1));
+    f.add_binary(pos(x1), pos(y1));
+    f.add_binary(pos(w), pos(y1));
+    // y2 = NOR(x1, w):
+    f.add_ternary(pos(x1), pos(w), pos(y2));
+    f.add_binary(neg(x1), neg(y2));
+    f.add_binary(neg(w), neg(y2));
+    // y3 = NOR(y1, y2):
+    f.add_ternary(pos(y1), pos(y2), pos(y3));
+    f.add_binary(neg(y1), neg(y3));
+    f.add_binary(neg(y2), neg(y3));
+    return f;
+  }
+};
+
+TEST_F(Figure3Test, ConflictForcesComplementOfX1) {
+  Solver s;
+  s.add_formula(circuit());
+  // Under w=1, y3=0, x1=1: UNSAT (the Fig. 3 conflict).
+  EXPECT_EQ(s.solve({pos(1), neg(4), pos(0)}), SolveResult::kUnsat);
+  // Under w=1, y3=0 alone: satisfiable, and x1 must be 0 — i.e. the
+  // learnt implicate (¬x1 + ¬w + y3) is honoured.
+  ASSERT_EQ(s.solve({pos(1), neg(4)}), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(Var{0}), l_false);
+}
+
+TEST_F(Figure3Test, LearntImplicateIsImplicate) {
+  // (¬x1 + ¬w + y3) must be an implicate of the circuit CNF: adding
+  // its negation {x1, w, ¬y3} as units is UNSAT.
+  CnfFormula f = circuit();
+  f.add_unit(pos(0));
+  f.add_unit(pos(1));
+  f.add_unit(neg(4));
+  EXPECT_FALSE(testing::brute_force_satisfiable(f));
+}
+
+// --- option ablations: every configuration must stay sound -----------
+
+struct AblationCase {
+  const char* name;
+  SolverOptions opts;
+};
+
+class SolverAblationTest : public ::testing::TestWithParam<AblationCase> {};
+
+TEST_P(SolverAblationTest, SoundOnSatAndUnsatFamilies) {
+  const SolverOptions& opts = GetParam().opts;
+  {
+    Solver s(opts);
+    s.add_formula(pigeonhole(4));
+    EXPECT_EQ(s.solve(), SolveResult::kUnsat) << GetParam().name;
+  }
+  {
+    CnfFormula f = planted_ksat(25, 90, 3, 77);
+    Solver s(opts);
+    s.add_formula(f);
+    ASSERT_EQ(s.solve(), SolveResult::kSat) << GetParam().name;
+    EXPECT_TRUE(
+        f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
+  }
+  {
+    CnfFormula f = parity_chain(10, false);
+    Solver s(opts);
+    s.add_formula(f);
+    ASSERT_EQ(s.solve(), SolveResult::kSat) << GetParam().name;
+    EXPECT_TRUE(
+        f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
+  }
+}
+
+SolverOptions make_opts(BacktrackMode bt, bool learn, DeletionPolicy del,
+                        bool restarts, double rand_freq, bool minimize) {
+  SolverOptions o;
+  o.backtrack = bt;
+  o.clause_learning = learn;
+  o.deletion = del;
+  o.restarts = restarts;
+  o.random_var_freq = rand_freq;
+  o.minimize_learnt = minimize;
+  return o;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigurations, SolverAblationTest,
+    ::testing::Values(
+        AblationCase{"default", SolverOptions{}},
+        AblationCase{"chronological",
+                     make_opts(BacktrackMode::kChronological, true,
+                               DeletionPolicy::kActivity, true, 0.02, true)},
+        AblationCase{"no_learning",
+                     make_opts(BacktrackMode::kNonChronological, false,
+                               DeletionPolicy::kActivity, true, 0.02, true)},
+        AblationCase{"keep_everything",
+                     make_opts(BacktrackMode::kNonChronological, true,
+                               DeletionPolicy::kNever, true, 0.02, true)},
+        AblationCase{"relevance",
+                     make_opts(BacktrackMode::kNonChronological, true,
+                               DeletionPolicy::kRelevance, true, 0.02, true)},
+        AblationCase{"size_bounded",
+                     make_opts(BacktrackMode::kNonChronological, true,
+                               DeletionPolicy::kSizeBounded, true, 0.02, true)},
+        AblationCase{"no_restarts",
+                     make_opts(BacktrackMode::kNonChronological, true,
+                               DeletionPolicy::kActivity, false, 0.02, true)},
+        AblationCase{"no_randomization",
+                     make_opts(BacktrackMode::kNonChronological, true,
+                               DeletionPolicy::kActivity, true, 0.0, true)},
+        AblationCase{"heavy_randomization",
+                     make_opts(BacktrackMode::kNonChronological, true,
+                               DeletionPolicy::kActivity, true, 0.5, true)},
+        AblationCase{"no_minimization",
+                     make_opts(BacktrackMode::kNonChronological, true,
+                               DeletionPolicy::kActivity, true, 0.02, false)},
+        AblationCase{"dpll_like",
+                     make_opts(BacktrackMode::kChronological, false,
+                               DeletionPolicy::kActivity, false, 0.0, false)}),
+    [](const ::testing::TestParamInfo<AblationCase>& info) {
+      return info.param.name;
+    });
+
+// --- stats sanity -----------------------------------------------------
+
+TEST(SolverStatsTest, CountersMoveMonotonically) {
+  Solver s;
+  s.add_formula(pigeonhole(5));
+  s.solve();
+  const SolverStats& st = s.stats();
+  EXPECT_GT(st.decisions, 0);
+  EXPECT_GT(st.propagations, 0);
+  EXPECT_GT(st.conflicts, 0);
+  EXPECT_GT(st.learnt_clauses, 0);
+  EXPECT_GE(st.max_decision_level, 1);
+  EXPECT_FALSE(st.summary().empty());
+}
+
+}  // namespace
+}  // namespace sateda::sat

@@ -1,0 +1,110 @@
+#include "synth/rar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/miter.hpp"
+#include "circuit/simulator.hpp"
+#include "circuit/structural_hash.hpp"
+
+namespace sateda::synth {
+namespace {
+
+using circuit::Circuit;
+using circuit::NodeId;
+
+/// Exhaustive functional equivalence for small circuits.
+void expect_equivalent(const Circuit& a, const Circuit& b) {
+  ASSERT_EQ(a.inputs().size(), b.inputs().size());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  const int n = static_cast<int>(a.inputs().size());
+  ASSERT_LE(n, 16);
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+    std::vector<bool> in(n);
+    for (int i = 0; i < n; ++i) in[i] = (bits >> i) & 1;
+    EXPECT_EQ(circuit::simulate_outputs(a, in),
+              circuit::simulate_outputs(b, in))
+        << "pattern " << bits;
+  }
+}
+
+TEST(RarTest, AbsorptionRedundancyIsRemoved) {
+  // y = a + (a·b): the AND gate is redundant; the optimum is y = a.
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g = c.add_and(a, b);
+  NodeId y = c.add_or(a, g);
+  c.mark_output(y, "y");
+  RarStats stats;
+  Circuit out = remove_redundancies(c, {}, &stats);
+  EXPECT_GE(stats.redundancies_removed, 1);
+  EXPECT_EQ(out.num_gates(), 0u) << stats.summary();
+  expect_equivalent(c, out);
+}
+
+TEST(RarTest, ConsensusRedundancyIsRemoved) {
+  // y = a·b + ¬a·c + b·c: the consensus term b·c is redundant.
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId d = c.add_input("c");
+  NodeId na = c.add_not(a);
+  NodeId t1 = c.add_and(a, b);
+  NodeId t2 = c.add_and(na, d);
+  NodeId t3 = c.add_and(b, d);  // consensus term
+  NodeId y = c.add_or(c.add_or(t1, t2), t3);
+  c.mark_output(y, "y");
+  RarStats stats;
+  Circuit out = remove_redundancies(c, {}, &stats);
+  EXPECT_GE(stats.redundancies_removed, 1) << stats.summary();
+  EXPECT_LT(out.num_gates(), c.num_gates());
+  expect_equivalent(c, out);
+}
+
+TEST(RarTest, IrredundantCircuitIsUntouched) {
+  Circuit c = circuit::c17();
+  RarStats stats;
+  Circuit out = remove_redundancies(c, {}, &stats);
+  EXPECT_EQ(stats.redundancies_removed, 0);
+  EXPECT_EQ(out.num_gates(), circuit::strash(c).num_gates());
+  expect_equivalent(c, out);
+}
+
+TEST(RarTest, SaltedCircuitShrinksBackTowardOriginal) {
+  // Take the c17 core and salt it with absorption-redundant gates on
+  // each output; RAR must strip the salt.
+  Circuit base = circuit::c17();
+  Circuit salted("salted");
+  std::vector<NodeId> in;
+  for (std::size_t i = 0; i < base.inputs().size(); ++i) {
+    in.push_back(salted.add_input());
+  }
+  auto map = circuit::append_copy(salted, base, in);
+  for (std::size_t i = 0; i < base.outputs().size(); ++i) {
+    NodeId o = map[base.outputs()[i]];
+    NodeId junk = salted.add_and(o, in[i % in.size()]);
+    salted.mark_output(salted.add_or(o, junk), "y" + std::to_string(i));
+  }
+  RarStats stats;
+  Circuit out = remove_redundancies(salted, {}, &stats);
+  EXPECT_GE(stats.redundancies_removed, 2) << stats.summary();
+  expect_equivalent(salted, out);
+  EXPECT_LE(out.num_gates(), circuit::strash(salted).num_gates() - 2);
+}
+
+class RarPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RarPropertyTest, PreservesFunctionAndNeverGrows) {
+  Circuit c = circuit::random_circuit(7, 30, GetParam());
+  RarStats stats;
+  Circuit out = remove_redundancies(c, {}, &stats);
+  EXPECT_LE(out.num_gates(), circuit::strash(c).num_gates());
+  expect_equivalent(c, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RarPropertyTest,
+                         ::testing::Range<std::uint64_t>(1400, 1410));
+
+}  // namespace
+}  // namespace sateda::synth

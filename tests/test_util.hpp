@@ -1,0 +1,56 @@
+/// \file test_util.hpp
+/// \brief Shared helpers for the sateda test suite: a brute-force SAT
+///        reference oracle and model-checking utilities.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace sateda::testing {
+
+/// Exhaustively searches all 2^n assignments (n ≤ 25 enforced by the
+/// caller's good sense).  Returns a satisfying assignment or nullopt.
+inline std::optional<std::vector<bool>> brute_force_model(
+    const CnfFormula& f) {
+  const int n = f.num_vars();
+  std::vector<bool> assignment(n, false);
+  const std::uint64_t total = std::uint64_t{1} << n;
+  for (std::uint64_t bits = 0; bits < total; ++bits) {
+    for (int v = 0; v < n; ++v) assignment[v] = (bits >> v) & 1;
+    if (f.is_satisfied_by(assignment)) return assignment;
+  }
+  return std::nullopt;
+}
+
+/// True iff \p f is satisfiable (brute force).
+inline bool brute_force_satisfiable(const CnfFormula& f) {
+  return brute_force_model(f).has_value();
+}
+
+/// Counts satisfying assignments over all 2^n total assignments.
+inline std::uint64_t brute_force_count_models(const CnfFormula& f) {
+  const int n = f.num_vars();
+  std::vector<bool> assignment(n, false);
+  const std::uint64_t total = std::uint64_t{1} << n;
+  std::uint64_t count = 0;
+  for (std::uint64_t bits = 0; bits < total; ++bits) {
+    for (int v = 0; v < n; ++v) assignment[v] = (bits >> v) & 1;
+    if (f.is_satisfied_by(assignment)) ++count;
+  }
+  return count;
+}
+
+/// Converts a (possibly partial) lbool model into a complete Boolean
+/// assignment, defaulting unassigned variables to false.
+inline std::vector<bool> complete_model(const std::vector<lbool>& model,
+                                        int num_vars) {
+  std::vector<bool> out(num_vars, false);
+  for (int v = 0; v < num_vars && v < static_cast<int>(model.size()); ++v) {
+    out[v] = model[v].is_true();
+  }
+  return out;
+}
+
+}  // namespace sateda::testing

@@ -1,0 +1,104 @@
+#include "vectors/vectors.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/simulator.hpp"
+
+namespace sateda::vectors {
+namespace {
+
+using circuit::Circuit;
+using circuit::NodeId;
+
+TEST(VectorGenTest, AllVectorsSatisfyTheConstraint) {
+  Circuit c = circuit::ripple_carry_adder(3);
+  NodeId cout = c.outputs().back();
+  VectorGenResult r = generate_vectors(c, cout, true, 10);
+  EXPECT_EQ(r.vectors.size(), 10u);
+  for (const auto& v : r.vectors) {
+    EXPECT_TRUE(circuit::simulate(c, v)[cout]);
+  }
+}
+
+TEST(VectorGenTest, VectorsAreDistinct) {
+  Circuit c = circuit::c17();
+  NodeId o = c.find("22");
+  VectorGenResult r = generate_vectors(c, o, true, 16);
+  std::set<std::vector<bool>> unique(r.vectors.begin(), r.vectors.end());
+  EXPECT_EQ(unique.size(), r.vectors.size());
+}
+
+TEST(VectorGenTest, ExhaustsFiniteSolutionSpace) {
+  // AND of 3 inputs = 1 has exactly one solution.
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId d = c.add_input("d");
+  NodeId g = c.add_and(c.add_and(a, b), d);
+  c.mark_output(g, "o");
+  VectorGenResult r = generate_vectors(c, g, true, 100);
+  EXPECT_EQ(r.vectors.size(), 1u);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.vectors[0], (std::vector<bool>{true, true, true}));
+}
+
+TEST(VectorGenTest, UnsatisfiableConstraintYieldsNothing) {
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId g = c.add_and(a, c.add_not(a));
+  c.mark_output(g, "o");
+  VectorGenResult r = generate_vectors(c, g, true, 5);
+  EXPECT_TRUE(r.vectors.empty());
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(VectorGenTest, CubeBlockingCoversSpaceFaster) {
+  // Wide OR = 1: cube blocking with the §5 layer should reach the
+  // requested count with one SAT call per vector and exhaust the space
+  // in far fewer calls than there are solutions.
+  Circuit c;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 10; ++i) ins.push_back(c.add_input());
+  NodeId acc = ins[0];
+  for (int i = 1; i < 10; ++i) acc = c.add_or(acc, ins[i]);
+  c.mark_output(acc, "o");
+  VectorGenOptions cube_opts;
+  VectorGenResult r = generate_vectors(c, acc, true, 64, cube_opts);
+  for (const auto& v : r.vectors) {
+    EXPECT_TRUE(circuit::simulate(c, v)[acc]);
+  }
+  std::set<std::vector<bool>> unique(r.vectors.begin(), r.vectors.end());
+  EXPECT_EQ(unique.size(), r.vectors.size());
+}
+
+TEST(VectorGenTest, FullVectorBlockingAlsoWorks) {
+  Circuit c = circuit::parity_tree(5);
+  NodeId o = c.outputs()[0];
+  VectorGenOptions opts;
+  opts.block_cubes = false;
+  opts.use_structural_layer = false;
+  // Parity=1 has exactly 16 solutions over 5 inputs.
+  VectorGenResult r = generate_vectors(c, o, true, 100, opts);
+  EXPECT_EQ(r.vectors.size(), 16u);
+  EXPECT_TRUE(r.exhausted);
+  for (const auto& v : r.vectors) {
+    EXPECT_TRUE(circuit::simulate(c, v)[o]);
+  }
+}
+
+TEST(VectorGenTest, BothPolaritiesPartitionTheSpace) {
+  Circuit c = circuit::parity_tree(4);
+  NodeId o = c.outputs()[0];
+  VectorGenOptions opts;
+  opts.block_cubes = false;
+  opts.use_structural_layer = false;
+  VectorGenResult r1 = generate_vectors(c, o, true, 100, opts);
+  VectorGenResult r0 = generate_vectors(c, o, false, 100, opts);
+  EXPECT_EQ(r1.vectors.size() + r0.vectors.size(), 16u);
+}
+
+}  // namespace
+}  // namespace sateda::vectors

@@ -1,0 +1,84 @@
+/// \file sateda_atpg.cpp
+/// \brief Command-line ATPG for BENCH netlists.
+///
+/// Usage: sateda_atpg [options] <file.bench>
+///   --no-random          skip the random-pattern phase
+///   --no-collapse        keep the uncollapsed fault list
+///   --no-layer           plain CNF queries (no §5 layer)
+///   --patterns           print the generated test set
+///   --faults             print per-fault status
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "atpg/engine.hpp"
+#include "circuit/bench_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sateda;
+  std::string path;
+  atpg::AtpgOptions opts;
+  bool show_patterns = false, show_faults = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--no-random") {
+      opts.random_phase = false;
+    } else if (arg == "--no-collapse") {
+      opts.collapse = false;
+    } else if (arg == "--no-layer") {
+      opts.use_structural_layer = false;
+    } else if (arg == "--patterns") {
+      show_patterns = true;
+    } else if (arg == "--faults") {
+      show_faults = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--no-random] [--no-collapse] [--no-layer] "
+                   "[--patterns] [--faults] <file.bench>\n",
+                   argv[0]);
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "error: no input netlist\n");
+    return 2;
+  }
+  circuit::Circuit c;
+  try {
+    c = circuit::read_bench_file(path);
+  } catch (const circuit::CircuitError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("circuit: %zu inputs, %zu gates, %zu outputs\n",
+              c.inputs().size(), c.num_gates(), c.outputs().size());
+  atpg::AtpgResult r = atpg::run_atpg(c, opts);
+  std::printf("%s\n", r.stats.summary().c_str());
+  std::printf("fault coverage    : %.2f%%\n",
+              100.0 * r.stats.fault_coverage());
+  std::printf("test efficiency   : %.2f%%\n",
+              100.0 * r.stats.test_efficiency());
+  std::printf("test patterns     : %zu\n", r.tests.size());
+  if (show_patterns) {
+    for (std::size_t i = 0; i < r.tests.size(); ++i) {
+      std::printf("t%zu ", i);
+      for (bool b : r.tests[i]) std::printf("%d", b ? 1 : 0);
+      std::printf("\n");
+    }
+  }
+  if (show_faults) {
+    for (std::size_t i = 0; i < r.faults.size(); ++i) {
+      const char* st = "?";
+      switch (r.status[i]) {
+        case atpg::FaultStatus::kDetected: st = "detected"; break;
+        case atpg::FaultStatus::kRedundant: st = "redundant"; break;
+        case atpg::FaultStatus::kAborted: st = "aborted"; break;
+        case atpg::FaultStatus::kUntested: st = "untested"; break;
+      }
+      std::printf("%-16s %s\n", to_string(r.faults[i]).c_str(), st);
+    }
+  }
+  return r.stats.aborted == 0 ? 0 : 1;
+}

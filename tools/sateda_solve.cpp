@@ -1,0 +1,144 @@
+/// \file sateda_solve.cpp
+/// \brief DIMACS command-line SAT solver.
+///
+/// Usage: sateda_solve [options] <file.cnf | ->
+///   --preprocess          run the §4.1/§6 preprocessor first
+///   --no-restarts         disable restarts
+///   --no-learning         disable clause recording
+///   --chronological       chronological backtracking
+///   --proof <file>        write a DRAT refutation on UNSAT
+///   --max-conflicts <n>   give up after n conflicts
+///   --quiet               verdict only (exit code 10 SAT / 20 UNSAT)
+///
+/// Prints an s-line and v-lines in SAT-competition format.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cnf/dimacs.hpp"
+#include "sat/preprocess.hpp"
+#include "sat/proof.hpp"
+#include "sat/solver.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--preprocess] [--no-restarts] [--no-learning] "
+               "[--chronological] [--proof FILE] [--max-conflicts N] "
+               "[--quiet] <file.cnf | ->\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sateda;
+  std::string path;
+  std::string proof_path;
+  bool preprocess_first = false;
+  bool quiet = false;
+  sat::SolverOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--preprocess") {
+      preprocess_first = true;
+    } else if (arg == "--no-restarts") {
+      opts.restarts = false;
+    } else if (arg == "--no-learning") {
+      opts.clause_learning = false;
+    } else if (arg == "--chronological") {
+      opts.backtrack = sat::BacktrackMode::kChronological;
+    } else if (arg == "--proof" && i + 1 < argc) {
+      proof_path = argv[++i];
+    } else if (arg == "--max-conflicts" && i + 1 < argc) {
+      opts.conflict_budget = std::atoll(argv[++i]);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return usage(argv[0]);
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  CnfFormula f;
+  try {
+    f = (path == "-") ? read_dimacs(std::cin) : read_dimacs_file(path);
+  } catch (const DimacsError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (!quiet) {
+    std::printf("c sateda_solve: %d vars, %zu clauses\n", f.num_vars(),
+                f.num_clauses());
+  }
+
+  sat::PreprocessResult pre;
+  const CnfFormula* to_solve = &f;
+  if (preprocess_first) {
+    pre = sat::preprocess(f);
+    if (pre.unsat) {
+      std::printf("s UNSATISFIABLE\n");
+      return 20;
+    }
+    if (!quiet) std::printf("c preprocess: %s\n", pre.stats.summary().c_str());
+    to_solve = &pre.simplified;
+  }
+
+  sat::Proof proof;
+  sat::Solver solver(opts);
+  if (!proof_path.empty()) solver.set_proof_logger(&proof);
+  solver.add_formula(*to_solve);
+  solver.ensure_var(f.num_vars() - 1);
+  sat::SolveResult r = solver.solve();
+  if (!quiet) std::printf("c %s\n", solver.stats().summary().c_str());
+
+  switch (r) {
+    case sat::SolveResult::kUnknown:
+      std::printf("s UNKNOWN\n");
+      return 0;
+    case sat::SolveResult::kUnsat: {
+      std::printf("s UNSATISFIABLE\n");
+      if (!proof_path.empty() && !preprocess_first) {
+        std::ofstream out(proof_path);
+        proof.write_drat(out);
+        if (!quiet) {
+          std::printf("c DRAT proof (%zu steps) written to %s\n",
+                      proof.steps().size(), proof_path.c_str());
+        }
+      } else if (!proof_path.empty()) {
+        std::fprintf(stderr,
+                     "warning: --proof covers the solver run only; it is "
+                     "not emitted when --preprocess rewrote the formula\n");
+      }
+      return 20;
+    }
+    case sat::SolveResult::kSat: {
+      std::printf("s SATISFIABLE\n");
+      std::vector<lbool> model = solver.model();
+      if (preprocess_first) model = pre.reconstruct_model(model);
+      std::printf("v");
+      for (Var v = 0; v < f.num_vars(); ++v) {
+        lbool val = v < static_cast<Var>(model.size()) ? model[v] : l_undef;
+        std::printf(" %d", val.is_false() ? -(v + 1) : (v + 1));
+      }
+      std::printf(" 0\n");
+      // Self-check before claiming victory.
+      std::vector<bool> bits(f.num_vars());
+      for (Var v = 0; v < f.num_vars(); ++v) {
+        bits[v] = v < static_cast<Var>(model.size()) && model[v].is_true();
+      }
+      if (!f.is_satisfied_by(bits)) {
+        std::fprintf(stderr, "internal error: model check failed\n");
+        return 1;
+      }
+      return 10;
+    }
+  }
+  return 0;
+}
