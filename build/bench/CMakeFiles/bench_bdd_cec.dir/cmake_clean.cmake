@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bdd_cec.dir/bench_bdd_cec.cpp.o"
+  "CMakeFiles/bench_bdd_cec.dir/bench_bdd_cec.cpp.o.d"
+  "bench_bdd_cec"
+  "bench_bdd_cec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bdd_cec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

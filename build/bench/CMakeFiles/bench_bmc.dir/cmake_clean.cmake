@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bmc.dir/bench_bmc.cpp.o"
+  "CMakeFiles/bench_bmc.dir/bench_bmc.cpp.o.d"
+  "bench_bmc"
+  "bench_bmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

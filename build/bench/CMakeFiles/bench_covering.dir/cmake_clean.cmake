@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_covering.dir/bench_covering.cpp.o"
+  "CMakeFiles/bench_covering.dir/bench_covering.cpp.o.d"
+  "bench_covering"
+  "bench_covering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_covering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

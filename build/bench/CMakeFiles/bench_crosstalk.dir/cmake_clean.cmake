@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crosstalk.dir/bench_crosstalk.cpp.o"
+  "CMakeFiles/bench_crosstalk.dir/bench_crosstalk.cpp.o.d"
+  "bench_crosstalk"
+  "bench_crosstalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crosstalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

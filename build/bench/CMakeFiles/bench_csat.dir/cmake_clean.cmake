@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_csat.dir/bench_csat.cpp.o"
+  "CMakeFiles/bench_csat.dir/bench_csat.cpp.o.d"
+  "bench_csat"
+  "bench_csat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_csat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_equiv.dir/bench_equiv.cpp.o"
+  "CMakeFiles/bench_equiv.dir/bench_equiv.cpp.o.d"
+  "bench_equiv"
+  "bench_equiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_equiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

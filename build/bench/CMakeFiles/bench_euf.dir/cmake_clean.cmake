@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_euf.dir/bench_euf.cpp.o"
+  "CMakeFiles/bench_euf.dir/bench_euf.cpp.o.d"
+  "bench_euf"
+  "bench_euf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_euf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

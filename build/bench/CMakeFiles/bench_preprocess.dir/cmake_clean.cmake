@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preprocess.dir/bench_preprocess.cpp.o"
+  "CMakeFiles/bench_preprocess.dir/bench_preprocess.cpp.o.d"
+  "bench_preprocess"
+  "bench_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rar.dir/bench_rar.cpp.o"
+  "CMakeFiles/bench_rar.dir/bench_rar.cpp.o.d"
+  "bench_rar"
+  "bench_rar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recursive_learning.dir/bench_recursive_learning.cpp.o"
+  "CMakeFiles/bench_recursive_learning.dir/bench_recursive_learning.cpp.o.d"
+  "bench_recursive_learning"
+  "bench_recursive_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recursive_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

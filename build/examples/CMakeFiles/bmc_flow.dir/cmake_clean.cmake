@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmc_flow.dir/bmc_flow.cpp.o"
+  "CMakeFiles/bmc_flow.dir/bmc_flow.cpp.o.d"
+  "bmc_flow"
+  "bmc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

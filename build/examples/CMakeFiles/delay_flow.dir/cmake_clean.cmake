@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_flow.dir/delay_flow.cpp.o"
+  "CMakeFiles/delay_flow.dir/delay_flow.cpp.o.d"
+  "delay_flow"
+  "delay_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_flow.dir/equivalence_flow.cpp.o"
+  "CMakeFiles/equivalence_flow.dir/equivalence_flow.cpp.o.d"
+  "equivalence_flow"
+  "equivalence_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

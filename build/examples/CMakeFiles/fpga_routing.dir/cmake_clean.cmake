@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_routing.dir/fpga_routing.cpp.o"
+  "CMakeFiles/fpga_routing.dir/fpga_routing.cpp.o.d"
+  "fpga_routing"
+  "fpga_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimization_flow.dir/optimization_flow.cpp.o"
+  "CMakeFiles/optimization_flow.dir/optimization_flow.cpp.o.d"
+  "optimization_flow"
+  "optimization_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimization_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

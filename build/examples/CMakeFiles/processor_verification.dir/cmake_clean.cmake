@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processor_verification.dir/processor_verification.cpp.o"
+  "CMakeFiles/processor_verification.dir/processor_verification.cpp.o.d"
+  "processor_verification"
+  "processor_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processor_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_generation.dir/vector_generation.cpp.o"
+  "CMakeFiles/vector_generation.dir/vector_generation.cpp.o.d"
+  "vector_generation"
+  "vector_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

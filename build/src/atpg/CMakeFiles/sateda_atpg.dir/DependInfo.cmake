@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/detection.cpp" "src/atpg/CMakeFiles/sateda_atpg.dir/detection.cpp.o" "gcc" "src/atpg/CMakeFiles/sateda_atpg.dir/detection.cpp.o.d"
+  "/root/repo/src/atpg/engine.cpp" "src/atpg/CMakeFiles/sateda_atpg.dir/engine.cpp.o" "gcc" "src/atpg/CMakeFiles/sateda_atpg.dir/engine.cpp.o.d"
+  "/root/repo/src/atpg/fault.cpp" "src/atpg/CMakeFiles/sateda_atpg.dir/fault.cpp.o" "gcc" "src/atpg/CMakeFiles/sateda_atpg.dir/fault.cpp.o.d"
+  "/root/repo/src/atpg/fault_sim.cpp" "src/atpg/CMakeFiles/sateda_atpg.dir/fault_sim.cpp.o" "gcc" "src/atpg/CMakeFiles/sateda_atpg.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/atpg/incremental.cpp" "src/atpg/CMakeFiles/sateda_atpg.dir/incremental.cpp.o" "gcc" "src/atpg/CMakeFiles/sateda_atpg.dir/incremental.cpp.o.d"
+  "/root/repo/src/atpg/transition.cpp" "src/atpg/CMakeFiles/sateda_atpg.dir/transition.cpp.o" "gcc" "src/atpg/CMakeFiles/sateda_atpg.dir/transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/csat/CMakeFiles/sateda_csat.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/sateda_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/sateda_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/sateda_cnf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_atpg.dir/detection.cpp.o"
+  "CMakeFiles/sateda_atpg.dir/detection.cpp.o.d"
+  "CMakeFiles/sateda_atpg.dir/engine.cpp.o"
+  "CMakeFiles/sateda_atpg.dir/engine.cpp.o.d"
+  "CMakeFiles/sateda_atpg.dir/fault.cpp.o"
+  "CMakeFiles/sateda_atpg.dir/fault.cpp.o.d"
+  "CMakeFiles/sateda_atpg.dir/fault_sim.cpp.o"
+  "CMakeFiles/sateda_atpg.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/sateda_atpg.dir/incremental.cpp.o"
+  "CMakeFiles/sateda_atpg.dir/incremental.cpp.o.d"
+  "CMakeFiles/sateda_atpg.dir/transition.cpp.o"
+  "CMakeFiles/sateda_atpg.dir/transition.cpp.o.d"
+  "libsateda_atpg.a"
+  "libsateda_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/sateda_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/sateda_bdd.dir/circuit_bdd.cpp.o"
+  "CMakeFiles/sateda_bdd.dir/circuit_bdd.cpp.o.d"
+  "libsateda_bdd.a"
+  "libsateda_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_bmc.dir/bmc.cpp.o"
+  "CMakeFiles/sateda_bmc.dir/bmc.cpp.o.d"
+  "CMakeFiles/sateda_bmc.dir/induction.cpp.o"
+  "CMakeFiles/sateda_bmc.dir/induction.cpp.o.d"
+  "CMakeFiles/sateda_bmc.dir/sequential.cpp.o"
+  "CMakeFiles/sateda_bmc.dir/sequential.cpp.o.d"
+  "libsateda_bmc.a"
+  "libsateda_bmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_bmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

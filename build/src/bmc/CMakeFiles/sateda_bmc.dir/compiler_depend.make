@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sateda_bmc.
+# This may be replaced when dependencies are built.

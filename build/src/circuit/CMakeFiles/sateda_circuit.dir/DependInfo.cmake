@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/bench_io.cpp" "src/circuit/CMakeFiles/sateda_circuit.dir/bench_io.cpp.o" "gcc" "src/circuit/CMakeFiles/sateda_circuit.dir/bench_io.cpp.o.d"
+  "/root/repo/src/circuit/dot.cpp" "src/circuit/CMakeFiles/sateda_circuit.dir/dot.cpp.o" "gcc" "src/circuit/CMakeFiles/sateda_circuit.dir/dot.cpp.o.d"
+  "/root/repo/src/circuit/encoder.cpp" "src/circuit/CMakeFiles/sateda_circuit.dir/encoder.cpp.o" "gcc" "src/circuit/CMakeFiles/sateda_circuit.dir/encoder.cpp.o.d"
+  "/root/repo/src/circuit/generators.cpp" "src/circuit/CMakeFiles/sateda_circuit.dir/generators.cpp.o" "gcc" "src/circuit/CMakeFiles/sateda_circuit.dir/generators.cpp.o.d"
+  "/root/repo/src/circuit/miter.cpp" "src/circuit/CMakeFiles/sateda_circuit.dir/miter.cpp.o" "gcc" "src/circuit/CMakeFiles/sateda_circuit.dir/miter.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/sateda_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/sateda_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/simulator.cpp" "src/circuit/CMakeFiles/sateda_circuit.dir/simulator.cpp.o" "gcc" "src/circuit/CMakeFiles/sateda_circuit.dir/simulator.cpp.o.d"
+  "/root/repo/src/circuit/structural_hash.cpp" "src/circuit/CMakeFiles/sateda_circuit.dir/structural_hash.cpp.o" "gcc" "src/circuit/CMakeFiles/sateda_circuit.dir/structural_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cnf/CMakeFiles/sateda_cnf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_circuit.dir/bench_io.cpp.o"
+  "CMakeFiles/sateda_circuit.dir/bench_io.cpp.o.d"
+  "CMakeFiles/sateda_circuit.dir/dot.cpp.o"
+  "CMakeFiles/sateda_circuit.dir/dot.cpp.o.d"
+  "CMakeFiles/sateda_circuit.dir/encoder.cpp.o"
+  "CMakeFiles/sateda_circuit.dir/encoder.cpp.o.d"
+  "CMakeFiles/sateda_circuit.dir/generators.cpp.o"
+  "CMakeFiles/sateda_circuit.dir/generators.cpp.o.d"
+  "CMakeFiles/sateda_circuit.dir/miter.cpp.o"
+  "CMakeFiles/sateda_circuit.dir/miter.cpp.o.d"
+  "CMakeFiles/sateda_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/sateda_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/sateda_circuit.dir/simulator.cpp.o"
+  "CMakeFiles/sateda_circuit.dir/simulator.cpp.o.d"
+  "CMakeFiles/sateda_circuit.dir/structural_hash.cpp.o"
+  "CMakeFiles/sateda_circuit.dir/structural_hash.cpp.o.d"
+  "libsateda_circuit.a"
+  "libsateda_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

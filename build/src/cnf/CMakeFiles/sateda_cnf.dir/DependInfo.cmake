@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cnf/dimacs.cpp" "src/cnf/CMakeFiles/sateda_cnf.dir/dimacs.cpp.o" "gcc" "src/cnf/CMakeFiles/sateda_cnf.dir/dimacs.cpp.o.d"
+  "/root/repo/src/cnf/formula.cpp" "src/cnf/CMakeFiles/sateda_cnf.dir/formula.cpp.o" "gcc" "src/cnf/CMakeFiles/sateda_cnf.dir/formula.cpp.o.d"
+  "/root/repo/src/cnf/generators.cpp" "src/cnf/CMakeFiles/sateda_cnf.dir/generators.cpp.o" "gcc" "src/cnf/CMakeFiles/sateda_cnf.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

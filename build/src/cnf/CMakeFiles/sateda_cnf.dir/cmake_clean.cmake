@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_cnf.dir/dimacs.cpp.o"
+  "CMakeFiles/sateda_cnf.dir/dimacs.cpp.o.d"
+  "CMakeFiles/sateda_cnf.dir/formula.cpp.o"
+  "CMakeFiles/sateda_cnf.dir/formula.cpp.o.d"
+  "CMakeFiles/sateda_cnf.dir/generators.cpp.o"
+  "CMakeFiles/sateda_cnf.dir/generators.cpp.o.d"
+  "libsateda_cnf.a"
+  "libsateda_cnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_cnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

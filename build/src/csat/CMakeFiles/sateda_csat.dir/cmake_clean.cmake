@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_csat.dir/circuit_layer.cpp.o"
+  "CMakeFiles/sateda_csat.dir/circuit_layer.cpp.o.d"
+  "CMakeFiles/sateda_csat.dir/circuit_sat.cpp.o"
+  "CMakeFiles/sateda_csat.dir/circuit_sat.cpp.o.d"
+  "libsateda_csat.a"
+  "libsateda_csat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_csat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sateda_csat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_delay.dir/delay.cpp.o"
+  "CMakeFiles/sateda_delay.dir/delay.cpp.o.d"
+  "libsateda_delay.a"
+  "libsateda_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_equiv.dir/bdd_cec.cpp.o"
+  "CMakeFiles/sateda_equiv.dir/bdd_cec.cpp.o.d"
+  "CMakeFiles/sateda_equiv.dir/cec.cpp.o"
+  "CMakeFiles/sateda_equiv.dir/cec.cpp.o.d"
+  "CMakeFiles/sateda_equiv.dir/sec.cpp.o"
+  "CMakeFiles/sateda_equiv.dir/sec.cpp.o.d"
+  "libsateda_equiv.a"
+  "libsateda_equiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_equiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

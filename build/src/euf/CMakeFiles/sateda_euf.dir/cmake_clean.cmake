@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_euf.dir/euf.cpp.o"
+  "CMakeFiles/sateda_euf.dir/euf.cpp.o.d"
+  "CMakeFiles/sateda_euf.dir/pipeline.cpp.o"
+  "CMakeFiles/sateda_euf.dir/pipeline.cpp.o.d"
+  "libsateda_euf.a"
+  "libsateda_euf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_euf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

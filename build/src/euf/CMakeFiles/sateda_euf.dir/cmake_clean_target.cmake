@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsateda_euf.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_fpga.dir/routing.cpp.o"
+  "CMakeFiles/sateda_fpga.dir/routing.cpp.o.d"
+  "libsateda_fpga.a"
+  "libsateda_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_noise.dir/crosstalk.cpp.o"
+  "CMakeFiles/sateda_noise.dir/crosstalk.cpp.o.d"
+  "libsateda_noise.a"
+  "libsateda_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_opt.dir/cardinality.cpp.o"
+  "CMakeFiles/sateda_opt.dir/cardinality.cpp.o.d"
+  "CMakeFiles/sateda_opt.dir/covering.cpp.o"
+  "CMakeFiles/sateda_opt.dir/covering.cpp.o.d"
+  "CMakeFiles/sateda_opt.dir/prime_implicants.cpp.o"
+  "CMakeFiles/sateda_opt.dir/prime_implicants.cpp.o.d"
+  "libsateda_opt.a"
+  "libsateda_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sat/dpll.cpp" "src/sat/CMakeFiles/sateda_sat.dir/dpll.cpp.o" "gcc" "src/sat/CMakeFiles/sateda_sat.dir/dpll.cpp.o.d"
+  "/root/repo/src/sat/local_search.cpp" "src/sat/CMakeFiles/sateda_sat.dir/local_search.cpp.o" "gcc" "src/sat/CMakeFiles/sateda_sat.dir/local_search.cpp.o.d"
+  "/root/repo/src/sat/preprocess.cpp" "src/sat/CMakeFiles/sateda_sat.dir/preprocess.cpp.o" "gcc" "src/sat/CMakeFiles/sateda_sat.dir/preprocess.cpp.o.d"
+  "/root/repo/src/sat/proof.cpp" "src/sat/CMakeFiles/sateda_sat.dir/proof.cpp.o" "gcc" "src/sat/CMakeFiles/sateda_sat.dir/proof.cpp.o.d"
+  "/root/repo/src/sat/recursive_learning.cpp" "src/sat/CMakeFiles/sateda_sat.dir/recursive_learning.cpp.o" "gcc" "src/sat/CMakeFiles/sateda_sat.dir/recursive_learning.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "src/sat/CMakeFiles/sateda_sat.dir/solver.cpp.o" "gcc" "src/sat/CMakeFiles/sateda_sat.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cnf/CMakeFiles/sateda_cnf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_sat.dir/dpll.cpp.o"
+  "CMakeFiles/sateda_sat.dir/dpll.cpp.o.d"
+  "CMakeFiles/sateda_sat.dir/local_search.cpp.o"
+  "CMakeFiles/sateda_sat.dir/local_search.cpp.o.d"
+  "CMakeFiles/sateda_sat.dir/preprocess.cpp.o"
+  "CMakeFiles/sateda_sat.dir/preprocess.cpp.o.d"
+  "CMakeFiles/sateda_sat.dir/proof.cpp.o"
+  "CMakeFiles/sateda_sat.dir/proof.cpp.o.d"
+  "CMakeFiles/sateda_sat.dir/recursive_learning.cpp.o"
+  "CMakeFiles/sateda_sat.dir/recursive_learning.cpp.o.d"
+  "CMakeFiles/sateda_sat.dir/solver.cpp.o"
+  "CMakeFiles/sateda_sat.dir/solver.cpp.o.d"
+  "libsateda_sat.a"
+  "libsateda_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

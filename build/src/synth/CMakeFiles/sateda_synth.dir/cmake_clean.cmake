@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_synth.dir/rar.cpp.o"
+  "CMakeFiles/sateda_synth.dir/rar.cpp.o.d"
+  "libsateda_synth.a"
+  "libsateda_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

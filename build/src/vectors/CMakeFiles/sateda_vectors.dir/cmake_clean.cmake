@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda_vectors.dir/vectors.cpp.o"
+  "CMakeFiles/sateda_vectors.dir/vectors.cpp.o.d"
+  "libsateda_vectors.a"
+  "libsateda_vectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_test.dir/atpg/engine_test.cpp.o"
+  "CMakeFiles/atpg_test.dir/atpg/engine_test.cpp.o.d"
+  "CMakeFiles/atpg_test.dir/atpg/fault_test.cpp.o"
+  "CMakeFiles/atpg_test.dir/atpg/fault_test.cpp.o.d"
+  "CMakeFiles/atpg_test.dir/atpg/transition_test.cpp.o"
+  "CMakeFiles/atpg_test.dir/atpg/transition_test.cpp.o.d"
+  "atpg_test"
+  "atpg_test.pdb"
+  "atpg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

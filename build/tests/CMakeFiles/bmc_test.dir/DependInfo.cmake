@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bmc/bmc_test.cpp" "tests/CMakeFiles/bmc_test.dir/bmc/bmc_test.cpp.o" "gcc" "tests/CMakeFiles/bmc_test.dir/bmc/bmc_test.cpp.o.d"
+  "/root/repo/tests/bmc/induction_test.cpp" "tests/CMakeFiles/bmc_test.dir/bmc/induction_test.cpp.o" "gcc" "tests/CMakeFiles/bmc_test.dir/bmc/induction_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bmc/CMakeFiles/sateda_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/sateda_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/sateda_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/sateda_cnf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

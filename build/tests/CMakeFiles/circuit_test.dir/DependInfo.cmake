@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuit/bench_io_test.cpp" "tests/CMakeFiles/circuit_test.dir/circuit/bench_io_test.cpp.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/bench_io_test.cpp.o.d"
+  "/root/repo/tests/circuit/dot_test.cpp" "tests/CMakeFiles/circuit_test.dir/circuit/dot_test.cpp.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/dot_test.cpp.o.d"
+  "/root/repo/tests/circuit/encoder_test.cpp" "tests/CMakeFiles/circuit_test.dir/circuit/encoder_test.cpp.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/encoder_test.cpp.o.d"
+  "/root/repo/tests/circuit/miter_strash_test.cpp" "tests/CMakeFiles/circuit_test.dir/circuit/miter_strash_test.cpp.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/miter_strash_test.cpp.o.d"
+  "/root/repo/tests/circuit/netlist_test.cpp" "tests/CMakeFiles/circuit_test.dir/circuit/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/netlist_test.cpp.o.d"
+  "/root/repo/tests/circuit/simulator_test.cpp" "tests/CMakeFiles/circuit_test.dir/circuit/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/circuit_test.dir/circuit/simulator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/sateda_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/sateda_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/sateda_cnf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_test.dir/circuit/bench_io_test.cpp.o"
+  "CMakeFiles/circuit_test.dir/circuit/bench_io_test.cpp.o.d"
+  "CMakeFiles/circuit_test.dir/circuit/dot_test.cpp.o"
+  "CMakeFiles/circuit_test.dir/circuit/dot_test.cpp.o.d"
+  "CMakeFiles/circuit_test.dir/circuit/encoder_test.cpp.o"
+  "CMakeFiles/circuit_test.dir/circuit/encoder_test.cpp.o.d"
+  "CMakeFiles/circuit_test.dir/circuit/miter_strash_test.cpp.o"
+  "CMakeFiles/circuit_test.dir/circuit/miter_strash_test.cpp.o.d"
+  "CMakeFiles/circuit_test.dir/circuit/netlist_test.cpp.o"
+  "CMakeFiles/circuit_test.dir/circuit/netlist_test.cpp.o.d"
+  "CMakeFiles/circuit_test.dir/circuit/simulator_test.cpp.o"
+  "CMakeFiles/circuit_test.dir/circuit/simulator_test.cpp.o.d"
+  "circuit_test"
+  "circuit_test.pdb"
+  "circuit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnf_test.dir/cnf/dimacs_file_test.cpp.o"
+  "CMakeFiles/cnf_test.dir/cnf/dimacs_file_test.cpp.o.d"
+  "CMakeFiles/cnf_test.dir/cnf/formula_test.cpp.o"
+  "CMakeFiles/cnf_test.dir/cnf/formula_test.cpp.o.d"
+  "CMakeFiles/cnf_test.dir/cnf/generators_test.cpp.o"
+  "CMakeFiles/cnf_test.dir/cnf/generators_test.cpp.o.d"
+  "CMakeFiles/cnf_test.dir/cnf/literal_test.cpp.o"
+  "CMakeFiles/cnf_test.dir/cnf/literal_test.cpp.o.d"
+  "cnf_test"
+  "cnf_test.pdb"
+  "cnf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

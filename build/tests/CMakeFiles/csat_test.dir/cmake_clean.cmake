@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csat_test.dir/csat/circuit_sat_test.cpp.o"
+  "CMakeFiles/csat_test.dir/csat/circuit_sat_test.cpp.o.d"
+  "CMakeFiles/csat_test.dir/csat/justify_test.cpp.o"
+  "CMakeFiles/csat_test.dir/csat/justify_test.cpp.o.d"
+  "csat_test"
+  "csat_test.pdb"
+  "csat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

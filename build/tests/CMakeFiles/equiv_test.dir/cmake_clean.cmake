@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equiv_test.dir/equiv/bdd_cec_test.cpp.o"
+  "CMakeFiles/equiv_test.dir/equiv/bdd_cec_test.cpp.o.d"
+  "CMakeFiles/equiv_test.dir/equiv/cec_test.cpp.o"
+  "CMakeFiles/equiv_test.dir/equiv/cec_test.cpp.o.d"
+  "CMakeFiles/equiv_test.dir/equiv/sec_test.cpp.o"
+  "CMakeFiles/equiv_test.dir/equiv/sec_test.cpp.o.d"
+  "equiv_test"
+  "equiv_test.pdb"
+  "equiv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/euf_test.dir/euf/euf_test.cpp.o"
+  "CMakeFiles/euf_test.dir/euf/euf_test.cpp.o.d"
+  "euf_test"
+  "euf_test.pdb"
+  "euf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/euf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/opt/covering_test.cpp" "tests/CMakeFiles/opt_test.dir/opt/covering_test.cpp.o" "gcc" "tests/CMakeFiles/opt_test.dir/opt/covering_test.cpp.o.d"
+  "/root/repo/tests/opt/prime_implicants_test.cpp" "tests/CMakeFiles/opt_test.dir/opt/prime_implicants_test.cpp.o" "gcc" "tests/CMakeFiles/opt_test.dir/opt/prime_implicants_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/sateda_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/sateda_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/sateda_cnf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sat/dpll_test.cpp" "tests/CMakeFiles/sat_test.dir/sat/dpll_test.cpp.o" "gcc" "tests/CMakeFiles/sat_test.dir/sat/dpll_test.cpp.o.d"
+  "/root/repo/tests/sat/heap_test.cpp" "tests/CMakeFiles/sat_test.dir/sat/heap_test.cpp.o" "gcc" "tests/CMakeFiles/sat_test.dir/sat/heap_test.cpp.o.d"
+  "/root/repo/tests/sat/local_search_test.cpp" "tests/CMakeFiles/sat_test.dir/sat/local_search_test.cpp.o" "gcc" "tests/CMakeFiles/sat_test.dir/sat/local_search_test.cpp.o.d"
+  "/root/repo/tests/sat/preprocess_test.cpp" "tests/CMakeFiles/sat_test.dir/sat/preprocess_test.cpp.o" "gcc" "tests/CMakeFiles/sat_test.dir/sat/preprocess_test.cpp.o.d"
+  "/root/repo/tests/sat/proof_test.cpp" "tests/CMakeFiles/sat_test.dir/sat/proof_test.cpp.o" "gcc" "tests/CMakeFiles/sat_test.dir/sat/proof_test.cpp.o.d"
+  "/root/repo/tests/sat/recursive_learning_test.cpp" "tests/CMakeFiles/sat_test.dir/sat/recursive_learning_test.cpp.o" "gcc" "tests/CMakeFiles/sat_test.dir/sat/recursive_learning_test.cpp.o.d"
+  "/root/repo/tests/sat/solver_api_test.cpp" "tests/CMakeFiles/sat_test.dir/sat/solver_api_test.cpp.o" "gcc" "tests/CMakeFiles/sat_test.dir/sat/solver_api_test.cpp.o.d"
+  "/root/repo/tests/sat/solver_property_test.cpp" "tests/CMakeFiles/sat_test.dir/sat/solver_property_test.cpp.o" "gcc" "tests/CMakeFiles/sat_test.dir/sat/solver_property_test.cpp.o.d"
+  "/root/repo/tests/sat/solver_test.cpp" "tests/CMakeFiles/sat_test.dir/sat/solver_test.cpp.o" "gcc" "tests/CMakeFiles/sat_test.dir/sat/solver_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sat/CMakeFiles/sateda_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/sateda_cnf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_test.dir/sat/dpll_test.cpp.o"
+  "CMakeFiles/sat_test.dir/sat/dpll_test.cpp.o.d"
+  "CMakeFiles/sat_test.dir/sat/heap_test.cpp.o"
+  "CMakeFiles/sat_test.dir/sat/heap_test.cpp.o.d"
+  "CMakeFiles/sat_test.dir/sat/local_search_test.cpp.o"
+  "CMakeFiles/sat_test.dir/sat/local_search_test.cpp.o.d"
+  "CMakeFiles/sat_test.dir/sat/preprocess_test.cpp.o"
+  "CMakeFiles/sat_test.dir/sat/preprocess_test.cpp.o.d"
+  "CMakeFiles/sat_test.dir/sat/proof_test.cpp.o"
+  "CMakeFiles/sat_test.dir/sat/proof_test.cpp.o.d"
+  "CMakeFiles/sat_test.dir/sat/recursive_learning_test.cpp.o"
+  "CMakeFiles/sat_test.dir/sat/recursive_learning_test.cpp.o.d"
+  "CMakeFiles/sat_test.dir/sat/solver_api_test.cpp.o"
+  "CMakeFiles/sat_test.dir/sat/solver_api_test.cpp.o.d"
+  "CMakeFiles/sat_test.dir/sat/solver_property_test.cpp.o"
+  "CMakeFiles/sat_test.dir/sat/solver_property_test.cpp.o.d"
+  "CMakeFiles/sat_test.dir/sat/solver_test.cpp.o"
+  "CMakeFiles/sat_test.dir/sat/solver_test.cpp.o.d"
+  "sat_test"
+  "sat_test.pdb"
+  "sat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectors_test.dir/vectors/vectors_test.cpp.o"
+  "CMakeFiles/vectors_test.dir/vectors/vectors_test.cpp.o.d"
+  "vectors_test"
+  "vectors_test.pdb"
+  "vectors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

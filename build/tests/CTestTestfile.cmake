@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cnf_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_test[1]_include.cmake")
+include("/root/repo/build/tests/circuit_test[1]_include.cmake")
+include("/root/repo/build/tests/csat_test[1]_include.cmake")
+include("/root/repo/build/tests/atpg_test[1]_include.cmake")
+include("/root/repo/build/tests/equiv_test[1]_include.cmake")
+include("/root/repo/build/tests/bmc_test[1]_include.cmake")
+include("/root/repo/build/tests/delay_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/fpga_test[1]_include.cmake")
+include("/root/repo/build/tests/vectors_test[1]_include.cmake")
+include("/root/repo/build/tests/bdd_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_test[1]_include.cmake")
+include("/root/repo/build/tests/noise_test[1]_include.cmake")
+include("/root/repo/build/tests/euf_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda-atpg.dir/sateda_atpg.cpp.o"
+  "CMakeFiles/sateda-atpg.dir/sateda_atpg.cpp.o.d"
+  "sateda-atpg"
+  "sateda-atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda-atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

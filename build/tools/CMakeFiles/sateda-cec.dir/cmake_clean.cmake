@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda-cec.dir/sateda_cec.cpp.o"
+  "CMakeFiles/sateda-cec.dir/sateda_cec.cpp.o.d"
+  "sateda-cec"
+  "sateda-cec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda-cec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

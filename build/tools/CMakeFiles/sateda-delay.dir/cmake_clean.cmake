@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda-delay.dir/sateda_delay.cpp.o"
+  "CMakeFiles/sateda-delay.dir/sateda_delay.cpp.o.d"
+  "sateda-delay"
+  "sateda-delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda-delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

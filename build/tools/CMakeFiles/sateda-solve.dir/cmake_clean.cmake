@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sateda-solve.dir/sateda_solve.cpp.o"
+  "CMakeFiles/sateda-solve.dir/sateda_solve.cpp.o.d"
+  "sateda-solve"
+  "sateda-solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sateda-solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
