@@ -32,7 +32,7 @@ void run_walksat(benchmark::State& state, const CnfFormula& f,
     if (r != acceptable && r != sat::SolveResult::kUnknown) {
       state.SkipWithError("unexpected verdict");
     }
-    stats = s.stats();
+    stats = s.walksat_stats();
   }
   state.counters["flips"] = static_cast<double>(stats.flips);
   state.counters["solved_pct"] =

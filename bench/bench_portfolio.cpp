@@ -1,0 +1,134 @@
+/// \file bench_portfolio.cpp
+/// \brief Parallel portfolio scaling study: single-threaded CDCL vs
+///        PortfolioSolver at 1/2/4 workers on provably-UNSAT families
+///        (pigeonhole, over-constrained random 3-SAT) and on hard
+///        satisfiable random instances near the phase transition.
+///
+/// The racing configurations measure wall-clock speedup from config
+/// diversity plus learnt-clause sharing; speedup therefore requires
+/// real cores — on a single-core host the 2- and 4-worker rows time-
+/// slice one CPU and show overhead instead.  The deterministic rows
+/// quantify the price of reproducibility (barrier-synchronized
+/// rounds).
+#include <benchmark/benchmark.h>
+
+#include "cnf/generators.hpp"
+#include "sat/portfolio.hpp"
+#include "sat/solver.hpp"
+
+namespace {
+
+using namespace sateda;
+
+void run_single(benchmark::State& state, const CnfFormula& f,
+                sat::SolveResult expect) {
+  for (auto _ : state) {
+    sat::Solver s;
+    bool ok = s.add_formula(f);
+    sat::SolveResult r = ok ? s.solve() : sat::SolveResult::kUnsat;
+    if (r != expect) state.SkipWithError("unexpected verdict");
+  }
+}
+
+void run_portfolio(benchmark::State& state, const CnfFormula& f,
+                   sat::SolveResult expect, int workers, bool deterministic) {
+  std::int64_t imported = 0;
+  for (auto _ : state) {
+    sat::PortfolioOptions popts;
+    popts.num_workers = workers;
+    popts.deterministic = deterministic;
+    sat::PortfolioSolver s(sat::SolverOptions{}, popts);
+    bool ok = s.add_formula(f);
+    sat::SolveResult r = ok ? s.solve() : sat::SolveResult::kUnsat;
+    if (r != expect) state.SkipWithError("unexpected verdict");
+    imported = s.stats().imported_clauses;
+  }
+  state.counters["workers"] = workers;
+  state.counters["imported"] = static_cast<double>(imported);
+}
+
+// --- UNSAT family 1: pigeonhole ---------------------------------------
+
+CnfFormula php(benchmark::State& state) {
+  return pigeonhole(static_cast<int>(state.range(0)));
+}
+
+void UnsatPhp_Single(benchmark::State& state) {
+  run_single(state, php(state), sat::SolveResult::kUnsat);
+}
+BENCHMARK(UnsatPhp_Single)->Arg(7)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void UnsatPhp_Portfolio(benchmark::State& state) {
+  run_portfolio(state, php(state), sat::SolveResult::kUnsat,
+                static_cast<int>(state.range(1)), false);
+}
+BENCHMARK(UnsatPhp_Portfolio)
+    ->Args({7, 1})
+    ->Args({7, 2})
+    ->Args({7, 4})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- UNSAT family 2: over-constrained random 3-SAT (ratio 5.0) --------
+
+CnfFormula unsat_random(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  return random_3sat(n, 5.0, /*seed=*/91);
+}
+
+void UnsatRandom_Single(benchmark::State& state) {
+  run_single(state, unsat_random(state), sat::SolveResult::kUnsat);
+}
+BENCHMARK(UnsatRandom_Single)->Arg(120)->Arg(160)->Unit(benchmark::kMillisecond);
+
+void UnsatRandom_Portfolio(benchmark::State& state) {
+  run_portfolio(state, unsat_random(state), sat::SolveResult::kUnsat,
+                static_cast<int>(state.range(1)), false);
+}
+BENCHMARK(UnsatRandom_Portfolio)
+    ->Args({120, 2})
+    ->Args({120, 4})
+    ->Args({160, 2})
+    ->Args({160, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- SAT family: hard satisfiable random 3-SAT (planted, ratio 4.1) ---
+
+CnfFormula sat_random(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  return planted_ksat(n, static_cast<int>(n * 4.1), 3, /*seed=*/17);
+}
+
+void SatRandom_Single(benchmark::State& state) {
+  run_single(state, sat_random(state), sat::SolveResult::kSat);
+}
+BENCHMARK(SatRandom_Single)->Arg(250)->Unit(benchmark::kMillisecond);
+
+void SatRandom_Portfolio(benchmark::State& state) {
+  run_portfolio(state, sat_random(state), sat::SolveResult::kSat,
+                static_cast<int>(state.range(1)), false);
+}
+BENCHMARK(SatRandom_Portfolio)
+    ->Args({250, 2})
+    ->Args({250, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Deterministic mode: the price of reproducibility -----------------
+
+void UnsatPhp_Deterministic(benchmark::State& state) {
+  run_portfolio(state, php(state), sat::SolveResult::kUnsat,
+                static_cast<int>(state.range(1)), true);
+}
+BENCHMARK(UnsatPhp_Deterministic)
+    ->Args({7, 2})
+    ->Args({7, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -49,7 +49,7 @@ void run_dpll(benchmark::State& state, const CnfFormula& f,
     sat::DpllSolver s(f);
     sat::SolveResult r = s.solve();
     if (r != expect) state.SkipWithError("unexpected verdict");
-    backtracks = s.stats().backtracks;
+    backtracks = s.dpll_stats().backtracks;
     decisions = s.stats().decisions;
   }
   state.counters["conflicts"] = static_cast<double>(backtracks);

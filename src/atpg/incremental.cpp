@@ -12,10 +12,12 @@ using circuit::NodeId;
 
 IncrementalAtpg::IncrementalAtpg(const Circuit& c,
                                  sat::SolverOptions solver_opts,
-                                 std::int64_t conflict_budget)
-    : circuit_(c), solver_(solver_opts), conflict_budget_(conflict_budget) {
-  solver_.options().conflict_budget = conflict_budget_;
-  solver_.add_formula(circuit::encode_circuit(c));
+                                 std::int64_t conflict_budget,
+                                 const sat::EngineFactory& factory)
+    : circuit_(c), conflict_budget_(conflict_budget) {
+  solver_opts.conflict_budget = conflict_budget_;
+  solver_ = sat::make_engine(factory, solver_opts);
+  (void)solver_->add_formula(circuit::encode_circuit(c));
 }
 
 FaultStatus IncrementalAtpg::test_fault(const Fault& f,
@@ -41,11 +43,11 @@ FaultStatus IncrementalAtpg::test_fault(const Fault& f,
   if (!reaches_output) return FaultStatus::kRedundant;
 
   // Fresh variables for the faulty copies, plus the activation guard.
-  const Var first_local = solver_.num_vars();
-  const Lit guard = pos(solver_.new_var());
+  const Var first_local = solver_->num_vars();
+  const Lit guard = pos(solver_->new_var());
   std::vector<Var> faulty(circuit_.num_nodes(), kNullVar);
-  CnfFormula add(solver_.num_vars());
-  for (NodeId x : cone) faulty[x] = solver_.new_var();
+  CnfFormula add(solver_->num_vars());
+  for (NodeId x : cone) faulty[x] = solver_->new_var();
   for (NodeId x : cone) {
     const circuit::Node& n = circuit_.node(x);
     if (x == f.node && f.pin == Fault::kOutputPin) {
@@ -58,7 +60,7 @@ FaultStatus IncrementalAtpg::test_fault(const Fault& f,
       NodeId fi = n.fanins[i];
       if (x == f.node && i == f.pin) {
         // Faulted pin: a fresh variable pinned to the stuck value.
-        Var pin_var = solver_.new_var();
+        Var pin_var = solver_->new_var();
         add.add_unit(Lit(pin_var, !f.stuck_value));
         ins.push_back(pin_var);
       } else {
@@ -71,12 +73,12 @@ FaultStatus IncrementalAtpg::test_fault(const Fault& f,
   std::vector<Var> diffs;
   for (NodeId o : circuit_.outputs()) {
     if (!in_cone[o]) continue;
-    Var d = solver_.new_var();
+    Var d = solver_->new_var();
     encode_gate_clauses(GateType::kXor, d,
                         {static_cast<Var>(o), faulty[o]}, add);
     diffs.push_back(d);
   }
-  Var detect = solver_.new_var();
+  Var detect = solver_->new_var();
   encode_gate_clauses(GateType::kOr, detect, diffs, add);
 
   // Install the clauses guarded by ¬guard ∨ clause so they are only
@@ -84,20 +86,20 @@ FaultStatus IncrementalAtpg::test_fault(const Fault& f,
   for (const Clause& c : add) {
     std::vector<Lit> lits(c.begin(), c.end());
     lits.push_back(~guard);
-    solver_.add_clause(std::move(lits));
+    (void)solver_->add_clause(std::move(lits));
   }
 
-  sat::SolveResult r = solver_.solve({guard, pos(detect)});
+  sat::SolveResult r = solver_->solve({guard, pos(detect)});
   // Permanently retire this fault's clauses and reclaim the watch
   // lists they occupied — without this, the database bloat of retired
   // fault groups eats the learnt-clause-reuse benefit.
-  solver_.add_clause({~guard});
-  solver_.simplify_db();
+  (void)solver_->add_clause({~guard});
+  solver_->simplify_db();
   // Retired fault-local variables occur only in removed clauses:
   // exclude them from branching so later solves do not waste
   // decisions on dead logic.
-  for (Var v = first_local; v < solver_.num_vars(); ++v) {
-    solver_.set_decision_var(v, false);
+  for (Var v = first_local; v < solver_->num_vars(); ++v) {
+    solver_->set_decision_var(v, false);
   }
   switch (r) {
     case sat::SolveResult::kUnsat:
@@ -109,7 +111,7 @@ FaultStatus IncrementalAtpg::test_fault(const Fault& f,
   }
   pattern.assign(circuit_.inputs().size(), l_undef);
   for (std::size_t i = 0; i < circuit_.inputs().size(); ++i) {
-    pattern[i] = solver_.model()[circuit_.inputs()[i]];
+    pattern[i] = solver_->model()[circuit_.inputs()[i]];
   }
   return FaultStatus::kDetected;
 }

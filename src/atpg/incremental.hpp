@@ -10,25 +10,27 @@
 #include <vector>
 
 #include "atpg/fault.hpp"
-#include "sat/solver.hpp"
+#include "sat/engine.hpp"
 
 namespace sateda::atpg {
 
 class IncrementalAtpg {
  public:
+  /// \p factory selects the SAT backend (empty: single-threaded CDCL).
   explicit IncrementalAtpg(const circuit::Circuit& c,
                            sat::SolverOptions solver_opts = {},
-                           std::int64_t conflict_budget = 200000);
+                           std::int64_t conflict_budget = 200000,
+                           const sat::EngineFactory& factory = {});
 
   /// Tests one fault.  On kDetected, \p pattern receives a (possibly
   /// partial) input pattern.
   FaultStatus test_fault(const Fault& f, std::vector<lbool>& pattern);
 
-  const sat::Solver& solver() const { return solver_; }
+  const sat::SatEngine& solver() const { return *solver_; }
 
  private:
   const circuit::Circuit& circuit_;
-  sat::Solver solver_;
+  std::unique_ptr<sat::SatEngine> solver_;
   std::int64_t conflict_budget_;
 };
 

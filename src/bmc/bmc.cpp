@@ -9,22 +9,24 @@ namespace sateda::bmc {
 using circuit::NodeId;
 
 BmcEngine::BmcEngine(const SequentialCircuit& m, BmcOptions opts)
-    : machine_(m), opts_(opts), solver_(opts.solver) {
-  solver_.options().conflict_budget = opts.conflict_budget;
+    : machine_(m), opts_(opts) {
+  sat::SolverOptions sopts = opts.solver;
+  sopts.conflict_budget = opts.conflict_budget;
+  solver_ = sat::make_engine(opts.engine, sopts);
 }
 
 void BmcEngine::add_frame(int k) {
   assert(static_cast<int>(frame_vars_.size()) == k);
   const circuit::Circuit& c = machine_.comb;
   std::vector<Var> vars(c.num_nodes(), kNullVar);
-  CnfFormula f(solver_.num_vars());
+  CnfFormula f(solver_->num_vars());
 
   // State inputs: frame 0 pins to the initial state; frame k>0 aliases
   // the previous frame's next-state variables.
   for (int i = 0; i < machine_.num_latches(); ++i) {
     NodeId s = machine_.state_input(i);
     if (k == 0) {
-      Var v = solver_.new_var();
+      Var v = solver_->new_var();
       vars[s] = v;
       f.ensure_var(v);
       f.add_unit(Lit(v, !machine_.initial_state[i]));
@@ -34,13 +36,13 @@ void BmcEngine::add_frame(int k) {
   }
   // Primary inputs: fresh variables.
   for (int i = 0; i < machine_.num_primary_inputs; ++i) {
-    vars[machine_.primary_input(i)] = solver_.new_var();
+    vars[machine_.primary_input(i)] = solver_->new_var();
   }
   // Gates in topological order.
   for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
     const circuit::Node& node = c.node(n);
     if (node.type == circuit::GateType::kInput) continue;
-    vars[n] = solver_.new_var();
+    vars[n] = solver_->new_var();
     std::vector<Var> ins;
     ins.reserve(node.fanins.size());
     for (NodeId fi : node.fanins) {
@@ -49,7 +51,9 @@ void BmcEngine::add_frame(int k) {
     }
     circuit::encode_gate_clauses(node.type, vars[n], ins, f);
   }
-  solver_.add_formula(f);
+  // A false return (trivial root conflict) is remembered by the engine
+  // and surfaces as kUnsat from the next solve.
+  (void)solver_->add_formula(f);
   frame_vars_.push_back(std::move(vars));
 }
 
@@ -58,7 +62,7 @@ sat::SolveResult BmcEngine::check_depth(int k) {
     add_frame(static_cast<int>(frame_vars_.size()));
   }
   Var bad_k = frame_var(k, machine_.bad);
-  return solver_.solve({pos(bad_k)});
+  return solver_->solve({pos(bad_k)});
 }
 
 std::vector<std::vector<bool>> BmcEngine::extract_trace(int k) const {
@@ -68,7 +72,7 @@ std::vector<std::vector<bool>> BmcEngine::extract_trace(int k) const {
     std::vector<bool> inputs(machine_.num_primary_inputs);
     for (int i = 0; i < machine_.num_primary_inputs; ++i) {
       Var v = frame_vars_[t][machine_.primary_input(i)];
-      inputs[i] = solver_.model()[v].is_true();
+      inputs[i] = solver_->model()[v].is_true();
     }
     trace.push_back(std::move(inputs));
   }
@@ -79,8 +83,8 @@ BmcResult BmcEngine::run() {
   BmcResult result;
   for (int k = 0; k <= opts_.max_depth; ++k) {
     sat::SolveResult r = check_depth(k);
-    result.decisions = solver_.stats().decisions;
-    result.conflicts = solver_.stats().conflicts;
+    result.decisions = solver_->stats().decisions;
+    result.conflicts = solver_->stats().conflicts;
     switch (r) {
       case sat::SolveResult::kSat:
         result.verdict = BmcVerdict::kCounterexample;

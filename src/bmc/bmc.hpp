@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "bmc/sequential.hpp"
-#include "sat/solver.hpp"
+#include "sat/engine.hpp"
 
 namespace sateda::bmc {
 
@@ -21,6 +21,7 @@ struct BmcOptions {
   int max_depth = 64;
   std::int64_t conflict_budget = -1;  ///< per-depth-query conflict budget
   sat::SolverOptions solver;
+  sat::EngineFactory engine;          ///< SAT backend (empty: CDCL)
 };
 
 enum class BmcVerdict {
@@ -64,7 +65,7 @@ class BmcEngine {
   /// After a kSat check_depth: extracts the input trace (length k+1).
   std::vector<std::vector<bool>> extract_trace(int k) const;
 
-  const sat::Solver& solver() const { return solver_; }
+  const sat::SatEngine& solver() const { return *solver_; }
 
  private:
   /// Adds the clauses of time frame \p k; returns the frame's var map.
@@ -75,7 +76,7 @@ class BmcEngine {
 
   const SequentialCircuit& machine_;
   BmcOptions opts_;
-  sat::Solver solver_;
+  std::unique_ptr<sat::SatEngine> solver_;
   std::vector<std::vector<Var>> frame_vars_;  ///< per frame, per node
 };
 

@@ -15,8 +15,10 @@ namespace {
 class StepEngine {
  public:
   StepEngine(const SequentialCircuit& m, const InductionOptions& opts)
-      : machine_(m), opts_(opts), solver_(opts.solver) {
-    solver_.options().conflict_budget = opts.conflict_budget;
+      : machine_(m), opts_(opts) {
+    sat::SolverOptions sopts = opts.solver;
+    sopts.conflict_budget = opts.conflict_budget;
+    solver_ = sat::make_engine(opts.engine, sopts);
   }
 
   /// Ensures frames 0..k exist, with ¬bad asserted on frames < k and
@@ -26,7 +28,9 @@ class StepEngine {
     // Assert ¬bad on all frames strictly before k (the last asserted
     // index only moves forward).
     while (asserted_good_ < k) {
-      solver_.add_clause({neg(frames_[asserted_good_].bad)});
+      // A false return means vacuous safety at this frame; the engine
+      // remembers and the next query reports kUnsat.
+      (void)solver_->add_clause({neg(frames_[asserted_good_].bad)});
       ++asserted_good_;
     }
   }
@@ -34,10 +38,10 @@ class StepEngine {
   /// SAT ⇔ the property is not yet inductive at strength k.
   sat::SolveResult query_bad_at(int k) {
     extend_to(k);
-    return solver_.solve({pos(frames_[k].bad)});
+    return solver_->solve({pos(frames_[k].bad)});
   }
 
-  const sat::Solver& solver() const { return solver_; }
+  const sat::SatEngine& solver() const { return *solver_; }
 
  private:
   struct Frame {
@@ -51,21 +55,21 @@ class StepEngine {
     const int k = static_cast<int>(frames_.size());
     Frame frame;
     frame.vars.assign(c.num_nodes(), kNullVar);
-    CnfFormula f(solver_.num_vars());
+    CnfFormula f(solver_->num_vars());
     for (int i = 0; i < machine_.num_latches(); ++i) {
       NodeId s = machine_.state_input(i);
       frame.vars[s] = (k == 0)
-                          ? solver_.new_var()  // free initial state
+                          ? solver_->new_var()  // free initial state
                           : frames_[k - 1].vars[machine_.next_state[i]];
       frame.state.push_back(frame.vars[s]);
     }
     for (int i = 0; i < machine_.num_primary_inputs; ++i) {
-      frame.vars[machine_.primary_input(i)] = solver_.new_var();
+      frame.vars[machine_.primary_input(i)] = solver_->new_var();
     }
     for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
       const circuit::Node& node = c.node(n);
       if (node.type == circuit::GateType::kInput) continue;
-      frame.vars[n] = solver_.new_var();
+      frame.vars[n] = solver_->new_var();
       std::vector<Var> ins;
       for (NodeId fi : node.fanins) ins.push_back(frame.vars[fi]);
       circuit::encode_gate_clauses(node.type, frame.vars[n], ins, f);
@@ -77,7 +81,7 @@ class StepEngine {
       for (const Frame& other : frames_) {
         std::vector<Lit> some_diff;
         for (int l = 0; l < machine_.num_latches(); ++l) {
-          Var d = solver_.new_var();
+          Var d = solver_->new_var();
           circuit::encode_gate_clauses(circuit::GateType::kXor, d,
                                        {frame.state[l], other.state[l]}, f);
           some_diff.push_back(pos(d));
@@ -85,13 +89,13 @@ class StepEngine {
         f.add_clause(std::move(some_diff));
       }
     }
-    solver_.add_formula(f);
+    (void)solver_->add_formula(f);
     frames_.push_back(std::move(frame));
   }
 
   const SequentialCircuit& machine_;
   InductionOptions opts_;
-  sat::Solver solver_;
+  std::unique_ptr<sat::SatEngine> solver_;
   std::vector<Frame> frames_;
   int asserted_good_ = 0;
 };
@@ -103,6 +107,7 @@ InductionResult prove_by_induction(const SequentialCircuit& m,
   InductionResult result;
   BmcOptions bopts;
   bopts.solver = opts.solver;
+  bopts.engine = opts.engine;
   bopts.conflict_budget = opts.conflict_budget;
   BmcEngine base(m, bopts);
   StepEngine step(m, opts);

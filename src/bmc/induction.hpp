@@ -44,6 +44,7 @@ struct InductionOptions {
   int max_k = 32;
   std::int64_t conflict_budget = -1;  ///< per SAT query
   sat::SolverOptions solver;
+  sat::EngineFactory engine;  ///< SAT backend (empty: CDCL)
   bool unique_states = true;  ///< simple-path constraint (completeness)
 };
 

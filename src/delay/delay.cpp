@@ -5,7 +5,7 @@
 
 #include "circuit/encoder.hpp"
 #include "circuit/simulator.hpp"
-#include "sat/solver.hpp"
+#include "sat/engine.hpp"
 
 namespace sateda::delay {
 
@@ -85,16 +85,19 @@ std::optional<std::vector<bool>> sensitize_delay(const Circuit& c, int d,
 
   sat::SolverOptions sopts = opts.solver;
   sopts.conflict_budget = opts.conflict_budget;
-  sat::Solver solver(sopts);
-  solver.add_formula(circuit::encode_circuit(c));
+  std::unique_ptr<sat::SatEngine> solver =
+      sat::make_engine(opts.engine, sopts);
+  // A false add_clause means a trivial root conflict; the engine
+  // remembers and solve() reports kUnsat, so the returns can be folded.
+  bool ok = solver->add_formula(circuit::encode_circuit(c));
 
   // Arrival variables P[n][t] for 0 ≤ t ≤ level[n].
   std::vector<std::vector<Var>> P(c.num_nodes());
   for (NodeId n = 0; n < static_cast<NodeId>(c.num_nodes()); ++n) {
     const circuit::Node& node = c.node(n);
     if (node.type == GateType::kInput) {
-      P[n] = {solver.new_var()};
-      solver.add_clause({pos(P[n][0])});
+      P[n] = {solver->new_var()};
+      ok = solver->add_clause({pos(P[n][0])}) && ok;
       continue;
     }
     if (node.fanins.empty()) continue;  // constants carry no paths
@@ -110,29 +113,30 @@ std::optional<std::vector<bool>> sensitize_delay(const Circuit& c, int d,
         Var pw = (t - 1 < static_cast<int>(P[w].size())) ? P[w][t - 1]
                                                          : kNullVar;
         if (pw == kNullVar) continue;
-        Var e = solver.new_var();
-        solver.add_clause({neg(e), pos(pw)});
+        Var e = solver->new_var();
+        ok = solver->add_clause({neg(e), pos(pw)}) && ok;
         if (nc.has_value()) {
           for (std::size_t j = 0; j < node.fanins.size(); ++j) {
             if (j == i) continue;
             // Side input must sit at its non-controlling value.
-            solver.add_clause(
-                {neg(e), Lit(static_cast<Var>(node.fanins[j]), !*nc)});
+            ok = solver->add_clause(
+                     {neg(e), Lit(static_cast<Var>(node.fanins[j]), !*nc)}) &&
+                 ok;
           }
         }
         support.push_back(pos(e));
       }
       if (support.empty()) continue;  // no path of this length reaches n
-      Var p = solver.new_var();
+      Var p = solver->new_var();
       P[n][t] = p;
       std::vector<Lit> clause{neg(p)};
       for (Lit s : support) clause.push_back(s);
-      solver.add_clause(std::move(clause));
+      ok = solver->add_clause(std::move(clause)) && ok;
     }
   }
 
   // goal ⇒ some output has a sensitized path of length ≥ d.
-  Var goal = solver.new_var();
+  Var goal = solver->new_var();
   std::vector<Lit> goal_clause{neg(goal)};
   for (NodeId o : c.outputs()) {
     for (int t = d; t < static_cast<int>(P[o].size()); ++t) {
@@ -140,15 +144,15 @@ std::optional<std::vector<bool>> sensitize_delay(const Circuit& c, int d,
     }
   }
   if (goal_clause.size() == 1) return std::nullopt;  // structurally impossible
-  solver.add_clause(std::move(goal_clause));
+  ok = solver->add_clause(std::move(goal_clause)) && ok;
 
-  if (solver.solve({pos(goal)}) != sat::SolveResult::kSat) {
+  if (!ok || solver->solve({pos(goal)}) != sat::SolveResult::kSat) {
     return std::nullopt;
   }
   std::vector<bool> witness;
   witness.reserve(c.inputs().size());
   for (NodeId i : c.inputs()) {
-    witness.push_back(solver.model()[i].is_true());
+    witness.push_back(solver->model()[i].is_true());
   }
   return witness;
 }
@@ -205,8 +209,9 @@ std::optional<std::vector<bool>> sensitize_path(const Circuit& c,
   assert(path.size() >= 2);
   sat::SolverOptions sopts = opts.solver;
   sopts.conflict_budget = opts.conflict_budget;
-  sat::Solver solver(sopts);
-  solver.add_formula(circuit::encode_circuit(c));
+  std::unique_ptr<sat::SatEngine> solver =
+      sat::make_engine(opts.engine, sopts);
+  if (!solver->add_formula(circuit::encode_circuit(c))) return std::nullopt;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     NodeId w = path[i];
     NodeId n = path[i + 1];
@@ -215,16 +220,16 @@ std::optional<std::vector<bool>> sensitize_path(const Circuit& c,
     if (!nc.has_value()) continue;
     for (NodeId s : node.fanins) {
       if (s == w) continue;
-      if (!solver.add_clause({Lit(static_cast<Var>(s), !*nc)})) {
+      if (!solver->add_clause({Lit(static_cast<Var>(s), !*nc)})) {
         return std::nullopt;
       }
     }
   }
-  if (solver.solve() != sat::SolveResult::kSat) return std::nullopt;
+  if (solver->solve() != sat::SolveResult::kSat) return std::nullopt;
   std::vector<bool> witness;
   witness.reserve(c.inputs().size());
   for (NodeId i : c.inputs()) {
-    witness.push_back(solver.model()[i].is_true());
+    witness.push_back(solver->model()[i].is_true());
   }
   return witness;
 }

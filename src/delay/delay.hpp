@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "circuit/netlist.hpp"
+#include "sat/engine.hpp"
 #include "sat/options.hpp"
 
 namespace sateda::delay {
@@ -27,6 +28,7 @@ namespace sateda::delay {
 struct DelayOptions {
   std::int64_t conflict_budget = -1;
   sat::SolverOptions solver;
+  sat::EngineFactory engine;  ///< SAT backend (empty: CDCL)
 };
 
 /// Longest topological path (unit delays) — the classic static timing

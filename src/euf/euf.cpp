@@ -4,7 +4,7 @@
 #include <map>
 #include <unordered_map>
 
-#include "sat/solver.hpp"
+#include "sat/engine.hpp"
 
 namespace sateda::euf {
 
@@ -121,8 +121,9 @@ FormulaId EufContext::f_and_all(const std::vector<FormulaId>& fs) {
 /// ITE elimination and Tseitin encoding of the formula structure.
 class Reduction {
  public:
-  Reduction(const EufContext& ctx, sat::SolverOptions opts)
-      : ctx_(ctx), solver_(opts) {}
+  Reduction(const EufContext& ctx, sat::SolverOptions opts,
+            const sat::EngineFactory& factory)
+      : ctx_(ctx), solver_(sat::make_engine(factory, opts)) {}
 
   EufResult run(FormulaId root) {
     // 1. Atom per term.  Hash-consing already merged identical
@@ -132,8 +133,8 @@ class Reduction {
 
     // 2. SAT variables: the constant-true var, then e_ij on demand,
     //    then per-formula Tseitin/prop vars.
-    true_var_ = solver_.new_var();
-    solver_.add_clause({pos(true_var_)});
+    true_var_ = solver_->new_var();
+    add({pos(true_var_)});
 
     // 3. Structural constraints.
     add_transitivity();
@@ -141,24 +142,30 @@ class Reduction {
     add_ite_links();
 
     // 4. The formula itself.
-    solver_.add_clause({encode(root)});
+    add({encode(root)});
 
     EufResult result;
     result.atoms = num_atoms_;
-    result.result = solver_.solve(/*assumptions=*/{});
-    result.cnf_clauses = solver_.num_problem_clauses();
+    result.result = solver_->solve(/*assumptions=*/{});
+    result.cnf_clauses = solver_->num_problem_clauses();
     if (result.result == sat::SolveResult::kSat) extract_model(result.model);
     return result;
   }
 
  private:
+  /// add_clause, folding the trivial-conflict flag: a false return is
+  /// remembered by the engine and surfaces as kUnsat from solve().
+  void add(std::vector<Lit> lits) {
+    if (!solver_->add_clause(std::move(lits))) trivially_unsat_ = true;
+  }
+
   Lit e_lit(int i, int j) {
     if (i == j) return pos(true_var_);
     if (i > j) std::swap(i, j);
     auto key = std::make_pair(i, j);
     auto it = e_vars_.find(key);
     if (it != e_vars_.end()) return pos(it->second);
-    Var v = solver_.new_var();
+    Var v = solver_->new_var();
     e_vars_.emplace(key, v);
     return pos(v);
   }
@@ -170,9 +177,9 @@ class Reduction {
       for (int j = i + 1; j < num_atoms_; ++j) {
         for (int k = j + 1; k < num_atoms_; ++k) {
           Lit ij = e_lit(i, j), jk = e_lit(j, k), ik = e_lit(i, k);
-          solver_.add_clause({~ij, ~jk, ik});
-          solver_.add_clause({~ij, ~ik, jk});
-          solver_.add_clause({~ik, ~jk, ij});
+          add({~ij, ~jk, ik});
+          add({~ij, ~ik, jk});
+          add({~ik, ~jk, ij});
         }
       }
     }
@@ -201,7 +208,7 @@ class Reduction {
         Lit res = e_lit(a, b);
         if (res == pos(true_var_)) trivially_true = true;
         clause.push_back(res);
-        if (!trivially_true) solver_.add_clause(std::move(clause));
+        if (!trivially_true) add(std::move(clause));
       }
     }
   }
@@ -211,8 +218,8 @@ class Reduction {
       const auto& term = ctx_.terms_[t];
       if (term.kind != EufContext::Term::Kind::kIte) continue;
       Lit c = encode(term.cond);
-      solver_.add_clause({~c, e_lit(t, term.then_t)});
-      solver_.add_clause({c, e_lit(t, term.else_t)});
+      add({~c, e_lit(t, term.then_t)});
+      add({c, e_lit(t, term.else_t)});
     }
   }
 
@@ -227,7 +234,7 @@ class Reduction {
         result = e_lit(node.a, node.b);
         break;
       case Kind::kProp: {
-        Var v = solver_.new_var();
+        Var v = solver_->new_var();
         prop_var_of_[f] = v;
         result = pos(v);
         break;
@@ -240,19 +247,19 @@ class Reduction {
         break;
       case Kind::kAnd: {
         Lit a = encode(node.x), b = encode(node.y);
-        Var v = solver_.new_var();
-        solver_.add_clause({neg(v), a});
-        solver_.add_clause({neg(v), b});
-        solver_.add_clause({pos(v), ~a, ~b});
+        Var v = solver_->new_var();
+        add({neg(v), a});
+        add({neg(v), b});
+        add({pos(v), ~a, ~b});
         result = pos(v);
         break;
       }
       case Kind::kOr: {
         Lit a = encode(node.x), b = encode(node.y);
-        Var v = solver_.new_var();
-        solver_.add_clause({neg(v), a, b});
-        solver_.add_clause({pos(v), ~a});
-        solver_.add_clause({pos(v), ~b});
+        Var v = solver_->new_var();
+        add({neg(v), a, b});
+        add({pos(v), ~a});
+        add({pos(v), ~b});
         result = pos(v);
         break;
       }
@@ -270,7 +277,7 @@ class Reduction {
       return x;
     };
     for (const auto& [key, var] : e_vars_) {
-      if (solver_.model_value(var).is_true()) {
+      if (solver_->model_value(var).is_true()) {
         parent[find(key.first)] = find(key.second);
       }
     }
@@ -280,12 +287,13 @@ class Reduction {
     }
     model.prop_values.assign(ctx_.formulas_.size(), false);
     for (const auto& [fid, var] : prop_var_of_) {
-      model.prop_values[fid] = solver_.model_value(var).is_true();
+      model.prop_values[fid] = solver_->model_value(var).is_true();
     }
   }
 
   const EufContext& ctx_;
-  sat::Solver solver_;
+  std::unique_ptr<sat::SatEngine> solver_;
+  bool trivially_unsat_ = false;
   int num_atoms_ = 0;
   Var true_var_ = kNullVar;
   std::map<std::pair<int, int>, Var> e_vars_;
@@ -293,14 +301,16 @@ class Reduction {
   std::unordered_map<FormulaId, Var> prop_var_of_;
 };
 
-EufResult EufContext::check_sat(FormulaId f, sat::SolverOptions opts) {
-  Reduction r(*this, opts);
+EufResult EufContext::check_sat(FormulaId f, sat::SolverOptions opts,
+                                const sat::EngineFactory& factory) {
+  Reduction r(*this, opts, factory);
   return r.run(f);
 }
 
-bool EufContext::is_valid(FormulaId f, sat::SolverOptions opts) {
+bool EufContext::is_valid(FormulaId f, sat::SolverOptions opts,
+                          const sat::EngineFactory& factory) {
   FormulaId negated = f_not(f);
-  return check_sat(negated, opts).result == sat::SolveResult::kUnsat;
+  return check_sat(negated, opts, factory).result == sat::SolveResult::kUnsat;
 }
 
 }  // namespace sateda::euf

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sat/engine.hpp"
 #include "sat/options.hpp"
 
 namespace sateda::euf {
@@ -73,10 +74,13 @@ class EufContext {
   FormulaId f_and_all(const std::vector<FormulaId>& fs);
 
   // --- deciding ------------------------------------------------------
-  /// Satisfiability of \p f.
-  EufResult check_sat(FormulaId f, sat::SolverOptions opts = {});
+  /// Satisfiability of \p f.  \p factory selects the SAT backend
+  /// (empty: single-threaded CDCL).
+  EufResult check_sat(FormulaId f, sat::SolverOptions opts = {},
+                      const sat::EngineFactory& factory = {});
   /// Validity (true in all interpretations): ¬f unsatisfiable.
-  bool is_valid(FormulaId f, sat::SolverOptions opts = {});
+  bool is_valid(FormulaId f, sat::SolverOptions opts = {},
+                const sat::EngineFactory& factory = {});
 
   std::size_t num_terms() const { return terms_.size(); }
   std::size_t num_formulas() const { return formulas_.size(); }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "sat/engine.hpp"
 #include "sat/options.hpp"
 
 namespace sateda::fpga {
@@ -63,14 +64,17 @@ struct RouteResult {
 };
 
 /// SAT decision: can the channel be routed in \p tracks tracks?
+/// \p factory selects the SAT backend (empty: single-threaded CDCL).
 RouteResult route_channel(const ChannelProblem& p, int tracks,
-                          sat::SolverOptions opts = {});
+                          sat::SolverOptions opts = {},
+                          const sat::EngineFactory& factory = {});
 
 /// Minimum feasible track count in [density, max_tracks], or -1 if
 /// even max_tracks fails (cyclic vertical constraints can make a
 /// dogleg-free channel unroutable at any height).
 int minimum_tracks(const ChannelProblem& p, int max_tracks,
-                   sat::SolverOptions opts = {});
+                   sat::SolverOptions opts = {},
+                   const sat::EngineFactory& factory = {});
 
 /// Validates a routing against all three constraint families.
 bool validate_routing(const ChannelProblem& p, const std::vector<int>& track,

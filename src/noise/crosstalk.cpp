@@ -2,7 +2,7 @@
 
 #include "circuit/encoder.hpp"
 #include "opt/cardinality.hpp"
-#include "sat/solver.hpp"
+#include "sat/engine.hpp"
 
 namespace sateda::noise {
 
@@ -50,14 +50,15 @@ CrosstalkResult worst_case_aggressors(
     opt::add_at_least_k(g, rises, k);
     sat::SolverOptions sopts = opts.solver;
     sopts.conflict_budget = opts.conflict_budget;
-    sat::Solver solver(sopts);
-    solver.add_formula(g);
-    if (solver.solve() != sat::SolveResult::kSat) return false;
+    std::unique_ptr<sat::SatEngine> solver =
+        sat::make_engine(opts.engine, sopts);
+    if (!solver->add_formula(g)) return false;
+    if (solver->solve() != sat::SolveResult::kSat) return false;
     result.vector1.clear();
     result.vector2.clear();
     for (NodeId in : c.inputs()) {
-      result.vector1.push_back(solver.model_value(frame[0][in]).is_true());
-      result.vector2.push_back(solver.model_value(frame[1][in]).is_true());
+      result.vector1.push_back(solver->model_value(frame[0][in]).is_true());
+      result.vector2.push_back(solver->model_value(frame[1][in]).is_true());
     }
     return true;
   };

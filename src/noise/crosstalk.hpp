@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "circuit/netlist.hpp"
+#include "sat/engine.hpp"
 #include "sat/options.hpp"
 
 namespace sateda::noise {
@@ -25,6 +26,7 @@ struct CrosstalkOptions {
   bool victim_value = false;
   std::int64_t conflict_budget = -1;
   sat::SolverOptions solver;
+  sat::EngineFactory engine;  ///< SAT backend (empty: CDCL)
 };
 
 struct CrosstalkResult {

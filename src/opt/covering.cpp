@@ -6,7 +6,7 @@
 #include <stdexcept>
 
 #include "opt/cardinality.hpp"
-#include "sat/solver.hpp"
+#include "sat/engine.hpp"
 
 namespace sateda::opt {
 
@@ -22,22 +22,23 @@ CnfFormula covering_cnf(const CoveringProblem& p) {
 }
 
 /// SAT feasibility of "cover with cost ≤ bound".
-std::optional<std::vector<bool>> sat_cover_within(const CoveringProblem& p,
-                                                  int bound,
-                                                  const sat::SolverOptions& so,
-                                                  CoveringStats& stats) {
+std::optional<std::vector<bool>> sat_cover_within(
+    const CoveringProblem& p, int bound, const sat::SolverOptions& so,
+    const sat::EngineFactory& factory, CoveringStats& stats) {
   CnfFormula f = covering_cnf(p);
   std::vector<Lit> cols;
   cols.reserve(p.num_columns);
   for (int c = 0; c < p.num_columns; ++c) cols.push_back(pos(c));
   add_at_most_k(f, cols, bound);
-  sat::Solver solver(so);
-  solver.add_formula(f);
+  std::unique_ptr<sat::SatEngine> solver = sat::make_engine(factory, so);
   ++stats.sat_calls;
-  if (solver.solve() != sat::SolveResult::kSat) return std::nullopt;
+  if (!solver->add_formula(f) ||
+      solver->solve() != sat::SolveResult::kSat) {
+    return std::nullopt;
+  }
   std::vector<bool> chosen(p.num_columns);
   for (int c = 0; c < p.num_columns; ++c) {
-    chosen[c] = solver.model_value(Var{c}).is_true();
+    chosen[c] = solver->model_value(Var{c}).is_true();
   }
   return chosen;
 }
@@ -141,10 +142,11 @@ struct BnbState {
         }
       }
       add_at_most_k(f, free_cols, budget);
-      sat::Solver solver(opts.solver);
-      solver.add_formula(f);
+      std::unique_ptr<sat::SatEngine> solver =
+          sat::make_engine(opts.engine, opts.solver);
       ++stats.sat_calls;
-      if (solver.solve() != sat::SolveResult::kSat) {
+      if (!solver->add_formula(f) ||
+          solver->solve() != sat::SolveResult::kSat) {
         ++stats.sat_prunes;
         return;
       }
@@ -207,7 +209,7 @@ CoveringResult solve_covering_sat(const CoveringProblem& p,
   CoveringResult r;
   // Feasibility first (no bound).
   std::optional<std::vector<bool>> cover =
-      sat_cover_within(p, p.num_columns, opts.solver, r.stats);
+      sat_cover_within(p, p.num_columns, opts.solver, opts.engine, r.stats);
   if (!cover.has_value()) return r;
   auto cost_of = [](const std::vector<bool>& v) {
     return static_cast<int>(std::count(v.begin(), v.end(), true));
@@ -219,7 +221,7 @@ CoveringResult solve_covering_sat(const CoveringProblem& p,
   int lo = 0, hi = r.cost - 1;
   while (lo <= hi) {
     int mid = lo + (hi - lo) / 2;
-    auto attempt = sat_cover_within(p, mid, opts.solver, r.stats);
+    auto attempt = sat_cover_within(p, mid, opts.solver, opts.engine, r.stats);
     if (attempt.has_value()) {
       r.chosen = *attempt;
       r.cost = cost_of(*attempt);

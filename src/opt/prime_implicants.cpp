@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "opt/cardinality.hpp"
-#include "sat/solver.hpp"
+#include "sat/engine.hpp"
 
 namespace sateda::opt {
 
@@ -35,7 +35,8 @@ bool is_prime_implicant(const CnfFormula& f, const std::vector<Lit>& cube) {
 }
 
 PrimeImplicantResult minimum_prime_implicant(const CnfFormula& f,
-                                             sat::SolverOptions opts) {
+                                             sat::SolverOptions opts,
+                                             const sat::EngineFactory& factory) {
   PrimeImplicantResult result;
   const int n = f.num_vars();
   // Selector variables: y_x = 2x (positive literal in cube),
@@ -68,14 +69,16 @@ PrimeImplicantResult minimum_prime_implicant(const CnfFormula& f,
   };
 
   auto try_bound = [&](int bound) -> std::optional<std::vector<Lit>> {
-    sat::Solver solver(opts);
-    solver.add_formula(build(bound));
+    std::unique_ptr<sat::SatEngine> solver = sat::make_engine(factory, opts);
     ++result.sat_calls;
-    if (solver.solve() != sat::SolveResult::kSat) return std::nullopt;
+    if (!solver->add_formula(build(bound)) ||
+        solver->solve() != sat::SolveResult::kSat) {
+      return std::nullopt;
+    }
     std::vector<Lit> cube;
     for (Var x = 0; x < n; ++x) {
-      if (solver.model_value(y(x)).is_true()) cube.push_back(pos(x));
-      if (solver.model_value(z(x)).is_true()) cube.push_back(neg(x));
+      if (solver->model_value(y(x)).is_true()) cube.push_back(pos(x));
+      if (solver->model_value(z(x)).is_true()) cube.push_back(neg(x));
     }
     return cube;
   };

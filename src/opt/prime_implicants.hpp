@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cnf/formula.hpp"
+#include "sat/engine.hpp"
 #include "sat/options.hpp"
 
 namespace sateda::opt {
@@ -29,9 +30,11 @@ struct PrimeImplicantResult {
 };
 
 /// Computes a minimum-size prime implicant of the function denoted by
-/// \p f (over f.num_vars() variables).
-PrimeImplicantResult minimum_prime_implicant(const CnfFormula& f,
-                                             sat::SolverOptions opts = {});
+/// \p f (over f.num_vars() variables).  \p factory selects the SAT
+/// backend (empty: single-threaded CDCL).
+PrimeImplicantResult minimum_prime_implicant(
+    const CnfFormula& f, sat::SolverOptions opts = {},
+    const sat::EngineFactory& factory = {});
 
 /// True iff the cube implies the formula: every total assignment
 /// extending \p cube satisfies \p f.  For CNF f this reduces to a

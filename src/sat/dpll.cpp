@@ -6,16 +6,37 @@
 
 namespace sateda::sat {
 
+DpllSolver::DpllSolver(SolverOptions opts) : opts_(opts) {}
+
 DpllSolver::DpllSolver(const CnfFormula& formula, bool use_occurrence_heuristic)
-    : formula_(formula) {
-  const int nv = formula.num_vars();
-  occurs_.resize(2 * static_cast<std::size_t>(std::max(nv, 1)));
+    : formula_(formula), use_occurrence_heuristic_(use_occurrence_heuristic) {
+  for (const Clause& c : formula_) {
+    if (c.empty()) ok_ = false;
+  }
+}
+
+bool DpllSolver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  dirty_ = true;
+  if (lits.empty()) {
+    ok_ = false;
+    formula_.add_clause(std::move(lits));
+    return false;
+  }
+  formula_.add_clause(std::move(lits));
+  return true;
+}
+
+void DpllSolver::rebuild_index() {
+  const int nv = formula_.num_vars();
+  occurs_.assign(2 * static_cast<std::size_t>(std::max(nv, 1)), {});
   assigns_.assign(nv, l_undef);
-  unassigned_count_.resize(formula.num_clauses());
-  satisfied_by_.assign(formula.num_clauses(), 0);
+  trail_.clear();
+  unassigned_count_.assign(formula_.num_clauses(), 0);
+  satisfied_by_.assign(formula_.num_clauses(), 0);
   std::vector<std::size_t> occ_count(nv, 0);
-  for (std::size_t ci = 0; ci < formula.num_clauses(); ++ci) {
-    const Clause& c = formula.clause(ci);
+  for (std::size_t ci = 0; ci < formula_.num_clauses(); ++ci) {
+    const Clause& c = formula_.clause(ci);
     unassigned_count_[ci] = static_cast<int>(c.size());
     for (Lit l : c) {
       occurs_[l.index()].push_back(ci);
@@ -24,10 +45,11 @@ DpllSolver::DpllSolver(const CnfFormula& formula, bool use_occurrence_heuristic)
   }
   static_order_.resize(nv);
   std::iota(static_order_.begin(), static_order_.end(), 0);
-  if (use_occurrence_heuristic) {
+  if (use_occurrence_heuristic_) {
     std::stable_sort(static_order_.begin(), static_order_.end(),
                      [&](Var a, Var b) { return occ_count[a] > occ_count[b]; });
   }
+  dirty_ = false;
 }
 
 bool DpllSolver::assign(Lit l) {
@@ -92,30 +114,69 @@ Var DpllSolver::pick_variable() const {
   return kNullVar;
 }
 
+SolveResult DpllSolver::solve(const std::vector<Lit>& assumptions) {
+  return run(assumptions, opts_.conflict_budget);
+}
+
 SolveResult DpllSolver::solve(std::int64_t conflict_budget) {
+  return run({}, conflict_budget);
+}
+
+SolveResult DpllSolver::run(const std::vector<Lit>& assumptions,
+                            std::int64_t conflict_budget) {
+  ++solve_calls_;
   model_.clear();
+  conflict_core_.clear();
+  interrupt_flag_.store(false, std::memory_order_relaxed);
+  unknown_reason_ = UnknownReason::kNone;
+  for (Lit l : assumptions) ensure_var(l.var());
+  if (!ok_) return SolveResult::kUnsat;
+  if (dirty_) rebuild_index();
+
+  const std::int64_t backtracks_at_start = stats_.backtracks;
+  // kUnsat exits report the assumptions as the core; a conflict before
+  // any assumption is assigned leaves the core empty (formula UNSAT).
+  const auto unsat = [&](bool assumptions_assigned) {
+    unassign_to(0);
+    if (assumptions_assigned) conflict_core_ = assumptions;
+    return SolveResult::kUnsat;
+  };
+
   // Top-level propagation of any unit clauses.
-  std::size_t scanned = 0;
   for (std::size_t ci = 0; ci < formula_.num_clauses(); ++ci) {
     const Clause& c = formula_.clause(ci);
-    if (c.empty()) return SolveResult::kUnsat;
+    if (c.empty()) return unsat(false);
     if (c.size() == 1 && satisfied_by_[ci] == 0) {
       if (assigns_[c[0].var()].is_undef()) {
-        if (!assign(c[0])) return SolveResult::kUnsat;
+        if (!assign(c[0])) return unsat(false);
       } else if ((assigns_[c[0].var()] ^ c[0].negative()).is_false()) {
-        return SolveResult::kUnsat;
+        return unsat(false);
       }
     }
   }
-  if (!propagate(scanned)) return SolveResult::kUnsat;
+  if (!propagate(0)) return unsat(false);
+
+  // Assumptions are pre-assignments below the first decision.
+  for (Lit a : assumptions) {
+    lbool v = assigns_[a.var()] ^ a.negative();
+    if (v.is_true()) continue;
+    if (v.is_false()) return unsat(true);
+    std::size_t pre = trail_.size();
+    if (!assign(a) || !propagate(pre)) return unsat(true);
+  }
 
   std::vector<Frame> stack;
   const std::size_t root_trail = trail_.size();
   while (true) {
+    if (interrupt_flag_.load(std::memory_order_relaxed)) {
+      unassign_to(0);
+      unknown_reason_ = UnknownReason::kInterrupted;
+      return SolveResult::kUnknown;
+    }
     Var v = pick_variable();
     if (v == kNullVar) {
       model_ = assigns_;
-      unassign_to(root_trail);
+      unassign_to(0);
       return SolveResult::kSat;
     }
     ++stats_.decisions;
@@ -124,8 +185,10 @@ SolveResult DpllSolver::solve(std::int64_t conflict_budget) {
     bool ok = assign(decision) && propagate(trail_.size() - 1);
     while (!ok) {
       ++stats_.backtracks;
-      if (conflict_budget >= 0 && stats_.backtracks >= conflict_budget) {
-        unassign_to(root_trail);
+      if (conflict_budget >= 0 &&
+          stats_.backtracks - backtracks_at_start >= conflict_budget) {
+        unassign_to(0);
+        unknown_reason_ = UnknownReason::kConflictBudget;
         return SolveResult::kUnknown;
       }
       // Chronological backtracking: undo the most recent decision that
@@ -134,13 +197,25 @@ SolveResult DpllSolver::solve(std::int64_t conflict_budget) {
         unassign_to(stack.back().trail_size);
         stack.pop_back();
       }
-      if (stack.empty()) return SolveResult::kUnsat;
+      if (stack.empty()) {
+        unassign_to(root_trail);
+        return unsat(!assumptions.empty());
+      }
       Frame& f = stack.back();
       unassign_to(f.trail_size);
       f.flipped = true;
       ok = assign(pos(f.var)) && propagate(trail_.size() - 1);
     }
   }
+}
+
+SolverStats DpllSolver::stats() const {
+  SolverStats s;
+  s.decisions = stats_.decisions;
+  s.propagations = stats_.propagations;
+  s.conflicts = stats_.backtracks;
+  s.solve_calls = solve_calls_;
+  return s;
 }
 
 }  // namespace sateda::sat

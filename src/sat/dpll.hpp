@@ -8,12 +8,21 @@
 /// counter-based unit propagation over occurrence lists, chronological
 /// backtracking by polarity flipping, no clause recording, optional
 /// static most-occurrences decision ordering.
+///
+/// Implements SatEngine so application layers can swap it in for the
+/// CDCL solver.  Incremental use rebuilds the occurrence index lazily
+/// before each solve; assumptions are handled as pre-assignments, so a
+/// kUnsat under assumptions reports *all* assumptions as the conflict
+/// core (a sound over-approximation — DPLL has no conflict analysis to
+/// narrow it).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "cnf/formula.hpp"
+#include "sat/engine.hpp"
 #include "sat/options.hpp"
 
 namespace sateda::sat {
@@ -25,24 +34,70 @@ struct DpllStats {
   std::int64_t backtracks = 0;
 };
 
-/// A plain DPLL solver over an immutable CNF formula.
-class DpllSolver {
+/// A plain DPLL solver.
+class DpllSolver : public SatEngine {
  public:
+  /// Engine-style construction: start empty, add clauses incrementally.
+  /// Honours \p opts.conflict_budget (counted in backtracks); the other
+  /// CDCL knobs have no DPLL equivalent and are ignored.
+  explicit DpllSolver(SolverOptions opts = {});
+
+  /// Legacy construction over a fixed formula (copied).
   /// \param use_occurrence_heuristic if true, branch on the variable
   ///        with the highest static occurrence count; otherwise branch
   ///        in variable-index order.
   explicit DpllSolver(const CnfFormula& formula,
                       bool use_occurrence_heuristic = true);
 
-  /// Runs the search.  \p conflict_budget < 0 means unlimited;
-  /// otherwise the solver gives up with kUnknown after that many
-  /// backtracks.
-  SolveResult solve(std::int64_t conflict_budget = -1);
+  std::string name() const override { return "dpll"; }
+
+  // --- problem construction ---------------------------------------
+  Var new_var() override {
+    dirty_ = true;
+    return formula_.new_var();
+  }
+  void ensure_var(Var v) override {
+    if (v >= formula_.num_vars()) {
+      dirty_ = true;
+      formula_.ensure_var(v);
+    }
+  }
+  int num_vars() const override { return formula_.num_vars(); }
+  [[nodiscard]] bool add_clause(std::vector<Lit> lits) override;
+  using SatEngine::add_clause;
+  bool okay() const override { return ok_; }
+  std::size_t num_problem_clauses() const override {
+    return formula_.num_clauses();
+  }
+
+  // --- solving ------------------------------------------------------
+  [[nodiscard]] SolveResult solve(const std::vector<Lit>& assumptions) override;
+  using SatEngine::solve;
+
+  /// Legacy entry point with an explicit backtrack budget (< 0 means
+  /// unlimited); overrides the options budget for this call.
+  SolveResult solve(std::int64_t conflict_budget);
 
   /// After kSat: the satisfying assignment.
-  const std::vector<lbool>& model() const { return model_; }
+  const std::vector<lbool>& model() const override { return model_; }
 
-  const DpllStats& stats() const { return stats_; }
+  /// After kUnsat under assumptions: every assumption (DPLL cannot
+  /// narrow the core).  Empty when the formula itself is UNSAT.
+  const std::vector<Lit>& conflict_core() const override {
+    return conflict_core_;
+  }
+
+  void interrupt() override {
+    interrupt_flag_.store(true, std::memory_order_relaxed);
+  }
+  UnknownReason unknown_reason() const override { return unknown_reason_; }
+
+  /// Native counters mapped onto the common fields: backtracks count as
+  /// conflicts.
+  SolverStats stats() const override;
+
+  /// The raw DPLL counters.
+  const DpllStats& dpll_stats() const { return stats_; }
 
  private:
   struct Frame {
@@ -51,13 +106,22 @@ class DpllSolver {
     std::size_t trail_size; ///< trail length before this decision
   };
 
+  /// Rebuilds occurrence lists and per-clause counters from formula_.
+  void rebuild_index();
   bool assign(Lit l);
   void unassign_to(std::size_t trail_size);
   /// Unit-propagates from trail position \p from; returns false on conflict.
   bool propagate(std::size_t from);
   Var pick_variable() const;
+  SolveResult run(const std::vector<Lit>& assumptions,
+                  std::int64_t conflict_budget);
 
-  const CnfFormula& formula_;
+  SolverOptions opts_;
+  CnfFormula formula_;
+  bool use_occurrence_heuristic_ = true;
+  bool dirty_ = true;  ///< index stale (clauses/vars added since build)
+  bool ok_ = true;     ///< no empty clause added
+
   std::vector<std::vector<std::size_t>> occurs_;  ///< lit index -> clause ids
   std::vector<int> unassigned_count_;             ///< per clause
   std::vector<int> satisfied_by_;                 ///< per clause: #true literals
@@ -65,7 +129,11 @@ class DpllSolver {
   std::vector<Lit> trail_;
   std::vector<Var> static_order_;
   std::vector<lbool> model_;
+  std::vector<Lit> conflict_core_;
   DpllStats stats_;
+  std::int64_t solve_calls_ = 0;
+  std::atomic<bool> interrupt_flag_{false};
+  UnknownReason unknown_reason_ = UnknownReason::kNone;
 };
 
 }  // namespace sateda::sat

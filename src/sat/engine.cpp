@@ -1,0 +1,69 @@
+#include "sat/engine.hpp"
+
+#include <stdexcept>
+
+#include "sat/dpll.hpp"
+#include "sat/local_search.hpp"
+#include "sat/portfolio.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::sat {
+
+bool SatEngine::add_formula(const CnfFormula& f) {
+  if (f.num_vars() > 0) ensure_var(f.num_vars() - 1);
+  bool ok = true;
+  for (const Clause& c : f) {
+    if (!add_clause(std::vector<Lit>(c.begin(), c.end()))) ok = false;
+  }
+  return ok;
+}
+
+std::unique_ptr<SatEngine> make_engine(const EngineFactory& factory,
+                                       const SolverOptions& opts) {
+  if (factory) return factory(opts);
+  return std::make_unique<Solver>(opts);
+}
+
+EngineFactory cdcl_engine_factory() {
+  return [](const SolverOptions& opts) -> std::unique_ptr<SatEngine> {
+    return std::make_unique<Solver>(opts);
+  };
+}
+
+EngineFactory dpll_engine_factory() {
+  return [](const SolverOptions& opts) -> std::unique_ptr<SatEngine> {
+    return std::make_unique<DpllSolver>(opts);
+  };
+}
+
+EngineFactory walksat_engine_factory() {
+  return [](const SolverOptions& opts) -> std::unique_ptr<SatEngine> {
+    WalkSatOptions wopts;
+    wopts.seed = opts.seed;
+    // A conflict budget has no WalkSAT equivalent; reuse it as a flip
+    // budget so callers' effort knobs stay meaningful.
+    if (opts.conflict_budget >= 0) wopts.max_flips = opts.conflict_budget;
+    return std::make_unique<WalkSatSolver>(wopts);
+  };
+}
+
+EngineFactory portfolio_engine_factory(int num_workers, bool deterministic) {
+  return [num_workers,
+          deterministic](const SolverOptions& opts) -> std::unique_ptr<SatEngine> {
+    PortfolioOptions popts;
+    popts.num_workers = num_workers;
+    popts.deterministic = deterministic;
+    return std::make_unique<PortfolioSolver>(opts, popts);
+  };
+}
+
+EngineFactory engine_factory_by_name(const std::string& name,
+                                     int num_workers) {
+  if (name == "cdcl") return cdcl_engine_factory();
+  if (name == "dpll") return dpll_engine_factory();
+  if (name == "wsat" || name == "walksat") return walksat_engine_factory();
+  if (name == "portfolio") return portfolio_engine_factory(num_workers);
+  throw std::invalid_argument("unknown SAT engine: " + name);
+}
+
+}  // namespace sateda::sat

@@ -1,0 +1,168 @@
+/// \file engine.hpp
+/// \brief Abstract SAT engine interface: one contract for every solving
+///        backend so the EDA application layers are engine-agnostic.
+///
+/// The paper's central empirical claim (§4.1, §6) is that *which*
+/// solver configuration wins is workload-dependent — GRASP-style
+/// relevance learning, Chaff-style VSIDS/restarts and randomization
+/// each dominate on different EDA instances.  Exploiting that requires
+/// applications (ATPG, CEC, BMC, delay, routing, covering, EUF,
+/// crosstalk) to be parameterized by an engine instead of hard-coding
+/// the concrete CDCL solver.  SatEngine is that seam:
+///
+///  * sat::Solver       — the CDCL engine (GRASP/Chaff-flavoured);
+///  * sat::DpllSolver   — the pre-GRASP DPLL baseline;
+///  * sat::WalkSatSolver— stochastic local search (never proves UNSAT);
+///  * sat::PortfolioSolver — N diversified CDCL workers racing on
+///    threads with learnt-clause sharing (see portfolio.hpp).
+///
+/// Applications accept an EngineFactory; the default (empty) factory
+/// builds the single-threaded CDCL solver, so existing call sites keep
+/// their behaviour.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "cnf/literal.hpp"
+#include "sat/options.hpp"
+
+namespace sateda::sat {
+
+/// Abstract incremental SAT engine.
+///
+/// Contract notes:
+///  * add_clause() returns false iff the engine detected trivial
+///    root-level unsatisfiability; solve() then returns kUnsat.
+///  * solve(assumptions) treats each assumption as a pseudo-decision;
+///    after kUnsat under assumptions, conflict_core() is a subset of
+///    the assumptions whose conjunction is inconsistent with the
+///    clause set (possibly empty when the clause set itself is UNSAT).
+///  * After kUnknown, unknown_reason() says why (budget/interrupt).
+///  * interrupt() may be called from another thread; the engine stops
+///    cooperatively and the interrupted solve() returns kUnknown.  The
+///    flag is cleared on the next solve() entry.
+class SatEngine {
+ public:
+  virtual ~SatEngine() = default;
+
+  /// Short engine identifier ("cdcl", "dpll", "walksat", "portfolio").
+  virtual std::string name() const = 0;
+
+  // --- problem construction ---------------------------------------
+
+  /// Allocates a fresh variable.
+  virtual Var new_var() = 0;
+
+  /// Ensures variables 0..v exist.
+  virtual void ensure_var(Var v) = 0;
+
+  virtual int num_vars() const = 0;
+
+  /// Adds a clause; may be called between solve() calls (incremental
+  /// interface, paper §6).  Returns false on trivial root conflict.
+  [[nodiscard]] virtual bool add_clause(std::vector<Lit> lits) = 0;
+  [[nodiscard]] bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::vector<Lit>(lits));
+  }
+
+  /// Adds every clause of \p f.  Returns false on trivial root
+  /// conflict (the engine stays usable; solve() reports kUnsat).
+  virtual bool add_formula(const CnfFormula& f);
+
+  /// False once the clause set has been proven unsatisfiable at the
+  /// root level.
+  virtual bool okay() const = 0;
+
+  /// Number of original (non-learnt) problem clauses.
+  virtual std::size_t num_problem_clauses() const = 0;
+
+  // --- solving ------------------------------------------------------
+
+  /// Decides satisfiability under the given assumption literals.
+  [[nodiscard]] virtual SolveResult solve(
+      const std::vector<Lit>& assumptions) = 0;
+
+  /// Decides satisfiability of the current clause set.
+  [[nodiscard]] SolveResult solve() { return solve(std::vector<Lit>{}); }
+
+  /// After kSat: the satisfying assignment, indexed by variable.
+  /// Entries may be l_undef for don't-care variables (partial models).
+  virtual const std::vector<lbool>& model() const = 0;
+
+  lbool model_value(Var v) const {
+    const std::vector<lbool>& m = model();
+    return static_cast<std::size_t>(v) < m.size() ? m[v] : l_undef;
+  }
+  lbool model_value(Lit l) const { return model_value(l.var()) ^ l.negative(); }
+
+  /// After kUnsat under assumptions: the final conflict core.
+  virtual const std::vector<Lit>& conflict_core() const = 0;
+
+  // --- control / instrumentation ------------------------------------
+
+  /// Requests cooperative termination of an in-flight solve() (callable
+  /// from any thread).  The interrupted call returns kUnknown with
+  /// unknown_reason() == kInterrupted.
+  virtual void interrupt() = 0;
+
+  /// Why the last solve() returned kUnknown (kNone when it decided).
+  virtual UnknownReason unknown_reason() const = 0;
+
+  /// Aggregated search counters (summed over workers for a portfolio).
+  virtual SolverStats stats() const = 0;
+
+  // --- optional hints (no-ops where the engine has no equivalent) ---
+
+  /// Removes clauses already satisfied at the root level; must be
+  /// called between solve() calls.
+  virtual void simplify_db() {}
+
+  /// Prefers branching on v=value first.
+  virtual void set_polarity(Var v, bool value) {
+    (void)v;
+    (void)value;
+  }
+
+  /// Excludes \p v from branching when \p is_decision is false.
+  virtual void set_decision_var(Var v, bool is_decision) {
+    (void)v;
+    (void)is_decision;
+  }
+
+  /// Steers the decision heuristic toward \p v (e.g. fault-cone
+  /// variables in ATPG).
+  virtual void bump_variable(Var v) { (void)v; }
+};
+
+/// Builds a SAT engine from application-tuned solver options.  An
+/// empty factory means "the default engine" — see make_engine().
+using EngineFactory =
+    std::function<std::unique_ptr<SatEngine>(const SolverOptions&)>;
+
+/// Invokes \p factory (or builds the default single-threaded CDCL
+/// solver when the factory is empty) with \p opts.
+std::unique_ptr<SatEngine> make_engine(const EngineFactory& factory,
+                                       const SolverOptions& opts);
+
+/// Stock factories for the four backends.
+EngineFactory cdcl_engine_factory();
+EngineFactory dpll_engine_factory();
+EngineFactory walksat_engine_factory();
+
+/// Portfolio over \p num_workers diversified CDCL workers (0 → one per
+/// hardware thread).  \p deterministic enables barrier-synchronized
+/// clause exchange for reproducible runs (see PortfolioOptions).
+EngineFactory portfolio_engine_factory(int num_workers,
+                                       bool deterministic = false);
+
+/// Resolves "cdcl" | "dpll" | "wsat"/"walksat" | "portfolio" (with
+/// \p num_workers workers).  Throws std::invalid_argument on an
+/// unknown name.
+EngineFactory engine_factory_by_name(const std::string& name,
+                                     int num_workers = 0);
+
+}  // namespace sateda::sat

@@ -1,24 +1,49 @@
 #include "sat/local_search.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace sateda::sat {
 
+WalkSatSolver::WalkSatSolver(WalkSatOptions opts)
+    : opts_(opts), rng_(opts.seed) {}
+
 WalkSatSolver::WalkSatSolver(const CnfFormula& f, WalkSatOptions opts)
     : formula_(f), opts_(opts), rng_(opts.seed) {
-  const int nv = std::max(f.num_vars(), 1);
-  assign_.assign(nv, 0);
-  occurs_.resize(2 * static_cast<std::size_t>(nv));
-  true_count_.assign(f.num_clauses(), 0);
-  unsat_pos_.assign(f.num_clauses(), -1);
-  for (std::size_t ci = 0; ci < f.num_clauses(); ++ci) {
-    for (Lit l : f.clause(ci)) occurs_[l.index()].push_back(ci);
+  for (const Clause& c : formula_) {
+    if (c.empty()) ok_ = false;
   }
+}
+
+bool WalkSatSolver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  dirty_ = true;
+  if (lits.empty()) {
+    ok_ = false;
+    formula_.add_clause(std::move(lits));
+    return false;
+  }
+  formula_.add_clause(std::move(lits));
+  return true;
+}
+
+void WalkSatSolver::rebuild_index() {
+  const int nv = std::max(formula_.num_vars(), 1);
+  assign_.assign(nv, 0);
+  occurs_.assign(2 * static_cast<std::size_t>(nv), {});
+  true_count_.assign(formula_.num_clauses(), 0);
+  unsat_pos_.assign(formula_.num_clauses(), -1);
+  for (std::size_t ci = 0; ci < formula_.num_clauses(); ++ci) {
+    for (Lit l : formula_.clause(ci)) occurs_[l.index()].push_back(ci);
+  }
+  dirty_ = false;
 }
 
 void WalkSatSolver::random_assignment() {
   std::bernoulli_distribution coin(0.5);
-  for (std::size_t v = 0; v < assign_.size(); ++v) assign_[v] = coin(rng_);
+  for (std::size_t v = 0; v < assign_.size(); ++v) {
+    if (!frozen_[v]) assign_[v] = coin(rng_);
+  }
   // Recompute clause satisfaction from scratch.
   unsat_clauses_.clear();
   std::fill(unsat_pos_.begin(), unsat_pos_.end(), -1);
@@ -70,15 +95,34 @@ void WalkSatSolver::flip(Var v) {
   }
 }
 
-SolveResult WalkSatSolver::solve() {
-  for (const Clause& c : formula_) {
-    if (c.empty()) return SolveResult::kUnknown;  // cannot refute
+SolveResult WalkSatSolver::solve(const std::vector<Lit>& assumptions) {
+  ++solve_calls_;
+  model_.clear();
+  conflict_core_.clear();
+  interrupt_flag_.store(false, std::memory_order_relaxed);
+  unknown_reason_ = UnknownReason::kNone;
+  for (Lit l : assumptions) ensure_var(l.var());
+  if (!ok_) return SolveResult::kUnsat;  // trivial: an empty clause exists
+  if (dirty_) rebuild_index();
+
+  // Freeze assumed variables at their assumed values; contradictory
+  // assumptions make a clause permanently unsatisfied, which local
+  // search can only report as kUnknown.
+  frozen_.assign(assign_.size(), 0);
+  for (Lit a : assumptions) {
+    frozen_[a.var()] = 1;
+    assign_[a.var()] = a.negative() ? 0 : 1;
   }
+
   std::uniform_real_distribution<double> coin(0.0, 1.0);
   for (int attempt = 0; attempt < opts_.max_tries; ++attempt) {
     ++stats_.tries;
     random_assignment();
     for (std::int64_t flip_no = 0; flip_no < opts_.max_flips; ++flip_no) {
+      if (interrupt_flag_.load(std::memory_order_relaxed)) {
+        unknown_reason_ = UnknownReason::kInterrupted;
+        return SolveResult::kUnknown;
+      }
       if (unsat_clauses_.empty()) {
         model_.resize(assign_.size());
         for (std::size_t v = 0; v < assign_.size(); ++v) {
@@ -95,6 +139,7 @@ SolveResult WalkSatSolver::solve() {
       bool freebie = false;
       std::int64_t best_break = -1;
       for (Lit l : c) {
+        if (frozen_[l.var()]) continue;
         std::int64_t b = break_count(l.var());
         if (b == 0) {
           chosen = l.var();
@@ -108,12 +153,24 @@ SolveResult WalkSatSolver::solve() {
       }
       if (!freebie && coin(rng_) < opts_.noise) {
         std::uniform_int_distribution<std::size_t> pick_lit(0, c.size() - 1);
-        chosen = c[pick_lit(rng_)].var();
+        Var noisy = c[pick_lit(rng_)].var();
+        if (!frozen_[noisy]) chosen = noisy;
       }
-      flip(chosen);
+      // All variables of the clause frozen: the flip is wasted, but the
+      // budget still drains, so the loop terminates.
+      if (chosen != kNullVar) flip(chosen);
     }
   }
+  unknown_reason_ = UnknownReason::kFlipBudget;
   return SolveResult::kUnknown;
+}
+
+SolverStats WalkSatSolver::stats() const {
+  SolverStats s;
+  s.propagations = stats_.flips;
+  s.restarts = stats_.tries;
+  s.solve_calls = solve_calls_;
+  return s;
 }
 
 }  // namespace sateda::sat

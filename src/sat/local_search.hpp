@@ -9,14 +9,23 @@
 /// local search is competitive on satisfiable random instances but is
 /// constitutionally unable to return UNSAT, and flounders on the
 /// structured, mostly-UNSAT instances EDA generates.
+///
+/// Implements SatEngine.  solve() returns kSat or — when the flip
+/// budget runs out — kUnknown with unknown_reason() == kFlipBudget; the
+/// only kUnsat it can ever report is the trivial one (an empty clause
+/// was added).  Assumptions are handled by freezing the assumed
+/// variables at their assumed values: they are never flipped, so any
+/// model found satisfies them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "cnf/formula.hpp"
+#include "sat/engine.hpp"
 #include "sat/options.hpp"
 
 namespace sateda::sat {
@@ -37,32 +46,83 @@ struct WalkSatStats {
   }
 };
 
-/// Runs WalkSAT on \p f.  Returns kSat with a model, or kUnknown when
-/// the flip budget is exhausted — never kUnsat.
-class WalkSatSolver {
+/// WalkSAT.  Returns kSat with a model, or kUnknown when the flip
+/// budget is exhausted — never a non-trivial kUnsat.
+class WalkSatSolver : public SatEngine {
  public:
+  /// Engine-style construction: start empty, add clauses incrementally.
+  explicit WalkSatSolver(WalkSatOptions opts = {});
+
+  /// Legacy construction over a fixed formula (copied).
   explicit WalkSatSolver(const CnfFormula& f, WalkSatOptions opts = {});
 
-  SolveResult solve();
+  std::string name() const override { return "walksat"; }
 
-  const std::vector<lbool>& model() const { return model_; }
-  const WalkSatStats& stats() const { return stats_; }
+  // --- problem construction ---------------------------------------
+  Var new_var() override {
+    dirty_ = true;
+    return formula_.new_var();
+  }
+  void ensure_var(Var v) override {
+    if (v >= formula_.num_vars()) {
+      dirty_ = true;
+      formula_.ensure_var(v);
+    }
+  }
+  int num_vars() const override { return formula_.num_vars(); }
+  [[nodiscard]] bool add_clause(std::vector<Lit> lits) override;
+  using SatEngine::add_clause;
+  bool okay() const override { return ok_; }
+  std::size_t num_problem_clauses() const override {
+    return formula_.num_clauses();
+  }
+
+  // --- solving ------------------------------------------------------
+  [[nodiscard]] SolveResult solve(const std::vector<Lit>& assumptions) override;
+  using SatEngine::solve;
+
+  const std::vector<lbool>& model() const override { return model_; }
+
+  /// Local search cannot derive conflict cores; always empty.
+  const std::vector<Lit>& conflict_core() const override {
+    return conflict_core_;
+  }
+
+  void interrupt() override {
+    interrupt_flag_.store(true, std::memory_order_relaxed);
+  }
+  UnknownReason unknown_reason() const override { return unknown_reason_; }
+
+  /// Native counters mapped onto the common fields: flips count as
+  /// propagations, tries as restarts.
+  SolverStats stats() const override;
+
+  /// The raw WalkSAT counters.
+  const WalkSatStats& walksat_stats() const { return stats_; }
 
  private:
+  void rebuild_index();
   std::int64_t break_count(Var v) const;
   void flip(Var v);
   void random_assignment();
 
-  const CnfFormula& formula_;
+  CnfFormula formula_;
   WalkSatOptions opts_;
   WalkSatStats stats_;
+  bool dirty_ = true;   ///< index stale (clauses/vars added since build)
+  bool ok_ = true;      ///< no empty clause added
   std::vector<char> assign_;                       ///< current assignment
+  std::vector<char> frozen_;                       ///< assumption-pinned vars
   std::vector<int> true_count_;                    ///< per clause
   std::vector<std::vector<std::size_t>> occurs_;   ///< per literal index
   std::vector<std::size_t> unsat_clauses_;         ///< ids, unordered
   std::vector<std::ptrdiff_t> unsat_pos_;          ///< clause -> index or -1
   std::vector<lbool> model_;
+  std::vector<Lit> conflict_core_;
+  std::int64_t solve_calls_ = 0;
   std::mt19937_64 rng_{0};
+  std::atomic<bool> interrupt_flag_{false};
+  UnknownReason unknown_reason_ = UnknownReason::kNone;
 };
 
 }  // namespace sateda::sat

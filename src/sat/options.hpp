@@ -8,6 +8,7 @@
 /// learning, restarts and randomization.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -63,6 +64,9 @@ struct SolverOptions {
 
 /// Counters reported by the solver; every bench prints these so the
 /// reproduction tables can show decisions/conflicts alongside time.
+/// Engines other than the CDCL solver map their native counters onto
+/// the closest fields (see SatEngine::stats()); a parallel portfolio
+/// reports the sum over its workers.
 struct SolverStats {
   std::int64_t decisions = 0;
   std::int64_t propagations = 0;
@@ -74,14 +78,37 @@ struct SolverStats {
   std::int64_t minimized_literals = 0;
   std::int64_t max_decision_level = 0;
   std::int64_t solve_calls = 0;
+  std::int64_t exported_clauses = 0;  ///< learnt clauses shared with peers
+  std::int64_t imported_clauses = 0;  ///< learnt clauses adopted from peers
+
+  SolverStats& operator+=(const SolverStats& o) {
+    decisions += o.decisions;
+    propagations += o.propagations;
+    conflicts += o.conflicts;
+    restarts += o.restarts;
+    learnt_clauses += o.learnt_clauses;
+    learnt_literals += o.learnt_literals;
+    deleted_clauses += o.deleted_clauses;
+    minimized_literals += o.minimized_literals;
+    max_decision_level = std::max(max_decision_level, o.max_decision_level);
+    solve_calls += o.solve_calls;
+    exported_clauses += o.exported_clauses;
+    imported_clauses += o.imported_clauses;
+    return *this;
+  }
 
   std::string summary() const {
-    return "decisions=" + std::to_string(decisions) +
-           " propagations=" + std::to_string(propagations) +
-           " conflicts=" + std::to_string(conflicts) +
-           " restarts=" + std::to_string(restarts) +
-           " learnt=" + std::to_string(learnt_clauses) +
-           " deleted=" + std::to_string(deleted_clauses);
+    std::string s = "decisions=" + std::to_string(decisions) +
+                    " propagations=" + std::to_string(propagations) +
+                    " conflicts=" + std::to_string(conflicts) +
+                    " restarts=" + std::to_string(restarts) +
+                    " learnt=" + std::to_string(learnt_clauses) +
+                    " deleted=" + std::to_string(deleted_clauses);
+    if (exported_clauses || imported_clauses) {
+      s += " exported=" + std::to_string(exported_clauses) +
+           " imported=" + std::to_string(imported_clauses);
+    }
+    return s;
   }
 };
 
@@ -89,7 +116,17 @@ struct SolverStats {
 enum class SolveResult {
   kSat,      ///< a satisfying assignment was found (see Solver::model())
   kUnsat,    ///< the formula (under the given assumptions) is unsatisfiable
-  kUnknown,  ///< a resource budget was exhausted
+  kUnknown,  ///< a resource budget was exhausted or the run was interrupted
+};
+
+/// Why a solve() call ended with SolveResult::kUnknown.  kNone after a
+/// decided (kSat/kUnsat) call.
+enum class UnknownReason {
+  kNone,               ///< the last solve was decided
+  kConflictBudget,     ///< SolverOptions::conflict_budget exhausted
+  kPropagationBudget,  ///< SolverOptions::propagation_budget exhausted
+  kFlipBudget,         ///< local search ran out of flips/tries
+  kInterrupted,        ///< SatEngine::interrupt() was called
 };
 
 inline std::string to_string(SolveResult r) {
@@ -97,6 +134,17 @@ inline std::string to_string(SolveResult r) {
     case SolveResult::kSat: return "SATISFIABLE";
     case SolveResult::kUnsat: return "UNSATISFIABLE";
     case SolveResult::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+inline std::string to_string(UnknownReason r) {
+  switch (r) {
+    case UnknownReason::kNone: return "none";
+    case UnknownReason::kConflictBudget: return "conflict-budget";
+    case UnknownReason::kPropagationBudget: return "propagation-budget";
+    case UnknownReason::kFlipBudget: return "flip-budget";
+    case UnknownReason::kInterrupted: return "interrupted";
   }
   return "?";
 }

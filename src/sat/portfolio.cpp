@@ -1,0 +1,327 @@
+#include "sat/portfolio.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace sateda::sat {
+
+// --- SharedClausePool ----------------------------------------------
+
+SharedClausePool::SharedClausePool(int num_workers, std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)),
+      cursors_(static_cast<std::size_t>(num_workers), 0) {}
+
+void SharedClausePool::publish(int worker, const std::vector<Lit>& lits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = ring_[next_seq_ % ring_.size()];
+  e.worker = worker;
+  e.lits = lits;
+  ++next_seq_;
+}
+
+void SharedClausePool::collect(int worker,
+                               std::vector<std::vector<Lit>>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t from = cursors_[static_cast<std::size_t>(worker)];
+  // Entries older than one ring length have been overwritten.
+  const std::uint64_t base =
+      next_seq_ >= ring_.size() ? next_seq_ - ring_.size() : 0;
+  if (from < base) from = base;
+  for (std::uint64_t s = from; s < next_seq_; ++s) {
+    const Entry& e = ring_[s % ring_.size()];
+    if (e.worker != worker) out.push_back(e.lits);
+  }
+  cursors_[static_cast<std::size_t>(worker)] = next_seq_;
+}
+
+std::int64_t SharedClausePool::published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(next_seq_);
+}
+
+// --- PortfolioSolver -----------------------------------------------
+
+PortfolioSolver::PortfolioSolver(SolverOptions base, PortfolioOptions popts)
+    : popts_(popts), base_opts_(base) {
+  int n = popts_.num_workers;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 2;
+  popts_.num_workers = n;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Solver>(diversified_options(base, i)));
+    workers_.back()->set_external_interrupt(&stop_all_);
+  }
+}
+
+PortfolioSolver::~PortfolioSolver() = default;
+
+SolverOptions PortfolioSolver::diversified_options(const SolverOptions& base,
+                                                   int index) {
+  SolverOptions o = base;
+  if (index == 0) return o;  // worker 0 is the reference configuration
+  o.seed = base.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(index);
+  o.default_polarity = (index % 2) != 0;
+  switch (index % 4) {
+    case 1:
+      o.restart_base = 50;
+      o.restart_inc = 1.5;
+      break;
+    case 2:
+      o.restart_base = 200;
+      o.random_var_freq = 0.0;
+      break;
+    case 3:
+      o.restart_base = 400;
+      o.restart_inc = 3.0;
+      o.random_var_freq = 0.1;
+      break;
+    default:  // 4, 8, ...: base restarts with more randomization
+      o.random_var_freq = 0.05;
+      break;
+  }
+  switch (index % 3) {
+    case 1:
+      o.deletion = DeletionPolicy::kRelevance;
+      break;
+    case 2:
+      o.deletion = DeletionPolicy::kSizeBounded;
+      o.size_bound = 30;
+      break;
+    default:
+      break;  // keep the base policy
+  }
+  return o;
+}
+
+Var PortfolioSolver::new_var() {
+  Var v = workers_.front()->new_var();
+  for (std::size_t i = 1; i < workers_.size(); ++i) workers_[i]->new_var();
+  return v;
+}
+
+void PortfolioSolver::ensure_var(Var v) {
+  for (auto& w : workers_) w->ensure_var(v);
+}
+
+bool PortfolioSolver::add_clause(std::vector<Lit> lits) {
+  bool all_ok = true;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    std::vector<Lit> copy =
+        (i + 1 == workers_.size()) ? std::move(lits) : lits;
+    if (!workers_[i]->add_clause(std::move(copy))) all_ok = false;
+  }
+  if (!all_ok) ok_ = false;
+  return all_ok;
+}
+
+void PortfolioSolver::interrupt() {
+  user_interrupted_.store(true, std::memory_order_relaxed);
+  stop_all_.store(true, std::memory_order_relaxed);
+}
+
+SolverStats PortfolioSolver::stats() const {
+  SolverStats s;
+  for (const auto& w : workers_) s += w->stats();
+  return s;
+}
+
+void PortfolioSolver::simplify_db() {
+  for (auto& w : workers_) w->simplify_db();
+}
+
+void PortfolioSolver::set_polarity(Var v, bool value) {
+  for (auto& w : workers_) w->set_polarity(v, value);
+}
+
+void PortfolioSolver::set_decision_var(Var v, bool is_decision) {
+  for (auto& w : workers_) w->set_decision_var(v, is_decision);
+}
+
+void PortfolioSolver::bump_variable(Var v) {
+  for (auto& w : workers_) w->bump_variable(v);
+}
+
+void PortfolioSolver::adopt_outcome(int winner, SolveResult result) {
+  winner_ = winner;
+  if (result == SolveResult::kSat) {
+    model_ = workers_[static_cast<std::size_t>(winner)]->model();
+  } else if (result == SolveResult::kUnsat) {
+    conflict_core_ =
+        workers_[static_cast<std::size_t>(winner)]->conflict_core();
+  }
+}
+
+SolveResult PortfolioSolver::solve(const std::vector<Lit>& assumptions) {
+  model_.clear();
+  conflict_core_.clear();
+  winner_ = -1;
+  unknown_reason_ = UnknownReason::kNone;
+  stop_all_.store(false, std::memory_order_relaxed);
+  user_interrupted_.store(false, std::memory_order_relaxed);
+  if (!ok_) return SolveResult::kUnsat;
+  for (Lit l : assumptions) ensure_var(l.var());
+  SolveResult r = popts_.deterministic ? solve_deterministic(assumptions)
+                                       : solve_racing(assumptions);
+  if (r == SolveResult::kUnsat && assumptions.empty()) ok_ = false;
+  return r;
+}
+
+SolveResult PortfolioSolver::solve_racing(
+    const std::vector<Lit>& assumptions) {
+  const int n = num_workers();
+  SharedClausePool pool(n, popts_.pool_capacity);
+  const int max_lbd = popts_.max_shared_lbd;
+  const std::size_t max_size =
+      static_cast<std::size_t>(popts_.max_shared_size);
+  for (int i = 0; i < n; ++i) {
+    Solver* w = workers_[static_cast<std::size_t>(i)].get();
+    w->set_clause_export(
+        [&pool, i, max_lbd, max_size](const std::vector<Lit>& lits, int lbd) {
+          if (lbd > max_lbd || lits.size() > max_size) return false;
+          pool.publish(i, lits);
+          return true;
+        });
+    w->set_clause_import([&pool, i](std::vector<std::vector<Lit>>& out) {
+      pool.collect(i, out);
+    });
+  }
+
+  std::atomic<int> winner{-1};
+  std::vector<SolveResult> results(static_cast<std::size_t>(n),
+                                   SolveResult::kUnknown);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([this, i, &assumptions, &results, &winner] {
+      SolveResult r =
+          workers_[static_cast<std::size_t>(i)]->solve(assumptions);
+      results[static_cast<std::size_t>(i)] = r;
+      if (r != SolveResult::kUnknown) {
+        int expected = -1;
+        if (winner.compare_exchange_strong(expected, i)) {
+          // First decided worker cancels the rest; budget-exhausted
+          // (kUnknown) workers never cancel anyone.
+          stop_all_.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& w : workers_) {
+    w->set_clause_export({});
+    w->set_clause_import({});
+  }
+
+  const int win = winner.load();
+  if (win >= 0) {
+    SolveResult r = results[static_cast<std::size_t>(win)];
+    adopt_outcome(win, r);
+    return r;
+  }
+  unknown_reason_ = user_interrupted_.load(std::memory_order_relaxed)
+                        ? UnknownReason::kInterrupted
+                        : workers_.front()->unknown_reason();
+  return SolveResult::kUnknown;
+}
+
+SolveResult PortfolioSolver::solve_deterministic(
+    const std::vector<Lit>& assumptions) {
+  const int n = num_workers();
+  const int max_lbd = popts_.max_shared_lbd;
+  const std::size_t max_size =
+      static_cast<std::size_t>(popts_.max_shared_size);
+
+  std::vector<std::int64_t> saved_budget(static_cast<std::size_t>(n));
+  std::vector<std::vector<std::vector<Lit>>> exported(
+      static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Solver* w = workers_[static_cast<std::size_t>(i)].get();
+    saved_budget[static_cast<std::size_t>(i)] = w->options().conflict_budget;
+    auto* buf = &exported[static_cast<std::size_t>(i)];
+    w->set_clause_export(
+        [buf, max_lbd, max_size](const std::vector<Lit>& lits, int lbd) {
+          if (lbd > max_lbd || lits.size() > max_size) return false;
+          buf->push_back(lits);
+          return true;
+        });
+  }
+
+  const std::int64_t global_budget = base_opts_.conflict_budget;
+  std::int64_t used = 0;
+  SolveResult final_result = SolveResult::kUnknown;
+  int win = -1;
+
+  while (true) {
+    if (stop_all_.load(std::memory_order_relaxed)) {
+      unknown_reason_ = UnknownReason::kInterrupted;
+      break;
+    }
+    std::int64_t slice = popts_.round_conflicts;
+    if (global_budget >= 0) slice = std::min(slice, global_budget - used);
+    if (slice <= 0) {
+      unknown_reason_ = UnknownReason::kConflictBudget;
+      break;
+    }
+
+    // One lockstep round: every worker searches for `slice` conflicts.
+    std::vector<SolveResult> results(static_cast<std::size_t>(n),
+                                     SolveResult::kUnknown);
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        workers_[static_cast<std::size_t>(i)]->options().conflict_budget =
+            slice;
+        threads.emplace_back([this, i, &assumptions, &results] {
+          results[static_cast<std::size_t>(i)] =
+              workers_[static_cast<std::size_t>(i)]->solve(assumptions);
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    used += slice;
+
+    // The lowest-index decided worker wins, independent of scheduling.
+    for (int i = 0; i < n && win < 0; ++i) {
+      if (results[static_cast<std::size_t>(i)] != SolveResult::kUnknown) {
+        win = i;
+        final_result = results[static_cast<std::size_t>(i)];
+      }
+    }
+    if (win >= 0) break;
+
+    // Exchange clauses at the barrier, in worker-index order: every
+    // worker sees the same imports in the same sequence every run.
+    bool root_unsat = false;
+    for (int i = 0; i < n; ++i) {
+      for (const std::vector<Lit>& cl :
+           exported[static_cast<std::size_t>(i)]) {
+        for (int j = 0; j < n; ++j) {
+          if (j == i) continue;
+          if (!workers_[static_cast<std::size_t>(j)]->add_learnt_clause(cl)) {
+            root_unsat = true;
+          }
+        }
+      }
+      exported[static_cast<std::size_t>(i)].clear();
+    }
+    if (root_unsat) {
+      // Imported clauses are implied by the problem clauses alone, so a
+      // root-level conflict proves the clause set UNSAT (empty core).
+      final_result = SolveResult::kUnsat;
+      break;
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    Solver* w = workers_[static_cast<std::size_t>(i)].get();
+    w->options().conflict_budget = saved_budget[static_cast<std::size_t>(i)];
+    w->set_clause_export({});
+  }
+  if (win >= 0) adopt_outcome(win, final_result);
+  return final_result;
+}
+
+}  // namespace sateda::sat

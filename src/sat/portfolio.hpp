@@ -1,0 +1,154 @@
+/// \file portfolio.hpp
+/// \brief Parallel clause-sharing portfolio of CDCL workers.
+///
+/// The paper's §4.1/§6 observation that no single solver configuration
+/// dominates on EDA workloads (GRASP-style relevance learning vs
+/// Chaff-style VSIDS/restarts vs randomization) motivates the standard
+/// industrial response: run N diversified configurations in parallel
+/// and let them race, exchanging short/low-LBD learnt clauses.  A
+/// learnt clause is derived by resolution from the clause database
+/// alone (assumptions enter only as pseudo-decisions), so sharing is
+/// sound even for incremental solving under assumptions.
+///
+/// Two execution modes:
+///  * racing (default): workers run freely on std::thread; exported
+///    clauses go through a mutex-guarded SharedClausePool and are
+///    imported at restart boundaries; the first worker to decide wins
+///    and cancels the rest.
+///  * deterministic: workers advance in lockstep rounds of a fixed
+///    conflict budget (spawn/join barrier per round), clauses are
+///    exchanged between rounds in worker-index order, and the
+///    lowest-index decided worker wins — bit-identical across runs,
+///    regardless of thread scheduling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sat/engine.hpp"
+#include "sat/options.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::sat {
+
+/// Tunables for PortfolioSolver.
+struct PortfolioOptions {
+  int num_workers = 0;        ///< 0: one per hardware thread
+  bool deterministic = false; ///< lockstep rounds, reproducible winner
+  int max_shared_lbd = 8;     ///< share learnt clauses with LBD ≤ this
+  int max_shared_size = 30;   ///< ... and at most this many literals
+  std::int64_t round_conflicts = 2000;  ///< deterministic round length
+  std::size_t pool_capacity = 1 << 14;  ///< shared-pool ring size
+};
+
+/// Mutex-guarded exchange buffer for learnt clauses.  Entries carry a
+/// monotone sequence number; each worker keeps a cursor and collects
+/// only clauses published after it (and not by itself).  The ring keeps
+/// the most recent pool_capacity entries — slow importers simply miss
+/// older clauses, which is harmless (sharing is best-effort).
+class SharedClausePool {
+ public:
+  SharedClausePool(int num_workers, std::size_t capacity);
+
+  /// Publishes \p lits on behalf of \p worker.  Thread-safe.
+  void publish(int worker, const std::vector<Lit>& lits);
+
+  /// Appends every clause published since \p worker's last collect
+  /// (excluding its own) to \p out and advances the cursor.
+  void collect(int worker, std::vector<std::vector<Lit>>& out);
+
+  /// Total clauses ever published.
+  std::int64_t published() const;
+
+ private:
+  struct Entry {
+    int worker = -1;
+    std::vector<Lit> lits;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> ring_;        ///< slot i holds sequence (base_ + i)
+  std::uint64_t next_seq_ = 0;     ///< sequence of the next publish
+  std::vector<std::uint64_t> cursors_;  ///< per worker
+};
+
+/// A SatEngine running N diversified CDCL workers in parallel.
+class PortfolioSolver : public SatEngine {
+ public:
+  explicit PortfolioSolver(SolverOptions base = {}, PortfolioOptions popts = {});
+  ~PortfolioSolver() override;
+
+  std::string name() const override { return "portfolio"; }
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  const PortfolioOptions& portfolio_options() const { return popts_; }
+
+  /// Worker \p i's configuration after diversification (for tests and
+  /// bench reporting).
+  const SolverOptions& worker_options(int i) const {
+    return workers_[static_cast<std::size_t>(i)]->options();
+  }
+
+  // --- problem construction (mirrored into every worker) ------------
+  Var new_var() override;
+  void ensure_var(Var v) override;
+  int num_vars() const override { return workers_.front()->num_vars(); }
+  [[nodiscard]] bool add_clause(std::vector<Lit> lits) override;
+  using SatEngine::add_clause;
+  bool okay() const override { return ok_; }
+  std::size_t num_problem_clauses() const override {
+    return workers_.front()->num_problem_clauses();
+  }
+
+  // --- solving ------------------------------------------------------
+  [[nodiscard]] SolveResult solve(const std::vector<Lit>& assumptions) override;
+  using SatEngine::solve;
+  const std::vector<lbool>& model() const override { return model_; }
+  const std::vector<Lit>& conflict_core() const override {
+    return conflict_core_;
+  }
+
+  /// Cancels every worker; the in-flight solve() returns kUnknown with
+  /// unknown_reason() == kInterrupted.  Callable from any thread.
+  void interrupt() override;
+  UnknownReason unknown_reason() const override { return unknown_reason_; }
+
+  /// Index of the worker that decided the last solve(), or -1.
+  int winner() const { return winner_; }
+
+  /// Counters summed over all workers.
+  SolverStats stats() const override;
+
+  // --- hints: forwarded to every worker -----------------------------
+  void simplify_db() override;
+  void set_polarity(Var v, bool value) override;
+  void set_decision_var(Var v, bool is_decision) override;
+  void bump_variable(Var v) override;
+
+ private:
+  SolveResult solve_racing(const std::vector<Lit>& assumptions);
+  SolveResult solve_deterministic(const std::vector<Lit>& assumptions);
+  void adopt_outcome(int winner, SolveResult result);
+
+  /// Diversifies \p base for worker \p index (index 0 keeps the base
+  /// configuration).
+  static SolverOptions diversified_options(const SolverOptions& base,
+                                           int index);
+
+  PortfolioOptions popts_;
+  SolverOptions base_opts_;
+  std::vector<std::unique_ptr<Solver>> workers_;
+  bool ok_ = true;
+
+  std::atomic<bool> stop_all_{false};       ///< polled by every worker
+  std::atomic<bool> user_interrupted_{false};
+  std::vector<lbool> model_;
+  std::vector<Lit> conflict_core_;
+  UnknownReason unknown_reason_ = UnknownReason::kNone;
+  int winner_ = -1;
+};
+
+}  // namespace sateda::sat

@@ -552,11 +552,23 @@ SolveResult Solver::search() {
   std::vector<Lit> learnt;
 
   while (true) {
+    if (interrupt_flag_.load(std::memory_order_relaxed) ||
+        (external_interrupt_ &&
+         external_interrupt_->load(std::memory_order_relaxed))) {
+      erase_until(0);
+      unknown_reason_ = UnknownReason::kInterrupted;
+      return SolveResult::kUnknown;
+    }
     ClauseRef confl = deduce();
     if (confl != kNullClause) {
       ++stats_.conflicts;
       ++conflicts_this_restart;
       if (decision_level() == 0) {
+        // A root-level conflict refutes the clause set itself, even
+        // under assumptions (those sit above the root as
+        // pseudo-decisions): mark the solver dead so later calls do
+        // not trust the now-stale watch state.
+        ok_ = false;
         if (proof_) proof_->on_derive({});
         return SolveResult::kUnsat;
       }
@@ -564,6 +576,8 @@ SolveResult Solver::search() {
       int bt_level = 0;
       diagnose(confl, learnt, bt_level);
       if (proof_) proof_->on_derive(learnt);
+      const int lbd = learnt.size() == 1 ? 1 : compute_lbd(learnt);
+      if (export_fn_ && export_fn_(learnt, lbd)) ++stats_.exported_clauses;
       if (opts_.backtrack == BacktrackMode::kChronological &&
           learnt.size() > 1) {
         // Undo only the most recent level; the 1-UIP clause is still
@@ -579,7 +593,7 @@ SolveResult Solver::search() {
         assert(enq);
       } else {
         Clause c(learnt, /*learnt=*/true);
-        c.set_lbd(compute_lbd(learnt));
+        c.set_lbd(lbd);
         ClauseRef cref = attach_new_clause(std::move(c));
         learnts_.push_back(cref);
         ++stats_.learnt_clauses;
@@ -595,12 +609,14 @@ SolveResult Solver::search() {
       if (opts_.conflict_budget >= 0 &&
           stats_.conflicts - conflicts_at_start_ >= opts_.conflict_budget) {
         erase_until(0);
+        unknown_reason_ = UnknownReason::kConflictBudget;
         return SolveResult::kUnknown;
       }
       if (opts_.propagation_budget >= 0 &&
           stats_.propagations - propagations_at_start_ >=
               opts_.propagation_budget) {
         erase_until(0);
+        unknown_reason_ = UnknownReason::kPropagationBudget;
         return SolveResult::kUnknown;
       }
 
@@ -628,6 +644,13 @@ SolveResult Solver::search() {
       restart_budget = static_cast<std::int64_t>(
           luby(opts_.restart_inc, restart_count) * opts_.restart_base);
       if (listener_) listener_->on_restart();
+      // Restart boundaries are the import points for clauses learnt by
+      // portfolio peers: the trail is at the root, so attaching (and
+      // propagating asserting imports) is safe.
+      if (!import_shared_clauses()) {
+        if (proof_) proof_->on_derive({});
+        return SolveResult::kUnsat;
+      }
       continue;
     }
 
@@ -644,12 +667,13 @@ SolveResult Solver::search() {
   }
 }
 
-SolveResult Solver::solve() { return solve({}); }
-
 SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
   ++stats_.solve_calls;
   model_.clear();
   conflict_core_.clear();
+  interrupt_flag_.store(false, std::memory_order_relaxed);
+  unknown_reason_ = UnknownReason::kNone;
+  if (ok_ && !import_shared_clauses()) ok_ = false;
   if (!ok_) return SolveResult::kUnsat;
   for (Lit l : assumptions) ensure_var(l.var());
   assumptions_ = assumptions;
@@ -673,6 +697,55 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
   if (result == SolveResult::kUnsat && assumptions_.empty()) ok_ = false;
   assumptions_.clear();
   return result;
+}
+
+bool Solver::add_learnt_clause(std::vector<Lit> lits) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+  for (Lit l : lits) {
+    assert(l.is_defined());
+    ensure_var(l.var());
+  }
+  // Same normalization as add_clause(), but the result is attached as a
+  // learnt clause (eligible for deletion) and never DRUP-logged.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  Lit prev = kUndefLit;
+  for (Lit l : lits) {
+    if (l == prev) continue;
+    if (prev.is_defined() && l.var() == prev.var()) return true;  // tautology
+    if (value(l).is_true()) return true;  // already satisfied at root
+    if (!value(l).is_false()) out.push_back(l);
+    prev = l;
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  ++stats_.imported_clauses;
+  if (out.size() == 1) {
+    if (!enqueue(out[0], kNullClause) || deduce() != kNullClause) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  Clause c(std::move(out), /*learnt=*/true);
+  c.set_lbd(static_cast<int>(c.size()));
+  ClauseRef cref = attach_new_clause(std::move(c));
+  learnts_.push_back(cref);
+  return true;
+}
+
+bool Solver::import_shared_clauses() {
+  if (!import_fn_) return true;
+  assert(decision_level() == 0);
+  import_buf_.clear();
+  import_fn_(import_buf_);
+  for (std::vector<Lit>& lits : import_buf_) {
+    if (!add_learnt_clause(std::move(lits))) return false;
+  }
+  return true;
 }
 
 }  // namespace sateda::sat

@@ -20,13 +20,16 @@
 /// the decision procedure without any change to these data structures.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <random>
 #include <vector>
 
 #include "cnf/clause.hpp"
 #include "cnf/formula.hpp"
 #include "cnf/literal.hpp"
+#include "sat/engine.hpp"
 #include "sat/heap.hpp"
 #include "sat/listener.hpp"
 #include "sat/options.hpp"
@@ -35,55 +38,94 @@
 namespace sateda::sat {
 
 /// Conflict-driven clause-learning SAT solver.
-class Solver {
+class Solver : public SatEngine {
  public:
   explicit Solver(SolverOptions opts = {});
+
+  std::string name() const override { return "cdcl"; }
 
   // --- problem construction ---------------------------------------
 
   /// Allocates a fresh variable.
-  Var new_var();
+  Var new_var() override;
 
   /// Ensures variables 0..v exist.
-  void ensure_var(Var v);
+  void ensure_var(Var v) override;
 
-  int num_vars() const { return static_cast<int>(assigns_.size()); }
+  int num_vars() const override { return static_cast<int>(assigns_.size()); }
 
   /// Adds a clause.  Returns false if the solver becomes trivially
   /// unsatisfiable (empty clause, or a unit contradicting level-0
   /// implications).  May be called between solve() calls (incremental
   /// interface, paper §6).
-  bool add_clause(std::vector<Lit> lits);
-  bool add_clause(std::initializer_list<Lit> lits) {
-    return add_clause(std::vector<Lit>(lits));
-  }
+  [[nodiscard]] bool add_clause(std::vector<Lit> lits) override;
+  using SatEngine::add_clause;
 
   /// Adds every clause of \p f.
-  bool add_formula(const CnfFormula& f);
+  bool add_formula(const CnfFormula& f) override;
 
   /// False once the clause set has been proven unsatisfiable at the
   /// root level; subsequent solve() calls return kUnsat immediately.
-  bool okay() const { return ok_; }
+  bool okay() const override { return ok_; }
 
   // --- solving ------------------------------------------------------
 
-  /// Decides satisfiability of the current clause set.
-  SolveResult solve();
-
   /// Decides satisfiability under the given assumption literals
   /// (each treated as a pseudo-decision; paper §6 incremental SAT).
-  SolveResult solve(const std::vector<Lit>& assumptions);
+  [[nodiscard]] SolveResult solve(const std::vector<Lit>& assumptions) override;
+  using SatEngine::solve;
 
   /// After kSat: the satisfying assignment, indexed by variable.
   /// Entries are l_undef only if a listener declared early
   /// satisfaction (paper §5 — de-overspecified patterns).
-  const std::vector<lbool>& model() const { return model_; }
-  lbool model_value(Var v) const { return model_[v]; }
-  lbool model_value(Lit l) const { return model_[l.var()] ^ l.negative(); }
+  const std::vector<lbool>& model() const override { return model_; }
 
   /// After kUnsat under assumptions: a subset of the assumptions whose
   /// conjunction is already inconsistent with the clause set.
-  const std::vector<Lit>& conflict_core() const { return conflict_core_; }
+  const std::vector<Lit>& conflict_core() const override {
+    return conflict_core_;
+  }
+
+  /// Requests cooperative termination (callable from other threads):
+  /// the in-flight solve() unwinds to the root and returns kUnknown
+  /// with unknown_reason() == kInterrupted.  Cleared on solve() entry.
+  void interrupt() override {
+    interrupt_flag_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Why the last solve() returned kUnknown.
+  UnknownReason unknown_reason() const override { return unknown_reason_; }
+
+  /// Additionally polls \p flag (not owned, may be null) for
+  /// termination requests.  Unlike interrupt(), the external flag is
+  /// never cleared by solve(), so a request can never be lost to the
+  /// entry reset — the portfolio uses this to cancel losers.
+  void set_external_interrupt(const std::atomic<bool>* flag) {
+    external_interrupt_ = flag;
+  }
+
+  // --- parallel clause sharing (portfolio backend) ------------------
+
+  /// Called on every recorded conflict clause (literals + LBD); return
+  /// true to count the clause as exported.  Invoked from the solving
+  /// thread — the callback must do its own synchronization.
+  using ClauseExportFn =
+      std::function<bool(const std::vector<Lit>&, int lbd)>;
+
+  /// Drains foreign learnt clauses into the output batch.  Invoked at
+  /// restart boundaries (root level) from the solving thread.
+  using ClauseImportFn = std::function<void(std::vector<std::vector<Lit>>&)>;
+
+  void set_clause_export(ClauseExportFn fn) { export_fn_ = std::move(fn); }
+  void set_clause_import(ClauseImportFn fn) { import_fn_ = std::move(fn); }
+
+  /// Attaches a clause that is logically implied by the problem
+  /// clauses (e.g. learnt by a portfolio peer) as a learnt clause.
+  /// Must be called at decision level 0, between solve() calls or from
+  /// a ClauseImportFn.  Returns false if the clause set becomes
+  /// root-level unsatisfiable.  Not DRUP-logged: do not combine clause
+  /// import with a proof logger.
+  bool add_learnt_clause(std::vector<Lit> lits);
 
   // --- current (in-search / root-level) state -----------------------
 
@@ -103,7 +145,7 @@ class Solver {
 
   // --- instrumentation ----------------------------------------------
 
-  const SolverStats& stats() const { return stats_; }
+  SolverStats stats() const override { return stats_; }
   SolverOptions& options() { return opts_; }
   const SolverOptions& options() const { return opts_; }
 
@@ -119,19 +161,21 @@ class Solver {
 
   /// Activity bump so applications can steer the heuristic toward
   /// interesting variables (e.g. fault-cone variables in ATPG).
-  void bump_variable(Var v) { bump_var_activity(v); }
+  void bump_variable(Var v) override { bump_var_activity(v); }
 
   /// Sets the preferred first polarity for \p v (overrides saved phase
   /// until the variable is next assigned): branch v=value first.
   /// (Internally polarity_[v]==1 means "branch negative".)
-  void set_polarity(Var v, bool value) { polarity_[v] = value ? 0 : 1; }
+  void set_polarity(Var v, bool value) override {
+    polarity_[v] = value ? 0 : 1;
+  }
 
   /// Excludes \p v from branching when \p is_decision is false.
   /// Soundness caveat: a non-decision variable must not occur in any
   /// live clause the model is expected to satisfy (intended for
   /// variables of retired clause groups in incremental flows); the
   /// solver may leave it unassigned in models.
-  void set_decision_var(Var v, bool is_decision) {
+  void set_decision_var(Var v, bool is_decision) override {
     decision_[v] = is_decision ? 1 : 0;
     if (is_decision && value(v).is_undef() && !order_.contains(v)) {
       order_.insert(v);
@@ -139,14 +183,16 @@ class Solver {
   }
 
   /// Number of original (non-learnt, non-deleted) problem clauses.
-  std::size_t num_problem_clauses() const { return num_problem_clauses_; }
+  std::size_t num_problem_clauses() const override {
+    return num_problem_clauses_;
+  }
   std::size_t num_learnt_clauses() const { return learnts_.size(); }
 
   /// Removes every clause already satisfied at the root level (e.g.
   /// clause groups retired by an activation literal in incremental
   /// flows).  Must be called between solve() calls.  Semantics are
   /// unchanged; watch lists shrink accordingly.
-  void simplify_db();
+  void simplify_db() override;
 
  private:
   struct Watcher {
@@ -180,6 +226,9 @@ class Solver {
 
   // --- helpers -------------------------------------------------------
   SolveResult search();
+  /// Pulls foreign clauses via import_fn_ and attaches them; returns
+  /// false on a root-level conflict.  Called at restart boundaries.
+  bool import_shared_clauses();
   bool enqueue(Lit p, ClauseRef reason);
   ClauseRef attach_new_clause(Clause c);
   void attach_watches(ClauseRef cref);
@@ -233,6 +282,13 @@ class Solver {
   std::mt19937_64 rng_;
   SolverListener* listener_ = nullptr;
   ProofLogger* proof_ = nullptr;
+
+  std::atomic<bool> interrupt_flag_{false};
+  const std::atomic<bool>* external_interrupt_ = nullptr;
+  UnknownReason unknown_reason_ = UnknownReason::kNone;
+  ClauseExportFn export_fn_;
+  ClauseImportFn import_fn_;
+  std::vector<std::vector<Lit>> import_buf_;  ///< scratch for imports
 
   double max_learnts_ = 0;
   std::int64_t conflicts_at_start_ = 0;

@@ -45,7 +45,7 @@ TEST(DpllTest, PigeonholeUnsatWithManyBacktracks) {
   CnfFormula f = pigeonhole(4);
   DpllSolver s(f);
   EXPECT_EQ(s.solve(), SolveResult::kUnsat);
-  EXPECT_GT(s.stats().backtracks, 0);
+  EXPECT_GT(s.dpll_stats().backtracks, 0);
 }
 
 TEST(DpllTest, BudgetReturnsUnknown) {

@@ -1,0 +1,163 @@
+/// \file engine_test.cpp
+/// \brief Cross-engine conformance suite: every backend reachable
+///        through the SatEngine interface must honour the same
+///        contract (verdicts, models, assumption handling, trivial
+///        UNSAT on add_clause).  Runs the identical test body against
+///        cdcl, dpll, wsat and the 2-worker portfolio via factories.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "cnf/generators.hpp"
+#include "sat/engine.hpp"
+#include "sat/portfolio.hpp"
+
+namespace {
+
+using namespace sateda;
+using sat::SolveResult;
+
+struct EngineCase {
+  std::string name;
+  bool complete;  ///< can the engine answer kUnsat by search?
+};
+
+class EngineConformanceTest : public testing::TestWithParam<EngineCase> {
+ protected:
+  std::unique_ptr<sat::SatEngine> make(sat::SolverOptions opts = {}) const {
+    return sat::engine_factory_by_name(GetParam().name, /*num_workers=*/2)(
+        opts);
+  }
+};
+
+TEST_P(EngineConformanceTest, ReportsItsName) {
+  auto e = make();
+  EXPECT_FALSE(e->name().empty());
+}
+
+TEST_P(EngineConformanceTest, TrivialSat) {
+  auto e = make();
+  Var a = e->new_var();
+  ASSERT_TRUE(e->add_clause({pos(a)}));
+  ASSERT_EQ(e->solve(), SolveResult::kSat);
+  EXPECT_EQ(e->model_value(a), l_true);
+}
+
+TEST_P(EngineConformanceTest, ModelSatisfiesFormula) {
+  CnfFormula f = random_3sat(25, 3.0, 123);  // under-constrained: SAT
+  auto e = make();
+  ASSERT_TRUE(e->add_formula(f));
+  ASSERT_EQ(e->solve(), SolveResult::kSat);
+  std::vector<bool> bits(f.num_vars());
+  for (Var v = 0; v < f.num_vars(); ++v) bits[v] = e->model_value(v).is_true();
+  EXPECT_TRUE(f.is_satisfied_by(bits));
+}
+
+TEST_P(EngineConformanceTest, EmptyClauseFailsOnAdd) {
+  auto e = make();
+  EXPECT_FALSE(e->add_clause(std::vector<Lit>{}));
+  EXPECT_FALSE(e->okay());
+  EXPECT_EQ(e->solve(), SolveResult::kUnsat);
+}
+
+TEST_P(EngineConformanceTest, ContradictoryUnitsRefuted) {
+  if (!GetParam().complete) GTEST_SKIP() << "incomplete engine";
+  auto e = make();
+  Var a = e->new_var();
+  ASSERT_TRUE(e->add_clause({pos(a)}));
+  // Detecting the contradiction at add time is permitted but not
+  // required (CDCL propagates eagerly; DPLL defers to solve).
+  const bool detected = !e->add_clause({neg(a)});
+  if (detected) {
+    EXPECT_FALSE(e->okay());
+  }
+  EXPECT_EQ(e->solve(), SolveResult::kUnsat);
+}
+
+TEST_P(EngineConformanceTest, CompleteEnginesRefutePigeonhole) {
+  if (!GetParam().complete) GTEST_SKIP() << "incomplete engine";
+  auto e = make();
+  ASSERT_TRUE(e->add_formula(pigeonhole(4)));
+  EXPECT_EQ(e->solve(), SolveResult::kUnsat);
+}
+
+TEST_P(EngineConformanceTest, AssumptionsRestrictModels) {
+  auto e = make();
+  Var a = e->new_var();
+  Var b = e->new_var();
+  ASSERT_TRUE(e->add_clause({pos(a), pos(b)}));
+  ASSERT_EQ(e->solve({neg(a)}), SolveResult::kSat);
+  EXPECT_EQ(e->model_value(a), l_false);
+  EXPECT_EQ(e->model_value(b), l_true);
+  // Assumptions are not clauses: the unassumed problem stays SAT.
+  ASSERT_EQ(e->solve(), SolveResult::kSat);
+}
+
+TEST_P(EngineConformanceTest, UnsatAssumptionsYieldCoreSubset) {
+  if (!GetParam().complete) GTEST_SKIP() << "incomplete engine";
+  auto e = make();
+  Var a = e->new_var();
+  Var b = e->new_var();
+  Var c = e->new_var();
+  ASSERT_TRUE(e->add_clause({neg(a), neg(b)}));
+  std::vector<Lit> assumptions = {pos(a), pos(b), pos(c)};
+  ASSERT_EQ(e->solve(assumptions), SolveResult::kUnsat);
+  for (Lit l : e->conflict_core()) {
+    EXPECT_TRUE(std::find(assumptions.begin(), assumptions.end(), l) !=
+                assumptions.end())
+        << "core literal not among assumptions";
+  }
+  // The clause set itself is satisfiable, so the state must recover.
+  EXPECT_TRUE(e->okay());
+  EXPECT_EQ(e->solve(), SolveResult::kSat);
+}
+
+TEST_P(EngineConformanceTest, ModelValueOutOfRangeIsUndef) {
+  auto e = make();
+  Var a = e->new_var();
+  ASSERT_TRUE(e->add_clause({pos(a)}));
+  ASSERT_EQ(e->solve(), SolveResult::kSat);
+  EXPECT_EQ(e->model_value(static_cast<Var>(999)), l_undef);
+}
+
+TEST_P(EngineConformanceTest, StatsCountSolveCalls) {
+  auto e = make();
+  Var a = e->new_var();
+  ASSERT_TRUE(e->add_clause({pos(a)}));
+  ASSERT_EQ(e->solve(), SolveResult::kSat);
+  ASSERT_EQ(e->solve(), SolveResult::kSat);
+  EXPECT_GE(e->stats().solve_calls, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineConformanceTest,
+    testing::Values(EngineCase{"cdcl", true}, EngineCase{"dpll", true},
+                    EngineCase{"wsat", false}, EngineCase{"portfolio", true}),
+    [](const testing::TestParamInfo<EngineCase>& info) {
+      return info.param.name;
+    });
+
+TEST(EngineFactoryTest, UnknownNameThrows) {
+  EXPECT_THROW(sat::engine_factory_by_name("nope"), std::invalid_argument);
+}
+
+TEST(EngineFactoryTest, EmptyFactoryYieldsCdcl) {
+  auto e = sat::make_engine({}, sat::SolverOptions{});
+  EXPECT_EQ(e->name(), "cdcl");
+}
+
+TEST(EngineFactoryTest, NamedFactoriesYieldMatchingEngines) {
+  EXPECT_EQ(sat::engine_factory_by_name("cdcl")(sat::SolverOptions{})->name(),
+            "cdcl");
+  EXPECT_EQ(sat::engine_factory_by_name("dpll")(sat::SolverOptions{})->name(),
+            "dpll");
+  EXPECT_EQ(sat::engine_factory_by_name("walksat")(sat::SolverOptions{})->name(),
+            "walksat");
+  EXPECT_EQ(
+      sat::engine_factory_by_name("portfolio", 2)(sat::SolverOptions{})->name(),
+      "portfolio");
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+/// \file incremental_test.cpp
+/// \brief Incremental solving under assumptions: conflict-core
+///        soundness, clause groups via activation literals, and
+///        simplify_db() between solve calls — the workload pattern of
+///        the incremental ATPG/BMC layers (paper §6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cnf/generators.hpp"
+#include "sat/solver.hpp"
+
+namespace {
+
+using namespace sateda;
+using sat::SolveResult;
+using sat::Solver;
+
+bool subset_of(const std::vector<Lit>& inner, const std::vector<Lit>& outer) {
+  return std::all_of(inner.begin(), inner.end(), [&](Lit l) {
+    return std::find(outer.begin(), outer.end(), l) != outer.end();
+  });
+}
+
+TEST(IncrementalTest, ConflictCoreIsSoundSubset) {
+  // (¬a ∨ ¬b) makes {a, b} jointly inconsistent; c and d are padding
+  // assumptions a good core should drop.
+  Solver s;
+  Var a = s.new_var(), b = s.new_var(), c = s.new_var(), d = s.new_var();
+  ASSERT_TRUE(s.add_clause({neg(a), neg(b)}));
+  std::vector<Lit> assumptions = {pos(c), pos(a), pos(d), pos(b)};
+  ASSERT_EQ(s.solve(assumptions), SolveResult::kUnsat);
+  const std::vector<Lit> core = s.conflict_core();
+  EXPECT_TRUE(subset_of(core, assumptions));
+  EXPECT_FALSE(core.empty());
+  // Soundness: the core alone must still be inconsistent.
+  ASSERT_EQ(s.solve(core), SolveResult::kUnsat);
+  // And the solver recovers fully: no assumption — satisfiable.
+  EXPECT_TRUE(s.okay());
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(IncrementalTest, CoresOnRandomInstances) {
+  // Assume all variables positive on UNSAT random formulas; whatever
+  // core comes back must itself refute.
+  for (std::uint64_t seed : {3u, 14u, 15u}) {
+    CnfFormula f = random_3sat(30, 5.0, seed);
+    Solver s;
+    ASSERT_TRUE(s.add_formula(f));
+    std::vector<Lit> assumptions;
+    for (Var v = 0; v < f.num_vars(); ++v) assumptions.push_back(pos(v));
+    SolveResult r = s.solve(assumptions);
+    if (r != SolveResult::kUnsat) continue;  // assignment happened to work
+    EXPECT_TRUE(subset_of(s.conflict_core(), assumptions));
+    std::vector<Lit> core = s.conflict_core();
+    EXPECT_EQ(s.solve(core), SolveResult::kUnsat);
+  }
+}
+
+TEST(IncrementalTest, ActivationLiteralGroupsRetireCleanly) {
+  // Clause groups à la incremental ATPG: fault clauses guarded by an
+  // activation literal g — (¬g ∨ c) — enabled by assuming g, retired
+  // for good by adding the unit ¬g.
+  Solver s;
+  Var x = s.new_var(), y = s.new_var();
+  Var g1 = s.new_var(), g2 = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(x), pos(y)}));
+  // Group 1 forces x; group 2 forces ¬x.
+  ASSERT_TRUE(s.add_clause({neg(g1), pos(x)}));
+  ASSERT_TRUE(s.add_clause({neg(g2), neg(x)}));
+  ASSERT_EQ(s.solve({pos(g1)}), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(x), l_true);
+  ASSERT_EQ(s.solve({pos(g2)}), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(x), l_false);
+  // Both groups at once: contradiction, core names the guards.
+  ASSERT_EQ(s.solve({pos(g1), pos(g2)}), SolveResult::kUnsat);
+  EXPECT_TRUE(subset_of(s.conflict_core(), {pos(g1), pos(g2)}));
+  // Retire group 2 permanently and simplify: group 1 works again.
+  ASSERT_TRUE(s.add_clause({neg(g2)}));
+  s.simplify_db();
+  ASSERT_EQ(s.solve({pos(g1)}), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(x), l_true);
+}
+
+TEST(IncrementalTest, SimplifyDbBetweenSolvesPreservesAnswers) {
+  CnfFormula f = random_3sat(40, 4.0, 77);
+  Solver incremental;
+  ASSERT_TRUE(incremental.add_formula(f));
+  for (Var v = 0; v < 8; ++v) {
+    for (Lit assumption : {pos(v), neg(v)}) {
+      SolveResult got = incremental.solve({assumption});
+      incremental.simplify_db();  // shrink between queries
+      Solver fresh;
+      ASSERT_TRUE(fresh.add_formula(f));
+      SolveResult want = fresh.solve({assumption});
+      EXPECT_EQ(got, want) << "assumption on var " << v;
+    }
+  }
+}
+
+TEST(IncrementalTest, LearntClausesSurviveAcrossCalls) {
+  // Re-solving the same UNSAT-under-assumption query must not repeat
+  // the work: the second call rides on the first call's learnt
+  // clauses.  Guarding every clause keeps the conflict at the
+  // assumption (not the root), so the solver stays usable.
+  CnfFormula f = pigeonhole(5);
+  Solver s;
+  const Var g = f.num_vars();
+  s.ensure_var(g);
+  for (const Clause& c : f) {
+    std::vector<Lit> lits(c.begin(), c.end());
+    lits.push_back(neg(g));
+    ASSERT_TRUE(s.add_clause(std::move(lits)));
+  }
+  ASSERT_EQ(s.solve({pos(g)}), SolveResult::kUnsat);
+  const std::int64_t first = s.stats().conflicts;
+  ASSERT_EQ(s.solve({pos(g)}), SolveResult::kUnsat);
+  const std::int64_t second = s.stats().conflicts - first;
+  EXPECT_LT(second, first);
+  EXPECT_TRUE(s.okay());
+}
+
+TEST(IncrementalTest, RootConflictUnderAssumptionsKillsSolver) {
+  // Regression: a conflict at decision level 0 during an assumption
+  // solve refutes the clause set itself; the solver must go !okay()
+  // and keep answering kUnsat instead of fabricating a model later.
+  Solver s;
+  ASSERT_TRUE(s.add_formula(pigeonhole(5)));
+  Var guard = s.new_var();
+  ASSERT_EQ(s.solve({pos(guard)}), SolveResult::kUnsat);
+  EXPECT_FALSE(s.okay());
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+  EXPECT_EQ(s.solve({pos(guard)}), SolveResult::kUnsat);
+}
+
+TEST(IncrementalTest, GrowingFormulaAcrossSolves) {
+  // Alternate adding constraints and solving; verdicts must track the
+  // shrinking solution space down to UNSAT.
+  Solver s;
+  const int n = 6;
+  for (int i = 0; i < n; ++i) s.ensure_var(i);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  // At-least-one, pairwise at-most-one over n vars: SAT until we also
+  // demand two distinct true variables.
+  std::vector<Lit> alo;
+  for (Var v = 0; v < n; ++v) alo.push_back(pos(v));
+  ASSERT_TRUE(s.add_clause(alo));
+  for (Var v = 0; v < n; ++v) {
+    for (Var w = v + 1; w < n; ++w) {
+      ASSERT_TRUE(s.add_clause({neg(v), neg(w)}));
+    }
+  }
+  ASSERT_EQ(s.solve(), SolveResult::kSat);  // exactly-one is fine
+  // Count the true variables in the model: must be exactly one.
+  int trues = 0;
+  for (Var v = 0; v < n; ++v) trues += s.model_value(v).is_true();
+  EXPECT_EQ(trues, 1);
+  // Now force two specific variables true: UNSAT by at-most-one.
+  ASSERT_EQ(s.solve({pos(0), pos(1)}), SolveResult::kUnsat);
+  EXPECT_TRUE(s.okay());
+  ASSERT_TRUE(s.add_clause({pos(0)}));
+  ASSERT_TRUE(s.add_clause({pos(1)}) == false || s.solve() == SolveResult::kUnsat);
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+/// \file portfolio_test.cpp
+/// \brief PortfolioSolver: agreement with the single-threaded solver
+///        on random instances (both modes), reproducibility of the
+///        deterministic mode, cooperative interruption, and stats
+///        aggregation.  Run under TSan in CI to validate the sharing
+///        protocol.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cnf/generators.hpp"
+#include "sat/portfolio.hpp"
+#include "sat/solver.hpp"
+
+namespace {
+
+using namespace sateda;
+using sat::PortfolioOptions;
+using sat::PortfolioSolver;
+using sat::SolveResult;
+using sat::Solver;
+
+SolveResult reference_verdict(const CnfFormula& f) {
+  Solver s;
+  if (!s.add_formula(f)) return SolveResult::kUnsat;
+  return s.solve();
+}
+
+void check_model(const sat::SatEngine& e, const CnfFormula& f) {
+  std::vector<bool> bits(f.num_vars());
+  for (Var v = 0; v < f.num_vars(); ++v) bits[v] = e.model_value(v).is_true();
+  EXPECT_TRUE(f.is_satisfied_by(bits));
+}
+
+PortfolioSolver make_portfolio(int workers, bool deterministic) {
+  PortfolioOptions popts;
+  popts.num_workers = workers;
+  popts.deterministic = deterministic;
+  return PortfolioSolver(sat::SolverOptions{}, popts);
+}
+
+class PortfolioModeTest : public testing::TestWithParam<bool> {};
+
+TEST_P(PortfolioModeTest, AgreesWithSingleSolverOnRandomInstances) {
+  const bool deterministic = GetParam();
+  // Ratios straddling the phase transition give a mix of SAT and
+  // UNSAT; every verdict must match the sequential solver's.
+  int sat_seen = 0, unsat_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    CnfFormula f = random_3sat(40, 4.26, seed);
+    SolveResult want = reference_verdict(f);
+    PortfolioSolver p = make_portfolio(2, deterministic);
+    ASSERT_TRUE(p.add_formula(f));
+    SolveResult got = p.solve();
+    EXPECT_EQ(got, want) << "seed " << seed;
+    if (got == SolveResult::kSat) {
+      ++sat_seen;
+      check_model(p, f);
+    } else if (got == SolveResult::kUnsat) {
+      ++unsat_seen;
+    }
+  }
+  EXPECT_GT(sat_seen, 0) << "seed family too easy/hard: tune ratios";
+  EXPECT_GT(unsat_seen, 0) << "seed family too easy/hard: tune ratios";
+}
+
+TEST_P(PortfolioModeTest, RefutesPigeonhole) {
+  PortfolioSolver p = make_portfolio(3, GetParam());
+  ASSERT_TRUE(p.add_formula(pigeonhole(5)));
+  EXPECT_EQ(p.solve(), SolveResult::kUnsat);
+  EXPECT_GE(p.winner(), -1);
+}
+
+TEST_P(PortfolioModeTest, AssumptionsAndCores) {
+  PortfolioSolver p = make_portfolio(2, GetParam());
+  Var a = p.new_var(), b = p.new_var();
+  ASSERT_TRUE(p.add_clause({neg(a), neg(b)}));
+  ASSERT_EQ(p.solve({pos(a), pos(b)}), SolveResult::kUnsat);
+  for (Lit l : p.conflict_core()) {
+    EXPECT_TRUE(l == pos(a) || l == pos(b));
+  }
+  EXPECT_TRUE(p.okay());
+  ASSERT_EQ(p.solve({pos(a)}), SolveResult::kSat);
+  EXPECT_EQ(p.model_value(b), l_false);
+}
+
+TEST_P(PortfolioModeTest, StatsAggregateAcrossWorkers) {
+  PortfolioSolver p = make_portfolio(4, GetParam());
+  ASSERT_TRUE(p.add_formula(pigeonhole(4)));
+  ASSERT_EQ(p.solve(), SolveResult::kUnsat);
+  // Every worker entered solve at least once.
+  EXPECT_GE(p.stats().solve_calls, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, PortfolioModeTest, testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "deterministic" : "racing";
+                         });
+
+TEST(PortfolioDeterministicTest, BitIdenticalAcrossRuns) {
+  // Two instances with identical configuration must produce identical
+  // verdicts, models and search statistics — including on instances
+  // where clause exchange happens across several rounds.
+  for (std::uint64_t seed : {5u, 8u, 11u}) {
+    CnfFormula f = random_3sat(50, 4.3, seed);
+    PortfolioSolver p1 = make_portfolio(3, true);
+    PortfolioSolver p2 = make_portfolio(3, true);
+    ASSERT_TRUE(p1.add_formula(f));
+    ASSERT_TRUE(p2.add_formula(f));
+    SolveResult r1 = p1.solve();
+    SolveResult r2 = p2.solve();
+    ASSERT_EQ(r1, r2) << "seed " << seed;
+    EXPECT_EQ(p1.winner(), p2.winner()) << "seed " << seed;
+    if (r1 == SolveResult::kSat) {
+      ASSERT_EQ(p1.model().size(), p2.model().size());
+      for (std::size_t v = 0; v < p1.model().size(); ++v) {
+        EXPECT_EQ(p1.model()[v], p2.model()[v]) << "seed " << seed << " var " << v;
+      }
+    }
+    const sat::SolverStats s1 = p1.stats();
+    const sat::SolverStats s2 = p2.stats();
+    EXPECT_EQ(s1.decisions, s2.decisions) << "seed " << seed;
+    EXPECT_EQ(s1.conflicts, s2.conflicts) << "seed " << seed;
+    EXPECT_EQ(s1.propagations, s2.propagations) << "seed " << seed;
+    EXPECT_EQ(s1.imported_clauses, s2.imported_clauses) << "seed " << seed;
+  }
+}
+
+TEST(PortfolioDeterministicTest, RepeatSolveOnSameInstanceIsUnsatStable) {
+  // Deterministic mode on the same *object*: a second solve() call
+  // must return the same verdict even though learnt clauses persist.
+  PortfolioSolver p = make_portfolio(2, true);
+  ASSERT_TRUE(p.add_formula(pigeonhole(4)));
+  EXPECT_EQ(p.solve(), SolveResult::kUnsat);
+  EXPECT_EQ(p.solve(), SolveResult::kUnsat);
+}
+
+TEST(PortfolioTest, InterruptStopsLongSolve) {
+  // pigeonhole(10) takes far longer than the interrupt delay, so the
+  // verdict must be kUnknown/kInterrupted well before completion.
+  PortfolioSolver p = make_portfolio(2, false);
+  ASSERT_TRUE(p.add_formula(pigeonhole(10)));
+  std::thread killer([&p] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    p.interrupt();
+  });
+  SolveResult r = p.solve();
+  killer.join();
+  EXPECT_EQ(r, SolveResult::kUnknown);
+  EXPECT_EQ(p.unknown_reason(), sat::UnknownReason::kInterrupted);
+}
+
+TEST(PortfolioTest, ConflictBudgetYieldsUnknown) {
+  sat::SolverOptions base;
+  base.conflict_budget = 20;
+  PortfolioOptions popts;
+  popts.num_workers = 2;
+  PortfolioSolver p(base, popts);
+  ASSERT_TRUE(p.add_formula(pigeonhole(8)));
+  EXPECT_EQ(p.solve(), SolveResult::kUnknown);
+  EXPECT_EQ(p.unknown_reason(), sat::UnknownReason::kConflictBudget);
+}
+
+TEST(PortfolioTest, DefaultWorkerCountIsPositive) {
+  PortfolioSolver p = make_portfolio(0, false);
+  Var a = p.new_var();
+  ASSERT_TRUE(p.add_clause({pos(a)}));
+  EXPECT_EQ(p.solve(), SolveResult::kSat);
+  EXPECT_GE(p.num_workers(), 1);
+}
+
+TEST(PortfolioTest, TrivialUnsatViaAddClause) {
+  PortfolioSolver p = make_portfolio(2, false);
+  Var a = p.new_var();
+  ASSERT_TRUE(p.add_clause({pos(a)}));
+  EXPECT_FALSE(p.add_clause({neg(a)}));
+  EXPECT_FALSE(p.okay());
+  EXPECT_EQ(p.solve(), SolveResult::kUnsat);
+}
+
+}  // namespace

@@ -21,7 +21,7 @@ TEST(SolverApiTest, SetPolarityPicksTheRequestedBranchFirst) {
   Var b = s.new_var();
   s.set_polarity(a, true);   // branch a=true first
   s.set_polarity(b, true);
-  s.add_clause({pos(a), pos(b)});  // keep both relevant
+  ASSERT_TRUE(s.add_clause({pos(a), pos(b)}));  // keep both relevant
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   EXPECT_EQ(s.model_value(a), l_true);
 }
@@ -32,7 +32,7 @@ TEST(SolverApiTest, BumpVariablePrioritizesDecisions) {
   Solver s(opts);
   for (int i = 0; i < 10; ++i) s.new_var();
   // Tie all variables together loosely.
-  for (Var v = 0; v + 1 < 10; ++v) s.add_clause({pos(v), pos(v + 1)});
+  for (Var v = 0; v + 1 < 10; ++v) ASSERT_TRUE(s.add_clause({pos(v), pos(v + 1)}));
   s.bump_variable(7);
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   // Variable 7 was decided (first), so it takes its default polarity
@@ -46,7 +46,7 @@ TEST(SolverApiTest, ClausesMayBeAddedBetweenSolves) {
   Solver s;
   Var a = s.new_var();
   Var b = s.new_var();
-  s.add_clause({pos(a), pos(b)});
+  ASSERT_TRUE(s.add_clause({pos(a), pos(b)}));
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   EXPECT_TRUE(s.add_clause({neg(a)}));
   ASSERT_EQ(s.solve(), SolveResult::kSat);
@@ -78,7 +78,7 @@ TEST(SolverApiTest, ConflictCoreEmptyWithoutAssumptions) {
 TEST(SolverApiTest, ModelValueLiteralOverload) {
   Solver s;
   Var a = s.new_var();
-  s.add_clause({neg(a)});
+  ASSERT_TRUE(s.add_clause({neg(a)}));
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   EXPECT_EQ(s.model_value(pos(a)), l_false);
   EXPECT_EQ(s.model_value(neg(a)), l_true);
@@ -121,7 +121,7 @@ TEST(SolverApiTest, ListenerForcedBranchIsHonoured) {
   s.set_listener(&forcer);
   Var a = s.new_var();
   Var b = s.new_var();
-  s.add_clause({pos(a), pos(b)});
+  ASSERT_TRUE(s.add_clause({pos(a), pos(b)}));
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   EXPECT_EQ(s.model_value(a), l_true);
 }

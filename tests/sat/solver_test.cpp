@@ -15,7 +15,7 @@ TEST(SolverTest, EmptyProblemIsSat) {
 
 TEST(SolverTest, SingleUnitClause) {
   Solver s;
-  s.add_clause({pos(0)});
+  ASSERT_TRUE(s.add_clause({pos(0)}));
   EXPECT_EQ(s.solve(), SolveResult::kSat);
   EXPECT_EQ(s.model_value(Var{0}), l_true);
 }
@@ -31,33 +31,33 @@ TEST(SolverTest, ContradictoryUnitsAreUnsat) {
 TEST(SolverTest, SimpleImplicationChain) {
   // (¬a + b)(¬b + c)(a) forces c.
   Solver s;
-  s.add_clause({neg(0), pos(1)});
-  s.add_clause({neg(1), pos(2)});
-  s.add_clause({pos(0)});
+  ASSERT_TRUE(s.add_clause({neg(0), pos(1)}));
+  ASSERT_TRUE(s.add_clause({neg(1), pos(2)}));
+  ASSERT_TRUE(s.add_clause({pos(0)}));
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   EXPECT_EQ(s.model_value(Var{2}), l_true);
 }
 
 TEST(SolverTest, TautologyIsIgnored) {
   Solver s;
-  s.add_clause({pos(0), neg(0)});
+  ASSERT_TRUE(s.add_clause({pos(0), neg(0)}));
   EXPECT_EQ(s.num_problem_clauses(), 0u);
   EXPECT_EQ(s.solve(), SolveResult::kSat);
 }
 
 TEST(SolverTest, DuplicateLiteralsCollapse) {
   Solver s;
-  s.add_clause({pos(0), pos(0), pos(1)});
+  ASSERT_TRUE(s.add_clause({pos(0), pos(0), pos(1)}));
   EXPECT_EQ(s.solve(), SolveResult::kSat);
 }
 
 TEST(SolverTest, UnsatRequiresConflictAnalysis) {
   // (a+b)(a+¬b)(¬a+b)(¬a+¬b) is the smallest full contradiction.
   Solver s;
-  s.add_clause({pos(0), pos(1)});
-  s.add_clause({pos(0), neg(1)});
-  s.add_clause({neg(0), pos(1)});
-  s.add_clause({neg(0), neg(1)});
+  ASSERT_TRUE(s.add_clause({pos(0), pos(1)}));
+  ASSERT_TRUE(s.add_clause({pos(0), neg(1)}));
+  ASSERT_TRUE(s.add_clause({neg(0), pos(1)}));
+  ASSERT_TRUE(s.add_clause({neg(0), neg(1)}));
   EXPECT_EQ(s.solve(), SolveResult::kUnsat);
   EXPECT_FALSE(s.okay());
 }
@@ -91,7 +91,7 @@ TEST(SolverTest, ModelSatisfiesEveryClause) {
 
 TEST(SolverAssumptionsTest, AssumptionFlipsOutcome) {
   Solver s;
-  s.add_clause({pos(0), pos(1)});
+  ASSERT_TRUE(s.add_clause({pos(0), pos(1)}));
   EXPECT_EQ(s.solve({neg(0), neg(1)}), SolveResult::kUnsat);
   EXPECT_EQ(s.solve({neg(0)}), SolveResult::kSat);
   EXPECT_EQ(s.model_value(Var{1}), l_true);
@@ -102,7 +102,7 @@ TEST(SolverAssumptionsTest, AssumptionFlipsOutcome) {
 
 TEST(SolverAssumptionsTest, ConflictCoreIsSubsetOfAssumptions) {
   Solver s;
-  s.add_clause({neg(0), neg(1)});  // a ∧ b impossible
+  ASSERT_TRUE(s.add_clause({neg(0), neg(1)}));  // a ∧ b impossible
   s.new_var();                     // unrelated variable 2
   ASSERT_EQ(s.solve({pos(0), pos(1), pos(2)}), SolveResult::kUnsat);
   const auto& core = s.conflict_core();
@@ -293,7 +293,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(SolverStatsTest, CountersMoveMonotonically) {
   Solver s;
   s.add_formula(pigeonhole(5));
-  s.solve();
+  ASSERT_NE(s.solve(), SolveResult::kUnknown);
   const SolverStats& st = s.stats();
   EXPECT_GT(st.decisions, 0);
   EXPECT_GT(st.propagations, 0);

@@ -1,34 +1,60 @@
 /// \file sateda_solve.cpp
-/// \brief DIMACS command-line SAT solver.
+/// \brief DIMACS command-line SAT solver over the SatEngine interface.
 ///
-/// Usage: sateda_solve [options] <file.cnf | ->
-///   --preprocess          run the §4.1/§6 preprocessor first
-///   --no-restarts         disable restarts
-///   --no-learning         disable clause recording
-///   --chronological       chronological backtracking
-///   --proof <file>        write a DRAT refutation on UNSAT
-///   --max-conflicts <n>   give up after n conflicts
-///   --quiet               verdict only (exit code 10 SAT / 20 UNSAT)
-///
-/// Prints an s-line and v-lines in SAT-competition format.
+/// Any registered backend can be selected with --engine; the parallel
+/// portfolio additionally takes --threads.  Output follows the SAT
+/// competition conventions: `c` comment lines, one `s` verdict line,
+/// and (on SATISFIABLE) `v` literal lines, with exit code 10 for SAT,
+/// 20 for UNSAT and 0 for UNKNOWN.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "cnf/dimacs.hpp"
+#include "sat/engine.hpp"
+#include "sat/portfolio.hpp"
 #include "sat/preprocess.hpp"
 #include "sat/proof.hpp"
 #include "sat/solver.hpp"
 
 namespace {
 
+void print_help(const char* argv0) {
+  std::printf(
+      "usage: %s [options] <file.cnf | ->\n"
+      "\n"
+      "Reads a DIMACS CNF file (or stdin with `-`) and decides it.\n"
+      "\n"
+      "engine selection:\n"
+      "  --engine NAME        SAT backend: cdcl (default), dpll, wsat,\n"
+      "                       portfolio (parallel clause-sharing CDCL)\n"
+      "  --threads N          portfolio worker count (0 = one per core)\n"
+      "  --deterministic      portfolio: reproducible barrier-synchronized\n"
+      "                       rounds instead of free racing\n"
+      "\n"
+      "search options (cdcl and portfolio):\n"
+      "  --no-restarts        disable restarts\n"
+      "  --no-learning        disable clause recording\n"
+      "  --chronological      chronological backtracking\n"
+      "  --proof FILE         write a DRAT refutation on UNSAT (cdcl only)\n"
+      "  --max-conflicts N    give up after N conflicts (per worker)\n"
+      "\n"
+      "general:\n"
+      "  --preprocess         run the CNF preprocessor first\n"
+      "  --quiet              suppress `c` comment lines\n"
+      "  --help               this message\n"
+      "\n"
+      "output: SAT-competition format (`s` verdict line; `v` literal\n"
+      "lines on SATISFIABLE).  Exit code 10 = SAT, 20 = UNSAT,\n"
+      "0 = UNKNOWN, 2 = usage or input error.\n",
+      argv0);
+}
+
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--preprocess] [--no-restarts] [--no-learning] "
-               "[--chronological] [--proof FILE] [--max-conflicts N] "
-               "[--quiet] <file.cnf | ->\n",
+  std::fprintf(stderr, "usage: %s [options] <file.cnf | ->  (--help for details)\n",
                argv0);
   return 2;
 }
@@ -39,12 +65,24 @@ int main(int argc, char** argv) {
   using namespace sateda;
   std::string path;
   std::string proof_path;
+  std::string engine_name = "cdcl";
+  int threads = 0;
+  bool deterministic = false;
   bool preprocess_first = false;
   bool quiet = false;
   sat::SolverOptions opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--preprocess") {
+    if (arg == "--help" || arg == "-h") {
+      print_help(argv[0]);
+      return 0;
+    } else if (arg == "--engine" && i + 1 < argc) {
+      engine_name = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--deterministic") {
+      deterministic = true;
+    } else if (arg == "--preprocess") {
       preprocess_first = true;
     } else if (arg == "--no-restarts") {
       opts.restarts = false;
@@ -66,6 +104,22 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) return usage(argv[0]);
 
+  sat::EngineFactory factory;
+  try {
+    if (engine_name == "portfolio" && deterministic) {
+      factory = sat::portfolio_engine_factory(threads, /*deterministic=*/true);
+    } else {
+      factory = sat::engine_factory_by_name(engine_name, threads);
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (!proof_path.empty() && engine_name != "cdcl") {
+    std::fprintf(stderr, "error: --proof requires --engine cdcl\n");
+    return 2;
+  }
+
   CnfFormula f;
   try {
     f = (path == "-") ? read_dimacs(std::cin) : read_dimacs_file(path);
@@ -74,8 +128,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!quiet) {
-    std::printf("c sateda_solve: %d vars, %zu clauses\n", f.num_vars(),
-                f.num_clauses());
+    std::printf("c sateda_solve: %d vars, %zu clauses, engine %s\n",
+                f.num_vars(), f.num_clauses(), engine_name.c_str());
   }
 
   sat::PreprocessResult pre;
@@ -91,15 +145,22 @@ int main(int argc, char** argv) {
   }
 
   sat::Proof proof;
-  sat::Solver solver(opts);
-  if (!proof_path.empty()) solver.set_proof_logger(&proof);
-  solver.add_formula(*to_solve);
-  solver.ensure_var(f.num_vars() - 1);
-  sat::SolveResult r = solver.solve();
-  if (!quiet) std::printf("c %s\n", solver.stats().summary().c_str());
+  std::unique_ptr<sat::SatEngine> solver = sat::make_engine(factory, opts);
+  if (!proof_path.empty()) {
+    // Checked above: only reachable with the concrete CDCL backend.
+    static_cast<sat::Solver&>(*solver).set_proof_logger(&proof);
+  }
+  bool ok = solver->add_formula(*to_solve);
+  solver->ensure_var(f.num_vars() - 1);
+  sat::SolveResult r = ok ? solver->solve() : sat::SolveResult::kUnsat;
+  if (!quiet) std::printf("c %s\n", solver->stats().summary().c_str());
 
   switch (r) {
     case sat::SolveResult::kUnknown:
+      if (!quiet) {
+        std::printf("c unknown reason: %s\n",
+                    sat::to_string(solver->unknown_reason()).c_str());
+      }
       std::printf("s UNKNOWN\n");
       return 0;
     case sat::SolveResult::kUnsat: {
@@ -120,7 +181,7 @@ int main(int argc, char** argv) {
     }
     case sat::SolveResult::kSat: {
       std::printf("s SATISFIABLE\n");
-      std::vector<lbool> model = solver.model();
+      std::vector<lbool> model = solver->model();
       if (preprocess_first) model = pre.reconstruct_model(model);
       std::printf("v");
       for (Var v = 0; v < f.num_vars(); ++v) {
