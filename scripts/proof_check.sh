@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Solve every bundled UNSAT instance with DRAT logging enabled and run
+# each certificate through the independent checker.  Exercises the
+# plain CDCL path, the preprocessor pipeline and the parallel
+# portfolio, in both text and binary DRAT.
+#
+# usage: scripts/proof_check.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SOLVE="$BUILD_DIR/tools/sateda-solve"
+CHECK="$BUILD_DIR/tools/sateda-check"
+CNF_DIR="$(dirname "$0")/../examples/cnf"
+PROOF="$(mktemp /tmp/sateda_proof.XXXXXX.drat)"
+trap 'rm -f "$PROOF"' EXIT
+
+for tool in "$SOLVE" "$CHECK"; do
+  if [ ! -x "$tool" ]; then
+    echo "error: $tool not built (build the sateda-solve and sateda-check targets first)" >&2
+    exit 2
+  fi
+done
+
+failures=0
+run_one() {
+  local label="$1" cnf="$2"
+  shift 2
+  local status=0
+  "$SOLVE" --quiet --proof "$PROOF" "$@" "$cnf" >/dev/null || status=$?
+  if [ "$status" -ne 20 ]; then
+    echo "FAIL [$label] $cnf: solver exit $status (expected 20 = UNSAT)"
+    failures=$((failures + 1))
+    return
+  fi
+  if "$CHECK" --quiet "$cnf" "$PROOF" >/dev/null; then
+    echo "ok   [$label] $cnf"
+  else
+    echo "FAIL [$label] $cnf: proof did not verify"
+    failures=$((failures + 1))
+  fi
+}
+
+for cnf in "$CNF_DIR"/*.cnf; do
+  run_one "cdcl/text" "$cnf"
+  run_one "cdcl/binary" "$cnf" --binary-proof
+  run_one "preprocess" "$cnf" --preprocess
+  run_one "portfolio" "$cnf" --engine portfolio --threads 2
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures proof check(s) failed"
+  exit 1
+fi
+echo "all proofs verified"

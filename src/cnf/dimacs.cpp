@@ -1,5 +1,6 @@
 #include "cnf/dimacs.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -7,69 +8,119 @@ namespace sateda {
 
 namespace {
 
-Lit lit_from_dimacs(long code) {
+/// Largest DIMACS variable index a Lit can encode (2*var+1 must fit in
+/// the 32-bit literal code).
+constexpr long long kMaxDimacsVar = 1LL << 30;
+
+Lit lit_from_dimacs(long long code) {
   Var v = static_cast<Var>((code < 0 ? -code : code) - 1);
   return Lit(v, code < 0);
 }
 
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw DimacsError("line " + std::to_string(line_no) + ": " + what);
+}
+
 }  // namespace
 
-CnfFormula read_dimacs(std::istream& in) {
+CnfFormula read_dimacs(std::istream& in, const DimacsOptions& opts) {
   CnfFormula f;
   bool saw_header = false;
-  std::string token;
+  long long declared_vars = 0;
+  long long declared_clauses = 0;
+  long long clauses_read = 0;
   std::vector<Lit> current;
+  std::size_t clause_start_line = 0;  // line the open clause began on
   std::string line;
+  std::string tok;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    ++line_no;
     std::istringstream ls(line);
-    ls >> token;
-    if (!ls) continue;
-    if (token == "c" || token[0] == 'c') continue;  // comment
-    if (token == "p") {
-      std::string fmt;
-      long nv = 0, nc = 0;
-      ls >> fmt >> nv >> nc;
-      if (!ls || fmt != "cnf" || nv < 0) {
-        throw DimacsError("malformed DIMACS header: " + line);
+    if (!(ls >> tok)) continue;       // blank line
+    if (tok[0] == 'c') continue;      // comment
+    if (tok == "p") {
+      if (saw_header) fail(line_no, "duplicate DIMACS header");
+      if (clauses_read > 0 || !current.empty()) {
+        fail(line_no, "DIMACS header after clause data");
       }
-      if (nv > 0) f.ensure_var(static_cast<Var>(nv - 1));
+      std::string fmt;
+      if (!(ls >> fmt >> declared_vars >> declared_clauses) || fmt != "cnf" ||
+          declared_vars < 0 || declared_clauses < 0) {
+        fail(line_no, "malformed 'p cnf <vars> <clauses>' header: " + line);
+      }
+      if (ls >> tok) {
+        fail(line_no, "trailing token '" + tok + "' after DIMACS header");
+      }
+      if (declared_vars > kMaxDimacsVar) {
+        fail(line_no, "declared variable count " +
+                          std::to_string(declared_vars) +
+                          " exceeds the representable range");
+      }
+      if (declared_vars > 0) f.ensure_var(static_cast<Var>(declared_vars - 1));
       saw_header = true;
       continue;
     }
-    // Clause data; the first token is already consumed.
+    // Clause data: reparse the whole line token by token.
     std::istringstream rest(line);
-    long code;
-    while (rest >> code) {
+    while (rest >> tok) {
+      if (tok[0] == 'c') break;  // trailing comment
+      long long code = 0;
+      const char* end = tok.data() + tok.size();
+      auto [ptr, ec] = std::from_chars(tok.data(), end, code);
+      if (ec == std::errc::result_out_of_range) {
+        fail(line_no, "literal '" + tok + "' overflows");
+      }
+      if (ec != std::errc() || ptr != end) {
+        fail(line_no, "bad token '" + tok + "' in clause data");
+      }
       if (code == 0) {
         f.add_clause(Clause(current));
         current.clear();
-      } else {
-        current.push_back(lit_from_dimacs(code));
+        clause_start_line = 0;
+        ++clauses_read;
+        continue;
       }
-    }
-    if (!rest.eof()) {
-      throw DimacsError("malformed DIMACS clause line: " + line);
+      const long long mag = code < 0 ? -code : code;
+      if (mag > kMaxDimacsVar) {
+        fail(line_no, "literal '" + tok +
+                          "' is outside the representable variable range");
+      }
+      if (opts.strict_header_bounds) {
+        if (!saw_header) fail(line_no, "clause data before DIMACS header");
+        if (mag > declared_vars) {
+          fail(line_no, "literal '" + tok + "' exceeds the declared " +
+                            std::to_string(declared_vars) + " variables");
+        }
+      }
+      if (current.empty()) clause_start_line = line_no;
+      current.push_back(lit_from_dimacs(code));
     }
   }
   if (!current.empty()) {
-    throw DimacsError("DIMACS input ends inside a clause (missing 0)");
+    fail(clause_start_line,
+         "clause is missing its terminating 0 at end of input");
   }
-  if (!saw_header && f.num_clauses() == 0 && f.num_vars() == 0) {
-    // Empty input is a legal (trivially satisfiable) formula.
+  if (opts.strict_clause_count && saw_header &&
+      clauses_read != declared_clauses) {
+    fail(line_no, "header declares " + std::to_string(declared_clauses) +
+                      " clauses but the input holds " +
+                      std::to_string(clauses_read));
   }
   return f;
 }
 
-CnfFormula read_dimacs_file(const std::string& path) {
+CnfFormula read_dimacs_file(const std::string& path,
+                            const DimacsOptions& opts) {
   std::ifstream in(path);
   if (!in) throw DimacsError("cannot open DIMACS file: " + path);
-  return read_dimacs(in);
+  return read_dimacs(in, opts);
 }
 
-CnfFormula read_dimacs_string(const std::string& text) {
+CnfFormula read_dimacs_string(const std::string& text,
+                              const DimacsOptions& opts) {
   std::istringstream in(text);
-  return read_dimacs(in);
+  return read_dimacs(in, opts);
 }
 
 void write_dimacs(std::ostream& out, const CnfFormula& f,

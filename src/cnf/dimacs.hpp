@@ -11,24 +11,41 @@
 
 namespace sateda {
 
-/// Raised on malformed DIMACS input.
+/// Raised on malformed DIMACS input.  The message carries the 1-based
+/// input line number of the offending construct.
 class DimacsError : public std::runtime_error {
  public:
   explicit DimacsError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Strictness knobs for read_dimacs().
+struct DimacsOptions {
+  /// Reject literals whose variable exceeds the header's declared
+  /// count.  Off by default: many generators under-declare, and the
+  /// tolerant reader grows the formula instead.
+  bool strict_header_bounds = false;
+  /// Reject inputs whose clause count differs from the header's
+  /// declaration (also widely wrong in the wild; off by default).
+  bool strict_clause_count = false;
+};
+
 /// Parses a DIMACS CNF stream.  Accepts comment lines ("c ..."), one
 /// "p cnf <vars> <clauses>" header and whitespace-separated
-/// 0-terminated clauses.  Variables beyond the header count grow the
-/// formula; a mismatching clause count is tolerated (many generators
-/// get it wrong) but a malformed token raises DimacsError.
-CnfFormula read_dimacs(std::istream& in);
+/// 0-terminated clauses.  Always rejected, with a line-numbered
+/// DimacsError: malformed or duplicate headers, non-numeric or
+/// overflowing literals, literals beyond the representable variable
+/// range, and a final clause missing its terminating 0.  By default
+/// variables beyond the header count grow the formula and a mismatched
+/// clause count is tolerated; see DimacsOptions to tighten both.
+CnfFormula read_dimacs(std::istream& in, const DimacsOptions& opts = {});
 
 /// Parses a DIMACS CNF file from disk.
-CnfFormula read_dimacs_file(const std::string& path);
+CnfFormula read_dimacs_file(const std::string& path,
+                            const DimacsOptions& opts = {});
 
 /// Parses DIMACS from a string (convenient for tests).
-CnfFormula read_dimacs_string(const std::string& text);
+CnfFormula read_dimacs_string(const std::string& text,
+                              const DimacsOptions& opts = {});
 
 /// Writes \p f in DIMACS CNF format, with an optional leading comment.
 void write_dimacs(std::ostream& out, const CnfFormula& f,

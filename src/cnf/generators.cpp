@@ -65,6 +65,31 @@ CnfFormula pigeonhole(int holes) {
   return f;
 }
 
+CnfFormula dubois(int n) {
+  assert(n >= 1);
+  // A cycle of 2n ternary XOR constraints over 3n variables in which
+  // every variable occurs in exactly two constraints; the right-hand
+  // sides sum to odd parity, so the whole cycle is unsatisfiable while
+  // every proper subset of constraints is satisfiable.
+  const int m = 2 * n;
+  CnfFormula f(3 * n);
+  auto u = [](int j) { return static_cast<Var>(j); };        // cycle links
+  auto w = [m, n](int j) { return static_cast<Var>(m + j % n); };
+  auto add_xor3 = [&f](Var a, Var b, Var c, bool rhs) {
+    for (int s = 0; s < 8; ++s) {
+      const bool va = (s & 1) != 0;
+      const bool vb = (s & 2) != 0;
+      const bool vc = (s & 4) != 0;
+      if ((va != vb) == (vc != rhs)) continue;  // assignment allowed
+      f.add_ternary(Lit(a, va), Lit(b, vb), Lit(c, vc));
+    }
+  };
+  for (int j = 0; j < m; ++j) {
+    add_xor3(u((j + m - 1) % m), u(j), w(j), /*rhs=*/j == 0);
+  }
+  return f;
+}
+
 CnfFormula equivalence_chain(int num_vars, bool inconsistent,
                              int extra_clauses, std::uint64_t seed) {
   assert(num_vars >= 2);

@@ -34,6 +34,11 @@ CnfFormula random_3sat(int num_vars, double ratio, std::uint64_t seed);
 /// stress test for learning/backtracking (paper §4.1).
 CnfFormula pigeonhole(int holes);
 
+/// Dubois family dubois(n): 3n variables, 8n ternary clauses built
+/// from n chained 3-XOR gadgets with an odd twist — unsatisfiable but
+/// locally consistent, a standard certificate-checking benchmark.
+CnfFormula dubois(int n);
+
 /// A chain of variable equivalences x0 ≡ x1 ≡ … ≡ x(n-1) expressed as
 /// binary equivalence clauses (paper §6), optionally closed
 /// inconsistently (x0 ≡ ¬x(n-1)) to yield UNSAT, plus \p extra_clauses

@@ -1,0 +1,303 @@
+#include "sat/audit.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace sateda::sat {
+
+namespace {
+
+std::string clause_tag(ClauseRef cref, const Clause& c) {
+  return std::string(c.learnt() ? "learnt" : "problem") + " clause #" +
+         std::to_string(cref) + " " + to_string(c);
+}
+
+}  // namespace
+
+void SolverAuditor::audit(const Solver& s) {
+  ++report_.audits_run;
+  if (opts_.check_watchers) check_watchers(s);
+  if (opts_.check_trail) check_trail(s);
+  if (opts_.check_learnts) check_learnts(s);
+}
+
+void SolverAuditor::check_watchers(const Solver& s) {
+  const std::size_t pool_size = s.clause_pool_.size();
+  std::vector<int> seen0(pool_size, 0);
+  std::vector<int> seen1(pool_size, 0);
+  for (std::size_t idx = 0; idx < s.watches_.size(); ++idx) {
+    // watches_[(~w).index()] holds clauses watching w, so the literal
+    // a list at index `idx` watches is the complement.
+    const Lit watched = ~Lit::from_index(static_cast<std::int32_t>(idx));
+    for (const Solver::Watcher& w : s.watches_[idx]) {
+      if (w.cref < 0 || static_cast<std::size_t>(w.cref) >= pool_size) {
+        violation("watcher with out-of-range clause ref " +
+                  std::to_string(w.cref));
+        continue;
+      }
+      const Clause& c = s.clause_pool_[w.cref];
+      if (c.deleted()) {
+        violation("watch list of " + to_string(watched) +
+                  " references deleted clause #" + std::to_string(w.cref));
+        continue;
+      }
+      if (c.size() < 2) {
+        violation("watched clause #" + std::to_string(w.cref) +
+                  " has fewer than two literals");
+        continue;
+      }
+      if (c[0] == watched) {
+        ++seen0[static_cast<std::size_t>(w.cref)];
+      } else if (c[1] == watched) {
+        ++seen1[static_cast<std::size_t>(w.cref)];
+      } else {
+        violation("watch list of " + to_string(watched) + " holds " +
+                  clause_tag(w.cref, c) +
+                  " but that literal is not in a watched position");
+      }
+      if (!c.contains(w.blocker)) {
+        violation("blocker " + to_string(w.blocker) + " of " +
+                  clause_tag(w.cref, c) + " is not a clause literal");
+      }
+    }
+  }
+  for (std::size_t cref = 0; cref < pool_size; ++cref) {
+    const Clause& c = s.clause_pool_[cref];
+    if (c.deleted() || c.size() < 2) continue;
+    if (seen0[cref] != 1 || seen1[cref] != 1) {
+      violation(clause_tag(static_cast<ClauseRef>(cref), c) +
+                " is watched " + std::to_string(seen0[cref]) + "/" +
+                std::to_string(seen1[cref]) +
+                " times (expected exactly 1/1)");
+    }
+  }
+}
+
+void SolverAuditor::check_trail(const Solver& s) {
+  const std::size_t trail_size = s.trail_.size();
+  if (s.qhead_ > trail_size) {
+    violation("qhead past the end of the trail");
+  }
+  // trail_lim_ must be a monotone segmentation of the trail.
+  int prev = 0;
+  for (std::size_t d = 0; d < s.trail_lim_.size(); ++d) {
+    const int lim = s.trail_lim_[d];
+    if (lim < prev || static_cast<std::size_t>(lim) > trail_size) {
+      violation("trail_lim[" + std::to_string(d) +
+                "] does not segment the trail");
+      return;  // later indexing below would be meaningless
+    }
+    prev = lim;
+  }
+
+  std::vector<char> on_trail(s.assigns_.size(), 0);
+  std::size_t next_level = 0;
+  int level_of_pos = 0;
+  for (std::size_t i = 0; i < trail_size; ++i) {
+    while (next_level < s.trail_lim_.size() &&
+           static_cast<std::size_t>(s.trail_lim_[next_level]) <= i) {
+      ++next_level;
+      level_of_pos = static_cast<int>(next_level);
+    }
+    const Lit p = s.trail_[i];
+    const Var v = p.var();
+    if (v < 0 || static_cast<std::size_t>(v) >= s.assigns_.size()) {
+      violation("trail literal " + to_string(p) + " names an unknown variable");
+      continue;
+    }
+    if (on_trail[static_cast<std::size_t>(v)]) {
+      violation("variable " + std::to_string(v + 1) + " appears twice on the trail");
+    }
+    on_trail[static_cast<std::size_t>(v)] = 1;
+    if (!s.value(p).is_true()) {
+      violation("trail literal " + to_string(p) + " is not assigned true");
+    }
+    if (s.level_[static_cast<std::size_t>(v)] != level_of_pos) {
+      violation("trail literal " + to_string(p) + " recorded at level " +
+                std::to_string(s.level_[static_cast<std::size_t>(v)]) +
+                " but sits in the level-" + std::to_string(level_of_pos) +
+                " trail segment");
+    }
+    const ClauseRef r = s.reason_[static_cast<std::size_t>(v)];
+    if (r != kNullClause) {
+      if (r < 0 || static_cast<std::size_t>(r) >= s.clause_pool_.size()) {
+        violation("reason of " + to_string(p) + " is out of range");
+        continue;
+      }
+      const Clause& c = s.clause_pool_[r];
+      if (c.deleted()) {
+        violation("reason of " + to_string(p) + " is a deleted clause");
+        continue;
+      }
+      if (c.size() < 1 || c[0] != p) {
+        violation("reason " + clause_tag(r, c) + " does not assert " +
+                  to_string(p) + " in position 0");
+        continue;
+      }
+      for (std::size_t j = 1; j < c.size(); ++j) {
+        if (!s.value(c[j]).is_false() ||
+            s.level_[static_cast<std::size_t>(c[j].var())] > level_of_pos) {
+          violation("reason " + clause_tag(r, c) + " of " + to_string(p) +
+                    " is not asserting: literal " + to_string(c[j]) +
+                    " is not false at or below its level");
+          break;
+        }
+      }
+    }
+  }
+  // Every assigned variable must be on the trail (and vice versa).
+  for (std::size_t v = 0; v < s.assigns_.size(); ++v) {
+    if (!s.assigns_[v].is_undef() && !on_trail[v]) {
+      violation("variable " + std::to_string(v + 1) +
+                " is assigned but missing from the trail");
+    }
+  }
+  // At a propagation fixpoint no live clause may be unit or falsified.
+  if (s.qhead_ == trail_size) {
+    for (std::size_t cref = 0; cref < s.clause_pool_.size(); ++cref) {
+      const Clause& c = s.clause_pool_[cref];
+      if (c.deleted()) continue;
+      bool satisfied = false;
+      int non_false = 0;
+      for (Lit l : c) {
+        const lbool v = s.value(l);
+        if (v.is_true()) {
+          satisfied = true;
+          break;
+        }
+        if (!v.is_false()) ++non_false;
+      }
+      if (!satisfied && non_false < 2) {
+        violation(clause_tag(static_cast<ClauseRef>(cref), c) +
+                  (non_false == 0 ? " is falsified" : " is unit") +
+                  " at a propagation fixpoint");
+      }
+    }
+  }
+}
+
+void SolverAuditor::check_learnts(const Solver& s) {
+  // Most recent learnt clauses first: those exercise the newest code
+  // paths and their antecedents are most likely still present.
+  std::size_t checked = 0;
+  for (std::size_t i = s.learnts_.size();
+       i-- > 0 && checked < opts_.max_learnts_checked;) {
+    const ClauseRef cref = s.learnts_[i];
+    if (cref < 0 || static_cast<std::size_t>(cref) >= s.clause_pool_.size()) {
+      violation("learnt list entry " + std::to_string(cref) +
+                " is out of range");
+      continue;
+    }
+    const Clause& c = s.clause_pool_[cref];
+    if (c.deleted()) continue;  // stale refs are purged lazily elsewhere
+    ++checked;
+    ++report_.learnts_checked;
+    const lbool verdict =
+        learnt_is_rup(s, cref, std::vector<Lit>(c.begin(), c.end()));
+    if (verdict.is_true()) continue;
+    if (verdict.is_undef() || !opts_.strict_learnt_rup) {
+      ++report_.learnts_inconclusive;
+      continue;
+    }
+    violation(clause_tag(cref, c) +
+              " is not a unit-propagation consequence of the database");
+  }
+}
+
+lbool SolverAuditor::learnt_is_rup(const Solver& s, ClauseRef self,
+                                   const std::vector<Lit>& lits) {
+  // Independent counter-based propagation over the solver's live
+  // clauses (minus the audited clause), from an empty assignment — the
+  // solver's own trail and watches are deliberately not consulted.
+  std::vector<lbool> assigns(s.assigns_.size(), l_undef);
+  auto value = [&](Lit l) { return assigns[static_cast<std::size_t>(l.var())] ^ l.negative(); };
+  bool conflict = false;
+  auto assign = [&](Lit l) {
+    const lbool v = value(l);
+    if (v.is_false()) {
+      conflict = true;
+    } else if (v.is_undef()) {
+      assigns[static_cast<std::size_t>(l.var())] = lbool(!l.negative());
+    }
+  };
+  for (Lit l : lits) {
+    assign(~l);
+    if (conflict) return l_true;  // duplicate-polarity clause
+  }
+  // Unit clauses never enter the clause pool — the solver enqueues
+  // them straight onto the root trail — so seed the propagation with
+  // the level-0 prefix.  A conflict here means the clause contains a
+  // root-entailed literal and is redundant outright.
+  const std::size_t root_end =
+      s.trail_lim_.empty() ? s.trail_.size()
+                           : static_cast<std::size_t>(s.trail_lim_[0]);
+  for (std::size_t i = 0; i < root_end && i < s.trail_.size(); ++i) {
+    assign(s.trail_[i]);
+    if (conflict) return l_true;
+  }
+  std::size_t budget = opts_.learnt_check_budget;
+  bool changed = true;
+  while (changed && !conflict) {
+    changed = false;
+    for (std::size_t cref = 0; cref < s.clause_pool_.size() && !conflict;
+         ++cref) {
+      if (static_cast<ClauseRef>(cref) == self) continue;
+      const Clause& c = s.clause_pool_[cref];
+      if (c.deleted()) continue;
+      if (budget-- == 0) return l_undef;
+      Lit unit = kUndefLit;
+      bool satisfied = false;
+      int unassigned = 0;
+      for (Lit l : c) {
+        const lbool v = value(l);
+        if (v.is_true()) {
+          satisfied = true;
+          break;
+        }
+        if (v.is_undef()) {
+          ++unassigned;
+          unit = l;
+          if (unassigned > 1) break;
+        }
+      }
+      if (satisfied || unassigned > 1) continue;
+      if (unassigned == 0) {
+        conflict = true;
+      } else {
+        assign(unit);
+        changed = true;
+      }
+    }
+  }
+  return lbool(conflict);
+}
+
+void SolverAuditor::corrupt_watcher_for_test(Solver& s) {
+  for (auto& list : s.watches_) {
+    if (!list.empty()) {
+      list.pop_back();  // a live clause is now watched only once
+      return;
+    }
+  }
+}
+
+void SolverAuditor::corrupt_trail_for_test(Solver& s) {
+  if (!s.trail_.empty()) {
+    s.level_[static_cast<std::size_t>(s.trail_.front().var())] += 1;
+  }
+}
+
+void SolverAuditor::corrupt_learnt_for_test(Solver& s) {
+  for (ClauseRef cref : s.learnts_) {
+    Clause& c = s.clause_pool_[cref];
+    if (!c.deleted() && c.size() >= 2 && !s.locked(cref)) {
+      // Flip a non-watched literal's polarity: the clause shape stays
+      // legal for the watch checks but it is no longer a consequence.
+      std::size_t pos = c.size() - 1;
+      c.mutable_literals()[pos] = ~c[pos];
+      return;
+    }
+  }
+}
+
+}  // namespace sateda::sat

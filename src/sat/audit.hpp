@@ -1,0 +1,111 @@
+/// \file audit.hpp
+/// \brief Debug-build invariant auditor for the CDCL solver.
+///
+/// The SolverAuditor inspects a live Solver at quiescent checkpoints
+/// (propagation fixpoints, restarts, solve() exit) and validates the
+/// invariants the search loop silently relies on:
+///
+///  * watcher integrity — every watch-list entry points at a live
+///    clause that really watches that literal in position 0/1, the
+///    blocker is a literal of the clause, and every live clause is
+///    watched exactly once per watched literal;
+///  * trail/reason consistency — trail literals are true, levels match
+///    the decision-level segmentation, reason clauses are asserting in
+///    shape (c[0] is the implied literal, the rest false at or below
+///    its level), and at a fixpoint no live clause is unit or
+///    falsified;
+///  * learnt-clause redundancy — a sample of learnt clauses is checked
+///    RUP against the rest of the database with the auditor's own
+///    counter-based propagation (independent of the solver's watches).
+///
+/// Cost model: the auditor is debug tooling.  A full audit is O(database)
+/// per checkpoint and the redundancy check is far more expensive still,
+/// so production builds simply never attach an auditor (the solver's
+/// checkpoint hook is one pointer test when detached).  Tests attach it
+/// with interval=1; longer runs should raise the interval.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace sateda::sat {
+
+/// Which invariants to check, and how often.
+struct AuditOptions {
+  bool check_watchers = true;
+  bool check_trail = true;
+  bool check_learnts = true;
+  /// Audit every Nth checkpoint the solver reports (1 = every time).
+  std::uint64_t interval = 64;
+  /// Learnt clauses sampled per audit for the RUP redundancy check.
+  std::size_t max_learnts_checked = 64;
+  /// Clause visits allowed per learnt RUP check before giving up
+  /// (budget-exhausted checks count as inconclusive, not violations).
+  std::size_t learnt_check_budget = 200000;
+  /// Treat a learnt clause that fails the RUP check as a violation.
+  /// Only sound when antecedents cannot disappear
+  /// (DeletionPolicy::kNever and no simplify_db between audits);
+  /// otherwise a failed check is counted as inconclusive.
+  bool strict_learnt_rup = false;
+};
+
+/// Accumulated findings across audits.
+struct AuditReport {
+  std::vector<std::string> violations;
+  std::uint64_t checkpoints_seen = 0;
+  std::uint64_t audits_run = 0;
+  std::uint64_t learnts_checked = 0;
+  std::uint64_t learnts_inconclusive = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Invariant auditor; attach with Solver::set_auditor().  Not owned by
+/// the solver, not thread-safe: audit the solver from its own thread.
+class SolverAuditor {
+ public:
+  explicit SolverAuditor(AuditOptions opts = {}) : opts_(opts) {}
+
+  /// Called by the solver at quiescent points; runs audit() every
+  /// opts_.interval calls.
+  void maybe_checkpoint(const Solver& s) {
+    ++report_.checkpoints_seen;
+    if (opts_.interval <= 1 ||
+        report_.checkpoints_seen % opts_.interval == 0) {
+      audit(s);
+    }
+  }
+
+  /// Runs every enabled check now; findings accumulate in report().
+  void audit(const Solver& s);
+
+  const AuditReport& report() const { return report_; }
+  void clear() { report_ = {}; }
+
+  /// Test hooks: deliberately corrupt solver internals so the
+  /// negative-path tests can prove the auditor actually fires.
+  static void corrupt_watcher_for_test(Solver& s);
+  static void corrupt_trail_for_test(Solver& s);
+  static void corrupt_learnt_for_test(Solver& s);
+
+ private:
+  void check_watchers(const Solver& s);
+  void check_trail(const Solver& s);
+  void check_learnts(const Solver& s);
+  /// RUP test of \p lits against the live database minus clause
+  /// \p self, with counter-based propagation.  Returns l_true
+  /// (redundant), l_false (not RUP) or l_undef (budget exhausted).
+  lbool learnt_is_rup(const Solver& s, ClauseRef self,
+                      const std::vector<Lit>& lits);
+  void violation(const std::string& what) {
+    report_.violations.push_back(what);
+  }
+
+  AuditOptions opts_;
+  AuditReport report_;
+};
+
+}  // namespace sateda::sat

@@ -1,0 +1,550 @@
+#include "sat/drat_check.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sat/proof.hpp"
+
+namespace sateda::sat {
+
+namespace {
+
+constexpr int kNoClause = -1;
+constexpr int kAssumed = -2;  ///< trail literal with no antecedent
+
+/// Hash of a clause as a literal multiset (order-independent).
+std::uint64_t clause_hash(const std::vector<Lit>& sorted_lits) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (Lit l : sorted_lits) {
+    h ^= static_cast<std::uint64_t>(l.index()) + 0x9e3779b9ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+/// The checker's own propagation engine: two watched literals, a trail
+/// with antecedents, and conflict-side marking.  Written from scratch;
+/// shares nothing with sat::Solver.
+class BackwardChecker {
+ public:
+  BackwardChecker(const CnfFormula& formula, const DratProof& proof,
+                  const DratCheckOptions& opts) {
+    int nv = formula.num_vars();
+    for (const DratStep& s : proof.steps) {
+      for (Lit l : s.lits) nv = std::max(nv, l.var() + 1);
+    }
+    for (Lit l : opts.assumptions) nv = std::max(nv, l.var() + 1);
+    assigns_.assign(static_cast<std::size_t>(nv), l_undef);
+    reason_.assign(static_cast<std::size_t>(nv), kNoClause);
+    seen_.assign(static_cast<std::size_t>(nv), 0);
+    watch_.assign(2 * static_cast<std::size_t>(std::max(nv, 1)), {});
+
+    for (const Clause& c : formula) {
+      int id = new_clause(std::vector<Lit>(c.begin(), c.end()));
+      if (id >= 0) {
+        if (clauses_[static_cast<std::size_t>(id)].lits.empty()) {
+          formula_has_empty_ = true;
+        }
+        attach(id);
+      }
+    }
+    for (Lit a : opts.assumptions) {
+      int id = new_clause({a});
+      if (id >= 0) attach(id);
+    }
+    num_formula_clauses_ = static_cast<int>(clauses_.size());
+  }
+
+  /// True iff the formula itself contains the empty clause.
+  bool formula_has_empty() const { return formula_has_empty_; }
+
+  /// Allocates a checker clause (deduplicated literals).  Returns
+  /// kNoClause for tautologies — they carry no propagation power and
+  /// are trivially redundant, so they are never attached or verified.
+  /// An empty clause gets an id but is never attached.
+  int new_clause(std::vector<Lit> lits) {
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+      if (lits[i].var() == lits[i + 1].var()) return kNoClause;  // tautology
+    }
+    CClause c;
+    c.sorted = lits;
+    c.lits = std::move(lits);
+    clauses_.push_back(std::move(c));
+    return static_cast<int>(clauses_.size()) - 1;
+  }
+
+  void attach(int id) {
+    CClause& c = clauses_[static_cast<std::size_t>(id)];
+    if (c.active) return;
+    c.active = true;
+    index_[clause_hash(c.sorted)].push_back(id);
+    if (c.lits.size() >= 2) {
+      watch_[c.lits[0].index()].push_back(id);
+      watch_[c.lits[1].index()].push_back(id);
+    } else if (c.lits.size() == 1) {
+      units_.push_back(id);
+    }
+  }
+
+  void detach(int id) {
+    CClause& c = clauses_[static_cast<std::size_t>(id)];
+    if (!c.active) return;
+    c.active = false;
+    auto& bucket = index_[clause_hash(c.sorted)];
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+    if (c.lits.size() >= 2) {
+      unwatch(c.lits[0], id);
+      unwatch(c.lits[1], id);
+    } else if (c.lits.size() == 1) {
+      units_.erase(std::remove(units_.begin(), units_.end(), id),
+                   units_.end());
+    }
+  }
+
+  /// Finds an active clause with exactly \p lits (as a set), preferring
+  /// non-formula clauses (a proof should not silently delete input).
+  int find_active(std::vector<Lit> lits) const {
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    auto it = index_.find(clause_hash(lits));
+    if (it == index_.end()) return kNoClause;
+    int formula_match = kNoClause;
+    for (int id : it->second) {
+      const CClause& c = clauses_[static_cast<std::size_t>(id)];
+      if (c.sorted != lits) continue;
+      if (id >= num_formula_clauses_) return id;
+      formula_match = id;
+    }
+    return formula_match;
+  }
+
+  void mark(int id) { clauses_[static_cast<std::size_t>(id)].marked = true; }
+  bool is_marked(int id) const {
+    return clauses_[static_cast<std::size_t>(id)].marked;
+  }
+
+  /// RUP test: negate \p lits, propagate; true iff a conflict arises.
+  /// On success with \p mark_used, every clause on the conflict side is
+  /// marked (backward-checking core extraction).
+  bool rup(const std::vector<Lit>& lits, bool mark_used) {
+    int confl = kNoClause;
+    // Assume the negation of the candidate clause.
+    for (Lit l : lits) {
+      Lit a = ~l;
+      lbool v = value(a);
+      if (v.is_true()) continue;  // duplicate literal
+      if (v.is_false()) {
+        // `lits` is a tautology: trivially redundant, nothing to mark.
+        undo();
+        return true;
+      }
+      enqueue(a, kAssumed);
+    }
+    // Assert every active unit clause.
+    for (std::size_t i = 0; i < units_.size() && confl == kNoClause; ++i) {
+      int id = units_[i];
+      const CClause& c = clauses_[static_cast<std::size_t>(id)];
+      if (!c.active) continue;
+      Lit u = c.lits[0];
+      lbool v = value(u);
+      if (v.is_false()) {
+        confl = id;
+      } else if (v.is_undef()) {
+        enqueue(u, id);
+      }
+    }
+    if (confl == kNoClause) confl = propagate();
+    const bool found = confl != kNoClause;
+    if (found && mark_used) mark_conflict(confl);
+    undo();
+    return found;
+  }
+
+  /// RAT test on pivot \p lits[0] after a failed RUP: every active
+  /// clause containing the complement of the pivot must have a RUP
+  /// resolvent.  RAT additions come from pure-literal elimination, so
+  /// this path is rare; a linear database scan is fine.
+  bool rat(const std::vector<Lit>& lits, bool mark_used) {
+    if (lits.empty()) return false;
+    const Lit pivot = lits[0];
+    const Lit npivot = ~pivot;
+    for (std::size_t id = 0; id < clauses_.size(); ++id) {
+      const CClause& c = clauses_[id];
+      if (!c.active) continue;
+      if (std::find(c.lits.begin(), c.lits.end(), npivot) == c.lits.end()) {
+        continue;
+      }
+      std::vector<Lit> resolvent;
+      resolvent.reserve(lits.size() + c.lits.size() - 2);
+      for (Lit l : lits) {
+        if (l != pivot) resolvent.push_back(l);
+      }
+      for (Lit l : c.lits) {
+        if (l != npivot) resolvent.push_back(l);
+      }
+      std::sort(resolvent.begin(), resolvent.end());
+      resolvent.erase(std::unique(resolvent.begin(), resolvent.end()),
+                      resolvent.end());
+      bool tautology = false;
+      for (std::size_t i = 0; i + 1 < resolvent.size(); ++i) {
+        if (resolvent[i].var() == resolvent[i + 1].var()) {
+          tautology = true;
+          break;
+        }
+      }
+      if (tautology) continue;
+      if (!rup(resolvent, mark_used)) return false;
+      if (mark_used) mark(static_cast<int>(id));
+    }
+    return true;
+  }
+
+ private:
+  struct CClause {
+    std::vector<Lit> lits;    ///< deduplicated; positions 0/1 are watched
+    std::vector<Lit> sorted;  ///< canonical form for deletion matching
+    bool active = false;
+    bool marked = false;
+  };
+
+  lbool value(Lit l) const { return assigns_[l.var()] ^ l.negative(); }
+
+  void enqueue(Lit l, int reason) {
+    assigns_[l.var()] = lbool(!l.negative());
+    reason_[l.var()] = reason;
+    trail_.push_back(l);
+  }
+
+  void undo() {
+    for (Lit l : trail_) {
+      assigns_[l.var()] = l_undef;
+      reason_[l.var()] = kNoClause;
+    }
+    trail_.clear();
+    qhead_ = 0;
+  }
+
+  void unwatch(Lit l, int id) {
+    auto& list = watch_[l.index()];
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  }
+
+  /// Two-watched-literal unit propagation.  Returns the id of a
+  /// falsified clause, or kNoClause at fixpoint.
+  int propagate() {
+    while (qhead_ < trail_.size()) {
+      const Lit p = trail_[qhead_++];
+      const Lit fl = ~p;  // now false
+      auto& list = watch_[fl.index()];
+      std::size_t j = 0;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        const int id = list[i];
+        CClause& c = clauses_[static_cast<std::size_t>(id)];
+        if (!c.active) {  // stale entry is impossible: detach unwatches
+          list[j++] = id;
+          continue;
+        }
+        if (c.lits[0] == fl) std::swap(c.lits[0], c.lits[1]);
+        const Lit other = c.lits[0];
+        if (value(other).is_true()) {
+          list[j++] = id;
+          continue;
+        }
+        bool moved = false;
+        for (std::size_t k = 2; k < c.lits.size(); ++k) {
+          if (!value(c.lits[k]).is_false()) {
+            std::swap(c.lits[1], c.lits[k]);
+            watch_[c.lits[1].index()].push_back(id);
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;  // entry dropped from this list
+        list[j++] = id;
+        if (value(other).is_false()) {
+          // Falsified clause: keep the remaining entries and report.
+          for (++i; i < list.size(); ++i) list[j++] = list[i];
+          list.resize(j);
+          return id;
+        }
+        enqueue(other, id);
+      }
+      list.resize(j);
+    }
+    return kNoClause;
+  }
+
+  /// Marks every clause reachable from the conflict through trail
+  /// antecedents — the clauses this conflict actually used.
+  void mark_conflict(int confl) {
+    mark(confl);
+    std::vector<Var> stack;
+    for (Lit l : clauses_[static_cast<std::size_t>(confl)].lits) {
+      stack.push_back(l.var());
+    }
+    std::vector<Var> touched;
+    while (!stack.empty()) {
+      Var v = stack.back();
+      stack.pop_back();
+      if (seen_[v]) continue;
+      seen_[v] = 1;
+      touched.push_back(v);
+      const int r = reason_[v];
+      if (r < 0) continue;  // assumed literal: no antecedent
+      mark(r);
+      for (Lit l : clauses_[static_cast<std::size_t>(r)].lits) {
+        stack.push_back(l.var());
+      }
+    }
+    for (Var v : touched) seen_[v] = 0;
+  }
+
+  std::vector<CClause> clauses_;
+  int num_formula_clauses_ = 0;
+  bool formula_has_empty_ = false;
+  std::vector<std::vector<int>> watch_;  ///< by Lit::index()
+  std::vector<int> units_;               ///< ids of active unit clauses
+  std::unordered_map<std::uint64_t, std::vector<int>> index_;  ///< active ids
+
+  std::vector<lbool> assigns_;
+  std::vector<int> reason_;
+  std::vector<char> seen_;
+  std::vector<Lit> trail_;
+  std::size_t qhead_ = 0;
+};
+
+DratCheckResult fail_at(std::size_t step, const std::string& why) {
+  DratCheckResult r;
+  r.failed_step = step;
+  r.message = "step " + std::to_string(step) + ": " + why;
+  return r;
+}
+
+}  // namespace
+
+DratProof DratProof::from_proof(const Proof& proof) {
+  DratProof out;
+  out.steps.reserve(proof.steps().size());
+  for (const Proof::Step& s : proof.steps()) {
+    out.steps.push_back({s.deletion, s.lits});
+  }
+  return out;
+}
+
+DratCheckResult check_drat(const CnfFormula& formula, const DratProof& proof,
+                           const DratCheckOptions& opts) {
+  DratCheckResult result;
+  BackwardChecker checker(formula, proof, opts);
+  if (checker.formula_has_empty()) {
+    result.ok = true;
+    result.refutation = true;
+    result.message = "formula contains the empty clause";
+    return result;
+  }
+
+  // Forward pass: attach additions, honour deletions, stop at the
+  // first empty clause.
+  const std::size_t n = proof.steps.size();
+  std::vector<int> step_clause(n, kNoClause);
+  std::size_t end = n;  // one past the last step to consider
+  bool have_empty = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DratStep& s = proof.steps[i];
+    if (s.deletion) {
+      const int id = checker.find_active(s.lits);
+      // An unmatched deletion is ignored (the database only stays
+      // stronger); matched ones detach.
+      if (id != kNoClause) {
+        step_clause[i] = id;
+        checker.detach(id);
+      }
+      continue;
+    }
+    if (s.lits.empty()) {
+      have_empty = true;
+      end = i + 1;
+      break;
+    }
+    const int id = checker.new_clause(s.lits);
+    step_clause[i] = id;
+    if (id != kNoClause) checker.attach(id);
+  }
+
+  if (!have_empty && opts.require_refutation) {
+    result.message = "proof does not derive the empty clause";
+    result.failed_step = n;
+    return result;
+  }
+
+  // Backward pass.  The empty clause (or, in derivation-only mode,
+  // every addition) seeds the marking; a marked addition is verified
+  // against exactly the database that existed when it was added.
+  std::size_t i = end;
+  if (have_empty) {
+    --i;  // the empty-clause step itself
+    if (!checker.rup({}, /*mark_used=*/true)) {
+      return fail_at(i, "empty clause is not RUP");
+    }
+    ++result.steps_checked;
+  }
+  while (i-- > 0) {
+    const DratStep& s = proof.steps[i];
+    const int id = step_clause[i];
+    if (s.deletion) {
+      if (id != kNoClause) checker.attach(id);
+      continue;
+    }
+    if (id == kNoClause) continue;  // tautology: trivially redundant
+    checker.detach(id);
+    if (!have_empty) checker.mark(id);  // derivation-only: verify all
+    if (!checker.is_marked(id)) {
+      ++result.steps_skipped;
+      continue;
+    }
+    if (!checker.rup(s.lits, /*mark_used=*/true) &&
+        !checker.rat(s.lits, /*mark_used=*/true)) {
+      return fail_at(i, "clause is neither RUP nor RAT");
+    }
+    ++result.steps_checked;
+  }
+
+  result.ok = true;
+  result.refutation = have_empty;
+  result.message = have_empty
+                       ? "verified refutation"
+                       : "valid derivation (no refutation)";
+  return result;
+}
+
+DratCheckResult check_drat(const CnfFormula& formula, const Proof& proof,
+                           const DratCheckOptions& opts) {
+  return check_drat(formula, DratProof::from_proof(proof), opts);
+}
+
+namespace {
+
+DratProof parse_text_drat(const std::string& text) {
+  DratProof out;
+  std::istringstream in(text);
+  std::string tok;
+  std::vector<Lit> current;
+  bool in_deletion = false;
+  bool in_clause = false;
+  while (in >> tok) {
+    if (tok == "c") {  // comment: skip to end of line
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (tok == "d") {
+      if (in_clause) {
+        throw std::runtime_error("DRAT text: 'd' inside a clause");
+      }
+      in_deletion = true;
+      in_clause = true;
+      continue;
+    }
+    long long code = 0;
+    std::size_t used = 0;
+    try {
+      code = std::stoll(tok, &used);
+    } catch (const std::exception&) {
+      throw std::runtime_error("DRAT text: bad token '" + tok + "'");
+    }
+    if (used != tok.size()) {
+      throw std::runtime_error("DRAT text: bad token '" + tok + "'");
+    }
+    if (code == 0) {
+      out.steps.push_back({in_deletion, current});
+      current.clear();
+      in_deletion = false;
+      in_clause = false;
+      continue;
+    }
+    in_clause = true;
+    const long long mag = code < 0 ? -code : code;
+    if (mag > (1LL << 30)) {
+      throw std::runtime_error("DRAT text: literal out of range: " + tok);
+    }
+    current.push_back(Lit(static_cast<Var>(mag - 1), code < 0));
+  }
+  if (in_clause || !current.empty()) {
+    throw std::runtime_error("DRAT text: trailing clause without 0");
+  }
+  return out;
+}
+
+DratProof parse_binary_drat(const std::string& bytes) {
+  DratProof out;
+  std::size_t i = 0;
+  const std::size_t n = bytes.size();
+  while (i < n) {
+    const unsigned char tag = static_cast<unsigned char>(bytes[i++]);
+    bool deletion = false;
+    if (tag == 'd') {
+      deletion = true;
+    } else if (tag != 'a') {
+      throw std::runtime_error("DRAT binary: bad step tag at byte " +
+                               std::to_string(i - 1));
+    }
+    std::vector<Lit> lits;
+    while (true) {
+      if (i >= n) throw std::runtime_error("DRAT binary: truncated clause");
+      std::uint64_t u = 0;
+      int shift = 0;
+      while (true) {
+        if (i >= n) {
+          throw std::runtime_error("DRAT binary: truncated literal");
+        }
+        const unsigned char b = static_cast<unsigned char>(bytes[i++]);
+        if (shift >= 63) {
+          throw std::runtime_error("DRAT binary: literal overflow");
+        }
+        u |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        shift += 7;
+        if ((b & 0x80) == 0) break;
+      }
+      if (u == 0) break;  // clause terminator
+      const std::uint64_t dimacs = u >> 1;
+      if (dimacs == 0 || dimacs > (1ULL << 30)) {
+        throw std::runtime_error("DRAT binary: variable out of range");
+      }
+      lits.push_back(Lit(static_cast<Var>(dimacs - 1), (u & 1) != 0));
+    }
+    out.steps.push_back({deletion, std::move(lits)});
+  }
+  return out;
+}
+
+}  // namespace
+
+DratProof parse_drat(std::istream& in, DratParseFormat format) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  if (format == DratParseFormat::kAuto) {
+    // Every nonempty binary step ends with a 0x00 terminator and text
+    // proofs never contain one, so NUL is a perfect discriminator.
+    format = content.find('\0') != std::string::npos
+                 ? DratParseFormat::kBinary
+                 : DratParseFormat::kText;
+  }
+  return format == DratParseFormat::kBinary ? parse_binary_drat(content)
+                                            : parse_text_drat(content);
+}
+
+DratProof parse_drat_file(const std::string& path, DratParseFormat format) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open proof file: " + path);
+  return parse_drat(in, format);
+}
+
+}  // namespace sateda::sat

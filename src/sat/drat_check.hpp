@@ -1,0 +1,95 @@
+/// \file drat_check.hpp
+/// \brief Independent backward DRAT (RUP/RAT) proof checker.
+///
+/// This is the auditor for the solver's UNSAT certificates.  It is
+/// deliberately written against its own data structures — its own
+/// watched-literal propagation, trail and conflict analysis — and
+/// shares no code with sat::Solver, so a bug in the solver cannot
+/// silently excuse itself in the checker.
+///
+/// Algorithm (drat-trim style backward checking):
+///  1. forward pass: attach each added clause, honour deletions, stop
+///     at the first empty clause;
+///  2. backward pass: walk the steps in reverse, re-attaching deleted
+///     clauses and detaching additions; every addition *marked* as
+///     used by a later conflict is verified — unit propagation on the
+///     database plus the negated clause must conflict (RUP), falling
+///     back to the RAT check on the first literal (resolve against
+///     every clause containing its complement; each resolvent must be
+///     RUP).  Clauses participating in a conflict are marked, so
+///     additions no conflict ever used are skipped (steps_skipped).
+///
+/// Assumption-incremental runs are covered by passing the assumptions:
+/// they are treated as additional root unit clauses, which matches the
+/// solver logging the negated conflict core as its final derivation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace sateda::sat {
+
+class Proof;  // proof.hpp; only used for the convenience converter
+
+/// One parsed DRAT step.
+struct DratStep {
+  bool deletion = false;
+  std::vector<Lit> lits;
+};
+
+/// A parsed DRAT proof, independent of the producer.
+struct DratProof {
+  std::vector<DratStep> steps;
+
+  /// Converts an in-memory solver trace.
+  static DratProof from_proof(const Proof& proof);
+};
+
+/// Wire format selection for parse_drat().
+enum class DratParseFormat {
+  kAuto,    ///< sniff: binary starts with 'a'/'d' followed by non-text bytes
+  kText,
+  kBinary,
+};
+
+/// Parses a DRAT proof (text or binary).  Throws std::runtime_error on
+/// malformed input.
+DratProof parse_drat(std::istream& in,
+                     DratParseFormat format = DratParseFormat::kAuto);
+DratProof parse_drat_file(const std::string& path,
+                          DratParseFormat format = DratParseFormat::kAuto);
+
+/// Knobs for check_drat().
+struct DratCheckOptions {
+  /// Treated as root-level unit clauses (incremental solving under
+  /// assumptions: the proof refutes formula ∧ assumptions).
+  std::vector<Lit> assumptions;
+  /// When true (the default), a proof without a verified empty clause
+  /// is rejected; when false, the additions are still all verified and
+  /// `refutation` reports whether the empty clause was among them.
+  bool require_refutation = true;
+};
+
+/// Verdict of the checker.
+struct DratCheckResult {
+  bool ok = false;          ///< proof accepted
+  bool refutation = false;  ///< a verified empty clause was derived
+  std::size_t steps_checked = 0;  ///< additions verified RUP/RAT
+  std::size_t steps_skipped = 0;  ///< additions never used by a conflict
+  std::size_t failed_step = 0;    ///< index of the offending step when !ok
+  std::string message;
+};
+
+/// Checks \p proof against \p formula.
+DratCheckResult check_drat(const CnfFormula& formula, const DratProof& proof,
+                           const DratCheckOptions& opts = {});
+
+/// Convenience: checks an in-memory solver trace.
+DratCheckResult check_drat(const CnfFormula& formula, const Proof& proof,
+                           const DratCheckOptions& opts = {});
+
+}  // namespace sateda::sat

@@ -95,6 +95,22 @@ SolverOptions PortfolioSolver::diversified_options(const SolverOptions& base,
   return o;
 }
 
+void PortfolioSolver::enable_proof() {
+  if (!traces_.empty()) return;
+  traces_.reserve(workers_.size());
+  for (auto& w : workers_) {
+    traces_.push_back(std::make_unique<SequencedProof>(&proof_ticket_));
+    w->set_proof_tracer(traces_.back().get());
+  }
+}
+
+Proof PortfolioSolver::stitched_proof() const {
+  std::vector<const SequencedProof*> ptrs;
+  ptrs.reserve(traces_.size());
+  for (const auto& t : traces_) ptrs.push_back(t.get());
+  return stitch_proofs(ptrs);
+}
+
 Var PortfolioSolver::new_var() {
   Var v = workers_.front()->new_var();
   for (std::size_t i = 1; i < workers_.size(); ++i) workers_[i]->new_var();

@@ -119,6 +119,22 @@ class PortfolioSolver : public SatEngine {
   /// Index of the worker that decided the last solve(), or -1.
   int winner() const { return winner_; }
 
+  // --- proof logging ------------------------------------------------
+
+  /// Enables DRAT tracing: every worker logs into a per-worker
+  /// SequencedProof whose steps draw tickets from one shared counter,
+  /// so an exported clause always precedes its importers' uses of it.
+  /// Call before adding clauses.  Works in both execution modes.
+  void enable_proof();
+  bool proof_enabled() const { return !traces_.empty(); }
+
+  /// Merges the per-worker traces into one linear proof (ordered by
+  /// ticket, per-worker deletions dropped, truncated at the first
+  /// empty clause).  Meaningful after solve() returned kUnsat; for
+  /// UNSAT under assumptions the winner's negated conflict core is the
+  /// final derivation and the checker closes the refutation.
+  Proof stitched_proof() const;
+
   /// Counters summed over all workers.
   SolverStats stats() const override;
 
@@ -142,6 +158,9 @@ class PortfolioSolver : public SatEngine {
   SolverOptions base_opts_;
   std::vector<std::unique_ptr<Solver>> workers_;
   bool ok_ = true;
+
+  std::atomic<std::uint64_t> proof_ticket_{0};  ///< shared by all traces
+  std::vector<std::unique_ptr<SequencedProof>> traces_;  ///< per worker
 
   std::atomic<bool> stop_all_{false};       ///< polled by every worker
   std::atomic<bool> user_interrupted_{false};

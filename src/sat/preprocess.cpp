@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sat/proof.hpp"
+
 namespace sateda::sat {
 
 namespace {
@@ -14,9 +16,17 @@ struct Work {
   std::vector<lbool> fixed;               // per var
   std::vector<Lit> substituted;           // per var; kUndefLit if none
   PreprocessStats stats;
+  ProofTracer* proof = nullptr;           // not owned; may be null
   bool unsat = false;
 
   int num_vars() const { return static_cast<int>(fixed.size()); }
+
+  void derive(const std::vector<Lit>& lits) {
+    if (proof) proof->on_derive(lits);
+  }
+  void retire(const std::vector<Lit>& lits) {
+    if (proof) proof->on_delete(lits);
+  }
 
   /// Follows the substitution chain for a literal.
   Lit resolve(Lit l) const {
@@ -33,7 +43,12 @@ struct Work {
     if (fixed[v].is_undef()) {
       fixed[v] = want;
       ++stats.units_fixed;
+      // The unit followed from a live clause by propagation of earlier
+      // fixed values through the substitution chains: RUP.
+      derive({l});
     } else if (!(fixed[v] == want)) {
+      derive({l});  // still RUP, and makes the contradiction explicit
+      derive({});
       unsat = true;
     }
   }
@@ -80,6 +95,7 @@ bool apply_assignments(Work& w) {
       continue;
     }
     if (out.empty()) {
+      w.derive({});
       w.unsat = true;
       return true;
     }
@@ -90,6 +106,11 @@ bool apply_assignments(Work& w) {
       continue;
     }
     if (out != c) {
+      // The rewritten clause is RUP: negating it falsifies the source
+      // clause through the logged units and the (still live) binary
+      // equivalence chains.  The original is not deleted from the
+      // trace; see PreprocessOptions::proof.
+      w.derive(out);
       c = std::move(out);
       changed = true;
     }
@@ -115,10 +136,16 @@ bool eliminate_pure_literals(Work& w) {
     if (neg_occ[v] == 0) {
       w.fixed[v] = l_true;
       ++w.stats.pure_literals;
+      // A pure-literal unit is RAT (not RUP) on the literal: no live
+      // clause contains its complement, and for every retired clause
+      // that does, the resolvent is RUP through the unit/equivalence
+      // steps that retired it.  The checker's RAT fallback covers it.
+      w.derive({pos(v)});
       changed = true;
     } else if (pos_occ[v] == 0) {
       w.fixed[v] = l_false;
       ++w.stats.pure_literals;
+      w.derive({neg(v)});
       changed = true;
     }
   }
@@ -203,6 +230,12 @@ bool equivalency_reasoning(Work& w) {
     Lit p = pos(v);
     Lit n = neg(v);
     if (comp[p.index()] == comp[n.index()]) {
+      // p and ¬p imply each other through the binary implication
+      // chains, so each unit is RUP on its own, and together they
+      // refute the formula.
+      w.derive({n});
+      w.derive({p});
+      w.derive({});
       w.unsat = true;
       return true;
     }
@@ -249,6 +282,7 @@ bool subsume_pass(Work& w, bool do_subsumption, bool do_self_subsumption) {
         }
         if (hit == c.size()) {
           w.dead[di] = 1;
+          w.retire(d);  // the subsumer stays live: deletion is safe
           ++w.stats.clauses_subsumed;
           changed = true;
         }
@@ -274,7 +308,14 @@ bool subsume_pass(Work& w, bool do_subsumption, bool do_self_subsumption) {
             if (l == ~flip) has_flip = true;
           }
           if (has_flip && hit == c.size()) {
+            std::vector<Lit> before;
+            if (w.proof) before = d;
             d.erase(std::remove(d.begin(), d.end(), ~flip), d.end());
+            // The strengthened clause is the resolvent of c and d on
+            // `flip` (RUP from the two of them); only then may the
+            // weaker original go.
+            w.derive(d);
+            w.retire(before);
             ++w.stats.literals_self_subsumed;
             changed = true;
             if (d.size() == 1) {
@@ -319,6 +360,7 @@ std::vector<lbool> PreprocessResult::reconstruct_model(
 
 PreprocessResult preprocess(const CnfFormula& f, PreprocessOptions opts) {
   Work w;
+  w.proof = opts.proof;
   w.fixed.assign(f.num_vars(), l_undef);
   w.substituted.assign(f.num_vars(), kUndefLit);
   w.clauses.reserve(f.num_clauses());

@@ -25,6 +25,8 @@
 
 namespace sateda::sat {
 
+class ProofTracer;  // proof.hpp
+
 /// Which preprocessing passes to run.
 struct PreprocessOptions {
   // Unit propagation always runs: it is required for the soundness of
@@ -34,6 +36,15 @@ struct PreprocessOptions {
   bool subsumption = true;
   bool self_subsumption = true;
   int max_rounds = 10;  ///< fixpoint iteration bound
+
+  /// Optional DRAT tracer (not owned).  Every simplification is logged
+  /// so a downstream solver can keep appending to the same trace:
+  /// derived units, clause rewrites and self-subsumption resolvents as
+  /// additions (pure-literal units are RAT on the literal, everything
+  /// else is RUP), subsumed clauses as deletions.  Rewritten originals
+  /// are deliberately *not* deleted — a stronger checker database
+  /// keeps the RAT side conditions provable.
+  ProofTracer* proof = nullptr;
 };
 
 /// Counters for reporting (bench E3).

@@ -6,6 +6,38 @@
 
 namespace sateda::sat {
 
+namespace {
+
+/// drat-trim binary literal code: DIMACS literal i maps to 2i for
+/// positive, -2i+1 for negative, emitted as 7-bit groups LSB-first
+/// with the high bit marking continuation.
+void write_binary_lit(std::ostream& out, Lit l) {
+  const std::uint64_t dimacs = static_cast<std::uint64_t>(l.var()) + 1;
+  std::uint64_t u = 2 * dimacs + (l.negative() ? 1 : 0);
+  while (u >= 0x80) {
+    out.put(static_cast<char>(0x80 | (u & 0x7f)));
+    u >>= 7;
+  }
+  out.put(static_cast<char>(u));
+}
+
+}  // namespace
+
+void write_drat_step(std::ostream& out, DratFormat format, bool deletion,
+                     const std::vector<Lit>& lits) {
+  if (format == DratFormat::kBinary) {
+    out.put(deletion ? 'd' : 'a');
+    for (Lit l : lits) write_binary_lit(out, l);
+    out.put('\0');
+    return;
+  }
+  if (deletion) out << "d ";
+  for (Lit l : lits) {
+    out << (l.negative() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+  }
+  out << "0\n";
+}
+
 bool Proof::derives_empty_clause() const {
   for (const Step& s : steps_) {
     if (!s.deletion && s.lits.empty()) return true;
@@ -13,13 +45,9 @@ bool Proof::derives_empty_clause() const {
   return false;
 }
 
-void Proof::write_drat(std::ostream& out) const {
+void Proof::write_drat(std::ostream& out, DratFormat format) const {
   for (const Step& s : steps_) {
-    if (s.deletion) out << "d ";
-    for (Lit l : s.lits) {
-      out << (l.negative() ? -(l.var() + 1) : (l.var() + 1)) << " ";
-    }
-    out << "0\n";
+    write_drat_step(out, format, s.deletion, s.lits);
   }
 }
 
@@ -27,6 +55,29 @@ std::string Proof::to_drat_string() const {
   std::ostringstream out;
   write_drat(out);
   return out.str();
+}
+
+Proof stitch_proofs(const std::vector<const SequencedProof*>& traces) {
+  struct Ref {
+    std::uint64_t ticket;
+    const SequencedProof::Step* step;
+  };
+  std::vector<Ref> order;
+  for (const SequencedProof* t : traces) {
+    if (!t) continue;
+    for (const SequencedProof::Step& s : t->steps()) {
+      if (s.deletion) continue;  // per-worker deletions are dropped
+      order.push_back({s.ticket, &s});
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Ref& a, const Ref& b) { return a.ticket < b.ticket; });
+  Proof out;
+  for (const Ref& r : order) {
+    out.on_derive(r.step->lits);
+    if (r.step->lits.empty()) break;  // refutation complete
+  }
+  return out;
 }
 
 namespace {

@@ -1,16 +1,31 @@
 /// \file proof.hpp
-/// \brief DRUP/DRAT-style proof logging and checking.
+/// \brief DRAT proof logging: tracer interface, in-memory traces, and
+///        text/binary DRAT serialization.
 ///
 /// The paper's EDA use cases lean heavily on *unsatisfiability*
 /// (equivalence proofs, redundancy identification, false-path
-/// proofs).  A modern solver makes those answers auditable by
-/// emitting a clausal proof: every learnt clause is a reverse-unit-
-/// propagation (RUP) consequence of the formula plus earlier learnt
-/// clauses, and an UNSAT run ends with the empty clause.  This module
-/// provides the solver-side logger and an independent RUP checker so
-/// the test suite can verify the engine's refutations end to end.
+/// proofs).  A GRASP-style solver derives every learnt clause by
+/// resolution, so each UNSAT answer admits a machine-checkable
+/// clausal certificate: every addition is a reverse-unit-propagation
+/// (RUP/RAT) consequence of the formula plus earlier additions, and a
+/// refutation ends with the empty clause.  Three producers drive the
+/// ProofTracer interface:
+///
+///  * the CDCL solver, on clause learning, minimization and deletion;
+///  * the preprocessor, on subsumption, self-subsuming resolution and
+///    equivalence substitution (pure-literal units are RAT, not RUP);
+///  * each portfolio worker, into a per-worker SequencedProof whose
+///    globally ticketed steps are stitched into one linear proof for
+///    the winning UNSAT worker (imports need no replay: the exporter's
+///    derivation always carries an earlier ticket, and redundant
+///    re-derivations are RUP anyway).
+///
+/// The independent checker lives in drat_check.hpp and deliberately
+/// shares no code with the solver it audits; check_rup_proof() below
+/// is a small forward RUP check kept for in-process sanity tests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -20,19 +35,45 @@
 
 namespace sateda::sat {
 
-/// Hook the solver calls as it derives/deletes clauses.
-class ProofLogger {
+/// Hook the solving pipeline drives as it derives/deletes clauses.
+class ProofTracer {
  public:
-  virtual ~ProofLogger() = default;
-  /// A clause derived by conflict analysis (RUP w.r.t. the current
-  /// database).  An empty vector is the final refutation.
+  virtual ~ProofTracer() = default;
+
+  /// A clause derived from the current database (RUP, or RAT on its
+  /// first literal).  An empty vector is the final refutation.
   virtual void on_derive(const std::vector<Lit>& lits) = 0;
-  /// A learnt clause retired by the deletion policy.
+
+  /// A clause retired from the database (learnt-clause deletion,
+  /// subsumption).  Deletions may only weaken the database.
   virtual void on_delete(const std::vector<Lit>& lits) = 0;
+
+  /// Observation hook: conflict-clause minimization shrank \p before
+  /// to \p after.  Only \p after enters the proof (via on_derive);
+  /// tracers may use this for diagnostics.  Default: ignore.
+  virtual void on_minimize(const std::vector<Lit>& before,
+                           const std::vector<Lit>& after) {
+    (void)before;
+    (void)after;
+  }
 };
 
+/// Legacy name, kept for call sites predating the tracer redesign.
+using ProofLogger = ProofTracer;
+
+/// DRAT serialization format.
+enum class DratFormat {
+  kText,    ///< one clause per line, "d" prefix for deletions
+  kBinary,  ///< 'a'/'d' byte + 7-bit variable-length literal encoding
+};
+
+/// Writes one DRAT step.  Shared by Proof and DratWriter so the two
+/// emitters cannot drift apart.
+void write_drat_step(std::ostream& out, DratFormat format, bool deletion,
+                     const std::vector<Lit>& lits);
+
 /// In-memory proof: the sequence of derivations/deletions.
-class Proof : public ProofLogger {
+class Proof : public ProofTracer {
  public:
   struct Step {
     bool deletion = false;
@@ -52,14 +93,80 @@ class Proof : public ProofLogger {
   /// True iff the proof ends (somewhere) with the empty clause.
   bool derives_empty_clause() const;
 
-  /// Serializes in the standard DRAT text format ("d" lines for
-  /// deletions, DIMACS literals, 0 terminators).
-  void write_drat(std::ostream& out) const;
+  /// Serializes in DRAT ("d" lines for deletions, DIMACS literals,
+  /// 0 terminators for text; the drat-trim byte encoding for binary).
+  void write_drat(std::ostream& out, DratFormat format = DratFormat::kText) const;
   std::string to_drat_string() const;
 
  private:
   std::vector<Step> steps_;
 };
+
+/// Streams DRAT steps to an output stream as they happen, instead of
+/// buffering them in memory — the right tracer for long CLI runs.
+class DratWriter : public ProofTracer {
+ public:
+  explicit DratWriter(std::ostream& out, DratFormat format = DratFormat::kText)
+      : out_(&out), format_(format) {}
+
+  void on_derive(const std::vector<Lit>& lits) override {
+    write_drat_step(*out_, format_, /*deletion=*/false, lits);
+  }
+  void on_delete(const std::vector<Lit>& lits) override {
+    write_drat_step(*out_, format_, /*deletion=*/true, lits);
+  }
+
+ private:
+  std::ostream* out_;
+  DratFormat format_;
+};
+
+/// Per-worker proof trace for the portfolio: every step draws a ticket
+/// from a counter shared by all workers, so the per-worker traces can
+/// be merged into one linear proof afterwards.  The counter is the
+/// only cross-thread state; each trace itself is single-threaded.
+class SequencedProof : public ProofTracer {
+ public:
+  struct Step {
+    std::uint64_t ticket = 0;
+    bool deletion = false;
+    std::vector<Lit> lits;
+  };
+
+  explicit SequencedProof(std::atomic<std::uint64_t>* ticket_counter)
+      : ticket_counter_(ticket_counter) {}
+
+  void on_derive(const std::vector<Lit>& lits) override {
+    steps_.push_back(
+        {ticket_counter_->fetch_add(1, std::memory_order_relaxed), false,
+         lits});
+  }
+  void on_delete(const std::vector<Lit>& lits) override {
+    steps_.push_back(
+        {ticket_counter_->fetch_add(1, std::memory_order_relaxed), true,
+         lits});
+  }
+
+  const std::vector<Step>& steps() const { return steps_; }
+  void clear() { steps_.clear(); }
+
+ private:
+  std::atomic<std::uint64_t>* ticket_counter_;  ///< not owned
+  std::vector<Step> steps_;
+};
+
+/// Merges per-worker traces into one proof, ordered by ticket.
+///
+/// Soundness of the stitched proof: a worker's learnt clause is a
+/// resolution consequence of its clause database at learning time —
+/// problem clauses plus its own earlier derivations plus imports.  An
+/// imported clause was published by its exporter only *after* the
+/// exporter's on_derive drew a ticket, so in ticket order every
+/// antecedent precedes its consumer.  Per-worker deletions are dropped
+/// (worker A's deletion must not remove a clause worker B still
+/// resolves on); a growing database only strengthens RUP.  The merge
+/// is truncated at the first empty clause.
+Proof stitch_proofs(const std::vector<const SequencedProof*>& traces);
 
 /// Result of checking a proof against a formula.
 struct ProofCheckResult {
@@ -69,10 +176,13 @@ struct ProofCheckResult {
   std::string message;
 };
 
-/// Independent RUP check: for each derived clause C, unit propagation
-/// on (formula ∪ earlier derivations \ deletions) ∪ ¬C must reach a
-/// conflict.  Deliberately written against its own little propagation
-/// engine — it shares no code with the solver it audits.
+/// Forward RUP check: for each derived clause C, unit propagation on
+/// (formula ∪ earlier derivations \ deletions) ∪ ¬C must reach a
+/// conflict.  A small counting-based sanity checker for in-process
+/// tests; the production auditor is the watched-literal backward
+/// RUP/RAT checker in drat_check.hpp.  Note this check has no RAT
+/// fallback, so proofs containing pure-literal (RAT-only) additions
+/// from the preprocessor need check_drat() instead.
 ProofCheckResult check_rup_proof(const CnfFormula& formula,
                                  const Proof& proof);
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "sat/audit.hpp"
+
 namespace sateda::sat {
 
 Solver::Solver(SolverOptions opts)
@@ -265,7 +267,20 @@ void Solver::diagnose(ClauseRef confl, std::vector<Lit>& out_learnt,
   } while (path_count > 0);
   out_learnt[0] = ~p;
 
-  if (opts_.minimize_learnt) minimize_learnt(out_learnt);
+  if (opts_.minimize_learnt) {
+    if (proof_) {
+      // Report the shrink to the tracer; only the minimized clause
+      // enters the proof (it subsumes the 1-UIP clause and is itself
+      // RUP, so nothing else needs logging).
+      std::vector<Lit> before = out_learnt;
+      minimize_learnt(out_learnt);
+      if (out_learnt.size() != before.size()) {
+        proof_->on_minimize(before, out_learnt);
+      }
+    } else {
+      minimize_learnt(out_learnt);
+    }
+  }
 
   // Backtrack level: the second-highest decision level in the clause.
   out_btlevel = 0;
@@ -635,7 +650,11 @@ SolveResult Solver::search() {
       continue;
     }
 
-    // No conflict: restart?
+    // No conflict: the trail is at a BCP fixpoint — a quiescent point
+    // where the auditor's invariants are all expected to hold.
+    if (auditor_) auditor_->maybe_checkpoint(*this);
+
+    // Restart?
     if (restart_budget >= 0 && conflicts_this_restart >= restart_budget) {
       erase_until(0);
       ++stats_.restarts;
@@ -661,8 +680,19 @@ SolveResult Solver::search() {
         model_.assign(assigns_.begin(), assigns_.end());
         return SolveResult::kSat;
       }
-      case DecideStatus::kAssumptionConflict:
+      case DecideStatus::kAssumptionConflict: {
+        // UNSAT under assumptions: the database refutes the conflict
+        // core, so its negation is RUP — derive it so the trace can be
+        // checked (the checker treats assumptions as unit clauses and
+        // closes the refutation).
+        if (proof_) {
+          std::vector<Lit> neg_core;
+          neg_core.reserve(conflict_core_.size());
+          for (Lit l : conflict_core_) neg_core.push_back(~l);
+          proof_->on_derive(neg_core);
+        }
         return SolveResult::kUnsat;
+      }
     }
   }
 }
@@ -694,6 +724,7 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
   }
   SolveResult result = search();
   erase_until(0);
+  if (auditor_ && ok_) auditor_->maybe_checkpoint(*this);
   if (result == SolveResult::kUnsat && assumptions_.empty()) ok_ = false;
   assumptions_.clear();
   return result;
@@ -706,8 +737,11 @@ bool Solver::add_learnt_clause(std::vector<Lit> lits) {
     assert(l.is_defined());
     ensure_var(l.var());
   }
-  // Same normalization as add_clause(), but the result is attached as a
-  // learnt clause (eligible for deletion) and never DRUP-logged.
+  // Same normalization as add_clause(), but the result is attached as
+  // a learnt clause (eligible for deletion).  The clause itself is not
+  // logged — in the portfolio the exporter's trace already carries its
+  // derivation with an earlier ticket — but a root conflict it exposes
+  // must still close this worker's trace with the empty clause.
   std::sort(lits.begin(), lits.end());
   std::vector<Lit> out;
   Lit prev = kUndefLit;
@@ -720,12 +754,14 @@ bool Solver::add_learnt_clause(std::vector<Lit> lits) {
   }
   if (out.empty()) {
     ok_ = false;
+    if (proof_) proof_->on_derive({});
     return false;
   }
   ++stats_.imported_clauses;
   if (out.size() == 1) {
     if (!enqueue(out[0], kNullClause) || deduce() != kNullClause) {
       ok_ = false;
+      if (proof_) proof_->on_derive({});
       return false;
     }
     return true;

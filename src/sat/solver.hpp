@@ -37,6 +37,8 @@
 
 namespace sateda::sat {
 
+class SolverAuditor;  // audit.hpp
+
 /// Conflict-driven clause-learning SAT solver.
 class Solver : public SatEngine {
  public:
@@ -123,8 +125,10 @@ class Solver : public SatEngine {
   /// clauses (e.g. learnt by a portfolio peer) as a learnt clause.
   /// Must be called at decision level 0, between solve() calls or from
   /// a ClauseImportFn.  Returns false if the clause set becomes
-  /// root-level unsatisfiable.  Not DRUP-logged: do not combine clause
-  /// import with a proof logger.
+  /// root-level unsatisfiable.  The clause itself is not proof-logged
+  /// (in the portfolio the exporter's trace already derived it; the
+  /// stitched proof orders that derivation first), but a root conflict
+  /// it causes ends the attached trace with the empty clause.
   bool add_learnt_clause(std::vector<Lit> lits);
 
   // --- current (in-search / root-level) state -----------------------
@@ -153,11 +157,22 @@ class Solver : public SatEngine {
   /// The listener is not owned.
   void set_listener(SolverListener* listener) { listener_ = listener; }
 
-  /// Attaches a proof logger (not owned): every conflict-derived
+  /// Attaches a proof tracer (not owned): every conflict-derived
   /// clause, root-level strengthening and learnt-clause deletion is
-  /// reported, yielding a DRUP-checkable trace; a refutation ends with
-  /// the empty clause.  Attach before adding clauses.
+  /// reported, yielding a DRAT-checkable trace; a refutation ends with
+  /// the empty clause (for UNSAT under assumptions, the negated
+  /// conflict core is derived instead).  Attach before adding clauses.
+  void set_proof_tracer(ProofTracer* proof) { proof_ = proof; }
+
+  /// Legacy name for set_proof_tracer().
   void set_proof_logger(ProofLogger* proof) { proof_ = proof; }
+
+  /// Attaches an invariant auditor (not owned, debug tooling; see
+  /// audit.hpp): the solver reports quiescent checkpoints — BCP
+  /// fixpoints, restarts and solve() exit — and the auditor validates
+  /// watcher/trail/learnt invariants every Nth one.  Pass nullptr to
+  /// detach; detached cost is a single pointer test per checkpoint.
+  void set_auditor(SolverAuditor* auditor) { auditor_ = auditor; }
 
   /// Activity bump so applications can steer the heuristic toward
   /// interesting variables (e.g. fault-cone variables in ATPG).
@@ -195,6 +210,8 @@ class Solver : public SatEngine {
   void simplify_db() override;
 
  private:
+  friend class SolverAuditor;  // read-only introspection of internals
+
   struct Watcher {
     ClauseRef cref;
     Lit blocker;  ///< a literal of the clause; if true, skip the visit
@@ -281,7 +298,8 @@ class Solver : public SatEngine {
 
   std::mt19937_64 rng_;
   SolverListener* listener_ = nullptr;
-  ProofLogger* proof_ = nullptr;
+  ProofTracer* proof_ = nullptr;
+  SolverAuditor* auditor_ = nullptr;
 
   std::atomic<bool> interrupt_flag_{false};
   const std::atomic<bool>* external_interrupt_ = nullptr;

@@ -1,0 +1,131 @@
+/// \file audit_test.cpp
+/// \brief Tests for the SolverAuditor debug invariant checker: clean
+///        solves must audit clean, and each corruption hook must trip
+///        the corresponding check.
+#include "sat/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnf/generators.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::sat {
+namespace {
+
+AuditOptions every_checkpoint() {
+  AuditOptions opts;
+  opts.interval = 1;
+  return opts;
+}
+
+TEST(AuditTest, CleanUnsatSolveAuditsClean) {
+  Solver solver;
+  SolverAuditor auditor(every_checkpoint());
+  solver.set_auditor(&auditor);
+  ASSERT_TRUE(solver.add_formula(pigeonhole(4)));
+  EXPECT_EQ(solver.solve(), SolveResult::kUnsat);
+  const AuditReport& r = auditor.report();
+  EXPECT_TRUE(r.ok()) << r.violations.front();
+  EXPECT_GT(r.checkpoints_seen, 0u);
+  EXPECT_GT(r.audits_run, 0u);
+  EXPECT_GT(r.learnts_checked, 0u);
+}
+
+TEST(AuditTest, CleanSatSolveAuditsClean) {
+  Solver solver;
+  SolverAuditor auditor(every_checkpoint());
+  solver.set_auditor(&auditor);
+  ASSERT_TRUE(solver.add_formula(random_3sat(30, 3.0, /*seed=*/11)));
+  EXPECT_EQ(solver.solve(), SolveResult::kSat);
+  EXPECT_TRUE(auditor.report().ok())
+      << auditor.report().violations.front();
+}
+
+TEST(AuditTest, StrictLearntRupHoldsWithoutDeletion) {
+  SolverOptions sopts;
+  sopts.deletion = DeletionPolicy::kNever;
+  Solver solver(sopts);
+  AuditOptions opts = every_checkpoint();
+  opts.strict_learnt_rup = true;
+  SolverAuditor auditor(opts);
+  solver.set_auditor(&auditor);
+  ASSERT_TRUE(solver.add_formula(pigeonhole(4)));
+  EXPECT_EQ(solver.solve(), SolveResult::kUnsat);
+  const AuditReport& r = auditor.report();
+  EXPECT_TRUE(r.ok()) << r.violations.front();
+  EXPECT_GT(r.learnts_checked, 0u);
+}
+
+TEST(AuditTest, IntervalThrottlesAudits) {
+  Solver solver;
+  AuditOptions opts;
+  opts.interval = 1000000;  // never divides a small checkpoint count
+  SolverAuditor auditor(opts);
+  solver.set_auditor(&auditor);
+  ASSERT_TRUE(solver.add_formula(pigeonhole(3)));
+  EXPECT_EQ(solver.solve(), SolveResult::kUnsat);
+  EXPECT_GT(auditor.report().checkpoints_seen, 0u);
+  EXPECT_EQ(auditor.report().audits_run, 0u);
+}
+
+TEST(AuditTest, DetectsCorruptedWatcher) {
+  Solver solver;
+  ASSERT_TRUE(solver.add_formula(pigeonhole(4)));
+  SolverAuditor::corrupt_watcher_for_test(solver);
+  SolverAuditor auditor(every_checkpoint());
+  auditor.audit(solver);
+  EXPECT_FALSE(auditor.report().ok());
+}
+
+TEST(AuditTest, DetectsCorruptedTrail) {
+  CnfFormula f(3);
+  f.add_unit(pos(0));  // guarantees a trail entry at level 0
+  f.add_binary(neg(0), pos(1));
+  f.add_ternary(neg(0), neg(1), pos(2));
+  Solver solver;
+  ASSERT_TRUE(solver.add_formula(f));
+  ASSERT_EQ(solver.solve(), SolveResult::kSat);
+  SolverAuditor::corrupt_trail_for_test(solver);
+  SolverAuditor auditor(every_checkpoint());
+  auditor.audit(solver);
+  EXPECT_FALSE(auditor.report().ok());
+}
+
+TEST(AuditTest, DetectsCorruptedLearntUnderStrictRup) {
+  // A satisfiable base so the corrupted clause cannot be vacuously
+  // entailed (after an UNSAT solve *everything* is a consequence).
+  CnfFormula f(2);
+  f.add_binary(neg(0), pos(1));
+  SolverOptions sopts;
+  sopts.deletion = DeletionPolicy::kNever;
+  Solver solver(sopts);
+  ASSERT_TRUE(solver.add_formula(f));
+  // Imported duplicate of the problem clause: trivially RUP.
+  ASSERT_TRUE(solver.add_learnt_clause({neg(0), pos(1)}));
+  AuditOptions opts = every_checkpoint();
+  opts.strict_learnt_rup = true;
+  opts.check_watchers = false;  // isolate the learnt-redundancy check
+  opts.check_trail = false;
+  SolverAuditor auditor(opts);
+  auditor.audit(solver);
+  ASSERT_TRUE(auditor.report().ok()) << auditor.report().violations.front();
+  // Flipping one literal turns it into (¬x1 + ¬x2) — not RUP.
+  SolverAuditor::corrupt_learnt_for_test(solver);
+  auditor.audit(solver);
+  EXPECT_FALSE(auditor.report().ok());
+}
+
+TEST(AuditTest, ClearResetsTheReport) {
+  Solver solver;
+  ASSERT_TRUE(solver.add_formula(pigeonhole(3)));
+  SolverAuditor::corrupt_watcher_for_test(solver);
+  SolverAuditor auditor(every_checkpoint());
+  auditor.audit(solver);
+  ASSERT_FALSE(auditor.report().ok());
+  auditor.clear();
+  EXPECT_TRUE(auditor.report().ok());
+  EXPECT_EQ(auditor.report().audits_run, 0u);
+}
+
+}  // namespace
+}  // namespace sateda::sat

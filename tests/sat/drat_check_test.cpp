@@ -1,0 +1,257 @@
+/// \file drat_check_test.cpp
+/// \brief Tests for the independent backward DRAT (RUP/RAT) checker,
+///        the DRAT parsers, and the end-to-end solver → proof →
+///        checker pipeline (including corrupted-proof rejection).
+#include "sat/drat_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cnf/formula.hpp"
+#include "cnf/generators.hpp"
+#include "sat/preprocess.hpp"
+#include "sat/proof.hpp"
+#include "sat/solver.hpp"
+#include "test_util.hpp"
+
+namespace sateda::sat {
+namespace {
+
+using testing::verify_unsat;
+using testing::verify_unsat_preprocessed;
+
+/// The four binary clauses over {x1, x2}: minimal UNSAT core.
+CnfFormula all_binaries() {
+  CnfFormula f(2);
+  f.add_binary(pos(0), pos(1));
+  f.add_binary(pos(0), neg(1));
+  f.add_binary(neg(0), pos(1));
+  f.add_binary(neg(0), neg(1));
+  return f;
+}
+
+TEST(DratCheckTest, AcceptsHandWrittenRupRefutation) {
+  DratProof proof;
+  proof.steps.push_back({false, {pos(0)}});  // RUP: ¬x1 propagates conflict
+  proof.steps.push_back({false, {}});
+  DratCheckResult r = check_drat(all_binaries(), proof);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.refutation);
+  EXPECT_EQ(r.steps_checked, 2u);
+}
+
+TEST(DratCheckTest, AcceptsRatOnlyAdditionInDerivationMode) {
+  // (x1 + x2)(¬x1 + x2) is satisfiable; the unit {x1} is not RUP but
+  // is RAT on x1: the sole resolvent {x2} propagates to a conflict.
+  CnfFormula f(2);
+  f.add_binary(pos(0), pos(1));
+  f.add_binary(neg(0), pos(1));
+  DratProof proof;
+  proof.steps.push_back({false, {pos(0)}});
+  DratCheckOptions opts;
+  opts.require_refutation = false;
+  DratCheckResult r = check_drat(f, proof, opts);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_FALSE(r.refutation);
+}
+
+TEST(DratCheckTest, RejectsProofWithoutEmptyClauseByDefault) {
+  DratProof proof;
+  proof.steps.push_back({false, {pos(0)}});
+  DratCheckResult r = check_drat(all_binaries(), proof);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.refutation);
+}
+
+TEST(DratCheckTest, RejectsUnjustifiedEmptyClause) {
+  // php5 has no unit clauses, so the empty clause alone is not RUP.
+  DratProof proof;
+  proof.steps.push_back({false, {}});
+  DratCheckResult r = check_drat(pigeonhole(5), proof);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(DratCheckTest, RejectsProofLeaningOnForeignUnit) {
+  // {x3} over fresh variable x3 passes as vacuous RAT (no clause
+  // contains ¬x3), but it must not help derive the empty clause.
+  CnfFormula f(2);
+  f.add_binary(pos(0), pos(1));
+  f.add_binary(neg(0), pos(1));
+  DratProof proof;
+  proof.steps.push_back({false, {pos(2)}});
+  proof.steps.push_back({false, {}});
+  DratCheckResult r = check_drat(f, proof);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(DratCheckTest, HonoursDeletionSteps) {
+  DratProof proof;
+  proof.steps.push_back({false, {pos(0)}});
+  proof.steps.push_back({true, {pos(0), pos(1)}});  // delete (x1 + x2)
+  proof.steps.push_back({false, {}});
+  DratCheckResult r = check_drat(all_binaries(), proof);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(DratCheckTest, RejectsWhenDeletionRemovesNeededClause) {
+  // Deleting a formula clause first makes the remainder satisfiable,
+  // so no subsequent refutation can verify.
+  Proof proof;
+  proof.on_delete({pos(0), pos(1)});
+  proof.on_derive({pos(0)});
+  proof.on_derive({});
+  DratCheckResult r = check_drat(all_binaries(), proof);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(DratCheckTest, ChecksProofUnderAssumptions) {
+  // x1 → x2 → x3; UNSAT only under assumptions {x1, ¬x3}.  The solver
+  // convention logs the negated core; the empty clause follows.
+  CnfFormula f(3);
+  f.add_binary(neg(0), pos(1));
+  f.add_binary(neg(1), pos(2));
+  DratProof proof;
+  proof.steps.push_back({false, {neg(0), pos(2)}});  // ¬core
+  proof.steps.push_back({false, {}});
+  DratCheckOptions opts;
+  opts.assumptions = {pos(0), neg(2)};
+  DratCheckResult r = check_drat(f, proof, opts);
+  EXPECT_TRUE(r.ok) << r.message;
+  // Without the assumptions the same proof must fail.
+  EXPECT_FALSE(check_drat(f, proof).ok);
+}
+
+TEST(DratCheckTest, FormulaWithEmptyClauseIsTriviallyRefuted) {
+  CnfFormula f(1);
+  f.add_clause(Clause(std::vector<Lit>{}));
+  DratProof proof;
+  DratCheckResult r = check_drat(f, proof);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.refutation);
+}
+
+// --- parsers ------------------------------------------------------------
+
+TEST(DratParseTest, ParsesTextWithCommentsAndDeletions) {
+  std::istringstream in(
+      "c a comment line\n"
+      "1 -2 0\n"
+      "d 1 -2 0\n"
+      "0\n");
+  DratProof p = parse_drat(in, DratParseFormat::kText);
+  ASSERT_EQ(p.steps.size(), 3u);
+  EXPECT_FALSE(p.steps[0].deletion);
+  EXPECT_EQ(p.steps[0].lits, (std::vector<Lit>{pos(0), neg(1)}));
+  EXPECT_TRUE(p.steps[1].deletion);
+  EXPECT_TRUE(p.steps[2].lits.empty());
+}
+
+TEST(DratParseTest, RejectsMalformedText) {
+  std::istringstream bad_tok("1 x 0\n");
+  EXPECT_THROW(parse_drat(bad_tok, DratParseFormat::kText),
+               std::runtime_error);
+  std::istringstream unterminated("1 -2 0\n3 4\n");
+  EXPECT_THROW(parse_drat(unterminated, DratParseFormat::kText),
+               std::runtime_error);
+  std::istringstream huge("1999999999999 0\n");
+  EXPECT_THROW(parse_drat(huge, DratParseFormat::kText), std::runtime_error);
+}
+
+TEST(DratParseTest, BinaryRoundTripsAndAutoDetects) {
+  Proof proof;
+  proof.on_derive({pos(0), neg(1)});
+  proof.on_delete({pos(0), neg(1)});
+  proof.on_derive({neg(200)});  // exercises multi-byte varints
+  proof.on_derive({});
+  std::ostringstream out;
+  proof.write_drat(out, DratFormat::kBinary);
+  {
+    std::istringstream in(out.str());
+    DratProof p = parse_drat(in, DratParseFormat::kBinary);
+    ASSERT_EQ(p.steps.size(), 4u);
+    EXPECT_EQ(p.steps[0].lits, (std::vector<Lit>{pos(0), neg(1)}));
+    EXPECT_TRUE(p.steps[1].deletion);
+    EXPECT_EQ(p.steps[2].lits, (std::vector<Lit>{neg(200)}));
+    EXPECT_TRUE(p.steps[3].lits.empty());
+  }
+  {
+    std::istringstream in(out.str());
+    DratProof p = parse_drat(in);  // kAuto must sniff binary
+    EXPECT_EQ(p.steps.size(), 4u);
+  }
+  // And the text form round-trips through kAuto as well.
+  std::ostringstream text;
+  proof.write_drat(text, DratFormat::kText);
+  std::istringstream in(text.str());
+  DratProof p = parse_drat(in);
+  EXPECT_EQ(p.steps.size(), 4u);
+}
+
+TEST(DratParseTest, RejectsTruncatedBinary) {
+  Proof proof;
+  proof.on_derive({pos(0), neg(1)});
+  std::ostringstream out;
+  proof.write_drat(out, DratFormat::kBinary);
+  std::string bytes = out.str();
+  bytes.pop_back();  // drop the 0x00 terminator
+  std::istringstream in(bytes);
+  EXPECT_THROW(parse_drat(in, DratParseFormat::kBinary), std::runtime_error);
+}
+
+// --- solver → proof → checker pipeline ----------------------------------
+
+TEST(DratPipelineTest, CertifiesGeneratedUnsatFamilies) {
+  EXPECT_TRUE(verify_unsat(pigeonhole(4)));
+  EXPECT_TRUE(verify_unsat(dubois(8)));
+  EXPECT_TRUE(verify_unsat(equivalence_chain(6, true, 4, /*seed=*/7)));
+}
+
+TEST(DratPipelineTest, BinarySerializedSolverProofStillChecks) {
+  Solver solver;
+  Proof proof;
+  solver.set_proof_tracer(&proof);
+  ASSERT_TRUE(solver.add_formula(pigeonhole(4)));
+  ASSERT_EQ(solver.solve(), SolveResult::kUnsat);
+  std::ostringstream out;
+  proof.write_drat(out, DratFormat::kBinary);
+  std::istringstream in(out.str());
+  DratProof parsed = parse_drat(in);
+  DratCheckResult r = check_drat(pigeonhole(4), parsed);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(DratPipelineTest, MutatedSolverProofIsRejected) {
+  Solver solver;
+  Proof proof;
+  solver.set_proof_tracer(&proof);
+  ASSERT_TRUE(solver.add_formula(pigeonhole(4)));
+  ASSERT_EQ(solver.solve(), SolveResult::kUnsat);
+  ASSERT_TRUE(check_drat(pigeonhole(4), proof).ok);
+
+  // Mutation 1: drop the final empty clause.
+  DratProof truncated = DratProof::from_proof(proof);
+  while (!truncated.steps.empty() && !truncated.steps.back().deletion &&
+         truncated.steps.back().lits.empty()) {
+    truncated.steps.pop_back();
+  }
+  EXPECT_FALSE(check_drat(pigeonhole(4), truncated).ok);
+
+  // Mutation 2: delete a formula clause up front — the remainder is
+  // satisfiable, so the refutation cannot go through.
+  DratProof weakened = DratProof::from_proof(proof);
+  std::vector<Lit> pigeon0;
+  for (int h = 0; h < 4; ++h) pigeon0.push_back(pos(static_cast<Var>(h)));
+  weakened.steps.insert(weakened.steps.begin(), DratStep{true, pigeon0});
+  EXPECT_FALSE(check_drat(pigeonhole(4), weakened).ok);
+}
+
+TEST(DratPipelineTest, PreprocessedPipelineProofChecksAgainstOriginal) {
+  EXPECT_TRUE(verify_unsat_preprocessed(pigeonhole(4)));
+  EXPECT_TRUE(verify_unsat_preprocessed(dubois(6)));
+  EXPECT_TRUE(
+      verify_unsat_preprocessed(equivalence_chain(8, true, 0, /*seed=*/1)));
+}
+
+}  // namespace
+}  // namespace sateda::sat

@@ -11,12 +11,18 @@
 #include <vector>
 
 #include "cnf/generators.hpp"
+#include "sat/drat_check.hpp"
 #include "sat/portfolio.hpp"
+#include "sat/proof.hpp"
 #include "sat/solver.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace sateda;
+// sateda::testing (test_util.hpp) would otherwise make the bare
+// `testing::` gtest references below ambiguous.
+namespace testing = ::testing;
 using sat::PortfolioOptions;
 using sat::PortfolioSolver;
 using sat::SolveResult;
@@ -179,5 +185,52 @@ TEST(PortfolioTest, TrivialUnsatViaAddClause) {
   EXPECT_FALSE(p.okay());
   EXPECT_EQ(p.solve(), SolveResult::kUnsat);
 }
+
+// --- DRAT certification of the portfolio's UNSAT answers --------------
+
+class PortfolioProofTest : public testing::TestWithParam<bool> {};
+
+TEST_P(PortfolioProofTest, StitchedProofCertifiesPigeonhole) {
+  PortfolioSolver p = make_portfolio(3, GetParam());
+  p.enable_proof();
+  EXPECT_TRUE(p.proof_enabled());
+  ASSERT_TRUE(p.add_formula(pigeonhole(5)));
+  ASSERT_EQ(p.solve(), SolveResult::kUnsat);
+  sat::DratCheckResult r = sat::check_drat(pigeonhole(5), p.stitched_proof());
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.refutation);
+}
+
+TEST_P(PortfolioProofTest, StitchedProofCertifiesUnderAssumptions) {
+  PortfolioSolver p = make_portfolio(2, GetParam());
+  p.enable_proof();
+  Var a = p.new_var(), b = p.new_var();
+  ASSERT_TRUE(p.add_clause({neg(a), neg(b)}));
+  ASSERT_EQ(p.solve({pos(a), pos(b)}), SolveResult::kUnsat);
+  // The winner logged its negated conflict core; with the assumptions
+  // as root units the empty clause follows.
+  EXPECT_TRUE(sateda::testing::check_proof(
+      [&] {
+        CnfFormula f(2);
+        f.add_binary(neg(a), neg(b));
+        return f;
+      }(),
+      p.stitched_proof(), {pos(a), pos(b)}));
+}
+
+TEST_P(PortfolioProofTest, HelperCertifiesAcrossWorkerCounts) {
+  sat::PortfolioOptions popts;
+  popts.deterministic = GetParam();
+  for (int workers : {1, 2, 4}) {
+    EXPECT_TRUE(sateda::testing::verify_unsat_portfolio(
+        dubois(8), workers, sat::SolverOptions{}, popts))
+        << workers << " workers";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, PortfolioProofTest, testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "deterministic" : "racing";
+                         });
 
 }  // namespace

@@ -137,5 +137,39 @@ TEST_P(PreprocessPropertyTest, EquivalenceRichFormulasPreserved) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PreprocessPropertyTest,
                          ::testing::Range<std::uint64_t>(3000, 3020));
 
+// --- DRAT certification of this suite's UNSAT cases -------------------
+
+TEST(PreprocessProofCertificationTest, PreprocessorUnsatVerdictsAreCertified) {
+  {
+    CnfFormula f(1);  // unit contradiction found by the preprocessor
+    f.add_unit(pos(0));
+    f.add_unit(neg(0));
+    EXPECT_TRUE(testing::verify_unsat_preprocessed(f));
+  }
+  // Inconsistent equivalence cycle: refuted by equivalency reasoning.
+  EXPECT_TRUE(testing::verify_unsat_preprocessed(
+      equivalence_chain(6, /*inconsistent=*/true, 0, 3)));
+}
+
+TEST(PreprocessProofCertificationTest, PipelineProofsCoverEveryPassMix) {
+  const CnfFormula f = pigeonhole(4);
+  for (int mask = 0; mask < 16; ++mask) {
+    PreprocessOptions opts;
+    opts.pure_literals = (mask & 1) != 0;
+    opts.equivalency_reasoning = (mask & 2) != 0;
+    opts.subsumption = (mask & 4) != 0;
+    opts.self_subsumption = (mask & 8) != 0;
+    EXPECT_TRUE(testing::verify_unsat_preprocessed(f, opts))
+        << "pass mask " << mask;
+  }
+}
+
+TEST(PreprocessProofCertificationTest, SelfSubsumptionHeavyInstanceCertified) {
+  // dubois formulas exercise rewrites + self-subsumption before search.
+  EXPECT_TRUE(testing::verify_unsat_preprocessed(dubois(8)));
+  EXPECT_TRUE(testing::verify_unsat_preprocessed(
+      equivalence_chain(10, /*inconsistent=*/true, 12, 9)));
+}
+
 }  // namespace
 }  // namespace sateda::sat

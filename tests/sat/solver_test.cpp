@@ -220,6 +220,12 @@ TEST_P(SolverAblationTest, SoundOnSatAndUnsatFamilies) {
     s.add_formula(pigeonhole(4));
     EXPECT_EQ(s.solve(), SolveResult::kUnsat) << GetParam().name;
   }
+  if (opts.clause_learning) {
+    // Re-run with DRAT tracing: the refutation must check out under
+    // every configuration that records clauses.
+    EXPECT_TRUE(testing::verify_unsat(pigeonhole(4), {}, opts))
+        << GetParam().name;
+  }
   {
     CnfFormula f = planted_ksat(25, 90, 3, 77);
     Solver s(opts);
@@ -287,6 +293,40 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<AblationCase>& info) {
       return info.param.name;
     });
+
+// --- DRAT certification of this suite's UNSAT cases -------------------
+
+TEST(SolverProofCertificationTest, SuiteUnsatCasesHaveCheckableProofs) {
+  {
+    CnfFormula f(1);  // contradictory units
+    f.add_unit(pos(0));
+    f.add_unit(neg(0));
+    EXPECT_TRUE(testing::verify_unsat(f));
+  }
+  {
+    CnfFormula f(2);  // smallest full contradiction
+    f.add_binary(pos(0), pos(1));
+    f.add_binary(pos(0), neg(1));
+    f.add_binary(neg(0), pos(1));
+    f.add_binary(neg(0), neg(1));
+    EXPECT_TRUE(testing::verify_unsat(f));
+  }
+  EXPECT_TRUE(testing::verify_unsat(pigeonhole(5)));
+  EXPECT_TRUE(testing::verify_unsat(dubois(10)));
+}
+
+TEST(SolverProofCertificationTest, AssumptionUnsatCasesHaveCheckableProofs) {
+  {
+    CnfFormula f(2);  // (a + b) under {¬a, ¬b}
+    f.add_binary(pos(0), pos(1));
+    EXPECT_TRUE(testing::verify_unsat(f, {neg(0), neg(1)}));
+  }
+  {
+    CnfFormula f(3);  // (¬a + ¬b) under {a, b, c}
+    f.add_binary(neg(0), neg(1));
+    EXPECT_TRUE(testing::verify_unsat(f, {pos(0), pos(1), pos(2)}));
+  }
+}
 
 // --- stats sanity -----------------------------------------------------
 

@@ -1,12 +1,21 @@
 /// \file test_util.hpp
 /// \brief Shared helpers for the sateda test suite: a brute-force SAT
-///        reference oracle and model-checking utilities.
+///        reference oracle, model-checking utilities, and the
+///        verify_unsat() proof-certified UNSAT checks.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cnf/formula.hpp"
+#include "sat/drat_check.hpp"
+#include "sat/portfolio.hpp"
+#include "sat/preprocess.hpp"
+#include "sat/proof.hpp"
+#include "sat/solver.hpp"
 
 namespace sateda::testing {
 
@@ -51,6 +60,99 @@ inline std::vector<bool> complete_model(const std::vector<lbool>& model,
     out[v] = model[v].is_true();
   }
   return out;
+}
+
+// --- proof-certified UNSAT ----------------------------------------------
+//
+// The verify_unsat() helpers re-solve a formula with DRAT tracing
+// enabled and run the certificate through the independent backward
+// checker (sat/drat_check.hpp).  Tests use them so every UNSAT answer
+// in the suite is not merely asserted but *proved*.
+
+/// Checks a recorded trace against \p f with the backward RUP/RAT
+/// checker.  When \p assumptions are given and the trace lacks an
+/// explicit empty clause (the solver ends assumption-UNSAT traces with
+/// the negated conflict core), the empty clause is appended: it is RUP
+/// from the core clause plus the assumption units.
+inline ::testing::AssertionResult check_proof(
+    const CnfFormula& f, sat::Proof proof,
+    const std::vector<Lit>& assumptions = {}) {
+  if (!assumptions.empty() && !proof.derives_empty_clause()) {
+    proof.on_derive({});
+  }
+  sat::DratCheckOptions copts;
+  copts.assumptions = assumptions;
+  sat::DratCheckResult r = sat::check_drat(f, proof, copts);
+  if (r.ok) {
+    return ::testing::AssertionSuccess()
+           << "DRAT proof verified (" << r.steps_checked << " checked, "
+           << r.steps_skipped << " skipped)";
+  }
+  return ::testing::AssertionFailure()
+         << "DRAT proof rejected at step " << r.failed_step << ": "
+         << r.message;
+}
+
+/// Solves \p f with a proof-tracing CDCL solver, expects UNSAT, and
+/// verifies the emitted DRAT certificate.  With \p assumptions the
+/// proof refutes f ∧ assumptions.
+inline ::testing::AssertionResult verify_unsat(
+    const CnfFormula& f, const std::vector<Lit>& assumptions = {},
+    sat::SolverOptions opts = {}) {
+  sat::Solver solver(opts);
+  sat::Proof proof;
+  solver.set_proof_tracer(&proof);
+  bool ok = solver.add_formula(f);
+  sat::SolveResult r =
+      ok ? solver.solve(assumptions) : sat::SolveResult::kUnsat;
+  if (r != sat::SolveResult::kUnsat) {
+    return ::testing::AssertionFailure()
+           << "expected UNSAT, solver returned "
+           << (r == sat::SolveResult::kSat ? "SAT" : "UNKNOWN");
+  }
+  return check_proof(f, std::move(proof), assumptions);
+}
+
+/// verify_unsat() through the preprocessor: the preprocessor logs its
+/// simplifications into the same trace the solver then appends to, so
+/// one linear proof covers the whole pipeline.
+inline ::testing::AssertionResult verify_unsat_preprocessed(
+    const CnfFormula& f, sat::PreprocessOptions popts = {},
+    sat::SolverOptions opts = {}) {
+  sat::Proof proof;
+  popts.proof = &proof;
+  sat::PreprocessResult pre = sat::preprocess(f, popts);
+  if (!pre.unsat) {
+    sat::Solver solver(opts);
+    solver.set_proof_tracer(&proof);
+    bool ok = solver.add_formula(pre.simplified);
+    sat::SolveResult r = ok ? solver.solve() : sat::SolveResult::kUnsat;
+    if (r != sat::SolveResult::kUnsat) {
+      return ::testing::AssertionFailure()
+             << "expected UNSAT, solver returned "
+             << (r == sat::SolveResult::kSat ? "SAT" : "UNKNOWN");
+    }
+  }
+  return check_proof(f, std::move(proof));
+}
+
+/// verify_unsat() on the parallel portfolio: each worker traces into a
+/// globally ticketed SequencedProof and the stitched linear proof is
+/// checked against the original formula.
+inline ::testing::AssertionResult verify_unsat_portfolio(
+    const CnfFormula& f, int num_workers, sat::SolverOptions opts = {},
+    sat::PortfolioOptions popts = {}) {
+  popts.num_workers = num_workers;
+  sat::PortfolioSolver solver(opts, popts);
+  solver.enable_proof();
+  bool ok = solver.add_formula(f);
+  sat::SolveResult r = ok ? solver.solve() : sat::SolveResult::kUnsat;
+  if (r != sat::SolveResult::kUnsat) {
+    return ::testing::AssertionFailure()
+           << "expected UNSAT, portfolio returned "
+           << (r == sat::SolveResult::kSat ? "SAT" : "UNKNOWN");
+  }
+  return check_proof(f, solver.stitched_proof());
 }
 
 }  // namespace sateda::testing

@@ -1,0 +1,120 @@
+/// \file sateda_check.cpp
+/// \brief Standalone DRAT proof checker for sateda-solve certificates.
+///
+/// Verifies that a DRAT proof (text or binary, auto-detected) refutes
+/// a DIMACS CNF formula.  The checker is the independent backward
+/// RUP/RAT implementation in sat/drat_check.hpp — it shares no code
+/// with the solver that produced the proof.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "cnf/dimacs.hpp"
+#include "sat/drat_check.hpp"
+
+namespace {
+
+void print_help(const char* argv0) {
+  std::printf(
+      "usage: %s [options] <file.cnf> <proof.drat>\n"
+      "\n"
+      "Checks that the DRAT proof refutes the DIMACS CNF formula.\n"
+      "\n"
+      "options:\n"
+      "  --text               force text DRAT parsing\n"
+      "  --binary             force binary DRAT parsing\n"
+      "  --assume LIT         add a DIMACS literal as a root assumption\n"
+      "                       (repeatable; the proof then refutes\n"
+      "                       formula AND assumptions)\n"
+      "  --no-refutation      accept a proof that verifies but never\n"
+      "                       derives the empty clause (derivation mode)\n"
+      "  --quiet              verdict line only\n"
+      "  --help               this message\n"
+      "\n"
+      "output: `s VERIFIED` or `s NOT VERIFIED`.  Exit code 0 when the\n"
+      "proof is accepted, 1 when rejected, 2 on usage or input errors.\n",
+      argv0);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <file.cnf> <proof.drat>  (--help for "
+               "details)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sateda;
+  std::vector<std::string> paths;
+  std::vector<Lit> assumptions;
+  sat::DratParseFormat format = sat::DratParseFormat::kAuto;
+  bool require_refutation = true;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(argv[0]);
+      return 0;
+    } else if (arg == "--text") {
+      format = sat::DratParseFormat::kText;
+    } else if (arg == "--binary") {
+      format = sat::DratParseFormat::kBinary;
+    } else if (arg == "--no-refutation") {
+      require_refutation = false;
+    } else if (arg == "--assume" && i + 1 < argc) {
+      long long code = std::atoll(argv[++i]);
+      if (code == 0) {
+        std::fprintf(stderr, "error: --assume takes a nonzero literal\n");
+        return 2;
+      }
+      Var v = static_cast<Var>((code < 0 ? -code : code) - 1);
+      assumptions.push_back(Lit(v, code < 0));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) return usage(argv[0]);
+
+  CnfFormula f;
+  try {
+    f = read_dimacs_file(paths[0]);
+  } catch (const DimacsError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  sat::DratProof proof;
+  try {
+    proof = sat::parse_drat_file(paths[1], format);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (!quiet) {
+    std::printf("c sateda_check: %d vars, %zu clauses, %zu proof steps\n",
+                f.num_vars(), f.num_clauses(), proof.steps.size());
+  }
+
+  sat::DratCheckOptions opts;
+  opts.assumptions = assumptions;
+  opts.require_refutation = require_refutation;
+  sat::DratCheckResult r = sat::check_drat(f, proof, opts);
+  if (!quiet) {
+    std::printf("c checked %zu additions, skipped %zu unused\n",
+                r.steps_checked, r.steps_skipped);
+    if (!r.ok) {
+      std::printf("c rejected at step %zu: %s\n", r.failed_step,
+                  r.message.c_str());
+    }
+  }
+  std::printf(r.ok ? "s VERIFIED\n" : "s NOT VERIFIED\n");
+  return r.ok ? 0 : 1;
+}

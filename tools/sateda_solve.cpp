@@ -39,17 +39,21 @@ void print_help(const char* argv0) {
       "  --no-restarts        disable restarts\n"
       "  --no-learning        disable clause recording\n"
       "  --chronological      chronological backtracking\n"
-      "  --proof FILE         write a DRAT refutation on UNSAT (cdcl only)\n"
+      "  --proof FILE         write a DRAT refutation on UNSAT (cdcl or\n"
+      "                       portfolio; composes with --preprocess)\n"
+      "  --binary-proof       emit the proof in binary DRAT\n"
       "  --max-conflicts N    give up after N conflicts (per worker)\n"
       "\n"
       "general:\n"
       "  --preprocess         run the CNF preprocessor first\n"
+      "  --strict-dimacs      enforce header variable/clause declarations\n"
       "  --quiet              suppress `c` comment lines\n"
       "  --help               this message\n"
       "\n"
       "output: SAT-competition format (`s` verdict line; `v` literal\n"
       "lines on SATISFIABLE).  Exit code 10 = SAT, 20 = UNSAT,\n"
-      "0 = UNKNOWN, 2 = usage or input error.\n",
+      "0 = UNKNOWN (the reason is reported on stderr), 2 = usage or\n"
+      "input error.\n",
       argv0);
 }
 
@@ -70,6 +74,8 @@ int main(int argc, char** argv) {
   bool deterministic = false;
   bool preprocess_first = false;
   bool quiet = false;
+  DimacsOptions dimacs_opts;
+  sat::DratFormat proof_format = sat::DratFormat::kText;
   sat::SolverOptions opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -84,6 +90,9 @@ int main(int argc, char** argv) {
       deterministic = true;
     } else if (arg == "--preprocess") {
       preprocess_first = true;
+    } else if (arg == "--strict-dimacs") {
+      dimacs_opts.strict_header_bounds = true;
+      dimacs_opts.strict_clause_count = true;
     } else if (arg == "--no-restarts") {
       opts.restarts = false;
     } else if (arg == "--no-learning") {
@@ -92,6 +101,8 @@ int main(int argc, char** argv) {
       opts.backtrack = sat::BacktrackMode::kChronological;
     } else if (arg == "--proof" && i + 1 < argc) {
       proof_path = argv[++i];
+    } else if (arg == "--binary-proof") {
+      proof_format = sat::DratFormat::kBinary;
     } else if (arg == "--max-conflicts" && i + 1 < argc) {
       opts.conflict_budget = std::atoll(argv[++i]);
     } else if (arg == "--quiet") {
@@ -104,6 +115,7 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) return usage(argv[0]);
 
+  const bool want_proof = !proof_path.empty();
   sat::EngineFactory factory;
   try {
     if (engine_name == "portfolio" && deterministic) {
@@ -115,14 +127,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-  if (!proof_path.empty() && engine_name != "cdcl") {
-    std::fprintf(stderr, "error: --proof requires --engine cdcl\n");
+  if (want_proof && engine_name != "cdcl" && engine_name != "portfolio") {
+    std::fprintf(stderr, "error: --proof requires --engine cdcl or portfolio\n");
     return 2;
   }
 
   CnfFormula f;
   try {
-    f = (path == "-") ? read_dimacs(std::cin) : read_dimacs_file(path);
+    f = (path == "-") ? read_dimacs(std::cin, dimacs_opts)
+                      : read_dimacs_file(path, dimacs_opts);
   } catch (const DimacsError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
@@ -132,11 +145,33 @@ int main(int argc, char** argv) {
                 f.num_vars(), f.num_clauses(), engine_name.c_str());
   }
 
+  // Preprocessor derivations land in pre_proof; the solver's trace is
+  // appended after it, so the emitted file is one linear DRAT proof.
+  sat::Proof pre_proof;
+  auto emit_proof = [&](const sat::Proof& solver_proof) {
+    std::ofstream out(proof_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open proof file %s\n",
+                   proof_path.c_str());
+      return;
+    }
+    pre_proof.write_drat(out, proof_format);
+    solver_proof.write_drat(out, proof_format);
+    if (!quiet) {
+      std::printf("c DRAT proof (%zu steps) written to %s\n",
+                  pre_proof.steps().size() + solver_proof.steps().size(),
+                  proof_path.c_str());
+    }
+  };
+
   sat::PreprocessResult pre;
   const CnfFormula* to_solve = &f;
   if (preprocess_first) {
-    pre = sat::preprocess(f);
+    sat::PreprocessOptions popts;
+    if (want_proof) popts.proof = &pre_proof;
+    pre = sat::preprocess(f, popts);
     if (pre.unsat) {
+      if (want_proof) emit_proof(sat::Proof{});
       std::printf("s UNSATISFIABLE\n");
       return 20;
     }
@@ -146,9 +181,17 @@ int main(int argc, char** argv) {
 
   sat::Proof proof;
   std::unique_ptr<sat::SatEngine> solver = sat::make_engine(factory, opts);
-  if (!proof_path.empty()) {
-    // Checked above: only reachable with the concrete CDCL backend.
-    static_cast<sat::Solver&>(*solver).set_proof_logger(&proof);
+  sat::PortfolioSolver* portfolio =
+      engine_name == "portfolio"
+          ? static_cast<sat::PortfolioSolver*>(solver.get())
+          : nullptr;
+  if (want_proof) {
+    if (portfolio != nullptr) {
+      portfolio->enable_proof();
+    } else {
+      // Checked above: only the concrete CDCL backend remains.
+      static_cast<sat::Solver&>(*solver).set_proof_tracer(&proof);
+    }
   }
   bool ok = solver->add_formula(*to_solve);
   solver->ensure_var(f.num_vars() - 1);
@@ -157,25 +200,16 @@ int main(int argc, char** argv) {
 
   switch (r) {
     case sat::SolveResult::kUnknown:
-      if (!quiet) {
-        std::printf("c unknown reason: %s\n",
-                    sat::to_string(solver->unknown_reason()).c_str());
-      }
+      // A resource-limited run is not a failure: report the reason on
+      // stderr, answer UNKNOWN and exit 0.
+      std::fprintf(stderr, "c unknown reason: %s\n",
+                   sat::to_string(solver->unknown_reason()).c_str());
       std::printf("s UNKNOWN\n");
       return 0;
     case sat::SolveResult::kUnsat: {
       std::printf("s UNSATISFIABLE\n");
-      if (!proof_path.empty() && !preprocess_first) {
-        std::ofstream out(proof_path);
-        proof.write_drat(out);
-        if (!quiet) {
-          std::printf("c DRAT proof (%zu steps) written to %s\n",
-                      proof.steps().size(), proof_path.c_str());
-        }
-      } else if (!proof_path.empty()) {
-        std::fprintf(stderr,
-                     "warning: --proof covers the solver run only; it is "
-                     "not emitted when --preprocess rewrote the formula\n");
+      if (want_proof) {
+        emit_proof(portfolio != nullptr ? portfolio->stitched_proof() : proof);
       }
       return 20;
     }
