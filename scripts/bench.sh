@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Build-and-run wrapper for the sateda-bench solver throughput
+# benchmark.  Writes the JSON results into the build tree (the
+# checked-in BENCH_solver.json at the repo root is the reference
+# baseline and is never overwritten by this script).
+#
+# usage: scripts/bench.sh [build-dir] [--quick] [--check]
+#   --quick   small-instance subset with short timing windows
+#   --check   compare against the checked-in BENCH_solver.json and
+#             fail if propagations/sec regressed more than 25%
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="build"
+QUICK=""
+CHECK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    --check) CHECK=1 ;;
+    -*) echo "usage: scripts/bench.sh [build-dir] [--quick] [--check]" >&2
+        exit 2 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+BENCH="$BUILD_DIR/tools/sateda-bench"
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built (build the sateda-bench target first," \
+       "ideally in a Release tree)" >&2
+  exit 2
+fi
+
+OUT="$BUILD_DIR/BENCH_solver.json"
+ARGS=("--out" "$OUT" "--corpus" "$ROOT/examples/cnf")
+[ -n "$QUICK" ] && ARGS+=("$QUICK")
+if [ "$CHECK" -eq 1 ]; then
+  ARGS+=("--baseline" "$ROOT/BENCH_solver.json" "--max-regression" "0.25")
+fi
+
+exec "$BENCH" "${ARGS[@]}"

@@ -92,10 +92,8 @@ inline std::string to_string(const Clause& c) {
   return s + ")";
 }
 
-/// Reference to a clause inside a ClauseDatabase / Solver.
-/// Dense index; kNullClause means "no clause" (e.g. a decision has no
-/// antecedent).
-using ClauseRef = std::int32_t;
-inline constexpr ClauseRef kNullClause = -1;
+// Clause references inside the solver are arena offsets now — see
+// sat/arena.hpp (CRef).  Clause here remains the formula-level
+// container used by CnfFormula and the preprocessor.
 
 }  // namespace sateda

@@ -1,0 +1,40 @@
+#include "sat/arena.hpp"
+
+namespace sateda::sat {
+
+CRef ClauseArena::alloc(const std::vector<Lit>& lits, bool learnt) {
+  assert(lits.size() >= 2);
+  const CRef ref = static_cast<CRef>(mem_.size());
+  // Reason encodings pack a CRef into 31 bits; 2^31 words = 8 GiB of
+  // clauses, far beyond any in-memory instance we serve.
+  assert(mem_.size() + ArenaClause::kHeaderWords + lits.size() <
+         (std::size_t{1} << 31));
+  mem_.resize(mem_.size() + ArenaClause::kHeaderWords + lits.size());
+  std::uint32_t* base = mem_.data() + ref;
+  base[0] =
+      (static_cast<std::uint32_t>(lits.size()) << 6) | (learnt ? 1u : 0u);
+  base[1] = static_cast<std::uint32_t>(lits.size());  // default LBD
+  base[2] = std::bit_cast<std::uint32_t>(0.0f);
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    base[ArenaClause::kHeaderWords + i] =
+        static_cast<std::uint32_t>(lits[i].index());
+  }
+  return ref;
+}
+
+CRef ClauseArena::reloc(CRef ref, ClauseArena& to) {
+  ArenaClause c = (*this)[ref];
+  assert(!c.deleted());
+  if (c.relocated()) return c.forward();
+  const std::vector<Lit> lits = c.lits();
+  CRef nr = to.alloc(lits, c.learnt());
+  ArenaClause nc = to[nr];
+  nc.set_lbd(c.lbd());
+  nc.set_activity(c.activity());
+  nc.set_tier(c.tier());
+  if (c.used()) nc.set_used();
+  c.set_forward(nr);
+  return nr;
+}
+
+}  // namespace sateda::sat

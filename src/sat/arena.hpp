@@ -1,0 +1,244 @@
+/// \file arena.hpp
+/// \brief Flat clause arena for the CDCL hot path.
+///
+/// The propagation inner loop is bound by memory traffic, not
+/// arithmetic: with one heap-allocated std::vector<Lit> per clause,
+/// every watcher visit costs two dependent cache misses (clause object,
+/// then its literal buffer) and deleted clauses are never reclaimed.
+/// The ClauseArena stores every clause in a single contiguous
+/// std::uint32_t buffer — a small inline header followed by the
+/// literals — so a watcher visit is one predictable load stream, and a
+/// ClauseRef is simply the word offset of the header.
+///
+/// Layout per clause (all little-endian words):
+///
+///   word 0: [31..6] size | [5] relocated | [4] used | [3..2] tier
+///           | [1] deleted | [0] learnt
+///   word 1: LBD (or the forwarding ref while `relocated` during GC)
+///   word 2: activity (IEEE float bits)
+///   word 3..3+size: literal codes (Lit::index())
+///
+/// Clauses are bump-allocated; remove_clause() marks them deleted and
+/// counts the words as wasted.  When the wasted fraction passes the
+/// solver's threshold the solver runs a compacting collection: live
+/// clauses are copied into a fresh arena in watch-list order and every
+/// external reference (watches, reasons, clause lists) is remapped
+/// through the forwarding word.  Binary clauses never enter the arena
+/// at all — they live directly in the solver's binary watch lists
+/// (see solver.hpp).
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "cnf/literal.hpp"
+
+namespace sateda::sat {
+
+/// Word offset of a clause header inside the arena.
+using CRef = std::uint32_t;
+inline constexpr CRef kCRefUndef = 0xFFFFFFFFu;
+
+/// Learnt-clause tier (Chanseok-Oh-style three-tier database).
+enum class ClauseTier : std::uint32_t {
+  kCore = 0,   ///< LBD ≤ core cut: kept forever
+  kTier2 = 1,  ///< mid-quality: kept while recently used
+  kLocal = 2,  ///< the rest: activity-sorted, worst half retired
+};
+
+/// Non-owning proxy for one clause inside a ClauseArena.  Cheap to
+/// copy; valid until the arena reallocates or compacts.
+class ArenaClause {
+ public:
+  explicit ArenaClause(std::uint32_t* base) : base_(base) {}
+
+  std::uint32_t size() const { return base_[0] >> kSizeShift; }
+  bool learnt() const { return (base_[0] & kLearntBit) != 0; }
+  bool deleted() const { return (base_[0] & kDeletedBit) != 0; }
+  void mark_deleted() { base_[0] |= kDeletedBit; }
+
+  ClauseTier tier() const {
+    return static_cast<ClauseTier>((base_[0] >> kTierShift) & 3u);
+  }
+  void set_tier(ClauseTier t) {
+    base_[0] = (base_[0] & ~(3u << kTierShift)) |
+               (static_cast<std::uint32_t>(t) << kTierShift);
+  }
+
+  /// "Touched since the last reduction" flag driving tier-2 demotion.
+  bool used() const { return (base_[0] & kUsedBit) != 0; }
+  void set_used() { base_[0] |= kUsedBit; }
+  void clear_used() { base_[0] &= ~kUsedBit; }
+
+  int lbd() const { return static_cast<int>(base_[1]); }
+  void set_lbd(int lbd) { base_[1] = static_cast<std::uint32_t>(lbd); }
+
+  float activity() const { return std::bit_cast<float>(base_[2]); }
+  void set_activity(float a) { base_[2] = std::bit_cast<std::uint32_t>(a); }
+
+  Lit operator[](std::size_t i) const {
+    return Lit::from_index(static_cast<std::int32_t>(base_[kHeaderWords + i]));
+  }
+  void set_lit(std::size_t i, Lit l) {
+    base_[kHeaderWords + i] = static_cast<std::uint32_t>(l.index());
+  }
+  void swap_lits(std::size_t i, std::size_t j) {
+    std::uint32_t tmp = base_[kHeaderWords + i];
+    base_[kHeaderWords + i] = base_[kHeaderWords + j];
+    base_[kHeaderWords + j] = tmp;
+  }
+
+  bool contains(Lit l) const {
+    for (std::uint32_t i = 0; i < size(); ++i) {
+      if ((*this)[i] == l) return true;
+    }
+    return false;
+  }
+
+  std::vector<Lit> lits() const {
+    std::vector<Lit> out;
+    out.reserve(size());
+    for (std::uint32_t i = 0; i < size(); ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+  /// Value-yielding literal iterator (no Lit* aliasing of the word
+  /// buffer, so strict aliasing holds).
+  class const_iterator {
+   public:
+    const_iterator(const std::uint32_t* p) : p_(p) {}
+    Lit operator*() const {
+      return Lit::from_index(static_cast<std::int32_t>(*p_));
+    }
+    const_iterator& operator++() {
+      ++p_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return p_ != o.p_; }
+
+   private:
+    const std::uint32_t* p_;
+  };
+  const_iterator begin() const { return const_iterator(base_ + kHeaderWords); }
+  const_iterator end() const {
+    return const_iterator(base_ + kHeaderWords + size());
+  }
+
+  // --- GC forwarding (used only by ClauseArena::reloc) --------------
+  bool relocated() const { return (base_[0] & kRelocBit) != 0; }
+  CRef forward() const { return base_[1]; }
+  void set_forward(CRef target) {
+    base_[0] |= kRelocBit;
+    base_[1] = target;
+  }
+
+  static constexpr std::uint32_t kHeaderWords = 3;
+
+ private:
+  static constexpr std::uint32_t kLearntBit = 1u << 0;
+  static constexpr std::uint32_t kDeletedBit = 1u << 1;
+  static constexpr std::uint32_t kTierShift = 2;
+  static constexpr std::uint32_t kUsedBit = 1u << 4;
+  static constexpr std::uint32_t kRelocBit = 1u << 5;
+  static constexpr std::uint32_t kSizeShift = 6;
+
+  friend class ClauseArena;
+  std::uint32_t* base_;
+};
+
+/// Bump allocator + mark-compact collector over one flat word buffer.
+class ClauseArena {
+ public:
+  /// Allocates a clause of \p lits; returns its header offset.
+  CRef alloc(const std::vector<Lit>& lits, bool learnt);
+
+  ArenaClause operator[](CRef ref) {
+    assert(ref < mem_.size());
+    return ArenaClause(mem_.data() + ref);
+  }
+  ArenaClause operator[](CRef ref) const {
+    assert(ref < mem_.size());
+    // Proxies are value-like; const callers (the auditor) only read.
+    return ArenaClause(const_cast<std::uint32_t*>(mem_.data()) + ref);
+  }
+
+  /// Marks the clause deleted and counts its words as reclaimable.
+  void free_clause(CRef ref) {
+    ArenaClause c = (*this)[ref];
+    assert(!c.deleted());
+    c.mark_deleted();
+    wasted_ += ArenaClause::kHeaderWords + c.size();
+  }
+
+  std::size_t size_words() const { return mem_.size(); }
+  std::size_t wasted_words() const { return wasted_; }
+  void reserve_words(std::size_t words) { mem_.reserve(words); }
+
+  /// Sequential iteration over all clauses (live and deleted) in
+  /// allocation order: first() .. next() until end_ref().
+  CRef first() const { return 0; }
+  CRef end_ref() const { return static_cast<CRef>(mem_.size()); }
+  CRef next(CRef ref) const {
+    ArenaClause c = (*this)[ref];
+    // A clause being relocated reuses word 1 as the forwarding ref, but
+    // word 0 keeps the size, so traversal stays well-defined mid-GC.
+    return ref + ArenaClause::kHeaderWords + c.size();
+  }
+
+  /// Copies the clause into \p to (once; later calls return the same
+  /// forwarding target) and returns its new offset.
+  CRef reloc(CRef ref, ClauseArena& to);
+
+  void swap(ClauseArena& other) {
+    mem_.swap(other.mem_);
+    std::swap(wasted_, other.wasted_);
+  }
+
+ private:
+  std::vector<std::uint32_t> mem_;
+  std::size_t wasted_ = 0;
+};
+
+/// Antecedent of an assignment — none (decision / root fact), a clause
+/// in the arena, or the *other* literal of an implicit binary clause.
+/// Packed into one word: CRef<<1 for clauses, (lit.index()<<1)|1 for
+/// binaries, all-ones for none.
+class Reason {
+ public:
+  constexpr Reason() : code_(kNoneCode) {}
+
+  static Reason clause(CRef ref) {
+    assert(ref < (1u << 31));
+    return Reason(ref << 1);
+  }
+  static Reason binary(Lit other) {
+    return Reason((static_cast<std::uint32_t>(other.index()) << 1) | 1u);
+  }
+
+  bool is_none() const { return code_ == kNoneCode; }
+  bool is_binary() const { return code_ != kNoneCode && (code_ & 1u) != 0; }
+  bool is_clause() const { return code_ != kNoneCode && (code_ & 1u) == 0; }
+
+  CRef cref() const {
+    assert(is_clause());
+    return code_ >> 1;
+  }
+  /// For binary reasons: the clause's other (false) literal.
+  Lit other() const {
+    assert(is_binary());
+    return Lit::from_index(static_cast<std::int32_t>(code_ >> 1));
+  }
+
+  friend constexpr bool operator==(Reason a, Reason b) = default;
+
+ private:
+  explicit constexpr Reason(std::uint32_t code) : code_(code) {}
+  static constexpr std::uint32_t kNoneCode = 0xFFFFFFFFu;
+  std::uint32_t code_;
+};
+
+inline constexpr Reason kNoReason{};
+
+}  // namespace sateda::sat

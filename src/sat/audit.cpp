@@ -7,49 +7,63 @@ namespace sateda::sat {
 
 namespace {
 
-std::string clause_tag(ClauseRef cref, const Clause& c) {
-  return std::string(c.learnt() ? "learnt" : "problem") + " clause #" +
-         std::to_string(cref) + " " + to_string(c);
+std::string lits_string(const std::vector<Lit>& lits) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (i) s += " + ";
+    s += to_string(lits[i]);
+  }
+  return s + ")";
+}
+
+std::string clause_tag(CRef cref, ArenaClause c) {
+  return std::string(c.learnt() ? "learnt" : "problem") + " clause @" +
+         std::to_string(cref) + " " + lits_string(c.lits());
 }
 
 }  // namespace
 
 void SolverAuditor::audit(const Solver& s) {
   ++report_.audits_run;
-  if (opts_.check_watchers) check_watchers(s);
+  if (opts_.check_watchers) {
+    check_watchers(s);
+    check_binaries(s);
+  }
   if (opts_.check_trail) check_trail(s);
   if (opts_.check_learnts) check_learnts(s);
 }
 
 void SolverAuditor::check_watchers(const Solver& s) {
-  const std::size_t pool_size = s.clause_pool_.size();
-  std::vector<int> seen0(pool_size, 0);
-  std::vector<int> seen1(pool_size, 0);
+  const std::size_t arena_words = s.arena_.size_words();
+  // Watch counts per clause, indexed by the clause's arena offset.
+  std::vector<int> seen0(arena_words, 0);
+  std::vector<int> seen1(arena_words, 0);
   for (std::size_t idx = 0; idx < s.watches_.size(); ++idx) {
     // watches_[(~w).index()] holds clauses watching w, so the literal
     // a list at index `idx` watches is the complement.
     const Lit watched = ~Lit::from_index(static_cast<std::int32_t>(idx));
     for (const Solver::Watcher& w : s.watches_[idx]) {
-      if (w.cref < 0 || static_cast<std::size_t>(w.cref) >= pool_size) {
+      if (w.cref >= arena_words) {
         violation("watcher with out-of-range clause ref " +
                   std::to_string(w.cref));
         continue;
       }
-      const Clause& c = s.clause_pool_[w.cref];
+      ArenaClause c = s.arena_[w.cref];
       if (c.deleted()) {
         violation("watch list of " + to_string(watched) +
-                  " references deleted clause #" + std::to_string(w.cref));
+                  " references deleted clause @" + std::to_string(w.cref));
         continue;
       }
-      if (c.size() < 2) {
-        violation("watched clause #" + std::to_string(w.cref) +
-                  " has fewer than two literals");
+      if (c.size() < 3) {
+        violation("watched clause @" + std::to_string(w.cref) +
+                  " has fewer than three literals (binaries must be "
+                  "implicit)");
         continue;
       }
       if (c[0] == watched) {
-        ++seen0[static_cast<std::size_t>(w.cref)];
+        ++seen0[w.cref];
       } else if (c[1] == watched) {
-        ++seen1[static_cast<std::size_t>(w.cref)];
+        ++seen1[w.cref];
       } else {
         violation("watch list of " + to_string(watched) + " holds " +
                   clause_tag(w.cref, c) +
@@ -61,14 +75,41 @@ void SolverAuditor::check_watchers(const Solver& s) {
       }
     }
   }
-  for (std::size_t cref = 0; cref < pool_size; ++cref) {
-    const Clause& c = s.clause_pool_[cref];
-    if (c.deleted() || c.size() < 2) continue;
+  for (CRef cref = s.arena_.first(); cref < s.arena_.end_ref();
+       cref = s.arena_.next(cref)) {
+    ArenaClause c = s.arena_[cref];
+    if (c.deleted()) continue;
     if (seen0[cref] != 1 || seen1[cref] != 1) {
-      violation(clause_tag(static_cast<ClauseRef>(cref), c) +
-                " is watched " + std::to_string(seen0[cref]) + "/" +
-                std::to_string(seen1[cref]) +
-                " times (expected exactly 1/1)");
+      violation(clause_tag(cref, c) + " is watched " +
+                std::to_string(seen0[cref]) + "/" +
+                std::to_string(seen1[cref]) + " times (expected exactly 1/1)");
+    }
+  }
+}
+
+void SolverAuditor::check_binaries(const Solver& s) {
+  // Every implicit binary clause (x ∨ y) must appear as {y} in the
+  // list visited when x falsifies and as {x} in the list visited when
+  // y falsifies, with matching learnt flags.
+  for (std::size_t idx = 0; idx < s.bin_watches_.size(); ++idx) {
+    const Lit x = ~Lit::from_index(static_cast<std::int32_t>(idx));
+    for (const Solver::BinWatcher& bw : s.bin_watches_[idx]) {
+      if (bw.other.var() < 0 || bw.other.var() >= s.num_vars()) {
+        violation("binary watch of " + to_string(x) +
+                  " names unknown literal " + to_string(bw.other));
+        continue;
+      }
+      const auto& mirror = s.bin_watches_[(~bw.other).index()];
+      const bool mirrored =
+          std::any_of(mirror.begin(), mirror.end(),
+                      [&](const Solver::BinWatcher& m) {
+                        return m.other == x && m.learnt == bw.learnt;
+                      });
+      if (!mirrored) {
+        violation("binary clause " + lits_string({x, bw.other}) +
+                  " has no mirror entry in the watch list of " +
+                  to_string(~bw.other));
+      }
     }
   }
 }
@@ -106,7 +147,8 @@ void SolverAuditor::check_trail(const Solver& s) {
       continue;
     }
     if (on_trail[static_cast<std::size_t>(v)]) {
-      violation("variable " + std::to_string(v + 1) + " appears twice on the trail");
+      violation("variable " + std::to_string(v + 1) +
+                " appears twice on the trail");
     }
     on_trail[static_cast<std::size_t>(v)] = 1;
     if (!s.value(p).is_true()) {
@@ -118,27 +160,50 @@ void SolverAuditor::check_trail(const Solver& s) {
                 " but sits in the level-" + std::to_string(level_of_pos) +
                 " trail segment");
     }
-    const ClauseRef r = s.reason_[static_cast<std::size_t>(v)];
-    if (r != kNullClause) {
-      if (r < 0 || static_cast<std::size_t>(r) >= s.clause_pool_.size()) {
+    const Reason r = s.reason_[static_cast<std::size_t>(v)];
+    if (r.is_binary()) {
+      const Lit other = r.other();
+      if (other.var() < 0 || other.var() >= s.num_vars()) {
+        violation("binary reason of " + to_string(p) +
+                  " names unknown literal " + to_string(other));
+        continue;
+      }
+      if (!s.value(other).is_false() ||
+          s.level_[static_cast<std::size_t>(other.var())] > level_of_pos) {
+        violation("binary reason " + lits_string({p, other}) + " of " +
+                  to_string(p) + " is not asserting: " + to_string(other) +
+                  " is not false at or below its level");
+      }
+      const auto& list = s.bin_watches_[(~other).index()];
+      if (std::none_of(list.begin(), list.end(),
+                       [&](const Solver::BinWatcher& bw) {
+                         return bw.other == p;
+                       })) {
+        violation("binary reason " + lits_string({p, other}) + " of " +
+                  to_string(p) + " is not present in the binary watch lists");
+      }
+    } else if (r.is_clause()) {
+      if (r.cref() >= s.arena_.size_words()) {
         violation("reason of " + to_string(p) + " is out of range");
         continue;
       }
-      const Clause& c = s.clause_pool_[r];
+      ArenaClause c = s.arena_[r.cref()];
       if (c.deleted()) {
         violation("reason of " + to_string(p) + " is a deleted clause");
         continue;
       }
       if (c.size() < 1 || c[0] != p) {
-        violation("reason " + clause_tag(r, c) + " does not assert " +
+        violation("reason " + clause_tag(r.cref(), c) + " does not assert " +
                   to_string(p) + " in position 0");
         continue;
       }
-      for (std::size_t j = 1; j < c.size(); ++j) {
+      const std::uint32_t size = c.size();
+      for (std::uint32_t j = 1; j < size; ++j) {
         if (!s.value(c[j]).is_false() ||
             s.level_[static_cast<std::size_t>(c[j].var())] > level_of_pos) {
-          violation("reason " + clause_tag(r, c) + " of " + to_string(p) +
-                    " is not asserting: literal " + to_string(c[j]) +
+          violation("reason " + clause_tag(r.cref(), c) + " of " +
+                    to_string(p) + " is not asserting: literal " +
+                    to_string(c[j]) +
                     " is not false at or below its level");
           break;
         }
@@ -154,12 +219,11 @@ void SolverAuditor::check_trail(const Solver& s) {
   }
   // At a propagation fixpoint no live clause may be unit or falsified.
   if (s.qhead_ == trail_size) {
-    for (std::size_t cref = 0; cref < s.clause_pool_.size(); ++cref) {
-      const Clause& c = s.clause_pool_[cref];
-      if (c.deleted()) continue;
+    auto fixpoint_check = [&](const std::vector<Lit>& lits,
+                              const std::string& tag) {
       bool satisfied = false;
       int non_false = 0;
-      for (Lit l : c) {
+      for (Lit l : lits) {
         const lbool v = s.value(l);
         if (v.is_true()) {
           satisfied = true;
@@ -168,9 +232,22 @@ void SolverAuditor::check_trail(const Solver& s) {
         if (!v.is_false()) ++non_false;
       }
       if (!satisfied && non_false < 2) {
-        violation(clause_tag(static_cast<ClauseRef>(cref), c) +
-                  (non_false == 0 ? " is falsified" : " is unit") +
+        violation(tag + (non_false == 0 ? " is falsified" : " is unit") +
                   " at a propagation fixpoint");
+      }
+    };
+    for (CRef cref = s.arena_.first(); cref < s.arena_.end_ref();
+         cref = s.arena_.next(cref)) {
+      ArenaClause c = s.arena_[cref];
+      if (c.deleted()) continue;
+      fixpoint_check(c.lits(), clause_tag(cref, c));
+    }
+    for (std::size_t idx = 0; idx < s.bin_watches_.size(); ++idx) {
+      const Lit x = ~Lit::from_index(static_cast<std::int32_t>(idx));
+      for (const Solver::BinWatcher& bw : s.bin_watches_[idx]) {
+        if (x.index() >= bw.other.index()) continue;  // canonical half only
+        fixpoint_check({x, bw.other},
+                       "binary clause " + lits_string({x, bw.other}));
       }
     }
   }
@@ -182,18 +259,17 @@ void SolverAuditor::check_learnts(const Solver& s) {
   std::size_t checked = 0;
   for (std::size_t i = s.learnts_.size();
        i-- > 0 && checked < opts_.max_learnts_checked;) {
-    const ClauseRef cref = s.learnts_[i];
-    if (cref < 0 || static_cast<std::size_t>(cref) >= s.clause_pool_.size()) {
+    const CRef cref = s.learnts_[i];
+    if (cref >= s.arena_.size_words()) {
       violation("learnt list entry " + std::to_string(cref) +
                 " is out of range");
       continue;
     }
-    const Clause& c = s.clause_pool_[cref];
+    ArenaClause c = s.arena_[cref];
     if (c.deleted()) continue;  // stale refs are purged lazily elsewhere
     ++checked;
     ++report_.learnts_checked;
-    const lbool verdict =
-        learnt_is_rup(s, cref, std::vector<Lit>(c.begin(), c.end()));
+    const lbool verdict = learnt_is_rup(s, cref, c.lits());
     if (verdict.is_true()) continue;
     if (verdict.is_undef() || !opts_.strict_learnt_rup) {
       ++report_.learnts_inconclusive;
@@ -204,13 +280,15 @@ void SolverAuditor::check_learnts(const Solver& s) {
   }
 }
 
-lbool SolverAuditor::learnt_is_rup(const Solver& s, ClauseRef self,
+lbool SolverAuditor::learnt_is_rup(const Solver& s, CRef self,
                                    const std::vector<Lit>& lits) {
   // Independent counter-based propagation over the solver's live
   // clauses (minus the audited clause), from an empty assignment — the
   // solver's own trail and watches are deliberately not consulted.
   std::vector<lbool> assigns(s.assigns_.size(), l_undef);
-  auto value = [&](Lit l) { return assigns[static_cast<std::size_t>(l.var())] ^ l.negative(); };
+  auto value = [&](Lit l) {
+    return assigns[static_cast<std::size_t>(l.var())] ^ l.negative();
+  };
   bool conflict = false;
   auto assign = [&](Lit l) {
     const lbool v = value(l);
@@ -224,7 +302,7 @@ lbool SolverAuditor::learnt_is_rup(const Solver& s, ClauseRef self,
     assign(~l);
     if (conflict) return l_true;  // duplicate-polarity clause
   }
-  // Unit clauses never enter the clause pool — the solver enqueues
+  // Unit clauses never enter the clause database — the solver enqueues
   // them straight onto the root trail — so seed the propagation with
   // the level-0 prefix.  A conflict here means the clause contains a
   // root-entailed literal and is redundant outright.
@@ -236,38 +314,55 @@ lbool SolverAuditor::learnt_is_rup(const Solver& s, ClauseRef self,
     if (conflict) return l_true;
   }
   std::size_t budget = opts_.learnt_check_budget;
-  bool changed = true;
-  while (changed && !conflict) {
-    changed = false;
-    for (std::size_t cref = 0; cref < s.clause_pool_.size() && !conflict;
-         ++cref) {
-      if (static_cast<ClauseRef>(cref) == self) continue;
-      const Clause& c = s.clause_pool_[cref];
-      if (c.deleted()) continue;
-      if (budget-- == 0) return l_undef;
-      Lit unit = kUndefLit;
-      bool satisfied = false;
-      int unassigned = 0;
-      for (Lit l : c) {
-        const lbool v = value(l);
-        if (v.is_true()) {
-          satisfied = true;
-          break;
-        }
-        if (v.is_undef()) {
-          ++unassigned;
-          unit = l;
-          if (unassigned > 1) break;
-        }
+  bool changed = false;
+  // One propagation step over a clause given as literals; returns
+  // false when the budget is exhausted.
+  auto step = [&](const std::vector<Lit>& cl) {
+    if (budget == 0) return false;
+    --budget;
+    Lit unit = kUndefLit;
+    bool satisfied = false;
+    int unassigned = 0;
+    for (Lit l : cl) {
+      const lbool v = value(l);
+      if (v.is_true()) {
+        satisfied = true;
+        break;
       }
-      if (satisfied || unassigned > 1) continue;
-      if (unassigned == 0) {
-        conflict = true;
-      } else {
-        assign(unit);
-        changed = true;
+      if (v.is_undef()) {
+        ++unassigned;
+        unit = l;
+        if (unassigned > 1) break;
       }
     }
+    if (satisfied || unassigned > 1) return true;
+    if (unassigned == 0) {
+      conflict = true;
+    } else {
+      assign(unit);
+      changed = true;
+    }
+    return true;
+  };
+  while (!conflict) {
+    changed = false;
+    for (CRef cref = s.arena_.first();
+         cref < s.arena_.end_ref() && !conflict; cref = s.arena_.next(cref)) {
+      if (cref == self) continue;
+      ArenaClause c = s.arena_[cref];
+      if (c.deleted()) continue;
+      if (!step(c.lits())) return l_undef;
+    }
+    for (std::size_t idx = 0; idx < s.bin_watches_.size() && !conflict;
+         ++idx) {
+      const Lit x = ~Lit::from_index(static_cast<std::int32_t>(idx));
+      for (const Solver::BinWatcher& bw : s.bin_watches_[idx]) {
+        if (x.index() >= bw.other.index()) continue;  // canonical half only
+        if (!step({x, bw.other})) return l_undef;
+        if (conflict) break;
+      }
+    }
+    if (!changed) break;
   }
   return lbool(conflict);
 }
@@ -288,13 +383,13 @@ void SolverAuditor::corrupt_trail_for_test(Solver& s) {
 }
 
 void SolverAuditor::corrupt_learnt_for_test(Solver& s) {
-  for (ClauseRef cref : s.learnts_) {
-    Clause& c = s.clause_pool_[cref];
-    if (!c.deleted() && c.size() >= 2 && !s.locked(cref)) {
+  for (CRef cref : s.learnts_) {
+    ArenaClause c = s.arena_[cref];
+    if (!c.deleted() && c.size() >= 3 && !s.locked(cref)) {
       // Flip a non-watched literal's polarity: the clause shape stays
       // legal for the watch checks but it is no longer a consequence.
-      std::size_t pos = c.size() - 1;
-      c.mutable_literals()[pos] = ~c[pos];
+      const std::size_t pos = c.size() - 1;
+      c.set_lit(pos, ~c[pos]);
       return;
     }
   }

@@ -6,9 +6,11 @@
 /// invariants the search loop silently relies on:
 ///
 ///  * watcher integrity — every watch-list entry points at a live
-///    clause that really watches that literal in position 0/1, the
-///    blocker is a literal of the clause, and every live clause is
-///    watched exactly once per watched literal;
+///    arena clause that really watches that literal in position 0/1,
+///    the blocker is a literal of the clause, every live clause is
+///    watched exactly once per watched literal, and every implicit
+///    binary clause is mirrored consistently across its two binary
+///    watch lists;
 ///  * trail/reason consistency — trail literals are true, levels match
 ///    the decision-level segmentation, reason clauses are asserting in
 ///    shape (c[0] is the implied literal, the rest false at or below
@@ -93,12 +95,13 @@ class SolverAuditor {
 
  private:
   void check_watchers(const Solver& s);
+  void check_binaries(const Solver& s);
   void check_trail(const Solver& s);
   void check_learnts(const Solver& s);
   /// RUP test of \p lits against the live database minus clause
   /// \p self, with counter-based propagation.  Returns l_true
   /// (redundant), l_false (not RUP) or l_undef (budget exhausted).
-  lbool learnt_is_rup(const Solver& s, ClauseRef self,
+  lbool learnt_is_rup(const Solver& s, CRef self,
                       const std::vector<Lit>& lits);
   void violation(const std::string& what) {
     report_.violations.push_back(what);

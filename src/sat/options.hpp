@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 namespace sateda::sat {
@@ -23,6 +24,7 @@ enum class DeletionPolicy {
   kActivity,       ///< MiniSat-style: halve DB by activity when full
   kRelevance,      ///< rel_sat-style: also keep clauses with few unbound literals
   kSizeBounded,    ///< GRASP-style: immediately drop clauses larger than a bound
+  kTiered,         ///< three-tier LBD database (core/tier2/local), Chanseok-Oh-style
 };
 
 /// Backtracking discipline on conflicts (paper §4.1 property 1).
@@ -38,11 +40,20 @@ struct SolverOptions {
   bool clause_learning = true;       ///< record conflict-induced clauses (§4.1 prop. 2)
   BacktrackMode backtrack = BacktrackMode::kNonChronological;
   bool minimize_learnt = true;       ///< self-subsumption minimization of learnt clauses
-  DeletionPolicy deletion = DeletionPolicy::kActivity;
+  DeletionPolicy deletion = DeletionPolicy::kTiered;
   int size_bound = 20;               ///< for kSizeBounded: max kept learnt size
   int relevance_bound = 4;           ///< for kRelevance: keep if ≤ r unbound literals
   double max_learnts_frac = 0.33;    ///< DB cap as a fraction of problem clauses
   double learnts_growth = 1.1;       ///< cap growth factor per reduction
+
+  // --- tiered database (kTiered) -----------------------------------
+  int core_lbd_cut = 3;              ///< LBD ≤ cut → core tier, kept forever
+  int tier2_lbd_cut = 6;             ///< LBD ≤ cut → tier2 (demoted when unused)
+  int reduce_base = 2000;            ///< conflicts before the first reduction
+  int reduce_inc = 300;              ///< added to the interval per reduction
+
+  // --- clause arena -------------------------------------------------
+  double gc_frac = 0.25;             ///< compact when wasted/total exceeds this
 
   // --- decisions ---------------------------------------------------
   double var_decay = 0.95;           ///< VSIDS activity decay
@@ -80,6 +91,23 @@ struct SolverStats {
   std::int64_t solve_calls = 0;
   std::int64_t exported_clauses = 0;  ///< learnt clauses shared with peers
   std::int64_t imported_clauses = 0;  ///< learnt clauses adopted from peers
+  std::int64_t binary_propagations = 0;  ///< implications from implicit binaries
+  std::int64_t arena_gc_runs = 0;        ///< compacting collections performed
+  std::int64_t arena_bytes_reclaimed = 0;
+  double solve_time_sec = 0.0;        ///< wall time spent inside solve()
+
+  /// Propagation throughput over the time spent in solve(); the key
+  /// hot-path figure tracked by BENCH_solver.json.
+  double propagations_per_sec() const {
+    return solve_time_sec > 0.0
+               ? static_cast<double>(propagations) / solve_time_sec
+               : 0.0;
+  }
+  double conflicts_per_sec() const {
+    return solve_time_sec > 0.0
+               ? static_cast<double>(conflicts) / solve_time_sec
+               : 0.0;
+  }
 
   SolverStats& operator+=(const SolverStats& o) {
     decisions += o.decisions;
@@ -94,6 +122,12 @@ struct SolverStats {
     solve_calls += o.solve_calls;
     exported_clauses += o.exported_clauses;
     imported_clauses += o.imported_clauses;
+    binary_propagations += o.binary_propagations;
+    arena_gc_runs += o.arena_gc_runs;
+    arena_bytes_reclaimed += o.arena_bytes_reclaimed;
+    // Workers run concurrently; the wall-clock max is the meaningful
+    // aggregate for a portfolio.
+    solve_time_sec = std::max(solve_time_sec, o.solve_time_sec);
     return *this;
   }
 
@@ -108,6 +142,36 @@ struct SolverStats {
       s += " exported=" + std::to_string(exported_clauses) +
            " imported=" + std::to_string(imported_clauses);
     }
+    return s;
+  }
+
+  /// Multi-line breakdown for `sateda-solve --stats` (one counter per
+  /// line, DIMACS-comment friendly).
+  std::string detailed() const {
+    auto rate = [](double r) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0f", r);
+      return std::string(buf);
+    };
+    char time_buf[32];
+    std::snprintf(time_buf, sizeof(time_buf), "%.3f", solve_time_sec);
+    std::string s;
+    s += "decisions            : " + std::to_string(decisions) + "\n";
+    s += "propagations         : " + std::to_string(propagations) + "\n";
+    s += "binary propagations  : " + std::to_string(binary_propagations) + "\n";
+    s += "conflicts            : " + std::to_string(conflicts) + "\n";
+    s += "restarts             : " + std::to_string(restarts) + "\n";
+    s += "learnt clauses       : " + std::to_string(learnt_clauses) + "\n";
+    s += "learnt literals      : " + std::to_string(learnt_literals) + "\n";
+    s += "deleted clauses      : " + std::to_string(deleted_clauses) + "\n";
+    s += "minimized literals   : " + std::to_string(minimized_literals) + "\n";
+    s += "max decision level   : " + std::to_string(max_decision_level) + "\n";
+    s += "arena GC runs        : " + std::to_string(arena_gc_runs) + "\n";
+    s += "arena bytes reclaimed: " + std::to_string(arena_bytes_reclaimed) +
+         "\n";
+    s += "solve time (s)       : " + std::string(time_buf) + "\n";
+    s += "propagations/sec     : " + rate(propagations_per_sec()) + "\n";
+    s += "conflicts/sec        : " + rate(conflicts_per_sec());
     return s;
   }
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 
 #include "sat/audit.hpp"
@@ -15,14 +16,17 @@ Var Solver::new_var() {
   Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(l_undef);
   level_.push_back(0);
-  reason_.push_back(kNullClause);
+  reason_.push_back(kNoReason);
   activity_.push_back(0.0);
   // polarity_[v]==1 means "branch negative first".
   polarity_.push_back(opts_.default_polarity ? 0 : 1);
   decision_.push_back(1);
   seen_.push_back(0);
+  level_stamp_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
+  bin_watches_.emplace_back();
+  bin_watches_.emplace_back();
   order_.insert(v);
   return v;
 }
@@ -63,19 +67,24 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     return false;
   }
   if (out.size() == 1) {
-    if (!enqueue(out[0], kNullClause)) {
+    if (!enqueue(out[0], kNoReason)) {
       ok_ = false;
       if (proof_) proof_->on_derive({});
       return false;
     }
-    if (deduce() != kNullClause) {
+    if (!deduce().is_none()) {
       ok_ = false;
       if (proof_) proof_->on_derive({});
       return false;
     }
     return true;
   }
-  attach_new_clause(Clause(std::move(out), /*learnt=*/false));
+  if (out.size() == 2) {
+    attach_binary(out[0], out[1], /*learnt=*/false);
+  } else {
+    CRef cref = attach_new_clause(out, /*learnt=*/false);
+    clauses_.push_back(cref);
+  }
   ++num_problem_clauses_;
   return true;
 }
@@ -88,22 +97,32 @@ bool Solver::add_formula(const CnfFormula& f) {
   return true;
 }
 
-ClauseRef Solver::attach_new_clause(Clause c) {
-  assert(c.size() >= 2);
-  ClauseRef cref = static_cast<ClauseRef>(clause_pool_.size());
-  clause_pool_.push_back(std::move(c));
+CRef Solver::attach_new_clause(const std::vector<Lit>& lits, bool learnt) {
+  assert(lits.size() >= 3);
+  CRef cref = arena_.alloc(lits, learnt);
   attach_watches(cref);
   return cref;
 }
 
-void Solver::attach_watches(ClauseRef cref) {
-  const Clause& c = clause_pool_[cref];
+void Solver::attach_binary(Lit a, Lit b, bool learnt) {
+  // The clause (a ∨ b): when ~a becomes true, b is implied, and
+  // symmetrically — each direction is one entry in the other watch
+  // list, and the clause exists nowhere else.
+  bin_watches_[(~a).index()].push_back({b, learnt ? std::uint8_t{1}
+                                                  : std::uint8_t{0}});
+  bin_watches_[(~b).index()].push_back({a, learnt ? std::uint8_t{1}
+                                                  : std::uint8_t{0}});
+  if (learnt) ++num_learnt_binaries_;
+}
+
+void Solver::attach_watches(CRef cref) {
+  ArenaClause c = arena_[cref];
   watches_[(~c[0]).index()].push_back({cref, c[1]});
   watches_[(~c[1]).index()].push_back({cref, c[0]});
 }
 
-void Solver::detach_watches(ClauseRef cref) {
-  const Clause& c = clause_pool_[cref];
+void Solver::detach_watches(CRef cref) {
+  ArenaClause c = arena_[cref];
   for (Lit w : {c[0], c[1]}) {
     auto& list = watches_[(~w).index()];
     for (std::size_t i = 0; i < list.size(); ++i) {
@@ -116,59 +135,90 @@ void Solver::detach_watches(ClauseRef cref) {
   }
 }
 
-bool Solver::locked(ClauseRef cref) const {
-  const Clause& c = clause_pool_[cref];
-  return value(c[0]).is_true() && reason_[c[0].var()] == cref;
+bool Solver::locked(CRef cref) const {
+  ArenaClause c = arena_[cref];
+  const Lit first = c[0];
+  if (!value(first).is_true()) return false;
+  const Reason r = reason_[first.var()];
+  return r.is_clause() && r.cref() == cref;
 }
 
-void Solver::remove_clause(ClauseRef cref) {
+void Solver::remove_clause(CRef cref) {
   assert(!locked(cref));
   detach_watches(cref);
-  Clause& c = clause_pool_[cref];
-  if (proof_ && c.learnt()) {
-    proof_->on_delete(std::vector<Lit>(c.begin(), c.end()));
-  }
-  c.mark_deleted();
+  ArenaClause c = arena_[cref];
+  if (proof_ && c.learnt()) proof_->on_delete(c.lits());
+  arena_.free_clause(cref);
   ++stats_.deleted_clauses;
 }
 
 void Solver::simplify_db() {
   assert(decision_level() == 0);
   if (!ok_) return;
-  std::vector<ClauseRef> kept_learnts;
-  kept_learnts.reserve(learnts_.size());
-  for (ClauseRef cref = 0; cref < static_cast<ClauseRef>(clause_pool_.size());
-       ++cref) {
-    Clause& c = clause_pool_[cref];
-    if (c.deleted()) continue;
-    bool satisfied = false;
+  // Root-level reasons are never revisited by conflict analysis
+  // (diagnose/minimize stop at level 0), so all root antecedents can be
+  // released up front; nothing in the database is locked afterwards.
+  for (Lit l : trail_) reason_[l.var()] = kNoReason;
+
+  auto root_satisfied_arena = [this](ArenaClause c) {
     for (Lit l : c) {
-      if (value(l).is_true() && level_[l.var()] == 0) {
-        satisfied = true;
-        break;
+      if (value(l).is_true() && level_[l.var()] == 0) return true;
+    }
+    return false;
+  };
+  auto sweep = [&](std::vector<CRef>& list, bool learnt_list) {
+    std::size_t j = 0;
+    for (CRef cref : list) {
+      ArenaClause c = arena_[cref];
+      if (c.deleted()) continue;
+      if (root_satisfied_arena(c)) {
+        // Deliberately skip proof deletion logging for problem clauses:
+        // keeping them in the checker's database only strengthens it.
+        remove_clause(cref);
+        if (!learnt_list && num_problem_clauses_ > 0) --num_problem_clauses_;
+      } else {
+        list[j++] = cref;
       }
     }
-    if (!satisfied) continue;
-    // Root-level reasons are never revisited by conflict analysis, so
-    // a satisfied reason clause can be released before removal.
-    if (locked(cref)) reason_[c[0].var()] = kNullClause;
-    // Deliberately skip proof deletion logging for problem clauses:
-    // keeping them in the checker's database only strengthens it.
-    detach_watches(cref);
-    if (proof_ && c.learnt()) {
-      proof_->on_delete(std::vector<Lit>(c.begin(), c.end()));
+    list.resize(j);
+  };
+  sweep(clauses_, /*learnt_list=*/false);
+  sweep(learnts_, /*learnt_list=*/true);
+
+  // Implicit binaries: the clause (~w ∨ other) sits in the list of w
+  // (visited when w becomes true) and mirrored in the list of ~other.
+  // Drop both halves of each root-satisfied clause, but account for
+  // the clause — proof line, counters — only at its canonical half so
+  // it is counted once.
+  for (std::size_t idx = 0; idx < bin_watches_.size(); ++idx) {
+    const Lit w = Lit::from_index(static_cast<std::int32_t>(idx));
+    const Lit x = ~w;  // the clause literal this list watches for
+    auto& list = bin_watches_[idx];
+    std::size_t j = 0;
+    for (const BinWatcher& bw : list) {
+      const bool satisfied =
+          (value(x).is_true() && level_[x.var()] == 0) ||
+          (value(bw.other).is_true() && level_[bw.other.var()] == 0);
+      if (!satisfied) {
+        list[j++] = bw;
+        continue;
+      }
+      if (x.index() < bw.other.index()) {  // canonical half
+        if (proof_ && bw.learnt) proof_->on_delete({x, bw.other});
+        ++stats_.deleted_clauses;
+        if (bw.learnt) {
+          if (num_learnt_binaries_ > 0) --num_learnt_binaries_;
+        } else if (num_problem_clauses_ > 0) {
+          --num_problem_clauses_;
+        }
+      }
     }
-    c.mark_deleted();
-    ++stats_.deleted_clauses;
-    if (!c.learnt() && num_problem_clauses_ > 0) --num_problem_clauses_;
+    list.resize(j);
   }
-  for (ClauseRef cr : learnts_) {
-    if (!clause_pool_[cr].deleted()) kept_learnts.push_back(cr);
-  }
-  learnts_ = std::move(kept_learnts);
+  check_garbage();
 }
 
-bool Solver::enqueue(Lit p, ClauseRef reason) {
+bool Solver::enqueue(Lit p, Reason reason) {
   lbool v = value(p);
   if (v.is_false()) return false;
   if (v.is_true()) return true;
@@ -180,11 +230,32 @@ bool Solver::enqueue(Lit p, ClauseRef reason) {
   return true;
 }
 
-ClauseRef Solver::deduce() {
-  ClauseRef confl = kNullClause;
+Reason Solver::deduce() {
+  Reason confl = kNoReason;
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];  // p is now true
     ++stats_.propagations;
+
+    // Binary pass: every clause (~p ∨ other) implies `other` directly —
+    // one contiguous scan, no clause memory touched.
+    {
+      const auto& bws = bin_watches_[p.index()];
+      for (const BinWatcher& bw : bws) {
+        const lbool v = value(bw.other);
+        if (v.is_true()) continue;
+        if (v.is_false()) {
+          bin_conflict_[0] = ~p;
+          bin_conflict_[1] = bw.other;
+          confl = Reason::binary(bw.other);
+          qhead_ = trail_.size();
+          break;
+        }
+        enqueue(bw.other, Reason::binary(~p));
+        ++stats_.binary_propagations;
+      }
+      if (!confl.is_none()) break;
+    }
+
     auto& ws = watches_[p.index()];
     std::size_t i = 0, j = 0;
     const std::size_t n = ws.size();
@@ -195,10 +266,9 @@ ClauseRef Solver::deduce() {
         ws[j++] = ws[i++];
         continue;
       }
-      Clause& c = clause_pool_[w.cref];
+      ArenaClause c = arena_[w.cref];
       const Lit false_lit = ~p;
-      if (c[0] == false_lit) std::swap(c.mutable_literals()[0],
-                                       c.mutable_literals()[1]);
+      if (c[0] == false_lit) c.swap_lits(0, 1);
       assert(c[1] == false_lit);
       ++i;
       const Lit first = c[0];
@@ -208,9 +278,10 @@ ClauseRef Solver::deduce() {
       }
       // Look for a new literal to watch.
       bool found = false;
-      for (std::size_t k = 2; k < c.size(); ++k) {
+      const std::uint32_t size = c.size();
+      for (std::uint32_t k = 2; k < size; ++k) {
         if (!value(c[k]).is_false()) {
-          std::swap(c.mutable_literals()[1], c.mutable_literals()[k]);
+          c.swap_lits(1, k);
           watches_[(~c[1]).index()].push_back({w.cref, first});
           found = true;
           break;
@@ -220,20 +291,26 @@ ClauseRef Solver::deduce() {
       // Clause is unit or conflicting.
       ws[j++] = {w.cref, first};
       if (value(first).is_false()) {
-        confl = w.cref;
+        confl = Reason::clause(w.cref);
         qhead_ = trail_.size();
         while (i < n) ws[j++] = ws[i++];
         break;
       }
-      enqueue(first, w.cref);
+      enqueue(first, Reason::clause(w.cref));
     }
     ws.resize(j);
-    if (confl != kNullClause) break;
+    if (!confl.is_none()) break;
   }
   return confl;
 }
 
-void Solver::diagnose(ClauseRef confl, std::vector<Lit>& out_learnt,
+ClauseTier Solver::tier_for_lbd(int lbd) const {
+  if (lbd <= opts_.core_lbd_cut) return ClauseTier::kCore;
+  if (lbd <= opts_.tier2_lbd_cut) return ClauseTier::kTier2;
+  return ClauseTier::kLocal;
+}
+
+void Solver::diagnose(Reason confl, std::vector<Lit>& out_learnt,
                       int& out_btlevel) {
   int path_count = 0;
   Lit p = kUndefLit;
@@ -241,22 +318,51 @@ void Solver::diagnose(ClauseRef confl, std::vector<Lit>& out_learnt,
   out_learnt.push_back(kUndefLit);  // placeholder for the asserting literal
   std::size_t index = trail_.size();
 
+  auto visit = [&](Lit q) {
+    if (!seen_[q.var()] && level_[q.var()] > 0) {
+      bump_var_activity(q.var());
+      seen_[q.var()] = 1;
+      if (level_[q.var()] >= decision_level()) {
+        ++path_count;
+      } else {
+        out_learnt.push_back(q);
+      }
+    }
+  };
+
   // Resolve backwards along the trail until the first unique
   // implication point of the current decision level.
   do {
-    assert(confl != kNullClause);
-    Clause& c = clause_pool_[confl];
-    if (c.learnt()) bump_clause_activity(c);
-    for (std::size_t j = (p.is_defined() ? 1 : 0); j < c.size(); ++j) {
-      Lit q = c[j];
-      if (!seen_[q.var()] && level_[q.var()] > 0) {
-        bump_var_activity(q.var());
-        seen_[q.var()] = 1;
-        if (level_[q.var()] >= decision_level()) {
-          ++path_count;
-        } else {
-          out_learnt.push_back(q);
+    assert(!confl.is_none());
+    if (confl.is_binary()) {
+      if (!p.is_defined()) {
+        // Conflicting binary clause, latched by deduce().
+        visit(bin_conflict_[0]);
+        visit(bin_conflict_[1]);
+      } else {
+        // Reason of p: the binary clause (p ∨ other).
+        visit(confl.other());
+      }
+    } else {
+      ArenaClause c = arena_[confl.cref()];
+      if (c.learnt()) {
+        bump_clause_activity(c);
+        c.set_used();
+        // Glucose-style dynamic LBD: a clause that keeps appearing in
+        // conflicts at fewer levels than recorded is better than its
+        // tier says — promote it before the next reduction.
+        if (c.lbd() > opts_.core_lbd_cut) {
+          const int lbd = compute_lbd_clause(c);
+          if (lbd < c.lbd()) {
+            c.set_lbd(lbd);
+            const ClauseTier t = tier_for_lbd(lbd);
+            if (t < c.tier()) c.set_tier(t);
+          }
         }
+      }
+      const std::uint32_t size = c.size();
+      for (std::uint32_t j = (p.is_defined() ? 1 : 0); j < size; ++j) {
+        visit(c[j]);
       }
     }
     while (!seen_[trail_[index - 1].var()]) --index;
@@ -306,7 +412,7 @@ void Solver::minimize_learnt(std::vector<Lit>& learnt) {
   for (Lit l : learnt) seen_[l.var()] = 1;
   std::size_t j = 1;
   for (std::size_t i = 1; i < learnt.size(); ++i) {
-    if (reason_[learnt[i].var()] == kNullClause ||
+    if (reason_[learnt[i].var()].is_none() ||
         !literal_redundant(learnt[i])) {
       learnt[j++] = learnt[i];
     } else {
@@ -324,25 +430,39 @@ bool Solver::literal_redundant(Lit p) {
   analyze_stack_.clear();
   analyze_stack_.push_back(p);
   const std::size_t top = analyze_clear_.size();
+  auto examine = [&](Lit l) {
+    // Returns false when l is a decision not already in the clause.
+    if (seen_[l.var()] || level_[l.var()] == 0) return true;
+    if (reason_[l.var()].is_none()) return false;
+    seen_[l.var()] = 1;
+    analyze_clear_.push_back(l);
+    analyze_stack_.push_back(l);
+    return true;
+  };
   while (!analyze_stack_.empty()) {
     Lit q = analyze_stack_.back();
     analyze_stack_.pop_back();
-    assert(reason_[q.var()] != kNullClause);
-    const Clause& c = clause_pool_[reason_[q.var()]];
-    for (std::size_t i = 1; i < c.size(); ++i) {
-      Lit l = c[i];
-      if (seen_[l.var()] || level_[l.var()] == 0) continue;
-      if (reason_[l.var()] == kNullClause) {
-        // Hit a decision not already in the learnt clause: not redundant.
-        for (std::size_t k = top; k < analyze_clear_.size(); ++k) {
-          seen_[analyze_clear_[k].var()] = 0;
+    const Reason r = reason_[q.var()];
+    assert(!r.is_none());
+    bool hit_decision = false;
+    if (r.is_binary()) {
+      hit_decision = !examine(r.other());
+    } else {
+      ArenaClause c = arena_[r.cref()];
+      const std::uint32_t size = c.size();
+      for (std::uint32_t i = 1; i < size; ++i) {
+        if (!examine(c[i])) {
+          hit_decision = true;
+          break;
         }
-        analyze_clear_.resize(top);
-        return false;
       }
-      seen_[l.var()] = 1;
-      analyze_clear_.push_back(l);
-      analyze_stack_.push_back(l);
+    }
+    if (hit_decision) {
+      for (std::size_t k = top; k < analyze_clear_.size(); ++k) {
+        seen_[analyze_clear_[k].var()] = 0;
+      }
+      analyze_clear_.resize(top);
+      return false;
     }
   }
   return true;
@@ -353,15 +473,21 @@ void Solver::analyze_final(Lit p) {
   conflict_core_.push_back(~p);
   if (decision_level() == 0) return;
   seen_[p.var()] = 1;
-  for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(trail_lim_[0]);) {
+  for (std::size_t i = trail_.size();
+       i-- > static_cast<std::size_t>(trail_lim_[0]);) {
     Var x = trail_[i].var();
     if (!seen_[x]) continue;
-    if (reason_[x] == kNullClause) {
+    const Reason r = reason_[x];
+    if (r.is_none()) {
       assert(level_[x] > 0);
       conflict_core_.push_back(trail_[i]);
+    } else if (r.is_binary()) {
+      const Lit other = r.other();
+      if (level_[other.var()] > 0) seen_[other.var()] = 1;
     } else {
-      const Clause& c = clause_pool_[reason_[x]];
-      for (std::size_t jj = 1; jj < c.size(); ++jj) {
+      ArenaClause c = arena_[r.cref()];
+      const std::uint32_t size = c.size();
+      for (std::uint32_t jj = 1; jj < size; ++jj) {
         if (level_[c[jj].var()] > 0) seen_[c[jj].var()] = 1;
       }
     }
@@ -378,7 +504,7 @@ void Solver::erase_until(int target_level) {
     Var v = l.var();
     if (opts_.phase_saving) polarity_[v] = l.negative() ? 1 : 0;
     assigns_[v] = l_undef;
-    reason_[v] = kNullClause;
+    reason_[v] = kNoReason;
     if (decision_[v] && !order_.contains(v)) order_.insert(v);
     if (listener_) listener_->on_unassign(l);
   }
@@ -399,12 +525,12 @@ void Solver::bump_var_activity(Var v) {
 
 void Solver::decay_var_activity() { var_inc_ /= opts_.var_decay; }
 
-void Solver::bump_clause_activity(Clause& c) {
-  c.set_activity(c.activity() + clause_inc_);
-  if (c.activity() > 1e20) {
-    for (ClauseRef cr : learnts_) {
-      Clause& lc = clause_pool_[cr];
-      lc.set_activity(lc.activity() * 1e-20);
+void Solver::bump_clause_activity(ArenaClause c) {
+  c.set_activity(c.activity() + static_cast<float>(clause_inc_));
+  if (c.activity() > 1e20f) {
+    for (CRef cr : learnts_) {
+      ArenaClause lc = arena_[cr];
+      lc.set_activity(lc.activity() * 1e-20f);
     }
     clause_inc_ *= 1e-20;
   }
@@ -412,7 +538,7 @@ void Solver::bump_clause_activity(Clause& c) {
 
 void Solver::decay_clause_activity() { clause_inc_ /= opts_.clause_decay; }
 
-int Solver::unbound_literals(const Clause& c) const {
+int Solver::unbound_literals(ArenaClause c) const {
   int n = 0;
   for (Lit l : c) {
     if (value(l).is_undef()) ++n;
@@ -421,65 +547,177 @@ int Solver::unbound_literals(const Clause& c) const {
 }
 
 int Solver::compute_lbd(const std::vector<Lit>& lits) {
-  // Number of distinct decision levels, a quality proxy.
-  std::vector<int> levels;
-  levels.reserve(lits.size());
-  for (Lit l : lits) levels.push_back(level_[l.var()]);
-  std::sort(levels.begin(), levels.end());
-  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
-  return static_cast<int>(levels.size());
+  // Number of distinct decision levels, a quality proxy; counted with
+  // a stamp array so the hot path never sorts or allocates.
+  ++lbd_stamp_;
+  int lbd = 0;
+  for (Lit l : lits) {
+    const int lvl = level_[l.var()];
+    if (level_stamp_[static_cast<std::size_t>(lvl) % level_stamp_.size()] !=
+        lbd_stamp_) {
+      level_stamp_[static_cast<std::size_t>(lvl) % level_stamp_.size()] =
+          lbd_stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+int Solver::compute_lbd_clause(ArenaClause c) {
+  ++lbd_stamp_;
+  int lbd = 0;
+  for (Lit l : c) {
+    const int lvl = level_[l.var()];
+    if (level_stamp_[static_cast<std::size_t>(lvl) % level_stamp_.size()] !=
+        lbd_stamp_) {
+      level_stamp_[static_cast<std::size_t>(lvl) % level_stamp_.size()] =
+          lbd_stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
 }
 
 void Solver::reduce_db() {
-  // Retire roughly half of the learnt clauses, keeping locked clauses,
-  // binary clauses and — under relevance-based learning (§4.1) —
-  // clauses with few unbound literals.
-  std::sort(learnts_.begin(), learnts_.end(), [this](ClauseRef a, ClauseRef b) {
-    const Clause& ca = clause_pool_[a];
-    const Clause& cb = clause_pool_[b];
-    if ((ca.size() > 2) != (cb.size() > 2)) return ca.size() > 2;
-    return ca.activity() < cb.activity();
-  });
-  const double median_activity =
-      learnts_.empty()
-          ? 0.0
-          : clause_pool_[learnts_[learnts_.size() / 2]].activity();
-  std::vector<ClauseRef> kept;
+  switch (opts_.deletion) {
+    case DeletionPolicy::kNever:
+      return;
+    case DeletionPolicy::kTiered:
+      reduce_db_tiered();
+      return;
+    case DeletionPolicy::kSizeBounded:
+      reduce_db_size_bounded();
+      return;
+    case DeletionPolicy::kActivity:
+    case DeletionPolicy::kRelevance:
+      reduce_db_legacy();
+      return;
+  }
+}
+
+void Solver::reduce_db_tiered() {
+  // Chanseok-Oh-style three-tier reduction: core clauses are kept
+  // unconditionally, tier-2 clauses must have been used (appeared in a
+  // conflict) since the last reduction or they demote to local, and
+  // the local tier is halved by activity.  Only the local tier is ever
+  // sorted, so reduction cost tracks the churny part of the database
+  // instead of the whole of it.
+  std::vector<CRef> kept;
   kept.reserve(learnts_.size());
-  std::size_t removed = 0;
+  std::vector<CRef> local;
+  local.reserve(learnts_.size());
+  for (CRef cr : learnts_) {
+    ArenaClause c = arena_[cr];
+    switch (c.tier()) {
+      case ClauseTier::kCore:
+        kept.push_back(cr);
+        break;
+      case ClauseTier::kTier2:
+        if (c.used()) {
+          c.clear_used();
+          kept.push_back(cr);
+        } else {
+          c.set_tier(ClauseTier::kLocal);
+          local.push_back(cr);
+        }
+        break;
+      case ClauseTier::kLocal:
+        local.push_back(cr);
+        break;
+    }
+  }
+  std::sort(local.begin(), local.end(), [this](CRef a, CRef b) {
+    return arena_[a].activity() < arena_[b].activity();
+  });
+  const std::size_t half = local.size() / 2;
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    const CRef cr = local[i];
+    if (i < half && !locked(cr)) {
+      remove_clause(cr);
+    } else {
+      arena_[cr].clear_used();
+      kept.push_back(cr);
+    }
+  }
+  learnts_ = std::move(kept);
+}
+
+void Solver::reduce_db_size_bounded() {
+  // GRASP-style: drop every unlocked learnt clause above the size
+  // bound.  A pure filter — no ordering is needed.
+  std::size_t j = 0;
+  for (CRef cr : learnts_) {
+    ArenaClause c = arena_[cr];
+    if (static_cast<int>(c.size()) > opts_.size_bound && !locked(cr)) {
+      remove_clause(cr);
+    } else {
+      learnts_[j++] = cr;
+    }
+  }
+  learnts_.resize(j);
+}
+
+void Solver::reduce_db_legacy() {
+  // MiniSat-style halving by activity (kActivity), optionally keeping
+  // clauses with few unbound literals (kRelevance, paper §4.1).
+  std::sort(learnts_.begin(), learnts_.end(), [this](CRef a, CRef b) {
+    return arena_[a].activity() < arena_[b].activity();
+  });
+  const float median_activity =
+      learnts_.empty() ? 0.0f
+                       : arena_[learnts_[learnts_.size() / 2]].activity();
+  std::vector<CRef> kept;
+  kept.reserve(learnts_.size());
   const std::size_t half = learnts_.size() / 2;
   for (std::size_t i = 0; i < learnts_.size(); ++i) {
-    ClauseRef cr = learnts_[i];
-    const Clause& c = clause_pool_[cr];
-    bool keep = locked(cr) ||
-                (c.size() <= 2 && !(opts_.deletion == DeletionPolicy::kSizeBounded &&
-                                    opts_.size_bound < 2));
+    CRef cr = learnts_[i];
+    ArenaClause c = arena_[cr];
+    bool keep = locked(cr);
     if (!keep) {
-      switch (opts_.deletion) {
-        case DeletionPolicy::kNever:
-          keep = true;
-          break;
-        case DeletionPolicy::kActivity:
-          keep = i >= half && c.activity() >= median_activity;
-          break;
-        case DeletionPolicy::kRelevance:
-          keep = (i >= half && c.activity() >= median_activity) ||
-                 unbound_literals(c) <= opts_.relevance_bound;
-          break;
-        case DeletionPolicy::kSizeBounded:
-          keep = static_cast<int>(c.size()) <= opts_.size_bound;
-          break;
+      keep = i >= half && c.activity() >= median_activity;
+      if (!keep && opts_.deletion == DeletionPolicy::kRelevance) {
+        keep = unbound_literals(c) <= opts_.relevance_bound;
       }
     }
     if (keep) {
       kept.push_back(cr);
     } else {
       remove_clause(cr);
-      ++removed;
     }
   }
   learnts_ = std::move(kept);
-  (void)removed;
+}
+
+void Solver::check_garbage() {
+  if (arena_.size_words() > 0 &&
+      static_cast<double>(arena_.wasted_words()) >
+          static_cast<double>(arena_.size_words()) * opts_.gc_frac) {
+    garbage_collect();
+  }
+}
+
+void Solver::garbage_collect() {
+  ClauseArena to;
+  to.reserve_words(arena_.size_words() - arena_.wasted_words());
+  // Relocate in watch-list order so clauses watched by the same literal
+  // stay adjacent — the propagation loop then streams through them.
+  for (auto& ws : watches_) {
+    for (Watcher& w : ws) w.cref = arena_.reloc(w.cref, to);
+  }
+  for (Lit l : trail_) {
+    const Var v = l.var();
+    if (reason_[v].is_clause()) {
+      reason_[v] = Reason::clause(arena_.reloc(reason_[v].cref(), to));
+    }
+  }
+  for (CRef& cr : clauses_) cr = arena_.reloc(cr, to);
+  for (CRef& cr : learnts_) cr = arena_.reloc(cr, to);
+  const std::size_t freed = arena_.size_words() - to.size_words();
+  ++stats_.arena_gc_runs;
+  stats_.arena_bytes_reclaimed +=
+      static_cast<std::int64_t>(freed) *
+      static_cast<std::int64_t>(sizeof(std::uint32_t));
+  arena_.swap(to);
 }
 
 Lit Solver::pick_branch_lit() {
@@ -536,7 +774,7 @@ Solver::DecideStatus Solver::decide() {
   trail_lim_.push_back(static_cast<int>(trail_.size()));
   stats_.max_decision_level =
       std::max<std::int64_t>(stats_.max_decision_level, decision_level());
-  [[maybe_unused]] bool enq = enqueue(next, kNullClause);
+  [[maybe_unused]] bool enq = enqueue(next, kNoReason);
   assert(enq);
   return DecideStatus::kDecision;
 }
@@ -574,8 +812,8 @@ SolveResult Solver::search() {
       unknown_reason_ = UnknownReason::kInterrupted;
       return SolveResult::kUnknown;
     }
-    ClauseRef confl = deduce();
-    if (confl != kNullClause) {
+    Reason confl = deduce();
+    if (!confl.is_none()) {
       ++stats_.conflicts;
       ++conflicts_this_restart;
       if (decision_level() == 0) {
@@ -604,17 +842,26 @@ SolveResult Solver::search() {
 
       if (learnt.size() == 1) {
         erase_until(0);
-        [[maybe_unused]] bool enq = enqueue(learnt[0], kNullClause);
+        [[maybe_unused]] bool enq = enqueue(learnt[0], kNoReason);
+        assert(enq);
+      } else if (learnt.size() == 2) {
+        attach_binary(learnt[0], learnt[1], /*learnt=*/true);
+        ++stats_.learnt_clauses;
+        stats_.learnt_literals += 2;
+        [[maybe_unused]] bool enq = enqueue(learnt[0],
+                                            Reason::binary(learnt[1]));
         assert(enq);
       } else {
-        Clause c(learnt, /*learnt=*/true);
+        CRef cref = attach_new_clause(learnt, /*learnt=*/true);
+        ArenaClause c = arena_[cref];
         c.set_lbd(lbd);
-        ClauseRef cref = attach_new_clause(std::move(c));
+        c.set_tier(tier_for_lbd(lbd));
+        c.set_used();
         learnts_.push_back(cref);
         ++stats_.learnt_clauses;
         stats_.learnt_literals += static_cast<std::int64_t>(learnt.size());
-        bump_clause_activity(clause_pool_[cref]);
-        [[maybe_unused]] bool enq = enqueue(learnt[0], cref);
+        bump_clause_activity(c);
+        [[maybe_unused]] bool enq = enqueue(learnt[0], Reason::clause(cref));
         assert(enq);
       }
       decay_var_activity();
@@ -635,15 +882,30 @@ SolveResult Solver::search() {
         return SolveResult::kUnknown;
       }
 
-      // Clause-database maintenance.
-      const bool aggressive =
-          !opts_.clause_learning || opts_.deletion == DeletionPolicy::kSizeBounded;
+      // Clause-database maintenance.  All schedules are geometric —
+      // reduction frequency decays as the search matures, so reduce
+      // cost amortises instead of recurring every fixed 64 conflicts.
+      const bool aggressive = !opts_.clause_learning ||
+                              opts_.deletion == DeletionPolicy::kSizeBounded;
       if (opts_.deletion != DeletionPolicy::kNever) {
         if (aggressive) {
-          if (stats_.conflicts % 64 == 0) reduce_db();
+          if (stats_.conflicts >= next_aggr_reduce_) {
+            reduce_db();
+            check_garbage();
+            aggr_interval_ = std::min<std::int64_t>(aggr_interval_ * 2, 4096);
+            next_aggr_reduce_ = stats_.conflicts + aggr_interval_;
+          }
+        } else if (opts_.deletion == DeletionPolicy::kTiered) {
+          if (stats_.conflicts >= next_reduce_) {
+            reduce_db();
+            check_garbage();
+            reduce_interval_ += opts_.reduce_inc;
+            next_reduce_ = stats_.conflicts + reduce_interval_;
+          }
         } else if (static_cast<double>(learnts_.size()) >=
                    max_learnts_ + num_assigned()) {
           reduce_db();
+          check_garbage();
           max_learnts_ *= opts_.learnts_growth;
         }
       }
@@ -718,11 +980,31 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
   // reasons: size-bounded policy with bound 0 drops everything at the
   // next maintenance pass.
   if (!opts_.clause_learning &&
-      opts_.deletion == DeletionPolicy::kActivity) {
+      (opts_.deletion == DeletionPolicy::kActivity ||
+       opts_.deletion == DeletionPolicy::kTiered)) {
     opts_.deletion = DeletionPolicy::kSizeBounded;
     opts_.size_bound = 0;
   }
+  if (next_reduce_ < 0) {
+    // Small formulas drown in learnts long before a fixed 2000-conflict
+    // window elapses, so the first window scales with the formula
+    // (MiniSat sizes its learnt cap the same way); large formulas keep
+    // the configured base.
+    const std::int64_t scaled =
+        3 * static_cast<std::int64_t>(num_problem_clauses_) / 2;
+    reduce_interval_ = std::clamp<std::int64_t>(
+        scaled, std::min<std::int64_t>(300, opts_.reduce_base),
+        opts_.reduce_base);
+    next_reduce_ = stats_.conflicts + reduce_interval_;
+  }
+  if (next_aggr_reduce_ < 0) {
+    next_aggr_reduce_ = stats_.conflicts + aggr_interval_;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
   SolveResult result = search();
+  stats_.solve_time_sec +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   erase_until(0);
   if (auditor_ && ok_) auditor_->maybe_checkpoint(*this);
   if (result == SolveResult::kUnsat && assumptions_.empty()) ok_ = false;
@@ -759,16 +1041,23 @@ bool Solver::add_learnt_clause(std::vector<Lit> lits) {
   }
   ++stats_.imported_clauses;
   if (out.size() == 1) {
-    if (!enqueue(out[0], kNullClause) || deduce() != kNullClause) {
+    if (!enqueue(out[0], kNoReason) || !deduce().is_none()) {
       ok_ = false;
       if (proof_) proof_->on_derive({});
       return false;
     }
     return true;
   }
-  Clause c(std::move(out), /*learnt=*/true);
-  c.set_lbd(static_cast<int>(c.size()));
-  ClauseRef cref = attach_new_clause(std::move(c));
+  if (out.size() == 2) {
+    attach_binary(out[0], out[1], /*learnt=*/true);
+    return true;
+  }
+  CRef cref = attach_new_clause(out, /*learnt=*/true);
+  ArenaClause c = arena_[cref];
+  const int lbd = static_cast<int>(c.size());
+  c.set_lbd(lbd);
+  c.set_tier(tier_for_lbd(lbd));
+  c.set_used();
   learnts_.push_back(cref);
   return true;
 }

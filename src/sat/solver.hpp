@@ -9,12 +9,17 @@
 ///
 ///  * conflict analysis with 1-UIP clause recording,
 ///  * non-chronological backtracking,
-///  * clause deletion with activity-, size- and relevance-based
-///    policies,
+///  * clause deletion with activity-, size-, relevance- and tiered
+///    LBD-based policies,
 ///  * VSIDS decisions with optional randomization,
 ///  * restarts on a Luby schedule,
 ///  * incremental solving under assumptions with final-conflict
 ///    extraction (for the iterative/incremental EDA use of §6).
+///
+/// Storage: all clauses of three or more literals live in a flat
+/// ClauseArena (arena.hpp); binary clauses are implicit — each lives
+/// only as two entries in per-literal binary watch lists, propagated in
+/// a tight first pass of deduce() with no clause dereference at all.
 ///
 /// A SolverListener (paper §5) can observe assignments and override
 /// the decision procedure without any change to these data structures.
@@ -26,9 +31,9 @@
 #include <random>
 #include <vector>
 
-#include "cnf/clause.hpp"
 #include "cnf/formula.hpp"
 #include "cnf/literal.hpp"
+#include "sat/arena.hpp"
 #include "sat/engine.hpp"
 #include "sat/heap.hpp"
 #include "sat/listener.hpp"
@@ -197,11 +202,14 @@ class Solver : public SatEngine {
     }
   }
 
-  /// Number of original (non-learnt, non-deleted) problem clauses.
+  /// Number of original (non-learnt, non-deleted) problem clauses
+  /// (implicit binaries included).
   std::size_t num_problem_clauses() const override {
     return num_problem_clauses_;
   }
-  std::size_t num_learnt_clauses() const { return learnts_.size(); }
+  std::size_t num_learnt_clauses() const {
+    return learnts_.size() + num_learnt_binaries_;
+  }
 
   /// Removes every clause already satisfied at the root level (e.g.
   /// clause groups retired by an activation literal in incremental
@@ -212,9 +220,18 @@ class Solver : public SatEngine {
  private:
   friend class SolverAuditor;  // read-only introspection of internals
 
+  /// Watch-list entry for a clause of three or more literals.
   struct Watcher {
-    ClauseRef cref;
+    CRef cref;
     Lit blocker;  ///< a literal of the clause; if true, skip the visit
+  };
+
+  /// Binary-watch entry: the list at Lit p's index holds one entry per
+  /// binary clause (~p ∨ other) — when p becomes true, `other` is
+  /// implied directly, no clause memory touched.
+  struct BinWatcher {
+    Lit other;
+    std::uint8_t learnt;
   };
 
   // --- Figure 2 phases ---------------------------------------------
@@ -228,14 +245,16 @@ class Solver : public SatEngine {
   /// drawing pending assumptions first (paper Fig. 2 Decide()).
   DecideStatus decide();
 
-  /// Deduce(): Boolean constraint propagation with two watched
-  /// literals.  Returns the conflicting clause or kNullClause.
-  ClauseRef deduce();
+  /// Deduce(): Boolean constraint propagation — a binary-implication
+  /// pass per trail literal, then the two-watched-literal loop over the
+  /// arena.  Returns the conflicting antecedent (kNoReason if none; a
+  /// binary conflict's literals are latched in bin_conflict_).
+  Reason deduce();
 
   /// Diagnose(): 1-UIP conflict analysis.  Fills \p out_learnt with
   /// the conflict-induced clause (out_learnt[0] is the asserting
   /// literal) and \p out_btlevel with the backtrack level.
-  void diagnose(ClauseRef confl, std::vector<Lit>& out_learnt,
+  void diagnose(Reason confl, std::vector<Lit>& out_learnt,
                 int& out_btlevel);
 
   /// Erase(): undoes all assignments above \p level.
@@ -246,37 +265,50 @@ class Solver : public SatEngine {
   /// Pulls foreign clauses via import_fn_ and attaches them; returns
   /// false on a root-level conflict.  Called at restart boundaries.
   bool import_shared_clauses();
-  bool enqueue(Lit p, ClauseRef reason);
-  ClauseRef attach_new_clause(Clause c);
-  void attach_watches(ClauseRef cref);
-  void detach_watches(ClauseRef cref);
-  bool locked(ClauseRef cref) const;
-  void remove_clause(ClauseRef cref);
+  bool enqueue(Lit p, Reason reason);
+  CRef attach_new_clause(const std::vector<Lit>& lits, bool learnt);
+  void attach_binary(Lit a, Lit b, bool learnt);
+  void attach_watches(CRef cref);
+  void detach_watches(CRef cref);
+  bool locked(CRef cref) const;
+  void remove_clause(CRef cref);
   void reduce_db();
+  void reduce_db_tiered();
+  void reduce_db_size_bounded();
+  void reduce_db_legacy();
+  /// Compacts the arena when the wasted fraction passes opts_.gc_frac.
+  void check_garbage();
+  void garbage_collect();
+  ClauseTier tier_for_lbd(int lbd) const;
   Lit pick_branch_lit();
   void bump_var_activity(Var v);
   void decay_var_activity();
-  void bump_clause_activity(Clause& c);
+  void bump_clause_activity(ArenaClause c);
   void decay_clause_activity();
   void minimize_learnt(std::vector<Lit>& learnt);
   bool literal_redundant(Lit p);
   void analyze_final(Lit p);
-  int unbound_literals(const Clause& c) const;
+  int unbound_literals(ArenaClause c) const;
   int compute_lbd(const std::vector<Lit>& lits);
+  int compute_lbd_clause(ArenaClause c);
   static double luby(double y, int i);
 
   SolverOptions opts_;
   SolverStats stats_;
   bool ok_ = true;
 
-  std::vector<Clause> clause_pool_;      ///< all clauses (problem + learnt)
-  std::vector<ClauseRef> learnts_;       ///< refs of live learnt clauses
-  std::size_t num_problem_clauses_ = 0;
+  ClauseArena arena_;                ///< all clauses with ≥ 3 literals
+  std::vector<CRef> clauses_;        ///< live problem clauses (≥ 3 lits)
+  std::vector<CRef> learnts_;        ///< live learnt clauses (≥ 3 lits)
+  std::size_t num_problem_clauses_ = 0;   ///< incl. implicit binaries
+  std::size_t num_learnt_binaries_ = 0;
   std::vector<std::vector<Watcher>> watches_;  ///< indexed by Lit::index()
+  std::vector<std::vector<BinWatcher>> bin_watches_;  ///< ditto
+  Lit bin_conflict_[2] = {kUndefLit, kUndefLit};  ///< last binary conflict
 
   std::vector<lbool> assigns_;     ///< per variable
   std::vector<int> level_;         ///< per variable
-  std::vector<ClauseRef> reason_;  ///< per variable antecedent
+  std::vector<Reason> reason_;     ///< per variable antecedent
   std::vector<Lit> trail_;
   std::vector<int> trail_lim_;     ///< trail index at each decision level
   std::size_t qhead_ = 0;          ///< propagation queue head into trail_
@@ -295,6 +327,8 @@ class Solver : public SatEngine {
   std::vector<char> seen_;         ///< scratch for diagnose/minimize
   std::vector<Lit> analyze_stack_; ///< scratch for minimization
   std::vector<Lit> analyze_clear_;
+  std::vector<std::uint64_t> level_stamp_;  ///< scratch for LBD counting
+  std::uint64_t lbd_stamp_ = 0;
 
   std::mt19937_64 rng_;
   SolverListener* listener_ = nullptr;
@@ -308,7 +342,11 @@ class Solver : public SatEngine {
   ClauseImportFn import_fn_;
   std::vector<std::vector<Lit>> import_buf_;  ///< scratch for imports
 
-  double max_learnts_ = 0;
+  double max_learnts_ = 0;                ///< legacy policies' DB cap
+  std::int64_t next_reduce_ = -1;         ///< kTiered: conflict count trigger
+  std::int64_t reduce_interval_ = 0;
+  std::int64_t next_aggr_reduce_ = -1;    ///< size-bounded/no-learning trigger
+  std::int64_t aggr_interval_ = 64;
   std::int64_t conflicts_at_start_ = 0;
   std::int64_t propagations_at_start_ = 0;
 };

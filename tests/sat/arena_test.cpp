@@ -1,0 +1,201 @@
+/// \file arena_test.cpp
+/// \brief Tests for the flat clause arena: header/layout unit tests,
+///        compacting-GC stress under search (watcher/reason/trail
+///        integrity via SolverAuditor), and DRAT certification with
+///        deletions landing on both sides of a compaction.
+#include "sat/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnf/generators.hpp"
+#include "sat/audit.hpp"
+#include "sat/solver.hpp"
+#include "test_util.hpp"
+
+namespace sateda::sat {
+namespace {
+
+std::vector<Lit> lits3(int a, int b, int c) {
+  auto mk = [](int x) { return x > 0 ? pos(x - 1) : neg(-x - 1); };
+  return {mk(a), mk(b), mk(c)};
+}
+
+TEST(ArenaTest, AllocStoresHeaderAndLiterals) {
+  ClauseArena arena;
+  const std::vector<Lit> lits = lits3(1, -2, 3);
+  CRef ref = arena.alloc(lits, /*learnt=*/true);
+  ArenaClause c = arena[ref];
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.learnt());
+  EXPECT_FALSE(c.deleted());
+  EXPECT_EQ(c[0], pos(0));
+  EXPECT_EQ(c[1], neg(1));
+  EXPECT_EQ(c[2], pos(2));
+  EXPECT_EQ(c.lbd(), 3);  // defaults to the clause size
+  EXPECT_FLOAT_EQ(c.activity(), 0.0f);
+  c.set_lbd(2);
+  c.set_activity(1.5f);
+  c.set_tier(ClauseTier::kTier2);
+  c.set_used();
+  EXPECT_EQ(c.lbd(), 2);
+  EXPECT_FLOAT_EQ(c.activity(), 1.5f);
+  EXPECT_EQ(c.tier(), ClauseTier::kTier2);
+  EXPECT_TRUE(c.used());
+  EXPECT_EQ(c.size(), 3u);  // flag writes must not clobber the size
+  EXPECT_TRUE(c.learnt());
+}
+
+TEST(ArenaTest, SequentialWalkVisitsEveryClause) {
+  ClauseArena arena;
+  arena.alloc(lits3(1, 2, 3), false);
+  arena.alloc({pos(0), neg(1), pos(2), neg(3)}, true);
+  arena.alloc(lits3(-1, -2, -3), false);
+  int count = 0;
+  for (CRef r = arena.first(); r < arena.end_ref(); r = arena.next(r)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ArenaTest, FreeTracksWastedWords) {
+  ClauseArena arena;
+  CRef a = arena.alloc(lits3(1, 2, 3), false);
+  arena.alloc(lits3(4, 5, 6), false);
+  EXPECT_EQ(arena.wasted_words(), 0u);
+  arena.free_clause(a);
+  EXPECT_TRUE(arena[a].deleted());
+  EXPECT_EQ(arena.wasted_words(), ArenaClause::kHeaderWords + 3);
+}
+
+TEST(ArenaTest, RelocForwardsOnceAndPreservesMetadata) {
+  ClauseArena from;
+  CRef dead = from.alloc(lits3(7, 8, 9), false);
+  CRef live = from.alloc(lits3(1, -2, 3), true);
+  from[live].set_lbd(2);
+  from[live].set_activity(4.25f);
+  from[live].set_tier(ClauseTier::kCore);
+  from.free_clause(dead);
+
+  ClauseArena to;
+  CRef moved = from.reloc(live, to);
+  // A second reloc of the same clause must return the same target.
+  EXPECT_EQ(from.reloc(live, to), moved);
+  ArenaClause c = to[moved];
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.learnt());
+  EXPECT_EQ(c.lbd(), 2);
+  EXPECT_FLOAT_EQ(c.activity(), 4.25f);
+  EXPECT_EQ(c.tier(), ClauseTier::kCore);
+  EXPECT_EQ(c[1], neg(1));
+  // The dead clause was never copied: the target holds one clause.
+  EXPECT_EQ(to.size_words(), ArenaClause::kHeaderWords + 3);
+}
+
+TEST(ReasonTest, EncodingRoundTrips) {
+  EXPECT_TRUE(kNoReason.is_none());
+  EXPECT_FALSE(kNoReason.is_binary());
+  EXPECT_FALSE(kNoReason.is_clause());
+  const Reason rc = Reason::clause(1234);
+  EXPECT_TRUE(rc.is_clause());
+  EXPECT_EQ(rc.cref(), 1234u);
+  const Reason rb = Reason::binary(neg(17));
+  EXPECT_TRUE(rb.is_binary());
+  EXPECT_EQ(rb.other(), neg(17));
+}
+
+/// Options that force constant database churn: reductions every few
+/// conflicts and a GC threshold so low that nearly every reduction
+/// triggers a compaction.
+SolverOptions churn_options() {
+  SolverOptions opts;
+  opts.deletion = DeletionPolicy::kTiered;
+  opts.reduce_base = 20;
+  opts.reduce_inc = 5;
+  opts.core_lbd_cut = 2;  // keep the core small so clauses actually die
+  opts.tier2_lbd_cut = 3;
+  opts.gc_frac = 0.01;
+  return opts;
+}
+
+TEST(ArenaGcTest, RepeatedCompactionMidSearchKeepsInvariants) {
+  Solver solver(churn_options());
+  AuditOptions aopts;
+  aopts.interval = 32;  // audit often, but keep the test quick
+  SolverAuditor auditor(aopts);
+  solver.set_auditor(&auditor);
+  ASSERT_TRUE(solver.add_formula(pigeonhole(5)));
+  EXPECT_EQ(solver.solve(), SolveResult::kUnsat);
+  const SolverStats stats = solver.stats();
+  // The schedule above must compact repeatedly mid-search, and every
+  // audited checkpoint between compactions must hold all invariants.
+  EXPECT_GE(stats.arena_gc_runs, 2);
+  EXPECT_GT(stats.arena_bytes_reclaimed, 0);
+  const AuditReport& r = auditor.report();
+  EXPECT_TRUE(r.ok()) << r.violations.front();
+  EXPECT_GT(r.audits_run, 0u);
+}
+
+TEST(ArenaGcTest, SatisfiableSearchSurvivesCompaction) {
+  Solver solver(churn_options());
+  AuditOptions aopts;
+  aopts.interval = 64;
+  SolverAuditor auditor(aopts);
+  solver.set_auditor(&auditor);
+  CnfFormula f = random_3sat(120, 4.1, /*seed=*/5);
+  ASSERT_TRUE(solver.add_formula(f));
+  const SolveResult r = solver.solve();
+  ASSERT_EQ(r, SolveResult::kSat);
+  EXPECT_TRUE(
+      f.is_satisfied_by(testing::complete_model(solver.model(), f.num_vars())));
+  EXPECT_TRUE(auditor.report().ok()) << auditor.report().violations.front();
+}
+
+TEST(ArenaGcTest, DratDeletionsStayConsistentAcrossGc) {
+  // Learnt-clause deletions are proof-logged when the clause dies;
+  // compaction then moves every survivor.  The checker replays the
+  // trace by clause *content*, so the certificate must stay valid no
+  // matter how often the arena is compacted mid-proof.
+  EXPECT_TRUE(testing::verify_unsat(pigeonhole(5), {}, churn_options()));
+  EXPECT_TRUE(testing::verify_unsat(dubois(12), {}, churn_options()));
+}
+
+TEST(ArenaGcTest, SimplifyDbCompactsRootSatisfiedClauses) {
+  Solver solver(churn_options());
+  // Three ternary clauses sharing x0 and a binary clause, then a unit
+  // that satisfies them all at the root.
+  ASSERT_TRUE(solver.add_clause({pos(0), pos(1), pos(2)}));
+  ASSERT_TRUE(solver.add_clause({pos(0), neg(1), pos(3)}));
+  ASSERT_TRUE(solver.add_clause({pos(0), neg(2), neg(3)}));
+  ASSERT_TRUE(solver.add_clause({pos(0), pos(4)}));
+  ASSERT_TRUE(solver.add_clause({neg(4), pos(5), neg(0)}));
+  EXPECT_EQ(solver.num_problem_clauses(), 5u);
+  ASSERT_TRUE(solver.add_clause({pos(0)}));
+  solver.simplify_db();
+  // Every clause containing x0 positively (three ternaries in the
+  // arena, one implicit binary) is root-satisfied and removed; the
+  // last clause only contains ¬x0 and survives.
+  EXPECT_EQ(solver.num_problem_clauses(), 1u);
+  SolverAuditor auditor;
+  auditor.audit(solver);
+  EXPECT_TRUE(auditor.report().ok()) << auditor.report().violations.front();
+  EXPECT_EQ(solver.solve(), SolveResult::kSat);
+}
+
+TEST(ArenaGcTest, BinaryPropagationsAreCounted) {
+  // An implication chain of binary clauses: one decision floods the
+  // chain through the binary watch lists.
+  const int n = 50;
+  Solver solver;
+  for (int i = 0; i + 1 < n; ++i) {
+    ASSERT_TRUE(solver.add_clause({neg(i), pos(i + 1)}));
+  }
+  ASSERT_TRUE(solver.add_clause({pos(0)}));
+  EXPECT_EQ(solver.solve(), SolveResult::kSat);
+  EXPECT_GE(solver.stats().binary_propagations, n - 1);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(solver.model()[i].is_true());
+  }
+}
+
+}  // namespace
+}  // namespace sateda::sat

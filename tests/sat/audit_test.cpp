@@ -94,14 +94,16 @@ TEST(AuditTest, DetectsCorruptedTrail) {
 TEST(AuditTest, DetectsCorruptedLearntUnderStrictRup) {
   // A satisfiable base so the corrupted clause cannot be vacuously
   // entailed (after an UNSAT solve *everything* is a consequence).
-  CnfFormula f(2);
-  f.add_binary(neg(0), pos(1));
+  // Ternary, because binary clauses are implicit (never in the arena,
+  // so never eligible for the learnt-corruption hook).
+  CnfFormula f(3);
+  f.add_ternary(neg(0), pos(1), pos(2));
   SolverOptions sopts;
   sopts.deletion = DeletionPolicy::kNever;
   Solver solver(sopts);
   ASSERT_TRUE(solver.add_formula(f));
   // Imported duplicate of the problem clause: trivially RUP.
-  ASSERT_TRUE(solver.add_learnt_clause({neg(0), pos(1)}));
+  ASSERT_TRUE(solver.add_learnt_clause({neg(0), pos(1), pos(2)}));
   AuditOptions opts = every_checkpoint();
   opts.strict_learnt_rup = true;
   opts.check_watchers = false;  // isolate the learnt-redundancy check
@@ -109,7 +111,7 @@ TEST(AuditTest, DetectsCorruptedLearntUnderStrictRup) {
   SolverAuditor auditor(opts);
   auditor.audit(solver);
   ASSERT_TRUE(auditor.report().ok()) << auditor.report().violations.front();
-  // Flipping one literal turns it into (¬x1 + ¬x2) — not RUP.
+  // Flipping one literal turns it into (¬x1 + x2 + ¬x3) — not RUP.
   SolverAuditor::corrupt_learnt_for_test(solver);
   auditor.audit(solver);
   EXPECT_FALSE(auditor.report().ok());

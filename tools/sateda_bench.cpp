@@ -1,0 +1,415 @@
+/// \file sateda_bench.cpp
+/// \brief Solver throughput benchmark over the bundled corpus plus
+///        generated PHP / dubois / random-3SAT / parity / CEC-miter
+///        families.
+///
+/// Protocol (matches the seed-baseline measurements recorded in
+/// BENCH_solver.json): each instance is solved on a fresh Solver,
+/// timing only solve(), repeating until at least --min-time seconds
+/// of wall clock accumulate (minimum 3 reps, at most --max-reps).
+/// Results are written as JSON: per-instance records first, then an
+/// aggregate block.  With --baseline the run is compared against a
+/// previously written JSON file and the process exits non-zero when
+/// the geometric-mean propagations/sec ratio drops below
+/// 1 - --max-regression — the CI perf-smoke gate.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cnf/dimacs.hpp"
+#include "cnf/generators.hpp"
+#include "sat/solver.hpp"
+
+namespace {
+
+using namespace sateda;
+
+struct Instance {
+  std::string name;
+  std::string family;
+  CnfFormula formula;
+  bool quick = false;  // part of the --quick subset
+};
+
+struct Result {
+  std::string name;
+  std::string family;
+  int vars = 0;
+  std::size_t clauses = 0;
+  std::string verdict;
+  int reps = 0;
+  double wall_sec = 0.0;
+  std::int64_t propagations = 0;
+  std::int64_t conflicts = 0;
+  std::int64_t binary_propagations = 0;
+  std::int64_t arena_gc_runs = 0;
+  std::int64_t arena_bytes_reclaimed = 0;
+  double props_per_sec = 0.0;
+  double conflicts_per_sec = 0.0;
+};
+
+/// Seed-tree throughput on this corpus (Release, pre-arena solver),
+/// embedded so the before/after comparison ships with the results.
+struct SeedPoint {
+  const char* name;
+  double props_per_sec;
+};
+constexpr SeedPoint kSeedBaseline[] = {
+    {"php5", 3.99e6},          {"php6", 2.55e6},
+    {"php8", 0.835e6},         {"php9", 0.135e6},
+    {"dubois20", 6.35e6},      {"dubois400", 5.12e6},
+    {"rand3sat_v200", 2.99e6}, {"rand3sat_v250", 0.634e6},
+    {"parity200", 20.3e6},     {"cec_adder32", 7.22e6},
+    {"cec_adder64", 6.81e6},
+};
+
+std::string verdict_string(sat::SolveResult r) {
+  switch (r) {
+    case sat::SolveResult::kSat:
+      return "SAT";
+    case sat::SolveResult::kUnsat:
+      return "UNSAT";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+Result run_instance(const Instance& inst, double min_time, int max_reps) {
+  Result res;
+  res.name = inst.name;
+  res.family = inst.family;
+  res.vars = inst.formula.num_vars();
+  res.clauses = inst.formula.num_clauses();
+  for (; res.reps < max_reps && (res.wall_sec < min_time || res.reps < 3);
+       ++res.reps) {
+    sat::Solver solver;
+    (void)solver.add_formula(inst.formula);
+    const auto t0 = std::chrono::steady_clock::now();
+    const sat::SolveResult r = solver.solve();
+    const auto t1 = std::chrono::steady_clock::now();
+    res.wall_sec += std::chrono::duration<double>(t1 - t0).count();
+    const sat::SolverStats& s = solver.stats();
+    res.propagations += s.propagations;
+    res.conflicts += s.conflicts;
+    res.binary_propagations += s.binary_propagations;
+    res.arena_gc_runs += s.arena_gc_runs;
+    res.arena_bytes_reclaimed += s.arena_bytes_reclaimed;
+    res.verdict = verdict_string(r);
+  }
+  if (res.wall_sec > 0.0) {
+    res.props_per_sec = static_cast<double>(res.propagations) / res.wall_sec;
+    res.conflicts_per_sec = static_cast<double>(res.conflicts) / res.wall_sec;
+  }
+  return res;
+}
+
+std::vector<Instance> build_instances(const std::string& corpus_dir,
+                                      bool quick) {
+  std::vector<Instance> all;
+  auto add = [&](std::string name, std::string family, CnfFormula f,
+                 bool in_quick) {
+    all.push_back({std::move(name), std::move(family), std::move(f), in_quick});
+  };
+  add("php5", "pigeonhole", pigeonhole(5), true);
+  add("php6", "pigeonhole", pigeonhole(6), true);
+  add("php8", "pigeonhole", pigeonhole(8), false);
+  add("php9", "pigeonhole", pigeonhole(9), false);
+  add("dubois20", "dubois", dubois(20), true);
+  add("dubois400", "dubois", dubois(400), false);
+  add("rand3sat_v200", "random3sat", random_3sat(200, 4.26, /*seed=*/7), true);
+  add("rand3sat_v250", "random3sat", random_3sat(250, 4.26, /*seed=*/7), false);
+  add("parity200", "parity", parity_chain(200, true), true);
+  add("cec_adder32", "cec_miter", benchutil::adder_miter_cnf(32), true);
+  add("cec_adder64", "cec_miter", benchutil::adder_miter_cnf(64), false);
+
+  // The bundled DIMACS corpus (BMC reachability instances and friends).
+  // Prefixed so corpus files never collide with a generated name.
+  if (!corpus_dir.empty() && std::filesystem::is_directory(corpus_dir)) {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(corpus_dir)) {
+      if (entry.path().extension() == ".cnf") files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& path : files) {
+      try {
+        add("corpus_" + path.stem().string(), "corpus",
+            read_dimacs_file(path.string()), true);
+      } catch (const DimacsError& e) {
+        std::fprintf(stderr, "warning: skipping %s: %s\n",
+                     path.string().c_str(), e.what());
+      }
+    }
+  }
+
+  if (quick) {
+    std::erase_if(all, [](const Instance& i) { return !i.quick; });
+  }
+  return all;
+}
+
+void append_kv(std::string& out, const char* key, const std::string& value,
+               bool last = false) {
+  out += "      \"";
+  out += key;
+  out += "\": \"";
+  out += value;
+  out += last ? "\"\n" : "\",\n";
+}
+
+void append_kv(std::string& out, const char* key, double value,
+               bool last = false) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out += "      \"";
+  out += key;
+  out += "\": ";
+  out += buf;
+  out += last ? "\n" : ",\n";
+}
+
+void append_kv(std::string& out, const char* key, std::int64_t value,
+               bool last = false) {
+  out += "      \"";
+  out += key;
+  out += "\": ";
+  out += std::to_string(value);
+  out += last ? "\n" : ",\n";
+}
+
+/// Hand-rolled writer so the key order is fixed: the regression gate
+/// and CI scripts scan for "name" / "propagations_per_sec" pairs in
+/// the instances array, which ends at the "aggregate" key.
+std::string to_json(const std::vector<Result>& results, bool quick) {
+  std::string out = "{\n  \"tool\": \"sateda-bench\",\n";
+  out += "  \"mode\": \"";
+  out += quick ? "quick" : "full";
+  out += "\",\n  \"instances\": [\n";
+  double total_wall = 0.0;
+  std::int64_t total_props = 0;
+  double log_sum = 0.0;
+  int log_count = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    out += "    {\n";
+    append_kv(out, "name", r.name);
+    append_kv(out, "family", r.family);
+    append_kv(out, "vars", static_cast<std::int64_t>(r.vars));
+    append_kv(out, "clauses", static_cast<std::int64_t>(r.clauses));
+    append_kv(out, "verdict", r.verdict);
+    append_kv(out, "reps", static_cast<std::int64_t>(r.reps));
+    append_kv(out, "wall_sec", r.wall_sec);
+    append_kv(out, "propagations", r.propagations);
+    append_kv(out, "conflicts", r.conflicts);
+    append_kv(out, "binary_propagations", r.binary_propagations);
+    append_kv(out, "arena_gc_runs", r.arena_gc_runs);
+    append_kv(out, "arena_bytes_reclaimed", r.arena_bytes_reclaimed);
+    append_kv(out, "propagations_per_sec", r.props_per_sec);
+    append_kv(out, "conflicts_per_sec", r.conflicts_per_sec, /*last=*/true);
+    out += (i + 1 < results.size()) ? "    },\n" : "    }\n";
+    total_wall += r.wall_sec;
+    total_props += r.propagations;
+    if (r.props_per_sec > 0.0) {
+      log_sum += std::log(r.props_per_sec);
+      ++log_count;
+    }
+  }
+  out += "  ],\n  \"aggregate\": {\n";
+  append_kv(out, "instances", static_cast<std::int64_t>(results.size()));
+  append_kv(out, "wall_sec", total_wall);
+  append_kv(out, "propagations", total_props);
+  append_kv(out, "propagations_per_sec",
+            total_wall > 0.0 ? total_props / total_wall : 0.0);
+  append_kv(out, "geomean_propagations_per_sec",
+            log_count > 0 ? std::exp(log_sum / log_count) : 0.0,
+            /*last=*/true);
+  out += "  },\n  \"seed_baseline\": [\n";
+  constexpr std::size_t n_seed = std::size(kSeedBaseline);
+  for (std::size_t i = 0; i < n_seed; ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"instance\": \"%s\", \"seed_propagations_per_sec\": "
+                  "%.6g}%s\n",
+                  kSeedBaseline[i].name, kSeedBaseline[i].props_per_sec,
+                  i + 1 < n_seed ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+/// Extracts {name -> propagations_per_sec} from a JSON file written by
+/// this tool.  Scans "name"/"propagations_per_sec" key pairs inside
+/// the instances array only (parsing stops at the "aggregate" key), so
+/// no JSON library is needed.
+bool parse_results(const std::string& path,
+                   std::vector<std::pair<std::string, double>>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const std::size_t stop = std::min(text.find("\"aggregate\""), text.size());
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t nk = text.find("\"name\": \"", pos);
+    if (nk == std::string::npos || nk >= stop) break;
+    const std::size_t ns = nk + std::strlen("\"name\": \"");
+    const std::size_t ne = text.find('"', ns);
+    if (ne == std::string::npos) break;
+    const std::string name = text.substr(ns, ne - ns);
+    const std::size_t pk = text.find("\"propagations_per_sec\": ", ne);
+    if (pk == std::string::npos || pk >= stop) break;
+    const double pps =
+        std::atof(text.c_str() + pk + std::strlen("\"propagations_per_sec\": "));
+    out->emplace_back(name, pps);
+    pos = pk;
+  }
+  return !out->empty();
+}
+
+/// Compares this run against a baseline file: geometric mean of the
+/// per-instance new/old propagations/sec ratios over the instances
+/// present in both.  Returns false (gate failure) when the geomean
+/// falls below 1 - max_regression.
+bool check_regression(const std::vector<Result>& results,
+                      const std::string& baseline_path, double max_regression) {
+  std::vector<std::pair<std::string, double>> base;
+  if (!parse_results(baseline_path, &base)) {
+    std::fprintf(stderr, "error: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return false;
+  }
+  double log_sum = 0.0;
+  int count = 0;
+  std::printf("\n%-24s %14s %14s %8s\n", "instance", "baseline", "current",
+              "ratio");
+  for (const Result& r : results) {
+    for (const auto& [name, pps] : base) {
+      if (name != r.name || pps <= 0.0 || r.props_per_sec <= 0.0) continue;
+      const double ratio = r.props_per_sec / pps;
+      std::printf("%-24s %14.0f %14.0f %8.2f\n", name.c_str(), pps,
+                  r.props_per_sec, ratio);
+      log_sum += std::log(ratio);
+      ++count;
+      break;
+    }
+  }
+  if (count == 0) {
+    std::fprintf(stderr, "error: no common instances with baseline\n");
+    return false;
+  }
+  const double geomean = std::exp(log_sum / count);
+  const double floor = 1.0 - max_regression;
+  std::printf("%-24s %14s %14s %8.2f  (floor %.2f)\n", "geomean", "", "",
+              geomean, floor);
+  if (geomean < floor) {
+    std::fprintf(stderr,
+                 "error: propagations/sec regressed: geomean ratio %.3f is "
+                 "below the %.2f floor\n",
+                 geomean, floor);
+    return false;
+  }
+  return true;
+}
+
+void print_help(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "\n"
+      "Solver throughput benchmark: bundled corpus + generated PHP,\n"
+      "dubois, random-3SAT, parity and CEC adder-miter families.\n"
+      "\n"
+      "  --out FILE           write JSON results here (default\n"
+      "                       BENCH_solver.json)\n"
+      "  --corpus DIR         DIMACS corpus directory (default\n"
+      "                       examples/cnf; pass '' to skip)\n"
+      "  --quick              small-instance subset, shorter timing\n"
+      "                       windows (CI perf smoke)\n"
+      "  --min-time S         minimum seconds of accumulated solve\n"
+      "                       wall per instance (default 1.0;\n"
+      "                       0.25 under --quick)\n"
+      "  --max-reps N         repetition cap per instance (default 2000)\n"
+      "  --baseline FILE      compare against a previous results file\n"
+      "                       and fail on regression\n"
+      "  --max-regression X   allowed geomean props/sec drop versus\n"
+      "                       the baseline (default 0.25)\n"
+      "  --help               this message\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_solver.json";
+  std::string corpus_dir = "examples/cnf";
+  std::string baseline_path;
+  bool quick = false;
+  double min_time = -1.0;
+  int max_reps = 2000;
+  double max_regression = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(argv[0]);
+      return 0;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--corpus" && i + 1 < argc) {
+      corpus_dir = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--min-time" && i + 1 < argc) {
+      min_time = std::atof(argv[++i]);
+    } else if (arg == "--max-reps" && i + 1 < argc) {
+      max_reps = std::atoi(argv[++i]);
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--max-regression" && i + 1 < argc) {
+      max_regression = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [options]  (--help for details)\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (min_time < 0.0) min_time = quick ? 0.25 : 1.0;
+
+  const std::vector<Instance> instances = build_instances(corpus_dir, quick);
+  std::vector<Result> results;
+  results.reserve(instances.size());
+  std::printf("%-24s %8s %5s %9s %14s %13s\n", "instance", "verdict", "reps",
+              "wall(s)", "props/sec", "confl/sec");
+  for (const Instance& inst : instances) {
+    Result r = run_instance(inst, min_time, max_reps);
+    std::printf("%-24s %8s %5d %9.3f %14.0f %13.0f\n", r.name.c_str(),
+                r.verdict.c_str(), r.reps, r.wall_sec, r.props_per_sec,
+                r.conflicts_per_sec);
+    std::fflush(stdout);
+    results.push_back(std::move(r));
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  out << to_json(results, quick);
+  out.close();
+  std::printf("\nresults written to %s\n", out_path.c_str());
+
+  if (!baseline_path.empty() &&
+      !check_regression(results, baseline_path, max_regression)) {
+    return 1;
+  }
+  return 0;
+}

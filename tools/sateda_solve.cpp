@@ -47,6 +47,9 @@ void print_help(const char* argv0) {
       "general:\n"
       "  --preprocess         run the CNF preprocessor first\n"
       "  --strict-dimacs      enforce header variable/clause declarations\n"
+      "  --stats              print a detailed counter breakdown after\n"
+      "                       solving (propagations/sec, binary\n"
+      "                       propagations, arena GC activity, ...)\n"
       "  --quiet              suppress `c` comment lines\n"
       "  --help               this message\n"
       "\n"
@@ -74,6 +77,7 @@ int main(int argc, char** argv) {
   bool deterministic = false;
   bool preprocess_first = false;
   bool quiet = false;
+  bool detailed_stats = false;
   DimacsOptions dimacs_opts;
   sat::DratFormat proof_format = sat::DratFormat::kText;
   sat::SolverOptions opts;
@@ -105,6 +109,8 @@ int main(int argc, char** argv) {
       proof_format = sat::DratFormat::kBinary;
     } else if (arg == "--max-conflicts" && i + 1 < argc) {
       opts.conflict_budget = std::atoll(argv[++i]);
+    } else if (arg == "--stats") {
+      detailed_stats = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -197,6 +203,19 @@ int main(int argc, char** argv) {
   solver->ensure_var(f.num_vars() - 1);
   sat::SolveResult r = ok ? solver->solve() : sat::SolveResult::kUnsat;
   if (!quiet) std::printf("c %s\n", solver->stats().summary().c_str());
+  if (detailed_stats) {
+    // One counter per `c` line, SAT-competition friendly.
+    const std::string detail = solver->stats().detailed();
+    std::size_t start = 0;
+    while (start <= detail.size()) {
+      const std::size_t end = detail.find('\n', start);
+      const std::string line = detail.substr(
+          start, end == std::string::npos ? std::string::npos : end - start);
+      std::printf("c %s\n", line.c_str());
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+  }
 
   switch (r) {
     case sat::SolveResult::kUnknown:
