@@ -4,25 +4,38 @@
 # checked-in BENCH_solver.json at the repo root is the reference
 # baseline and is never overwritten by this script).
 #
-# usage: scripts/bench.sh [build-dir] [--quick] [--check]
+# usage: scripts/bench.sh [build-dir] [--quick] [--check] [--maxsat]
 #   --quick   small-instance subset with short timing windows
 #   --check   compare against the checked-in BENCH_solver.json and
 #             fail if propagations/sec regressed more than 25%
+#   --maxsat  run the core-guided MaxSAT benchmark over examples/wcnf
+#             instead (writes BENCH_maxsat.json into the build tree)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="build"
 QUICK=""
 CHECK=0
+MAXSAT=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK="--quick" ;;
     --check) CHECK=1 ;;
-    -*) echo "usage: scripts/bench.sh [build-dir] [--quick] [--check]" >&2
+    --maxsat) MAXSAT=1 ;;
+    -*) echo "usage: scripts/bench.sh [build-dir] [--quick] [--check] [--maxsat]" >&2
         exit 2 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
+
+if [ "$MAXSAT" -eq 1 ]; then
+  TOOL="$BUILD_DIR/tools/sateda-maxsat"
+  if [ ! -x "$TOOL" ]; then
+    echo "error: $TOOL not built (build the sateda-maxsat target first)" >&2
+    exit 2
+  fi
+  exec "$TOOL" --bench "$ROOT/examples/wcnf" --out "$BUILD_DIR/BENCH_maxsat.json"
+fi
 
 BENCH="$BUILD_DIR/tools/sateda-bench"
 if [ ! -x "$BENCH" ]; then

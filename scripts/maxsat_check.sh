@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# MaxSAT smoke check: solve every instance of the bundled WCNF corpus
+# with both core-guided algorithms and assert the known optima from
+# examples/wcnf/MANIFEST (UNSAT entries must exit 20, optima must be
+# proven exactly, enforced by --expect).
+#
+# usage: scripts/maxsat_check.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+MAXSAT="$BUILD_DIR/tools/sateda-maxsat"
+WCNF_DIR="$(dirname "$0")/../examples/wcnf"
+MANIFEST="$WCNF_DIR/MANIFEST"
+
+if [ ! -x "$MAXSAT" ]; then
+  echo "error: $MAXSAT not built (build the sateda-maxsat target first)" >&2
+  exit 2
+fi
+if [ ! -f "$MANIFEST" ]; then
+  echo "error: $MANIFEST missing" >&2
+  exit 2
+fi
+
+failures=0
+checks=0
+while read -r file expected; do
+  case "$file" in ''|\#*) continue ;; esac
+  for algo in oll fumalik; do
+    checks=$((checks + 1))
+    status=0
+    if [ "$expected" = "UNSAT" ]; then
+      "$MAXSAT" --quiet --algo "$algo" "$WCNF_DIR/$file" >/dev/null || status=$?
+      if [ "$status" -eq 20 ]; then
+        echo "ok   [$algo] $file: UNSAT"
+      else
+        echo "FAIL [$algo] $file: exit $status (expected 20 = hard UNSAT)"
+        failures=$((failures + 1))
+      fi
+    else
+      "$MAXSAT" --quiet --algo "$algo" --expect "$expected" \
+        "$WCNF_DIR/$file" >/dev/null || status=$?
+      if [ "$status" -eq 30 ]; then
+        echo "ok   [$algo] $file: optimum $expected"
+      else
+        echo "FAIL [$algo] $file: exit $status (expected proven optimum $expected)"
+        failures=$((failures + 1))
+      fi
+    fi
+  done
+done < "$MANIFEST"
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures of $checks MaxSAT check(s) failed"
+  exit 1
+fi
+echo "all $checks MaxSAT checks passed"

@@ -4,6 +4,10 @@
 # plain CDCL path, the preprocessor pipeline and the parallel
 # portfolio, in both text and binary DRAT.
 #
+# Each certificate is additionally trimmed to its clausal core
+# (sateda-check --core/--trim) and the trimmed proof is re-verified
+# against the extracted core CNF.
+#
 # usage: scripts/proof_check.sh [build-dir]
 set -euo pipefail
 
@@ -12,7 +16,9 @@ SOLVE="$BUILD_DIR/tools/sateda-solve"
 CHECK="$BUILD_DIR/tools/sateda-check"
 CNF_DIR="$(dirname "$0")/../examples/cnf"
 PROOF="$(mktemp /tmp/sateda_proof.XXXXXX.drat)"
-trap 'rm -f "$PROOF"' EXIT
+CORE="$(mktemp /tmp/sateda_core.XXXXXX.cnf)"
+TRIM="$(mktemp /tmp/sateda_trim.XXXXXX.drat)"
+trap 'rm -f "$PROOF" "$CORE" "$TRIM"' EXIT
 
 for tool in "$SOLVE" "$CHECK"; do
   if [ ! -x "$tool" ]; then
@@ -40,11 +46,37 @@ run_one() {
   fi
 }
 
+# Trim the certificate to the clausal core and check that the trimmed
+# proof still refutes the extracted core CNF.
+run_core_trim() {
+  local cnf="$1"
+  local status=0
+  "$SOLVE" --quiet --proof "$PROOF" "$cnf" >/dev/null || status=$?
+  if [ "$status" -ne 20 ]; then
+    echo "FAIL [core-trim] $cnf: solver exit $status (expected 20 = UNSAT)"
+    failures=$((failures + 1))
+    return
+  fi
+  if ! "$CHECK" --quiet --core "$CORE" --trim "$TRIM" "$cnf" "$PROOF" \
+      >/dev/null; then
+    echo "FAIL [core-trim] $cnf: core extraction did not verify"
+    failures=$((failures + 1))
+    return
+  fi
+  if "$CHECK" --quiet "$CORE" "$TRIM" >/dev/null; then
+    echo "ok   [core-trim] $cnf"
+  else
+    echo "FAIL [core-trim] $cnf: trimmed proof does not refute the core CNF"
+    failures=$((failures + 1))
+  fi
+}
+
 for cnf in "$CNF_DIR"/*.cnf; do
   run_one "cdcl/text" "$cnf"
   run_one "cdcl/binary" "$cnf" --binary-proof
   run_one "preprocess" "$cnf" --preprocess
   run_one "portfolio" "$cnf" --engine portfolio --threads 2
+  run_core_trim "$cnf"
 done
 
 if [ "$failures" -ne 0 ]; then

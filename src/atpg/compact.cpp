@@ -1,0 +1,74 @@
+#include "atpg/compact.hpp"
+
+#include <cstdint>
+
+#include "atpg/fault_sim.hpp"
+
+namespace sateda::atpg {
+
+CompactionResult minimize_test_set(const circuit::Circuit& c,
+                                   const std::vector<std::vector<bool>>& tests,
+                                   const std::vector<Fault>& faults,
+                                   const CompactionOptions& opts) {
+  CompactionResult result;
+  if (tests.empty()) {
+    result.optimal = true;
+    return result;
+  }
+  const std::size_t num_inputs = c.inputs().size();
+  const std::size_t num_tests = tests.size();
+
+  // Word-parallel simulation: batches of 64 tests, one detect mask per
+  // (batch, fault).
+  FaultSimulator sim(c);
+  const std::size_t num_batches = (num_tests + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> good_per_batch;
+  good_per_batch.reserve(num_batches);
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    std::vector<std::uint64_t> packed(num_inputs, 0);
+    for (std::size_t t = b * 64; t < std::min(num_tests, (b + 1) * 64); ++t) {
+      const std::vector<bool>& pattern = tests[t];
+      for (std::size_t i = 0; i < num_inputs && i < pattern.size(); ++i) {
+        if (pattern[i]) packed[i] |= std::uint64_t{1} << (t - b * 64);
+      }
+    }
+    good_per_batch.push_back(sim.good_values(packed));
+  }
+
+  opt::CoveringProblem cover;
+  cover.num_columns = static_cast<int>(num_tests);
+  for (const Fault& f : faults) {
+    std::vector<int> detecting;
+    for (std::size_t b = 0; b < num_batches; ++b) {
+      std::uint64_t mask = sim.detect_mask(good_per_batch[b], f);
+      if (b + 1 == num_batches && num_tests % 64 != 0) {
+        mask &= (std::uint64_t{1} << (num_tests % 64)) - 1;
+      }
+      while (mask != 0) {
+        const int bit = __builtin_ctzll(mask);
+        mask &= mask - 1;
+        detecting.push_back(static_cast<int>(b * 64) + bit);
+      }
+    }
+    if (detecting.empty()) continue;  // no input test covers this fault
+    ++result.covered_faults;
+    cover.add_cover_row(detecting);
+  }
+
+  opt::CoveringOptions copts;
+  copts.solver = opts.solver;
+  copts.engine = opts.engine;
+  const opt::CoveringResult r = opts.use_maxsat
+                                    ? opt::solve_covering_maxsat(cover, copts)
+                                    : opt::solve_covering_bnb(cover, copts);
+  result.stats = r.stats;
+  result.optimal = r.feasible && r.optimal;
+  if (r.feasible) {
+    for (std::size_t t = 0; t < num_tests; ++t) {
+      if (r.chosen[t]) result.kept.push_back(t);
+    }
+  }
+  return result;
+}
+
+}  // namespace sateda::atpg

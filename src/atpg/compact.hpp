@@ -1,0 +1,49 @@
+/// \file compact.hpp
+/// \brief Test-set compaction: pick a minimum subset of an ATPG test
+///        set that still detects every covered fault.
+///
+/// The paper lists minimum-size test sets among the covering-style EDA
+/// optimizations (§3, ref. [23]).  The formulation is exactly unate
+/// covering — columns are test patterns, a row per fault lists the
+/// tests detecting it (computed by word-parallel fault simulation) —
+/// so both the classical branch-and-bound and the core-guided MaxSAT
+/// engine (opt/maxsat) apply; the latter returns proven optima on
+/// binate-free instances without a search on the bound.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "opt/covering.hpp"
+
+namespace sateda::atpg {
+
+struct CompactionOptions {
+  /// Solve the covering with core-guided MaxSAT (default) instead of
+  /// branch-and-bound; both return proven-optimal subsets.
+  bool use_maxsat = true;
+  sat::SolverOptions solver;
+  sat::EngineFactory engine;
+};
+
+struct CompactionResult {
+  /// Indices (into the input test vector) of the kept tests.
+  std::vector<std::size_t> kept;
+  /// Faults detected by at least one input test (rows of the covering
+  /// problem); faults no test detects cannot constrain the selection.
+  int covered_faults = 0;
+  /// True iff the covering engine proved the subset minimum.
+  bool optimal = false;
+  opt::CoveringStats stats;
+};
+
+/// Minimizes \p tests against \p faults on circuit \p c: the kept
+/// subset detects every fault some input test detects.  Detection is
+/// established by fault simulation (64 patterns per pass).
+CompactionResult minimize_test_set(const circuit::Circuit& c,
+                                   const std::vector<std::vector<bool>>& tests,
+                                   const std::vector<Fault>& faults,
+                                   const CompactionOptions& opts = {});
+
+}  // namespace sateda::atpg

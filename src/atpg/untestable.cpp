@@ -1,0 +1,134 @@
+#include "atpg/untestable.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "atpg/detection.hpp"
+#include "circuit/encoder.hpp"
+
+namespace sateda::atpg {
+
+namespace {
+
+/// Disjoint-set forest over core indices.
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+
+/// Encodes the detection circuit of \p dc into \p engine with the
+/// good-circuit gates guarded: each clause of a gate whose node id is
+/// below \p good_nodes gains ¬g_x for a fresh selector g_x.  Faulty
+/// cone and compare logic (ids ≥ good_nodes) stay unguarded — they
+/// define what "detect" means and are not part of the explanation.
+/// Returns the selector literal per guarded gate.
+std::unordered_map<Lit, circuit::NodeId> encode_guarded(
+    sat::SatEngine& engine, const DetectionCircuit& dc,
+    std::size_t good_nodes, std::vector<Lit>& selectors) {
+  const circuit::Circuit& cc = dc.circuit;
+  std::unordered_map<Lit, circuit::NodeId> gate_of;
+  // Node ids double as CNF variables; selectors live above them.
+  Var next_sel = static_cast<Var>(cc.num_nodes());
+  engine.ensure_var(next_sel > 0 ? next_sel - 1 : 0);
+  for (circuit::NodeId id = 0;
+       id < static_cast<circuit::NodeId>(cc.num_nodes()); ++id) {
+    CnfFormula scratch(static_cast<int>(cc.num_nodes()));
+    circuit::encode_gate(cc, id, scratch);
+    if (scratch.clauses().empty()) continue;  // primary input
+    const bool guard = static_cast<std::size_t>(id) < good_nodes;
+    Lit sel = kUndefLit;
+    if (guard) {
+      const Var g = next_sel++;
+      engine.ensure_var(g);
+      sel = pos(g);
+      selectors.push_back(sel);
+      gate_of.emplace(sel, id);
+    }
+    for (const Clause& cl : scratch.clauses()) {
+      std::vector<Lit> guarded(cl.begin(), cl.end());
+      if (guard) guarded.push_back(~sel);
+      (void)engine.add_clause(std::move(guarded));
+    }
+  }
+  return gate_of;
+}
+
+}  // namespace
+
+UntestableGroups group_untestable_faults(const circuit::Circuit& c,
+                                         const std::vector<Fault>& faults,
+                                         const UntestableGroupOptions& opts) {
+  UntestableGroups out;
+  for (const Fault& f : faults) {
+    const DetectionCircuit dc = build_detection_circuit(c, f);
+    if (!dc.structurally_detectable) {
+      out.cores.push_back({f, {}, true});
+      continue;
+    }
+    sat::SolverOptions so = opts.solver;
+    so.conflict_budget = opts.conflict_budget;
+    std::unique_ptr<sat::SatEngine> engine = sat::make_engine(opts.engine, so);
+    std::vector<Lit> selectors;
+    const std::unordered_map<Lit, circuit::NodeId> gate_of =
+        encode_guarded(*engine, dc, c.num_nodes(), selectors);
+
+    std::vector<Lit> assumptions = selectors;
+    assumptions.push_back(pos(dc.detect));
+    if (engine->solve(assumptions) != sat::SolveResult::kUnsat) {
+      continue;  // testable, or budget exhausted — no explanation
+    }
+    const sat::core::CoreResult mus = sat::core::minimize_core(
+        *engine, engine->conflict_core(), opts.core);
+
+    UntestableCore uc;
+    uc.fault = f;
+    uc.minimal = mus.unsat && mus.minimal;
+    for (Lit l : mus.core) {
+      auto it = gate_of.find(l);
+      if (it != gate_of.end()) uc.gates.push_back(it->second);
+    }
+    std::sort(uc.gates.begin(), uc.gates.end());
+    out.cores.push_back(std::move(uc));
+  }
+
+  // Union faults whose cores share a gate; all structurally untestable
+  // faults (empty cores) coalesce into one group.
+  UnionFind uf(out.cores.size());
+  std::unordered_map<circuit::NodeId, std::size_t> first_with_gate;
+  std::size_t first_empty = out.cores.size();
+  for (std::size_t i = 0; i < out.cores.size(); ++i) {
+    if (out.cores[i].gates.empty()) {
+      if (first_empty == out.cores.size()) {
+        first_empty = i;
+      } else {
+        uf.unite(i, first_empty);
+      }
+      continue;
+    }
+    for (circuit::NodeId g : out.cores[i].gates) {
+      auto [it, fresh] = first_with_gate.emplace(g, i);
+      if (!fresh) uf.unite(i, it->second);
+    }
+  }
+  std::unordered_map<std::size_t, std::size_t> group_index;
+  for (std::size_t i = 0; i < out.cores.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    auto [it, fresh] = group_index.emplace(root, out.groups.size());
+    if (fresh) out.groups.emplace_back();
+    out.groups[it->second].push_back(i);
+  }
+  return out;
+}
+
+}  // namespace sateda::atpg

@@ -1,0 +1,64 @@
+/// \file untestable.hpp
+/// \brief Explains *why* faults are untestable: a minimal set of gates
+///        whose logic blocks detection, extracted as an UNSAT core,
+///        and grouping of faults that share a structural cause.
+///
+/// Redundancy identification (paper §3, ref. [17]) proves a fault
+/// untestable by an UNSAT answer, but the bare verdict gives the
+/// designer nothing to act on.  Here every gate of the good circuit
+/// gets a selector literal guarding its CNF clauses; solving the
+/// detection objective under all selectors yields an UNSAT core over
+/// *gates*, minimized to a MUS with sat/core.  Faults whose gate cores
+/// overlap are untestable for a shared reason — one redundant region
+/// of logic — so fixing (or accepting) one explanation disposes of the
+/// whole group.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "sat/core/mus.hpp"
+#include "sat/engine.hpp"
+
+namespace sateda::atpg {
+
+struct UntestableGroupOptions {
+  sat::SolverOptions solver;
+  sat::EngineFactory engine;  ///< SAT backend (empty: CDCL)
+  /// Core-minimization effort (bounded by default: refinement plus a
+  /// deletion pass capped at 128 solve calls per fault).
+  sat::core::CoreMinimizeOptions core{true, 4, true, 128};
+  std::int64_t conflict_budget = 200000;  ///< per solve call
+};
+
+/// The explanation extracted for one untestable fault.
+struct UntestableCore {
+  Fault fault;
+  /// Good-circuit gates whose clauses the refutation needs, ascending.
+  /// Empty when the fault is structurally untestable (its cone reaches
+  /// no primary output) — no gate logic is involved at all.
+  std::vector<circuit::NodeId> gates;
+  bool minimal = false;  ///< the gate set is a MUS (deletion pass done)
+};
+
+struct UntestableGroups {
+  /// One entry per fault proven untestable here (testable or aborted
+  /// faults from the input list are dropped).
+  std::vector<UntestableCore> cores;
+  /// Partition of `cores` (by index): faults in one group have
+  /// overlapping gate cores, i.e. share blocking logic.  Structurally
+  /// untestable faults (empty cores) form one group of their own.
+  std::vector<std::vector<std::size_t>> groups;
+};
+
+/// Extracts a minimized gate core per untestable fault of \p faults on
+/// \p c and groups faults with overlapping cores.  Faults that turn
+/// out testable (or exhaust the budget) are skipped silently — pass a
+/// pre-screened list (e.g. run_atpg's kRedundant faults) for precise
+/// accounting.
+UntestableGroups group_untestable_faults(const circuit::Circuit& c,
+                                         const std::vector<Fault>& faults,
+                                         const UntestableGroupOptions& opts = {});
+
+}  // namespace sateda::atpg

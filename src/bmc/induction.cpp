@@ -1,6 +1,8 @@
 #include "bmc/induction.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 #include "circuit/encoder.hpp"
 
@@ -21,24 +23,40 @@ class StepEngine {
     solver_ = sat::make_engine(opts.engine, sopts);
   }
 
-  /// Ensures frames 0..k exist, with ¬bad asserted on frames < k and
-  /// pairwise-distinct states when requested.
+  /// Ensures frames 0..k exist (with pairwise-distinct states when
+  /// requested).  The ¬bad hypothesis of each frame is not asserted
+  /// hard; it is activated per query through the frame's selector, so
+  /// an UNSAT answer carries a core over hypothesis frames.
   void extend_to(int k) {
     while (static_cast<int>(frames_.size()) <= k) add_frame();
-    // Assert ¬bad on all frames strictly before k (the last asserted
-    // index only moves forward).
-    while (asserted_good_ < k) {
-      // A false return means vacuous safety at this frame; the engine
-      // remembers and the next query reports kUnsat.
-      (void)solver_->add_clause({neg(frames_[asserted_good_].bad)});
-      ++asserted_good_;
-    }
   }
 
-  /// SAT ⇔ the property is not yet inductive at strength k.
+  /// SAT ⇔ the property is not yet inductive at strength k.  The ¬bad
+  /// hypothesis is assumed (via selectors) on every frame before k.
   sat::SolveResult query_bad_at(int k) {
     extend_to(k);
-    return solver_->solve({pos(frames_[k].bad)});
+    std::vector<Lit> assumptions;
+    assumptions.reserve(static_cast<std::size_t>(k) + 1);
+    for (int i = 0; i < k; ++i) assumptions.push_back(pos(frames_[i].good_sel));
+    assumptions.push_back(pos(frames_[k].bad));
+    return solver_->solve(assumptions);
+  }
+
+  /// After an UNSAT query_bad_at(k): the hypothesis frames in the
+  /// (minimized) assumption core, ascending.  Sets \p minimal when the
+  /// deletion pass proved the set irreducible.
+  std::vector<int> core_frames(const sat::core::CoreMinimizeOptions& copts,
+                               bool& minimal) {
+    const sat::core::CoreResult r =
+        sat::core::minimize_core(*solver_, solver_->conflict_core(), copts);
+    minimal = r.unsat && r.minimal;
+    std::vector<int> frames;
+    for (Lit l : r.core) {
+      auto it = frame_of_sel_.find(l.var());
+      if (it != frame_of_sel_.end()) frames.push_back(it->second);
+    }
+    std::sort(frames.begin(), frames.end());
+    return frames;
   }
 
   const sat::SatEngine& solver() const { return *solver_; }
@@ -47,6 +65,7 @@ class StepEngine {
   struct Frame {
     std::vector<Var> vars;  ///< per comb node
     Var bad = kNullVar;
+    Var good_sel = kNullVar;  ///< selector activating ¬bad here
     std::vector<Var> state;  ///< state-input vars of this frame
   };
 
@@ -75,6 +94,10 @@ class StepEngine {
       circuit::encode_gate_clauses(node.type, frame.vars[n], ins, f);
     }
     frame.bad = frame.vars[machine_.bad];
+    // Guarded hypothesis g_k → ¬bad_k; queries assume g_i for i < k.
+    frame.good_sel = solver_->new_var();
+    f.add_binary(neg(frame.good_sel), neg(frame.bad));
+    frame_of_sel_.emplace(frame.good_sel, k);
     // Simple-path constraint: this frame's state differs from every
     // earlier frame's state.
     if (opts_.unique_states && machine_.num_latches() > 0) {
@@ -97,7 +120,7 @@ class StepEngine {
   InductionOptions opts_;
   std::unique_ptr<sat::SatEngine> solver_;
   std::vector<Frame> frames_;
-  int asserted_good_ = 0;
+  std::unordered_map<Var, int> frame_of_sel_;
 };
 
 }  // namespace
@@ -131,6 +154,10 @@ InductionResult prove_by_induction(const SequentialCircuit& m,
       case sat::SolveResult::kUnsat:
         result.verdict = InductionVerdict::kProved;
         result.k = k;
+        if (opts.extract_step_core && k > 0) {
+          result.used_frames =
+              step.core_frames(opts.core, result.used_frames_minimal);
+        }
         return result;
       case sat::SolveResult::kUnknown:
         result.k = k;

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bmc/bmc.hpp"
+#include "sat/core/mus.hpp"
 
 namespace sateda::bmc {
 
@@ -38,6 +39,14 @@ struct InductionResult {
   InductionVerdict verdict = InductionVerdict::kUnknown;
   int k = -1;  ///< proof strength, or counterexample depth
   std::vector<std::vector<bool>> trace;  ///< on kCounterexample
+  /// On kProved with core extraction enabled: the frames i < k whose
+  /// ¬bad hypothesis the step refutation actually needs, ascending —
+  /// a minimized UNSAT core over the per-frame selector assumptions.
+  /// Frames outside this set are irrelevant to the inductive argument.
+  std::vector<int> used_frames;
+  /// True when `used_frames` was proven minimal (deletion pass ran to
+  /// completion within its solve budget).
+  bool used_frames_minimal = false;
 };
 
 struct InductionOptions {
@@ -46,6 +55,13 @@ struct InductionOptions {
   sat::SolverOptions solver;
   sat::EngineFactory engine;  ///< SAT backend (empty: CDCL)
   bool unique_states = true;  ///< simple-path constraint (completeness)
+  /// On a successful step query, extract (and minimize) the UNSAT core
+  /// over the per-frame ¬bad selectors to report which hypothesis
+  /// frames the proof needs.
+  bool extract_step_core = true;
+  /// Minimization effort for the step core (refinement + deletion pass
+  /// bounded by 64 solve calls).
+  sat::core::CoreMinimizeOptions core{true, 4, true, 64};
 };
 
 /// Attempts to prove AG ¬bad by k-induction, increasing k from 0.

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "opt/cardinality.hpp"
+#include "opt/maxsat/maxsat.hpp"
 #include "sat/engine.hpp"
 
 namespace sateda::opt {
@@ -229,6 +230,40 @@ CoveringResult solve_covering_sat(const CoveringProblem& p,
     } else {
       lo = mid + 1;
     }
+  }
+  return r;
+}
+
+CoveringResult solve_covering_maxsat(const CoveringProblem& p,
+                                     CoveringOptions opts) {
+  // Covering as WCNF: every row is hard, every column is a unit soft
+  // ¬x_c — choosing a column falsifies its soft and costs 1.
+  WcnfFormula w;
+  w.top = static_cast<std::uint64_t>(p.num_columns) + 1;
+  if (p.num_columns > 0) w.hard.ensure_var(p.num_columns - 1);
+  for (const std::vector<Lit>& row : p.rows) w.add_hard(row);
+  for (int c = 0; c < p.num_columns; ++c) w.add_soft({neg(c)}, 1);
+
+  MaxSatOptions mopts;
+  mopts.engine = opts.engine;
+  mopts.solver = opts.solver;
+  const MaxSatResult m = solve_maxsat(w, mopts);
+
+  CoveringResult r;
+  r.stats.sat_calls = m.stats.solver.solve_calls;
+  r.stats.maxsat_rounds = m.stats.rounds;
+  if (m.status != MaxSatStatus::kOptimal) {
+    r.optimal = false;
+    return r;  // infeasible (hard rows UNSAT) or undecided
+  }
+  r.feasible = true;
+  r.cost = static_cast<int>(m.cost);
+  r.chosen.assign(static_cast<std::size_t>(p.num_columns), false);
+  for (int c = 0; c < p.num_columns; ++c) {
+    const lbool v = static_cast<std::size_t>(c) < m.model.size()
+                        ? m.model[c]
+                        : l_undef;
+    r.chosen[static_cast<std::size_t>(c)] = v.is_true();
   }
   return r;
 }

@@ -55,10 +55,13 @@ struct CoveringStats {
   std::int64_t branch_nodes = 0;
   std::int64_t sat_prunes = 0;   ///< subtrees cut by SAT queries
   std::int64_t sat_calls = 0;
+  std::int64_t maxsat_rounds = 0;  ///< core relaxations (maxsat engine)
   std::string summary() const {
-    return "nodes=" + std::to_string(branch_nodes) +
-           " sat_calls=" + std::to_string(sat_calls) +
-           " sat_prunes=" + std::to_string(sat_prunes);
+    std::string s = "nodes=" + std::to_string(branch_nodes) +
+                    " sat_calls=" + std::to_string(sat_calls) +
+                    " sat_prunes=" + std::to_string(sat_prunes);
+    if (maxsat_rounds) s += " maxsat_rounds=" + std::to_string(maxsat_rounds);
+    return s;
   }
 };
 
@@ -87,6 +90,13 @@ CoveringResult solve_covering_bnb(const CoveringProblem& p,
 /// cardinality constraint.  Handles unate and binate instances.
 CoveringResult solve_covering_sat(const CoveringProblem& p,
                                   CoveringOptions opts = {});
+
+/// Core-guided MaxSAT covering (OLL over opt/maxsat): rows become hard
+/// clauses, each chosen column costs a unit soft clause, and the
+/// optimum is proven by UNSAT cores instead of a search on the bound.
+/// Handles unate and binate instances; results are proven optimal.
+CoveringResult solve_covering_maxsat(const CoveringProblem& p,
+                                     CoveringOptions opts = {});
 
 /// Random unate instance: each of \p rows rows picks between 2 and
 /// \p max_row_width columns.  Always feasible.

@@ -1,0 +1,328 @@
+#include "opt/maxsat/maxsat.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "opt/maxsat/totalizer.hpp"
+
+namespace sateda::opt {
+
+namespace {
+
+using sat::SatEngine;
+using sat::SolveResult;
+
+/// Folds the run's own effort counters into the engine snapshot so
+/// SolverStats observability (core_min_calls, relaxation_rounds) is
+/// populated for every consumer.
+void snapshot(MaxSatResult& res, SatEngine& engine, std::uint64_t lb) {
+  res.lower_bound = lb;
+  res.stats.solver = engine.stats();
+  res.stats.solver.core_min_calls += res.stats.core_min_solves;
+  res.stats.solver.relaxation_rounds += res.stats.rounds;
+}
+
+/// Shrinks \p core in place when enabled; counts the effort.  A core
+/// returned by the engine is inconsistent with the clause set on its
+/// own, so minimization need not carry the other active assumptions.
+void shrink_core(SatEngine& engine, std::vector<Lit>& core,
+                 const MaxSatOptions& opts, MaxSatStats& stats) {
+  if (!opts.minimize_cores || core.size() <= 1) return;
+  sat::core::CoreResult cr = sat::core::minimize_core(engine, core, opts.core);
+  stats.core_min_solves += cr.stats.solve_calls;
+  if (cr.unsat) core = std::move(cr.core);
+}
+
+/// Resolves core literals to soft-assumption slots, deduplicated.
+/// Returns false on an unexpected literal (internal inconsistency).
+bool core_members(const std::vector<Lit>& core,
+                  const std::unordered_map<Lit, std::size_t>& slot,
+                  std::vector<std::size_t>& members) {
+  members.clear();
+  for (Lit l : core) {
+    auto it = slot.find(l);
+    if (it == slot.end()) return false;
+    members.push_back(it->second);
+  }
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  return !members.empty();
+}
+
+// ----------------------------------------------------------------- OLL
+
+/// One active soft assumption in the OLL loop: an original soft's
+/// satisfaction literal, or a totalizer output bounding violations.
+struct OllAssump {
+  Lit lit;
+  std::uint64_t weight = 0;
+  int tot = -1;  ///< owning totalizer index, -1 for original softs
+};
+
+/// One totalizer sum introduced for a core.
+struct OllSum {
+  std::unique_ptr<Totalizer> tot;
+  std::uint64_t base_weight = 0;  ///< weight of the core it relaxed
+  std::size_t bound = 0;          ///< currently assumed "at most bound"
+};
+
+MaxSatResult solve_oll(const WcnfFormula& f, const MaxSatOptions& opts) {
+  MaxSatResult res;
+  std::unique_ptr<SatEngine> engine = sat::make_engine(opts.engine, opts.solver);
+  if (f.num_vars() > 0) engine->ensure_var(f.num_vars() - 1);
+  // A root conflict here just makes solve() report kUnsat below.
+  bool ok = engine->add_formula(f.hard);
+
+  std::uint64_t lb = 0;
+  std::vector<OllAssump> softs;
+  std::unordered_map<Lit, std::size_t> slot;
+  std::vector<OllSum> sums;
+
+  for (const SoftClause& s : f.soft) {
+    if (s.lits.empty()) {  // unsatisfiable soft: charge it up front
+      lb += s.weight;
+      continue;
+    }
+    Lit a;
+    if (s.lits.size() == 1) {
+      a = s.lits[0];  // assume the literal itself; no selector needed
+    } else {
+      const Var r = engine->new_var();
+      std::vector<Lit> cl = s.lits;
+      cl.push_back(pos(r));
+      if (!engine->add_clause(std::move(cl))) ok = false;
+      a = neg(r);
+    }
+    auto it = slot.find(a);
+    if (it != slot.end()) {
+      softs[it->second].weight += s.weight;  // merge duplicate softs
+    } else {
+      slot.emplace(a, softs.size());
+      softs.push_back(OllAssump{a, s.weight, -1});
+    }
+  }
+  (void)ok;
+
+  std::vector<Lit> assumptions;
+  std::vector<std::size_t> members;
+  for (;;) {
+    if (opts.max_rounds >= 0 && res.stats.rounds >= opts.max_rounds) {
+      res.status = MaxSatStatus::kUnknown;
+      break;
+    }
+    assumptions.clear();
+    for (const OllAssump& a : softs) {
+      if (a.weight > 0) assumptions.push_back(a.lit);
+    }
+    const SolveResult sr = engine->solve(assumptions);
+    if (sr == SolveResult::kSat) {
+      res.model = engine->model();
+      res.cost = f.cost_of(res.model);
+      // Every weighted soft held under assumption, so the model's cost
+      // is exactly the accumulated lower bound — a proven optimum.
+      res.status = res.cost == lb ? MaxSatStatus::kOptimal
+                                  : MaxSatStatus::kUnknown;
+      break;
+    }
+    if (sr == SolveResult::kUnknown) {
+      res.status = MaxSatStatus::kUnknown;
+      break;
+    }
+    std::vector<Lit> core = engine->conflict_core();
+    if (core.empty()) {  // UNSAT with no assumption involved: hards are
+      res.status = MaxSatStatus::kUnsat;  // unsatisfiable by themselves
+      break;
+    }
+    shrink_core(*engine, core, opts, res.stats);
+    if (core.empty() || !core_members(core, slot, members)) {
+      res.status = core.empty() ? MaxSatStatus::kUnsat
+                                : MaxSatStatus::kUnknown;
+      break;
+    }
+    std::uint64_t wmin = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t idx : members) {
+      wmin = std::min(wmin, softs[idx].weight);
+    }
+    lb += wmin;
+    ++res.stats.rounds;
+    res.stats.core_literals += static_cast<std::int64_t>(core.size());
+    if (core.size() > 1) {
+      // Count this core's violations with a totalizer; one violation
+      // is proven free (charged into lb), the second costs wmin.
+      std::vector<Lit> violations;
+      violations.reserve(core.size());
+      for (Lit l : core) violations.push_back(~l);
+      sums.push_back(OllSum{
+          std::make_unique<Totalizer>(*engine, std::move(violations)), wmin,
+          1});
+      ++res.stats.totalizers;
+      const Lit bound_lit = sums.back().tot->at_most_assumption(1);
+      slot.emplace(bound_lit, softs.size());
+      softs.push_back(
+          OllAssump{bound_lit, wmin, static_cast<int>(sums.size()) - 1});
+    }
+    for (std::size_t idx : members) {
+      softs[idx].weight -= wmin;  // weight splitting
+      if (softs[idx].weight != 0 || softs[idx].tot < 0) continue;
+      // A totalizer bound just had its weight exhausted: the next
+      // violation level starts costing the sum's base weight.
+      const int s = softs[idx].tot;
+      OllSum& sum = sums[static_cast<std::size_t>(s)];
+      if (sum.bound + 1 < sum.tot->num_inputs()) {
+        ++sum.bound;
+        const Lit next = sum.tot->at_most_assumption(sum.bound);
+        slot.emplace(next, softs.size());
+        softs.push_back(OllAssump{next, sum.base_weight, s});
+      }
+    }
+  }
+  snapshot(res, *engine, lb);
+  return res;
+}
+
+// ------------------------------------------------------------ Fu–Malik
+
+/// One active soft in the WPM1 loop: the clause's literals (original
+/// plus relaxation variables accumulated over rounds) and the selector
+/// assumed to enforce it.
+struct FmSoft {
+  std::vector<Lit> lits;
+  std::uint64_t weight = 0;
+  Lit assump;
+};
+
+MaxSatResult solve_fu_malik(const WcnfFormula& f, const MaxSatOptions& opts) {
+  MaxSatResult res;
+  std::unique_ptr<SatEngine> engine = sat::make_engine(opts.engine, opts.solver);
+  if (f.num_vars() > 0) engine->ensure_var(f.num_vars() - 1);
+  bool ok = engine->add_formula(f.hard);
+
+  std::uint64_t lb = 0;
+  std::vector<FmSoft> softs;
+  std::unordered_map<Lit, std::size_t> slot;
+
+  auto instrument = [&](std::vector<Lit> lits, std::uint64_t weight,
+                        std::size_t reuse_slot) {
+    const Var sel = engine->new_var();
+    std::vector<Lit> cl = lits;
+    cl.push_back(pos(sel));
+    if (!engine->add_clause(std::move(cl))) ok = false;
+    if (reuse_slot != static_cast<std::size_t>(-1)) {
+      slot.erase(softs[reuse_slot].assump);  // retire the old selector
+      softs[reuse_slot].lits = std::move(lits);
+      softs[reuse_slot].assump = neg(sel);
+      slot.emplace(neg(sel), reuse_slot);
+    } else {
+      slot.emplace(neg(sel), softs.size());
+      softs.push_back(FmSoft{std::move(lits), weight, neg(sel)});
+    }
+  };
+
+  for (const SoftClause& s : f.soft) {
+    if (s.lits.empty()) {
+      lb += s.weight;
+      continue;
+    }
+    instrument(s.lits, s.weight, static_cast<std::size_t>(-1));
+  }
+
+  std::vector<Lit> assumptions;
+  std::vector<std::size_t> members;
+  for (;;) {
+    if (opts.max_rounds >= 0 && res.stats.rounds >= opts.max_rounds) {
+      res.status = MaxSatStatus::kUnknown;
+      break;
+    }
+    assumptions.clear();
+    for (const FmSoft& s : softs) {
+      if (s.weight > 0) assumptions.push_back(s.assump);
+    }
+    const SolveResult sr = engine->solve(assumptions);
+    if (sr == SolveResult::kSat) {
+      res.model = engine->model();
+      res.cost = f.cost_of(res.model);
+      // WPM1 invariant: opt(original) = lb + opt(transformed); the
+      // model satisfies every transformed soft, so its cost is lb.
+      res.status = res.cost == lb ? MaxSatStatus::kOptimal
+                                  : MaxSatStatus::kUnknown;
+      break;
+    }
+    if (sr == SolveResult::kUnknown) {
+      res.status = MaxSatStatus::kUnknown;
+      break;
+    }
+    std::vector<Lit> core = engine->conflict_core();
+    if (core.empty()) {
+      res.status = MaxSatStatus::kUnsat;
+      break;
+    }
+    shrink_core(*engine, core, opts, res.stats);
+    if (core.empty() || !core_members(core, slot, members)) {
+      res.status = core.empty() ? MaxSatStatus::kUnsat
+                                : MaxSatStatus::kUnknown;
+      break;
+    }
+    std::uint64_t wmin = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t idx : members) {
+      wmin = std::min(wmin, softs[idx].weight);
+    }
+    lb += wmin;
+    ++res.stats.rounds;
+    res.stats.core_literals += static_cast<std::int64_t>(core.size());
+    // WPM1 relaxation: every member gains a fresh relaxation variable;
+    // softs heavier than wmin split into an untouched residual and a
+    // relaxed wmin-weight clone.  At most one relaxation variable of
+    // the round may fire — that single free violation is what the
+    // lower-bound lift paid for.
+    std::vector<Lit> round_relax;
+    round_relax.reserve(members.size());
+    for (std::size_t idx : members) {
+      const Var b = engine->new_var();
+      round_relax.push_back(pos(b));
+      if (softs[idx].weight > wmin) {
+        softs[idx].weight -= wmin;
+        std::vector<Lit> clone = softs[idx].lits;
+        clone.push_back(pos(b));
+        instrument(std::move(clone), wmin, static_cast<std::size_t>(-1));
+        ++res.stats.cloned_softs;
+      } else {
+        std::vector<Lit> relaxed = softs[idx].lits;
+        relaxed.push_back(pos(b));
+        instrument(std::move(relaxed), wmin, idx);
+      }
+    }
+    for (std::size_t i = 0; i < round_relax.size(); ++i) {
+      for (std::size_t j = i + 1; j < round_relax.size(); ++j) {
+        if (!engine->add_clause({~round_relax[i], ~round_relax[j]})) {
+          ok = false;
+        }
+      }
+    }
+  }
+  (void)ok;
+  snapshot(res, *engine, lb);
+  return res;
+}
+
+}  // namespace
+
+std::string to_string(MaxSatStatus s) {
+  switch (s) {
+    case MaxSatStatus::kOptimal: return "OPTIMUM FOUND";
+    case MaxSatStatus::kUnsat: return "UNSATISFIABLE";
+    case MaxSatStatus::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+MaxSatResult solve_maxsat(const WcnfFormula& f, const MaxSatOptions& opts) {
+  return opts.algo == MaxSatAlgo::kFuMalik ? solve_fu_malik(f, opts)
+                                           : solve_oll(f, opts);
+}
+
+}  // namespace sateda::opt

@@ -1,0 +1,111 @@
+/// \file maxsat.hpp
+/// \brief Core-guided MaxSAT over a WCNF instance: Fu–Malik (WPM1) and
+///        OLL relaxation loops driving incremental SAT.
+///
+/// The paper casts several EDA tasks (§3) as minimum-cost covering —
+/// two-level minimization, minimum test sets — and solves them with
+/// branch-and-bound over SAT oracles.  Core-guided MaxSAT inverts that
+/// search: solve the hard clauses plus *assumptions* that every soft
+/// clause holds; each UNSAT answer returns a core of softs that cannot
+/// all be satisfied, the proven lower bound rises by the core's
+/// minimum weight, and the core is relaxed so exactly that much
+/// violation becomes free.  The first SAT answer is then a proven
+/// optimum: its cost equals the accumulated lower bound.  Two classic
+/// relaxations are provided:
+///
+///  * Fu–Malik / WPM1: per core, every member soft gains a fresh
+///    relaxation variable (weight-splitting clones softs whose weight
+///    exceeds the core minimum) and an at-most-one over the round's
+///    relaxation variables is added as hard clauses;
+///  * OLL: per core, a totalizer counts the core's violations; the
+///    bound "at most one violation" is assumed, and when later cores
+///    exhaust an output's weight the next totalizer output is
+///    activated — clauses are only ever added, never retracted.
+///
+/// Both reuse one incremental engine for the whole run, optionally
+/// shrinking every core with sat/core (mus.hpp) first — smaller cores
+/// mean smaller relaxations, which is where the run time goes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opt/maxsat/wcnf.hpp"
+#include "sat/core/mus.hpp"
+#include "sat/engine.hpp"
+
+namespace sateda::opt {
+
+/// Which relaxation the core-guided loop applies.
+enum class MaxSatAlgo {
+  kOll,      ///< totalizer-based OLL (default; fewer clones, reusable sums)
+  kFuMalik,  ///< Fu–Malik / WPM1 relaxation-variable cloning
+};
+
+/// Tunables for solve_maxsat().
+struct MaxSatOptions {
+  MaxSatAlgo algo = MaxSatAlgo::kOll;
+  sat::EngineFactory engine;   ///< empty → default single-threaded CDCL
+  sat::SolverOptions solver;   ///< options handed to the engine factory
+  /// Shrink each UNSAT core with sat/core before relaxing it.  Smaller
+  /// cores give smaller totalizers/fewer clones at the price of extra
+  /// solve calls; the effort is bounded by `core` below.
+  bool minimize_cores = true;
+  /// Budgeted minimization defaults: refinement plus a deletion pass
+  /// capped at 64 solve calls per core.
+  sat::core::CoreMinimizeOptions core{true, 4, true, 64};
+  std::int64_t max_rounds = -1;  ///< relaxation-round cap (<0: unlimited)
+};
+
+/// Outcome classification of a MaxSAT run.
+enum class MaxSatStatus {
+  kOptimal,  ///< model found with cost equal to the proven lower bound
+  kUnsat,    ///< the hard clauses alone are unsatisfiable
+  kUnknown,  ///< budget/interrupt/round-cap before the optimum was proven
+};
+
+std::string to_string(MaxSatStatus s);
+
+/// Effort counters for one solve_maxsat() run.
+struct MaxSatStats {
+  std::int64_t rounds = 0;           ///< cores relaxed (= lower-bound lifts)
+  std::int64_t core_literals = 0;    ///< summed relaxed-core sizes
+  std::int64_t core_min_solves = 0;  ///< solve calls spent minimizing cores
+  std::int64_t totalizers = 0;       ///< OLL: totalizer circuits built
+  std::int64_t cloned_softs = 0;     ///< Fu–Malik: weight-splitting clones
+  /// Engine counters at the end of the run, with the core/relaxation
+  /// observability fields (core_min_calls, relaxation_rounds) folded in.
+  sat::SolverStats solver;
+
+  std::string summary() const {
+    return "rounds=" + std::to_string(rounds) +
+           " core_lits=" + std::to_string(core_literals) +
+           " min_solves=" + std::to_string(core_min_solves) +
+           " totalizers=" + std::to_string(totalizers) +
+           " clones=" + std::to_string(cloned_softs);
+  }
+};
+
+/// Result of solve_maxsat().
+struct MaxSatResult {
+  MaxSatStatus status = MaxSatStatus::kUnknown;
+  /// Cost of `model` on the original softs; equals `lower_bound` (and
+  /// is therefore proven minimal) when status == kOptimal.
+  std::uint64_t cost = 0;
+  /// Proven lower bound on any solution's cost (also meaningful after
+  /// kUnknown: the optimum is ≥ this).
+  std::uint64_t lower_bound = 0;
+  /// Model of the hard clauses achieving `cost` (valid iff kOptimal).
+  std::vector<lbool> model;
+  MaxSatStats stats;
+};
+
+/// Minimizes the summed weight of falsified soft clauses subject to the
+/// hard clauses of \p f.  Deterministic for a fixed engine
+/// configuration.  kOptimal results carry a certificate by
+/// construction: cost == lower_bound, each lower-bound lift justified
+/// by an UNSAT core.
+MaxSatResult solve_maxsat(const WcnfFormula& f, const MaxSatOptions& opts = {});
+
+}  // namespace sateda::opt

@@ -1,0 +1,43 @@
+#include "opt/maxsat/totalizer.hpp"
+
+#include <cassert>
+
+namespace sateda::opt {
+
+Totalizer::Totalizer(sat::SatEngine& engine, std::vector<Lit> inputs)
+    : inputs_(std::move(inputs)) {
+  assert(!inputs_.empty());
+  for (Lit l : inputs_) engine.ensure_var(l.var());
+  outputs_ = build(engine, 0, inputs_.size());
+}
+
+std::vector<Lit> Totalizer::build(sat::SatEngine& engine, std::size_t begin,
+                                  std::size_t size) {
+  if (size == 1) return {inputs_[begin]};
+  const std::size_t half = size / 2;
+  const std::vector<Lit> left = build(engine, begin, half);
+  const std::vector<Lit> right = build(engine, begin + half, size - half);
+  std::vector<Lit> out;
+  out.reserve(size);
+  for (std::size_t j = 0; j < size; ++j) {
+    out.push_back(pos(engine.new_var()));
+    ++aux_vars_;
+  }
+  // (L_a ∧ R_b) → O_{a+b} for every split a+b ≥ 1 of the count, with
+  // L_0/R_0 meaning "no constraint from that side".
+  for (std::size_t a = 0; a <= left.size(); ++a) {
+    for (std::size_t b = 0; b <= right.size(); ++b) {
+      if (a + b == 0) continue;
+      std::vector<Lit> clause;
+      clause.reserve(3);
+      if (a > 0) clause.push_back(~left[a - 1]);
+      if (b > 0) clause.push_back(~right[b - 1]);
+      clause.push_back(out[a + b - 1]);
+      if (!engine.add_clause(std::move(clause))) ok_ = false;
+      ++clauses_added_;
+    }
+  }
+  return out;
+}
+
+}  // namespace sateda::opt

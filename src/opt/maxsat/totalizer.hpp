@@ -1,0 +1,63 @@
+/// \file totalizer.hpp
+/// \brief Totalizer cardinality encoding built directly inside a
+///        SatEngine, with outputs usable as assumption literals.
+///
+/// The core-guided MaxSAT loop (maxsat.hpp) needs to say "at most b of
+/// these literals are true" and later raise b without re-encoding.
+/// The totalizer (Bailleux & Boutier) fits exactly: a balanced merge
+/// tree whose root outputs o_1..o_n unary-encode the count of true
+/// inputs, so bound b is enforced by *assuming* ¬o_{b+1} — no clause
+/// retraction needed, and raising the bound is just dropping one
+/// assumption.  Only the inputs→outputs direction is encoded
+/// (¬L_a ∨ ¬R_b ∨ O_{a+b}); that is sufficient (and standard) for
+/// upper-bounding, and keeps the clause count at O(n²) for n inputs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sat/engine.hpp"
+
+namespace sateda::opt {
+
+/// One totalizer circuit over a fixed input set, encoded into the
+/// engine at construction.  Outputs are plain literals; the caller
+/// moves the enforced bound by choosing which ¬output to assume.
+class Totalizer {
+ public:
+  /// Encodes the counting circuit for \p inputs into \p engine.  New
+  /// auxiliary variables are allocated from the engine.  \p inputs must
+  /// be non-empty.
+  Totalizer(sat::SatEngine& engine, std::vector<Lit> inputs);
+
+  std::size_t num_inputs() const { return inputs_.size(); }
+
+  /// Literal that is forced true whenever at least \p k of the inputs
+  /// are true (1 ≤ k ≤ num_inputs()).
+  Lit at_least(std::size_t k) const { return outputs_[k - 1]; }
+
+  /// Assumption literal enforcing "at most \p k inputs are true"
+  /// (0 ≤ k < num_inputs()): the negation of at_least(k+1).
+  Lit at_most_assumption(std::size_t k) const { return ~outputs_[k]; }
+
+  /// False iff encoding hit a root-level conflict in the engine (the
+  /// engine then reports kUnsat anyway; callers may ignore this).
+  bool okay() const { return ok_; }
+
+  int aux_vars() const { return aux_vars_; }
+  int clauses_added() const { return clauses_added_; }
+
+ private:
+  /// Returns the output literals (counts 1..size) of the subtree over
+  /// inputs_[begin, begin+size).
+  std::vector<Lit> build(sat::SatEngine& engine, std::size_t begin,
+                         std::size_t size);
+
+  std::vector<Lit> inputs_;
+  std::vector<Lit> outputs_;  ///< outputs_[j] ⇐ at least j+1 inputs true
+  bool ok_ = true;
+  int aux_vars_ = 0;
+  int clauses_added_ = 0;
+};
+
+}  // namespace sateda::opt

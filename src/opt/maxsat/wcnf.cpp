@@ -1,0 +1,188 @@
+#include "opt/maxsat/wcnf.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace sateda::opt {
+
+namespace {
+
+/// Largest DIMACS variable index a Lit can encode (matches the CNF
+/// reader in cnf/dimacs.cpp).
+constexpr long long kMaxDimacsVar = 1LL << 30;
+
+Lit lit_from_dimacs(long long code) {
+  Var v = static_cast<Var>((code < 0 ? -code : code) - 1);
+  return Lit(v, code < 0);
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw WcnfError("line " + std::to_string(line_no) + ": " + what);
+}
+
+/// Strict signed-integer token parse; dies with a line-numbered error.
+long long parse_number(const std::string& tok, std::size_t line_no) {
+  long long value = 0;
+  const char* end = tok.data() + tok.size();
+  auto [ptr, ec] = std::from_chars(tok.data(), end, value);
+  if (ec == std::errc::result_out_of_range) {
+    fail(line_no, "number '" + tok + "' overflows");
+  }
+  if (ec != std::errc() || ptr != end) {
+    fail(line_no, "bad token '" + tok + "' in WCNF data");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t WcnfFormula::cost_of(const std::vector<lbool>& model) const {
+  std::uint64_t cost = 0;
+  for (const SoftClause& s : soft) {
+    bool satisfied = false;
+    for (Lit l : s.lits) {
+      const lbool v = static_cast<std::size_t>(l.var()) < model.size()
+                          ? model[l.var()]
+                          : l_undef;
+      if ((v ^ l.negative()) == l_true) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) cost += s.weight;
+  }
+  return cost;
+}
+
+WcnfFormula read_wcnf(std::istream& in) {
+  WcnfFormula f;
+  bool saw_header = false;
+  long long declared_vars = 0;
+  std::string line;
+  std::string tok;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    if (!(ls >> tok)) continue;   // blank line
+    if (tok[0] == 'c') continue;  // comment
+    if (tok == "p") {
+      if (saw_header) fail(line_no, "duplicate WCNF header");
+      std::string fmt;
+      long long declared_clauses = 0;
+      long long top = 0;
+      if (!(ls >> fmt) || fmt != "wcnf") {
+        fail(line_no, "expected 'p wcnf' header, got: " + line);
+      }
+      // The <top> field is mandatory: without it hard clauses cannot be
+      // told apart from softs, so the old top-less dialect is rejected.
+      if (!(ls >> declared_vars >> declared_clauses >> top) ||
+          declared_vars < 0 || declared_clauses < 0) {
+        fail(line_no,
+             "malformed 'p wcnf <vars> <clauses> <top>' header "
+             "(the <top> field is required): " +
+                 line);
+      }
+      if (top <= 0) {
+        fail(line_no, "top weight must be positive, got " +
+                          std::to_string(top));
+      }
+      if (ls >> tok) {
+        fail(line_no, "trailing token '" + tok + "' after WCNF header");
+      }
+      if (declared_vars > kMaxDimacsVar) {
+        fail(line_no, "declared variable count " +
+                          std::to_string(declared_vars) +
+                          " exceeds the representable range");
+      }
+      if (declared_vars > 0) {
+        f.hard.ensure_var(static_cast<Var>(declared_vars - 1));
+      }
+      f.top = static_cast<std::uint64_t>(top);
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) fail(line_no, "clause data before the WCNF header");
+    // Clause line: <weight> <lit>... 0.  Unlike plain CNF, a clause may
+    // not span lines — the first token of each line is its weight.
+    const long long weight = parse_number(tok, line_no);
+    if (weight <= 0) {
+      fail(line_no, "clause weight must be positive, got " +
+                        std::to_string(weight));
+    }
+    if (static_cast<std::uint64_t>(weight) > f.top) {
+      fail(line_no, "clause weight " + std::to_string(weight) +
+                        " exceeds top " + std::to_string(f.top));
+    }
+    std::vector<Lit> lits;
+    bool terminated = false;
+    while (ls >> tok) {
+      if (tok[0] == 'c') break;  // trailing comment
+      if (terminated) {
+        fail(line_no, "literal '" + tok + "' after the terminating 0");
+      }
+      const long long code = parse_number(tok, line_no);
+      if (code == 0) {
+        terminated = true;
+        continue;
+      }
+      const long long mag = code < 0 ? -code : code;
+      if (mag > kMaxDimacsVar) {
+        fail(line_no, "literal '" + tok +
+                          "' is outside the representable variable range");
+      }
+      lits.push_back(lit_from_dimacs(code));
+    }
+    if (!terminated) {
+      fail(line_no, "clause is missing its terminating 0");
+    }
+    if (static_cast<std::uint64_t>(weight) == f.top) {
+      f.add_hard(std::move(lits));
+    } else {
+      f.add_soft(std::move(lits), static_cast<std::uint64_t>(weight));
+    }
+  }
+  if (!saw_header) {
+    fail(line_no == 0 ? 1 : line_no, "missing 'p wcnf' header");
+  }
+  return f;
+}
+
+WcnfFormula read_wcnf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw WcnfError("cannot open WCNF file: " + path);
+  return read_wcnf(in);
+}
+
+WcnfFormula read_wcnf_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_wcnf(in);
+}
+
+void write_wcnf(std::ostream& out, const WcnfFormula& f,
+                const std::string& comment) {
+  if (!comment.empty()) {
+    std::istringstream cs(comment);
+    std::string line;
+    while (std::getline(cs, line)) out << "c " << line << "\n";
+  }
+  out << "p wcnf " << f.num_vars() << " "
+      << f.hard.num_clauses() + f.soft.size() << " " << f.top << "\n";
+  auto emit_lits = [&out](const std::vector<Lit>& lits) {
+    for (Lit l : lits) {
+      out << (l.negative() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+    }
+    out << "0\n";
+  };
+  for (const Clause& c : f.hard) {
+    out << f.top << " ";
+    emit_lits(std::vector<Lit>(c.begin(), c.end()));
+  }
+  for (const SoftClause& s : f.soft) {
+    out << s.weight << " ";
+    emit_lits(s.lits);
+  }
+}
+
+}  // namespace sateda::opt

@@ -1,0 +1,88 @@
+/// \file wcnf.hpp
+/// \brief Weighted CNF (WCNF): soft clauses with weights over a hard
+///        clause set, plus the `p wcnf` DIMACS dialect reader/writer.
+///
+/// The paper's covering-style EDA problems (§3: two-level minimization,
+/// minimum test sets) are optimization problems a plain SAT engine can
+/// only bisect over.  WCNF is the standard input form for their
+/// MaxSAT formulation: hard clauses must hold, each soft clause
+/// carries a violation weight, and the goal is a model of the hard
+/// clauses minimizing the summed weight of falsified softs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "cnf/literal.hpp"
+
+namespace sateda::opt {
+
+/// Raised on malformed WCNF input.  The message carries the 1-based
+/// input line number of the offending construct.
+class WcnfError : public std::runtime_error {
+ public:
+  explicit WcnfError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One soft clause: falsifying it costs \p weight.
+struct SoftClause {
+  std::vector<Lit> lits;
+  std::uint64_t weight = 1;
+};
+
+/// A weighted CNF instance: hard clauses (must hold) plus weighted
+/// soft clauses (each falsification costs its weight).
+struct WcnfFormula {
+  /// The "hard" weight from the `p wcnf <vars> <clauses> <top>` header;
+  /// clauses carrying it are hard.  For programmatically built
+  /// instances any value larger than sum_soft_weight() works.
+  std::uint64_t top = 1;
+  CnfFormula hard;               ///< hard clauses (tracks num_vars)
+  std::vector<SoftClause> soft;  ///< weighted soft clauses
+
+  /// Variables are 0..num_vars()-1 across hard and soft clauses.
+  int num_vars() const { return hard.num_vars(); }
+
+  void add_hard(std::vector<Lit> lits) { hard.add_clause(std::move(lits)); }
+
+  void add_soft(std::vector<Lit> lits, std::uint64_t weight) {
+    for (Lit l : lits) hard.ensure_var(l.var());
+    soft.push_back(SoftClause{std::move(lits), weight});
+  }
+
+  /// Summed weight of all soft clauses — an upper bound on any cost.
+  std::uint64_t sum_soft_weight() const {
+    std::uint64_t sum = 0;
+    for (const SoftClause& s : soft) sum += s.weight;
+    return sum;
+  }
+
+  /// Cost of \p model: total weight of soft clauses it falsifies.  A
+  /// soft clause counts as falsified unless some literal is assigned
+  /// true (l_undef never satisfies).
+  std::uint64_t cost_of(const std::vector<lbool>& model) const;
+};
+
+/// Parses the `p wcnf <vars> <clauses> <top>` DIMACS dialect: every
+/// clause line starts with its weight; weight == top marks a hard
+/// clause.  Rejects, with a line-numbered WcnfError: a missing or
+/// short header (the <top> field is required), zero/negative/
+/// non-numeric weights, weights exceeding top, clause data before the
+/// header, and a final clause missing its terminating 0.
+WcnfFormula read_wcnf(std::istream& in);
+
+/// Parses a WCNF file from disk.
+WcnfFormula read_wcnf_file(const std::string& path);
+
+/// Parses WCNF from a string (convenient for tests).
+WcnfFormula read_wcnf_string(const std::string& text);
+
+/// Writes \p f in `p wcnf` format, with an optional leading comment.
+void write_wcnf(std::ostream& out, const WcnfFormula& f,
+                const std::string& comment = "");
+
+}  // namespace sateda::opt

@@ -1,0 +1,142 @@
+#include "sat/core/mus.hpp"
+
+#include <algorithm>
+
+namespace sateda::sat::core {
+
+namespace {
+
+/// One budget-aware solve.  Returns kUnknown without calling the
+/// engine once the call cap is exhausted.
+SolveResult budgeted_solve(SatEngine& engine, const std::vector<Lit>& assumps,
+                           const CoreMinimizeOptions& opts,
+                           CoreMinimizeStats& stats) {
+  if (opts.max_solve_calls >= 0 && stats.solve_calls >= opts.max_solve_calls) {
+    return SolveResult::kUnknown;
+  }
+  ++stats.solve_calls;
+  return engine.solve(assumps);
+}
+
+/// Refinement: re-solve under the current core until it stops
+/// shrinking.  Each UNSAT answer's conflict_core() is a subset of the
+/// assumptions passed in, so the sequence is monotone.
+void refine(SatEngine& engine, std::vector<Lit>& core,
+            const CoreMinimizeOptions& opts, CoreMinimizeStats& stats) {
+  for (int round = 0; round < opts.max_refine_rounds; ++round) {
+    if (core.empty()) return;
+    if (budgeted_solve(engine, core, opts, stats) != SolveResult::kUnsat) {
+      return;  // budget struck (a sound core is already in hand)
+    }
+    const std::vector<Lit>& next = engine.conflict_core();
+    if (next.size() >= core.size()) return;  // fixpoint
+    core = next;
+    ++stats.refine_rounds;
+  }
+}
+
+/// Deletion-based MUS pass: test each literal's removal; a literal is
+/// kept iff the rest is satisfiable.  On UNSAT the engine's (possibly
+/// even smaller) returned core replaces the candidate — the classic
+/// clause-set-refinement acceleration.  Returns true iff the pass ran
+/// to completion (every survivor proven necessary).
+bool delete_pass(SatEngine& engine, std::vector<Lit>& core,
+                 const CoreMinimizeOptions& opts, CoreMinimizeStats& stats) {
+  // Invariant: core[0..proven) are literals proven necessary for the
+  // current working set; the unproven tail is tested from the back.
+  std::size_t proven = 0;
+  while (proven < core.size()) {
+    // Candidate: everything except the literal under test (the last
+    // unproven one — testing from the back keeps `proven` stable).
+    const Lit candidate = core.back();
+    std::vector<Lit> rest(core.begin(), core.end() - 1);
+    ++stats.deletion_tests;
+    switch (budgeted_solve(engine, rest, opts, stats)) {
+      case SolveResult::kSat:
+        // `candidate` is necessary: rotate it into the proven prefix.
+        core.pop_back();
+        core.insert(core.begin() + static_cast<std::ptrdiff_t>(proven),
+                    candidate);
+        ++proven;
+        break;
+      case SolveResult::kUnsat: {
+        // Still UNSAT without it; adopt the engine's (possibly even
+        // smaller) core as the new working set.  A literal proven
+        // necessary for the old set stays necessary for any subset it
+        // belongs to; proven literals absent from `next` are dropped —
+        // `next` is UNSAT without them, so the MUS needn't keep them.
+        const std::vector<Lit>& next = engine.conflict_core();
+        std::vector<Lit> rebuilt;
+        rebuilt.reserve(next.size());
+        std::size_t still_proven = 0;
+        for (std::size_t i = 0; i < proven; ++i) {
+          if (std::find(next.begin(), next.end(), core[i]) != next.end()) {
+            rebuilt.push_back(core[i]);
+            ++still_proven;
+          }
+        }
+        for (Lit l : next) {
+          if (std::find(rebuilt.begin(), rebuilt.end(), l) == rebuilt.end()) {
+            rebuilt.push_back(l);
+          }
+        }
+        proven = still_proven;
+        core = std::move(rebuilt);
+        break;
+      }
+      case SolveResult::kUnknown:
+        return false;  // budget: keep the sound core, not proven minimal
+    }
+  }
+  return true;
+}
+
+CoreResult minimize_impl(SatEngine& engine, std::vector<Lit> core,
+                         const CoreMinimizeOptions& opts,
+                         CoreMinimizeStats stats) {
+  CoreResult result;
+  result.unsat = true;
+  stats.initial_size = std::max(stats.initial_size, core.size());
+  if (opts.refine) refine(engine, core, opts, stats);
+  if (opts.deletion_pass && !core.empty()) {
+    result.minimal = delete_pass(engine, core, opts, stats);
+  } else {
+    // An empty core (clause set itself UNSAT) is trivially minimal.
+    result.minimal = core.empty();
+  }
+  stats.final_size = core.size();
+  result.core = std::move(core);
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace
+
+CoreResult extract_core(SatEngine& engine, const std::vector<Lit>& assumptions,
+                        const CoreMinimizeOptions& opts) {
+  CoreResult result;
+  CoreMinimizeStats stats;
+  stats.initial_size = assumptions.size();
+  if (budgeted_solve(engine, assumptions, opts, stats) !=
+      SolveResult::kUnsat) {
+    result.stats = stats;
+    return result;  // SAT or undecided: no core
+  }
+  return minimize_impl(engine, engine.conflict_core(), opts, stats);
+}
+
+CoreResult minimize_core(SatEngine& engine, std::vector<Lit> core,
+                         const CoreMinimizeOptions& opts) {
+  CoreMinimizeStats stats;
+  stats.initial_size = core.size();
+  // Establish (and refine) UNSAT-ness with one solve even when the
+  // caller disabled refinement — a satisfiable "core" must be caught.
+  if (budgeted_solve(engine, core, opts, stats) != SolveResult::kUnsat) {
+    CoreResult result;
+    result.stats = stats;
+    return result;
+  }
+  return minimize_impl(engine, engine.conflict_core(), opts, stats);
+}
+
+}  // namespace sateda::sat::core

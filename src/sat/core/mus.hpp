@@ -1,0 +1,92 @@
+/// \file mus.hpp
+/// \brief Assumption-core minimization: iterative refinement and
+///        deletion-based MUS extraction over selector literals.
+///
+/// The paper's EDA optimization workloads (§3: covering, minimum test
+/// sets, redundancy/untestability analysis) all reduce to the same
+/// question the incremental interface of §6 already answers as a
+/// side-effect: *which* assumptions were actually responsible for an
+/// UNSAT answer.  SatEngine::conflict_core() returns *a* subset, but
+/// the 1-UIP final-conflict analysis gives no minimality guarantee —
+/// cores straight out of the solver are routinely several times larger
+/// than necessary, and every downstream consumer (MaxSAT relaxation,
+/// frame dropping in k-induction, untestable-fault grouping) pays for
+/// the slack.  This module shrinks them:
+///
+///  * iterative refinement: re-solve under the current core; the new
+///    core is a subset, repeat to a fixpoint (cheap, large wins first);
+///  * deletion-based MUS extraction: drop one literal at a time and
+///    re-solve; keep the literal iff the rest goes SAT.  With no
+///    budget this yields a minimal unsatisfiable subset — every
+///    remaining literal is necessary.
+///
+/// Both reuse the engine's incremental solve(assumptions) path, so all
+/// learnt clauses accumulated while minimizing stay with the caller's
+/// engine and speed up its next queries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sat/engine.hpp"
+
+namespace sateda::sat::core {
+
+/// Tunables for extract_core()/minimize_core().
+struct CoreMinimizeOptions {
+  bool refine = true;        ///< iterative refinement to a fixpoint
+  int max_refine_rounds = 8; ///< refinement fixpoint cutoff
+  bool deletion_pass = true; ///< one-literal-at-a-time MUS extraction
+  /// Cap on solve() calls across both phases (<0: unlimited).  When the
+  /// cap strikes mid-way the current (sound, possibly non-minimal) core
+  /// is returned with CoreResult::minimal == false.
+  int max_solve_calls = -1;
+};
+
+/// Effort counters for one minimization run.
+struct CoreMinimizeStats {
+  int solve_calls = 0;       ///< solve() invocations issued here
+  int refine_rounds = 0;     ///< refinement iterations that shrank the core
+  int deletion_tests = 0;    ///< candidate-removal solves in the MUS pass
+  std::size_t initial_size = 0;
+  std::size_t final_size = 0;
+
+  std::string summary() const {
+    return "core " + std::to_string(initial_size) + "->" +
+           std::to_string(final_size) +
+           " solves=" + std::to_string(solve_calls) +
+           " refines=" + std::to_string(refine_rounds) +
+           " deletions=" + std::to_string(deletion_tests);
+  }
+};
+
+/// Outcome of extract_core()/minimize_core().
+struct CoreResult {
+  /// True iff the engine is UNSAT under the given assumptions (only
+  /// then is `core` meaningful).  False when the query is SAT or an
+  /// engine budget left it undecided before any core was obtained.
+  bool unsat = false;
+  /// Subset of the assumptions whose conjunction is inconsistent with
+  /// the clause set.  Empty when the clause set itself is UNSAT.
+  std::vector<Lit> core;
+  /// True iff the deletion pass completed undisturbed, i.e. `core` is a
+  /// MUS: removing any single literal makes the query satisfiable.
+  bool minimal = false;
+  CoreMinimizeStats stats;
+};
+
+/// Solves under \p assumptions and minimizes the resulting conflict
+/// core.  Every solve goes through \p engine, so its clause database
+/// (and learnt clauses) persist; no clauses are ever added.
+CoreResult extract_core(SatEngine& engine, const std::vector<Lit>& assumptions,
+                        const CoreMinimizeOptions& opts = {});
+
+/// Minimizes an already-known core (e.g. engine.conflict_core() after
+/// an UNSAT solve) without re-deriving it first.  \p core must be
+/// inconsistent with the engine's clause set; this is re-checked by the
+/// first refinement solve, so a satisfiable input yields unsat=false.
+CoreResult minimize_core(SatEngine& engine, std::vector<Lit> core,
+                         const CoreMinimizeOptions& opts = {});
+
+}  // namespace sateda::sat::core

@@ -47,19 +47,30 @@ class BackwardChecker {
 
     for (const Clause& c : formula) {
       int id = new_clause(std::vector<Lit>(c.begin(), c.end()));
+      formula_ids_.push_back(id);
       if (id >= 0) {
         if (clauses_[static_cast<std::size_t>(id)].lits.empty()) {
           formula_has_empty_ = true;
+          empty_formula_index_ = formula_ids_.size() - 1;
         }
         attach(id);
       }
     }
     for (Lit a : opts.assumptions) {
       int id = new_clause({a});
+      assumption_ids_.push_back(id);
       if (id >= 0) attach(id);
     }
     num_formula_clauses_ = static_cast<int>(clauses_.size());
   }
+
+  /// Checker clause id per formula clause (kNoClause for tautologies),
+  /// in formula order; used to report the clausal core.
+  const std::vector<int>& formula_ids() const { return formula_ids_; }
+  /// Checker clause id per assumption unit, in opts.assumptions order.
+  const std::vector<int>& assumption_ids() const { return assumption_ids_; }
+  /// Index of the empty formula clause when formula_has_empty().
+  std::size_t empty_formula_index() const { return empty_formula_index_; }
 
   /// True iff the formula itself contains the empty clause.
   bool formula_has_empty() const { return formula_has_empty_; }
@@ -308,8 +319,11 @@ class BackwardChecker {
   }
 
   std::vector<CClause> clauses_;
+  std::vector<int> formula_ids_;
+  std::vector<int> assumption_ids_;
   int num_formula_clauses_ = 0;
   bool formula_has_empty_ = false;
+  std::size_t empty_formula_index_ = 0;
   std::vector<std::vector<int>> watch_;  ///< by Lit::index()
   std::vector<int> units_;               ///< ids of active unit clauses
   std::unordered_map<std::uint64_t, std::vector<int>> index_;  ///< active ids
@@ -326,6 +340,39 @@ DratCheckResult fail_at(std::size_t step, const std::string& why) {
   r.failed_step = step;
   r.message = "step " + std::to_string(step) + ": " + why;
   return r;
+}
+
+/// Fills the core/trim fields of \p result from the checker's marks.
+/// Kept additions are exactly the marked ones; kept deletions are those
+/// whose target is marked (unmarked clauses never feed a verified
+/// conflict, so dropping them cannot weaken any replayed propagation).
+void collect_core(const BackwardChecker& checker, const DratProof& proof,
+                  const std::vector<int>& step_clause, std::size_t end,
+                  bool have_empty, const DratCheckOptions& opts,
+                  DratCheckResult& result) {
+  const std::vector<int>& fids = checker.formula_ids();
+  for (std::size_t i = 0; i < fids.size(); ++i) {
+    if (fids[i] != kNoClause && checker.is_marked(fids[i])) {
+      result.core_clauses.push_back(i);
+    }
+  }
+  const std::vector<int>& aids = checker.assumption_ids();
+  for (std::size_t i = 0; i < aids.size(); ++i) {
+    if (aids[i] != kNoClause && checker.is_marked(aids[i])) {
+      result.core_assumptions.push_back(opts.assumptions[i]);
+    }
+  }
+  for (std::size_t i = 0; i < end; ++i) {
+    const DratStep& s = proof.steps[i];
+    if (!s.deletion && s.lits.empty()) {
+      // The terminating empty clause: always part of the trim.
+      if (have_empty) result.trimmed_proof.steps.push_back(s);
+      continue;
+    }
+    const int id = step_clause[i];
+    if (id == kNoClause || !checker.is_marked(id)) continue;
+    result.trimmed_proof.steps.push_back(s);
+  }
 }
 
 }  // namespace
@@ -347,6 +394,9 @@ DratCheckResult check_drat(const CnfFormula& formula, const DratProof& proof,
     result.ok = true;
     result.refutation = true;
     result.message = "formula contains the empty clause";
+    if (opts.collect_core) {
+      result.core_clauses.push_back(checker.empty_formula_index());
+    }
     return result;
   }
 
@@ -421,6 +471,9 @@ DratCheckResult check_drat(const CnfFormula& formula, const DratProof& proof,
   result.message = have_empty
                        ? "verified refutation"
                        : "valid derivation (no refutation)";
+  if (opts.collect_core) {
+    collect_core(checker, proof, step_clause, end, have_empty, opts, result);
+  }
   return result;
 }
 
@@ -545,6 +598,16 @@ DratProof parse_drat_file(const std::string& path, DratParseFormat format) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open proof file: " + path);
   return parse_drat(in, format);
+}
+
+void write_drat_text(std::ostream& out, const DratProof& proof) {
+  for (const DratStep& s : proof.steps) {
+    if (s.deletion) out << "d ";
+    for (Lit l : s.lits) {
+      out << (l.negative() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+    }
+    out << "0\n";
+  }
 }
 
 }  // namespace sateda::sat

@@ -63,6 +63,10 @@ DratProof parse_drat(std::istream& in,
 DratProof parse_drat_file(const std::string& path,
                           DratParseFormat format = DratParseFormat::kAuto);
 
+/// Writes \p proof in text DRAT format (one step per line, deletions
+/// prefixed "d", clauses 0-terminated) — parse_drat round-trips it.
+void write_drat_text(std::ostream& out, const DratProof& proof);
+
 /// Knobs for check_drat().
 struct DratCheckOptions {
   /// Treated as root-level unit clauses (incremental solving under
@@ -72,6 +76,11 @@ struct DratCheckOptions {
   /// is rejected; when false, the additions are still all verified and
   /// `refutation` reports whether the empty clause was among them.
   bool require_refutation = true;
+  /// When true, a successful check also reports *which* inputs the
+  /// refutation used: the clausal core (formula clause indices and
+  /// assumptions reachable from the conflicts) and the proof trimmed
+  /// to the marked additions.  See DratCheckResult.
+  bool collect_core = false;
 };
 
 /// Verdict of the checker.
@@ -82,6 +91,19 @@ struct DratCheckResult {
   std::size_t steps_skipped = 0;  ///< additions never used by a conflict
   std::size_t failed_step = 0;    ///< index of the offending step when !ok
   std::string message;
+  // Populated only when DratCheckOptions::collect_core and ok:
+  /// Indices (into the formula's clause order) of the clauses the
+  /// verified conflicts actually used — the clausal core.  The core
+  /// formula together with `core_assumptions` is itself unsatisfiable,
+  /// certified by `trimmed_proof`.
+  std::vector<std::size_t> core_clauses;
+  /// The assumptions the refutation used (subset of opts.assumptions).
+  std::vector<Lit> core_assumptions;
+  /// The proof restricted to marked additions and to deletions of
+  /// marked clauses; re-checks against the core formula (drat-trim
+  /// style trimming: every kept addition was verified against a
+  /// database whose used clauses are all kept, so RUP/RAT replays).
+  DratProof trimmed_proof;
 };
 
 /// Checks \p proof against \p formula.

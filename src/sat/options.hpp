@@ -94,6 +94,13 @@ struct SolverStats {
   std::int64_t binary_propagations = 0;  ///< implications from implicit binaries
   std::int64_t arena_gc_runs = 0;        ///< compacting collections performed
   std::int64_t arena_bytes_reclaimed = 0;
+  // UNSAT-core / core-guided optimization observability (sat/core,
+  // opt/maxsat): the engine counts every failed-assumption core it
+  // hands out; the consumers add minimization and relaxation effort.
+  std::int64_t cores_extracted = 0;   ///< UNSAT-under-assumption cores returned
+  std::int64_t core_literals = 0;     ///< summed size of those cores
+  std::int64_t core_min_calls = 0;    ///< solve() calls spent minimizing cores
+  std::int64_t relaxation_rounds = 0; ///< core-guided relaxations (MaxSAT)
   double solve_time_sec = 0.0;        ///< wall time spent inside solve()
 
   /// Propagation throughput over the time spent in solve(); the key
@@ -125,6 +132,10 @@ struct SolverStats {
     binary_propagations += o.binary_propagations;
     arena_gc_runs += o.arena_gc_runs;
     arena_bytes_reclaimed += o.arena_bytes_reclaimed;
+    cores_extracted += o.cores_extracted;
+    core_literals += o.core_literals;
+    core_min_calls += o.core_min_calls;
+    relaxation_rounds += o.relaxation_rounds;
     // Workers run concurrently; the wall-clock max is the meaningful
     // aggregate for a portfolio.
     solve_time_sec = std::max(solve_time_sec, o.solve_time_sec);
@@ -141,6 +152,13 @@ struct SolverStats {
     if (exported_clauses || imported_clauses) {
       s += " exported=" + std::to_string(exported_clauses) +
            " imported=" + std::to_string(imported_clauses);
+    }
+    if (cores_extracted) {
+      s += " cores=" + std::to_string(cores_extracted) +
+           " core_lits=" + std::to_string(core_literals);
+    }
+    if (relaxation_rounds) {
+      s += " relax_rounds=" + std::to_string(relaxation_rounds);
     }
     return s;
   }
@@ -169,6 +187,10 @@ struct SolverStats {
     s += "arena GC runs        : " + std::to_string(arena_gc_runs) + "\n";
     s += "arena bytes reclaimed: " + std::to_string(arena_bytes_reclaimed) +
          "\n";
+    s += "cores extracted      : " + std::to_string(cores_extracted) + "\n";
+    s += "core literals        : " + std::to_string(core_literals) + "\n";
+    s += "core minimize calls  : " + std::to_string(core_min_calls) + "\n";
+    s += "relaxation rounds    : " + std::to_string(relaxation_rounds) + "\n";
     s += "solve time (s)       : " + std::string(time_buf) + "\n";
     s += "propagations/sec     : " + rate(propagations_per_sec()) + "\n";
     s += "conflicts/sec        : " + rate(conflicts_per_sec());

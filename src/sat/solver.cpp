@@ -1008,6 +1008,10 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
   erase_until(0);
   if (auditor_ && ok_) auditor_->maybe_checkpoint(*this);
   if (result == SolveResult::kUnsat && assumptions_.empty()) ok_ = false;
+  if (result == SolveResult::kUnsat && !assumptions_.empty()) {
+    ++stats_.cores_extracted;
+    stats_.core_literals += static_cast<std::int64_t>(conflict_core_.size());
+  }
   assumptions_.clear();
   return result;
 }

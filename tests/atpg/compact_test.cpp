@@ -1,0 +1,98 @@
+/// \file compact_test.cpp
+/// \brief Test-set compaction (atpg/compact): the kept subset detects
+///        everything the full set detects, sizes are proven minimum,
+///        and the MaxSAT and branch-and-bound covering engines agree.
+#include "atpg/compact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/engine.hpp"
+#include "atpg/fault_sim.hpp"
+#include "circuit/generators.hpp"
+
+namespace sateda::atpg {
+namespace {
+
+using circuit::Circuit;
+
+/// Counts the faults of \p faults detected by at least one of the
+/// \p tests (single-pattern simulation oracle).
+int faults_covered(const Circuit& c, const std::vector<std::vector<bool>>& tests,
+                   const std::vector<Fault>& faults) {
+  FaultSimulator sim(c);
+  int covered = 0;
+  for (const Fault& f : faults) {
+    for (const auto& t : tests) {
+      if (sim.detects(t, f)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return covered;
+}
+
+TEST(CompactTest, EmptyTestSetIsTriviallyOptimal) {
+  Circuit c = circuit::c17();
+  CompactionResult r = minimize_test_set(c, {}, enumerate_faults(c));
+  EXPECT_TRUE(r.optimal);
+  EXPECT_TRUE(r.kept.empty());
+  EXPECT_EQ(r.covered_faults, 0);
+}
+
+TEST(CompactTest, KeptSubsetPreservesCoverage) {
+  Circuit c = circuit::c17();
+  AtpgResult atpg = run_atpg(c);
+  ASSERT_FALSE(atpg.tests.empty());
+  const std::vector<Fault> faults = atpg.faults;
+
+  CompactionResult r = minimize_test_set(c, atpg.tests, faults);
+  EXPECT_TRUE(r.optimal);
+  EXPECT_FALSE(r.kept.empty());
+  EXPECT_LE(r.kept.size(), atpg.tests.size());
+
+  std::vector<std::vector<bool>> kept_tests;
+  for (std::size_t i : r.kept) kept_tests.push_back(atpg.tests[i]);
+  EXPECT_EQ(faults_covered(c, kept_tests, faults),
+            faults_covered(c, atpg.tests, faults));
+  EXPECT_EQ(r.covered_faults, faults_covered(c, atpg.tests, faults));
+}
+
+TEST(CompactTest, MaxsatAndBranchAndBoundAgreeOnMinimumSize) {
+  Circuit c = circuit::c17();
+  AtpgResult atpg = run_atpg(c);
+  ASSERT_FALSE(atpg.tests.empty());
+
+  CompactionOptions maxsat;
+  maxsat.use_maxsat = true;
+  CompactionOptions bnb;
+  bnb.use_maxsat = false;
+  CompactionResult a = minimize_test_set(c, atpg.tests, atpg.faults, maxsat);
+  CompactionResult b = minimize_test_set(c, atpg.tests, atpg.faults, bnb);
+  ASSERT_TRUE(a.optimal);
+  ASSERT_TRUE(b.optimal);
+  EXPECT_EQ(a.kept.size(), b.kept.size());
+  EXPECT_GT(a.stats.maxsat_rounds + a.stats.sat_calls, 0);
+}
+
+TEST(CompactTest, RedundantPatternsAreDropped) {
+  // y = a AND b: sa0/sa1 faults need only the all-ones pattern plus
+  // one zero per input; duplicated patterns must not be kept twice.
+  Circuit c;
+  auto a = c.add_input("a");
+  auto b = c.add_input("b");
+  auto y = c.add_and(a, b);
+  c.mark_output(y, "o");
+  std::vector<std::vector<bool>> tests = {
+      {true, true}, {true, true}, {false, true},
+      {true, false}, {false, true},
+  };
+  CompactionResult r = minimize_test_set(c, tests, enumerate_faults(c));
+  EXPECT_TRUE(r.optimal);
+  EXPECT_LT(r.kept.size(), tests.size());
+  // {11, 01, 10} is the canonical minimum for a 2-input AND.
+  EXPECT_EQ(r.kept.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sateda::atpg

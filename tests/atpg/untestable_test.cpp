@@ -1,0 +1,109 @@
+/// \file untestable_test.cpp
+/// \brief Untestable-fault explanation (atpg/untestable): gate cores
+///        are extracted for redundant faults, testable faults yield no
+///        entry, and faults blocked by the same logic share a group.
+#include "atpg/untestable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/engine.hpp"
+#include "circuit/generators.hpp"
+
+namespace sateda::atpg {
+namespace {
+
+using circuit::Circuit;
+using circuit::NodeId;
+
+TEST(UntestableTest, TestableFaultsProduceNoCores) {
+  // c17 has full fault coverage: nothing to explain.
+  Circuit c = circuit::c17();
+  UntestableGroups g = group_untestable_faults(c, enumerate_faults(c));
+  EXPECT_TRUE(g.cores.empty());
+  EXPECT_TRUE(g.groups.empty());
+}
+
+TEST(UntestableTest, RedundantAbsorptionFaultGetsAGateCore) {
+  // y = OR(a, AND(a, b)): AND-output sa0 is redundant (absorption).
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g = c.add_and(a, b);
+  NodeId y = c.add_or(a, g);
+  c.mark_output(y, "o");
+  const Fault redundant{g, Fault::kOutputPin, false};
+
+  UntestableGroups groups = group_untestable_faults(c, {redundant});
+  ASSERT_EQ(groups.cores.size(), 1u);
+  const UntestableCore& core = groups.cores[0];
+  EXPECT_TRUE(core.minimal);
+  // The blocking logic involves real gates of the good circuit.
+  ASSERT_FALSE(core.gates.empty());
+  for (NodeId n : core.gates) {
+    ASSERT_GE(n, 0);
+    ASSERT_LT(n, static_cast<NodeId>(c.num_nodes()));
+    EXPECT_FALSE(c.is_input(n));
+  }
+  ASSERT_EQ(groups.groups.size(), 1u);
+  EXPECT_EQ(groups.groups[0], (std::vector<std::size_t>{0}));
+}
+
+TEST(UntestableTest, StructurallyUntestableFaultHasEmptyCore) {
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId dead = c.add_not(a);  // feeds no output
+  NodeId g = c.add_buf(a);
+  c.mark_output(g, "o");
+  const Fault f{dead, Fault::kOutputPin, true};
+  UntestableGroups groups = group_untestable_faults(c, {f});
+  ASSERT_EQ(groups.cores.size(), 1u);
+  EXPECT_TRUE(groups.cores[0].gates.empty());
+  EXPECT_TRUE(groups.cores[0].minimal);
+  ASSERT_EQ(groups.groups.size(), 1u);
+}
+
+TEST(UntestableTest, FaultsBlockedBySharedLogicAreGrouped) {
+  // Two copies of the absorption pattern share input a: the redundant
+  // sa0 faults on each AND gate have disjoint blocking logic, so they
+  // land in separate groups; both sa0/sa1 faults of one AND share its
+  // logic and group together.
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId d = c.add_input("d");
+  NodeId g1 = c.add_and(a, b);
+  NodeId y1 = c.add_or(a, g1);
+  NodeId g2 = c.add_and(a, d);
+  NodeId y2 = c.add_or(a, g2);
+  c.mark_output(y1, "o1");
+  c.mark_output(y2, "o2");
+
+  // Both AND-output sa0 faults are redundant; classify to make sure.
+  AtpgResult atpg = run_atpg(c, [] {
+    AtpgOptions o;
+    o.collapse = false;
+    return o;
+  }());
+  std::vector<Fault> redundant;
+  for (std::size_t i = 0; i < atpg.faults.size(); ++i) {
+    if (atpg.status[i] == FaultStatus::kRedundant) {
+      redundant.push_back(atpg.faults[i]);
+    }
+  }
+  ASSERT_GE(redundant.size(), 2u);
+
+  UntestableGroups groups = group_untestable_faults(c, redundant);
+  EXPECT_EQ(groups.cores.size(), redundant.size());
+  // Every redundant fault got an explanation over good-circuit gates.
+  for (const UntestableCore& core : groups.cores) {
+    EXPECT_FALSE(core.gates.empty()) << to_string(core.fault);
+  }
+  // Grouping is a partition of the cores.
+  std::size_t total = 0;
+  for (const auto& grp : groups.groups) total += grp.size();
+  EXPECT_EQ(total, groups.cores.size());
+  EXPECT_GE(groups.groups.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sateda::atpg

@@ -5,6 +5,38 @@
 namespace sateda::bmc {
 namespace {
 
+TEST(InductionTest, StepCoreNamesOnlyNeededHypothesisFrames) {
+  // The LFSR proof needs induction strength > 0; the reported frame
+  // core must be a subset of the hypothesis frames and (since the
+  // proof closed exactly at strength k) genuinely used.
+  SequentialCircuit m = lfsr_machine(4, 0b1001, 0b0001, 0b0000);
+  InductionOptions opts;
+  opts.max_k = 20;
+  InductionResult r = prove_by_induction(m, opts);
+  if (r.verdict != InductionVerdict::kProved) GTEST_SKIP();
+  for (int frame : r.used_frames) {
+    EXPECT_GE(frame, 0);
+    EXPECT_LT(frame, r.k);
+  }
+  // Ascending, no duplicates.
+  for (std::size_t i = 1; i < r.used_frames.size(); ++i) {
+    EXPECT_LT(r.used_frames[i - 1], r.used_frames[i]);
+  }
+  if (r.k > 0) {
+    EXPECT_TRUE(r.used_frames_minimal);
+  }
+}
+
+TEST(InductionTest, CoreExtractionCanBeDisabled) {
+  SequentialCircuit m = counter_machine(4, 999);
+  InductionOptions opts;
+  opts.extract_step_core = false;
+  InductionResult r = prove_by_induction(m, opts);
+  EXPECT_EQ(r.verdict, InductionVerdict::kProved);
+  EXPECT_TRUE(r.used_frames.empty());
+  EXPECT_FALSE(r.used_frames_minimal);
+}
+
 TEST(InductionTest, ImmediatelyInductiveProperty) {
   // bad value outside the register width is structurally impossible:
   // bad is constant 0 and the step case closes at k = 0.

@@ -164,6 +164,50 @@ TEST_P(CoveringPropertyTest, AllThreeSolversAgreeOnOptimum) {
   }
 }
 
+TEST(CoveringTest, MaxsatSolvesBinateInstances) {
+  CoveringProblem p;
+  p.num_columns = 3;
+  p.rows.push_back({pos(0), pos(1)});
+  p.rows.push_back({neg(0), neg(1)});
+  p.rows.push_back({pos(2)});
+  CoveringResult r = solve_covering_maxsat(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.optimal);
+  EXPECT_EQ(r.cost, 2);
+}
+
+TEST(CoveringTest, MaxsatReportsInfeasibleInstances) {
+  CoveringProblem p;
+  p.num_columns = 1;
+  p.rows.push_back({pos(0)});
+  p.rows.push_back({neg(0)});
+  CoveringResult r = solve_covering_maxsat(p);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.optimal);
+}
+
+TEST_P(CoveringPropertyTest, MaxsatMatchesBranchAndBoundOptimum) {
+  CoveringProblem p = random_covering(10, 14, 4, GetParam());
+  CoveringResult bnb = solve_covering_bnb(p);
+  CoveringResult ms = solve_covering_maxsat(p);
+  ASSERT_TRUE(bnb.feasible);
+  ASSERT_TRUE(ms.feasible);
+  EXPECT_TRUE(ms.optimal);
+  EXPECT_EQ(ms.cost, bnb.cost);
+  EXPECT_GT(ms.stats.maxsat_rounds + 1, 0);
+  // The MaxSAT cover is a real cover of the reported cost.
+  int chosen_count = 0;
+  for (bool b : ms.chosen) chosen_count += b;
+  EXPECT_EQ(chosen_count, ms.cost);
+  for (const auto& row : p.rows) {
+    bool hit = false;
+    for (Lit l : row) {
+      if (ms.chosen[l.var()] != l.negative()) hit = true;
+    }
+    EXPECT_TRUE(hit);
+  }
+}
+
 TEST_P(CoveringPropertyTest, SatPruningCutsNodes) {
   CoveringProblem p = random_covering(12, 20, 3, GetParam() + 50);
   CoveringOptions plain;

@@ -1,0 +1,216 @@
+/// \file maxsat_test.cpp
+/// \brief Core-guided MaxSAT (opt/maxsat): proven optima on known
+///        instances, OLL/Fu–Malik agreement, and cross-checks against
+///        a brute-force optimum oracle.  Also exercises the totalizer
+///        cardinality encoding directly.
+#include "opt/maxsat/maxsat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "opt/maxsat/totalizer.hpp"
+#include "opt/maxsat/wcnf.hpp"
+#include "sat/solver.hpp"
+
+namespace {
+
+using namespace sateda;
+using opt::MaxSatAlgo;
+using opt::MaxSatOptions;
+using opt::MaxSatResult;
+using opt::MaxSatStatus;
+using opt::read_wcnf_string;
+using opt::WcnfFormula;
+
+/// Exhaustive optimum: minimum soft cost over assignments satisfying
+/// every hard clause; nullopt when the hards are unsatisfiable.
+std::optional<std::uint64_t> brute_force_optimum(const WcnfFormula& w) {
+  const int n = w.num_vars();
+  std::optional<std::uint64_t> best;
+  std::vector<bool> a(n, false);
+  std::vector<lbool> m(n);
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+    for (int v = 0; v < n; ++v) a[v] = (bits >> v) & 1;
+    if (!w.hard.is_satisfied_by(a)) continue;
+    for (int v = 0; v < n; ++v) m[v] = a[v] ? l_true : l_false;
+    const std::uint64_t cost = w.cost_of(m);
+    if (!best || cost < *best) best = cost;
+  }
+  return best;
+}
+
+void expect_optimal(const WcnfFormula& w, std::uint64_t expected,
+                    MaxSatAlgo algo) {
+  MaxSatOptions opts;
+  opts.algo = algo;
+  MaxSatResult r = solve_maxsat(w, opts);
+  ASSERT_EQ(r.status, MaxSatStatus::kOptimal);
+  EXPECT_EQ(r.cost, expected);
+  EXPECT_EQ(r.lower_bound, expected);
+  // The model must actually achieve the reported cost.
+  EXPECT_EQ(w.cost_of(r.model), expected);
+}
+
+TEST(MaxSatTest, AllSoftsSatisfiableCostsZero) {
+  WcnfFormula w = read_wcnf_string(
+      "p wcnf 2 2 10\n"
+      "3 1 0\n"
+      "3 2 0\n");
+  expect_optimal(w, 0, MaxSatAlgo::kOll);
+  expect_optimal(w, 0, MaxSatAlgo::kFuMalik);
+}
+
+TEST(MaxSatTest, UnsatHardClausesReported) {
+  WcnfFormula w = read_wcnf_string(
+      "p wcnf 1 3 10\n"
+      "10 1 0\n"
+      "10 -1 0\n"
+      "1 1 0\n");
+  for (MaxSatAlgo algo : {MaxSatAlgo::kOll, MaxSatAlgo::kFuMalik}) {
+    MaxSatOptions opts;
+    opts.algo = algo;
+    EXPECT_EQ(solve_maxsat(w, opts).status, MaxSatStatus::kUnsat);
+  }
+}
+
+TEST(MaxSatTest, MutexUnitSoftsLeaveOneSatisfied) {
+  // Pairwise mutual exclusion over 4 wanted variables: optimum 3.
+  WcnfFormula w = read_wcnf_string(
+      "p wcnf 4 10 10\n"
+      "10 -1 -2 0\n10 -1 -3 0\n10 -1 -4 0\n"
+      "10 -2 -3 0\n10 -2 -4 0\n10 -3 -4 0\n"
+      "1 1 0\n1 2 0\n1 3 0\n1 4 0\n");
+  expect_optimal(w, 3, MaxSatAlgo::kOll);
+  expect_optimal(w, 3, MaxSatAlgo::kFuMalik);
+}
+
+TEST(MaxSatTest, WeightedSplitsAreHandled) {
+  // (x1 ∨ x2) hard; violating x1 costs 3, x2 costs 5, both wanted off.
+  WcnfFormula w = read_wcnf_string(
+      "p wcnf 2 3 100\n"
+      "100 1 2 0\n"
+      "3 -1 0\n"
+      "5 -2 0\n");
+  expect_optimal(w, 3, MaxSatAlgo::kOll);
+  expect_optimal(w, 3, MaxSatAlgo::kFuMalik);
+}
+
+TEST(MaxSatTest, MultiLiteralSoftsGetSelectors) {
+  // Soft clauses with several literals (not just units).
+  WcnfFormula w;
+  w.top = 100;
+  w.add_hard({pos(0)});
+  w.add_soft({neg(0), pos(1)}, 7);   // satisfiable via x1
+  w.add_soft({neg(0), neg(1)}, 4);   // then this one is violated
+  expect_optimal(w, 4, MaxSatAlgo::kOll);
+  expect_optimal(w, 4, MaxSatAlgo::kFuMalik);
+}
+
+TEST(MaxSatTest, EmptySoftChargesItsWeightUpFront) {
+  WcnfFormula w;
+  w.top = 10;
+  w.add_soft({}, 3);  // unconditionally violated
+  w.add_soft({pos(0)}, 2);
+  expect_optimal(w, 3, MaxSatAlgo::kOll);
+}
+
+TEST(MaxSatTest, StatsCountRoundsAndCores) {
+  WcnfFormula w = read_wcnf_string(
+      "p wcnf 4 10 10\n"
+      "10 -1 -2 0\n10 -1 -3 0\n10 -1 -4 0\n"
+      "10 -2 -3 0\n10 -2 -4 0\n10 -3 -4 0\n"
+      "1 1 0\n1 2 0\n1 3 0\n1 4 0\n");
+  MaxSatResult r = solve_maxsat(w);
+  ASSERT_EQ(r.status, MaxSatStatus::kOptimal);
+  EXPECT_GE(r.stats.rounds, 1);
+  EXPECT_GT(r.stats.core_literals, 0);
+  EXPECT_GE(r.stats.solver.relaxation_rounds, r.stats.rounds);
+  EXPECT_FALSE(r.stats.summary().empty());
+}
+
+TEST(MaxSatTest, RandomizedAgreementWithBruteForceAndAcrossAlgorithms) {
+  std::mt19937_64 rng(987654);
+  std::uniform_int_distribution<int> var_dist(0, 5);
+  std::uniform_int_distribution<int> sign_dist(0, 1);
+  std::uniform_int_distribution<int> weight_dist(1, 4);
+  std::uniform_int_distribution<int> count_dist(2, 5);
+  for (int round = 0; round < 30; ++round) {
+    WcnfFormula w;
+    w.top = 1000;
+    w.hard.ensure_var(5);
+    const int hards = count_dist(rng);
+    for (int i = 0; i < hards; ++i) {
+      std::vector<Lit> cl;
+      for (int j = 0; j < 2; ++j) {
+        const int v = var_dist(rng);
+        cl.push_back(sign_dist(rng) ? pos(v) : neg(v));
+      }
+      w.add_hard(cl);
+    }
+    const int softs = count_dist(rng) + 2;
+    for (int i = 0; i < softs; ++i) {
+      std::vector<Lit> cl;
+      const int len = 1 + sign_dist(rng);
+      for (int j = 0; j < len; ++j) {
+        const int v = var_dist(rng);
+        cl.push_back(sign_dist(rng) ? pos(v) : neg(v));
+      }
+      w.add_soft(cl, static_cast<std::uint64_t>(weight_dist(rng)));
+    }
+
+    const std::optional<std::uint64_t> expected = brute_force_optimum(w);
+    for (MaxSatAlgo algo : {MaxSatAlgo::kOll, MaxSatAlgo::kFuMalik}) {
+      MaxSatOptions opts;
+      opts.algo = algo;
+      MaxSatResult r = solve_maxsat(w, opts);
+      if (!expected.has_value()) {
+        EXPECT_EQ(r.status, MaxSatStatus::kUnsat) << "round " << round;
+      } else {
+        ASSERT_EQ(r.status, MaxSatStatus::kOptimal) << "round " << round;
+        EXPECT_EQ(r.cost, *expected) << "round " << round;
+        EXPECT_EQ(w.cost_of(r.model), *expected) << "round " << round;
+      }
+    }
+  }
+}
+
+TEST(TotalizerTest, CountsInputsExactly) {
+  // For every assignment of 4 inputs, the outputs must read off the
+  // number of true inputs in unary.
+  for (int bits = 0; bits < 16; ++bits) {
+    sat::Solver s;
+    std::vector<Lit> inputs;
+    for (int i = 0; i < 4; ++i) inputs.push_back(pos(s.new_var()));
+    opt::Totalizer tot(s, inputs);
+    ASSERT_TRUE(tot.okay());
+    int want = 0;
+    for (int i = 0; i < 4; ++i) {
+      const bool on = (bits >> i) & 1;
+      ASSERT_TRUE(s.add_clause({on ? inputs[i] : ~inputs[i]}));
+      want += on ? 1 : 0;
+    }
+    ASSERT_EQ(s.solve(), sat::SolveResult::kSat);
+    for (int k = 1; k <= 4; ++k) {
+      // at_least(k) is implied exactly when want >= k.
+      const bool implied =
+          s.solve({~tot.at_least(k)}) == sat::SolveResult::kUnsat;
+      EXPECT_EQ(implied, want >= k) << "bits=" << bits << " k=" << k;
+    }
+  }
+}
+
+TEST(TotalizerTest, AtMostAssumptionBoundsTrueInputs) {
+  sat::Solver s;
+  std::vector<Lit> inputs;
+  for (int i = 0; i < 5; ++i) inputs.push_back(pos(s.new_var()));
+  opt::Totalizer tot(s, inputs);
+  ASSERT_TRUE(tot.okay());
+  // Force 3 inputs true; at-most-2 must fail, at-most-3 must hold.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(s.add_clause({inputs[i]}));
+  EXPECT_EQ(s.solve({tot.at_most_assumption(2)}), sat::SolveResult::kUnsat);
+  EXPECT_EQ(s.solve({tot.at_most_assumption(3)}), sat::SolveResult::kSat);
+}
+
+}  // namespace

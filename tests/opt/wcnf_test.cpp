@@ -1,0 +1,108 @@
+/// \file wcnf_test.cpp
+/// \brief WCNF parsing/writing: the `p wcnf <vars> <clauses> <top>`
+///        dialect, hard/soft split at weight == top, and the negative
+///        cases (bad weights, missing top, malformed clauses).
+#include "opt/maxsat/wcnf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace sateda;
+using opt::read_wcnf_string;
+using opt::WcnfError;
+using opt::WcnfFormula;
+
+TEST(WcnfTest, ParsesHardAndSoftClauses) {
+  WcnfFormula w = read_wcnf_string(
+      "c comment\n"
+      "p wcnf 3 3 10\n"
+      "10 1 2 0\n"
+      "3 -1 0\n"
+      "1 -2 3 0\n");
+  EXPECT_EQ(w.top, 10u);
+  EXPECT_EQ(w.num_vars(), 3);
+  EXPECT_EQ(w.hard.num_clauses(), 1u);
+  ASSERT_EQ(w.soft.size(), 2u);
+  EXPECT_EQ(w.soft[0].weight, 3u);
+  EXPECT_EQ(w.soft[0].lits, (std::vector<Lit>{neg(0)}));
+  EXPECT_EQ(w.soft[1].weight, 1u);
+  EXPECT_EQ(w.sum_soft_weight(), 4u);
+}
+
+TEST(WcnfTest, CostOfCountsFalsifiedSoftWeight) {
+  WcnfFormula w = read_wcnf_string(
+      "p wcnf 2 3 10\n"
+      "10 1 2 0\n"
+      "3 -1 0\n"
+      "5 -2 0\n");
+  EXPECT_EQ(w.cost_of({l_true, l_false}), 3u);
+  EXPECT_EQ(w.cost_of({l_true, l_true}), 8u);
+  EXPECT_EQ(w.cost_of({l_false, l_false}), 0u);
+}
+
+TEST(WcnfTest, RoundTripsThroughWriter) {
+  WcnfFormula w = read_wcnf_string(
+      "p wcnf 3 3 42\n"
+      "42 1 -3 0\n"
+      "7 2 0\n"
+      "1 -1 -2 0\n");
+  std::ostringstream out;
+  opt::write_wcnf(out, w);
+  WcnfFormula back = read_wcnf_string(out.str());
+  EXPECT_EQ(back.top, w.top);
+  EXPECT_EQ(back.hard.num_clauses(), w.hard.num_clauses());
+  ASSERT_EQ(back.soft.size(), w.soft.size());
+  for (std::size_t i = 0; i < w.soft.size(); ++i) {
+    EXPECT_EQ(back.soft[i].weight, w.soft[i].weight);
+    EXPECT_EQ(back.soft[i].lits, w.soft[i].lits);
+  }
+}
+
+TEST(WcnfTest, RejectsMissingTop) {
+  EXPECT_THROW(read_wcnf_string("p wcnf 2 1\n1 1 0\n"), WcnfError);
+}
+
+TEST(WcnfTest, RejectsMissingHeader) {
+  EXPECT_THROW(read_wcnf_string("1 1 0\n"), WcnfError);
+}
+
+TEST(WcnfTest, RejectsCnfHeader) {
+  EXPECT_THROW(read_wcnf_string("p cnf 2 1\n1 2 0\n"), WcnfError);
+}
+
+TEST(WcnfTest, RejectsZeroWeight) {
+  EXPECT_THROW(read_wcnf_string("p wcnf 2 1 10\n0 1 2 0\n"), WcnfError);
+}
+
+TEST(WcnfTest, RejectsNegativeWeight) {
+  EXPECT_THROW(read_wcnf_string("p wcnf 2 1 10\n-3 1 2 0\n"), WcnfError);
+}
+
+TEST(WcnfTest, RejectsWeightAboveTop) {
+  EXPECT_THROW(read_wcnf_string("p wcnf 2 1 10\n11 1 2 0\n"), WcnfError);
+}
+
+TEST(WcnfTest, RejectsUnterminatedClause) {
+  EXPECT_THROW(read_wcnf_string("p wcnf 2 1 10\n5 1 2\n"), WcnfError);
+}
+
+TEST(WcnfTest, RejectsDuplicateHeader) {
+  EXPECT_THROW(
+      read_wcnf_string("p wcnf 2 1 10\np wcnf 2 1 10\n5 1 0\n"),
+      WcnfError);
+}
+
+TEST(WcnfTest, ErrorsCarryLineNumbers) {
+  try {
+    read_wcnf_string("p wcnf 2 2 10\n10 1 0\n0 2 0\n");
+    FAIL() << "expected WcnfError";
+  } catch (const WcnfError& e) {
+    EXPECT_NE(std::string(e.what()).find("3"), std::string::npos)
+        << "message should name line 3: " << e.what();
+  }
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "cnf/formula.hpp"
@@ -120,6 +121,83 @@ TEST(DratCheckTest, ChecksProofUnderAssumptions) {
   EXPECT_TRUE(r.ok) << r.message;
   // Without the assumptions the same proof must fail.
   EXPECT_FALSE(check_drat(f, proof).ok);
+}
+
+TEST(DratCheckTest, CollectsClausalCoreAndTrimmedProof) {
+  // Pad the minimal UNSAT core with satisfiable junk clauses; the
+  // collected core must exclude them and the trimmed proof must still
+  // refute the extracted core formula.
+  CnfFormula f = all_binaries();
+  f.add_clause({pos(2), pos(3)});
+  f.add_clause({neg(2), pos(4)});
+  Solver s;
+  Proof proof;
+  s.set_proof_tracer(&proof);
+  ASSERT_TRUE(s.add_formula(f));
+  ASSERT_EQ(s.solve(), SolveResult::kUnsat);
+
+  const DratProof drat = DratProof::from_proof(proof);
+  DratCheckOptions opts;
+  opts.collect_core = true;
+  DratCheckResult r = check_drat(f, drat, opts);
+  ASSERT_TRUE(r.ok) << r.message;
+  // Core ⊆ the four binaries (indices 0..3), and the junk is out.
+  ASSERT_FALSE(r.core_clauses.empty());
+  for (std::size_t idx : r.core_clauses) EXPECT_LT(idx, 4u);
+  EXPECT_TRUE(r.core_assumptions.empty());
+  ASSERT_FALSE(r.trimmed_proof.steps.empty());
+  EXPECT_LE(r.trimmed_proof.steps.size(), drat.steps.size());
+
+  // Re-verify: core clauses alone + trimmed proof must still check.
+  CnfFormula core(f.num_vars());
+  for (std::size_t idx : r.core_clauses) core.add_clause(f.clause(idx));
+  DratCheckResult again = check_drat(core, r.trimmed_proof);
+  EXPECT_TRUE(again.ok) << again.message;
+  EXPECT_TRUE(again.refutation);
+}
+
+TEST(DratCheckTest, CollectsAssumptionCore) {
+  // x1 → x2 → x3, refuted only under {x1, ¬x3}; an irrelevant third
+  // assumption must not enter the core.
+  CnfFormula f(4);
+  f.add_binary(neg(0), pos(1));
+  f.add_binary(neg(1), pos(2));
+  DratProof proof;
+  proof.steps.push_back({false, {neg(0), pos(2)}});
+  proof.steps.push_back({false, {}});
+  DratCheckOptions opts;
+  opts.assumptions = {pos(0), neg(2), pos(3)};
+  opts.collect_core = true;
+  DratCheckResult r = check_drat(f, proof, opts);
+  ASSERT_TRUE(r.ok) << r.message;
+  std::vector<Lit> core = r.core_assumptions;
+  std::sort(core.begin(), core.end());
+  EXPECT_EQ(core, (std::vector<Lit>{pos(0), neg(2)}));
+
+  // The extracted core is self-contained: formula core clauses plus
+  // the core assumptions as units refute with the trimmed proof and
+  // no --assume context.
+  CnfFormula core_cnf(f.num_vars());
+  for (std::size_t idx : r.core_clauses) core_cnf.add_clause(f.clause(idx));
+  for (Lit a : r.core_assumptions) core_cnf.add_unit(a);
+  DratCheckResult again = check_drat(core_cnf, r.trimmed_proof);
+  EXPECT_TRUE(again.ok) << again.message;
+}
+
+TEST(DratCheckTest, WriteDratTextRoundTrips) {
+  DratProof proof;
+  proof.steps.push_back({false, {pos(0), neg(1)}});
+  proof.steps.push_back({true, {pos(0), neg(1)}});
+  proof.steps.push_back({false, {}});
+  std::ostringstream out;
+  write_drat_text(out, proof);
+  std::istringstream in(out.str());
+  DratProof back = parse_drat(in);
+  ASSERT_EQ(back.steps.size(), proof.steps.size());
+  for (std::size_t i = 0; i < proof.steps.size(); ++i) {
+    EXPECT_EQ(back.steps[i].deletion, proof.steps[i].deletion);
+    EXPECT_EQ(back.steps[i].lits, proof.steps[i].lits);
+  }
 }
 
 TEST(DratCheckTest, FormulaWithEmptyClauseIsTriviallyRefuted) {

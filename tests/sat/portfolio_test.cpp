@@ -6,11 +6,13 @@
 ///        protocol.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <vector>
 
 #include "cnf/generators.hpp"
+#include "sat/core/mus.hpp"
 #include "sat/drat_check.hpp"
 #include "sat/portfolio.hpp"
 #include "sat/proof.hpp"
@@ -90,6 +92,28 @@ TEST_P(PortfolioModeTest, AssumptionsAndCores) {
   EXPECT_TRUE(p.okay());
   ASSERT_EQ(p.solve({pos(a)}), SolveResult::kSat);
   EXPECT_EQ(p.model_value(b), l_false);
+}
+
+TEST_P(PortfolioModeTest, MinimizedCoreOverPortfolioIsMus) {
+  // MUS extraction drives the portfolio through repeated
+  // solve-under-assumptions calls; the winning worker's core must stay
+  // sound across rounds in both racing and deterministic modes.
+  PortfolioSolver p = make_portfolio(2, GetParam());
+  Var x = p.new_var();
+  Var s1 = p.new_var(), s2 = p.new_var(), s3 = p.new_var();
+  ASSERT_TRUE(p.add_clause({neg(s1), pos(x)}));
+  ASSERT_TRUE(p.add_clause({neg(s2), neg(x)}));
+  ASSERT_TRUE(p.add_clause({neg(s3), pos(x)}));
+  sat::core::CoreResult r =
+      sat::core::extract_core(p, {pos(s1), pos(s2), pos(s3)});
+  ASSERT_TRUE(r.unsat);
+  ASSERT_TRUE(r.minimal);
+  // Exactly one x-activator plus the ¬x-activator survive.
+  EXPECT_EQ(r.core.size(), 2u);
+  EXPECT_TRUE(std::find(r.core.begin(), r.core.end(), pos(s2)) !=
+              r.core.end());
+  // The portfolio stays usable for further queries.
+  EXPECT_EQ(p.solve({pos(s1), pos(s3)}), SolveResult::kSat);
 }
 
 TEST_P(PortfolioModeTest, StatsAggregateAcrossWorkers) {

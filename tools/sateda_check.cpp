@@ -7,6 +7,7 @@
 /// with the solver that produced the proof.
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,13 @@ void print_help(const char* argv0) {
       "                       formula AND assumptions)\n"
       "  --no-refutation      accept a proof that verifies but never\n"
       "                       derives the empty clause (derivation mode)\n"
+      "  --core FILE          after verification, write the clausal core\n"
+      "                       (formula clauses plus assumptions the proof\n"
+      "                       actually used) as DIMACS CNF; the core is\n"
+      "                       itself unsatisfiable\n"
+      "  --trim FILE          write the proof trimmed to the steps the\n"
+      "                       refutation used (text DRAT); together with\n"
+      "                       the --core CNF it re-verifies standalone\n"
       "  --quiet              verdict line only\n"
       "  --help               this message\n"
       "\n"
@@ -54,6 +62,8 @@ int main(int argc, char** argv) {
   sat::DratParseFormat format = sat::DratParseFormat::kAuto;
   bool require_refutation = true;
   bool quiet = false;
+  std::string core_path;
+  std::string trim_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -73,6 +83,10 @@ int main(int argc, char** argv) {
       }
       Var v = static_cast<Var>((code < 0 ? -code : code) - 1);
       assumptions.push_back(Lit(v, code < 0));
+    } else if (arg == "--core" && i + 1 < argc) {
+      core_path = argv[++i];
+    } else if (arg == "--trim" && i + 1 < argc) {
+      trim_path = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -106,6 +120,7 @@ int main(int argc, char** argv) {
   sat::DratCheckOptions opts;
   opts.assumptions = assumptions;
   opts.require_refutation = require_refutation;
+  opts.collect_core = !core_path.empty() || !trim_path.empty();
   sat::DratCheckResult r = sat::check_drat(f, proof, opts);
   if (!quiet) {
     std::printf("c checked %zu additions, skipped %zu unused\n",
@@ -113,6 +128,47 @@ int main(int argc, char** argv) {
     if (!r.ok) {
       std::printf("c rejected at step %zu: %s\n", r.failed_step,
                   r.message.c_str());
+    }
+  }
+  if (r.ok && opts.collect_core) {
+    if (!quiet) {
+      std::printf("c core: %zu of %zu formula clauses, %zu of %zu "
+                  "assumptions, %zu of %zu proof steps\n",
+                  r.core_clauses.size(), f.num_clauses(),
+                  r.core_assumptions.size(), assumptions.size(),
+                  r.trimmed_proof.steps.size(), proof.steps.size());
+    }
+    if (!core_path.empty()) {
+      // The core CNF folds used assumptions in as unit clauses, so it
+      // is unsatisfiable on its own and the trimmed proof re-checks
+      // against it without any --assume flags.
+      CnfFormula core;
+      if (f.num_vars() > 0) core.ensure_var(f.num_vars() - 1);
+      std::size_t ci = 0;
+      std::size_t idx = 0;
+      for (const Clause& c : f) {
+        if (ci < r.core_clauses.size() && r.core_clauses[ci] == idx) {
+          core.add_clause(std::vector<Lit>(c.begin(), c.end()));
+          ++ci;
+        }
+        ++idx;
+      }
+      for (Lit a : r.core_assumptions) core.add_unit(a);
+      try {
+        write_dimacs_file(core_path, core,
+                          "clausal core of " + paths[0] + " via " + paths[1]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    }
+    if (!trim_path.empty()) {
+      std::ofstream out(trim_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", trim_path.c_str());
+        return 2;
+      }
+      sat::write_drat_text(out, r.trimmed_proof);
     }
   }
   std::printf(r.ok ? "s VERIFIED\n" : "s NOT VERIFIED\n");

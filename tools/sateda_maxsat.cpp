@@ -1,0 +1,310 @@
+/// \file sateda_maxsat.cpp
+/// \brief WCNF command-line MaxSAT solver over the core-guided engine
+///        (opt/maxsat).
+///
+/// Reads a `p wcnf` file and minimizes the weight of falsified soft
+/// clauses subject to the hard ones.  Output follows the MaxSAT
+/// evaluation conventions: `c` comments, `o <cost>` bound lines, one
+/// `s` status line and a `v` model line.  Exit code 30 = optimum
+/// found, 20 = hard clauses unsatisfiable, 0 = undecided, 2 = usage
+/// or input error, 1 = --expect mismatch.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "opt/maxsat/maxsat.hpp"
+#include "opt/maxsat/wcnf.hpp"
+#include "sat/engine.hpp"
+
+namespace {
+
+using sateda::opt::MaxSatAlgo;
+using sateda::opt::MaxSatOptions;
+using sateda::opt::MaxSatResult;
+using sateda::opt::MaxSatStatus;
+using sateda::opt::WcnfFormula;
+
+void print_help(const char* argv0) {
+  std::printf(
+      "usage: %s [options] <file.wcnf | ->\n"
+      "\n"
+      "Reads a weighted CNF (`p wcnf <vars> <clauses> <top>`; weight ==\n"
+      "top marks a hard clause) and computes a minimum-cost assignment\n"
+      "with the core-guided MaxSAT engine.  Optima are proven, not\n"
+      "approximated: the engine relaxes UNSAT cores until the model\n"
+      "cost meets the certified lower bound.\n"
+      "\n"
+      "options:\n"
+      "  --algo NAME      oll (default): one totalizer per core, bounds\n"
+      "                   moved by assumptions; fumalik: clause cloning\n"
+      "                   with per-round at-most-one relaxation\n"
+      "  --engine NAME    SAT backend: cdcl (default), portfolio, ...\n"
+      "  --threads N      portfolio worker count (0 = one per core)\n"
+      "  --no-minimize    skip core minimization before relaxing\n"
+      "  --expect N       require the optimum to equal N (exit 1 when\n"
+      "                   it does not) -- used by the smoke tests\n"
+      "  --bench DIR      solve every *.wcnf under DIR and write a JSON\n"
+      "                   report (see --out) instead of solving one file\n"
+      "  --out FILE       JSON output path for --bench (default stdout)\n"
+      "  --stats          detailed counters after solving\n"
+      "  --quiet          suppress `c` comment lines\n"
+      "  --help           this message\n"
+      "\n"
+      "output: `o <cost>` then `s OPTIMUM FOUND` (exit 30),\n"
+      "`s UNSATISFIABLE` for inconsistent hard clauses (exit 20), or\n"
+      "`s UNKNOWN` (exit 0); on an optimum a `v` line lists the model\n"
+      "in DIMACS literals.\n",
+      argv0);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <file.wcnf | ->  (--help for details)\n",
+               argv0);
+  return 2;
+}
+
+struct Cli {
+  std::string path;
+  std::string bench_dir;
+  std::string out_path;
+  MaxSatOptions opts;
+  long long expect = -1;
+  bool have_expect = false;
+  bool stats = false;
+  bool quiet = false;
+};
+
+double run_and_time(const WcnfFormula& w, const MaxSatOptions& opts,
+                    MaxSatResult& result) {
+  const auto t0 = std::chrono::steady_clock::now();
+  result = sateda::opt::solve_maxsat(w, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+const char* status_name(MaxSatStatus s) {
+  switch (s) {
+    case MaxSatStatus::kOptimal: return "OPTIMUM FOUND";
+    case MaxSatStatus::kUnsat: return "UNSATISFIABLE";
+    case MaxSatStatus::kUnknown: return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+int solve_one(const Cli& cli) {
+  WcnfFormula w;
+  try {
+    if (cli.path == "-") {
+      w = sateda::opt::read_wcnf(std::cin);
+    } else {
+      w = sateda::opt::read_wcnf_file(cli.path);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (!cli.quiet) {
+    std::printf("c sateda-maxsat: %d vars, %zu hard, %zu soft (top=%llu)\n",
+                w.num_vars(), w.hard.num_clauses(), w.soft.size(),
+                static_cast<unsigned long long>(w.top));
+  }
+
+  MaxSatResult r;
+  const double ms = run_and_time(w, cli.opts, r);
+  if (!cli.quiet) {
+    std::printf("c %s in %.1f ms (%s)\n", status_name(r.status), ms,
+                r.stats.summary().c_str());
+  }
+  if (cli.stats) {
+    std::printf("%s", r.stats.solver.detailed().c_str());
+  }
+  if (r.status != MaxSatStatus::kUnsat) {
+    std::printf("o %llu\n", static_cast<unsigned long long>(
+                                r.status == MaxSatStatus::kOptimal
+                                    ? r.cost
+                                    : r.lower_bound));
+  }
+  std::printf("s %s\n", status_name(r.status));
+  if (r.status == MaxSatStatus::kOptimal) {
+    std::string v = "v";
+    for (int i = 0; i < w.num_vars(); ++i) {
+      const sateda::lbool val = static_cast<std::size_t>(i) < r.model.size()
+                                    ? r.model[i]
+                                    : sateda::l_undef;
+      v += val.is_true() ? " " + std::to_string(i + 1)
+                         : " -" + std::to_string(i + 1);
+    }
+    std::printf("%s 0\n", v.c_str());
+  }
+  std::fflush(stdout);
+
+  if (cli.have_expect) {
+    if (r.status != MaxSatStatus::kOptimal ||
+        r.cost != static_cast<std::uint64_t>(cli.expect)) {
+      std::fprintf(stderr,
+                   "error: expected optimum %lld, got %s cost %llu\n",
+                   cli.expect, status_name(r.status),
+                   static_cast<unsigned long long>(r.cost));
+      return 1;
+    }
+  }
+  switch (r.status) {
+    case MaxSatStatus::kOptimal: return 30;
+    case MaxSatStatus::kUnsat: return 20;
+    case MaxSatStatus::kUnknown: return 0;
+  }
+  return 0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+int run_bench(const Cli& cli) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(cli.bench_dir, ec)) {
+    if (entry.path().extension() == ".wcnf") files.push_back(entry.path());
+  }
+  if (ec || files.empty()) {
+    std::fprintf(stderr, "error: no .wcnf files under %s\n",
+                 cli.bench_dir.c_str());
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  std::string json = "{\n  \"benchmark\": \"maxsat\",\n  \"algo\": \"";
+  json += cli.opts.algo == MaxSatAlgo::kOll ? "oll" : "fumalik";
+  json += "\",\n  \"instances\": [\n";
+  bool all_ok = true;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    WcnfFormula w;
+    try {
+      w = sateda::opt::read_wcnf_file(files[i].string());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    MaxSatResult r;
+    const double ms = run_and_time(w, cli.opts, r);
+    if (r.status == MaxSatStatus::kUnknown) all_ok = false;
+    if (!cli.quiet) {
+      std::fprintf(stderr, "c %-32s %s cost=%llu rounds=%lld %.1f ms\n",
+                   files[i].filename().string().c_str(),
+                   status_name(r.status),
+                   static_cast<unsigned long long>(r.cost),
+                   static_cast<long long>(r.stats.rounds), ms);
+    }
+    json += "    {\"file\": \"" + json_escape(files[i].filename().string()) +
+            "\", \"vars\": " + std::to_string(w.num_vars()) +
+            ", \"soft\": " + std::to_string(w.soft.size()) +
+            ", \"status\": \"" +
+            (r.status == MaxSatStatus::kOptimal
+                 ? "optimal"
+                 : r.status == MaxSatStatus::kUnsat ? "unsat" : "unknown") +
+            "\", \"cost\": " + std::to_string(r.cost) +
+            ", \"rounds\": " + std::to_string(r.stats.rounds) +
+            ", \"core_literals\": " + std::to_string(r.stats.core_literals) +
+            ", \"solve_calls\": " +
+            std::to_string(r.stats.solver.solve_calls) +
+            ", \"time_ms\": " + std::to_string(ms) + "}";
+    json += i + 1 < files.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  if (cli.out_path.empty()) {
+    std::printf("%s", json.c_str());
+  } else {
+    std::ofstream out(cli.out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", cli.out_path.c_str());
+      return 2;
+    }
+    out << json;
+    if (!cli.quiet) {
+      std::fprintf(stderr, "c wrote %s\n", cli.out_path.c_str());
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  std::string engine_name;
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs an argument\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_help(argv[0]);
+      return 0;
+    } else if (arg == "--algo") {
+      const std::string name = next("--algo");
+      if (name == "oll") {
+        cli.opts.algo = MaxSatAlgo::kOll;
+      } else if (name == "fumalik" || name == "fu-malik") {
+        cli.opts.algo = MaxSatAlgo::kFuMalik;
+      } else {
+        std::fprintf(stderr, "error: unknown --algo %s\n", name.c_str());
+        return 2;
+      }
+    } else if (arg == "--engine") {
+      engine_name = next("--engine");
+    } else if (arg == "--threads") {
+      threads = std::atoi(next("--threads"));
+    } else if (arg == "--no-minimize") {
+      cli.opts.minimize_cores = false;
+    } else if (arg == "--expect") {
+      cli.expect = std::atoll(next("--expect"));
+      cli.have_expect = true;
+    } else if (arg == "--bench") {
+      cli.bench_dir = next("--bench");
+    } else if (arg == "--out") {
+      cli.out_path = next("--out");
+    } else if (arg == "--stats") {
+      cli.stats = true;
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      if (!cli.path.empty()) return usage(argv[0]);
+      cli.path = arg;
+    }
+  }
+  if (!engine_name.empty()) {
+    try {
+      cli.opts.engine = sateda::sat::engine_factory_by_name(engine_name,
+                                                            threads);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!cli.bench_dir.empty()) return run_bench(cli);
+  if (cli.path.empty()) return usage(argv[0]);
+  return solve_one(cli);
+}

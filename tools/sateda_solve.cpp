@@ -14,6 +14,7 @@
 #include <string>
 
 #include "cnf/dimacs.hpp"
+#include "sat/core/mus.hpp"
 #include "sat/engine.hpp"
 #include "sat/portfolio.hpp"
 #include "sat/preprocess.hpp"
@@ -44,6 +45,21 @@ void print_help(const char* argv0) {
       "  --binary-proof       emit the proof in binary DRAT\n"
       "  --max-conflicts N    give up after N conflicts (per worker)\n"
       "\n"
+      "assumptions and UNSAT cores:\n"
+      "  --assume LIT         solve under a DIMACS assumption literal\n"
+      "                       (repeatable; SATISFIABLE models honour all\n"
+      "                       assumptions, UNSATISFIABLE means 'under the\n"
+      "                       assumptions' and reports a failed core)\n"
+      "  --core-out FILE      on UNSAT under assumptions, write the failed\n"
+      "                       assumption core: `c` comments, then one line\n"
+      "                       of DIMACS literals terminated by 0 (a subset\n"
+      "                       of the --assume literals whose conjunction\n"
+      "                       is already inconsistent with the formula)\n"
+      "  --minimize-core      shrink the core first (iterative refinement\n"
+      "                       plus deletion-based MUS extraction); every\n"
+      "                       literal of the written core is then\n"
+      "                       necessary\n"
+      "\n"
       "general:\n"
       "  --preprocess         run the CNF preprocessor first\n"
       "  --strict-dimacs      enforce header variable/clause declarations\n"
@@ -72,6 +88,9 @@ int main(int argc, char** argv) {
   using namespace sateda;
   std::string path;
   std::string proof_path;
+  std::string core_path;
+  std::vector<Lit> assumptions;
+  bool minimize_core = false;
   std::string engine_name = "cdcl";
   int threads = 0;
   bool deterministic = false;
@@ -109,6 +128,18 @@ int main(int argc, char** argv) {
       proof_format = sat::DratFormat::kBinary;
     } else if (arg == "--max-conflicts" && i + 1 < argc) {
       opts.conflict_budget = std::atoll(argv[++i]);
+    } else if (arg == "--assume" && i + 1 < argc) {
+      long long code = std::atoll(argv[++i]);
+      if (code == 0) {
+        std::fprintf(stderr, "error: --assume takes a nonzero literal\n");
+        return 2;
+      }
+      Var v = static_cast<Var>((code < 0 ? -code : code) - 1);
+      assumptions.push_back(Lit(v, code < 0));
+    } else if (arg == "--core-out" && i + 1 < argc) {
+      core_path = argv[++i];
+    } else if (arg == "--minimize-core") {
+      minimize_core = true;
     } else if (arg == "--stats") {
       detailed_stats = true;
     } else if (arg == "--quiet") {
@@ -135,6 +166,18 @@ int main(int argc, char** argv) {
   }
   if (want_proof && engine_name != "cdcl" && engine_name != "portfolio") {
     std::fprintf(stderr, "error: --proof requires --engine cdcl or portfolio\n");
+    return 2;
+  }
+  if (!assumptions.empty() && preprocess_first) {
+    // Preprocessing may eliminate or rename assumed variables, which
+    // would silently change what the assumptions mean.
+    std::fprintf(stderr, "error: --assume cannot be combined with "
+                         "--preprocess\n");
+    return 2;
+  }
+  if ((!core_path.empty() || minimize_core) && assumptions.empty()) {
+    std::fprintf(stderr,
+                 "error: --core-out/--minimize-core require --assume\n");
     return 2;
   }
 
@@ -201,7 +244,9 @@ int main(int argc, char** argv) {
   }
   bool ok = solver->add_formula(*to_solve);
   solver->ensure_var(f.num_vars() - 1);
-  sat::SolveResult r = ok ? solver->solve() : sat::SolveResult::kUnsat;
+  for (Lit a : assumptions) solver->ensure_var(a.var());
+  sat::SolveResult r =
+      ok ? solver->solve(assumptions) : sat::SolveResult::kUnsat;
   if (!quiet) std::printf("c %s\n", solver->stats().summary().c_str());
   if (detailed_stats) {
     // One counter per `c` line, SAT-competition friendly.
@@ -226,9 +271,51 @@ int main(int argc, char** argv) {
       std::printf("s UNKNOWN\n");
       return 0;
     case sat::SolveResult::kUnsat: {
+      std::vector<Lit> core = solver->conflict_core();
+      if (!assumptions.empty() && minimize_core) {
+        const sat::core::CoreResult cr =
+            sat::core::minimize_core(*solver, core);
+        if (cr.unsat) {
+          core = cr.core;
+          if (!quiet) {
+            std::printf("c core minimization: %s%s\n",
+                        cr.stats.summary().c_str(),
+                        cr.minimal ? " (minimal)" : "");
+          }
+        }
+      }
       std::printf("s UNSATISFIABLE\n");
+      if (!assumptions.empty()) {
+        std::printf("c failed assumptions: %zu of %zu\n", core.size(),
+                    assumptions.size());
+        if (!core_path.empty()) {
+          std::ofstream out(core_path);
+          if (!out) {
+            std::fprintf(stderr, "error: cannot open core file %s\n",
+                         core_path.c_str());
+            return 2;
+          }
+          out << "c failed assumption core (" << core.size() << " of "
+              << assumptions.size() << " assumptions) of " << path << "\n";
+          for (Lit l : core) {
+            out << (l.negative() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+          }
+          out << "0\n";
+          if (!quiet) {
+            std::printf("c assumption core written to %s\n",
+                        core_path.c_str());
+          }
+        }
+      }
       if (want_proof) {
-        emit_proof(portfolio != nullptr ? portfolio->stitched_proof() : proof);
+        sat::Proof emitted =
+            portfolio != nullptr ? portfolio->stitched_proof()
+                                 : std::move(proof);
+        // An assumption run's trace ends with the negated core; close
+        // the refutation explicitly so the file checks standalone with
+        // the same --assume literals.
+        if (!assumptions.empty()) emitted.on_derive({});
+        emit_proof(emitted);
       }
       return 20;
     }
