@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# Parser fuzz smoke: feed the DIMACS and WCNF readers a few hundred
+# generated inputs — structurally valid ones, mutated ones, and raw
+# garbage — and assert the tools always exit with a documented status
+# instead of crashing.  Crash = any exit >= 128 (signal) or an
+# undocumented code; under ASan/UBSan builds a sanitizer report also
+# fails the run.
+#
+# usage: scripts/fuzz_smoke.sh [build-dir] [iterations]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ITERATIONS="${2:-120}"
+SOLVE="$BUILD_DIR/tools/sateda-solve"
+MAXSAT="$BUILD_DIR/tools/sateda-maxsat"
+WORK="$(mktemp -d /tmp/sateda_fuzz.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+for tool in "$SOLVE" "$MAXSAT"; do
+  if [ ! -x "$tool" ]; then
+    echo "error: $tool not built" >&2
+    exit 2
+  fi
+done
+
+failures=0
+
+# Exit statuses the tools document.  Everything else — in particular
+# 128+N from a signal — is a parser robustness bug.
+is_ok_status() {
+  local st="$1"
+  shift
+  for ok in "$@"; do
+    [ "$st" -eq "$ok" ] && return 0
+  done
+  return 1
+}
+
+check() {
+  local label="$1" file="$2"
+  shift 2
+  local st=0
+  "$SOLVE" --quiet "$file" >/dev/null 2>&1 || st=$?
+  if ! is_ok_status "$st" 0 2 10 20; then
+    echo "FAIL [dimacs/$label] exit $st on $file"
+    cp "$file" "$WORK/keep.$label.$st.cnf" 2>/dev/null || true
+    failures=$((failures + 1))
+  fi
+  st=0
+  "$SOLVE" --quiet --strict-dimacs "$file" >/dev/null 2>&1 || st=$?
+  if ! is_ok_status "$st" 0 2 10 20; then
+    echo "FAIL [dimacs-strict/$label] exit $st on $file"
+    failures=$((failures + 1))
+  fi
+  st=0
+  "$MAXSAT" --quiet "$file" >/dev/null 2>&1 || st=$?
+  if ! is_ok_status "$st" 0 2 20 30; then
+    echo "FAIL [wcnf/$label] exit $st on $file"
+    cp "$file" "$WORK/keep.$label.$st.wcnf" 2>/dev/null || true
+    failures=$((failures + 1))
+  fi
+}
+
+# Deterministic PRNG so failures reproduce: a simple LCG seeded per
+# iteration keeps the script portable (no shuf/openssl dependency).
+lcg=12345
+rand() {
+  lcg=$(((lcg * 1103515245 + 12345) % 2147483648))
+  echo $((lcg % $1))
+}
+
+for i in $(seq 1 "$ITERATIONS"); do
+  lcg=$((i * 7919))
+  f="$WORK/case.cnf"
+
+  case $(rand 5) in
+    0)
+      # Structurally valid random CNF (sometimes with a lying header).
+      nv=$(($(rand 20) + 1))
+      nc=$(($(rand 40) + 1))
+      hv=$nv
+      [ "$(rand 4)" -eq 0 ] && hv=$(rand 50)
+      {
+        echo "c fuzz case $i"
+        echo "p cnf $hv $nc"
+        for _ in $(seq 1 "$nc"); do
+          len=$(($(rand 4) + 1))
+          line=""
+          for _ in $(seq 1 "$len"); do
+            v=$(($(rand "$nv") + 1))
+            [ "$(rand 2)" -eq 0 ] && v=$((-v))
+            line="$line $v"
+          done
+          echo "$line 0"
+        done
+      } > "$f"
+      ;;
+    1)
+      # Valid WCNF-style input (top weight header).
+      nv=$(($(rand 12) + 1))
+      {
+        echo "p wcnf $nv 6 100"
+        for _ in $(seq 1 6); do
+          w=$(($(rand 99) + 1))
+          [ "$(rand 3)" -eq 0 ] && w=100
+          v=$(($(rand $nv) + 1))
+          [ "$(rand 2)" -eq 0 ] && v=$((-v))
+          echo "$w $v 0"
+        done
+      } > "$f"
+      ;;
+    2)
+      # Truncations and mutations of a valid file.
+      {
+        echo "p cnf 5 3"
+        echo "1 -2 3 0"
+        echo "-1 4 0"
+        echo "2 -5 0"
+      } > "$f"
+      case $(rand 4) in
+        0) head -c $(($(rand 30) + 1)) "$f" > "$f.t" && mv "$f.t" "$f" ;;
+        1) sed 's/0$//' "$f" > "$f.t" && mv "$f.t" "$f" ;;
+        2) sed 's/cnf/wcnf/' "$f" > "$f.t" && mv "$f.t" "$f" ;;
+        3) printf '%s\n99999999999999999999 0\n' "$(cat "$f")" > "$f" ;;
+      esac
+      ;;
+    3)
+      # Garbage: random bytes, no structure at all.
+      head -c $(($(rand 400) + 1)) /dev/urandom > "$f"
+      ;;
+    4)
+      # Pathological text: huge literals, empty lines, stray tokens.
+      {
+        echo "p cnf $(rand 1000000000) $(rand 1000000000)"
+        echo ""
+        echo "$(rand 100000000)  -$(rand 100000000) x 0"
+        echo "0"
+        echo "% trailing junk"
+      } > "$f"
+      ;;
+  esac
+
+  check "$i" "$f"
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures fuzz case(s) crashed or exited abnormally"
+  exit 1
+fi
+echo "fuzz smoke passed: $ITERATIONS DIMACS+WCNF cases, no crashes"

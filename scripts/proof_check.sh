@@ -75,7 +75,15 @@ for cnf in "$CNF_DIR"/*.cnf; do
   run_one "cdcl/text" "$cnf"
   run_one "cdcl/binary" "$cnf" --binary-proof
   run_one "preprocess" "$cnf" --preprocess
+  # Each preprocessor pass in isolation: a proof-soundness bug in one
+  # pass cannot hide behind the others cleaning up after it.
+  for pass in pure equiv subsume selfsub bve; do
+    run_one "pre-pass/$pass" "$cnf" --pre-pass "$pass"
+  done
+  run_one "inprocess" "$cnf" --inprocess
   run_one "portfolio" "$cnf" --engine portfolio --threads 2
+  run_one "portfolio/inprocess" "$cnf" --engine portfolio --threads 2 \
+    --inprocess
   run_core_trim "$cnf"
 done
 

@@ -96,6 +96,8 @@ class StepEngine {
     frame.bad = frame.vars[machine_.bad];
     // Guarded hypothesis g_k → ¬bad_k; queries assume g_i for i < k.
     frame.good_sel = solver_->new_var();
+    // Guard selectors are assumed in every later induction query.
+    solver_->freeze(frame.good_sel);
     f.add_binary(neg(frame.good_sel), neg(frame.bad));
     frame_of_sel_.emplace(frame.good_sel, k);
     // Simple-path constraint: this frame's state differs from every

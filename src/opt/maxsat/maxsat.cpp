@@ -93,6 +93,9 @@ MaxSatResult solve_oll(const WcnfFormula& f, const MaxSatOptions& opts) {
       a = s.lits[0];  // assume the literal itself; no selector needed
     } else {
       const Var r = engine->new_var();
+      // Selectors are assumed across every iteration; simplification
+      // must not eliminate or substitute them between solves.
+      engine->freeze(r);
       std::vector<Lit> cl = s.lits;
       cl.push_back(pos(r));
       if (!engine->add_clause(std::move(cl))) ok = false;
@@ -209,6 +212,7 @@ MaxSatResult solve_fu_malik(const WcnfFormula& f, const MaxSatOptions& opts) {
   auto instrument = [&](std::vector<Lit> lits, std::uint64_t weight,
                         std::size_t reuse_slot) {
     const Var sel = engine->new_var();
+    engine->freeze(sel);  // assumed on every later solve
     std::vector<Lit> cl = lits;
     cl.push_back(pos(sel));
     if (!engine->add_clause(std::move(cl))) ok = false;
@@ -283,6 +287,7 @@ MaxSatResult solve_fu_malik(const WcnfFormula& f, const MaxSatOptions& opts) {
     round_relax.reserve(members.size());
     for (std::size_t idx : members) {
       const Var b = engine->new_var();
+      engine->freeze(b);  // appears in later cardinality assumptions
       round_relax.push_back(pos(b));
       if (softs[idx].weight > wmin) {
         softs[idx].weight -= wmin;

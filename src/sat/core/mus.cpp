@@ -117,6 +117,10 @@ CoreResult extract_core(SatEngine& engine, const std::vector<Lit>& assumptions,
   CoreResult result;
   CoreMinimizeStats stats;
   stats.initial_size = assumptions.size();
+  // Extraction probes subsets of the assumptions across many solves;
+  // an inprocessing engine must never eliminate or substitute them in
+  // between, or a later subset query would answer a different formula.
+  for (Lit a : assumptions) engine.freeze(a.var());
   if (budgeted_solve(engine, assumptions, opts, stats) !=
       SolveResult::kUnsat) {
     result.stats = stats;
@@ -129,6 +133,7 @@ CoreResult minimize_core(SatEngine& engine, std::vector<Lit> core,
                          const CoreMinimizeOptions& opts) {
   CoreMinimizeStats stats;
   stats.initial_size = core.size();
+  for (Lit a : core) engine.freeze(a.var());
   // Establish (and refine) UNSAT-ness with one solve even when the
   // caller disabled refinement — a satisfiable "core" must be caught.
   if (budgeted_solve(engine, core, opts, stats) != SolveResult::kUnsat) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <numeric>
 
 namespace sateda::sat {
@@ -165,6 +166,14 @@ SolveResult DpllSolver::run(const std::vector<Lit>& assumptions,
     if (!assign(a) || !propagate(pre)) return unsat(true);
   }
 
+  // Wall-clock budget: deadline armed once per run, clock polled once
+  // per 64 decision rounds so the default path never pays the syscall.
+  const bool has_deadline = opts_.time_budget_ms >= 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(has_deadline ? opts_.time_budget_ms : 0);
+  int time_poll_counter = 0;
+
   std::vector<Frame> stack;
   const std::size_t root_trail = trail_.size();
   while (true) {
@@ -172,6 +181,14 @@ SolveResult DpllSolver::run(const std::vector<Lit>& assumptions,
       unassign_to(0);
       unknown_reason_ = UnknownReason::kInterrupted;
       return SolveResult::kUnknown;
+    }
+    if (has_deadline && ++time_poll_counter >= 64) {
+      time_poll_counter = 0;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        unassign_to(0);
+        unknown_reason_ = UnknownReason::kTimeBudget;
+        return SolveResult::kUnknown;
+      }
     }
     Var v = pick_variable();
     if (v == kNullVar) {

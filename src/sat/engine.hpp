@@ -136,6 +136,24 @@ class SatEngine {
   /// Steers the decision heuristic toward \p v (e.g. fault-cone
   /// variables in ATPG).
   virtual void bump_variable(Var v) { (void)v; }
+
+  /// Protects \p v from elimination or substitution by simplification
+  /// (preprocessing/inprocessing): a frozen variable keeps its clauses
+  /// and its meaning, so it is safe to use later as an assumption or a
+  /// selector (MUS selectors, MaxSAT relaxation variables, k-induction
+  /// frame selectors).  Engines without simplification ignore it.
+  /// Freeze before the first solve() that could simplify the variable.
+  virtual void freeze(Var v) { (void)v; }
+
+  /// Releases the freeze() protection (the variable becomes eligible
+  /// for elimination again at the next simplification run).
+  virtual void thaw(Var v) { (void)v; }
+
+  /// Whether \p v is currently frozen.
+  virtual bool is_frozen(Var v) const {
+    (void)v;
+    return false;
+  }
 };
 
 /// Builds a SAT engine from application-tuned solver options.  An

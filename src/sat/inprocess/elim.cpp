@@ -1,0 +1,53 @@
+#include "sat/inprocess/elim.hpp"
+
+#include <algorithm>
+
+namespace sateda::sat {
+
+bool resolve_on(const std::vector<Lit>& c, const std::vector<Lit>& d,
+                Var pivot, std::vector<Lit>& out) {
+  out.clear();
+  out.reserve(c.size() + d.size() - 2);
+  for (Lit l : c) {
+    if (l.var() != pivot) out.push_back(l);
+  }
+  for (Lit l : d) {
+    if (l.var() != pivot) out.push_back(l);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    if (out[i].var() == out[i + 1].var()) return false;  // tautology
+  }
+  return true;
+}
+
+void extend_model(const std::vector<ElimRecord>& stack,
+                  const std::function<bool(Lit)>& lit_true,
+                  const std::function<void(Var, bool)>& set_var) {
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    const Var v = it->pivot;
+    bool value = false;  // free pivots default to false
+    for (const std::vector<Lit>& cl : it->clauses) {
+      Lit pivot_lit = kUndefLit;
+      bool satisfied = false;
+      for (Lit l : cl) {
+        if (l.var() == v) {
+          pivot_lit = l;
+        } else if (lit_true(l)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      // Every other literal is false, so the pivot must carry the
+      // clause.  No two saved clauses can demand opposite polarities:
+      // their resolvent would be falsified, yet it is implied by the
+      // reduced formula the model satisfies.
+      value = !pivot_lit.negative();
+    }
+    set_var(v, value);
+  }
+}
+
+}  // namespace sateda::sat

@@ -1,0 +1,53 @@
+/// \file elim.hpp
+/// \brief Variable-elimination bookkeeping shared by the standalone
+///        preprocessor and the in-search inprocessor.
+///
+/// Bounded variable elimination (Eén/Biere-style clause distribution)
+/// removes a pivot variable v by replacing every clause containing v
+/// with the pairwise resolvents of its positive and negative
+/// occurrences.  The transformation is equisatisfiable but not
+/// equivalent: a model of the reduced formula says nothing about v, so
+/// the original occurrence clauses are saved on a chronological
+/// ElimStack and replayed in reverse to extend a model — the pivot is
+/// set to satisfy every saved clause (at most one polarity can ever be
+/// demanded, because the opposing pair would imply a falsified
+/// resolvent that the reduced formula's model must satisfy).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cnf/literal.hpp"
+
+namespace sateda::sat {
+
+/// One eliminated variable: the pivot and every clause that contained
+/// it at elimination time (each saved clause mentions the pivot in
+/// exactly one polarity; tautologies are never stored).
+struct ElimRecord {
+  Var pivot = kNullVar;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Resolves \p c and \p d on \p pivot (c contains the pivot in one
+/// polarity, d in the other) into \p out: all non-pivot literals of
+/// both, sorted and deduplicated.  Returns false when the resolvent is
+/// a tautology (some variable occurs in both polarities), in which
+/// case \p out is meaningless.
+bool resolve_on(const std::vector<Lit>& c, const std::vector<Lit>& d,
+                Var pivot, std::vector<Lit>& out);
+
+/// Extends a model of the reduced formula over the eliminated
+/// variables by replaying \p stack newest-first.  \p lit_true must
+/// return the definite truth value of a literal in the model built so
+/// far (callers map unassigned variables to false); \p set_var records
+/// the chosen pivot value.  Replay order guarantees every non-pivot
+/// literal of a saved clause is already valued when it is evaluated: a
+/// saved clause only mentions variables live at its elimination time,
+/// and those are either never eliminated or eliminated later (hence
+/// replayed earlier).
+void extend_model(const std::vector<ElimRecord>& stack,
+                  const std::function<bool(Lit)>& lit_true,
+                  const std::function<void(Var, bool)>& set_var);
+
+}  // namespace sateda::sat

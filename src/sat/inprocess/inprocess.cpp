@@ -1,0 +1,417 @@
+#include "sat/inprocess/inprocess.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "sat/inprocess/elim.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::sat {
+
+namespace {
+
+/// Removes the watch entry implementing clause (a ∨ b) from a's side
+/// (the list at (~a).index() holds {other = b}).  One entry per call,
+/// so duplicate binaries stay balanced.  (Templated so the private
+/// Solver::BinWatcher type is never named outside the friend.)
+template <typename BinList>
+void remove_bin_half(BinList& list, Lit b, bool learnt) {
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i].other == b && (list[i].learnt != 0) == learnt) {
+      list[i] = list.back();
+      list.pop_back();
+      return;
+    }
+  }
+  assert(false && "binary watch half not found");
+}
+
+}  // namespace
+
+bool Inprocessor::settle() {
+  if (!s_.deduce().is_none()) {
+    s_.ok_ = false;
+    if (s_.proof_) s_.proof_->on_derive({});
+    return false;
+  }
+  return true;
+}
+
+bool Inprocessor::run() {
+  Solver& s = s_;
+  assert(s.decision_level() == 0);
+  if (!s.ok_) return false;
+  if (!settle()) return false;
+  // Root-level antecedents are never revisited by conflict analysis
+  // (diagnose/minimize stop at level 0), so release them up front:
+  // nothing in the database is locked during the passes.
+  for (Lit l : s.trail_) s.reason_[l.var()] = kNoReason;
+  const InprocessOptions& o = s.opts_.inprocess;
+  if (o.probing && !probe_failed_literals()) return false;
+  if (o.vivify && !vivify_learnts()) return false;
+  if (o.bve && !eliminate_variables()) return false;
+  s.check_garbage();
+  return true;
+}
+
+bool Inprocessor::probe_failed_literals() {
+  Solver& s = s_;
+  const std::int64_t budget = s.opts_.inprocess.probe_budget;
+  const std::int64_t start = s.stats_.propagations;
+  const std::int32_t n = 2 * s.num_vars();
+  for (std::int32_t idx = 0; idx < n; ++idx) {
+    if (budget >= 0 && s.stats_.propagations - start > budget) break;
+    const Lit l = Lit::from_index(idx);
+    if (!s.value(l).is_undef()) continue;
+    // Only literals with binary implications are worth assuming: for
+    // anything else one probe costs a full watch sweep and almost
+    // never fails.
+    if (s.bin_watches_[l.index()].empty()) continue;
+    s.trail_lim_.push_back(static_cast<int>(s.trail_.size()));
+    [[maybe_unused]] const bool enq = s.enqueue(l, kNoReason);
+    assert(enq);
+    const Reason confl = s.deduce();
+    s.erase_until(0);
+    if (confl.is_none()) continue;
+    // Assuming l conflicts under unit propagation, so {~l} is RUP.
+    ++s.stats_.failed_literals;
+    if (s.proof_) s.proof_->on_derive({~l});
+    if (!s.enqueue(~l, kNoReason) || !s.deduce().is_none()) {
+      s.ok_ = false;
+      if (s.proof_) s.proof_->on_derive({});
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Inprocessor::vivify_learnts() {
+  Solver& s = s_;
+  const InprocessOptions& o = s.opts_.inprocess;
+  std::vector<CRef> cands;
+  for (CRef cr : s.learnts_) {
+    ArenaClause c = s.arena_[cr];
+    if (c.deleted()) continue;
+    // Local-tier clauses churn too fast to be worth the propagation.
+    if (c.tier() == ClauseTier::kLocal) continue;
+    if (static_cast<int>(c.size()) > o.vivify_max_size) continue;
+    cands.push_back(cr);
+  }
+
+  const std::int64_t budget = o.vivify_budget;
+  const std::int64_t start = s.stats_.propagations;
+  std::vector<Lit> lits, out;
+  std::vector<CRef> added;
+  for (CRef cr : cands) {
+    if (budget >= 0 && s.stats_.propagations - start > budget) break;
+    ArenaClause c = s.arena_[cr];
+    if (c.deleted()) continue;
+    const std::uint32_t old_size = c.size();
+    const int old_lbd = c.lbd();
+    lits.clear();
+    bool sat_root = false;
+    for (Lit l : c) {
+      if (s.value(l).is_true()) {  // all root level here
+        sat_root = true;
+        break;
+      }
+      lits.push_back(l);
+    }
+    if (sat_root) continue;
+
+    // Assume the negation of the clause literal by literal.  A literal
+    // already decided by the prefix either closes the clause early
+    // (true: the prefix plus it is itself a clause) or is redundant
+    // (false: unit propagation from the others refutes it); an
+    // undecided literal is assumed false and propagated — a conflict
+    // again closes the clause at a shorter prefix.  Every shortened
+    // clause is RUP by exactly the propagation that was just run.
+    out.clear();
+    s.trail_lim_.push_back(static_cast<int>(s.trail_.size()));
+    for (Lit li : lits) {
+      const lbool v = s.value(li);
+      if (v.is_true()) {
+        out.push_back(li);
+        break;
+      }
+      if (v.is_false()) continue;
+      out.push_back(li);
+      [[maybe_unused]] const bool enq = s.enqueue(~li, kNoReason);
+      assert(enq);
+      if (!s.deduce().is_none()) break;
+    }
+    s.erase_until(0);
+    if (out.size() >= old_size) continue;
+    assert(!out.empty());
+
+    ++s.stats_.vivified_clauses;
+    s.stats_.vivified_literals +=
+        static_cast<std::int64_t>(old_size - out.size());
+    if (s.proof_) s.proof_->on_derive(out);
+    s.remove_clause(cr);  // learnt: logs the deletion, after the derive
+    if (out.size() == 1) {
+      if (!s.enqueue(out[0], kNoReason) || !s.deduce().is_none()) {
+        s.ok_ = false;
+        if (s.proof_) s.proof_->on_derive({});
+        return false;
+      }
+    } else if (out.size() == 2) {
+      s.attach_binary(out[0], out[1], /*learnt=*/true);
+    } else {
+      const CRef nc = s.attach_new_clause(out, /*learnt=*/true);
+      ArenaClause c2 = s.arena_[nc];
+      const int lbd =
+          std::min(old_lbd, static_cast<int>(out.size()) - 1);
+      c2.set_lbd(lbd);
+      c2.set_tier(s.tier_for_lbd(lbd));
+      c2.set_used();
+      added.push_back(nc);
+    }
+  }
+
+  std::size_t j = 0;
+  for (CRef cr : s.learnts_) {
+    if (!s.arena_[cr].deleted()) s.learnts_[j++] = cr;
+  }
+  s.learnts_.resize(j);
+  s.learnts_.insert(s.learnts_.end(), added.begin(), added.end());
+  return true;
+}
+
+bool Inprocessor::eliminate_variables() {
+  Solver& s = s_;
+  // Structural listeners (paper §5) own variables the solver cannot
+  // see through — branching overrides and early-satisfaction tests may
+  // inspect any variable, so no variable is safe to remove.
+  if (s.listener_) return true;
+  const InprocessOptions& o = s.opts_.inprocess;
+
+  // Materialize the live problem clauses once: arena clauses keep
+  // their CRef, implicit binaries their literal pair (captured at the
+  // canonical half).  Resolvents appended during the pass join the
+  // same list so later pivots see them.
+  struct WorkClause {
+    std::vector<Lit> lits;
+    CRef cref = kCRefUndef;  // kCRefUndef → implicit binary
+    bool alive = true;
+  };
+  std::vector<WorkClause> db;
+  db.reserve(s.clauses_.size());
+  for (CRef cr : s.clauses_) {
+    ArenaClause c = s.arena_[cr];
+    if (c.deleted()) continue;
+    db.push_back({c.lits(), cr, true});
+  }
+  for (std::size_t idx = 0; idx < s.bin_watches_.size(); ++idx) {
+    const Lit a = ~Lit::from_index(static_cast<std::int32_t>(idx));
+    for (const Solver::BinWatcher& bw : s.bin_watches_[idx]) {
+      if (bw.learnt) continue;
+      if (a.index() < bw.other.index()) {
+        db.push_back({{a, bw.other}, kCRefUndef, true});
+      }
+    }
+  }
+  std::vector<std::vector<std::size_t>> occ(2 *
+                                            static_cast<std::size_t>(s.num_vars()));
+  for (std::size_t ci = 0; ci < db.size(); ++ci) {
+    for (Lit l : db[ci].lits) occ[l.index()].push_back(ci);
+  }
+
+  auto kill = [&](std::size_t ci) {
+    WorkClause& wc = db[ci];
+    wc.alive = false;
+    if (wc.cref != kCRefUndef) {
+      // Unit resolvents propagated mid-pass can have recorded this
+      // clause as a root antecedent; release it so remove_clause()'s
+      // lock check holds (root reasons are never revisited).
+      ArenaClause c = s.arena_[wc.cref];
+      const Var v0 = c[0].var();
+      if (s.reason_[v0].is_clause() && s.reason_[v0].cref() == wc.cref) {
+        s.reason_[v0] = kNoReason;
+      }
+      s.remove_clause(wc.cref);  // problem clause: no proof deletion
+    } else {
+      remove_bin_half(s.bin_watches_[(~wc.lits[0]).index()], wc.lits[1],
+                      /*learnt=*/false);
+      remove_bin_half(s.bin_watches_[(~wc.lits[1]).index()], wc.lits[0],
+                      /*learnt=*/false);
+      ++s.stats_.deleted_clauses;
+    }
+    if (s.num_problem_clauses_ > 0) --s.num_problem_clauses_;
+  };
+
+  // Cheapest pivots first.
+  std::vector<std::pair<int, Var>> order;
+  for (Var v = 0; v < s.num_vars(); ++v) {
+    if (s.frozen_[v] || s.eliminated_[v] || !s.value(v).is_undef()) continue;
+    const int cnt = static_cast<int>(occ[pos(v).index()].size() +
+                                     occ[neg(v).index()].size());
+    if (cnt == 0 || cnt > o.bve_max_occurrences) continue;
+    order.emplace_back(cnt, v);
+  }
+  std::sort(order.begin(), order.end());
+
+  bool any_eliminated = false;
+  std::vector<Lit> resolvent;
+  std::vector<std::size_t> pos_cls, neg_cls;
+  for (const auto& [cnt_hint, v] : order) {
+    if (s.frozen_[v] || s.eliminated_[v] || !s.value(v).is_undef()) continue;
+    pos_cls.clear();
+    neg_cls.clear();
+    for (std::size_t ci : occ[pos(v).index()]) {
+      if (db[ci].alive) pos_cls.push_back(ci);
+    }
+    for (std::size_t ci : occ[neg(v).index()]) {
+      if (db[ci].alive) neg_cls.push_back(ci);
+    }
+    const std::size_t before = pos_cls.size() + neg_cls.size();
+    if (before == 0 ||
+        before > static_cast<std::size_t>(o.bve_max_occurrences)) {
+      continue;
+    }
+
+    // Distribute.  Resolvents are normalized against the root trail:
+    // a root-satisfied resolvent is dropped, root-false literals are
+    // removed — the normalized clause is still RUP (the dropped
+    // literals fall to the logged root units under propagation).
+    std::vector<std::vector<Lit>> kept;
+    bool too_costly = false;
+    bool refuted = false;
+    for (std::size_t pi : pos_cls) {
+      for (std::size_t ni : neg_cls) {
+        if (!resolve_on(db[pi].lits, db[ni].lits, v, resolvent)) continue;
+        bool satisfied = false;
+        std::size_t w = 0;
+        for (Lit l : resolvent) {
+          const lbool lv = s.value(l);
+          if (lv.is_true()) {
+            satisfied = true;
+            break;
+          }
+          if (!lv.is_false()) resolvent[w++] = l;
+        }
+        if (satisfied) continue;
+        resolvent.resize(w);
+        if (resolvent.empty()) {
+          // Both parents collapse onto the pivot under the root trail:
+          // unit propagation alone refutes the database.
+          refuted = true;
+          break;
+        }
+        if (static_cast<int>(resolvent.size()) > o.bve_max_resolvent ||
+            kept.size() >=
+                before + static_cast<std::size_t>(o.bve_max_growth)) {
+          too_costly = true;
+          break;
+        }
+        kept.push_back(resolvent);
+      }
+      if (too_costly || refuted) break;
+    }
+    if (refuted) {
+      s.ok_ = false;
+      if (s.proof_) s.proof_->on_derive({});
+      return false;
+    }
+    if (too_costly) continue;
+
+    // Commit.  Resolvents are logged while the parents are still in
+    // the checker database, then the occurrence clauses move onto the
+    // elimination stack and out of the watch lists.
+    for (const auto& r : kept) {
+      if (s.proof_) s.proof_->on_derive(r);
+    }
+    ElimRecord rec;
+    rec.pivot = v;
+    rec.clauses.reserve(before);
+    for (std::size_t ci : pos_cls) {
+      rec.clauses.push_back(db[ci].lits);
+      kill(ci);
+    }
+    for (std::size_t ci : neg_cls) {
+      rec.clauses.push_back(db[ci].lits);
+      kill(ci);
+    }
+    s.elim_stack_.push_back(std::move(rec));
+    s.eliminated_[v] = 1;
+    s.decision_[v] = 0;
+    ++s.stats_.eliminated_vars;
+    s.stats_.bve_resolvents += static_cast<std::int64_t>(kept.size());
+    any_eliminated = true;
+
+    for (auto& r : kept) {
+      if (r.size() == 1) {
+        if (!s.enqueue(r[0], kNoReason) || !s.deduce().is_none()) {
+          s.ok_ = false;
+          if (s.proof_) s.proof_->on_derive({});
+          return false;
+        }
+        continue;
+      }
+      const std::size_t ni = db.size();
+      for (Lit l : r) occ[l.index()].push_back(ni);
+      if (r.size() == 2) {
+        s.attach_binary(r[0], r[1], /*learnt=*/false);
+        db.push_back({std::move(r), kCRefUndef, true});
+      } else {
+        const CRef nc = s.attach_new_clause(r, /*learnt=*/false);
+        s.clauses_.push_back(nc);
+        db.push_back({std::move(r), nc, true});
+      }
+      ++s.num_problem_clauses_;
+    }
+  }
+
+  if (any_eliminated) {
+    // Learnt clauses mentioning an eliminated variable are not implied
+    // by the reduced set; retire them (deletions are always safe for
+    // the checker, and these are logged like any learnt deletion).
+    std::size_t j = 0;
+    for (CRef cr : s.learnts_) {
+      ArenaClause c = s.arena_[cr];
+      if (c.deleted()) continue;
+      bool has_elim = false;
+      for (Lit l : c) {
+        if (s.eliminated_[l.var()]) {
+          has_elim = true;
+          break;
+        }
+      }
+      if (has_elim) {
+        s.remove_clause(cr);
+      } else {
+        s.learnts_[j++] = cr;
+      }
+    }
+    s.learnts_.resize(j);
+    for (std::size_t idx = 0; idx < s.bin_watches_.size(); ++idx) {
+      const Lit a = ~Lit::from_index(static_cast<std::int32_t>(idx));
+      auto& list = s.bin_watches_[idx];
+      std::size_t k = 0;
+      for (const Solver::BinWatcher& bw : list) {
+        if (!s.eliminated_[a.var()] && !s.eliminated_[bw.other.var()]) {
+          list[k++] = bw;
+          continue;
+        }
+        assert(bw.learnt && "problem binaries are removed at commit");
+        if (a.index() < bw.other.index()) {  // canonical half
+          if (s.proof_) s.proof_->on_delete({a, bw.other});
+          ++s.stats_.deleted_clauses;
+          if (s.num_learnt_binaries_ > 0) --s.num_learnt_binaries_;
+        }
+      }
+      list.resize(k);
+    }
+  }
+  // Drop the CRefs remove_clause() freed so check_garbage() can
+  // relocate safely.
+  std::size_t j = 0;
+  for (CRef cr : s.clauses_) {
+    if (!s.arena_[cr].deleted()) s.clauses_[j++] = cr;
+  }
+  s.clauses_.resize(j);
+  return true;
+}
+
+}  // namespace sateda::sat

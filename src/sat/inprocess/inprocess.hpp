@@ -1,0 +1,56 @@
+/// \file inprocess.hpp
+/// \brief In-search simplification (inprocessing) for the CDCL solver.
+///
+/// Runs three passes over the solver's live clause database at root
+/// level — a place the paper's preprocessing discussion (§4.1) stops
+/// short of, but that the same techniques extend to naturally once the
+/// solver is incremental (§6):
+///
+///  * failed-literal probing over the binary implication graph: assume
+///    a literal with binary occurrences, propagate, and learn the
+///    negation as a root unit when propagation conflicts (RUP);
+///  * vivification of core/tier-2 learnt clauses: assume the negation
+///    of a clause prefix and shorten the clause when propagation
+///    decides the remainder (each shortened clause is RUP);
+///  * bounded variable elimination by clause distribution, with the
+///    replaced clauses saved on the solver's elimination stack for
+///    model extension and reintroduction (see elim.hpp).
+///
+/// Proof policy: every derived clause (units, vivified clauses, BVE
+/// resolvents) is RUP and logged before anything it depends on is
+/// deleted.  Deletions are logged only for learnt clauses — eliminated
+/// *problem* clauses stay in the checker's database, which keeps
+/// portfolio proof stitching and clause reintroduction sound and only
+/// strengthens the checker.
+///
+/// All passes run with the trail at decision level 0 and leave the
+/// solver at a BCP fixpoint; frozen variables are never eliminated.
+#pragma once
+
+namespace sateda::sat {
+
+class Solver;
+
+/// One inprocessing run over a Solver's database.  Construct and call
+/// run() at decision level 0; the object holds only scratch state and
+/// is cheap to create per run.
+class Inprocessor {
+ public:
+  explicit Inprocessor(Solver& s) : s_(s) {}
+
+  /// Runs the passes enabled in SolverOptions::inprocess.  Returns
+  /// false iff the clause set was refuted: the solver is marked dead
+  /// (okay() == false) and the proof, if any, ends with the empty
+  /// clause.
+  bool run();
+
+ private:
+  bool settle();  ///< propagate to fixpoint; false on root conflict
+  bool probe_failed_literals();
+  bool vivify_learnts();
+  bool eliminate_variables();
+
+  Solver& s_;
+};
+
+}  // namespace sateda::sat

@@ -33,6 +33,31 @@ enum class BacktrackMode {
   kChronological,     ///< undo only the most recent decision level
 };
 
+/// Inprocessing knobs: bounded variable elimination, learnt-clause
+/// vivification and failed-literal probing, run at root-level quiescent
+/// points (solve() entry and restart boundaries).  See
+/// inprocess/inprocess.hpp for pass semantics and proof emission.
+struct InprocessOptions {
+  bool enabled = false;          ///< master switch (off: zero overhead)
+  std::int64_t interval = 8000;  ///< conflicts between runs (0: every boundary)
+  double interval_growth = 2.0;  ///< interval multiplier after each run
+
+  // --- bounded variable elimination (occurrence/size cutoffs) -------
+  bool bve = true;
+  int bve_max_occurrences = 16;  ///< skip pivots occurring more often
+  int bve_max_growth = 0;        ///< net extra clauses allowed per pivot
+  int bve_max_resolvent = 24;    ///< skip pivots producing longer resolvents
+
+  // --- failed-literal probing over the binary implication graph -----
+  bool probing = true;
+  std::int64_t probe_budget = 200000;  ///< propagations per probing pass
+
+  // --- vivification of core/tier2 learnt clauses --------------------
+  bool vivify = true;
+  std::int64_t vivify_budget = 200000;  ///< propagations per vivify pass
+  int vivify_max_size = 30;             ///< skip longer clauses
+};
+
 /// Tunables for sat::Solver.  Defaults reproduce a GRASP/Chaff-flavoured
 /// modern solver; benches flip individual switches.
 struct SolverOptions {
@@ -68,9 +93,15 @@ struct SolverOptions {
   int restart_base = 100;            ///< conflicts before first restart (Luby unit)
   double restart_inc = 2.0;          ///< Luby sequence multiplier base
 
+  // --- inprocessing -------------------------------------------------
+  InprocessOptions inprocess;
+
   // --- resource budgets --------------------------------------------
   std::int64_t conflict_budget = -1;    ///< stop with kUnknown after this many conflicts (<0: off)
   std::int64_t propagation_budget = -1; ///< likewise for propagations
+  /// Wall-clock budget per solve() call in milliseconds (<0: off).  The
+  /// clock is polled only when set, so the default costs nothing.
+  std::int64_t time_budget_ms = -1;
 };
 
 /// Counters reported by the solver; every bench prints these so the
@@ -101,6 +132,13 @@ struct SolverStats {
   std::int64_t core_literals = 0;     ///< summed size of those cores
   std::int64_t core_min_calls = 0;    ///< solve() calls spent minimizing cores
   std::int64_t relaxation_rounds = 0; ///< core-guided relaxations (MaxSAT)
+  // Inprocessing observability (sat/inprocess).
+  std::int64_t inprocess_runs = 0;    ///< inprocessing rounds executed
+  std::int64_t eliminated_vars = 0;   ///< variables removed by BVE
+  std::int64_t bve_resolvents = 0;    ///< resolvent clauses BVE added
+  std::int64_t failed_literals = 0;   ///< units derived by probing
+  std::int64_t vivified_clauses = 0;  ///< learnt clauses strengthened
+  std::int64_t vivified_literals = 0; ///< literals removed by vivification
   double solve_time_sec = 0.0;        ///< wall time spent inside solve()
 
   /// Propagation throughput over the time spent in solve(); the key
@@ -136,6 +174,12 @@ struct SolverStats {
     core_literals += o.core_literals;
     core_min_calls += o.core_min_calls;
     relaxation_rounds += o.relaxation_rounds;
+    inprocess_runs += o.inprocess_runs;
+    eliminated_vars += o.eliminated_vars;
+    bve_resolvents += o.bve_resolvents;
+    failed_literals += o.failed_literals;
+    vivified_clauses += o.vivified_clauses;
+    vivified_literals += o.vivified_literals;
     // Workers run concurrently; the wall-clock max is the meaningful
     // aggregate for a portfolio.
     solve_time_sec = std::max(solve_time_sec, o.solve_time_sec);
@@ -159,6 +203,12 @@ struct SolverStats {
     }
     if (relaxation_rounds) {
       s += " relax_rounds=" + std::to_string(relaxation_rounds);
+    }
+    if (inprocess_runs) {
+      s += " inprocess=" + std::to_string(inprocess_runs) +
+           " elim_vars=" + std::to_string(eliminated_vars) +
+           " failed_lits=" + std::to_string(failed_literals) +
+           " vivified=" + std::to_string(vivified_clauses);
     }
     return s;
   }
@@ -191,6 +241,12 @@ struct SolverStats {
     s += "core literals        : " + std::to_string(core_literals) + "\n";
     s += "core minimize calls  : " + std::to_string(core_min_calls) + "\n";
     s += "relaxation rounds    : " + std::to_string(relaxation_rounds) + "\n";
+    s += "inprocess runs       : " + std::to_string(inprocess_runs) + "\n";
+    s += "eliminated variables : " + std::to_string(eliminated_vars) + "\n";
+    s += "BVE resolvents       : " + std::to_string(bve_resolvents) + "\n";
+    s += "failed literals      : " + std::to_string(failed_literals) + "\n";
+    s += "vivified clauses     : " + std::to_string(vivified_clauses) + "\n";
+    s += "vivified literals    : " + std::to_string(vivified_literals) + "\n";
     s += "solve time (s)       : " + std::string(time_buf) + "\n";
     s += "propagations/sec     : " + rate(propagations_per_sec()) + "\n";
     s += "conflicts/sec        : " + rate(conflicts_per_sec());
@@ -212,6 +268,7 @@ enum class UnknownReason {
   kConflictBudget,     ///< SolverOptions::conflict_budget exhausted
   kPropagationBudget,  ///< SolverOptions::propagation_budget exhausted
   kFlipBudget,         ///< local search ran out of flips/tries
+  kTimeBudget,         ///< SolverOptions::time_budget_ms exhausted
   kInterrupted,        ///< SatEngine::interrupt() was called
 };
 
@@ -230,6 +287,7 @@ inline std::string to_string(UnknownReason r) {
     case UnknownReason::kConflictBudget: return "conflict-budget";
     case UnknownReason::kPropagationBudget: return "propagation-budget";
     case UnknownReason::kFlipBudget: return "flip-budget";
+    case UnknownReason::kTimeBudget: return "time-budget";
     case UnknownReason::kInterrupted: return "interrupted";
   }
   return "?";

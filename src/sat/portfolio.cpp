@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <thread>
 
 namespace sateda::sat {
@@ -159,6 +160,18 @@ void PortfolioSolver::bump_variable(Var v) {
   for (auto& w : workers_) w->bump_variable(v);
 }
 
+void PortfolioSolver::freeze(Var v) {
+  for (auto& w : workers_) w->freeze(v);
+}
+
+void PortfolioSolver::thaw(Var v) {
+  for (auto& w : workers_) w->thaw(v);
+}
+
+bool PortfolioSolver::is_frozen(Var v) const {
+  return workers_.front()->is_frozen(v);
+}
+
 void PortfolioSolver::adopt_outcome(int winner, SolveResult result) {
   winner_ = winner;
   if (result == SolveResult::kSat) {
@@ -265,6 +278,14 @@ SolveResult PortfolioSolver::solve_deterministic(
   }
 
   const std::int64_t global_budget = base_opts_.conflict_budget;
+  // Each worker re-arms its own wall-clock deadline per round, so the
+  // overall budget must be enforced here, at the round barrier —
+  // otherwise every round would get the full budget again and a
+  // timing-out portfolio would loop forever.
+  const bool has_deadline = base_opts_.time_budget_ms >= 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(has_deadline ? base_opts_.time_budget_ms : 0);
   std::int64_t used = 0;
   SolveResult final_result = SolveResult::kUnknown;
   int win = -1;
@@ -272,6 +293,10 @@ SolveResult PortfolioSolver::solve_deterministic(
   while (true) {
     if (stop_all_.load(std::memory_order_relaxed)) {
       unknown_reason_ = UnknownReason::kInterrupted;
+      break;
+    }
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      unknown_reason_ = UnknownReason::kTimeBudget;
       break;
     }
     std::int64_t slice = popts_.round_conflicts;

@@ -143,6 +143,11 @@ class PortfolioSolver : public SatEngine {
   void set_polarity(Var v, bool value) override;
   void set_decision_var(Var v, bool is_decision) override;
   void bump_variable(Var v) override;
+  void freeze(Var v) override;
+  void thaw(Var v) override;
+  /// True iff frozen in every worker (freezes are only ever applied
+  /// portfolio-wide, so any worker is representative).
+  bool is_frozen(Var v) const override;
 
  private:
   SolveResult solve_racing(const std::vector<Lit>& assumptions);

@@ -15,6 +15,8 @@ struct Work {
   std::vector<char> dead;                 // per clause
   std::vector<lbool> fixed;               // per var
   std::vector<Lit> substituted;           // per var; kUndefLit if none
+  std::vector<char> frozen;               // per var; exempt from elimination
+  std::vector<ElimRecord> eliminated;     // BVE stack, chronological
   PreprocessStats stats;
   ProofTracer* proof = nullptr;           // not owned; may be null
   bool unsat = false;
@@ -131,21 +133,25 @@ bool eliminate_pure_literals(Work& w) {
   }
   bool changed = false;
   for (Var v = 0; v < nv; ++v) {
-    if (!w.fixed[v].is_undef() || w.substituted[v].is_defined()) continue;
+    if (!w.fixed[v].is_undef() || w.substituted[v].is_defined() || w.frozen[v])
+      continue;
     if (pos_occ[v] + neg_occ[v] == 0) continue;
+    // No proof step is emitted for a pure-literal fix.  The unit is
+    // not RUP (nothing propagates it), and logging it as a RAT
+    // addition is unsound in general: earlier passes may have deleted
+    // a rewritten clause while the trace still holds a retired
+    // original containing the complement, breaking the RAT side
+    // condition.  Omitting it is safe — the fixed value only ever
+    // *satisfies* clauses (its complement has no live occurrence and
+    // no later pass can introduce one), so no subsequent derivation
+    // depends on the unit being in the checker database.
     if (neg_occ[v] == 0) {
       w.fixed[v] = l_true;
       ++w.stats.pure_literals;
-      // A pure-literal unit is RAT (not RUP) on the literal: no live
-      // clause contains its complement, and for every retired clause
-      // that does, the resolvent is RUP through the unit/equivalence
-      // steps that retired it.  The checker's RAT fallback covers it.
-      w.derive({pos(v)});
       changed = true;
     } else if (pos_occ[v] == 0) {
       w.fixed[v] = l_false;
       ++w.stats.pure_literals;
-      w.derive({neg(v)});
       changed = true;
     }
   }
@@ -226,7 +232,8 @@ bool equivalency_reasoning(Work& w) {
 
   bool changed = false;
   for (Var v = 0; v < nv; ++v) {
-    if (!w.fixed[v].is_undef() || w.substituted[v].is_defined()) continue;
+    if (!w.fixed[v].is_undef() || w.substituted[v].is_defined() || w.frozen[v])
+      continue;
     Lit p = pos(v);
     Lit n = neg(v);
     if (comp[p.index()] == comp[n.index()]) {
@@ -337,23 +344,151 @@ bool subsume_pass(Work& w, bool do_subsumption, bool do_self_subsumption) {
   return changed;
 }
 
+/// Bounded variable elimination by clause distribution (NiVER /
+/// SatELite style): a pivot whose pairwise resolvents fit inside the
+/// occurrence/size/growth cutoffs is removed, its occurrence clauses
+/// replaced by the resolvents and saved for model extension.  The
+/// resolvents are RUP from their parents, so they are logged *before*
+/// the parents are retired from the trace.
+bool bve_pass(Work& w, const PreprocessOptions& opts) {
+  const int nv = w.num_vars();
+  std::vector<std::vector<std::size_t>> occur(2 * static_cast<std::size_t>(nv));
+  for (std::size_t ci = 0; ci < w.clauses.size(); ++ci) {
+    if (w.dead[ci]) continue;
+    for (Lit l : w.clauses[ci]) occur[l.index()].push_back(ci);
+  }
+  // Cheapest pivots first: fewest occurrences resolve fastest and are
+  // the least likely to blow the growth cutoff.
+  std::vector<std::pair<int, Var>> order;
+  for (Var v = 0; v < nv; ++v) {
+    if (!w.fixed[v].is_undef() || w.substituted[v].is_defined() || w.frozen[v])
+      continue;
+    const int occ = static_cast<int>(occur[pos(v).index()].size() +
+                                     occur[neg(v).index()].size());
+    if (occ == 0 || occ > opts.bve_max_occurrences) continue;
+    order.emplace_back(occ, v);
+  }
+  std::sort(order.begin(), order.end());
+
+  bool changed = false;
+  std::vector<Lit> resolvent;
+  std::vector<std::size_t> pos_cls, neg_cls;
+  for (const auto& [occ_hint, v] : order) {
+    if (w.unsat) break;
+    if (!w.fixed[v].is_undef()) continue;  // fixed by an earlier unit resolvent
+    pos_cls.clear();
+    neg_cls.clear();
+    for (std::size_t ci : occur[pos(v).index()]) {
+      if (!w.dead[ci]) pos_cls.push_back(ci);
+    }
+    for (std::size_t ci : occur[neg(v).index()]) {
+      if (!w.dead[ci]) neg_cls.push_back(ci);
+    }
+    const std::size_t before = pos_cls.size() + neg_cls.size();
+    if (before == 0 ||
+        before > static_cast<std::size_t>(opts.bve_max_occurrences)) {
+      continue;  // resolvents appended for earlier pivots changed the count
+    }
+    std::vector<std::vector<Lit>> resolvents;
+    bool too_costly = false;
+    for (std::size_t pi : pos_cls) {
+      for (std::size_t ni : neg_cls) {
+        if (!resolve_on(w.clauses[pi], w.clauses[ni], v, resolvent)) continue;
+        if (static_cast<int>(resolvent.size()) > opts.bve_max_resolvent ||
+            resolvents.size() >=
+                before + static_cast<std::size_t>(opts.bve_max_growth)) {
+          too_costly = true;
+          break;
+        }
+        resolvents.push_back(resolvent);
+      }
+      if (too_costly) break;
+    }
+    if (too_costly) continue;
+
+    // Commit.  Resolvents first (RUP while the parents are still in
+    // the checker database), then stash and retire the originals.
+    for (const auto& r : resolvents) w.derive(r);
+    ElimRecord rec;
+    rec.pivot = v;
+    for (std::size_t ci : pos_cls) {
+      rec.clauses.push_back(w.clauses[ci]);
+      w.retire(w.clauses[ci]);
+      w.dead[ci] = 1;
+    }
+    for (std::size_t ci : neg_cls) {
+      rec.clauses.push_back(w.clauses[ci]);
+      w.retire(w.clauses[ci]);
+      w.dead[ci] = 1;
+    }
+    w.eliminated.push_back(std::move(rec));
+    ++w.stats.bve_eliminated;
+    w.stats.bve_resolvents += static_cast<int>(resolvents.size());
+    changed = true;
+    for (auto& r : resolvents) {
+      // A unit resolvent becomes a fixed value (two opposing units
+      // would make fix() log the contradiction); an empty resolvent is
+      // impossible, since unit parents are always folded away before
+      // this pass runs.
+      if (r.size() == 1) {
+        w.fix(r[0]);
+        if (w.unsat) break;
+        continue;
+      }
+      const std::size_t ni = w.clauses.size();
+      for (Lit l : r) occur[l.index()].push_back(ni);
+      w.clauses.push_back(std::move(r));
+      w.dead.push_back(0);
+    }
+  }
+  return changed;
+}
+
 }  // namespace
 
 std::vector<lbool> PreprocessResult::reconstruct_model(
     const std::vector<lbool>& simplified_model) const {
-  std::vector<lbool> out(fixed.size(), l_undef);
-  for (Var v = 0; v < static_cast<Var>(fixed.size()); ++v) {
-    Lit l = pos(v);
+  const std::size_t n = fixed.size();
+  // Definite working values (undef maps to false throughout, so every
+  // chain sees the same default its root would report).
+  std::vector<char> val(n, 0);
+  std::vector<char> is_pivot(n, 0);
+  for (const ElimRecord& r : eliminated) is_pivot[r.pivot] = 1;
+
+  // Phase 1: seed every surviving substitution root from its fixed or
+  // searched value.  BVE pivots are skipped — the solver never saw
+  // them, so whatever the model vector holds for them is noise.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (substituted[v].is_defined() || is_pivot[v]) continue;
+    lbool b = fixed[v];
+    if (b.is_undef() && v < simplified_model.size()) b = simplified_model[v];
+    val[v] = b.is_true() ? 1 : 0;
+  }
+
+  auto root = [&](Lit l) {
     while (substituted[l.var()].is_defined()) {
       l = substituted[l.var()] ^ l.negative();
     }
-    lbool base = fixed[l.var()];
-    if (base.is_undef() &&
-        static_cast<std::size_t>(l.var()) < simplified_model.size()) {
-      base = simplified_model[l.var()];
-    }
-    if (base.is_undef()) base = l_false;
-    out[v] = base ^ l.negative();
+    return l;
+  };
+
+  // Phase 2: replay the elimination stack.  Saved clauses may mention
+  // variables that were substituted in a *later* round, so literals
+  // are folded onto their roots before evaluation; roots that are
+  // themselves pivots were eliminated later and hence replayed first.
+  extend_model(
+      eliminated,
+      [&](Lit l) {
+        const Lit r = root(l);
+        return static_cast<bool>(val[r.var()]) != r.negative();
+      },
+      [&](Var v, bool value) { val[v] = value ? 1 : 0; });
+
+  // Phase 3: fold every variable onto its (now valued) root.
+  std::vector<lbool> out(n, l_undef);
+  for (std::size_t v = 0; v < n; ++v) {
+    const Lit r = root(pos(static_cast<Var>(v)));
+    out[v] = lbool(static_cast<bool>(val[r.var()]) != r.negative());
   }
   return out;
 }
@@ -363,6 +498,10 @@ PreprocessResult preprocess(const CnfFormula& f, PreprocessOptions opts) {
   w.proof = opts.proof;
   w.fixed.assign(f.num_vars(), l_undef);
   w.substituted.assign(f.num_vars(), kUndefLit);
+  w.frozen.assign(f.num_vars(), 0);
+  for (Var v : opts.frozen) {
+    if (v >= 0 && static_cast<std::size_t>(v) < w.frozen.size()) w.frozen[v] = 1;
+  }
   w.clauses.reserve(f.num_clauses());
   w.dead.assign(f.num_clauses(), 0);
   for (const Clause& c : f) {
@@ -397,6 +536,15 @@ PreprocessResult preprocess(const CnfFormula& f, PreprocessOptions opts) {
       changed |= subsume_pass(w, opts.subsumption, opts.self_subsumption);
       if (w.unsat) break;
     }
+    if (opts.bounded_variable_elimination) {
+      changed |= bve_pass(w, opts);
+      if (w.unsat) break;
+    }
+  }
+  // max_rounds can exhaust with assignments still pending; fold them
+  // so the output formula never mentions a fixed or substituted
+  // variable (reconstruct_model's seeding relies on that).
+  while (!w.unsat && apply_assignments(w)) {
   }
 
   PreprocessResult result;
@@ -404,6 +552,7 @@ PreprocessResult preprocess(const CnfFormula& f, PreprocessOptions opts) {
   result.stats = w.stats;
   result.fixed = w.fixed;
   result.substituted = w.substituted;
+  result.eliminated = std::move(w.eliminated);
   if (!w.unsat) {
     CnfFormula out(f.num_vars());
     for (std::size_t ci = 0; ci < w.clauses.size(); ++ci) {

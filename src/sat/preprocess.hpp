@@ -10,11 +10,18 @@
 ///    indicate x ≡ y, so y is replaced by x and one variable is
 ///    eliminated (§6).  Detected as strongly connected components of
 ///    the binary implication graph, so chains and derived
-///    equivalences are found too.
+///    equivalences are found too,
+///  * bounded variable elimination by clause distribution
+///    (NiVER/SatELite-style), with occurrence/size/growth cutoffs and
+///    a saved-clause elimination stack for model extension.
 ///
 /// The variable space is preserved (no renumbering); eliminated
 /// variables simply stop occurring.  reconstruct_model() lifts a model
 /// of the simplified formula back to the original variables.
+///
+/// Variables named in PreprocessOptions::frozen are never fixed as
+/// pure literals, substituted, or BVE-eliminated, so they can safely
+/// be used as assumptions against the simplified formula.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "cnf/formula.hpp"
+#include "sat/inprocess/elim.hpp"
 
 namespace sateda::sat {
 
@@ -35,15 +43,30 @@ struct PreprocessOptions {
   bool equivalency_reasoning = true;  ///< §6
   bool subsumption = true;
   bool self_subsumption = true;
+  bool bounded_variable_elimination = true;
   int max_rounds = 10;  ///< fixpoint iteration bound
+
+  // BVE cutoffs (see InprocessOptions for the in-search counterparts).
+  int bve_max_occurrences = 16;  ///< skip pivots occurring more often
+  int bve_max_growth = 0;        ///< net extra clauses allowed per pivot
+  int bve_max_resolvent = 24;    ///< skip pivots producing longer resolvents
+
+  /// Variables exempt from pure-literal fixing, equivalence
+  /// substitution and BVE (assumption/selector variables).
+  std::vector<Var> frozen;
 
   /// Optional DRAT tracer (not owned).  Every simplification is logged
   /// so a downstream solver can keep appending to the same trace:
-  /// derived units, clause rewrites and self-subsumption resolvents as
-  /// additions (pure-literal units are RAT on the literal, everything
-  /// else is RUP), subsumed clauses as deletions.  Rewritten originals
-  /// are deliberately *not* deleted — a stronger checker database
-  /// keeps the RAT side conditions provable.
+  /// derived units, clause rewrites, self-subsumption resolvents and
+  /// BVE resolvents as additions — all of them RUP — and subsumed or
+  /// BVE-eliminated clauses as deletions.  Pure-literal fixes emit
+  /// *nothing*: the fixed value only satisfies clauses (the complement
+  /// has no live occurrence and later passes cannot create one), so no
+  /// later derivation depends on it, and emitting the unit as a RAT
+  /// addition is unsound once earlier passes have deleted rewritten
+  /// copies of retired complement clauses.  Rewritten originals are
+  /// deliberately *not* deleted — a stronger checker database costs
+  /// nothing and keeps every later step RUP.
   ProofTracer* proof = nullptr;
 };
 
@@ -54,6 +77,8 @@ struct PreprocessStats {
   int equivalent_vars_eliminated = 0;
   int clauses_subsumed = 0;
   int literals_self_subsumed = 0;
+  int bve_eliminated = 0;   ///< variables removed by clause distribution
+  int bve_resolvents = 0;   ///< resolvent clauses added in their place
   int rounds = 0;
 
   std::string summary() const {
@@ -61,7 +86,9 @@ struct PreprocessStats {
            " pures=" + std::to_string(pure_literals) +
            " equiv_elim=" + std::to_string(equivalent_vars_eliminated) +
            " subsumed=" + std::to_string(clauses_subsumed) +
-           " self_subsumed=" + std::to_string(literals_self_subsumed);
+           " self_subsumed=" + std::to_string(literals_self_subsumed) +
+           " bve_elim=" + std::to_string(bve_eliminated) +
+           " bve_resolvents=" + std::to_string(bve_resolvents);
   }
 };
 
@@ -76,13 +103,19 @@ class PreprocessResult {
   /// Lifts a model of `simplified` (indexed over the original variable
   /// space; entries for eliminated variables may be anything) to a
   /// model of the original formula.  Unconstrained variables default
-  /// to false.
+  /// to false.  Values are reconstructed in three phases: substitution
+  /// roots that survived simplification are seeded from fixed/searched
+  /// values, the BVE elimination stack is replayed newest-first, and
+  /// finally every substitution chain is folded onto its root — so a
+  /// chain ending at a BVE pivot or an unconstrained root stays
+  /// consistent across the whole equivalence class.
   std::vector<lbool> reconstruct_model(
       const std::vector<lbool>& simplified_model) const;
 
   // Internal reconstruction data (public for tests).
   std::vector<lbool> fixed;      ///< root-level forced values (l_undef if free)
   std::vector<Lit> substituted;  ///< var -> representative literal (or kUndefLit)
+  std::vector<ElimRecord> eliminated;  ///< BVE stack, chronological order
 };
 
 /// Runs preprocessing on \p f.

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "sat/audit.hpp"
+#include "sat/inprocess/inprocess.hpp"
 
 namespace sateda::sat {
 
@@ -21,6 +22,8 @@ Var Solver::new_var() {
   // polarity_[v]==1 means "branch negative first".
   polarity_.push_back(opts_.default_polarity ? 0 : 1);
   decision_.push_back(1);
+  frozen_.push_back(0);
+  eliminated_.push_back(0);
   seen_.push_back(0);
   level_stamp_.push_back(0);
   watches_.emplace_back();
@@ -41,6 +44,12 @@ bool Solver::add_clause(std::vector<Lit> lits) {
   for (Lit l : lits) {
     assert(l.is_defined());
     ensure_var(l.var());
+  }
+  // A new clause may mention a variable inprocessing eliminated; the
+  // elimination was only equisatisfiable, so the variable's saved
+  // clauses must come back before the new constraint on it is sound.
+  for (Lit l : lits) {
+    if (eliminated_[l.var()] && !reintroduce(l.var())) return false;
   }
   // Normalize: sort, dedupe, drop tautologies and falsified literals.
   std::sort(lits.begin(), lits.end());
@@ -812,6 +821,17 @@ SolveResult Solver::search() {
       unknown_reason_ = UnknownReason::kInterrupted;
       return SolveResult::kUnknown;
     }
+    // The wall clock is polled only when a budget is armed, and then
+    // only once every 64 loop rounds — the syscall never enters the
+    // default hot path.
+    if (has_deadline_ && ++time_poll_counter_ >= 64) {
+      time_poll_counter_ = 0;
+      if (std::chrono::steady_clock::now() >= deadline_) {
+        erase_until(0);
+        unknown_reason_ = UnknownReason::kTimeBudget;
+        return SolveResult::kUnknown;
+      }
+    }
     Reason confl = deduce();
     if (!confl.is_none()) {
       ++stats_.conflicts;
@@ -932,6 +952,12 @@ SolveResult Solver::search() {
         if (proof_) proof_->on_derive({});
         return SolveResult::kUnsat;
       }
+      // ... and the inprocessing points, for the same reason (a
+      // refutation inside the run closes the proof itself).
+      if (opts_.inprocess.enabled && stats_.conflicts >= next_inprocess_ &&
+          !run_inprocess()) {
+        return SolveResult::kUnsat;
+      }
       continue;
     }
 
@@ -966,8 +992,21 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
   interrupt_flag_.store(false, std::memory_order_relaxed);
   unknown_reason_ = UnknownReason::kNone;
   if (ok_ && !import_shared_clauses()) ok_ = false;
-  if (!ok_) return SolveResult::kUnsat;
   for (Lit l : assumptions) ensure_var(l.var());
+  if (ok_) {
+    for (Lit l : assumptions) {
+      // Sticky auto-freeze: an assumption variable an earlier
+      // inprocessing run eliminated is reintroduced, and from here on
+      // no run may eliminate it — callers that never heard of freeze()
+      // stay sound, at the cost of one reintroduction.
+      if (eliminated_[l.var()] && !reintroduce(l.var())) {
+        ok_ = false;
+        break;
+      }
+      frozen_[l.var()] = 1;
+    }
+  }
+  if (!ok_) return SolveResult::kUnsat;
   assumptions_ = assumptions;
   conflicts_at_start_ = stats_.conflicts;
   propagations_at_start_ = stats_.propagations;
@@ -1001,11 +1040,31 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
     next_aggr_reduce_ = stats_.conflicts + aggr_interval_;
   }
   const auto t0 = std::chrono::steady_clock::now();
-  SolveResult result = search();
+  has_deadline_ = opts_.time_budget_ms >= 0;
+  if (has_deadline_) {
+    deadline_ = t0 + std::chrono::milliseconds(opts_.time_budget_ms);
+    time_poll_counter_ = 0;
+  }
+  // Entry inprocessing doubles as preprocessing on the first call (the
+  // trigger starts at zero conflicts) and catches up after incremental
+  // clause additions on later ones.
+  if (opts_.inprocess.enabled && stats_.conflicts >= next_inprocess_) {
+    run_inprocess();
+  }
+  SolveResult result = ok_ ? search() : SolveResult::kUnsat;
   stats_.solve_time_sec +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   erase_until(0);
+  if (result == SolveResult::kSat && !elim_stack_.empty()) {
+    // Extend the model over BVE-eliminated variables (their entries
+    // are l_undef: elimination cleared the decision flag, so search
+    // never assigned them).
+    extend_model(
+        elim_stack_,
+        [this](Lit l) { return model_[l.var()].is_true() != l.negative(); },
+        [this](Var v, bool value) { model_[v] = lbool(value); });
+  }
   if (auditor_ && ok_) auditor_->maybe_checkpoint(*this);
   if (result == SolveResult::kUnsat && assumptions_.empty()) ok_ = false;
   if (result == SolveResult::kUnsat && !assumptions_.empty()) {
@@ -1028,6 +1087,12 @@ bool Solver::add_learnt_clause(std::vector<Lit> lits) {
   // logged — in the portfolio the exporter's trace already carries its
   // derivation with an earlier ticket — but a root conflict it exposes
   // must still close this worker's trace with the empty clause.
+  // Imports are advisory: a clause over a variable this worker has
+  // eliminated cannot be attached (the variable has no clauses left
+  // and models are reconstructed over it), so it is simply dropped.
+  for (Lit l : lits) {
+    if (eliminated_[l.var()]) return true;
+  }
   std::sort(lits.begin(), lits.end());
   std::vector<Lit> out;
   Lit prev = kUndefLit;
@@ -1073,6 +1138,58 @@ bool Solver::import_shared_clauses() {
   import_fn_(import_buf_);
   for (std::vector<Lit>& lits : import_buf_) {
     if (!add_learnt_clause(std::move(lits))) return false;
+  }
+  return true;
+}
+
+bool Solver::run_inprocess() {
+  assert(decision_level() == 0);
+  if (inprocess_interval_ < 0) {
+    inprocess_interval_ = std::max<std::int64_t>(opts_.inprocess.interval, 0);
+  }
+  ++stats_.inprocess_runs;
+  Inprocessor ip(*this);
+  const bool keep = ip.run();
+  // Reschedule: the interval grows geometrically so inprocessing cost
+  // amortises as the search matures (interval 0 = every boundary).
+  next_inprocess_ =
+      stats_.conflicts + std::max<std::int64_t>(inprocess_interval_, 1);
+  inprocess_interval_ = static_cast<std::int64_t>(
+      static_cast<double>(inprocess_interval_) *
+      std::max(1.0, opts_.inprocess.interval_growth));
+  return keep;
+}
+
+bool Solver::reintroduce(Var v) {
+  assert(decision_level() == 0);
+  if (static_cast<std::size_t>(v) >= eliminated_.size() || !eliminated_[v]) {
+    return true;
+  }
+  // Each pivot has exactly one record; newest-first search is cheap
+  // because reintroduction chains only ever reach later records.
+  ElimRecord rec;
+  for (std::size_t i = elim_stack_.size(); i-- > 0;) {
+    if (elim_stack_[i].pivot == v) {
+      rec = std::move(elim_stack_[i]);
+      elim_stack_.erase(elim_stack_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  eliminated_[v] = 0;
+  set_decision_var(v, true);
+  // Restoring the saved occurrence clauses undoes the existential
+  // elimination (the resolvents they imply may stay — they are
+  // redundant once the sources are back).  A saved clause can mention
+  // a variable eliminated *after* v; it must come back first, and the
+  // recursion terminates because such records are strictly younger.
+  // add_clause() re-derives only strengthened forms, which are RUP:
+  // the originals were never proof-deleted.
+  for (std::vector<Lit>& cl : rec.clauses) {
+    for (Lit l : cl) {
+      if (!reintroduce(l.var())) return false;
+    }
+    if (!add_clause(std::move(cl))) return false;
   }
   return true;
 }

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <random>
@@ -36,6 +37,7 @@
 #include "sat/arena.hpp"
 #include "sat/engine.hpp"
 #include "sat/heap.hpp"
+#include "sat/inprocess/elim.hpp"
 #include "sat/listener.hpp"
 #include "sat/options.hpp"
 #include "sat/proof.hpp"
@@ -43,6 +45,7 @@
 namespace sateda::sat {
 
 class SolverAuditor;  // audit.hpp
+class Inprocessor;    // inprocess/inprocess.hpp
 
 /// Conflict-driven clause-learning SAT solver.
 class Solver : public SatEngine {
@@ -202,6 +205,31 @@ class Solver : public SatEngine {
     }
   }
 
+  /// Protects \p v from elimination by inprocessing (see SatEngine).
+  /// Assumption variables are frozen automatically — and reintroduced
+  /// first if an earlier run already eliminated them — at every
+  /// solve() entry, so freeze-less legacy callers stay sound; explicit
+  /// freezing avoids the (more expensive) reintroduction path.
+  void freeze(Var v) override {
+    ensure_var(v);
+    frozen_[v] = 1;
+  }
+  void thaw(Var v) override {
+    ensure_var(v);
+    frozen_[v] = 0;
+  }
+  bool is_frozen(Var v) const override {
+    return static_cast<std::size_t>(v) < frozen_.size() && frozen_[v] != 0;
+  }
+
+  /// Whether inprocessing has eliminated \p v (no live clause mentions
+  /// it; models are reconstructed over it).  Cleared by reintroduction
+  /// when a new clause or assumption mentions the variable.
+  bool is_eliminated(Var v) const {
+    return static_cast<std::size_t>(v) < eliminated_.size() &&
+           eliminated_[v] != 0;
+  }
+
   /// Number of original (non-learnt, non-deleted) problem clauses
   /// (implicit binaries included).
   std::size_t num_problem_clauses() const override {
@@ -219,6 +247,7 @@ class Solver : public SatEngine {
 
  private:
   friend class SolverAuditor;  // read-only introspection of internals
+  friend class Inprocessor;    // in-search simplification passes
 
   /// Watch-list entry for a clause of three or more literals.
   struct Watcher {
@@ -265,6 +294,15 @@ class Solver : public SatEngine {
   /// Pulls foreign clauses via import_fn_ and attaches them; returns
   /// false on a root-level conflict.  Called at restart boundaries.
   bool import_shared_clauses();
+  /// Runs one inprocessing pass (probing/vivification/BVE) and
+  /// reschedules the next one.  Returns false iff the clause set was
+  /// refuted (ok_ cleared, proof closed).  Root level only.
+  bool run_inprocess();
+  /// Undoes the BVE elimination of \p v: restores its saved clauses
+  /// (recursively reintroducing any variable eliminated later that
+  /// they mention) and makes it a decision variable again.  Returns
+  /// false on a root conflict while re-adding.
+  bool reintroduce(Var v);
   bool enqueue(Lit p, Reason reason);
   CRef attach_new_clause(const std::vector<Lit>& lits, bool learnt);
   void attach_binary(Lit a, Lit b, bool learnt);
@@ -319,6 +357,9 @@ class Solver : public SatEngine {
   VarOrderHeap order_;
   std::vector<char> polarity_;     ///< saved phase per variable
   std::vector<char> decision_;     ///< eligible for branching
+  std::vector<char> frozen_;       ///< exempt from inprocessing elimination
+  std::vector<char> eliminated_;   ///< removed by BVE, no live occurrences
+  std::vector<ElimRecord> elim_stack_;  ///< chronological; model extension
 
   std::vector<Lit> assumptions_;
   std::vector<Lit> conflict_core_;
@@ -349,6 +390,11 @@ class Solver : public SatEngine {
   std::int64_t aggr_interval_ = 64;
   std::int64_t conflicts_at_start_ = 0;
   std::int64_t propagations_at_start_ = 0;
+  std::int64_t next_inprocess_ = 0;       ///< conflict count trigger
+  std::int64_t inprocess_interval_ = -1;  ///< current (growing) interval
+  std::chrono::steady_clock::time_point deadline_;  ///< wall-clock budget
+  bool has_deadline_ = false;
+  int time_poll_counter_ = 0;  ///< clock polled once per 64 loop rounds
 };
 
 }  // namespace sateda::sat

@@ -176,6 +176,50 @@ TEST(MaxSatTest, RandomizedAgreementWithBruteForceAndAcrossAlgorithms) {
   }
 }
 
+TEST(MaxSatTest, InprocessingEngineAgreesWithBruteForce) {
+  // Soft-clause selectors are assumed on every iteration; the solvers
+  // freeze them, so aggressive inprocessing between iterations must
+  // not change any optimum.
+  std::mt19937_64 rng(24680);
+  std::uniform_int_distribution<int> var_dist(0, 5);
+  std::uniform_int_distribution<int> sign_dist(0, 1);
+  std::uniform_int_distribution<int> weight_dist(1, 4);
+  for (int round = 0; round < 12; ++round) {
+    WcnfFormula w;
+    w.top = 1000;
+    w.hard.ensure_var(5);
+    for (int i = 0; i < 3; ++i) {
+      const int v1 = var_dist(rng), v2 = var_dist(rng);
+      w.add_hard({sign_dist(rng) ? pos(v1) : neg(v1),
+                  sign_dist(rng) ? pos(v2) : neg(v2)});
+    }
+    for (int i = 0; i < 5; ++i) {
+      std::vector<Lit> cl;
+      const int len = 1 + sign_dist(rng);
+      for (int j = 0; j < len; ++j) {
+        const int v = var_dist(rng);
+        cl.push_back(sign_dist(rng) ? pos(v) : neg(v));
+      }
+      w.add_soft(cl, static_cast<std::uint64_t>(weight_dist(rng)));
+    }
+    const std::optional<std::uint64_t> expected = brute_force_optimum(w);
+    for (MaxSatAlgo algo : {MaxSatAlgo::kOll, MaxSatAlgo::kFuMalik}) {
+      MaxSatOptions opts;
+      opts.algo = algo;
+      opts.solver.inprocess.enabled = true;
+      opts.solver.inprocess.interval = 0;
+      MaxSatResult r = solve_maxsat(w, opts);
+      if (!expected.has_value()) {
+        EXPECT_EQ(r.status, MaxSatStatus::kUnsat) << "round " << round;
+      } else {
+        ASSERT_EQ(r.status, MaxSatStatus::kOptimal) << "round " << round;
+        EXPECT_EQ(r.cost, *expected) << "round " << round;
+        EXPECT_EQ(w.cost_of(r.model), *expected) << "round " << round;
+      }
+    }
+  }
+}
+
 TEST(TotalizerTest, CountsInputsExactly) {
   // For every assignment of 4 inputs, the outputs must read off the
   // number of true inputs in unary.

@@ -175,4 +175,26 @@ TEST(CoreTest, MinimizeCoreShrinksAnOverwideCore) {
   EXPECT_FALSE(r.stats.summary().empty());
 }
 
+TEST(CoreTest, ExtractionWithInprocessingEngineStaysSound) {
+  // x2 is a cheap BVE pivot; with inprocessing firing at every restart
+  // boundary the extractor must freeze the assumption variables so the
+  // dozens of subset queries keep answering the same formula.
+  CnfFormula f(4);
+  f.add_binary(neg(0), pos(2));
+  f.add_binary(neg(1), neg(2));
+  sat::SolverOptions opts;
+  opts.inprocess.enabled = true;
+  opts.inprocess.interval = 0;
+  auto solver = std::make_unique<sat::Solver>(opts);
+  ASSERT_TRUE(solver->add_formula(f));
+  const std::vector<Lit> assumptions = {pos(0), pos(1), pos(3)};
+  sat::core::CoreResult r = sat::core::extract_core(*solver, assumptions);
+  ASSERT_TRUE(r.unsat);
+  expect_is_mus(f, r.core);
+  for (Lit a : assumptions) {
+    EXPECT_TRUE(solver->is_frozen(a.var()));
+    EXPECT_FALSE(solver->is_eliminated(a.var()));
+  }
+}
+
 }  // namespace

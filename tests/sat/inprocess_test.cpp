@@ -1,0 +1,264 @@
+/// \file inprocess_test.cpp
+/// \brief Tests for the inprocessing subsystem (BVE + vivification +
+///        failed-literal probing), frozen-variable protection,
+///        eliminated-variable reintroduction, and wall-clock budgets.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "cnf/generators.hpp"
+#include "sat/dpll.hpp"
+#include "sat/portfolio.hpp"
+#include "sat/solver.hpp"
+#include "test_util.hpp"
+
+namespace sateda::sat {
+namespace {
+
+using testing::brute_force_model;
+using testing::brute_force_satisfiable;
+using testing::check_proof;
+using testing::complete_model;
+using testing::verify_unsat;
+using testing::verify_unsat_portfolio;
+
+SolverOptions inprocess_options(std::int64_t interval = 1) {
+  SolverOptions opts;
+  opts.inprocess.enabled = true;
+  opts.inprocess.interval = interval;
+  opts.inprocess.interval_growth = 1.0;
+  return opts;
+}
+
+/// A formula where variable 0 has two occurrences and a single
+/// non-tautological resolvent (x1 ∨ x2) — the cheapest BVE pivot.
+CnfFormula eliminable_formula() {
+  CnfFormula f(4);
+  f.add_clause({pos(0), pos(1)});
+  f.add_clause({neg(0), pos(2)});
+  f.add_clause({pos(1), pos(3)});
+  f.add_clause({pos(2), neg(3)});
+  f.add_clause({neg(1), pos(3)});
+  return f;
+}
+
+TEST(InprocessTest, EquivalentToBruteForceOnRandomCnfs) {
+  for (int seed = 0; seed < 25; ++seed) {
+    const CnfFormula f = random_3sat(12, 4.3, seed);
+    Solver solver(inprocess_options());
+    const bool added = solver.add_formula(f);
+    const SolveResult r =
+        added ? solver.solve() : SolveResult::kUnsat;
+    const bool expect_sat = brute_force_satisfiable(f);
+    if (expect_sat) {
+      ASSERT_EQ(r, SolveResult::kSat) << "seed " << seed;
+      // The reconstructed model must satisfy the *original* formula,
+      // including any variables BVE eliminated mid-search.
+      EXPECT_TRUE(f.is_satisfied_by(complete_model(solver.model(),
+                                                   f.num_vars())))
+          << "seed " << seed;
+    } else {
+      EXPECT_EQ(r, SolveResult::kUnsat) << "seed " << seed;
+    }
+  }
+}
+
+TEST(InprocessTest, ProofCertifiedUnsatAllPassCombinations) {
+  const CnfFormula php = pigeonhole(4);
+  for (int mask = 0; mask < 8; ++mask) {
+    SolverOptions opts = inprocess_options();
+    opts.inprocess.bve = (mask & 1) != 0;
+    opts.inprocess.probing = (mask & 2) != 0;
+    opts.inprocess.vivify = (mask & 4) != 0;
+    EXPECT_TRUE(verify_unsat(php, {}, opts)) << "pass mask " << mask;
+  }
+}
+
+TEST(InprocessTest, ProofCertifiedUnsatOnDubois) {
+  EXPECT_TRUE(verify_unsat(dubois(15), {}, inprocess_options()));
+}
+
+TEST(InprocessTest, ProofCertifiedUnsatUnderAssumptions) {
+  // f ∧ x0 ∧ ¬x1 is UNSAT; assumptions must survive inprocessing.
+  CnfFormula f(3);
+  f.add_clause({neg(0), pos(1), pos(2)});
+  f.add_clause({neg(0), pos(1), neg(2)});
+  const std::vector<Lit> assumptions = {pos(0), neg(1)};
+  EXPECT_TRUE(verify_unsat(f, assumptions, inprocess_options()));
+}
+
+TEST(InprocessTest, PortfolioProofCertifiedWithInprocessing) {
+  EXPECT_TRUE(verify_unsat_portfolio(pigeonhole(4), 2, inprocess_options()));
+}
+
+TEST(InprocessTest, ProbingDerivesFailedLiteralUnit) {
+  // x0 → x1 and x0 → ¬x1: probing x0 hits a conflict, so ¬x0 becomes a
+  // root unit before any decision is made.
+  CnfFormula f(4);
+  f.add_clause({neg(0), pos(1)});
+  f.add_clause({neg(0), neg(1)});
+  f.add_clause({pos(2), pos(3)});
+  SolverOptions opts = inprocess_options();
+  opts.inprocess.bve = false;
+  opts.inprocess.vivify = false;
+  Solver solver(opts);
+  ASSERT_TRUE(solver.add_formula(f));
+  ASSERT_EQ(solver.solve(), SolveResult::kSat);
+  EXPECT_GE(solver.stats().failed_literals, 1);
+  EXPECT_TRUE(solver.model()[0].is_false());
+}
+
+TEST(InprocessTest, BveEliminatesUnfrozenVariable) {
+  Solver solver(inprocess_options());
+  ASSERT_TRUE(solver.add_formula(eliminable_formula()));
+  ASSERT_EQ(solver.solve(), SolveResult::kSat);
+  EXPECT_GE(solver.stats().eliminated_vars, 1);
+  EXPECT_TRUE(
+      eliminable_formula().is_satisfied_by(complete_model(solver.model(), 4)));
+}
+
+TEST(InprocessTest, FreezeProtectsVariableFromElimination) {
+  Solver solver(inprocess_options());
+  ASSERT_TRUE(solver.add_formula(eliminable_formula()));
+  solver.freeze(0);
+  ASSERT_EQ(solver.solve(), SolveResult::kSat);
+  EXPECT_TRUE(solver.is_frozen(0));
+  EXPECT_FALSE(solver.is_eliminated(0));
+  solver.thaw(0);
+  EXPECT_FALSE(solver.is_frozen(0));
+}
+
+TEST(InprocessTest, AssumptionOnEliminatedVariableReintroducesIt) {
+  const CnfFormula f = eliminable_formula();
+  Solver solver(inprocess_options());
+  ASSERT_TRUE(solver.add_formula(f));
+  ASSERT_EQ(solver.solve(), SolveResult::kSat);
+  // Both polarities of every variable must remain assumable afterwards,
+  // eliminated or not (solve() reintroduces and freezes on demand).
+  for (Var v = 0; v < 4; ++v) {
+    for (const Lit a : {pos(v), neg(v)}) {
+      CnfFormula augmented = f;
+      augmented.add_clause({a});
+      const SolveResult r = solver.solve({a});
+      ASSERT_EQ(r == SolveResult::kSat, brute_force_satisfiable(augmented))
+          << "assumption on var " << v;
+      if (r == SolveResult::kSat) {
+        EXPECT_TRUE(augmented.is_satisfied_by(
+            complete_model(solver.model(), f.num_vars())));
+      }
+      EXPECT_FALSE(solver.is_eliminated(v));
+      EXPECT_TRUE(solver.is_frozen(v));
+    }
+  }
+}
+
+TEST(InprocessTest, AssumptionVariablesAreStickyFrozen) {
+  Solver solver(inprocess_options());
+  ASSERT_TRUE(solver.add_formula(eliminable_formula()));
+  ASSERT_EQ(solver.solve({pos(0)}), SolveResult::kSat);
+  // The first solve froze var 0; later assumption-free solves with
+  // inprocessing must leave it alone.
+  ASSERT_EQ(solver.solve(), SolveResult::kSat);
+  EXPECT_TRUE(solver.is_frozen(0));
+  EXPECT_FALSE(solver.is_eliminated(0));
+}
+
+TEST(InprocessTest, ClauseReaddedOnEliminatedVariable) {
+  const CnfFormula f = eliminable_formula();
+  Solver solver(inprocess_options());
+  ASSERT_TRUE(solver.add_formula(f));
+  ASSERT_EQ(solver.solve(), SolveResult::kSat);
+  // Adding a clause over a (possibly eliminated) variable must
+  // reintroduce its defining clauses, not silently reference a ghost.
+  ASSERT_TRUE(solver.add_clause({neg(0), neg(3)}));
+  CnfFormula augmented = f;
+  augmented.add_clause({neg(0), neg(3)});
+  const SolveResult r = solver.solve();
+  ASSERT_EQ(r == SolveResult::kSat, brute_force_satisfiable(augmented));
+  if (r == SolveResult::kSat) {
+    EXPECT_TRUE(augmented.is_satisfied_by(
+        complete_model(solver.model(), f.num_vars())));
+  }
+}
+
+TEST(InprocessTest, GcStressKeepsProofsSound) {
+  // Tiny GC threshold + an inprocessing run at every restart boundary:
+  // BVE and vivification race arena compactions, and every UNSAT
+  // answer must still carry a checkable certificate.
+  SolverOptions opts = inprocess_options(/*interval=*/0);
+  opts.gc_frac = 0.01;
+  EXPECT_TRUE(verify_unsat(pigeonhole(5), {}, opts));
+  EXPECT_TRUE(verify_unsat(dubois(20), {}, opts));
+  for (int seed = 0; seed < 10; ++seed) {
+    const CnfFormula f = random_3sat(14, 4.5, 100 + seed);
+    Solver solver(opts);
+    Proof proof;
+    solver.set_proof_tracer(&proof);
+    const bool added = solver.add_formula(f);
+    const SolveResult r = added ? solver.solve() : SolveResult::kUnsat;
+    const bool expect_sat = brute_force_satisfiable(f);
+    ASSERT_EQ(r == SolveResult::kSat, expect_sat) << "seed " << seed;
+    if (expect_sat) {
+      EXPECT_TRUE(
+          f.is_satisfied_by(complete_model(solver.model(), f.num_vars())));
+    } else {
+      EXPECT_TRUE(check_proof(f, std::move(proof))) << "seed " << seed;
+    }
+  }
+}
+
+TEST(TimeBudgetTest, CdclStopsOnWallClock) {
+  SolverOptions opts;
+  opts.time_budget_ms = 50;
+  Solver solver(opts);
+  ASSERT_TRUE(solver.add_formula(pigeonhole(9)));
+  EXPECT_EQ(solver.solve(), SolveResult::kUnknown);
+  EXPECT_EQ(solver.unknown_reason(), UnknownReason::kTimeBudget);
+}
+
+TEST(TimeBudgetTest, DpllStopsOnWallClock) {
+  SolverOptions opts;
+  opts.time_budget_ms = 50;
+  DpllSolver solver(opts);
+  ASSERT_TRUE(solver.add_formula(pigeonhole(8)));
+  EXPECT_EQ(solver.solve(), SolveResult::kUnknown);
+  EXPECT_EQ(solver.unknown_reason(), UnknownReason::kTimeBudget);
+}
+
+TEST(TimeBudgetTest, PortfolioRacingStopsOnWallClock) {
+  SolverOptions opts;
+  opts.time_budget_ms = 100;
+  PortfolioOptions popts;
+  popts.num_workers = 2;
+  PortfolioSolver solver(opts, popts);
+  ASSERT_TRUE(solver.add_formula(pigeonhole(9)));
+  EXPECT_EQ(solver.solve(), SolveResult::kUnknown);
+  EXPECT_EQ(solver.unknown_reason(), UnknownReason::kTimeBudget);
+}
+
+TEST(TimeBudgetTest, PortfolioDeterministicStopsOnWallClock) {
+  SolverOptions opts;
+  opts.time_budget_ms = 100;
+  PortfolioOptions popts;
+  popts.num_workers = 2;
+  popts.deterministic = true;
+  popts.round_conflicts = 500;
+  PortfolioSolver solver(opts, popts);
+  ASSERT_TRUE(solver.add_formula(pigeonhole(9)));
+  EXPECT_EQ(solver.solve(), SolveResult::kUnknown);
+  EXPECT_EQ(solver.unknown_reason(), UnknownReason::kTimeBudget);
+}
+
+TEST(TimeBudgetTest, DisabledBudgetDoesNotTrigger) {
+  Solver solver;  // time_budget_ms defaults to -1: off
+  ASSERT_TRUE(solver.add_formula(pigeonhole(4)));
+  EXPECT_EQ(solver.solve(), SolveResult::kUnsat);
+}
+
+TEST(TimeBudgetTest, ReasonString) {
+  EXPECT_EQ(to_string(UnknownReason::kTimeBudget), "time-budget");
+}
+
+}  // namespace
+}  // namespace sateda::sat

@@ -72,6 +72,7 @@ TEST(PreprocessTest, SubsumptionDropsSupersets) {
   opts.pure_literals = false;  // keep the example intact
   opts.equivalency_reasoning = false;
   opts.self_subsumption = false;
+  opts.bounded_variable_elimination = false;
   PreprocessResult r = preprocess(f, opts);
   EXPECT_EQ(r.stats.clauses_subsumed, 1);
   EXPECT_EQ(r.simplified.num_clauses(), 1u);
@@ -88,6 +89,82 @@ TEST(PreprocessTest, SelfSubsumptionStrengthens) {
   opts.equivalency_reasoning = false;
   PreprocessResult r = preprocess(f, opts);
   EXPECT_GE(r.stats.literals_self_subsumed, 1);
+}
+
+TEST(PreprocessTest, BveEliminatesAndReconstructs) {
+  // x0 occurs once per polarity; clause distribution replaces its two
+  // clauses with the single resolvent (x1 ∨ x2).
+  CnfFormula f(3);
+  f.add_binary(pos(0), pos(1));
+  f.add_binary(neg(0), pos(2));
+  PreprocessOptions opts;
+  opts.pure_literals = false;
+  opts.equivalency_reasoning = false;
+  opts.subsumption = false;
+  opts.self_subsumption = false;
+  PreprocessResult r = preprocess(f, opts);
+  ASSERT_FALSE(r.unsat);
+  EXPECT_GE(r.stats.bve_eliminated, 1);
+  // Whatever remains is satisfiable; the lifted model must cover the
+  // eliminated variables and satisfy the original clauses.
+  Solver s;
+  s.add_formula(r.simplified);
+  s.ensure_var(f.num_vars() - 1);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  auto lifted = r.reconstruct_model(s.model());
+  EXPECT_TRUE(
+      f.is_satisfied_by(testing::complete_model(lifted, f.num_vars())));
+}
+
+TEST(PreprocessTest, FrozenVariablesSurviveEveryPass) {
+  // x0 is pure and a cheap elimination pivot; freezing it must keep it
+  // out of every value-changing pass so assumptions on it stay
+  // meaningful against the simplified formula.
+  CnfFormula f(4);
+  f.add_binary(pos(0), pos(1));
+  f.add_binary(pos(0), pos(2));
+  f.add_ternary(neg(1), pos(2), pos(3));
+  PreprocessOptions opts;
+  opts.frozen = {0};
+  PreprocessResult r = preprocess(f, opts);
+  ASSERT_FALSE(r.unsat);
+  EXPECT_TRUE(r.fixed[0].is_undef());
+  EXPECT_FALSE(r.substituted[0].is_defined());
+  for (const ElimRecord& rec : r.eliminated) EXPECT_NE(rec.pivot, 0);
+  for (const Lit a : {pos(0), neg(0)}) {
+    CnfFormula augmented = f;
+    augmented.add_clause({a});
+    Solver s;
+    s.add_formula(r.simplified);
+    s.ensure_var(f.num_vars() - 1);
+    const SolveResult res = s.solve({a});
+    ASSERT_EQ(res == SolveResult::kSat,
+              testing::brute_force_satisfiable(augmented));
+    if (res == SolveResult::kSat) {
+      auto lifted = r.reconstruct_model(s.model());
+      EXPECT_TRUE(augmented.is_satisfied_by(
+          testing::complete_model(lifted, f.num_vars())));
+    }
+  }
+}
+
+TEST(PreprocessTest, UnconstrainedVariablesGetTotalModel) {
+  // x4 and x5 occur in no clause; reconstruction must still assign
+  // them (any value) so the lifted model is total.
+  CnfFormula f(6);
+  f.add_binary(pos(0), pos(1));
+  f.add_binary(neg(1), pos(2));
+  f.add_binary(neg(2), pos(3));
+  PreprocessResult r = preprocess(f);
+  ASSERT_FALSE(r.unsat);
+  Solver s;
+  s.add_formula(r.simplified);
+  s.ensure_var(f.num_vars() - 1);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  auto model = r.reconstruct_model(s.model());
+  ASSERT_EQ(model.size(), 6u);
+  for (const lbool& b : model) EXPECT_FALSE(b.is_undef());
+  EXPECT_TRUE(f.is_satisfied_by(testing::complete_model(model, 6)));
 }
 
 class PreprocessPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
@@ -134,6 +211,38 @@ TEST_P(PreprocessPropertyTest, EquivalenceRichFormulasPreserved) {
   }
 }
 
+TEST_P(PreprocessPropertyTest, RoundTripAcrossPassMixes) {
+  // Randomized round trip for every pass combination: preprocess,
+  // solve the simplified formula, lift the model, evaluate it against
+  // the original CNF.
+  CnfFormula f = random_3sat(11, 4.4, GetParam() + 7000);
+  const bool expected = testing::brute_force_satisfiable(f);
+  for (int mask = 0; mask < 32; ++mask) {
+    PreprocessOptions opts;
+    opts.pure_literals = (mask & 1) != 0;
+    opts.equivalency_reasoning = (mask & 2) != 0;
+    opts.subsumption = (mask & 4) != 0;
+    opts.self_subsumption = (mask & 8) != 0;
+    opts.bounded_variable_elimination = (mask & 16) != 0;
+    PreprocessResult r = preprocess(f, opts);
+    if (r.unsat) {
+      EXPECT_FALSE(expected) << "pass mask " << mask;
+      continue;
+    }
+    Solver s;
+    s.add_formula(r.simplified);
+    s.ensure_var(f.num_vars() - 1);
+    const SolveResult res = s.solve();
+    ASSERT_EQ(res == SolveResult::kSat, expected) << "pass mask " << mask;
+    if (res == SolveResult::kSat) {
+      auto lifted = r.reconstruct_model(s.model());
+      EXPECT_TRUE(
+          f.is_satisfied_by(testing::complete_model(lifted, f.num_vars())))
+          << "pass mask " << mask;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PreprocessPropertyTest,
                          ::testing::Range<std::uint64_t>(3000, 3020));
 
@@ -153,12 +262,13 @@ TEST(PreprocessProofCertificationTest, PreprocessorUnsatVerdictsAreCertified) {
 
 TEST(PreprocessProofCertificationTest, PipelineProofsCoverEveryPassMix) {
   const CnfFormula f = pigeonhole(4);
-  for (int mask = 0; mask < 16; ++mask) {
+  for (int mask = 0; mask < 32; ++mask) {
     PreprocessOptions opts;
     opts.pure_literals = (mask & 1) != 0;
     opts.equivalency_reasoning = (mask & 2) != 0;
     opts.subsumption = (mask & 4) != 0;
     opts.self_subsumption = (mask & 8) != 0;
+    opts.bounded_variable_elimination = (mask & 16) != 0;
     EXPECT_TRUE(testing::verify_unsat_preprocessed(f, opts))
         << "pass mask " << mask;
   }

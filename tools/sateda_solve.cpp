@@ -44,6 +44,11 @@ void print_help(const char* argv0) {
       "                       portfolio; composes with --preprocess)\n"
       "  --binary-proof       emit the proof in binary DRAT\n"
       "  --max-conflicts N    give up after N conflicts (per worker)\n"
+      "  --timeout S          give up after S seconds of wall clock\n"
+      "                       (answer UNKNOWN, exit 0)\n"
+      "  --inprocess          simplify periodically during search\n"
+      "                       (variable elimination, vivification,\n"
+      "                       failed-literal probing; cdcl and portfolio)\n"
       "\n"
       "assumptions and UNSAT cores:\n"
       "  --assume LIT         solve under a DIMACS assumption literal\n"
@@ -62,6 +67,9 @@ void print_help(const char* argv0) {
       "\n"
       "general:\n"
       "  --preprocess         run the CNF preprocessor first\n"
+      "  --pre-pass NAME      run only the named preprocessor pass\n"
+      "                       (repeatable; implies --preprocess).  Names:\n"
+      "                       pure, equiv, subsume, selfsub, bve\n"
       "  --strict-dimacs      enforce header variable/clause declarations\n"
       "  --stats              print a detailed counter breakdown after\n"
       "                       solving (propagations/sec, binary\n"
@@ -95,6 +103,7 @@ int main(int argc, char** argv) {
   int threads = 0;
   bool deterministic = false;
   bool preprocess_first = false;
+  std::vector<std::string> pre_passes;
   bool quiet = false;
   bool detailed_stats = false;
   DimacsOptions dimacs_opts;
@@ -113,6 +122,24 @@ int main(int argc, char** argv) {
       deterministic = true;
     } else if (arg == "--preprocess") {
       preprocess_first = true;
+    } else if (arg == "--pre-pass" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name != "pure" && name != "equiv" && name != "subsume" &&
+          name != "selfsub" && name != "bve") {
+        std::fprintf(stderr, "error: unknown --pre-pass %s\n", name.c_str());
+        return 2;
+      }
+      pre_passes.push_back(name);
+      preprocess_first = true;
+    } else if (arg == "--inprocess") {
+      opts.inprocess.enabled = true;
+    } else if (arg == "--timeout" && i + 1 < argc) {
+      const double seconds = std::atof(argv[++i]);
+      if (seconds < 0) {
+        std::fprintf(stderr, "error: --timeout takes a nonnegative number\n");
+        return 2;
+      }
+      opts.time_budget_ms = static_cast<std::int64_t>(seconds * 1000.0);
     } else if (arg == "--strict-dimacs") {
       dimacs_opts.strict_header_bounds = true;
       dimacs_opts.strict_clause_count = true;
@@ -217,6 +244,21 @@ int main(int argc, char** argv) {
   const CnfFormula* to_solve = &f;
   if (preprocess_first) {
     sat::PreprocessOptions popts;
+    if (!pre_passes.empty()) {
+      // --pre-pass whitelists: only the named passes run.
+      popts.pure_literals = false;
+      popts.equivalency_reasoning = false;
+      popts.subsumption = false;
+      popts.self_subsumption = false;
+      popts.bounded_variable_elimination = false;
+      for (const std::string& name : pre_passes) {
+        if (name == "pure") popts.pure_literals = true;
+        if (name == "equiv") popts.equivalency_reasoning = true;
+        if (name == "subsume") popts.subsumption = true;
+        if (name == "selfsub") popts.self_subsumption = true;
+        if (name == "bve") popts.bounded_variable_elimination = true;
+      }
+    }
     if (want_proof) popts.proof = &pre_proof;
     pre = sat::preprocess(f, popts);
     if (pre.unsat) {
