@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# serve_load.sh BUILD_DIR [--circuit NAME] [--check MIN_SPEEDUP] [--out FILE]
+#
+# The sateda-serve load benchmark: fires every collapsed
+# single-stuck-at ATPG query of a generated circuit at the daemon
+# twice — once against warm long-lived sessions (one clause epoch per
+# fault, learnt clauses and heuristic state carried across queries)
+# and once against a cold throwaway session per query (open + load +
+# solve + close) — and records queries/sec plus p50/p95/p99 latency
+# for both, with an identical-answers cross-check.
+#
+# Writes the JSON report (default BENCH_serve.json in BUILD_DIR) and,
+# with --check, fails when the warm/cold speedup drops below the
+# given floor.
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: serve_load.sh BUILD_DIR [--circuit NAME] [--check MIN] [--out FILE]}
+shift
+SERVE="$BUILD_DIR/tools/sateda-serve"
+CIRCUIT=alu16
+OUT="$BUILD_DIR/BENCH_serve.json"
+MIN_SPEEDUP=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --circuit) CIRCUIT=$2; shift 2 ;;
+    --check) MIN_SPEEDUP=$2; shift 2 ;;
+    --out) OUT=$2; shift 2 ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+"$SERVE" --bench --circuit "$CIRCUIT" --bench-out "$OUT"
+
+python3 - "$OUT" "${MIN_SPEEDUP:-}" <<'EOF'
+import json, sys
+b = json.load(open(sys.argv[1]))
+for mode in ("warm", "cold"):
+    m = b[mode]
+    print(f"{mode:5}: {m['queries_per_sec']:8.1f} q/s   "
+          f"p50 {m['p50_ms']:.3f} ms   p95 {m['p95_ms']:.3f} ms   "
+          f"p99 {m['p99_ms']:.3f} ms")
+print(f"speedup: {b['warm_cold_speedup']:.2f}x   "
+      f"answers identical: {b['answers_identical']}")
+if not b["answers_identical"]:
+    sys.exit("warm and cold verdicts differ")
+if sys.argv[2]:
+    floor = float(sys.argv[2])
+    if b["warm_cold_speedup"] < floor:
+        sys.exit(f"speedup {b['warm_cold_speedup']:.2f}x below floor {floor}")
+EOF

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# serve_smoke.sh BUILD_DIR [CIRCUIT]
+#
+# End-to-end smoke test of the sateda-serve daemon:
+#
+#   1. record the warm single-session ATPG request trace for a
+#      generated circuit (every collapsed single-stuck-at fault);
+#   2. replay it through the daemon on stdin/stdout;
+#   3. re-solve every query's dumped standalone CNF with the one-shot
+#      sateda-solve and diff the verdicts — the warm incremental
+#      session must answer exactly like a cold solver;
+#   4. certify one UNSAT answer end-to-end: the daemon's dumped CNF +
+#      DRAT proof must pass sateda-check;
+#   5. run the built-in warm-vs-cold benchmark and gate the speedup
+#      at >= 1.0 (warm sessions must never be slower than cold).
+#
+# Exits non-zero on any mismatch.
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: serve_smoke.sh BUILD_DIR [CIRCUIT]}
+CIRCUIT=${2:-adder4}
+SERVE="$BUILD_DIR/tools/sateda-serve"
+SOLVE="$BUILD_DIR/tools/sateda-solve"
+CHECK="$BUILD_DIR/tools/sateda-check"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== record ATPG trace ($CIRCUIT) =="
+"$SERVE" --gen-atpg-trace "$WORK/trace.jsonl" --circuit "$CIRCUIT"
+
+echo "== replay through the daemon =="
+"$SERVE" --quiet < "$WORK/trace.jsonl" > "$WORK/replies.jsonl"
+
+echo "== diff daemon verdicts against one-shot sateda-solve =="
+python3 - "$WORK" "$SOLVE" <<'EOF'
+import json, subprocess, sys
+work, solve = sys.argv[1], sys.argv[2]
+checked = mismatches = 0
+for line in open(f"{work}/replies.jsonl"):
+    r = json.loads(line)
+    if not r.get("ok"):
+        sys.exit(f"daemon error response: {r}")
+    if "result" not in r or "cnf" not in r:
+        continue
+    with open(f"{work}/q.cnf", "w") as f:
+        f.write(r["cnf"])
+    one_shot = subprocess.run([solve, "--quiet", f"{work}/q.cnf"],
+                              stdout=subprocess.DEVNULL).returncode
+    want = {"sat": 10, "unsat": 20}.get(r["result"])
+    if want is None or one_shot != want:
+        mismatches += 1
+        print(f"MISMATCH {r.get('id')}: daemon={r['result']} solve-exit={one_shot}")
+    checked += 1
+if checked == 0:
+    sys.exit("no solve responses with dumped CNF found")
+print(f"{checked} queries cross-checked, {mismatches} mismatches")
+sys.exit(1 if mismatches else 0)
+EOF
+
+echo "== certify an UNSAT answer via sateda-check =="
+printf '%s\n' \
+  '{"op":"open","session":"s"}' \
+  '{"op":"add","session":"s","clauses":[[1,2],[-1,2],[1,-2],[-1,-2]]}' \
+  '{"op":"solve","session":"s","certify":true,"id":"refute"}' \
+  '{"op":"shutdown"}' | "$SERVE" --quiet > "$WORK/certify.jsonl"
+python3 - "$WORK" <<'EOF'
+import json, sys
+work = sys.argv[1]
+for line in open(f"{work}/certify.jsonl"):
+    r = json.loads(line)
+    if r.get("id") == "refute":
+        assert r["result"] == "unsat", r
+        open(f"{work}/refute.cnf", "w").write(r["cnf"])
+        open(f"{work}/refute.drat", "w").write(r["proof"])
+        sys.exit(0)
+sys.exit("no certified response found")
+EOF
+"$CHECK" "$WORK/refute.cnf" "$WORK/refute.drat"
+
+echo "== warm-vs-cold benchmark gate (speedup >= 1.0) =="
+"$SERVE" --bench --circuit "$CIRCUIT" --bench-out "$WORK/bench.json"
+python3 - "$WORK/bench.json" <<'EOF'
+import json, sys
+b = json.load(open(sys.argv[1]))
+assert b["answers_identical"], "warm and cold verdicts differ"
+assert b["warm"]["errors"] == 0 and b["cold"]["errors"] == 0, "protocol errors"
+speedup = b["warm_cold_speedup"]
+print(f"warm/cold speedup: {speedup:.2f}x")
+sys.exit(0 if speedup >= 1.0 else f"warm slower than cold ({speedup:.2f}x)")
+EOF
+
+echo "serve smoke: OK"

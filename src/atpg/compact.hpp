@@ -24,7 +24,7 @@ struct CompactionOptions {
   /// branch-and-bound; both return proven-optimal subsets.
   bool use_maxsat = true;
   sat::SolverOptions solver;
-  sat::EngineFactory engine;
+  sat::EngineSpec engine;
 };
 
 struct CompactionResult {

@@ -1,0 +1,90 @@
+#include "atpg/fault_cnf.hpp"
+
+#include <algorithm>
+
+#include "circuit/encoder.hpp"
+
+namespace sateda::atpg {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::NodeId;
+
+FaultQueryCnf encode_fault_query(const Circuit& c, const Fault& f,
+                                 Var first_free_var) {
+  FaultQueryCnf q;
+  q.next_var = first_free_var;
+
+  // Output cone of the fault site.
+  std::vector<char> in_cone(c.num_nodes(), 0);
+  std::vector<NodeId> stack{f.node};
+  std::vector<NodeId> cone;
+  while (!stack.empty()) {
+    NodeId x = stack.back();
+    stack.pop_back();
+    if (in_cone[x]) continue;
+    in_cone[x] = 1;
+    cone.push_back(x);
+    for (NodeId fo : c.fanouts(x)) stack.push_back(fo);
+  }
+  std::sort(cone.begin(), cone.end());
+
+  bool reaches_output = false;
+  for (NodeId o : c.outputs()) {
+    if (in_cone[o]) reaches_output = true;
+  }
+  if (!reaches_output) {
+    q.trivially_redundant = true;
+    return q;
+  }
+
+  // Fresh variables for the faulty copies, allocated in cone order so
+  // the layout is a pure function of (circuit, fault, first_free_var).
+  Var next = first_free_var;
+  CnfFormula& add = q.clauses;
+  add.ensure_var(first_free_var - 1);
+  std::vector<Var> faulty(c.num_nodes(), kNullVar);
+  for (NodeId x : cone) faulty[x] = next++;
+  for (NodeId x : cone) {
+    const circuit::Node& n = c.node(x);
+    if (x == f.node && f.pin == Fault::kOutputPin) {
+      add.add_unit(Lit(faulty[x], !f.stuck_value));
+      continue;
+    }
+    std::vector<Var> ins;
+    ins.reserve(n.fanins.size());
+    for (int i = 0; i < static_cast<int>(n.fanins.size()); ++i) {
+      NodeId fi = n.fanins[i];
+      if (x == f.node && i == f.pin) {
+        // Faulted pin: a fresh variable pinned to the stuck value.
+        Var pin_var = next++;
+        add.ensure_var(pin_var);
+        add.add_unit(Lit(pin_var, !f.stuck_value));
+        ins.push_back(pin_var);
+      } else {
+        ins.push_back(in_cone[fi] ? faulty[fi] : static_cast<Var>(fi));
+      }
+    }
+    encode_gate_clauses(n.type, faulty[x], ins, add);
+  }
+
+  // detect = OR of XORs of affected output pairs.
+  std::vector<Var> diffs;
+  for (NodeId o : c.outputs()) {
+    if (!in_cone[o]) continue;
+    Var d = next++;
+    add.ensure_var(d);
+    encode_gate_clauses(GateType::kXor, d, {static_cast<Var>(o), faulty[o]},
+                        add);
+    diffs.push_back(d);
+  }
+  Var detect = next++;
+  add.ensure_var(detect);
+  encode_gate_clauses(GateType::kOr, detect, diffs, add);
+
+  q.assumptions.push_back(pos(detect));
+  q.next_var = next;
+  return q;
+}
+
+}  // namespace sateda::atpg

@@ -1,0 +1,51 @@
+/// \file fault_cnf.hpp
+/// \brief Standalone CNF encoding of one stuck-at fault query over a
+///        good-circuit base encoding (paper §6, refs [18, 25]).
+///
+/// The incremental-ATPG formulation keeps one persistent solver
+/// holding encode_circuit(c) — variable i is node i's good value — and
+/// asks, fault by fault: "is there an input pattern under which some
+/// output of the faulty copy differs?"  This header carves that
+/// per-fault delta out as pure data so every consumer of the pattern
+/// shares one encoder:
+///
+///  * atpg::IncrementalAtpg runs it in-process, one clause epoch per
+///    fault (sat::SolverSession);
+///  * the sateda-serve ATPG load generator ships the same clauses as
+///    protocol requests, which is what makes the daemon bench answers
+///    directly comparable to the in-process flow.
+///
+/// Variables at and above \p first_free_var are allocated
+/// deterministically in encoding order, so a client that knows the
+/// next free engine variable can predict every id in the query.
+#pragma once
+
+#include "atpg/fault.hpp"
+#include "cnf/formula.hpp"
+
+namespace sateda::atpg {
+
+/// One fault's query, relative to the good-circuit base encoding.
+struct FaultQueryCnf {
+  /// Fault-cone copy + XOR detectors + final OR.  Empty when the fault
+  /// is trivially redundant.
+  CnfFormula clauses;
+  /// Assumption literals activating detection (the OR-of-differences
+  /// output forced true).  Empty when trivially_redundant.
+  std::vector<Lit> assumptions;
+  /// First variable id after the query's allocations (== the passed
+  /// first_free_var when nothing was allocated).
+  Var next_var = 0;
+  /// The fault cone reaches no primary output: redundant without any
+  /// SAT call.
+  bool trivially_redundant = false;
+};
+
+/// Encodes the faulty-cone copy of \p f over fresh variables starting
+/// at \p first_free_var, plus XOR difference detectors on the affected
+/// outputs.  The base encoding (encode_circuit) must already be loaded
+/// wherever the clauses are sent; good node x is variable x there.
+FaultQueryCnf encode_fault_query(const circuit::Circuit& c, const Fault& f,
+                                 Var first_free_var);
+
+}  // namespace sateda::atpg

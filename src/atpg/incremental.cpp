@@ -1,107 +1,51 @@
 #include "atpg/incremental.hpp"
 
-#include <algorithm>
-
+#include "atpg/fault_cnf.hpp"
 #include "circuit/encoder.hpp"
 
 namespace sateda::atpg {
 
 using circuit::Circuit;
-using circuit::GateType;
-using circuit::NodeId;
+
+sat::SessionOptions IncrementalAtpg::session_options(
+    sat::SolverOptions solver_opts, std::int64_t conflict_budget,
+    const sat::EngineSpec& engine) {
+  sat::SessionOptions so;
+  so.engine = engine;
+  so.solver = std::move(solver_opts);
+  so.default_budget.conflicts = conflict_budget;
+  return so;
+}
 
 IncrementalAtpg::IncrementalAtpg(const Circuit& c,
                                  sat::SolverOptions solver_opts,
                                  std::int64_t conflict_budget,
-                                 const sat::EngineFactory& factory)
-    : circuit_(c), conflict_budget_(conflict_budget) {
-  solver_opts.conflict_budget = conflict_budget_;
-  solver_ = sat::make_engine(factory, solver_opts);
-  (void)solver_->add_formula(circuit::encode_circuit(c));
+                                 const sat::EngineSpec& engine)
+    : circuit_(c),
+      session_(session_options(std::move(solver_opts), conflict_budget,
+                               engine)) {
+  (void)session_.add_formula(circuit::encode_circuit(c));
 }
 
 FaultStatus IncrementalAtpg::test_fault(const Fault& f,
                                         std::vector<lbool>& pattern) {
-  // Output cone of the fault site.
-  std::vector<char> in_cone(circuit_.num_nodes(), 0);
-  std::vector<NodeId> stack{f.node};
-  std::vector<NodeId> cone;
-  while (!stack.empty()) {
-    NodeId x = stack.back();
-    stack.pop_back();
-    if (in_cone[x]) continue;
-    in_cone[x] = 1;
-    cone.push_back(x);
-    for (NodeId fo : circuit_.fanouts(x)) stack.push_back(fo);
-  }
-  std::sort(cone.begin(), cone.end());
+  // The epoch selector takes next_free_var(); the fault query's fresh
+  // variables follow it — the same layout a serve protocol client
+  // reproduces from the documented push() allocation guarantee.
+  const Var first_free = session_.next_free_var();
+  FaultQueryCnf q = encode_fault_query(circuit_, f, first_free + 1);
+  if (q.trivially_redundant) return FaultStatus::kRedundant;
 
-  bool reaches_output = false;
-  for (NodeId o : circuit_.outputs()) {
-    if (in_cone[o]) reaches_output = true;
-  }
-  if (!reaches_output) return FaultStatus::kRedundant;
+  session_.push();
+  (void)session_.add_formula(q.clauses);
+  sat::QueryResult r = session_.query(q.assumptions);
+  // Retire this fault's clauses, reclaim their storage, and drop the
+  // fault-local variables from the branching order — without this, the
+  // database and heuristic bloat of retired fault groups eats the
+  // learnt-clause-reuse benefit.
+  session_.pop();
 
-  // Fresh variables for the faulty copies, plus the activation guard.
-  const Var first_local = solver_->num_vars();
-  const Lit guard = pos(solver_->new_var());
-  std::vector<Var> faulty(circuit_.num_nodes(), kNullVar);
-  CnfFormula add(solver_->num_vars());
-  for (NodeId x : cone) faulty[x] = solver_->new_var();
-  for (NodeId x : cone) {
-    const circuit::Node& n = circuit_.node(x);
-    if (x == f.node && f.pin == Fault::kOutputPin) {
-      add.add_unit(Lit(faulty[x], !f.stuck_value));
-      continue;
-    }
-    std::vector<Var> ins;
-    ins.reserve(n.fanins.size());
-    for (int i = 0; i < static_cast<int>(n.fanins.size()); ++i) {
-      NodeId fi = n.fanins[i];
-      if (x == f.node && i == f.pin) {
-        // Faulted pin: a fresh variable pinned to the stuck value.
-        Var pin_var = solver_->new_var();
-        add.add_unit(Lit(pin_var, !f.stuck_value));
-        ins.push_back(pin_var);
-      } else {
-        ins.push_back(in_cone[fi] ? faulty[fi] : static_cast<Var>(fi));
-      }
-    }
-    encode_gate_clauses(n.type, faulty[x], ins, add);
-  }
-  // detect = OR of XORs of affected output pairs.
-  std::vector<Var> diffs;
-  for (NodeId o : circuit_.outputs()) {
-    if (!in_cone[o]) continue;
-    Var d = solver_->new_var();
-    encode_gate_clauses(GateType::kXor, d,
-                        {static_cast<Var>(o), faulty[o]}, add);
-    diffs.push_back(d);
-  }
-  Var detect = solver_->new_var();
-  encode_gate_clauses(GateType::kOr, detect, diffs, add);
-
-  // Install the clauses guarded by ¬guard ∨ clause so they are only
-  // active while `guard` is assumed.
-  for (const Clause& c : add) {
-    std::vector<Lit> lits(c.begin(), c.end());
-    lits.push_back(~guard);
-    (void)solver_->add_clause(std::move(lits));
-  }
-
-  sat::SolveResult r = solver_->solve({guard, pos(detect)});
-  // Permanently retire this fault's clauses and reclaim the watch
-  // lists they occupied — without this, the database bloat of retired
-  // fault groups eats the learnt-clause-reuse benefit.
-  (void)solver_->add_clause({~guard});
-  solver_->simplify_db();
-  // Retired fault-local variables occur only in removed clauses:
-  // exclude them from branching so later solves do not waste
-  // decisions on dead logic.
-  for (Var v = first_local; v < solver_->num_vars(); ++v) {
-    solver_->set_decision_var(v, false);
-  }
-  switch (r) {
+  switch (r.result) {
     case sat::SolveResult::kUnsat:
       return FaultStatus::kRedundant;
     case sat::SolveResult::kUnknown:
@@ -111,7 +55,7 @@ FaultStatus IncrementalAtpg::test_fault(const Fault& f,
   }
   pattern.assign(circuit_.inputs().size(), l_undef);
   for (std::size_t i = 0; i < circuit_.inputs().size(); ++i) {
-    pattern[i] = solver_->model()[circuit_.inputs()[i]];
+    pattern[i] = r.model[circuit_.inputs()[i]];
   }
   return FaultStatus::kDetected;
 }

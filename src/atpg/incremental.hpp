@@ -1,37 +1,41 @@
 /// \file incremental.hpp
 /// \brief Incremental SAT formulation of ATPG (paper §6, refs
-///        [18, 25]): one persistent solver holds the good-circuit CNF
+///        [18, 25]): one persistent session holds the good-circuit CNF
 ///        and the learnt clauses it accumulates; each fault adds only
-///        its faulty-cone clauses, guarded by an activation literal,
-///        and is tested under assumptions.  Contrast with the
-///        from-scratch flow in engine.hpp (bench E12).
+///        its faulty-cone clauses inside a clause epoch and is tested
+///        under assumptions.  Contrast with the from-scratch flow in
+///        engine.hpp (bench E12).
 #pragma once
 
 #include <vector>
 
 #include "atpg/fault.hpp"
-#include "sat/engine.hpp"
+#include "sat/session.hpp"
 
 namespace sateda::atpg {
 
 class IncrementalAtpg {
  public:
-  /// \p factory selects the SAT backend (empty: single-threaded CDCL).
+  /// \p engine selects the SAT backend (default: single-threaded CDCL).
   explicit IncrementalAtpg(const circuit::Circuit& c,
                            sat::SolverOptions solver_opts = {},
                            std::int64_t conflict_budget = 200000,
-                           const sat::EngineFactory& factory = {});
+                           const sat::EngineSpec& engine = {});
 
   /// Tests one fault.  On kDetected, \p pattern receives a (possibly
   /// partial) input pattern.
   FaultStatus test_fault(const Fault& f, std::vector<lbool>& pattern);
 
-  const sat::SatEngine& solver() const { return *solver_; }
+  const sat::SatEngine& solver() const { return session_.engine(); }
+  const sat::SolverSession& session() const { return session_; }
 
  private:
+  static sat::SessionOptions session_options(sat::SolverOptions solver_opts,
+                                             std::int64_t conflict_budget,
+                                             const sat::EngineSpec& engine);
+
   const circuit::Circuit& circuit_;
-  std::unique_ptr<sat::SatEngine> solver_;
-  std::int64_t conflict_budget_;
+  sat::SolverSession session_;
 };
 
 }  // namespace sateda::atpg

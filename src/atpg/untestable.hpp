@@ -25,7 +25,7 @@ namespace sateda::atpg {
 
 struct UntestableGroupOptions {
   sat::SolverOptions solver;
-  sat::EngineFactory engine;  ///< SAT backend (empty: CDCL)
+  sat::EngineSpec engine;  ///< SAT backend (empty: CDCL)
   /// Core-minimization effort (bounded by default: refinement plus a
   /// deletion pass capped at 128 solve calls per fault).
   sat::core::CoreMinimizeOptions core{true, 4, true, 128};

@@ -21,7 +21,7 @@ struct BmcOptions {
   int max_depth = 64;
   std::int64_t conflict_budget = -1;  ///< per-depth-query conflict budget
   sat::SolverOptions solver;
-  sat::EngineFactory engine;          ///< SAT backend (empty: CDCL)
+  sat::EngineSpec engine;          ///< SAT backend (empty: CDCL)
 };
 
 enum class BmcVerdict {

@@ -53,7 +53,7 @@ struct InductionOptions {
   int max_k = 32;
   std::int64_t conflict_budget = -1;  ///< per SAT query
   sat::SolverOptions solver;
-  sat::EngineFactory engine;  ///< SAT backend (empty: CDCL)
+  sat::EngineSpec engine;  ///< SAT backend (empty: CDCL)
   bool unique_states = true;  ///< simple-path constraint (completeness)
   /// On a successful step query, extract (and minimize) the UNSAT core
   /// over the per-frame ¬bad selectors to report which hypothesis

@@ -28,7 +28,7 @@ namespace sateda::delay {
 struct DelayOptions {
   std::int64_t conflict_budget = -1;
   sat::SolverOptions solver;
-  sat::EngineFactory engine;  ///< SAT backend (empty: CDCL)
+  sat::EngineSpec engine;  ///< SAT backend (empty: CDCL)
 };
 
 /// Longest topological path (unit delays) — the classic static timing

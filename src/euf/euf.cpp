@@ -122,8 +122,8 @@ FormulaId EufContext::f_and_all(const std::vector<FormulaId>& fs) {
 class Reduction {
  public:
   Reduction(const EufContext& ctx, sat::SolverOptions opts,
-            const sat::EngineFactory& factory)
-      : ctx_(ctx), solver_(sat::make_engine(factory, opts)) {}
+            const sat::EngineSpec& engine)
+      : ctx_(ctx), solver_(sat::make_engine(engine, opts)) {}
 
   EufResult run(FormulaId root) {
     // 1. Atom per term.  Hash-consing already merged identical
@@ -302,15 +302,15 @@ class Reduction {
 };
 
 EufResult EufContext::check_sat(FormulaId f, sat::SolverOptions opts,
-                                const sat::EngineFactory& factory) {
-  Reduction r(*this, opts, factory);
+                                const sat::EngineSpec& engine) {
+  Reduction r(*this, opts, engine);
   return r.run(f);
 }
 
 bool EufContext::is_valid(FormulaId f, sat::SolverOptions opts,
-                          const sat::EngineFactory& factory) {
+                          const sat::EngineSpec& engine) {
   FormulaId negated = f_not(f);
-  return check_sat(negated, opts, factory).result == sat::SolveResult::kUnsat;
+  return check_sat(negated, opts, engine).result == sat::SolveResult::kUnsat;
 }
 
 }  // namespace sateda::euf

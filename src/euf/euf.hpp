@@ -74,13 +74,13 @@ class EufContext {
   FormulaId f_and_all(const std::vector<FormulaId>& fs);
 
   // --- deciding ------------------------------------------------------
-  /// Satisfiability of \p f.  \p factory selects the SAT backend
-  /// (empty: single-threaded CDCL).
+  /// Satisfiability of \p f.  \p engine selects the SAT backend
+  /// (default: single-threaded CDCL).
   EufResult check_sat(FormulaId f, sat::SolverOptions opts = {},
-                      const sat::EngineFactory& factory = {});
+                      const sat::EngineSpec& engine = {});
   /// Validity (true in all interpretations): ¬f unsatisfiable.
   bool is_valid(FormulaId f, sat::SolverOptions opts = {},
-                const sat::EngineFactory& factory = {});
+                const sat::EngineSpec& engine = {});
 
   std::size_t num_terms() const { return terms_.size(); }
   std::size_t num_formulas() const { return formulas_.size(); }

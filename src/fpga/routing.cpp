@@ -51,7 +51,7 @@ int left_edge_tracks(const ChannelProblem& p) {
 
 RouteResult route_channel(const ChannelProblem& p, int tracks,
                           sat::SolverOptions opts,
-                          const sat::EngineFactory& factory) {
+                          const sat::EngineSpec& engine) {
   RouteResult result;
   const int n = static_cast<int>(p.nets.size());
   if (n == 0) {
@@ -59,21 +59,21 @@ RouteResult route_channel(const ChannelProblem& p, int tracks,
     return result;
   }
   if (tracks <= 0) return result;
-  std::unique_ptr<sat::SatEngine> engine = sat::make_engine(factory, opts);
+  std::unique_ptr<sat::SatEngine> solver = sat::make_engine(engine, opts);
   // A false add_clause means the instance is trivially unroutable; the
   // engine remembers and solve() reports kUnsat, so keep going.
   bool ok = true;
   // x(i, t): net i on track t.
   auto x = [&](int i, int t) { return static_cast<Var>(i * tracks + t); };
-  engine->ensure_var(n * tracks - 1);
+  solver->ensure_var(n * tracks - 1);
   // Exactly one track per net.
   for (int i = 0; i < n; ++i) {
     std::vector<Lit> at_least;
     for (int t = 0; t < tracks; ++t) at_least.push_back(pos(x(i, t)));
-    ok = engine->add_clause(std::move(at_least)) && ok;
+    ok = solver->add_clause(std::move(at_least)) && ok;
     for (int t1 = 0; t1 < tracks; ++t1) {
       for (int t2 = t1 + 1; t2 < tracks; ++t2) {
-        ok = engine->add_clause({neg(x(i, t1)), neg(x(i, t2))}) && ok;
+        ok = solver->add_clause({neg(x(i, t1)), neg(x(i, t2))}) && ok;
       }
     }
   }
@@ -82,7 +82,7 @@ RouteResult route_channel(const ChannelProblem& p, int tracks,
     for (int j = i + 1; j < n; ++j) {
       if (!spans_overlap(p.nets[i], p.nets[j])) continue;
       for (int t = 0; t < tracks; ++t) {
-        ok = engine->add_clause({neg(x(i, t)), neg(x(j, t))}) && ok;
+        ok = solver->add_clause({neg(x(i, t)), neg(x(j, t))}) && ok;
       }
     }
   }
@@ -90,21 +90,21 @@ RouteResult route_channel(const ChannelProblem& p, int tracks,
   for (const VerticalConstraint& vc : p.verticals) {
     for (int tu = 0; tu < tracks; ++tu) {
       for (int tl = 0; tl <= tu; ++tl) {
-        ok = engine->add_clause({neg(x(vc.upper, tu)), neg(x(vc.lower, tl))}) &&
+        ok = solver->add_clause({neg(x(vc.upper, tu)), neg(x(vc.lower, tl))}) &&
              ok;
       }
     }
   }
-  if (!ok || engine->solve() != sat::SolveResult::kSat) {
-    result.conflicts = engine->stats().conflicts;
+  if (!ok || solver->solve() != sat::SolveResult::kSat) {
+    result.conflicts = solver->stats().conflicts;
     return result;
   }
-  result.conflicts = engine->stats().conflicts;
+  result.conflicts = solver->stats().conflicts;
   result.routable = true;
   result.track.assign(n, -1);
   for (int i = 0; i < n; ++i) {
     for (int t = 0; t < tracks; ++t) {
-      if (engine->model_value(x(i, t)).is_true()) {
+      if (solver->model_value(x(i, t)).is_true()) {
         result.track[i] = t;
         break;
       }
@@ -115,9 +115,9 @@ RouteResult route_channel(const ChannelProblem& p, int tracks,
 
 int minimum_tracks(const ChannelProblem& p, int max_tracks,
                    sat::SolverOptions opts,
-                   const sat::EngineFactory& factory) {
+                   const sat::EngineSpec& engine) {
   for (int t = channel_density(p); t <= max_tracks; ++t) {
-    if (route_channel(p, t, opts, factory).routable) return t;
+    if (route_channel(p, t, opts, engine).routable) return t;
   }
   return -1;
 }

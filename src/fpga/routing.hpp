@@ -64,17 +64,17 @@ struct RouteResult {
 };
 
 /// SAT decision: can the channel be routed in \p tracks tracks?
-/// \p factory selects the SAT backend (empty: single-threaded CDCL).
+/// \p engine selects the SAT backend (default: single-threaded CDCL).
 RouteResult route_channel(const ChannelProblem& p, int tracks,
                           sat::SolverOptions opts = {},
-                          const sat::EngineFactory& factory = {});
+                          const sat::EngineSpec& engine = {});
 
 /// Minimum feasible track count in [density, max_tracks], or -1 if
 /// even max_tracks fails (cyclic vertical constraints can make a
 /// dogleg-free channel unroutable at any height).
 int minimum_tracks(const ChannelProblem& p, int max_tracks,
                    sat::SolverOptions opts = {},
-                   const sat::EngineFactory& factory = {});
+                   const sat::EngineSpec& engine = {});
 
 /// Validates a routing against all three constraint families.
 bool validate_routing(const ChannelProblem& p, const std::vector<int>& track,

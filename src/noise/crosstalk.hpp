@@ -26,7 +26,7 @@ struct CrosstalkOptions {
   bool victim_value = false;
   std::int64_t conflict_budget = -1;
   sat::SolverOptions solver;
-  sat::EngineFactory engine;  ///< SAT backend (empty: CDCL)
+  sat::EngineSpec engine;  ///< SAT backend (empty: CDCL)
 };
 
 struct CrosstalkResult {

@@ -25,13 +25,13 @@ CnfFormula covering_cnf(const CoveringProblem& p) {
 /// SAT feasibility of "cover with cost ≤ bound".
 std::optional<std::vector<bool>> sat_cover_within(
     const CoveringProblem& p, int bound, const sat::SolverOptions& so,
-    const sat::EngineFactory& factory, CoveringStats& stats) {
+    const sat::EngineSpec& engine, CoveringStats& stats) {
   CnfFormula f = covering_cnf(p);
   std::vector<Lit> cols;
   cols.reserve(p.num_columns);
   for (int c = 0; c < p.num_columns; ++c) cols.push_back(pos(c));
   add_at_most_k(f, cols, bound);
-  std::unique_ptr<sat::SatEngine> solver = sat::make_engine(factory, so);
+  std::unique_ptr<sat::SatEngine> solver = sat::make_engine(engine, so);
   ++stats.sat_calls;
   if (!solver->add_formula(f) ||
       solver->solve() != sat::SolveResult::kSat) {

@@ -78,7 +78,7 @@ struct CoveringOptions {
   int sat_prune_period = 1;       ///< run the SAT check every N UB updates
   std::int64_t node_budget = -1;  ///< B&B node limit (<0 = unlimited)
   sat::SolverOptions solver;
-  sat::EngineFactory engine;      ///< SAT backend (empty: CDCL)
+  sat::EngineSpec engine;      ///< SAT backend (empty: CDCL)
 };
 
 /// Branch-and-bound covering solver (unate rows only; binate rows are

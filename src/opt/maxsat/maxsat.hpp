@@ -46,7 +46,7 @@ enum class MaxSatAlgo {
 /// Tunables for solve_maxsat().
 struct MaxSatOptions {
   MaxSatAlgo algo = MaxSatAlgo::kOll;
-  sat::EngineFactory engine;   ///< empty → default single-threaded CDCL
+  sat::EngineSpec engine;      ///< SAT backend spec (default: CDCL)
   sat::SolverOptions solver;   ///< options handed to the engine factory
   /// Shrink each UNSAT core with sat/core before relaxing it.  Smaller
   /// cores give smaller totalizers/fewer clones at the price of extra

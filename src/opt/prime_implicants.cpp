@@ -36,7 +36,7 @@ bool is_prime_implicant(const CnfFormula& f, const std::vector<Lit>& cube) {
 
 PrimeImplicantResult minimum_prime_implicant(const CnfFormula& f,
                                              sat::SolverOptions opts,
-                                             const sat::EngineFactory& factory) {
+                                             const sat::EngineSpec& engine) {
   PrimeImplicantResult result;
   const int n = f.num_vars();
   // Selector variables: y_x = 2x (positive literal in cube),
@@ -69,7 +69,7 @@ PrimeImplicantResult minimum_prime_implicant(const CnfFormula& f,
   };
 
   auto try_bound = [&](int bound) -> std::optional<std::vector<Lit>> {
-    std::unique_ptr<sat::SatEngine> solver = sat::make_engine(factory, opts);
+    std::unique_ptr<sat::SatEngine> solver = sat::make_engine(engine, opts);
     ++result.sat_calls;
     if (!solver->add_formula(build(bound)) ||
         solver->solve() != sat::SolveResult::kSat) {

@@ -30,11 +30,11 @@ struct PrimeImplicantResult {
 };
 
 /// Computes a minimum-size prime implicant of the function denoted by
-/// \p f (over f.num_vars() variables).  \p factory selects the SAT
-/// backend (empty: single-threaded CDCL).
+/// \p f (over f.num_vars() variables).  \p engine selects the SAT
+/// backend (default: single-threaded CDCL).
 PrimeImplicantResult minimum_prime_implicant(
     const CnfFormula& f, sat::SolverOptions opts = {},
-    const sat::EngineFactory& factory = {});
+    const sat::EngineSpec& engine = {});
 
 /// True iff the cube implies the formula: every total assignment
 /// extending \p cube satisfies \p f.  For CNF f this reduces to a

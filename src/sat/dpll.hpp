@@ -92,6 +92,13 @@ class DpllSolver : public SatEngine {
   }
   UnknownReason unknown_reason() const override { return unknown_reason_; }
 
+  /// Budgets for subsequent solve() calls: conflicts are counted in
+  /// backtracks here.
+  void set_budgets(std::int64_t conflicts, std::int64_t time_ms) override {
+    opts_.conflict_budget = conflicts;
+    opts_.time_budget_ms = time_ms;
+  }
+
   /// Native counters mapped onto the common fields: backtracks count as
   /// conflicts.
   SolverStats stats() const override;

@@ -24,6 +24,128 @@ std::unique_ptr<SatEngine> make_engine(const EngineFactory& factory,
   return std::make_unique<Solver>(opts);
 }
 
+std::unique_ptr<SatEngine> make_engine(const EngineSpec& spec,
+                                       const SolverOptions& opts) {
+  return spec.build(opts);
+}
+
+// --- EngineSpec ----------------------------------------------------
+
+EngineSpec EngineSpec::parse(const std::string& text) {
+  // Split on ':' — first token names the backend, the rest configure it.
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = text.find(':', start);
+    tokens.push_back(text.substr(
+        start, colon == std::string::npos ? std::string::npos : colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+
+  EngineSpec spec;
+  const std::string& name = tokens.front();
+  if (name == "cdcl") {
+    spec.backend_ = Backend::kCdcl;
+  } else if (name == "dpll") {
+    spec.backend_ = Backend::kDpll;
+  } else if (name == "wsat" || name == "walksat") {
+    spec.backend_ = Backend::kWalkSat;
+  } else if (name == "portfolio") {
+    spec.backend_ = Backend::kPortfolio;
+  } else {
+    throw std::invalid_argument("unknown SAT engine: \"" + name +
+                                "\" (expected cdcl, dpll, walksat or "
+                                "portfolio[:N][:det])");
+  }
+
+  bool saw_workers = false;
+  bool saw_mode = false;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& field = tokens[i];
+    if (spec.backend_ != Backend::kPortfolio) {
+      throw std::invalid_argument("engine \"" + name +
+                                  "\" takes no \":" + field + "\" field");
+    }
+    if (field == "det" || field == "deterministic") {
+      if (saw_mode) {
+        throw std::invalid_argument("duplicate mode field in engine spec \"" +
+                                    text + "\"");
+      }
+      spec.deterministic_ = true;
+      saw_mode = true;
+    } else if (field == "race" || field == "racing") {
+      if (saw_mode) {
+        throw std::invalid_argument("duplicate mode field in engine spec \"" +
+                                    text + "\"");
+      }
+      spec.deterministic_ = false;
+      saw_mode = true;
+    } else if (!field.empty() &&
+               field.find_first_not_of("0123456789") == std::string::npos) {
+      if (saw_workers) {
+        throw std::invalid_argument(
+            "duplicate worker count in engine spec \"" + text + "\"");
+      }
+      spec.num_workers_ = std::stoi(field);
+      saw_workers = true;
+    } else {
+      throw std::invalid_argument("bad engine spec field \":" + field +
+                                  "\" in \"" + text +
+                                  "\" (expected a worker count, det or race)");
+    }
+  }
+  return spec;
+}
+
+EngineSpec EngineSpec::portfolio(int num_workers, bool deterministic) {
+  EngineSpec spec;
+  spec.backend_ = Backend::kPortfolio;
+  spec.num_workers_ = num_workers;
+  spec.deterministic_ = deterministic;
+  return spec;
+}
+
+std::string EngineSpec::to_string() const {
+  switch (backend_) {
+    case Backend::kCdcl: return "cdcl";
+    case Backend::kDpll: return "dpll";
+    case Backend::kWalkSat: return "walksat";
+    case Backend::kCustom: return "custom";
+    case Backend::kPortfolio: break;
+  }
+  std::string s = "portfolio";
+  if (num_workers_ != 0 || deterministic_) {
+    s += ":" + std::to_string(num_workers_);
+  }
+  if (deterministic_) s += ":det";
+  return s;
+}
+
+std::unique_ptr<SatEngine> EngineSpec::build(const SolverOptions& opts) const {
+  switch (backend_) {
+    case Backend::kCdcl: return std::make_unique<Solver>(opts);
+    case Backend::kDpll: return std::make_unique<DpllSolver>(opts);
+    case Backend::kWalkSat: return walksat_engine_factory()(opts);
+    case Backend::kPortfolio: {
+      PortfolioOptions popts;
+      popts.num_workers = num_workers_;
+      popts.deterministic = deterministic_;
+      return std::make_unique<PortfolioSolver>(opts, popts);
+    }
+    case Backend::kCustom:
+      // An empty wrapped factory means "the default engine", exactly
+      // like make_engine() with an empty EngineFactory.
+      return custom_ ? custom_(opts) : std::make_unique<Solver>(opts);
+  }
+  return std::make_unique<Solver>(opts);
+}
+
+EngineFactory EngineSpec::factory() const {
+  EngineSpec copy = *this;
+  return [copy](const SolverOptions& opts) { return copy.build(opts); };
+}
+
 EngineFactory cdcl_engine_factory() {
   return [](const SolverOptions& opts) -> std::unique_ptr<SatEngine> {
     return std::make_unique<Solver>(opts);
@@ -59,11 +181,10 @@ EngineFactory portfolio_engine_factory(int num_workers, bool deterministic) {
 
 EngineFactory engine_factory_by_name(const std::string& name,
                                      int num_workers) {
-  if (name == "cdcl") return cdcl_engine_factory();
-  if (name == "dpll") return dpll_engine_factory();
-  if (name == "wsat" || name == "walksat") return walksat_engine_factory();
-  if (name == "portfolio") return portfolio_engine_factory(num_workers);
-  throw std::invalid_argument("unknown SAT engine: " + name);
+  // Deprecated shim: the spec grammar is a superset of the old names,
+  // so parsing the name and overriding the worker count reproduces the
+  // historical behaviour exactly (including the throw on unknowns).
+  return EngineSpec::parse(name).with_workers(num_workers).factory();
 }
 
 }  // namespace sateda::sat

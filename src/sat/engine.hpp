@@ -109,6 +109,19 @@ class SatEngine {
   /// unknown_reason() == kInterrupted.
   virtual void interrupt() = 0;
 
+  /// Replaces the per-solve resource budgets applied to subsequent
+  /// solve() calls: give up with kUnknown after \p conflicts conflicts
+  /// (engines without a conflict notion map their closest native
+  /// effort unit — DPLL backtracks, WalkSAT flips) or \p time_ms
+  /// milliseconds of wall clock.  Negative means unlimited.  Unlike
+  /// SolverOptions, which is fixed at construction, this can be called
+  /// between solve() calls, so a long-lived engine (a serving session)
+  /// can give every query its own budget.
+  virtual void set_budgets(std::int64_t conflicts, std::int64_t time_ms) {
+    (void)conflicts;
+    (void)time_ms;
+  }
+
   /// Why the last solve() returned kUnknown (kNone when it decided).
   virtual UnknownReason unknown_reason() const = 0;
 
@@ -161,9 +174,101 @@ class SatEngine {
 using EngineFactory =
     std::function<std::unique_ptr<SatEngine>(const SolverOptions&)>;
 
+/// A parsed, printable description of a SAT backend — the one way
+/// engines are selected everywhere (CLI flags, the sateda-serve
+/// protocol, application options structs).
+///
+/// The spec grammar is `backend[:field[:field]]`:
+///
+///   cdcl | dpll | walksat (alias wsat)
+///   portfolio[:N][:det|:race]     N workers (0 = one per core)
+///
+/// Examples: "cdcl", "portfolio:8", "portfolio:8:det".  parse() and
+/// to_string() round-trip: parse(s.to_string()) describes the same
+/// engine, which is what lets a daemon echo back the exact backend a
+/// session runs on.  A spec is a value — storable in options structs,
+/// comparable, and serializable — unlike the EngineFactory closure it
+/// replaces (the old engine_factory_by_name(name, num_workers)
+/// signature survives as a deprecated shim).
+///
+/// A custom factory can still be wrapped (backend kCustom, printed as
+/// "custom"); such a spec does not round-trip through parse().
+class EngineSpec {
+ public:
+  enum class Backend { kCdcl, kDpll, kWalkSat, kPortfolio, kCustom };
+
+  /// Default: the single-threaded CDCL solver.
+  EngineSpec() = default;
+
+  /// Wraps a caller-supplied factory (intentionally implicit so call
+  /// sites that used to store an EngineFactory keep working).
+  EngineSpec(EngineFactory custom)  // NOLINT(google-explicit-constructor)
+      : backend_(Backend::kCustom), custom_(std::move(custom)) {}
+
+  /// Parses a spec string; see parse().  Implicit so option structs
+  /// accept `opts.engine = "portfolio:4"`.
+  EngineSpec(const std::string& text)  // NOLINT(google-explicit-constructor)
+      : EngineSpec(parse(text)) {}
+  EngineSpec(const char* text)  // NOLINT(google-explicit-constructor)
+      : EngineSpec(parse(text)) {}
+
+  /// Parses `backend[:field[:field]]`.  Throws std::invalid_argument
+  /// with a message naming the offending token on anything else.
+  static EngineSpec parse(const std::string& text);
+
+  /// Portfolio over \p num_workers diversified CDCL workers (0 → one
+  /// per hardware thread), optionally in the deterministic
+  /// barrier-synchronized mode (see PortfolioOptions).
+  static EngineSpec portfolio(int num_workers, bool deterministic = false);
+
+  /// Canonical spec string ("walksat" for wsat, workers/mode fields
+  /// only where they differ from the defaults); "custom" for wrapped
+  /// factories.
+  std::string to_string() const;
+
+  Backend backend() const { return backend_; }
+  int num_workers() const { return num_workers_; }
+  bool deterministic() const { return deterministic_; }
+  bool is_custom() const { return backend_ == Backend::kCustom; }
+
+  /// Overrides the worker count (meaningful for portfolio; kept so the
+  /// shared --threads flag composes with any spec string).
+  EngineSpec& with_workers(int n) {
+    num_workers_ = n;
+    return *this;
+  }
+  EngineSpec& with_deterministic(bool det) {
+    deterministic_ = det;
+    return *this;
+  }
+
+  /// Builds the described engine.
+  std::unique_ptr<SatEngine> build(const SolverOptions& opts = {}) const;
+
+  /// The equivalent factory closure (for the few call sites that still
+  /// hand construction off to someone else).
+  EngineFactory factory() const;
+
+  /// Two non-custom specs describing the same engine compare equal.
+  friend bool operator==(const EngineSpec& a, const EngineSpec& b) {
+    return a.backend_ == b.backend_ && a.num_workers_ == b.num_workers_ &&
+           a.deterministic_ == b.deterministic_;
+  }
+
+ private:
+  Backend backend_ = Backend::kCdcl;
+  int num_workers_ = 0;
+  bool deterministic_ = false;
+  EngineFactory custom_;
+};
+
 /// Invokes \p factory (or builds the default single-threaded CDCL
 /// solver when the factory is empty) with \p opts.
 std::unique_ptr<SatEngine> make_engine(const EngineFactory& factory,
+                                       const SolverOptions& opts);
+
+/// Builds the engine \p spec describes.
+std::unique_ptr<SatEngine> make_engine(const EngineSpec& spec,
                                        const SolverOptions& opts);
 
 /// Stock factories for the four backends.
@@ -180,6 +285,8 @@ EngineFactory portfolio_engine_factory(int num_workers,
 /// Resolves "cdcl" | "dpll" | "wsat"/"walksat" | "portfolio" (with
 /// \p num_workers workers).  Throws std::invalid_argument on an
 /// unknown name.
+[[deprecated("use EngineSpec::parse(text) — specs also carry the worker "
+             "count and mode, and round-trip through to_string()")]]
 EngineFactory engine_factory_by_name(const std::string& name,
                                      int num_workers = 0);
 

@@ -6,10 +6,11 @@
 namespace sateda::sat {
 
 WalkSatSolver::WalkSatSolver(WalkSatOptions opts)
-    : opts_(opts), rng_(opts.seed) {}
+    : opts_(opts), default_max_flips_(opts.max_flips), rng_(opts.seed) {}
 
 WalkSatSolver::WalkSatSolver(const CnfFormula& f, WalkSatOptions opts)
-    : formula_(f), opts_(opts), rng_(opts.seed) {
+    : formula_(f), opts_(opts), default_max_flips_(opts.max_flips),
+      rng_(opts.seed) {
   for (const Clause& c : formula_) {
     if (c.empty()) ok_ = false;
   }

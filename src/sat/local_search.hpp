@@ -93,6 +93,15 @@ class WalkSatSolver : public SatEngine {
   }
   UnknownReason unknown_reason() const override { return unknown_reason_; }
 
+  /// Budgets for subsequent solve() calls: the conflict budget maps to
+  /// the flip budget (local search has no conflicts); WalkSAT does not
+  /// poll a clock, so \p time_ms is ignored.  A negative conflict
+  /// budget restores the construction-time flip budget.
+  void set_budgets(std::int64_t conflicts, std::int64_t time_ms) override {
+    (void)time_ms;
+    opts_.max_flips = conflicts >= 0 ? conflicts : default_max_flips_;
+  }
+
   /// Native counters mapped onto the common fields: flips count as
   /// propagations, tries as restarts.
   SolverStats stats() const override;
@@ -108,6 +117,7 @@ class WalkSatSolver : public SatEngine {
 
   CnfFormula formula_;
   WalkSatOptions opts_;
+  std::int64_t default_max_flips_ = 0;  ///< construction-time flip budget
   WalkSatStats stats_;
   bool dirty_ = true;   ///< index stale (clauses/vars added since build)
   bool ok_ = true;      ///< no empty clause added

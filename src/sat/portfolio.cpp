@@ -138,6 +138,16 @@ void PortfolioSolver::interrupt() {
   stop_all_.store(true, std::memory_order_relaxed);
 }
 
+void PortfolioSolver::set_budgets(std::int64_t conflicts,
+                                  std::int64_t time_ms) {
+  // base_opts_ drives the deterministic round barrier; the workers'
+  // own budgets bound each racing solve (and are saved/restored around
+  // deterministic rounds, so setting both is safe in either mode).
+  base_opts_.conflict_budget = conflicts;
+  base_opts_.time_budget_ms = time_ms;
+  for (auto& w : workers_) w->set_budgets(conflicts, time_ms);
+}
+
 SolverStats PortfolioSolver::stats() const {
   SolverStats s;
   for (const auto& w : workers_) s += w->stats();

@@ -116,6 +116,12 @@ class PortfolioSolver : public SatEngine {
   void interrupt() override;
   UnknownReason unknown_reason() const override { return unknown_reason_; }
 
+  /// Budgets for subsequent solve() calls.  In racing mode every
+  /// worker gets the full budgets (first to exhaust reports kUnknown);
+  /// in deterministic mode they bound the whole portfolio at the round
+  /// barrier, exactly like the construction-time options.
+  void set_budgets(std::int64_t conflicts, std::int64_t time_ms) override;
+
   /// Index of the worker that decided the last solve(), or -1.
   int winner() const { return winner_; }
 

@@ -1,0 +1,208 @@
+#include "sat/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace sateda::sat {
+
+namespace {
+
+/// Counter difference after - before.  Monotone counters subtract;
+/// high-water marks and wall-clock keep the per-query reading (the
+/// solver resets solve_time_sec per call... it accumulates, so
+/// subtract it too; max_decision_level is a high-water mark and the
+/// after value is the best per-query approximation available).
+SolverStats stats_delta(const SolverStats& before, const SolverStats& after) {
+  SolverStats d = after;
+  d.decisions -= before.decisions;
+  d.propagations -= before.propagations;
+  d.conflicts -= before.conflicts;
+  d.restarts -= before.restarts;
+  d.learnt_clauses -= before.learnt_clauses;
+  d.learnt_literals -= before.learnt_literals;
+  d.deleted_clauses -= before.deleted_clauses;
+  d.minimized_literals -= before.minimized_literals;
+  d.solve_calls -= before.solve_calls;
+  d.exported_clauses -= before.exported_clauses;
+  d.imported_clauses -= before.imported_clauses;
+  d.binary_propagations -= before.binary_propagations;
+  d.arena_gc_runs -= before.arena_gc_runs;
+  d.arena_bytes_reclaimed -= before.arena_bytes_reclaimed;
+  d.cores_extracted -= before.cores_extracted;
+  d.core_literals -= before.core_literals;
+  d.core_min_calls -= before.core_min_calls;
+  d.relaxation_rounds -= before.relaxation_rounds;
+  d.inprocess_runs -= before.inprocess_runs;
+  d.eliminated_vars -= before.eliminated_vars;
+  d.bve_resolvents -= before.bve_resolvents;
+  d.failed_literals -= before.failed_literals;
+  d.vivified_clauses -= before.vivified_clauses;
+  d.vivified_literals -= before.vivified_literals;
+  d.solve_time_sec = std::max(0.0, after.solve_time_sec - before.solve_time_sec);
+  return d;
+}
+
+}  // namespace
+
+SolverSession::SolverSession(SessionOptions opts)
+    : spec_(std::move(opts.engine)),
+      default_budget_(opts.default_budget),
+      engine_(spec_.build(opts.solver)) {}
+
+SolverSession::~SolverSession() = default;
+
+Var SolverSession::new_var() {
+  const Var v = engine_->new_var();
+  max_user_var_ = std::max(max_user_var_, v);
+  return v;
+}
+
+void SolverSession::ensure_var(Var v) {
+  engine_->ensure_var(v);
+  max_user_var_ = std::max(max_user_var_, v);
+  revive(v);
+}
+
+int SolverSession::num_vars() const { return engine_->num_vars(); }
+
+Var SolverSession::next_free_var() const {
+  // Selectors live above max_user_var_ too, so the engine's variable
+  // count (which covers both) is the first certainly-free id.
+  return static_cast<Var>(engine_->num_vars());
+}
+
+bool SolverSession::add_clause(std::vector<Lit> lits) {
+  for (Lit l : lits) {
+    max_user_var_ = std::max(max_user_var_, l.var());
+    revive(l.var());
+  }
+  if (epochs_.empty()) {
+    root_clauses_.push_back(lits);
+    return engine_->add_clause(std::move(lits));
+  }
+  Epoch& e = epochs_.back();
+  e.clauses.push_back(lits);
+  // Guarded form ¬selector ∨ C: inert unless the selector is assumed,
+  // permanently satisfied once pop() fixes the selector false.
+  lits.push_back(~e.selector);
+  return engine_->add_clause(std::move(lits));
+}
+
+bool SolverSession::add_formula(const CnfFormula& f) {
+  if (f.num_vars() > 0) ensure_var(f.num_vars() - 1);
+  bool ok = true;
+  for (const Clause& c : f) {
+    if (!add_clause(std::vector<Lit>(c.begin(), c.end()))) ok = false;
+  }
+  return ok;
+}
+
+bool SolverSession::okay() const { return engine_->okay(); }
+
+int SolverSession::push() {
+  // Exactly one new_var() here — documented allocation guarantee.
+  const Lit selector = pos(engine_->new_var());
+  engine_->freeze(selector.var());
+  epochs_.push_back(Epoch{selector, {}});
+  return depth();
+}
+
+int SolverSession::pop() {
+  if (epochs_.empty()) return -1;
+  const Lit selector = epochs_.back().selector;
+  epochs_.pop_back();
+  // Fixing the selector false satisfies every guarded clause of the
+  // epoch; simplify_db() then reclaims their storage and watches.
+  (void)engine_->add_clause({~selector});
+  engine_->thaw(selector.var());
+  engine_->simplify_db();
+  // Every variable allocated during the epoch (the selector plus any
+  // epoch-local problem variables) now occurs only in retired clauses.
+  // Take them out of the branching order: a long-lived session retires
+  // thousands of such variables, and deciding free unconstrained ones
+  // on every later query is pure waste.  revive() undoes this per
+  // variable if a client ever references one again.
+  const Var end = static_cast<Var>(engine_->num_vars());
+  if (retired_.size() < static_cast<std::size_t>(end)) {
+    retired_.resize(static_cast<std::size_t>(end), 0);
+  }
+  for (Var v = selector.var(); v < end; ++v) {
+    engine_->set_decision_var(v, false);
+    retired_[static_cast<std::size_t>(v)] = 1;
+  }
+  return depth();
+}
+
+void SolverSession::revive(Var v) {
+  if (static_cast<std::size_t>(v) < retired_.size() &&
+      retired_[static_cast<std::size_t>(v)]) {
+    retired_[static_cast<std::size_t>(v)] = 0;
+    engine_->set_decision_var(v, true);
+  }
+}
+
+QueryResult SolverSession::query(const std::vector<Lit>& assumptions,
+                                 const QueryBudget& budget) {
+  QueryResult r;
+  r.id = ++queries_run_;
+
+  for (Lit a : assumptions) {
+    engine_->ensure_var(a.var());
+    max_user_var_ = std::max(max_user_var_, a.var());
+    revive(a.var());
+  }
+
+  const std::int64_t conflicts =
+      budget.conflicts >= 0 ? budget.conflicts : default_budget_.conflicts;
+  const std::int64_t time_ms =
+      budget.time_ms >= 0 ? budget.time_ms : default_budget_.time_ms;
+  engine_->set_budgets(conflicts, time_ms);
+
+  std::vector<Lit> assume = assumptions;
+  for (const Epoch& e : epochs_) assume.push_back(e.selector);
+
+  const SolverStats before = engine_->stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  r.result = engine_->solve(assume);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  r.stats = stats_delta(before, engine_->stats());
+  r.reason = r.result == SolveResult::kUnknown ? engine_->unknown_reason()
+                                               : UnknownReason::kNone;
+
+  if (r.result == SolveResult::kSat) {
+    r.model = engine_->model();
+    // Selector and epoch-local values are implementation detail.
+    if (r.model.size() > static_cast<std::size_t>(max_user_var_ + 1)) {
+      r.model.resize(static_cast<std::size_t>(max_user_var_ + 1));
+    }
+  } else if (r.result == SolveResult::kUnsat) {
+    // Keep only user assumptions: a core containing an epoch selector
+    // means "the epoch's clauses participate", which the caller cannot
+    // act on literal-by-literal.
+    for (Lit l : engine_->conflict_core()) {
+      const bool is_selector =
+          std::any_of(epochs_.begin(), epochs_.end(),
+                      [l](const Epoch& e) { return e.selector.var() == l.var(); });
+      if (!is_selector) r.core.push_back(l);
+    }
+  }
+  return r;
+}
+
+void SolverSession::cancel() { engine_->interrupt(); }
+
+CnfFormula SolverSession::active_formula() const {
+  CnfFormula f(max_user_var_ + 1);
+  for (const std::vector<Lit>& c : root_clauses_) f.add_clause(c);
+  for (const Epoch& e : epochs_) {
+    for (const std::vector<Lit>& c : e.clauses) f.add_clause(c);
+  }
+  return f;
+}
+
+}  // namespace sateda::sat

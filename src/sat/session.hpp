@@ -1,0 +1,165 @@
+/// \file session.hpp
+/// \brief SolverSession: the incremental-query facade over SatEngine.
+///
+/// The paper's §6 observation — EDA flows issue thousands of closely
+/// related queries per circuit — makes the *session*, not the single
+/// solve() call, the natural unit of engine state.  A SolverSession
+/// pins a sequence of related queries to one warm engine so learnt
+/// clauses, VSIDS activity and saved phases survive across queries,
+/// and adds the bookkeeping a long-lived engine needs:
+///
+///  * clause epochs: push() opens a group of clauses that pop()
+///    retires soundly (activation-literal technique — each epoch
+///    clause is guarded by a fresh frozen selector variable that is
+///    assumed true while the epoch is open and fixed false when it
+///    closes, after which simplify_db() reclaims the storage);
+///  * query identity and accounting: every query() gets a
+///    monotonically increasing id, its own wall-clock measurement and
+///    a SolverStats delta covering exactly that query;
+///  * per-query budgets: conflict and wall-clock limits applied to one
+///    query without disturbing the session defaults;
+///  * cancellation: cancel() interrupts the in-flight query from any
+///    thread; the *next* query runs normally (the engine contract
+///    clears the interrupt flag on solve() entry);
+///  * certification snapshots: active_formula() reproduces the exact
+///    clause set a query saw, so an UNSAT answer can be re-solved with
+///    a DRAT trace and checked by sateda-check.
+///
+/// The sateda-serve daemon routes each protocol session onto one
+/// SolverSession; the facade is equally usable in-process (see
+/// atpg::IncrementalAtpg, which runs one epoch per fault).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "sat/engine.hpp"
+
+namespace sateda::sat {
+
+/// Resource limits for a single query (negative: unlimited).
+struct QueryBudget {
+  std::int64_t conflicts = -1;
+  std::int64_t time_ms = -1;
+};
+
+/// Everything a caller learns from one query.
+struct QueryResult {
+  std::uint64_t id = 0;            ///< session-unique, monotone
+  SolveResult result = SolveResult::kUnknown;
+  UnknownReason reason = UnknownReason::kNone;  ///< why kUnknown
+  std::vector<lbool> model;        ///< on kSat (indexed by variable)
+  std::vector<Lit> core;           ///< on kUnsat: failed user assumptions
+  SolverStats stats;               ///< this query's counters only
+  double wall_ms = 0.0;            ///< measured around solve()
+};
+
+/// Configuration for a session.
+struct SessionOptions {
+  EngineSpec engine;               ///< backend (default: cdcl)
+  SolverOptions solver;            ///< handed to the engine
+  QueryBudget default_budget;      ///< applied when a query names none
+};
+
+/// A long-lived incremental solving session over one warm engine.
+///
+/// Threading: construction, clause addition, push/pop and query() must
+/// be externally serialized (the serve scheduler runs a session's
+/// requests in order on one worker at a time); cancel() alone is safe
+/// to call concurrently with an in-flight query().
+class SolverSession {
+ public:
+  explicit SolverSession(SessionOptions opts = {});
+  ~SolverSession();
+
+  // --- problem construction (current epoch) -------------------------
+
+  /// Allocates a fresh variable visible to the caller.
+  Var new_var();
+  void ensure_var(Var v);
+  int num_vars() const;
+
+  /// Adds a clause to the current epoch: permanent at depth 0,
+  /// retired by the matching pop() otherwise.  Returns false iff the
+  /// engine detected trivial root unsatisfiability.
+  [[nodiscard]] bool add_clause(std::vector<Lit> lits);
+  bool add_formula(const CnfFormula& f);
+
+  /// False once the *root* clause set is unsatisfiable.
+  bool okay() const;
+
+  // --- clause epochs ------------------------------------------------
+
+  /// Opens a new epoch.  Guarantee relied on by recorded protocol
+  /// traces: push() allocates exactly one fresh engine variable (the
+  /// epoch selector) at call time, so a client that mirrors the
+  /// session's monotone variable allocation can predict free ids.
+  /// Returns the new depth (1-based).
+  int push();
+
+  /// Retires every clause added since the matching push() and reclaims
+  /// their storage.  Returns the new depth, or -1 at depth 0.
+  int pop();
+
+  int depth() const { return static_cast<int>(epochs_.size()); }
+
+  /// First variable index never handed to the caller nor referenced by
+  /// a caller clause — where a protocol client should allocate query
+  /// variables (selectors occupy ids between user allocations).
+  Var next_free_var() const;
+
+  // --- queries ------------------------------------------------------
+
+  /// Solves under \p assumptions plus the selectors of every open
+  /// epoch.  Budgets: a non-negative field of \p budget wins, else the
+  /// session default.  The returned core contains user assumptions
+  /// only (selector literals are filtered out).
+  QueryResult query(const std::vector<Lit>& assumptions,
+                    const QueryBudget& budget = {});
+
+  /// Interrupts the in-flight query (thread-safe); it returns kUnknown
+  /// with reason kInterrupted.  The next query is unaffected.
+  void cancel();
+
+  /// The id the next query() will be given (first query: 1).
+  std::uint64_t next_query_id() const { return queries_run_ + 1; }
+  std::uint64_t queries_run() const { return queries_run_; }
+
+  // --- introspection ------------------------------------------------
+
+  /// The exact clause set the next query would see: root clauses plus
+  /// the clauses of every open epoch, unguarded, over user variables.
+  /// Re-solving this under the same assumptions reproduces the
+  /// verdict, which is how serve answers are certified.
+  CnfFormula active_formula() const;
+
+  /// Engine counters accumulated over the whole session.
+  SolverStats cumulative_stats() const { return engine_->stats(); }
+
+  SatEngine& engine() { return *engine_; }
+  const SatEngine& engine() const { return *engine_; }
+  const EngineSpec& spec() const { return spec_; }
+
+ private:
+  struct Epoch {
+    Lit selector;                         ///< assumed while open
+    std::vector<std::vector<Lit>> clauses;  ///< original, unguarded
+  };
+
+  /// Re-enables branching on \p v if a pop() had retired it (a client
+  /// re-referencing an old epoch's variable makes it live again).
+  void revive(Var v);
+
+  EngineSpec spec_;
+  QueryBudget default_budget_;
+  std::unique_ptr<SatEngine> engine_;
+  std::vector<std::vector<Lit>> root_clauses_;
+  std::vector<Epoch> epochs_;
+  std::vector<char> retired_;  ///< per-var: branching disabled by pop()
+  Var max_user_var_ = -1;   ///< highest caller-visible variable
+  std::uint64_t queries_run_ = 0;
+};
+
+}  // namespace sateda::sat

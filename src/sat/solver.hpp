@@ -106,6 +106,13 @@ class Solver : public SatEngine {
   /// Why the last solve() returned kUnknown.
   UnknownReason unknown_reason() const override { return unknown_reason_; }
 
+  /// Re-arms the conflict/wall-clock budgets for subsequent solve()
+  /// calls (negative: unlimited).
+  void set_budgets(std::int64_t conflicts, std::int64_t time_ms) override {
+    opts_.conflict_budget = conflicts;
+    opts_.time_budget_ms = time_ms;
+  }
+
   /// Additionally polls \p flag (not owned, may be null) for
   /// termination requests.  Unlike interrupt(), the external flag is
   /// never cleared by solve(), so a request can never be lost to the

@@ -1,0 +1,41 @@
+#include "serve/framing.hpp"
+
+namespace sateda::serve {
+
+FrameStatus read_frame(std::istream& in, std::string& payload) {
+  unsigned char prefix[4];
+  in.read(reinterpret_cast<char*>(prefix), 4);
+  if (in.gcount() == 0) return FrameStatus::kEof;
+  if (in.gcount() < 4) return FrameStatus::kTruncated;
+  const std::uint32_t len = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                            (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                            (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                            static_cast<std::uint32_t>(prefix[3]);
+  if (len > kMaxFrameBytes) return FrameStatus::kOversized;
+  payload.resize(len);
+  if (len > 0) {
+    in.read(payload.data(), static_cast<std::streamsize>(len));
+    if (in.gcount() < static_cast<std::streamsize>(len)) {
+      payload.resize(static_cast<std::size_t>(in.gcount()));
+      return FrameStatus::kTruncated;
+    }
+  }
+  return FrameStatus::kOk;
+}
+
+bool write_frame(std::ostream& out, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char prefix[4] = {
+      static_cast<unsigned char>(len >> 24),
+      static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 8),
+      static_cast<unsigned char>(len),
+  };
+  out.write(reinterpret_cast<const char*>(prefix), 4);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  return out.good();
+}
+
+}  // namespace sateda::serve

@@ -1,0 +1,41 @@
+/// \file framing.hpp
+/// \brief Length-prefixed frame transport for the sateda-serve Unix
+///        socket: 4-byte big-endian payload length, then the payload
+///        (one JSON request or response document).
+///
+/// Streams beat raw lines on a socket because a malicious or buggy
+/// client cannot desynchronize the server with embedded newlines, and
+/// the length bound (64 MiB) caps allocation before any bytes of a
+/// hostile payload are read.  The codec works over std::iostream so
+/// the protocol tests can exercise oversized prefixes and truncated
+/// frames without opening real sockets.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace sateda::serve {
+
+/// Hard ceiling on a frame payload (64 MiB).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 26;
+
+enum class FrameStatus {
+  kOk,         ///< payload filled
+  kEof,        ///< clean end of stream (no prefix bytes at all)
+  kOversized,  ///< prefix exceeds kMaxFrameBytes; stream is poisoned
+  kTruncated,  ///< stream ended inside the prefix or the payload
+};
+
+/// Reads one frame.  On kOversized the declared length was NOT
+/// consumed from the stream's payload — the connection can no longer
+/// be trusted to be in sync and should be closed after the error
+/// response.
+FrameStatus read_frame(std::istream& in, std::string& payload);
+
+/// Writes one frame.  Payloads above kMaxFrameBytes are refused
+/// (returns false, writes nothing).
+bool write_frame(std::ostream& out, const std::string& payload);
+
+}  // namespace sateda::serve

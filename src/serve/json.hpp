@@ -1,0 +1,118 @@
+/// \file json.hpp
+/// \brief Minimal self-contained JSON value type for the serve
+///        protocol (parse + dump, no external dependencies).
+///
+/// Covers exactly what JSONL framing needs: the six JSON types,
+/// strict single-document parsing with position-reporting errors, and
+/// compact serialization.  Numbers are stored as double with an exact
+/// int64 fast path, which is lossless for every id/literal/counter the
+/// protocol carries (|values| < 2^53).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sateda::serve {
+
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An immutable-ish JSON document node.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;                          // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kNumber), num_(v) {}
+  Json(std::int64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v)
+      : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static Json parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const {
+    require(Type::kBool);
+    return bool_;
+  }
+  double as_number() const {
+    require(Type::kNumber);
+    return num_;
+  }
+  std::int64_t as_int64() const {
+    require(Type::kNumber);
+    return static_cast<std::int64_t>(num_);
+  }
+  const std::string& as_string() const {
+    require(Type::kString);
+    return str_;
+  }
+  const std::vector<Json>& items() const {
+    require(Type::kArray);
+    return items_;
+  }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    require(Type::kObject);
+    return members_;
+  }
+
+  /// Object lookup; nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+
+  void push_back(Json v) {
+    require(Type::kArray);
+    items_.push_back(std::move(v));
+  }
+  /// Appends a member (no duplicate-key check; callers control keys).
+  void set(std::string key, Json v) {
+    require(Type::kObject);
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// Compact one-line serialization (suitable for JSONL).
+  std::string dump() const;
+
+ private:
+  void require(Type t) const {
+    if (type_ != t) throw JsonError("json: wrong type access");
+  }
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace sateda::serve

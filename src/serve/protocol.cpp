@@ -1,0 +1,231 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "cnf/dimacs.hpp"
+#include "sat/proof.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::serve {
+
+namespace {
+
+std::int64_t int_field(const Json& req, const char* key, std::int64_t dflt) {
+  const Json* v = req.find(key);
+  if (v == nullptr || v->is_null()) return dflt;
+  if (!v->is_number()) {
+    throw JsonError(std::string("field '") + key + "' must be a number");
+  }
+  return v->as_int64();
+}
+
+bool bool_field(const Json& req, const char* key, bool dflt) {
+  const Json* v = req.find(key);
+  if (v == nullptr || v->is_null()) return dflt;
+  if (!v->is_bool()) {
+    throw JsonError(std::string("field '") + key + "' must be a boolean");
+  }
+  return v->as_bool();
+}
+
+const char* result_name(sat::SolveResult r) {
+  switch (r) {
+    case sat::SolveResult::kSat: return "sat";
+    case sat::SolveResult::kUnsat: return "unsat";
+    case sat::SolveResult::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+/// The query's standalone DIMACS dump: active clauses plus the
+/// assumptions as unit clauses.  A one-shot solver on this text must
+/// reproduce the session's verdict — the serve answers' audit trail.
+CnfFormula dumped_formula(const sat::SolverSession& session,
+                          const std::vector<Lit>& assumptions) {
+  CnfFormula f = session.active_formula();
+  for (Lit a : assumptions) {
+    f.ensure_var(a.var());
+    f.add_unit(a);
+  }
+  return f;
+}
+
+Json solve_response(sat::SolverSession& session, const Json& request,
+                    const Json* id) {
+  std::vector<Lit> assumptions;
+  if (const Json* a = request.find("assume")) {
+    assumptions = parse_dimacs_lits(*a);
+  }
+  sat::QueryBudget budget;
+  budget.conflicts = int_field(request, "conflicts", -1);
+  budget.time_ms = int_field(request, "time_ms", -1);
+  const bool dump_cnf = bool_field(request, "dump_cnf", false);
+  const bool certify = bool_field(request, "certify", false);
+
+  const sat::QueryResult qr = session.query(assumptions, budget);
+
+  Json resp = ok_response(id);
+  resp.set("query", static_cast<std::int64_t>(qr.id));
+  resp.set("result", result_name(qr.result));
+  if (qr.result == sat::SolveResult::kUnknown) {
+    resp.set("reason", sat::to_string(qr.reason));
+  }
+  if (qr.result == sat::SolveResult::kSat) {
+    Json model = Json::array();
+    for (Var v = 0; v < static_cast<Var>(qr.model.size()); ++v) {
+      if (qr.model[v].is_undef()) continue;
+      model.push_back(to_dimacs(Lit(v, qr.model[v].is_false())));
+    }
+    resp.set("model", std::move(model));
+  }
+  if (qr.result == sat::SolveResult::kUnsat) {
+    Json core = Json::array();
+    for (Lit l : qr.core) core.push_back(to_dimacs(l));
+    resp.set("core", std::move(core));
+  }
+  resp.set("wall_ms", qr.wall_ms);
+  resp.set("stats", stats_json(qr.stats));
+
+  if (dump_cnf || certify) {
+    const CnfFormula dump = dumped_formula(session, assumptions);
+    std::ostringstream cnf;
+    write_dimacs(cnf, dump, "sateda-serve query dump");
+    resp.set("cnf", cnf.str());
+    if (certify && qr.result == sat::SolveResult::kUnsat) {
+      // Re-solve the dump on a fresh proof-tracing CDCL solver; the
+      // emitted DRAT refutation checks standalone against the dump.
+      sat::Proof proof;
+      sat::Solver checker;
+      checker.set_proof_tracer(&proof);
+      const bool ok = checker.add_formula(dump);
+      if (!ok || checker.solve() == sat::SolveResult::kUnsat) {
+        std::ostringstream drat;
+        proof.write_drat(drat);
+        resp.set("proof", drat.str());
+      } else {
+        // The budget-free re-solve disagreed (should be impossible for
+        // a sound session); surface it rather than certify a lie.
+        resp.set("proof", Json());
+        resp.set("certify_error", "re-solve did not confirm unsat");
+      }
+    }
+  }
+  return resp;
+}
+
+}  // namespace
+
+Json error_response(const Json* id, const char* code,
+                    const std::string& message) {
+  Json resp = Json::object();
+  resp.set("id", id != nullptr ? *id : Json());
+  resp.set("ok", false);
+  resp.set("error", code);
+  resp.set("message", message);
+  return resp;
+}
+
+Json ok_response(const Json* id) {
+  Json resp = Json::object();
+  resp.set("id", id != nullptr ? *id : Json());
+  resp.set("ok", true);
+  return resp;
+}
+
+std::vector<Lit> parse_dimacs_lits(const Json& arr) {
+  if (!arr.is_array()) throw JsonError("literal list must be an array");
+  std::vector<Lit> lits;
+  lits.reserve(arr.items().size());
+  for (const Json& item : arr.items()) {
+    if (!item.is_number()) throw JsonError("literals must be integers");
+    const double d = item.as_number();
+    if (d != std::floor(d)) throw JsonError("literals must be integers");
+    const std::int64_t code = item.as_int64();
+    if (code == 0) throw JsonError("0 is not a DIMACS literal");
+    const Var v = static_cast<Var>((code < 0 ? -code : code) - 1);
+    lits.push_back(Lit(v, code < 0));
+  }
+  return lits;
+}
+
+Json stats_json(const sat::SolverStats& s) {
+  Json j = Json::object();
+  j.set("decisions", s.decisions);
+  j.set("propagations", s.propagations);
+  j.set("conflicts", s.conflicts);
+  j.set("restarts", s.restarts);
+  j.set("learnt_clauses", s.learnt_clauses);
+  j.set("deleted_clauses", s.deleted_clauses);
+  j.set("solve_calls", s.solve_calls);
+  j.set("solve_time_sec", s.solve_time_sec);
+  return j;
+}
+
+Json handle_session_request(sat::SolverSession& session, const std::string& op,
+                            const Json& request, const Json* id) {
+  try {
+    if (op == "add") {
+      const Json* clauses = request.find("clauses");
+      if (clauses == nullptr || !clauses->is_array()) {
+        return error_response(id, kErrBadRequest, "add needs 'clauses' array");
+      }
+      bool okay = true;
+      for (const Json& c : clauses->items()) {
+        if (!session.add_clause(parse_dimacs_lits(c))) okay = false;
+      }
+      Json resp = ok_response(id);
+      resp.set("okay", okay && session.okay());
+      return resp;
+    }
+    if (op == "load") {
+      const Json* text = request.find("dimacs");
+      if (text == nullptr || !text->is_string()) {
+        return error_response(id, kErrBadRequest, "load needs 'dimacs' text");
+      }
+      CnfFormula f;
+      try {
+        f = read_dimacs_string(text->as_string());
+      } catch (const DimacsError& e) {
+        return error_response(id, kErrBadRequest, e.what());
+      }
+      const bool okay = session.add_formula(f);
+      Json resp = ok_response(id);
+      resp.set("okay", okay && session.okay());
+      resp.set("vars", f.num_vars());
+      resp.set("clauses", static_cast<std::int64_t>(f.num_clauses()));
+      return resp;
+    }
+    if (op == "push") {
+      const int depth = session.push();
+      Json resp = ok_response(id);
+      resp.set("depth", depth);
+      // DIMACS-facing: the first variable a client may now allocate.
+      resp.set("next_var",
+               static_cast<std::int64_t>(session.next_free_var()) + 1);
+      return resp;
+    }
+    if (op == "pop") {
+      const int depth = session.pop();
+      Json resp = ok_response(id);
+      resp.set("depth", depth);
+      return resp;
+    }
+    if (op == "solve") {
+      return solve_response(session, request, id);
+    }
+    if (op == "stats") {
+      Json resp = ok_response(id);
+      resp.set("queries", static_cast<std::int64_t>(session.queries_run()));
+      resp.set("depth", session.depth());
+      resp.set("vars", session.num_vars());
+      resp.set("stats", stats_json(session.cumulative_stats()));
+      return resp;
+    }
+  } catch (const JsonError& e) {
+    return error_response(id, kErrBadRequest, e.what());
+  }
+  return error_response(id, kErrBadRequest, "unknown op '" + op + "'");
+}
+
+}  // namespace sateda::serve

@@ -1,0 +1,89 @@
+/// \file protocol.hpp
+/// \brief The sateda-serve request/response protocol: JSONL messages
+///        executed against SolverSession objects.
+///
+/// One request per line, one response per line, in order per session.
+/// Every request is a JSON object with an "op" field and an optional
+/// "id" of any JSON type, echoed verbatim in the response so clients
+/// can match answers to pipelined requests.  Literals and variables
+/// use DIMACS conventions throughout: variables are 1-based, a
+/// negative integer is a negated literal, 0 never appears.
+///
+/// Session ops ("session" names the target):
+///   open   {"engine": "portfolio:4:det"?, "conflicts": N?, "time_ms": N?}
+///          -> {"ok":true, "session":s}
+///   add    {"clauses": [[1,-2],[3]]}        -> {"ok":true, "okay":b}
+///   load   {"dimacs": "p cnf ...\n1 0\n"}   -> {"ok":true, "okay":b,
+///                                              "vars":n, "clauses":m}
+///   push   {}   -> {"ok":true, "depth":d, "next_var":v}  (v: first
+///               DIMACS variable free after the epoch selector — the
+///               allocation-prediction anchor for recorded traces)
+///   pop    {}   -> {"ok":true, "depth":d}  (depth<0: was at root)
+///   solve  {"assume":[...]? , "conflicts":N?, "time_ms":N?,
+///           "dump_cnf":b?, "certify":b?}
+///          -> {"ok":true, "query":q, "result":"sat|unsat|unknown",
+///              "reason":r?, "model":[...]?, "core":[...]?,
+///              "wall_ms":t, "stats":{...}, "cnf":text?, "proof":text?}
+///          "dump_cnf" returns the active clause set plus the query's
+///          assumptions folded in as unit clauses, as DIMACS text — a
+///          standalone formula any one-shot solver must answer the
+///          same way.  "certify" additionally re-solves that formula
+///          on a fresh proof-tracing CDCL solver and returns a DRAT
+///          refutation when it is UNSAT, checkable by sateda-check
+///          with no --assume flags.
+///   stats  {}   -> {"ok":true, "queries":n, "depth":d, "vars":v,
+///                   "stats":{...cumulative...}}
+///   close  {}   -> {"ok":true}
+///   cancel {}   -> {"ok":true, "cancelled":b}   (out of band)
+///
+/// Global ops: ping -> "pong"; shutdown -> stops the daemon after the
+/// response is written.
+///
+/// Errors: {"id":..., "ok":false, "error":code, "message":text} with
+/// code one of parse-error, bad-request, unknown-session,
+/// session-exists, frame-error (the latter emitted by the framed
+/// transport, see framing.hpp).
+#pragma once
+
+#include <string>
+
+#include "sat/session.hpp"
+#include "serve/json.hpp"
+
+namespace sateda::serve {
+
+// Error codes (stable protocol strings).
+inline constexpr const char* kErrParse = "parse-error";
+inline constexpr const char* kErrBadRequest = "bad-request";
+inline constexpr const char* kErrUnknownSession = "unknown-session";
+inline constexpr const char* kErrSessionExists = "session-exists";
+inline constexpr const char* kErrFrame = "frame-error";
+
+/// Builds {"id":id?, "ok":false, "error":code, "message":message}.
+Json error_response(const Json* id, const char* code,
+                    const std::string& message);
+
+/// Builds {"id":id?, "ok":true} ready for op-specific fields.
+Json ok_response(const Json* id);
+
+/// Converts a JSON array of DIMACS integers to internal literals.
+/// Throws JsonError on non-integers or zeros.
+std::vector<Lit> parse_dimacs_lits(const Json& arr);
+
+/// Internal literal -> DIMACS integer.
+inline std::int64_t to_dimacs(Lit l) {
+  return l.negative() ? -(static_cast<std::int64_t>(l.var()) + 1)
+                      : static_cast<std::int64_t>(l.var()) + 1;
+}
+
+/// The per-query counters exposed by solve/stats responses.
+Json stats_json(const sat::SolverStats& s);
+
+/// Executes one already-parsed session-scoped request (add, load,
+/// push, pop, solve, stats) against \p session and returns the
+/// response.  Does NOT handle open/close/cancel — those touch the
+/// session registry and are the server's job.  \p id may be null.
+Json handle_session_request(sat::SolverSession& session, const std::string& op,
+                            const Json& request, const Json* id);
+
+}  // namespace sateda::serve

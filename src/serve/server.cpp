@@ -1,0 +1,296 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+
+#include "serve/protocol.hpp"
+
+namespace sateda::serve {
+
+namespace {
+
+bool is_session_op(const std::string& op) {
+  return op == "add" || op == "load" || op == "push" || op == "pop" ||
+         op == "solve" || op == "stats" || op == "close";
+}
+
+bool is_error(const Json& resp) {
+  const Json* ok = resp.find("ok");
+  return ok == nullptr || !ok->is_bool() || !ok->as_bool();
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  const int n = std::max(1, opts_.workers);
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  ready_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Server::finish(Respond& respond, const Json& response) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (is_error(response)) ++stats_.errors;
+  }
+  respond(response.dump());
+}
+
+void Server::handle_open(const Json& request, const Json* id,
+                         Respond& respond) {
+  const Json* name = request.find("session");
+  if (name == nullptr || !name->is_string()) {
+    finish(respond, error_response(id, kErrBadRequest,
+                                   "open needs a 'session' name"));
+    return;
+  }
+  sat::SessionOptions sopts;
+  sopts.engine = opts_.default_engine;
+  sopts.solver = opts_.solver;
+  sopts.default_budget = opts_.default_budget;
+  if (const Json* engine = request.find("engine")) {
+    if (!engine->is_string()) {
+      finish(respond, error_response(id, kErrBadRequest,
+                                     "'engine' must be a spec string"));
+      return;
+    }
+    try {
+      sopts.engine = sat::EngineSpec::parse(engine->as_string());
+    } catch (const std::invalid_argument& e) {
+      finish(respond, error_response(id, kErrBadRequest, e.what()));
+      return;
+    }
+  }
+  if (const Json* v = request.find("conflicts")) {
+    if (v->is_number()) sopts.default_budget.conflicts = v->as_int64();
+  }
+  if (const Json* v = request.find("time_ms")) {
+    if (v->is_number()) sopts.default_budget.time_ms = v->as_int64();
+  }
+
+  // Engine construction happens outside the lock; only the registry
+  // insertion is serialized.
+  auto session = std::make_unique<sat::SolverSession>(std::move(sopts));
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, fresh] = sessions_.try_emplace(name->as_string());
+    if (fresh) {
+      it->second.session = std::move(session);
+      ++stats_.sessions_opened;
+      inserted = true;
+    }
+  }
+  if (!inserted) {
+    finish(respond, error_response(id, kErrSessionExists,
+                                   "session '" + name->as_string() +
+                                       "' already exists"));
+    return;
+  }
+  Json resp = ok_response(id);
+  resp.set("session", name->as_string());
+  finish(respond, resp);
+}
+
+void Server::submit(std::string line, Respond respond) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+  Json request;
+  try {
+    request = Json::parse(line);
+  } catch (const JsonError& e) {
+    finish(respond, error_response(nullptr, kErrParse, e.what()));
+    return;
+  }
+  if (!request.is_object()) {
+    finish(respond,
+           error_response(nullptr, kErrParse, "request must be an object"));
+    return;
+  }
+  const Json* id = request.find("id");
+  const Json* opv = request.find("op");
+  if (opv == nullptr || !opv->is_string()) {
+    finish(respond,
+           error_response(id, kErrBadRequest, "missing 'op' string"));
+    return;
+  }
+  const std::string op = opv->as_string();
+
+  if (op == "ping") {
+    Json resp = ok_response(id);
+    resp.set("result", "pong");
+    finish(respond, resp);
+    return;
+  }
+  if (op == "shutdown") {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    idle_cv_.notify_all();
+    finish(respond, ok_response(id));
+    return;
+  }
+  if (op == "open") {
+    handle_open(request, id, respond);
+    return;
+  }
+
+  // Everything else addresses an existing session.
+  const Json* name = request.find("session");
+  if (name == nullptr || !name->is_string()) {
+    finish(respond, error_response(id, kErrBadRequest,
+                                   "op '" + op + "' needs a 'session' name"));
+    return;
+  }
+  if (op == "cancel") {
+    bool cancelled = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = sessions_.find(name->as_string());
+      if (it != sessions_.end() && !it->second.closing) {
+        // interrupt() is an atomic flag set — safe against the worker
+        // executing this session's query right now.
+        it->second.session->cancel();
+        cancelled = true;
+      }
+    }
+    if (!cancelled) {
+      finish(respond, error_response(id, kErrUnknownSession,
+                                     "no session '" + name->as_string() +
+                                         "'"));
+      return;
+    }
+    Json resp = ok_response(id);
+    resp.set("cancelled", true);
+    finish(respond, resp);
+    return;
+  }
+  if (!is_session_op(op)) {
+    finish(respond,
+           error_response(id, kErrBadRequest, "unknown op '" + op + "'"));
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(name->as_string());
+    if (it == sessions_.end() || it->second.closing) {
+      ++stats_.errors;
+      // Respond outside the lock.
+    } else {
+      Session& s = it->second;
+      s.queue.push_back(Pending{std::move(request), op, std::move(respond)});
+      ++inflight_;
+      if (!s.running && s.queue.size() == 1) {
+        ready_.push_back(name->as_string());
+        ready_cv_.notify_one();
+      }
+      return;
+    }
+  }
+  respond(error_response(id, kErrUnknownSession,
+                         "no session '" + name->as_string() + "'")
+              .dump());
+}
+
+void Server::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    ready_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    if (stopping_) return;
+    const std::string name = std::move(ready_.front());
+    ready_.pop_front();
+    // run_session expects the lock held and returns with it held.
+    lock.unlock();
+    run_session(name);
+    lock.lock();
+  }
+}
+
+void Server::run_session(const std::string& name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  if (s.running) return;
+  s.running = true;
+  while (!s.queue.empty()) {
+    Pending p = std::move(s.queue.front());
+    s.queue.pop_front();
+    if (s.closing) {
+      // Requests queued behind a close: the session is gone for them.
+      --inflight_;
+      ++stats_.errors;
+      lock.unlock();
+      p.respond(error_response(p.request.find("id"), kErrUnknownSession,
+                               "session '" + name + "' is closed")
+                    .dump());
+      lock.lock();
+      idle_cv_.notify_all();
+      continue;
+    }
+    if (p.op == "close") s.closing = true;
+    sat::SolverSession* session = s.session.get();
+    lock.unlock();
+
+    Json resp;
+    const Json* id = p.request.find("id");
+    if (p.op == "close") {
+      resp = ok_response(id);
+    } else {
+      resp = handle_session_request(*session, p.op, p.request, id);
+    }
+    p.respond(resp.dump());
+
+    lock.lock();
+    --inflight_;
+    if (is_error(resp)) ++stats_.errors;
+    if (p.op == "solve") ++stats_.queries;
+    idle_cv_.notify_all();
+  }
+  s.running = false;
+  if (s.closing) sessions_.erase(it);
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+bool Server::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+void Server::run_jsonl(std::istream& in, std::ostream& out) {
+  std::mutex out_mu;
+  std::string line;
+  while (!shutdown_requested() && std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    submit(line, [&out, &out_mu](std::string resp) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      out << resp << '\n';
+      out.flush();
+    });
+  }
+  drain();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sateda::serve

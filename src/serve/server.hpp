@@ -1,0 +1,113 @@
+/// \file server.hpp
+/// \brief The sateda-serve daemon core: a thread-safe request router
+///        that pins each named session to one warm SolverSession and
+///        schedules independent sessions across a worker pool.
+///
+/// Ordering model: requests of one session execute strictly in
+/// arrival order (a session is incremental state — reordering would
+/// change its meaning), while different sessions run concurrently, up
+/// to the worker count.  cancel/ping/shutdown are handled out of band
+/// on the submitting thread, which is what lets a cancel interrupt a
+/// query the same session queued earlier.
+///
+/// The core is transport-agnostic: submit() takes one JSONL request
+/// line and a callback that receives exactly one response line.
+/// run_jsonl() adapts it to stdin/stdout; the Unix-socket transport
+/// in tools/sateda_serve.cpp feeds it length-prefixed frames (see
+/// framing.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sat/session.hpp"
+#include "serve/json.hpp"
+
+namespace sateda::serve {
+
+struct ServerOptions {
+  int workers = 1;                   ///< session-execution threads
+  sat::EngineSpec default_engine;    ///< for sessions that name none
+  sat::SolverOptions solver;         ///< base solver options
+  sat::QueryBudget default_budget;   ///< session default when unspecified
+};
+
+/// Statistics the daemon reports on shutdown (and via tests).
+struct ServerStats {
+  std::uint64_t requests = 0;        ///< lines submitted
+  std::uint64_t errors = 0;          ///< error responses produced
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t queries = 0;         ///< solve requests executed
+};
+
+class Server {
+ public:
+  using Respond = std::function<void(std::string line)>;
+
+  explicit Server(ServerOptions opts = {});
+  ~Server();
+
+  /// Routes one request line.  The callback fires exactly once, on the
+  /// submitting thread for out-of-band ops (ping, cancel, shutdown,
+  /// open/close bookkeeping errors, malformed requests) or on a worker
+  /// thread for queued session work.  Callbacks attached to one
+  /// session fire in submission order.
+  void submit(std::string line, Respond respond);
+
+  /// Blocks until every queued request has been answered.
+  void drain();
+
+  /// True once a shutdown request was accepted (drain() then returns
+  /// after the in-flight work finishes).
+  bool shutdown_requested() const;
+
+  /// Serves JSONL over a stream pair until EOF or shutdown.  Responses
+  /// are interleaved as they complete; each is one line.
+  void run_jsonl(std::istream& in, std::ostream& out);
+
+  ServerStats stats() const;
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  struct Pending {
+    Json request;        ///< parsed request object
+    std::string op;
+    Respond respond;
+  };
+  struct Session {
+    std::unique_ptr<sat::SolverSession> session;
+    std::deque<Pending> queue;
+    bool running = false;   ///< a worker is executing its front request
+    bool closing = false;   ///< close accepted; drop when queue drains
+  };
+
+  void worker_loop();
+  /// Executes front requests of \p name until its queue empties.
+  void run_session(const std::string& name);
+  void handle_open(const Json& request, const Json* id, Respond& respond);
+  void finish(Respond& respond, const Json& response);
+
+  ServerOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;   ///< wakes workers
+  std::condition_variable idle_cv_;    ///< wakes drain()
+  std::map<std::string, Session> sessions_;
+  std::deque<std::string> ready_;      ///< sessions with runnable work
+  std::vector<std::thread> threads_;
+  std::uint64_t inflight_ = 0;         ///< queued + running requests
+  bool shutdown_ = false;
+  bool stopping_ = false;              ///< destructor: workers must exit
+  ServerStats stats_;
+};
+
+}  // namespace sateda::serve

@@ -27,8 +27,7 @@ struct EngineCase {
 class EngineConformanceTest : public testing::TestWithParam<EngineCase> {
  protected:
   std::unique_ptr<sat::SatEngine> make(sat::SolverOptions opts = {}) const {
-    return sat::engine_factory_by_name(GetParam().name, /*num_workers=*/2)(
-        opts);
+    return sat::EngineSpec::parse(GetParam().name).with_workers(2).build(opts);
   }
 };
 
@@ -139,25 +138,91 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
-TEST(EngineFactoryTest, UnknownNameThrows) {
-  EXPECT_THROW(sat::engine_factory_by_name("nope"), std::invalid_argument);
+using sat::EngineSpec;
+
+TEST(EngineSpecTest, DefaultIsCdcl) {
+  EngineSpec s;
+  EXPECT_EQ(s.backend(), EngineSpec::Backend::kCdcl);
+  EXPECT_EQ(s.to_string(), "cdcl");
+  EXPECT_EQ(s.build(sat::SolverOptions{})->name(), "cdcl");
+}
+
+TEST(EngineSpecTest, ParseToStringRoundTrips) {
+  for (const char* text :
+       {"cdcl", "dpll", "walksat", "portfolio", "portfolio:4",
+        "portfolio:4:det", "portfolio:0:race"}) {
+    const EngineSpec s = EngineSpec::parse(text);
+    EXPECT_EQ(EngineSpec::parse(s.to_string()), s) << text;
+  }
+}
+
+TEST(EngineSpecTest, WsatAliasCanonicalizesToWalksat) {
+  EXPECT_EQ(EngineSpec::parse("wsat").to_string(), "walksat");
+  EXPECT_EQ(EngineSpec::parse("wsat"), EngineSpec::parse("walksat"));
+}
+
+TEST(EngineSpecTest, PortfolioFieldsParse) {
+  const EngineSpec s = EngineSpec::parse("portfolio:8:det");
+  EXPECT_EQ(s.backend(), EngineSpec::Backend::kPortfolio);
+  EXPECT_EQ(s.num_workers(), 8);
+  EXPECT_TRUE(s.deterministic());
+}
+
+TEST(EngineSpecTest, WithersOverrideParsedFields) {
+  EngineSpec s = EngineSpec::parse("portfolio:2");
+  s.with_workers(6).with_deterministic(true);
+  EXPECT_EQ(s.to_string(), "portfolio:6:det");
+}
+
+TEST(EngineSpecTest, InvalidSpecsThrow) {
+  EXPECT_THROW(EngineSpec::parse("nope"), std::invalid_argument);
+  EXPECT_THROW(EngineSpec::parse(""), std::invalid_argument);
+  EXPECT_THROW(EngineSpec::parse("portfolio:x"), std::invalid_argument);
+  EXPECT_THROW(EngineSpec::parse("portfolio:2:fancy"), std::invalid_argument);
+  EXPECT_THROW(EngineSpec::parse("cdcl:2"), std::invalid_argument);
+}
+
+TEST(EngineSpecTest, BuildsTheNamedBackends) {
+  EXPECT_EQ(EngineSpec("cdcl").build()->name(), "cdcl");
+  EXPECT_EQ(EngineSpec("dpll").build()->name(), "dpll");
+  EXPECT_EQ(EngineSpec("walksat").build()->name(), "walksat");
+  EXPECT_EQ(EngineSpec("portfolio:2").build()->name(), "portfolio");
+}
+
+TEST(EngineSpecTest, CustomFactoryWraps) {
+  EngineSpec s(sat::dpll_engine_factory());
+  EXPECT_TRUE(s.is_custom());
+  EXPECT_EQ(s.to_string(), "custom");
+  EXPECT_EQ(s.build()->name(), "dpll");
+}
+
+TEST(EngineSpecTest, FactoryClosureBuildsSameEngine) {
+  const sat::EngineFactory f = EngineSpec::parse("dpll").factory();
+  EXPECT_EQ(f(sat::SolverOptions{})->name(), "dpll");
 }
 
 TEST(EngineFactoryTest, EmptyFactoryYieldsCdcl) {
-  auto e = sat::make_engine({}, sat::SolverOptions{});
+  auto e = sat::make_engine(sat::EngineFactory{}, sat::SolverOptions{});
   EXPECT_EQ(e->name(), "cdcl");
 }
 
-TEST(EngineFactoryTest, NamedFactoriesYieldMatchingEngines) {
+TEST(EngineFactoryTest, SpecOverloadBuildsDescribedEngine) {
+  auto e = sat::make_engine(EngineSpec::parse("portfolio:2"),
+                            sat::SolverOptions{});
+  EXPECT_EQ(e->name(), "portfolio");
+}
+
+// The deprecated shim must keep resolving names until its removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(EngineFactoryTest, DeprecatedNameShimStillResolves) {
   EXPECT_EQ(sat::engine_factory_by_name("cdcl")(sat::SolverOptions{})->name(),
             "cdcl");
-  EXPECT_EQ(sat::engine_factory_by_name("dpll")(sat::SolverOptions{})->name(),
-            "dpll");
-  EXPECT_EQ(sat::engine_factory_by_name("walksat")(sat::SolverOptions{})->name(),
-            "walksat");
   EXPECT_EQ(
       sat::engine_factory_by_name("portfolio", 2)(sat::SolverOptions{})->name(),
       "portfolio");
+  EXPECT_THROW(sat::engine_factory_by_name("nope"), std::invalid_argument);
 }
+#pragma GCC diagnostic pop
 
 }  // namespace

@@ -1,0 +1,482 @@
+/// \file serve_test.cpp
+/// \brief sateda-serve protocol conformance: JSON codec round-trips,
+///        length-prefixed framing edge cases (oversized prefixes,
+///        truncation), request validation (malformed JSONL, unknown
+///        sessions, duplicate opens), solve semantics through the
+///        protocol layer, and a concurrent multi-session hammer that
+///        the CI thread-sanitizer job runs to pin down data races in
+///        the scheduler.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cnf/dimacs.hpp"
+#include "cnf/generators.hpp"
+#include "sat/solver.hpp"
+#include "serve/framing.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace sateda;
+using serve::FrameStatus;
+using serve::Json;
+using serve::Server;
+using serve::ServerOptions;
+
+// --- JSON codec -----------------------------------------------------
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("-42").as_int64(), -42);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e1").as_number(), 25.0);
+  EXPECT_EQ(Json::parse("\"hi\\n\"").as_string(), "hi\n");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const Json j = Json::parse(R"({"op":"add","clauses":[[1,-2],[3]]})");
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.find("op")->as_string(), "add");
+  const Json& clauses = *j.find("clauses");
+  ASSERT_EQ(clauses.items().size(), 2u);
+  EXPECT_EQ(clauses.items()[0].items()[1].as_int64(), -2);
+}
+
+TEST(JsonTest, DumpParseRoundTripsIntegersExactly) {
+  Json obj = Json::object();
+  obj.set("big", std::int64_t{1} << 52);
+  obj.set("neg", std::int64_t{-123456789});
+  obj.set("frac", 0.5);
+  obj.set("text", "a\"b\\c\x01");
+  const Json back = Json::parse(obj.dump());
+  EXPECT_EQ(back.find("big")->as_int64(), std::int64_t{1} << 52);
+  EXPECT_EQ(back.find("neg")->as_int64(), -123456789);
+  EXPECT_DOUBLE_EQ(back.find("frac")->as_number(), 0.5);
+  EXPECT_EQ(back.find("text")->as_string(), "a\"b\\c\x01");
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "tru", "1 2",
+                          "\"unterminated", "{\"a\" 1}", "[1]]"}) {
+    EXPECT_THROW(Json::parse(bad), serve::JsonError) << bad;
+  }
+}
+
+TEST(JsonTest, FindOnMissingKeyReturnsNull) {
+  const Json j = Json::parse("{\"a\":1}");
+  EXPECT_EQ(j.find("b"), nullptr);
+  EXPECT_EQ(Json::parse("[1]").find("a"), nullptr);
+}
+
+// --- framing --------------------------------------------------------
+
+std::string frame_bytes(std::uint32_t declared_len, const std::string& body) {
+  std::string s;
+  s.push_back(static_cast<char>(declared_len >> 24));
+  s.push_back(static_cast<char>(declared_len >> 16));
+  s.push_back(static_cast<char>(declared_len >> 8));
+  s.push_back(static_cast<char>(declared_len));
+  s += body;
+  return s;
+}
+
+TEST(FramingTest, RoundTripsPayloads) {
+  std::stringstream stream;
+  ASSERT_TRUE(serve::write_frame(stream, "{\"op\":\"ping\"}"));
+  ASSERT_TRUE(serve::write_frame(stream, ""));
+  std::string payload;
+  EXPECT_EQ(serve::read_frame(stream, payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, "{\"op\":\"ping\"}");
+  EXPECT_EQ(serve::read_frame(stream, payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, "");
+  EXPECT_EQ(serve::read_frame(stream, payload), FrameStatus::kEof);
+}
+
+TEST(FramingTest, OversizedPrefixIsRejectedBeforeAllocation) {
+  // Declares 128 MiB; only the 4 prefix bytes exist.  The reader must
+  // refuse without trying to read (or allocate) the declared length.
+  std::stringstream stream(frame_bytes(1u << 27, ""));
+  std::string payload;
+  EXPECT_EQ(serve::read_frame(stream, payload), FrameStatus::kOversized);
+}
+
+TEST(FramingTest, ExactLimitIsStillAccepted) {
+  // The boundary itself is legal — only strictly-greater is refused.
+  std::stringstream stream(frame_bytes(serve::kMaxFrameBytes + 1, ""));
+  std::string payload;
+  EXPECT_EQ(serve::read_frame(stream, payload), FrameStatus::kOversized);
+}
+
+TEST(FramingTest, TruncatedPrefixAndPayloadAreDetected) {
+  std::string payload;
+  std::stringstream p1(std::string("\x00\x00", 2));  // 2 of 4 prefix bytes
+  EXPECT_EQ(serve::read_frame(p1, payload), FrameStatus::kTruncated);
+  std::stringstream p2(frame_bytes(10, "abc"));      // 3 of 10 body bytes
+  EXPECT_EQ(serve::read_frame(p2, payload), FrameStatus::kTruncated);
+}
+
+TEST(FramingTest, WriteRefusesOversizedPayloads) {
+  std::stringstream stream;
+  std::string huge(serve::kMaxFrameBytes + 1, 'x');
+  EXPECT_FALSE(serve::write_frame(stream, huge));
+  EXPECT_TRUE(stream.str().empty());
+}
+
+// --- protocol over the server ---------------------------------------
+
+/// Submits one request line and returns the parsed response (the
+/// server promises exactly one response per request).
+Json ask(Server& server, const std::string& line) {
+  std::mutex mu;
+  std::string got;
+  bool done = false;
+  server.submit(line, [&](std::string resp) {
+    std::lock_guard<std::mutex> lock(mu);
+    got = std::move(resp);
+    done = true;
+  });
+  server.drain();
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_TRUE(done);
+  return Json::parse(got);
+}
+
+std::string err_code(const Json& resp) {
+  const Json* e = resp.find("error");
+  return e != nullptr && e->is_string() ? e->as_string() : "";
+}
+
+TEST(ServeProtocolTest, MalformedJsonGetsParseError) {
+  Server server;
+  EXPECT_EQ(err_code(ask(server, "{not json")), serve::kErrParse);
+  EXPECT_EQ(err_code(ask(server, "")), serve::kErrParse);
+  EXPECT_EQ(err_code(ask(server, "[1,2]")), serve::kErrParse);  // not an object
+}
+
+TEST(ServeProtocolTest, MissingOrUnknownOpIsBadRequest) {
+  Server server;
+  EXPECT_EQ(err_code(ask(server, "{}")), serve::kErrBadRequest);
+  EXPECT_EQ(err_code(ask(server, R"({"op":42})")), serve::kErrBadRequest);
+}
+
+TEST(ServeProtocolTest, UnknownSessionIsReported) {
+  Server server;
+  const Json r = ask(server, R"({"op":"solve","session":"ghost","id":7})");
+  EXPECT_EQ(err_code(r), serve::kErrUnknownSession);
+  // The id is echoed even on errors so clients can match pipelined
+  // requests to failures.
+  EXPECT_EQ(r.find("id")->as_int64(), 7);
+}
+
+TEST(ServeProtocolTest, DuplicateOpenIsSessionExists) {
+  Server server;
+  EXPECT_TRUE(ask(server, R"({"op":"open","session":"s"})").find("ok")->as_bool());
+  EXPECT_EQ(err_code(ask(server, R"({"op":"open","session":"s"})")),
+            serve::kErrSessionExists);
+}
+
+TEST(ServeProtocolTest, BadEngineSpecFailsTheOpen) {
+  Server server;
+  const Json r =
+      ask(server, R"({"op":"open","session":"s","engine":"warp-drive"})");
+  EXPECT_EQ(err_code(r), serve::kErrBadRequest);
+  // The failed open must not leave a half-registered session behind.
+  EXPECT_TRUE(ask(server, R"({"op":"open","session":"s"})").find("ok")->as_bool());
+}
+
+TEST(ServeProtocolTest, SolveRoundTripWithModelAndCore) {
+  Server server;
+  ASSERT_TRUE(ask(server, R"({"op":"open","session":"s"})").find("ok")->as_bool());
+  ASSERT_TRUE(
+      ask(server, R"({"op":"add","session":"s","clauses":[[1,2],[-1,2]]})")
+          .find("ok")
+          ->as_bool());
+  const Json sat = ask(server, R"({"op":"solve","session":"s"})");
+  EXPECT_EQ(sat.find("result")->as_string(), "sat");
+  // DIMACS model: variable 2 must be true in every model of (1∨2)(¬1∨2).
+  bool saw_two = false;
+  for (const Json& lit : sat.find("model")->items()) {
+    if (lit.as_int64() == 2) saw_two = true;
+    EXPECT_NE(lit.as_int64(), -2);
+  }
+  EXPECT_TRUE(saw_two);
+  const Json unsat =
+      ask(server, R"({"op":"solve","session":"s","assume":[-2]})");
+  EXPECT_EQ(unsat.find("result")->as_string(), "unsat");
+  ASSERT_NE(unsat.find("core"), nullptr);
+  ASSERT_EQ(unsat.find("core")->items().size(), 1u);
+  EXPECT_EQ(unsat.find("core")->items()[0].as_int64(), -2);
+}
+
+TEST(ServeProtocolTest, ZeroLiteralInClauseIsBadRequest) {
+  Server server;
+  ASSERT_TRUE(ask(server, R"({"op":"open","session":"s"})").find("ok")->as_bool());
+  EXPECT_EQ(
+      err_code(ask(server, R"({"op":"add","session":"s","clauses":[[1,0]]})")),
+      serve::kErrBadRequest);
+}
+
+TEST(ServeProtocolTest, LoadRejectsGarbageDimacs) {
+  Server server;
+  ASSERT_TRUE(ask(server, R"({"op":"open","session":"s"})").find("ok")->as_bool());
+  EXPECT_EQ(
+      err_code(ask(server, R"({"op":"load","session":"s","dimacs":"p qqq"})")),
+      serve::kErrBadRequest);
+}
+
+TEST(ServeProtocolTest, PushPopTrackDepthAndPredictVariables) {
+  Server server;
+  ASSERT_TRUE(ask(server, R"({"op":"open","session":"s"})").find("ok")->as_bool());
+  ASSERT_TRUE(
+      ask(server, R"({"op":"add","session":"s","clauses":[[1,2]]})")
+          .find("ok")
+          ->as_bool());
+  const Json push = ask(server, R"({"op":"push","session":"s"})");
+  EXPECT_EQ(push.find("depth")->as_int64(), 1);
+  // 2 user variables + 1 selector → first free DIMACS id is 4.
+  EXPECT_EQ(push.find("next_var")->as_int64(), 4);
+  const Json pop = ask(server, R"({"op":"pop","session":"s"})");
+  EXPECT_EQ(pop.find("depth")->as_int64(), 0);
+  const Json pop2 = ask(server, R"({"op":"pop","session":"s"})");
+  EXPECT_EQ(pop2.find("depth")->as_int64(), -1);
+}
+
+TEST(ServeProtocolTest, DumpCnfReproducesTheQueryStandalone) {
+  Server server;
+  ASSERT_TRUE(ask(server, R"({"op":"open","session":"s"})").find("ok")->as_bool());
+  ASSERT_TRUE(
+      ask(server, R"({"op":"add","session":"s","clauses":[[1,2],[-1]]})")
+          .find("ok")
+          ->as_bool());
+  const Json r = ask(
+      server,
+      R"({"op":"solve","session":"s","assume":[-2],"dump_cnf":true,"certify":true})");
+  EXPECT_EQ(r.find("result")->as_string(), "unsat");
+  ASSERT_NE(r.find("cnf"), nullptr);
+  // The dump folds assumptions in as units: a fresh one-shot solver
+  // must reach the same verdict from the text alone.
+  CnfFormula f = read_dimacs_string(r.find("cnf")->as_string());
+  sat::Solver fresh;
+  ASSERT_TRUE(!fresh.add_formula(f) || fresh.solve() == sat::SolveResult::kUnsat);
+  // certify produced a DRAT refutation of that same dump.
+  ASSERT_NE(r.find("proof"), nullptr);
+  EXPECT_FALSE(r.find("proof")->as_string().empty());
+}
+
+TEST(ServeProtocolTest, CloseThenUseReportsUnknownSession) {
+  Server server;
+  ASSERT_TRUE(ask(server, R"({"op":"open","session":"s"})").find("ok")->as_bool());
+  ASSERT_TRUE(ask(server, R"({"op":"close","session":"s"})").find("ok")->as_bool());
+  EXPECT_EQ(err_code(ask(server, R"({"op":"solve","session":"s"})")),
+            serve::kErrUnknownSession);
+  // The name is reusable after close.
+  EXPECT_TRUE(ask(server, R"({"op":"open","session":"s"})").find("ok")->as_bool());
+}
+
+TEST(ServeProtocolTest, PerQueryBudgetReturnsUnknown) {
+  Server server;
+  ASSERT_TRUE(ask(server, R"({"op":"open","session":"s"})").find("ok")->as_bool());
+  // php(7) in DIMACS via the load op would be bulky; build it inline.
+  std::ostringstream dimacs;
+  write_dimacs(dimacs, pigeonhole(7), "php7");
+  Json load = Json::object();
+  load.set("op", "load");
+  load.set("session", "s");
+  load.set("dimacs", dimacs.str());
+  ASSERT_TRUE(ask(server, load.dump()).find("ok")->as_bool());
+  const Json r =
+      ask(server, R"({"op":"solve","session":"s","conflicts":1})");
+  EXPECT_EQ(r.find("result")->as_string(), "unknown");
+  EXPECT_EQ(r.find("reason")->as_string(), "conflict-budget");
+  // The budget bound that query only.
+  const Json full = ask(server, R"({"op":"solve","session":"s"})");
+  EXPECT_EQ(full.find("result")->as_string(), "unsat");
+}
+
+TEST(ServeProtocolTest, StatsReportSessionCumulative) {
+  Server server;
+  ASSERT_TRUE(ask(server, R"({"op":"open","session":"s"})").find("ok")->as_bool());
+  ASSERT_TRUE(ask(server, R"({"op":"add","session":"s","clauses":[[1]]})")
+                  .find("ok")
+                  ->as_bool());
+  ask(server, R"({"op":"solve","session":"s"})");
+  ask(server, R"({"op":"solve","session":"s"})");
+  const Json r = ask(server, R"({"op":"stats","session":"s"})");
+  EXPECT_EQ(r.find("queries")->as_int64(), 2);
+  EXPECT_GE(r.find("stats")->find("solve_calls")->as_int64(), 2);
+}
+
+TEST(ServeProtocolTest, PingAndShutdown) {
+  Server server;
+  EXPECT_EQ(ask(server, R"({"op":"ping"})").find("result")->as_string(),
+            "pong");
+  EXPECT_FALSE(server.shutdown_requested());
+  EXPECT_TRUE(ask(server, R"({"op":"shutdown"})").find("ok")->as_bool());
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST(ServeProtocolTest, RunJsonlAnswersEveryLine) {
+  ServerOptions opts;
+  opts.workers = 2;
+  Server server(opts);
+  std::istringstream in(
+      "{\"op\":\"open\",\"session\":\"a\",\"id\":1}\n"
+      "not json at all\n"
+      "{\"op\":\"add\",\"session\":\"a\",\"clauses\":[[1]],\"id\":2}\n"
+      "{\"op\":\"solve\",\"session\":\"a\",\"id\":3}\n"
+      "{\"op\":\"shutdown\",\"id\":4}\n");
+  std::ostringstream out;
+  server.run_jsonl(in, out);
+  std::istringstream lines(out.str());
+  std::string line;
+  int responses = 0, errors = 0, sats = 0;
+  while (std::getline(lines, line)) {
+    const Json r = Json::parse(line);
+    ++responses;
+    if (!r.find("ok")->as_bool()) ++errors;
+    const Json* result = r.find("result");
+    if (result != nullptr && result->as_string() == "sat") ++sats;
+  }
+  EXPECT_EQ(responses, 5);
+  EXPECT_EQ(errors, 1);
+  EXPECT_EQ(sats, 1);
+}
+
+// --- concurrency (the TSan target) ----------------------------------
+
+TEST(ServeConcurrencyTest, ParallelSessionsKeepPerSessionOrder) {
+  ServerOptions opts;
+  opts.workers = 4;
+  Server server(opts);
+  constexpr int kSessions = 6;
+  constexpr int kQueriesPerSession = 25;
+
+  std::vector<std::thread> clients;
+  std::mutex mu;
+  std::map<std::string, std::vector<std::int64_t>> reply_order;
+  std::atomic<int> bad{0};
+
+  for (int s = 0; s < kSessions; ++s) {
+    clients.emplace_back([&, s] {
+      const std::string name = "s" + std::to_string(s);
+      Json open = Json::object();
+      open.set("op", "open");
+      open.set("session", name);
+      server.submit(open.dump(), [](std::string) {});
+      // Claim the user variables BEFORE the first push — epoch
+      // selectors take the next free ids, so a client that pushes
+      // first would collide its DIMACS variable 1 with a selector.
+      Json base = Json::object();
+      base.set("op", "add");
+      base.set("session", name);
+      base.set("clauses", Json::parse("[[1,2]]"));
+      server.submit(base.dump(), [](std::string) {});
+      // Alternating SAT epochs: push/add/solve/pop per query, exactly
+      // the warm-session shape the daemon serves.
+      for (int q = 0; q < kQueriesPerSession; ++q) {
+        Json push = Json::object();
+        push.set("op", "push");
+        push.set("session", name);
+        server.submit(push.dump(), [](std::string) {});
+        Json add = Json::object();
+        add.set("op", "add");
+        add.set("session", name);
+        Json clauses = Json::array();
+        Json clause = Json::array();
+        clause.push_back((q % 2) != 0 ? 1 : -1);
+        clauses.push_back(std::move(clause));
+        add.set("clauses", std::move(clauses));
+        server.submit(add.dump(), [](std::string) {});
+        Json solve = Json::object();
+        solve.set("op", "solve");
+        solve.set("session", name);
+        solve.set("id", std::int64_t{q});
+        server.submit(solve.dump(), [&, name](std::string resp) {
+          const Json r = Json::parse(resp);
+          if (!r.find("ok")->as_bool() ||
+              r.find("result")->as_string() != "sat") {
+            bad.fetch_add(1);
+          }
+          std::lock_guard<std::mutex> lock(mu);
+          reply_order[name].push_back(r.find("id")->as_int64());
+        });
+        Json pop = Json::object();
+        pop.set("op", "pop");
+        pop.set("session", name);
+        server.submit(pop.dump(), [](std::string) {});
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.drain();
+
+  EXPECT_EQ(bad.load(), 0);
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(reply_order.size(), static_cast<std::size_t>(kSessions));
+  for (const auto& [name, order] : reply_order) {
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(kQueriesPerSession))
+        << name;
+    for (int q = 0; q < kQueriesPerSession; ++q) {
+      EXPECT_EQ(order[static_cast<std::size_t>(q)], q)
+          << "session " << name << " answered out of order";
+    }
+  }
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries,
+            static_cast<std::uint64_t>(kSessions * kQueriesPerSession));
+}
+
+TEST(ServeConcurrencyTest, CancelRacesWithRunningQueriesSafely) {
+  ServerOptions opts;
+  opts.workers = 2;
+  Server server(opts);
+  ASSERT_TRUE(ask(server, R"({"op":"open","session":"s"})").find("ok")->as_bool());
+  std::ostringstream dimacs;
+  write_dimacs(dimacs, pigeonhole(8), "php8");
+  Json load = Json::object();
+  load.set("op", "load");
+  load.set("session", "s");
+  load.set("dimacs", dimacs.str());
+  ASSERT_TRUE(ask(server, load.dump()).find("ok")->as_bool());
+
+  std::atomic<int> answered{0};
+  server.submit(R"({"op":"solve","session":"s","id":"long"})",
+                [&](std::string resp) {
+                  const Json r = Json::parse(resp);
+                  EXPECT_TRUE(r.find("ok")->as_bool());
+                  answered.fetch_add(1);
+                });
+  // Hammer cancel from several threads while the query runs: the op is
+  // advertised as safe from any thread at any time.
+  std::vector<std::thread> cancellers;
+  for (int i = 0; i < 3; ++i) {
+    cancellers.emplace_back([&server] {
+      for (int k = 0; k < 5; ++k) {
+        server.submit(R"({"op":"cancel","session":"s"})", [](std::string) {});
+      }
+    });
+  }
+  for (std::thread& t : cancellers) t.join();
+  server.drain();
+  EXPECT_EQ(answered.load(), 1);
+  // The session answers the next query normally (cancel regression).
+  const Json next =
+      ask(server, R"({"op":"solve","session":"s","conflicts":1,"id":"next"})");
+  EXPECT_TRUE(next.find("ok")->as_bool());
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sateda::tools {
+
+namespace {
+
+const char* value_of(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "error: %s needs an argument\n", flag);
+    std::exit(kExitError);
+  }
+  return argv[++i];
+}
+
+}  // namespace
+
+int solve_exit_code(sat::SolveResult r) {
+  switch (r) {
+    case sat::SolveResult::kSat: return kExitSat;
+    case sat::SolveResult::kUnsat: return kExitUnsat;
+    case sat::SolveResult::kUnknown: return kExitUnknown;
+  }
+  return kExitUnknown;
+}
+
+bool CommonCli::consume(int argc, char** argv, int& i) {
+  const char* arg = argv[i];
+  if (std::strcmp(arg, "--engine") == 0) {
+    engine_name = value_of(argc, argv, i, "--engine");
+    engine_flag_seen = true;
+  } else if (std::strcmp(arg, "--threads") == 0) {
+    threads = std::atoi(value_of(argc, argv, i, "--threads"));
+    engine_flag_seen = true;
+  } else if (std::strcmp(arg, "--deterministic") == 0) {
+    deterministic = true;
+    engine_flag_seen = true;
+  } else if (std::strcmp(arg, "--max-conflicts") == 0) {
+    max_conflicts = std::atoll(value_of(argc, argv, i, "--max-conflicts"));
+  } else if (std::strcmp(arg, "--timeout") == 0) {
+    const double seconds = std::atof(value_of(argc, argv, i, "--timeout"));
+    if (seconds < 0) {
+      std::fprintf(stderr, "error: --timeout takes a nonnegative number\n");
+      std::exit(kExitError);
+    }
+    time_budget_ms = static_cast<std::int64_t>(seconds * 1000.0);
+  } else if (std::strcmp(arg, "--stats") == 0) {
+    stats = true;
+  } else if (std::strcmp(arg, "--quiet") == 0) {
+    quiet = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+sat::EngineSpec CommonCli::spec() const {
+  // Only the flags the user actually set override the spec text, so
+  // "--engine portfolio:8:det" alone keeps its embedded fields.
+  sat::EngineSpec s = sat::EngineSpec::parse(engine_name);
+  if (threads != 0) s.with_workers(threads);
+  if (deterministic) s.with_deterministic(true);
+  return s;
+}
+
+void CommonCli::apply(sat::SolverOptions& opts) const {
+  if (max_conflicts >= 0) opts.conflict_budget = max_conflicts;
+  if (time_budget_ms >= 0) opts.time_budget_ms = time_budget_ms;
+}
+
+const char* engine_help() {
+  return
+      "  --engine NAME        SAT backend: cdcl (default), dpll, wsat,\n"
+      "                       portfolio (parallel clause-sharing CDCL);\n"
+      "                       spec syntax also accepted (portfolio:8:det)\n"
+      "  --threads N          portfolio worker count (0 = one per core)\n"
+      "  --deterministic      portfolio: reproducible barrier-synchronized\n"
+      "                       rounds instead of free racing\n";
+}
+
+const char* budget_help() {
+  return
+      "  --max-conflicts N    give up after N conflicts (per worker)\n"
+      "  --timeout S          give up after S seconds of wall clock\n"
+      "                       (answer UNKNOWN, exit 0)\n";
+}
+
+const char* report_help() {
+  return
+      "  --stats              print a detailed counter breakdown after\n"
+      "                       solving\n"
+      "  --quiet              suppress `c` comment lines\n";
+}
+
+Lit parse_dimacs_lit(const char* text, const char* flag) {
+  char* end = nullptr;
+  const long long code = std::strtoll(text, &end, 10);
+  if (code == 0 || end == text || *end != '\0') {
+    std::fprintf(stderr, "error: %s takes a nonzero DIMACS literal\n", flag);
+    std::exit(kExitError);
+  }
+  const Var v = static_cast<Var>((code < 0 ? -code : code) - 1);
+  return Lit(v, code < 0);
+}
+
+void print_comment_block(const std::string& block) {
+  std::size_t start = 0;
+  while (start <= block.size()) {
+    const std::size_t end = block.find('\n', start);
+    const std::string line = block.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    if (!line.empty()) std::printf("c %s\n", line.c_str());
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+}
+
+}  // namespace sateda::tools

@@ -1,0 +1,76 @@
+/// \file cli.hpp
+/// \brief Shared command-line handling for the sateda-* tools.
+///
+/// Every solver-backed tool takes the same knobs — engine selection
+/// (--engine/--threads/--deterministic), resource budgets
+/// (--timeout/--max-conflicts) and reporting (--stats/--quiet) — and
+/// reports verdicts with SAT-competition exit codes.  This header
+/// centralizes all of it so a flag behaves identically everywhere and
+/// a new tool gets the full set in three lines:
+///
+///   tools::CommonCli common;
+///   for (int i = 1; i < argc; ++i)
+///     if (common.consume(argc, argv, i)) continue;  // else tool flags
+///   ...
+///   sat::EngineSpec spec = common.spec();   // throws invalid_argument
+///   common.apply(solver_options);           // budgets
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cnf/literal.hpp"
+#include "sat/engine.hpp"
+
+namespace sateda::tools {
+
+// SAT-competition exit codes, shared by every tool front end.
+inline constexpr int kExitSat = 10;
+inline constexpr int kExitUnsat = 20;
+inline constexpr int kExitUnknown = 0;
+inline constexpr int kExitError = 2;
+
+/// Maps a solve verdict to its SAT-competition exit code.
+int solve_exit_code(sat::SolveResult r);
+
+/// The shared options, parsed incrementally by consume().
+struct CommonCli {
+  std::string engine_name = "cdcl";  ///< --engine
+  int threads = 0;                   ///< --threads (0 = one per core)
+  bool deterministic = false;        ///< --deterministic
+  std::int64_t max_conflicts = -1;   ///< --max-conflicts (-1 unlimited)
+  std::int64_t time_budget_ms = -1;  ///< --timeout, converted to ms
+  bool stats = false;                ///< --stats
+  bool quiet = false;                ///< --quiet
+  bool engine_flag_seen = false;     ///< any engine-selection flag given
+
+  /// Tries to consume argv[i] as a shared option, advancing \p i past
+  /// the flag's value when it takes one.  Returns true when consumed.
+  /// A malformed value prints an error to stderr and exits kExitError
+  /// (matching the tools' historical behaviour for bad arguments).
+  bool consume(int argc, char** argv, int& i);
+
+  /// The engine spec the flags describe.  Throws std::invalid_argument
+  /// on an unknown engine name.
+  sat::EngineSpec spec() const;
+
+  /// Applies the budget flags onto solver options (only the flags the
+  /// user actually set override the tool's defaults).
+  void apply(sat::SolverOptions& opts) const;
+};
+
+/// Help text for the shared flags, ready to print inside a tool's
+/// usage message (every line ends in '\n').
+const char* engine_help();   ///< --engine/--threads/--deterministic
+const char* budget_help();   ///< --timeout/--max-conflicts
+const char* report_help();   ///< --stats/--quiet
+
+/// Parses a nonzero DIMACS literal code ("7", "-3") into a Lit.
+/// Prints an error and exits kExitError on 0 or garbage.
+Lit parse_dimacs_lit(const char* text, const char* flag);
+
+/// Prints a multi-line text block with a "c " prefix per line — the
+/// SAT-competition comment convention for stats dumps.
+void print_comment_block(const std::string& block);
+
+}  // namespace sateda::tools

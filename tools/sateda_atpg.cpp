@@ -7,19 +7,25 @@
 ///   --no-layer           plain CNF queries (no §5 layer)
 ///   --patterns           print the generated test set
 ///   --faults             print per-fault status
+/// plus the shared budget/report flags (--timeout, --max-conflicts,
+/// --stats, --quiet).  The TPG queries run on the §5 structural
+/// circuit-SAT layer, so --engine does not apply here.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "atpg/engine.hpp"
 #include "circuit/bench_io.hpp"
+#include "common/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace sateda;
   std::string path;
   atpg::AtpgOptions opts;
   bool show_patterns = false, show_faults = false;
+  tools::CommonCli common;
   for (int i = 1; i < argc; ++i) {
+    if (common.consume(argc, argv, i)) continue;
     std::string arg = argv[i];
     if (arg == "--no-random") {
       opts.random_phase = false;
@@ -34,13 +40,21 @@ int main(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
                    "usage: %s [--no-random] [--no-collapse] [--no-layer] "
-                   "[--patterns] [--faults] <file.bench>\n",
+                   "[--patterns] [--faults] [--timeout S] [--max-conflicts N] "
+                   "[--stats] <file.bench>\n",
                    argv[0]);
       return 2;
     } else {
       path = arg;
     }
   }
+  if (common.engine_flag_seen) {
+    std::fprintf(stderr, "error: the TPG queries run on the structural "
+                         "circuit-SAT layer; --engine does not apply\n");
+    return 2;
+  }
+  common.apply(opts.solver);
+  if (common.max_conflicts >= 0) opts.conflict_budget = common.max_conflicts;
   if (path.empty()) {
     std::fprintf(stderr, "error: no input netlist\n");
     return 2;
@@ -56,6 +70,13 @@ int main(int argc, char** argv) {
               c.inputs().size(), c.num_gates(), c.outputs().size());
   atpg::AtpgResult r = atpg::run_atpg(c, opts);
   std::printf("%s\n", r.stats.summary().c_str());
+  if (common.stats) {
+    std::printf("sat calls         : %d\n", r.stats.sat_calls);
+    std::printf("decisions         : %lld\n",
+                static_cast<long long>(r.stats.decisions));
+    std::printf("conflicts         : %lld\n",
+                static_cast<long long>(r.stats.conflicts));
+  }
   std::printf("fault coverage    : %.2f%%\n",
               100.0 * r.stats.fault_coverage());
   std::printf("test efficiency   : %.2f%%\n",

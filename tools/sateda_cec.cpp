@@ -2,25 +2,33 @@
 /// \brief Command-line combinational equivalence checker for two BENCH
 ///        netlists with matching interfaces.
 ///
-/// Usage: sateda_cec [--no-strash] <golden.bench> <revised.bench>
+/// Usage: sateda_cec [--no-strash] [--timeout S] [--max-conflicts N]
+///        [--stats] <golden.bench> <revised.bench>
 /// Exit code: 0 equivalent, 1 not equivalent, 2 error/unknown.
+/// The miter query runs on the §5 structural circuit-SAT layer, so
+/// --engine does not apply here.
 #include <cstdio>
 #include <string>
 
 #include "circuit/bench_io.hpp"
 #include "circuit/simulator.hpp"
+#include "common/cli.hpp"
 #include "equiv/cec.hpp"
 
 int main(int argc, char** argv) {
   using namespace sateda;
   equiv::CecOptions opts;
   std::string a_path, b_path;
+  tools::CommonCli common;
   for (int i = 1; i < argc; ++i) {
+    if (common.consume(argc, argv, i)) continue;
     std::string arg = argv[i];
     if (arg == "--no-strash") {
       opts.structural_hashing = false;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "usage: %s [--no-strash] <a.bench> <b.bench>\n",
+      std::fprintf(stderr,
+                   "usage: %s [--no-strash] [--timeout S] [--max-conflicts N] "
+                   "[--stats] <a.bench> <b.bench>\n",
                    argv[0]);
       return 2;
     } else if (a_path.empty()) {
@@ -29,6 +37,13 @@ int main(int argc, char** argv) {
       b_path = arg;
     }
   }
+  if (common.engine_flag_seen) {
+    std::fprintf(stderr, "error: the miter query runs on the structural "
+                         "circuit-SAT layer; --engine does not apply\n");
+    return 2;
+  }
+  common.apply(opts.solver);
+  if (common.max_conflicts >= 0) opts.conflict_budget = common.max_conflicts;
   if (a_path.empty() || b_path.empty()) {
     std::fprintf(stderr, "error: need two netlists\n");
     return 2;
@@ -39,6 +54,11 @@ int main(int argc, char** argv) {
     equiv::CecResult r = equiv::check_equivalence(a, b, opts);
     std::printf("verdict: %s%s\n", to_string(r.verdict).c_str(),
                 r.settled_structurally ? " (structural)" : "");
+    if (common.stats) {
+      std::printf("decisions: %lld\nconflicts: %lld\n",
+                  static_cast<long long>(r.decisions),
+                  static_cast<long long>(r.conflicts));
+    }
     if (r.verdict == equiv::CecVerdict::kNotEquivalent) {
       std::printf("counterexample:");
       for (bool bit : r.counterexample) std::printf(" %d", bit ? 1 : 0);

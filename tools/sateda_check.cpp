@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cnf/dimacs.hpp"
+#include "common/cli.hpp"
 #include "sat/drat_check.hpp"
 
 namespace {
@@ -76,13 +77,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-refutation") {
       require_refutation = false;
     } else if (arg == "--assume" && i + 1 < argc) {
-      long long code = std::atoll(argv[++i]);
-      if (code == 0) {
-        std::fprintf(stderr, "error: --assume takes a nonzero literal\n");
-        return 2;
-      }
-      Var v = static_cast<Var>((code < 0 ? -code : code) - 1);
-      assumptions.push_back(Lit(v, code < 0));
+      assumptions.push_back(tools::parse_dimacs_lit(argv[++i], "--assume"));
     } else if (arg == "--core" && i + 1 < argc) {
       core_path = argv[++i];
     } else if (arg == "--trim" && i + 1 < argc) {

@@ -3,24 +3,33 @@
 ///        topological vs sensitizable delay, false-path report, and
 ///        path-delay tests for the longest structural paths.
 ///
-/// Usage: sateda_delay [--paths N] <file.bench>
+/// Usage: sateda_delay [--paths N] [--engine SPEC] [--threads N]
+///        [--timeout S] [--max-conflicts N] [--stats] <file.bench>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "circuit/bench_io.hpp"
+#include "common/cli.hpp"
 #include "delay/delay.hpp"
 
 int main(int argc, char** argv) {
   using namespace sateda;
   std::string path;
   std::size_t max_paths = 8;
+  tools::CommonCli common;
+  delay::DelayOptions opts;
   for (int i = 1; i < argc; ++i) {
+    if (common.consume(argc, argv, i)) continue;
     std::string arg = argv[i];
     if (arg == "--paths" && i + 1 < argc) {
       max_paths = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "usage: %s [--paths N] <file.bench>\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--paths N] [--engine SPEC] [--threads N] "
+                   "[--timeout S] [--max-conflicts N] [--stats] "
+                   "<file.bench>\n",
+                   argv[0]);
       return 2;
     } else {
       path = arg;
@@ -31,11 +40,23 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    opts.engine = common.spec();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  common.apply(opts.solver);
+  if (common.max_conflicts >= 0) opts.conflict_budget = common.max_conflicts;
+  try {
     circuit::Circuit c = circuit::read_bench_file(path);
-    delay::DelayResult r = delay::compute_delay(c);
+    delay::DelayResult r = delay::compute_delay(c, opts);
     std::printf("topological delay : %d\n", r.topological);
     std::printf("sensitizable delay: %d  (%d SAT queries)\n", r.sensitizable,
                 r.sat_queries);
+    if (common.stats) {
+      std::printf("conflicts         : %lld\n",
+                  static_cast<long long>(r.conflicts));
+    }
     if (r.sensitizable < r.topological) {
       std::printf("false paths       : every path longer than %d is "
                   "statically unsensitizable\n",

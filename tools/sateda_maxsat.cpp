@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "opt/maxsat/maxsat.hpp"
 #include "opt/maxsat/wcnf.hpp"
 #include "sat/engine.hpp"
@@ -45,8 +46,10 @@ void print_help(const char* argv0) {
       "  --algo NAME      oll (default): one totalizer per core, bounds\n"
       "                   moved by assumptions; fumalik: clause cloning\n"
       "                   with per-round at-most-one relaxation\n"
-      "  --engine NAME    SAT backend: cdcl (default), portfolio, ...\n"
+      "  --engine NAME    SAT backend: cdcl (default), portfolio, ...;\n"
+      "                   spec syntax also accepted (portfolio:8:det)\n"
       "  --threads N      portfolio worker count (0 = one per core)\n"
+      "  --timeout S      per-SAT-call wall-clock budget in seconds\n"
       "  --no-minimize    skip core minimization before relaxing\n"
       "  --expect N       require the optimum to equal N (exit 1 when\n"
       "                   it does not) -- used by the smoke tests\n"
@@ -246,9 +249,9 @@ int run_bench(const Cli& cli) {
 
 int main(int argc, char** argv) {
   Cli cli;
-  std::string engine_name;
-  int threads = 0;
+  sateda::tools::CommonCli common;
   for (int i = 1; i < argc; ++i) {
+    if (common.consume(argc, argv, i)) continue;
     const std::string arg = argv[i];
     auto next = [&](const char* what) -> const char* {
       if (i + 1 >= argc) {
@@ -270,10 +273,6 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: unknown --algo %s\n", name.c_str());
         return 2;
       }
-    } else if (arg == "--engine") {
-      engine_name = next("--engine");
-    } else if (arg == "--threads") {
-      threads = std::atoi(next("--threads"));
     } else if (arg == "--no-minimize") {
       cli.opts.minimize_cores = false;
     } else if (arg == "--expect") {
@@ -283,10 +282,6 @@ int main(int argc, char** argv) {
       cli.bench_dir = next("--bench");
     } else if (arg == "--out") {
       cli.out_path = next("--out");
-    } else if (arg == "--stats") {
-      cli.stats = true;
-    } else if (arg == "--quiet") {
-      cli.quiet = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
       return usage(argv[0]);
@@ -295,10 +290,12 @@ int main(int argc, char** argv) {
       cli.path = arg;
     }
   }
-  if (!engine_name.empty()) {
+  cli.stats = common.stats;
+  cli.quiet = common.quiet;
+  common.apply(cli.opts.solver);
+  if (common.engine_flag_seen) {
     try {
-      cli.opts.engine = sateda::sat::engine_factory_by_name(engine_name,
-                                                            threads);
+      cli.opts.engine = common.spec();
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;

@@ -1,0 +1,622 @@
+/// \file sateda_serve.cpp
+/// \brief SAT-as-a-service daemon: persistent sessions, JSONL over
+///        stdin/stdout or length-prefixed frames over a Unix socket.
+///
+/// The daemon keeps one warm incremental engine per named session, so
+/// a stream of related queries (ATPG faults, CEC cones, BMC frames)
+/// reuses learnt clauses, VSIDS activity and saved phases instead of
+/// re-deriving them per query.  See src/serve/protocol.hpp for the
+/// message reference and DESIGN.md for the serving architecture.
+///
+/// Modes:
+///   (default)            serve JSONL on stdin/stdout until EOF or a
+///                        shutdown request
+///   --socket PATH        serve length-prefixed JSON frames on a Unix
+///                        domain socket (concurrent connections)
+///   --bench              run the built-in ATPG load benchmark (all
+///                        single-stuck-at queries of a generated
+///                        circuit, warm sessions vs cold per-query
+///                        sessions) and write BENCH_serve.json
+///   --gen-atpg-trace F   record the warm single-session ATPG request
+///                        stream as a JSONL file (the serve-smoke CI
+///                        trace), instead of serving
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_cnf.hpp"
+#include "circuit/encoder.hpp"
+#include "circuit/generators.hpp"
+#include "cnf/dimacs.hpp"
+#include "common/cli.hpp"
+#include "serve/framing.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace sateda;
+
+void print_help(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "\n"
+      "SAT-as-a-service daemon over warm incremental sessions.\n"
+      "Protocol: one JSON request per line (or per frame with\n"
+      "--socket); see README 'sateda-serve protocol'.\n"
+      "\n"
+      "transports:\n"
+      "  (default)            JSONL on stdin/stdout\n"
+      "  --socket PATH        Unix domain socket, 4-byte big-endian\n"
+      "                       length-prefixed JSON frames\n"
+      "\n"
+      "daemon options:\n"
+      "  --workers N          concurrent session executors (default 2)\n"
+      "%s"
+      "%s"
+      "\n"
+      "benchmark / trace:\n"
+      "  --bench              ATPG load benchmark, writes --bench-out\n"
+      "  --bench-out FILE     default BENCH_serve.json\n"
+      "  --circuit NAME       generated circuit: adder<N>, alu<N>,\n"
+      "                       mult<N> (default alu6)\n"
+      "  --sessions N         warm sessions to spread faults over\n"
+      "                       (default 4)\n"
+      "  --gen-atpg-trace F   write the warm ATPG JSONL trace to F\n"
+      "%s"
+      "  --help               this message\n",
+      argv0, tools::engine_help(), tools::budget_help(), tools::report_help());
+}
+
+// --- ATPG request-stream generation ---------------------------------
+//
+// Mirrors SolverSession's variable allocation exactly (push takes one
+// selector variable, then the fault query allocates from the next
+// id), so the recorded requests can predict every variable the
+// session will hand out.  This is the documented allocation guarantee
+// in sat/session.hpp.
+
+struct AtpgQuery {
+  std::string fault;          ///< to_string(Fault) — used as request id
+  serve::Json clauses;        ///< JSON array of clauses (DIMACS ints)
+  std::vector<std::int64_t> assume;
+};
+
+struct AtpgLoad {
+  std::string circuit_name;
+  int nodes = 0;
+  std::string dimacs;         ///< good-circuit base encoding
+  std::vector<AtpgQuery> queries;
+};
+
+circuit::Circuit make_circuit(const std::string& name) {
+  auto starts = [&](const char* p) {
+    return name.rfind(p, 0) == 0;
+  };
+  const auto num = [&](std::size_t prefix_len) {
+    return std::atoi(name.c_str() + prefix_len);
+  };
+  if (starts("adder")) return circuit::ripple_carry_adder(num(5));
+  if (starts("alu")) return circuit::alu(num(3));
+  if (starts("mult")) return circuit::array_multiplier(num(4));
+  throw std::invalid_argument("unknown --circuit '" + name +
+                              "' (adder<N>, alu<N>, mult<N>)");
+}
+
+AtpgLoad build_atpg_load(const std::string& circuit_name) {
+  AtpgLoad load;
+  load.circuit_name = circuit_name;
+  const circuit::Circuit c = make_circuit(circuit_name);
+  load.nodes = static_cast<int>(c.num_nodes());
+  const CnfFormula base = circuit::encode_circuit(c);
+  std::ostringstream dimacs;
+  write_dimacs(dimacs, base, "good-circuit encoding of " + circuit_name);
+  load.dimacs = dimacs.str();
+
+  const std::vector<atpg::Fault> faults =
+      atpg::collapse_faults(c, atpg::enumerate_faults(c));
+  Var next_free = static_cast<Var>(base.num_vars());
+  for (const atpg::Fault& f : faults) {
+    // push() takes next_free (the epoch selector); query vars follow.
+    const atpg::FaultQueryCnf q = atpg::encode_fault_query(c, f, next_free + 1);
+    if (q.trivially_redundant) continue;
+    AtpgQuery query;
+    query.fault = atpg::to_string(f);
+    query.clauses = serve::Json::array();
+    for (const Clause& cl : q.clauses) {
+      serve::Json row = serve::Json::array();
+      for (Lit l : cl) row.push_back(serve::to_dimacs(l));
+      query.clauses.push_back(std::move(row));
+    }
+    for (Lit a : q.assumptions) query.assume.push_back(serve::to_dimacs(a));
+    load.queries.push_back(std::move(query));
+    next_free = q.next_var;
+  }
+  return load;
+}
+
+serve::Json request(const char* op, const std::string& session) {
+  serve::Json r = serve::Json::object();
+  r.set("op", op);
+  r.set("session", session);
+  return r;
+}
+
+/// The warm request stream for one session covering queries
+/// [begin, end): open, load, then push/add/solve/pop per fault.
+std::vector<std::string> warm_trace(const AtpgLoad& load,
+                                    const std::string& session,
+                                    std::size_t begin, std::size_t end,
+                                    const std::string& engine,
+                                    std::int64_t conflicts, bool dump_cnf) {
+  std::vector<std::string> lines;
+  serve::Json open = request("open", session);
+  if (!engine.empty()) open.set("engine", engine);
+  if (conflicts >= 0) open.set("conflicts", conflicts);
+  lines.push_back(open.dump());
+  serve::Json loadreq = request("load", session);
+  loadreq.set("dimacs", load.dimacs);
+  lines.push_back(loadreq.dump());
+  for (std::size_t i = begin; i < end; ++i) {
+    const AtpgQuery& q = load.queries[i];
+    lines.push_back(request("push", session).dump());
+    serve::Json add = request("add", session);
+    add.set("clauses", q.clauses);
+    lines.push_back(add.dump());
+    serve::Json solve = request("solve", session);
+    solve.set("id", q.fault);
+    serve::Json assume = serve::Json::array();
+    for (std::int64_t a : q.assume) assume.push_back(a);
+    solve.set("assume", std::move(assume));
+    if (dump_cnf) solve.set("dump_cnf", true);
+    lines.push_back(solve.dump());
+    lines.push_back(request("pop", session).dump());
+  }
+  lines.push_back(request("close", session).dump());
+  return lines;
+}
+
+/// The cold request stream: every query gets its own throwaway
+/// session that reloads the circuit from scratch.
+std::vector<std::string> cold_trace(const AtpgLoad& load,
+                                    const std::string& engine,
+                                    std::int64_t conflicts) {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < load.queries.size(); ++i) {
+    const AtpgQuery& q = load.queries[i];
+    const std::string session = "cold-" + std::to_string(i);
+    serve::Json open = request("open", session);
+    if (!engine.empty()) open.set("engine", engine);
+    if (conflicts >= 0) open.set("conflicts", conflicts);
+    lines.push_back(open.dump());
+    serve::Json loadreq = request("load", session);
+    loadreq.set("dimacs", load.dimacs);
+    lines.push_back(loadreq.dump());
+    serve::Json add = request("add", session);
+    add.set("clauses", q.clauses);
+    lines.push_back(add.dump());
+    serve::Json solve = request("solve", session);
+    solve.set("id", q.fault);
+    serve::Json assume = serve::Json::array();
+    for (std::int64_t a : q.assume) assume.push_back(a);
+    solve.set("assume", std::move(assume));
+    lines.push_back(solve.dump());
+    lines.push_back(request("close", session).dump());
+  }
+  return lines;
+}
+
+// --- benchmark ------------------------------------------------------
+
+struct RunStats {
+  double total_sec = 0.0;
+  double queries_per_sec = 0.0;
+  std::vector<double> wall_ms;       ///< per solve response
+  std::map<std::string, std::string> verdicts;  ///< fault -> result
+  int sat = 0, unsat = 0, unknown = 0, errors = 0;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+/// Fires the request lines at an in-process server (all pipelined up
+/// front — the scheduler interleaves sessions), collects per-solve
+/// timings and verdicts.
+RunStats run_load(serve::Server& server,
+                  const std::vector<std::string>& lines) {
+  RunStats rs;
+  std::mutex mu;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const std::string& line : lines) {
+    server.submit(line, [&rs, &mu](std::string text) {
+      serve::Json resp;
+      try {
+        resp = serve::Json::parse(text);
+      } catch (const serve::JsonError&) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++rs.errors;
+        return;
+      }
+      const serve::Json* ok = resp.find("ok");
+      const serve::Json* result = resp.find("result");
+      std::lock_guard<std::mutex> lock(mu);
+      if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+        ++rs.errors;
+        return;
+      }
+      if (result == nullptr || !result->is_string()) return;  // non-solve
+      if (result->as_string() == "pong") return;
+      if (const serve::Json* wall = resp.find("wall_ms")) {
+        rs.wall_ms.push_back(wall->as_number());
+      }
+      const serve::Json* rid = resp.find("id");
+      if (rid != nullptr && rid->is_string()) {
+        rs.verdicts[rid->as_string()] = result->as_string();
+      }
+      if (result->as_string() == "sat") ++rs.sat;
+      else if (result->as_string() == "unsat") ++rs.unsat;
+      else ++rs.unknown;
+    });
+  }
+  server.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+  rs.total_sec = std::chrono::duration<double>(t1 - t0).count();
+  const std::size_t solves = rs.wall_ms.size();
+  rs.queries_per_sec =
+      rs.total_sec > 0.0 ? static_cast<double>(solves) / rs.total_sec : 0.0;
+  return rs;
+}
+
+serve::Json run_json(const RunStats& rs) {
+  serve::Json j = serve::Json::object();
+  j.set("total_sec", rs.total_sec);
+  j.set("queries_per_sec", rs.queries_per_sec);
+  j.set("p50_ms", percentile(rs.wall_ms, 0.50));
+  j.set("p95_ms", percentile(rs.wall_ms, 0.95));
+  j.set("p99_ms", percentile(rs.wall_ms, 0.99));
+  j.set("sat", rs.sat);
+  j.set("unsat", rs.unsat);
+  j.set("unknown", rs.unknown);
+  j.set("errors", rs.errors);
+  return j;
+}
+
+int run_bench(const std::string& circuit_name, int workers, int sessions,
+              const std::string& engine, std::int64_t conflicts,
+              const std::string& out_path, bool quiet) {
+  const AtpgLoad load = build_atpg_load(circuit_name);
+  if (load.queries.empty()) {
+    std::fprintf(stderr, "error: no testable faults in %s\n",
+                 circuit_name.c_str());
+    return 2;
+  }
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "c serve-bench: %s (%d nodes), %zu fault queries, "
+                 "%d workers, %d warm sessions\n",
+                 circuit_name.c_str(), load.nodes, load.queries.size(),
+                 workers, sessions);
+  }
+
+  // Warm: faults spread over a few long-lived sessions, epochs reused.
+  std::vector<std::string> warm_lines;
+  const std::size_t per =
+      (load.queries.size() + static_cast<std::size_t>(sessions) - 1) /
+      static_cast<std::size_t>(sessions);
+  for (int s = 0; s < sessions; ++s) {
+    const std::size_t begin = static_cast<std::size_t>(s) * per;
+    const std::size_t end = std::min(begin + per, load.queries.size());
+    if (begin >= end) break;
+    std::vector<std::string> part =
+        warm_trace(load, "warm-" + std::to_string(s), begin, end, engine,
+                   conflicts, /*dump_cnf=*/false);
+    warm_lines.insert(warm_lines.end(), part.begin(), part.end());
+  }
+
+  serve::ServerOptions sopts;
+  sopts.workers = workers;
+  RunStats warm, cold;
+  {
+    serve::Server server(sopts);
+    warm = run_load(server, warm_lines);
+  }
+  {
+    serve::Server server(sopts);
+    cold = run_load(server, cold_trace(load, engine, conflicts));
+  }
+
+  bool identical = warm.verdicts.size() == cold.verdicts.size();
+  if (identical) {
+    for (const auto& [fault, verdict] : warm.verdicts) {
+      auto it = cold.verdicts.find(fault);
+      if (it == cold.verdicts.end() || it->second != verdict) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  const double speedup = cold.queries_per_sec > 0.0
+                             ? warm.queries_per_sec / cold.queries_per_sec
+                             : 0.0;
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "c warm: %.1f q/s (p50 %.2f ms, p95 %.2f ms)  "
+                 "cold: %.1f q/s (p50 %.2f ms, p95 %.2f ms)\n",
+                 warm.queries_per_sec, percentile(warm.wall_ms, 0.5),
+                 percentile(warm.wall_ms, 0.95), cold.queries_per_sec,
+                 percentile(cold.wall_ms, 0.5),
+                 percentile(cold.wall_ms, 0.95));
+    std::fprintf(stderr, "c warm/cold speedup: %.2fx, answers %s\n", speedup,
+                 identical ? "identical" : "DIFFER");
+  }
+
+  serve::Json out = serve::Json::object();
+  out.set("benchmark", "serve_atpg");
+  out.set("circuit", circuit_name);
+  out.set("nodes", load.nodes);
+  out.set("fault_queries", static_cast<std::int64_t>(load.queries.size()));
+  out.set("workers", workers);
+  out.set("warm_sessions", sessions);
+  out.set("engine", engine.empty() ? "cdcl" : engine);
+  out.set("warm", run_json(warm));
+  out.set("cold", run_json(cold));
+  out.set("warm_cold_speedup", speedup);
+  out.set("answers_identical", identical);
+  std::ofstream f(out_path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  f << out.dump() << "\n";
+  if (!quiet) std::fprintf(stderr, "c wrote %s\n", out_path.c_str());
+  if (!identical || warm.errors > 0 || cold.errors > 0) return 1;
+  return 0;
+}
+
+// --- Unix socket transport ------------------------------------------
+
+/// std::streambuf over a connected socket fd, so the shared framing
+/// codec (serve/framing.hpp) drives real connections too.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+  }
+
+ protected:
+  int_type underflow() override {
+    const ssize_t n = ::read(fd_, in_, sizeof in_);
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(in_[0]);
+  }
+  int_type overflow(int_type c) override {
+    if (c != traits_type::eof()) {
+      const char byte = traits_type::to_char_type(c);
+      if (::write(fd_, &byte, 1) != 1) return traits_type::eof();
+    }
+    return c;
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    std::streamsize done = 0;
+    while (done < n) {
+      const ssize_t w = ::write(fd_, s + done, static_cast<size_t>(n - done));
+      if (w <= 0) return done;
+      done += w;
+    }
+    return done;
+  }
+
+ private:
+  int fd_;
+  char in_[4096];
+};
+
+void serve_connection(serve::Server& server, int fd) {
+  FdStreambuf buf(fd);
+  std::istream in(&buf);
+  std::ostream out(&buf);
+  std::mutex out_mu;
+  std::string payload;
+  while (!server.shutdown_requested()) {
+    const serve::FrameStatus st = serve::read_frame(in, payload);
+    if (st == serve::FrameStatus::kEof ||
+        st == serve::FrameStatus::kTruncated) {
+      break;
+    }
+    if (st == serve::FrameStatus::kOversized) {
+      // The stream can no longer be trusted to be in sync: answer
+      // once, then drop the connection.
+      const std::string resp =
+          serve::error_response(nullptr, serve::kErrFrame,
+                                "frame exceeds 64 MiB limit")
+              .dump();
+      std::lock_guard<std::mutex> lock(out_mu);
+      serve::write_frame(out, resp);
+      break;
+    }
+    server.submit(payload, [&out, &out_mu](std::string resp) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      serve::write_frame(out, resp);
+    });
+  }
+  server.drain();  // responses must not outlive the connection buffers
+  ::close(fd);
+}
+
+int run_socket(serve::Server& server, const std::string& path, bool quiet) {
+  ::signal(SIGPIPE, SIG_IGN);
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 2;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "error: socket path too long\n");
+    return 2;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::perror("bind/listen");
+    ::close(listen_fd);
+    return 2;
+  }
+  if (!quiet) std::fprintf(stderr, "c sateda-serve listening on %s\n",
+                           path.c_str());
+  std::vector<std::thread> connections;
+  while (!server.shutdown_requested()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 200);
+    if (r < 0) break;
+    if (r == 0) continue;  // timeout: re-check shutdown
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections.emplace_back(
+        [&server, fd] { serve_connection(server, fd); });
+  }
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  for (std::thread& t : connections) t.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::CommonCli common;
+  std::string socket_path;
+  std::string trace_path;
+  std::string bench_out = "BENCH_serve.json";
+  std::string circuit_name = "alu6";
+  int workers = 2;
+  int sessions = 4;
+  bool bench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (common.consume(argc, argv, i)) continue;
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(argv[0]);
+      return 0;
+    } else if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (arg == "--sessions" && i + 1 < argc) {
+      sessions = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--bench") {
+      bench = true;
+    } else if (arg == "--bench-out" && i + 1 < argc) {
+      bench_out = argv[++i];
+    } else if (arg == "--circuit" && i + 1 < argc) {
+      circuit_name = argv[++i];
+    } else if (arg == "--gen-atpg-trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "error: unknown option %s (--help for usage)\n",
+                   arg.c_str());
+      return tools::kExitError;
+    }
+  }
+
+  std::string engine_text;
+  if (common.engine_flag_seen) {
+    try {
+      engine_text = common.spec().to_string();
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return tools::kExitError;
+    }
+  }
+
+  if (!trace_path.empty()) {
+    try {
+      const AtpgLoad load = build_atpg_load(circuit_name);
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+        return 2;
+      }
+      for (const std::string& line :
+           warm_trace(load, "atpg", 0, load.queries.size(), engine_text,
+                      common.max_conflicts, /*dump_cnf=*/true)) {
+        out << line << "\n";
+      }
+      if (!common.quiet) {
+        std::fprintf(stderr, "c wrote %zu-query ATPG trace for %s to %s\n",
+                     load.queries.size(), circuit_name.c_str(),
+                     trace_path.c_str());
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (bench) {
+    try {
+      return run_bench(circuit_name, workers, sessions, engine_text,
+                       common.max_conflicts, bench_out, common.quiet);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  serve::ServerOptions sopts;
+  sopts.workers = workers;
+  try {
+    if (common.engine_flag_seen) sopts.default_engine = common.spec();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  common.apply(sopts.solver);
+  sopts.default_budget.conflicts = common.max_conflicts;
+  sopts.default_budget.time_ms = common.time_budget_ms;
+  serve::Server server(sopts);
+
+  if (!socket_path.empty()) {
+    return run_socket(server, socket_path, common.quiet);
+  }
+  server.run_jsonl(std::cin, std::cout);
+  if (common.stats) {
+    const serve::ServerStats s = server.stats();
+    std::fprintf(stderr,
+                 "c serve: %llu requests, %llu sessions, %llu queries, "
+                 "%llu errors\n",
+                 static_cast<unsigned long long>(s.requests),
+                 static_cast<unsigned long long>(s.sessions_opened),
+                 static_cast<unsigned long long>(s.queries),
+                 static_cast<unsigned long long>(s.errors));
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "cnf/dimacs.hpp"
+#include "common/cli.hpp"
 #include "sat/core/mus.hpp"
 #include "sat/engine.hpp"
 #include "sat/portfolio.hpp"
@@ -30,11 +31,7 @@ void print_help(const char* argv0) {
       "Reads a DIMACS CNF file (or stdin with `-`) and decides it.\n"
       "\n"
       "engine selection:\n"
-      "  --engine NAME        SAT backend: cdcl (default), dpll, wsat,\n"
-      "                       portfolio (parallel clause-sharing CDCL)\n"
-      "  --threads N          portfolio worker count (0 = one per core)\n"
-      "  --deterministic      portfolio: reproducible barrier-synchronized\n"
-      "                       rounds instead of free racing\n"
+      "%s"
       "\n"
       "search options (cdcl and portfolio):\n"
       "  --no-restarts        disable restarts\n"
@@ -43,9 +40,7 @@ void print_help(const char* argv0) {
       "  --proof FILE         write a DRAT refutation on UNSAT (cdcl or\n"
       "                       portfolio; composes with --preprocess)\n"
       "  --binary-proof       emit the proof in binary DRAT\n"
-      "  --max-conflicts N    give up after N conflicts (per worker)\n"
-      "  --timeout S          give up after S seconds of wall clock\n"
-      "                       (answer UNKNOWN, exit 0)\n"
+      "%s"
       "  --inprocess          simplify periodically during search\n"
       "                       (variable elimination, vivification,\n"
       "                       failed-literal probing; cdcl and portfolio)\n"
@@ -71,17 +66,15 @@ void print_help(const char* argv0) {
       "                       (repeatable; implies --preprocess).  Names:\n"
       "                       pure, equiv, subsume, selfsub, bve\n"
       "  --strict-dimacs      enforce header variable/clause declarations\n"
-      "  --stats              print a detailed counter breakdown after\n"
-      "                       solving (propagations/sec, binary\n"
-      "                       propagations, arena GC activity, ...)\n"
-      "  --quiet              suppress `c` comment lines\n"
+      "%s"
       "  --help               this message\n"
       "\n"
       "output: SAT-competition format (`s` verdict line; `v` literal\n"
       "lines on SATISFIABLE).  Exit code 10 = SAT, 20 = UNSAT,\n"
       "0 = UNKNOWN (the reason is reported on stderr), 2 = usage or\n"
       "input error.\n",
-      argv0);
+      argv0, sateda::tools::engine_help(), sateda::tools::budget_help(),
+      sateda::tools::report_help());
 }
 
 int usage(const char* argv0) {
@@ -99,27 +92,18 @@ int main(int argc, char** argv) {
   std::string core_path;
   std::vector<Lit> assumptions;
   bool minimize_core = false;
-  std::string engine_name = "cdcl";
-  int threads = 0;
-  bool deterministic = false;
   bool preprocess_first = false;
   std::vector<std::string> pre_passes;
-  bool quiet = false;
-  bool detailed_stats = false;
   DimacsOptions dimacs_opts;
   sat::DratFormat proof_format = sat::DratFormat::kText;
   sat::SolverOptions opts;
+  tools::CommonCli common;
   for (int i = 1; i < argc; ++i) {
+    if (common.consume(argc, argv, i)) continue;
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       print_help(argv[0]);
       return 0;
-    } else if (arg == "--engine" && i + 1 < argc) {
-      engine_name = argv[++i];
-    } else if (arg == "--threads" && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    } else if (arg == "--deterministic") {
-      deterministic = true;
     } else if (arg == "--preprocess") {
       preprocess_first = true;
     } else if (arg == "--pre-pass" && i + 1 < argc) {
@@ -133,13 +117,6 @@ int main(int argc, char** argv) {
       preprocess_first = true;
     } else if (arg == "--inprocess") {
       opts.inprocess.enabled = true;
-    } else if (arg == "--timeout" && i + 1 < argc) {
-      const double seconds = std::atof(argv[++i]);
-      if (seconds < 0) {
-        std::fprintf(stderr, "error: --timeout takes a nonnegative number\n");
-        return 2;
-      }
-      opts.time_budget_ms = static_cast<std::int64_t>(seconds * 1000.0);
     } else if (arg == "--strict-dimacs") {
       dimacs_opts.strict_header_bounds = true;
       dimacs_opts.strict_clause_count = true;
@@ -153,24 +130,12 @@ int main(int argc, char** argv) {
       proof_path = argv[++i];
     } else if (arg == "--binary-proof") {
       proof_format = sat::DratFormat::kBinary;
-    } else if (arg == "--max-conflicts" && i + 1 < argc) {
-      opts.conflict_budget = std::atoll(argv[++i]);
     } else if (arg == "--assume" && i + 1 < argc) {
-      long long code = std::atoll(argv[++i]);
-      if (code == 0) {
-        std::fprintf(stderr, "error: --assume takes a nonzero literal\n");
-        return 2;
-      }
-      Var v = static_cast<Var>((code < 0 ? -code : code) - 1);
-      assumptions.push_back(Lit(v, code < 0));
+      assumptions.push_back(tools::parse_dimacs_lit(argv[++i], "--assume"));
     } else if (arg == "--core-out" && i + 1 < argc) {
       core_path = argv[++i];
     } else if (arg == "--minimize-core") {
       minimize_core = true;
-    } else if (arg == "--stats") {
-      detailed_stats = true;
-    } else if (arg == "--quiet") {
-      quiet = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return usage(argv[0]);
     } else {
@@ -179,19 +144,20 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) return usage(argv[0]);
 
+  const bool quiet = common.quiet;
+  common.apply(opts);
   const bool want_proof = !proof_path.empty();
-  sat::EngineFactory factory;
+  sat::EngineSpec spec;
   try {
-    if (engine_name == "portfolio" && deterministic) {
-      factory = sat::portfolio_engine_factory(threads, /*deterministic=*/true);
-    } else {
-      factory = sat::engine_factory_by_name(engine_name, threads);
-    }
+    spec = common.spec();
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-  if (want_proof && engine_name != "cdcl" && engine_name != "portfolio") {
+  const bool is_portfolio =
+      spec.backend() == sat::EngineSpec::Backend::kPortfolio;
+  if (want_proof && spec.backend() != sat::EngineSpec::Backend::kCdcl &&
+      !is_portfolio) {
     std::fprintf(stderr, "error: --proof requires --engine cdcl or portfolio\n");
     return 2;
   }
@@ -218,7 +184,7 @@ int main(int argc, char** argv) {
   }
   if (!quiet) {
     std::printf("c sateda_solve: %d vars, %zu clauses, engine %s\n",
-                f.num_vars(), f.num_clauses(), engine_name.c_str());
+                f.num_vars(), f.num_clauses(), spec.to_string().c_str());
   }
 
   // Preprocessor derivations land in pre_proof; the solver's trace is
@@ -271,11 +237,10 @@ int main(int argc, char** argv) {
   }
 
   sat::Proof proof;
-  std::unique_ptr<sat::SatEngine> solver = sat::make_engine(factory, opts);
+  std::unique_ptr<sat::SatEngine> solver = sat::make_engine(spec, opts);
   sat::PortfolioSolver* portfolio =
-      engine_name == "portfolio"
-          ? static_cast<sat::PortfolioSolver*>(solver.get())
-          : nullptr;
+      is_portfolio ? static_cast<sat::PortfolioSolver*>(solver.get())
+                   : nullptr;
   if (want_proof) {
     if (portfolio != nullptr) {
       portfolio->enable_proof();
@@ -290,18 +255,9 @@ int main(int argc, char** argv) {
   sat::SolveResult r =
       ok ? solver->solve(assumptions) : sat::SolveResult::kUnsat;
   if (!quiet) std::printf("c %s\n", solver->stats().summary().c_str());
-  if (detailed_stats) {
+  if (common.stats) {
     // One counter per `c` line, SAT-competition friendly.
-    const std::string detail = solver->stats().detailed();
-    std::size_t start = 0;
-    while (start <= detail.size()) {
-      const std::size_t end = detail.find('\n', start);
-      const std::string line = detail.substr(
-          start, end == std::string::npos ? std::string::npos : end - start);
-      std::printf("c %s\n", line.c_str());
-      if (end == std::string::npos) break;
-      start = end + 1;
-    }
+    tools::print_comment_block(solver->stats().detailed());
   }
 
   switch (r) {
