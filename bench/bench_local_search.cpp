@@ -44,7 +44,7 @@ void run_cdcl(benchmark::State& state, const CnfFormula& f,
   std::int64_t conflicts = 0;
   for (auto _ : state) {
     sat::Solver s;
-    s.add_formula(f);
+    (void)s.add_formula(f);
     if (s.solve() != expect) state.SkipWithError("unexpected verdict");
     conflicts = s.stats().conflicts;
   }
@@ -102,7 +102,7 @@ void SatCircuit_WalkSat(benchmark::State& state) {
   CnfFormula f = circuit::encode_circuit(c);
   f.add_unit(pos(c.outputs()[0]));
   sat::Solver probe;
-  probe.add_formula(f);
+  (void)probe.add_formula(f);
   if (probe.solve() != sat::SolveResult::kSat) {
     state.SkipWithError("objective unexpectedly UNSAT");
     return;

@@ -20,7 +20,7 @@ void solve_raw(benchmark::State& state, const CnfFormula& f,
   std::int64_t conflicts = 0;
   for (auto _ : state) {
     sat::Solver s;
-    s.add_formula(f);
+    (void)s.add_formula(f);
     if (s.solve() != expect) state.SkipWithError("unexpected verdict");
     conflicts = s.stats().conflicts;
   }
@@ -47,7 +47,7 @@ void solve_preprocessed(benchmark::State& state, const CnfFormula& f,
     }
     out_clauses = pre.simplified.num_clauses();
     sat::Solver s;
-    s.add_formula(pre.simplified);
+    (void)s.add_formula(pre.simplified);
     sat::SolveResult r = s.solve();
     if (r != expect) state.SkipWithError("unexpected verdict");
     conflicts = s.stats().conflicts;

@@ -31,7 +31,7 @@ void solve_counting(benchmark::State& state, const CnfFormula& f) {
   std::int64_t conflicts = 0, decisions = 0;
   for (auto _ : state) {
     sat::Solver s;
-    s.add_formula(f);
+    (void)s.add_formula(f);
     sat::SolveResult r = s.solve();
     benchmark::DoNotOptimize(r);
     conflicts = s.stats().conflicts;

@@ -32,7 +32,7 @@ void run_variant(benchmark::State& state, const CnfFormula& f,
     std::int64_t total_conflicts = 0, total_restarts = 0;
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
       sat::Solver s(variant(restarts, random_freq, seed * 7919));
-      s.add_formula(f);
+      (void)s.add_formula(f);
       if (s.solve() != expect) state.SkipWithError("unexpected verdict");
       total_conflicts += s.stats().conflicts;
       total_restarts += s.stats().restarts;
@@ -100,7 +100,7 @@ void Sat_RestartBase(benchmark::State& state) {
       sat::SolverOptions so = o;
       so.seed = seed * 104729;
       sat::Solver s(so);
-      s.add_formula(f);
+      (void)s.add_formula(f);
       if (s.solve() != sat::SolveResult::kSat) {
         state.SkipWithError("unexpected verdict");
       }

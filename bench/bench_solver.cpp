@@ -30,7 +30,7 @@ void run_cdcl(benchmark::State& state, const CnfFormula& f,
   std::int64_t conflicts = 0, decisions = 0;
   for (auto _ : state) {
     sat::Solver s(opts);
-    s.add_formula(f);
+    (void)s.add_formula(f);
     sat::SolveResult r = s.solve();
     if (r != expect) state.SkipWithError("unexpected verdict");
     conflicts = s.stats().conflicts;
@@ -91,7 +91,7 @@ CnfFormula phase_transition_instance(int n, std::uint64_t seed) {
 void Random3Sat_CDCL(benchmark::State& state) {
   CnfFormula f = phase_transition_instance(static_cast<int>(state.range(0)), 42);
   sat::Solver probe;
-  probe.add_formula(f);
+  (void)probe.add_formula(f);
   sat::SolveResult expect = probe.solve();
   run_cdcl(state, f, configured(true, true), expect);
 }
@@ -100,7 +100,7 @@ BENCHMARK(Random3Sat_CDCL)->Arg(75)->Arg(125)->Arg(175)->Unit(benchmark::kMillis
 void Random3Sat_DPLL(benchmark::State& state) {
   CnfFormula f = phase_transition_instance(static_cast<int>(state.range(0)), 42);
   sat::Solver probe;
-  probe.add_formula(f);
+  (void)probe.add_formula(f);
   sat::SolveResult expect = probe.solve();
   run_dpll(state, f, expect);
 }

@@ -30,7 +30,7 @@ int main() {
   // 3. Objective: drive output z to 0 (Figure 1(b)).
   circuit::NodeId z = c.find("z");
   sat::Solver solver;
-  solver.add_formula(circuit::encode_objective(c, z, false));
+  (void)solver.add_formula(circuit::encode_objective(c, z, false));
   if (solver.solve() == sat::SolveResult::kSat) {
     std::printf("plain CNF solve: SAT, inputs =");
     for (circuit::NodeId i : c.inputs()) {

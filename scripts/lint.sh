@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Local mirror of the CI static-analysis gates (lint + thread-safety).
+#
+# Usage: scripts/lint.sh [--tidy-only|--tsa-only]
+#
+# Gates, in order:
+#   1. clang-tidy over the whole tree with the .clang-tidy config and
+#      the sateda plugin (tools/lint) loaded, via a fresh compile
+#      database, plus the plugin's fixture tests;
+#   2. a clang build with -Wthread-safety -Wthread-safety-beta -Werror
+#      checking the GUARDED_BY/REQUIRES/ACQUIRED_BEFORE contracts.
+#
+# Everything degrades gracefully: missing clang/clang-tidy/plugin
+# headers skip the corresponding gate with a notice (exit 0), matching
+# a GCC-only box; CI runs the same gates with the toolchain installed,
+# where a skip is impossible.  ccache is picked up when present.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tidy=1
+run_tsa=1
+case "${1:-}" in
+  --tidy-only) run_tsa=0 ;;
+  --tsa-only) run_tidy=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--tidy-only|--tsa-only]" >&2; exit 2 ;;
+esac
+
+launcher_args=()
+if command -v ccache >/dev/null 2>&1; then
+  launcher_args+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+status=0
+
+if [ "$run_tidy" = 1 ]; then
+  if ! command -v clang-tidy >/dev/null 2>&1 || ! command -v clang++ >/dev/null 2>&1; then
+    echo "lint.sh: clang-tidy/clang++ not found — skipping the tidy gate"
+  else
+    echo "== clang-tidy gate =="
+    cmake -S . -B build-lint \
+      -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      "${launcher_args[@]}"
+
+    plugin=""
+    if cmake --build build-lint --target SatedaTidyModule -j"$(nproc)" 2>/dev/null; then
+      plugin=$(find build-lint/tools/lint -name 'libSatedaTidyModule*' | head -n1 || true)
+    fi
+    if [ -n "$plugin" ]; then
+      echo "-- plugin: $plugin"
+      scripts/lint_fixtures.sh "$plugin" "$(command -v clang-tidy)" tools/lint/test || status=1
+      load_args=(-load "$PWD/$plugin")
+    else
+      echo "-- clang-tidy plugin headers unavailable; running built-in checks only"
+      load_args=()
+    fi
+
+    files=$(git ls-files 'src/**/*.cpp' 'tools/*.cpp' 'tests/**/*.cpp' 'tests/*.cpp')
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      # shellcheck disable=SC2086
+      run-clang-tidy -p build-lint -quiet "${load_args[@]}" $files || status=1
+    else
+      # shellcheck disable=SC2086
+      echo "$files" | xargs -n8 -P"$(nproc)" \
+        clang-tidy -p build-lint --quiet "${load_args[@]}" || status=1
+    fi
+  fi
+fi
+
+if [ "$run_tsa" = 1 ]; then
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "lint.sh: clang++ not found — skipping the thread-safety gate"
+  else
+    echo "== thread-safety gate =="
+    cmake -S . -B build-tsa \
+      -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      -DSATEDA_WERROR=ON \
+      -DSATEDA_THREAD_SAFETY=ON \
+      "${launcher_args[@]}"
+    cmake --build build-tsa -j"$(nproc)" || status=1
+  fi
+fi
+
+if [ "$status" != 0 ]; then
+  echo "lint.sh: FAILED"
+else
+  echo "lint.sh: clean"
+fi
+exit "$status"

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Fixture tests for the sateda clang-tidy plugin.
+#
+# Usage: lint_fixtures.sh <libSatedaTidyModule.so> <clang-tidy> <fixture-dir>
+#
+# Runs clang-tidy with the plugin loaded over every fixture in
+# <fixture-dir> and diffs the line numbers of emitted sateda-* warnings
+# against the `// WARN` markers in the fixture source.  A fixture fails
+# when a marked line produces no warning (false negative) or an
+# unmarked line produces one (false positive).
+set -u
+
+if [ "$#" -ne 3 ]; then
+  echo "usage: $0 <plugin.so> <clang-tidy> <fixture-dir>" >&2
+  exit 2
+fi
+
+plugin=$1
+clang_tidy=$2
+fixture_dir=$3
+
+if [ ! -f "$plugin" ]; then
+  echo "error: plugin not found: $plugin" >&2
+  exit 2
+fi
+
+run_tidy() {
+  # -w: fixture stubs are not warning-clean C++ by design; only the
+  # sateda checks are under test here.
+  "$clang_tidy" -load "$plugin" --checks='-*,sateda-*' "$1" -- -std=c++17 -w
+}
+
+fail=0
+ran=0
+for fixture in "$fixture_dir"/*.cpp; do
+  [ -e "$fixture" ] || continue
+  ran=$((ran + 1))
+  expected=$(grep -n '// WARN' "$fixture" | cut -d: -f1 | sort -n)
+  output=$(run_tidy "$fixture" 2>/dev/null)
+  actual=$(printf '%s\n' "$output" \
+    | grep -E 'warning: .*\[sateda-' \
+    | sed -E 's/^[^:]*:([0-9]+):.*/\1/' \
+    | sort -n)
+  if [ "$expected" = "$actual" ]; then
+    count=$(printf '%s\n' "$expected" | grep -c .)
+    echo "PASS $(basename "$fixture") ($count warnings)"
+  else
+    echo "FAIL $(basename "$fixture")"
+    echo "  expected warnings on lines: $(echo $expected)"
+    echo "  actual warnings on lines:   $(echo $actual)"
+    echo "  --- clang-tidy output ---"
+    printf '%s\n' "$output" | sed 's/^/  /'
+    fail=1
+  fi
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "error: no fixtures found in $fixture_dir" >&2
+  exit 2
+fi
+
+exit $fail

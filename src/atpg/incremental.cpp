@@ -1,5 +1,7 @@
 #include "atpg/incremental.hpp"
 
+#include <cassert>
+
 #include "atpg/fault_cnf.hpp"
 #include "circuit/encoder.hpp"
 
@@ -43,7 +45,9 @@ FaultStatus IncrementalAtpg::test_fault(const Fault& f,
   // fault-local variables from the branching order — without this, the
   // database and heuristic bloat of retired fault groups eats the
   // learnt-clause-reuse benefit.
-  session_.pop();
+  const int depth = session_.pop();
+  assert(depth >= 0 && "pop is matched by the push above");
+  (void)depth;
 
   switch (r.result) {
     case sat::SolveResult::kUnsat:

@@ -33,7 +33,9 @@ void CircuitSatSolver::ensure_encoded(const std::vector<NodeId>& roots) {
       if (!node_encoded_[fi]) stack.push_back(fi);
     }
   }
-  solver_.add_formula(f);
+  // Gate encodings alone cannot refute the root; if an earlier solve
+  // already did, the next solve() reports kUnsat regardless.
+  (void)solver_.add_formula(f);
 }
 
 CircuitSatResult CircuitSatSolver::solve(

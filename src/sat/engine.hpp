@@ -71,7 +71,7 @@ class SatEngine {
 
   /// Adds every clause of \p f.  Returns false on trivial root
   /// conflict (the engine stays usable; solve() reports kUnsat).
-  virtual bool add_formula(const CnfFormula& f);
+  [[nodiscard]] virtual bool add_formula(const CnfFormula& f);
 
   /// False once the clause set has been proven unsatisfiable at the
   /// root level.

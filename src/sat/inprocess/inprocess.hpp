@@ -42,13 +42,13 @@ class Inprocessor {
   /// false iff the clause set was refuted: the solver is marked dead
   /// (okay() == false) and the proof, if any, ends with the empty
   /// clause.
-  bool run();
+  [[nodiscard]] bool run();
 
  private:
-  bool settle();  ///< propagate to fixpoint; false on root conflict
-  bool probe_failed_literals();
-  bool vivify_learnts();
-  bool eliminate_variables();
+  [[nodiscard]] bool settle();  ///< propagate to fixpoint; false on root conflict
+  [[nodiscard]] bool probe_failed_literals();
+  [[nodiscard]] bool vivify_learnts();
+  [[nodiscard]] bool eliminate_variables();
 
   Solver& s_;
 };

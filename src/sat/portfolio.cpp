@@ -14,7 +14,7 @@ SharedClausePool::SharedClausePool(int num_workers, std::size_t capacity)
       cursors_(static_cast<std::size_t>(num_workers), 0) {}
 
 void SharedClausePool::publish(int worker, const std::vector<Lit>& lits) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry& e = ring_[next_seq_ % ring_.size()];
   e.worker = worker;
   e.lits = lits;
@@ -23,7 +23,7 @@ void SharedClausePool::publish(int worker, const std::vector<Lit>& lits) {
 
 void SharedClausePool::collect(int worker,
                                std::vector<std::vector<Lit>>& out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::uint64_t from = cursors_[static_cast<std::size_t>(worker)];
   // Entries older than one ring length have been overwritten.
   const std::uint64_t base =
@@ -37,7 +37,7 @@ void SharedClausePool::collect(int worker,
 }
 
 std::int64_t SharedClausePool::published() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<std::int64_t>(next_seq_);
 }
 

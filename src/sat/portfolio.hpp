@@ -25,12 +25,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "sat/engine.hpp"
 #include "sat/options.hpp"
 #include "sat/solver.hpp"
+#include "support/mutex.hpp"
 
 namespace sateda::sat {
 
@@ -54,14 +54,14 @@ class SharedClausePool {
   SharedClausePool(int num_workers, std::size_t capacity);
 
   /// Publishes \p lits on behalf of \p worker.  Thread-safe.
-  void publish(int worker, const std::vector<Lit>& lits);
+  void publish(int worker, const std::vector<Lit>& lits) EXCLUDES(mu_);
 
   /// Appends every clause published since \p worker's last collect
   /// (excluding its own) to \p out and advances the cursor.
-  void collect(int worker, std::vector<std::vector<Lit>>& out);
+  void collect(int worker, std::vector<std::vector<Lit>>& out) EXCLUDES(mu_);
 
   /// Total clauses ever published.
-  std::int64_t published() const;
+  std::int64_t published() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -69,10 +69,13 @@ class SharedClausePool {
     std::vector<Lit> lits;
   };
 
-  mutable std::mutex mu_;
-  std::vector<Entry> ring_;        ///< slot i holds sequence (base_ + i)
-  std::uint64_t next_seq_ = 0;     ///< sequence of the next publish
-  std::vector<std::uint64_t> cursors_;  ///< per worker
+  /// Leaf lock of the solving path: taken by workers mid-search (from
+  /// the clause export/import hooks) with no other lock held — the
+  /// serve scheduler's locks are always released before a query runs.
+  mutable Mutex mu_;
+  std::vector<Entry> ring_ GUARDED_BY(mu_);  ///< slot i: sequence base_+i
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;  ///< next publish sequence
+  std::vector<std::uint64_t> cursors_ GUARDED_BY(mu_);  ///< per worker
 };
 
 /// A SatEngine running N diversified CDCL workers in parallel.

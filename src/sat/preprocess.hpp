@@ -109,7 +109,7 @@ class PreprocessResult {
   /// finally every substitution chain is folded onto its root — so a
   /// chain ending at a BVE pivot or an unconstrained root stays
   /// consistent across the whole equivalence class.
-  std::vector<lbool> reconstruct_model(
+  [[nodiscard]] std::vector<lbool> reconstruct_model(
       const std::vector<lbool>& simplified_model) const;
 
   // Internal reconstruction data (public for tests).
@@ -119,6 +119,7 @@ class PreprocessResult {
 };
 
 /// Runs preprocessing on \p f.
-PreprocessResult preprocess(const CnfFormula& f, PreprocessOptions opts = {});
+[[nodiscard]] PreprocessResult preprocess(const CnfFormula& f,
+                                          PreprocessOptions opts = {});
 
 }  // namespace sateda::sat

@@ -85,10 +85,10 @@ class SolverSession {
   /// retired by the matching pop() otherwise.  Returns false iff the
   /// engine detected trivial root unsatisfiability.
   [[nodiscard]] bool add_clause(std::vector<Lit> lits);
-  bool add_formula(const CnfFormula& f);
+  [[nodiscard]] bool add_formula(const CnfFormula& f);
 
   /// False once the *root* clause set is unsatisfiable.
-  bool okay() const;
+  [[nodiscard]] bool okay() const;
 
   // --- clause epochs ------------------------------------------------
 
@@ -101,7 +101,7 @@ class SolverSession {
 
   /// Retires every clause added since the matching push() and reclaims
   /// their storage.  Returns the new depth, or -1 at depth 0.
-  int pop();
+  [[nodiscard]] int pop();
 
   int depth() const { return static_cast<int>(epochs_.size()); }
 
@@ -116,8 +116,8 @@ class SolverSession {
   /// epoch.  Budgets: a non-negative field of \p budget wins, else the
   /// session default.  The returned core contains user assumptions
   /// only (selector literals are filtered out).
-  QueryResult query(const std::vector<Lit>& assumptions,
-                    const QueryBudget& budget = {});
+  [[nodiscard]] QueryResult query(const std::vector<Lit>& assumptions,
+                                  const QueryBudget& budget = {});
 
   /// Interrupts the in-flight query (thread-safe); it returns kUnknown
   /// with reason kInterrupted.  The next query is unaffected.
@@ -133,7 +133,7 @@ class SolverSession {
   /// the clauses of every open epoch, unguarded, over user variables.
   /// Re-solving this under the same assumptions reproduces the
   /// verdict, which is how serve answers are certified.
-  CnfFormula active_formula() const;
+  [[nodiscard]] CnfFormula active_formula() const;
 
   /// Engine counters accumulated over the whole session.
   SolverStats cumulative_stats() const { return engine_->stats(); }

@@ -72,7 +72,7 @@ class Solver : public SatEngine {
   using SatEngine::add_clause;
 
   /// Adds every clause of \p f.
-  bool add_formula(const CnfFormula& f) override;
+  [[nodiscard]] bool add_formula(const CnfFormula& f) override;
 
   /// False once the clause set has been proven unsatisfiable at the
   /// root level; subsequent solve() calls return kUnsat immediately.
@@ -144,7 +144,7 @@ class Solver : public SatEngine {
   /// (in the portfolio the exporter's trace already derived it; the
   /// stitched proof orders that derivation first), but a root conflict
   /// it causes ends the attached trace with the empty clause.
-  bool add_learnt_clause(std::vector<Lit> lits);
+  [[nodiscard]] bool add_learnt_clause(std::vector<Lit> lits);
 
   // --- current (in-search / root-level) state -----------------------
 

@@ -32,10 +32,10 @@ enum class FrameStatus {
 /// consumed from the stream's payload — the connection can no longer
 /// be trusted to be in sync and should be closed after the error
 /// response.
-FrameStatus read_frame(std::istream& in, std::string& payload);
+[[nodiscard]] FrameStatus read_frame(std::istream& in, std::string& payload);
 
 /// Writes one frame.  Payloads above kMaxFrameBytes are refused
 /// (returns false, writes nothing).
-bool write_frame(std::ostream& out, const std::string& payload);
+[[nodiscard]] bool write_frame(std::ostream& out, const std::string& payload);
 
 }  // namespace sateda::serve

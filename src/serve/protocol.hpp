@@ -60,15 +60,15 @@ inline constexpr const char* kErrSessionExists = "session-exists";
 inline constexpr const char* kErrFrame = "frame-error";
 
 /// Builds {"id":id?, "ok":false, "error":code, "message":message}.
-Json error_response(const Json* id, const char* code,
-                    const std::string& message);
+[[nodiscard]] Json error_response(const Json* id, const char* code,
+                                  const std::string& message);
 
 /// Builds {"id":id?, "ok":true} ready for op-specific fields.
-Json ok_response(const Json* id);
+[[nodiscard]] Json ok_response(const Json* id);
 
 /// Converts a JSON array of DIMACS integers to internal literals.
 /// Throws JsonError on non-integers or zeros.
-std::vector<Lit> parse_dimacs_lits(const Json& arr);
+[[nodiscard]] std::vector<Lit> parse_dimacs_lits(const Json& arr);
 
 /// Internal literal -> DIMACS integer.
 inline std::int64_t to_dimacs(Lit l) {
@@ -77,13 +77,14 @@ inline std::int64_t to_dimacs(Lit l) {
 }
 
 /// The per-query counters exposed by solve/stats responses.
-Json stats_json(const sat::SolverStats& s);
+[[nodiscard]] Json stats_json(const sat::SolverStats& s);
 
 /// Executes one already-parsed session-scoped request (add, load,
 /// push, pop, solve, stats) against \p session and returns the
 /// response.  Does NOT handle open/close/cancel — those touch the
 /// session registry and are the server's job.  \p id may be null.
-Json handle_session_request(sat::SolverSession& session, const std::string& op,
-                            const Json& request, const Json* id);
+[[nodiscard]] Json handle_session_request(sat::SolverSession& session,
+                                          const std::string& op,
+                                          const Json& request, const Json* id);
 
 }  // namespace sateda::serve

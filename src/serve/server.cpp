@@ -30,7 +30,7 @@ Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
 
 Server::~Server() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
   ready_cv_.notify_all();
@@ -38,9 +38,9 @@ Server::~Server() {
 }
 
 void Server::finish(Respond& respond, const Json& response) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (is_error(response)) ++stats_.errors;
+  if (is_error(response)) {
+    MutexLock lock(&stats_mu_);
+    ++stats_.errors;
   }
   respond(response.dump());
 }
@@ -82,12 +82,13 @@ void Server::handle_open(const Json& request, const Json* id,
   auto session = std::make_unique<sat::SolverSession>(std::move(sopts));
   bool inserted = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto [it, fresh] = sessions_.try_emplace(name->as_string());
     if (fresh) {
       it->second.session = std::move(session);
-      ++stats_.sessions_opened;
       inserted = true;
+      MutexLock stats_lock(&stats_mu_);  // hierarchy: mu_ before stats_mu_
+      ++stats_.sessions_opened;
     }
   }
   if (!inserted) {
@@ -103,7 +104,7 @@ void Server::handle_open(const Json& request, const Json* id,
 
 void Server::submit(std::string line, Respond respond) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&stats_mu_);
     ++stats_.requests;
   }
   Json request;
@@ -135,7 +136,7 @@ void Server::submit(std::string line, Respond respond) {
   }
   if (op == "shutdown") {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       shutdown_ = true;
     }
     idle_cv_.notify_all();
@@ -157,7 +158,7 @@ void Server::submit(std::string line, Respond respond) {
   if (op == "cancel") {
     bool cancelled = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = sessions_.find(name->as_string());
       if (it != sessions_.end() && !it->second.closing) {
         // interrupt() is an atomic flag set — safe against the worker
@@ -184,12 +185,9 @@ void Server::submit(std::string line, Respond respond) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = sessions_.find(name->as_string());
-    if (it == sessions_.end() || it->second.closing) {
-      ++stats_.errors;
-      // Respond outside the lock.
-    } else {
+    if (it != sessions_.end() && !it->second.closing) {
       Session& s = it->second;
       s.queue.push_back(Pending{std::move(request), op, std::move(respond)});
       ++inflight_;
@@ -200,27 +198,29 @@ void Server::submit(std::string line, Respond respond) {
       return;
     }
   }
-  respond(error_response(id, kErrUnknownSession,
-                         "no session '" + name->as_string() + "'")
-              .dump());
+  // Unknown/closing session: count and respond outside the lock.
+  finish(respond, error_response(id, kErrUnknownSession,
+                                 "no session '" + name->as_string() + "'"));
 }
 
 void Server::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (true) {
-    ready_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    // Explicit predicate loop: the analysis sees mu_ held across the
+    // guarded reads, which the predicate-lambda overload would hide.
+    while (!stopping_ && ready_.empty()) ready_cv_.wait(mu_);
     if (stopping_) return;
     const std::string name = std::move(ready_.front());
     ready_.pop_front();
-    // run_session expects the lock held and returns with it held.
-    lock.unlock();
+    // run_session takes the lock itself.
+    lock.Unlock();
     run_session(name);
-    lock.lock();
+    lock.Lock();
   }
 }
 
 void Server::run_session(const std::string& name) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sessions_.find(name);
   if (it == sessions_.end()) return;
   Session& s = it->second;
@@ -232,19 +232,25 @@ void Server::run_session(const std::string& name) {
     if (s.closing) {
       // Requests queued behind a close: the session is gone for them.
       --inflight_;
-      ++stats_.errors;
-      lock.unlock();
+      {
+        MutexLock stats_lock(&stats_mu_);
+        ++stats_.errors;
+      }
+      lock.Unlock();
       p.respond(error_response(p.request.find("id"), kErrUnknownSession,
                                "session '" + name + "' is closed")
                     .dump());
-      lock.lock();
+      lock.Lock();
       idle_cv_.notify_all();
       continue;
     }
     if (p.op == "close") s.closing = true;
     sat::SolverSession* session = s.session.get();
-    lock.unlock();
+    lock.Unlock();
 
+    // Query execution and the response callback run with no server
+    // lock held: the engine takes its own (clause-pool) locks and the
+    // callback takes the transport's output lock.
     Json resp;
     const Json* id = p.request.find("id");
     if (p.op == "close") {
@@ -254,10 +260,13 @@ void Server::run_session(const std::string& name) {
     }
     p.respond(resp.dump());
 
-    lock.lock();
+    lock.Lock();
     --inflight_;
-    if (is_error(resp)) ++stats_.errors;
-    if (p.op == "solve") ++stats_.queries;
+    {
+      MutexLock stats_lock(&stats_mu_);
+      if (is_error(resp)) ++stats_.errors;
+      if (p.op == "solve") ++stats_.queries;
+    }
     idle_cv_.notify_all();
   }
   s.running = false;
@@ -265,22 +274,22 @@ void Server::run_session(const std::string& name) {
 }
 
 void Server::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+  MutexLock lock(&mu_);
+  while (inflight_ != 0) idle_cv_.wait(mu_);
 }
 
 bool Server::shutdown_requested() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return shutdown_;
 }
 
 void Server::run_jsonl(std::istream& in, std::ostream& out) {
-  std::mutex out_mu;
+  Mutex out_mu;
   std::string line;
   while (!shutdown_requested() && std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     submit(line, [&out, &out_mu](std::string resp) {
-      std::lock_guard<std::mutex> lock(out_mu);
+      MutexLock lock(&out_mu);
       out << resp << '\n';
       out.flush();
     });
@@ -289,7 +298,7 @@ void Server::run_jsonl(std::istream& in, std::ostream& out) {
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&stats_mu_);
   return stats_;
 }
 

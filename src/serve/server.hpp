@@ -17,14 +17,12 @@
 /// framing.hpp).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <istream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -32,6 +30,7 @@
 
 #include "sat/session.hpp"
 #include "serve/json.hpp"
+#include "support/mutex.hpp"
 
 namespace sateda::serve {
 
@@ -62,20 +61,20 @@ class Server {
   /// open/close bookkeeping errors, malformed requests) or on a worker
   /// thread for queued session work.  Callbacks attached to one
   /// session fire in submission order.
-  void submit(std::string line, Respond respond);
+  void submit(std::string line, Respond respond) EXCLUDES(mu_);
 
   /// Blocks until every queued request has been answered.
-  void drain();
+  void drain() EXCLUDES(mu_);
 
   /// True once a shutdown request was accepted (drain() then returns
   /// after the in-flight work finishes).
-  bool shutdown_requested() const;
+  bool shutdown_requested() const EXCLUDES(mu_);
 
   /// Serves JSONL over a stream pair until EOF or shutdown.  Responses
   /// are interleaved as they complete; each is one line.
   void run_jsonl(std::istream& in, std::ostream& out);
 
-  ServerStats stats() const;
+  ServerStats stats() const EXCLUDES(stats_mu_);
   int workers() const { return static_cast<int>(threads_.size()); }
 
  private:
@@ -91,23 +90,37 @@ class Server {
     bool closing = false;   ///< close accepted; drop when queue drains
   };
 
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
   /// Executes front requests of \p name until its queue empties.
-  void run_session(const std::string& name);
-  void handle_open(const Json& request, const Json* id, Respond& respond);
-  void finish(Respond& respond, const Json& response);
+  /// Takes mu_ itself and releases it around every session execution
+  /// and response callback (callbacks must never run under the lock).
+  void run_session(const std::string& name) EXCLUDES(mu_);
+  void handle_open(const Json& request, const Json* id, Respond& respond)
+      EXCLUDES(mu_, stats_mu_);
+  /// Counts \p response against the error stats and delivers it.  Must
+  /// be lock-free on entry: the respond callback runs here.
+  void finish(Respond& respond, const Json& response)
+      EXCLUDES(mu_, stats_mu_);
 
   ServerOptions opts_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_cv_;   ///< wakes workers
-  std::condition_variable idle_cv_;    ///< wakes drain()
-  std::map<std::string, Session> sessions_;
-  std::deque<std::string> ready_;      ///< sessions with runnable work
-  std::vector<std::thread> threads_;
-  std::uint64_t inflight_ = 0;         ///< queued + running requests
-  bool shutdown_ = false;
-  bool stopping_ = false;              ///< destructor: workers must exit
-  ServerStats stats_;
+  /// Scheduler lock: guards the session registry, per-session queues
+  /// and worker/drain wakeups.  Lock hierarchy: mu_ may wrap the leaf
+  /// stats_mu_; it is never held while a query executes on an engine
+  /// or while a Respond callback runs (the engine/transport layers
+  /// take their own locks, which would invert the order).
+  mutable Mutex mu_ ACQUIRED_BEFORE(stats_mu_);
+  /// Leaf lock for the monotone counters: taken alone on the submit
+  /// path, nested inside mu_ on the worker path.
+  mutable Mutex stats_mu_;
+  CondVar ready_cv_;                   ///< wakes workers
+  CondVar idle_cv_;                    ///< wakes drain()
+  std::map<std::string, Session> sessions_ GUARDED_BY(mu_);
+  std::deque<std::string> ready_ GUARDED_BY(mu_);  ///< runnable sessions
+  std::vector<std::thread> threads_;   ///< fixed after construction
+  std::uint64_t inflight_ GUARDED_BY(mu_) = 0;  ///< queued + running
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  bool stopping_ GUARDED_BY(mu_) = false;  ///< dtor: workers must exit
+  ServerStats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace sateda::serve

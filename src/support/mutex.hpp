@@ -1,0 +1,120 @@
+/// \file mutex.hpp
+/// \brief Annotated mutex / RAII-lock / condition-variable wrappers for
+///        Clang thread-safety analysis.
+///
+/// `std::mutex` carries no capability attribute, so code using it is
+/// invisible to `-Wthread-safety`.  These thin wrappers restore the
+/// standard semantics (they compile to the std primitives) while
+/// giving the analysis something to reason about:
+///
+///   class ClausePool {
+///     mutable Mutex mu_;
+///     std::vector<Entry> ring_ GUARDED_BY(mu_);
+///    public:
+///     void publish(Entry e) EXCLUDES(mu_) {
+///       MutexLock lock(&mu_);
+///       ring_.push_back(std::move(e));
+///     }
+///   };
+///
+/// Condition waits use explicit while-loops instead of the predicate
+/// overload on purpose: the predicate lambda is analyzed as a separate
+/// function that the checker cannot see is only ever invoked with the
+/// mutex held, so
+///
+///   while (!ready_) cv_.wait(mu_);          // analysis-clean
+///
+/// is the idiom, not `cv_.wait(lock, [&]{ return ready_; })`.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace sateda {
+
+/// A std::mutex annotated as a Clang capability.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (the std::lock_guard/std::unique_lock
+/// replacement the analysis understands).  Supports temporary release
+/// via Unlock()/Lock() — the scoped-capability analysis tracks both —
+/// which is what the serve scheduler uses to drop the registry lock
+/// around session execution.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_->unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily releases the mutex (e.g. to run a callback that must
+  /// not execute under the lock).
+  void Unlock() RELEASE() {
+    mu_->unlock();
+    held_ = false;
+  }
+
+  /// Re-acquires after Unlock().
+  void Lock() ACQUIRE() {
+    mu_->lock();
+    held_ = true;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+  bool held_ = true;
+};
+
+/// Condition variable over the annotated Mutex.
+///
+/// wait() must be called with the mutex held (enforced by REQUIRES);
+/// it releases the mutex while blocked and re-acquires it before
+/// returning, exactly like std::condition_variable — the wrapper body
+/// opts out of the analysis because the checker cannot model that
+/// release/re-acquire cycle.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified.  Caller must hold \p mu (and re-checks its
+  /// predicate in a while-loop: spurious wakeups happen).
+  void wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();
+  }
+
+  /// Convenience overload: waits on the mutex managed by \p lock.
+  void wait(MutexLock& lock) NO_THREAD_SAFETY_ANALYSIS {
+    wait(*lock.mu_);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sateda

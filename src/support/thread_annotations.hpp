@@ -1,0 +1,105 @@
+/// \file thread_annotations.hpp
+/// \brief Clang thread-safety-analysis capability macros.
+///
+/// These macros let the code state its lock discipline — which mutex
+/// guards which field, which functions must (or must not) be entered
+/// with a lock held, and in which order independent locks may nest —
+/// so that `clang -Wthread-safety` can prove the discipline at compile
+/// time.  The CI `thread-safety` job builds the whole tree with
+/// `-Wthread-safety -Wthread-safety-beta -Werror`; under GCC (or any
+/// compiler without the attributes) every macro expands to nothing, so
+/// the annotations cost nothing outside analysis builds.
+///
+/// The macro set and spelling follow the Clang documentation
+/// ("Thread Safety Analysis") and the Abseil/LLVM convention, so the
+/// names read the same here as in the literature:
+///
+///   class CAPABILITY("mutex") Mutex { ... };
+///   Mutex mu_;
+///   int balance_ GUARDED_BY(mu_);
+///   void deposit(int n) REQUIRES(mu_);
+///   void audit() EXCLUDES(mu_);
+///
+/// Use the annotated wrappers in support/mutex.hpp instead of the raw
+/// std primitives — `std::mutex` itself carries no capability
+/// attribute, so the analysis cannot see through it.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SATEDA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SATEDA_THREAD_ANNOTATION
+#define SATEDA_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a capability (lockable).  The string names the
+/// capability kind in diagnostics ("mutex", "role", ...).
+#define CAPABILITY(x) SATEDA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY SATEDA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that the field it annotates is protected by the given
+/// capability: reads require the capability held shared or exclusive,
+/// writes require it exclusive.
+#define GUARDED_BY(x) SATEDA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Like GUARDED_BY, for the data *pointed to* by a pointer field.
+#define PT_GUARDED_BY(x) SATEDA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declaration: this capability must be acquired before
+/// the listed ones (checked under -Wthread-safety-beta; documentation
+/// either way).
+#define ACQUIRED_BEFORE(...) SATEDA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Lock-ordering declaration: this capability must be acquired after
+/// the listed ones.
+#define ACQUIRED_AFTER(...) SATEDA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The annotated function must be called with the listed capabilities
+/// held (and does not release them).
+#define REQUIRES(...) \
+  SATEDA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  SATEDA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability and holds it on
+/// return (a lock function).  With no argument on a member of a
+/// SCOPED_CAPABILITY type it refers to the managed capability.
+#define ACQUIRE(...) \
+  SATEDA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SATEDA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The annotated function releases the capability (an unlock function).
+#define RELEASE(...) \
+  SATEDA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SATEDA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability iff it returns the
+/// given value (try_lock).
+#define TRY_ACQUIRE(...) \
+  SATEDA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The annotated function must NOT be called with the listed
+/// capabilities held (it acquires them itself, or would deadlock).
+#define EXCLUDES(...) SATEDA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (informs the static
+/// analysis without acquiring anything).
+#define ASSERT_CAPABILITY(x) \
+  SATEDA_THREAD_ANNOTATION(assert_capability(x))
+
+/// The annotated function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) SATEDA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis (use sparingly, with a comment
+/// saying why — typically wrappers whose locking the analysis cannot
+/// model, such as condition-variable waits).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SATEDA_THREAD_ANNOTATION(no_thread_safety_analysis)

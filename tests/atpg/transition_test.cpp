@@ -42,6 +42,9 @@ TEST(TransitionTest, GeneratedTestsAreValidOnC17) {
   EXPECT_EQ(r.untestable, 0) << "all c17 transitions are testable";
   for (std::size_t i = 0; i < r.faults.size(); ++i) {
     ASSERT_TRUE(r.tests[i].has_value()) << to_string(r.faults[i]);
+    // Guarded above; the dataflow model sees neither ASSERT_TRUE nor
+    // container elements.
+    // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
     verify_test(c, r.faults[i], *r.tests[i]);
   }
 }
@@ -52,6 +55,9 @@ TEST(TransitionTest, GeneratedTestsAreValidOnAdder) {
   EXPECT_GT(r.testable, 0);
   for (std::size_t i = 0; i < r.faults.size(); ++i) {
     if (!r.tests[i].has_value()) continue;
+    // Guarded above; the dataflow model sees neither ASSERT_TRUE nor
+    // container elements.
+    // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
     verify_test(c, r.faults[i], *r.tests[i]);
   }
 }
@@ -91,6 +97,9 @@ TEST_P(TransitionPropertyTest, AllGeneratedTestsVerify) {
   TransitionAtpgResult r = run_transition_atpg(c);
   for (std::size_t i = 0; i < r.faults.size(); ++i) {
     if (!r.tests[i].has_value()) continue;
+    // Guarded above; the dataflow model sees neither ASSERT_TRUE nor
+    // container elements.
+    // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
     verify_test(c, r.faults[i], *r.tests[i]);
   }
 }

@@ -13,7 +13,7 @@ namespace {
 bool miter_differs(const Circuit& a, const Circuit& b) {
   Circuit m = build_miter(a, b);
   sat::Solver s;
-  s.add_formula(encode_objective(m, m.outputs()[0], true));
+  (void)s.add_formula(encode_objective(m, m.outputs()[0], true));
   return s.solve() == sat::SolveResult::kSat;
 }
 

@@ -17,7 +17,7 @@ using circuit::NodeId;
 /// no structural layer.
 bool attainable_plain(const Circuit& c, NodeId node, bool value) {
   sat::Solver s;
-  s.add_formula(circuit::encode_objective(c, node, value));
+  (void)s.add_formula(circuit::encode_objective(c, node, value));
   return s.solve() == sat::SolveResult::kSat;
 }
 

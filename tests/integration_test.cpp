@@ -53,7 +53,7 @@ TEST(IntegrationTest, CheckedEquivalenceProof) {
   sat::Proof proof;
   sat::Solver solver;
   solver.set_proof_logger(&proof);
-  solver.add_formula(f);
+  (void)solver.add_formula(f);
   ASSERT_EQ(solver.solve(), sat::SolveResult::kUnsat);
   sat::ProofCheckResult check = sat::check_rup_proof(f, proof);
   EXPECT_TRUE(check.valid) << check.message;
@@ -69,7 +69,7 @@ TEST(IntegrationTest, PreprocessedCircuitObjective) {
   sat::PreprocessResult pre = sat::preprocess(f);
   ASSERT_FALSE(pre.unsat);
   sat::Solver solver;
-  solver.add_formula(pre.simplified);
+  (void)solver.add_formula(pre.simplified);
   solver.ensure_var(f.num_vars() - 1);
   ASSERT_EQ(solver.solve(), sat::SolveResult::kSat);
   std::vector<lbool> model = pre.reconstruct_model(solver.model());

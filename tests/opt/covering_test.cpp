@@ -26,7 +26,7 @@ TEST(CardinalityTest, AtMostKCountsExactly) {
       std::uint64_t got = 0;
       for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
         sat::Solver s;
-        s.add_formula(f);
+        (void)s.add_formula(f);
         std::vector<Lit> assumptions;
         for (Var v = 0; v < n; ++v) {
           assumptions.push_back(Lit(v, !((bits >> v) & 1)));
@@ -49,7 +49,7 @@ TEST(CardinalityTest, AtLeastKCountsExactly) {
     for (std::uint64_t bits = 0; bits < 32; ++bits) {
       if (static_cast<int>(__builtin_popcountll(bits)) >= k) ++expected;
       sat::Solver s;
-      s.add_formula(f);
+      (void)s.add_formula(f);
       std::vector<Lit> assumptions;
       for (Var v = 0; v < n; ++v) {
         assumptions.push_back(Lit(v, !((bits >> v) & 1)));

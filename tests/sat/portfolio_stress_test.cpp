@@ -1,0 +1,146 @@
+/// \file portfolio_stress_test.cpp
+/// \brief Portfolio stress coverage for the TSan CI job: deterministic
+///        mode reproducibility over a whole incremental *sequence* of
+///        queries (not just one solve), and an interrupt hammer where
+///        several threads cancel a racing-mode solve concurrently.
+///
+/// These tests exist to give the sanitizer scheduling diversity: many
+/// short solves, cancellations landing at arbitrary points of the
+/// search, and clause exchange under contention.  Assertions are
+/// deliberately about *contracts* (same verdict, usable after cancel,
+/// bit-identical deterministic replay) rather than timing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cnf/generators.hpp"
+#include "sat/portfolio.hpp"
+#include "sat/solver.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace sateda;
+namespace testing = ::testing;
+using sat::PortfolioOptions;
+using sat::PortfolioSolver;
+using sat::SolveResult;
+using sat::UnknownReason;
+
+/// One deterministic incremental run: a fixed script of queries under
+/// varying assumptions, folded into a replayable fingerprint.
+std::string run_deterministic_script(std::uint64_t seed) {
+  PortfolioOptions popts;
+  popts.num_workers = 4;
+  popts.deterministic = true;
+  popts.round_conflicts = 128;  // several exchange rounds per query
+  PortfolioSolver p(sat::SolverOptions{}, popts);
+
+  CnfFormula f = random_3sat(48, 4.1, seed);
+  if (!p.add_formula(f)) return "root-unsat";
+
+  std::string fingerprint;
+  for (Var v = 0; v < 6; ++v) {
+    for (bool sign : {false, true}) {
+      const SolveResult r = p.solve({Lit(v, sign)});
+      fingerprint += r == SolveResult::kSat     ? 's'
+                     : r == SolveResult::kUnsat ? 'u'
+                                                : '?';
+      fingerprint += std::to_string(p.winner());
+      if (r == SolveResult::kSat) {
+        for (Var m = 0; m < f.num_vars(); ++m) {
+          fingerprint += p.model_value(m).is_true() ? '1' : '0';
+        }
+      } else if (r == SolveResult::kUnsat) {
+        fingerprint += std::to_string(p.conflict_core().size());
+      }
+    }
+  }
+  const sat::SolverStats st = p.stats();
+  fingerprint += '|';
+  fingerprint += std::to_string(st.conflicts) + ',' +
+                 std::to_string(st.decisions) + ',' +
+                 std::to_string(st.propagations);
+  return fingerprint;
+}
+
+TEST(PortfolioStressTest, DeterministicIncrementalSequenceReplaysBitIdentically) {
+  for (std::uint64_t seed : {7ull, 19ull, 23ull}) {
+    const std::string first = run_deterministic_script(seed);
+    const std::string second = run_deterministic_script(seed);
+    EXPECT_EQ(first, second) << "seed " << seed;
+  }
+}
+
+TEST(PortfolioStressTest, InterruptHammerLeavesSolverUsable) {
+  // Hard enough that most rounds are still searching when the
+  // interrupts land; small enough that an un-interrupted verdict is
+  // quick.  pigeonhole(8) is UNSAT.
+  const CnfFormula f = pigeonhole(8);
+
+  PortfolioOptions popts;
+  popts.num_workers = 4;
+  PortfolioSolver p(sat::SolverOptions{}, popts);
+  ASSERT_TRUE(p.add_formula(f));
+
+  constexpr int kRounds = 8;
+  constexpr int kHammers = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<bool> done{false};
+    std::vector<std::thread> hammers;
+    hammers.reserve(kHammers);
+    for (int h = 0; h < kHammers; ++h) {
+      // Each hammer fires at its own cadence until the solve returns,
+      // so cancellations land before, during, and after the search.
+      hammers.emplace_back([&p, &done, h, round] {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(50 * (h + 1) * (round + 1)));
+        while (!done.load(std::memory_order_acquire)) {
+          p.interrupt();
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      });
+    }
+    const SolveResult r = p.solve();
+    done.store(true, std::memory_order_release);
+    for (std::thread& t : hammers) t.join();
+
+    // Either the race was lost and the verdict stands, or the
+    // interrupt won; nothing else.
+    if (r == SolveResult::kUnknown) {
+      EXPECT_EQ(p.unknown_reason(), UnknownReason::kInterrupted);
+    } else {
+      EXPECT_EQ(r, SolveResult::kUnsat);
+    }
+  }
+
+  // The interrupt flag must not leak into the next, clean solve.
+  EXPECT_EQ(p.solve(), SolveResult::kUnsat);
+}
+
+TEST(PortfolioStressTest, RacingModeSurvivesRapidShortSolves) {
+  // Many short incremental queries stress worker spawn/join and pool
+  // cursor handling; the sequential solver is the oracle.
+  CnfFormula f = random_3sat(30, 4.26, 99);
+  sat::Solver oracle;
+  const bool oracle_ok = oracle.add_formula(f);
+
+  PortfolioOptions popts;
+  popts.num_workers = 3;
+  PortfolioSolver p(sat::SolverOptions{}, popts);
+  ASSERT_EQ(p.add_formula(f), oracle_ok);
+
+  for (Var v = 0; v < 10; ++v) {
+    const std::vector<Lit> assume{Lit(v % f.num_vars(), (v % 2) != 0)};
+    const SolveResult want = oracle_ok ? oracle.solve(assume)
+                                       : SolveResult::kUnsat;
+    EXPECT_EQ(p.solve(assume), want) << "assumption round " << v;
+  }
+}
+
+}  // namespace

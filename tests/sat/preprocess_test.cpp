@@ -108,7 +108,7 @@ TEST(PreprocessTest, BveEliminatesAndReconstructs) {
   // Whatever remains is satisfiable; the lifted model must cover the
   // eliminated variables and satisfy the original clauses.
   Solver s;
-  s.add_formula(r.simplified);
+  (void)s.add_formula(r.simplified);
   s.ensure_var(f.num_vars() - 1);
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   auto lifted = r.reconstruct_model(s.model());
@@ -135,7 +135,7 @@ TEST(PreprocessTest, FrozenVariablesSurviveEveryPass) {
     CnfFormula augmented = f;
     augmented.add_clause({a});
     Solver s;
-    s.add_formula(r.simplified);
+    (void)s.add_formula(r.simplified);
     s.ensure_var(f.num_vars() - 1);
     const SolveResult res = s.solve({a});
     ASSERT_EQ(res == SolveResult::kSat,
@@ -158,7 +158,7 @@ TEST(PreprocessTest, UnconstrainedVariablesGetTotalModel) {
   PreprocessResult r = preprocess(f);
   ASSERT_FALSE(r.unsat);
   Solver s;
-  s.add_formula(r.simplified);
+  (void)s.add_formula(r.simplified);
   s.ensure_var(f.num_vars() - 1);
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   auto model = r.reconstruct_model(s.model());
@@ -179,7 +179,7 @@ TEST_P(PreprocessPropertyTest, PreservesSatisfiability) {
     return;
   }
   Solver s;
-  s.add_formula(r.simplified);
+  (void)s.add_formula(r.simplified);
   s.ensure_var(f.num_vars() - 1);
   SolveResult res = s.solve();
   EXPECT_EQ(res == SolveResult::kSat, expected);
@@ -200,7 +200,7 @@ TEST_P(PreprocessPropertyTest, EquivalenceRichFormulasPreserved) {
     return;
   }
   Solver s;
-  s.add_formula(r.simplified);
+  (void)s.add_formula(r.simplified);
   s.ensure_var(f.num_vars() - 1);
   SolveResult res = s.solve();
   EXPECT_EQ(res == SolveResult::kSat, expected);
@@ -230,7 +230,7 @@ TEST_P(PreprocessPropertyTest, RoundTripAcrossPassMixes) {
       continue;
     }
     Solver s;
-    s.add_formula(r.simplified);
+    (void)s.add_formula(r.simplified);
     s.ensure_var(f.num_vars() - 1);
     const SolveResult res = s.solve();
     ASSERT_EQ(res == SolveResult::kSat, expected) << "pass mask " << mask;

@@ -15,7 +15,7 @@ std::pair<SolveResult, Proof> solve_with_proof(const CnfFormula& f,
   Proof proof;
   Solver s(opts);
   s.set_proof_logger(&proof);
-  s.add_formula(f);
+  (void)s.add_formula(f);
   return {s.solve(), std::move(proof)};
 }
 

@@ -94,7 +94,7 @@ TEST(SessionTest, PushAllocatesExactlyOneVariable) {
   s.push();
   EXPECT_EQ(s.num_vars(), before + 1);
   EXPECT_EQ(s.next_free_var(), before + 1);
-  s.pop();
+  (void)s.pop();
   // pop() allocates nothing either.
   EXPECT_EQ(s.next_free_var(), before + 1);
 }
@@ -109,7 +109,7 @@ TEST(SessionTest, SelectorsNeverAppearInCores) {
   for (Lit l : r.core) {
     EXPECT_EQ(l.var(), a) << "core leaked a non-user literal";
   }
-  s.pop();
+  (void)s.pop();
 }
 
 TEST(SessionTest, ModelsAreTrimmedToUserVariables) {
@@ -120,7 +120,7 @@ TEST(SessionTest, ModelsAreTrimmedToUserVariables) {
   QueryResult r = s.query({});
   ASSERT_EQ(r.result, SolveResult::kSat);
   EXPECT_LE(r.model.size(), static_cast<std::size_t>(a) + 1);
-  s.pop();
+  (void)s.pop();
 }
 
 TEST(SessionTest, RetiredEpochVariablesLeaveTheBranchingOrder) {
@@ -135,7 +135,7 @@ TEST(SessionTest, RetiredEpochVariablesLeaveTheBranchingOrder) {
   const Var y = s.new_var();
   ASSERT_TRUE(s.add_clause({pos(x), pos(y)}));
   ASSERT_EQ(s.query({}).result, SolveResult::kSat);
-  s.pop();
+  (void)s.pop();
   // x and y are retired; a query must still answer correctly.
   ASSERT_EQ(s.query({}).result, SolveResult::kSat);
   // Re-using a retired variable in a new root clause revives it: the
@@ -153,7 +153,7 @@ TEST(SessionTest, ReusedRetiredVariableAppearsAssignedInModels) {
   s.push();
   const Var x = s.new_var();
   ASSERT_TRUE(s.add_clause({pos(x), pos(a)}));
-  s.pop();
+  (void)s.pop();
   ASSERT_TRUE(s.add_clause({pos(x)}));
   QueryResult r = s.query({});
   ASSERT_EQ(r.result, SolveResult::kSat);
@@ -215,7 +215,7 @@ TEST(SessionTest, ActiveFormulaReproducesTheQueriedClauseSet) {
   ASSERT_TRUE(fresh.add_formula(f));
   ASSERT_EQ(fresh.solve(), SolveResult::kSat);
   EXPECT_EQ(fresh.model_value(a), l_true);
-  s.pop();
+  (void)s.pop();
   EXPECT_EQ(s.active_formula().num_clauses(), 1u);
 }
 
@@ -256,7 +256,7 @@ TEST_P(SessionCancelTest, InterruptedQueryDoesNotPoisonTheSession) {
   } else {
     EXPECT_EQ(r.result, SolveResult::kUnsat);
   }
-  s.pop();  // retire the pigeonhole epoch
+  (void)s.pop();  // retire the pigeonhole epoch
 
   // Regression: the next query must answer normally — the engine
   // contract clears the interrupt flag on solve() entry, including

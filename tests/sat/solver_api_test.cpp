@@ -70,7 +70,7 @@ TEST(SolverApiTest, EnsureVarCreatesUnconstrainedVariables) {
 
 TEST(SolverApiTest, ConflictCoreEmptyWithoutAssumptions) {
   Solver s;
-  s.add_formula(pigeonhole(3));
+  (void)s.add_formula(pigeonhole(3));
   ASSERT_EQ(s.solve(), SolveResult::kUnsat);
   EXPECT_TRUE(s.conflict_core().empty());
 }
@@ -98,7 +98,7 @@ TEST(SolverApiTest, ListenerCallbacksBalance) {
   PassiveListener listener;
   Solver s;
   s.set_listener(&listener);
-  s.add_formula(random_3sat(30, 4.2, 77));
+  (void)s.add_formula(random_3sat(30, 4.2, 77));
   SolveResult r = s.solve();
   ASSERT_NE(r, SolveResult::kUnknown);
   EXPECT_GT(listener.assigns, 0);

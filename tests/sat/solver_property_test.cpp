@@ -25,7 +25,7 @@ TEST_P(SolverOracleTest, AgreesWithBruteForce) {
   CnfFormula f = random_3sat(p.num_vars, p.ratio, p.seed);
   const bool expected = testing::brute_force_satisfiable(f);
   Solver s;
-  s.add_formula(f);
+  (void)s.add_formula(f);
   SolveResult r = s.solve();
   ASSERT_NE(r, SolveResult::kUnknown);
   EXPECT_EQ(r == SolveResult::kSat, expected);
@@ -61,7 +61,7 @@ TEST_P(SolverOracleTest, AgreesUnderRandomAssumptions) {
   for (Lit a : assumptions) g.add_unit(a);
   const bool expected = testing::brute_force_satisfiable(g);
   Solver s;
-  s.add_formula(f);
+  (void)s.add_formula(f);
   EXPECT_EQ(s.solve(assumptions) == SolveResult::kSat, expected);
 }
 
@@ -88,7 +88,7 @@ class CrossCheckTest : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(CrossCheckTest, CdclAndDpllAgree) {
   CnfFormula f = random_3sat(40, 4.26, GetParam());
   Solver cdcl;
-  cdcl.add_formula(f);
+  (void)cdcl.add_formula(f);
   DpllSolver dpll(f);
   SolveResult a = cdcl.solve();
   SolveResult b = dpll.solve();

@@ -64,7 +64,7 @@ TEST(SolverTest, UnsatRequiresConflictAnalysis) {
 
 TEST(SolverTest, PigeonholeUnsat) {
   Solver s;
-  s.add_formula(pigeonhole(5));
+  (void)s.add_formula(pigeonhole(5));
   EXPECT_EQ(s.solve(), SolveResult::kUnsat);
   EXPECT_GT(s.stats().conflicts, 0);
 }
@@ -72,7 +72,7 @@ TEST(SolverTest, PigeonholeUnsat) {
 TEST(SolverTest, ParityChainSolvesAndModelChecks) {
   CnfFormula f = parity_chain(12, true);
   Solver s;
-  s.add_formula(f);
+  (void)s.add_formula(f);
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   EXPECT_TRUE(
       f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
@@ -81,7 +81,7 @@ TEST(SolverTest, ParityChainSolvesAndModelChecks) {
 TEST(SolverTest, ModelSatisfiesEveryClause) {
   CnfFormula f = random_3sat(40, 3.0, 11);
   Solver s;
-  s.add_formula(f);
+  (void)s.add_formula(f);
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   EXPECT_TRUE(
       f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
@@ -116,7 +116,7 @@ TEST(SolverAssumptionsTest, ConflictCoreIsSubsetOfAssumptions) {
 TEST(SolverAssumptionsTest, CoreConjunctionIsReallyUnsat) {
   CnfFormula f = random_3sat(15, 4.0, 5);
   Solver s;
-  s.add_formula(f);
+  (void)s.add_formula(f);
   std::vector<Lit> assumptions;
   for (Var v = 0; v < 6; ++v) assumptions.push_back(pos(v));
   if (s.solve(assumptions) == SolveResult::kUnsat) {
@@ -129,7 +129,7 @@ TEST(SolverAssumptionsTest, CoreConjunctionIsReallyUnsat) {
 
 TEST(SolverAssumptionsTest, IncrementalSolvesShareLearnedClauses) {
   Solver s;
-  s.add_formula(pigeonhole(4));
+  (void)s.add_formula(pigeonhole(4));
   EXPECT_EQ(s.solve(), SolveResult::kUnsat);
   EXPECT_EQ(s.stats().solve_calls, 1);
 }
@@ -140,7 +140,7 @@ TEST(SolverBudgetTest, ConflictBudgetYieldsUnknown) {
   SolverOptions opts;
   opts.conflict_budget = 5;
   Solver s(opts);
-  s.add_formula(pigeonhole(6));
+  (void)s.add_formula(pigeonhole(6));
   EXPECT_EQ(s.solve(), SolveResult::kUnknown);
 }
 
@@ -148,7 +148,7 @@ TEST(SolverBudgetTest, BudgetIsPerCall) {
   SolverOptions opts;
   opts.conflict_budget = 3;
   Solver s(opts);
-  s.add_formula(pigeonhole(5));
+  (void)s.add_formula(pigeonhole(5));
   EXPECT_EQ(s.solve(), SolveResult::kUnknown);
   // The next call gets a fresh budget, not an already-exhausted one.
   EXPECT_EQ(s.solve(), SolveResult::kUnknown);
@@ -185,7 +185,7 @@ class Figure3Test : public ::testing::Test {
 
 TEST_F(Figure3Test, ConflictForcesComplementOfX1) {
   Solver s;
-  s.add_formula(circuit());
+  (void)s.add_formula(circuit());
   // Under w=1, y3=0, x1=1: UNSAT (the Fig. 3 conflict).
   EXPECT_EQ(s.solve({pos(1), neg(4), pos(0)}), SolveResult::kUnsat);
   // Under w=1, y3=0 alone: satisfiable, and x1 must be 0 — i.e. the
@@ -217,7 +217,7 @@ TEST_P(SolverAblationTest, SoundOnSatAndUnsatFamilies) {
   const SolverOptions& opts = GetParam().opts;
   {
     Solver s(opts);
-    s.add_formula(pigeonhole(4));
+    (void)s.add_formula(pigeonhole(4));
     EXPECT_EQ(s.solve(), SolveResult::kUnsat) << GetParam().name;
   }
   if (opts.clause_learning) {
@@ -229,7 +229,7 @@ TEST_P(SolverAblationTest, SoundOnSatAndUnsatFamilies) {
   {
     CnfFormula f = planted_ksat(25, 90, 3, 77);
     Solver s(opts);
-    s.add_formula(f);
+    (void)s.add_formula(f);
     ASSERT_EQ(s.solve(), SolveResult::kSat) << GetParam().name;
     EXPECT_TRUE(
         f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
@@ -237,7 +237,7 @@ TEST_P(SolverAblationTest, SoundOnSatAndUnsatFamilies) {
   {
     CnfFormula f = parity_chain(10, false);
     Solver s(opts);
-    s.add_formula(f);
+    (void)s.add_formula(f);
     ASSERT_EQ(s.solve(), SolveResult::kSat) << GetParam().name;
     EXPECT_TRUE(
         f.is_satisfied_by(testing::complete_model(s.model(), f.num_vars())));
@@ -332,7 +332,7 @@ TEST(SolverProofCertificationTest, AssumptionUnsatCasesHaveCheckableProofs) {
 
 TEST(SolverStatsTest, CountersMoveMonotonically) {
   Solver s;
-  s.add_formula(pigeonhole(5));
+  (void)s.add_formula(pigeonhole(5));
   ASSERT_NE(s.solve(), SolveResult::kUnknown);
   const SolverStats& st = s.stats();
   EXPECT_GT(st.decisions, 0);

@@ -10,7 +10,6 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -23,6 +22,7 @@
 #include "serve/json.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "support/mutex.hpp"
 
 namespace {
 
@@ -141,16 +141,16 @@ TEST(FramingTest, WriteRefusesOversizedPayloads) {
 /// Submits one request line and returns the parsed response (the
 /// server promises exactly one response per request).
 Json ask(Server& server, const std::string& line) {
-  std::mutex mu;
+  sateda::Mutex mu;
   std::string got;
   bool done = false;
   server.submit(line, [&](std::string resp) {
-    std::lock_guard<std::mutex> lock(mu);
+    sateda::MutexLock lock(&mu);
     got = std::move(resp);
     done = true;
   });
   server.drain();
-  std::lock_guard<std::mutex> lock(mu);
+  sateda::MutexLock lock(&mu);
   EXPECT_TRUE(done);
   return Json::parse(got);
 }
@@ -366,7 +366,7 @@ TEST(ServeConcurrencyTest, ParallelSessionsKeepPerSessionOrder) {
   constexpr int kQueriesPerSession = 25;
 
   std::vector<std::thread> clients;
-  std::mutex mu;
+  sateda::Mutex mu;
   std::map<std::string, std::vector<std::int64_t>> reply_order;
   std::atomic<int> bad{0};
 
@@ -411,7 +411,7 @@ TEST(ServeConcurrencyTest, ParallelSessionsKeepPerSessionOrder) {
               r.find("result")->as_string() != "sat") {
             bad.fetch_add(1);
           }
-          std::lock_guard<std::mutex> lock(mu);
+          sateda::MutexLock lock(&mu);
           reply_order[name].push_back(r.find("id")->as_int64());
         });
         Json pop = Json::object();
@@ -425,7 +425,7 @@ TEST(ServeConcurrencyTest, ParallelSessionsKeepPerSessionOrder) {
   server.drain();
 
   EXPECT_EQ(bad.load(), 0);
-  std::lock_guard<std::mutex> lock(mu);
+  sateda::MutexLock lock(&mu);
   ASSERT_EQ(reply_order.size(), static_cast<std::size_t>(kSessions));
   for (const auto& [name, order] : reply_order) {
     ASSERT_EQ(order.size(), static_cast<std::size_t>(kQueriesPerSession))

@@ -1,0 +1,183 @@
+#include "CallbackUnderLockCheck.hpp"
+
+#include <clang-tidy/ClangTidyContext.h>
+
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/DiagnosticIDs.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::sateda {
+
+namespace {
+
+std::vector<std::string> splitList(llvm::StringRef Raw) {
+  std::vector<std::string> Out;
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  Raw.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef P : Parts) {
+    P = P.trim();
+    if (!P.empty()) Out.push_back(P.str());
+  }
+  return Out;
+}
+
+/// Class-name test on the written type: "MutexLock" matches both
+/// `MutexLock` and `sateda::MutexLock`; "lock_guard" matches any
+/// `std::lock_guard<...>` specialization.
+bool recordNameIn(QualType Type, const std::vector<std::string> &Names) {
+  if (Type.isNull()) return false;
+  const CXXRecordDecl *RD =
+      Type.getNonReferenceType()->getAsCXXRecordDecl();
+  if (RD == nullptr || !RD->getDeclName().isIdentifier()) return false;
+  const llvm::StringRef Name = RD->getName();
+  for (const std::string &Entry : Names) {
+    if (Name == Entry) return true;
+  }
+  return false;
+}
+
+/// Display name for the callback being invoked ("respond", "hook_", …).
+llvm::StringRef callbackName(const Expr *Base) {
+  if (Base == nullptr) return "callback";
+  Base = Base->IgnoreParenImpCasts();
+  const NamedDecl *ND = nullptr;
+  if (const auto *ME = dyn_cast<MemberExpr>(Base)) {
+    ND = ME->getMemberDecl();
+  } else if (const auto *DRE = dyn_cast<DeclRefExpr>(Base)) {
+    ND = DRE->getDecl();
+  }
+  if (ND == nullptr || !ND->getDeclName().isIdentifier()) return "callback";
+  return ND->getName();
+}
+
+}  // namespace
+
+CallbackUnderLockCheck::CallbackUnderLockCheck(StringRef Name,
+                                               ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      RawCallbackTypes(Options.get("CallbackTypes", "function")),
+      RawLockGuardTypes(Options.get(
+          "LockGuardTypes", "MutexLock;lock_guard;unique_lock;scoped_lock")),
+      CallbackTypes(splitList(RawCallbackTypes)),
+      LockGuardTypes(splitList(RawLockGuardTypes)) {}
+
+void CallbackUnderLockCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "CallbackTypes", RawCallbackTypes);
+  Options.store(Opts, "LockGuardTypes", RawLockGuardTypes);
+}
+
+bool CallbackUnderLockCheck::isCallbackType(QualType Type) const {
+  return recordNameIn(Type, CallbackTypes);
+}
+
+bool CallbackUnderLockCheck::isLockGuardType(QualType Type) const {
+  return recordNameIn(Type, LockGuardTypes);
+}
+
+void CallbackUnderLockCheck::registerMatchers(
+    ast_matchers::MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxOperatorCallExpr(
+          hasOverloadedOperatorName("()"),
+          forFunction(functionDecl(isDefinition()).bind("fn")))
+          .bind("call"),
+      this);
+}
+
+/// A guard declared before \p Call is held at the call unless the last
+/// member-function call on it before \p Call (textually) is an
+/// `Unlock()`/`unlock()`; an intervening `Lock()`/`lock()` re-arms it.
+bool CallbackUnderLockCheck::guardHeldAt(const VarDecl *Guard,
+                                         const Expr *Call, const Stmt *Body,
+                                         ASTContext &Ctx,
+                                         const SourceManager &SM) const {
+  bool Held = true;
+  SourceLocation Latest = Guard->getLocation();
+  for (const auto &M :
+       match(findAll(cxxMemberCallExpr(
+                         on(declRefExpr(to(varDecl(equalsNode(Guard))))))
+                         .bind("mc")),
+             *Body, Ctx)) {
+    const auto *MC = M.getNodeAs<CXXMemberCallExpr>("mc");
+    if (MC == nullptr) continue;
+    const CXXMethodDecl *MD = MC->getMethodDecl();
+    if (MD == nullptr || !MD->getDeclName().isIdentifier()) continue;
+    const SourceLocation Loc = MC->getBeginLoc();
+    if (!SM.isBeforeInTranslationUnit(Loc, Call->getBeginLoc())) continue;
+    if (!SM.isBeforeInTranslationUnit(Latest, Loc)) continue;
+    const llvm::StringRef Method = MD->getName();
+    if (Method == "Unlock" || Method == "unlock") {
+      Held = false;
+      Latest = Loc;
+    } else if (Method == "Lock" || Method == "lock") {
+      Held = true;
+      Latest = Loc;
+    }
+  }
+  return Held;
+}
+
+void CallbackUnderLockCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CXXOperatorCallExpr>("call");
+  const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (Call == nullptr || Fn == nullptr || Call->getNumArgs() < 1) return;
+  const Expr *Base = Call->getArg(0);
+  if (!isCallbackType(Base->getType())) return;
+
+  ASTContext &Ctx = *Result.Context;
+  const SourceManager &SM = *Result.SourceManager;
+  const Stmt *Body = Fn->getBody();
+  if (Body == nullptr) return;
+
+  // Collect the enclosing scopes up to the nearest lambda/function
+  // boundary: a guard outside a lambda body is not (necessarily) held
+  // when the lambda eventually runs.
+  llvm::SmallVector<const CompoundStmt *, 8> Scopes;
+  DynTypedNode Cur = DynTypedNode::create(*Call);
+  while (true) {
+    const auto Parents = Ctx.getParents(Cur);
+    if (Parents.empty()) break;
+    const DynTypedNode &P = Parents[0];
+    if (P.get<LambdaExpr>() != nullptr || P.get<Decl>() != nullptr) break;
+    if (const auto *CS = P.get<CompoundStmt>()) Scopes.push_back(CS);
+    Cur = P;
+  }
+
+  for (const CompoundStmt *CS : Scopes) {
+    for (const Stmt *S : CS->body()) {
+      if (!SM.isBeforeInTranslationUnit(S->getBeginLoc(),
+                                        Call->getBeginLoc())) {
+        break;
+      }
+      const auto *DS = dyn_cast<DeclStmt>(S);
+      if (DS == nullptr) continue;
+      for (const Decl *D : DS->decls()) {
+        const auto *VD = dyn_cast<VarDecl>(D);
+        if (VD == nullptr || !isLockGuardType(VD->getType())) continue;
+        if (!guardHeldAt(VD, Call, Body, Ctx, SM)) continue;
+        diag(Call->getBeginLoc(),
+             "callback '%0' invoked while lock guard '%1' is held; "
+             "release the guard (or defer the call) before running user "
+             "code")
+            << callbackName(Base) << VD->getName();
+        diag(VD->getLocation(), "lock guard '%0' acquired here",
+             DiagnosticIDs::Note)
+            << VD->getName();
+        return;  // one diagnostic per invocation
+      }
+    }
+  }
+}
+
+}  // namespace clang::tidy::sateda

@@ -1,0 +1,56 @@
+/// \file CallbackUnderLockCheck.hpp
+/// \brief sateda-callback-under-lock: flags a std::function callback
+///        invoked while a lock guard is held.
+///
+/// The serve layer's contract (DESIGN.md "Concurrency contracts") is
+/// that user-supplied callbacks — respond hooks, progress hooks — are
+/// invoked *outside* the scheduler lock: a callback that re-enters
+/// `submit()` or blocks on I/O while the lock is held deadlocks the
+/// worker pool.  The check warns when a `std::function` call operator
+/// runs in a scope where a lock guard (MutexLock, std::lock_guard,
+/// std::unique_lock, std::scoped_lock) is live, unless the guard was
+/// textually released with `Unlock()`/`unlock()` before the call.
+///
+/// Lambdas are a boundary: a callback invoked inside a lambda body is
+/// only flagged against guards declared inside that same lambda, since
+/// the lambda may run long after the enclosing guard is gone.
+///
+/// Options:
+///   CallbackTypes   semicolon-separated class names whose operator()
+///                    is treated as a user callback (default "function")
+///   LockGuardTypes  semicolon-separated class names treated as lock
+///                    guards (default
+///                    "MutexLock;lock_guard;unique_lock;scoped_lock")
+#pragma once
+
+#include <clang-tidy/ClangTidyCheck.h>
+
+#include <string>
+#include <vector>
+
+namespace clang::tidy::sateda {
+
+class CallbackUnderLockCheck : public ClangTidyCheck {
+ public:
+  CallbackUnderLockCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  bool isCallbackType(QualType Type) const;
+  bool isLockGuardType(QualType Type) const;
+  bool guardHeldAt(const VarDecl *Guard, const Expr *Call, const Stmt *Body,
+                   ASTContext &Ctx, const SourceManager &SM) const;
+
+  const std::string RawCallbackTypes;
+  const std::string RawLockGuardTypes;
+  std::vector<std::string> CallbackTypes;
+  std::vector<std::string> LockGuardTypes;
+};
+
+}  // namespace clang::tidy::sateda

@@ -1,0 +1,193 @@
+#include "CrefHeldAcrossGcCheck.hpp"
+
+#include <clang-tidy/ClangTidyContext.h>
+
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/DiagnosticIDs.h"
+#include "llvm/ADT/DenseMap.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::sateda {
+
+namespace {
+
+/// The solver entry points after which any previously obtained CRef
+/// must be considered invalid: direct compaction, the reduce passes
+/// that schedule it, and the import/inprocess wrappers that can reach
+/// it.  Kept as names (not qualified paths) so the check also fires on
+/// wrappers in tests and fixtures.
+constexpr char kDefaultGcFunctions[] =
+    "add_learnt_clause;import_shared_clauses;check_garbage;garbage_collect;"
+    "reduce_db;reduce_db_tiered;reduce_db_size_bounded;reduce_db_legacy;"
+    "run_inprocess;simplify_db";
+
+std::vector<std::string> splitList(llvm::StringRef Raw) {
+  std::vector<std::string> Out;
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  Raw.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef P : Parts) {
+    P = P.trim();
+    if (!P.empty()) Out.push_back(P.str());
+  }
+  return Out;
+}
+
+/// True when \p Ref is the target of an assignment (the value it held
+/// before is dead, so a preceding GC no longer matters).
+bool isWriteRef(const DeclRefExpr *Ref, ASTContext &Ctx) {
+  const Stmt *Child = Ref;
+  auto Parents = Ctx.getParents(*Child);
+  while (!Parents.empty()) {
+    const Stmt *P = Parents[0].get<Stmt>();
+    if (P == nullptr) break;
+    if (const auto *BO = dyn_cast<BinaryOperator>(P)) {
+      return BO->isAssignmentOp() &&
+             BO->getLHS()->IgnoreParenCasts() == Ref;
+    }
+    if (isa<ImplicitCastExpr>(P) || isa<ParenExpr>(P)) {
+      Child = P;
+      Parents = Ctx.getParents(*Child);
+      continue;
+    }
+    break;
+  }
+  return false;
+}
+
+}  // namespace
+
+CrefHeldAcrossGcCheck::CrefHeldAcrossGcCheck(StringRef Name,
+                                             ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      RawGcFunctions(Options.get("GcFunctions", kDefaultGcFunctions)),
+      RawCrefTypes(Options.get("CrefTypes", "CRef")),
+      GcFunctions(splitList(RawGcFunctions)),
+      CrefTypes(splitList(RawCrefTypes)) {}
+
+void CrefHeldAcrossGcCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "GcFunctions", RawGcFunctions);
+  Options.store(Opts, "CrefTypes", RawCrefTypes);
+}
+
+bool CrefHeldAcrossGcCheck::isGcCallee(const FunctionDecl *Callee) const {
+  if (Callee == nullptr || !Callee->getDeclName().isIdentifier()) return false;
+  StringRef Name = Callee->getName();
+  for (const std::string &Gc : GcFunctions) {
+    if (Name == Gc) return true;
+  }
+  return false;
+}
+
+bool CrefHeldAcrossGcCheck::isCrefType(QualType Type) const {
+  if (Type.isNull()) return false;
+  // Match on the *written* type, not the canonical one: CRef is a
+  // typedef for uint32_t and the canonical spelling would flag every
+  // unsigned local in the tree.
+  const std::string Spelling =
+      Type.getNonReferenceType().getUnqualifiedType().getAsString();
+  for (const std::string &Name : CrefTypes) {
+    if (Spelling == Name) return true;
+    if (Spelling.size() > Name.size() + 2 &&
+        Spelling.compare(Spelling.size() - Name.size(), Name.size(), Name) ==
+            0 &&
+        Spelling.compare(Spelling.size() - Name.size() - 2, 2, "::") == 0) {
+      return true;  // qualified spelling like sateda::sat::CRef
+    }
+  }
+  return false;
+}
+
+void CrefHeldAcrossGcCheck::registerMatchers(
+    ast_matchers::MatchFinder *Finder) {
+  // Match every call inside a function definition; callee-name and
+  // CRef filtering happen in check() so the configured lists stay
+  // runtime options.
+  Finder->addMatcher(
+      callExpr(forFunction(
+                   functionDecl(isDefinition(), hasBody(compoundStmt()))
+                       .bind("fn")))
+          .bind("gc"),
+      this);
+}
+
+void CrefHeldAcrossGcCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &Result) {
+  const auto *GcCall = Result.Nodes.getNodeAs<CallExpr>("gc");
+  const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (Fn == nullptr || GcCall == nullptr) return;
+  if (!isGcCallee(GcCall->getDirectCallee())) return;
+  // The whole function is analyzed on its first may-compact call; the
+  // remaining matches in the same function are duplicates.
+  if (!AnalyzedFunctions.insert(Fn).second) return;
+
+  ASTContext &Ctx = *Result.Context;
+  const SourceManager &SM = *Result.SourceManager;
+  const Stmt *Body = Fn->getBody();
+  if (Body == nullptr) return;
+
+  llvm::SmallVector<const CallExpr *, 8> GcCalls;
+  for (const auto &M : match(findAll(callExpr().bind("c")), *Body, Ctx)) {
+    const auto *CE = M.getNodeAs<CallExpr>("c");
+    if (CE != nullptr && isGcCallee(CE->getDirectCallee()))
+      GcCalls.push_back(CE);
+  }
+
+  struct Access {
+    const DeclRefExpr *Ref;
+    bool IsWrite;
+  };
+  llvm::DenseMap<const VarDecl *, llvm::SmallVector<Access, 8>> ByVar;
+  for (const auto &M :
+       match(findAll(declRefExpr(to(varDecl().bind("vd"))).bind("ref")),
+             *Body, Ctx)) {
+    const auto *VD = M.getNodeAs<VarDecl>("vd");
+    const auto *Ref = M.getNodeAs<DeclRefExpr>("ref");
+    if (VD == nullptr || Ref == nullptr) continue;
+    if (!VD->hasLocalStorage() || !isCrefType(VD->getType())) continue;
+    ByVar[VD].push_back({Ref, isWriteRef(Ref, Ctx)});
+  }
+
+  for (const auto &Entry : ByVar) {
+    const VarDecl *VD = Entry.first;
+    for (const Access &A : Entry.second) {
+      if (A.IsWrite) continue;
+      const SourceLocation UseLoc = A.Ref->getBeginLoc();
+      // The value being read was produced by the last write (or the
+      // declaration) before this use.
+      SourceLocation LastWrite = VD->getLocation();
+      for (const Access &W : Entry.second) {
+        if (!W.IsWrite) continue;
+        const SourceLocation WLoc = W.Ref->getBeginLoc();
+        if (SM.isBeforeInTranslationUnit(WLoc, UseLoc) &&
+            SM.isBeforeInTranslationUnit(LastWrite, WLoc)) {
+          LastWrite = WLoc;
+        }
+      }
+      for (const CallExpr *CE : GcCalls) {
+        if (SM.isBeforeInTranslationUnit(LastWrite, CE->getBeginLoc()) &&
+            SM.isBeforeInTranslationUnit(CE->getEndLoc(), UseLoc)) {
+          const FunctionDecl *Callee = CE->getDirectCallee();
+          diag(UseLoc,
+               "CRef '%0' is read after a call to '%1' that may compact "
+               "the clause arena; the reference may dangle — re-derive it "
+               "after the call")
+              << VD->getName()
+              << (Callee != nullptr ? Callee->getName() : StringRef("<gc>"));
+          diag(CE->getBeginLoc(), "the arena may be compacted here",
+               DiagnosticIDs::Note);
+          break;  // one diagnostic per use is enough
+        }
+      }
+    }
+  }
+}
+
+}  // namespace clang::tidy::sateda

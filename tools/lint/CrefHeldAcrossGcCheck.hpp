@@ -1,0 +1,52 @@
+/// \file CrefHeldAcrossGcCheck.hpp
+/// \brief sateda-cref-held-across-gc: flags a CRef local that is read
+///        after a call that may compact the clause arena.
+///
+/// A `CRef` is a raw uint32 word offset into the flat ClauseArena
+/// (src/sat/arena.hpp).  Compacting garbage collection relocates every
+/// live clause and rewrites the watch lists, reasons and clause lists
+/// — but it cannot rewrite a CRef sitting in a local variable, which
+/// silently points into freed (or worse, reused) arena memory
+/// afterwards.  The check warns when a CRef-typed local whose value
+/// was obtained *before* a may-compact call is read *after* it.
+///
+/// Options:
+///   GcFunctions  semicolon-separated callee names that may compact
+///                (default: the solver's GC/reduce/inprocess/import
+///                entry points — see the .cpp)
+///   CrefTypes    semicolon-separated type spellings treated as arena
+///                references (default "CRef")
+#pragma once
+
+#include <clang-tidy/ClangTidyCheck.h>
+
+#include <string>
+#include <vector>
+
+#include "llvm/ADT/DenseSet.h"
+
+namespace clang::tidy::sateda {
+
+class CrefHeldAcrossGcCheck : public ClangTidyCheck {
+ public:
+  CrefHeldAcrossGcCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  bool isGcCallee(const FunctionDecl *Callee) const;
+  bool isCrefType(QualType Type) const;
+
+  const std::string RawGcFunctions;
+  const std::string RawCrefTypes;
+  std::vector<std::string> GcFunctions;
+  std::vector<std::string> CrefTypes;
+  llvm::DenseSet<const FunctionDecl *> AnalyzedFunctions;
+};
+
+}  // namespace clang::tidy::sateda

@@ -1,0 +1,205 @@
+#include "LitVarIndexConfusionCheck.hpp"
+
+#include <clang-tidy/ClangTidyContext.h>
+
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::sateda {
+
+namespace {
+
+// The solver's flat arrays, by index space (src/sat/solver.hpp).
+constexpr char kDefaultVarIndexedMembers[] =
+    "assigns_;level_;reason_;activity_;polarity_;decision_;frozen_;"
+    "eliminated_;seen_;retired_;model_";
+constexpr char kDefaultLitIndexedMembers[] = "watches_;bin_watches_";
+
+std::vector<std::string> splitList(llvm::StringRef Raw) {
+  std::vector<std::string> Out;
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  Raw.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef P : Parts) {
+    P = P.trim();
+    if (!P.empty()) Out.push_back(P.str());
+  }
+  return Out;
+}
+
+bool nameInList(llvm::StringRef Name, const std::vector<std::string> &List) {
+  for (const std::string &Entry : List) {
+    if (Name == Entry) return true;
+  }
+  return false;
+}
+
+/// Strips implicit casts / parens only — an explicit cast is the
+/// programmer saying "I meant it", so it must stop the walk.
+const Expr *stripImplicit(const Expr *E) {
+  while (E != nullptr) {
+    if (const auto *ICE = dyn_cast<ImplicitCastExpr>(E)) {
+      E = ICE->getSubExpr();
+      continue;
+    }
+    if (const auto *PE = dyn_cast<ParenExpr>(E)) {
+      E = PE->getSubExpr();
+      continue;
+    }
+    if (const auto *MTE = dyn_cast<MaterializeTemporaryExpr>(E)) {
+      E = MTE->getSubExpr();
+      continue;
+    }
+    break;
+  }
+  return E;
+}
+
+}  // namespace
+
+LitVarIndexConfusionCheck::LitVarIndexConfusionCheck(StringRef Name,
+                                                     ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      RawVarIndexedMembers(
+          Options.get("VarIndexedMembers", kDefaultVarIndexedMembers)),
+      RawLitIndexedMembers(
+          Options.get("LitIndexedMembers", kDefaultLitIndexedMembers)),
+      RawLitTypes(Options.get("LitTypes", "Lit")),
+      VarIndexedMembers(splitList(RawVarIndexedMembers)),
+      LitIndexedMembers(splitList(RawLitIndexedMembers)),
+      LitTypes(splitList(RawLitTypes)) {}
+
+void LitVarIndexConfusionCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "VarIndexedMembers", RawVarIndexedMembers);
+  Options.store(Opts, "LitIndexedMembers", RawLitIndexedMembers);
+  Options.store(Opts, "LitTypes", RawLitTypes);
+}
+
+bool LitVarIndexConfusionCheck::isVarIndexed(StringRef Container) const {
+  return nameInList(Container, VarIndexedMembers);
+}
+
+bool LitVarIndexConfusionCheck::isLitIndexed(StringRef Container) const {
+  return nameInList(Container, LitIndexedMembers);
+}
+
+bool LitVarIndexConfusionCheck::isLitType(QualType Type) const {
+  if (Type.isNull()) return false;
+  const std::string Spelling =
+      Type.getNonReferenceType().getUnqualifiedType().getAsString();
+  for (const std::string &Name : LitTypes) {
+    if (Spelling == Name) return true;
+    if (Spelling.size() > Name.size() + 2 &&
+        Spelling.compare(Spelling.size() - Name.size(), Name.size(), Name) ==
+            0 &&
+        Spelling.compare(Spelling.size() - Name.size() - 2, 2, "::") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StringRef LitVarIndexConfusionCheck::containerName(const Expr *Base) const {
+  if (Base == nullptr) return {};
+  Base = Base->IgnoreParenImpCasts();
+  const NamedDecl *ND = nullptr;
+  if (const auto *ME = dyn_cast<MemberExpr>(Base)) {
+    ND = ME->getMemberDecl();
+  } else if (const auto *DRE = dyn_cast<DeclRefExpr>(Base)) {
+    ND = DRE->getDecl();
+  }
+  if (ND == nullptr || !ND->getDeclName().isIdentifier()) return {};
+  return ND->getName();
+}
+
+void LitVarIndexConfusionCheck::registerMatchers(
+    ast_matchers::MatchFinder *Finder) {
+  // vector-style overloaded operator[] ...
+  Finder->addMatcher(
+      cxxOperatorCallExpr(hasOverloadedOperatorName("[]")).bind("opcall"),
+      this);
+  // ... and raw array subscripts.
+  Finder->addMatcher(arraySubscriptExpr().bind("array"), this);
+}
+
+void LitVarIndexConfusionCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &Result) {
+  const Expr *Base = nullptr;
+  const Expr *Index = nullptr;
+  if (const auto *Op = Result.Nodes.getNodeAs<CXXOperatorCallExpr>("opcall")) {
+    if (Op->getNumArgs() < 2) return;
+    Base = Op->getArg(0);
+    Index = Op->getArg(1);
+  } else if (const auto *AS =
+                 Result.Nodes.getNodeAs<ArraySubscriptExpr>("array")) {
+    Base = AS->getBase();
+    Index = AS->getIdx();
+  }
+  if (Base == nullptr || Index == nullptr) return;
+
+  const StringRef Container = containerName(Base);
+  if (Container.empty()) return;
+  const bool VarIndexed = isVarIndexed(Container);
+  const bool LitIndexed = isLitIndexed(Container);
+  if (!VarIndexed && !LitIndexed) return;
+
+  const Expr *Idx = stripImplicit(Index);
+
+  // Arms 1+2: the index is spelled `<lit>.index()` / `<lit>.var()`.
+  if (const auto *MC = dyn_cast<CXXMemberCallExpr>(Idx)) {
+    const CXXMethodDecl *MD = MC->getMethodDecl();
+    if (MD != nullptr && MD->getDeclName().isIdentifier() &&
+        MC->getNumArgs() == 0 &&
+        isLitType(MC->getImplicitObjectArgument()->getType())) {
+      const StringRef Method = MD->getName();
+      if (VarIndexed && Method == "index") {
+        diag(Index->getBeginLoc(),
+             "per-variable container '%0' indexed with Lit::index(); "
+             "per-variable state is indexed by .var()")
+            << Container;
+        return;
+      }
+      if (LitIndexed && Method == "var") {
+        diag(Index->getBeginLoc(),
+             "per-literal container '%0' indexed with Lit::var(); "
+             "watch-style state is indexed by .index()")
+            << Container;
+        return;
+      }
+    }
+    // A conversion operator reached through implicit casts only is arm 3.
+    if (MD != nullptr && isa<CXXConversionDecl>(MD) &&
+        isLitType(MC->getImplicitObjectArgument()->getType())) {
+      diag(Index->getBeginLoc(),
+           "container '%0' indexed with a Lit through an implicit "
+           "conversion; spell the index space explicitly with .var() or "
+           ".index()")
+          << Container;
+      return;
+    }
+  }
+
+  // Arm 3 (constructor form): a Lit built implicitly from the index or
+  // vice versa, e.g. an int-taking subscript fed a braced Lit.
+  if (const auto *CC = dyn_cast<CXXConstructExpr>(Idx)) {
+    if (CC->getNumArgs() == 1 && isLitType(CC->getType()) &&
+        !isLitType(CC->getArg(0)->getType())) {
+      diag(Index->getBeginLoc(),
+           "container '%0' indexed through an implicit conversion to a "
+           "Lit; spell the index space explicitly with .var() or .index()")
+          << Container;
+      return;
+    }
+  }
+}
+
+}  // namespace clang::tidy::sateda

@@ -1,0 +1,59 @@
+/// \file LitVarIndexConfusionCheck.hpp
+/// \brief sateda-lit-var-index-confusion: catches mixing up the two
+///        index spaces of the solver's flat arrays.
+///
+/// The solver keeps *per-variable* arrays (assigns_, level_, reason_,
+/// ...) indexed by `Var` (= `lit.var()`) and *per-literal* arrays
+/// (watches_, bin_watches_) indexed by `lit.index()` (= 2*var+sign).
+/// Indexing one with the other's index is always a bug — it reads the
+/// wrong slot (or runs off the end) yet type-checks fine because both
+/// indices are plain integers.  The check flags:
+///
+///   1. a per-variable container subscripted with `<expr>.index()`,
+///   2. a per-literal container subscripted with `<expr>.var()`,
+///   3. a subscript whose index is an implicit user-defined conversion
+///      from a `Lit` (e.g. a fixture Lit with a non-explicit
+///      `operator int()` — the in-tree Lit deliberately has none).
+///
+/// Options:
+///   VarIndexedMembers  semicolon-separated names of per-variable
+///                      containers
+///   LitIndexedMembers  semicolon-separated names of per-literal
+///                      containers
+///   LitTypes           type spellings treated as literal types
+///                      (default "Lit")
+#pragma once
+
+#include <clang-tidy/ClangTidyCheck.h>
+
+#include <string>
+#include <vector>
+
+namespace clang::tidy::sateda {
+
+class LitVarIndexConfusionCheck : public ClangTidyCheck {
+ public:
+  LitVarIndexConfusionCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  bool isVarIndexed(StringRef Container) const;
+  bool isLitIndexed(StringRef Container) const;
+  bool isLitType(QualType Type) const;
+  StringRef containerName(const Expr *Base) const;
+
+  const std::string RawVarIndexedMembers;
+  const std::string RawLitIndexedMembers;
+  const std::string RawLitTypes;
+  std::vector<std::string> VarIndexedMembers;
+  std::vector<std::string> LitIndexedMembers;
+  std::vector<std::string> LitTypes;
+};
+
+}  // namespace clang::tidy::sateda

@@ -1,0 +1,53 @@
+/// \file SatedaTidyModule.cpp
+/// \brief clang-tidy module registering the sateda project-specific
+///        checks.
+///
+/// Built as a standalone shared object and loaded into stock
+/// clang-tidy with `-load libSatedaTidyModule.so`; the checks then
+/// behave like any built-in check (enable with `-checks=sateda-*`,
+/// configure through CheckOptions in .clang-tidy).
+///
+/// The three checks mechanize the two bug classes code review has had
+/// to catch by hand since the arena (PR 3) and the concurrent layers
+/// (PRs 1/6) landed, plus the portfolio's historical deadlock shape:
+///
+///   sateda-cref-held-across-gc      arena offsets dangling across a
+///                                   compacting GC
+///   sateda-lit-var-index-confusion  Lit-indexed vs Var-indexed
+///                                   container mixups
+///   sateda-callback-under-lock      user callbacks invoked while a
+///                                   lock guard is held
+
+#include <clang-tidy/ClangTidyModule.h>
+#include <clang-tidy/ClangTidyModuleRegistry.h>
+
+#include "CallbackUnderLockCheck.hpp"
+#include "CrefHeldAcrossGcCheck.hpp"
+#include "LitVarIndexConfusionCheck.hpp"
+
+namespace clang::tidy::sateda {
+
+class SatedaModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<CrefHeldAcrossGcCheck>(
+        "sateda-cref-held-across-gc");
+    CheckFactories.registerCheck<LitVarIndexConfusionCheck>(
+        "sateda-lit-var-index-confusion");
+    CheckFactories.registerCheck<CallbackUnderLockCheck>(
+        "sateda-callback-under-lock");
+  }
+};
+
+}  // namespace clang::tidy::sateda
+
+namespace clang::tidy {
+
+// Register the module with the hosting clang-tidy's registry.
+static ClangTidyModuleRegistry::Add<sateda::SatedaModule> X(
+    "sateda-module", "Adds the sateda EDA-SAT project-specific checks.");
+
+// Anchor so the static registration above is not dead-stripped.
+volatile int SatedaModuleAnchorSource = 0;  // NOLINT
+
+}  // namespace clang::tidy

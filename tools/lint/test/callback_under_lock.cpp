@@ -1,0 +1,81 @@
+// Fixture for sateda-callback-under-lock.
+//
+// Stub std::function / lock types so the fixture compiles with no
+// include path; the check matches on class *names* (function,
+// MutexLock, lock_guard, ...) so the stubs behave like the real thing.
+// Mirrors the serve layer's respond-outside-lock contract.
+
+namespace std {
+template <class T>
+class function;
+template <class R, class... A>
+class function<R(A...)> {
+ public:
+  R operator()(A...) const;
+};
+class mutex {
+ public:
+  void lock();
+  void unlock();
+};
+template <class M>
+class lock_guard {
+ public:
+  explicit lock_guard(M &m);
+};
+}  // namespace std
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex *mu);
+  void Unlock();
+  void Lock();
+};
+
+struct Server {
+  Mutex mu_;
+  std::mutex raw_mu_;
+  std::function<void(int)> hook_;
+
+  void bad_callback_under_mutexlock(const std::function<void(int)> &respond) {
+    MutexLock lock(&mu_);
+    respond(1);  // WARN: callback while guard held
+  }
+
+  void ok_callback_after_unlock(const std::function<void(int)> &respond) {
+    MutexLock lock(&mu_);
+    lock.Unlock();
+    respond(1);  // guard released above
+  }
+
+  void bad_callback_after_relock(const std::function<void(int)> &respond) {
+    MutexLock lock(&mu_);
+    lock.Unlock();
+    respond(1);  // released: fine
+    lock.Lock();
+    hook_(2);  // WARN: guard re-acquired before the call
+  }
+
+  void bad_callback_under_std_guard() {
+    std::lock_guard<std::mutex> lock(raw_mu_);
+    hook_(3);  // WARN: std::lock_guard counts too
+  }
+
+  void ok_callback_no_guard(const std::function<void(int)> &respond) {
+    respond(4);
+  }
+
+  void ok_deferred_in_lambda() {
+    MutexLock lock(&mu_);
+    // The lambda body runs later — the guard is not (necessarily) held
+    // at invocation time, so this must not warn.
+    auto task = [this] { hook_(5); };
+    (void)task;
+  }
+};

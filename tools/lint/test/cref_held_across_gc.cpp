@@ -1,0 +1,53 @@
+// Fixture for sateda-cref-held-across-gc.
+//
+// Self-contained mock of the arena API: CRef is a raw offset typedef
+// exactly like src/sat/arena.hpp, and check_garbage()/reduce_db() are
+// names on the check's default may-compact list.  Lines expected to
+// produce a warning carry a `// WARN` marker; scripts/lint_fixtures.sh
+// diffs clang-tidy's output against them.
+
+using CRef = unsigned int;
+
+CRef alloc_clause();
+unsigned clause_size(CRef c);
+void check_garbage();
+void reduce_db();
+void bump_activity();  // not on the may-compact list
+
+void bad_read_after_gc() {
+  CRef c = alloc_clause();
+  check_garbage();
+  clause_size(c);  // WARN: read after may-compact call
+}
+
+void bad_read_after_reduce() {
+  CRef c = alloc_clause();
+  reduce_db();
+  if (clause_size(c) != 0u) {  // WARN: read after may-compact call
+  }
+}
+
+void ok_rederived_after_gc() {
+  CRef c = alloc_clause();
+  check_garbage();
+  c = alloc_clause();  // re-derived: the stale value is dead
+  clause_size(c);
+}
+
+void ok_read_before_gc() {
+  CRef c = alloc_clause();
+  clause_size(c);
+  check_garbage();
+}
+
+void ok_no_gc_in_between() {
+  CRef c = alloc_clause();
+  bump_activity();
+  clause_size(c);
+}
+
+void ok_not_a_cref() {
+  unsigned n = clause_size(alloc_clause());
+  check_garbage();
+  clause_size(n);  // plain unsigned, not a CRef spelling
+}

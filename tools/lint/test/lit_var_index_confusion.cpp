@@ -1,0 +1,65 @@
+// Fixture for sateda-lit-var-index-confusion.
+//
+// Mirrors the solver's two index spaces: per-variable arrays
+// (assigns_, level_, ...) are indexed by Lit::var(), per-literal
+// arrays (watches_, bin_watches_) by Lit::index().  The loose::Lit
+// class adds the implicit `operator int()` the in-tree Lit
+// deliberately omits, to exercise the implicit-conversion arm.
+
+template <class T>
+struct Vec {
+  T &operator[](unsigned i);
+  const T &operator[](unsigned i) const;
+};
+
+class Lit {
+ public:
+  explicit Lit(int code) : code_(code) {}
+  int var() const { return code_ >> 1; }
+  int index() const { return code_; }
+
+ private:
+  int code_;
+};
+
+namespace loose {
+class Lit {
+ public:
+  int var() const;
+  int index() const;
+  operator int() const;  // implicit escape hatch — the bug enabler
+};
+}  // namespace loose
+
+struct Solver {
+  Vec<signed char> assigns_;
+  Vec<int> level_;
+  Vec<int> watches_;
+  Vec<int> bin_watches_;
+
+  int bad_var_array_lit_index(Lit l) {
+    return level_[l.index()];  // WARN: per-variable container with .index()
+  }
+
+  signed char ok_var_array(Lit l) { return assigns_[l.var()]; }
+
+  int bad_lit_array_var_index(Lit l) {
+    return watches_[l.var()];  // WARN: per-literal container with .var()
+  }
+
+  int ok_lit_array(Lit l) { return bin_watches_[l.index()]; }
+
+  signed char bad_implicit_conversion(loose::Lit l) {
+    return assigns_[l];  // WARN: implicit Lit -> int conversion as index
+  }
+
+  signed char ok_explicit_cast(loose::Lit l) {
+    // An explicit cast is the programmer saying "I meant it".
+    return assigns_[static_cast<int>(l)];
+  }
+
+  int ok_untracked_container(Lit l) {
+    Vec<int> scratch;
+    return scratch[l.index()];  // not a configured container name
+  }
+};

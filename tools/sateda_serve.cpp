@@ -28,7 +28,6 @@
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -49,6 +48,7 @@
 #include "serve/framing.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "support/mutex.hpp"
 
 namespace {
 
@@ -249,7 +249,7 @@ double percentile(std::vector<double> v, double p) {
 RunStats run_load(serve::Server& server,
                   const std::vector<std::string>& lines) {
   RunStats rs;
-  std::mutex mu;
+  sateda::Mutex mu;
   const auto t0 = std::chrono::steady_clock::now();
   for (const std::string& line : lines) {
     server.submit(line, [&rs, &mu](std::string text) {
@@ -257,13 +257,13 @@ RunStats run_load(serve::Server& server,
       try {
         resp = serve::Json::parse(text);
       } catch (const serve::JsonError&) {
-        std::lock_guard<std::mutex> lock(mu);
+        sateda::MutexLock lock(&mu);
         ++rs.errors;
         return;
       }
       const serve::Json* ok = resp.find("ok");
       const serve::Json* result = resp.find("result");
-      std::lock_guard<std::mutex> lock(mu);
+      sateda::MutexLock lock(&mu);
       if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
         ++rs.errors;
         return;
@@ -440,7 +440,7 @@ void serve_connection(serve::Server& server, int fd) {
   FdStreambuf buf(fd);
   std::istream in(&buf);
   std::ostream out(&buf);
-  std::mutex out_mu;
+  sateda::Mutex out_mu;
   std::string payload;
   while (!server.shutdown_requested()) {
     const serve::FrameStatus st = serve::read_frame(in, payload);
@@ -455,13 +455,22 @@ void serve_connection(serve::Server& server, int fd) {
           serve::error_response(nullptr, serve::kErrFrame,
                                 "frame exceeds 64 MiB limit")
               .dump();
-      std::lock_guard<std::mutex> lock(out_mu);
-      serve::write_frame(out, resp);
+      sateda::MutexLock lock(&out_mu);
+      // Best effort: the connection is dropped right after this frame.
+      (void)serve::write_frame(out, resp);
       break;
     }
     server.submit(payload, [&out, &out_mu](std::string resp) {
-      std::lock_guard<std::mutex> lock(out_mu);
-      serve::write_frame(out, resp);
+      sateda::MutexLock lock(&out_mu);
+      if (!serve::write_frame(out, resp)) {
+        // The response itself blew the 64 MiB frame cap (e.g. a
+        // dump_cnf of a huge formula): substitute an in-band error so
+        // the client is not left waiting on a frame that never comes.
+        (void)serve::write_frame(
+            out, serve::error_response(nullptr, serve::kErrFrame,
+                                       "response exceeds frame size limit")
+                     .dump());
+      }
     });
   }
   server.drain();  // responses must not outlive the connection buffers
