@@ -5,9 +5,13 @@
 # baseline and is never overwritten by this script).
 #
 # usage: scripts/bench.sh [build-dir] [--quick] [--check] [--maxsat]
+#                         [--max-regression X] [--min-instance-ratio X]
 #   --quick   small-instance subset with short timing windows
 #   --check   compare against the checked-in BENCH_solver.json and
-#             fail if propagations/sec regressed more than 25%
+#             fail if geomean propagations/sec (plain or with
+#             inprocessing ON) regressed more than --max-regression,
+#             or any single instance fell below --min-instance-ratio
+#             of its baseline
 #   --maxsat  run the core-guided MaxSAT benchmark over examples/wcnf
 #             instead (writes BENCH_maxsat.json into the build tree)
 set -euo pipefail
@@ -17,15 +21,21 @@ BUILD_DIR="build"
 QUICK=""
 CHECK=0
 MAXSAT=0
-for arg in "$@"; do
-  case "$arg" in
+MAX_REGRESSION="0.25"
+MIN_INSTANCE_RATIO="0.9"
+while [ "$#" -gt 0 ]; do
+  case "$1" in
     --quick) QUICK="--quick" ;;
     --check) CHECK=1 ;;
     --maxsat) MAXSAT=1 ;;
-    -*) echo "usage: scripts/bench.sh [build-dir] [--quick] [--check] [--maxsat]" >&2
+    --max-regression) MAX_REGRESSION="$2"; shift ;;
+    --min-instance-ratio) MIN_INSTANCE_RATIO="$2"; shift ;;
+    -*) echo "usage: scripts/bench.sh [build-dir] [--quick] [--check]" \
+             "[--maxsat] [--max-regression X] [--min-instance-ratio X]" >&2
         exit 2 ;;
-    *) BUILD_DIR="$arg" ;;
+    *) BUILD_DIR="$1" ;;
   esac
+  shift
 done
 
 if [ "$MAXSAT" -eq 1 ]; then
@@ -48,7 +58,34 @@ OUT="$BUILD_DIR/BENCH_solver.json"
 ARGS=("--out" "$OUT" "--corpus" "$ROOT/examples/cnf")
 [ -n "$QUICK" ] && ARGS+=("$QUICK")
 if [ "$CHECK" -eq 1 ]; then
-  ARGS+=("--baseline" "$ROOT/BENCH_solver.json" "--max-regression" "0.25")
+  ARGS+=("--baseline" "$ROOT/BENCH_solver.json"
+         "--max-regression" "$MAX_REGRESSION"
+         "--min-instance-ratio" "$MIN_INSTANCE_RATIO")
 fi
 
-exec "$BENCH" "${ARGS[@]}"
+STATUS=0
+"$BENCH" "${ARGS[@]}" || STATUS=$?
+
+# Per-family inprocessing summary: geometric mean of the wall-clock
+# speedup (inprocessing ON vs OFF) across the instances of each family.
+if [ -f "$OUT" ] && command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" <<'PY' || true
+import json, math, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+fams = {}
+for inst in data.get("instances", []):
+    sp = inst.get("inprocess_speedup", 0.0)
+    if sp > 0.0:
+        fams.setdefault(inst.get("family", "?"), []).append(sp)
+if fams:
+    print("\nper-family inprocess_speedup (geomean of wall-clock ratio)")
+    print(f"{'family':<12} {'n':>3} {'speedup':>8}")
+    for fam in sorted(fams):
+        sps = fams[fam]
+        geo = math.exp(sum(math.log(s) for s in sps) / len(sps))
+        print(f"{fam:<12} {len(sps):>3} {geo:>8.2f}")
+PY
+fi
+
+exit "$STATUS"

@@ -4,6 +4,18 @@ namespace sateda::sat {
 
 CRef ClauseArena::alloc(const std::vector<Lit>& lits, bool learnt) {
   assert(lits.size() >= 2);
+  // Cache-line packing: the propagation loop's first touch reads words
+  // ref..ref+4 (header + two watched literals); keep them inside one
+  // 64-byte (16-word) line by padding past a boundary the five words
+  // would otherwise straddle.
+  constexpr std::size_t kLineWords = 64 / sizeof(std::uint32_t);
+  constexpr std::size_t kHotWords = ArenaClause::kHeaderWords + 2;
+  const std::size_t phase = mem_.size() % kLineWords;
+  if (phase > kLineWords - kHotWords) {
+    const std::size_t pad = kLineWords - phase;
+    mem_.resize(mem_.size() + pad, kPadWord);
+    padding_ += pad;
+  }
   const CRef ref = static_cast<CRef>(mem_.size());
   // Reason encodings pack a CRef into 31 bits; 2^31 words = 8 GiB of
   // clauses, far beyond any in-memory instance we serve.

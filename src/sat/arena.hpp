@@ -26,11 +26,20 @@
 /// through the forwarding word.  Binary clauses never enter the arena
 /// at all — they live directly in the solver's binary watch lists
 /// (see solver.hpp).
+///
+/// Cache-line packing: the propagation loop's first touch of a clause
+/// reads words 0..4 (header plus the two watched literals).  alloc()
+/// pads so those five words never straddle a 64-byte line — when the
+/// next free word is too close to a line boundary it emits pad words
+/// (kPadWord) up to the boundary.  Pads are skipped transparently by
+/// the first()/next() traversal and are never counted as reclaimable
+/// waste (compaction re-emits them as needed).
 #pragma once
 
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "cnf/literal.hpp"
@@ -40,6 +49,11 @@ namespace sateda::sat {
 /// Word offset of a clause header inside the arena.
 using CRef = std::uint32_t;
 inline constexpr CRef kCRefUndef = 0xFFFFFFFFu;
+
+/// Filler word between clauses (cache-line packing).  Never a legal
+/// header: a real word 0 has the relocated bit clear or a size, and
+/// all-ones would be a deleted+relocated clause of impossible size.
+inline constexpr std::uint32_t kPadWord = 0xFFFFFFFFu;
 
 /// Learnt-clause tier (Chanseok-Oh-style three-tier database).
 enum class ClauseTier : std::uint32_t {
@@ -174,17 +188,30 @@ class ClauseArena {
 
   std::size_t size_words() const { return mem_.size(); }
   std::size_t wasted_words() const { return wasted_; }
+  std::size_t padding_words() const { return padding_; }
   void reserve_words(std::size_t words) { mem_.reserve(words); }
 
+  /// Hints the clause's header and first literals into cache (one
+  /// 64-byte line, which alloc()'s packing guarantees covers words
+  /// 0..4) without dereferencing anything.
+  void prefetch(CRef ref) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(mem_.data() + ref);
+#else
+    (void)ref;
+#endif
+  }
+
   /// Sequential iteration over all clauses (live and deleted) in
-  /// allocation order: first() .. next() until end_ref().
-  CRef first() const { return 0; }
+  /// allocation order: first() .. next() until end_ref().  Pad words
+  /// between clauses are skipped transparently.
+  CRef first() const { return skip_pads(0); }
   CRef end_ref() const { return static_cast<CRef>(mem_.size()); }
   CRef next(CRef ref) const {
     ArenaClause c = (*this)[ref];
     // A clause being relocated reuses word 1 as the forwarding ref, but
     // word 0 keeps the size, so traversal stays well-defined mid-GC.
-    return ref + ArenaClause::kHeaderWords + c.size();
+    return skip_pads(ref + ArenaClause::kHeaderWords + c.size());
   }
 
   /// Copies the clause into \p to (once; later calls return the same
@@ -194,11 +221,18 @@ class ClauseArena {
   void swap(ClauseArena& other) {
     mem_.swap(other.mem_);
     std::swap(wasted_, other.wasted_);
+    std::swap(padding_, other.padding_);
   }
 
  private:
+  CRef skip_pads(CRef ref) const {
+    while (ref < mem_.size() && mem_[ref] == kPadWord) ++ref;
+    return ref;
+  }
+
   std::vector<std::uint32_t> mem_;
   std::size_t wasted_ = 0;
+  std::size_t padding_ = 0;  ///< pad words emitted for line alignment
 };
 
 /// Antecedent of an assignment — none (decision / root fact), a clause

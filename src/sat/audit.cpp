@@ -21,6 +21,40 @@ std::string clause_tag(CRef cref, ArenaClause c) {
          std::to_string(cref) + " " + lits_string(c.lits());
 }
 
+/// Structural invariants of a flat watch arena: every slab's occupancy
+/// fits its capacity, every slab lies inside the pool, and no two
+/// slabs' capacity ranges overlap (holes from relocation are fine;
+/// sharing slots is corruption).
+template <typename Entry, typename Report>
+void check_slab_structure(const FlatWatchArena<Entry>& a, const char* name,
+                          Report&& report) {
+  struct Span {
+    std::size_t off, cap, idx;
+  };
+  std::vector<Span> spans;
+  for (std::size_t i = 0; i < a.num_lits(); ++i) {
+    if (a.count(i) > a.cap(i)) {
+      report(std::string(name) + " slab " + std::to_string(i) +
+             " occupancy " + std::to_string(a.count(i)) +
+             " exceeds capacity " + std::to_string(a.cap(i)));
+    }
+    if (a.slab(i) + a.cap(i) > a.pool_slots()) {
+      report(std::string(name) + " slab " + std::to_string(i) +
+             " extends past the pool end");
+    }
+    if (a.cap(i) > 0) spans.push_back({a.slab(i), a.cap(i), i});
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& x, const Span& y) { return x.off < y.off; });
+  for (std::size_t k = 1; k < spans.size(); ++k) {
+    if (spans[k - 1].off + spans[k - 1].cap > spans[k].off) {
+      report(std::string(name) + " slabs " +
+             std::to_string(spans[k - 1].idx) + " and " +
+             std::to_string(spans[k].idx) + " overlap in the pool");
+    }
+  }
+}
+
 }  // namespace
 
 void SolverAuditor::audit(const Solver& s) {
@@ -34,15 +68,21 @@ void SolverAuditor::audit(const Solver& s) {
 }
 
 void SolverAuditor::check_watchers(const Solver& s) {
+  check_slab_structure(s.watches_, "watch",
+                       [this](const std::string& v) { violation(v); });
+  check_slab_structure(s.bin_watches_, "binary watch",
+                       [this](const std::string& v) { violation(v); });
   const std::size_t arena_words = s.arena_.size_words();
   // Watch counts per clause, indexed by the clause's arena offset.
   std::vector<int> seen0(arena_words, 0);
   std::vector<int> seen1(arena_words, 0);
-  for (std::size_t idx = 0; idx < s.watches_.size(); ++idx) {
-    // watches_[(~w).index()] holds clauses watching w, so the literal
-    // a list at index `idx` watches is the complement.
+  for (std::size_t idx = 0; idx < s.watches_.num_lits(); ++idx) {
+    // The slab at (~w).index() holds clauses watching w, so the literal
+    // a slab at index `idx` watches is the complement.
     const Lit watched = ~Lit::from_index(static_cast<std::int32_t>(idx));
-    for (const Solver::Watcher& w : s.watches_[idx]) {
+    const std::uint32_t wn = s.watches_.count(idx);
+    for (std::uint32_t wi = 0; wi < wn; ++wi) {
+      const Watcher& w = s.watches_.at(idx, wi);
       if (w.cref >= arena_words) {
         violation("watcher with out-of-range clause ref " +
                   std::to_string(w.cref));
@@ -89,22 +129,26 @@ void SolverAuditor::check_watchers(const Solver& s) {
 
 void SolverAuditor::check_binaries(const Solver& s) {
   // Every implicit binary clause (x ∨ y) must appear as {y} in the
-  // list visited when x falsifies and as {x} in the list visited when
+  // slab visited when x falsifies and as {x} in the slab visited when
   // y falsifies, with matching learnt flags.
-  for (std::size_t idx = 0; idx < s.bin_watches_.size(); ++idx) {
+  for (std::size_t idx = 0; idx < s.bin_watches_.num_lits(); ++idx) {
     const Lit x = ~Lit::from_index(static_cast<std::int32_t>(idx));
-    for (const Solver::BinWatcher& bw : s.bin_watches_[idx]) {
+    const std::uint32_t bn = s.bin_watches_.count(idx);
+    for (std::uint32_t bi = 0; bi < bn; ++bi) {
+      const BinWatcher& bw = s.bin_watches_.at(idx, bi);
       if (bw.other.var() < 0 || bw.other.var() >= s.num_vars()) {
         violation("binary watch of " + to_string(x) +
                   " names unknown literal " + to_string(bw.other));
         continue;
       }
-      const auto& mirror = s.bin_watches_[(~bw.other).index()];
+      const std::size_t midx =
+          static_cast<std::size_t>((~bw.other).index());
+      const BinWatcher* mbegin = s.bin_watches_.begin(midx);
+      const BinWatcher* mend = mbegin + s.bin_watches_.count(midx);
       const bool mirrored =
-          std::any_of(mirror.begin(), mirror.end(),
-                      [&](const Solver::BinWatcher& m) {
-                        return m.other == x && m.learnt == bw.learnt;
-                      });
+          std::any_of(mbegin, mend, [&](const BinWatcher& m) {
+            return m.other == x && m.learnt == bw.learnt;
+          });
       if (!mirrored) {
         violation("binary clause " + lits_string({x, bw.other}) +
                   " has no mirror entry in the watch list of " +
@@ -174,11 +218,11 @@ void SolverAuditor::check_trail(const Solver& s) {
                   to_string(p) + " is not asserting: " + to_string(other) +
                   " is not false at or below its level");
       }
-      const auto& list = s.bin_watches_[(~other).index()];
-      if (std::none_of(list.begin(), list.end(),
-                       [&](const Solver::BinWatcher& bw) {
-                         return bw.other == p;
-                       })) {
+      const std::size_t lidx = static_cast<std::size_t>((~other).index());
+      const BinWatcher* lbegin = s.bin_watches_.begin(lidx);
+      const BinWatcher* lend = lbegin + s.bin_watches_.count(lidx);
+      if (std::none_of(lbegin, lend,
+                       [&](const BinWatcher& bw) { return bw.other == p; })) {
         violation("binary reason " + lits_string({p, other}) + " of " +
                   to_string(p) + " is not present in the binary watch lists");
       }
@@ -242,9 +286,11 @@ void SolverAuditor::check_trail(const Solver& s) {
       if (c.deleted()) continue;
       fixpoint_check(c.lits(), clause_tag(cref, c));
     }
-    for (std::size_t idx = 0; idx < s.bin_watches_.size(); ++idx) {
+    for (std::size_t idx = 0; idx < s.bin_watches_.num_lits(); ++idx) {
       const Lit x = ~Lit::from_index(static_cast<std::int32_t>(idx));
-      for (const Solver::BinWatcher& bw : s.bin_watches_[idx]) {
+      const std::uint32_t bn = s.bin_watches_.count(idx);
+      for (std::uint32_t bi = 0; bi < bn; ++bi) {
+        const BinWatcher& bw = s.bin_watches_.at(idx, bi);
         if (x.index() >= bw.other.index()) continue;  // canonical half only
         fixpoint_check({x, bw.other},
                        "binary clause " + lits_string({x, bw.other}));
@@ -353,10 +399,12 @@ lbool SolverAuditor::learnt_is_rup(const Solver& s, CRef self,
       if (c.deleted()) continue;
       if (!step(c.lits())) return l_undef;
     }
-    for (std::size_t idx = 0; idx < s.bin_watches_.size() && !conflict;
+    for (std::size_t idx = 0; idx < s.bin_watches_.num_lits() && !conflict;
          ++idx) {
       const Lit x = ~Lit::from_index(static_cast<std::int32_t>(idx));
-      for (const Solver::BinWatcher& bw : s.bin_watches_[idx]) {
+      const std::uint32_t bn = s.bin_watches_.count(idx);
+      for (std::uint32_t bi = 0; bi < bn; ++bi) {
+        const BinWatcher& bw = s.bin_watches_.at(idx, bi);
         if (x.index() >= bw.other.index()) continue;  // canonical half only
         if (!step({x, bw.other})) return l_undef;
         if (conflict) break;
@@ -368,9 +416,11 @@ lbool SolverAuditor::learnt_is_rup(const Solver& s, CRef self,
 }
 
 void SolverAuditor::corrupt_watcher_for_test(Solver& s) {
-  for (auto& list : s.watches_) {
-    if (!list.empty()) {
-      list.pop_back();  // a live clause is now watched only once
+  for (std::size_t idx = 0; idx < s.watches_.num_lits(); ++idx) {
+    const std::uint32_t n = s.watches_.count(idx);
+    if (n > 0) {
+      // A live clause is now watched only once.
+      s.watches_.truncate(idx, n - 1);
       return;
     }
   }

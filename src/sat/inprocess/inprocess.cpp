@@ -12,15 +12,15 @@ namespace sateda::sat {
 namespace {
 
 /// Removes the watch entry implementing clause (a ∨ b) from a's side
-/// (the list at (~a).index() holds {other = b}).  One entry per call,
-/// so duplicate binaries stay balanced.  (Templated so the private
-/// Solver::BinWatcher type is never named outside the friend.)
-template <typename BinList>
-void remove_bin_half(BinList& list, Lit b, bool learnt) {
-  for (std::size_t i = 0; i < list.size(); ++i) {
-    if (list[i].other == b && (list[i].learnt != 0) == learnt) {
-      list[i] = list.back();
-      list.pop_back();
+/// (the slab at (~a).index() holds {other = b}).  One entry per call,
+/// so duplicate binaries stay balanced.
+void remove_bin_half(FlatWatchArena<BinWatcher>& bins, std::size_t idx, Lit b,
+                     bool learnt) {
+  const std::uint32_t n = bins.count(idx);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const BinWatcher& bw = bins.at(idx, i);
+    if (bw.other == b && (bw.learnt != 0) == learnt) {
+      bins.pop_swap(idx, i);
       return;
     }
   }
@@ -48,26 +48,61 @@ bool Inprocessor::run() {
   // nothing in the database is locked during the passes.
   for (Lit l : s.trail_) s.reason_[l.var()] = kNoReason;
   const InprocessOptions& o = s.opts_.inprocess;
-  if (o.probing && !probe_failed_literals()) return false;
-  if (o.vivify && !vivify_learnts()) return false;
-  if (o.bve && !eliminate_variables()) return false;
+  InprocessScheduler& sched = s.ip_sched_;
+  const std::size_t ncls = s.num_problem_clauses_;
+
+  if (o.probing) {
+    const PassPlan plan = sched.plan(InprocessPass::kProbe, s.stats_, ncls, o);
+    if (plan.run) {
+      std::int64_t ticks = 0, red = 0;
+      const bool keep = probe_failed_literals(plan.ticks, ticks, red);
+      ++s.stats_.probe_runs;
+      s.stats_.probe_ticks += ticks;
+      sched.record(InprocessPass::kProbe, s.stats_, ticks, red);
+      if (!keep) return false;
+    }
+  }
+  if (o.vivify) {
+    const PassPlan plan = sched.plan(InprocessPass::kVivify, s.stats_, ncls, o);
+    if (plan.run) {
+      std::int64_t ticks = 0, red = 0;
+      const bool keep = vivify_learnts(plan.ticks, ticks, red);
+      ++s.stats_.vivify_runs;
+      s.stats_.vivify_ticks += ticks;
+      sched.record(InprocessPass::kVivify, s.stats_, ticks, red);
+      if (!keep) return false;
+    }
+  }
+  if (o.bve) {
+    const PassPlan plan = sched.plan(InprocessPass::kBve, s.stats_, ncls, o);
+    if (plan.run) {
+      std::int64_t ticks = 0, red = 0;
+      const bool keep = eliminate_variables(plan.ticks, ticks, red);
+      ++s.stats_.bve_runs;
+      s.stats_.bve_ticks += ticks;
+      sched.record(InprocessPass::kBve, s.stats_, ticks, red);
+      if (!keep) return false;
+    }
+  }
   s.check_garbage();
   return true;
 }
 
-bool Inprocessor::probe_failed_literals() {
+bool Inprocessor::probe_failed_literals(std::int64_t budget,
+                                        std::int64_t& ticks,
+                                        std::int64_t& reductions) {
   Solver& s = s_;
-  const std::int64_t budget = s.opts_.inprocess.probe_budget;
   const std::int64_t start = s.stats_.propagations;
   const std::int32_t n = 2 * s.num_vars();
   for (std::int32_t idx = 0; idx < n; ++idx) {
-    if (budget >= 0 && s.stats_.propagations - start > budget) break;
+    ticks = s.stats_.propagations - start;
+    if (budget >= 0 && ticks > budget) break;
     const Lit l = Lit::from_index(idx);
     if (!s.value(l).is_undef()) continue;
     // Only literals with binary implications are worth assuming: for
     // anything else one probe costs a full watch sweep and almost
     // never fails.
-    if (s.bin_watches_[l.index()].empty()) continue;
+    if (s.bin_watches_.empty(static_cast<std::size_t>(l.index()))) continue;
     s.trail_lim_.push_back(static_cast<int>(s.trail_.size()));
     [[maybe_unused]] const bool enq = s.enqueue(l, kNoReason);
     assert(enq);
@@ -76,17 +111,21 @@ bool Inprocessor::probe_failed_literals() {
     if (confl.is_none()) continue;
     // Assuming l conflicts under unit propagation, so {~l} is RUP.
     ++s.stats_.failed_literals;
+    ++reductions;
     if (s.proof_) s.proof_->on_derive({~l});
     if (!s.enqueue(~l, kNoReason) || !s.deduce().is_none()) {
       s.ok_ = false;
       if (s.proof_) s.proof_->on_derive({});
+      ticks = s.stats_.propagations - start;
       return false;
     }
   }
+  ticks = s.stats_.propagations - start;
   return true;
 }
 
-bool Inprocessor::vivify_learnts() {
+bool Inprocessor::vivify_learnts(std::int64_t budget, std::int64_t& ticks,
+                                 std::int64_t& reductions) {
   Solver& s = s_;
   const InprocessOptions& o = s.opts_.inprocess;
   std::vector<CRef> cands;
@@ -99,12 +138,12 @@ bool Inprocessor::vivify_learnts() {
     cands.push_back(cr);
   }
 
-  const std::int64_t budget = o.vivify_budget;
   const std::int64_t start = s.stats_.propagations;
   std::vector<Lit> lits, out;
   std::vector<CRef> added;
   for (CRef cr : cands) {
-    if (budget >= 0 && s.stats_.propagations - start > budget) break;
+    ticks = s.stats_.propagations - start;
+    if (budget >= 0 && ticks > budget) break;
     ArenaClause c = s.arena_[cr];
     if (c.deleted()) continue;
     const std::uint32_t old_size = c.size();
@@ -146,6 +185,7 @@ bool Inprocessor::vivify_learnts() {
     assert(!out.empty());
 
     ++s.stats_.vivified_clauses;
+    ++reductions;
     s.stats_.vivified_literals +=
         static_cast<std::int64_t>(old_size - out.size());
     if (s.proof_) s.proof_->on_derive(out);
@@ -154,6 +194,7 @@ bool Inprocessor::vivify_learnts() {
       if (!s.enqueue(out[0], kNoReason) || !s.deduce().is_none()) {
         s.ok_ = false;
         if (s.proof_) s.proof_->on_derive({});
+        ticks = s.stats_.propagations - start;
         return false;
       }
     } else if (out.size() == 2) {
@@ -176,10 +217,13 @@ bool Inprocessor::vivify_learnts() {
   }
   s.learnts_.resize(j);
   s.learnts_.insert(s.learnts_.end(), added.begin(), added.end());
+  ticks = s.stats_.propagations - start;
   return true;
 }
 
-bool Inprocessor::eliminate_variables() {
+bool Inprocessor::eliminate_variables(std::int64_t budget,
+                                      std::int64_t& ticks,
+                                      std::int64_t& reductions) {
   Solver& s = s_;
   // Structural listeners (paper §5) own variables the solver cannot
   // see through — branching overrides and early-satisfaction tests may
@@ -190,7 +234,10 @@ bool Inprocessor::eliminate_variables() {
   // Materialize the live problem clauses once: arena clauses keep
   // their CRef, implicit binaries their literal pair (captured at the
   // canonical half).  Resolvents appended during the pass join the
-  // same list so later pivots see them.
+  // same list so later pivots see them.  Materialization is the bulk
+  // of BVE's cost on instances where nothing eliminates, so it is
+  // ticked (one tick per literal copied) and aborts under budget —
+  // nothing has been modified yet at that point.
   struct WorkClause {
     std::vector<Lit> lits;
     CRef cref = kCRefUndef;  // kCRefUndef → implicit binary
@@ -201,11 +248,17 @@ bool Inprocessor::eliminate_variables() {
   for (CRef cr : s.clauses_) {
     ArenaClause c = s.arena_[cr];
     if (c.deleted()) continue;
+    ticks += c.size();
+    if (budget >= 0 && ticks > budget) return true;
     db.push_back({c.lits(), cr, true});
   }
-  for (std::size_t idx = 0; idx < s.bin_watches_.size(); ++idx) {
+  for (std::size_t idx = 0; idx < s.bin_watches_.num_lits(); ++idx) {
     const Lit a = ~Lit::from_index(static_cast<std::int32_t>(idx));
-    for (const Solver::BinWatcher& bw : s.bin_watches_[idx]) {
+    const std::uint32_t bn = s.bin_watches_.count(idx);
+    ticks += bn;
+    if (budget >= 0 && ticks > budget) return true;
+    for (std::uint32_t bi = 0; bi < bn; ++bi) {
+      const BinWatcher bw = s.bin_watches_.at(idx, bi);
       if (bw.learnt) continue;
       if (a.index() < bw.other.index()) {
         db.push_back({{a, bw.other}, kCRefUndef, true});
@@ -215,8 +268,10 @@ bool Inprocessor::eliminate_variables() {
   std::vector<std::vector<std::size_t>> occ(2 *
                                             static_cast<std::size_t>(s.num_vars()));
   for (std::size_t ci = 0; ci < db.size(); ++ci) {
+    ticks += static_cast<std::int64_t>(db[ci].lits.size());
     for (Lit l : db[ci].lits) occ[l.index()].push_back(ci);
   }
+  if (budget >= 0 && ticks > budget) return true;
 
   auto kill = [&](std::size_t ci) {
     WorkClause& wc = db[ci];
@@ -232,10 +287,12 @@ bool Inprocessor::eliminate_variables() {
       }
       s.remove_clause(wc.cref);  // problem clause: no proof deletion
     } else {
-      remove_bin_half(s.bin_watches_[(~wc.lits[0]).index()], wc.lits[1],
-                      /*learnt=*/false);
-      remove_bin_half(s.bin_watches_[(~wc.lits[1]).index()], wc.lits[0],
-                      /*learnt=*/false);
+      remove_bin_half(s.bin_watches_,
+                      static_cast<std::size_t>((~wc.lits[0]).index()),
+                      wc.lits[1], /*learnt=*/false);
+      remove_bin_half(s.bin_watches_,
+                      static_cast<std::size_t>((~wc.lits[1]).index()),
+                      wc.lits[0], /*learnt=*/false);
       ++s.stats_.deleted_clauses;
     }
     if (s.num_problem_clauses_ > 0) --s.num_problem_clauses_;
@@ -256,6 +313,7 @@ bool Inprocessor::eliminate_variables() {
   std::vector<Lit> resolvent;
   std::vector<std::size_t> pos_cls, neg_cls;
   for (const auto& [cnt_hint, v] : order) {
+    if (budget >= 0 && ticks > budget) break;
     if (s.frozen_[v] || s.eliminated_[v] || !s.value(v).is_undef()) continue;
     pos_cls.clear();
     neg_cls.clear();
@@ -280,6 +338,8 @@ bool Inprocessor::eliminate_variables() {
     bool refuted = false;
     for (std::size_t pi : pos_cls) {
       for (std::size_t ni : neg_cls) {
+        ticks += static_cast<std::int64_t>(db[pi].lits.size() +
+                                           db[ni].lits.size());
         if (!resolve_on(db[pi].lits, db[ni].lits, v, resolvent)) continue;
         bool satisfied = false;
         std::size_t w = 0;
@@ -337,6 +397,7 @@ bool Inprocessor::eliminate_variables() {
     s.eliminated_[v] = 1;
     s.decision_[v] = 0;
     ++s.stats_.eliminated_vars;
+    ++reductions;
     s.stats_.bve_resolvents += static_cast<std::int64_t>(kept.size());
     any_eliminated = true;
 
@@ -385,13 +446,14 @@ bool Inprocessor::eliminate_variables() {
       }
     }
     s.learnts_.resize(j);
-    for (std::size_t idx = 0; idx < s.bin_watches_.size(); ++idx) {
+    for (std::size_t idx = 0; idx < s.bin_watches_.num_lits(); ++idx) {
       const Lit a = ~Lit::from_index(static_cast<std::int32_t>(idx));
-      auto& list = s.bin_watches_[idx];
-      std::size_t k = 0;
-      for (const Solver::BinWatcher& bw : list) {
+      const std::uint32_t bn = s.bin_watches_.count(idx);
+      std::uint32_t k = 0;
+      for (std::uint32_t bi = 0; bi < bn; ++bi) {
+        const BinWatcher bw = s.bin_watches_.at(idx, bi);
         if (!s.eliminated_[a.var()] && !s.eliminated_[bw.other.var()]) {
-          list[k++] = bw;
+          s.bin_watches_.at(idx, k++) = bw;
           continue;
         }
         assert(bw.learnt && "problem binaries are removed at commit");
@@ -401,7 +463,7 @@ bool Inprocessor::eliminate_variables() {
           if (s.num_learnt_binaries_ > 0) --s.num_learnt_binaries_;
         }
       }
-      list.resize(k);
+      s.bin_watches_.truncate(idx, k);
     }
   }
   // Drop the CRefs remove_clause() freed so check_garbage() can

@@ -25,7 +25,15 @@
 ///
 /// All passes run with the trail at decision level 0 and leave the
 /// solver at a BCP fixpoint; frozen variables are never eliminated.
+///
+/// Scheduling: each pass asks the solver's InprocessScheduler
+/// (inprocess/schedule.hpp) whether to run and with what tick budget —
+/// propagations for probing/vivification, materialization words plus
+/// resolution literals for BVE.  Ticks spent, work produced and rounds
+/// skipped land in the SolverStats per-pass ledger.
 #pragma once
+
+#include <cstdint>
 
 namespace sateda::sat {
 
@@ -38,17 +46,25 @@ class Inprocessor {
  public:
   explicit Inprocessor(Solver& s) : s_(s) {}
 
-  /// Runs the passes enabled in SolverOptions::inprocess.  Returns
-  /// false iff the clause set was refuted: the solver is marked dead
-  /// (okay() == false) and the proof, if any, ends with the empty
-  /// clause.
+  /// Runs the passes enabled in SolverOptions::inprocess, each gated
+  /// and budgeted by the solver's scheduler.  Returns false iff the
+  /// clause set was refuted: the solver is marked dead (okay() ==
+  /// false) and the proof, if any, ends with the empty clause.
   [[nodiscard]] bool run();
 
  private:
   [[nodiscard]] bool settle();  ///< propagate to fixpoint; false on root conflict
-  [[nodiscard]] bool probe_failed_literals();
-  [[nodiscard]] bool vivify_learnts();
-  [[nodiscard]] bool eliminate_variables();
+  /// Each pass stops once \p budget ticks are spent (<0: unlimited) and
+  /// reports ticks consumed and reductions derived through the
+  /// out-params (meaningful even when the return value is false).
+  [[nodiscard]] bool probe_failed_literals(std::int64_t budget,
+                                           std::int64_t& ticks,
+                                           std::int64_t& reductions);
+  [[nodiscard]] bool vivify_learnts(std::int64_t budget, std::int64_t& ticks,
+                                    std::int64_t& reductions);
+  [[nodiscard]] bool eliminate_variables(std::int64_t budget,
+                                         std::int64_t& ticks,
+                                         std::int64_t& reductions);
 
   Solver& s_;
 };

@@ -1,0 +1,137 @@
+#include "sat/inprocess/schedule.hpp"
+
+#include <algorithm>
+
+namespace sateda::sat {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+double clamp1(double x) { return std::clamp(x, -1.0, 1.0); }
+}  // namespace
+
+std::int64_t InprocessScheduler::option_budget(InprocessPass p,
+                                               const InprocessOptions& opts) {
+  switch (p) {
+    case InprocessPass::kProbe: return opts.probe_budget;
+    case InprocessPass::kVivify: return opts.vivify_budget;
+    case InprocessPass::kBve: return opts.bve_budget;
+  }
+  return -1;
+}
+
+void InprocessScheduler::observe(const SolverStats& stats,
+                                 const InprocessOptions& opts) {
+  ++round_;
+  // The interval's search effort excludes the propagations the passes
+  // themselves performed last round — otherwise a pass would dilute the
+  // very efficiency reading that judges it.
+  const std::int64_t dprops = std::max<std::int64_t>(
+      0, stats.propagations - prev_props_ - pass_props_last_round_);
+  const std::int64_t dconfl =
+      std::max<std::int64_t>(0, stats.conflicts - prev_conflicts_);
+  const bool measurable = dprops >= 1000;
+  if (measurable) {
+    interval_eff_ =
+        1000.0 * static_cast<double>(dconfl) / static_cast<double>(dprops);
+  }
+
+  for (PassState& st : state_) {
+    if (st.window_open) {
+      if (!measurable) continue;  // keep the window armed one more round
+      st.window_open = false;
+      // Did the interval after the run produce conflicts at a better
+      // rate than the interval before it?
+      double improvement = 0.0;
+      if (st.eff_before > kEps) {
+        improvement =
+            clamp1((interval_eff_ - st.eff_before) / st.eff_before);
+      }
+      // What fraction of the window did the pass itself consume?
+      const double tick_cost = std::min(
+          1.0, static_cast<double>(st.ticks_last) /
+                   static_cast<double>(std::max<std::int64_t>(1, dprops)));
+      // Work product: a run that derived nothing was pure overhead.
+      const double work =
+          st.reductions_last > 0
+              ? std::min(0.15, 0.015 * static_cast<double>(st.reductions_last))
+              : -0.25;
+      const double score = clamp1(0.5 * improvement + work - tick_cost);
+      st.utility = 0.7 * st.utility + 0.3 * score;
+      if (st.utility < opts.utility_threshold) {
+        st.backoff = std::min<std::int64_t>(
+            st.backoff == 0 ? 1 : st.backoff * 2, opts.max_backoff);
+        st.cooldown = st.backoff;
+      } else if (st.utility > 0.0) {
+        st.backoff /= 2;
+      }
+    }
+  }
+
+  if (measurable) {
+    prev_props_ = stats.propagations;
+    prev_conflicts_ = stats.conflicts;
+    pass_props_last_round_ = 0;
+  }
+}
+
+PassPlan InprocessScheduler::plan(InprocessPass p, const SolverStats& stats,
+                                  std::size_t num_problem_clauses,
+                                  const InprocessOptions& opts) {
+  PassState& st = state_[static_cast<int>(p)];
+  if (!opts.self_throttle) {
+    return {true, option_budget(p, opts)};
+  }
+  if (st.cooldown > 0) {
+    --st.cooldown;
+    ++st.skips;
+    return {false, 0};
+  }
+  const std::int64_t cap = option_budget(p, opts);
+  std::int64_t ticks;
+  if (st.runs == 0) {
+    // Entry round: little search history yet, so scale to the formula —
+    // this doubles as preprocessing without letting a flat budget dwarf
+    // a small instance's entire search.
+    const std::int64_t formula = opts.entry_ticks_per_clause *
+                                 static_cast<std::int64_t>(num_problem_clauses);
+    if (p == InprocessPass::kBve) {
+      // BVE ticks are clause words touched, orders of magnitude cheaper
+      // than a propagation — and a completed elimination round is what
+      // collapses chain instances (dubois), so let it finish.
+      ticks = 8 * formula;
+    } else {
+      // Probe/vivify ticks ARE propagations.  Cap the entry round by
+      // the search effort the instance has demonstrated so far, or the
+      // passes dwarf an almost-free solve.  The entry floor is a
+      // quarter of the steady-state one for the same reason.
+      const std::int64_t share = static_cast<std::int64_t>(
+          opts.tick_share * static_cast<double>(stats.propagations));
+      ticks = std::min(formula, std::max(share, opts.min_ticks / 4));
+    }
+  } else {
+    const std::int64_t since =
+        std::max<std::int64_t>(0, stats.propagations - st.last_run_props);
+    ticks = static_cast<std::int64_t>(opts.tick_share *
+                                      static_cast<double>(since));
+    ticks = std::max(ticks, opts.min_ticks);
+  }
+  if (cap >= 0) ticks = std::min(ticks, cap);
+  return {true, ticks};
+}
+
+void InprocessScheduler::record(InprocessPass p, const SolverStats& stats,
+                                std::int64_t ticks, std::int64_t reductions) {
+  PassState& st = state_[static_cast<int>(p)];
+  ++st.runs;
+  st.last_run_props = stats.propagations;
+  st.window_open = true;
+  st.ticks_last = ticks;
+  st.reductions_last = reductions;
+  st.eff_before = interval_eff_;
+  // Probe/vivify ticks are propagations and land in stats.propagations;
+  // BVE ticks are resolution work, invisible to the propagation counter.
+  if (p != InprocessPass::kBve) pass_props_last_round_ += ticks;
+}
+
+}  // namespace sateda::sat

@@ -1,0 +1,120 @@
+/// \file schedule.hpp
+/// \brief Self-throttling scheduler for the inprocessing passes.
+///
+/// BENCH_solver.json showed the fixed schedule of PR 5 making the
+/// solver 2-6x *slower* on exactly the instances that matter (php8
+/// 0.37x, parity200 0.15x): every pass re-ran at every boundary with a
+/// flat propagation budget far above what the search in between had
+/// spent, so inprocessing cost dwarfed search progress.  The scheduler
+/// fixes both halves of that, in the style of CaDiCaL-lineage tick
+/// budgets:
+///
+///  * Tick budgets proportional to search effort.  A pass may spend at
+///    most `tick_share` of the propagations the search performed since
+///    the pass last ran (floored at `min_ticks`, capped at the pass's
+///    option budget).  The first run doubles as preprocessing and is
+///    instead scaled to the formula (`entry_ticks_per_clause`).  Ticks
+///    are propagations for probing/vivification and
+///    materialization+resolution work for BVE.
+///
+///  * A per-pass utility ledger.  After a pass runs, the following
+///    solve interval is measured: the pass's score is its
+///    conflicts-per-propagation delta versus the interval before the
+///    run, minus the fraction of the window it spent on its own ticks,
+///    plus a small work-product term (a run that derived nothing is
+///    penalized outright).  An exponentially-weighted utility below
+///    `utility_threshold` doubles the pass's backoff — it is skipped
+///    for 1, 2, 4, ... rounds (capped at `max_backoff`) and re-probed
+///    rarely; a recovering utility halves the backoff again.
+///
+/// The ledger is exported through SolverStats (probe/vivify/bve
+/// runs/ticks/skips/utility) so `sateda-solve --stats` and
+/// `sateda-bench` can show where inprocessing time went.
+#pragma once
+
+#include <cstdint>
+
+#include "sat/options.hpp"
+
+namespace sateda::sat {
+
+/// The three inprocessing passes, in the order they run.
+enum class InprocessPass : int { kProbe = 0, kVivify = 1, kBve = 2 };
+inline constexpr int kNumInprocessPasses = 3;
+
+inline const char* to_string(InprocessPass p) {
+  switch (p) {
+    case InprocessPass::kProbe: return "probe";
+    case InprocessPass::kVivify: return "vivify";
+    case InprocessPass::kBve: return "bve";
+  }
+  return "?";
+}
+
+/// Decision for one pass at one inprocessing boundary.
+struct PassPlan {
+  bool run = false;
+  std::int64_t ticks = 0;  ///< tick budget when run (<0: unlimited)
+};
+
+/// Per-pass tick budgets and utility ledger.  One instance lives in
+/// each Solver; all methods are called at root-level inprocessing
+/// boundaries only.
+class InprocessScheduler {
+ public:
+  /// Settles the measurement windows opened by the previous round
+  /// against the search interval that just ended.  Call once per
+  /// boundary, before any plan()/record().
+  void observe(const SolverStats& stats, const InprocessOptions& opts);
+
+  /// Whether (and with what tick budget) pass \p p should run now.
+  PassPlan plan(InprocessPass p, const SolverStats& stats,
+                std::size_t num_problem_clauses, const InprocessOptions& opts);
+
+  /// Reports a completed run of \p p: \p ticks spent, \p reductions
+  /// derived (units/strengthened clauses/eliminated variables).  Opens
+  /// the pass's measurement window for the next observe().
+  void record(InprocessPass p, const SolverStats& stats, std::int64_t ticks,
+              std::int64_t reductions);
+
+  double utility(InprocessPass p) const {
+    return state_[static_cast<int>(p)].utility;
+  }
+  std::int64_t skips(InprocessPass p) const {
+    return state_[static_cast<int>(p)].skips;
+  }
+  std::int64_t backoff(InprocessPass p) const {
+    return state_[static_cast<int>(p)].backoff;
+  }
+
+ private:
+  struct PassState {
+    std::int64_t runs = 0;
+    std::int64_t skips = 0;
+    double utility = 0.0;        ///< EWMA of per-run scores
+    std::int64_t backoff = 0;    ///< rounds skipped after each run
+    std::int64_t cooldown = 0;   ///< rounds left in the current backoff
+    std::int64_t last_run_props = 0;  ///< search props marker at last run end
+    // Open measurement window (armed by record, settled by observe).
+    bool window_open = false;
+    std::int64_t ticks_last = 0;
+    std::int64_t reductions_last = 0;
+    double eff_before = 0.0;     ///< conflicts per kiloprop before the run
+  };
+
+  /// Budget cap from the pass's InprocessOptions field.
+  static std::int64_t option_budget(InprocessPass p,
+                                    const InprocessOptions& opts);
+
+  PassState state_[kNumInprocessPasses];
+  std::int64_t round_ = 0;
+  // End-of-previous-interval markers for efficiency measurement.
+  std::int64_t prev_props_ = 0;
+  std::int64_t prev_conflicts_ = 0;
+  /// Propagations the passes themselves consumed last round, excluded
+  /// from the next interval's efficiency reading.
+  std::int64_t pass_props_last_round_ = 0;
+  double interval_eff_ = 0.0;  ///< conflicts per kiloprop, last interval
+};
+
+}  // namespace sateda::sat

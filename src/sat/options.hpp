@@ -56,6 +56,32 @@ struct InprocessOptions {
   bool vivify = true;
   std::int64_t vivify_budget = 200000;  ///< propagations per vivify pass
   int vivify_max_size = 30;             ///< skip longer clauses
+
+  // --- bounded variable elimination tick cap ------------------------
+  /// BVE ticks (clause words materialized + resolution literals) per
+  /// pass; <0: unlimited.  The self-throttling scheduler shrinks this
+  /// further on instances where BVE is not earning its keep.
+  std::int64_t bve_budget = 2000000;
+
+  // --- self-throttling scheduler (inprocess/schedule.hpp) -----------
+  /// Master switch for CaDiCaL-style tick budgets: each pass may spend
+  /// at most tick_share of the search propagations since its last run,
+  /// and passes whose measured utility stays negative are geometrically
+  /// backed off (skipped for 1, 2, 4, ... rounds, re-probed rarely).
+  bool self_throttle = true;
+  double tick_share = 0.05;        ///< per-round tick cap as a search fraction
+  std::int64_t min_ticks = 2000;   ///< floor budget when a pass does run
+  /// First run doubles as preprocessing: its budget scales with the
+  /// formula (ticks per problem clause) instead of prior search effort.
+  std::int64_t entry_ticks_per_clause = 32;
+  /// Conflicts the search must produce before the entry round fires
+  /// (the solver forces a restart the moment it is reached, so the
+  /// round still sees a near-clean database).  Instances that solve by
+  /// propagation alone — parity chains, easy SAT — never pay for
+  /// inprocessing at all.
+  std::int64_t entry_conflicts = 1;
+  double utility_threshold = 0.0;  ///< back off passes scoring below this
+  int max_backoff = 32;              ///< cap on rounds skipped in a row
 };
 
 /// Tunables for sat::Solver.  Defaults reproduce a GRASP/Chaff-flavoured
@@ -125,6 +151,14 @@ struct SolverStats {
   std::int64_t binary_propagations = 0;  ///< implications from implicit binaries
   std::int64_t arena_gc_runs = 0;        ///< compacting collections performed
   std::int64_t arena_bytes_reclaimed = 0;
+  // Watch-efficiency observability (watch.hpp flat watch arena): how
+  // much of the propagation loop's watcher traffic the blocker test
+  // absorbs without touching clause memory, and how often the arena
+  // needed maintenance.
+  std::int64_t watch_visits = 0;      ///< watcher entries examined in deduce()
+  std::int64_t blocker_hits = 0;      ///< visits resolved by the blocker alone
+  std::int64_t watch_slab_relocs = 0; ///< slab relocations (pool holes made)
+  std::int64_t watch_rebuilds = 0;    ///< watch-arena compactions
   // UNSAT-core / core-guided optimization observability (sat/core,
   // opt/maxsat): the engine counts every failed-assumption core it
   // hands out; the consumers add minimization and relaxation effort.
@@ -139,6 +173,23 @@ struct SolverStats {
   std::int64_t failed_literals = 0;   ///< units derived by probing
   std::int64_t vivified_clauses = 0;  ///< learnt clauses strengthened
   std::int64_t vivified_literals = 0; ///< literals removed by vivification
+  // Per-pass inprocessing ledger (inprocess/schedule.hpp): ticks spent
+  // vs. runs executed vs. rounds skipped by the self-throttling
+  // scheduler, plus the last measured utility (EWMA of the pass's
+  // conflict-efficiency delta net of its tick cost; negative = the
+  // pass was not earning its keep and is being backed off).
+  std::int64_t probe_runs = 0;
+  std::int64_t probe_ticks = 0;       ///< propagations spent probing
+  std::int64_t probe_skips = 0;
+  std::int64_t vivify_runs = 0;
+  std::int64_t vivify_ticks = 0;      ///< propagations spent vivifying
+  std::int64_t vivify_skips = 0;
+  std::int64_t bve_runs = 0;
+  std::int64_t bve_ticks = 0;         ///< BVE materialization+resolution work
+  std::int64_t bve_skips = 0;
+  double probe_utility = 0.0;
+  double vivify_utility = 0.0;
+  double bve_utility = 0.0;
   double solve_time_sec = 0.0;        ///< wall time spent inside solve()
 
   /// Propagation throughput over the time spent in solve(); the key
@@ -146,6 +197,14 @@ struct SolverStats {
   double propagations_per_sec() const {
     return solve_time_sec > 0.0
                ? static_cast<double>(propagations) / solve_time_sec
+               : 0.0;
+  }
+  /// Fraction of watcher visits the blocker test resolved without a
+  /// clause dereference — the watch layout's cache-efficiency figure.
+  double blocker_hit_rate() const {
+    return watch_visits > 0
+               ? static_cast<double>(blocker_hits) /
+                     static_cast<double>(watch_visits)
                : 0.0;
   }
   double conflicts_per_sec() const {
@@ -170,6 +229,10 @@ struct SolverStats {
     binary_propagations += o.binary_propagations;
     arena_gc_runs += o.arena_gc_runs;
     arena_bytes_reclaimed += o.arena_bytes_reclaimed;
+    watch_visits += o.watch_visits;
+    blocker_hits += o.blocker_hits;
+    watch_slab_relocs += o.watch_slab_relocs;
+    watch_rebuilds += o.watch_rebuilds;
     cores_extracted += o.cores_extracted;
     core_literals += o.core_literals;
     core_min_calls += o.core_min_calls;
@@ -180,6 +243,22 @@ struct SolverStats {
     failed_literals += o.failed_literals;
     vivified_clauses += o.vivified_clauses;
     vivified_literals += o.vivified_literals;
+    probe_runs += o.probe_runs;
+    probe_ticks += o.probe_ticks;
+    probe_skips += o.probe_skips;
+    vivify_runs += o.vivify_runs;
+    vivify_ticks += o.vivify_ticks;
+    vivify_skips += o.vivify_skips;
+    bve_runs += o.bve_runs;
+    bve_ticks += o.bve_ticks;
+    bve_skips += o.bve_skips;
+    // Utilities are per-engine gauges, not counters; keep the reading
+    // from the side that did more inprocessing work.
+    if (o.inprocess_runs > inprocess_runs - o.inprocess_runs) {
+      probe_utility = o.probe_utility;
+      vivify_utility = o.vivify_utility;
+      bve_utility = o.bve_utility;
+    }
     // Workers run concurrently; the wall-clock max is the meaningful
     // aggregate for a portfolio.
     solve_time_sec = std::max(solve_time_sec, o.solve_time_sec);
@@ -237,6 +316,13 @@ struct SolverStats {
     s += "arena GC runs        : " + std::to_string(arena_gc_runs) + "\n";
     s += "arena bytes reclaimed: " + std::to_string(arena_bytes_reclaimed) +
          "\n";
+    char rate_buf[32];
+    std::snprintf(rate_buf, sizeof(rate_buf), "%.3f", blocker_hit_rate());
+    s += "watch visits         : " + std::to_string(watch_visits) + "\n";
+    s += "blocker hits         : " + std::to_string(blocker_hits) + "\n";
+    s += "blocker hit rate     : " + std::string(rate_buf) + "\n";
+    s += "watch slab relocs    : " + std::to_string(watch_slab_relocs) + "\n";
+    s += "watch rebuilds       : " + std::to_string(watch_rebuilds) + "\n";
     s += "cores extracted      : " + std::to_string(cores_extracted) + "\n";
     s += "core literals        : " + std::to_string(core_literals) + "\n";
     s += "core minimize calls  : " + std::to_string(core_min_calls) + "\n";
@@ -247,6 +333,23 @@ struct SolverStats {
     s += "failed literals      : " + std::to_string(failed_literals) + "\n";
     s += "vivified clauses     : " + std::to_string(vivified_clauses) + "\n";
     s += "vivified literals    : " + std::to_string(vivified_literals) + "\n";
+    auto ledger_line = [](const char* pass, std::int64_t runs,
+                          std::int64_t ticks, std::int64_t skips,
+                          double utility) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "%-21s: runs=%lld ticks=%lld skips=%lld utility=%.3f\n",
+                    pass, static_cast<long long>(runs),
+                    static_cast<long long>(ticks),
+                    static_cast<long long>(skips), utility);
+      return std::string(buf);
+    };
+    s += ledger_line("probe ledger", probe_runs, probe_ticks, probe_skips,
+                     probe_utility);
+    s += ledger_line("vivify ledger", vivify_runs, vivify_ticks, vivify_skips,
+                     vivify_utility);
+    s += ledger_line("BVE ledger", bve_runs, bve_ticks, bve_skips,
+                     bve_utility);
     s += "solve time (s)       : " + std::string(time_buf) + "\n";
     s += "propagations/sec     : " + rate(propagations_per_sec()) + "\n";
     s += "conflicts/sec        : " + rate(conflicts_per_sec());

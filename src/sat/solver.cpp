@@ -26,10 +26,8 @@ Var Solver::new_var() {
   eliminated_.push_back(0);
   seen_.push_back(0);
   level_stamp_.push_back(0);
-  watches_.emplace_back();
-  watches_.emplace_back();
-  bin_watches_.emplace_back();
-  bin_watches_.emplace_back();
+  watches_.ensure_lits(2 * (static_cast<std::size_t>(v) + 1));
+  bin_watches_.ensure_lits(2 * (static_cast<std::size_t>(v) + 1));
   order_.insert(v);
   return v;
 }
@@ -117,27 +115,27 @@ void Solver::attach_binary(Lit a, Lit b, bool learnt) {
   // The clause (a ∨ b): when ~a becomes true, b is implied, and
   // symmetrically — each direction is one entry in the other watch
   // list, and the clause exists nowhere else.
-  bin_watches_[(~a).index()].push_back({b, learnt ? std::uint8_t{1}
-                                                  : std::uint8_t{0}});
-  bin_watches_[(~b).index()].push_back({a, learnt ? std::uint8_t{1}
-                                                  : std::uint8_t{0}});
+  bin_watches_.push((~a).index(), {b, learnt ? std::uint8_t{1}
+                                             : std::uint8_t{0}});
+  bin_watches_.push((~b).index(), {a, learnt ? std::uint8_t{1}
+                                             : std::uint8_t{0}});
   if (learnt) ++num_learnt_binaries_;
 }
 
 void Solver::attach_watches(CRef cref) {
   ArenaClause c = arena_[cref];
-  watches_[(~c[0]).index()].push_back({cref, c[1]});
-  watches_[(~c[1]).index()].push_back({cref, c[0]});
+  watches_.push((~c[0]).index(), {cref, c[1]});
+  watches_.push((~c[1]).index(), {cref, c[0]});
 }
 
 void Solver::detach_watches(CRef cref) {
   ArenaClause c = arena_[cref];
   for (Lit w : {c[0], c[1]}) {
-    auto& list = watches_[(~w).index()];
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      if (list[i].cref == cref) {
-        list[i] = list.back();
-        list.pop_back();
+    const std::size_t idx = static_cast<std::size_t>((~w).index());
+    const std::uint32_t n = watches_.count(idx);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (watches_.at(idx, i).cref == cref) {
+        watches_.pop_swap(idx, i);
         break;
       }
     }
@@ -199,17 +197,18 @@ void Solver::simplify_db() {
   // Drop both halves of each root-satisfied clause, but account for
   // the clause — proof line, counters — only at its canonical half so
   // it is counted once.
-  for (std::size_t idx = 0; idx < bin_watches_.size(); ++idx) {
+  for (std::size_t idx = 0; idx < bin_watches_.num_lits(); ++idx) {
     const Lit w = Lit::from_index(static_cast<std::int32_t>(idx));
     const Lit x = ~w;  // the clause literal this list watches for
-    auto& list = bin_watches_[idx];
-    std::size_t j = 0;
-    for (const BinWatcher& bw : list) {
+    const std::uint32_t n = bin_watches_.count(idx);
+    std::uint32_t j = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const BinWatcher bw = bin_watches_.at(idx, i);
       const bool satisfied =
           (value(x).is_true() && level_[x.var()] == 0) ||
           (value(bw.other).is_true() && level_[bw.other.var()] == 0);
       if (!satisfied) {
-        list[j++] = bw;
+        bin_watches_.at(idx, j++) = bw;
         continue;
       }
       if (x.index() < bw.other.index()) {  // canonical half
@@ -222,7 +221,7 @@ void Solver::simplify_db() {
         }
       }
     }
-    list.resize(j);
+    bin_watches_.truncate(idx, j);
   }
   check_garbage();
 }
@@ -241,15 +240,22 @@ bool Solver::enqueue(Lit p, Reason reason) {
 
 Reason Solver::deduce() {
   Reason confl = kNoReason;
+  std::int64_t visits = 0;
+  std::int64_t bhits = 0;
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];  // p is now true
     ++stats_.propagations;
+    const std::size_t pidx = static_cast<std::size_t>(p.index());
+    // Hint p's main watch slab into cache while the binary pass runs.
+    watches_.prefetch(pidx);
 
     // Binary pass: every clause (~p ∨ other) implies `other` directly —
     // one contiguous scan, no clause memory touched.
     {
-      const auto& bws = bin_watches_[p.index()];
-      for (const BinWatcher& bw : bws) {
+      const std::uint32_t bn = bin_watches_.count(pidx);
+      const BinWatcher* bws = bin_watches_.begin(pidx);
+      for (std::uint32_t bi = 0; bi < bn; ++bi) {
+        const BinWatcher bw = bws[bi];
         const lbool v = value(bw.other);
         if (v.is_true()) continue;
         if (v.is_false()) {
@@ -265,13 +271,24 @@ Reason Solver::deduce() {
       if (!confl.is_none()) break;
     }
 
-    auto& ws = watches_[p.index()];
-    std::size_t i = 0, j = 0;
-    const std::size_t n = ws.size();
+    // Watcher pass over p's slab, compacted in place.  Pushing a new
+    // watch may reallocate the pool, so the base pointer is re-fetched
+    // after every push; the *target* slab is never p's own (the new
+    // watch literal ~c[1] is non-false while ~p is false), so the i/j
+    // scan positions stay valid across the re-fetch.
+    Watcher* ws = watches_.begin(pidx);
+    const std::uint32_t n = watches_.count(pidx);
+    std::uint32_t i = 0, j = 0;
     while (i < n) {
-      Watcher w = ws[i];
+      ++visits;
+      const Watcher w = ws[i];
+      // Pull the next watcher's clause words toward cache while this
+      // one is processed — the slab is contiguous, so ws[i+1] is
+      // already (or about to be) resident.
+      if (i + 1 < n) arena_.prefetch(ws[i + 1].cref);
       // Cheap test first: if the blocker is already true, skip.
       if (value(w.blocker).is_true()) {
+        ++bhits;
         ws[j++] = ws[i++];
         continue;
       }
@@ -291,7 +308,8 @@ Reason Solver::deduce() {
       for (std::uint32_t k = 2; k < size; ++k) {
         if (!value(c[k]).is_false()) {
           c.swap_lits(1, k);
-          watches_[(~c[1]).index()].push_back({w.cref, first});
+          watches_.push((~c[1]).index(), {w.cref, first});
+          ws = watches_.begin(pidx);  // pool may have moved
           found = true;
           break;
         }
@@ -307,9 +325,11 @@ Reason Solver::deduce() {
       }
       enqueue(first, Reason::clause(w.cref));
     }
-    ws.resize(j);
+    watches_.truncate(pidx, j);
     if (!confl.is_none()) break;
   }
+  stats_.watch_visits += visits;
+  stats_.blocker_hits += bhits;
   return confl;
 }
 
@@ -702,7 +722,23 @@ void Solver::check_garbage() {
       static_cast<double>(arena_.wasted_words()) >
           static_cast<double>(arena_.size_words()) * opts_.gc_frac) {
     garbage_collect();
+    return;
   }
+  // Even without clause garbage, slab-relocation holes can come to
+  // dominate the watch pool — compact it alone when they do.
+  if (watches_.fragmented() || bin_watches_.fragmented()) {
+    rebuild_watches({});
+  }
+}
+
+void Solver::rebuild_watches(const std::function<void(CRef&)>& remap) {
+  if (remap) {
+    watches_.rebuild([&remap](Watcher& w) { remap(w.cref); });
+  } else {
+    watches_.rebuild();
+  }
+  bin_watches_.rebuild();
+  ++stats_.watch_rebuilds;
 }
 
 void Solver::garbage_collect() {
@@ -710,9 +746,10 @@ void Solver::garbage_collect() {
   to.reserve_words(arena_.size_words() - arena_.wasted_words());
   // Relocate in watch-list order so clauses watched by the same literal
   // stay adjacent — the propagation loop then streams through them.
-  for (auto& ws : watches_) {
-    for (Watcher& w : ws) w.cref = arena_.reloc(w.cref, to);
-  }
+  // The watch pool is compacted in the same sweep (its slabs are being
+  // rewritten anyway), so both memory streams come out hole-free and
+  // laid out in exactly the order deduce() visits them.
+  rebuild_watches([this, &to](CRef& cr) { cr = arena_.reloc(cr, to); });
   for (Lit l : trail_) {
     const Var v = l.var();
     if (reason_[v].is_clause()) {
@@ -936,8 +973,14 @@ SolveResult Solver::search() {
     // where the auditor's invariants are all expected to hold.
     if (auditor_) auditor_->maybe_checkpoint(*this);
 
-    // Restart?
-    if (restart_budget >= 0 && conflicts_this_restart >= restart_budget) {
+    // Restart?  The entry inprocessing round forces one the moment it
+    // becomes due: entry BVE is worth far more on a near-clean clause
+    // database than a hundred conflicts later at the natural restart.
+    const bool entry_inprocess_due = opts_.inprocess.enabled &&
+                                     stats_.inprocess_runs == 0 &&
+                                     inprocess_due();
+    if ((restart_budget >= 0 && conflicts_this_restart >= restart_budget) ||
+        entry_inprocess_due) {
       erase_until(0);
       ++stats_.restarts;
       ++restart_count;
@@ -954,8 +997,7 @@ SolveResult Solver::search() {
       }
       // ... and the inprocessing points, for the same reason (a
       // refutation inside the run closes the proof itself).
-      if (opts_.inprocess.enabled && stats_.conflicts >= next_inprocess_ &&
-          !run_inprocess()) {
+      if (opts_.inprocess.enabled && inprocess_due() && !run_inprocess()) {
         return SolveResult::kUnsat;
       }
       continue;
@@ -1045,10 +1087,11 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
     deadline_ = t0 + std::chrono::milliseconds(opts_.time_budget_ms);
     time_poll_counter_ = 0;
   }
-  // Entry inprocessing doubles as preprocessing on the first call (the
-  // trigger starts at zero conflicts) and catches up after incremental
-  // clause additions on later ones.
-  if (opts_.inprocess.enabled && stats_.conflicts >= next_inprocess_) {
+  // Entry inprocessing doubles as preprocessing on the first call and
+  // catches up after incremental clause additions on later ones.  Under
+  // self-throttling the first round waits for entry_conflicts, so it
+  // fires from the search loop once the instance has proven nontrivial.
+  if (opts_.inprocess.enabled && inprocess_due()) {
     run_inprocess();
   }
   SolveResult result = ok_ ? search() : SolveResult::kUnsat;
@@ -1142,14 +1185,31 @@ bool Solver::import_shared_clauses() {
   return true;
 }
 
+bool Solver::inprocess_due() const {
+  std::int64_t trigger = next_inprocess_;
+  if (stats_.inprocess_runs == 0 && opts_.inprocess.self_throttle) {
+    trigger = std::max(trigger, opts_.inprocess.entry_conflicts);
+  }
+  return stats_.conflicts >= trigger;
+}
+
 bool Solver::run_inprocess() {
   assert(decision_level() == 0);
   if (inprocess_interval_ < 0) {
     inprocess_interval_ = std::max<std::int64_t>(opts_.inprocess.interval, 0);
   }
   ++stats_.inprocess_runs;
+  // Settle the utility windows the previous round armed, then let the
+  // Inprocessor consult the scheduler pass by pass.
+  ip_sched_.observe(stats_, opts_.inprocess);
   Inprocessor ip(*this);
   const bool keep = ip.run();
+  stats_.probe_skips = ip_sched_.skips(InprocessPass::kProbe);
+  stats_.vivify_skips = ip_sched_.skips(InprocessPass::kVivify);
+  stats_.bve_skips = ip_sched_.skips(InprocessPass::kBve);
+  stats_.probe_utility = ip_sched_.utility(InprocessPass::kProbe);
+  stats_.vivify_utility = ip_sched_.utility(InprocessPass::kVivify);
+  stats_.bve_utility = ip_sched_.utility(InprocessPass::kBve);
   // Reschedule: the interval grows geometrically so inprocessing cost
   // amortises as the search matures (interval 0 = every boundary).
   next_inprocess_ =

@@ -20,6 +20,9 @@
 /// ClauseArena (arena.hpp); binary clauses are implicit — each lives
 /// only as two entries in per-literal binary watch lists, propagated in
 /// a tight first pass of deduce() with no clause dereference at all.
+/// Watch lists themselves live in flat per-literal slabs inside one
+/// contiguous pool (watch.hpp), rebuilt in watch order at arena GC so
+/// the propagation loop streams through memory sequentially.
 ///
 /// A SolverListener (paper §5) can observe assignments and override
 /// the decision procedure without any change to these data structures.
@@ -38,9 +41,11 @@
 #include "sat/engine.hpp"
 #include "sat/heap.hpp"
 #include "sat/inprocess/elim.hpp"
+#include "sat/inprocess/schedule.hpp"
 #include "sat/listener.hpp"
 #include "sat/options.hpp"
 #include "sat/proof.hpp"
+#include "sat/watch.hpp"
 
 namespace sateda::sat {
 
@@ -164,7 +169,12 @@ class Solver : public SatEngine {
 
   // --- instrumentation ----------------------------------------------
 
-  SolverStats stats() const override { return stats_; }
+  SolverStats stats() const override {
+    SolverStats s = stats_;
+    s.watch_slab_relocs =
+        watches_.slab_relocations() + bin_watches_.slab_relocations();
+    return s;
+  }
   SolverOptions& options() { return opts_; }
   const SolverOptions& options() const { return opts_; }
 
@@ -256,20 +266,6 @@ class Solver : public SatEngine {
   friend class SolverAuditor;  // read-only introspection of internals
   friend class Inprocessor;    // in-search simplification passes
 
-  /// Watch-list entry for a clause of three or more literals.
-  struct Watcher {
-    CRef cref;
-    Lit blocker;  ///< a literal of the clause; if true, skip the visit
-  };
-
-  /// Binary-watch entry: the list at Lit p's index holds one entry per
-  /// binary clause (~p ∨ other) — when p becomes true, `other` is
-  /// implied directly, no clause memory touched.
-  struct BinWatcher {
-    Lit other;
-    std::uint8_t learnt;
-  };
-
   // --- Figure 2 phases ---------------------------------------------
   enum class DecideStatus {
     kDecision,            ///< a new decision level was opened
@@ -301,6 +297,10 @@ class Solver : public SatEngine {
   /// Pulls foreign clauses via import_fn_ and attaches them; returns
   /// false on a root-level conflict.  Called at restart boundaries.
   bool import_shared_clauses();
+  /// True when the conflict count has reached the next inprocessing
+  /// trigger.  Under self-throttling the first round additionally waits
+  /// for entry_conflicts, so propagation-only solves skip it entirely.
+  bool inprocess_due() const;
   /// Runs one inprocessing pass (probing/vivification/BVE) and
   /// reschedules the next one.  Returns false iff the clause set was
   /// refuted (ok_ cleared, proof closed).  Root level only.
@@ -324,6 +324,11 @@ class Solver : public SatEngine {
   /// Compacts the arena when the wasted fraction passes opts_.gc_frac.
   void check_garbage();
   void garbage_collect();
+  /// Compacts both watch pools (slabs re-laid in literal-index order),
+  /// remapping clause refs through \p remap.  Invalidates every
+  /// outstanding WatchRef/Entry* — treated like a GC point by the
+  /// sateda-cref-held-across-gc check.
+  void rebuild_watches(const std::function<void(CRef&)>& remap);
   ClauseTier tier_for_lbd(int lbd) const;
   Lit pick_branch_lit();
   void bump_var_activity(Var v);
@@ -347,8 +352,8 @@ class Solver : public SatEngine {
   std::vector<CRef> learnts_;        ///< live learnt clauses (≥ 3 lits)
   std::size_t num_problem_clauses_ = 0;   ///< incl. implicit binaries
   std::size_t num_learnt_binaries_ = 0;
-  std::vector<std::vector<Watcher>> watches_;  ///< indexed by Lit::index()
-  std::vector<std::vector<BinWatcher>> bin_watches_;  ///< ditto
+  FlatWatchArena<Watcher> watches_;        ///< slabs indexed by Lit::index()
+  FlatWatchArena<BinWatcher> bin_watches_; ///< ditto
   Lit bin_conflict_[2] = {kUndefLit, kUndefLit};  ///< last binary conflict
 
   std::vector<lbool> assigns_;     ///< per variable
@@ -399,6 +404,7 @@ class Solver : public SatEngine {
   std::int64_t propagations_at_start_ = 0;
   std::int64_t next_inprocess_ = 0;       ///< conflict count trigger
   std::int64_t inprocess_interval_ = -1;  ///< current (growing) interval
+  InprocessScheduler ip_sched_;           ///< per-pass budgets + ledger
   std::chrono::steady_clock::time_point deadline_;  ///< wall-clock budget
   bool has_deadline_ = false;
   int time_poll_counter_ = 0;  ///< clock polled once per 64 loop rounds

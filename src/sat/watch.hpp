@@ -1,0 +1,199 @@
+/// \file watch.hpp
+/// \brief Flat watch arena for the propagation hot path.
+///
+/// Per-literal std::vector watch lists spray the propagation loop's
+/// memory traffic across the heap: every literal visit chases the
+/// vector header to a separately allocated buffer, and buffers of
+/// adjacent literals share no locality.  The FlatWatchArena keeps every
+/// watch list in ONE contiguous pool, indexed by a per-literal slab
+/// descriptor {offset, count, capacity}:
+///
+///   * a slab scan is a sequential walk of pool memory — the next
+///     watcher is always on the same or the next cache line, so the
+///     solver can prefetch the next watcher's clause words while it
+///     processes the current one;
+///   * a slab that outgrows its capacity is relocated to the end of the
+///     pool with doubled capacity (amortized O(1) push, the old slot
+///     range becomes a hole);
+///   * rebuild() compacts the pool with slabs laid out in literal-index
+///     order — the order deduce() visits them — erasing all holes.  The
+///     solver rebuilds at arena GC (where clause refs are remapped
+///     anyway) and whenever the hole fraction passes 1/2.
+///
+/// Invalidation contract: push() and rebuild() may move pool memory, so
+/// any Entry* or WatchRef obtained before either call is stale — the
+/// sateda-cref-held-across-gc clang-tidy check enforces this for
+/// WatchRef the same way it does for CRef.  Slab *indices* (literal
+/// indices) are always stable.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cnf/literal.hpp"
+#include "sat/arena.hpp"
+
+namespace sateda::sat {
+
+/// Slot offset of a watch slab inside the arena pool.  Stale after any
+/// push()/rebuild(), exactly like a CRef after arena compaction.
+using WatchRef = std::uint32_t;
+
+/// Watch-list entry for a clause of three or more literals.
+struct Watcher {
+  CRef cref;
+  Lit blocker;  ///< a literal of the clause; if true, skip the visit
+};
+
+/// Binary-watch entry: the list at Lit p's index holds one entry per
+/// binary clause (~p ∨ other) — when p becomes true, `other` is
+/// implied directly, no clause memory touched.
+struct BinWatcher {
+  Lit other;
+  std::uint8_t learnt;
+};
+
+/// Contiguous per-literal slabs with occupancy counts over one flat
+/// entry pool.  Indexed by Lit::index().
+template <typename Entry>
+class FlatWatchArena {
+ public:
+  /// Grows the slab table to cover literal indices [0, n).
+  void ensure_lits(std::size_t n) {
+    if (slabs_.size() < n) slabs_.resize(n);
+  }
+
+  std::size_t num_lits() const { return slabs_.size(); }
+
+  std::uint32_t count(std::size_t idx) const { return slabs_[idx].count; }
+  std::uint32_t cap(std::size_t idx) const { return slabs_[idx].cap; }
+  bool empty(std::size_t idx) const { return slabs_[idx].count == 0; }
+
+  /// Pool offset of the slab (stale after push()/rebuild()).
+  WatchRef slab(std::size_t idx) const { return slabs_[idx].offset; }
+
+  /// Pointer to the slab's first entry (stale after push()/rebuild()).
+  Entry* begin(std::size_t idx) { return pool_.data() + slabs_[idx].offset; }
+  const Entry* begin(std::size_t idx) const {
+    return pool_.data() + slabs_[idx].offset;
+  }
+
+  Entry& at(std::size_t idx, std::uint32_t k) {
+    assert(k < slabs_[idx].count);
+    return pool_[slabs_[idx].offset + k];
+  }
+  const Entry& at(std::size_t idx, std::uint32_t k) const {
+    assert(k < slabs_[idx].count);
+    return pool_[slabs_[idx].offset + k];
+  }
+
+  /// Appends an entry to the slab, relocating it (and possibly the
+  /// whole pool) when full.  Invalidates outstanding Entry*/WatchRef.
+  void push(std::size_t idx, Entry e) {
+    Slab& s = slabs_[idx];
+    if (s.count == s.cap) grow(idx);
+    Slab& s2 = slabs_[idx];  // grow() may have moved the slab
+    pool_[s2.offset + s2.count++] = e;
+  }
+
+  /// Shrinks the slab to its first \p n entries (capacity unchanged).
+  void truncate(std::size_t idx, std::uint32_t n) {
+    assert(n <= slabs_[idx].count);
+    slabs_[idx].count = n;
+  }
+
+  /// Removes entry \p k by swapping the last entry into its place.
+  void pop_swap(std::size_t idx, std::uint32_t k) {
+    Slab& s = slabs_[idx];
+    assert(k < s.count);
+    Entry* b = pool_.data() + s.offset;
+    b[k] = b[s.count - 1];
+    --s.count;
+  }
+
+  /// Hints the slab's entries into cache ahead of a scan.
+  void prefetch(std::size_t idx) const {
+#if defined(__GNUC__) || defined(__clang__)
+    const Slab& s = slabs_[idx];
+    if (s.count == 0) return;
+    const char* b = reinterpret_cast<const char*>(pool_.data() + s.offset);
+    __builtin_prefetch(b);
+    if (s.count * sizeof(Entry) > 64) __builtin_prefetch(b + 64);
+#else
+    (void)idx;
+#endif
+  }
+
+  std::size_t pool_slots() const { return pool_.size(); }
+  std::size_t wasted_slots() const { return wasted_; }
+  std::int64_t slab_relocations() const { return relocations_; }
+
+  /// True when relocation holes dominate the pool — time to rebuild.
+  bool fragmented() const {
+    return pool_.size() > 1024 && wasted_ * 2 > pool_.size();
+  }
+
+  /// Compacts the pool with slabs in literal-index order, applying
+  /// \p fn to every entry as it is copied (the solver remaps clause
+  /// refs through this hook during arena GC).  Slabs keep a small
+  /// headroom so the next few pushes stay in place.
+  template <typename Fn>
+  void rebuild(Fn&& fn) {
+    std::vector<Entry> np;
+    std::size_t live = 0;
+    for (const Slab& s : slabs_) live += s.count;
+    np.reserve(live + (live >> 3) + slabs_.size() / 4);
+    std::vector<Slab> ns(slabs_.size());
+    for (std::size_t i = 0; i < slabs_.size(); ++i) {
+      const Slab& s = slabs_[i];
+      ns[i].offset = static_cast<WatchRef>(np.size());
+      ns[i].count = s.count;
+      ns[i].cap = s.count == 0 ? 0 : s.count + (s.count >> 3) + 1;
+      for (std::uint32_t k = 0; k < s.count; ++k) {
+        Entry e = pool_[s.offset + k];
+        fn(e);
+        np.push_back(e);
+      }
+      np.resize(np.size() + (ns[i].cap - s.count));
+    }
+    pool_ = std::move(np);
+    slabs_ = std::move(ns);
+    wasted_ = 0;
+  }
+
+  void rebuild() {
+    rebuild([](Entry&) {});
+  }
+
+ private:
+  struct Slab {
+    WatchRef offset = 0;
+    std::uint32_t count = 0;
+    std::uint32_t cap = 0;
+  };
+
+  /// Relocates slab \p idx to the end of the pool with doubled
+  /// capacity; the vacated slots become a hole until the next rebuild.
+  void grow(std::size_t idx) {
+    Slab& s = slabs_[idx];
+    const std::uint32_t ncap = s.cap == 0 ? 4 : s.cap * 2;
+    const WatchRef noff = static_cast<WatchRef>(pool_.size());
+    pool_.resize(pool_.size() + ncap);
+    Entry* dst = pool_.data() + noff;
+    const Entry* src = pool_.data() + s.offset;
+    for (std::uint32_t k = 0; k < s.count; ++k) dst[k] = src[k];
+    wasted_ += s.cap;
+    s.offset = noff;
+    s.cap = ncap;
+    ++relocations_;
+  }
+
+  std::vector<Slab> slabs_;  ///< indexed by Lit::index()
+  std::vector<Entry> pool_;
+  std::size_t wasted_ = 0;         ///< holes left by slab relocations
+  std::int64_t relocations_ = 0;
+};
+
+}  // namespace sateda::sat

@@ -1,0 +1,148 @@
+/// \file inprocess_schedule_test.cpp
+/// \brief Tests for the self-throttling inprocessing scheduler: the
+///        unit-level plan/record/observe contract (tick budgets,
+///        utility ledger, geometric backoff) and the solver-level entry
+///        gate (zero-conflict solves never inprocess, the entry round
+///        fires as soon as the instance proves nontrivial).
+#include "sat/inprocess/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnf/generators.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::sat {
+namespace {
+
+SolverStats at(std::int64_t props, std::int64_t conflicts) {
+  SolverStats s;
+  s.propagations = props;
+  s.conflicts = conflicts;
+  return s;
+}
+
+TEST(InprocessScheduleTest, EntryBudgetScalesWithFormula) {
+  InprocessScheduler sched;
+  InprocessOptions opts;
+  sched.observe(at(0, 0), opts);
+  const PassPlan bve =
+      sched.plan(InprocessPass::kBve, at(0, 1), /*num_problem_clauses=*/100,
+                 opts);
+  EXPECT_TRUE(bve.run);
+  EXPECT_EQ(bve.ticks, 8 * opts.entry_ticks_per_clause * 100);
+  // Probe ticks are propagations: the entry round is capped by the
+  // demonstrated search effort, floored at a quarter of min_ticks.
+  const PassPlan probe =
+      sched.plan(InprocessPass::kProbe, at(0, 1), 100, opts);
+  EXPECT_TRUE(probe.run);
+  EXPECT_EQ(probe.ticks, opts.min_ticks / 4);
+}
+
+TEST(InprocessScheduleTest, SteadyStateBudgetTracksSearchEffort) {
+  InprocessScheduler sched;
+  InprocessOptions opts;
+  sched.observe(at(0, 0), opts);
+  ASSERT_TRUE(sched.plan(InprocessPass::kProbe, at(0, 1), 50, opts).run);
+  sched.record(InprocessPass::kProbe, at(0, 1), /*ticks=*/500,
+               /*reductions=*/3);
+  // 400k propagations later the pass may spend tick_share of them.
+  sched.observe(at(400000, 900), opts);
+  const PassPlan plan =
+      sched.plan(InprocessPass::kProbe, at(400000, 900), 50, opts);
+  EXPECT_TRUE(plan.run);
+  EXPECT_EQ(plan.ticks,
+            static_cast<std::int64_t>(opts.tick_share * 400000.0));
+  // A near-idle interval falls back to the min_ticks floor.
+  sched.record(InprocessPass::kProbe, at(400000, 900), plan.ticks, 1);
+  sched.observe(at(405000, 910), opts);
+  const PassPlan idle =
+      sched.plan(InprocessPass::kProbe, at(405000, 910), 50, opts);
+  EXPECT_TRUE(idle.run);
+  EXPECT_EQ(idle.ticks, opts.min_ticks);
+}
+
+TEST(InprocessScheduleTest, BudgetNeverExceedsOptionCap) {
+  InprocessScheduler sched;
+  InprocessOptions opts;
+  opts.probe_budget = 1000;
+  sched.observe(at(0, 0), opts);
+  ASSERT_TRUE(sched.plan(InprocessPass::kProbe, at(0, 1), 50, opts).run);
+  sched.record(InprocessPass::kProbe, at(0, 1), 500, 1);
+  sched.observe(at(10'000'000, 1000), opts);
+  const PassPlan plan =
+      sched.plan(InprocessPass::kProbe, at(10'000'000, 1000), 50, opts);
+  EXPECT_EQ(plan.ticks, 1000);
+}
+
+TEST(InprocessScheduleTest, UselessRunsBackOffGeometrically) {
+  InprocessScheduler sched;
+  InprocessOptions opts;
+  std::int64_t props = 0;
+  std::int64_t skipped_rounds = 0;
+  std::int64_t runs = 0;
+  // 40 boundaries of a pass that derives nothing, each followed by a
+  // measurable interval with an unchanged conflict rate.  The utility
+  // EWMA sinks below the threshold and the backoff doubles after every
+  // re-probe, so skips must come to dominate the boundaries.
+  for (int round = 0; round < 40; ++round) {
+    sched.observe(at(props, props / 100), opts);
+    const PassPlan plan =
+        sched.plan(InprocessPass::kVivify, at(props, props / 100), 50, opts);
+    if (plan.run) {
+      ++runs;
+      sched.record(InprocessPass::kVivify, at(props, props / 100), plan.ticks,
+                   /*reductions=*/0);
+    } else {
+      ++skipped_rounds;
+    }
+    props += 50000;
+  }
+  EXPECT_LT(sched.utility(InprocessPass::kVivify), 0.0);
+  EXPECT_GT(sched.backoff(InprocessPass::kVivify), 1);
+  EXPECT_EQ(sched.skips(InprocessPass::kVivify), skipped_rounds);
+  EXPECT_GT(skipped_rounds, runs);
+  // The backoff re-probes rather than retiring the pass outright.
+  EXPECT_GT(runs, 1);
+  EXPECT_LE(sched.backoff(InprocessPass::kVivify), opts.max_backoff);
+}
+
+TEST(InprocessScheduleTest, SelfThrottleOffRestoresFlatBudgets) {
+  InprocessScheduler sched;
+  InprocessOptions opts;
+  opts.self_throttle = false;
+  sched.observe(at(0, 0), opts);
+  const PassPlan plan = sched.plan(InprocessPass::kBve, at(0, 0), 50, opts);
+  EXPECT_TRUE(plan.run);
+  EXPECT_EQ(plan.ticks, opts.bve_budget);
+}
+
+TEST(InprocessScheduleTest, ZeroConflictSolveNeverInprocesses) {
+  // A parity chain solves by pure propagation.  With the default
+  // entry gate (entry_conflicts=1) no pass may ever run — this is the
+  // fix for the parity200 cliff recorded in BENCH_solver.json history.
+  SolverOptions opts;
+  opts.inprocess.enabled = true;
+  opts.inprocess.interval = 1;
+  Solver solver(opts);
+  ASSERT_TRUE(solver.add_formula(parity_chain(50, true)));
+  ASSERT_EQ(solver.solve(), SolveResult::kSat);
+  EXPECT_EQ(solver.stats().conflicts, 0);
+  EXPECT_EQ(solver.stats().inprocess_runs, 0);
+  EXPECT_EQ(solver.stats().probe_runs, 0);
+  EXPECT_EQ(solver.stats().bve_runs, 0);
+}
+
+TEST(InprocessScheduleTest, EntryRoundFiresOnceSearchProvesNontrivial) {
+  // dubois produces conflicts immediately; the entry round must fire
+  // (via the forced restart) and its BVE collapse the chain.
+  SolverOptions opts;
+  opts.inprocess.enabled = true;
+  Solver solver(opts);
+  ASSERT_TRUE(solver.add_formula(dubois(15)));
+  ASSERT_EQ(solver.solve(), SolveResult::kUnsat);
+  EXPECT_GT(solver.stats().inprocess_runs, 0);
+  EXPECT_GT(solver.stats().eliminated_vars, 0);
+}
+
+}  // namespace
+}  // namespace sateda::sat

@@ -28,6 +28,12 @@ SolverOptions inprocess_options(std::int64_t interval = 1) {
   opts.inprocess.enabled = true;
   opts.inprocess.interval = interval;
   opts.inprocess.interval_growth = 1.0;
+  // This file tests the passes themselves (elimination, reintroduction,
+  // freezing, proof soundness) on tiny formulas that mostly solve
+  // without a conflict — exactly the case the self-throttling scheduler
+  // skips.  Flat budgets keep every pass running unconditionally; the
+  // scheduler's own gating is covered in inprocess_schedule_test.cpp.
+  opts.inprocess.self_throttle = false;
   return opts;
 }
 

@@ -22,12 +22,14 @@ namespace {
 /// The solver entry points after which any previously obtained CRef
 /// must be considered invalid: direct compaction, the reduce passes
 /// that schedule it, and the import/inprocess wrappers that can reach
-/// it.  Kept as names (not qualified paths) so the check also fires on
-/// wrappers in tests and fixtures.
+/// it.  rebuild/rebuild_watches compact the flat watch arena the same
+/// way, invalidating WatchRef and slab Entry* (see CrefTypes).  Kept
+/// as names (not qualified paths) so the check also fires on wrappers
+/// in tests and fixtures.
 constexpr char kDefaultGcFunctions[] =
     "add_learnt_clause;import_shared_clauses;check_garbage;garbage_collect;"
     "reduce_db;reduce_db_tiered;reduce_db_size_bounded;reduce_db_legacy;"
-    "run_inprocess;simplify_db";
+    "run_inprocess;simplify_db;rebuild;rebuild_watches";
 
 std::vector<std::string> splitList(llvm::StringRef Raw) {
   std::vector<std::string> Out;

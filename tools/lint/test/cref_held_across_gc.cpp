@@ -51,3 +51,42 @@ void ok_not_a_cref() {
   check_garbage();
   clause_size(n);  // plain unsigned, not a CRef spelling
 }
+
+// Watch-arena slab references follow the same invalidation contract:
+// WatchRef is a raw pool offset (src/sat/watch.hpp) and the rebuild /
+// rebuild_watches entry points compact the watcher pool, so a held
+// WatchRef dangles across them exactly like a CRef across arena GC.
+// .clang-tidy adds WatchRef to CrefTypes and both names to GcFunctions.
+
+using WatchRef = unsigned int;
+
+WatchRef watch_slab(unsigned lit);
+unsigned watch_slab_count(WatchRef w);
+void rebuild_watches();
+void rebuild();
+
+void bad_slab_ref_across_watch_rebuild() {
+  WatchRef w = watch_slab(3u);
+  rebuild_watches();
+  watch_slab_count(w);  // WARN: slab offset stale after pool compaction
+}
+
+void bad_slab_ref_across_gc_rebuild() {
+  WatchRef w = watch_slab(5u);
+  rebuild();
+  if (watch_slab_count(w) != 0u) {  // WARN: read after may-compact call
+  }
+}
+
+void ok_slab_rederived_after_rebuild() {
+  WatchRef w = watch_slab(3u);
+  rebuild_watches();
+  w = watch_slab(3u);  // re-derived: the stale offset is dead
+  watch_slab_count(w);
+}
+
+void ok_slab_read_before_rebuild() {
+  WatchRef w = watch_slab(7u);
+  watch_slab_count(w);
+  rebuild_watches();
+}

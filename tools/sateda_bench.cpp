@@ -56,11 +56,25 @@ struct Result {
   std::int64_t arena_bytes_reclaimed = 0;
   double props_per_sec = 0.0;
   double conflicts_per_sec = 0.0;
-  // Second measurement (full mode only): same instance solved with
-  // periodic inprocessing enabled.  Per-rep wall seconds, and the
-  // end-to-end speedup versus the baseline per-rep wall (>1 = faster).
+  // Watcher-efficiency figures from the flat watch arena (watch.hpp):
+  // how much watcher traffic the blocker test absorbed, and how much
+  // arena maintenance the run needed.
+  std::int64_t watch_visits = 0;
+  std::int64_t blocker_hits = 0;
+  double blocker_hit_rate = 0.0;
+  std::int64_t watch_rebuilds = 0;
+  // Second measurement: the same instance solved with periodic
+  // inprocessing enabled.  Per-rep wall seconds, end-to-end speedup
+  // versus the baseline per-rep wall (>1 = faster), throughput with
+  // the passes running, and the scheduler's per-pass ledger.
   double inprocess_wall_sec = 0.0;
   double inprocess_speedup = 0.0;
+  std::int64_t inprocess_props = 0;
+  double inprocess_props_per_sec = 0.0;
+  std::int64_t probe_runs = 0, probe_ticks = 0, probe_skips = 0;
+  std::int64_t vivify_runs = 0, vivify_ticks = 0, vivify_skips = 0;
+  std::int64_t bve_runs = 0, bve_ticks = 0, bve_skips = 0;
+  double probe_utility = 0.0, vivify_utility = 0.0, bve_utility = 0.0;
 };
 
 /// Seed-tree throughput on this corpus (Release, pre-arena solver),
@@ -109,11 +123,18 @@ Result run_instance(const Instance& inst, double min_time, int max_reps) {
     res.binary_propagations += s.binary_propagations;
     res.arena_gc_runs += s.arena_gc_runs;
     res.arena_bytes_reclaimed += s.arena_bytes_reclaimed;
+    res.watch_visits += s.watch_visits;
+    res.blocker_hits += s.blocker_hits;
+    res.watch_rebuilds += s.watch_rebuilds;
     res.verdict = verdict_string(r);
   }
   if (res.wall_sec > 0.0) {
     res.props_per_sec = static_cast<double>(res.propagations) / res.wall_sec;
     res.conflicts_per_sec = static_cast<double>(res.conflicts) / res.wall_sec;
+  }
+  if (res.watch_visits > 0) {
+    res.blocker_hit_rate = static_cast<double>(res.blocker_hits) /
+                           static_cast<double>(res.watch_visits);
   }
   return res;
 }
@@ -137,9 +158,28 @@ void measure_inprocess(const Instance& inst, Result& res, double min_time,
     (void)solver.solve();
     const auto t1 = std::chrono::steady_clock::now();
     wall += std::chrono::duration<double>(t1 - t0).count();
+    const sat::SolverStats s = solver.stats();
+    res.inprocess_props += s.propagations;
+    res.probe_runs += s.probe_runs;
+    res.probe_ticks += s.probe_ticks;
+    res.probe_skips += s.probe_skips;
+    res.vivify_runs += s.vivify_runs;
+    res.vivify_ticks += s.vivify_ticks;
+    res.vivify_skips += s.vivify_skips;
+    res.bve_runs += s.bve_runs;
+    res.bve_ticks += s.bve_ticks;
+    res.bve_skips += s.bve_skips;
+    // Utilities are gauges; the last rep's reading stands for the run.
+    res.probe_utility = s.probe_utility;
+    res.vivify_utility = s.vivify_utility;
+    res.bve_utility = s.bve_utility;
   }
   if (reps == 0) return;
   res.inprocess_wall_sec = wall / reps;
+  if (wall > 0.0) {
+    res.inprocess_props_per_sec =
+        static_cast<double>(res.inprocess_props) / wall;
+  }
   const double base_per_rep = res.reps > 0 ? res.wall_sec / res.reps : 0.0;
   if (res.inprocess_wall_sec > 0.0 && base_per_rep > 0.0) {
     res.inprocess_speedup = base_per_rep / res.inprocess_wall_sec;
@@ -248,10 +288,27 @@ std::string to_json(const std::vector<Result>& results, bool quick) {
     append_kv(out, "arena_bytes_reclaimed", r.arena_bytes_reclaimed);
     append_kv(out, "propagations_per_sec", r.props_per_sec);
     append_kv(out, "conflicts_per_sec", r.conflicts_per_sec);
-    // Keys must not contain "name" or "propagations_per_sec": the
-    // baseline scanner in parse_results matches raw substrings.
+    // Keys below must not contain "name" or "propagations_per_sec":
+    // the baseline scanner in parse_results matches raw substrings.
+    append_kv(out, "watch_visits", r.watch_visits);
+    append_kv(out, "blocker_hits", r.blocker_hits);
+    append_kv(out, "blocker_hit_rate", r.blocker_hit_rate);
+    append_kv(out, "watch_rebuilds", r.watch_rebuilds);
     append_kv(out, "inprocess_wall_sec", r.inprocess_wall_sec);
-    append_kv(out, "inprocess_speedup", r.inprocess_speedup, /*last=*/true);
+    append_kv(out, "inprocess_speedup", r.inprocess_speedup);
+    append_kv(out, "inprocess_props_per_sec", r.inprocess_props_per_sec);
+    append_kv(out, "probe_runs", r.probe_runs);
+    append_kv(out, "probe_ticks", r.probe_ticks);
+    append_kv(out, "probe_skips", r.probe_skips);
+    append_kv(out, "probe_utility", r.probe_utility);
+    append_kv(out, "vivify_runs", r.vivify_runs);
+    append_kv(out, "vivify_ticks", r.vivify_ticks);
+    append_kv(out, "vivify_skips", r.vivify_skips);
+    append_kv(out, "vivify_utility", r.vivify_utility);
+    append_kv(out, "bve_runs", r.bve_runs);
+    append_kv(out, "bve_ticks", r.bve_ticks);
+    append_kv(out, "bve_skips", r.bve_skips);
+    append_kv(out, "bve_utility", r.bve_utility, /*last=*/true);
     out += (i + 1 < results.size()) ? "    },\n" : "    }\n";
     total_wall += r.wall_sec;
     total_props += r.propagations;
@@ -267,7 +324,23 @@ std::string to_json(const std::vector<Result>& results, bool quick) {
   append_kv(out, "propagations_per_sec",
             total_wall > 0.0 ? total_props / total_wall : 0.0);
   append_kv(out, "geomean_propagations_per_sec",
-            log_count > 0 ? std::exp(log_sum / log_count) : 0.0,
+            log_count > 0 ? std::exp(log_sum / log_count) : 0.0);
+  double ip_log_sum = 0.0, spd_log_sum = 0.0;
+  int ip_count = 0, spd_count = 0;
+  for (const Result& r : results) {
+    if (r.inprocess_props_per_sec > 0.0) {
+      ip_log_sum += std::log(r.inprocess_props_per_sec);
+      ++ip_count;
+    }
+    if (r.inprocess_speedup > 0.0) {
+      spd_log_sum += std::log(r.inprocess_speedup);
+      ++spd_count;
+    }
+  }
+  append_kv(out, "geomean_inprocess_props_per_sec",
+            ip_count > 0 ? std::exp(ip_log_sum / ip_count) : 0.0);
+  append_kv(out, "geomean_inprocess_speedup",
+            spd_count > 0 ? std::exp(spd_log_sum / spd_count) : 0.0,
             /*last=*/true);
   out += "  },\n  \"seed_baseline\": [\n";
   constexpr std::size_t n_seed = std::size(kSeedBaseline);
@@ -284,12 +357,20 @@ std::string to_json(const std::vector<Result>& results, bool quick) {
   return out;
 }
 
-/// Extracts {name -> propagations_per_sec} from a JSON file written by
-/// this tool.  Scans "name"/"propagations_per_sec" key pairs inside
-/// the instances array only (parsing stops at the "aggregate" key), so
-/// no JSON library is needed.
-bool parse_results(const std::string& path,
-                   std::vector<std::pair<std::string, double>>* out) {
+/// One baseline instance: throughput without and (if the baseline file
+/// has the field) with inprocessing enabled.
+struct BaselineEntry {
+  std::string name;
+  double pps = 0.0;
+  double inprocess_pps = 0.0;
+};
+
+/// Extracts per-instance throughput from a JSON file written by this
+/// tool.  Scans "name"/"propagations_per_sec" key pairs — plus the
+/// optional "inprocess_props_per_sec" key — inside the instances array
+/// only (parsing stops at the "aggregate" key), so no JSON library is
+/// needed.
+bool parse_results(const std::string& path, std::vector<BaselineEntry>* out) {
   std::ifstream in(path);
   if (!in) return false;
   std::stringstream ss;
@@ -303,41 +384,83 @@ bool parse_results(const std::string& path,
     const std::size_t ns = nk + std::strlen("\"name\": \"");
     const std::size_t ne = text.find('"', ns);
     if (ne == std::string::npos) break;
-    const std::string name = text.substr(ns, ne - ns);
+    BaselineEntry e;
+    e.name = text.substr(ns, ne - ns);
     const std::size_t pk = text.find("\"propagations_per_sec\": ", ne);
     if (pk == std::string::npos || pk >= stop) break;
-    const double pps =
+    e.pps =
         std::atof(text.c_str() + pk + std::strlen("\"propagations_per_sec\": "));
-    out->emplace_back(name, pps);
+    // Optional key (older baselines lack it); it must belong to this
+    // instance, i.e. appear before the next "name".
+    const std::size_t next_nk = text.find("\"name\": \"", pk);
+    const std::size_t ik = text.find("\"inprocess_props_per_sec\": ", pk);
+    if (ik != std::string::npos && ik < stop &&
+        (next_nk == std::string::npos || ik < next_nk)) {
+      e.inprocess_pps = std::atof(text.c_str() + ik +
+                                  std::strlen("\"inprocess_props_per_sec\": "));
+    }
+    out->push_back(std::move(e));
     pos = pk;
   }
   return !out->empty();
 }
 
-/// Compares this run against a baseline file: geometric mean of the
-/// per-instance new/old propagations/sec ratios over the instances
-/// present in both.  Returns false (gate failure) when the geomean
-/// falls below 1 - max_regression.
+/// Compares this run against a baseline file over the instances present
+/// in both:
+///   * geomean of per-instance new/old propagations/sec ratios must
+///     stay >= 1 - max_regression (base solve, inprocessing off);
+///   * the same geomean gate on inprocess_props_per_sec ratios when
+///     both sides measured them (inprocessing ON);
+///   * no single instance's ratio (base or inprocess) may fall below
+///     min_instance_ratio — geomean gates alone let one instance fall
+///     off a cliff while the rest of the corpus hides it.
 bool check_regression(const std::vector<Result>& results,
-                      const std::string& baseline_path, double max_regression) {
-  std::vector<std::pair<std::string, double>> base;
+                      const std::string& baseline_path, double max_regression,
+                      double min_instance_ratio) {
+  std::vector<BaselineEntry> base;
   if (!parse_results(baseline_path, &base)) {
     std::fprintf(stderr, "error: cannot read baseline %s\n",
                  baseline_path.c_str());
     return false;
   }
-  double log_sum = 0.0;
-  int count = 0;
-  std::printf("\n%-24s %14s %14s %8s\n", "instance", "baseline", "current",
-              "ratio");
+  double log_sum = 0.0, ip_log_sum = 0.0;
+  int count = 0, ip_count = 0;
+  bool floor_ok = true;
+  std::printf("\n%-24s %14s %14s %8s %9s\n", "instance", "baseline", "current",
+              "ratio", "inp-ratio");
   for (const Result& r : results) {
-    for (const auto& [name, pps] : base) {
-      if (name != r.name || pps <= 0.0 || r.props_per_sec <= 0.0) continue;
-      const double ratio = r.props_per_sec / pps;
-      std::printf("%-24s %14.0f %14.0f %8.2f\n", name.c_str(), pps,
-                  r.props_per_sec, ratio);
+    for (const BaselineEntry& b : base) {
+      if (b.name != r.name || b.pps <= 0.0 || r.props_per_sec <= 0.0) continue;
+      const double ratio = r.props_per_sec / b.pps;
       log_sum += std::log(ratio);
       ++count;
+      double ip_ratio = 0.0;
+      if (b.inprocess_pps > 0.0 && r.inprocess_props_per_sec > 0.0) {
+        ip_ratio = r.inprocess_props_per_sec / b.inprocess_pps;
+        ip_log_sum += std::log(ip_ratio);
+        ++ip_count;
+      }
+      if (ip_ratio > 0.0) {
+        std::printf("%-24s %14.0f %14.0f %8.2f %9.2f\n", b.name.c_str(), b.pps,
+                    r.props_per_sec, ratio, ip_ratio);
+      } else {
+        std::printf("%-24s %14.0f %14.0f %8.2f %9s\n", b.name.c_str(), b.pps,
+                    r.props_per_sec, ratio, "-");
+      }
+      if (ratio < min_instance_ratio) {
+        std::fprintf(stderr,
+                     "error: %s propagations/sec ratio %.3f is below the "
+                     "per-instance %.2f floor\n",
+                     b.name.c_str(), ratio, min_instance_ratio);
+        floor_ok = false;
+      }
+      if (ip_ratio > 0.0 && ip_ratio < min_instance_ratio) {
+        std::fprintf(stderr,
+                     "error: %s inprocessing-on props/sec ratio %.3f is below "
+                     "the per-instance %.2f floor\n",
+                     b.name.c_str(), ip_ratio, min_instance_ratio);
+        floor_ok = false;
+      }
       break;
     }
   }
@@ -347,16 +470,29 @@ bool check_regression(const std::vector<Result>& results,
   }
   const double geomean = std::exp(log_sum / count);
   const double floor = 1.0 - max_regression;
-  std::printf("%-24s %14s %14s %8.2f  (floor %.2f)\n", "geomean", "", "",
-              geomean, floor);
+  std::printf("%-24s %14s %14s %8.2f  (floor %.2f", "geomean", "", "", geomean,
+              floor);
+  bool ok = floor_ok;
+  if (ip_count > 0) {
+    const double ip_geomean = std::exp(ip_log_sum / ip_count);
+    std::printf("; inprocessing-on %.2f", ip_geomean);
+    if (ip_geomean < floor) {
+      std::fprintf(stderr,
+                   "error: inprocessing-on props/sec regressed: geomean ratio "
+                   "%.3f is below the %.2f floor\n",
+                   ip_geomean, floor);
+      ok = false;
+    }
+  }
+  std::printf(")\n");
   if (geomean < floor) {
     std::fprintf(stderr,
                  "error: propagations/sec regressed: geomean ratio %.3f is "
                  "below the %.2f floor\n",
                  geomean, floor);
-    return false;
+    ok = false;
   }
-  return true;
+  return ok;
 }
 
 void print_help(const char* argv0) {
@@ -380,6 +516,10 @@ void print_help(const char* argv0) {
       "                       and fail on regression\n"
       "  --max-regression X   allowed geomean props/sec drop versus\n"
       "                       the baseline (default 0.25)\n"
+      "  --min-instance-ratio X\n"
+      "                       per-instance props/sec floor versus the\n"
+      "                       baseline, applied to both the base and\n"
+      "                       inprocessing-on measurements (default 0.9)\n"
       "  --help               this message\n",
       argv0);
 }
@@ -394,6 +534,7 @@ int main(int argc, char** argv) {
   double min_time = -1.0;
   int max_reps = 2000;
   double max_regression = 0.25;
+  double min_instance_ratio = 0.9;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -413,6 +554,8 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (arg == "--max-regression" && i + 1 < argc) {
       max_regression = std::atof(argv[++i]);
+    } else if (arg == "--min-instance-ratio" && i + 1 < argc) {
+      min_instance_ratio = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr, "usage: %s [options]  (--help for details)\n",
                    argv[0]);
@@ -428,7 +571,9 @@ int main(int argc, char** argv) {
               "reps", "wall(s)", "props/sec", "confl/sec", "inp-spdup");
   for (const Instance& inst : instances) {
     Result r = run_instance(inst, min_time, max_reps);
-    if (!quick) measure_inprocess(inst, r, min_time, max_reps);
+    // Quick mode measures inprocessing too: the CI perf-smoke gate
+    // covers throughput with the passes scheduled in.
+    measure_inprocess(inst, r, min_time, max_reps);
     std::printf("%-24s %8s %5d %9.3f %14.0f %13.0f %9.2f\n", r.name.c_str(),
                 r.verdict.c_str(), r.reps, r.wall_sec, r.props_per_sec,
                 r.conflicts_per_sec, r.inprocess_speedup);
@@ -446,7 +591,8 @@ int main(int argc, char** argv) {
   std::printf("\nresults written to %s\n", out_path.c_str());
 
   if (!baseline_path.empty() &&
-      !check_regression(results, baseline_path, max_regression)) {
+      !check_regression(results, baseline_path, max_regression,
+                        min_instance_ratio)) {
     return 1;
   }
   return 0;
