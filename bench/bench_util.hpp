@@ -65,4 +65,37 @@ inline CnfFormula adder_miter_cnf(int n) {
   return f;
 }
 
+/// Commutativity miter for the n x n array multiplier: copy A computes
+/// a*b, copy B feeds the same multiplier with the operand halves
+/// swapped (so it computes b*a).  Functionally equal, structurally
+/// disjoint — the classic hard UNSAT CEC family whose difficulty grows
+/// steeply with n (multiplier equivalence has no short resolution
+/// proofs), which is exactly the headroom the cube bench needs.
+inline CnfFormula multiplier_comm_miter_cnf(int n) {
+  using circuit::Circuit;
+  using circuit::NodeId;
+  Circuit swapped("mulswap" + std::to_string(n));
+  std::vector<NodeId> in;
+  for (int i = 0; i < 2 * n; ++i) {
+    in.push_back(swapped.add_input("i" + std::to_string(i)));
+  }
+  const Circuit inner = circuit::array_multiplier(n);
+  // The inner multiplier's inputs are a[0..n) then b[0..n); wire its
+  // a-half from our b-half and vice versa.
+  std::vector<NodeId> wired(static_cast<std::size_t>(2 * n));
+  for (int i = 0; i < n; ++i) {
+    wired[static_cast<std::size_t>(i)] = in[static_cast<std::size_t>(n + i)];
+    wired[static_cast<std::size_t>(n + i)] = in[static_cast<std::size_t>(i)];
+  }
+  const auto map = circuit::append_copy(swapped, inner, wired);
+  for (std::size_t i = 0; i < inner.outputs().size(); ++i) {
+    swapped.mark_output(map[inner.outputs()[i]], "p" + std::to_string(i));
+  }
+  circuit::Circuit m =
+      circuit::build_miter(circuit::array_multiplier(n), swapped);
+  CnfFormula f = circuit::encode_circuit(m);
+  f.add_unit(pos(m.outputs()[0]));
+  return f;
+}
+
 }  // namespace sateda::benchutil

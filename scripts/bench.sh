@@ -5,6 +5,7 @@
 # baseline and is never overwritten by this script).
 #
 # usage: scripts/bench.sh [build-dir] [--quick] [--check] [--maxsat]
+#                         [--cube] [--workers N] [--timeout S]
 #                         [--max-regression X] [--min-instance-ratio X]
 #   --quick   small-instance subset with short timing windows
 #   --check   compare against the checked-in BENCH_solver.json and
@@ -14,6 +15,10 @@
 #             of its baseline
 #   --maxsat  run the core-guided MaxSAT benchmark over examples/wcnf
 #             instead (writes BENCH_maxsat.json into the build tree)
+#   --cube    run the cube-and-conquer strategy comparison instead
+#             (cold CDCL vs racing portfolio vs cube; writes
+#             BENCH_cube.json into the build tree); --workers and
+#             --timeout pass through to sateda-bench --cube
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,6 +26,9 @@ BUILD_DIR="build"
 QUICK=""
 CHECK=0
 MAXSAT=0
+CUBE=0
+WORKERS=""
+TIMEOUT=""
 MAX_REGRESSION="0.25"
 MIN_INSTANCE_RATIO="0.9"
 while [ "$#" -gt 0 ]; do
@@ -28,10 +36,14 @@ while [ "$#" -gt 0 ]; do
     --quick) QUICK="--quick" ;;
     --check) CHECK=1 ;;
     --maxsat) MAXSAT=1 ;;
+    --cube) CUBE=1 ;;
+    --workers) WORKERS="$2"; shift ;;
+    --timeout) TIMEOUT="$2"; shift ;;
     --max-regression) MAX_REGRESSION="$2"; shift ;;
     --min-instance-ratio) MIN_INSTANCE_RATIO="$2"; shift ;;
     -*) echo "usage: scripts/bench.sh [build-dir] [--quick] [--check]" \
-             "[--maxsat] [--max-regression X] [--min-instance-ratio X]" >&2
+             "[--maxsat] [--cube] [--workers N] [--timeout S]" \
+             "[--max-regression X] [--min-instance-ratio X]" >&2
         exit 2 ;;
     *) BUILD_DIR="$1" ;;
   esac
@@ -52,6 +64,14 @@ if [ ! -x "$BENCH" ]; then
   echo "error: $BENCH not built (build the sateda-bench target first," \
        "ideally in a Release tree)" >&2
   exit 2
+fi
+
+if [ "$CUBE" -eq 1 ]; then
+  ARGS=("--cube" "--out" "$BUILD_DIR/BENCH_cube.json")
+  [ -n "$QUICK" ] && ARGS+=("$QUICK")
+  [ -n "$WORKERS" ] && ARGS+=("--workers" "$WORKERS")
+  [ -n "$TIMEOUT" ] && ARGS+=("--timeout" "$TIMEOUT")
+  exec "$BENCH" "${ARGS[@]}"
 fi
 
 OUT="$BUILD_DIR/BENCH_solver.json"

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Cube-and-conquer smoke: split/conquer small UNSAT instances at 2 and
+# 4 workers, re-certify every stitched DRAT proof with sateda-check,
+# exercise the split-only/conquer-only iCNF round trip, the
+# multi-process conquer driver, and the SAT path.
+#
+# usage: scripts/cube_smoke.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+CUBE="$BUILD_DIR/tools/sateda-cube"
+CHECK="$BUILD_DIR/tools/sateda-check"
+SOLVE="$BUILD_DIR/tools/sateda-solve"
+
+for tool in "$CUBE" "$CHECK" "$SOLVE"; do
+  if [ ! -x "$tool" ]; then
+    echo "error: $tool not built" >&2
+    exit 2
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# expect_exit CODE CMD...: run CMD, require the given exit status
+# (SAT-competition codes: 10 = SAT, 20 = UNSAT make set -e unusable
+# directly).
+expect_exit() {
+  local want="$1"
+  shift
+  local got=0
+  "$@" > "$TMP/last.log" 2>&1 || got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: '$*' exited $got, expected $want" >&2
+    cat "$TMP/last.log" >&2
+    exit 1
+  fi
+}
+
+echo "== conquer + certify at 2 and 4 workers =="
+for inst in php6 dubois20; do
+  cnf="$ROOT/examples/cnf/$inst.cnf"
+  for workers in 2 4; do
+    proof="$TMP/$inst.w$workers.drat"
+    expect_exit 20 "$CUBE" "$cnf" --workers "$workers" --cutoff 4 \
+      --proof "$proof" --quiet
+    expect_exit 0 "$CHECK" "$cnf" "$proof"
+    echo "ok: $inst workers=$workers certified"
+  done
+done
+
+echo "== split-only / conquer-only iCNF round trip =="
+cnf="$ROOT/examples/cnf/php6.cnf"
+expect_exit 0 "$CUBE" "$cnf" --cube-out "$TMP/php6.icnf" --cutoff 3 --quiet
+grep -q '^a .* 0$' "$TMP/php6.icnf" || {
+  echo "FAIL: no iCNF cube lines in $TMP/php6.icnf" >&2
+  exit 1
+}
+expect_exit 20 "$CUBE" "$cnf" --cube-in "$TMP/php6.icnf" --workers 2 \
+  --proof "$TMP/php6.reload.drat" --quiet
+expect_exit 0 "$CHECK" "$cnf" "$TMP/php6.reload.drat"
+echo "ok: cube-out/cube-in composition certified"
+
+echo "== multi-process conquer =="
+expect_exit 20 "$CUBE" "$cnf" --procs 2 --solver "$SOLVE" --cutoff 4 \
+  --proof "$TMP/php6.procs.drat" --quiet
+expect_exit 0 "$CHECK" "$cnf" "$TMP/php6.procs.drat"
+echo "ok: 2-process conquer certified"
+
+echo "== SAT path =="
+printf 'p cnf 3 2\n1 2 0\n-1 3 0\n' > "$TMP/sat3.cnf"
+expect_exit 10 "$CUBE" "$TMP/sat3.cnf" --workers 2 --quiet
+echo "ok: SAT instance answered s SATISFIABLE"
+
+echo "cube smoke: all checks passed"

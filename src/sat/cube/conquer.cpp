@@ -1,0 +1,252 @@
+#include "sat/cube/conquer.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "sat/portfolio.hpp"
+#include "sat/solver.hpp"
+
+namespace sateda::sat::cube {
+
+void StealQueue::deal(int num_workers, std::size_t num_items,
+                      std::uint64_t seed) {
+  MutexLock lock(&mu_);
+  seed_ = seed;
+  slots_.assign(static_cast<std::size_t>(num_workers), {});
+  for (std::size_t i = 0; i < num_items; ++i) {
+    slots_[i % static_cast<std::size_t>(num_workers)].items.push_back(
+        static_cast<int>(i));
+  }
+}
+
+int StealQueue::next(int worker, bool* stolen) {
+  MutexLock lock(&mu_);
+  if (stolen != nullptr) *stolen = false;
+  Slot& own = slots_[static_cast<std::size_t>(worker)];
+  if (own.head < own.items.size()) {
+    return own.items[own.head++];
+  }
+  const int n = static_cast<int>(slots_.size());
+  if (n == 1) return -1;
+  // Seeded victim rotation: different seeds visit victims in different
+  // orders, which is exactly the degree of freedom the determinism
+  // test sweeps.
+  const std::uint64_t mix =
+      (seed_ + 0x9e3779b97f4a7c15ULL) *
+      (static_cast<std::uint64_t>(worker) + 0x2545f4914f6cdd1dULL);
+  const int start = static_cast<int>(mix % static_cast<std::uint64_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const int v = (start + k) % n;
+    if (v == worker) continue;
+    Slot& victim = slots_[static_cast<std::size_t>(v)];
+    if (victim.head < victim.items.size()) {
+      const int item = victim.items.back();
+      victim.items.pop_back();
+      if (stolen != nullptr) *stolen = true;
+      return item;
+    }
+  }
+  return -1;
+}
+
+ConquerPool::ConquerPool(const CnfFormula& f, std::vector<Cube> cubes,
+                         const ConquerOptions& opts,
+                         std::vector<Lit> extra_assumptions)
+    : opts_(opts), cubes_(std::move(cubes)), extras_(std::move(extra_assumptions)) {
+  // No cubes means "the whole search space in one piece" — the single
+  // empty cube, so the pool degenerates to one incremental solve.
+  if (cubes_.empty()) cubes_.emplace_back();
+
+  int n = opts_.num_workers;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 2;
+  // More workers than cubes would just load F into idle solvers.
+  n = std::min<int>(n, static_cast<int>(cubes_.size()));
+
+  workers_.reserve(static_cast<std::size_t>(n));
+  if (opts_.proof) traces_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto w = std::make_unique<Solver>(
+        PortfolioSolver::diversified_options(opts_.base, i));
+    w->set_external_interrupt(&stop_);
+    if (opts_.proof) {
+      // Tracer before clauses, as with PortfolioSolver::enable_proof():
+      // root strengthenings during construction belong to the trace.
+      traces_.push_back(std::make_unique<SequencedProof>(&proof_ticket_));
+      w->set_proof_tracer(traces_.back().get());
+    }
+    [[maybe_unused]] const bool ok = w->add_formula(f);
+    for (Lit l : extras_) w->ensure_var(l.var());
+    for (const Cube& c : cubes_) {
+      for (Lit l : c) w->ensure_var(l.var());
+    }
+    workers_.push_back(std::move(w));
+  }
+
+  worker_stats_.resize(static_cast<std::size_t>(n));
+  queue_.deal(n, cubes_.size(), opts_.steal_seed);
+}
+
+ConquerPool::~ConquerPool() = default;
+
+void ConquerPool::interrupt() {
+  user_interrupted_.store(true, std::memory_order_relaxed);
+  stop_.store(true, std::memory_order_relaxed);
+}
+
+void ConquerPool::worker_loop(int worker) {
+  Solver& s = *workers_[static_cast<std::size_t>(worker)];
+  CubeStats& st = worker_stats_[static_cast<std::size_t>(worker)];
+  std::vector<Lit> assumptions;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::int64_t time_left_ms = -1;
+    if (has_deadline_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline_) {
+        budget_exhausted_.store(true, std::memory_order_relaxed);
+        {
+          MutexLock lock(&result_mu_);
+          unknown_reason_ = UnknownReason::kTimeBudget;
+        }
+        stop_.store(true, std::memory_order_relaxed);
+        break;
+      }
+      time_left_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         deadline_ - now)
+                         .count();
+    }
+    bool stolen = false;
+    const int ci = queue_.next(worker, &stolen);
+    if (ci < 0) break;
+    if (stolen) ++st.cubes_stolen;
+
+    assumptions = extras_;
+    const Cube& c = cubes_[static_cast<std::size_t>(ci)];
+    assumptions.insert(assumptions.end(), c.begin(), c.end());
+    s.set_budgets(opts_.cube_conflicts, time_left_ms);
+    const SolveResult r = s.solve(assumptions);
+    if (r == SolveResult::kSat) {
+      int expected = -1;
+      if (sat_cube_.compare_exchange_strong(expected, ci)) {
+        MutexLock lock(&result_mu_);
+        model_ = s.model();
+      }
+      stop_.store(true, std::memory_order_relaxed);
+      break;
+    }
+    if (r == SolveResult::kUnsat) {
+      ++st.cubes_solved;
+      if (s.conflict_core().empty()) {
+        // The clause set itself is refuted (shared clauses can close F
+        // at the root): every other cube is moot, and the worker's
+        // trace already ends with the empty clause.
+        root_refuted_.store(true, std::memory_order_relaxed);
+        stop_.store(true, std::memory_order_relaxed);
+        break;
+      }
+      continue;
+    }
+    // kUnknown: either we were cancelled, or this cube exhausted its
+    // budget — in which case the pool cannot decide the instance.
+    if (stop_.load(std::memory_order_relaxed)) break;
+    budget_exhausted_.store(true, std::memory_order_relaxed);
+    {
+      MutexLock lock(&result_mu_);
+      unknown_reason_ = s.unknown_reason();
+    }
+    stop_.store(true, std::memory_order_relaxed);
+    break;
+  }
+}
+
+ConquerResult ConquerPool::run() {
+  ConquerResult res;
+  if (ran_) return res;
+  ran_ = true;
+  if (opts_.time_budget_ms >= 0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(opts_.time_budget_ms);
+    has_deadline_ = true;
+  }
+
+  const int n = num_workers();
+  SharedClausePool pool(n, opts_.pool_capacity);
+  if (opts_.share_clauses) {
+    const int max_lbd = opts_.max_shared_lbd;
+    const auto max_size = static_cast<std::size_t>(opts_.max_shared_size);
+    for (int i = 0; i < n; ++i) {
+      Solver* w = workers_[static_cast<std::size_t>(i)].get();
+      w->set_clause_export(
+          [&pool, i, max_lbd, max_size](const std::vector<Lit>& lits, int lbd) {
+            if (lbd > max_lbd || lits.size() > max_size) return false;
+            pool.publish(i, lits);
+            return true;
+          });
+      w->set_clause_import([&pool, i](std::vector<std::vector<Lit>>& out) {
+        pool.collect(i, out);
+      });
+    }
+  }
+
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back([this, i] { worker_loop(i); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (auto& w : workers_) {
+    w->set_clause_export({});
+    w->set_clause_import({});
+  }
+
+  for (const CubeStats& st : worker_stats_) res.cube_stats += st;
+  for (const auto& w : workers_) res.solver_stats += w->stats();
+
+  const int sat_ci = sat_cube_.load(std::memory_order_relaxed);
+  if (sat_ci >= 0) {
+    res.result = SolveResult::kSat;
+    res.sat_cube = sat_ci;
+    MutexLock lock(&result_mu_);
+    res.model = model_;
+    return res;
+  }
+  if (user_interrupted_.load(std::memory_order_relaxed)) {
+    res.result = SolveResult::kUnknown;
+    res.unknown_reason = UnknownReason::kInterrupted;
+    return res;
+  }
+  if (budget_exhausted_.load(std::memory_order_relaxed)) {
+    res.result = SolveResult::kUnknown;
+    MutexLock lock(&result_mu_);
+    res.unknown_reason = unknown_reason_;
+    return res;
+  }
+  // Every cube refuted (or F itself was).
+  res.result = SolveResult::kUnsat;
+  return res;
+}
+
+Proof ConquerPool::certified_proof() const {
+  std::vector<const SequencedProof*> ptrs;
+  ptrs.reserve(traces_.size());
+  for (const auto& t : traces_) ptrs.push_back(t.get());
+  Proof p = stitch_proofs(ptrs);
+  if (p.derives_empty_clause()) return p;  // F refuted outright
+  const CubeTree tree = CubeTree::build(cubes_);
+  std::vector<Lit> neg_extras;
+  neg_extras.reserve(extras_.size());
+  for (Lit l : extras_) neg_extras.push_back(~l);
+  for (const std::vector<Lit>& closing : tree.closing_clauses()) {
+    // Under engine assumptions the refutation closes to ¬extras (the
+    // checker discharges it with the assumptions); with none, the last
+    // clause is empty.
+    std::vector<Lit> clause = neg_extras;
+    clause.insert(clause.end(), closing.begin(), closing.end());
+    p.on_derive(clause);
+  }
+  return p;
+}
+
+}  // namespace sateda::sat::cube

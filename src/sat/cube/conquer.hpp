@@ -1,0 +1,170 @@
+/// \file conquer.hpp
+/// \brief The conquer half of cube-and-conquer: a work-stealing pool
+///        of diversified CDCL workers over a fixed cube set, with
+///        clause sharing and certified stitched proofs.
+///
+/// Scheduling: the cube set is dealt round-robin onto per-worker
+/// deques.  A worker pops from the *front* of its own deque (cubes in
+/// splitter DFS order — neighbouring subtrees share structure, so the
+/// incremental solver's learnt clauses stay relevant) and, when its
+/// deque drains, steals from the *back* of a victim's (the victim's
+/// coldest work).  The steal order is seeded (ConquerOptions::
+/// steal_seed) so tests can exercise arbitrary interleavings; the
+/// verdict is independent of steal order because every cube's verdict
+/// is its own (SAT anywhere wins; UNSAT needs all).
+///
+/// Sharing and budgets reuse the portfolio plumbing: a
+/// SharedClausePool with the same LBD/size filters (a learnt clause is
+/// implied by F alone even when derived under cube assumptions, so
+/// cross-cube sharing is sound), PortfolioSolver::diversified_options
+/// for per-worker configurations, and the same external-interrupt
+/// cancellation.
+///
+/// Proofs generalize the PR 2 SequencedProof mechanism: every worker
+/// logs into a per-worker SequencedProof drawing tickets from one
+/// shared counter (so an exported clause's derivation precedes every
+/// import), each cube refutation ends with the negated assumption
+/// core, and certified_proof() appends the cube tree's closing
+/// clauses (cube.hpp) to the ticket-stitched merge — one linear DRAT
+/// refutation of F that sateda-check certifies with no knowledge of
+/// cubes, workers, or stealing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "sat/cube/cube.hpp"
+#include "sat/options.hpp"
+#include "sat/proof.hpp"
+#include "support/mutex.hpp"
+
+namespace sateda::sat {
+class Solver;
+}  // namespace sateda::sat
+
+namespace sateda::sat::cube {
+
+/// Work-stealing deques over item indices, shared by the in-process
+/// conquer pool and the multi-process driver (proc.hpp).  One lock for
+/// all deques: a pop costs nanoseconds against a cube solve's
+/// milliseconds, so a finer per-deque protocol would buy contention
+/// relief nobody measures.
+class StealQueue {
+ public:
+  /// Deals item indices 0..num_items-1 round-robin across
+  /// \p num_workers deques, replacing any previous contents.  \p seed
+  /// perturbs each worker's victim scan order.
+  void deal(int num_workers, std::size_t num_items, std::uint64_t seed);
+
+  /// Pops the next item for \p worker: its own deque's front (items in
+  /// deal order — splitter DFS order, so neighbouring subtrees keep an
+  /// incremental solver's learnt clauses relevant), else the *back* of
+  /// a victim's deque (the victim's coldest work) scanning victims in
+  /// the seeded rotation.  Returns -1 when no work is left anywhere;
+  /// sets \p *stolen (when non-null) on a steal.
+  int next(int worker, bool* stolen) EXCLUDES(mu_);
+
+ private:
+  struct Slot {
+    std::vector<int> items;
+    std::size_t head = 0;  ///< own pops advance head; steals pop the back
+  };
+
+  std::uint64_t seed_ = 0;
+  Mutex mu_;
+  std::vector<Slot> slots_ GUARDED_BY(mu_);
+};
+
+/// Conquer-pool tunables.
+struct ConquerOptions {
+  int num_workers = 0;  ///< 0: one per hardware thread
+  SolverOptions base;   ///< diversified per worker (portfolio scheme)
+
+  bool share_clauses = true;
+  int max_shared_lbd = 8;       ///< as PortfolioOptions
+  int max_shared_size = 30;
+  std::size_t pool_capacity = 1 << 14;
+
+  std::int64_t cube_conflicts = -1;   ///< per-cube conflict budget
+  std::int64_t time_budget_ms = -1;   ///< whole-conquer wall clock
+
+  bool proof = false;  ///< log per-worker SequencedProofs
+
+  /// Perturbs each worker's victim scan order; the verdict must be
+  /// invariant under it (the determinism test sweeps seeds).
+  std::uint64_t steal_seed = 0;
+};
+
+/// Outcome of a conquer run.
+struct ConquerResult {
+  SolveResult result = SolveResult::kUnknown;
+  UnknownReason unknown_reason = UnknownReason::kNone;
+  std::vector<lbool> model;  ///< on kSat
+  int sat_cube = -1;         ///< index of the satisfiable cube, on kSat
+  CubeStats cube_stats;      ///< solved/stolen counters
+  SolverStats solver_stats;  ///< summed over workers
+};
+
+/// Work-stealing pool solving F ∧ cube_i for a fixed cube set.
+class ConquerPool {
+ public:
+  /// \p extra_assumptions are prepended to every cube (the engine
+  /// backend routes solve(assumptions) through here).
+  ConquerPool(const CnfFormula& f, std::vector<Cube> cubes,
+              const ConquerOptions& opts,
+              std::vector<Lit> extra_assumptions = {});
+  ~ConquerPool();
+
+  ConquerPool(const ConquerPool&) = delete;
+  ConquerPool& operator=(const ConquerPool&) = delete;
+
+  /// Runs the pool to completion (all cubes refuted → kUnsat; any cube
+  /// satisfied → kSat; interrupt/budget → kUnknown).  One-shot.
+  ConquerResult run();
+
+  /// Cancels an in-flight run() from another thread.
+  void interrupt();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// After run() == kUnsat with opts.proof: the full stitched
+  /// refutation — ticket-ordered worker steps, then the cube tree's
+  /// closing clauses, ending with the empty clause.  (If a worker
+  /// refuted F outright — empty core — the merge already ends with the
+  /// empty clause and no closing clauses are appended.)
+  Proof certified_proof() const;
+
+ private:
+  void worker_loop(int worker);
+
+  const ConquerOptions opts_;
+  std::vector<Cube> cubes_;
+  std::vector<Lit> extras_;  ///< prepended to every cube's assumptions
+  std::vector<std::unique_ptr<Solver>> workers_;
+
+  std::atomic<std::uint64_t> proof_ticket_{0};
+  std::vector<std::unique_ptr<SequencedProof>> traces_;  ///< per worker
+
+  StealQueue queue_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> user_interrupted_{false};
+  std::atomic<int> sat_cube_{-1};
+  std::atomic<bool> root_refuted_{false};  ///< a worker derived core = {}
+  std::atomic<bool> budget_exhausted_{false};
+
+  Mutex result_mu_;
+  std::vector<lbool> model_ GUARDED_BY(result_mu_);
+  UnknownReason unknown_reason_ GUARDED_BY(result_mu_) = UnknownReason::kNone;
+  std::vector<CubeStats> worker_stats_;  ///< per worker, joined after run
+
+  std::chrono::steady_clock::time_point deadline_;
+  bool has_deadline_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace sateda::sat::cube

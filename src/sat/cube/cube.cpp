@@ -1,0 +1,269 @@
+#include "sat/cube/cube.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sateda::sat::cube {
+
+namespace {
+
+int dimacs_code(Lit l) {
+  return l.negative() ? -(l.var() + 1) : (l.var() + 1);
+}
+
+Lit lit_from_dimacs(long code) {
+  const Var v = static_cast<Var>((code < 0 ? -code : code) - 1);
+  return Lit(v, code < 0);
+}
+
+}  // namespace
+
+void write_cubes(std::ostream& out, const std::vector<Cube>& cubes) {
+  out << "c sateda cube file (iCNF assumption lines)\n";
+  out << "c cubes " << cubes.size() << "\n";
+  for (const Cube& c : cubes) {
+    out << 'a';
+    for (Lit l : c) out << ' ' << dimacs_code(l);
+    out << " 0\n";
+  }
+}
+
+void write_cubes_file(const std::string& path, const std::vector<Cube>& cubes) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open cube file for writing: " + path);
+  write_cubes(out, cubes);
+}
+
+std::vector<Cube> read_cubes(std::istream& in) {
+  std::vector<Cube> cubes;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string head;
+    if (!(ls >> head)) continue;  // blank line
+    if (head == "c" || head[0] == 'c' || head == "p") continue;
+    if (head != "a") {
+      throw std::runtime_error("cube file line " + std::to_string(lineno) +
+                               ": expected 'a' line, got '" + head + "'");
+    }
+    Cube c;
+    long code = 0;
+    bool terminated = false;
+    while (ls >> code) {
+      if (code == 0) {
+        terminated = true;
+        break;
+      }
+      c.push_back(lit_from_dimacs(code));
+    }
+    if (!terminated) {
+      if (ls.fail() && !ls.eof()) {
+        throw std::runtime_error("cube file line " + std::to_string(lineno) +
+                                 ": non-integer literal");
+      }
+      throw std::runtime_error("cube file line " + std::to_string(lineno) +
+                               ": missing 0 terminator");
+    }
+    cubes.push_back(std::move(c));
+  }
+  return cubes;
+}
+
+std::vector<Cube> read_cubes_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open cube file: " + path);
+  return read_cubes(in);
+}
+
+CubeTree CubeTree::build(const std::vector<Cube>& cubes) {
+  CubeTree t;
+  t.nodes_.push_back(Node{});  // root
+  for (const Cube& c : cubes) {
+    int at = 0;
+    for (Lit l : c) {
+      Node& n = t.nodes_[at];
+      int next = -1;
+      if (n.left >= 0 && t.nodes_[n.left].lit == l) next = n.left;
+      if (n.right >= 0 && t.nodes_[n.right].lit == l) next = n.right;
+      if (next < 0) {
+        Node child;
+        child.lit = l;
+        child.parent = at;
+        child.depth = t.nodes_[at].depth + 1;
+        next = static_cast<int>(t.nodes_.size());
+        // Fill left first; a third distinct child leaves both slots
+        // taken and is caught by complete().
+        if (t.nodes_[at].left < 0) {
+          t.nodes_[at].left = next;
+        } else {
+          t.nodes_[at].right = next;
+        }
+        t.nodes_.push_back(child);
+      }
+      at = next;
+    }
+    if (!t.nodes_[at].is_leaf) {
+      t.nodes_[at].is_leaf = true;
+      ++t.num_leaves_;
+    }
+  }
+  if (cubes.empty()) {
+    t.nodes_[0].is_leaf = true;
+    t.num_leaves_ = 1;
+  }
+  return t;
+}
+
+namespace {
+
+std::string prefix_string(const std::vector<Lit>& prefix) {
+  if (prefix.empty()) return "<root>";
+  std::string s;
+  for (Lit l : prefix) {
+    if (!s.empty()) s += ' ';
+    s += to_string(l);
+  }
+  return s;
+}
+
+}  // namespace
+
+bool CubeTree::complete(std::string* why) const {
+  // Iterative DFS carrying the literal prefix for diagnostics.
+  std::vector<int> stack = {0};
+  std::vector<Lit> prefix;
+  // Recompute prefixes on demand via parent chains — the tree is small
+  // (thousands of nodes) and this only runs on validation.
+  auto prefix_of = [&](int idx) {
+    std::vector<Lit> p;
+    for (int at = idx; at > 0; at = nodes_[at].parent) p.push_back(nodes_[at].lit);
+    std::reverse(p.begin(), p.end());
+    return p;
+  };
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    const bool internal = n.left >= 0 || n.right >= 0;
+    if (n.is_leaf && internal) {
+      if (why != nullptr) {
+        *why = "cube at " + prefix_string(prefix_of(static_cast<int>(i))) +
+               " is a strict prefix of another cube";
+      }
+      return false;
+    }
+    if (!n.is_leaf && !internal) {
+      if (why != nullptr) {
+        *why = "dangling internal node at " +
+               prefix_string(prefix_of(static_cast<int>(i)));
+      }
+      return false;
+    }
+    if (internal) {
+      if (n.left < 0 || n.right < 0) {
+        if (why != nullptr) {
+          *why = "split at " + prefix_string(prefix_of(static_cast<int>(i))) +
+                 " covers only one polarity";
+        }
+        return false;
+      }
+      if (nodes_[n.left].lit != ~nodes_[n.right].lit) {
+        if (why != nullptr) {
+          *why = "children of " + prefix_string(prefix_of(static_cast<int>(i))) +
+                 " are not complementary literals (" +
+                 to_string(nodes_[n.left].lit) + ", " +
+                 to_string(nodes_[n.right].lit) + ")";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<Lit>> CubeTree::closing_clauses() const {
+  std::vector<std::vector<Lit>> out;
+  // Postorder over internal nodes; emit ¬cube(node) after both
+  // children have been handled so each clause is RUP from the ones
+  // already present.
+  struct Frame {
+    int node;
+    bool expanded;
+  };
+  std::vector<Frame> stack = {{0, false}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[f.node];
+    if (n.is_leaf) continue;  // leaf clauses come from the workers
+    if (!f.expanded) {
+      stack.push_back({f.node, true});
+      stack.push_back({n.right, false});
+      stack.push_back({n.left, false});
+      continue;
+    }
+    std::vector<Lit> clause;
+    for (int at = f.node; at > 0; at = nodes_[at].parent) {
+      clause.push_back(~nodes_[at].lit);
+    }
+    std::reverse(clause.begin(), clause.end());
+    out.push_back(std::move(clause));
+  }
+  return out;
+}
+
+int CubeTree::max_depth() const {
+  int d = 0;
+  for (const Node& n : nodes_) {
+    if (n.is_leaf) d = std::max(d, n.depth);
+  }
+  return d;
+}
+
+std::vector<std::int64_t> CubeTree::depth_histogram() const {
+  std::vector<std::int64_t> h(static_cast<std::size_t>(max_depth()) + 1, 0);
+  for (const Node& n : nodes_) {
+    if (n.is_leaf) ++h[static_cast<std::size_t>(n.depth)];
+  }
+  return h;
+}
+
+CubeStats& CubeStats::operator+=(const CubeStats& o) {
+  cubes_generated += o.cubes_generated;
+  cubes_refuted_split += o.cubes_refuted_split;
+  cubes_solved += o.cubes_solved;
+  cubes_stolen += o.cubes_stolen;
+  lookahead_probes += o.lookahead_probes;
+  failed_lookaheads += o.failed_lookaheads;
+  max_depth = std::max(max_depth, o.max_depth);
+  if (depth_histogram.size() < o.depth_histogram.size()) {
+    depth_histogram.resize(o.depth_histogram.size(), 0);
+  }
+  for (std::size_t i = 0; i < o.depth_histogram.size(); ++i) {
+    depth_histogram[i] += o.depth_histogram[i];
+  }
+  return *this;
+}
+
+std::string CubeStats::summary() const {
+  std::ostringstream os;
+  os << "cubes generated        : " << cubes_generated << '\n';
+  os << "cubes refuted at split : " << cubes_refuted_split << '\n';
+  os << "cubes solved           : " << cubes_solved << '\n';
+  os << "cubes stolen           : " << cubes_stolen << '\n';
+  os << "lookahead probes       : " << lookahead_probes << '\n';
+  os << "failed lookaheads      : " << failed_lookaheads << '\n';
+  os << "max cube depth         : " << max_depth << '\n';
+  os << "depth histogram        :";
+  for (std::size_t d = 0; d < depth_histogram.size(); ++d) {
+    if (depth_histogram[d] == 0) continue;
+    os << ' ' << d << ':' << depth_histogram[d];
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace sateda::sat::cube

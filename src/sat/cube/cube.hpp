@@ -1,0 +1,128 @@
+/// \file cube.hpp
+/// \brief Cube-and-conquer core types: cubes, the split tree, iCNF
+///        cube files and the proof-closing clause generator.
+///
+/// A *cube* is a conjunction of literals fixing a corner of the search
+/// space; a lookahead splitter (splitter.hpp) partitions a hard
+/// instance F into cubes c1..cn such that F is satisfiable iff some
+/// F ∧ ci is, and the cubes form the leaves of a binary *split tree*:
+/// each internal node splits on one variable, its children extending
+/// the node's cube with the two polarities.  Conquer workers
+/// (conquer.hpp) then solve the cubes independently — the paper's EDA
+/// whale instances (CEC miters, hard ATPG, BMC) are exactly the
+/// workloads where one CDCL trajectory stalls but thousands of
+/// sub-problems race through a pool.
+///
+/// UNSAT certification: a worker refuting F ∧ ci derives the negated
+/// failed-assumption core ¬core_i ⊆ ¬ci as its final proof step, a
+/// clause implied by F alone (assumptions are pseudo-decisions, so
+/// conflict analysis resolves only clause antecedents).  With every
+/// leaf's clause in the database, the split tree closes by resolution:
+/// bottom-up, each internal node's ¬cube is RUP from its two
+/// children's clauses (negating it asserts the node's cube; each
+/// child's clause then propagates one polarity of the split variable —
+/// or conflicts outright when the child's core skipped it), and the
+/// root's ¬cube is the empty clause.  closing_clauses() emits exactly
+/// that postorder sequence, generalizing the SequencedProof ticket
+/// stitching of the portfolio to cube proofs plus the cube tree.
+///
+/// Cube files use the iCNF assumption-line convention — one
+/// `a <lit>.. 0` line per cube, `c` comments — so cubes interchange
+/// with other cube-and-conquer tooling; the tree is reconstructed from
+/// the literal prefixes (read_cubes + CubeTree::build), which is why
+/// split-only (--cube-out) and conquer-only (--cube-in) runs compose.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cnf/literal.hpp"
+
+namespace sateda::sat::cube {
+
+/// A conjunction of literals (a corner of the search space).  The
+/// order is the split order: cube[i] was assumed at depth i+1.
+using Cube = std::vector<Lit>;
+
+/// Writes cubes in iCNF form: one "a l1 l2 ... 0" line per cube
+/// (DIMACS literal codes), preceded by a comment header.
+void write_cubes(std::ostream& out, const std::vector<Cube>& cubes);
+void write_cubes_file(const std::string& path, const std::vector<Cube>& cubes);
+
+/// Parses iCNF cube lines ("a ... 0"; "c"/"p" lines ignored).  Throws
+/// std::runtime_error on malformed input (missing terminator, zero
+/// literal mid-line, literal codes that are not integers).
+std::vector<Cube> read_cubes(std::istream& in);
+std::vector<Cube> read_cubes_file(const std::string& path);
+
+/// The split tree reconstructed from a set of cubes (a binary trie
+/// over the cubes' literal prefixes).  Proof stitching needs the tree:
+/// the closing clauses resolve leaves back up to the empty clause.
+class CubeTree {
+ public:
+  /// Builds the trie.  Every cube becomes a leaf; shared prefixes
+  /// share internal nodes.  The empty cube set yields a single leaf
+  /// root (the degenerate "one cube covering everything" tree).
+  static CubeTree build(const std::vector<Cube>& cubes);
+
+  /// True iff the tree is a *complete* binary split tree: every
+  /// internal node has exactly two children whose edge literals are
+  /// complements of one variable, and every cube is a leaf (no cube is
+  /// a strict prefix of another).  Only complete trees close into a
+  /// refutation — an incomplete cover leaves corners of the search
+  /// space unaccounted for.  On failure, \p why (when non-null)
+  /// receives a diagnostic naming the offending prefix.
+  bool complete(std::string* why = nullptr) const;
+
+  /// Postorder closing-clause sequence for a complete tree: for each
+  /// internal node (children first) the clause ¬cube(node), ending
+  /// with the root's clause — the empty clause.  Each is RUP given the
+  /// leaf clauses ¬core_i (any subsets of the leaf ¬cubes) plus the
+  /// earlier closing clauses; see the file comment.  Precondition:
+  /// complete().  Leaves contribute nothing (their clauses come from
+  /// the conquer workers' traces).
+  std::vector<std::vector<Lit>> closing_clauses() const;
+
+  std::size_t num_leaves() const { return num_leaves_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Depth of the deepest leaf (root = depth 0).
+  int max_depth() const;
+
+  /// Leaf-depth histogram: histogram[d] = number of leaves at depth d.
+  std::vector<std::int64_t> depth_histogram() const;
+
+ private:
+  struct Node {
+    Lit lit = kUndefLit;  ///< edge literal from the parent (undef at root)
+    int parent = -1;
+    int left = -1;   ///< child index, -1 = absent
+    int right = -1;  ///< child index, -1 = absent
+    bool is_leaf = false;  ///< a cube ends here
+    int depth = 0;
+  };
+
+  std::vector<Node> nodes_;  ///< nodes_[0] is the root
+  std::size_t num_leaves_ = 0;
+};
+
+/// Per-run cube statistics, aggregated by the splitter and the
+/// conquer pool and surfaced through `sateda-cube --stats` and
+/// `sateda-bench --cube`.
+struct CubeStats {
+  std::int64_t cubes_generated = 0;     ///< leaves emitted by the splitter
+  std::int64_t cubes_refuted_split = 0; ///< leaves refuted during splitting
+  std::int64_t cubes_solved = 0;        ///< cubes decided by conquer workers
+  std::int64_t cubes_stolen = 0;        ///< cubes taken from another worker's deque
+  std::int64_t lookahead_probes = 0;    ///< candidate polarity probes scored
+  std::int64_t failed_lookaheads = 0;   ///< probes that conflicted (failed literals)
+  int max_depth = 0;                    ///< deepest leaf in the split tree
+  std::vector<std::int64_t> depth_histogram;  ///< leaves per depth
+
+  CubeStats& operator+=(const CubeStats& o);
+  std::string summary() const;
+};
+
+}  // namespace sateda::sat::cube

@@ -1,0 +1,128 @@
+#include "sat/cube/cube_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sateda::sat::cube {
+
+namespace {
+
+std::int64_t remaining_ms(std::chrono::steady_clock::time_point deadline,
+                          bool has_deadline) {
+  if (!has_deadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+  return std::max<std::int64_t>(0, left);
+}
+
+}  // namespace
+
+CubeSolver::CubeSolver(SolverOptions base, CubeEngineOptions copts)
+    : base_(std::move(base)), copts_(std::move(copts)) {}
+
+CubeSolver::~CubeSolver() = default;
+
+Var CubeSolver::new_var() { return f_.new_var(); }
+
+void CubeSolver::ensure_var(Var v) { f_.ensure_var(v); }
+
+bool CubeSolver::add_clause(std::vector<Lit> lits) {
+  if (lits.empty()) ok_ = false;
+  f_.add_clause(std::move(lits));
+  return ok_;
+}
+
+SolveResult CubeSolver::solve(const std::vector<Lit>& assumptions) {
+  ++solve_calls_;
+  model_.clear();
+  conflict_core_.clear();
+  unknown_reason_ = UnknownReason::kNone;
+  interrupt_flag_.store(false, std::memory_order_relaxed);
+  if (!ok_) return SolveResult::kUnsat;
+
+  std::chrono::steady_clock::time_point deadline;
+  const bool has_deadline = time_budget_ms_ >= 0;
+  if (has_deadline) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(time_budget_ms_);
+  }
+
+  // Assumptions become units of the split formula: the splitter then
+  // partitions the *conditioned* search space, models satisfy the
+  // assumptions by construction, and an UNSAT verdict refutes F ∧ A —
+  // reported with the whole assumption set as the core (see file
+  // comment in cube_engine.hpp).
+  CnfFormula g = f_;
+  for (Lit a : assumptions) {
+    g.ensure_var(a.var());
+    g.add_unit(a);
+  }
+
+  SplitOptions sopts = copts_.split;
+  sopts.time_budget_ms = remaining_ms(deadline, has_deadline);
+  SplitResult sr = split_formula(g, sopts, &interrupt_flag_);
+  cube_stats_ += sr.stats;
+  if (sr.status == SolveResult::kSat) {
+    model_ = std::move(sr.model);
+    return SolveResult::kSat;
+  }
+  if (interrupt_flag_.load(std::memory_order_relaxed)) {
+    unknown_reason_ = UnknownReason::kInterrupted;
+    return SolveResult::kUnknown;
+  }
+
+  ConquerOptions qopts;
+  qopts.num_workers = copts_.num_workers;
+  qopts.base = base_;
+  qopts.share_clauses = copts_.share_clauses;
+  qopts.cube_conflicts = conflict_budget_;
+  qopts.time_budget_ms = remaining_ms(deadline, has_deadline);
+  qopts.proof = false;  // engine seam carries verdicts, not certificates
+  ConquerPool pool(g, std::move(sr.cubes), qopts);
+  {
+    MutexLock lock(&pool_mu_);
+    active_pool_ = &pool;
+  }
+  if (interrupt_flag_.load(std::memory_order_relaxed)) pool.interrupt();
+  const ConquerResult cr = pool.run();
+  {
+    MutexLock lock(&pool_mu_);
+    active_pool_ = nullptr;
+  }
+
+  cube_stats_ += cr.cube_stats;
+  stats_ += cr.solver_stats;
+  switch (cr.result) {
+    case SolveResult::kSat:
+      model_ = cr.model;
+      return SolveResult::kSat;
+    case SolveResult::kUnsat:
+      conflict_core_ = assumptions;
+      return SolveResult::kUnsat;
+    case SolveResult::kUnknown:
+      break;
+  }
+  unknown_reason_ = cr.unknown_reason;
+  return SolveResult::kUnknown;
+}
+
+void CubeSolver::interrupt() {
+  interrupt_flag_.store(true, std::memory_order_relaxed);
+  MutexLock lock(&pool_mu_);
+  if (active_pool_ != nullptr) active_pool_->interrupt();
+}
+
+SolverStats CubeSolver::stats() const {
+  SolverStats s = stats_;
+  // Worker counters only accrue when conquer ran; count the engine's
+  // own solve() calls so SAT-at-split runs are not invisible.
+  s.solve_calls = solve_calls_;
+  s.cubes_generated += cube_stats_.cubes_generated;
+  s.cubes_refuted_split += cube_stats_.cubes_refuted_split;
+  s.cubes_solved += cube_stats_.cubes_solved;
+  s.cubes_stolen += cube_stats_.cubes_stolen;
+  return s;
+}
+
+}  // namespace sateda::sat::cube

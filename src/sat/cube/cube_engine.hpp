@@ -1,0 +1,96 @@
+/// \file cube_engine.hpp
+/// \brief SatEngine adapter for cube-and-conquer: the `cube[:N]`
+///        EngineSpec backend.
+///
+/// Wraps the splitter + conquer pool behind the engine seam so all
+/// nine application layers and sateda-serve can route whale queries to
+/// cube-and-conquer with an engine string — `--engine cube:8` — the
+/// same way they select the portfolio.  Each solve() splits afresh
+/// (the cube tree depends on the clause set, which is incremental),
+/// treating assumptions by conjoining them as unit clauses into the
+/// split formula; on UNSAT under assumptions the reported core is the
+/// full assumption set (a sound over-approximation — the cube layer
+/// proves F ∧ A unsatisfiable without attributing blame to individual
+/// assumptions).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "sat/cube/conquer.hpp"
+#include "sat/cube/splitter.hpp"
+#include "sat/engine.hpp"
+#include "support/mutex.hpp"
+
+namespace sateda::sat::cube {
+
+/// Engine-level tunables (the CLI maps its flags here).
+struct CubeEngineOptions {
+  int num_workers = 0;  ///< conquer workers (0: one per hardware thread)
+  SplitOptions split;
+  bool share_clauses = true;
+};
+
+/// Cube-and-conquer as an incremental SatEngine.
+class CubeSolver : public SatEngine {
+ public:
+  explicit CubeSolver(SolverOptions base = {}, CubeEngineOptions copts = {});
+  ~CubeSolver() override;
+
+  std::string name() const override { return "cube"; }
+
+  Var new_var() override;
+  void ensure_var(Var v) override;
+  int num_vars() const override { return f_.num_vars(); }
+  [[nodiscard]] bool add_clause(std::vector<Lit> lits) override;
+  using SatEngine::add_clause;
+  bool okay() const override { return ok_; }
+  std::size_t num_problem_clauses() const override {
+    return f_.clauses().size();
+  }
+
+  [[nodiscard]] SolveResult solve(const std::vector<Lit>& assumptions) override;
+  using SatEngine::solve;
+  const std::vector<lbool>& model() const override { return model_; }
+  const std::vector<Lit>& conflict_core() const override {
+    return conflict_core_;
+  }
+
+  void interrupt() override;
+  UnknownReason unknown_reason() const override { return unknown_reason_; }
+  void set_budgets(std::int64_t conflicts, std::int64_t time_ms) override {
+    conflict_budget_ = conflicts;
+    time_budget_ms_ = time_ms;
+  }
+
+  SolverStats stats() const override;
+
+  /// Cube counters accumulated over every solve() (also folded into
+  /// stats(): cubes_generated/refuted/solved/stolen).
+  const CubeStats& cube_stats() const { return cube_stats_; }
+
+ private:
+  SolverOptions base_;
+  CubeEngineOptions copts_;
+  CnfFormula f_;
+  bool ok_ = true;
+
+  std::vector<lbool> model_;
+  std::vector<Lit> conflict_core_;
+  UnknownReason unknown_reason_ = UnknownReason::kNone;
+  std::int64_t conflict_budget_ = -1;
+  std::int64_t time_budget_ms_ = -1;
+
+  SolverStats stats_;      ///< summed over conquer workers, all solves
+  CubeStats cube_stats_;   ///< ditto
+  std::int64_t solve_calls_ = 0;
+
+  std::atomic<bool> interrupt_flag_{false};
+  Mutex pool_mu_;
+  ConquerPool* active_pool_ GUARDED_BY(pool_mu_) = nullptr;
+};
+
+}  // namespace sateda::sat::cube

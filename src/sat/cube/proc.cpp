@@ -1,0 +1,471 @@
+#include "sat/cube/proc.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "sat/cube/conquer.hpp"
+#include "sat/proof.hpp"
+#include "sat/solver.hpp"
+#include "serve/framing.hpp"
+#include "support/mutex.hpp"
+
+namespace sateda::sat::cube {
+
+namespace {
+
+int dimacs_code(Lit l) { return l.negative() ? -(l.var() + 1) : (l.var() + 1); }
+
+// --- raw-fd frame IO (driver side; children use the iostream codec) --
+
+bool write_all(int fd, const char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// 0 = ok, 1 = clean EOF, 2 = error/truncated.
+int read_all(int fd, char* p, std::size_t n, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return 2;
+    }
+    if (r == 0) return got == 0 && eof_ok ? 1 : 2;
+    got += static_cast<std::size_t>(r);
+  }
+  return 0;
+}
+
+bool fd_write_frame(int fd, const std::string& payload) {
+  if (payload.size() > serve::kMaxFrameBytes) return false;
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char prefix[4] = {
+      static_cast<unsigned char>(len >> 24),
+      static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 8),
+      static_cast<unsigned char>(len),
+  };
+  return write_all(fd, reinterpret_cast<const char*>(prefix), 4) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+int fd_read_frame(int fd, std::string& payload) {
+  unsigned char prefix[4];
+  const int st =
+      read_all(fd, reinterpret_cast<char*>(prefix), 4, /*eof_ok=*/true);
+  if (st != 0) return st;
+  const std::uint32_t len = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                            (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                            (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                            static_cast<std::uint32_t>(prefix[3]);
+  if (len > serve::kMaxFrameBytes) return 2;
+  payload.resize(len);
+  if (len == 0) return 0;
+  return read_all(fd, payload.data(), len, /*eof_ok=*/false);
+}
+
+struct Child {
+  pid_t pid = -1;
+  int in_fd = -1;   ///< driver writes requests here (child stdin)
+  int out_fd = -1;  ///< driver reads responses here (child stdout)
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+/// fork/exec one worker with stdin/stdout piped to the driver.  All
+/// children are spawned before any driver thread starts, so fork never
+/// runs in a multithreaded parent.  The pipes are close-on-exec: the
+/// child's dup2 onto stdin/stdout clears the flag for the two ends it
+/// needs, while every *other* child's inherited copies vanish at exec —
+/// otherwise a sibling would hold a stray write end and the EOF-based
+/// shutdown (driver closes in_fd -> child's read_frame sees EOF) would
+/// never fire, wedging waitpid.
+bool spawn_child(const ProcOptions& opts, Child& child, std::string& error) {
+  int to_child[2];
+  int from_child[2];
+  auto cloexec_pair = [](int fds[2]) {
+    return ::fcntl(fds[0], F_SETFD, FD_CLOEXEC) == 0 &&
+           ::fcntl(fds[1], F_SETFD, FD_CLOEXEC) == 0;
+  };
+  if (::pipe(to_child) != 0) {
+    error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  if (::pipe(from_child) != 0) {
+    error = std::string("pipe: ") + std::strerror(errno);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return false;
+  }
+  if (!cloexec_pair(to_child) || !cloexec_pair(from_child)) {
+    error = std::string("fcntl: ") + std::strerror(errno);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    error = std::string("fork: ") + std::strerror(errno);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    std::vector<const char*> argv;
+    argv.push_back(opts.solver_path.c_str());
+    argv.push_back(opts.cnf_path.c_str());
+    argv.push_back("--cube-worker");
+    if (opts.proof) {
+      argv.push_back("--proof");
+      argv.push_back("-");
+    }
+    argv.push_back(nullptr);
+    ::execvp(argv[0], const_cast<char* const*>(argv.data()));
+    _exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  child.pid = pid;
+  child.in_fd = to_child[1];
+  child.out_fd = from_child[0];
+  return true;
+}
+
+}  // namespace
+
+ProcResult conquer_procs(const std::vector<Cube>& in_cubes,
+                         const ProcOptions& opts) {
+  ProcResult res;
+  std::vector<Cube> cubes = in_cubes;
+  if (cubes.empty()) cubes.emplace_back();
+
+  int n = std::max(1, opts.num_procs);
+  n = std::min<int>(n, static_cast<int>(cubes.size()));
+
+  std::vector<Child> children(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (!spawn_child(opts, children[static_cast<std::size_t>(i)], res.error)) {
+      for (Child& c : children) {
+        if (c.pid > 0) {
+          ::kill(c.pid, SIGKILL);
+          ::waitpid(c.pid, nullptr, 0);
+        }
+        close_fd(c.in_fd);
+        close_fd(c.out_fd);
+      }
+      return res;
+    }
+  }
+
+  StealQueue queue;
+  queue.deal(n, cubes.size(), opts.steal_seed);
+
+  std::chrono::steady_clock::time_point deadline;
+  const bool has_deadline = opts.time_budget_ms >= 0;
+  if (has_deadline) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(opts.time_budget_ms);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> sat_cube{-1};
+  std::atomic<bool> root_refuted{false};
+  std::atomic<bool> budget_exhausted{false};
+  std::atomic<bool> failed{false};
+  Mutex result_mu;
+  std::vector<lbool> model;
+  UnknownReason unknown_reason = UnknownReason::kNone;
+  std::string error;
+  std::vector<CubeStats> stats(static_cast<std::size_t>(n));
+  std::vector<std::string> proof_buf(static_cast<std::size_t>(n));
+
+  // A worker that decides the run silences the rest: SIGKILL unblocks
+  // their drivers' frame reads with EOF.
+  auto kill_others = [&](int me) {
+    for (int j = 0; j < n; ++j) {
+      if (j == me) continue;
+      ::kill(children[static_cast<std::size_t>(j)].pid, SIGKILL);
+    }
+  };
+
+  auto driver = [&](int i) {
+    Child& child = children[static_cast<std::size_t>(i)];
+    CubeStats& st = stats[static_cast<std::size_t>(i)];
+    std::string payload;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::int64_t time_left_ms = -1;
+      if (has_deadline) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+          budget_exhausted.store(true, std::memory_order_relaxed);
+          {
+            MutexLock lock(&result_mu);
+            unknown_reason = UnknownReason::kTimeBudget;
+          }
+          stop.store(true, std::memory_order_relaxed);
+          kill_others(i);
+          break;
+        }
+        time_left_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           deadline - now)
+                           .count();
+      }
+      bool stolen = false;
+      const int ci = queue.next(i, &stolen);
+      if (ci < 0) break;
+      if (stolen) ++st.cubes_stolen;
+
+      std::ostringstream req;
+      req << "solve " << opts.cube_conflicts << " " << time_left_ms;
+      for (Lit l : cubes[static_cast<std::size_t>(ci)]) {
+        req << " " << dimacs_code(l);
+      }
+      req << " 0";
+      const bool wrote = fd_write_frame(child.in_fd, req.str());
+      const int rst = wrote ? fd_read_frame(child.out_fd, payload) : 2;
+      if (!wrote || rst != 0) {
+        if (!stop.load(std::memory_order_relaxed)) {
+          failed.store(true, std::memory_order_relaxed);
+          {
+            MutexLock lock(&result_mu);
+            if (error.empty()) error = "cube worker died mid-solve";
+          }
+          stop.store(true, std::memory_order_relaxed);
+          kill_others(i);
+        }
+        break;
+      }
+
+      std::istringstream resp(payload);
+      std::string s_tag;
+      std::string verdict;
+      resp >> s_tag >> verdict;
+      if (s_tag != "s") verdict = "?";
+      if (verdict == "SAT") {
+        int expected = -1;
+        if (sat_cube.compare_exchange_strong(expected, ci)) {
+          std::vector<lbool> m;
+          std::string v_tag;
+          resp >> v_tag;
+          long long code = 0;
+          while (resp >> code && code != 0) {
+            const Var v = static_cast<Var>(std::llabs(code)) - 1;
+            if (static_cast<std::size_t>(v) >= m.size()) {
+              m.resize(static_cast<std::size_t>(v) + 1, l_undef);
+            }
+            m[static_cast<std::size_t>(v)] = code > 0 ? l_true : l_false;
+          }
+          MutexLock lock(&result_mu);
+          model = std::move(m);
+        }
+        stop.store(true, std::memory_order_relaxed);
+        kill_others(i);
+        break;
+      }
+      if (verdict == "UNSAT") {
+        ++st.cubes_solved;
+        std::size_t core_size = 0;
+        resp >> core_size;
+        if (opts.proof) {
+          // The DRAT delta is everything after the verdict line.
+          const std::size_t nl = payload.find('\n');
+          if (nl != std::string::npos) {
+            proof_buf[static_cast<std::size_t>(i)].append(payload, nl + 1,
+                                                          std::string::npos);
+          }
+        }
+        if (core_size == 0) {
+          root_refuted.store(true, std::memory_order_relaxed);
+          stop.store(true, std::memory_order_relaxed);
+          kill_others(i);
+          break;
+        }
+        continue;
+      }
+      // UNKNOWN (or garbage): the pool cannot decide the instance.
+      if (!stop.load(std::memory_order_relaxed)) {
+        budget_exhausted.store(true, std::memory_order_relaxed);
+        int reason_code = static_cast<int>(UnknownReason::kConflictBudget);
+        resp >> reason_code;
+        {
+          MutexLock lock(&result_mu);
+          unknown_reason = static_cast<UnknownReason>(reason_code);
+        }
+        stop.store(true, std::memory_order_relaxed);
+        kill_others(i);
+      }
+      break;
+    }
+  };
+
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) threads.emplace_back(driver, i);
+    for (auto& t : threads) t.join();
+  }
+  for (Child& c : children) {
+    close_fd(c.in_fd);  // EOF: idle children exit cleanly
+    close_fd(c.out_fd);
+    ::waitpid(c.pid, nullptr, 0);
+  }
+
+  for (const CubeStats& st : stats) res.cube_stats += st;
+
+  const int sat_ci = sat_cube.load(std::memory_order_relaxed);
+  if (sat_ci >= 0) {
+    res.result = SolveResult::kSat;
+    res.sat_cube = sat_ci;
+    MutexLock lock(&result_mu);
+    res.model = std::move(model);
+    return res;
+  }
+  if (failed.load(std::memory_order_relaxed)) {
+    res.result = SolveResult::kUnknown;
+    res.unknown_reason = UnknownReason::kInterrupted;
+    MutexLock lock(&result_mu);
+    res.error = error;
+    return res;
+  }
+  if (budget_exhausted.load(std::memory_order_relaxed)) {
+    res.result = SolveResult::kUnknown;
+    MutexLock lock(&result_mu);
+    res.unknown_reason = unknown_reason;
+    return res;
+  }
+  res.result = SolveResult::kUnsat;
+  if (opts.proof) {
+    if (root_refuted.load(std::memory_order_relaxed)) {
+      // The refuting child's buffer already ends with the empty
+      // clause and is a complete linear refutation on its own.
+      for (int i = 0; i < n; ++i) {
+        const std::string& buf = proof_buf[static_cast<std::size_t>(i)];
+        if (buf.size() >= 2 && buf.compare(buf.size() - 2, 2, "0\n") == 0) {
+          res.drat_text = buf;
+        }
+      }
+    } else {
+      for (const std::string& buf : proof_buf) res.drat_text += buf;
+      std::ostringstream closing;
+      for (const std::vector<Lit>& clause :
+           CubeTree::build(cubes).closing_clauses()) {
+        for (Lit l : clause) closing << dimacs_code(l) << " ";
+        closing << "0\n";
+      }
+      res.drat_text += closing.str();
+    }
+  }
+  return res;
+}
+
+int run_cube_worker(const CnfFormula& f, const SolverOptions& opts,
+                    bool stream_proof) {
+  Solver s(opts);
+  Proof proof;
+  std::size_t sent_steps = 0;
+  if (stream_proof) s.set_proof_tracer(&proof);
+  [[maybe_unused]] const bool ok = s.add_formula(f);
+
+  std::string payload;
+  while (true) {
+    const serve::FrameStatus st = serve::read_frame(std::cin, payload);
+    if (st == serve::FrameStatus::kEof) return 0;
+    if (st != serve::FrameStatus::kOk) return 1;
+
+    std::istringstream req(payload);
+    std::string verb;
+    req >> verb;
+    if (verb != "solve") return 1;
+    std::int64_t conflicts = -1;
+    std::int64_t time_ms = -1;
+    req >> conflicts >> time_ms;
+    std::vector<Lit> assumptions;
+    long long code = 0;
+    while (req >> code && code != 0) {
+      const Var v = static_cast<Var>(std::llabs(code) - 1);
+      s.ensure_var(v);
+      assumptions.push_back(Lit(v, code < 0));
+    }
+
+    s.set_budgets(conflicts, time_ms);
+    const SolveResult r = s.solve(assumptions);
+    std::ostringstream resp;
+    switch (r) {
+      case SolveResult::kSat: {
+        resp << "s SAT\nv";
+        const std::vector<lbool>& m = s.model();
+        for (Var v = 0; v < s.num_vars(); ++v) {
+          const lbool val =
+              static_cast<std::size_t>(v) < m.size() ? m[v] : l_undef;
+          resp << " " << (val.is_false() ? -(v + 1) : (v + 1));
+        }
+        resp << " 0\n";
+        break;
+      }
+      case SolveResult::kUnsat: {
+        const std::size_t core_size = s.conflict_core().size();
+        if (stream_proof && core_size == 0 && !proof.derives_empty_clause()) {
+          // Root conflict found during clause addition: the trace may
+          // lack the final step, but the empty clause is RUP from the
+          // contradictory units, so closing it here stays checkable.
+          proof.on_derive({});
+        }
+        resp << "s UNSAT " << core_size << "\n";
+        if (stream_proof) {
+          const std::vector<Proof::Step>& steps = proof.steps();
+          for (std::size_t k = sent_steps; k < steps.size(); ++k) {
+            // Deletions are withheld: the driver concatenates traces
+            // from several children, and one child's deletion must not
+            // remove a clause another child's steps (or the closing
+            // clauses) still resolve on — the stitch_proofs() rule.
+            if (steps[k].deletion) continue;
+            write_drat_step(resp, DratFormat::kText, /*deletion=*/false,
+                            steps[k].lits);
+          }
+          sent_steps = steps.size();
+        }
+        break;
+      }
+      case SolveResult::kUnknown:
+        resp << "s UNKNOWN " << static_cast<int>(s.unknown_reason()) << "\n";
+        break;
+    }
+    if (!serve::write_frame(std::cout, resp.str())) return 1;
+    std::cout.flush();
+  }
+}
+
+}  // namespace sateda::sat::cube

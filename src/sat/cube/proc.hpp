@@ -1,0 +1,79 @@
+/// \file proc.hpp
+/// \brief Multi-process conquer: `sateda-solve --cube-worker` children
+///        driven over the serve frame transport.
+///
+/// The in-process pool (conquer.hpp) shares one address space, so a
+/// pathological worker (memory blowup, a crash in an experimental
+/// configuration) takes the whole run down.  Process mode trades the
+/// shared clause pool for isolation: each child is a full sateda-solve
+/// loaded with the same CNF, the driver deals cubes from the same
+/// StealQueue, and each request/response rides the length-prefixed
+/// frame codec of sateda-serve (serve/framing.hpp) over the child's
+/// stdin/stdout pipes.
+///
+/// Wire protocol (text payloads inside frames):
+///
+///   request:   solve <conflict_budget> <time_ms> <lit> ... 0
+///   response:  s SAT\nv <lit> ... 0          (model, DIMACS codes)
+///              s UNSAT <core_size>\n<drat>   (proof delta, see below)
+///              s UNKNOWN <reason_code>
+///
+/// EOF on stdin ends a child.  Proof mode: each UNSAT response carries
+/// the child's *new* derivation steps since its previous response as
+/// text DRAT (deletions are omitted — child A's deletion must not
+/// remove a clause the stitched proof still resolves on, exactly the
+/// stitch_proofs() rule).  Children never exchange clauses, so each
+/// child's trace is a linear derivation from F alone and concatenating
+/// the per-child buffers in child order is sound; the driver appends
+/// the cube tree's closing clauses to finish the refutation.  A
+/// core_size of 0 means the child refuted F outright — its buffer
+/// already ends with the empty clause and stands alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "sat/cube/cube.hpp"
+#include "sat/options.hpp"
+
+namespace sateda::sat::cube {
+
+/// Multi-process conquer tunables.
+struct ProcOptions {
+  std::string solver_path;  ///< the sateda-solve binary to spawn
+  std::string cnf_path;     ///< DIMACS file every child loads
+  int num_procs = 2;
+  std::int64_t cube_conflicts = -1;  ///< per-cube conflict budget
+  std::int64_t time_budget_ms = -1;  ///< whole-conquer wall clock
+  bool proof = false;                ///< children stream DRAT deltas
+  std::uint64_t steal_seed = 0;
+};
+
+/// Outcome of a multi-process conquer run.
+struct ProcResult {
+  SolveResult result = SolveResult::kUnknown;
+  UnknownReason unknown_reason = UnknownReason::kNone;
+  std::vector<lbool> model;  ///< on kSat
+  int sat_cube = -1;
+  CubeStats cube_stats;
+  /// On kUnsat with proof: the stitched refutation as text DRAT
+  /// (child deltas in child order, then the closing clauses).
+  std::string drat_text;
+  std::string error;  ///< non-empty on spawn/protocol failure
+};
+
+/// Spawns \p opts.num_procs children and conquers \p cubes.  Blocks
+/// until a verdict (or failure, reported in ProcResult::error).
+ProcResult conquer_procs(const std::vector<Cube>& cubes,
+                         const ProcOptions& opts);
+
+/// Child-side loop for `sateda-solve --cube-worker`: answers framed
+/// solve requests on stdin with framed verdicts on stdout until EOF.
+/// \p stream_proof enables the DRAT deltas in UNSAT responses.
+/// Returns a process exit code (0 on clean EOF).
+int run_cube_worker(const CnfFormula& f, const SolverOptions& opts,
+                    bool stream_proof);
+
+}  // namespace sateda::sat::cube

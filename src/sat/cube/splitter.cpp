@@ -1,0 +1,277 @@
+#include "sat/cube/splitter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "sat/solver.hpp"
+
+namespace sateda::sat::cube {
+
+namespace {
+
+SolverOptions lookahead_options(const SplitOptions& opts) {
+  SolverOptions so;
+  so.seed = opts.seed;
+  // The lookahead solver never runs search() — only manual
+  // enqueue/deduce/erase cycles — so inprocessing would never trigger;
+  // disable it outright so the probe solver below can share this
+  // helper without inheriting an entry round.
+  so.inprocess.enabled = false;
+  return so;
+}
+
+}  // namespace
+
+/// Drives one DFS split of a formula.  Friend of Solver: reuses the
+/// same enqueue/deduce/erase_until probing cycle as the inprocessor's
+/// failed-literal pass, one decision level per cube literal plus one
+/// scratch level per lookahead probe.
+class LookaheadSplitter {
+ public:
+  LookaheadSplitter(const CnfFormula& f, const SplitOptions& opts,
+                    const std::atomic<bool>* interrupt)
+      : opts_(opts),
+        interrupt_(interrupt),
+        s_(lookahead_options(opts)),
+        probe_(lookahead_options(opts)) {
+    formula_ok_ = s_.add_formula(f);
+    if (opts_.refute_conflicts > 0) {
+      probe_ok_ = probe_.add_formula(f);
+    }
+  }
+
+  SplitResult run() {
+    if (opts_.time_budget_ms >= 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(opts_.time_budget_ms);
+      has_deadline_ = true;
+    }
+    // Root propagation: a trivially refuted formula still gets a
+    // complete cover — the single empty cube, which the conquer layer
+    // refutes with a proper proof.
+    if (!formula_ok_ || !s_.deduce().is_none()) {
+      s_.ok_ = false;
+      emit_leaf(/*refuted=*/true);
+      return finish();
+    }
+    split_node(0);
+    return finish();
+  }
+
+ private:
+  SplitResult finish() {
+    SplitResult res;
+    res.stats = stats_;
+    if (sat_found_) {
+      res.status = SolveResult::kSat;
+      res.model = std::move(model_);
+      return res;
+    }
+    res.status = SolveResult::kUnknown;
+    res.cubes = std::move(cubes_);
+    return res;
+  }
+
+  bool out_of_budget() const {
+    if (interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (opts_.max_cubes > 0 &&
+        static_cast<std::int64_t>(cubes_.size()) >= opts_.max_cubes) {
+      return true;
+    }
+    if (has_deadline_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      return true;
+    }
+    return false;
+  }
+
+  void emit_leaf(bool refuted) {
+    const int depth = static_cast<int>(cube_.size());
+    cubes_.push_back(cube_);
+    ++stats_.cubes_generated;
+    if (refuted) ++stats_.cubes_refuted_split;
+    stats_.max_depth = std::max(stats_.max_depth, depth);
+    if (stats_.depth_histogram.size() <= static_cast<std::size_t>(depth)) {
+      stats_.depth_histogram.resize(static_cast<std::size_t>(depth) + 1, 0);
+    }
+    ++stats_.depth_histogram[static_cast<std::size_t>(depth)];
+  }
+
+  /// Precondition: decision_level()==depth, cube_ assigned and
+  /// propagated to fixpoint without conflict.
+  void split_node(int depth) {
+    if (sat_found_) return;
+    if (out_of_budget() || depth >= opts_.cutoff) {
+      emit_leaf(/*refuted=*/false);
+      return;
+    }
+    if (s_.num_assigned() == s_.num_vars()) {
+      // Propagation fixpoint with every variable assigned and no
+      // conflict: every clause holds — a model.
+      model_.assign(s_.assigns_.begin(), s_.assigns_.end());
+      sat_found_ = true;
+      return;
+    }
+    // Dynamic cutoff: let a budgeted CDCL probe retire easy branches.
+    // (Skipped at the root — that is just "solve the instance".)
+    if (opts_.refute_conflicts > 0 && probe_ok_ && !cube_.empty()) {
+      probe_.set_budgets(opts_.refute_conflicts, -1);
+      switch (probe_.solve(cube_)) {
+        case SolveResult::kUnsat:
+          emit_leaf(/*refuted=*/true);
+          return;
+        case SolveResult::kSat:
+          model_ = probe_.model();
+          sat_found_ = true;
+          return;
+        case SolveResult::kUnknown:
+          break;  // too hard within budget: keep splitting
+      }
+    }
+    bool refuted = false;
+    const Var v = pick_split_var(depth, refuted);
+    if (sat_found_) return;
+    if (refuted) {
+      emit_leaf(/*refuted=*/true);
+      return;
+    }
+    if (v == kNullVar) {
+      emit_leaf(/*refuted=*/false);
+      return;
+    }
+    // Descend into the more constrained polarity first — it refutes
+    // (or bottoms out) sooner, keeping the open-node frontier small.
+    const Lit first = first_lit_;
+    for (const Lit l : {first, ~first}) {
+      s_.trail_lim_.push_back(static_cast<int>(s_.trail_.size()));
+      cube_.push_back(l);
+      const bool enq = s_.enqueue(l, kNoReason);
+      if (!enq || !s_.deduce().is_none()) {
+        emit_leaf(/*refuted=*/true);
+      } else {
+        split_node(depth + 1);
+      }
+      cube_.pop_back();
+      s_.erase_until(depth);
+      if (sat_found_) return;
+    }
+  }
+
+  /// Lookahead over the top-K candidates by occurrence count, scoring
+  /// each unfailed variable mixdiff-style.  Failed literals are
+  /// harvested as node-level units (exactly the inprocessor's probing
+  /// move, scoped to the cube instead of the root); both polarities
+  /// failing refutes the node.  Returns kNullVar with \p refuted unset
+  /// when nothing is worth splitting on.
+  Var pick_split_var(int depth, bool& refuted) {
+    struct Cand {
+      Var v;
+      std::int64_t occ;
+    };
+    std::vector<Cand> cands;
+    for (Var v = 0; v < s_.num_vars(); ++v) {
+      if (!s_.value(v).is_undef()) continue;
+      if (s_.decision_[static_cast<std::size_t>(v)] == 0) continue;
+      const auto pi = static_cast<std::size_t>(pos(v).index());
+      const auto ni = static_cast<std::size_t>(neg(v).index());
+      const std::int64_t occ = static_cast<std::int64_t>(s_.watches_.count(pi)) +
+                               s_.watches_.count(ni) + s_.bin_watches_.count(pi) +
+                               s_.bin_watches_.count(ni);
+      if (occ == 0) continue;
+      cands.push_back({v, occ});
+    }
+    if (cands.empty()) return kNullVar;
+    const std::size_t k = std::min<std::size_t>(
+        cands.size(), static_cast<std::size_t>(std::max(1, opts_.candidates)));
+    // Deterministic preselection: highest occurrence first, variable
+    // index breaking ties.
+    std::partial_sort(cands.begin(), cands.begin() + static_cast<std::ptrdiff_t>(k),
+                      cands.end(), [](const Cand& a, const Cand& b) {
+                        return a.occ != b.occ ? a.occ > b.occ : a.v < b.v;
+                      });
+    cands.resize(k);
+
+    const std::int64_t tick_start = s_.stats_.propagations;
+    std::int64_t best_score = -1;
+    Var best_var = kNullVar;
+    for (const Cand& c : cands) {
+      if (s_.stats_.propagations - tick_start > opts_.node_probe_ticks) break;
+      const Var v = c.v;
+      // An earlier failed-literal unit may have assigned it meanwhile.
+      if (!s_.value(v).is_undef()) continue;
+      std::int64_t delta[2] = {0, 0};
+      bool failed = false;
+      for (int sgn = 0; sgn < 2; ++sgn) {
+        const Lit l(v, sgn == 1);
+        const int before = s_.num_assigned();
+        s_.trail_lim_.push_back(before);
+        [[maybe_unused]] const bool enq = s_.enqueue(l, kNoReason);
+        assert(enq);
+        const Reason confl = s_.deduce();
+        delta[sgn] = s_.num_assigned() - before;
+        s_.erase_until(depth);
+        ++stats_.lookahead_probes;
+        if (confl.is_none()) continue;
+        // Failed literal: ¬l holds under this node's cube.  Keep it at
+        // the node level — it strengthens every probe and both
+        // children; a conflict here refutes the node outright.
+        ++stats_.failed_lookaheads;
+        failed = true;
+        if (!s_.enqueue(~l, kNoReason) || !s_.deduce().is_none()) {
+          refuted = true;
+          return kNullVar;
+        }
+        break;
+      }
+      if (failed) continue;
+      if (s_.num_assigned() == s_.num_vars()) continue;  // caught below
+      const std::int64_t score = delta[0] * delta[1] + delta[0] + delta[1];
+      if (score > best_score) {
+        best_score = score;
+        best_var = v;
+        first_lit_ = delta[0] >= delta[1] ? pos(v) : neg(v);
+      }
+    }
+    // Failed-literal units may have completed the assignment.
+    if (s_.num_assigned() == s_.num_vars()) {
+      model_.assign(s_.assigns_.begin(), s_.assigns_.end());
+      sat_found_ = true;
+      return kNullVar;
+    }
+    if (best_var == kNullVar && !cands.empty() &&
+        s_.value(cands.front().v).is_undef()) {
+      // Probe budget ran dry before any candidate was scored: fall
+      // back to the densest unassigned candidate.
+      best_var = cands.front().v;
+      first_lit_ = pos(best_var);
+    }
+    return best_var;
+  }
+
+  const SplitOptions opts_;
+  const std::atomic<bool>* interrupt_;
+  Solver s_;      ///< lookahead solver (manual probing only)
+  Solver probe_;  ///< persistent budgeted refutation prober
+  bool formula_ok_ = true;
+  bool probe_ok_ = true;
+
+  Cube cube_;                ///< current DFS path
+  std::vector<Cube> cubes_;  ///< emitted leaves
+  CubeStats stats_;
+  bool sat_found_ = false;
+  std::vector<lbool> model_;
+  Lit first_lit_ = kUndefLit;  ///< set by pick_split_var
+
+  std::chrono::steady_clock::time_point deadline_;
+  bool has_deadline_ = false;
+};
+
+SplitResult split_formula(const CnfFormula& f, const SplitOptions& opts,
+                          const std::atomic<bool>* interrupt) {
+  return LookaheadSplitter(f, opts, interrupt).run();
+}
+
+}  // namespace sateda::sat::cube

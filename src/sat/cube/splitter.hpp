@@ -1,0 +1,92 @@
+/// \file splitter.hpp
+/// \brief Lookahead cube splitter: partitions a formula into a binary
+///        split tree of cubes for the conquer pool.
+///
+/// The splitter is the "cube" half of cube-and-conquer.  It walks a
+/// DFS over candidate split variables, at each node reusing the
+/// failed-literal probing machinery the inprocessor runs (assume a
+/// literal at a fresh decision level, propagate to fixpoint, measure,
+/// erase) — but where probing only cares about *conflicts*, the
+/// splitter scores every candidate by the measured propagation it
+/// causes: for variable v with trail growths d+ (assume v) and d−
+/// (assume ¬v), the march-style mixed score d+·d− + d+ + d− prefers
+/// variables that constrain *both* halves of the split.  Probes that
+/// conflict are harvested exactly like failed literals — the
+/// complement is enqueued at the node level, strengthening the whole
+/// subtree for free; when both polarities fail the node is refuted.
+///
+/// Cutoffs: a static depth cutoff bounds the tree, and a *dynamic*
+/// cutoff retires easy branches early — a second, persistent CDCL
+/// solver attacks each node's cube under a small conflict budget, and
+/// a refutation within budget makes the node a leaf immediately (the
+/// cube is still emitted: the conquer layer re-derives the refutation
+/// with proof logging, keeping the splitter itself outside the trusted
+/// base).  If the probe finds a model instead, the whole run is SAT.
+///
+/// Every leaf — refuted or not — is emitted, so the cube set is always
+/// a *complete* cover (CubeTree::complete()), which is what the proof
+/// stitching in conquer.hpp relies on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "sat/cube/cube.hpp"
+#include "sat/options.hpp"
+
+namespace sateda::sat {
+class Solver;
+}  // namespace sateda::sat
+
+namespace sateda::sat::cube {
+
+/// Splitter tunables.
+struct SplitOptions {
+  /// Static cutoff: leaves are emitted at this depth.  The default
+  /// targets 2^10 = 1024 cubes on instances where nothing refutes.
+  int cutoff = 10;
+
+  /// Dynamic cutoff: per-node conflict budget for the refutation
+  /// probe (0 disables).  A node refuted within budget becomes a leaf.
+  std::int64_t refute_conflicts = 200;
+
+  /// Lookahead width: at most this many candidate variables are
+  /// probed per node (preselected by occurrence counts).
+  int candidates = 24;
+
+  /// Hard cap on emitted cubes (safety valve; 0 = unlimited).  When
+  /// the cap is hit, remaining open nodes are emitted as leaves.
+  std::int64_t max_cubes = 1 << 20;
+
+  /// Wall-clock budget for the whole split (ms; negative = none).
+  /// On expiry, open nodes are emitted as leaves.
+  std::int64_t time_budget_ms = -1;
+
+  /// Propagation-tick budget per lookahead pass at one node (bounds
+  /// pathological probe blowup; ticks are propagations).
+  std::int64_t node_probe_ticks = 1 << 20;
+
+  /// RNG seed for tie-breaking among equal-score candidates.
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of a split run.
+struct SplitResult {
+  /// kSat when a probe found a model (model below); otherwise kUnknown
+  /// with the cube cover in `cubes` — the conquer layer decides.
+  SolveResult status = SolveResult::kUnknown;
+  std::vector<Cube> cubes;
+  std::vector<lbool> model;  ///< satisfying assignment when status==kSat
+  CubeStats stats;
+};
+
+/// Runs the lookahead splitter on \p f.  Interruptible via
+/// \p interrupt (may be null): open nodes become leaves, so the cover
+/// stays complete.
+SplitResult split_formula(const CnfFormula& f, const SplitOptions& opts,
+                          const std::atomic<bool>* interrupt = nullptr);
+
+}  // namespace sateda::sat::cube

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "sat/cube/cube_engine.hpp"
 #include "sat/dpll.hpp"
 #include "sat/local_search.hpp"
 #include "sat/portfolio.hpp"
@@ -53,19 +54,29 @@ EngineSpec EngineSpec::parse(const std::string& text) {
     spec.backend_ = Backend::kWalkSat;
   } else if (name == "portfolio") {
     spec.backend_ = Backend::kPortfolio;
+  } else if (name == "cube") {
+    spec.backend_ = Backend::kCube;
   } else {
     throw std::invalid_argument("unknown SAT engine: \"" + name +
-                                "\" (expected cdcl, dpll, walksat or "
-                                "portfolio[:N][:det])");
+                                "\" (expected cdcl, dpll, walksat, "
+                                "portfolio[:N][:det] or cube[:N])");
   }
 
   bool saw_workers = false;
   bool saw_mode = false;
   for (std::size_t i = 1; i < tokens.size(); ++i) {
     const std::string& field = tokens[i];
-    if (spec.backend_ != Backend::kPortfolio) {
+    if (spec.backend_ != Backend::kPortfolio &&
+        spec.backend_ != Backend::kCube) {
       throw std::invalid_argument("engine \"" + name +
                                   "\" takes no \":" + field + "\" field");
+    }
+    if (spec.backend_ == Backend::kCube &&
+        !(!field.empty() &&
+          field.find_first_not_of("0123456789") == std::string::npos)) {
+      throw std::invalid_argument("bad engine spec field \":" + field +
+                                  "\" in \"" + text +
+                                  "\" (cube takes only a worker count)");
     }
     if (field == "det" || field == "deterministic") {
       if (saw_mode) {
@@ -106,12 +117,22 @@ EngineSpec EngineSpec::portfolio(int num_workers, bool deterministic) {
   return spec;
 }
 
+EngineSpec EngineSpec::cube(int num_workers) {
+  EngineSpec spec;
+  spec.backend_ = Backend::kCube;
+  spec.num_workers_ = num_workers;
+  return spec;
+}
+
 std::string EngineSpec::to_string() const {
   switch (backend_) {
     case Backend::kCdcl: return "cdcl";
     case Backend::kDpll: return "dpll";
     case Backend::kWalkSat: return "walksat";
     case Backend::kCustom: return "custom";
+    case Backend::kCube:
+      return num_workers_ != 0 ? "cube:" + std::to_string(num_workers_)
+                               : "cube";
     case Backend::kPortfolio: break;
   }
   std::string s = "portfolio";
@@ -132,6 +153,11 @@ std::unique_ptr<SatEngine> EngineSpec::build(const SolverOptions& opts) const {
       popts.num_workers = num_workers_;
       popts.deterministic = deterministic_;
       return std::make_unique<PortfolioSolver>(opts, popts);
+    }
+    case Backend::kCube: {
+      cube::CubeEngineOptions copts;
+      copts.num_workers = num_workers_;
+      return std::make_unique<cube::CubeSolver>(opts, copts);
     }
     case Backend::kCustom:
       // An empty wrapped factory means "the default engine", exactly

@@ -182,6 +182,7 @@ using EngineFactory =
 ///
 ///   cdcl | dpll | walksat (alias wsat)
 ///   portfolio[:N][:det|:race]     N workers (0 = one per core)
+///   cube[:N]                      cube-and-conquer, N conquer workers
 ///
 /// Examples: "cdcl", "portfolio:8", "portfolio:8:det".  parse() and
 /// to_string() round-trip: parse(s.to_string()) describes the same
@@ -195,7 +196,7 @@ using EngineFactory =
 /// "custom"); such a spec does not round-trip through parse().
 class EngineSpec {
  public:
-  enum class Backend { kCdcl, kDpll, kWalkSat, kPortfolio, kCustom };
+  enum class Backend { kCdcl, kDpll, kWalkSat, kPortfolio, kCube, kCustom };
 
   /// Default: the single-threaded CDCL solver.
   EngineSpec() = default;
@@ -220,6 +221,11 @@ class EngineSpec {
   /// per hardware thread), optionally in the deterministic
   /// barrier-synchronized mode (see PortfolioOptions).
   static EngineSpec portfolio(int num_workers, bool deterministic = false);
+
+  /// Cube-and-conquer: lookahead split, then \p num_workers conquer
+  /// workers with work stealing (0 → one per hardware thread).  See
+  /// sat/cube/cube_engine.hpp.
+  static EngineSpec cube(int num_workers = 0);
 
   /// Canonical spec string ("walksat" for wsat, workers/mode fields
   /// only where they differ from the defaults); "custom" for wrapped

@@ -50,9 +50,14 @@ bool Inprocessor::run() {
   const InprocessOptions& o = s.opts_.inprocess;
   InprocessScheduler& sched = s.ip_sched_;
   const std::size_t ncls = s.num_problem_clauses_;
+  // Database shape for the entry gate: problem clauses of >= 3 literals
+  // live in clauses_, so the rest are implicit binaries.
+  const std::size_t nbin = ncls - std::min(ncls, s.clauses_.size());
+  const double bin_frac =
+      ncls > 0 ? static_cast<double>(nbin) / static_cast<double>(ncls) : 0.0;
 
   if (o.probing) {
-    const PassPlan plan = sched.plan(InprocessPass::kProbe, s.stats_, ncls, o);
+    const PassPlan plan = sched.plan(InprocessPass::kProbe, s.stats_, ncls, bin_frac, o);
     if (plan.run) {
       std::int64_t ticks = 0, red = 0;
       const bool keep = probe_failed_literals(plan.ticks, ticks, red);
@@ -63,7 +68,7 @@ bool Inprocessor::run() {
     }
   }
   if (o.vivify) {
-    const PassPlan plan = sched.plan(InprocessPass::kVivify, s.stats_, ncls, o);
+    const PassPlan plan = sched.plan(InprocessPass::kVivify, s.stats_, ncls, bin_frac, o);
     if (plan.run) {
       std::int64_t ticks = 0, red = 0;
       const bool keep = vivify_learnts(plan.ticks, ticks, red);
@@ -74,7 +79,7 @@ bool Inprocessor::run() {
     }
   }
   if (o.bve) {
-    const PassPlan plan = sched.plan(InprocessPass::kBve, s.stats_, ncls, o);
+    const PassPlan plan = sched.plan(InprocessPass::kBve, s.stats_, ncls, bin_frac, o);
     if (plan.run) {
       std::int64_t ticks = 0, red = 0;
       const bool keep = eliminate_variables(plan.ticks, ticks, red);

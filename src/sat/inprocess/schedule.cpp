@@ -77,6 +77,7 @@ void InprocessScheduler::observe(const SolverStats& stats,
 
 PassPlan InprocessScheduler::plan(InprocessPass p, const SolverStats& stats,
                                   std::size_t num_problem_clauses,
+                                  double binary_fraction,
                                   const InprocessOptions& opts) {
   PassState& st = state_[static_cast<int>(p)];
   if (!opts.self_throttle) {
@@ -87,9 +88,19 @@ PassPlan InprocessScheduler::plan(InprocessPass p, const SolverStats& stats,
     ++st.skips;
     return {false, 0};
   }
+  if (st.runs == 0 && round_ <= 1 && opts.entry_max_binary_fraction >= 0.0 &&
+      binary_fraction > opts.entry_max_binary_fraction) {
+    // Shape gate: a binary-heavy (circuit-shaped) database makes the
+    // formula-scaled entry budget a bad bet.  Skip the entry round
+    // entirely and downgrade this pass's eventual first run to the
+    // steady-state budget.
+    st.entry_gated = true;
+    ++st.skips;
+    return {false, 0};
+  }
   const std::int64_t cap = option_budget(p, opts);
   std::int64_t ticks;
-  if (st.runs == 0) {
+  if (st.runs == 0 && !st.entry_gated) {
     // Entry round: little search history yet, so scale to the formula —
     // this doubles as preprocessing without letting a flat budget dwarf
     // a small instance's entire search.

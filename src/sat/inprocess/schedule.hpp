@@ -68,8 +68,16 @@ class InprocessScheduler {
   void observe(const SolverStats& stats, const InprocessOptions& opts);
 
   /// Whether (and with what tick budget) pass \p p should run now.
+  /// \p binary_fraction is the share of problem clauses that are
+  /// implicit binaries — the cheap database-shape reading that gates
+  /// the formula-scaled entry round on circuit-shaped (binary-heavy)
+  /// databases, where it historically cost more than it earned
+  /// (cec_adder4_miter: 0.30x on entry BVE).  A gated pass keeps
+  /// runs==0 but its eventual first run drops to the steady-state
+  /// search-share budget.
   PassPlan plan(InprocessPass p, const SolverStats& stats,
-                std::size_t num_problem_clauses, const InprocessOptions& opts);
+                std::size_t num_problem_clauses, double binary_fraction,
+                const InprocessOptions& opts);
 
   /// Reports a completed run of \p p: \p ticks spent, \p reductions
   /// derived (units/strengthened clauses/eliminated variables).  Opens
@@ -95,6 +103,7 @@ class InprocessScheduler {
     std::int64_t backoff = 0;    ///< rounds skipped after each run
     std::int64_t cooldown = 0;   ///< rounds left in the current backoff
     std::int64_t last_run_props = 0;  ///< search props marker at last run end
+    bool entry_gated = false;  ///< entry round skipped by the shape gate
     // Open measurement window (armed by record, settled by observe).
     bool window_open = false;
     std::int64_t ticks_last = 0;

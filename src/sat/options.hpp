@@ -80,6 +80,17 @@ struct InprocessOptions {
   /// propagation alone — parity chains, easy SAT — never pay for
   /// inprocessing at all.
   std::int64_t entry_conflicts = 1;
+  /// Database-shape gate for the entry round: skip it when more than
+  /// this fraction of the problem clauses are implicit binaries.
+  /// Binary-heavy databases are circuit-shaped (Tseitin gate encodings
+  /// put AND/NOT gates at 2 literals; the bundled miters sit at
+  /// 0.31–0.37), where the formula-scaled entry budget buys BVE/probing
+  /// work the search never amortizes — the cec_adder4_miter entry-BVE
+  /// cliff.  Uniform-random and dubois chains, where the entry round
+  /// pays for itself, have no implicit binaries at all, so 0.3 cleanly
+  /// separates the two shapes.  A gated pass still runs later, but on
+  /// the steady-state search-share budget.  Negative disables the gate.
+  double entry_max_binary_fraction = 0.3;
   double utility_threshold = 0.0;  ///< back off passes scoring below this
   int max_backoff = 32;              ///< cap on rounds skipped in a row
 };
@@ -187,6 +198,12 @@ struct SolverStats {
   std::int64_t bve_runs = 0;
   std::int64_t bve_ticks = 0;         ///< BVE materialization+resolution work
   std::int64_t bve_skips = 0;
+  // Cube-and-conquer observability (sat/cube): splitter leaves and the
+  // conquer pool's work-stealing traffic.
+  std::int64_t cubes_generated = 0;     ///< split-tree leaves emitted
+  std::int64_t cubes_refuted_split = 0; ///< leaves refuted during splitting
+  std::int64_t cubes_solved = 0;        ///< cubes decided by conquer workers
+  std::int64_t cubes_stolen = 0;        ///< cubes taken from another deque
   double probe_utility = 0.0;
   double vivify_utility = 0.0;
   double bve_utility = 0.0;
@@ -252,6 +269,10 @@ struct SolverStats {
     bve_runs += o.bve_runs;
     bve_ticks += o.bve_ticks;
     bve_skips += o.bve_skips;
+    cubes_generated += o.cubes_generated;
+    cubes_refuted_split += o.cubes_refuted_split;
+    cubes_solved += o.cubes_solved;
+    cubes_stolen += o.cubes_stolen;
     // Utilities are per-engine gauges, not counters; keep the reading
     // from the side that did more inprocessing work.
     if (o.inprocess_runs > inprocess_runs - o.inprocess_runs) {
@@ -350,6 +371,13 @@ struct SolverStats {
                      vivify_utility);
     s += ledger_line("BVE ledger", bve_runs, bve_ticks, bve_skips,
                      bve_utility);
+    if (cubes_generated) {
+      s += "cubes generated      : " + std::to_string(cubes_generated) + "\n";
+      s += "cubes refuted (split): " + std::to_string(cubes_refuted_split) +
+           "\n";
+      s += "cubes solved         : " + std::to_string(cubes_solved) + "\n";
+      s += "cubes stolen         : " + std::to_string(cubes_stolen) + "\n";
+    }
     s += "solve time (s)       : " + std::string(time_buf) + "\n";
     s += "propagations/sec     : " + rate(propagations_per_sec()) + "\n";
     s += "conflicts/sec        : " + rate(conflicts_per_sec());

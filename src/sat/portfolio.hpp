@@ -158,15 +158,16 @@ class PortfolioSolver : public SatEngine {
   /// portfolio-wide, so any worker is representative).
   bool is_frozen(Var v) const override;
 
+  /// Diversifies \p base for worker \p index (index 0 keeps the base
+  /// configuration).  Public so other worker pools (the cube-and-
+  /// conquer layer) diversify identically.
+  static SolverOptions diversified_options(const SolverOptions& base,
+                                           int index);
+
  private:
   SolveResult solve_racing(const std::vector<Lit>& assumptions);
   SolveResult solve_deterministic(const std::vector<Lit>& assumptions);
   void adopt_outcome(int winner, SolveResult result);
-
-  /// Diversifies \p base for worker \p index (index 0 keeps the base
-  /// configuration).
-  static SolverOptions diversified_options(const SolverOptions& base,
-                                           int index);
 
   PortfolioOptions popts_;
   SolverOptions base_opts_;

@@ -51,6 +51,9 @@ namespace sateda::sat {
 
 class SolverAuditor;  // audit.hpp
 class Inprocessor;    // inprocess/inprocess.hpp
+namespace cube {
+class LookaheadSplitter;  // cube/splitter.cpp
+}  // namespace cube
 
 /// Conflict-driven clause-learning SAT solver.
 class Solver : public SatEngine {
@@ -265,6 +268,7 @@ class Solver : public SatEngine {
  private:
   friend class SolverAuditor;  // read-only introspection of internals
   friend class Inprocessor;    // in-search simplification passes
+  friend class cube::LookaheadSplitter;  // lookahead probing for splits
 
   // --- Figure 2 phases ---------------------------------------------
   enum class DecideStatus {

@@ -1,0 +1,431 @@
+/// \file cube_test.cpp
+/// \brief Cube-and-conquer suite: iCNF round-trips, split-tree
+///        completeness and closing-clause order, splitter covers,
+///        conquer verdicts, stitched-proof certification (including
+///        across forced mid-conquer arena GCs), and work-stealing
+///        determinism.  Built as its own binary so the CI
+///        thread-sanitizer job can hammer the stealing paths alone.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cnf/generators.hpp"
+#include "sat/cube/conquer.hpp"
+#include "sat/cube/cube.hpp"
+#include "sat/cube/splitter.hpp"
+#include "sat/drat_check.hpp"
+#include "sat/engine.hpp"
+#include "sat/solver.hpp"
+
+namespace {
+
+using namespace sateda;
+using sat::SolveResult;
+using sat::cube::ConquerOptions;
+using sat::cube::ConquerPool;
+using sat::cube::ConquerResult;
+using sat::cube::Cube;
+using sat::cube::CubeTree;
+using sat::cube::SplitOptions;
+using sat::cube::StealQueue;
+using sat::cube::split_formula;
+
+// Complete depth-2 cover over vars 0 and 1: {0,1},{0,-1},{-0}.
+std::vector<Cube> depth2_cover() {
+  return {{pos(0), pos(1)}, {pos(0), neg(1)}, {neg(0)}};
+}
+
+// ---------------------------------------------------------------- iCNF
+
+TEST(CubeIo, WriteReadRoundTrips) {
+  const std::vector<Cube> cubes = {
+      {pos(0), neg(2), pos(4)}, {neg(0)}, {pos(0), pos(2)}};
+  std::stringstream ss;
+  sat::cube::write_cubes(ss, cubes);
+  EXPECT_EQ(sat::cube::read_cubes(ss), cubes);
+}
+
+TEST(CubeIo, EmptyCubeRoundTrips) {
+  // The degenerate "one cube covering everything" set.
+  const std::vector<Cube> cubes = {{}};
+  std::stringstream ss;
+  sat::cube::write_cubes(ss, cubes);
+  EXPECT_EQ(sat::cube::read_cubes(ss), cubes);
+}
+
+TEST(CubeIo, CommentAndProblemLinesIgnored) {
+  std::stringstream ss("c generated elsewhere\np inccnf\na 1 -2 0\na -1 0\n");
+  const std::vector<Cube> cubes = sat::cube::read_cubes(ss);
+  ASSERT_EQ(cubes.size(), 2u);
+  EXPECT_EQ(cubes[0], (Cube{pos(0), neg(1)}));
+  EXPECT_EQ(cubes[1], (Cube{neg(0)}));
+}
+
+TEST(CubeIo, MalformedLinesThrow) {
+  {
+    std::stringstream ss("a 1 2\n");  // missing 0 terminator
+    EXPECT_THROW(sat::cube::read_cubes(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("a 1 x 0\n");  // non-integer literal
+    EXPECT_THROW(sat::cube::read_cubes(ss), std::runtime_error);
+  }
+}
+
+// ----------------------------------------------------------- CubeTree
+
+TEST(CubeTreeTest, CompleteCoverIsComplete) {
+  const CubeTree t = CubeTree::build(depth2_cover());
+  std::string why;
+  EXPECT_TRUE(t.complete(&why)) << why;
+  EXPECT_EQ(t.num_leaves(), 3u);
+  EXPECT_EQ(t.max_depth(), 2);
+}
+
+TEST(CubeTreeTest, MissingSiblingIsIncomplete) {
+  // {0,1} has no {0,-1} sibling: the corner x0 ∧ ¬x1 is uncovered.
+  const CubeTree t = CubeTree::build({{pos(0), pos(1)}, {neg(0)}});
+  std::string why;
+  EXPECT_FALSE(t.complete(&why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(CubeTreeTest, PrefixCubeIsIncomplete) {
+  // {0} is a strict prefix of {0,1}: the "leaf" is also internal.
+  const CubeTree t =
+      CubeTree::build({{pos(0)}, {pos(0), pos(1)}, {neg(0)}});
+  EXPECT_FALSE(t.complete(nullptr));
+}
+
+TEST(CubeTreeTest, MismatchedSplitVarIsIncomplete) {
+  // Siblings must split one variable: x1 vs ¬x2 is not a split.
+  const CubeTree t = CubeTree::build({{pos(0)}, {neg(1)}});
+  EXPECT_FALSE(t.complete(nullptr));
+}
+
+TEST(CubeTreeTest, ClosingClausesEndWithEmptyClause) {
+  const CubeTree t = CubeTree::build(depth2_cover());
+  const std::vector<std::vector<Lit>> closing = t.closing_clauses();
+  // Internal nodes: root and the node at cube {x0} — two clauses.
+  ASSERT_EQ(closing.size(), 2u);
+  EXPECT_EQ(closing[0], (std::vector<Lit>{neg(0)}));  // ¬(x0)
+  EXPECT_TRUE(closing[1].empty());                    // root: ¬(⊤) = {}
+}
+
+TEST(CubeTreeTest, ClosingClausesArePostorder) {
+  // Full binary tree over vars 0..2: 8 leaves, 7 internal nodes.
+  std::vector<Cube> cubes;
+  for (int mask = 0; mask < 8; ++mask) {
+    Cube c;
+    for (Var v = 0; v < 3; ++v) {
+      c.push_back((mask >> v) & 1 ? pos(v) : neg(v));
+    }
+    cubes.push_back(c);
+  }
+  const CubeTree t = CubeTree::build(cubes);
+  ASSERT_TRUE(t.complete(nullptr));
+  const std::vector<std::vector<Lit>> closing = t.closing_clauses();
+  ASSERT_EQ(closing.size(), 7u);
+  EXPECT_TRUE(closing.back().empty());
+  // Postorder: every internal node's clause (= the negated cube, so
+  // |clause| = node depth) appears only after both one-longer
+  // extensions of it have appeared — children close before parents.
+  auto seen_at = [&](const std::vector<Lit>& clause) {
+    return std::find(closing.begin(), closing.end(), clause) -
+           closing.begin();
+  };
+  for (const std::vector<Lit>& clause : closing) {
+    if (clause.size() >= 2) continue;  // deepest internal layer
+    for (bool negate : {false, true}) {
+      std::vector<Lit> child = clause;
+      const Var v = static_cast<Var>(clause.size());
+      child.insert(child.begin(), negate ? pos(v) : neg(v));
+      // ¬(cube ∧ l) = ¬cube ∨ ¬l; our trees negate element-wise with
+      // the split literal first, matching closing_clauses' layout.
+      const auto child_pos = seen_at(child);
+      if (child_pos < static_cast<long>(closing.size())) {
+        EXPECT_LT(child_pos, seen_at(clause));
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- splitter
+
+TEST(SplitterTest, EmitsCompleteCoverOnUnsat) {
+  const CnfFormula f = pigeonhole(5);
+  SplitOptions opts;
+  opts.cutoff = 4;
+  opts.refute_conflicts = 0;  // pure static cutoff
+  const sat::cube::SplitResult sr = split_formula(f, opts);
+  ASSERT_EQ(sr.status, SolveResult::kUnknown);
+  ASSERT_FALSE(sr.cubes.empty());
+  std::string why;
+  EXPECT_TRUE(CubeTree::build(sr.cubes).complete(&why)) << why;
+  EXPECT_EQ(sr.stats.cubes_generated,
+            static_cast<std::int64_t>(sr.cubes.size()));
+}
+
+TEST(SplitterTest, DynamicCutoffRetiresRefutedBranches) {
+  const CnfFormula f = pigeonhole(4);
+  SplitOptions opts;
+  opts.cutoff = 8;
+  opts.refute_conflicts = 5000;  // php4 branches die well within this
+  const sat::cube::SplitResult sr = split_formula(f, opts);
+  ASSERT_EQ(sr.status, SolveResult::kUnknown);
+  EXPECT_GT(sr.stats.cubes_refuted_split, 0);
+  EXPECT_TRUE(CubeTree::build(sr.cubes).complete(nullptr));
+}
+
+TEST(SplitterTest, FindsModelOnEasySatInstance) {
+  const CnfFormula f = random_3sat(20, 2.0, 7);  // under-constrained
+  SplitOptions opts;
+  opts.cutoff = 6;
+  const sat::cube::SplitResult sr = split_formula(f, opts);
+  ASSERT_EQ(sr.status, SolveResult::kSat);
+  std::vector<bool> bits(f.num_vars());
+  for (Var v = 0; v < f.num_vars(); ++v) {
+    bits[v] = static_cast<std::size_t>(v) < sr.model.size() &&
+              sr.model[v].is_true();
+  }
+  EXPECT_TRUE(f.is_satisfied_by(bits));
+}
+
+// --------------------------------------------------------- StealQueue
+
+TEST(StealQueueTest, DealsRoundRobinAndPopsOwnFrontFirst) {
+  StealQueue q;
+  q.deal(3, 9, /*seed=*/0);
+  bool stolen = true;
+  EXPECT_EQ(q.next(0, &stolen), 0);
+  EXPECT_FALSE(stolen);
+  EXPECT_EQ(q.next(0, &stolen), 3);
+  EXPECT_FALSE(stolen);
+  EXPECT_EQ(q.next(1, &stolen), 1);
+  EXPECT_FALSE(stolen);
+}
+
+TEST(StealQueueTest, DrainedWorkerStealsEveryRemainingItem) {
+  StealQueue q;
+  q.deal(3, 9, /*seed=*/42);
+  std::set<int> got;
+  int own = 0;
+  int stolen_count = 0;
+  bool stolen = false;
+  for (int item = q.next(0, &stolen); item >= 0;
+       item = q.next(0, &stolen)) {
+    EXPECT_TRUE(got.insert(item).second) << "duplicate item " << item;
+    if (stolen) {
+      ++stolen_count;
+    } else {
+      ++own;
+    }
+  }
+  EXPECT_EQ(got.size(), 9u);  // nothing lost, nothing duplicated
+  EXPECT_EQ(own, 3);          // own deque: 0, 3, 6
+  EXPECT_EQ(stolen_count, 6);
+  EXPECT_EQ(q.next(1, nullptr), -1);  // queue is empty for everyone
+}
+
+TEST(StealQueueTest, SameSeedSameOrder) {
+  auto drain = [](std::uint64_t seed) {
+    StealQueue q;
+    q.deal(4, 16, seed);
+    std::vector<int> order;
+    for (int item = q.next(2, nullptr); item >= 0;
+         item = q.next(2, nullptr)) {
+      order.push_back(item);
+    }
+    return order;
+  };
+  EXPECT_EQ(drain(7), drain(7));
+  // Different seeds are *allowed* to steal in a different order; the
+  // determinism contract is on verdicts (ConquerTest below), not on
+  // the steal sequence itself.
+}
+
+// ------------------------------------------------------------ conquer
+
+ConquerOptions small_pool(int workers) {
+  ConquerOptions opts;
+  opts.num_workers = workers;
+  return opts;
+}
+
+TEST(ConquerTest, RefutesAllCubesOfUnsatInstance) {
+  const CnfFormula f = pigeonhole(4);
+  ConquerPool pool(f, depth2_cover(), small_pool(2));
+  const ConquerResult cr = pool.run();
+  EXPECT_EQ(cr.result, SolveResult::kUnsat);
+  EXPECT_EQ(cr.cube_stats.cubes_solved, 3);
+}
+
+TEST(ConquerTest, FindsModelInsideSomeCube) {
+  const CnfFormula f = random_3sat(25, 3.0, 123);
+  const std::vector<Cube> cubes = depth2_cover();
+  ConquerPool pool(f, cubes, small_pool(2));
+  const ConquerResult cr = pool.run();
+  ASSERT_EQ(cr.result, SolveResult::kSat);
+  ASSERT_GE(cr.sat_cube, 0);
+  std::vector<bool> bits(f.num_vars());
+  for (Var v = 0; v < f.num_vars(); ++v) {
+    bits[v] = static_cast<std::size_t>(v) < cr.model.size() &&
+              cr.model[v].is_true();
+  }
+  EXPECT_TRUE(f.is_satisfied_by(bits));
+  // The model must sit inside the winning cube.
+  for (Lit l : cubes[static_cast<std::size_t>(cr.sat_cube)]) {
+    EXPECT_EQ(cr.model[l.var()], l.negative() ? l_false : l_true);
+  }
+}
+
+TEST(ConquerTest, VerdictInvariantUnderStealSeedsAndWorkerCounts) {
+  const CnfFormula unsat = pigeonhole(4);
+  const CnfFormula satf = random_3sat(25, 3.0, 123);
+  for (const std::uint64_t seed : {0u, 1u, 17u, 12345u}) {
+    for (const int workers : {1, 2, 4}) {
+      ConquerOptions opts = small_pool(workers);
+      opts.steal_seed = seed;
+      ConquerPool up(unsat, depth2_cover(), opts);
+      EXPECT_EQ(up.run().result, SolveResult::kUnsat)
+          << "seed " << seed << " workers " << workers;
+      ConquerPool sp(satf, depth2_cover(), opts);
+      EXPECT_EQ(sp.run().result, SolveResult::kSat)
+          << "seed " << seed << " workers " << workers;
+    }
+  }
+}
+
+// The TSan hammer: many trivial cubes across more workers than cores
+// forces a storm of concurrent pops and steals on the one queue while
+// workers race stop_ / sharing.  Run by the CI thread-sanitizer job.
+TEST(ConquerTest, StealingHammerManyCubesFewMilliseconds) {
+  const CnfFormula f = pigeonhole(3);
+  std::vector<Cube> cubes;
+  for (int mask = 0; mask < 32; ++mask) {
+    Cube c;
+    for (Var v = 0; v < 5; ++v) {
+      c.push_back((mask >> v) & 1 ? pos(v) : neg(v));
+    }
+    cubes.push_back(c);
+  }
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    ConquerOptions opts = small_pool(8);
+    opts.steal_seed = round;
+    ConquerPool pool(f, cubes, opts);
+    const ConquerResult cr = pool.run();
+    EXPECT_EQ(cr.result, SolveResult::kUnsat);
+    // A refutation whose conflict core skips the (irrelevant) cube
+    // literals refutes F outright and legitimately stops the pool
+    // early, so not all 32 cubes need solving — but at least one does.
+    EXPECT_GE(cr.cube_stats.cubes_solved, 1);
+    EXPECT_LE(cr.cube_stats.cubes_solved, 32);
+  }
+}
+
+// ------------------------------------------------------------- proofs
+
+/// Splits then conquers \p f with proofs on, returning the stitched
+/// refutation already validated for shape (non-empty, ends empty).
+sat::Proof conquer_certified(const CnfFormula& f, ConquerOptions opts,
+                             int cutoff) {
+  SplitOptions sopts;
+  sopts.cutoff = cutoff;
+  sopts.refute_conflicts = 0;
+  const sat::cube::SplitResult sr = split_formula(f, sopts);
+  EXPECT_EQ(sr.status, SolveResult::kUnknown);
+  opts.proof = true;
+  ConquerPool pool(f, sr.cubes, opts);
+  EXPECT_EQ(pool.run().result, SolveResult::kUnsat);
+  return pool.certified_proof();
+}
+
+TEST(CubeProofTest, StitchedProofCertifies) {
+  const CnfFormula f = pigeonhole(4);
+  const sat::Proof proof =
+      conquer_certified(f, small_pool(2), /*cutoff=*/3);
+  ASSERT_TRUE(proof.derives_empty_clause());
+  const sat::DratCheckResult r = sat::check_drat(f, proof);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.refutation);
+}
+
+// Concatenation order: per-worker traces draw tickets from one shared
+// counter, so any exported clause's derivation precedes its imports in
+// the stitched merge.  With 4 workers racing over 8+ cubes the traces
+// interleave heavily — if stitching ordered by worker instead of by
+// ticket, imported clauses would appear before their derivations and
+// the backward check would reject the proof.
+TEST(CubeProofTest, InterleavedWorkerTracesStitchInTicketOrder) {
+  const CnfFormula f = pigeonhole(5);
+  ConquerOptions opts = small_pool(4);
+  opts.steal_seed = 3;
+  const sat::Proof proof = conquer_certified(f, opts, /*cutoff=*/4);
+  const sat::DratCheckResult r = sat::check_drat(f, proof);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.refutation);
+}
+
+// Forced mid-conquer arena GC: gc_frac = 0 compacts the clause arena
+// at every opportunity, so clause addresses churn while the proofs are
+// being logged.  The stitched DRAT must certify regardless — proof
+// steps are literal sequences, not addresses, and a GC that corrupted
+// the trace would fail the backward check here.
+TEST(CubeProofTest, CertifiesAcrossForcedArenaGc) {
+  const CnfFormula f = pigeonhole(5);
+  ConquerOptions opts = small_pool(2);
+  opts.base.gc_frac = 0.0;
+  // Reduce the learnt DB almost every conflict so deletions create
+  // arena waste fast enough for the per-cube solves to trip a GC.
+  opts.base.reduce_base = 10;
+  opts.base.reduce_inc = 10;
+  SplitOptions sopts;
+  sopts.cutoff = 4;
+  sopts.refute_conflicts = 0;
+  const sat::cube::SplitResult sr = split_formula(f, sopts);
+  ASSERT_EQ(sr.status, SolveResult::kUnknown);
+  opts.proof = true;
+  ConquerPool pool(f, sr.cubes, opts);
+  const ConquerResult cr = pool.run();
+  ASSERT_EQ(cr.result, SolveResult::kUnsat);
+  EXPECT_GT(cr.solver_stats.arena_gc_runs, 0)
+      << "gc_frac=0 was expected to force compactions mid-conquer";
+  const sat::DratCheckResult r = sat::check_drat(f, pool.certified_proof());
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.refutation);
+}
+
+TEST(CubeProofTest, RootRefutationShortCircuits) {
+  // Contradictory units refute F at the root: the certified proof is
+  // one worker's linear trace ending in the empty clause, and the
+  // closing clauses are (correctly) not appended on top.
+  CnfFormula f;
+  const Var a = f.new_var();
+  f.add_unit(pos(a));
+  f.add_unit(neg(a));
+  ConquerOptions opts = small_pool(2);
+  opts.proof = true;
+  ConquerPool pool(f, depth2_cover(), opts);
+  ASSERT_EQ(pool.run().result, SolveResult::kUnsat);
+  const sat::Proof proof = pool.certified_proof();
+  ASSERT_TRUE(proof.derives_empty_clause());
+  const sat::DratCheckResult r = sat::check_drat(f, proof);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ------------------------------------------------------------- engine
+
+TEST(CubeEngineTest, SurfacesCubeCountersThroughStats) {
+  auto e = sat::EngineSpec::parse("cube:2").build();
+  ASSERT_TRUE(e->add_formula(pigeonhole(4)));
+  EXPECT_EQ(e->solve(), SolveResult::kUnsat);
+  const sat::SolverStats s = e->stats();
+  EXPECT_GT(s.cubes_generated, 0);
+  EXPECT_GT(s.cubes_refuted_split + s.cubes_solved, 0);
+}
+
+}  // namespace

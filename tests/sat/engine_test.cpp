@@ -133,7 +133,8 @@ TEST_P(EngineConformanceTest, StatsCountSolveCalls) {
 INSTANTIATE_TEST_SUITE_P(
     AllEngines, EngineConformanceTest,
     testing::Values(EngineCase{"cdcl", true}, EngineCase{"dpll", true},
-                    EngineCase{"wsat", false}, EngineCase{"portfolio", true}),
+                    EngineCase{"wsat", false}, EngineCase{"portfolio", true},
+                    EngineCase{"cube", true}),
     [](const testing::TestParamInfo<EngineCase>& info) {
       return info.param.name;
     });
@@ -150,7 +151,7 @@ TEST(EngineSpecTest, DefaultIsCdcl) {
 TEST(EngineSpecTest, ParseToStringRoundTrips) {
   for (const char* text :
        {"cdcl", "dpll", "walksat", "portfolio", "portfolio:4",
-        "portfolio:4:det", "portfolio:0:race"}) {
+        "portfolio:4:det", "portfolio:0:race", "cube", "cube:8"}) {
     const EngineSpec s = EngineSpec::parse(text);
     EXPECT_EQ(EngineSpec::parse(s.to_string()), s) << text;
   }
@@ -180,6 +181,8 @@ TEST(EngineSpecTest, InvalidSpecsThrow) {
   EXPECT_THROW(EngineSpec::parse("portfolio:x"), std::invalid_argument);
   EXPECT_THROW(EngineSpec::parse("portfolio:2:fancy"), std::invalid_argument);
   EXPECT_THROW(EngineSpec::parse("cdcl:2"), std::invalid_argument);
+  EXPECT_THROW(EngineSpec::parse("cube:det"), std::invalid_argument);
+  EXPECT_THROW(EngineSpec::parse("cube:2:2"), std::invalid_argument);
 }
 
 TEST(EngineSpecTest, BuildsTheNamedBackends) {
@@ -187,6 +190,7 @@ TEST(EngineSpecTest, BuildsTheNamedBackends) {
   EXPECT_EQ(EngineSpec("dpll").build()->name(), "dpll");
   EXPECT_EQ(EngineSpec("walksat").build()->name(), "walksat");
   EXPECT_EQ(EngineSpec("portfolio:2").build()->name(), "portfolio");
+  EXPECT_EQ(EngineSpec("cube:2").build()->name(), "cube");
 }
 
 TEST(EngineSpecTest, CustomFactoryWraps) {

@@ -27,13 +27,13 @@ TEST(InprocessScheduleTest, EntryBudgetScalesWithFormula) {
   sched.observe(at(0, 0), opts);
   const PassPlan bve =
       sched.plan(InprocessPass::kBve, at(0, 1), /*num_problem_clauses=*/100,
-                 opts);
+                 /*binary_fraction=*/0.0, opts);
   EXPECT_TRUE(bve.run);
   EXPECT_EQ(bve.ticks, 8 * opts.entry_ticks_per_clause * 100);
   // Probe ticks are propagations: the entry round is capped by the
   // demonstrated search effort, floored at a quarter of min_ticks.
   const PassPlan probe =
-      sched.plan(InprocessPass::kProbe, at(0, 1), 100, opts);
+      sched.plan(InprocessPass::kProbe, at(0, 1), 100, 0.0, opts);
   EXPECT_TRUE(probe.run);
   EXPECT_EQ(probe.ticks, opts.min_ticks / 4);
 }
@@ -42,13 +42,13 @@ TEST(InprocessScheduleTest, SteadyStateBudgetTracksSearchEffort) {
   InprocessScheduler sched;
   InprocessOptions opts;
   sched.observe(at(0, 0), opts);
-  ASSERT_TRUE(sched.plan(InprocessPass::kProbe, at(0, 1), 50, opts).run);
+  ASSERT_TRUE(sched.plan(InprocessPass::kProbe, at(0, 1), 50, 0.0, opts).run);
   sched.record(InprocessPass::kProbe, at(0, 1), /*ticks=*/500,
                /*reductions=*/3);
   // 400k propagations later the pass may spend tick_share of them.
   sched.observe(at(400000, 900), opts);
   const PassPlan plan =
-      sched.plan(InprocessPass::kProbe, at(400000, 900), 50, opts);
+      sched.plan(InprocessPass::kProbe, at(400000, 900), 50, 0.0, opts);
   EXPECT_TRUE(plan.run);
   EXPECT_EQ(plan.ticks,
             static_cast<std::int64_t>(opts.tick_share * 400000.0));
@@ -56,7 +56,7 @@ TEST(InprocessScheduleTest, SteadyStateBudgetTracksSearchEffort) {
   sched.record(InprocessPass::kProbe, at(400000, 900), plan.ticks, 1);
   sched.observe(at(405000, 910), opts);
   const PassPlan idle =
-      sched.plan(InprocessPass::kProbe, at(405000, 910), 50, opts);
+      sched.plan(InprocessPass::kProbe, at(405000, 910), 50, 0.0, opts);
   EXPECT_TRUE(idle.run);
   EXPECT_EQ(idle.ticks, opts.min_ticks);
 }
@@ -66,11 +66,11 @@ TEST(InprocessScheduleTest, BudgetNeverExceedsOptionCap) {
   InprocessOptions opts;
   opts.probe_budget = 1000;
   sched.observe(at(0, 0), opts);
-  ASSERT_TRUE(sched.plan(InprocessPass::kProbe, at(0, 1), 50, opts).run);
+  ASSERT_TRUE(sched.plan(InprocessPass::kProbe, at(0, 1), 50, 0.0, opts).run);
   sched.record(InprocessPass::kProbe, at(0, 1), 500, 1);
   sched.observe(at(10'000'000, 1000), opts);
   const PassPlan plan =
-      sched.plan(InprocessPass::kProbe, at(10'000'000, 1000), 50, opts);
+      sched.plan(InprocessPass::kProbe, at(10'000'000, 1000), 50, 0.0, opts);
   EXPECT_EQ(plan.ticks, 1000);
 }
 
@@ -87,7 +87,8 @@ TEST(InprocessScheduleTest, UselessRunsBackOffGeometrically) {
   for (int round = 0; round < 40; ++round) {
     sched.observe(at(props, props / 100), opts);
     const PassPlan plan =
-        sched.plan(InprocessPass::kVivify, at(props, props / 100), 50, opts);
+        sched.plan(InprocessPass::kVivify, at(props, props / 100), 50, 0.0,
+                   opts);
     if (plan.run) {
       ++runs;
       sched.record(InprocessPass::kVivify, at(props, props / 100), plan.ticks,
@@ -111,9 +112,37 @@ TEST(InprocessScheduleTest, SelfThrottleOffRestoresFlatBudgets) {
   InprocessOptions opts;
   opts.self_throttle = false;
   sched.observe(at(0, 0), opts);
-  const PassPlan plan = sched.plan(InprocessPass::kBve, at(0, 0), 50, opts);
+  const PassPlan plan = sched.plan(InprocessPass::kBve, at(0, 0), 50, 0.0, opts);
   EXPECT_TRUE(plan.run);
   EXPECT_EQ(plan.ticks, opts.bve_budget);
+}
+
+TEST(InprocessScheduleTest, BinaryHeavyDatabaseGatesEntryRound) {
+  // Circuit-shaped databases (Tseitin encodings are mostly implicit
+  // binaries) skip the formula-scaled entry round; the pass's first
+  // actual run later uses the steady-state search-share budget.
+  InprocessScheduler sched;
+  InprocessOptions opts;
+  sched.observe(at(0, 0), opts);
+  const PassPlan gated = sched.plan(InprocessPass::kBve, at(0, 1), 1000,
+                                    /*binary_fraction=*/0.7, opts);
+  EXPECT_FALSE(gated.run);
+  EXPECT_EQ(sched.skips(InprocessPass::kBve), 1);
+  // Later rounds: the pass may run, but on the steady-share budget,
+  // not the 8x formula-scaled entry budget.
+  sched.observe(at(200000, 500), opts);
+  const PassPlan later = sched.plan(InprocessPass::kBve, at(200000, 500), 1000,
+                                    0.7, opts);
+  EXPECT_TRUE(later.run);
+  EXPECT_EQ(later.ticks,
+            static_cast<std::int64_t>(opts.tick_share * 200000.0));
+  // A sparse (non-binary) database is untouched by the gate.
+  InprocessScheduler sched2;
+  sched2.observe(at(0, 0), opts);
+  const PassPlan entry = sched2.plan(InprocessPass::kBve, at(0, 1), 1000,
+                                     /*binary_fraction=*/0.0, opts);
+  EXPECT_TRUE(entry.run);
+  EXPECT_EQ(entry.ticks, 8 * opts.entry_ticks_per_clause * 1000);
 }
 
 TEST(InprocessScheduleTest, ZeroConflictSolveNeverInprocesses) {

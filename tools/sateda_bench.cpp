@@ -28,6 +28,7 @@
 #include "bench_util.hpp"
 #include "cnf/dimacs.hpp"
 #include "cnf/generators.hpp"
+#include "sat/engine.hpp"
 #include "sat/solver.hpp"
 
 namespace {
@@ -495,6 +496,184 @@ bool check_regression(const std::vector<Result>& results,
   return ok;
 }
 
+// ---- cube-and-conquer comparison bench (--cube) ---------------------
+//
+// A separate protocol from the throughput bench above: each instance
+// is solved once per strategy under one wall-clock budget — cold
+// (single CDCL), racing portfolio, and cube-and-conquer — through the
+// EngineSpec seam, so the comparison measures exactly what an
+// application routing a whale query to `cube:N` would see.
+
+struct CubeBenchResult {
+  std::string name;
+  std::string family;
+  int vars = 0;
+  std::size_t clauses = 0;
+  std::string cold_verdict, portfolio_verdict, cube_verdict;
+  double cold_sec = 0.0, portfolio_sec = 0.0, cube_sec = 0.0;
+  std::int64_t cubes_generated = 0;
+  std::int64_t cubes_refuted_split = 0;
+  std::int64_t cubes_solved = 0;
+  std::int64_t cubes_stolen = 0;
+  double cube_speedup_vs_cold = 0.0;       ///< 0 when cube timed out
+  double cube_speedup_vs_portfolio = 0.0;  ///< 0 when cube timed out
+};
+
+/// The harder generated family for the cube comparison: instances
+/// where a single trajectory stalls but the split tree has headroom.
+/// Deliberately not part of the throughput corpus above — its
+/// untimed repeat-until-min-time protocol would run for hours on
+/// php11 or mult_comm5.
+std::vector<Instance> build_cube_instances(bool quick) {
+  std::vector<Instance> all;
+  auto add = [&](std::string name, std::string family, CnfFormula f,
+                 bool in_quick) {
+    all.push_back({std::move(name), std::move(family), std::move(f), in_quick});
+  };
+  add("php8", "pigeonhole", pigeonhole(8), true);
+  add("php9", "pigeonhole", pigeonhole(9), true);
+  add("php10", "pigeonhole", pigeonhole(10), false);
+  add("php11", "pigeonhole", pigeonhole(11), false);
+  add("rand3sat_v250", "random3sat", random_3sat(250, 4.26, /*seed=*/7), true);
+  add("rand3sat_v300", "random3sat", random_3sat(300, 4.26, /*seed=*/7),
+      false);
+  add("rand3sat_v350", "random3sat", random_3sat(350, 4.26, /*seed=*/7),
+      false);
+  add("mult_comm4", "cec_miter", benchutil::multiplier_comm_miter_cnf(4),
+      true);
+  add("mult_comm5", "cec_miter", benchutil::multiplier_comm_miter_cnf(5),
+      false);
+  if (quick) {
+    std::erase_if(all, [](const Instance& i) { return !i.quick; });
+  }
+  return all;
+}
+
+/// One timed solve through the engine seam.  Returns wall seconds.
+double timed_engine_solve(const std::string& spec, const CnfFormula& f,
+                          std::int64_t timeout_ms, std::string* verdict,
+                          sat::SolverStats* stats) {
+  auto e = sat::EngineSpec::parse(spec).build();
+  (void)e->add_formula(f);
+  e->set_budgets(-1, timeout_ms);
+  const auto t0 = std::chrono::steady_clock::now();
+  const sat::SolveResult r = e->solve();
+  const auto t1 = std::chrono::steady_clock::now();
+  *verdict = verdict_string(r);
+  if (stats != nullptr) *stats = e->stats();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+CubeBenchResult run_cube_instance(const Instance& inst, int workers,
+                                  std::int64_t timeout_ms) {
+  CubeBenchResult res;
+  res.name = inst.name;
+  res.family = inst.family;
+  res.vars = inst.formula.num_vars();
+  res.clauses = inst.formula.num_clauses();
+  res.cold_sec = timed_engine_solve("cdcl", inst.formula, timeout_ms,
+                                    &res.cold_verdict, nullptr);
+  res.portfolio_sec = timed_engine_solve(
+      "portfolio:" + std::to_string(workers), inst.formula, timeout_ms,
+      &res.portfolio_verdict, nullptr);
+  sat::SolverStats cube_stats;
+  res.cube_sec =
+      timed_engine_solve("cube:" + std::to_string(workers), inst.formula,
+                         timeout_ms, &res.cube_verdict, &cube_stats);
+  res.cubes_generated = cube_stats.cubes_generated;
+  res.cubes_refuted_split = cube_stats.cubes_refuted_split;
+  res.cubes_solved = cube_stats.cubes_solved;
+  res.cubes_stolen = cube_stats.cubes_stolen;
+  if (res.cube_verdict != "UNKNOWN" && res.cube_sec > 0.0) {
+    res.cube_speedup_vs_cold = res.cold_sec / res.cube_sec;
+    res.cube_speedup_vs_portfolio = res.portfolio_sec / res.cube_sec;
+  }
+  return res;
+}
+
+std::string cube_to_json(const std::vector<CubeBenchResult>& results,
+                         bool quick, int workers, double timeout_sec) {
+  std::string out = "{\n  \"tool\": \"sateda-bench --cube\",\n";
+  out += "  \"mode\": \"";
+  out += quick ? "quick" : "full";
+  out += "\",\n  \"workers\": " + std::to_string(workers) + ",\n";
+  char tbuf[32];
+  std::snprintf(tbuf, sizeof(tbuf), "%g", timeout_sec);
+  out += "  \"timeout_sec\": ";
+  out += tbuf;
+  out += ",\n  \"instances\": [\n";
+  double cold_log = 0.0, pf_log = 0.0;
+  int cold_n = 0, pf_n = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CubeBenchResult& r = results[i];
+    out += "    {\n";
+    append_kv(out, "name", r.name);
+    append_kv(out, "family", r.family);
+    append_kv(out, "vars", static_cast<std::int64_t>(r.vars));
+    append_kv(out, "clauses", static_cast<std::int64_t>(r.clauses));
+    append_kv(out, "cold_verdict", r.cold_verdict);
+    append_kv(out, "cold_sec", r.cold_sec);
+    append_kv(out, "portfolio_verdict", r.portfolio_verdict);
+    append_kv(out, "portfolio_sec", r.portfolio_sec);
+    append_kv(out, "cube_verdict", r.cube_verdict);
+    append_kv(out, "cube_sec", r.cube_sec);
+    append_kv(out, "cubes_generated", r.cubes_generated);
+    append_kv(out, "cubes_refuted_split", r.cubes_refuted_split);
+    append_kv(out, "cubes_solved", r.cubes_solved);
+    append_kv(out, "cubes_stolen", r.cubes_stolen);
+    append_kv(out, "cube_speedup_vs_cold", r.cube_speedup_vs_cold);
+    append_kv(out, "cube_speedup_vs_portfolio", r.cube_speedup_vs_portfolio,
+              /*last=*/true);
+    out += (i + 1 < results.size()) ? "    },\n" : "    }\n";
+    if (r.cube_speedup_vs_cold > 0.0) {
+      cold_log += std::log(r.cube_speedup_vs_cold);
+      ++cold_n;
+    }
+    if (r.cube_speedup_vs_portfolio > 0.0) {
+      pf_log += std::log(r.cube_speedup_vs_portfolio);
+      ++pf_n;
+    }
+  }
+  out += "  ],\n  \"aggregate\": {\n";
+  append_kv(out, "instances", static_cast<std::int64_t>(results.size()));
+  append_kv(out, "geomean_cube_speedup_vs_cold",
+            cold_n > 0 ? std::exp(cold_log / cold_n) : 0.0);
+  append_kv(out, "geomean_cube_speedup_vs_portfolio",
+            pf_n > 0 ? std::exp(pf_log / pf_n) : 0.0, /*last=*/true);
+  out += "  }\n}\n";
+  return out;
+}
+
+int run_cube_bench(const std::string& out_path, bool quick, int workers,
+                   double timeout_sec) {
+  const std::vector<Instance> instances = build_cube_instances(quick);
+  const auto timeout_ms = static_cast<std::int64_t>(timeout_sec * 1000.0);
+  std::vector<CubeBenchResult> results;
+  results.reserve(instances.size());
+  std::printf("%-16s %8s %9s %8s %9s %8s %9s %7s %7s\n", "instance", "cold",
+              "cold(s)", "pfolio", "pfol(s)", "cube", "cube(s)", "xcold",
+              "xpfol");
+  for (const Instance& inst : instances) {
+    CubeBenchResult r = run_cube_instance(inst, workers, timeout_ms);
+    std::printf("%-16s %8s %9.3f %8s %9.3f %8s %9.3f %7.2f %7.2f\n",
+                r.name.c_str(), r.cold_verdict.c_str(), r.cold_sec,
+                r.portfolio_verdict.c_str(), r.portfolio_sec,
+                r.cube_verdict.c_str(), r.cube_sec, r.cube_speedup_vs_cold,
+                r.cube_speedup_vs_portfolio);
+    std::fflush(stdout);
+    results.push_back(std::move(r));
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  out << cube_to_json(results, quick, workers, timeout_sec);
+  out.close();
+  std::printf("\nresults written to %s\n", out_path.c_str());
+  return 0;
+}
+
 void print_help(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
@@ -514,6 +693,13 @@ void print_help(const char* argv0) {
       "  --max-reps N         repetition cap per instance (default 2000)\n"
       "  --baseline FILE      compare against a previous results file\n"
       "                       and fail on regression\n"
+      "  --cube               cube-and-conquer comparison instead: solve\n"
+      "                       a harder generated family cold / racing\n"
+      "                       portfolio / cube:N under one timeout and\n"
+      "                       write BENCH_cube.json\n"
+      "  --workers N          worker count for --cube (default 8)\n"
+      "  --timeout S          per-solve wall budget for --cube\n"
+      "                       (default 60; 10 under --quick)\n"
       "  --max-regression X   allowed geomean props/sec drop versus\n"
       "                       the baseline (default 0.25)\n"
       "  --min-instance-ratio X\n"
@@ -527,10 +713,13 @@ void print_help(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_solver.json";
+  std::string out_path;
   std::string corpus_dir = "examples/cnf";
   std::string baseline_path;
   bool quick = false;
+  bool cube = false;
+  int workers = 8;
+  double timeout_sec = -1.0;
   double min_time = -1.0;
   int max_reps = 2000;
   double max_regression = 0.25;
@@ -546,6 +735,12 @@ int main(int argc, char** argv) {
       corpus_dir = argv[++i];
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--cube") {
+      cube = true;
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (arg == "--timeout" && i + 1 < argc) {
+      timeout_sec = std::atof(argv[++i]);
     } else if (arg == "--min-time" && i + 1 < argc) {
       min_time = std::atof(argv[++i]);
     } else if (arg == "--max-reps" && i + 1 < argc) {
@@ -563,6 +758,11 @@ int main(int argc, char** argv) {
     }
   }
   if (min_time < 0.0) min_time = quick ? 0.25 : 1.0;
+  if (timeout_sec < 0.0) timeout_sec = quick ? 10.0 : 60.0;
+  if (out_path.empty()) {
+    out_path = cube ? "BENCH_cube.json" : "BENCH_solver.json";
+  }
+  if (cube) return run_cube_bench(out_path, quick, workers, timeout_sec);
 
   const std::vector<Instance> instances = build_instances(corpus_dir, quick);
   std::vector<Result> results;

@@ -1,0 +1,349 @@
+/// \file sateda_cube.cpp
+/// \brief Cube-and-conquer front end: lookahead split + work-stealing
+///        conquer, with iCNF cube interchange and certified proofs.
+///
+/// The pipeline has two halves that compose through cube files:
+///
+///   sateda-cube hard.cnf                      # split + conquer
+///   sateda-cube hard.cnf --cube-out h.icnf    # split only
+///   sateda-cube hard.cnf --cube-in h.icnf     # conquer only
+///
+/// On UNSAT, --proof emits one linear DRAT refutation (per-worker
+/// traces stitched in ticket order, then the cube tree's closing
+/// clauses) that sateda-check certifies with no knowledge of cubes or
+/// workers.  --procs trades the in-process pool (shared clause pool,
+/// one address space) for `sateda-solve --cube-worker` child
+/// processes driven over the serve frame transport.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "cnf/dimacs.hpp"
+#include "common/cli.hpp"
+#include "sat/cube/conquer.hpp"
+#include "sat/cube/proc.hpp"
+#include "sat/cube/splitter.hpp"
+#include "sat/proof.hpp"
+
+namespace {
+
+void print_help(const char* argv0) {
+  std::printf(
+      "usage: %s [options] <file.cnf>\n"
+      "\n"
+      "Decides a DIMACS CNF file by cube-and-conquer: a lookahead\n"
+      "splitter partitions the search space into cubes, then a\n"
+      "work-stealing pool of diversified CDCL workers races through\n"
+      "them (SAT anywhere wins; UNSAT needs every cube refuted).\n"
+      "\n"
+      "splitting:\n"
+      "  --cutoff N           split-tree depth cutoff (default 10)\n"
+      "  --refute-conflicts N conflict budget for the dynamic cutoff\n"
+      "                       probe that retires easy branches early\n"
+      "                       (default 200, 0 disables)\n"
+      "  --cube-out FILE      write cubes as iCNF (`a ... 0` lines) and\n"
+      "                       exit without conquering\n"
+      "  --cube-in FILE       skip splitting, conquer the given iCNF\n"
+      "                       cubes (must form a complete split tree)\n"
+      "\n"
+      "conquering:\n"
+      "  --workers N          conquer workers (default: one per core)\n"
+      "  --procs N            use N `sateda-solve --cube-worker` child\n"
+      "                       processes instead of in-process threads\n"
+      "  --solver PATH        sateda-solve binary for --procs (default:\n"
+      "                       next to this executable)\n"
+      "  --no-share           disable learnt-clause sharing (threads)\n"
+      "  --proof FILE         write a certified DRAT refutation on UNSAT\n"
+      "  --seed N             splitter + steal-order seed (default 1)\n"
+      "\n"
+      "budgets and reporting:\n"
+      "  --max-conflicts N    per-cube conflict budget\n"
+      "  --timeout SECONDS    wall-clock budget for the whole run\n"
+      "  --stats              per-cube statistics and depth histogram\n"
+      "  --quiet              suppress `c` comment lines\n"
+      "  --help               this message\n"
+      "\n"
+      "output: SAT-competition format.  Exit code 10 = SAT, 20 = UNSAT,\n"
+      "0 = UNKNOWN, 2 = usage or input error.\n",
+      argv0);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [options] <file.cnf>  (--help for details)\n",
+               argv0);
+  return 2;
+}
+
+/// Default --procs solver path: sateda-solve next to this binary.
+std::string sibling_solver(const char* argv0) {
+  std::string s = argv0;
+  const std::size_t slash = s.rfind('/');
+  if (slash == std::string::npos) return "sateda-solve";
+  return s.substr(0, slash + 1) + "sateda-solve";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sateda;
+  namespace cube = sat::cube;
+
+  std::string path;
+  std::string proof_path;
+  std::string cube_out;
+  std::string cube_in;
+  std::string solver_path;
+  cube::SplitOptions sopts;
+  int workers = 0;
+  int procs = 0;
+  bool share_clauses = true;
+  std::uint64_t seed = 1;
+  tools::CommonCli common;
+  for (int i = 1; i < argc; ++i) {
+    if (common.consume(argc, argv, i)) continue;
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(argv[0]);
+      return 0;
+    } else if (arg == "--cutoff" && i + 1 < argc) {
+      sopts.cutoff = std::atoi(argv[++i]);
+    } else if (arg == "--refute-conflicts" && i + 1 < argc) {
+      sopts.refute_conflicts = std::atoll(argv[++i]);
+    } else if (arg == "--cube-out" && i + 1 < argc) {
+      cube_out = argv[++i];
+    } else if (arg == "--cube-in" && i + 1 < argc) {
+      cube_in = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (arg == "--procs" && i + 1 < argc) {
+      procs = std::atoi(argv[++i]);
+    } else if (arg == "--solver" && i + 1 < argc) {
+      solver_path = argv[++i];
+    } else if (arg == "--no-share") {
+      share_clauses = false;
+    } else if (arg == "--proof" && i + 1 < argc) {
+      proof_path = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+  if (!cube_out.empty() && !cube_in.empty()) {
+    std::fprintf(stderr, "error: --cube-out and --cube-in are exclusive\n");
+    return 2;
+  }
+  const bool quiet = common.quiet;
+  sat::SolverOptions base;
+  common.apply(base);
+  sopts.seed = seed;
+  sopts.time_budget_ms = common.time_budget_ms;
+
+  CnfFormula f;
+  try {
+    f = read_dimacs_file(path);
+  } catch (const DimacsError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (!quiet) {
+    std::printf("c sateda_cube: %d vars, %zu clauses\n", f.num_vars(),
+                f.num_clauses());
+  }
+
+  const auto t_start = std::chrono::steady_clock::now();
+  auto elapsed_ms = [&t_start] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - t_start)
+        .count();
+  };
+
+  // --- split (or load) the cube set ---------------------------------
+  std::vector<cube::Cube> cubes;
+  cube::CubeStats split_stats;
+  if (!cube_in.empty()) {
+    try {
+      cubes = cube::read_cubes_file(cube_in);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::string why;
+    if (!cube::CubeTree::build(cubes).complete(&why)) {
+      // An incomplete cover leaves corners of the search space
+      // unexamined: refuting every listed cube would not refute F.
+      std::fprintf(stderr, "error: %s is not a complete split tree: %s\n",
+                   cube_in.c_str(), why.c_str());
+      return 2;
+    }
+    if (!quiet) {
+      std::printf("c loaded %zu cubes from %s\n", cubes.size(),
+                  cube_in.c_str());
+    }
+  } else {
+    cube::SplitResult sr = cube::split_formula(f, sopts);
+    split_stats = sr.stats;
+    if (!quiet) {
+      std::printf("c split: %lld cubes (%lld refuted at split), max depth %d "
+                  "(%lld ms)\n",
+                  static_cast<long long>(sr.stats.cubes_generated),
+                  static_cast<long long>(sr.stats.cubes_refuted_split),
+                  sr.stats.max_depth, static_cast<long long>(elapsed_ms()));
+    }
+    if (sr.status == sat::SolveResult::kSat) {
+      std::printf("s SATISFIABLE\n");
+      std::printf("v");
+      for (Var v = 0; v < f.num_vars(); ++v) {
+        const lbool val = static_cast<std::size_t>(v) < sr.model.size()
+                              ? sr.model[v]
+                              : l_undef;
+        std::printf(" %d", val.is_false() ? -(v + 1) : (v + 1));
+      }
+      std::printf(" 0\n");
+      return tools::kExitSat;
+    }
+    cubes = std::move(sr.cubes);
+  }
+
+  if (!cube_out.empty()) {
+    try {
+      cube::write_cubes_file(cube_out, cubes);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    if (!quiet) {
+      std::printf("c %zu cubes written to %s\n", cubes.size(),
+                  cube_out.c_str());
+    }
+    return 0;
+  }
+
+  // --- conquer ------------------------------------------------------
+  std::int64_t conquer_budget_ms = -1;
+  if (common.time_budget_ms >= 0) {
+    conquer_budget_ms =
+        std::max<std::int64_t>(0, common.time_budget_ms - elapsed_ms());
+  }
+
+  sat::SolveResult verdict = sat::SolveResult::kUnknown;
+  sat::UnknownReason unknown_reason = sat::UnknownReason::kNone;
+  std::vector<lbool> model;
+  cube::CubeStats conquer_stats;
+  std::string drat_text;          // --procs proof
+  sat::Proof stitched;            // in-process proof
+  bool have_stitched = false;
+
+  if (procs > 0) {
+    cube::ProcOptions popts;
+    popts.solver_path = solver_path.empty() ? sibling_solver(argv[0])
+                                            : solver_path;
+    popts.cnf_path = path;
+    popts.num_procs = procs;
+    popts.cube_conflicts = common.max_conflicts;
+    popts.time_budget_ms = conquer_budget_ms;
+    popts.proof = !proof_path.empty();
+    popts.steal_seed = seed;
+    cube::ProcResult pr = cube::conquer_procs(cubes, popts);
+    if (!pr.error.empty()) {
+      std::fprintf(stderr, "error: %s\n", pr.error.c_str());
+      return 2;
+    }
+    verdict = pr.result;
+    unknown_reason = pr.unknown_reason;
+    model = std::move(pr.model);
+    conquer_stats = pr.cube_stats;
+    drat_text = std::move(pr.drat_text);
+  } else {
+    cube::ConquerOptions qopts;
+    qopts.num_workers = workers;
+    qopts.base = base;
+    qopts.share_clauses = share_clauses;
+    qopts.cube_conflicts = common.max_conflicts;
+    qopts.time_budget_ms = conquer_budget_ms;
+    qopts.proof = !proof_path.empty();
+    qopts.steal_seed = seed;
+    cube::ConquerPool pool(f, std::move(cubes), qopts);
+    const cube::ConquerResult cr = pool.run();
+    verdict = cr.result;
+    unknown_reason = cr.unknown_reason;
+    model = cr.model;
+    conquer_stats = cr.cube_stats;
+    if (verdict == sat::SolveResult::kUnsat && !proof_path.empty()) {
+      stitched = pool.certified_proof();
+      have_stitched = true;
+    }
+    if (!quiet) {
+      std::printf("c conquer: %d workers, %s\n", pool.num_workers(),
+                  cr.solver_stats.summary().c_str());
+    }
+  }
+
+  if (common.stats) {
+    cube::CubeStats total = split_stats;
+    total += conquer_stats;
+    tools::print_comment_block(total.summary());
+  }
+
+  switch (verdict) {
+    case sat::SolveResult::kUnknown:
+      std::fprintf(stderr, "c unknown reason: %s\n",
+                   sat::to_string(unknown_reason).c_str());
+      std::printf("s UNKNOWN\n");
+      return tools::kExitUnknown;
+    case sat::SolveResult::kUnsat: {
+      if (!proof_path.empty()) {
+        std::ofstream out(proof_path, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "error: cannot open proof file %s\n",
+                       proof_path.c_str());
+          return 2;
+        }
+        std::size_t steps = 0;
+        if (have_stitched) {
+          stitched.write_drat(out);
+          steps = stitched.steps().size();
+        } else {
+          out << drat_text;
+          for (char c : drat_text) steps += c == '\n' ? 1 : 0;
+        }
+        if (!quiet) {
+          std::printf("c DRAT proof (%zu steps) written to %s\n", steps,
+                      proof_path.c_str());
+        }
+      }
+      std::printf("s UNSATISFIABLE\n");
+      return tools::kExitUnsat;
+    }
+    case sat::SolveResult::kSat: {
+      std::printf("s SATISFIABLE\n");
+      std::printf("v");
+      for (Var v = 0; v < f.num_vars(); ++v) {
+        const lbool val =
+            static_cast<std::size_t>(v) < model.size() ? model[v] : l_undef;
+        std::printf(" %d", val.is_false() ? -(v + 1) : (v + 1));
+      }
+      std::printf(" 0\n");
+      std::vector<bool> bits(static_cast<std::size_t>(f.num_vars()));
+      for (Var v = 0; v < f.num_vars(); ++v) {
+        bits[static_cast<std::size_t>(v)] =
+            static_cast<std::size_t>(v) < model.size() && model[v].is_true();
+      }
+      if (!f.is_satisfied_by(bits)) {
+        std::fprintf(stderr, "internal error: model check failed\n");
+        return 1;
+      }
+      return tools::kExitSat;
+    }
+  }
+  return tools::kExitUnknown;
+}

@@ -16,6 +16,7 @@
 #include "cnf/dimacs.hpp"
 #include "common/cli.hpp"
 #include "sat/core/mus.hpp"
+#include "sat/cube/proc.hpp"
 #include "sat/engine.hpp"
 #include "sat/portfolio.hpp"
 #include "sat/preprocess.hpp"
@@ -66,6 +67,10 @@ void print_help(const char* argv0) {
       "                       (repeatable; implies --preprocess).  Names:\n"
       "                       pure, equiv, subsume, selfsub, bve\n"
       "  --strict-dimacs      enforce header variable/clause declarations\n"
+      "  --cube-worker        serve framed cube requests on stdin/stdout\n"
+      "                       (spawned by sateda-cube --procs; with\n"
+      "                       `--proof -`, UNSAT responses carry DRAT\n"
+      "                       deltas)\n"
       "%s"
       "  --help               this message\n"
       "\n"
@@ -92,6 +97,7 @@ int main(int argc, char** argv) {
   std::string core_path;
   std::vector<Lit> assumptions;
   bool minimize_core = false;
+  bool cube_worker = false;
   bool preprocess_first = false;
   std::vector<std::string> pre_passes;
   DimacsOptions dimacs_opts;
@@ -136,6 +142,8 @@ int main(int argc, char** argv) {
       core_path = argv[++i];
     } else if (arg == "--minimize-core") {
       minimize_core = true;
+    } else if (arg == "--cube-worker") {
+      cube_worker = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return usage(argv[0]);
     } else {
@@ -146,6 +154,19 @@ int main(int argc, char** argv) {
 
   const bool quiet = common.quiet;
   common.apply(opts);
+  if (cube_worker) {
+    // Conquer-child mode: stdin/stdout carry framed cube requests, so
+    // no competition-format output — load the formula and serve.
+    CnfFormula f;
+    try {
+      f = (path == "-") ? read_dimacs(std::cin, dimacs_opts)
+                        : read_dimacs_file(path, dimacs_opts);
+    } catch (const DimacsError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    return sat::cube::run_cube_worker(f, opts, proof_path == "-");
+  }
   const bool want_proof = !proof_path.empty();
   sat::EngineSpec spec;
   try {
