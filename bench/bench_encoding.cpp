@@ -70,12 +70,15 @@ void Encode_Cone_VsFull(benchmark::State& state) {
   circuit::Circuit c = circuit::array_multiplier(16);
   circuit::NodeId root = c.outputs()[static_cast<std::size_t>(state.range(0))];
   std::size_t cone_clauses = 0;
+  std::size_t cone_vars = 0;
   for (auto _ : state) {
-    CnfFormula f = circuit::encode_cones(c, {root});
-    benchmark::DoNotOptimize(f);
-    cone_clauses = f.num_clauses();
+    circuit::ConeEncoding enc = circuit::encode_cones(c, {root});
+    benchmark::DoNotOptimize(enc);
+    cone_clauses = enc.formula.num_clauses();
+    cone_vars = enc.var_to_node.size();
   }
   state.counters["cone_clauses"] = static_cast<double>(cone_clauses);
+  state.counters["cone_vars"] = static_cast<double>(cone_vars);
   state.counters["full_clauses"] =
       static_cast<double>(circuit::encode_circuit(c).num_clauses());
 }

@@ -65,13 +65,10 @@ inline CnfFormula adder_miter_cnf(int n) {
   return f;
 }
 
-/// Commutativity miter for the n x n array multiplier: copy A computes
-/// a*b, copy B feeds the same multiplier with the operand halves
-/// swapped (so it computes b*a).  Functionally equal, structurally
-/// disjoint — the classic hard UNSAT CEC family whose difficulty grows
-/// steeply with n (multiplier equivalence has no short resolution
-/// proofs), which is exactly the headroom the cube bench needs.
-inline CnfFormula multiplier_comm_miter_cnf(int n) {
+/// The n x n array multiplier with its operand halves swapped (so it
+/// computes b*a): functionally equal to array_multiplier(n) but
+/// structurally disjoint — the classic hard CEC counterpart.
+inline circuit::Circuit swapped_multiplier(int n) {
   using circuit::Circuit;
   using circuit::NodeId;
   Circuit swapped("mulswap" + std::to_string(n));
@@ -91,8 +88,17 @@ inline CnfFormula multiplier_comm_miter_cnf(int n) {
   for (std::size_t i = 0; i < inner.outputs().size(); ++i) {
     swapped.mark_output(map[inner.outputs()[i]], "p" + std::to_string(i));
   }
+  return swapped;
+}
+
+/// Commutativity miter for the n x n array multiplier: copy A computes
+/// a*b, copy B computes b*a.  Functionally equal, structurally
+/// disjoint — the classic hard UNSAT CEC family whose difficulty grows
+/// steeply with n (multiplier equivalence has no short resolution
+/// proofs), which is exactly the headroom the cube bench needs.
+inline CnfFormula multiplier_comm_miter_cnf(int n) {
   circuit::Circuit m =
-      circuit::build_miter(circuit::array_multiplier(n), swapped);
+      circuit::build_miter(circuit::array_multiplier(n), swapped_multiplier(n));
   CnfFormula f = circuit::encode_circuit(m);
   f.add_unit(pos(m.outputs()[0]));
   return f;

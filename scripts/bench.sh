@@ -5,20 +5,25 @@
 # baseline and is never overwritten by this script).
 #
 # usage: scripts/bench.sh [build-dir] [--quick] [--check] [--maxsat]
-#                         [--cube] [--workers N] [--timeout S]
+#                         [--cube] [--cec] [--workers N] [--timeout S]
 #                         [--max-regression X] [--min-instance-ratio X]
 #   --quick   small-instance subset with short timing windows
 #   --check   compare against the checked-in BENCH_solver.json and
 #             fail if geomean propagations/sec (plain or with
 #             inprocessing ON) regressed more than --max-regression,
 #             or any single instance fell below --min-instance-ratio
-#             of its baseline
+#             of its baseline; with --cec, compares BENCH_cec.json
+#             pipeline speedups instead
 #   --maxsat  run the core-guided MaxSAT benchmark over examples/wcnf
 #             instead (writes BENCH_maxsat.json into the build tree)
 #   --cube    run the cube-and-conquer strategy comparison instead
 #             (cold CDCL vs racing portfolio vs cube; writes
 #             BENCH_cube.json into the build tree); --workers and
 #             --timeout pass through to sateda-bench --cube
+#   --cec     run the CEC structure-aware pipeline comparison instead
+#             (plain check_equivalence vs rewrite + PG + hints over
+#             adder/multiplier miter pairs, every verdict certified;
+#             writes BENCH_cec.json into the build tree)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -27,6 +32,7 @@ QUICK=""
 CHECK=0
 MAXSAT=0
 CUBE=0
+CEC=0
 WORKERS=""
 TIMEOUT=""
 MAX_REGRESSION="0.25"
@@ -37,12 +43,13 @@ while [ "$#" -gt 0 ]; do
     --check) CHECK=1 ;;
     --maxsat) MAXSAT=1 ;;
     --cube) CUBE=1 ;;
+    --cec) CEC=1 ;;
     --workers) WORKERS="$2"; shift ;;
     --timeout) TIMEOUT="$2"; shift ;;
     --max-regression) MAX_REGRESSION="$2"; shift ;;
     --min-instance-ratio) MIN_INSTANCE_RATIO="$2"; shift ;;
     -*) echo "usage: scripts/bench.sh [build-dir] [--quick] [--check]" \
-             "[--maxsat] [--cube] [--workers N] [--timeout S]" \
+             "[--maxsat] [--cube] [--cec] [--workers N] [--timeout S]" \
              "[--max-regression X] [--min-instance-ratio X]" >&2
         exit 2 ;;
     *) BUILD_DIR="$1" ;;
@@ -71,6 +78,17 @@ if [ "$CUBE" -eq 1 ]; then
   [ -n "$QUICK" ] && ARGS+=("$QUICK")
   [ -n "$WORKERS" ] && ARGS+=("--workers" "$WORKERS")
   [ -n "$TIMEOUT" ] && ARGS+=("--timeout" "$TIMEOUT")
+  exec "$BENCH" "${ARGS[@]}"
+fi
+
+if [ "$CEC" -eq 1 ]; then
+  ARGS=("--cec" "--out" "$BUILD_DIR/BENCH_cec.json")
+  [ -n "$QUICK" ] && ARGS+=("$QUICK")
+  if [ "$CHECK" -eq 1 ]; then
+    ARGS+=("--baseline" "$ROOT/BENCH_cec.json"
+           "--max-regression" "$MAX_REGRESSION"
+           "--min-instance-ratio" "$MIN_INSTANCE_RATIO")
+  fi
   exec "$BENCH" "${ARGS[@]}"
 fi
 

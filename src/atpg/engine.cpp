@@ -1,11 +1,86 @@
 #include "atpg/engine.hpp"
 
+#include <memory>
 #include <random>
+#include <utility>
+
+#include "circuit/encoder.hpp"
+#include "circuit/rewrite.hpp"
+#include "csat/hints.hpp"
+#include "sat/engine.hpp"
 
 namespace sateda::atpg {
 
 using circuit::Circuit;
+using circuit::GateType;
 using circuit::NodeId;
+
+namespace {
+
+/// Structure-aware TPG query: rewrite the detection circuit, encode
+/// only the detect cone (optionally polarity-aware), branch with
+/// StructureHints.  Mirrors the CEC pipeline in equiv/cec.cpp.
+FaultStatus generate_test_pipeline(const Circuit& c, DetectionCircuit det,
+                                   std::vector<lbool>& pattern,
+                                   const AtpgOptions& opts,
+                                   sat::SolverStats* accum) {
+  Circuit work = std::move(det.circuit);
+  NodeId objective = det.detect;
+  if (opts.rewrite) {
+    circuit::RewriteResult rr = circuit::rewrite(work, {}, {det.detect});
+    objective = rr.node_map[det.detect];
+    work = std::move(rr.circuit);
+    const GateType ot = work.node(objective).type;
+    if (ot == GateType::kConst0) return FaultStatus::kRedundant;
+    if (ot == GateType::kConst1) {
+      // Every pattern detects; leave all inputs don't-care.
+      pattern.assign(c.inputs().size(), l_undef);
+      return FaultStatus::kDetected;
+    }
+  }
+
+  const std::vector<std::pair<NodeId, bool>> objectives{{objective, true}};
+  circuit::ConeEncodingOptions eopts;
+  eopts.plaisted_greenbaum = opts.plaisted_greenbaum;
+  circuit::ConeEncoding enc =
+      circuit::encode_objectives(work, objectives, eopts);
+
+  sat::SolverOptions sopts = opts.solver;
+  sopts.conflict_budget = opts.conflict_budget;
+  std::unique_ptr<sat::SatEngine> engine =
+      sat::make_engine(sat::EngineSpec{}, sopts);
+  if (!engine->add_formula(enc.formula)) return FaultStatus::kRedundant;
+  if (opts.struct_hints) {
+    csat::make_structure_hints(work, enc.node_to_var, objectives)
+        .apply(*engine);
+  }
+  const sat::SolveResult r = engine->solve();
+  if (accum) {
+    accum->decisions += engine->stats().decisions;
+    accum->conflicts += engine->stats().conflicts;
+  }
+  switch (r) {
+    case sat::SolveResult::kUnsat:
+      return FaultStatus::kRedundant;
+    case sat::SolveResult::kUnknown:
+      return FaultStatus::kAborted;
+    case sat::SolveResult::kSat:
+      break;
+  }
+  // Rewriting preserves primary inputs in order; out-of-cone inputs
+  // have no variable and stay don't-care.
+  const std::vector<lbool>& model = engine->model();
+  pattern.assign(c.inputs().size(), l_undef);
+  for (std::size_t i = 0; i < work.inputs().size(); ++i) {
+    const Var v = enc.node_to_var[work.inputs()[i]];
+    if (v != kNullVar && v < static_cast<Var>(model.size())) {
+      pattern[i] = model[v];
+    }
+  }
+  return FaultStatus::kDetected;
+}
+
+}  // namespace
 
 std::string AtpgStats::summary() const {
   return "faults=" + std::to_string(total_faults) +
@@ -21,6 +96,9 @@ FaultStatus generate_test(const Circuit& c, const Fault& f,
                           const AtpgOptions& opts, sat::SolverStats* accum) {
   DetectionCircuit det = build_detection_circuit(c, f);
   if (!det.structurally_detectable) return FaultStatus::kRedundant;
+  if (opts.rewrite || opts.plaisted_greenbaum || opts.struct_hints) {
+    return generate_test_pipeline(c, std::move(det), pattern, opts, accum);
+  }
   csat::CircuitSatOptions copts;
   copts.solver = opts.solver;
   copts.solver.conflict_budget = opts.conflict_budget;

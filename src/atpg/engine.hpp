@@ -22,6 +22,12 @@ struct AtpgOptions {
   int random_patterns = 128;       ///< count for the random phase
   bool drop_by_simulation = true;  ///< fault-simulate each new test
   bool use_structural_layer = true;///< §5 layer inside the TPG queries
+  /// Structure-aware CNF pipeline for the TPG queries instead of the
+  /// circuit layer: AIG rewriting on the detection circuit, optional
+  /// Plaisted-Greenbaum objective encoding, StructureHints branching.
+  bool rewrite = false;
+  bool plaisted_greenbaum = false;
+  bool struct_hints = false;
   std::int64_t conflict_budget = 200000;  ///< per-fault abort bound
   std::uint64_t seed = 7;          ///< random phase + don't-care fill
   sat::SolverOptions solver;

@@ -1,15 +1,43 @@
 #include "bmc/bmc.hpp"
 
 #include <cassert>
+#include <utility>
 
 #include "circuit/encoder.hpp"
+#include "circuit/rewrite.hpp"
+#include "csat/hints.hpp"
 
 namespace sateda::bmc {
 
 using circuit::NodeId;
 
+namespace {
+
+/// Rewrites the combinational core, remapping every node the unrolling
+/// refers to (next-state functions, bad, observable outputs).  Inputs
+/// are preserved in order, so primary_input()/state_input() indexing
+/// is unchanged.
+SequentialCircuit rewrite_machine(const SequentialCircuit& m) {
+  std::vector<NodeId> keep = m.next_state;
+  keep.push_back(m.bad);
+  keep.insert(keep.end(), m.outputs.begin(), m.outputs.end());
+  circuit::RewriteResult rr = circuit::rewrite(m.comb, {}, keep);
+  SequentialCircuit out;
+  out.comb = std::move(rr.circuit);
+  out.num_primary_inputs = m.num_primary_inputs;
+  out.initial_state = m.initial_state;
+  out.next_state.reserve(m.next_state.size());
+  for (NodeId n : m.next_state) out.next_state.push_back(rr.node_map[n]);
+  out.bad = rr.node_map[m.bad];
+  out.outputs.reserve(m.outputs.size());
+  for (NodeId n : m.outputs) out.outputs.push_back(rr.node_map[n]);
+  return out;
+}
+
+}  // namespace
+
 BmcEngine::BmcEngine(const SequentialCircuit& m, BmcOptions opts)
-    : machine_(m), opts_(opts) {
+    : machine_(opts.rewrite ? rewrite_machine(m) : m), opts_(opts) {
   sat::SolverOptions sopts = opts.solver;
   sopts.conflict_budget = opts.conflict_budget;
   solver_ = sat::make_engine(opts.engine, sopts);
@@ -55,6 +83,13 @@ void BmcEngine::add_frame(int k) {
   // and surfaces as kUnsat from the next solve.
   (void)solver_->add_formula(f);
   frame_vars_.push_back(std::move(vars));
+  if (opts_.struct_hints) {
+    // Re-seed branching toward this frame's bad cone: the most recent
+    // frame is where the counterexample search happens.
+    csat::make_structure_hints(c, frame_vars_.back(),
+                               {{machine_.bad, true}})
+        .apply(*solver_);
+  }
 }
 
 sat::SolveResult BmcEngine::check_depth(int k) {

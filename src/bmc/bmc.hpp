@@ -19,6 +19,14 @@ namespace sateda::bmc {
 
 struct BmcOptions {
   int max_depth = 64;
+  /// AIG-rewrite the combinational core once up front (next-state and
+  /// bad nodes remapped); every unrolled frame then encodes the
+  /// smaller, more canonical netlist.
+  bool rewrite = false;
+  /// Apply StructureHints per frame: bump the frame's bad-cone
+  /// variables (inputs and justification frontier hottest) and seed
+  /// phases from the gate justification thresholds.
+  bool struct_hints = false;
   std::int64_t conflict_budget = -1;  ///< per-depth-query conflict budget
   sat::SolverOptions solver;
   sat::EngineSpec engine;          ///< SAT backend (empty: CDCL)
@@ -74,7 +82,9 @@ class BmcEngine {
     return frame_vars_[k][n];
   }
 
-  const SequentialCircuit& machine_;
+  /// Held by value: with opts.rewrite the constructor installs the
+  /// rewritten machine here.
+  SequentialCircuit machine_;
   BmcOptions opts_;
   std::unique_ptr<sat::SatEngine> solver_;
   std::vector<std::vector<Var>> frame_vars_;  ///< per frame, per node

@@ -113,21 +113,175 @@ CnfFormula encode_circuit(const Circuit& c) {
   return f;
 }
 
-CnfFormula encode_cones(const Circuit& c, const std::vector<NodeId>& roots) {
-  std::vector<char> in_cone(c.num_nodes(), 0);
-  std::vector<NodeId> stack(roots.begin(), roots.end());
+namespace {
+
+/// Plaisted-Greenbaum single-gate emission: of the Table 1 clauses for
+/// x = G(w…), the ones containing ¬x encode x → G(w…) and are needed
+/// only when x occurs positively downstream; the ones containing x
+/// encode ¬x → ¬G(w…) and are needed only when x occurs negatively.
+void encode_gate_clauses_pg(GateType type, Var out, const std::vector<Var>& ins,
+                            bool need_pos, bool need_neg, CnfFormula& f) {
+  if (need_pos && need_neg) {
+    encode_gate_clauses(type, out, ins, f);
+    return;
+  }
+  f.ensure_var(out);
+  const Var x = out;
+  const auto& w = ins;
+  switch (type) {
+    case GateType::kInput:
+      break;
+    case GateType::kConst0:
+      if (need_pos) f.add_unit(neg(x));
+      break;
+    case GateType::kConst1:
+      if (need_neg) f.add_unit(pos(x));
+      break;
+    case GateType::kBuf:
+      if (need_neg) f.add_binary(pos(x), neg(w[0]));
+      if (need_pos) f.add_binary(neg(x), pos(w[0]));
+      break;
+    case GateType::kNot:
+      if (need_neg) f.add_binary(pos(x), pos(w[0]));
+      if (need_pos) f.add_binary(neg(x), neg(w[0]));
+      break;
+    case GateType::kAnd: {
+      if (need_pos)
+        for (Var wi : w) f.add_binary(neg(x), pos(wi));
+      if (need_neg) {
+        std::vector<Lit> big{pos(x)};
+        for (Var wi : w) big.push_back(neg(wi));
+        f.add_clause(std::move(big));
+      }
+      break;
+    }
+    case GateType::kNand: {
+      if (need_neg)
+        for (Var wi : w) f.add_binary(pos(x), pos(wi));
+      if (need_pos) {
+        std::vector<Lit> big{neg(x)};
+        for (Var wi : w) big.push_back(neg(wi));
+        f.add_clause(std::move(big));
+      }
+      break;
+    }
+    case GateType::kOr: {
+      if (need_neg)
+        for (Var wi : w) f.add_binary(pos(x), neg(wi));
+      if (need_pos) {
+        std::vector<Lit> big{neg(x)};
+        for (Var wi : w) big.push_back(pos(wi));
+        f.add_clause(std::move(big));
+      }
+      break;
+    }
+    case GateType::kNor: {
+      if (need_pos)
+        for (Var wi : w) f.add_binary(neg(x), neg(wi));
+      if (need_neg) {
+        std::vector<Lit> big{pos(x)};
+        for (Var wi : w) big.push_back(pos(wi));
+        f.add_clause(std::move(big));
+      }
+      break;
+    }
+    case GateType::kXor:
+      if (need_pos) {
+        f.add_ternary(neg(x), pos(w[0]), pos(w[1]));
+        f.add_ternary(neg(x), neg(w[0]), neg(w[1]));
+      }
+      if (need_neg) {
+        f.add_ternary(pos(x), neg(w[0]), pos(w[1]));
+        f.add_ternary(pos(x), pos(w[0]), neg(w[1]));
+      }
+      break;
+    case GateType::kXnor:
+      if (need_neg) {
+        f.add_ternary(pos(x), pos(w[0]), pos(w[1]));
+        f.add_ternary(pos(x), neg(w[0]), neg(w[1]));
+      }
+      if (need_pos) {
+        f.add_ternary(neg(x), neg(w[0]), pos(w[1]));
+        f.add_ternary(neg(x), pos(w[0]), neg(w[1]));
+      }
+      break;
+  }
+}
+
+/// Shared worker: marks the cones of the polarity seeds, numbers
+/// in-cone nodes compactly (id order, which is topological), and emits
+/// each node's clauses restricted to the polarities it is needed in.
+ConeEncoding encode_cone_impl(
+    const Circuit& c, const std::vector<std::pair<NodeId, bool>>& seeds,
+    bool both_polarities) {
+  const auto n = static_cast<NodeId>(c.num_nodes());
+  std::vector<char> need_pos(n, 0), need_neg(n, 0);
+  std::vector<std::pair<NodeId, bool>> stack(seeds.begin(), seeds.end());
+  if (both_polarities)
+    for (const auto& [id, p] : seeds) stack.emplace_back(id, !p);
   while (!stack.empty()) {
-    NodeId n = stack.back();
+    const auto [id, p] = stack.back();
     stack.pop_back();
-    if (in_cone[n]) continue;
-    in_cone[n] = 1;
-    for (NodeId f : c.node(n).fanins) stack.push_back(f);
+    char& seen = p ? need_pos[id] : need_neg[id];
+    if (seen) continue;
+    seen = 1;
+    const Node& nd = c.node(id);
+    // AND/OR/BUF pass polarity through; NOT/NAND/NOR invert it;
+    // XOR/XNOR mention every fanin in both phases.
+    const bool both = nd.type == GateType::kXor || nd.type == GateType::kXnor ||
+                      both_polarities;
+    const bool inv = nd.type == GateType::kNot || nd.type == GateType::kNand ||
+                     nd.type == GateType::kNor;
+    for (NodeId fi : nd.fanins) {
+      if (both) {
+        stack.emplace_back(fi, true);
+        stack.emplace_back(fi, false);
+      } else {
+        stack.emplace_back(fi, inv ? !p : p);
+      }
+    }
   }
-  CnfFormula f(static_cast<int>(c.num_nodes()));
-  for (NodeId id = 0; id < static_cast<NodeId>(c.num_nodes()); ++id) {
-    if (in_cone[id]) encode_gate(c, id, f);
+
+  ConeEncoding enc;
+  enc.node_to_var.assign(n, kNullVar);
+  for (NodeId id = 0; id < n; ++id) {
+    if (!need_pos[id] && !need_neg[id]) continue;
+    enc.node_to_var[id] = static_cast<Var>(enc.var_to_node.size());
+    enc.var_to_node.push_back(id);
   }
-  return f;
+  enc.formula = CnfFormula(static_cast<int>(enc.var_to_node.size()));
+  std::vector<Var> ins;
+  for (NodeId id : enc.var_to_node) {
+    const Node& nd = c.node(id);
+    ins.clear();
+    for (NodeId fi : nd.fanins) ins.push_back(enc.node_to_var[fi]);
+    const std::size_t before = enc.formula.num_clauses();
+    encode_gate_clauses_pg(nd.type, enc.node_to_var[id], ins, need_pos[id],
+                           need_neg[id], enc.formula);
+    enc.clauses_dropped += gate_clause_count(nd.type, nd.fanins.size()) -
+                           (enc.formula.num_clauses() - before);
+  }
+  return enc;
+}
+
+}  // namespace
+
+ConeEncoding encode_cones(const Circuit& c, const std::vector<NodeId>& roots) {
+  std::vector<std::pair<NodeId, bool>> seeds;
+  seeds.reserve(roots.size());
+  for (NodeId r : roots) seeds.emplace_back(r, true);
+  return encode_cone_impl(c, seeds, /*both_polarities=*/true);
+}
+
+ConeEncoding encode_objectives(
+    const Circuit& c, const std::vector<std::pair<NodeId, bool>>& objectives,
+    const ConeEncodingOptions& opts) {
+  ConeEncoding enc =
+      encode_cone_impl(c, objectives, !opts.plaisted_greenbaum);
+  for (const auto& [node, value] : objectives) {
+    enc.formula.add_unit(Lit(enc.node_to_var[node], !value));
+  }
+  return enc;
 }
 
 CnfFormula encode_objective(const Circuit& c, NodeId node, bool value) {

@@ -35,11 +35,44 @@ std::size_t gate_clause_count(GateType type, std::size_t arity);
 /// CNF formula of the whole circuit: variable v ⇔ node v.
 CnfFormula encode_circuit(const Circuit& c);
 
-/// CNF formula of the transitive fanin cones of \p roots only — the
-/// instance-shrinking trick used when a property mentions few outputs.
-/// Nodes outside the cone contribute no clauses (their variables stay
-/// unconstrained).
-CnfFormula encode_cones(const Circuit& c, const std::vector<NodeId>& roots);
+/// A cone encoding with *compact* variable numbering: only in-cone
+/// nodes get variables, so a tiny cone of a huge netlist yields a tiny
+/// formula and the solver's var-indexed structures (heap, phases,
+/// watch slabs) size to the cone, not the netlist.
+struct ConeEncoding {
+  CnfFormula formula;
+  /// node -> formula variable; kNullVar for out-of-cone nodes.
+  std::vector<Var> node_to_var;
+  /// formula variable -> node (model readback).
+  std::vector<NodeId> var_to_node;
+  /// Clauses the Plaisted-Greenbaum polarity analysis dropped.
+  std::size_t clauses_dropped = 0;
+
+  Var var_of(NodeId n) const { return node_to_var[n]; }
+};
+
+struct ConeEncodingOptions {
+  /// Plaisted-Greenbaum: emit only the implication direction each node
+  /// polarity actually needs (single-polarity cones lose half their
+  /// clauses; XOR cones keep both).  Equisatisfiable with the Table 1
+  /// encoding; models restricted to the inputs still simulate to the
+  /// objective values.
+  bool plaisted_greenbaum = false;
+};
+
+/// CNF of the transitive fanin cones of \p roots only — the
+/// instance-shrinking trick used when a property mentions few outputs
+/// — with both polarities encoded (the roots carry no objective here).
+ConeEncoding encode_cones(const Circuit& c, const std::vector<NodeId>& roots);
+
+/// Cone encoding of the objectives (node=value, ANDed): the cones of
+/// the objective nodes plus one unit clause per objective.  With
+/// opts.plaisted_greenbaum the objective values seed the polarity
+/// analysis (node=1 needs the onset direction only, node=0 the
+/// offset), and single-polarity gates emit half their Table 1 clauses.
+ConeEncoding encode_objectives(
+    const Circuit& c, const std::vector<std::pair<NodeId, bool>>& objectives,
+    const ConeEncodingOptions& opts = {});
 
 /// The satisfiability problem (C, o) of §5: circuit CNF plus unit
 /// objective clauses requiring node \p node to take value \p value —

@@ -1,0 +1,436 @@
+#include "circuit/rewrite.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+namespace sateda::circuit {
+
+namespace {
+
+/// Signed reference to a node of the output circuit: 2*node + negated.
+/// Complement edges make NOT free and let gate polarity float until a
+/// consumer (or an output) forces a concrete realization.
+using SLit = std::int32_t;
+
+constexpr SLit slit(NodeId n, bool neg) {
+  return (n << 1) | static_cast<SLit>(neg);
+}
+constexpr NodeId snode(SLit s) { return s >> 1; }
+constexpr bool sneg(SLit s) { return (s & 1) != 0; }
+constexpr SLit sflip(SLit s) { return s ^ 1; }
+constexpr SLit kNullSLit = -2;
+
+/// One K-feasible cut: the node's exact function over `leaves` as a
+/// truth table (bit m of `tt` = value on minterm m of the leaves, LSB
+/// leaf = leaves[0]).  Only the low 2^|leaves| bits are meaningful.
+struct Cut {
+  std::vector<NodeId> leaves;  ///< sorted, |leaves| <= cut_size
+  std::uint16_t tt = 0;
+};
+
+std::uint16_t cut_mask(std::size_t num_leaves) {
+  const unsigned bits = 1u << num_leaves;
+  return bits >= 16 ? 0xFFFFu
+                    : static_cast<std::uint16_t>((1u << bits) - 1u);
+}
+
+/// Projection of leaf \p i over a 4-variable truth-table space.
+constexpr std::uint16_t kProj[4] = {0xAAAA, 0xCCCC, 0xF0F0, 0xFF00};
+
+/// Re-expresses \p c's truth table over the superset \p leaves (every
+/// leaf of c must appear in leaves; both sorted).
+std::uint16_t expand_tt(const Cut& c, const std::vector<NodeId>& leaves) {
+  // Position of each cut leaf inside the union.
+  int pos[4];
+  for (std::size_t i = 0; i < c.leaves.size(); ++i) {
+    pos[i] = static_cast<int>(
+        std::lower_bound(leaves.begin(), leaves.end(), c.leaves[i]) -
+        leaves.begin());
+  }
+  const unsigned minterms = 1u << leaves.size();
+  std::uint16_t r = 0;
+  for (unsigned m = 0; m < minterms; ++m) {
+    unsigned idx = 0;
+    for (std::size_t i = 0; i < c.leaves.size(); ++i) {
+      if ((m >> pos[i]) & 1u) idx |= 1u << i;
+    }
+    if ((c.tt >> idx) & 1u) r |= static_cast<std::uint16_t>(1u << m);
+  }
+  return r;
+}
+
+class Rewriter {
+ public:
+  Rewriter(const Circuit& c, const RewriteOptions& opts)
+      : in_(c), out_(c.name() + "_rw"), opts_(opts) {
+    opts_.cut_size = std::clamp(opts_.cut_size, 2, 4);
+    opts_.max_cuts = std::max(opts_.max_cuts, 1);
+    map_.assign(c.num_nodes(), kNullSLit);
+  }
+
+  RewriteResult run(const std::vector<NodeId>& keep) {
+    stats_.gates_before = in_.num_gates();
+    for (NodeId id = 0; id < static_cast<NodeId>(in_.num_nodes()); ++id) {
+      map_[id] = rewrite_node(id);
+    }
+    RewriteResult res;
+    res.node_map.assign(in_.num_nodes(), kNullNode);
+    for (NodeId id = 0; id < static_cast<NodeId>(in_.num_nodes()); ++id) {
+      if (map_[id] != kNullSLit && !sneg(map_[id])) {
+        res.node_map[id] = snode(map_[id]);
+      }
+    }
+    for (NodeId k : keep) res.node_map[k] = realize(map_[k]);
+    for (std::size_t i = 0; i < in_.outputs().size(); ++i) {
+      const NodeId o = in_.outputs()[i];
+      res.node_map[o] = realize(map_[o]);
+      out_.mark_output(res.node_map[o], in_.output_name(i));
+    }
+    stats_.gates_after = out_.num_gates();
+    res.circuit = std::move(out_);
+    res.stats = stats_;
+    return res;
+  }
+
+ private:
+  // --- constants -----------------------------------------------------
+
+  NodeId const0() {
+    if (const0_ == kNullNode) const0_ = new_node(GateType::kConst0, {});
+    return const0_;
+  }
+  bool is_const(SLit s) const {
+    return const0_ != kNullNode && snode(s) == const0_;
+  }
+  /// Value of a constant slit (const0 complemented = 1).
+  bool const_value(SLit s) const { return sneg(s); }
+  SLit const_slit(bool v) { return slit(const0(), v); }
+
+  // --- per-node dispatch ---------------------------------------------
+
+  SLit rewrite_node(NodeId id) {
+    const Node& n = in_.node(id);
+    switch (n.type) {
+      case GateType::kInput:
+        return slit(new_node(GateType::kInput, {}, n.name), false);
+      case GateType::kConst0:
+        return const_slit(false);
+      case GateType::kConst1:
+        return const_slit(true);
+      case GateType::kBuf:
+        return map_[n.fanins[0]];
+      case GateType::kNot:
+        return sflip(map_[n.fanins[0]]);
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        const bool or_like =
+            n.type == GateType::kOr || n.type == GateType::kNor;
+        std::vector<SLit> fs;
+        fs.reserve(n.fanins.size());
+        for (NodeId f : n.fanins) {
+          // OR(a, b) = ¬AND(¬a, ¬b): everything is an AND internally.
+          fs.push_back(or_like ? sflip(map_[f]) : map_[f]);
+        }
+        SLit a = make_and(std::move(fs));
+        return is_inverting(n.type) != or_like ? sflip(a) : a;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        SLit x = make_xor(map_[n.fanins[0]], map_[n.fanins[1]]);
+        return n.type == GateType::kXnor ? sflip(x) : x;
+      }
+    }
+    return kNullSLit;  // unreachable
+  }
+
+  // --- AND / XOR construction with folding ---------------------------
+
+  /// AND over signed fanins; complement edges absorbed.
+  SLit make_and(std::vector<SLit> fs) {
+    // Constant folding: a 0 controls, 1s drop out.
+    std::size_t w = 0;
+    for (SLit f : fs) {
+      if (is_const(f)) {
+        if (!const_value(f)) {
+          ++stats_.constants_folded;
+          return const_slit(false);
+        }
+        continue;  // AND(x, 1) = x
+      }
+      fs[w++] = f;
+    }
+    if (w < fs.size()) ++stats_.constants_folded;
+    fs.resize(w);
+    // Canonical order; duplicate fanins collapse, complementary pairs
+    // (adjacent after the sort, since slit(n,0)+1 == slit(n,1)) give 0.
+    std::sort(fs.begin(), fs.end());
+    fs.erase(std::unique(fs.begin(), fs.end()), fs.end());
+    if (w > fs.size()) ++stats_.identity_folds;
+    for (std::size_t i = 0; i + 1 < fs.size(); ++i) {
+      if (fs[i + 1] == sflip(fs[i])) {
+        ++stats_.constants_folded;
+        return const_slit(false);  // x ∧ ¬x
+      }
+    }
+    if (fs.empty()) return const_slit(true);
+    if (fs.size() == 1) {
+      ++stats_.identity_folds;
+      return fs[0];
+    }
+    const StructKey key{0, fs};
+    if (auto it = struct_cache_.find(key); it != struct_cache_.end()) {
+      ++stats_.structural_merges;
+      return it->second;
+    }
+    // Realize: all-negated fanins De Morgan into one NOR; mixed signs
+    // materialize (shared) inverters for the negated few.
+    std::size_t negs = 0;
+    for (SLit f : fs) negs += sneg(f) ? 1 : 0;
+    GateType type = GateType::kAnd;
+    std::vector<NodeId> fanins;
+    fanins.reserve(fs.size());
+    if (negs == fs.size()) {
+      type = GateType::kNor;  // AND(¬a…) = NOR(a…)
+      ++stats_.demorgan_rewrites;
+      for (SLit f : fs) fanins.push_back(snode(f));
+    } else {
+      for (SLit f : fs) {
+        fanins.push_back(sneg(f) ? snode(make_not(snode(f))) : snode(f));
+      }
+    }
+    return finish_gate(type, std::move(fanins), key);
+  }
+
+  SLit make_xor(SLit a, SLit b) {
+    // Fanin complements float to the output: XOR(¬a, b) = ¬XOR(a, b).
+    const bool phase = sneg(a) != sneg(b);
+    NodeId na = snode(a), nb = snode(b);
+    if (na == nb) {
+      ++stats_.constants_folded;
+      return const_slit(phase);  // x ⊕ x = 0
+    }
+    if (is_const(slit(na, false))) std::swap(na, nb);
+    if (is_const(slit(nb, false))) {
+      ++stats_.constants_folded;
+      return slit(na, phase);  // XOR(x, 0) = x  (1 went into `phase`)
+    }
+    if (na > nb) std::swap(na, nb);
+    const StructKey key{1, {slit(na, false), slit(nb, false)}};
+    SLit r;
+    if (auto it = struct_cache_.find(key); it != struct_cache_.end()) {
+      ++stats_.structural_merges;
+      r = it->second;
+    } else {
+      r = finish_gate(GateType::kXor, {na, nb}, key);
+    }
+    return phase ? sflip(r) : r;
+  }
+
+  /// Callers need a *materialized positive* node computing ¬n (they
+  /// strip the sign with snode), so a complemented cut hit — e.g. ¬n
+  /// itself, whose function trivially matches — must be rejected.
+  SLit make_not(NodeId n) {
+    const StructKey key{2, {slit(n, false)}};
+    if (auto it = struct_cache_.find(key);
+        it != struct_cache_.end() && !sneg(it->second)) {
+      return it->second;
+    }
+    return finish_gate(GateType::kNot, {n}, key, /*require_positive=*/true);
+  }
+
+  // --- cut machinery --------------------------------------------------
+
+  std::uint16_t apply_gate_tt(GateType t, const std::vector<std::uint16_t>& in,
+                              std::uint16_t mask) const {
+    switch (t) {
+      case GateType::kNot:
+        return static_cast<std::uint16_t>(~in[0] & mask);
+      case GateType::kAnd: {
+        std::uint16_t v = mask;
+        for (std::uint16_t x : in) v &= x;
+        return v;
+      }
+      case GateType::kNor: {
+        std::uint16_t v = 0;
+        for (std::uint16_t x : in) v |= x;
+        return static_cast<std::uint16_t>(~v & mask);
+      }
+      case GateType::kXor:
+        return static_cast<std::uint16_t>((in[0] ^ in[1]) & mask);
+      default:
+        return 0;  // unreachable: only the four types above are built
+    }
+  }
+
+  const std::vector<Cut>& cuts_of(NodeId n) {
+    if (static_cast<std::size_t>(n) >= cuts_.size()) cuts_.resize(n + 1);
+    if (cuts_[n].empty()) {
+      // Leaves (inputs, constants) carry just the trivial cut.
+      cuts_[n].push_back(Cut{{n}, static_cast<std::uint16_t>(kProj[0] & cut_mask(1))});
+    }
+    return cuts_[n];
+  }
+
+  /// Cuts of a *candidate* gate (not yet added): one cut per
+  /// combination of fanin cuts whose leaf union stays within K.
+  std::vector<Cut> compute_cuts(GateType t, const std::vector<NodeId>& fanins) {
+    std::vector<Cut> result;
+    auto merge = [&](const std::vector<const Cut*>& parts) {
+      std::vector<NodeId> leaves;
+      for (const Cut* p : parts) {
+        leaves.insert(leaves.end(), p->leaves.begin(), p->leaves.end());
+      }
+      std::sort(leaves.begin(), leaves.end());
+      leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+      if (leaves.size() > static_cast<std::size_t>(opts_.cut_size)) return;
+      const std::uint16_t mask = cut_mask(leaves.size());
+      std::vector<std::uint16_t> tts;
+      tts.reserve(parts.size());
+      for (const Cut* p : parts) tts.push_back(expand_tt(*p, leaves));
+      Cut c{std::move(leaves), apply_gate_tt(t, tts, mask)};
+      for (const Cut& seen : result) {
+        if (seen.leaves == c.leaves && seen.tt == c.tt) return;
+      }
+      result.push_back(std::move(c));
+    };
+    if (fanins.size() == 1) {
+      for (const Cut& c : cuts_of(fanins[0])) merge({&c});
+    } else if (fanins.size() == 2) {
+      // Copy: cuts_of may reallocate cuts_ between the two lookups.
+      const std::vector<Cut> ca = cuts_of(fanins[0]);
+      const std::vector<Cut> cb = cuts_of(fanins[1]);
+      for (const Cut& a : ca) {
+        for (const Cut& b : cb) {
+          merge({&a, &b});
+          if (result.size() >= static_cast<std::size_t>(4 * opts_.max_cuts)) {
+            break;
+          }
+        }
+      }
+    } else {
+      // Wide gates: just the cut over the fanins themselves.
+      std::vector<Cut> trivial;
+      trivial.reserve(fanins.size());
+      for (NodeId f : fanins) {
+        trivial.push_back(Cut{{f}, static_cast<std::uint16_t>(
+                                       kProj[0] & cut_mask(1))});
+      }
+      std::vector<const Cut*> parts;
+      for (const Cut& c : trivial) parts.push_back(&c);
+      merge(parts);
+    }
+    // Smaller cuts merge more often; keep the best few.
+    std::stable_sort(result.begin(), result.end(),
+                     [](const Cut& a, const Cut& b) {
+                       return a.leaves.size() < b.leaves.size();
+                     });
+    if (result.size() > static_cast<std::size_t>(opts_.max_cuts)) {
+      result.resize(static_cast<std::size_t>(opts_.max_cuts));
+    }
+    return result;
+  }
+
+  /// Phase-canonical cut key: the lexicographically smaller of tt and
+  /// its complement, with the phase in the returned flag.
+  static std::pair<std::uint16_t, bool> canon_tt(std::uint16_t tt,
+                                                 std::uint16_t mask) {
+    const std::uint16_t comp = static_cast<std::uint16_t>(~tt & mask);
+    return comp < tt ? std::make_pair(comp, true) : std::make_pair(tt, false);
+  }
+
+  using StructKey = std::pair<int, std::vector<SLit>>;
+  using CutKey = std::pair<std::vector<NodeId>, std::uint16_t>;
+
+  /// Tries a cut-function merge; otherwise materializes the gate and
+  /// registers its structural key and cut functions.
+  SLit finish_gate(GateType t, std::vector<NodeId> fanins,
+                   const StructKey& key, bool require_positive = false) {
+    std::vector<Cut> cuts;
+    if (opts_.cut_merging) {
+      cuts = compute_cuts(t, fanins);
+      for (const Cut& c : cuts) {
+        const std::uint16_t mask = cut_mask(c.leaves.size());
+        auto [ct, phase] = canon_tt(c.tt, mask);
+        auto it = cut_cache_.find(CutKey{c.leaves, ct});
+        if (it == cut_cache_.end()) continue;
+        const SLit hit = phase ? sflip(it->second) : it->second;
+        if (require_positive && sneg(hit)) continue;
+        ++stats_.cut_merges;
+        struct_cache_[key] = hit;
+        return hit;
+      }
+    }
+    const NodeId n = new_node(t, std::move(fanins));
+    const SLit s = slit(n, false);
+    struct_cache_[key] = s;
+    if (opts_.cut_merging) {
+      if (static_cast<std::size_t>(n) >= cuts_.size()) cuts_.resize(n + 1);
+      for (const Cut& c : cuts) {
+        const std::uint16_t mask = cut_mask(c.leaves.size());
+        auto [ct, phase] = canon_tt(c.tt, mask);
+        cut_cache_.emplace(CutKey{c.leaves, ct}, phase ? sflip(s) : s);
+      }
+      cuts.push_back(Cut{{n}, static_cast<std::uint16_t>(kProj[0] & cut_mask(1))});
+      cuts_[n] = std::move(cuts);
+    }
+    return s;
+  }
+
+  NodeId new_node(GateType t, std::vector<NodeId> fanins,
+                  const std::string& name = "") {
+    switch (t) {
+      case GateType::kInput:
+        return out_.add_input(name);
+      case GateType::kConst0:
+        return out_.add_const(false);
+      default:
+        return out_.add_gate(t, std::move(fanins));
+    }
+  }
+
+  /// Positive realization for outputs / kept nodes: a complemented
+  /// reference becomes a (hashed) inverter, a complemented constant
+  /// becomes the other constant.
+  NodeId realize(SLit s) {
+    assert(s != kNullSLit);
+    if (!sneg(s)) return snode(s);
+    if (is_const(s)) {
+      if (const1_ == kNullNode) const1_ = out_.add_const(true);
+      return const1_;
+    }
+    return snode(make_not(snode(s)));
+  }
+
+  const Circuit& in_;
+  Circuit out_;
+  RewriteOptions opts_;
+  RewriteStats stats_;
+  std::vector<SLit> map_;
+  NodeId const0_ = kNullNode, const1_ = kNullNode;
+  std::map<StructKey, SLit> struct_cache_;
+  std::map<CutKey, SLit> cut_cache_;
+  std::vector<std::vector<Cut>> cuts_;  ///< by output-circuit node
+};
+
+}  // namespace
+
+std::string RewriteStats::summary() const {
+  return "gates " + std::to_string(gates_before) + " -> " +
+         std::to_string(gates_after) + " (const=" +
+         std::to_string(constants_folded) + " ident=" +
+         std::to_string(identity_folds) + " hash=" +
+         std::to_string(structural_merges) + " demorgan=" +
+         std::to_string(demorgan_rewrites) + " cut=" +
+         std::to_string(cut_merges) + ")";
+}
+
+RewriteResult rewrite(const Circuit& c, const RewriteOptions& opts,
+                      const std::vector<NodeId>& keep) {
+  return Rewriter(c, opts).run(keep);
+}
+
+}  // namespace sateda::circuit

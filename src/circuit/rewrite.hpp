@@ -1,0 +1,72 @@
+/// \file rewrite.hpp
+/// \brief AIG-style netlist rewriting ahead of CNF encoding.
+///
+/// Structural hashing (structural_hash.hpp) merges syntactically equal
+/// gates; this pass goes further, the way AIG packages do:
+///
+///  * complement edges — NOT/BUF chains cost nothing and inverter
+///    polarity is pushed into consumers, so De Morgan variants of the
+///    same function (e.g. NAND(¬a, ¬b) vs OR(a, b)) normalize to one
+///    node;
+///  * constant / identity propagation — controlling constants, x∧x,
+///    x∧¬x, x⊕x fold away;
+///  * cut-based functional merging — every gate carries a small set of
+///    K-feasible cuts with exact truth tables over the cut leaves; two
+///    gates whose cuts compute the same function (up to complement)
+///    over the same leaves merge even when their local structure
+///    differs.
+///
+/// The CEC/ATPG/BMC front ends run this before encoding: shared logic
+/// between "two implementations" collapses, easy miters settle to a
+/// constant without any SAT call, and the CNF the solver does see is
+/// smaller and more canonical.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace sateda::circuit {
+
+struct RewriteOptions {
+  /// Enable the cut-based functional merging layer (the two-level and
+  /// constant rules always run — they are what makes the pass sound
+  /// and cheap).
+  bool cut_merging = true;
+  /// Cut width K: truth tables are exact over up to K leaves (2..4).
+  int cut_size = 4;
+  /// Cuts kept per node; more cuts find more merges but cost more.
+  int max_cuts = 6;
+};
+
+struct RewriteStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t constants_folded = 0;   ///< controlling values, x⊕x, x∧¬x
+  std::size_t identity_folds = 0;     ///< buffers, duplicate fanins
+  std::size_t structural_merges = 0;  ///< complement-canonical hash hits
+  std::size_t demorgan_rewrites = 0;  ///< all-negated AND → NOR etc.
+  std::size_t cut_merges = 0;         ///< equal cut function, different shape
+  std::string summary() const;
+};
+
+struct RewriteResult {
+  Circuit circuit;
+  /// old node id -> node of `circuit` computing the same function.
+  /// Guaranteed valid (and polarity-correct) for primary inputs, every
+  /// output, and every node passed in `keep`; other nodes map to
+  /// kNullNode when their rewritten form only exists complemented.
+  std::vector<NodeId> node_map;
+  RewriteStats stats;
+};
+
+/// Rewrites \p c.  Primary inputs are preserved in order (and name);
+/// outputs are re-marked in order.  Nodes listed in \p keep get a
+/// polarity-correct representative in node_map even if they are not
+/// outputs (BMC next-state functions, ATPG objectives).
+RewriteResult rewrite(const Circuit& c, const RewriteOptions& opts = {},
+                      const std::vector<NodeId>& keep = {});
+
+}  // namespace sateda::circuit

@@ -115,6 +115,15 @@ Circuit strash(const Circuit& c, StrashStats* stats) {
           }
           // non-controlling constants are simply dropped
         }
+        // Canonicalize: sort the surviving fanins and drop duplicates
+        // (x∧x = x, x∨x = x) so AND(a,b) and AND(b,a,a) share a cache
+        // key — the sort in hashed_gate alone would keep the duplicate.
+        std::sort(live.begin(), live.end());
+        const auto uniq = std::unique(live.begin(), live.end());
+        if (uniq != live.end()) {
+          local.buffers_folded += static_cast<std::size_t>(live.end() - uniq);
+          live.erase(uniq, live.end());
+        }
         if (controlled) {
           set_const(and_like ? inv : !inv);
         } else if (live.empty()) {

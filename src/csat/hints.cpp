@@ -1,0 +1,104 @@
+#include "csat/hints.hpp"
+
+#include <algorithm>
+
+#include "csat/justify.hpp"
+
+namespace sateda::csat {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::NodeId;
+
+void StructureHints::apply(sat::SatEngine& engine) const {
+  const Var limit = static_cast<Var>(engine.num_vars());
+  auto in_range = [&](Var v) { return v >= 0 && v < limit; };
+  // Baseline: every in-cone variable gets one bump so cone variables
+  // outrank auxiliary variables (assumption selectors, frame copies).
+  for (const auto& group : cone_groups)
+    for (Var v : group)
+      if (in_range(v)) engine.bump_variable(v);
+  // Priority variables (inputs, justification frontier) get extra
+  // bumps, in order, so the decision heap tries them first.
+  for (Var v : priority) {
+    if (!in_range(v)) continue;
+    engine.bump_variable(v);
+    engine.bump_variable(v);
+  }
+  for (const auto& [v, value] : phases)
+    if (in_range(v)) engine.set_polarity(v, value);
+}
+
+std::string StructureHints::summary() const {
+  std::size_t grouped = 0;
+  for (const auto& g : cone_groups) grouped += g.size();
+  return "hints: " + std::to_string(cone_groups.size()) + " cones (" +
+         std::to_string(grouped) + " vars), " +
+         std::to_string(priority.size()) + " priority, " +
+         std::to_string(phases.size()) + " phases";
+}
+
+StructureHints make_structure_hints(
+    const Circuit& c, const std::vector<Var>& node_to_var,
+    const std::vector<std::pair<NodeId, bool>>& objectives) {
+  StructureHints h;
+  const auto n = static_cast<NodeId>(c.num_nodes());
+  std::vector<char> in_any_cone(n, 0);
+  std::vector<char> in_priority(n, 0);
+
+  for (const auto& [root, value] : objectives) {
+    (void)value;
+    // Per-objective cone, inputs first within the group.
+    std::vector<char> seen(n, 0);
+    std::vector<NodeId> stack{root};
+    std::vector<Var> input_vars, gate_vars;
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      if (seen[id]) continue;
+      seen[id] = 1;
+      in_any_cone[id] = 1;
+      const circuit::Node& nd = c.node(id);
+      const Var v = node_to_var[id];
+      if (v != kNullVar) {
+        (nd.type == GateType::kInput ? input_vars : gate_vars).push_back(v);
+      }
+      for (NodeId fi : nd.fanins) stack.push_back(fi);
+    }
+    std::vector<Var> group = std::move(input_vars);
+    group.insert(group.end(), gate_vars.begin(), gate_vars.end());
+    h.cone_groups.push_back(std::move(group));
+    // The objective's immediate fanins form the initial justification
+    // frontier (paper §5): once the objective value is asserted, these
+    // are the nodes whose values decide whether it is justified.
+    for (NodeId fi : c.node(root).fanins) in_priority[fi] = 1;
+  }
+
+  // Priority list: in-cone primary inputs first (the paper's engine
+  // ultimately branches on inputs), then the frontier nodes.  apply()
+  // bumps in order, so later entries end up hottest — put the frontier
+  // last to make it the first decision.
+  for (NodeId id = 0; id < n; ++id) {
+    if (!in_any_cone[id] || node_to_var[id] == kNullVar) continue;
+    if (c.node(id).type == GateType::kInput && !in_priority[id])
+      h.priority.push_back(node_to_var[id]);
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    if (in_priority[id] && node_to_var[id] != kNullVar)
+      h.priority.push_back(node_to_var[id]);
+  }
+
+  // Phase hints: prefer the output value with the smaller Table 2
+  // justification threshold — the value one input can produce.
+  for (NodeId id = 0; id < n; ++id) {
+    if (!in_any_cone[id] || node_to_var[id] == kNullVar) continue;
+    const circuit::Node& nd = c.node(id);
+    const auto [u0, u1] =
+        justify_thresholds(nd.type, static_cast<int>(nd.fanins.size()));
+    if (u0 == u1) continue;  // XOR-like or single-input: no preference
+    h.phases.emplace_back(node_to_var[id], u1 < u0);
+  }
+  return h;
+}
+
+}  // namespace sateda::csat

@@ -1,0 +1,58 @@
+/// \file hints.hpp
+/// \brief Structure hints: netlist knowledge packaged for the solver.
+///
+/// The paper's circuit-SAT engine (§5) branches on primary inputs and
+/// justification-frontier nodes and picks the decision value with the
+/// smaller justification threshold (Table 2).  A plain CDCL solver
+/// sees none of that once the circuit is Tseitin-flattened.
+/// StructureHints reconstructs it on the CNF side: per-objective cone
+/// variable groups, a branching priority list (in-cone primary inputs
+/// plus the objective's immediate fanins — the initial justification
+/// frontier), and per-variable phase hints derived from the gate
+/// thresholds.  `apply()` pushes all of it through the generic
+/// SatEngine hooks (`bump_variable` / `set_polarity`), so it works for
+/// the single solver, the portfolio, and cube workers alike.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "cnf/literal.hpp"
+#include "sat/engine.hpp"
+
+namespace sateda::csat {
+
+struct StructureHints {
+  /// One variable group per objective: the CNF variables of the
+  /// objective's transitive fanin cone, inputs first.
+  std::vector<std::vector<Var>> cone_groups;
+  /// Variables to branch on first (descending priority): in-cone
+  /// primary inputs, then the objectives' immediate fanins (the
+  /// justification frontier at decision level 0).
+  std::vector<Var> priority;
+  /// Saved-phase seeds: (var, value) where `value` is the gate's
+  /// easier-to-justify output value (smaller Table 2 threshold).
+  std::vector<std::pair<Var, bool>> phases;
+
+  bool empty() const {
+    return cone_groups.empty() && priority.empty() && phases.empty();
+  }
+  /// Feeds the hints to \p engine: one activity bump per cone variable,
+  /// extra bumps for priority variables (last = highest activity), and
+  /// a polarity seed per phase hint.
+  void apply(sat::SatEngine& engine) const;
+  std::string summary() const;
+};
+
+/// Builds hints for \p c under the node→CNF-variable map
+/// \p node_to_var (kNullVar entries are skipped — out-of-cone nodes of
+/// a compact encoding).  \p objectives lists (node, value) pairs the
+/// formula asserts, typically the encode_objectives call's argument.
+StructureHints make_structure_hints(
+    const circuit::Circuit& c, const std::vector<Var>& node_to_var,
+    const std::vector<std::pair<circuit::NodeId, bool>>& objectives);
+
+}  // namespace sateda::csat

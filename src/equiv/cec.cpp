@@ -1,9 +1,15 @@
 #include "equiv/cec.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "circuit/encoder.hpp"
 #include "circuit/miter.hpp"
+#include "circuit/rewrite.hpp"
 #include "circuit/structural_hash.hpp"
 #include "csat/circuit_sat.hpp"
+#include "csat/hints.hpp"
+#include "sat/solver.hpp"
 
 namespace sateda::equiv {
 
@@ -11,25 +17,112 @@ using circuit::Circuit;
 using circuit::GateType;
 using circuit::NodeId;
 
+namespace {
+
+/// Checks whether the single miter output folded to a constant; fills
+/// \p result and returns true when it did.
+bool settled_by_constant(const Circuit& miter, std::size_t num_inputs,
+                         CecResult& result) {
+  const circuit::Node& out = miter.node(miter.outputs()[0]);
+  if (out.type == GateType::kConst0) {
+    result.verdict = CecVerdict::kEquivalent;
+    result.settled_structurally = true;
+    return true;
+  }
+  if (out.type == GateType::kConst1) {
+    // Differ on every input; all-zero input is a counterexample.
+    result.verdict = CecVerdict::kNotEquivalent;
+    result.settled_structurally = true;
+    result.counterexample.assign(num_inputs, false);
+    return true;
+  }
+  return false;
+}
+
+/// The structure-aware path: rewrite → polarity-aware compact encoding
+/// → StructureHints → engine.
+CecResult check_equivalence_pipeline(const Circuit& a, Circuit miter,
+                                     const CecOptions& opts) {
+  CecResult result;
+  result.used_cnf_pipeline = true;
+  if (settled_by_constant(miter, a.inputs().size(), result)) return result;
+  if (opts.rewrite) {
+    circuit::RewriteResult rr = circuit::rewrite(miter);
+    miter = std::move(rr.circuit);
+    if (settled_by_constant(miter, a.inputs().size(), result)) return result;
+  }
+
+  const NodeId out = miter.outputs()[0];
+  const std::vector<std::pair<NodeId, bool>> objectives{{out, true}};
+  circuit::ConeEncodingOptions eopts;
+  eopts.plaisted_greenbaum = opts.plaisted_greenbaum;
+  circuit::ConeEncoding enc =
+      circuit::encode_objectives(miter, objectives, eopts);
+
+  sat::SolverOptions sopts = opts.solver;
+  sopts.conflict_budget = opts.conflict_budget;
+  std::unique_ptr<sat::SatEngine> engine;
+  if (opts.proof != nullptr) {
+    // Proof logging is a single-solver affair: certify with plain CDCL
+    // regardless of the requested engine.
+    auto solver = std::make_unique<sat::Solver>(sopts);
+    solver->set_proof_tracer(opts.proof);
+    engine = std::move(solver);
+    result.pipeline_formula = enc.formula;
+  } else {
+    engine = sat::make_engine(opts.engine, sopts);
+  }
+  if (!engine->add_formula(enc.formula)) {
+    result.verdict = CecVerdict::kEquivalent;
+    return result;
+  }
+  if (opts.struct_hints) {
+    csat::make_structure_hints(miter, enc.node_to_var, objectives)
+        .apply(*engine);
+  }
+
+  const sat::SolveResult r = engine->solve();
+  result.decisions = engine->stats().decisions;
+  result.conflicts = engine->stats().conflicts;
+  switch (r) {
+    case sat::SolveResult::kUnsat:
+      result.verdict = CecVerdict::kEquivalent;
+      break;
+    case sat::SolveResult::kUnknown:
+      result.verdict = CecVerdict::kUnknown;
+      break;
+    case sat::SolveResult::kSat: {
+      const std::vector<lbool>& model = engine->model();
+      result.counterexample.reserve(miter.inputs().size());
+      for (NodeId i : miter.inputs()) {
+        // Out-of-cone and unassigned inputs are don't cares → 0.
+        const Var v = enc.node_to_var[i];
+        const bool val = v != kNullVar && v < static_cast<Var>(model.size()) &&
+                         model[v].is_true();
+        result.counterexample.push_back(val);
+      }
+      result.verdict = CecVerdict::kNotEquivalent;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
 CecResult check_equivalence(const Circuit& a, const Circuit& b,
                             CecOptions opts) {
   CecResult result;
   Circuit miter = circuit::build_miter(a, b);
   if (opts.structural_hashing) {
     miter = circuit::strash(miter);
-    const circuit::Node& out = miter.node(miter.outputs()[0]);
-    if (out.type == GateType::kConst0) {
-      result.verdict = CecVerdict::kEquivalent;
-      result.settled_structurally = true;
-      return result;
-    }
-    if (out.type == GateType::kConst1) {
-      // Differ on every input; all-zero input is a counterexample.
-      result.verdict = CecVerdict::kNotEquivalent;
-      result.settled_structurally = true;
-      result.counterexample.assign(a.inputs().size(), false);
-      return result;
-    }
+  }
+  if (opts.wants_cnf_pipeline()) {
+    return check_equivalence_pipeline(a, std::move(miter), opts);
+  }
+  if (opts.structural_hashing &&
+      settled_by_constant(miter, a.inputs().size(), result)) {
+    return result;
   }
 
   csat::CircuitSatOptions copts;

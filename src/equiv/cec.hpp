@@ -9,7 +9,13 @@
 #include <vector>
 
 #include "circuit/netlist.hpp"
+#include "cnf/formula.hpp"
+#include "sat/engine.hpp"
 #include "sat/options.hpp"
+
+namespace sateda::sat {
+class ProofTracer;
+}
 
 namespace sateda::equiv {
 
@@ -19,8 +25,28 @@ struct CecOptions {
   bool structural_hashing = true;
   /// Use the §5 circuit layer inside the SAT query.
   bool use_structural_layer = false;
+  /// AIG-style rewriting (circuit/rewrite.hpp) on the strashed miter:
+  /// De Morgan normalization + cut-based functional merging.  Routes
+  /// the check through the structure-aware CNF pipeline.
+  bool rewrite = false;
+  /// Plaisted-Greenbaum polarity-aware objective encoding (CNF
+  /// pipeline path).
+  bool plaisted_greenbaum = false;
+  /// Derive StructureHints (cone groups, input/frontier branching
+  /// priority, justification phase hints) and apply them to the engine.
+  bool struct_hints = false;
+  /// Engine for the CNF pipeline path (ignored by the circuit layer).
+  sat::EngineSpec engine;
+  /// Proof tracer for UNSAT certification.  Setting it forces the CNF
+  /// pipeline path with a single CDCL solver (proofs are per-solver)
+  /// and fills CecResult::pipeline_formula.
+  sat::ProofTracer* proof = nullptr;
   std::int64_t conflict_budget = -1;
   sat::SolverOptions solver;
+
+  bool wants_cnf_pipeline() const {
+    return rewrite || plaisted_greenbaum || struct_hints || proof != nullptr;
+  }
 };
 
 enum class CecVerdict {
@@ -45,6 +71,12 @@ struct CecResult {
   /// True if structural hashing alone settled the question (the miter
   /// output folded to a constant).
   bool settled_structurally = false;
+  /// True when the structure-aware CNF pipeline (rewrite → polarity
+  /// encoding → hints) answered, rather than the circuit layer.
+  bool used_cnf_pipeline = false;
+  /// With CecOptions::proof set and a SAT call made: the exact formula
+  /// the solver refuted, for external DRAT re-certification.
+  CnfFormula pipeline_formula;
   std::int64_t decisions = 0;
   std::int64_t conflicts = 0;
 };

@@ -849,6 +849,10 @@ SolveResult Solver::search() {
           : -1;
   std::int64_t conflicts_this_restart = 0;
   std::vector<Lit> learnt;
+  // Database shape is fixed for the entry decision; evaluate once so
+  // the quiescent-point check below is a couple of flag tests.
+  const bool entry_gated =
+      opts_.inprocess.enabled && entry_inprocess_gated();
 
   while (true) {
     if (interrupt_flag_.load(std::memory_order_relaxed) ||
@@ -978,7 +982,7 @@ SolveResult Solver::search() {
     // database than a hundred conflicts later at the natural restart.
     const bool entry_inprocess_due = opts_.inprocess.enabled &&
                                      stats_.inprocess_runs == 0 &&
-                                     inprocess_due();
+                                     !entry_gated && inprocess_due();
     if ((restart_budget >= 0 && conflicts_this_restart >= restart_budget) ||
         entry_inprocess_due) {
       erase_until(0);
@@ -1191,6 +1195,18 @@ bool Solver::inprocess_due() const {
     trigger = std::max(trigger, opts_.inprocess.entry_conflicts);
   }
   return stats_.conflicts >= trigger;
+}
+
+bool Solver::entry_inprocess_gated() const {
+  if (!opts_.inprocess.self_throttle) return false;
+  if (opts_.inprocess.entry_max_binary_fraction < 0.0) return false;
+  const std::size_t ncls = num_problem_clauses_;
+  if (ncls == 0) return false;
+  // Problem clauses of >= 3 literals live in clauses_; the rest are
+  // implicit binaries (same shape reading the scheduler uses).
+  const std::size_t nbin = ncls - std::min(ncls, clauses_.size());
+  return static_cast<double>(nbin) / static_cast<double>(ncls) >
+         opts_.inprocess.entry_max_binary_fraction;
 }
 
 bool Solver::run_inprocess() {

@@ -305,6 +305,13 @@ class Solver : public SatEngine {
   /// trigger.  Under self-throttling the first round additionally waits
   /// for entry_conflicts, so propagation-only solves skip it entirely.
   bool inprocess_due() const;
+  /// True when the entry-round database-shape gate
+  /// (entry_max_binary_fraction) would skip every entry pass: the
+  /// database is binary-heavy, i.e. circuit-shaped.  search() then
+  /// skips the *forced* entry restart too — on instances that solve in
+  /// a few dozen conflicts without restarting (small CEC miters), the
+  /// restart plus a fully-gated no-op round were pure overhead.
+  bool entry_inprocess_gated() const;
   /// Runs one inprocessing pass (probing/vivification/BVE) and
   /// reschedules the next one.  Returns false iff the clause set was
   /// refuted (ok_ cleared, proof closed).  Root level only.

@@ -124,6 +124,61 @@ TEST(AtpgFlowTest, PlainCnfLayerOffMatchesCoverage) {
   EXPECT_EQ(a.stats.redundant, b.stats.redundant);
 }
 
+TEST(AtpgPipelineTest, PatternsStillDetectWithRewriteAndHints) {
+  // The structure-aware path (rewrite → PG → hints) must produce
+  // patterns the fault simulator confirms, fault for fault.
+  Circuit c = circuit::c17();
+  FaultSimulator sim(c);
+  AtpgOptions opts;
+  opts.rewrite = true;
+  opts.plaisted_greenbaum = true;
+  opts.struct_hints = true;
+  for (const Fault& f : collapse_faults(c, enumerate_faults(c))) {
+    std::vector<lbool> partial;
+    FaultStatus st = generate_test(c, f, partial, opts);
+    ASSERT_EQ(st, FaultStatus::kDetected) << to_string(f);
+    std::vector<bool> pattern(c.inputs().size());
+    for (std::size_t i = 0; i < partial.size(); ++i)
+      pattern[i] = partial[i].is_true();
+    EXPECT_TRUE(sim.detects(pattern, f)) << to_string(f);
+  }
+}
+
+TEST(AtpgPipelineTest, RedundancyAgreesWithPlainPath) {
+  // Absorption-redundant AND from RedundantFaultIsProven: the pipeline
+  // must prove the same redundancy (here the rewrite itself already
+  // folds the fault cone to a constant).
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g = c.add_and(a, b);
+  NodeId y = c.add_or(a, g);
+  c.mark_output(y, "o");
+  AtpgOptions opts;
+  opts.rewrite = true;
+  opts.plaisted_greenbaum = true;
+  opts.struct_hints = true;
+  std::vector<lbool> partial;
+  EXPECT_EQ(generate_test(c, Fault{g, Fault::kOutputPin, false}, partial, opts),
+            FaultStatus::kRedundant);
+  EXPECT_EQ(generate_test(c, Fault{g, Fault::kOutputPin, true}, partial, opts),
+            FaultStatus::kDetected);
+}
+
+TEST(AtpgPipelineTest, FullFlowCoverageMatchesPlainPath) {
+  Circuit c = circuit::alu(3);
+  AtpgOptions plain;
+  plain.random_phase = false;
+  AtpgOptions piped = plain;
+  piped.rewrite = true;
+  piped.plaisted_greenbaum = true;
+  piped.struct_hints = true;
+  AtpgResult a = run_atpg(c, plain);
+  AtpgResult b = run_atpg(c, piped);
+  EXPECT_DOUBLE_EQ(a.stats.fault_coverage(), b.stats.fault_coverage());
+  EXPECT_EQ(a.stats.redundant, b.stats.redundant);
+}
+
 TEST(RandomAtpgTest, CoverageIsMonotoneInPatternCount) {
   Circuit c = circuit::alu(3);
   AtpgResult few = run_random_atpg(c, 8, 3);

@@ -139,5 +139,43 @@ TEST_P(BmcDepthSweep, CounterDepthMatchesBadValue) {
 INSTANTIATE_TEST_SUITE_P(Depths, BmcDepthSweep,
                          ::testing::Values(0, 1, 2, 3, 5, 8, 13, 21));
 
+TEST(BmcPipelineTest, RewriteAndHintsPreserveVerdictAndDepth) {
+  // Rewriting the transition relation and seeding per-frame hints must
+  // not change what BMC concludes, only how fast it gets there.
+  for (int bad : {3, 5, 9}) {
+    SequentialCircuit m = counter_machine(4, bad);
+    BmcOptions opts;
+    opts.rewrite = true;
+    opts.struct_hints = true;
+    BmcResult plain = bounded_model_check(m);
+    BmcResult piped = bounded_model_check(m, opts);
+    ASSERT_EQ(piped.verdict, plain.verdict) << "bad=" << bad;
+    ASSERT_EQ(piped.verdict, BmcVerdict::kCounterexample);
+    EXPECT_EQ(piped.depth, plain.depth);
+    EXPECT_TRUE(replay_reaches_bad(m, piped.trace)) << "bad=" << bad;
+  }
+}
+
+TEST(BmcPipelineTest, UnreachableBadStaysUnreachableUnderRewrite) {
+  SequentialCircuit m = counter_machine(3, 9);
+  BmcOptions opts;
+  opts.rewrite = true;
+  opts.struct_hints = true;
+  opts.max_depth = 20;
+  BmcResult r = bounded_model_check(m, opts);
+  EXPECT_EQ(r.verdict, BmcVerdict::kNoCounterexample);
+}
+
+TEST(BmcPipelineTest, ShiftRegisterTraceReplaysUnderPipeline) {
+  SequentialCircuit m = shift_register_machine(4);
+  BmcOptions opts;
+  opts.rewrite = true;
+  opts.struct_hints = true;
+  BmcResult r = bounded_model_check(m, opts);
+  ASSERT_EQ(r.verdict, BmcVerdict::kCounterexample);
+  EXPECT_EQ(r.depth, 4);
+  EXPECT_TRUE(replay_reaches_bad(m, r.trace));
+}
+
 }  // namespace
 }  // namespace sateda::bmc

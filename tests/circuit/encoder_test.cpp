@@ -109,14 +109,59 @@ TEST(EncoderTest, CircuitCnfAgreesWithSimulation) {
 TEST(EncoderTest, ConesRestrictClauses) {
   Circuit c = c17();
   NodeId g22 = c.find("22");
-  CnfFormula cone = encode_cones(c, {g22});
+  ConeEncoding cone = encode_cones(c, {g22});
   CnfFormula full = encode_circuit(c);
-  EXPECT_LT(cone.num_clauses(), full.num_clauses());
-  // Node 19 ("19") only feeds output 23 and must not be constrained.
+  EXPECT_LT(cone.formula.num_clauses(), full.num_clauses());
+  // Node 19 ("19") only feeds output 23: it gets no variable at all —
+  // cone encodings are compact, not merely unconstrained.
   NodeId g19 = c.find("19");
-  for (const Clause& cl : cone) {
-    for (Lit l : cl) EXPECT_NE(l.var(), g19);
+  EXPECT_EQ(cone.var_of(g19), kNullVar);
+  EXPECT_LT(cone.formula.num_vars(), static_cast<int>(c.num_nodes()));
+  // The mapping round-trips: var_to_node inverts node_to_var.
+  for (std::size_t v = 0; v < cone.var_to_node.size(); ++v) {
+    EXPECT_EQ(cone.node_to_var[cone.var_to_node[v]], static_cast<Var>(v));
   }
+  // Every clause speaks only in mapped variables.
+  for (const Clause& cl : cone.formula) {
+    for (Lit l : cl) {
+      EXPECT_LT(l.var(), static_cast<Var>(cone.var_to_node.size()));
+    }
+  }
+}
+
+TEST(EncoderTest, ObjectivesMatchSeparateEncodeAndAssert) {
+  Circuit c = c17();
+  NodeId g22 = c.find("22");
+  ConeEncoding enc = encode_objectives(c, {{g22, true}});
+  // Same clause count as the non-objective cone plus the unit.
+  ConeEncoding cone = encode_cones(c, {g22});
+  EXPECT_EQ(enc.formula.num_clauses(), cone.formula.num_clauses() + 1);
+  EXPECT_EQ(enc.clauses_dropped, 0u);
+}
+
+TEST(EncoderTest, PlaistedGreenbaumDropsSinglePolarityClauses) {
+  // A monotone AND/OR cone mentioned in one polarity loses half of its
+  // Table 1 clauses under Plaisted-Greenbaum.
+  Circuit c("pg");
+  NodeId a = c.add_input("a"), b = c.add_input("b");
+  NodeId x = c.add_input("x"), y = c.add_input("y");
+  NodeId o = c.add_or(c.add_and(a, b), c.add_and(x, y));
+  c.mark_output(o, "o");
+  ConeEncodingOptions pg;
+  pg.plaisted_greenbaum = true;
+  ConeEncoding full = encode_objectives(c, {{o, true}});
+  ConeEncoding half = encode_objectives(c, {{o, true}}, pg);
+  EXPECT_GT(half.clauses_dropped, 0u);
+  EXPECT_EQ(half.formula.num_clauses() + half.clauses_dropped,
+            full.formula.num_clauses());
+  // Still satisfiable, and models simulate to the objective.
+  sat::Solver s;
+  (void)s.add_formula(half.formula);
+  ASSERT_EQ(s.solve(), sat::SolveResult::kSat);
+  std::vector<bool> ins;
+  for (NodeId i : c.inputs())
+    ins.push_back(s.model_value(half.var_of(i)).is_true());
+  EXPECT_TRUE(simulate(c, ins)[o]);
 }
 
 // --- Figure 1: example circuit + objective ---------------------------

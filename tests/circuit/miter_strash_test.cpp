@@ -104,6 +104,57 @@ TEST(StrashTest, XorOfEqualNodesIsConstantZero) {
   EXPECT_EQ(out.node(out.outputs()[0]).type, GateType::kConst0);
 }
 
+TEST(StrashTest, CommutativeGatesMergeAcrossFaninOrder) {
+  // AND(a,b) vs AND(b,a) (and XOR likewise): the canonical fanin sort
+  // must make them one cache entry.
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g1 = c.add_and(a, b);
+  NodeId g2 = c.add_and(b, a);
+  NodeId x1 = c.add_xor(g1, g2);  // folds: same node ⇒ const 0
+  c.mark_output(x1, "o");
+  StrashStats stats;
+  Circuit out = strash(c, &stats);
+  EXPECT_GE(stats.merged + stats.constants_folded, 2u);
+  EXPECT_EQ(out.node(out.outputs()[0]).type, GateType::kConst0);
+}
+
+TEST(StrashTest, DuplicateFaninsDedupe) {
+  // AND(a, a, b) == AND(a, b); NOR(a, a) == NOT(a).
+  Circuit c;
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId g1 = c.add_gate(GateType::kAnd, {a, a, b});
+  NodeId g2 = c.add_and(a, b);
+  NodeId n1 = c.add_nor(a, a);
+  c.mark_output(g1, "g1");
+  c.mark_output(g2, "g2");
+  c.mark_output(n1, "n1");
+  StrashStats stats;
+  Circuit out = strash(c, &stats);
+  // g1 and g2 land on the same node after dedup.
+  EXPECT_EQ(out.outputs()[0], out.outputs()[1]);
+  EXPECT_EQ(out.node(out.outputs()[2]).type, GateType::kNot);
+  for (int bits = 0; bits < 4; ++bits) {
+    std::vector<bool> ins{(bits & 1) != 0, (bits & 2) != 0};
+    EXPECT_EQ(simulate_outputs(c, ins), simulate_outputs(out, ins));
+  }
+}
+
+TEST(StrashTest, MiterPairMergeCountRegression) {
+  // The adder miter's two halves share g/p/c subterms; count the merges
+  // so strash regressions (missed canonicalization) are caught by
+  // number, not just by function.
+  Circuit m = build_miter(ripple_carry_adder(4), ripple_carry_adder(4));
+  StrashStats stats;
+  Circuit out = strash(m, &stats);
+  // Identical halves: every gate of the second copy merges into the
+  // first, and the output XORs fold to constants.
+  EXPECT_GE(stats.merged, ripple_carry_adder(4).num_gates());
+  EXPECT_EQ(out.node(out.outputs()[0]).type, GateType::kConst0);
+}
+
 class StrashPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(StrashPropertyTest, PreservesFunctionExhaustively) {

@@ -1,0 +1,190 @@
+/// Unit and property tests for circuit/rewrite.hpp: functional
+/// equivalence under exhaustive/random simulation, constant folding,
+/// De Morgan normalization, cut-based merging, and node_map contracts.
+#include "circuit/rewrite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuit/generators.hpp"
+#include "circuit/miter.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/simulator.hpp"
+#include "circuit/structural_hash.hpp"
+
+namespace sateda::circuit {
+namespace {
+
+/// Checks outputs agree on every pattern (inputs <= 12) or 256 random
+/// patterns otherwise.
+void expect_equivalent(const Circuit& a, const Circuit& b) {
+  ASSERT_EQ(a.inputs().size(), b.inputs().size());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  const std::size_t n = a.inputs().size();
+  std::mt19937_64 rng(42);
+  const std::uint64_t total =
+      n <= 12 ? (std::uint64_t{1} << n) : 256;
+  for (std::uint64_t t = 0; t < total; ++t) {
+    std::uint64_t bits = n <= 12 ? t : rng();
+    std::vector<bool> ins(n);
+    for (std::size_t i = 0; i < n; ++i) ins[i] = (bits >> (i % 64)) & 1;
+    EXPECT_EQ(simulate_outputs(a, ins), simulate_outputs(b, ins))
+        << "pattern " << bits;
+  }
+}
+
+TEST(RewriteTest, PreservesInterfaceAndFunction) {
+  Circuit c = alu(4);
+  RewriteResult r = rewrite(c);
+  EXPECT_EQ(r.circuit.inputs().size(), c.inputs().size());
+  EXPECT_EQ(r.circuit.outputs().size(), c.outputs().size());
+  expect_equivalent(c, r.circuit);
+  // Complement edges may cost one realized inverter per output; beyond
+  // that the pass must not grow the netlist.
+  EXPECT_LE(r.stats.gates_after,
+            r.stats.gates_before + c.outputs().size());
+}
+
+TEST(RewriteTest, RandomCircuitsStayEquivalent) {
+  for (std::uint64_t seed = 200; seed < 220; ++seed) {
+    Circuit c = random_circuit(7, 40, seed);
+    RewriteResult r = rewrite(c);
+    expect_equivalent(c, r.circuit);
+  }
+}
+
+TEST(RewriteTest, RandomCircuitsStayEquivalentWithoutCutMerging) {
+  RewriteOptions opts;
+  opts.cut_merging = false;
+  for (std::uint64_t seed = 300; seed < 310; ++seed) {
+    Circuit c = random_circuit(6, 30, seed);
+    RewriteResult r = rewrite(c, opts);
+    expect_equivalent(c, r.circuit);
+  }
+}
+
+TEST(RewriteTest, ConstantAndIdentityFolding) {
+  Circuit c("fold");
+  NodeId a = c.add_input("a");
+  NodeId zero = c.add_const(false);
+  NodeId dead = c.add_and(a, zero);   // = 0
+  NodeId same = c.add_or(a, a);       // = a
+  NodeId contra = c.add_and(a, c.add_not(a));  // = 0
+  c.mark_output(dead, "dead");
+  c.mark_output(same, "same");
+  c.mark_output(contra, "contra");
+  RewriteResult r = rewrite(c);
+  expect_equivalent(c, r.circuit);
+  EXPECT_GT(r.stats.constants_folded + r.stats.identity_folds, 0u);
+  // dead and contra outputs are the constant-0 node.
+  EXPECT_EQ(r.circuit.node(r.circuit.outputs()[0]).type, GateType::kConst0);
+  EXPECT_EQ(r.circuit.node(r.circuit.outputs()[2]).type, GateType::kConst0);
+}
+
+TEST(RewriteTest, DeMorganVariantsMerge) {
+  // NAND(¬a, ¬b) == OR(a, b): complement-edge normalization maps both
+  // onto one node where plain strash sees different gate types.
+  Circuit c("demorgan");
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId or_ab = c.add_or(a, b);
+  NodeId nand_nn = c.add_nand(c.add_not(a), c.add_not(b));
+  c.mark_output(or_ab, "o1");
+  c.mark_output(nand_nn, "o2");
+
+  StrashStats ss;
+  Circuit strashed = strash(c, &ss);
+  EXPECT_EQ(ss.merged, 0u) << "strash alone cannot merge these";
+  (void)strashed;
+
+  RewriteResult r = rewrite(c);
+  expect_equivalent(c, r.circuit);
+  EXPECT_EQ(r.circuit.outputs()[0], r.circuit.outputs()[1])
+      << "both outputs must point at the same rewritten node";
+}
+
+TEST(RewriteTest, CutMergingFindsFunctionalTwins) {
+  // XOR(a,b) built as a gate vs as OR(AND(a,¬b), AND(¬a,b)): same
+  // function over the same leaves, different local structure — only
+  // the cut layer can merge them.
+  Circuit c("twins");
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId x1 = c.add_xor(a, b);
+  NodeId x2 =
+      c.add_or(c.add_and(a, c.add_not(b)), c.add_and(c.add_not(a), b));
+  c.mark_output(x1, "x1");
+  c.mark_output(x2, "x2");
+  RewriteResult r = rewrite(c);
+  expect_equivalent(c, r.circuit);
+  EXPECT_EQ(r.circuit.outputs()[0], r.circuit.outputs()[1]);
+  EXPECT_GT(r.stats.cut_merges, 0u);
+
+  RewriteOptions no_cuts;
+  no_cuts.cut_merging = false;
+  RewriteResult r2 = rewrite(c, no_cuts);
+  expect_equivalent(c, r2.circuit);
+}
+
+TEST(RewriteTest, AdderMiterCollapsesToConstantZero) {
+  // rca carry = OR(g, pc); resynthesized carry = NAND(¬g, ¬pc).  Both
+  // normalize to the same complement-edge node, the carry chains merge
+  // bit by bit, and the whole miter folds to constant 0 — no SAT call.
+  const int n = 8;
+  Circuit rca = ripple_carry_adder(n);
+  Circuit nor_adder("adder_nor");
+  {
+    std::vector<NodeId> a(n), b(n);
+    for (int i = 0; i < n; ++i)
+      a[i] = nor_adder.add_input("a" + std::to_string(i));
+    for (int i = 0; i < n; ++i)
+      b[i] = nor_adder.add_input("b" + std::to_string(i));
+    NodeId carry = nor_adder.add_input("cin");
+    for (int i = 0; i < n; ++i) {
+      NodeId p = nor_adder.add_xor(a[i], b[i]);
+      nor_adder.mark_output(nor_adder.add_xor(p, carry),
+                            "s" + std::to_string(i));
+      NodeId g = nor_adder.add_and(a[i], b[i]);
+      NodeId pc = nor_adder.add_and(p, carry);
+      carry = nor_adder.add_nand(nor_adder.add_not(g), nor_adder.add_not(pc));
+    }
+    nor_adder.mark_output(carry, "cout");
+  }
+  Circuit miter = build_miter(rca, nor_adder);
+  RewriteResult r = rewrite(strash(miter));
+  EXPECT_EQ(r.circuit.node(r.circuit.outputs()[0]).type, GateType::kConst0)
+      << r.stats.summary();
+}
+
+TEST(RewriteTest, NodeMapCoversKeepNodesWithCorrectPolarity) {
+  Circuit c("keep");
+  NodeId a = c.add_input("a");
+  NodeId b = c.add_input("b");
+  NodeId inner = c.add_nor(a, b);  // likely survives only complemented
+  NodeId out = c.add_and(c.add_not(inner), a);
+  c.mark_output(out, "o");
+  RewriteResult r = rewrite(c, {}, {inner});
+  ASSERT_NE(r.node_map[inner], kNullNode);
+  // The kept node must compute NOR(a,b) in the rewritten circuit.
+  for (int bits = 0; bits < 4; ++bits) {
+    std::vector<bool> ins{(bits & 1) != 0, (bits & 2) != 0};
+    std::vector<bool> vals = simulate(r.circuit, ins);
+    EXPECT_EQ(vals[r.node_map[inner]], !(ins[0] || ins[1]));
+  }
+  // Inputs map to inputs, in order.
+  for (std::size_t i = 0; i < c.inputs().size(); ++i) {
+    EXPECT_EQ(r.node_map[c.inputs()[i]], r.circuit.inputs()[i]);
+  }
+}
+
+TEST(RewriteTest, StatsSummaryMentionsGateCounts) {
+  Circuit c = c17();
+  RewriteResult r = rewrite(c);
+  const std::string s = r.stats.summary();
+  EXPECT_NE(s.find(std::to_string(r.stats.gates_before)), std::string::npos);
+  EXPECT_NE(s.find(std::to_string(r.stats.gates_after)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sateda::circuit

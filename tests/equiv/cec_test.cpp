@@ -6,6 +6,8 @@
 #include "circuit/simulator.hpp"
 #include "circuit/miter.hpp"
 #include "circuit/structural_hash.hpp"
+#include "sat/drat_check.hpp"
+#include "sat/proof.hpp"
 
 namespace sateda::equiv {
 namespace {
@@ -155,6 +157,93 @@ TEST_P(CecPropertyTest, VerdictMatchesExhaustiveSimulation) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CecPropertyTest,
                          ::testing::Range<std::uint64_t>(600, 612));
+
+// --- structure-aware CNF pipeline (rewrite → PG → hints) -------------
+
+CecOptions pipeline_options() {
+  CecOptions opts;
+  opts.rewrite = true;
+  opts.plaisted_greenbaum = true;
+  opts.struct_hints = true;
+  return opts;
+}
+
+TEST(CecPipelineTest, ProvesAdderEquivalence) {
+  CecResult r = check_equivalence(circuit::ripple_carry_adder(6),
+                                  alternative_adder(6), pipeline_options());
+  EXPECT_EQ(r.verdict, CecVerdict::kEquivalent);
+  EXPECT_TRUE(r.used_cnf_pipeline);
+}
+
+TEST(CecPipelineTest, RewriteSettlesDeMorganAdderStructurally) {
+  // The alternative adder's NAND-of-inverters carry normalizes onto
+  // the ripple carry under complement-edge rewriting: the miter folds
+  // to constant 0 with no SAT call at all.
+  CecResult r = check_equivalence(circuit::ripple_carry_adder(8),
+                                  alternative_adder(8), pipeline_options());
+  EXPECT_EQ(r.verdict, CecVerdict::kEquivalent);
+  EXPECT_TRUE(r.settled_structurally);
+  EXPECT_EQ(r.conflicts, 0);
+}
+
+TEST(CecPipelineTest, CounterexampleIsRealUnderPipeline) {
+  Circuit good = circuit::ripple_carry_adder(4);
+  Circuit bad = alternative_adder(4);
+  // Corrupt the final carry: swap cout for its inverse.
+  Circuit mutated("mut");
+  {
+    std::vector<NodeId> ins;
+    for (std::size_t i = 0; i < bad.inputs().size(); ++i)
+      ins.push_back(mutated.add_input());
+    auto map = circuit::append_copy(mutated, bad, ins);
+    for (std::size_t i = 0; i + 1 < bad.outputs().size(); ++i)
+      mutated.mark_output(map[bad.outputs()[i]], "s" + std::to_string(i));
+    mutated.mark_output(mutated.add_not(map[bad.outputs().back()]), "cout");
+  }
+  CecResult r = check_equivalence(good, mutated, pipeline_options());
+  ASSERT_EQ(r.verdict, CecVerdict::kNotEquivalent);
+  ASSERT_EQ(r.counterexample.size(), good.inputs().size());
+  EXPECT_NE(circuit::simulate_outputs(good, r.counterexample),
+            circuit::simulate_outputs(mutated, r.counterexample));
+}
+
+TEST(CecPipelineTest, VerdictMatchesPlainPathOnRandomMutations) {
+  for (std::uint64_t seed = 700; seed < 708; ++seed) {
+    Circuit a = circuit::random_circuit(6, 25, seed);
+    Circuit b("copy");
+    std::vector<NodeId> in;
+    for (std::size_t i = 0; i < a.inputs().size(); ++i)
+      in.push_back(b.add_input());
+    auto map = circuit::append_copy(b, a, in);
+    for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+      NodeId o = map[a.outputs()[i]];
+      if (seed % 2 == 1 && i == 0) o = b.add_not(o);
+      b.mark_output(o, "o" + std::to_string(i));
+    }
+    CecResult plain = check_equivalence(a, b);
+    CecResult piped = check_equivalence(a, b, pipeline_options());
+    EXPECT_EQ(piped.verdict, plain.verdict) << "seed " << seed;
+    EXPECT_TRUE(piped.used_cnf_pipeline || piped.settled_structurally);
+  }
+}
+
+TEST(CecPipelineTest, UnsatVerdictIsDratCertified) {
+  // PG without rewriting forces a genuine SAT call (strash alone does
+  // not settle the adder pair); the traced proof must re-certify
+  // against the exact formula the solver refuted.
+  CecOptions opts;
+  opts.plaisted_greenbaum = true;
+  sat::Proof proof;
+  opts.proof = &proof;
+  CecResult r = check_equivalence(circuit::ripple_carry_adder(4),
+                                  alternative_adder(4), opts);
+  ASSERT_EQ(r.verdict, CecVerdict::kEquivalent);
+  ASSERT_FALSE(r.settled_structurally);
+  EXPECT_GT(r.pipeline_formula.num_clauses(), 0u);
+  sat::DratCheckResult chk = sat::check_drat(r.pipeline_formula, proof);
+  EXPECT_TRUE(chk.ok) << chk.message;
+  EXPECT_TRUE(chk.refutation);
+}
 
 }  // namespace
 }  // namespace sateda::equiv

@@ -26,9 +26,13 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "circuit/simulator.hpp"
 #include "cnf/dimacs.hpp"
 #include "cnf/generators.hpp"
+#include "equiv/cec.hpp"
+#include "sat/drat_check.hpp"
 #include "sat/engine.hpp"
+#include "sat/proof.hpp"
 #include "sat/solver.hpp"
 
 namespace {
@@ -674,6 +678,310 @@ int run_cube_bench(const std::string& out_path, bool quick, int workers,
   return 0;
 }
 
+// ---- circuit CEC pipeline bench (--cec) ------------------------------
+//
+// End-to-end equivalence-checking wall clock over circuit pairs: the
+// same pair checked with the plain path (strash + circuit-SAT layer)
+// and with the structure-aware CNF pipeline (rewrite → polarity-aware
+// encoding → StructureHints).  The per-instance figure is
+// pipeline_speedup = plain per-rep wall / pipeline per-rep wall.
+// Every pipeline UNSAT (equivalent) verdict is re-certified untimed:
+// structurally-settled miters need no proof; SAT-settled ones are
+// solved once more with DRAT tracing and checked in-process.
+
+struct CecInstance {
+  std::string name;
+  std::string family;
+  circuit::Circuit a, b;
+  bool quick = false;
+};
+
+struct CecBenchRow {
+  std::string name;
+  std::string family;
+  std::size_t inputs = 0;
+  std::size_t gates = 0;  // miter-side total (a + b)
+  std::string verdict;    // from the pipeline run
+  int reps = 0;
+  double plain_sec = 0.0;     // per-rep wall, plain path
+  double pipeline_sec = 0.0;  // per-rep wall, structure-aware path
+  double pipeline_speedup = 0.0;
+  bool settled_structurally = false;
+  std::string certification;  // "structural" | "drat" | "counterexample"
+  bool certified = false;
+};
+
+std::vector<CecInstance> build_cec_instances(bool quick) {
+  std::vector<CecInstance> all;
+  auto add = [&](std::string name, std::string family, circuit::Circuit a,
+                 circuit::Circuit b, bool in_quick) {
+    all.push_back(
+        {std::move(name), std::move(family), std::move(a), std::move(b),
+         in_quick});
+  };
+  add("cec_adder16", "cec_adder", circuit::ripple_carry_adder(16),
+      benchutil::resynthesized_adder(16), true);
+  add("cec_adder32", "cec_adder", circuit::ripple_carry_adder(32),
+      benchutil::resynthesized_adder(32), true);
+  add("cec_adder64", "cec_adder", circuit::ripple_carry_adder(64),
+      benchutil::resynthesized_adder(64), false);
+  add("cec_adder32_bug", "cec_adder_sat", circuit::ripple_carry_adder(32),
+      benchutil::with_inverted_output(benchutil::resynthesized_adder(32), 0),
+      true);
+  add("cec_mult3", "cec_mult", circuit::array_multiplier(3),
+      benchutil::swapped_multiplier(3), true);
+  add("cec_mult4", "cec_mult", circuit::array_multiplier(4),
+      benchutil::swapped_multiplier(4), false);
+  if (quick) {
+    std::erase_if(all, [](const CecInstance& i) { return !i.quick; });
+  }
+  return all;
+}
+
+const char* cec_verdict_string(equiv::CecVerdict v) {
+  switch (v) {
+    case equiv::CecVerdict::kEquivalent:
+      return "EQ";
+    case equiv::CecVerdict::kNotEquivalent:
+      return "NEQ";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+equiv::CecOptions cec_pipeline_options() {
+  equiv::CecOptions opts;
+  opts.rewrite = true;
+  opts.plaisted_greenbaum = true;
+  opts.struct_hints = true;
+  return opts;
+}
+
+/// Repeats check_equivalence until \p min_time seconds accumulate
+/// (3..max_reps reps); returns per-rep wall and the last result.
+double timed_cec(const CecInstance& inst, const equiv::CecOptions& opts,
+                 double min_time, int max_reps, int* reps_out,
+                 equiv::CecResult* last) {
+  double wall = 0.0;
+  int reps = 0;
+  while ((wall < min_time || reps < 3) && reps < max_reps) {
+    const auto t0 = std::chrono::steady_clock::now();
+    equiv::CecResult r = equiv::check_equivalence(inst.a, inst.b, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    wall += std::chrono::duration<double>(t1 - t0).count();
+    ++reps;
+    *last = std::move(r);
+  }
+  if (reps_out != nullptr) *reps_out = reps;
+  return wall / reps;
+}
+
+CecBenchRow run_cec_instance(const CecInstance& inst, double min_time,
+                             int max_reps) {
+  CecBenchRow row;
+  row.name = inst.name;
+  row.family = inst.family;
+  row.inputs = inst.a.inputs().size();
+  row.gates = inst.a.num_gates() + inst.b.num_gates();
+
+  equiv::CecResult plain, piped;
+  row.plain_sec =
+      timed_cec(inst, equiv::CecOptions{}, min_time, max_reps, nullptr, &plain);
+  row.pipeline_sec = timed_cec(inst, cec_pipeline_options(), min_time,
+                               max_reps, &row.reps, &piped);
+  row.verdict = cec_verdict_string(piped.verdict);
+  row.settled_structurally = piped.settled_structurally;
+  if (row.pipeline_sec > 0.0 && piped.verdict != equiv::CecVerdict::kUnknown &&
+      piped.verdict == plain.verdict) {
+    row.pipeline_speedup = row.plain_sec / row.pipeline_sec;
+  }
+
+  // Untimed certification pass.
+  if (piped.verdict == equiv::CecVerdict::kNotEquivalent) {
+    row.certification = "counterexample";
+    row.certified = circuit::simulate_outputs(inst.a, piped.counterexample) !=
+                    circuit::simulate_outputs(inst.b, piped.counterexample);
+  } else if (piped.settled_structurally) {
+    row.certification = "structural";
+    row.certified = true;
+  } else {
+    equiv::CecOptions certify = cec_pipeline_options();
+    sat::Proof proof;
+    certify.proof = &proof;
+    equiv::CecResult r = equiv::check_equivalence(inst.a, inst.b, certify);
+    row.certification = "drat";
+    if (r.verdict == equiv::CecVerdict::kEquivalent &&
+        !r.settled_structurally) {
+      const sat::DratCheckResult chk =
+          sat::check_drat(r.pipeline_formula, proof);
+      row.certified = chk.ok && chk.refutation;
+    } else {
+      // The certification rerun settled structurally after all (it
+      // never should: the options match the timed run).
+      row.certified = r.verdict == equiv::CecVerdict::kEquivalent;
+    }
+  }
+  return row;
+}
+
+std::string cec_to_json(const std::vector<CecBenchRow>& rows, bool quick,
+                        double min_time) {
+  std::string out = "{\n  \"tool\": \"sateda-bench --cec\",\n";
+  out += "  \"mode\": \"";
+  out += quick ? "quick" : "full";
+  out += "\",\n";
+  char tbuf[32];
+  std::snprintf(tbuf, sizeof(tbuf), "%g", min_time);
+  out += "  \"min_time_sec\": ";
+  out += tbuf;
+  out += ",\n  \"instances\": [\n";
+  double log_sum = 0.0;
+  int n = 0;
+  bool all_certified = true;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CecBenchRow& r = rows[i];
+    out += "    {\n";
+    append_kv(out, "name", r.name);
+    append_kv(out, "family", r.family);
+    append_kv(out, "inputs", static_cast<std::int64_t>(r.inputs));
+    append_kv(out, "gates", static_cast<std::int64_t>(r.gates));
+    append_kv(out, "verdict", r.verdict);
+    append_kv(out, "reps", static_cast<std::int64_t>(r.reps));
+    append_kv(out, "plain_sec", r.plain_sec);
+    append_kv(out, "pipeline_sec", r.pipeline_sec);
+    append_kv(out, "pipeline_speedup", r.pipeline_speedup);
+    append_kv(out, "settled_structurally",
+              static_cast<std::int64_t>(r.settled_structurally ? 1 : 0));
+    append_kv(out, "certification", r.certification);
+    append_kv(out, "certified",
+              static_cast<std::int64_t>(r.certified ? 1 : 0), /*last=*/true);
+    out += (i + 1 < rows.size()) ? "    },\n" : "    }\n";
+    if (r.pipeline_speedup > 0.0) {
+      log_sum += std::log(r.pipeline_speedup);
+      ++n;
+    }
+    all_certified = all_certified && r.certified;
+  }
+  out += "  ],\n  \"aggregate\": {\n";
+  append_kv(out, "instances", static_cast<std::int64_t>(rows.size()));
+  append_kv(out, "all_certified",
+            static_cast<std::int64_t>(all_certified ? 1 : 0));
+  append_kv(out, "geomean_pipeline_speedup",
+            n > 0 ? std::exp(log_sum / n) : 0.0, /*last=*/true);
+  out += "  }\n}\n";
+  return out;
+}
+
+/// Baseline gate for --cec: per-instance pipeline_speedup must not
+/// fall below min_instance_ratio times the baseline's figure, and the
+/// geomean ratio must stay above 1 - max_regression.
+bool check_cec_regression(const std::vector<CecBenchRow>& rows,
+                          const std::string& baseline_path,
+                          double max_regression, double min_instance_ratio) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const std::size_t stop = std::min(text.find("\"aggregate\""), text.size());
+  double log_sum = 0.0;
+  int count = 0;
+  bool ok = true;
+  std::printf("\n%-20s %10s %10s %8s\n", "instance", "baseline", "current",
+              "ratio");
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t nk = text.find("\"name\": \"", pos);
+    if (nk == std::string::npos || nk >= stop) break;
+    const std::size_t ns = nk + std::strlen("\"name\": \"");
+    const std::size_t ne = text.find('"', ns);
+    if (ne == std::string::npos) break;
+    const std::string name = text.substr(ns, ne - ns);
+    const std::size_t sk = text.find("\"pipeline_speedup\": ", ne);
+    if (sk == std::string::npos || sk >= stop) break;
+    const double base =
+        std::atof(text.c_str() + sk + std::strlen("\"pipeline_speedup\": "));
+    pos = sk;
+    if (base <= 0.0) continue;
+    for (const CecBenchRow& r : rows) {
+      if (r.name != name || r.pipeline_speedup <= 0.0) continue;
+      const double ratio = r.pipeline_speedup / base;
+      std::printf("%-20s %10.2f %10.2f %8.2f\n", name.c_str(), base,
+                  r.pipeline_speedup, ratio);
+      log_sum += std::log(ratio);
+      ++count;
+      if (ratio < min_instance_ratio) {
+        std::fprintf(stderr,
+                     "error: %s pipeline_speedup ratio %.3f is below the "
+                     "per-instance floor %.3f\n",
+                     name.c_str(), ratio, min_instance_ratio);
+        ok = false;
+      }
+    }
+  }
+  if (count == 0) {
+    std::fprintf(stderr, "error: no common instances with baseline\n");
+    return false;
+  }
+  const double geomean = std::exp(log_sum / count);
+  const double floor = 1.0 - max_regression;
+  std::printf("%-20s %10s %10s %8.2f  (floor %.2f)\n", "geomean", "", "",
+              geomean, floor);
+  if (geomean < floor) {
+    std::fprintf(stderr,
+                 "error: pipeline_speedup regressed: geomean ratio %.3f is "
+                 "below %.3f\n",
+                 geomean, floor);
+    ok = false;
+  }
+  return ok;
+}
+
+int run_cec_bench(const std::string& out_path, bool quick, double min_time,
+                  int max_reps, const std::string& baseline_path,
+                  double max_regression, double min_instance_ratio) {
+  const std::vector<CecInstance> instances = build_cec_instances(quick);
+  std::vector<CecBenchRow> rows;
+  rows.reserve(instances.size());
+  std::printf("%-20s %8s %5s %10s %10s %8s %6s %10s\n", "instance", "verdict",
+              "reps", "plain(s)", "pipe(s)", "speedup", "struct", "certified");
+  for (const CecInstance& inst : instances) {
+    CecBenchRow r = run_cec_instance(inst, min_time, max_reps);
+    std::printf("%-20s %8s %5d %10.4f %10.4f %8.2f %6s %6s/%s\n",
+                r.name.c_str(), r.verdict.c_str(), r.reps, r.plain_sec,
+                r.pipeline_sec, r.pipeline_speedup,
+                r.settled_structurally ? "yes" : "no",
+                r.certified ? "yes" : "NO", r.certification.c_str());
+    std::fflush(stdout);
+    rows.push_back(std::move(r));
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  out << cec_to_json(rows, quick, min_time);
+  out.close();
+  std::printf("\nresults written to %s\n", out_path.c_str());
+  for (const CecBenchRow& r : rows) {
+    if (!r.certified) {
+      std::fprintf(stderr, "error: %s verdict was not certified\n",
+                   r.name.c_str());
+      return 1;
+    }
+  }
+  if (!baseline_path.empty() &&
+      !check_cec_regression(rows, baseline_path, max_regression,
+                            min_instance_ratio)) {
+    return 1;
+  }
+  return 0;
+}
+
 void print_help(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
@@ -697,6 +1005,12 @@ void print_help(const char* argv0) {
       "                       a harder generated family cold / racing\n"
       "                       portfolio / cube:N under one timeout and\n"
       "                       write BENCH_cube.json\n"
+      "  --cec                circuit equivalence-checking comparison:\n"
+      "                       time check_equivalence plain versus the\n"
+      "                       structure-aware pipeline (rewrite + PG +\n"
+      "                       hints) over adder/multiplier miter pairs,\n"
+      "                       certify every verdict, and write\n"
+      "                       BENCH_cec.json\n"
       "  --workers N          worker count for --cube (default 8)\n"
       "  --timeout S          per-solve wall budget for --cube\n"
       "                       (default 60; 10 under --quick)\n"
@@ -718,6 +1032,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   bool quick = false;
   bool cube = false;
+  bool cec = false;
   int workers = 8;
   double timeout_sec = -1.0;
   double min_time = -1.0;
@@ -737,6 +1052,8 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg == "--cube") {
       cube = true;
+    } else if (arg == "--cec") {
+      cec = true;
     } else if (arg == "--workers" && i + 1 < argc) {
       workers = std::atoi(argv[++i]);
     } else if (arg == "--timeout" && i + 1 < argc) {
@@ -760,9 +1077,15 @@ int main(int argc, char** argv) {
   if (min_time < 0.0) min_time = quick ? 0.25 : 1.0;
   if (timeout_sec < 0.0) timeout_sec = quick ? 10.0 : 60.0;
   if (out_path.empty()) {
-    out_path = cube ? "BENCH_cube.json" : "BENCH_solver.json";
+    out_path = cube   ? "BENCH_cube.json"
+               : cec ? "BENCH_cec.json"
+                     : "BENCH_solver.json";
   }
   if (cube) return run_cube_bench(out_path, quick, workers, timeout_sec);
+  if (cec) {
+    return run_cec_bench(out_path, quick, min_time, max_reps, baseline_path,
+                         max_regression, min_instance_ratio);
+  }
 
   const std::vector<Instance> instances = build_instances(corpus_dir, quick);
   std::vector<Result> results;

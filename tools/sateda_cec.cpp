@@ -2,11 +2,15 @@
 /// \brief Command-line combinational equivalence checker for two BENCH
 ///        netlists with matching interfaces.
 ///
-/// Usage: sateda_cec [--no-strash] [--timeout S] [--max-conflicts N]
-///        [--stats] <golden.bench> <revised.bench>
+/// Usage: sateda_cec [--no-strash] [--rewrite] [--pg] [--struct-hints]
+///        [--timeout S] [--max-conflicts N] [--stats]
+///        <golden.bench> <revised.bench>
 /// Exit code: 0 equivalent, 1 not equivalent, 2 error/unknown.
-/// The miter query runs on the §5 structural circuit-SAT layer, so
-/// --engine does not apply here.
+/// By default the miter query runs on the §5 structural circuit-SAT
+/// layer (--engine does not apply).  --rewrite / --pg / --struct-hints
+/// route it through the structure-aware CNF pipeline instead (AIG
+/// rewriting → polarity-aware cone encoding → StructureHints), where
+/// --engine selects the SAT backend.
 #include <cstdio>
 #include <string>
 
@@ -25,9 +29,16 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--no-strash") {
       opts.structural_hashing = false;
+    } else if (arg == "--rewrite") {
+      opts.rewrite = true;
+    } else if (arg == "--pg") {
+      opts.plaisted_greenbaum = true;
+    } else if (arg == "--struct-hints") {
+      opts.struct_hints = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
-                   "usage: %s [--no-strash] [--timeout S] [--max-conflicts N] "
+                   "usage: %s [--no-strash] [--rewrite] [--pg] "
+                   "[--struct-hints] [--timeout S] [--max-conflicts N] "
                    "[--stats] <a.bench> <b.bench>\n",
                    argv[0]);
       return 2;
@@ -37,10 +48,20 @@ int main(int argc, char** argv) {
       b_path = arg;
     }
   }
-  if (common.engine_flag_seen) {
-    std::fprintf(stderr, "error: the miter query runs on the structural "
-                         "circuit-SAT layer; --engine does not apply\n");
+  if (common.engine_flag_seen && !opts.wants_cnf_pipeline()) {
+    std::fprintf(stderr,
+                 "error: the default miter query runs on the structural "
+                 "circuit-SAT layer; --engine applies only with "
+                 "--rewrite/--pg/--struct-hints\n");
     return 2;
+  }
+  if (common.engine_flag_seen) {
+    try {
+      opts.engine = common.spec();
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
   }
   common.apply(opts.solver);
   if (common.max_conflicts >= 0) opts.conflict_budget = common.max_conflicts;
